@@ -1,0 +1,51 @@
+//! Benchmarks of the six baseline matchers on MovieLens-IMDB (19×39
+//! candidate pairs) — comparative cost of the Section III methods.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lsm_baselines::coma::{Aggregation, Coma};
+use lsm_baselines::cupid::Cupid;
+use lsm_baselines::flooding::SimilarityFlooding;
+use lsm_baselines::lsd::Lsd;
+use lsm_baselines::mlm::Mlm;
+use lsm_baselines::smatch::SMatch;
+use lsm_baselines::{MatchContext, Matcher};
+use lsm_datasets::public_data::movielens_imdb;
+use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
+use lsm_lexicon::full_lexicon;
+use lsm_schema::AttrId;
+
+fn bench_baselines(c: &mut Criterion) {
+    let lexicon = full_lexicon();
+    let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+    let ctx = MatchContext { embedding: &embedding, lexicon: &lexicon };
+    let d = movielens_imdb();
+
+    let mut group = c.benchmark_group("baselines_movielens");
+    group.bench_function("cupid", |b| {
+        b.iter(|| black_box(Cupid::new(0.2).score(&ctx, &d.source, &d.target)))
+    });
+    group.bench_function("coma_max", |b| {
+        b.iter(|| black_box(Coma::new(Aggregation::Max).score(&ctx, &d.source, &d.target)))
+    });
+    group.bench_function("smatch", |b| {
+        b.iter(|| black_box(SMatch.score(&ctx, &d.source, &d.target)))
+    });
+    group.bench_function("similarity_flooding", |b| {
+        b.iter(|| black_box(SimilarityFlooding::default().score(&ctx, &d.source, &d.target)))
+    });
+    group.bench_function("mlm_kmeans", |b| {
+        b.iter(|| black_box(Mlm::default().score(&ctx, &d.source, &d.target)))
+    });
+    let train: Vec<(AttrId, AttrId)> = d.ground_truth.pairs().step_by(2).collect();
+    group.bench_function("lsd_train_and_score", |b| {
+        b.iter(|| {
+            let mut lsd = Lsd::new();
+            lsd.train(&ctx, &d.source, &d.target, &train);
+            black_box(lsd.score(&ctx, &d.source, &d.target))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

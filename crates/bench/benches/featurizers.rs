@@ -1,0 +1,40 @@
+//! Benchmarks of LSM's featurization kernels — the per-candidate-pair cost
+//! that dominates the O(|As|×|At|) pipeline (Section VI-C).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lsm_core::featurize::{embedding_features, lexical_features};
+use lsm_core::{BertFeaturizer, BertFeaturizerConfig};
+use lsm_datasets::public_data::movielens_imdb;
+use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
+use lsm_lexicon::full_lexicon;
+use lsm_schema::AttrId;
+
+fn bench_featurizers(c: &mut Criterion) {
+    let lexicon = full_lexicon();
+    let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+    let d = movielens_imdb();
+
+    let mut group = c.benchmark_group("featurizers");
+    group.bench_function("lexical_matrix_19x39", |b| {
+        b.iter(|| black_box(lexical_features(&d.source, &d.target, 1)))
+    });
+    group.bench_function("embedding_matrix_19x39", |b| {
+        b.iter(|| black_box(embedding_features(&embedding, &d.source, &d.target, 1)))
+    });
+
+    let bert = BertFeaturizer::pretrain(&lexicon, BertFeaturizerConfig::tiny());
+    let s_ids = bert.attr_token_ids(&d.source, AttrId(0));
+    let t_ids = bert.attr_token_ids(&d.target, AttrId(0));
+    group.bench_function("bert_single_pooled", |b| {
+        b.iter(|| black_box(bert.single_pooled(black_box(&s_ids))))
+    });
+    let u = bert.single_pooled(&s_ids);
+    let v = bert.single_pooled(&t_ids);
+    group.bench_function("bert_classify_pooled", |b| {
+        b.iter(|| black_box(bert.classify_pooled(black_box(&u), black_box(&v))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_featurizers);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Microbenchmarks of the neural substrate: matmul, encoder forward pass,
+//! autograd backward, and subword encoding.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lsm_nn::{BertConfig, BertEncoder, BpeVocab, Graph, ParamStore, Tensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_kernels");
+
+    let a = Tensor::from_vec(48, 48, (0..48 * 48).map(|i| (i % 7) as f32 * 0.1).collect());
+    let b = a.clone();
+    group.bench_function("matmul_48x48", |bch| {
+        bch.iter(|| black_box(black_box(&a).matmul(black_box(&b))))
+    });
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut store = ParamStore::new();
+    let encoder = BertEncoder::new(BertConfig::small(800), &mut store, &mut rng);
+    let ids: Vec<u32> = (0..24).map(|i| 5 + (i % 700)).collect();
+    group.bench_function("encoder_forward_seq24", |bch| {
+        bch.iter(|| {
+            let mut g = Graph::new();
+            let pooled = encoder.pooled(&mut g, &store, black_box(&ids));
+            black_box(g.value(pooled).data()[0])
+        })
+    });
+
+    group.bench_function("encoder_forward_backward_seq24", |bch| {
+        bch.iter(|| {
+            let mut g = Graph::new();
+            let pooled = encoder.pooled(&mut g, &store, black_box(&ids));
+            let ones = g.input(Tensor::full(48, 1, 1.0));
+            let s = g.matmul(pooled, ones);
+            let loss = g.bce_with_logits(s, 1.0, 1.0);
+            let mut store2 = store.clone();
+            g.backward(loss, &mut store2);
+            black_box(store2.grad_norm())
+        })
+    });
+
+    let corpus: Vec<Vec<&str>> = vec![
+        vec!["price", "change", "percentage", "discount"],
+        vec!["total", "order", "line", "amount"],
+        vec!["customer", "order", "quantity"],
+    ];
+    let vocab = BpeVocab::train(&corpus, 100);
+    group.bench_function("bpe_encode_word", |bch| {
+        bch.iter(|| black_box(vocab.encode_word(black_box("percentage"))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

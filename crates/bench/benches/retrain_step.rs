@@ -1,0 +1,47 @@
+//! Benchmark of one interaction round's model work (retrain + predict) —
+//! the response time of Fig. 9, at reduced scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lsm_core::{LabelStore, LsmConfig, LsmMatcher};
+use lsm_datasets::customers::{generate_customer, CustomerSpec};
+use lsm_datasets::iss::{generate_retail_iss, IssConfig};
+use lsm_datasets::rename::{NamingStyle, RenameMix};
+use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
+use lsm_lexicon::full_lexicon;
+
+fn bench_retrain(c: &mut Criterion) {
+    let lexicon = full_lexicon();
+    let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+    let iss = generate_retail_iss(&lexicon, IssConfig::small());
+    let spec = CustomerSpec {
+        name: "Bench Customer",
+        entities: 3,
+        attributes: 24,
+        foreign_keys: 2,
+        descriptions: false,
+        style: NamingStyle::Snake,
+        mix: RenameMix::customer(),
+        seed: 0x99,
+    };
+    let d = generate_customer(&iss, &lexicon, spec, 3);
+    let config = LsmConfig { use_bert: false, ..Default::default() };
+    let mut matcher = LsmMatcher::new(&d.source, &d.target, &embedding, None, config);
+    let mut labels = LabelStore::new();
+    for (i, (s, t)) in d.ground_truth.pairs().enumerate() {
+        if i % 3 == 0 {
+            labels.confirm(s, t);
+        }
+    }
+
+    let mut group = c.benchmark_group("retrain_step");
+    group.bench_function("retrain_meta_24x90", |b| {
+        b.iter(|| matcher.retrain(black_box(&labels)))
+    });
+    group.bench_function("predict_24x90", |b| {
+        b.iter(|| black_box(matcher.predict(black_box(&labels))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_retrain);
+criterion_main!(benches);

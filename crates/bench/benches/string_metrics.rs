@@ -1,0 +1,68 @@
+//! Microbenchmarks of the string-similarity toolbox — the inner loop of
+//! every lexical matcher (COMA's library, the lexical featurizer).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lsm_text::lexical_similarity;
+use lsm_text::metrics::{
+    edit_similarity, jaro_winkler, soundex, trigram_similarity,
+};
+use lsm_text::tokenize;
+
+const PAIRS: &[(&str, &str)] = &[
+    ("item_amount", "product_item_price_amount"),
+    ("discount", "price_change_percentage"),
+    ("promised_avalailable_curbside_pickup_timestamp", "pick_up_estimated_time"),
+    ("qty", "quantity"),
+    ("OrderLine.TotalOrderLineAmount", "items_subtotal"),
+];
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("string_metrics");
+    group.bench_function("lexical_similarity", |b| {
+        b.iter(|| {
+            for &(x, y) in PAIRS {
+                black_box(lexical_similarity(black_box(x), black_box(y)));
+            }
+        })
+    });
+    group.bench_function("edit_similarity", |b| {
+        b.iter(|| {
+            for &(x, y) in PAIRS {
+                black_box(edit_similarity(black_box(x), black_box(y)));
+            }
+        })
+    });
+    group.bench_function("jaro_winkler", |b| {
+        b.iter(|| {
+            for &(x, y) in PAIRS {
+                black_box(jaro_winkler(black_box(x), black_box(y)));
+            }
+        })
+    });
+    group.bench_function("trigram_similarity", |b| {
+        b.iter(|| {
+            for &(x, y) in PAIRS {
+                black_box(trigram_similarity(black_box(x), black_box(y)));
+            }
+        })
+    });
+    group.bench_function("soundex", |b| {
+        b.iter(|| {
+            for &(x, _) in PAIRS {
+                black_box(soundex(black_box(x)));
+            }
+        })
+    });
+    group.bench_function("tokenize_identifier", |b| {
+        b.iter(|| {
+            for &(x, y) in PAIRS {
+                black_box(tokenize(black_box(x)));
+                black_box(tokenize(black_box(y)));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

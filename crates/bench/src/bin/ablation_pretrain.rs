@@ -1,0 +1,69 @@
+//! Ablation of the matching-classifier pre-training sample types
+//! (Section IV-C1): self-repeating, self-explaining, and PK/FK-linking
+//! positives, each disabled in turn.
+//!
+//! Note: unlike the other binaries this one cannot reuse the memoized
+//! per-ISS featurizer — each variant re-runs classifier pre-training.
+
+use lsm_bench::{base_seed, mean, trials, write_artifact, Harness};
+use lsm_core::bert_featurizer::BertFeaturizerConfig;
+use lsm_core::{evaluate_split, LsmConfig, LsmMatcher};
+
+fn main() {
+    let harness = Harness::build();
+    let n = trials();
+    let base = if lsm_bench::fast_mode() {
+        BertFeaturizerConfig::tiny()
+    } else {
+        BertFeaturizerConfig::small()
+    };
+    let variants: [(&str, BertFeaturizerConfig); 4] = [
+        ("all sample types", base),
+        ("no self-repeating", BertFeaturizerConfig { use_self_repeating: false, ..base }),
+        ("no self-explaining", BertFeaturizerConfig { use_self_explaining: false, ..base }),
+        ("no pk/fk linking", BertFeaturizerConfig { use_pkfk_linking: false, ..base }),
+    ];
+
+    // One (smaller) customer keeps the quadruple pre-training affordable.
+    let dataset = harness
+        .customers(base_seed())
+        .into_iter()
+        .next()
+        .expect("customer A exists");
+    println!(
+        "Ablation: classifier pre-training sample types on {} (top-3, split protocol, {n} trials)",
+        dataset.name
+    );
+
+    let mut artifact = Vec::new();
+    for (name, cfg) in variants {
+        eprintln!("[ablation_pretrain] {name} ...");
+        // Featurizer must be rebuilt per variant: the toggles act during
+        // classifier pre-training.
+        let mut bert = harness.bert.clone();
+        bert.set_config(cfg);
+        bert.pretrain_classifier(&dataset.target);
+        let accs: Vec<f64> = (0..n)
+            .map(|trial| {
+                let mut matcher = LsmMatcher::new(
+                    &dataset.source,
+                    &dataset.target,
+                    &harness.embedding,
+                    Some(bert.clone()),
+                    LsmConfig::default(),
+                );
+                evaluate_split(
+                    &mut matcher,
+                    &dataset.ground_truth,
+                    0.5,
+                    &[3],
+                    base_seed() + trial as u64,
+                )
+                .accuracy(3)
+            })
+            .collect();
+        println!("{name:<22} top-3 {:.2}", mean(&accs));
+        artifact.push(serde_json::json!({ "variant": name, "top3": mean(&accs) }));
+    }
+    write_artifact("ablation_pretrain", &serde_json::json!({ "rows": artifact }));
+}

@@ -1,0 +1,54 @@
+//! Ablation of the Section IV-D score adjustments: data-type gating and
+//! the new-entity penalty, on the split-evaluation protocol.
+
+use lsm_bench::{base_seed, lsm_matcher_for, mean, trials, write_artifact, Harness};
+use lsm_core::{evaluate_split, LsmConfig};
+
+fn main() {
+    let harness = Harness::build();
+    let n = trials();
+    let variants: [(&str, LsmConfig); 4] = [
+        ("full", LsmConfig::default()),
+        ("no dtype gating", LsmConfig { dtype_gating: false, ..Default::default() }),
+        ("no entity penalty", LsmConfig { entity_penalty: false, ..Default::default() }),
+        (
+            "neither",
+            LsmConfig { dtype_gating: false, entity_penalty: false, ..Default::default() },
+        ),
+    ];
+
+    println!("Ablation: score adjustments (top-3 accuracy, split protocol, {n} trials)");
+    print!("{:<14}", "customer");
+    for (name, _) in &variants {
+        print!(" {name:>20}");
+    }
+    println!();
+
+    let mut artifact = Vec::new();
+    for d in harness.customers(base_seed()) {
+        eprintln!("[ablation_scoring] {} ...", d.name);
+        print!("{:<14}", d.name);
+        let mut row = serde_json::Map::new();
+        row.insert("customer".into(), serde_json::json!(d.name));
+        for (name, config) in variants {
+            let accs: Vec<f64> = (0..n)
+                .map(|trial| {
+                    let mut matcher = lsm_matcher_for(&harness, &d, config);
+                    evaluate_split(
+                        &mut matcher,
+                        &d.ground_truth,
+                        0.5,
+                        &[3],
+                        base_seed() + trial as u64,
+                    )
+                    .accuracy(3)
+                })
+                .collect();
+            print!(" {:>20.2}", mean(&accs));
+            row.insert(name.to_string(), serde_json::json!(mean(&accs)));
+        }
+        println!();
+        artifact.push(serde_json::Value::Object(row));
+    }
+    write_artifact("ablation_scoring", &serde_json::json!({ "rows": artifact }));
+}

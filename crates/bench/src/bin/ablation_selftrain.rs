@@ -1,0 +1,62 @@
+//! Ablation of self-training (Section IV-D): the semi-supervised
+//! meta-learner vs a plain supervised fit (zero pseudo-labeling rounds).
+
+use lsm_bench::{base_seed, lsm_matcher_for, mean, trials, write_artifact, Harness};
+use lsm_core::{evaluate_split, LsmConfig, SelfTrainingConfig};
+
+fn main() {
+    let harness = Harness::build();
+    let n = trials();
+    let variants: [(&str, LsmConfig); 3] = [
+        ("self-training (2 rounds)", LsmConfig::default()),
+        (
+            "supervised only",
+            LsmConfig {
+                self_training: SelfTrainingConfig { rounds: 0, ..Default::default() },
+                ..Default::default()
+            },
+        ),
+        (
+            "4 rounds",
+            LsmConfig {
+                self_training: SelfTrainingConfig { rounds: 4, ..Default::default() },
+                ..Default::default()
+            },
+        ),
+    ];
+
+    println!("Ablation: self-training rounds (top-3 accuracy, split protocol, {n} trials)");
+    print!("{:<14}", "customer");
+    for (name, _) in &variants {
+        print!(" {name:>26}");
+    }
+    println!();
+
+    let mut artifact = Vec::new();
+    for d in harness.customers(base_seed()) {
+        eprintln!("[ablation_selftrain] {} ...", d.name);
+        print!("{:<14}", d.name);
+        let mut row = serde_json::Map::new();
+        row.insert("customer".into(), serde_json::json!(d.name));
+        for (name, config) in variants {
+            let accs: Vec<f64> = (0..n)
+                .map(|trial| {
+                    let mut matcher = lsm_matcher_for(&harness, &d, config);
+                    evaluate_split(
+                        &mut matcher,
+                        &d.ground_truth,
+                        0.5,
+                        &[3],
+                        base_seed() + trial as u64,
+                    )
+                    .accuracy(3)
+                })
+                .collect();
+            print!(" {:>26.2}", mean(&accs));
+            row.insert(name.to_string(), serde_json::json!(mean(&accs)));
+        }
+        println!();
+        artifact.push(serde_json::Value::Object(row));
+    }
+    write_artifact("ablation_selftrain", &serde_json::json!({ "rows": artifact }));
+}

@@ -1,0 +1,103 @@
+//! Diagnostic: per-component accuracy breakdown of LSM on one customer.
+//!
+//! Not a paper artifact — a debugging/analysis aid that reports, at full
+//! scale: cold-start accuracy, per-featurizer accuracy, cross-encoder
+//! shortlist recall, and post-training meta weights.
+
+use lsm_bench::{base_seed, lsm_matcher_for, Harness};
+use lsm_core::featurize::feature;
+use lsm_core::{evaluate_split, LabelStore, LsmConfig};
+use lsm_schema::{AttrId, Schema};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "Customer A".to_string());
+    let harness = Harness::build();
+    let mut pool = harness.customers(base_seed());
+    pool.extend(harness.publics());
+    let dataset = pool.into_iter().find(|d| d.name == which).expect("dataset name");
+    let sources: Vec<AttrId> = dataset.source.attr_ids().collect();
+    eprintln!("[diagnose] building matcher ...");
+    let mut matcher = lsm_matcher_for(&harness, &dataset, LsmConfig::default());
+
+    // Shortlist recall.
+    let mut hits = 0;
+    for &s in &sources {
+        let truth = dataset.ground_truth.target_of(s).expect("covered");
+        if matcher.shortlist_of(s).contains(&truth) {
+            hits += 1;
+        }
+    }
+    println!(
+        "shortlist recall: {:.2} ({hits}/{})",
+        hits as f64 / sources.len() as f64,
+        sources.len()
+    );
+
+    // Per-feature-column accuracy.
+    let labels = LabelStore::new();
+    let cold = matcher.predict(&labels);
+    println!("cold-start LSM:   top-1 {:.2}  top-3 {:.2}  top-5 {:.2}",
+        cold.top_k_accuracy(&dataset.ground_truth, &sources, 1),
+        cold.top_k_accuracy(&dataset.ground_truth, &sources, 3),
+        cold.top_k_accuracy(&dataset.ground_truth, &sources, 5));
+    for (name, f) in [("lexical", feature::LEXICAL), ("embedding", feature::EMBEDDING), ("bert", feature::BERT)] {
+        let col = matcher.feature_column(f);
+        println!(
+            "{name:<10} alone: top-1 {:.2}  top-3 {:.2}  top-5 {:.2}",
+            col.top_k_accuracy(&dataset.ground_truth, &sources, 1),
+            col.top_k_accuracy(&dataset.ground_truth, &sources, 3),
+            col.top_k_accuracy(&dataset.ground_truth, &sources, 5)
+        );
+    }
+
+    // BERT score separation: truth vs other shortlisted candidates.
+    let bert_col = matcher.feature_column(feature::BERT);
+    let mut truth_scores = Vec::new();
+    let mut other_scores = Vec::new();
+    for &s in &sources {
+        let truth = dataset.ground_truth.target_of(s).expect("covered");
+        for &t in matcher.shortlist_of(s) {
+            if t == truth {
+                truth_scores.push(bert_col.get(s, t));
+            } else {
+                other_scores.push(bert_col.get(s, t));
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "bert separation: truth mean {:.3} (n={}) vs other mean {:.3} (n={}), truth max {:.3}",
+        mean(&truth_scores),
+        truth_scores.len(),
+        mean(&other_scores),
+        other_scores.len(),
+        truth_scores.iter().copied().fold(0.0f64, f64::max),
+    );
+
+    // Paraphrase probes straight through the featurizer.
+    let bert = harness.bert_for(&dataset.target);
+    for (a, b) in [
+        ("discount", "price_change_percentage"),
+        ("item_amount", "quantity"),
+        ("quantity", "quantity"),
+        ("discount", "store_city"),
+        ("qty", "quantity"),
+    ] {
+        let sa = Schema::builder("probe").entity("P").attr(a, lsm_schema::DataType::Text).build().unwrap();
+        let sb = Schema::builder("probe2").entity("Q").attr(b, lsm_schema::DataType::Text).build().unwrap();
+        let score = bert.score_pair(&sa, AttrId(0), &sb, AttrId(0));
+        println!("probe {a:<24} vs {b:<26} → {score:.3}");
+    }
+
+    // Split evaluation + learned weights.
+    let eval = evaluate_split(&mut matcher, &dataset.ground_truth, 0.5, &[1, 3, 5], base_seed());
+    println!(
+        "after 50% labels: top-1 {:.2}  top-3 {:.2}  top-5 {:.2}  (test n={})",
+        eval.accuracy(1),
+        eval.accuracy(3),
+        eval.accuracy(5),
+        eval.test_size
+    );
+    let (w, b) = matcher.meta_weights();
+    println!("meta weights: lexical {:.3}  embedding {:.3}  bert {:.3}  bias {:.3}", w[0], w[1], w[2], b);
+}

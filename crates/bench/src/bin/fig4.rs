@@ -1,0 +1,46 @@
+//! Figure 4: top-k accuracy of LSM vs the best baseline on customers A-E
+//! (mean ± standard error over independent trials, k ∈ {1, 3, 5}).
+
+use lsm_bench::{
+    baseline_split_accuracies, base_seed, lsm_split_accuracies, mean, stderr, trials,
+    write_artifact, Harness,
+};
+use lsm_core::LsmConfig;
+
+fn main() {
+    let harness = Harness::build();
+    let ctx = harness.ctx();
+    let ks = [1usize, 3, 5];
+    let n = trials();
+
+    println!("Figure 4: top-k accuracy on customers A-E (mean ± stderr, {n} trials)");
+    println!("{:<12} {:<6} {:>16} {:>16}", "Customer", "k", "Best baseline", "LSM");
+    let mut rows = Vec::new();
+    for d in harness.customers(base_seed()) {
+        eprintln!("[fig4] {} ...", d.name);
+        let (bname, b_accs) = baseline_split_accuracies(&ctx, &d, &ks, n);
+        let l_accs = lsm_split_accuracies(&harness, &d, LsmConfig::default(), &ks, n);
+        for (i, &k) in ks.iter().enumerate() {
+            let b: Vec<f64> = b_accs.iter().map(|t| t[i]).collect();
+            let l: Vec<f64> = l_accs.iter().map(|t| t[i]).collect();
+            println!(
+                "{:<12} top-{k} {:>9.2} ±{:.2} {:>9.2} ±{:.2}",
+                d.name,
+                mean(&b),
+                stderr(&b),
+                mean(&l),
+                stderr(&l)
+            );
+            rows.push(serde_json::json!({
+                "customer": d.name,
+                "k": k,
+                "best_baseline_name": bname,
+                "baseline_mean": mean(&b),
+                "baseline_stderr": stderr(&b),
+                "lsm_mean": mean(&l),
+                "lsm_stderr": stderr(&l),
+            }));
+        }
+    }
+    write_artifact("fig4", &serde_json::json!({ "trials": n, "rows": rows }));
+}

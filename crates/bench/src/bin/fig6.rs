@@ -1,0 +1,52 @@
+//! Figure 6: ablation of the BERT featurizer — end-to-end labeling curves
+//! for LSM with and without it.
+//!
+//! Expected shape (paper): removing BERT costs up to ~17 % more labels, and
+//! the gap is largest when few labels have been provided.
+
+use lsm_bench::{
+    base_seed, curve_json, print_curve_row, run_best_baseline_session, run_lsm_session,
+    write_artifact, Harness, CURVE_GRID,
+};
+use lsm_core::metrics::manual_labeling_curve;
+use lsm_core::{LsmConfig, SessionConfig};
+
+fn main() {
+    let harness = Harness::build();
+    let ctx = harness.ctx();
+
+    println!("Figure 6: BERT-featurizer ablation");
+    print!("{:<26}", "curve \\ labels%");
+    for &x in &CURVE_GRID {
+        print!(" {x:>6.0}");
+    }
+    println!();
+
+    let mut artifact = serde_json::Map::new();
+    for d in harness.customers(base_seed()) {
+        eprintln!("[fig6] {} ...", d.name);
+        println!("{}:", d.name);
+        let with_bert = run_lsm_session(&harness, &d, LsmConfig::default(), SessionConfig::default());
+        print_curve_row("LSM", &with_bert);
+        let without_bert = run_lsm_session(
+            &harness,
+            &d,
+            LsmConfig { use_bert: false, ..Default::default() },
+            SessionConfig::default(),
+        );
+        print_curve_row("LSM w/o BERT", &without_bert);
+        let (bname, baseline) = run_best_baseline_session(&ctx, &d, SessionConfig::default());
+        print_curve_row(&format!("best baseline ({bname})"), &baseline);
+        print_curve_row("manual labeling", &manual_labeling_curve(d.source.attr_count()));
+
+        artifact.insert(
+            d.name.clone(),
+            serde_json::json!({
+                "lsm": curve_json(&with_bert),
+                "lsm_without_bert": curve_json(&without_bert),
+                "best_baseline": { "name": bname, "curve": curve_json(&baseline) },
+            }),
+        );
+    }
+    write_artifact("fig6", &serde_json::Value::Object(artifact));
+}

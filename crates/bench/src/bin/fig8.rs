@@ -1,0 +1,54 @@
+//! Figure 8: LSM under noisy labels, noise rate n ∈ {0, 0.1, 0.2, 0.3}.
+//!
+//! The noisy oracle corrupts a provided label with probability n to the
+//! embedding-nearest wrong target. Expected shape (paper): final correct
+//! percentage ≈ (1 − n) · 100 %, and even at n = 0.3 LSM beats the clean
+//! best baseline.
+
+use lsm_bench::{
+    base_seed, curve_json, lsm_matcher_for, print_curve_row, run_best_baseline_session,
+    write_artifact, Harness, CURVE_GRID,
+};
+use lsm_core::{run_session, LsmConfig, NoisyOracle, SessionConfig};
+
+fn main() {
+    let harness = Harness::build();
+    let ctx = harness.ctx();
+    let noise_rates = [0.0, 0.1, 0.2, 0.3];
+
+    println!("Figure 8: label-noise robustness");
+    print!("{:<26}", "curve \\ labels%");
+    for &x in &CURVE_GRID {
+        print!(" {x:>6.0}");
+    }
+    println!();
+
+    let mut artifact = serde_json::Map::new();
+    for d in harness.customers(base_seed()) {
+        eprintln!("[fig8] {} ...", d.name);
+        println!("{}:", d.name);
+        let mut per_noise = serde_json::Map::new();
+        for &n in &noise_rates {
+            let mut matcher = lsm_matcher_for(&harness, &d, LsmConfig::default());
+            let mut oracle = NoisyOracle::new(
+                d.ground_truth.clone(),
+                n,
+                &harness.embedding,
+                &d.source,
+                &d.target,
+                base_seed() ^ 0xf18,
+            );
+            let outcome = run_session(&mut matcher, &mut oracle, SessionConfig::default());
+            print_curve_row(&format!("LSM w/ n={n}"), &outcome);
+            per_noise.insert(format!("{n}"), curve_json(&outcome));
+        }
+        let (bname, baseline) = run_best_baseline_session(&ctx, &d, SessionConfig::default());
+        print_curve_row(&format!("best baseline ({bname})"), &baseline);
+        per_noise.insert(
+            "best_baseline".into(),
+            serde_json::json!({ "name": bname, "curve": curve_json(&baseline) }),
+        );
+        artifact.insert(d.name.clone(), serde_json::Value::Object(per_noise));
+    }
+    write_artifact("fig8", &serde_json::Value::Object(artifact));
+}

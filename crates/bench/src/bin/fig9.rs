@@ -1,0 +1,66 @@
+//! Figure 9: response time per interaction round as labels accumulate.
+//!
+//! Expected shape (paper): response time is driven by the number of source
+//! attributes (candidate pairs), not by the number of labels — customer E
+//! is an order of magnitude above customer A, and each curve is roughly
+//! flat in the label count.
+
+use lsm_bench::{base_seed, lsm_matcher_for, write_artifact, Harness};
+use lsm_core::{run_session, LsmConfig, PerfectOracle, SessionConfig};
+use std::time::Instant;
+
+fn main() {
+    let harness = Harness::build();
+    let grid = [4.0f64, 8.0, 12.0, 16.0, 20.0];
+
+    println!("Figure 9: response time (seconds) vs labels provided %");
+    print!("{:<12}", "customer");
+    for &x in &grid {
+        print!(" {x:>8.0}%");
+    }
+    println!("     mean");
+
+    let mut artifact = serde_json::Map::new();
+    for d in harness.customers(base_seed()) {
+        eprintln!("[fig9] {} ...", d.name);
+        // One-time session setup (featurization + shortlist encodings) is
+        // reported separately from the per-iteration response time, as the
+        // paper's Section V-G measures only the latter.
+        let t0 = Instant::now();
+        let mut matcher = lsm_matcher_for(&harness, &d, LsmConfig::default());
+        let setup_s = t0.elapsed().as_secs_f64();
+        let mut oracle = PerfectOracle::new(d.ground_truth.clone());
+        let outcome = run_session(&mut matcher, &mut oracle, SessionConfig::default());
+        let total = d.source.attr_count() as f64;
+        // Response time of the iteration nearest each label-percentage mark.
+        let at = |pct: f64| -> f64 {
+            if outcome.response_times.is_empty() {
+                return 0.0;
+            }
+            // Iteration i has ~i labels (N = 1 per iteration).
+            let iter = ((pct / 100.0) * total).round() as usize;
+            let idx = iter.min(outcome.response_times.len() - 1);
+            outcome.response_times[idx]
+        };
+        print!("{:<12}", d.name);
+        let mut row = Vec::new();
+        for &x in &grid {
+            let t = at(x);
+            print!(" {t:>8.3}s");
+            row.push(t);
+        }
+        println!("  {:>7.3}s   (setup {:>6.1}s)", outcome.mean_response_time(), setup_s);
+        artifact.insert(
+            d.name.clone(),
+            serde_json::json!({
+                "grid_labels_pct": grid,
+                "response_time_s": row,
+                "mean_response_time_s": outcome.mean_response_time(),
+                "setup_time_s": setup_s,
+                "iterations": outcome.response_times.len(),
+                "source_attributes": d.source.attr_count(),
+            }),
+        );
+    }
+    write_artifact("fig9", &serde_json::Value::Object(artifact));
+}

@@ -1,0 +1,38 @@
+//! Table III: top-3 accuracy of the six state-of-the-art baselines on all
+//! eight schemata.
+//!
+//! Expected shape (paper): near-perfect on RDB-Star and IPFQR, ~0.5-0.7 on
+//! MovieLens-IMDB, below ~0.3 on the customer schemata, LSD near zero
+//! everywhere, and no single baseline dominating.
+
+use lsm_bench::{base_seed, run_all_baselines, write_artifact, Harness, BASELINE_NAMES};
+
+fn main() {
+    let harness = Harness::build();
+    let ctx = harness.ctx();
+    let mut datasets = harness.publics();
+    datasets.extend(harness.customers(base_seed()));
+
+    println!("Table III: top-3 accuracy of six baselines");
+    print!("{:<18}", "");
+    for n in BASELINE_NAMES {
+        print!(" {n:>6}");
+    }
+    println!();
+
+    let mut artifact_rows = Vec::new();
+    for d in &datasets {
+        eprintln!("[table3] {} ...", d.name);
+        let results = run_all_baselines(&ctx, d, base_seed());
+        print!("{:<18}", d.name);
+        let mut row = serde_json::Map::new();
+        row.insert("dataset".into(), serde_json::json!(d.name));
+        for (name, _, acc) in &results {
+            print!(" {acc:>6.2}");
+            row.insert(name.clone(), serde_json::json!(acc));
+        }
+        println!();
+        artifact_rows.push(serde_json::Value::Object(row));
+    }
+    write_artifact("table3", &serde_json::json!({ "rows": artifact_rows }));
+}

@@ -1,0 +1,43 @@
+//! Table IV: top-k accuracy of LSM vs the best baseline on the public
+//! schemata (median of independent trials, k ∈ {1, 3, 5}).
+
+use lsm_bench::{
+    baseline_split_accuracies, lsm_split_accuracies, median, trials, write_artifact, Harness,
+};
+use lsm_core::LsmConfig;
+
+fn main() {
+    let harness = Harness::build();
+    let ctx = harness.ctx();
+    let ks = [1usize, 3, 5];
+    let n = trials();
+
+    println!("Table IV: top-k accuracy on the public schemata (median of {n} trials)");
+    println!(
+        "{:<18} {:>22} {:>30}",
+        "", "Best Baseline (1/3/5)", "LSM (1/3/5)"
+    );
+    let mut rows = Vec::new();
+    for d in harness.publics() {
+        eprintln!("[table4] {} ...", d.name);
+        let (bname, b_accs) = baseline_split_accuracies(&ctx, &d, &ks, n);
+        let l_accs = lsm_split_accuracies(&harness, &d, LsmConfig::default(), &ks, n);
+        let b_med: Vec<f64> = (0..ks.len())
+            .map(|i| median(&b_accs.iter().map(|t| t[i]).collect::<Vec<_>>()))
+            .collect();
+        let l_med: Vec<f64> = (0..ks.len())
+            .map(|i| median(&l_accs.iter().map(|t| t[i]).collect::<Vec<_>>()))
+            .collect();
+        println!(
+            "{:<18} {:>6.2} {:>6.2} {:>6.2}   {:>8.2} {:>6.2} {:>6.2}   (best baseline: {bname})",
+            d.name, b_med[0], b_med[1], b_med[2], l_med[0], l_med[1], l_med[2]
+        );
+        rows.push(serde_json::json!({
+            "dataset": d.name,
+            "best_baseline": bname,
+            "baseline_top_k": { "1": b_med[0], "3": b_med[1], "5": b_med[2] },
+            "lsm_top_k": { "1": l_med[0], "3": l_med[1], "5": l_med[2] },
+        }));
+    }
+    write_artifact("table4", &serde_json::json!({ "trials": n, "rows": rows }));
+}

@@ -1,0 +1,495 @@
+//! # lsm-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (see
+//! `src/bin/`), plus Criterion microbenches (`benches/`). This library
+//! holds the shared context construction, the baseline runner, and the
+//! result-emission helpers.
+//!
+//! Every binary prints the regenerated table to stdout and writes a JSON
+//! artifact to `results/` so EXPERIMENTS.md numbers are reproducible and
+//! diffable.
+//!
+//! Environment knobs:
+//!
+//! * `LSM_TRIALS` — independent trials per experiment (default 3; the paper
+//!   uses 5),
+//! * `LSM_SEED` — base seed (default 1),
+//! * `LSM_FAST` — set to `1` to run on a reduced ISS for smoke-testing.
+
+use lsm_baselines::coma::Coma;
+use lsm_baselines::cupid::Cupid;
+use lsm_baselines::flooding::SimilarityFlooding;
+use lsm_baselines::lsd::Lsd;
+use lsm_baselines::mlm::Mlm;
+use lsm_baselines::smatch::SMatch;
+use lsm_baselines::tune::grid_search;
+use lsm_baselines::{MatchContext, Matcher};
+use lsm_core::{BertFeaturizer, BertFeaturizerConfig};
+use lsm_datasets::customers::{all_specs, generate_customer};
+use lsm_datasets::iss::{generate_retail_iss, GeneratedIss, IssConfig};
+use lsm_datasets::public_data;
+use lsm_datasets::Dataset;
+use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
+use lsm_lexicon::{full_lexicon, Lexicon};
+use lsm_schema::{AttrId, ScoreMatrix};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Trials per experiment (env `LSM_TRIALS`, default 3).
+pub fn trials() -> usize {
+    std::env::var("LSM_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
+}
+
+/// Base seed (env `LSM_SEED`, default 1).
+pub fn base_seed() -> u64 {
+    std::env::var("LSM_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+
+/// Whether the fast smoke-test mode is on (env `LSM_FAST=1`).
+pub fn fast_mode() -> bool {
+    std::env::var("LSM_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Whether the pre-training disk cache is disabled (env `LSM_NO_CACHE=1`).
+pub fn cache_disabled() -> bool {
+    std::env::var("LSM_NO_CACHE").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Optional cap on customer-schema size for the session experiments (env
+/// `LSM_MAX_ATTRS`). On slow machines the customer-E sessions dominate the
+/// wall clock; capping lets the other customers' figures regenerate
+/// quickly. Unset = no cap.
+pub fn max_attrs() -> Option<usize> {
+    std::env::var("LSM_MAX_ATTRS").ok().and_then(|v| v.parse().ok())
+}
+
+fn cache_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../.cache")
+}
+
+/// Loads a cached featurizer when its fingerprint matches, otherwise runs
+/// `build` and caches the result. The fingerprint guards against stale
+/// artifacts after config or lexicon changes.
+fn cached_featurizer(
+    key: &str,
+    expected_fingerprint: impl Fn(&BertFeaturizer) -> bool,
+    build: impl FnOnce() -> BertFeaturizer,
+) -> BertFeaturizer {
+    let path = cache_dir().join(format!("{key}.json"));
+    if !cache_disabled() {
+        if let Ok(f) = BertFeaturizer::load(&path) {
+            if expected_fingerprint(&f) {
+                eprintln!("[harness] loaded cached featurizer {}", path.display());
+                return f;
+            }
+            eprintln!("[harness] stale cache {} — rebuilding", path.display());
+        }
+    }
+    let f = build();
+    if !cache_disabled() {
+        let _ = std::fs::create_dir_all(cache_dir());
+        if let Err(e) = f.save(&path) {
+            eprintln!("[harness] could not cache featurizer: {e}");
+        }
+    }
+    f
+}
+
+/// The heavy shared context: lexicon, embedding space, ISS, and the
+/// MLM-pre-trained BERT featurizer (before classifier pre-training).
+pub struct Harness {
+    /// The curated multi-domain lexicon.
+    pub lexicon: Lexicon,
+    /// The pre-trained embedding space.
+    pub embedding: EmbeddingSpace,
+    /// The generated retail ISS with provenance.
+    pub iss: GeneratedIss,
+    /// MLM-pre-trained featurizer (clone + `pretrain_classifier` per
+    /// target).
+    pub bert: BertFeaturizer,
+    /// Classifier-pre-trained featurizers memoized per target schema name
+    /// (the five customers share the ISS pre-training).
+    bert_cache: RefCell<HashMap<String, BertFeaturizer>>,
+}
+
+impl Harness {
+    /// Builds the full context. Takes tens of seconds in release mode
+    /// (MLM pre-training dominates).
+    pub fn build() -> Self {
+        let lexicon = full_lexicon();
+        let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+        let iss_config = if fast_mode() {
+            IssConfig { entities: 24, attributes: 260, foreign_keys: 36, seed: 0x155 }
+        } else {
+            IssConfig::paper()
+        };
+        let iss = generate_retail_iss(&lexicon, iss_config);
+        let bert_config = if fast_mode() {
+            BertFeaturizerConfig::tiny()
+        } else {
+            BertFeaturizerConfig::small()
+        };
+        let key = format!(
+            "bert_domain_{}_{}",
+            if fast_mode() { "tiny" } else { "small" },
+            lexicon.len()
+        );
+        let bert = cached_featurizer(
+            &key,
+            |f| f.config_snapshot() == format!("{bert_config:?}"),
+            || {
+                eprintln!("[harness] MLM pre-training the BERT featurizer ...");
+                BertFeaturizer::pretrain(&lexicon, bert_config)
+            },
+        );
+        Harness { lexicon, embedding, iss, bert, bert_cache: RefCell::new(HashMap::new()) }
+    }
+
+    /// The matcher context for the baselines.
+    pub fn ctx(&self) -> MatchContext<'_> {
+        MatchContext { embedding: &self.embedding, lexicon: &self.lexicon }
+    }
+
+    /// Generates the five customer datasets for a trial seed. In fast mode
+    /// the specs are shrunk to fit the reduced ISS; `LSM_MAX_ATTRS` filters
+    /// out customers larger than the cap.
+    pub fn customers(&self, seed: u64) -> Vec<Dataset> {
+        all_specs()
+            .into_iter()
+            .filter(|spec| max_attrs().is_none_or(|cap| spec.attributes <= cap))
+            .map(|mut spec| {
+                if fast_mode() {
+                    spec.entities = spec.entities.min(6);
+                    spec.attributes = spec.attributes.min(48);
+                    spec.foreign_keys = spec.entities - 1;
+                }
+                generate_customer(&self.iss, &self.lexicon, spec, seed)
+            })
+            .collect()
+    }
+
+    /// The three public datasets.
+    pub fn publics(&self) -> Vec<Dataset> {
+        public_data::all_public(0)
+    }
+
+    /// A classifier-pre-trained featurizer for one target schema.
+    /// Memoized by schema name — the expensive ISS pre-training runs once
+    /// and is shared by every customer session.
+    pub fn bert_for(&self, target: &lsm_schema::Schema) -> BertFeaturizer {
+        if let Some(b) = self.bert_cache.borrow().get(&target.name) {
+            return b.clone();
+        }
+        let key = format!(
+            "bert_{}_{}_{}",
+            target.name.replace(|c: char| !c.is_alphanumeric(), "_"),
+            if fast_mode() { "tiny" } else { "small" },
+            target.attr_count()
+        );
+        let snapshot = self.bert.config_snapshot();
+        let b = cached_featurizer(
+            &key,
+            |f| f.config_snapshot() == snapshot && f.iss_sample_count() > 0,
+            || {
+                eprintln!("[harness] classifier pre-training on {} ...", target.name);
+                let mut b = self.bert.clone();
+                b.pretrain_classifier(target);
+                b
+            },
+        );
+        self.bert_cache.borrow_mut().insert(target.name.clone(), b.clone());
+        b
+    }
+}
+
+/// The baselines of Table III, in paper order.
+pub const BASELINE_NAMES: [&str; 6] = ["CUPID", "COMA", "SM", "SF", "LSD", "MLM"];
+
+/// Runs one named baseline (grid-searched where the paper grid-searches)
+/// and returns its score matrix and the top-3 accuracy over all source
+/// attributes. LSD trains on a random half of the ground truth and is
+/// evaluated on the other half, per the paper's adaptation.
+pub fn run_baseline(
+    name: &str,
+    ctx: &MatchContext<'_>,
+    dataset: &Dataset,
+    seed: u64,
+) -> (ScoreMatrix, f64) {
+    let sources: Vec<AttrId> = dataset.source.attr_ids().collect();
+    match name {
+        "CUPID" => {
+            let tuned = grid_search(
+                Cupid::grid(),
+                ctx,
+                &dataset.source,
+                &dataset.target,
+                &dataset.ground_truth,
+                3,
+            );
+            (tuned.scores, tuned.accuracy)
+        }
+        "COMA" => {
+            let tuned = grid_search(
+                Coma::grid(),
+                ctx,
+                &dataset.source,
+                &dataset.target,
+                &dataset.ground_truth,
+                3,
+            );
+            (tuned.scores, tuned.accuracy)
+        }
+        "SM" => {
+            let m = SMatch.score(ctx, &dataset.source, &dataset.target);
+            let acc = m.top_k_accuracy(&dataset.ground_truth, &sources, 3);
+            (m, acc)
+        }
+        "SF" => {
+            let m = SimilarityFlooding::default().score(ctx, &dataset.source, &dataset.target);
+            let acc = m.top_k_accuracy(&dataset.ground_truth, &sources, 3);
+            (m, acc)
+        }
+        "LSD" => {
+            // Train on a random 50 % of the ground truth, evaluate on the
+            // held-out half.
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x15d);
+            let mut pairs: Vec<(AttrId, AttrId)> = dataset.ground_truth.pairs().collect();
+            pairs.shuffle(&mut rng);
+            let half = pairs.len() / 2;
+            let (train, test) = pairs.split_at(half);
+            let mut lsd = Lsd::new();
+            lsd.train(ctx, &dataset.source, &dataset.target, train);
+            let m = lsd.score(ctx, &dataset.source, &dataset.target);
+            let test_sources: Vec<AttrId> = test.iter().map(|&(s, _)| s).collect();
+            let acc = m.top_k_accuracy(&dataset.ground_truth, &test_sources, 3);
+            (m, acc)
+        }
+        "MLM" => {
+            let m = Mlm::default().score(ctx, &dataset.source, &dataset.target);
+            let acc = m.top_k_accuracy(&dataset.ground_truth, &sources, 3);
+            (m, acc)
+        }
+        other => panic!("unknown baseline {other:?}"),
+    }
+}
+
+/// Runs all six baselines and returns `(name, scores, top3)` tuples.
+pub fn run_all_baselines(
+    ctx: &MatchContext<'_>,
+    dataset: &Dataset,
+    seed: u64,
+) -> Vec<(String, ScoreMatrix, f64)> {
+    BASELINE_NAMES
+        .iter()
+        .map(|&n| {
+            let (m, acc) = run_baseline(n, ctx, dataset, seed);
+            (n.to_string(), m, acc)
+        })
+        .collect()
+}
+
+/// The best baseline for a dataset (by top-3 accuracy), with its scores —
+/// the comparison point of Table IV / Figs. 4-8.
+pub fn best_baseline(
+    ctx: &MatchContext<'_>,
+    dataset: &Dataset,
+    seed: u64,
+) -> (String, ScoreMatrix, f64) {
+    run_all_baselines(ctx, dataset, seed)
+        .into_iter()
+        .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("six baselines ran")
+}
+
+/// Builds an LSM matcher session for a dataset (clones + classifier-pre-
+/// trains the featurizer for the dataset's target when BERT is enabled).
+pub fn lsm_matcher_for(
+    harness: &Harness,
+    dataset: &Dataset,
+    config: lsm_core::LsmConfig,
+) -> lsm_core::LsmMatcher {
+    let bert = if config.use_bert {
+        Some(harness.bert_for(&dataset.target))
+    } else {
+        None
+    };
+    lsm_core::LsmMatcher::new(&dataset.source, &dataset.target, &harness.embedding, bert, config)
+}
+
+/// Non-interactive split evaluation of LSM (Table IV / Fig. 4 protocol):
+/// trains on half the ground truth, reports top-k accuracies on the rest,
+/// one vector per trial.
+pub fn lsm_split_accuracies(
+    harness: &Harness,
+    dataset: &Dataset,
+    config: lsm_core::LsmConfig,
+    ks: &[usize],
+    n_trials: usize,
+) -> Vec<Vec<f64>> {
+    (0..n_trials)
+        .map(|trial| {
+            let mut matcher = lsm_matcher_for(harness, dataset, config);
+            let eval = lsm_core::evaluate_split(
+                &mut matcher,
+                &dataset.ground_truth,
+                0.5,
+                ks,
+                base_seed() + trial as u64,
+            );
+            ks.iter().map(|&k| eval.accuracy(k)).collect()
+        })
+        .collect()
+}
+
+/// Non-interactive split evaluation of the best baseline under the same
+/// protocol: pins the training labels, measures top-k on the held-out half.
+pub fn baseline_split_accuracies(
+    ctx: &MatchContext<'_>,
+    dataset: &Dataset,
+    ks: &[usize],
+    n_trials: usize,
+) -> (String, Vec<Vec<f64>>) {
+    let (name, scores, _) = best_baseline(ctx, dataset, base_seed());
+    let accs = (0..n_trials)
+        .map(|trial| {
+            let mut engine =
+                lsm_core::session::PinnedBaselineEngine::new(dataset.source.clone(), scores.clone());
+            let eval = lsm_core::evaluate_split(
+                &mut engine,
+                &dataset.ground_truth,
+                0.5,
+                ks,
+                base_seed() + trial as u64,
+            );
+            ks.iter().map(|&k| eval.accuracy(k)).collect()
+        })
+        .collect();
+    (name, accs)
+}
+
+/// Runs one full LSM interactive session with a perfect oracle.
+pub fn run_lsm_session(
+    harness: &Harness,
+    dataset: &Dataset,
+    config: lsm_core::LsmConfig,
+    session: lsm_core::SessionConfig,
+) -> lsm_core::SessionOutcome {
+    let mut matcher = lsm_matcher_for(harness, dataset, config);
+    let mut oracle = lsm_core::PerfectOracle::new(dataset.ground_truth.clone());
+    lsm_core::run_session(&mut matcher, &mut oracle, session)
+}
+
+/// Runs the best baseline in interactive (label-pinning) mode with the same
+/// smart selection strategy, as the paper's end-to-end comparison does.
+pub fn run_best_baseline_session(
+    ctx: &MatchContext<'_>,
+    dataset: &Dataset,
+    session: lsm_core::SessionConfig,
+) -> (String, lsm_core::SessionOutcome) {
+    let (name, scores, _) = best_baseline(ctx, dataset, base_seed());
+    let mut engine =
+        lsm_core::session::PinnedBaselineEngine::new(dataset.source.clone(), scores);
+    let mut oracle = lsm_core::PerfectOracle::new(dataset.ground_truth.clone());
+    (name, lsm_core::run_session(&mut engine, &mut oracle, session))
+}
+
+/// The label-percentage grid at which Fig. 5-8 curves are tabulated.
+pub const CURVE_GRID: [f64; 9] = [0.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0, 60.0];
+
+/// Prints one curve row: correct% at each grid point plus the final
+/// labeling cost.
+pub fn print_curve_row(label: &str, outcome: &lsm_core::SessionOutcome) {
+    print!("  {label:<24}");
+    for &x in &CURVE_GRID {
+        print!(" {:>6.1}", outcome.correct_pct_at(x));
+    }
+    println!(
+        "   | labels {:>5.1}%  final {:>5.1}%",
+        outcome.labeling_cost_pct(),
+        outcome.final_correct_pct()
+    );
+}
+
+/// Serializes a session outcome's curve for the JSON artifacts.
+pub fn curve_json(outcome: &lsm_core::SessionOutcome) -> serde_json::Value {
+    serde_json::json!({
+        "grid": CURVE_GRID,
+        "correct_pct": CURVE_GRID.iter().map(|&x| outcome.correct_pct_at(x)).collect::<Vec<_>>(),
+        "labeling_cost_pct": outcome.labeling_cost_pct(),
+        "final_correct_pct": outcome.final_correct_pct(),
+        "labels_used": outcome.labels_used,
+        "reviews_done": outcome.reviews_done,
+        "mean_response_time_s": outcome.mean_response_time(),
+        "area_above_curve": outcome.area_above_curve(),
+    })
+}
+
+/// Writes a JSON artifact under `results/`.
+pub fn write_artifact(name: &str, value: &serde_json::Value) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
+        .expect("write artifact");
+    eprintln!("[artifact] wrote {}", path.display());
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Median of a slice.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = v.len() / 2;
+    if v.len().is_multiple_of(2) {
+        (v[mid - 1] + v[mid]) / 2.0
+    } else {
+        v[mid]
+    }
+}
+
+/// Standard error of the mean.
+pub fn stderr(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    (var / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_helpers() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(stderr(&[5.0]), 0.0);
+        assert!(stderr(&[1.0, 2.0, 3.0]) > 0.0);
+    }
+
+    #[test]
+    fn env_knobs_have_defaults() {
+        assert!(trials() >= 1);
+        let _ = base_seed();
+        let _ = fast_mode();
+    }
+}

@@ -1,0 +1,454 @@
+//! The `lsm` command implementations, kept out of `main.rs` for testing.
+
+use crate::labels::parse_labels;
+use crate::spec::SchemaSpec;
+use lsm_baselines::coma::Coma;
+use lsm_baselines::cupid::Cupid;
+use lsm_baselines::flooding::SimilarityFlooding;
+use lsm_baselines::mlm::Mlm;
+use lsm_baselines::smatch::SMatch;
+use lsm_baselines::{MatchContext, Matcher};
+use lsm_core::bert_featurizer::{BertFeaturizer, BertFeaturizerConfig};
+use lsm_core::{LabelStore, LsmConfig, LsmMatcher};
+use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
+use lsm_lexicon::full_lexicon;
+use lsm_schema::{Schema, SchemaStats};
+
+/// Which model powers `lsm match`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelChoice {
+    /// Full LSM with the small LM featurizer (slow to warm up, strongest).
+    BertSmall,
+    /// Full LSM with the tiny LM featurizer (fast demo mode).
+    BertTiny,
+    /// LSM without the LM featurizer.
+    NoBert,
+}
+
+impl ModelChoice {
+    /// Parses `small` / `tiny` / `off`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "small" => Some(ModelChoice::BertSmall),
+            "tiny" => Some(ModelChoice::BertTiny),
+            "off" => Some(ModelChoice::NoBert),
+            _ => None,
+        }
+    }
+}
+
+/// `lsm stats <schema.json>`: prints the Table-I-style statistics.
+pub fn stats(schema_json: &str) -> Result<String, String> {
+    let spec = SchemaSpec::from_json(schema_json).map_err(|e| e.to_string())?;
+    let schema = spec.build().map_err(|e| e.to_string())?;
+    let s = SchemaStats::of(&schema);
+    Ok(format!(
+        "{}: {} entities, {} attributes ({} unique names), {} PK/FK, descriptions: {}",
+        s.name,
+        s.entities,
+        s.attributes,
+        s.unique_attr_names,
+        s.pk_fk,
+        if s.has_descriptions { "yes" } else { "no" }
+    ))
+}
+
+/// `lsm match`: runs LSM and renders the top-k suggestions per source
+/// attribute. `labels_json` optionally carries confirmed/rejected pairs.
+pub fn match_schemas(
+    source_json: &str,
+    target_json: &str,
+    labels_json: Option<&str>,
+    model: ModelChoice,
+    top_k: usize,
+) -> Result<String, String> {
+    let source =
+        SchemaSpec::from_json(source_json).and_then(|s| s.build()).map_err(|e| e.to_string())?;
+    let target =
+        SchemaSpec::from_json(target_json).and_then(|s| s.build()).map_err(|e| e.to_string())?;
+    let labels = match labels_json {
+        Some(json) => parse_labels(json, &source, &target).map_err(|e| e.to_string())?,
+        None => LabelStore::new(),
+    };
+
+    let lexicon = full_lexicon();
+    let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+    let bert = match model {
+        ModelChoice::NoBert => None,
+        choice => {
+            let config = if choice == ModelChoice::BertSmall {
+                BertFeaturizerConfig::small()
+            } else {
+                BertFeaturizerConfig::tiny()
+            };
+            eprintln!("pre-training the language-model featurizer ...");
+            let mut b = BertFeaturizer::pretrain(&lexicon, config);
+            b.pretrain_classifier(&target);
+            Some(b)
+        }
+    };
+    let config = LsmConfig { use_bert: bert.is_some(), top_k, ..Default::default() };
+    let mut matcher = LsmMatcher::new(&source, &target, &embedding, bert, config);
+    matcher.retrain(&labels);
+    let scores = matcher.predict(&labels);
+
+    let mut out = String::new();
+    for s in source.attr_ids() {
+        let suggestions: Vec<String> = scores
+            .top_k(s, top_k)
+            .into_iter()
+            .map(|(t, score)| format!("{} ({score:.2})", target.qualified_name(t)))
+            .collect();
+        out.push_str(&format!(
+            "{:<40} → {}\n",
+            source.qualified_name(s),
+            suggestions.join(", ")
+        ));
+    }
+    Ok(out)
+}
+
+/// `lsm baseline <name>`: runs one of the six baselines.
+pub fn baseline(
+    name: &str,
+    source_json: &str,
+    target_json: &str,
+    top_k: usize,
+) -> Result<String, String> {
+    let source =
+        SchemaSpec::from_json(source_json).and_then(|s| s.build()).map_err(|e| e.to_string())?;
+    let target =
+        SchemaSpec::from_json(target_json).and_then(|s| s.build()).map_err(|e| e.to_string())?;
+    let lexicon = full_lexicon();
+    let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+    let ctx = MatchContext { embedding: &embedding, lexicon: &lexicon };
+    let scores = match name {
+        "cupid" => Cupid::new(0.2).score(&ctx, &source, &target),
+        "coma" => Coma::new(lsm_baselines::coma::Aggregation::Max).score(&ctx, &source, &target),
+        "smatch" => SMatch.score(&ctx, &source, &target),
+        "sf" => SimilarityFlooding::default().score(&ctx, &source, &target),
+        "mlm" => Mlm::default().score(&ctx, &source, &target),
+        other => {
+            return Err(format!(
+                "unknown baseline {other:?}; expected cupid|coma|smatch|sf|mlm"
+            ))
+        }
+    };
+    let mut out = String::new();
+    for s in source.attr_ids() {
+        let suggestions: Vec<String> = scores
+            .top_k(s, top_k)
+            .into_iter()
+            .map(|(t, score)| format!("{} ({score:.2})", target.qualified_name(t)))
+            .collect();
+        out.push_str(&format!(
+            "{:<40} → {}\n",
+            source.qualified_name(s),
+            suggestions.join(", ")
+        ));
+    }
+    Ok(out)
+}
+
+/// `lsm extract`: runs LSM and emits a one-to-one match set (Definition 2
+/// of the paper) as JSON — the artifact a downstream migration job
+/// consumes.
+pub fn extract(
+    source_json: &str,
+    target_json: &str,
+    labels_json: Option<&str>,
+    model: ModelChoice,
+    threshold: f64,
+) -> Result<String, String> {
+    let source =
+        SchemaSpec::from_json(source_json).and_then(|s| s.build()).map_err(|e| e.to_string())?;
+    let target =
+        SchemaSpec::from_json(target_json).and_then(|s| s.build()).map_err(|e| e.to_string())?;
+    let labels = match labels_json {
+        Some(json) => parse_labels(json, &source, &target).map_err(|e| e.to_string())?,
+        None => LabelStore::new(),
+    };
+    let lexicon = full_lexicon();
+    let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+    let bert = match model {
+        ModelChoice::NoBert => None,
+        choice => {
+            let config = if choice == ModelChoice::BertSmall {
+                BertFeaturizerConfig::small()
+            } else {
+                BertFeaturizerConfig::tiny()
+            };
+            eprintln!("pre-training the language-model featurizer ...");
+            let mut b = BertFeaturizer::pretrain(&lexicon, config);
+            b.pretrain_classifier(&target);
+            Some(b)
+        }
+    };
+    let config = LsmConfig { use_bert: bert.is_some(), ..Default::default() };
+    let mut matcher = LsmMatcher::new(&source, &target, &embedding, bert, config);
+    matcher.retrain(&labels);
+    let scores = matcher.predict(&labels);
+    let pairs = scores.extract_one_to_one(threshold);
+    let matches: Vec<serde_json::Value> = pairs
+        .into_iter()
+        .map(|(s, t, score)| {
+            serde_json::json!({
+                "source": source.qualified_name(s),
+                "target": target.qualified_name(t),
+                "score": score,
+            })
+        })
+        .collect();
+    serde_json::to_string_pretty(&serde_json::json!({ "matches": matches }))
+        .map_err(|e| e.to_string())
+}
+
+/// `lsm evaluate`: scores a predicted match set (the `extract` output)
+/// against a reference match file (the labels format with `correct: true`
+/// rows), reporting precision, recall, and F1.
+pub fn evaluate(
+    predictions_json: &str,
+    truth_json: &str,
+) -> Result<String, String> {
+    #[derive(serde::Deserialize)]
+    struct Predictions {
+        matches: Vec<PredictedMatch>,
+    }
+    #[derive(serde::Deserialize)]
+    struct PredictedMatch {
+        source: String,
+        target: String,
+    }
+    let preds: Predictions = serde_json::from_str(predictions_json)
+        .map_err(|e| format!("invalid predictions JSON: {e}"))?;
+    let truth: Vec<crate::labels::LabelSpec> =
+        serde_json::from_str(truth_json).map_err(|e| format!("invalid truth JSON: {e}"))?;
+    let truth_pairs: std::collections::HashSet<(String, String)> = truth
+        .iter()
+        .filter(|l| l.correct)
+        .map(|l| (l.source.clone(), l.target.clone()))
+        .collect();
+    if truth_pairs.is_empty() {
+        return Err("truth file contains no correct pairs".to_string());
+    }
+    let pred_pairs: std::collections::HashSet<(String, String)> =
+        preds.matches.iter().map(|m| (m.source.clone(), m.target.clone())).collect();
+    let hits = pred_pairs.intersection(&truth_pairs).count();
+    let precision = hits as f64 / pred_pairs.len().max(1) as f64;
+    let recall = hits as f64 / truth_pairs.len() as f64;
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    Ok(format!(
+        "predicted: {}  reference: {}  correct: {hits}
+precision: {precision:.3}  recall: {recall:.3}  f1: {f1:.3}",
+        pred_pairs.len(),
+        truth_pairs.len()
+    ))
+}
+
+/// `lsm session <dataset>`: simulates a full interactive matching session
+/// on a built-in dataset and reports the labeling cost.
+pub fn session(dataset_name: &str, model: ModelChoice) -> Result<String, String> {
+    let dataset = match dataset_name {
+        "movielens" => lsm_datasets::public_data::movielens_imdb(),
+        "rdb-star" => lsm_datasets::public_data::rdb_star(),
+        "ipfqr" => lsm_datasets::public_data::ipfqr(),
+        "customer-a" | "customer-b" | "customer-c" | "customer-d" | "customer-e" => {
+            let idx = (dataset_name.as_bytes()[dataset_name.len() - 1] - b'a') as usize;
+            lsm_datasets::customers::all_customers(1)
+                .into_iter()
+                .nth(idx)
+                .expect("five customers")
+        }
+        other => {
+            return Err(format!(
+                "unknown dataset {other:?}; expected movielens|rdb-star|ipfqr|customer-a..e"
+            ))
+        }
+    };
+    let lexicon = full_lexicon();
+    let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+    let bert = match model {
+        ModelChoice::NoBert => None,
+        choice => {
+            let config = if choice == ModelChoice::BertSmall {
+                BertFeaturizerConfig::small()
+            } else {
+                BertFeaturizerConfig::tiny()
+            };
+            eprintln!("pre-training the language-model featurizer ...");
+            let mut b = BertFeaturizer::pretrain(&lexicon, config);
+            b.pretrain_classifier(&dataset.target);
+            Some(b)
+        }
+    };
+    let config = LsmConfig { use_bert: bert.is_some(), ..Default::default() };
+    let mut matcher = LsmMatcher::new(&dataset.source, &dataset.target, &embedding, bert, config);
+    let mut oracle = lsm_core::PerfectOracle::new(dataset.ground_truth.clone());
+    let outcome =
+        lsm_core::run_session(&mut matcher, &mut oracle, lsm_core::SessionConfig::default());
+
+    let mut out = String::new();
+    out.push_str(&format!("dataset: {}
+", dataset.name));
+    out.push_str(&format!(
+        "matched: {}/{} correctly
+",
+        outcome.curve.last().map(|p| p.matched_correct).unwrap_or(0),
+        outcome.total_attributes
+    ));
+    out.push_str(&format!(
+        "labels:  {} ({:.0}% of the schema; {:.0}% saved vs manual labeling)
+",
+        outcome.labels_used,
+        outcome.labeling_cost_pct(),
+        100.0 - outcome.labeling_cost_pct()
+    ));
+    out.push_str(&format!("reviews: {}
+", outcome.reviews_done));
+    out.push_str("curve (labels% → correct%):
+");
+    for p in &outcome.curve {
+        out.push_str(&format!("  {:>5.1}% → {:>5.1}%
+", p.labels_pct(), p.correct_pct()));
+    }
+    Ok(out)
+}
+
+/// `lsm generate <what>`: emits a sample schema in the spec format.
+pub fn generate(what: &str) -> Result<String, String> {
+    let schema: Schema = match what {
+        "iss" => {
+            let lexicon = full_lexicon();
+            lsm_datasets::iss::generate_retail_iss(
+                &lexicon,
+                lsm_datasets::iss::IssConfig::paper(),
+            )
+            .schema
+        }
+        "iss-small" => {
+            let lexicon = full_lexicon();
+            lsm_datasets::iss::generate_retail_iss(
+                &lexicon,
+                lsm_datasets::iss::IssConfig::small(),
+            )
+            .schema
+        }
+        "customer-a" | "customer-b" | "customer-c" | "customer-d" | "customer-e" => {
+            let idx = (what.as_bytes()[what.len() - 1] - b'a') as usize;
+            lsm_datasets::customers::all_customers(1)
+                .into_iter()
+                .nth(idx)
+                .expect("five customers")
+                .source
+        }
+        "movielens" => lsm_datasets::public_data::movielens_imdb().source,
+        "imdb" => lsm_datasets::public_data::movielens_imdb().target,
+        "rdb-star-source" => lsm_datasets::public_data::rdb_star().source,
+        "rdb-star-target" => lsm_datasets::public_data::rdb_star().target,
+        other => {
+            return Err(format!(
+                "unknown generator {other:?}; expected iss|iss-small|customer-a..e|movielens|imdb|rdb-star-source|rdb-star-target"
+            ))
+        }
+    };
+    Ok(SchemaSpec::from_schema(&schema).to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SOURCE: &str = r#"{ "name": "s", "entities": [ { "name": "Orders", "attrs": [
+        { "name": "unit_count", "dtype": "integer" },
+        { "name": "purchase_date", "dtype": "date" } ] } ] }"#;
+    const TARGET: &str = r#"{ "name": "t", "entities": [ { "name": "TransactionLine", "attrs": [
+        { "name": "quantity", "dtype": "integer", "desc": "number of units" },
+        { "name": "order_date", "dtype": "date", "desc": "date of the order" },
+        { "name": "total_amount", "dtype": "decimal", "desc": "value of the line" } ] } ] }"#;
+
+    #[test]
+    fn stats_renders_counts() {
+        let out = stats(SOURCE).unwrap();
+        assert!(out.contains("1 entities"));
+        assert!(out.contains("2 attributes"));
+    }
+
+    #[test]
+    fn match_without_bert_ranks_synonyms() {
+        let out = match_schemas(SOURCE, TARGET, None, ModelChoice::NoBert, 1).unwrap();
+        assert!(out.contains("Orders.unit_count"), "{out}");
+        // unit_count → quantity via the embedding featurizer.
+        let first_line = out.lines().next().unwrap();
+        assert!(first_line.contains("quantity"), "{first_line}");
+    }
+
+    #[test]
+    fn match_respects_labels() {
+        let labels = r#"[ { "source": "Orders.unit_count", "target": "TransactionLine.total_amount" } ]"#;
+        let out =
+            match_schemas(SOURCE, TARGET, Some(labels), ModelChoice::NoBert, 1).unwrap();
+        let first_line = out.lines().next().unwrap();
+        assert!(first_line.contains("total_amount"), "{first_line}");
+    }
+
+    #[test]
+    fn baseline_command_runs_all_known_names() {
+        for name in ["cupid", "coma", "smatch", "sf", "mlm"] {
+            let out = baseline(name, SOURCE, TARGET, 2).unwrap();
+            assert!(out.contains("Orders.unit_count"), "{name}");
+        }
+        assert!(baseline("nope", SOURCE, TARGET, 2).is_err());
+    }
+
+    #[test]
+    fn evaluate_scores_predictions_against_truth() {
+        let preds = r#"{ "matches": [
+            { "source": "A.x", "target": "B.u", "score": 0.9 },
+            { "source": "A.y", "target": "B.w", "score": 0.8 } ] }"#;
+        let truth = r#"[
+            { "source": "A.x", "target": "B.u" },
+            { "source": "A.y", "target": "B.v" },
+            { "source": "A.z", "target": "B.q" } ]"#;
+        let out = evaluate(preds, truth).unwrap();
+        assert!(out.contains("correct: 1"), "{out}");
+        assert!(out.contains("precision: 0.500"), "{out}");
+        assert!(out.contains("recall: 0.333"), "{out}");
+        // Empty truth is an error.
+        assert!(evaluate(preds, "[]").is_err());
+    }
+
+    #[test]
+    fn extract_emits_one_to_one_json() {
+        let out = extract(SOURCE, TARGET, None, ModelChoice::NoBert, 0.0).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let matches = parsed["matches"].as_array().unwrap();
+        assert_eq!(matches.len(), 2); // both source attrs assigned
+        let targets: Vec<&str> =
+            matches.iter().map(|m| m["target"].as_str().unwrap()).collect();
+        let mut dedup = targets.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), targets.len(), "one-to-one");
+    }
+
+    #[test]
+    fn session_runs_on_movielens_without_bert() {
+        let out = session("movielens", ModelChoice::NoBert).unwrap();
+        assert!(out.contains("matched: 19/19"), "{out}");
+        assert!(session("nope", ModelChoice::NoBert).is_err());
+    }
+
+    #[test]
+    fn generate_emits_buildable_specs() {
+        for what in ["iss-small", "movielens", "imdb"] {
+            let json = generate(what).unwrap();
+            let spec = SchemaSpec::from_json(&json).unwrap();
+            spec.build().unwrap();
+        }
+        assert!(generate("nope").is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Label files: user-confirmed matches fed into `lsm match`.
+
+use lsm_core::LabelStore;
+use lsm_schema::Schema;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One confirmed or rejected pair in a label file.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct LabelSpec {
+    /// Source attribute as `Entity.attribute`.
+    pub source: String,
+    /// Target attribute as `Entity.attribute`.
+    pub target: String,
+    /// `true` (default) for a confirmed match, `false` for a rejection.
+    #[serde(default = "default_true")]
+    pub correct: bool,
+}
+
+fn default_true() -> bool {
+    true
+}
+
+/// Errors resolving a label file against its schemata.
+#[derive(Debug)]
+pub enum LabelError {
+    /// JSON problem.
+    Json(serde_json::Error),
+    /// A qualified name that does not exist in the given schema.
+    Unknown {
+        /// Which side the name was looked up on (`"source"`/`"target"`).
+        side: &'static str,
+        /// The unresolved qualified name.
+        name: String,
+    },
+}
+
+impl fmt::Display for LabelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelError::Json(e) => write!(f, "invalid JSON: {e}"),
+            LabelError::Unknown { side, name } => {
+                write!(f, "unknown {side} attribute {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LabelError {}
+
+/// Parses a label file and resolves it into a [`LabelStore`].
+pub fn parse_labels(
+    json: &str,
+    source: &Schema,
+    target: &Schema,
+) -> Result<LabelStore, LabelError> {
+    let specs: Vec<LabelSpec> = serde_json::from_str(json).map_err(LabelError::Json)?;
+    let mut store = LabelStore::new();
+    for spec in specs {
+        let s = source
+            .attr_by_qualified_name(&spec.source)
+            .ok_or_else(|| LabelError::Unknown { side: "source", name: spec.source.clone() })?
+            .id;
+        let t = target
+            .attr_by_qualified_name(&spec.target)
+            .ok_or_else(|| LabelError::Unknown { side: "target", name: spec.target.clone() })?
+            .id;
+        if spec.correct {
+            store.confirm(s, t);
+        } else {
+            store.reject(s, t);
+        }
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_schema::DataType;
+
+    fn schemas() -> (Schema, Schema) {
+        let s = Schema::builder("s")
+            .entity("A")
+            .attr("x", DataType::Text)
+            .attr("y", DataType::Text)
+            .build()
+            .unwrap();
+        let t = Schema::builder("t")
+            .entity("B")
+            .attr("u", DataType::Text)
+            .attr("v", DataType::Text)
+            .build()
+            .unwrap();
+        (s, t)
+    }
+
+    #[test]
+    fn parses_confirmations_and_rejections() {
+        let (s, t) = schemas();
+        let store = parse_labels(
+            r#"[
+                { "source": "A.x", "target": "B.u" },
+                { "source": "A.y", "target": "B.u", "correct": false }
+            ]"#,
+            &s,
+            &t,
+        )
+        .unwrap();
+        assert_eq!(store.matched_count(), 1);
+        assert_eq!(store.negative_count(), 1);
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_with_side() {
+        let (s, t) = schemas();
+        let err = parse_labels(r#"[ { "source": "A.nope", "target": "B.u" } ]"#, &s, &t)
+            .unwrap_err();
+        assert!(err.to_string().contains("source"));
+        let err = parse_labels(r#"[ { "source": "A.x", "target": "B.nope" } ]"#, &s, &t)
+            .unwrap_err();
+        assert!(err.to_string().contains("target"));
+    }
+}

@@ -1,0 +1,14 @@
+//! # lsm-cli
+//!
+//! Library half of the `lsm` command-line tool: the human-friendly schema
+//! JSON format ([`spec`]), label files ([`labels`]), and the command
+//! implementations ([`commands`]) — kept in the library so they are unit
+//! testable; `main.rs` only parses arguments.
+
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod labels;
+pub mod spec;
+
+pub use spec::{SchemaSpec, SpecError};

@@ -1,0 +1,135 @@
+//! The `lsm` command-line tool.
+//!
+//! ```text
+//! lsm stats    <schema.json>
+//! lsm match    <source.json> <target.json> [--labels labels.json]
+//!              [--model small|tiny|off] [--top-k N]
+//! lsm baseline <cupid|coma|smatch|sf|mlm> <source.json> <target.json> [--top-k N]
+//! lsm generate <iss|iss-small|customer-a..e|movielens|imdb|rdb-star-source|rdb-star-target>
+//! ```
+//!
+//! Schema files use the hand-writable spec format (see `lsm_cli::spec`);
+//! `lsm generate movielens` prints an example to copy from.
+
+use lsm_cli::commands::{self, ModelChoice};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage:
+  lsm stats    <schema.json>
+  lsm match    <source.json> <target.json> [--labels <labels.json>]
+               [--model small|tiny|off] [--top-k <N>]
+  lsm baseline <cupid|coma|smatch|sf|mlm> <source.json> <target.json> [--top-k <N>]
+  lsm extract  <source.json> <target.json> [--labels <labels.json>]
+               [--model small|tiny|off] [--threshold <T>]
+  lsm evaluate <predictions.json> <truth.json>
+  lsm session  <movielens|rdb-star|ipfqr|customer-a..e> [--model small|tiny|off]
+  lsm generate <iss|iss-small|customer-a..e|movielens|imdb|rdb-star-source|rdb-star-target>
+";
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Pulls `--flag value` out of an argument list, returning the remainder.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+fn run() -> Result<String, String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let command = if args.is_empty() { String::new() } else { args.remove(0) };
+    match command.as_str() {
+        "stats" => {
+            let [path] = args.as_slice() else {
+                return Err(USAGE.to_string());
+            };
+            commands::stats(&read(path)?)
+        }
+        "match" => {
+            let labels = take_flag(&mut args, "--labels").map(|p| read(&p)).transpose()?;
+            let model = match take_flag(&mut args, "--model") {
+                None => ModelChoice::BertTiny,
+                Some(m) => ModelChoice::parse(&m)
+                    .ok_or_else(|| format!("unknown --model {m:?}; expected small|tiny|off"))?,
+            };
+            let top_k = match take_flag(&mut args, "--top-k") {
+                None => 3,
+                Some(k) => k.parse().map_err(|_| format!("invalid --top-k {k:?}"))?,
+            };
+            let [source, target] = args.as_slice() else {
+                return Err(USAGE.to_string());
+            };
+            commands::match_schemas(&read(source)?, &read(target)?, labels.as_deref(), model, top_k)
+        }
+        "baseline" => {
+            let top_k = match take_flag(&mut args, "--top-k") {
+                None => 3,
+                Some(k) => k.parse().map_err(|_| format!("invalid --top-k {k:?}"))?,
+            };
+            let [name, source, target] = args.as_slice() else {
+                return Err(USAGE.to_string());
+            };
+            commands::baseline(name, &read(source)?, &read(target)?, top_k)
+        }
+        "extract" => {
+            let labels = take_flag(&mut args, "--labels").map(|p| read(&p)).transpose()?;
+            let model = match take_flag(&mut args, "--model") {
+                None => ModelChoice::BertTiny,
+                Some(m) => ModelChoice::parse(&m)
+                    .ok_or_else(|| format!("unknown --model {m:?}; expected small|tiny|off"))?,
+            };
+            let threshold = match take_flag(&mut args, "--threshold") {
+                None => 0.3,
+                Some(t) => t.parse().map_err(|_| format!("invalid --threshold {t:?}"))?,
+            };
+            let [source, target] = args.as_slice() else {
+                return Err(USAGE.to_string());
+            };
+            commands::extract(&read(source)?, &read(target)?, labels.as_deref(), model, threshold)
+        }
+        "evaluate" => {
+            let [predictions, truth] = args.as_slice() else {
+                return Err(USAGE.to_string());
+            };
+            commands::evaluate(&read(predictions)?, &read(truth)?)
+        }
+        "session" => {
+            let model = match take_flag(&mut args, "--model") {
+                None => ModelChoice::BertTiny,
+                Some(m) => ModelChoice::parse(&m)
+                    .ok_or_else(|| format!("unknown --model {m:?}; expected small|tiny|off"))?,
+            };
+            let [dataset] = args.as_slice() else {
+                return Err(USAGE.to_string());
+            };
+            commands::session(dataset, model)
+        }
+        "generate" => {
+            let [what] = args.as_slice() else {
+                return Err(USAGE.to_string());
+            };
+            commands::generate(what)
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(out) => {
+            println!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

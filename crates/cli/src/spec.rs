@@ -1,0 +1,284 @@
+//! The hand-writable schema JSON format.
+//!
+//! The arena-based [`Schema`] serialization is exact but awkward to author
+//! by hand; this *spec* format is what users write:
+//!
+//! ```json
+//! {
+//!   "name": "shop",
+//!   "entities": [
+//!     {
+//!       "name": "Orders",
+//!       "pk": "order_id",
+//!       "attrs": [
+//!         { "name": "order_id", "dtype": "integer" },
+//!         { "name": "discount", "dtype": "decimal", "desc": "price cut" },
+//!         { "name": "item_id", "dtype": "integer" }
+//!       ],
+//!       "fks": [ { "attr": "item_id", "references": "Item.item_id" } ]
+//!     },
+//!     { "name": "Item", "pk": "item_id",
+//!       "attrs": [ { "name": "item_id", "dtype": "integer" } ] }
+//!   ]
+//! }
+//! ```
+
+use lsm_schema::{DataType, Schema, SchemaError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One attribute in the spec format.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct AttrSpec {
+    /// Attribute name.
+    pub name: String,
+    /// Data type name (`integer`, `decimal`, `text`, ... or common SQL
+    /// spellings like `varchar(255)`).
+    #[serde(default = "default_dtype")]
+    pub dtype: String,
+    /// Optional natural-language description.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub desc: Option<String>,
+}
+
+fn default_dtype() -> String {
+    "text".to_string()
+}
+
+/// One foreign key in the spec format.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct FkSpec {
+    /// Referencing attribute (in this entity).
+    pub attr: String,
+    /// Referenced attribute as `Entity.attribute`.
+    pub references: String,
+}
+
+/// One entity in the spec format.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct EntitySpec {
+    /// Entity (table) name.
+    pub name: String,
+    /// Attributes in order.
+    pub attrs: Vec<AttrSpec>,
+    /// Primary-key attribute name, if declared.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub pk: Option<String>,
+    /// Foreign keys out of this entity.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub fks: Vec<FkSpec>,
+}
+
+/// A whole schema in the spec format.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct SchemaSpec {
+    /// Schema name.
+    pub name: String,
+    /// Entities in order.
+    pub entities: Vec<EntitySpec>,
+}
+
+/// Errors turning a spec into a [`Schema`].
+#[derive(Debug)]
+pub enum SpecError {
+    /// JSON syntax / shape problem.
+    Json(serde_json::Error),
+    /// An unknown data type name.
+    Dtype {
+        /// Owning entity of the offending attribute.
+        entity: String,
+        /// The offending attribute.
+        attr: String,
+        /// The unparseable data-type string.
+        dtype: String,
+    },
+    /// A malformed `Entity.attribute` reference.
+    Reference(String),
+    /// Schema-level validation failed.
+    Schema(SchemaError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Json(e) => write!(f, "invalid JSON: {e}"),
+            SpecError::Dtype { entity, attr, dtype } => {
+                write!(f, "unknown dtype {dtype:?} on {entity}.{attr}")
+            }
+            SpecError::Reference(r) => {
+                write!(f, "malformed reference {r:?} (expected Entity.attribute)")
+            }
+            SpecError::Schema(e) => write!(f, "invalid schema: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl SchemaSpec {
+    /// Parses a spec from JSON text.
+    pub fn from_json(json: &str) -> Result<Self, SpecError> {
+        serde_json::from_str(json).map_err(SpecError::Json)
+    }
+
+    /// Renders the spec as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serializes")
+    }
+
+    /// Converts the spec into a validated [`Schema`].
+    pub fn build(&self) -> Result<Schema, SpecError> {
+        let mut b = Schema::builder(self.name.clone());
+        for e in &self.entities {
+            b = b.entity(e.name.clone());
+            for a in &e.attrs {
+                let dtype: DataType = a.dtype.parse().map_err(|_| SpecError::Dtype {
+                    entity: e.name.clone(),
+                    attr: a.name.clone(),
+                    dtype: a.dtype.clone(),
+                })?;
+                b = b.attr_opt_desc(a.name.clone(), dtype, a.desc.clone());
+            }
+            if let Some(pk) = &e.pk {
+                b = b.pk(pk);
+            }
+        }
+        for e in &self.entities {
+            for fk in &e.fks {
+                let (te, ta) = fk
+                    .references
+                    .split_once('.')
+                    .ok_or_else(|| SpecError::Reference(fk.references.clone()))?;
+                b = b.foreign_key(&e.name, &fk.attr, te, ta);
+            }
+        }
+        b.build().map_err(SpecError::Schema)
+    }
+
+    /// Converts a [`Schema`] back into the spec format (for `lsm generate`).
+    pub fn from_schema(schema: &Schema) -> Self {
+        let entities = schema
+            .entities
+            .iter()
+            .map(|e| {
+                let attrs = e
+                    .attrs
+                    .iter()
+                    .map(|&a| {
+                        let attr = schema.attr(a);
+                        AttrSpec {
+                            name: attr.name.clone(),
+                            dtype: attr.dtype.name().to_string(),
+                            desc: attr.desc.clone(),
+                        }
+                    })
+                    .collect();
+                let fks = schema
+                    .foreign_keys
+                    .iter()
+                    .filter(|fk| fk.from_entity == e.id)
+                    .map(|fk| FkSpec {
+                        attr: schema.attr(fk.from).name.clone(),
+                        references: schema.qualified_name(fk.to),
+                    })
+                    .collect();
+                EntitySpec {
+                    name: e.name.clone(),
+                    attrs,
+                    pk: e.pk.map(|a| schema.attr(a).name.clone()),
+                    fks,
+                }
+            })
+            .collect();
+        SchemaSpec { name: schema.name.clone(), entities }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "name": "shop",
+        "entities": [
+            {
+                "name": "Orders",
+                "pk": "order_id",
+                "attrs": [
+                    { "name": "order_id", "dtype": "integer" },
+                    { "name": "discount", "dtype": "decimal", "desc": "price cut" },
+                    { "name": "item_id", "dtype": "integer" }
+                ],
+                "fks": [ { "attr": "item_id", "references": "Item.item_id" } ]
+            },
+            { "name": "Item", "pk": "item_id",
+              "attrs": [ { "name": "item_id", "dtype": "integer" } ] }
+        ]
+    }"#;
+
+    #[test]
+    fn sample_builds_valid_schema() {
+        let spec = SchemaSpec::from_json(SAMPLE).unwrap();
+        let schema = spec.build().unwrap();
+        assert_eq!(schema.entity_count(), 2);
+        assert_eq!(schema.attr_count(), 4);
+        assert_eq!(schema.foreign_keys.len(), 1);
+        assert_eq!(
+            schema.attr_by_qualified_name("Orders.discount").unwrap().desc.as_deref(),
+            Some("price cut")
+        );
+    }
+
+    #[test]
+    fn round_trips_through_schema() {
+        let spec = SchemaSpec::from_json(SAMPLE).unwrap();
+        let schema = spec.build().unwrap();
+        let back = SchemaSpec::from_schema(&schema);
+        let schema2 = back.build().unwrap();
+        assert_eq!(schema, schema2);
+    }
+
+    #[test]
+    fn missing_dtype_defaults_to_text() {
+        let spec = SchemaSpec::from_json(
+            r#"{ "name": "x", "entities": [ { "name": "E", "attrs": [ { "name": "a" } ] } ] }"#,
+        )
+        .unwrap();
+        let schema = spec.build().unwrap();
+        assert_eq!(schema.attr_by_name("E", "a").unwrap().dtype, DataType::Text);
+    }
+
+    #[test]
+    fn unknown_dtype_is_reported_with_location() {
+        let spec = SchemaSpec::from_json(
+            r#"{ "name": "x", "entities": [ { "name": "E", "attrs": [ { "name": "a", "dtype": "frob" } ] } ] }"#,
+        )
+        .unwrap();
+        let err = spec.build().unwrap_err();
+        assert!(err.to_string().contains("E.a"));
+    }
+
+    #[test]
+    fn malformed_reference_is_rejected() {
+        let spec = SchemaSpec::from_json(
+            r#"{ "name": "x", "entities": [ { "name": "E",
+                "attrs": [ { "name": "a", "dtype": "integer" } ],
+                "fks": [ { "attr": "a", "references": "nodot" } ] } ] }"#,
+        )
+        .unwrap();
+        assert!(matches!(spec.build().unwrap_err(), SpecError::Reference(_)));
+    }
+
+    #[test]
+    fn sql_spellings_parse() {
+        let spec = SchemaSpec::from_json(
+            r#"{ "name": "x", "entities": [ { "name": "E", "attrs": [
+                { "name": "a", "dtype": "VARCHAR(64)" },
+                { "name": "b", "dtype": "BIGINT" } ] } ] }"#,
+        )
+        .unwrap();
+        let schema = spec.build().unwrap();
+        assert_eq!(schema.attr_by_name("E", "a").unwrap().dtype, DataType::Text);
+        assert_eq!(schema.attr_by_name("E", "b").unwrap().dtype, DataType::Integer);
+    }
+}

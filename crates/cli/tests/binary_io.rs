@@ -1,0 +1,85 @@
+//! Process-level tests of the `lsm` binary: argument parsing, file I/O,
+//! and the generate → stats → baseline round trip.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn lsm_bin() -> PathBuf {
+    // Cargo puts test binaries in target/<profile>/deps; the CLI binary
+    // lives one level up.
+    let mut path = std::env::current_exe().expect("test binary path");
+    path.pop();
+    if path.ends_with("deps") {
+        path.pop();
+    }
+    path.join("lsm")
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(lsm_bin()).args(args).output().expect("spawn lsm binary");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let (ok, _, err) = run(&[]);
+    assert!(!ok);
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let (ok, _, err) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn generate_stats_baseline_round_trip() {
+    let dir = std::env::temp_dir().join("lsm_cli_binary_io");
+    std::fs::create_dir_all(&dir).unwrap();
+    let source = dir.join("source.json");
+    let target = dir.join("target.json");
+
+    let (ok, json, err) = run(&["generate", "movielens"]);
+    assert!(ok, "{err}");
+    std::fs::write(&source, &json).unwrap();
+    let (ok, json, err) = run(&["generate", "imdb"]);
+    assert!(ok, "{err}");
+    std::fs::write(&target, &json).unwrap();
+
+    let (ok, out, err) = run(&["stats", source.to_str().unwrap()]);
+    assert!(ok, "{err}");
+    assert!(out.contains("19 attributes"), "{out}");
+
+    let (ok, out, err) = run(&[
+        "baseline",
+        "coma",
+        source.to_str().unwrap(),
+        target.to_str().unwrap(),
+        "--top-k",
+        "2",
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("movies.title"), "{out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_file_reports_path() {
+    let (ok, _, err) = run(&["stats", "/nonexistent/schema.json"]);
+    assert!(!ok);
+    assert!(err.contains("/nonexistent/schema.json"), "{err}");
+}
+
+#[test]
+fn bad_model_flag_is_rejected() {
+    let (ok, _, err) = run(&["match", "a.json", "b.json", "--model", "bogus"]);
+    assert!(!ok);
+    assert!(err.contains("bogus"), "{err}");
+}

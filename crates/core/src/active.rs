@@ -1,0 +1,206 @@
+//! Attribute-selection strategies for active learning (Section IV-E2).
+//!
+//! The *least-confident-anchor* strategy keeps an anchor set — by default
+//! the primary/foreign keys of the source schema — and asks the user to
+//! label the unlabeled anchor with the lowest prediction confidence
+//! (softmax of the row's matching scores). Once every anchor is labeled,
+//! least-confidence selection extends to all remaining attributes. The
+//! random strategy is the Fig. 5 control.
+
+use crate::labels::LabelStore;
+use lsm_schema::{AttrId, Schema, ScoreMatrix};
+use rand::seq::SliceRandom;
+use rand_chacha::ChaCha8Rng;
+
+/// How the next attribute(s) to label are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionStrategy {
+    /// Least-confident-anchor (the paper's smart strategy).
+    LeastConfidentAnchor,
+    /// Uniformly random among unmatched attributes (the control).
+    Random,
+}
+
+/// Selects up to `n` unmatched source attributes for the user to label.
+///
+/// * `scores` — the current prediction matrix (for confidences),
+/// * `anchors` — the anchor set (pass [`Schema::anchor_set`] output or a
+///   user-provided set),
+/// * on the very first iteration (no labels at all) the smart strategy
+///   takes the first `n` anchors, as the paper specifies.
+pub fn select_attributes(
+    strategy: SelectionStrategy,
+    source: &Schema,
+    scores: &ScoreMatrix,
+    labels: &LabelStore,
+    anchors: &[AttrId],
+    n: usize,
+    rng: &mut ChaCha8Rng,
+) -> Vec<AttrId> {
+    let unmatched: Vec<AttrId> =
+        source.attr_ids().filter(|&a| !labels.is_matched(a)).collect();
+    if unmatched.is_empty() || n == 0 {
+        return Vec::new();
+    }
+    match strategy {
+        SelectionStrategy::Random => {
+            let mut pool = unmatched;
+            pool.shuffle(rng);
+            pool.truncate(n);
+            pool
+        }
+        SelectionStrategy::LeastConfidentAnchor => {
+            let unmatched_anchors: Vec<AttrId> =
+                anchors.iter().copied().filter(|&a| !labels.is_matched(a)).collect();
+            // First iteration: take the anchors in order.
+            if labels.matched_count() == 0 && !unmatched_anchors.is_empty() {
+                return unmatched_anchors.into_iter().take(n).collect();
+            }
+            let pool = if unmatched_anchors.is_empty() {
+                unmatched
+            } else {
+                unmatched_anchors
+            };
+            let mut by_confidence: Vec<(AttrId, f64)> =
+                pool.into_iter().map(|a| (a, scores.softmax_confidence(a))).collect();
+            by_confidence.sort_by(|a, b| {
+                a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+            });
+            by_confidence.into_iter().take(n).map(|(a, _)| a).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_schema::DataType;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::builder("s")
+            .entity("A")
+            .attr("a_id", DataType::Integer)
+            .attr("x", DataType::Text)
+            .attr("y", DataType::Text)
+            .pk("a_id")
+            .entity("B")
+            .attr("b_id", DataType::Integer)
+            .attr("a_id", DataType::Integer)
+            .pk("b_id")
+            .foreign_key("B", "a_id", "A", "a_id")
+            .build()
+            .unwrap()
+    }
+
+    fn peaked_scores() -> ScoreMatrix {
+        // 5 source attrs × 4 targets; row confidence increases with row id.
+        let mut m = ScoreMatrix::zeros(5, 4);
+        for s in 0..5u32 {
+            m.set(AttrId(s), AttrId(0), s as f64 * 2.0);
+        }
+        m
+    }
+
+    #[test]
+    fn first_iteration_takes_anchors_in_order() {
+        let s = schema();
+        let anchors = s.anchor_set();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let picked = select_attributes(
+            SelectionStrategy::LeastConfidentAnchor,
+            &s,
+            &peaked_scores(),
+            &LabelStore::new(),
+            &anchors,
+            2,
+            &mut rng,
+        );
+        assert_eq!(picked, anchors[..2].to_vec());
+    }
+
+    #[test]
+    fn smart_selection_prefers_least_confident_anchor() {
+        let s = schema();
+        let anchors = s.anchor_set(); // a_id(0), b_id(3), a_id(4)
+        let mut labels = LabelStore::new();
+        labels.confirm(AttrId(0), AttrId(0)); // not the first iteration anymore
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let picked = select_attributes(
+            SelectionStrategy::LeastConfidentAnchor,
+            &s,
+            &peaked_scores(),
+            &labels,
+            &anchors,
+            1,
+            &mut rng,
+        );
+        // Remaining anchors are rows 3 and 4; row 3 is less peaked.
+        assert_eq!(picked, vec![AttrId(3)]);
+    }
+
+    #[test]
+    fn selection_extends_past_exhausted_anchors() {
+        let s = schema();
+        let anchors = s.anchor_set();
+        let mut labels = LabelStore::new();
+        for &a in &anchors {
+            labels.confirm(a, AttrId(0));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let picked = select_attributes(
+            SelectionStrategy::LeastConfidentAnchor,
+            &s,
+            &peaked_scores(),
+            &labels,
+            &anchors,
+            1,
+            &mut rng,
+        );
+        // Non-anchor rows are 1 and 2; row 1 is less confident.
+        assert_eq!(picked, vec![AttrId(1)]);
+    }
+
+    #[test]
+    fn random_selection_only_returns_unmatched() {
+        let s = schema();
+        let mut labels = LabelStore::new();
+        labels.confirm(AttrId(0), AttrId(0));
+        labels.confirm(AttrId(1), AttrId(1));
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let picked = select_attributes(
+            SelectionStrategy::Random,
+            &s,
+            &peaked_scores(),
+            &labels,
+            &[],
+            10,
+            &mut rng,
+        );
+        assert_eq!(picked.len(), 3);
+        assert!(!picked.contains(&AttrId(0)));
+        assert!(!picked.contains(&AttrId(1)));
+    }
+
+    #[test]
+    fn empty_when_everything_matched() {
+        let s = schema();
+        let mut labels = LabelStore::new();
+        for a in s.attr_ids() {
+            labels.confirm(a, AttrId(0));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for strategy in [SelectionStrategy::Random, SelectionStrategy::LeastConfidentAnchor] {
+            let picked = select_attributes(
+                strategy,
+                &s,
+                &peaked_scores(),
+                &labels,
+                &s.anchor_set(),
+                1,
+                &mut rng,
+            );
+            assert!(picked.is_empty());
+        }
+    }
+}

@@ -1,0 +1,771 @@
+//! The fine-tuned language-model featurizer (Section IV-C1).
+//!
+//! Life cycle, mirroring the paper:
+//!
+//! 1. **Language-model pre-training** — once per domain
+//!    ([`BertFeaturizer::pretrain`]): train the BPE vocabulary, MLM-pre-train
+//!    the mini-encoder on the synthetic corpus, then teach the matching
+//!    head the corpus's paraphrase knowledge (synonym statements rendered
+//!    as classification pairs). Together these stand in for the published
+//!    Books+Wikipedia BERT checkpoint, which arrives already knowing that
+//!    *discount* and *price change percentage* co-refer.
+//! 2. **Matching-classifier pre-training** — once per ISS
+//!    ([`BertFeaturizer::pretrain_classifier`]): the paper's self-repeating,
+//!    self-explaining, and PK/FK-linking positives plus corrupted
+//!    negatives, trained end-to-end (encoder + head).
+//! 3. **Label updates** — every interaction round
+//!    ([`BertFeaturizer::update_with_labels`]): user-labeled pairs join the
+//!    training set with a larger sample weight; only the head is updated so
+//!    per-attribute encodings stay cacheable.
+//!
+//! ## Architecture note (documented substitution)
+//!
+//! The paper feeds the joint sentence `[CLS] a [SEP] b [SEP]` through a
+//! 110M-parameter cross-encoder and classifies `E'[CLS]`. A 2-layer
+//! mini-transformer cannot learn reliable cross-segment comparison from
+//! scratch, so we use the Sentence-BERT formulation instead: each
+//! attribute text is encoded separately into a pooled vector `u`/`v`, and
+//! the matching classifier scores the explicit comparison features
+//! `[u; v; (u−v)²; u⊙v]`. This preserves the paper's training signals and
+//! interface (attribute texts in, similarity score out) while being
+//! learnable — and cacheable — at our scale.
+
+use lsm_lexicon::{CorpusConfig, CorpusGenerator, Lexicon};
+use lsm_nn::layers::Linear;
+use lsm_nn::{
+    Adam, AdamConfig, BertConfig, BertEncoder, BpeVocab, Graph, MlmConfig, MlmTrainer, NodeId,
+    ParamStore, SpecialToken, Tensor,
+};
+use lsm_schema::{AttrId, Schema};
+use lsm_text::tokenize;
+use lsm_text::tokenize::tokenize_text;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Configuration of the featurizer.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BertFeaturizerConfig {
+    /// Encoder dimensions.
+    pub encoder: EncoderSize,
+    /// BPE merge budget.
+    pub bpe_merges: usize,
+    /// MLM pre-training schedule.
+    pub mlm: MlmConfig,
+    /// End-to-end epochs of the domain paraphrase stage.
+    pub paraphrase_epochs: usize,
+    /// End-to-end epochs of the ISS classifier pre-training.
+    pub pretrain_epochs: usize,
+    /// Cap on samples per end-to-end epoch.
+    pub pretrain_cap: usize,
+    /// End-to-end learning rate.
+    pub pretrain_lr: f32,
+    /// Head-only epochs per label update.
+    pub classifier_epochs: usize,
+    /// Head-only learning rate.
+    pub classifier_lr: f32,
+    /// Sample weight of user labels relative to pre-training samples
+    /// ("a larger sample weight", Section IV-C1).
+    pub label_weight: f32,
+    /// Maximum replay samples per label-update fit.
+    pub replay_cap: usize,
+    /// Whether ISS pre-training emits self-repeating samples (ablation).
+    pub use_self_repeating: bool,
+    /// Whether ISS pre-training emits self-explaining samples (ablation).
+    pub use_self_explaining: bool,
+    /// Whether ISS pre-training emits PK/FK-linking samples (ablation).
+    pub use_pkfk_linking: bool,
+    /// Seed for parameter init and sampling.
+    pub seed: u64,
+}
+
+/// Encoder size presets.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum EncoderSize {
+    /// d=48, 2 layers — the experiment configuration.
+    Small,
+    /// d=16, 1 layer — unit tests.
+    Tiny,
+}
+
+impl BertFeaturizerConfig {
+    /// The experiment configuration.
+    pub fn small() -> Self {
+        BertFeaturizerConfig {
+            encoder: EncoderSize::Small,
+            bpe_merges: 600,
+            mlm: MlmConfig { steps: 2000, batch_size: 8, ..Default::default() },
+            paraphrase_epochs: 25,
+            pretrain_epochs: 8,
+            pretrain_cap: 8000,
+            pretrain_lr: 1e-3,
+            classifier_epochs: 8,
+            classifier_lr: 2e-3,
+            label_weight: 5.0,
+            replay_cap: 1000,
+            use_self_repeating: true,
+            use_self_explaining: true,
+            use_pkfk_linking: true,
+            seed: 0xbe27,
+        }
+    }
+
+    /// A configuration small enough for debug-mode tests.
+    pub fn tiny() -> Self {
+        BertFeaturizerConfig {
+            encoder: EncoderSize::Tiny,
+            bpe_merges: 150,
+            mlm: MlmConfig { steps: 60, batch_size: 4, ..Default::default() },
+            paraphrase_epochs: 20,
+            pretrain_epochs: 15,
+            pretrain_cap: 600,
+            pretrain_lr: 3e-3,
+            classifier_epochs: 15,
+            classifier_lr: 5e-3,
+            label_weight: 5.0,
+            replay_cap: 400,
+            use_self_repeating: true,
+            use_self_explaining: true,
+            use_pkfk_linking: true,
+            seed: 0xbe27,
+        }
+    }
+}
+
+/// One head training sample: cached pooled vectors of the two sides, the
+/// label, and the sample weight.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct HeadSample {
+    u: Tensor,
+    v: Tensor,
+    label: f32,
+    weight: f32,
+}
+
+/// The Sentence-BERT-style matching head over pooled vectors.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct CompareHead {
+    hidden: Linear,
+    out: Linear,
+}
+
+impl CompareHead {
+    fn new(store: &mut ParamStore, d: usize, rng: &mut impl Rng) -> Self {
+        CompareHead {
+            hidden: Linear::new(store, "cmp.hidden", 4 * d, d, rng),
+            out: Linear::new(store, "cmp.out", d, 1, rng),
+        }
+    }
+
+    /// The matching logit for pooled vectors `u`, `v` already on the graph.
+    fn logit(&self, g: &mut Graph, store: &ParamStore, u: NodeId, v: NodeId) -> NodeId {
+        let neg_v = g.scale(v, -1.0);
+        let diff = g.add(u, neg_v);
+        let diff_sq = g.mul(diff, diff);
+        let prod = g.mul(u, v);
+        let features = g.concat_cols(&[u, v, diff_sq, prod]);
+        let h = self.hidden.forward(g, store, features);
+        let a = g.gelu(h);
+        self.out.forward(g, store, a)
+    }
+}
+
+/// The language-model featurizer.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct BertFeaturizer {
+    config: BertFeaturizerConfig,
+    vocab: BpeVocab,
+    store: ParamStore,
+    encoder: BertEncoder,
+    head: CompareHead,
+    /// Domain paraphrase pairs, replayed during ISS pre-training so the
+    /// identity-heavy ISS samples do not erase the synonym knowledge.
+    paraphrase_pairs: Vec<(Vec<u32>, Vec<u32>, f32)>,
+    /// ISS pre-training samples (pooled, cached) — the replay buffer for
+    /// head-only label updates.
+    iss_samples: Vec<HeadSample>,
+    /// Human-label samples accumulated over the session.
+    label_samples: Vec<HeadSample>,
+}
+
+impl BertFeaturizer {
+    /// Stage 1: vocabulary, MLM pre-training, and paraphrase-knowledge
+    /// distillation. Expensive; run once per domain and clone per session.
+    pub fn pretrain(lexicon: &Lexicon, config: BertFeaturizerConfig) -> Self {
+        let corpus_cfg = CorpusConfig { seed: config.seed, ..Default::default() };
+        let sentences = CorpusGenerator::new(lexicon, corpus_cfg).generate();
+        let vocab = BpeVocab::train(&sentences, config.bpe_merges);
+        let encoded: Vec<Vec<u32>> = sentences.iter().map(|s| vocab.encode_words(s)).collect();
+
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut store = ParamStore::new();
+        let bert_config = match config.encoder {
+            EncoderSize::Small => BertConfig::small(vocab.size()),
+            EncoderSize::Tiny => BertConfig::tiny(vocab.size()),
+        };
+        let encoder = BertEncoder::new(bert_config, &mut store, &mut rng);
+        let head = CompareHead::new(&mut store, bert_config.d_model, &mut rng);
+        let mlm = MlmTrainer::new(
+            config.mlm,
+            &mut store,
+            bert_config.d_model,
+            vocab.size(),
+            &mut rng,
+        );
+        mlm.train(&encoder, &mut store, &vocab, &encoded);
+
+        let mut featurizer = BertFeaturizer {
+            config,
+            vocab,
+            store,
+            encoder,
+            head,
+            paraphrase_pairs: Vec::new(),
+            iss_samples: Vec::new(),
+            label_samples: Vec::new(),
+        };
+
+        // Paraphrase distillation: surface forms of the same concept (in
+        // the same "name [+ description]" composites the downstream
+        // attribute texts use) are matches; cross-concept pairs are not.
+        // This is the world knowledge a real pre-trained BERT arrives with.
+        let mut pairs: Vec<(Vec<u32>, Vec<u32>, f32)> = Vec::new();
+        let concepts = lexicon.concepts();
+        for c in concepts {
+            let mut forms: Vec<Vec<u32>> = c
+                .all_phrasings()
+                .map(|p| featurizer.vocab.encode_words(p))
+                .collect();
+            for a in &c.abbreviations {
+                forms.push(featurizer.vocab.encode_word(a));
+            }
+            forms.retain(|f| !f.is_empty());
+            let desc_words: Vec<String> =
+                c.description.split_whitespace().map(|w| w.to_lowercase()).collect();
+            let desc = featurizer.vocab.encode_words(&desc_words);
+            let with_desc = |form: &[u32]| -> Vec<u32> {
+                let mut v = form.to_vec();
+                v.extend_from_slice(&desc);
+                v
+            };
+            // Qualified variants ("total <form>") keep ISS-style names
+            // in-distribution.
+            let qualify = |form: &[u32], rng: &mut ChaCha8Rng, vocab: &BpeVocab| -> Vec<u32> {
+                let q = lsm_lexicon::QUALIFIERS[rng.gen_range(0..lsm_lexicon::QUALIFIERS.len())];
+                let mut v = vocab.encode_word(q);
+                v.extend_from_slice(form);
+                v
+            };
+            for i in 0..forms.len() {
+                for j in i..forms.len() {
+                    // One positive per (i, j), context mixed in randomly so
+                    // the head sees bare phrases, qualified names, and
+                    // name+description composites.
+                    let left = if rng.gen_bool(0.25) {
+                        qualify(&forms[i], &mut rng, &featurizer.vocab)
+                    } else {
+                        forms[i].clone()
+                    };
+                    let right =
+                        if rng.gen_bool(0.5) { with_desc(&forms[j]) } else { forms[j].clone() };
+                    pairs.push((left, right, 1.0));
+                    // One matched negative.
+                    let other = &concepts[rng.gen_range(0..concepts.len())];
+                    if other.id == c.id {
+                        continue;
+                    }
+                    let mut neg = featurizer.vocab.encode_words(&other.canonical);
+                    if rng.gen_bool(0.5) {
+                        let odesc: Vec<String> = other
+                            .description
+                            .split_whitespace()
+                            .map(|w| w.to_lowercase())
+                            .collect();
+                        neg.extend(featurizer.vocab.encode_words(&odesc));
+                    }
+                    if !neg.is_empty() {
+                        pairs.push((forms[i].clone(), neg, 0.0));
+                    }
+                }
+            }
+        }
+        let (epochs, cap, lr) =
+            (config.paraphrase_epochs, config.pretrain_cap, config.pretrain_lr);
+        featurizer.fit_pairs_end_to_end(&pairs, epochs, cap, lr, &mut rng);
+        featurizer.paraphrase_pairs = pairs;
+        featurizer
+    }
+
+    /// Subword encoding of one attribute's text (`name desc`), where the
+    /// name is first split on identifier boundaries.
+    pub fn attr_token_ids(&self, schema: &Schema, attr: AttrId) -> Vec<u32> {
+        let a = schema.attr(attr);
+        let mut words = tokenize(&a.name);
+        words.extend(tokenize_text(a.desc_or_empty()));
+        self.vocab.encode_words(&words)
+    }
+
+    /// The pooled encoding of one attribute text — cacheable (the encoder
+    /// is frozen after pre-training).
+    pub fn single_pooled(&self, ids: &[u32]) -> Tensor {
+        if ids.is_empty() {
+            return Tensor::zeros(1, self.encoder.config.d_model);
+        }
+        let mut with_specials = Vec::with_capacity(ids.len() + 2);
+        with_specials.push(SpecialToken::Cls.id());
+        with_specials.extend_from_slice(&ids[..ids.len().min(self.encoder.config.max_seq - 2)]);
+        with_specials.push(SpecialToken::Sep.id());
+        let mut g = Graph::new();
+        let pooled = self.encoder.pooled(&mut g, &self.store, &with_specials);
+        g.value(pooled).clone()
+    }
+
+    /// The matching probability for two cached pooled vectors. The head is
+    /// trained with symmetric augmentation; inference averages both
+    /// directions to cancel any residual asymmetry.
+    pub fn classify_pooled(&self, u: &Tensor, v: &Tensor) -> f64 {
+        let mut g = Graph::new();
+        let un = g.input(u.clone());
+        let vn = g.input(v.clone());
+        let z1 = self.head.logit(&mut g, &self.store, un, vn);
+        let z2 = self.head.logit(&mut g, &self.store, vn, un);
+        let p1 = g.sigmoid(z1);
+        let p2 = g.sigmoid(z2);
+        (g.value(p1).item() as f64 + g.value(p2).item() as f64) / 2.0
+    }
+
+    /// The matching probability for a pair of attributes (convenience,
+    /// uncached).
+    pub fn score_pair(&self, source: &Schema, s: AttrId, target: &Schema, t: AttrId) -> f64 {
+        let u = self.single_pooled(&self.attr_token_ids(source, s));
+        let v = self.single_pooled(&self.attr_token_ids(target, t));
+        self.classify_pooled(&u, &v)
+    }
+
+    /// End-to-end (encoder + head) BCE training on token-pair samples.
+    fn fit_pairs_end_to_end(
+        &mut self,
+        pairs: &[(Vec<u32>, Vec<u32>, f32)],
+        epochs: usize,
+        cap: usize,
+        lr: f32,
+        rng: &mut ChaCha8Rng,
+    ) {
+        if pairs.is_empty() {
+            return;
+        }
+        let max_seq = self.encoder.config.max_seq;
+        let mut opt = Adam::new(AdamConfig { lr, ..Default::default() });
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        let prep = |ids: &[u32]| -> Vec<u32> {
+            let mut v = Vec::with_capacity(ids.len() + 2);
+            v.push(SpecialToken::Cls.id());
+            v.extend_from_slice(&ids[..ids.len().min(max_seq - 2)]);
+            v.push(SpecialToken::Sep.id());
+            v
+        };
+        for _ in 0..epochs {
+            order.shuffle(rng);
+            let epoch_slice = &order[..order.len().min(cap)];
+            for chunk in epoch_slice.chunks(8) {
+                let mut g = Graph::new();
+                let mut losses = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    let (a, b, label) = &pairs[i];
+                    // The concatenation features are direction-sensitive;
+                    // the matching relation is not. Randomly swap sides so
+                    // the head learns a symmetric decision.
+                    let (a, b) = if rng.gen_bool(0.5) { (a, b) } else { (b, a) };
+                    let u = self.encoder.pooled(&mut g, &self.store, &prep(a));
+                    let v = self.encoder.pooled(&mut g, &self.store, &prep(b));
+                    let z = self.head.logit(&mut g, &self.store, u, v);
+                    losses.push(g.bce_with_logits(z, *label, 1.0));
+                }
+                let loss = g.mean_scalars(&losses);
+                g.backward(loss, &mut self.store);
+                self.store.clip_grad_norm(5.0);
+                opt.step(&mut self.store);
+            }
+        }
+    }
+
+    /// Stage 2: pre-trains the matching classifier on the ISS (once per
+    /// vertical): the paper's three positive sample types plus corrupted
+    /// negatives, mixed with the domain paraphrase pairs, trained
+    /// end-to-end. Pooled vectors are then cached as the replay buffer for
+    /// head-only label updates.
+    pub fn pretrain_classifier(&mut self, target: &Schema) {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0xc1a5);
+        let attr_ids: Vec<AttrId> = target.attr_ids().collect();
+        let tokenized: Vec<Vec<u32>> =
+            attr_ids.iter().map(|&a| self.attr_token_ids(target, a)).collect();
+        let name_ids: Vec<Vec<u32>> = attr_ids
+            .iter()
+            .map(|&a| self.vocab.encode_words(&tokenize(&target.attr(a).name)))
+            .collect();
+        let desc_ids: Vec<Vec<u32>> = attr_ids
+            .iter()
+            .map(|&a| self.vocab.encode_words(&tokenize_text(target.attr(a).desc_or_empty())))
+            .collect();
+
+        let mut pairs: Vec<(Vec<u32>, Vec<u32>, f32)> = Vec::new();
+        let mut push_pair = |a: &[u32], b: &[u32], label: f32| {
+            if !a.is_empty() && !b.is_empty() {
+                pairs.push((a.to_vec(), b.to_vec(), label));
+            }
+        };
+        let random_other = |rng: &mut ChaCha8Rng, not: usize, n: usize| -> usize {
+            loop {
+                let j = rng.gen_range(0..n);
+                if j != not {
+                    return j;
+                }
+            }
+        };
+
+        let n = attr_ids.len();
+        for i in 0..n {
+            // Self-repeating positive + corrupted negative.
+            if self.config.use_self_repeating {
+                push_pair(&tokenized[i], &tokenized[i], 1.0);
+                let j = random_other(&mut rng, i, n);
+                push_pair(&tokenized[i], &tokenized[j], 0.0);
+            }
+            // Self-explaining positive + corrupted negative (needs a desc).
+            if self.config.use_self_explaining && !desc_ids[i].is_empty() {
+                push_pair(&name_ids[i], &desc_ids[i], 1.0);
+                let j = random_other(&mut rng, i, n);
+                if !desc_ids[j].is_empty() {
+                    push_pair(&name_ids[i], &desc_ids[j], 0.0);
+                }
+            }
+        }
+        // PK/FK-linking positives + corrupted negatives.
+        if self.config.use_pkfk_linking {
+            for fk in &target.foreign_keys {
+                push_pair(&tokenized[fk.from.index()], &tokenized[fk.to.index()], 1.0);
+                let j = random_other(&mut rng, fk.to.index(), n);
+                push_pair(&tokenized[fk.from.index()], &tokenized[j], 0.0);
+            }
+        }
+
+        // Mix in the paraphrase pairs so the identity-heavy ISS samples do
+        // not erase the synonym knowledge, then train end-to-end.
+        let mut training_pairs = pairs.clone();
+        training_pairs.extend(self.paraphrase_pairs.iter().cloned());
+        let (epochs, cap, lr) =
+            (self.config.pretrain_epochs, self.config.pretrain_cap, self.config.pretrain_lr);
+        self.fit_pairs_end_to_end(&training_pairs, epochs, cap, lr, &mut rng);
+
+        // Cache the replay buffer under the final encoder: ISS samples plus
+        // a slice of paraphrase pairs.
+        let mut replay_pairs = pairs;
+        let keep = (self.config.replay_cap / 2).min(self.paraphrase_pairs.len());
+        replay_pairs.extend(self.paraphrase_pairs.iter().take(keep).cloned());
+        self.iss_samples = replay_pairs
+            .iter()
+            .map(|(a, b, label)| HeadSample {
+                u: self.single_pooled(a),
+                v: self.single_pooled(b),
+                label: *label,
+                weight: 1.0,
+            })
+            .collect();
+        self.label_samples.clear();
+    }
+
+    /// Stage 3: folds user labels into the head training set (with the
+    /// configured larger weight) and retrains the head only — the encoder
+    /// stays frozen so per-attribute pooled caches remain valid.
+    pub fn update_with_labels(
+        &mut self,
+        source: &Schema,
+        target: &Schema,
+        labels: impl IntoIterator<Item = (AttrId, AttrId, bool)>,
+    ) {
+        let samples: Vec<(Tensor, Tensor, bool)> = labels
+            .into_iter()
+            .map(|(s, t, correct)| {
+                (
+                    self.single_pooled(&self.attr_token_ids(source, s)),
+                    self.single_pooled(&self.attr_token_ids(target, t)),
+                    correct,
+                )
+            })
+            .collect();
+        self.update_with_pooled_labels(samples);
+    }
+
+    /// Like [`update_with_labels`](Self::update_with_labels) but takes the
+    /// pooled vectors directly — sessions cache per-attribute encodings, so
+    /// re-encoding every labeled attribute each round would be wasted work.
+    pub fn update_with_pooled_labels(
+        &mut self,
+        labels: impl IntoIterator<Item = (Tensor, Tensor, bool)>,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.config.seed ^ (0x1abe + self.label_samples.len() as u64),
+        );
+        self.label_samples.clear();
+        for (u, v, correct) in labels {
+            self.label_samples.push(HeadSample {
+                u,
+                v,
+                label: if correct { 1.0 } else { 0.0 },
+                weight: self.config.label_weight,
+            });
+        }
+        self.train_head(self.config.classifier_epochs, &mut rng);
+    }
+
+    /// Trains the head on the replay buffer + label samples.
+    fn train_head(&mut self, epochs: usize, rng: &mut ChaCha8Rng) {
+        let mut replay: Vec<&HeadSample> = self.iss_samples.iter().collect();
+        if replay.len() > self.config.replay_cap {
+            replay.shuffle(rng);
+            replay.truncate(self.config.replay_cap);
+        }
+        let all: Vec<HeadSample> =
+            replay.into_iter().chain(self.label_samples.iter()).cloned().collect();
+        if all.is_empty() {
+            return;
+        }
+        let mut opt = Adam::new(AdamConfig { lr: self.config.classifier_lr, ..Default::default() });
+        let batch = 16;
+        let mut order: Vec<usize> = (0..all.len()).collect();
+        for _ in 0..epochs {
+            order.shuffle(rng);
+            for chunk in order.chunks(batch) {
+                let mut g = Graph::new();
+                let mut losses = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    let sample = &all[i];
+                    // Symmetric augmentation, as in end-to-end training.
+                    let (su, sv) = if rng.gen_bool(0.5) {
+                        (&sample.u, &sample.v)
+                    } else {
+                        (&sample.v, &sample.u)
+                    };
+                    let u = g.input(su.clone());
+                    let v = g.input(sv.clone());
+                    let z = self.head.logit(&mut g, &self.store, u, v);
+                    losses.push(g.bce_with_logits(z, sample.label, sample.weight));
+                }
+                let loss = g.mean_scalars(&losses);
+                g.backward(loss, &mut self.store);
+                self.store.clip_grad_norm(5.0);
+                opt.step(&mut self.store);
+            }
+        }
+    }
+
+    /// Serializes the featurizer (weights, vocabulary, replay buffers) to
+    /// a JSON file. Pre-training is by far the most expensive step of the
+    /// pipeline, so experiment harnesses cache the result on disk.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a featurizer saved with [`save`](Self::save).
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(std::io::Error::other)
+    }
+
+    /// A debug-format snapshot of the configuration; caches compare these
+    /// to detect stale artifacts after hyper-parameter changes.
+    pub fn config_snapshot(&self) -> String {
+        format!("{:?}", self.config)
+    }
+
+    /// A fingerprint of the configuration + vocabulary, used by caches to
+    /// detect stale artifacts.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.vocab.size().hash(&mut h);
+        self.store.scalar_count().hash(&mut h);
+        self.config.seed.hash(&mut h);
+        self.config.bpe_merges.hash(&mut h);
+        h.finish()
+    }
+
+    /// Overrides the configuration (used by ablations to toggle the ISS
+    /// pre-training sample types on an already MLM-pre-trained featurizer).
+    pub fn set_config(&mut self, config: BertFeaturizerConfig) {
+        self.config = config;
+    }
+
+    /// Number of cached pre-training samples (diagnostics).
+    pub fn iss_sample_count(&self) -> usize {
+        self.iss_samples.len()
+    }
+
+    /// The subword vocabulary.
+    pub fn vocab(&self) -> &BpeVocab {
+        &self.vocab
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_lexicon::{ConceptBuilder, ConceptDtype, Domain, Lexicon};
+    use lsm_schema::DataType;
+
+    fn tiny_lexicon() -> Lexicon {
+        Lexicon::assemble(vec![
+            ConceptBuilder::attribute(Domain::Retail, "quantity")
+                .syn("unit count")
+                .private("item amount")
+                .abbr("qty")
+                .dtype(ConceptDtype::Integer)
+                .desc("number of units in the line")
+                .related("total amount"),
+            ConceptBuilder::attribute(Domain::Retail, "total amount")
+                .syn("line total")
+                .dtype(ConceptDtype::Decimal)
+                .desc("monetary value of the line"),
+            ConceptBuilder::attribute(Domain::Retail, "store city")
+                .syn("shop town")
+                .dtype(ConceptDtype::Text)
+                .desc("city where the store is located"),
+            ConceptBuilder::entity(Domain::Retail, "transaction line")
+                .syn("order line")
+                .desc("one position of a transaction"),
+        ])
+    }
+
+    fn tiny_target() -> Schema {
+        Schema::builder("iss")
+            .entity("TransactionLine")
+            .attr_desc("transaction_line_id", DataType::Integer, "primary key of the line")
+            .attr_desc("quantity", DataType::Integer, "number of units in the line")
+            .attr_desc("total_amount", DataType::Decimal, "monetary value of the line")
+            .pk("transaction_line_id")
+            .entity("Store")
+            .attr_desc("store_id", DataType::Integer, "primary key of the store")
+            .attr_desc("store_city", DataType::Text, "city where the store is located")
+            .attr_desc("transaction_line_id", DataType::Integer, "latest line")
+            .pk("store_id")
+            .foreign_key("Store", "transaction_line_id", "TransactionLine", "transaction_line_id")
+            .build()
+            .unwrap()
+    }
+
+    fn featurizer() -> BertFeaturizer {
+        let lex = tiny_lexicon();
+        let mut f = BertFeaturizer::pretrain(&lex, BertFeaturizerConfig::tiny());
+        f.pretrain_classifier(&tiny_target());
+        f
+    }
+
+    #[test]
+    fn pretraining_produces_samples_and_scores() {
+        let f = featurizer();
+        assert!(f.iss_sample_count() > 0);
+        let target = tiny_target();
+        let score = f.score_pair(&target, AttrId(1), &target, AttrId(1));
+        assert!((0.0..=1.0).contains(&score));
+    }
+
+    #[test]
+    fn self_pairs_score_above_random_pairs() {
+        let f = featurizer();
+        let target = tiny_target();
+        let self_score = f.score_pair(&target, AttrId(1), &target, AttrId(1));
+        let cross_score = f.score_pair(&target, AttrId(1), &target, AttrId(4));
+        assert!(
+            self_score > cross_score,
+            "self {self_score:.3} vs cross {cross_score:.3}"
+        );
+    }
+
+    /// The paraphrase stage must connect private jargon to its concept —
+    /// the core claim of the PLM substitution.
+    #[test]
+    fn paraphrase_knowledge_transfers_to_attribute_names() {
+        let f = featurizer();
+        let target = tiny_target();
+        let source = Schema::builder("cust")
+            .entity("Orders")
+            .attr("item_amount", DataType::Integer)
+            .build()
+            .unwrap();
+        // item_amount is private jargon for quantity (t attr 1); store_city
+        // (t attr 4) is unrelated.
+        let syn = f.score_pair(&source, AttrId(0), &target, AttrId(1));
+        let unrelated = f.score_pair(&source, AttrId(0), &target, AttrId(4));
+        assert!(
+            syn > unrelated,
+            "private synonym {syn:.3} should beat unrelated {unrelated:.3}"
+        );
+    }
+
+    #[test]
+    fn label_updates_move_scores() {
+        let mut f = featurizer();
+        let target = tiny_target();
+        let source = Schema::builder("cust")
+            .entity("Orders")
+            .attr("pieces_sold", DataType::Integer)
+            .build()
+            .unwrap();
+        let before = f.score_pair(&source, AttrId(0), &target, AttrId(1));
+        f.update_with_labels(
+            &source,
+            &target,
+            vec![(AttrId(0), AttrId(1), true), (AttrId(0), AttrId(4), false)],
+        );
+        let after = f.score_pair(&source, AttrId(0), &target, AttrId(1));
+        assert!(after > before, "label update should raise the pair: {before:.3} → {after:.3}");
+    }
+
+    #[test]
+    fn pooled_vectors_are_deterministic_and_cacheable() {
+        let f = featurizer();
+        let target = tiny_target();
+        let ids = f.attr_token_ids(&target, AttrId(1));
+        let p1 = f.single_pooled(&ids);
+        let p2 = f.single_pooled(&ids);
+        assert_eq!(p1, p2);
+        let v = f.single_pooled(&f.attr_token_ids(&target, AttrId(2)));
+        let direct = f.score_pair(&target, AttrId(1), &target, AttrId(2));
+        let cached = f.classify_pooled(&p1, &v);
+        assert!((direct - cached).abs() < 1e-9);
+    }
+
+    /// Disk persistence must preserve behaviour exactly — the experiment
+    /// harness caches pre-trained featurizers between runs.
+    #[test]
+    fn save_load_round_trip_preserves_scores() {
+        let f = featurizer();
+        let target = tiny_target();
+        let dir = std::env::temp_dir().join("lsm_featurizer_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("featurizer.json");
+        f.save(&path).unwrap();
+        let loaded = BertFeaturizer::load(&path).unwrap();
+        assert_eq!(loaded.config_snapshot(), f.config_snapshot());
+        assert_eq!(loaded.iss_sample_count(), f.iss_sample_count());
+        for s in target.attr_ids() {
+            for t in target.attr_ids() {
+                let a = f.score_pair(&target, s, &target, t);
+                let b = loaded.score_pair(&target, s, &target, t);
+                assert!((a - b).abs() < 1e-9, "({s}, {t}): {a} vs {b}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn single_pooled_handles_empty_ids() {
+        let f = featurizer();
+        let p = f.single_pooled(&[]);
+        assert!(p.data().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,136 @@
+//! Non-interactive model evaluation (Section V-B, Tables III/IV, Fig. 4).
+//!
+//! "We test our model in a non-interactive manner ...: given a set of
+//! training matching labels, we train our model and evaluate how accurate
+//! it is on the test set." Training labels are a random fraction of the
+//! ground truth; top-k accuracy is measured on the held-out attributes.
+
+use crate::labels::LabelStore;
+use crate::session::SuggestionEngine;
+use lsm_schema::{AttrId, GroundTruth};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The result of one split evaluation.
+#[derive(Debug, Clone)]
+pub struct SplitEvaluation {
+    /// `(k, accuracy)` for each requested k.
+    pub top_k: Vec<(usize, f64)>,
+    /// Number of training labels used.
+    pub train_size: usize,
+    /// Number of held-out attributes evaluated.
+    pub test_size: usize,
+}
+
+impl SplitEvaluation {
+    /// The accuracy at a specific k.
+    pub fn accuracy(&self, k: usize) -> f64 {
+        self.top_k
+            .iter()
+            .find(|&&(kk, _)| kk == k)
+            .map(|&(_, a)| a)
+            .unwrap_or_else(|| panic!("k={k} was not evaluated"))
+    }
+}
+
+/// Trains `engine` on a random `train_fraction` of the ground truth and
+/// reports top-k accuracy on the rest.
+pub fn evaluate_split<E: SuggestionEngine>(
+    engine: &mut E,
+    truth: &GroundTruth,
+    train_fraction: f64,
+    ks: &[usize],
+    seed: u64,
+) -> SplitEvaluation {
+    assert!((0.0..1.0).contains(&train_fraction), "train fraction must be in [0, 1)");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut sources: Vec<AttrId> = truth.sources().collect();
+    sources.shuffle(&mut rng);
+    let train_size = (sources.len() as f64 * train_fraction).round() as usize;
+    let (train, test) = sources.split_at(train_size);
+
+    let mut labels = LabelStore::new();
+    for &s in train {
+        labels.confirm(s, truth.target_of(s).expect("ground truth covers its sources"));
+    }
+    engine.retrain(&labels);
+    let scores = engine.predict(&labels);
+    let top_k = ks
+        .iter()
+        .map(|&k| (k, scores.top_k_accuracy(truth, test, k)))
+        .collect();
+    SplitEvaluation { top_k, train_size, test_size: test.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::PinnedBaselineEngine;
+    use lsm_schema::{DataType, Schema, ScoreMatrix};
+
+    fn fixtures() -> (Schema, GroundTruth, ScoreMatrix) {
+        let source = Schema::builder("s")
+            .entity("A")
+            .attr("a", DataType::Text)
+            .attr("b", DataType::Text)
+            .attr("c", DataType::Text)
+            .attr("d", DataType::Text)
+            .build()
+            .unwrap();
+        let truth = GroundTruth::from_pairs([
+            (AttrId(0), AttrId(0)),
+            (AttrId(1), AttrId(1)),
+            (AttrId(2), AttrId(2)),
+            (AttrId(3), AttrId(3)),
+        ]);
+        // A matrix ranking each truth second (top-1 wrong, top-2 right).
+        let mut m = ScoreMatrix::zeros(4, 6);
+        for i in 0..4u32 {
+            m.set(AttrId(i), AttrId(i), 0.8);
+            m.set(AttrId(i), AttrId(5), 0.9);
+        }
+        (source, truth, m)
+    }
+
+    #[test]
+    fn split_accuracy_reflects_ranking() {
+        let (source, truth, scores) = fixtures();
+        let mut engine = PinnedBaselineEngine::new(source, scores);
+        let eval = evaluate_split(&mut engine, &truth, 0.5, &[1, 2, 3], 7);
+        assert_eq!(eval.train_size, 2);
+        assert_eq!(eval.test_size, 2);
+        assert_eq!(eval.accuracy(1), 0.0);
+        assert_eq!(eval.accuracy(2), 1.0);
+        assert_eq!(eval.accuracy(3), 1.0);
+    }
+
+    #[test]
+    fn zero_fraction_tests_everything() {
+        let (source, truth, scores) = fixtures();
+        let mut engine = PinnedBaselineEngine::new(source, scores);
+        let eval = evaluate_split(&mut engine, &truth, 0.0, &[2], 7);
+        assert_eq!(eval.train_size, 0);
+        assert_eq!(eval.test_size, 4);
+        assert_eq!(eval.accuracy(2), 1.0);
+    }
+
+    #[test]
+    fn splits_are_seed_deterministic() {
+        let (source, truth, scores) = fixtures();
+        let mut e1 = PinnedBaselineEngine::new(source.clone(), scores.clone());
+        let mut e2 = PinnedBaselineEngine::new(source, scores);
+        let a = evaluate_split(&mut e1, &truth, 0.5, &[1], 3);
+        let b = evaluate_split(&mut e2, &truth, 0.5, &[1], 3);
+        assert_eq!(a.accuracy(1), b.accuracy(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "was not evaluated")]
+    fn missing_k_panics() {
+        let (source, truth, scores) = fixtures();
+        let mut engine = PinnedBaselineEngine::new(source, scores);
+        let eval = evaluate_split(&mut engine, &truth, 0.5, &[1], 3);
+        eval.accuracy(5);
+    }
+}

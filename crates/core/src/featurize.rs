@@ -1,0 +1,200 @@
+//! The cheap featurizers: lexical and word-embedding scores for every
+//! candidate pair (Section IV-C2), computed once per session.
+
+use crossbeam::thread;
+use lsm_embedding::EmbeddingSpace;
+use lsm_schema::{AttrId, Schema, ScoreMatrix};
+use lsm_text::lexical_similarity;
+
+/// Indices of the feature columns in the meta-learner input.
+pub mod feature {
+    /// Lexical featurizer (LCS / min-length).
+    pub const LEXICAL: usize = 0;
+    /// Word-embedding featurizer (cosine).
+    pub const EMBEDDING: usize = 1;
+    /// BERT featurizer (matching-classifier probability).
+    pub const BERT: usize = 2;
+    /// Total number of features.
+    pub const COUNT: usize = 3;
+}
+
+/// Dense per-pair feature storage: one [`ScoreMatrix`] per feature column.
+#[derive(Debug, Clone)]
+pub struct FeatureTable {
+    /// `columns[f]` is the matrix of feature `f` scores.
+    pub columns: Vec<ScoreMatrix>,
+}
+
+impl FeatureTable {
+    /// The feature vector of one pair.
+    pub fn vector(&self, s: AttrId, t: AttrId) -> [f64; feature::COUNT] {
+        let mut v = [0.0; feature::COUNT];
+        for (f, col) in self.columns.iter().enumerate() {
+            v[f] = col.get(s, t);
+        }
+        v
+    }
+
+    /// Mutable access to one feature column (the BERT column is refreshed
+    /// whenever the classifier is updated).
+    pub fn column_mut(&mut self, f: usize) -> &mut ScoreMatrix {
+        &mut self.columns[f]
+    }
+
+    /// Immutable access to one feature column.
+    pub fn column(&self, f: usize) -> &ScoreMatrix {
+        &self.columns[f]
+    }
+}
+
+/// Computes the lexical feature over all pairs, parallelized across source
+/// rows with scoped threads.
+pub fn lexical_features(source: &Schema, target: &Schema, threads: usize) -> ScoreMatrix {
+    let ns = source.attr_count();
+    let nt = target.attr_count();
+    let mut m = ScoreMatrix::zeros(ns, nt);
+    let t_names: Vec<&str> = target.attributes.iter().map(|a| a.name.as_str()).collect();
+    let rows: Vec<(usize, Vec<f64>)> = parallel_rows(ns, threads, |s| {
+        let s_name = &source.attributes[s].name;
+        t_names.iter().map(|t| lexical_similarity(s_name, t)).collect()
+    });
+    for (s, row) in rows {
+        m.row_mut(AttrId(s as u32)).copy_from_slice(&row);
+    }
+    m
+}
+
+/// Computes the embedding feature over all pairs. Attribute vectors are
+/// computed once per attribute, then cosines per pair.
+pub fn embedding_features(
+    space: &EmbeddingSpace,
+    source: &Schema,
+    target: &Schema,
+    threads: usize,
+) -> ScoreMatrix {
+    let ns = source.attr_count();
+    let nt = target.attr_count();
+    let s_vecs: Vec<Vec<f32>> =
+        source.attributes.iter().map(|a| space.identifier_vector(&a.name)).collect();
+    let t_vecs: Vec<Vec<f32>> =
+        target.attributes.iter().map(|a| space.identifier_vector(&a.name)).collect();
+    let mut m = ScoreMatrix::zeros(ns, nt);
+    let rows: Vec<(usize, Vec<f64>)> = parallel_rows(ns, threads, |s| {
+        t_vecs.iter().map(|t| lsm_embedding::space::cosine(&s_vecs[s], t)).collect()
+    });
+    for (s, row) in rows {
+        m.row_mut(AttrId(s as u32)).copy_from_slice(&row);
+    }
+    m
+}
+
+/// Runs `work` for each row index on `threads` scoped worker threads,
+/// returning `(row, result)` pairs in arbitrary order.
+pub fn parallel_rows<F, R>(rows: usize, threads: usize, work: F) -> Vec<(usize, R)>
+where
+    F: Fn(usize) -> R + Sync,
+    R: Send,
+{
+    let threads = threads.max(1).min(rows.max(1));
+    if threads <= 1 {
+        return (0..rows).map(|r| (r, work(r))).collect();
+    }
+    let work = &work;
+    let mut out: Vec<(usize, R)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    let mut r = w;
+                    while r < rows {
+                        local.push((r, work(r)));
+                        r += threads;
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("thread scope failed");
+    out.sort_by_key(|&(r, _)| r);
+    out
+}
+
+/// A sensible worker count for featurization.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_embedding::EmbeddingConfig;
+    use lsm_lexicon::full_lexicon;
+    use lsm_schema::DataType;
+
+    fn pair() -> (Schema, Schema) {
+        let s = Schema::builder("s")
+            .entity("E")
+            .attr("qty", DataType::Integer)
+            .attr("unit_count", DataType::Integer)
+            .build()
+            .unwrap();
+        let t = Schema::builder("t")
+            .entity("F")
+            .attr("quantity", DataType::Integer)
+            .attr("city", DataType::Text)
+            .build()
+            .unwrap();
+        (s, t)
+    }
+
+    #[test]
+    fn lexical_features_match_direct_computation() {
+        let (s, t) = pair();
+        let m = lexical_features(&s, &t, 4);
+        assert_eq!(m.get(AttrId(0), AttrId(0)), lexical_similarity("qty", "quantity"));
+        assert_eq!(m.get(AttrId(1), AttrId(1)), lexical_similarity("unit_count", "city"));
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let (s, t) = pair();
+        let serial = lexical_features(&s, &t, 1);
+        let parallel = lexical_features(&s, &t, 4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn embedding_features_capture_synonyms() {
+        let lex = full_lexicon();
+        let space = lsm_embedding::EmbeddingSpace::new(&lex, EmbeddingConfig::default());
+        let (s, t) = pair();
+        let m = embedding_features(&space, &s, &t, 2);
+        // unit_count (public syn of quantity) beats city.
+        assert!(m.get(AttrId(1), AttrId(0)) > m.get(AttrId(1), AttrId(1)));
+    }
+
+    #[test]
+    fn feature_table_vectors() {
+        let (s, t) = pair();
+        let lex = lexical_features(&s, &t, 1);
+        let table = FeatureTable {
+            columns: vec![lex.clone(), ScoreMatrix::zeros(2, 2), ScoreMatrix::zeros(2, 2)],
+        };
+        let v = table.vector(AttrId(0), AttrId(0));
+        assert_eq!(v[feature::LEXICAL], lex.get(AttrId(0), AttrId(0)));
+        assert_eq!(v[feature::BERT], 0.0);
+    }
+
+    #[test]
+    fn parallel_rows_covers_all_indices() {
+        let results = parallel_rows(17, 4, |r| r * 2);
+        assert_eq!(results.len(), 17);
+        for (r, v) in results {
+            assert_eq!(v, r * 2);
+        }
+        // Zero rows is fine.
+        assert!(parallel_rows(0, 4, |r| r).is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! Candidate-pair labels (Section IV-B).
+//!
+//! Each candidate pair `(as, at)` carries a label: correct (`1`), incorrect
+//! (`0`), or unlabeled (`−1`). The paper's update rules:
+//!
+//! * reviewing a correct suggestion sets `(as, at) = 1` and `(as, a't) = 0`
+//!   for all other targets,
+//! * rejecting all top-k suggestions sets them to `0`,
+//! * a direct user label sets `(as, at) = 1` and resets the rest of the row
+//!   to unlabeled.
+//!
+//! A dense `|As| × |At|` label matrix would waste memory — positives are at
+//! most one per row and negatives are sparse — so the store keeps one
+//! per-row summary.
+
+use lsm_schema::AttrId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The label of one candidate pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Label {
+    /// `lp = 1`.
+    Correct,
+    /// `lp = 0`.
+    Incorrect,
+    /// `lp = −1`.
+    Unlabeled,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Row {
+    /// Confirmed target, if any. Implies every other pair in the row is
+    /// incorrect.
+    positive: Option<AttrId>,
+    /// Explicitly rejected targets.
+    negative: BTreeSet<AttrId>,
+}
+
+/// Sparse label storage over the candidate-pair matrix.
+#[derive(Debug, Clone, Default)]
+pub struct LabelStore {
+    rows: BTreeMap<AttrId, Row>,
+}
+
+impl LabelStore {
+    /// Creates an all-unlabeled store (the preparation step).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The label of a pair.
+    pub fn get(&self, source: AttrId, target: AttrId) -> Label {
+        match self.rows.get(&source) {
+            None => Label::Unlabeled,
+            Some(row) => {
+                if let Some(p) = row.positive {
+                    if p == target {
+                        Label::Correct
+                    } else {
+                        Label::Incorrect
+                    }
+                } else if row.negative.contains(&target) {
+                    Label::Incorrect
+                } else {
+                    Label::Unlabeled
+                }
+            }
+        }
+    }
+
+    /// Marks `(source, target)` correct. Per the paper, all other targets
+    /// of the row become incorrect (via the positive marker); previously
+    /// recorded explicit negatives are cleared as redundant.
+    pub fn confirm(&mut self, source: AttrId, target: AttrId) {
+        let row = self.rows.entry(source).or_default();
+        row.positive = Some(target);
+        row.negative.clear();
+    }
+
+    /// Marks `(source, target)` incorrect (reviewing rejection).
+    pub fn reject(&mut self, source: AttrId, target: AttrId) {
+        let row = self.rows.entry(source).or_default();
+        if row.positive != Some(target) {
+            row.negative.insert(target);
+        }
+    }
+
+    /// The confirmed target of a source attribute, if any.
+    pub fn positive_of(&self, source: AttrId) -> Option<AttrId> {
+        self.rows.get(&source).and_then(|r| r.positive)
+    }
+
+    /// Whether the source attribute has a confirmed match.
+    pub fn is_matched(&self, source: AttrId) -> bool {
+        self.positive_of(source).is_some()
+    }
+
+    /// All confirmed `(source, target)` pairs in source order.
+    pub fn positives(&self) -> impl Iterator<Item = (AttrId, AttrId)> + '_ {
+        self.rows.iter().filter_map(|(&s, r)| r.positive.map(|t| (s, t)))
+    }
+
+    /// All explicitly rejected pairs (not counting those implied by a
+    /// positive).
+    pub fn negatives(&self) -> impl Iterator<Item = (AttrId, AttrId)> + '_ {
+        self.rows
+            .iter()
+            .flat_map(|(&s, r)| r.negative.iter().map(move |&t| (s, t)))
+    }
+
+    /// Number of confirmed matches.
+    pub fn matched_count(&self) -> usize {
+        self.rows.values().filter(|r| r.positive.is_some()).count()
+    }
+
+    /// Number of explicit negative labels.
+    pub fn negative_count(&self) -> usize {
+        self.rows.values().map(|r| r.negative.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_store_is_unlabeled() {
+        let s = LabelStore::new();
+        assert_eq!(s.get(AttrId(0), AttrId(0)), Label::Unlabeled);
+        assert_eq!(s.matched_count(), 0);
+        assert!(!s.is_matched(AttrId(0)));
+    }
+
+    #[test]
+    fn confirm_implies_row_negatives() {
+        let mut s = LabelStore::new();
+        s.confirm(AttrId(0), AttrId(3));
+        assert_eq!(s.get(AttrId(0), AttrId(3)), Label::Correct);
+        assert_eq!(s.get(AttrId(0), AttrId(4)), Label::Incorrect);
+        assert_eq!(s.get(AttrId(1), AttrId(3)), Label::Unlabeled);
+        assert_eq!(s.positive_of(AttrId(0)), Some(AttrId(3)));
+    }
+
+    #[test]
+    fn reject_marks_single_pair() {
+        let mut s = LabelStore::new();
+        s.reject(AttrId(0), AttrId(1));
+        assert_eq!(s.get(AttrId(0), AttrId(1)), Label::Incorrect);
+        assert_eq!(s.get(AttrId(0), AttrId(2)), Label::Unlabeled);
+        assert_eq!(s.negative_count(), 1);
+    }
+
+    #[test]
+    fn confirm_overrides_rejections() {
+        let mut s = LabelStore::new();
+        s.reject(AttrId(0), AttrId(1));
+        s.reject(AttrId(0), AttrId(2));
+        s.confirm(AttrId(0), AttrId(1));
+        assert_eq!(s.get(AttrId(0), AttrId(1)), Label::Correct);
+        assert_eq!(s.negative_count(), 0);
+    }
+
+    #[test]
+    fn reject_of_confirmed_target_is_ignored() {
+        let mut s = LabelStore::new();
+        s.confirm(AttrId(0), AttrId(1));
+        s.reject(AttrId(0), AttrId(1));
+        assert_eq!(s.get(AttrId(0), AttrId(1)), Label::Correct);
+    }
+
+    #[test]
+    fn iterators_enumerate_labels() {
+        let mut s = LabelStore::new();
+        s.confirm(AttrId(0), AttrId(5));
+        s.confirm(AttrId(2), AttrId(7));
+        s.reject(AttrId(1), AttrId(3));
+        assert_eq!(
+            s.positives().collect::<Vec<_>>(),
+            vec![(AttrId(0), AttrId(5)), (AttrId(2), AttrId(7))]
+        );
+        assert_eq!(s.negatives().collect::<Vec<_>>(), vec![(AttrId(1), AttrId(3))]);
+        assert_eq!(s.matched_count(), 2);
+    }
+}

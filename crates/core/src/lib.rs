@@ -1,0 +1,56 @@
+//! # lsm-core
+//!
+//! The Learned Schema Matcher (LSM) — the paper's primary contribution.
+//!
+//! The matching pipeline (Fig. 2 of the paper):
+//!
+//! 1. **Preparation** — candidate pairs are the Cartesian product
+//!    `As × At`; all start unlabeled ([`labels::LabelStore`]).
+//! 2. **Featurization** — three featurizers score every pair: the
+//!    fine-tuned BERT featurizer ([`bert_featurizer`]), the word-embedding
+//!    featurizer, and the lexical featurizer ([`featurize`]).
+//! 3. **Training & prediction** — a logistic meta-learner trained with
+//!    self-training (semi-supervised) combines the featurizer scores
+//!    ([`meta`]); predictions are adjusted by data-type gating and the
+//!    new-entity penalty, and top-k suggestions are emitted
+//!    ([`matcher::LsmMatcher`]).
+//! 4. **User interaction** — the user reviews suggestions and labels the
+//!    attribute chosen by the *least-confident-anchor* strategy
+//!    ([`active`]); the simulated user lives in [`oracle`], the end-to-end
+//!    loop in [`session`].
+//!
+//! [`eval`] hosts the non-interactive evaluation protocol (Tables III/IV,
+//! Fig. 4) shared with the baselines.
+//!
+//! ## Scale engineering (documented substitution)
+//!
+//! The paper fine-tunes all of BERT every iteration on a Tesla P100. On
+//! CPU, we freeze the MLM-pre-trained encoder and train only the matching
+//! classifier head — both during the per-ISS classifier pre-training and
+//! during per-iteration label updates. Pooled pair encodings are therefore
+//! cacheable, which makes the interactive loop tractable while preserving
+//! the architecture and the training signals of the paper. The
+//! cross-encoder is evaluated on a per-source-attribute shortlist chosen by
+//! the cheap featurizers plus a bi-encoder pass (pooled-vector cosine) that
+//! itself carries the MLM knowledge, so hard matches still surface.
+
+pub mod active;
+pub mod bert_featurizer;
+pub mod eval;
+pub mod featurize;
+pub mod labels;
+pub mod matcher;
+pub mod meta;
+pub mod metrics;
+pub mod oracle;
+pub mod session;
+
+pub use active::SelectionStrategy;
+pub use bert_featurizer::{BertFeaturizer, BertFeaturizerConfig};
+pub use eval::{evaluate_split, SplitEvaluation};
+pub use labels::{Label, LabelStore};
+pub use matcher::{LsmConfig, LsmMatcher};
+pub use meta::{MetaLearner, SelfTrainingConfig};
+pub use metrics::{CurvePoint, SessionOutcome};
+pub use oracle::{NoisyOracle, Oracle, PerfectOracle};
+pub use session::{run_session, SessionConfig, SuggestionEngine};

@@ -1,0 +1,567 @@
+//! The LSM matcher: featurization, meta-learning, score adjustment, and
+//! top-k suggestions (Sections IV-B through IV-D).
+
+use crate::bert_featurizer::BertFeaturizer;
+use crate::featurize::{
+    default_threads, embedding_features, feature, lexical_features, parallel_rows, FeatureTable,
+};
+use crate::labels::LabelStore;
+use crate::meta::{MetaLearner, SelfTrainingConfig};
+use lsm_embedding::EmbeddingSpace;
+use lsm_nn::Tensor;
+use lsm_schema::{AttrId, EntityId, RankedSuggestions, Schema, ScoreMatrix};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of the matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct LsmConfig {
+    /// Suggestions per source attribute (the paper uses k = 3).
+    pub top_k: usize,
+    /// Whether the BERT featurizer participates (ablated in Fig. 6).
+    pub use_bert: bool,
+    /// Whether incompatible data types zero the score (Section IV-D).
+    pub dtype_gating: bool,
+    /// Whether the new-entity penalty applies (Section IV-D).
+    pub entity_penalty: bool,
+    /// Cross-encoder shortlist size per source attribute.
+    pub shortlist: usize,
+    /// Meta-learner schedule.
+    pub self_training: SelfTrainingConfig,
+    /// Worker threads for featurization.
+    pub threads: usize,
+    /// Cap on unlabeled feature vectors sampled for self-training.
+    pub self_training_pool: usize,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig {
+            top_k: 3,
+            use_bert: true,
+            dtype_gating: true,
+            entity_penalty: true,
+            shortlist: 64,
+            self_training: SelfTrainingConfig::default(),
+            threads: default_threads(),
+            self_training_pool: 20_000,
+        }
+    }
+}
+
+/// A matching session's model state over one (source, target) pair.
+pub struct LsmMatcher {
+    config: LsmConfig,
+    source: Schema,
+    target: Schema,
+    features: FeatureTable,
+    meta: MetaLearner,
+    bert: Option<BertState>,
+}
+
+/// BERT-side caches: per-attribute pooled vectors and per-row shortlists.
+struct BertState {
+    featurizer: BertFeaturizer,
+    /// Pooled encoding of every source attribute text.
+    s_vec: Vec<Tensor>,
+    /// Pooled encoding of every target attribute text.
+    t_vec: Vec<Tensor>,
+    /// Scored candidates per source row (the BERT feature column is
+    /// maintained on these plus any labeled pairs).
+    shortlist: Vec<Vec<AttrId>>,
+}
+
+impl LsmMatcher {
+    /// Builds the session state: computes the cheap features over all
+    /// candidate pairs, and (when enabled) the BERT shortlist + pooled
+    /// cache.
+    ///
+    /// `bert` should already be domain-pre-trained and
+    /// classifier-pre-trained on the target ISS; it is cloned per session
+    /// so fine-tuning stays session-local.
+    pub fn new(
+        source: &Schema,
+        target: &Schema,
+        embedding: &EmbeddingSpace,
+        bert: Option<BertFeaturizer>,
+        config: LsmConfig,
+    ) -> Self {
+        let ns = source.attr_count();
+        let nt = target.attr_count();
+        let lexical = lexical_features(source, target, config.threads);
+        let emb = embedding_features(embedding, source, target, config.threads);
+        let mut bert_column = ScoreMatrix::zeros(ns, nt);
+
+        let bert_state = if config.use_bert {
+            bert.map(|featurizer| {
+                let source_ids: Vec<Vec<u32>> = source
+                    .attr_ids()
+                    .map(|a| featurizer.attr_token_ids(source, a))
+                    .collect();
+                let target_ids: Vec<Vec<u32>> = target
+                    .attr_ids()
+                    .map(|a| featurizer.attr_token_ids(target, a))
+                    .collect();
+
+                // Pooled encoding per attribute, in parallel.
+                let fz = &featurizer;
+                let s_vec: Vec<Tensor> =
+                    parallel_rows(ns, config.threads, |i| fz.single_pooled(&source_ids[i]))
+                        .into_iter()
+                        .map(|(_, v)| v)
+                        .collect();
+                let t_vec: Vec<Tensor> =
+                    parallel_rows(nt, config.threads, |i| fz.single_pooled(&target_ids[i]))
+                        .into_iter()
+                        .map(|(_, v)| v)
+                        .collect();
+
+                // Description-aware embedding vectors (name + description
+                // text) — recall aid for the shortlist only; the embedding
+                // *feature* stays name-based per the paper.
+                let text_vec = |schema: &Schema, a: AttrId| -> Vec<f32> {
+                    let attr = schema.attr(a);
+                    let mut toks = lsm_text::tokenize(&attr.name);
+                    toks.extend(lsm_text::tokenize::tokenize_text(attr.desc_or_empty()));
+                    embedding.phrase_vector(&toks)
+                };
+                let s_text: Vec<Vec<f32>> =
+                    source.attr_ids().map(|a| text_vec(source, a)).collect();
+                let t_text: Vec<Vec<f32>> =
+                    target.attr_ids().map(|a| text_vec(target, a)).collect();
+
+                // Shortlist per source row: the *union* of per-signal top
+                // lists — cheap features, description embedding, and the
+                // matching head itself over the pooled encodings. A union
+                // is robust: one noisy signal cannot crowd out another
+                // signal's hits.
+                let m = config.shortlist.min(nt).max(1);
+                let shortlist: Vec<Vec<AttrId>> =
+                    parallel_rows(ns, config.threads, |i| {
+                        let s = AttrId(i as u32);
+                        let mut signals: Vec<Vec<(AttrId, f64)>> = vec![Vec::new(); 3];
+                        for j in 0..nt {
+                            let t = AttrId(j as u32);
+                            signals[0].push((t, lexical.get(s, t) + emb.get(s, t)));
+                            signals[1].push((
+                                t,
+                                lsm_embedding::space::cosine(&s_text[i], &t_text[j]),
+                            ));
+                            signals[2].push((t, fz.classify_pooled(&s_vec[i], &t_vec[j])));
+                        }
+                        let mut union: Vec<AttrId> = Vec::with_capacity(m);
+                        // The matching head is the strongest recall signal;
+                        // give it the biggest share of the budget.
+                        let quota = [m / 4, m / 8, m - m / 4 - m / 8];
+                        for (signal, &q) in signals.iter_mut().zip(&quota) {
+                            signal.sort_by(|a, b| {
+                                b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+                            });
+                            let mut added = 0;
+                            for &(t, _) in signal.iter() {
+                                if added == q {
+                                    break;
+                                }
+                                if !union.contains(&t) {
+                                    union.push(t);
+                                    added += 1;
+                                }
+                            }
+                        }
+                        union
+                    })
+                    .into_iter()
+                    .map(|(_, v)| v)
+                    .collect();
+
+                BertState { featurizer, s_vec, t_vec, shortlist }
+            })
+        } else {
+            None
+        };
+
+        // Fill the BERT feature column on the shortlist.
+        if let Some(state) = &bert_state {
+            for (i, row) in state.shortlist.iter().enumerate() {
+                for &t in row {
+                    let score =
+                        state.featurizer.classify_pooled(&state.s_vec[i], &state.t_vec[t.index()]);
+                    bert_column.set(AttrId(i as u32), t, score);
+                }
+            }
+        }
+
+        LsmMatcher {
+            config,
+            source: source.clone(),
+            target: target.clone(),
+            features: FeatureTable { columns: vec![lexical, emb, bert_column] },
+            meta: MetaLearner::new(config.self_training),
+            bert: bert_state,
+        }
+    }
+
+    /// The matcher configuration.
+    pub fn config(&self) -> &LsmConfig {
+        &self.config
+    }
+
+    /// Whether the BERT featurizer is active.
+    pub fn has_bert(&self) -> bool {
+        self.bert.is_some()
+    }
+
+    /// Step 2 of each interaction round: fine-tunes the BERT classifier on
+    /// the current labels, refreshes the BERT feature column, and retrains
+    /// the self-training meta-learner.
+    pub fn retrain(&mut self, labels: &LabelStore) {
+        let nt = self.target.attr_count();
+        // Implied negatives: a confirmed match (s, t) implies every other
+        // target in the row is wrong (Section IV-E1). Materialize a small
+        // sample per row — mostly *random* wrong targets (they keep the
+        // learned weights oriented: a random pair has low featurizer scores
+        // and label 0) plus one embedding-hard negative (it teaches the
+        // classifier that surface similarity alone is not a match).
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.config.self_training.seed ^ (labels.matched_count() as u64) << 17,
+        );
+        let mut implied_random: Vec<(AttrId, AttrId)> = Vec::new();
+        let mut implied_hard: Vec<(AttrId, AttrId)> = Vec::new();
+        for (s, t) in labels.positives() {
+            for _ in 0..3 {
+                let r = AttrId(rng.gen_range(0..nt as u32));
+                if r != t {
+                    implied_random.push((s, r));
+                }
+            }
+            if let Some((hard, _)) = self
+                .features
+                .column(feature::EMBEDDING)
+                .top_k(s, 2)
+                .into_iter()
+                .find(|&(j, _)| j != t)
+            {
+                implied_hard.push((s, hard));
+            }
+        }
+
+        // ---- BERT fine-tuning on user labels ----
+        if let Some(state) = &mut self.bert {
+            let mut samples: Vec<(AttrId, AttrId, bool)> = Vec::new();
+            for (s, t) in labels.positives() {
+                samples.push((s, t, true));
+            }
+            for (s, t) in labels.negatives() {
+                samples.push((s, t, false));
+            }
+            // Hard negatives teach the classifier that surface similarity
+            // alone is not a match; random ones anchor the decision floor.
+            for &(s, t) in implied_random.iter().chain(&implied_hard) {
+                samples.push((s, t, false));
+            }
+            if !samples.is_empty() {
+                state.featurizer.update_with_pooled_labels(samples.iter().map(
+                    |&(s, t, correct)| {
+                        (
+                            state.s_vec[s.index()].clone(),
+                            state.t_vec[t.index()].clone(),
+                            correct,
+                        )
+                    },
+                ));
+                // Refresh the BERT column under the updated head: the
+                // shortlists plus every labeled pair.
+                let col = self.features.column_mut(feature::BERT);
+                for (i, row) in state.shortlist.iter().enumerate() {
+                    for &t in row {
+                        let score = state
+                            .featurizer
+                            .classify_pooled(&state.s_vec[i], &state.t_vec[t.index()]);
+                        col.set(AttrId(i as u32), t, score);
+                    }
+                }
+                for &(s, t, _) in &samples {
+                    let score =
+                        state.featurizer.classify_pooled(&state.s_vec[s.index()], &state.t_vec[t.index()]);
+                    col.set(s, t, score);
+                }
+            }
+        }
+
+        // ---- meta-learner training set ----
+        let mut labeled: Vec<([f64; feature::COUNT], f64)> = Vec::new();
+        for (s, t) in labels.positives() {
+            labeled.push((self.features.vector(s, t), 1.0));
+        }
+        // Meta negatives are the *random* ones only: a hard negative has a
+        // high embedding score with label 0, which would teach the linear
+        // meta-learner an inverted (negative) weight for the embedding
+        // feature. Discriminating hard negatives is the BERT feature's job.
+        for &(s, t) in &implied_random {
+            labeled.push((self.features.vector(s, t), 0.0));
+        }
+        for (s, t) in labels.negatives() {
+            labeled.push((self.features.vector(s, t), 0.0));
+        }
+
+        // Unlabeled pool for self-training: a deterministic stride sample.
+        let ns = self.source.attr_count();
+        let nt = self.target.attr_count();
+        let total = ns * nt;
+        let stride = (total / self.config.self_training_pool.max(1)).max(1);
+        let mut unlabeled: Vec<[f64; feature::COUNT]> =
+            Vec::with_capacity(total.div_ceil(stride));
+        let mut idx = 0;
+        while idx < total {
+            let s = AttrId((idx / nt) as u32);
+            let t = AttrId((idx % nt) as u32);
+            unlabeled.push(self.features.vector(s, t));
+            idx += stride;
+        }
+        self.meta.fit(&labeled, &unlabeled);
+    }
+
+    /// Step 2 prediction: scores every candidate pair and applies the
+    /// score adjustments.
+    pub fn predict(&self, labels: &LabelStore) -> ScoreMatrix {
+        let ns = self.source.attr_count();
+        let nt = self.target.attr_count();
+        let mut m = ScoreMatrix::zeros(ns, nt);
+        // Matched target entities so far (for the new-entity penalty).
+        let matched_entities: Vec<EntityId> = {
+            let mut es: Vec<EntityId> =
+                labels.positives().map(|(_, t)| self.target.attr(t).entity).collect();
+            es.sort_unstable();
+            es.dedup();
+            es
+        };
+        // Pre-compute the per-entity penalty once: the BFS behind
+        // `sp(at, M)` must not run per candidate pair.
+        let entity_penalty: Vec<f64> = if self.config.entity_penalty && !matched_entities.is_empty()
+        {
+            let graph = self.target.join_graph();
+            self.target
+                .entity_ids()
+                .map(|e| graph.entity_penalty(e, &matched_entities))
+                .collect()
+        } else {
+            vec![1.0; self.target.entity_count()]
+        };
+
+        for s in self.source.attr_ids() {
+            if let Some(t) = labels.positive_of(s) {
+                // Confirmed rows are settled.
+                m.set(s, t, 1.0);
+                continue;
+            }
+            let s_dtype = self.source.attr(s).dtype;
+            for t in self.target.attr_ids() {
+                if self.config.dtype_gating && !s_dtype.compatible(self.target.attr(t).dtype) {
+                    continue; // stays 0.0
+                }
+                let mut score = self.meta.predict(&self.features.vector(s, t));
+                score *= entity_penalty[self.target.attr(t).entity.index()];
+                m.set(s, t, score);
+            }
+        }
+        m
+    }
+
+    /// Top-k suggestions for every *unmatched* source attribute.
+    pub fn suggestions(&self, scores: &ScoreMatrix, labels: &LabelStore) -> Vec<RankedSuggestions> {
+        self.source
+            .attr_ids()
+            .filter(|&s| !labels.is_matched(s))
+            .map(|s| RankedSuggestions { source: s, candidates: scores.top_k(s, self.config.top_k) })
+            .collect()
+    }
+
+    /// One feature column (diagnostics / per-featurizer analysis).
+    pub fn feature_column(&self, f: usize) -> &ScoreMatrix {
+        self.features.column(f)
+    }
+
+    /// The meta-learner's current weights and bias (diagnostics).
+    pub fn meta_weights(&self) -> ([f64; feature::COUNT], f64) {
+        self.meta.weights()
+    }
+
+    /// The cross-encoder shortlist of one source attribute (diagnostics).
+    pub fn shortlist_of(&self, s: AttrId) -> &[AttrId] {
+        self.bert
+            .as_ref()
+            .map(|b| b.shortlist[s.index()].as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The source schema of this session.
+    pub fn source(&self) -> &Schema {
+        &self.source
+    }
+
+    /// The target schema of this session.
+    pub fn target(&self) -> &Schema {
+        &self.target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bert_featurizer::BertFeaturizerConfig;
+    use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
+    use lsm_lexicon::{ConceptBuilder, ConceptDtype, Domain, Lexicon};
+    use lsm_schema::DataType;
+
+    fn lexicon() -> Lexicon {
+        Lexicon::assemble(vec![
+            ConceptBuilder::attribute(Domain::Retail, "quantity")
+                .syn("unit count")
+                .private("item amount")
+                .dtype(ConceptDtype::Integer)
+                .desc("number of units"),
+            ConceptBuilder::attribute(Domain::Retail, "total amount")
+                .syn("line total")
+                .dtype(ConceptDtype::Decimal)
+                .desc("value of the line"),
+            ConceptBuilder::attribute(Domain::Retail, "order date")
+                .syn("purchase date")
+                .dtype(ConceptDtype::Date)
+                .desc("date of the order"),
+        ])
+    }
+
+    fn schemas() -> (Schema, Schema) {
+        let source = Schema::builder("cust")
+            .entity("Orders")
+            .attr("unit_count", DataType::Integer)
+            .attr("purchase_date", DataType::Date)
+            .build()
+            .unwrap();
+        let target = Schema::builder("iss")
+            .entity("TransactionLine")
+            .attr_desc("quantity", DataType::Integer, "number of units")
+            .attr_desc("total_amount", DataType::Decimal, "value of the line")
+            .attr_desc("order_date", DataType::Date, "date of the order")
+            .build()
+            .unwrap();
+        (source, target)
+    }
+
+    fn matcher(config: LsmConfig) -> LsmMatcher {
+        let lex = lexicon();
+        let emb = EmbeddingSpace::new(&lex, EmbeddingConfig::default());
+        let (s, t) = schemas();
+        let bert = if config.use_bert {
+            let mut b = BertFeaturizer::pretrain(&lex, BertFeaturizerConfig::tiny());
+            b.pretrain_classifier(&t);
+            Some(b)
+        } else {
+            None
+        };
+        LsmMatcher::new(&s, &t, &emb, bert, config)
+    }
+
+    #[test]
+    fn cold_start_prediction_ranks_synonyms() {
+        let m = matcher(LsmConfig { use_bert: false, ..Default::default() });
+        let labels = LabelStore::new();
+        let scores = m.predict(&labels);
+        // unit_count → quantity should win its row.
+        assert_eq!(scores.best(AttrId(0)).unwrap().0, AttrId(0));
+        // purchase_date → order_date.
+        assert_eq!(scores.best(AttrId(1)).unwrap().0, AttrId(2));
+    }
+
+    #[test]
+    fn dtype_gating_zeroes_incompatible_pairs() {
+        let m = matcher(LsmConfig { use_bert: false, ..Default::default() });
+        let scores = m.predict(&LabelStore::new());
+        // unit_count (Integer) vs order_date (Date) must be zero.
+        assert_eq!(scores.get(AttrId(0), AttrId(2)), 0.0);
+        let m2 = matcher(LsmConfig { use_bert: false, dtype_gating: false, ..Default::default() });
+        let scores2 = m2.predict(&LabelStore::new());
+        assert!(scores2.get(AttrId(0), AttrId(2)) > 0.0);
+    }
+
+    #[test]
+    fn confirmed_rows_are_pinned() {
+        let m = matcher(LsmConfig { use_bert: false, ..Default::default() });
+        let mut labels = LabelStore::new();
+        labels.confirm(AttrId(0), AttrId(1));
+        let scores = m.predict(&labels);
+        assert_eq!(scores.best(AttrId(0)).unwrap(), (AttrId(1), 1.0));
+        // Suggestions skip matched rows.
+        let sugg = m.suggestions(&scores, &labels);
+        assert_eq!(sugg.len(), 1);
+        assert_eq!(sugg[0].source, AttrId(1));
+    }
+
+    #[test]
+    fn retrain_with_labels_trains_meta() {
+        let mut m = matcher(LsmConfig { use_bert: false, ..Default::default() });
+        let mut labels = LabelStore::new();
+        labels.confirm(AttrId(0), AttrId(0));
+        labels.reject(AttrId(1), AttrId(1));
+        m.retrain(&labels);
+        let scores = m.predict(&labels);
+        assert_eq!(scores.best(AttrId(1)).unwrap().0, AttrId(2));
+    }
+
+    #[test]
+    fn bert_column_is_populated_on_shortlist() {
+        let m = matcher(LsmConfig {
+            shortlist: 2,
+            self_training_pool: 100,
+            ..Default::default()
+        });
+        assert!(m.has_bert());
+        let col = m.features.column(feature::BERT);
+        // Each row has exactly `shortlist` populated candidates; at least
+        // one non-zero per row is expected from the pre-trained classifier.
+        for s in m.source().attr_ids() {
+            let nonzero = m.target().attr_ids().filter(|&t| col.get(s, t) != 0.0).count();
+            assert!(nonzero <= 2, "row {s} has {nonzero} > shortlist entries");
+            assert!(nonzero > 0, "row {s} has an empty BERT column");
+        }
+    }
+
+    #[test]
+    fn entity_penalty_discourages_new_entities() {
+        // Two-entity target: confirming a match in entity 0 should depress
+        // scores into (unconnected) entity 1.
+        let lex = lexicon();
+        let emb = EmbeddingSpace::new(&lex, EmbeddingConfig::default());
+        let source = Schema::builder("cust")
+            .entity("Orders")
+            .attr("unit_count", DataType::Integer)
+            .attr("line_total", DataType::Decimal)
+            .build()
+            .unwrap();
+        let target = Schema::builder("iss")
+            .entity("TransactionLine")
+            .attr("quantity", DataType::Integer)
+            .attr("total_amount", DataType::Decimal)
+            .entity("Promotion")
+            .attr("unit_count", DataType::Integer)
+            .build()
+            .unwrap();
+        let config = LsmConfig { use_bert: false, ..Default::default() };
+        let m = LsmMatcher::new(&source, &target, &emb, None, config);
+        let mut labels = LabelStore::new();
+        labels.confirm(AttrId(1), AttrId(1)); // line_total → total_amount
+        let with_penalty = m.predict(&labels);
+        let m2 = LsmMatcher::new(
+            &source,
+            &target,
+            &emb,
+            None,
+            LsmConfig { use_bert: false, entity_penalty: false, ..Default::default() },
+        );
+        let without_penalty = m2.predict(&labels);
+        // The exact-name trap in the new entity is weakened by the penalty.
+        let trap = AttrId(2);
+        assert!(with_penalty.get(AttrId(0), trap) < without_penalty.get(AttrId(0), trap));
+    }
+}

@@ -1,0 +1,301 @@
+//! The semi-supervised meta-learner (Section IV-D).
+//!
+//! "The base classifier for the semi-supervised framework is a simple
+//! linear classifier using logistic loss. The inputs of the classifier are
+//! the similarity scores given by each of the three featurizers." Training
+//! uses *self-training*: fit on the labeled subset, pseudo-label the
+//! confident unlabeled points, refit.
+
+use crate::featurize::feature;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Self-training schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct SelfTrainingConfig {
+    /// Number of pseudo-labeling rounds after the initial fit.
+    pub rounds: usize,
+    /// Probability threshold above which an unlabeled point becomes a
+    /// positive pseudo-label (and `1 − threshold` below which it becomes a
+    /// negative one).
+    pub confidence_threshold: f64,
+    /// Cap on pseudo-labels added per round (keeps the training set from
+    /// being swamped by easy negatives).
+    pub max_pseudo_per_round: usize,
+    /// Gradient-descent epochs per fit.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Seed for shuffling.
+    pub seed: u64,
+}
+
+impl Default for SelfTrainingConfig {
+    fn default() -> Self {
+        SelfTrainingConfig {
+            rounds: 2,
+            confidence_threshold: 0.92,
+            max_pseudo_per_round: 2000,
+            epochs: 60,
+            lr: 0.5,
+            seed: 0x5e1f,
+        }
+    }
+}
+
+/// Logistic regression over the featurizer scores.
+#[derive(Debug, Clone)]
+pub struct MetaLearner {
+    /// One weight per feature.
+    weights: [f64; feature::COUNT],
+    bias: f64,
+    config: SelfTrainingConfig,
+    trained: bool,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl MetaLearner {
+    /// A fresh, untrained learner. Until the first labels arrive it scores
+    /// pairs by the *uniform prior*: the mean of the featurizer scores —
+    /// the cold-start behaviour before the first interaction round.
+    pub fn new(config: SelfTrainingConfig) -> Self {
+        MetaLearner {
+            weights: [1.0; feature::COUNT],
+            bias: 0.0,
+            config,
+            trained: false,
+        }
+    }
+
+    /// Whether a supervised fit has happened.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// The current weights (diagnostics / ablation reporting).
+    pub fn weights(&self) -> ([f64; feature::COUNT], f64) {
+        (self.weights, self.bias)
+    }
+
+    /// The predicted matching probability of one feature vector.
+    pub fn predict(&self, features: &[f64; feature::COUNT]) -> f64 {
+        if !self.trained {
+            // Cold start: uniform average of the featurizer scores.
+            return features.iter().sum::<f64>() / feature::COUNT as f64;
+        }
+        let z = self
+            .weights
+            .iter()
+            .zip(features)
+            .map(|(w, f)| w * f)
+            .sum::<f64>()
+            + self.bias;
+        sigmoid(z)
+    }
+
+    fn fit_supervised(&mut self, data: &[([f64; feature::COUNT], f64)]) {
+        if data.is_empty() {
+            return;
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        // (Re)start from a neutral parameterization each fit: the training
+        // set is tiny, so warm starts buy nothing and can trap the weights.
+        self.weights = [1.0; feature::COUNT];
+        self.bias = 0.0;
+        for _ in 0..self.config.epochs {
+            // Fisher-Yates via rand's shuffle.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for &i in &order {
+                let (x, y) = &data[i];
+                let p = {
+                    let z = self.weights.iter().zip(x).map(|(w, f)| w * f).sum::<f64>()
+                        + self.bias;
+                    sigmoid(z)
+                };
+                let err = p - y;
+                for (w, f) in self.weights.iter_mut().zip(x) {
+                    // Projected update: every feature is a similarity score,
+                    // so a negative weight can only encode training-set
+                    // noise (it would rank *dissimilar* pairs higher).
+                    *w = (*w - self.config.lr * err * f).max(0.0);
+                }
+                self.bias -= self.config.lr * err;
+            }
+        }
+        self.trained = true;
+    }
+
+    /// Self-training: fit on `labeled`, then for `rounds` iterations
+    /// pseudo-label the most confident `unlabeled` points and refit on the
+    /// union.
+    ///
+    /// Requires at least one positive and one negative label to leave the
+    /// cold-start prior (a one-class fit would be degenerate).
+    pub fn fit(
+        &mut self,
+        labeled: &[([f64; feature::COUNT], f64)],
+        unlabeled: &[[f64; feature::COUNT]],
+    ) {
+        let has_pos = labeled.iter().any(|&(_, y)| y > 0.5);
+        let has_neg = labeled.iter().any(|&(_, y)| y < 0.5);
+        if !has_pos || !has_neg {
+            self.trained = false;
+            return;
+        }
+        self.fit_supervised(labeled);
+        // Guard against degenerate fits: if the trained model does not
+        // separate its own training labels (mean positive probability not
+        // meaningfully above mean negative probability), it is a
+        // near-constant predictor — e.g. the only labels so far are
+        // feature-poor identifier columns. A constant would erase the
+        // featurizers' ranking, so stay on the cold-start prior instead.
+        let mean_prob = |want: f64| {
+            let probs: Vec<f64> = labeled
+                .iter()
+                .filter(|&&(_, y)| (y > 0.5) == (want > 0.5))
+                .map(|(x, _)| self.predict(x))
+                .collect();
+            probs.iter().sum::<f64>() / probs.len().max(1) as f64
+        };
+        if mean_prob(1.0) - mean_prob(0.0) < 0.05 {
+            self.weights = [1.0; feature::COUNT];
+            self.bias = 0.0;
+            self.trained = false;
+            return;
+        }
+        for _ in 0..self.config.rounds {
+            // Collect confident pseudo-labels, most confident first.
+            let mut pseudo: Vec<([f64; feature::COUNT], f64, f64)> = Vec::new();
+            for x in unlabeled {
+                let p = self.predict(x);
+                if p >= self.config.confidence_threshold {
+                    pseudo.push((*x, 1.0, p));
+                } else if p <= 1.0 - self.config.confidence_threshold {
+                    pseudo.push((*x, 0.0, 1.0 - p));
+                }
+            }
+            pseudo.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+            pseudo.truncate(self.config.max_pseudo_per_round);
+            if pseudo.is_empty() {
+                break;
+            }
+            let mut train: Vec<([f64; feature::COUNT], f64)> = labeled.to_vec();
+            train.extend(pseudo.into_iter().map(|(x, y, _)| (x, y)));
+            self.fit_supervised(&train);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(x: f64) -> ([f64; 3], f64) {
+        ([x, x, x], 1.0)
+    }
+    fn neg(x: f64) -> ([f64; 3], f64) {
+        ([x, x, x], 0.0)
+    }
+
+    #[test]
+    fn cold_start_is_feature_mean() {
+        let m = MetaLearner::new(SelfTrainingConfig::default());
+        assert!(!m.is_trained());
+        let p = m.predict(&[0.3, 0.6, 0.9]);
+        assert!((p - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_class_labels_keep_cold_start() {
+        let mut m = MetaLearner::new(SelfTrainingConfig::default());
+        m.fit(&[pos(0.9), pos(0.8)], &[]);
+        assert!(!m.is_trained());
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let mut m = MetaLearner::new(SelfTrainingConfig::default());
+        let labeled = vec![pos(0.9), pos(0.85), pos(0.7), neg(0.2), neg(0.1), neg(0.3)];
+        m.fit(&labeled, &[]);
+        assert!(m.is_trained());
+        assert!(m.predict(&[0.8, 0.8, 0.8]) > 0.5);
+        assert!(m.predict(&[0.15, 0.15, 0.15]) < 0.5);
+    }
+
+    #[test]
+    fn learns_to_downweight_a_noisy_feature() {
+        // Feature 0 is pure noise (always 0.5); features 1, 2 are
+        // informative. The learner should rely on the informative ones.
+        let labeled = vec![
+            ([0.5, 0.9, 0.8], 1.0),
+            ([0.5, 0.8, 0.9], 1.0),
+            ([0.5, 0.7, 0.9], 1.0),
+            ([0.5, 0.1, 0.2], 0.0),
+            ([0.5, 0.2, 0.1], 0.0),
+            ([0.5, 0.3, 0.2], 0.0),
+        ];
+        let mut m = MetaLearner::new(SelfTrainingConfig::default());
+        m.fit(&labeled, &[]);
+        let (w, _) = m.weights();
+        assert!(w[1] > w[0], "informative feature must outweigh noise: {w:?}");
+        assert!(w[2] > w[0]);
+    }
+
+    #[test]
+    fn self_training_uses_unlabeled_data() {
+        // Sparse labels + plenty of unlabeled structure: pseudo-labeling
+        // should sharpen the boundary.
+        let labeled = vec![pos(0.95), neg(0.05)];
+        let unlabeled: Vec<[f64; 3]> = (0..50)
+            .map(|i| if i % 2 == 0 { [0.9, 0.9, 0.9] } else { [0.1, 0.1, 0.1] })
+            .collect();
+        let mut with_st = MetaLearner::new(SelfTrainingConfig::default());
+        with_st.fit(&labeled, &unlabeled);
+        let mut without_st =
+            MetaLearner::new(SelfTrainingConfig { rounds: 0, ..Default::default() });
+        without_st.fit(&labeled, &[]);
+        // Both must classify correctly; self-training should be at least as
+        // confident on a clear positive.
+        let p_st = with_st.predict(&[0.85, 0.85, 0.85]);
+        let p_plain = without_st.predict(&[0.85, 0.85, 0.85]);
+        assert!(p_st > 0.5);
+        assert!(p_st >= p_plain - 1e-6, "st {p_st} vs plain {p_plain}");
+    }
+
+    /// Labels whose only linear fit is *inverted* (positives scoring lower
+    /// than negatives) collapse under the non-negativity projection; the
+    /// learner must fall back to the cold-start prior instead of a
+    /// near-constant predictor.
+    #[test]
+    fn inverted_signal_falls_back_to_the_prior() {
+        let mut m = MetaLearner::new(SelfTrainingConfig::default());
+        let labeled = vec![pos(0.05), pos(0.1), pos(0.08), neg(0.5), neg(0.6), neg(0.4)];
+        m.fit(&labeled, &[]);
+        assert!(!m.is_trained(), "inverted signal → cold start");
+        // Ranking by feature mean is preserved.
+        assert!(m.predict(&[0.9, 0.9, 0.9]) > m.predict(&[0.1, 0.1, 0.1]));
+    }
+
+    #[test]
+    fn prediction_is_bounded() {
+        let mut m = MetaLearner::new(SelfTrainingConfig::default());
+        m.fit(&[pos(1.0), neg(0.0)], &[]);
+        for x in [[0.0; 3], [1.0; 3], [0.5, 0.1, 0.9]] {
+            let p = m.predict(&x);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

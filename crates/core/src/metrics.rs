@@ -1,0 +1,200 @@
+//! Evaluation metrics: learning curves, labeling cost, reviewing cost,
+//! response time (Section V-A).
+
+use serde::{Deserialize, Serialize};
+
+/// One point of the Fig. 5 learning curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Direct labels provided so far.
+    pub labels_provided: usize,
+    /// Source attributes matched so far (reviewed-correct + labeled).
+    pub matched: usize,
+    /// Of those, matched to the *correct* target.
+    pub matched_correct: usize,
+    /// Total source attributes.
+    pub total: usize,
+}
+
+impl CurvePoint {
+    /// X axis of Fig. 5: percent of labels provided.
+    pub fn labels_pct(&self) -> f64 {
+        100.0 * self.labels_provided as f64 / self.total as f64
+    }
+
+    /// Y axis of Fig. 5: percent of attributes correctly matched.
+    pub fn correct_pct(&self) -> f64 {
+        100.0 * self.matched_correct as f64 / self.total as f64
+    }
+}
+
+/// The record of one simulated end-to-end session.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SessionOutcome {
+    /// Learning-curve points, one per iteration (plus the initial state).
+    pub curve: Vec<CurvePoint>,
+    /// Total direct labels provided (the human labeling cost).
+    pub labels_used: usize,
+    /// Total suggestion reviews performed (the reviewing cost).
+    pub reviews_done: usize,
+    /// Per-iteration response times in seconds (featurize + retrain +
+    /// predict), Fig. 9.
+    pub response_times: Vec<f64>,
+    /// Source attributes in the task.
+    pub total_attributes: usize,
+}
+
+impl SessionOutcome {
+    /// Labeling cost as a percentage of the schema size.
+    pub fn labeling_cost_pct(&self) -> f64 {
+        100.0 * self.labels_used as f64 / self.total_attributes.max(1) as f64
+    }
+
+    /// Final fraction of correctly matched attributes.
+    pub fn final_correct_pct(&self) -> f64 {
+        self.curve.last().map(|p| p.correct_pct()).unwrap_or(0.0)
+    }
+
+    /// Mean response time in seconds.
+    pub fn mean_response_time(&self) -> f64 {
+        if self.response_times.is_empty() {
+            return 0.0;
+        }
+        self.response_times.iter().sum::<f64>() / self.response_times.len() as f64
+    }
+
+    /// The area *above* the curve, normalized to `[0, 1]` — the paper's
+    /// proxy for total reviewing cost (Section V-C): lower is better.
+    pub fn area_above_curve(&self) -> f64 {
+        if self.curve.len() < 2 {
+            return 1.0;
+        }
+        let mut area = 0.0;
+        for w in self.curve.windows(2) {
+            let dx = (w[1].labels_pct() - w[0].labels_pct()) / 100.0;
+            let avg_y = (w[0].correct_pct() + w[1].correct_pct()) / 200.0;
+            area += dx * (1.0 - avg_y);
+        }
+        // Extend flat to 100 % labels so truncated curves compare fairly.
+        let last = self.curve.last().expect("len >= 2");
+        let dx = (100.0 - last.labels_pct()).max(0.0) / 100.0;
+        area += dx * (1.0 - last.correct_pct() / 100.0);
+        area.clamp(0.0, 1.0)
+    }
+
+    /// Interpolates the correct-match percentage at a given percent of
+    /// labels provided (for tabulating curves at fixed x positions).
+    pub fn correct_pct_at(&self, labels_pct: f64) -> f64 {
+        if self.curve.is_empty() {
+            return 0.0;
+        }
+        let mut prev = self.curve[0];
+        if labels_pct <= prev.labels_pct() {
+            return prev.correct_pct();
+        }
+        for &p in &self.curve[1..] {
+            if p.labels_pct() >= labels_pct {
+                let span = p.labels_pct() - prev.labels_pct();
+                if span <= f64::EPSILON {
+                    return p.correct_pct();
+                }
+                let frac = (labels_pct - prev.labels_pct()) / span;
+                return prev.correct_pct() + frac * (p.correct_pct() - prev.correct_pct());
+            }
+            prev = p;
+        }
+        prev.correct_pct()
+    }
+}
+
+/// The manual-labeling reference curve: x % labels ⇒ x % matched.
+pub fn manual_labeling_curve(total: usize) -> SessionOutcome {
+    let curve = (0..=total)
+        .map(|i| CurvePoint { labels_provided: i, matched: i, matched_correct: i, total })
+        .collect();
+    SessionOutcome {
+        curve,
+        labels_used: total,
+        reviews_done: 0,
+        response_times: Vec::new(),
+        total_attributes: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(points: &[(usize, usize)], total: usize) -> SessionOutcome {
+        SessionOutcome {
+            curve: points
+                .iter()
+                .map(|&(l, c)| CurvePoint {
+                    labels_provided: l,
+                    matched: c,
+                    matched_correct: c,
+                    total,
+                })
+                .collect(),
+            labels_used: points.last().map(|&(l, _)| l).unwrap_or(0),
+            reviews_done: 0,
+            response_times: vec![1.0, 3.0],
+            total_attributes: total,
+        }
+    }
+
+    #[test]
+    fn curve_point_percentages() {
+        let p = CurvePoint { labels_provided: 5, matched: 60, matched_correct: 50, total: 100 };
+        assert_eq!(p.labels_pct(), 5.0);
+        assert_eq!(p.correct_pct(), 50.0);
+    }
+
+    #[test]
+    fn labeling_cost_and_response_time() {
+        let o = outcome(&[(0, 0), (10, 100)], 100);
+        assert_eq!(o.labeling_cost_pct(), 10.0);
+        assert_eq!(o.mean_response_time(), 2.0);
+        assert_eq!(o.final_correct_pct(), 100.0);
+    }
+
+    #[test]
+    fn area_above_curve_orders_good_and_bad_sessions() {
+        // Fast riser: 70 % correct after 5 % labels.
+        let good = outcome(&[(0, 0), (5, 70), (20, 100)], 100);
+        // Diagonal (manual labeling).
+        let manual = manual_labeling_curve(100);
+        assert!(good.area_above_curve() < manual.area_above_curve());
+        // Manual labeling's area above the diagonal is 1/2.
+        assert!((manual.area_above_curve() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn interpolation_between_points() {
+        let o = outcome(&[(0, 0), (10, 50), (20, 100)], 100);
+        assert_eq!(o.correct_pct_at(0.0), 0.0);
+        assert_eq!(o.correct_pct_at(5.0), 25.0);
+        assert_eq!(o.correct_pct_at(10.0), 50.0);
+        assert_eq!(o.correct_pct_at(15.0), 75.0);
+        // Beyond the last point the curve is flat.
+        assert_eq!(o.correct_pct_at(50.0), 100.0);
+    }
+
+    #[test]
+    fn empty_outcome_is_safe() {
+        let o = SessionOutcome::default();
+        assert_eq!(o.final_correct_pct(), 0.0);
+        assert_eq!(o.mean_response_time(), 0.0);
+        assert_eq!(o.area_above_curve(), 1.0);
+        assert_eq!(o.correct_pct_at(10.0), 0.0);
+    }
+
+    #[test]
+    fn manual_curve_is_diagonal() {
+        let m = manual_labeling_curve(10);
+        assert_eq!(m.curve.len(), 11);
+        for p in &m.curve {
+            assert_eq!(p.labels_pct(), p.correct_pct());
+        }
+    }
+}

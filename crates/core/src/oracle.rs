@@ -1,0 +1,204 @@
+//! Simulated users (oracles) for the end-to-end experiments.
+//!
+//! The evaluation "simulates the users' matching workflow": a perfect
+//! oracle answers with the ground truth; the noisy oracle of Section V-F
+//! corrupts an answer with probability `n` to "the attribute in ISS with
+//! the maximum word embedding similarity with `as`" that is not the true
+//! target — modeling a user who picks a semantically plausible but wrong
+//! column.
+
+use lsm_embedding::EmbeddingSpace;
+use lsm_schema::{AttrId, GroundTruth, Schema};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A simulated user that can answer labeling requests and review
+/// suggestions.
+pub trait Oracle {
+    /// The target attribute the user assigns to `source_attr` when asked to
+    /// label it directly.
+    fn label(&mut self, source_attr: AttrId) -> AttrId;
+
+    /// Whether the user confirms `(source_attr, target_attr)` while
+    /// reviewing suggestions. Reviewing compares against the ground truth
+    /// even for noisy oracles — recognizing a listed correct answer is much
+    /// easier than recalling one, so review noise is not modeled (matching
+    /// the paper, which injects noise only into provided labels).
+    fn confirms(&self, source_attr: AttrId, target_attr: AttrId) -> bool;
+
+    /// The ground truth behind this oracle (for metric computation).
+    fn truth(&self) -> &GroundTruth;
+}
+
+/// Always answers with the ground truth.
+pub struct PerfectOracle {
+    truth: GroundTruth,
+}
+
+impl PerfectOracle {
+    /// Creates an oracle over the given reference matches.
+    pub fn new(truth: GroundTruth) -> Self {
+        PerfectOracle { truth }
+    }
+}
+
+impl Oracle for PerfectOracle {
+    fn label(&mut self, source_attr: AttrId) -> AttrId {
+        self.truth.target_of(source_attr).expect("oracle asked about an unknown attribute")
+    }
+
+    fn confirms(&self, source_attr: AttrId, target_attr: AttrId) -> bool {
+        self.truth.is_correct(source_attr, target_attr)
+    }
+
+    fn truth(&self) -> &GroundTruth {
+        &self.truth
+    }
+}
+
+/// Corrupts labels with probability `noise_rate`, choosing the
+/// embedding-nearest wrong target.
+pub struct NoisyOracle {
+    truth: GroundTruth,
+    noise_rate: f64,
+    /// Pre-computed corruption target per source attribute.
+    corruption: std::collections::BTreeMap<AttrId, AttrId>,
+    rng: ChaCha8Rng,
+}
+
+impl NoisyOracle {
+    /// Builds the oracle, pre-computing each source attribute's most
+    /// plausible wrong answer by embedding similarity.
+    pub fn new(
+        truth: GroundTruth,
+        noise_rate: f64,
+        embedding: &EmbeddingSpace,
+        source: &Schema,
+        target: &Schema,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&noise_rate), "noise rate must be a probability");
+        let mut corruption = std::collections::BTreeMap::new();
+        for (s, true_t) in truth.pairs() {
+            let s_vec = embedding.identifier_vector(&source.attr(s).name);
+            let mut best: Option<(AttrId, f64)> = None;
+            for t in target.attr_ids() {
+                if t == true_t {
+                    continue;
+                }
+                let sim = lsm_embedding::space::cosine(
+                    &s_vec,
+                    &embedding.identifier_vector(&target.attr(t).name),
+                );
+                if best.is_none_or(|(_, b)| sim > b) {
+                    best = Some((t, sim));
+                }
+            }
+            if let Some((t, _)) = best {
+                corruption.insert(s, t);
+            }
+        }
+        NoisyOracle {
+            truth,
+            noise_rate,
+            corruption,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Oracle for NoisyOracle {
+    fn label(&mut self, source_attr: AttrId) -> AttrId {
+        let true_t =
+            self.truth.target_of(source_attr).expect("oracle asked about an unknown attribute");
+        if self.rng.gen_bool(self.noise_rate) {
+            self.corruption.get(&source_attr).copied().unwrap_or(true_t)
+        } else {
+            true_t
+        }
+    }
+
+    fn confirms(&self, source_attr: AttrId, target_attr: AttrId) -> bool {
+        self.truth.is_correct(source_attr, target_attr)
+    }
+
+    fn truth(&self) -> &GroundTruth {
+        &self.truth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_embedding::EmbeddingConfig;
+    use lsm_lexicon::{ConceptBuilder, Domain, Lexicon};
+    use lsm_schema::DataType;
+
+    fn fixtures() -> (Schema, Schema, GroundTruth, EmbeddingSpace) {
+        let source = Schema::builder("s")
+            .entity("E")
+            .attr("unit_price", DataType::Decimal)
+            .attr("order_date", DataType::Date)
+            .build()
+            .unwrap();
+        let target = Schema::builder("t")
+            .entity("F")
+            .attr("unit_price", DataType::Decimal)
+            .attr("unit_cost", DataType::Decimal)
+            .attr("order_date", DataType::Date)
+            .build()
+            .unwrap();
+        let truth = GroundTruth::from_pairs([(AttrId(0), AttrId(0)), (AttrId(1), AttrId(2))]);
+        let lex = Lexicon::assemble(vec![
+            ConceptBuilder::attribute(Domain::Retail, "unit price").desc("price"),
+        ]);
+        let emb = EmbeddingSpace::new(&lex, EmbeddingConfig::default());
+        (source, target, truth, emb)
+    }
+
+    #[test]
+    fn perfect_oracle_answers_truth() {
+        let (_, _, truth, _) = fixtures();
+        let mut o = PerfectOracle::new(truth);
+        assert_eq!(o.label(AttrId(0)), AttrId(0));
+        assert!(o.confirms(AttrId(1), AttrId(2)));
+        assert!(!o.confirms(AttrId(1), AttrId(0)));
+    }
+
+    #[test]
+    fn zero_noise_equals_perfect() {
+        let (s, t, truth, emb) = fixtures();
+        let mut o = NoisyOracle::new(truth, 0.0, &emb, &s, &t, 1);
+        for _ in 0..20 {
+            assert_eq!(o.label(AttrId(0)), AttrId(0));
+            assert_eq!(o.label(AttrId(1)), AttrId(2));
+        }
+    }
+
+    #[test]
+    fn full_noise_always_corrupts_to_nearest_wrong() {
+        let (s, t, truth, emb) = fixtures();
+        let mut o = NoisyOracle::new(truth, 1.0, &emb, &s, &t, 1);
+        // For unit_price the embedding-nearest wrong target is unit_cost.
+        assert_eq!(o.label(AttrId(0)), AttrId(1));
+        // Reviewing still recognizes the truth.
+        assert!(o.confirms(AttrId(0), AttrId(0)));
+    }
+
+    #[test]
+    fn intermediate_noise_rate_mixes() {
+        let (s, t, truth, emb) = fixtures();
+        let mut o = NoisyOracle::new(truth, 0.5, &emb, &s, &t, 42);
+        let answers: Vec<AttrId> = (0..100).map(|_| o.label(AttrId(0))).collect();
+        let wrong = answers.iter().filter(|&&a| a != AttrId(0)).count();
+        assert!((25..=75).contains(&wrong), "wrong answers: {wrong}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_noise_rate_panics() {
+        let (s, t, truth, emb) = fixtures();
+        NoisyOracle::new(truth, 1.5, &emb, &s, &t, 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! External tests of the session driver under non-default configurations:
+//! batch labeling (N > 1), ablated scoring, larger k, and degenerate
+//! schemata.
+
+use lsm_core::metrics::manual_labeling_curve;
+use lsm_core::session::PinnedBaselineEngine;
+use lsm_core::{
+    run_session, LabelStore, LsmConfig, LsmMatcher, PerfectOracle, SelectionStrategy,
+    SessionConfig, SuggestionEngine,
+};
+use lsm_datasets::customers::{generate_customer, CustomerSpec};
+use lsm_datasets::iss::{generate_retail_iss, IssConfig};
+use lsm_datasets::rename::{NamingStyle, RenameMix};
+use lsm_datasets::Dataset;
+use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
+use lsm_lexicon::full_lexicon;
+use lsm_schema::{DataType, Schema, ScoreMatrix};
+
+fn task() -> (EmbeddingSpace, Dataset) {
+    let lexicon = full_lexicon();
+    let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+    let iss = generate_retail_iss(&lexicon, IssConfig::small());
+    let spec = CustomerSpec {
+        name: "Variant Customer",
+        entities: 3,
+        attributes: 20,
+        foreign_keys: 2,
+        descriptions: false,
+        style: NamingStyle::Snake,
+        mix: RenameMix::customer(),
+        seed: 0xabc,
+    };
+    (embedding, generate_customer(&iss, &lexicon, spec, 31))
+}
+
+fn matcher(embedding: &EmbeddingSpace, d: &Dataset, config: LsmConfig) -> LsmMatcher {
+    LsmMatcher::new(&d.source, &d.target, embedding, None, config)
+}
+
+#[test]
+fn batch_labeling_needs_fewer_iterations() {
+    let (embedding, d) = task();
+    let run = |n: usize| {
+        let mut m =
+            matcher(&embedding, &d, LsmConfig { use_bert: false, ..Default::default() });
+        let mut oracle = PerfectOracle::new(d.ground_truth.clone());
+        let config = SessionConfig { labels_per_iter: n, ..Default::default() };
+        run_session(&mut m, &mut oracle, config)
+    };
+    let one = run(1);
+    let three = run(3);
+    assert_eq!(one.curve.last().unwrap().matched, d.source.attr_count());
+    assert_eq!(three.curve.last().unwrap().matched, d.source.attr_count());
+    // Batch labeling runs fewer retrain rounds (iterations ≈ curve points).
+    assert!(three.curve.len() <= one.curve.len());
+}
+
+#[test]
+fn ablated_scoring_still_terminates() {
+    let (embedding, d) = task();
+    for config in [
+        LsmConfig { use_bert: false, dtype_gating: false, ..Default::default() },
+        LsmConfig { use_bert: false, entity_penalty: false, ..Default::default() },
+        LsmConfig { use_bert: false, top_k: 5, ..Default::default() },
+    ] {
+        let mut m = matcher(&embedding, &d, config);
+        let mut oracle = PerfectOracle::new(d.ground_truth.clone());
+        let outcome = run_session(
+            &mut m,
+            &mut oracle,
+            SessionConfig { top_k: config.top_k, ..Default::default() },
+        );
+        assert_eq!(outcome.curve.last().unwrap().matched, d.source.attr_count());
+    }
+}
+
+#[test]
+fn wider_review_list_reduces_label_cost() {
+    let (embedding, d) = task();
+    let run = |k: usize| {
+        let mut m = matcher(
+            &embedding,
+            &d,
+            LsmConfig { use_bert: false, top_k: k, ..Default::default() },
+        );
+        let mut oracle = PerfectOracle::new(d.ground_truth.clone());
+        run_session(&mut m, &mut oracle, SessionConfig { top_k: k, ..Default::default() })
+    };
+    let narrow = run(1);
+    let wide = run(5);
+    // Reviewing 5 suggestions catches more matches per round than 1.
+    assert!(wide.labels_used <= narrow.labels_used);
+}
+
+#[test]
+fn single_attribute_schema_terminates_immediately_after_one_interaction() {
+    let source = Schema::builder("one")
+        .entity("E")
+        .attr("lonely", DataType::Text)
+        .build()
+        .unwrap();
+    let mut scores = ScoreMatrix::zeros(1, 2);
+    scores.set(lsm_schema::AttrId(0), lsm_schema::AttrId(1), 0.9);
+    let truth =
+        lsm_schema::GroundTruth::from_pairs([(lsm_schema::AttrId(0), lsm_schema::AttrId(1))]);
+    let mut engine = PinnedBaselineEngine::new(source, scores);
+    let mut oracle = PerfectOracle::new(truth);
+    let outcome = run_session(&mut engine, &mut oracle, SessionConfig::default());
+    assert_eq!(outcome.curve.last().unwrap().matched_correct, 1);
+    // The correct target was in the top suggestions: zero labels needed.
+    assert_eq!(outcome.labels_used, 0);
+}
+
+#[test]
+fn random_strategy_differs_across_seeds_but_smart_does_not() {
+    let (embedding, d) = task();
+    let run = |strategy, seed| {
+        let mut m =
+            matcher(&embedding, &d, LsmConfig { use_bert: false, ..Default::default() });
+        let mut oracle = PerfectOracle::new(d.ground_truth.clone());
+        let config = SessionConfig { strategy, seed, ..Default::default() };
+        run_session(&mut m, &mut oracle, config)
+    };
+    let smart_a = run(SelectionStrategy::LeastConfidentAnchor, 1);
+    let smart_b = run(SelectionStrategy::LeastConfidentAnchor, 2);
+    assert_eq!(smart_a.curve, smart_b.curve, "smart selection is seed-independent");
+    let manual = manual_labeling_curve(d.source.attr_count());
+    assert!(smart_a.area_above_curve() < manual.area_above_curve());
+}
+
+/// Labels provided through the engine trait must round-trip: a retrained
+/// matcher pins confirmed rows in its predictions.
+#[test]
+fn engine_trait_contract() {
+    let (embedding, d) = task();
+    let mut m = matcher(&embedding, &d, LsmConfig { use_bert: false, ..Default::default() });
+    let mut labels = LabelStore::new();
+    let (s, t) = d.ground_truth.pairs().next().unwrap();
+    labels.confirm(s, t);
+    SuggestionEngine::retrain(&mut m, &labels);
+    let scores = SuggestionEngine::predict(&m, &labels);
+    assert_eq!(scores.best(s).unwrap().0, t);
+}

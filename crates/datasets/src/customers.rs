@@ -1,0 +1,485 @@
+//! Customer-schema generators (Table I of the paper).
+//!
+//! A customer schema is *derived* from the ISS: each customer entity
+//! shadows one ISS entity, each customer attribute denotes one ISS
+//! attribute, and every name passes through a [`RenameChannel`] drawn from
+//! the dataset's [`RenameMix`]. Ground truth is therefore known by
+//! construction, and the hard-rename fraction (>30 % in real customers) is a
+//! controlled property of the generator.
+
+use crate::iss::{generate_retail_iss, AttrRole, GeneratedIss, IssConfig};
+use crate::rename::{apply_channel, NamingStyle, RenameChannel, RenameMix};
+use crate::Dataset;
+use lsm_lexicon::{full_lexicon, Lexicon};
+use lsm_schema::{AttrId, DataType, GroundTruth, Schema};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Size and style of one generated customer schema.
+#[derive(Debug, Clone, Copy)]
+pub struct CustomerSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Number of entities (Table I).
+    pub entities: usize,
+    /// Number of attributes (Table I).
+    pub attributes: usize,
+    /// Number of PK/FK relationships (Table I).
+    pub foreign_keys: usize,
+    /// Whether attributes carry natural-language descriptions (Table I).
+    pub descriptions: bool,
+    /// Naming style of the customer's identifiers.
+    pub style: NamingStyle,
+    /// Rename-channel weights.
+    pub mix: RenameMix,
+    /// Base seed (combined with the caller's seed).
+    pub seed: u64,
+}
+
+/// Table I, row "Customer A": 3 entities, 29 attributes, 2 PK/FK, with
+/// descriptions.
+pub fn spec_a() -> CustomerSpec {
+    CustomerSpec {
+        name: "Customer A",
+        entities: 3,
+        attributes: 29,
+        foreign_keys: 2,
+        descriptions: true,
+        style: NamingStyle::Camel,
+        mix: RenameMix::customer(),
+        seed: 0xA,
+    }
+}
+
+/// Table I, row "Customer B": 8 entities, 53 attributes, 7 PK/FK.
+pub fn spec_b() -> CustomerSpec {
+    CustomerSpec {
+        name: "Customer B",
+        entities: 8,
+        attributes: 53,
+        foreign_keys: 7,
+        descriptions: false,
+        style: NamingStyle::Snake,
+        mix: RenameMix::customer(),
+        seed: 0xB,
+    }
+}
+
+/// Table I, row "Customer C": 3 entities, 84 attributes, 2 PK/FK.
+pub fn spec_c() -> CustomerSpec {
+    CustomerSpec {
+        name: "Customer C",
+        entities: 3,
+        attributes: 84,
+        foreign_keys: 2,
+        descriptions: false,
+        style: NamingStyle::Snake,
+        mix: RenameMix::customer(),
+        seed: 0xC,
+    }
+}
+
+/// Table I, row "Customer D": 7 entities, 136 attributes, 7 PK/FK.
+pub fn spec_d() -> CustomerSpec {
+    CustomerSpec {
+        name: "Customer D",
+        entities: 7,
+        attributes: 136,
+        foreign_keys: 7,
+        descriptions: false,
+        style: NamingStyle::Pascal,
+        mix: RenameMix::customer(),
+        seed: 0xD,
+    }
+}
+
+/// Table I, row "Customer E": 25 entities, 530 attributes, 24 PK/FK, with
+/// descriptions.
+pub fn spec_e() -> CustomerSpec {
+    CustomerSpec {
+        name: "Customer E",
+        entities: 25,
+        attributes: 530,
+        foreign_keys: 24,
+        descriptions: true,
+        style: NamingStyle::Snake,
+        mix: RenameMix::customer(),
+        seed: 0xE,
+    }
+}
+
+/// All five specs in paper order.
+pub fn all_specs() -> Vec<CustomerSpec> {
+    vec![spec_a(), spec_b(), spec_c(), spec_d(), spec_e()]
+}
+
+/// Generates all five customers against the paper-sized retail ISS.
+pub fn all_customers(seed: u64) -> Vec<Dataset> {
+    let lexicon = full_lexicon();
+    let iss = generate_retail_iss(&lexicon, IssConfig::paper());
+    all_specs()
+        .into_iter()
+        .map(|spec| generate_customer(&iss, &lexicon, spec, seed))
+        .collect()
+}
+
+/// Generates one customer dataset from an ISS.
+pub fn generate_customer(
+    iss: &GeneratedIss,
+    lexicon: &Lexicon,
+    spec: CustomerSpec,
+    seed: u64,
+) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(spec.seed));
+    let n_iss = iss.schema.entity_count();
+    assert!(spec.entities <= n_iss, "customer larger than ISS");
+    assert!(spec.foreign_keys + 1 >= spec.entities, "need a connected FK structure");
+    assert!(
+        spec.attributes >= spec.entities + spec.foreign_keys,
+        "attribute budget below pk+fk structure"
+    );
+
+    // ---- choose the shadowed ISS entities ----
+    let mut iss_entities: Vec<usize> = (0..n_iss).collect();
+    iss_entities.shuffle(&mut rng);
+    iss_entities.truncate(spec.entities);
+
+    // ---- customer entity names (renamed ISS entity names) ----
+    let mut entity_tokens: Vec<Vec<String>> = Vec::with_capacity(spec.entities);
+    let mut entity_names: Vec<String> = Vec::with_capacity(spec.entities);
+    for &ei in &iss_entities {
+        let origin = &iss.entity_origins[ei];
+        let concept = lexicon.concept(origin.concept);
+        let channel = spec.mix.sample(&mut rng);
+        let (mut tokens, _) = apply_channel(concept, &[], channel, &mut rng);
+        if let Some(suffix) = &origin.suffix {
+            // Customers often keep structural suffixes, sometimes shortened.
+            if rng.gen_bool(0.5) {
+                tokens.push(suffix.clone());
+            } else {
+                tokens.push(suffix[..suffix.len().min(4)].to_string());
+            }
+        }
+        let mut name = NamingStyle::Pascal.render(&tokens);
+        while entity_names.contains(&name) {
+            tokens.push("x".to_string());
+            name = NamingStyle::Pascal.render(&tokens);
+        }
+        entity_tokens.push(tokens);
+        entity_names.push(name);
+    }
+
+    // ---- FK plan: spanning tree + extras ----
+    let mut fk_edges: Vec<(usize, usize)> = Vec::with_capacity(spec.foreign_keys); // (child, parent)
+    for child in 1..spec.entities {
+        if fk_edges.len() == spec.foreign_keys {
+            break;
+        }
+        fk_edges.push((child, rng.gen_range(0..child)));
+    }
+    let mut guard = 0;
+    while fk_edges.len() < spec.foreign_keys {
+        guard += 1;
+        assert!(guard < 100_000, "cannot place customer FK edges");
+        let child = rng.gen_range(0..spec.entities);
+        let parent = rng.gen_range(0..spec.entities);
+        if child == parent || fk_edges.contains(&(child, parent)) {
+            continue;
+        }
+        fk_edges.push((child, parent));
+    }
+
+    // Pre-compute FK attribute names so the attribute and the relationship
+    // registration agree even if a collision forces a suffix.
+    let fk_names: Vec<String> = {
+        let mut names = Vec::with_capacity(fk_edges.len());
+        for &(child, parent) in &fk_edges {
+            let mut fk_tokens = entity_tokens[parent].clone();
+            fk_tokens.push("id".to_string());
+            let mut name = spec.style.render(&fk_tokens);
+            while names
+                .iter()
+                .zip(&fk_edges)
+                .any(|(n, &(c, _))| c == child && n == &name)
+            {
+                fk_tokens.push("ref".to_string());
+                name = spec.style.render(&fk_tokens);
+            }
+            names.push(name);
+        }
+        names
+    };
+
+    // ---- domain-attribute quotas ----
+    let domain_budget = spec.attributes - spec.entities - fk_edges.len();
+    let mut quotas = vec![domain_budget / spec.entities; spec.entities];
+    for q in quotas.iter_mut().take(domain_budget % spec.entities) {
+        *q += 1;
+    }
+
+    // Pools of ISS domain attributes: primary (own entity) and global.
+    let iss_pk_of_entity: Vec<AttrId> = iss
+        .schema
+        .entities
+        .iter()
+        .map(|e| e.pk.expect("ISS entities always have pks"))
+        .collect();
+    let mut global_pool: Vec<AttrId> = iss
+        .schema
+        .attributes
+        .iter()
+        .filter(|a| matches!(iss.roles[a.id.index()], AttrRole::Domain { .. }))
+        .map(|a| a.id)
+        .collect();
+    global_pool.shuffle(&mut rng);
+    let mut taken = vec![false; iss.schema.attr_count()];
+
+    // ---- build ----
+    let mut builder = Schema::builder(spec.name);
+    let mut truth = GroundTruth::new();
+    let mut attr_counter = 0u32;
+    let mut pk_names: Vec<String> = Vec::with_capacity(spec.entities);
+
+    for (ci, &ei) in iss_entities.iter().enumerate() {
+        builder = builder.entity(entity_names[ci].clone());
+        let mut used_names: Vec<String> = Vec::new();
+
+        // Primary key: "<entity tokens> id" (or bare "id").
+        let pk_tokens: Vec<String> = if rng.gen_bool(0.25) {
+            vec!["id".to_string()]
+        } else {
+            let mut t = entity_tokens[ci].clone();
+            t.push("id".to_string());
+            t
+        };
+        let pk_name = spec.style.render(&pk_tokens);
+        let pk_desc = spec
+            .descriptions
+            .then(|| format!("unique identifier of each {} record", entity_tokens[ci].join(" ")));
+        builder = builder.attr_opt_desc(pk_name.clone(), DataType::Integer, pk_desc);
+        builder = builder.pk(&pk_name);
+        truth.insert(AttrId(attr_counter), iss_pk_of_entity[ei]);
+        attr_counter += 1;
+        used_names.push(pk_name.clone());
+        pk_names.push(pk_name);
+
+        // Foreign keys out of this entity.
+        for (edge_i, &(child, parent)) in fk_edges.iter().enumerate() {
+            if child != ci {
+                continue;
+            }
+            let fk_name = fk_names[edge_i].clone();
+            let fk_desc = spec
+                .descriptions
+                .then(|| format!("link to the {} table", entity_tokens[parent].join(" ")));
+            builder = builder.attr_opt_desc(fk_name.clone(), DataType::Integer, fk_desc);
+            truth.insert(AttrId(attr_counter), iss_pk_of_entity[iss_entities[parent]]);
+            attr_counter += 1;
+            used_names.push(fk_name);
+        }
+
+        // Domain attributes: own ISS entity first, then entities nearby on
+        // the ISS join graph (a customer table denormalizes *related* ISS
+        // entities — an Orders table holds order-ish fields, not random
+        // ones), and only then the global pool.
+        let iss_graph = iss.schema.join_graph();
+        let mut nearby_entities: Vec<(u32, usize)> = iss
+            .schema
+            .entity_ids()
+            .map(|e| (iss_graph.distance(lsm_schema::EntityId(ei as u32), e), e.index()))
+            .collect();
+        nearby_entities.sort_by_key(|&(d, idx)| (d, idx));
+        let mut near_pool: Vec<AttrId> = Vec::new();
+        for &(_, entity_idx) in &nearby_entities {
+            let mut attrs: Vec<AttrId> = iss.schema.entities[entity_idx]
+                .attrs
+                .iter()
+                .copied()
+                .filter(|&a| matches!(iss.roles[a.index()], AttrRole::Domain { .. }))
+                .collect();
+            attrs.shuffle(&mut rng);
+            near_pool.extend(attrs);
+        }
+        let mut placed = 0;
+        let mut candidates = near_pool.into_iter().chain(global_pool.iter().copied());
+        while placed < quotas[ci] {
+            let Some(iss_attr) = candidates.next() else {
+                panic!("ISS domain-attribute pool exhausted for {}", spec.name);
+            };
+            if taken[iss_attr.index()] {
+                continue;
+            }
+            let AttrRole::Domain { concept, qualifiers } = &iss.roles[iss_attr.index()] else {
+                continue;
+            };
+            let concept = lexicon.concept(*concept);
+            let channel = spec.mix.sample(&mut rng);
+            let (tokens, used_channel) = apply_channel(concept, qualifiers, channel, &mut rng);
+            let mut name = spec.style.render(&tokens);
+            if used_names.contains(&name) {
+                // Try the exact channel as a tiebreaker, then skip.
+                let (exact_tokens, _) =
+                    apply_channel(concept, qualifiers, RenameChannel::Exact, &mut rng);
+                name = spec.style.render(&exact_tokens);
+                if used_names.contains(&name) {
+                    continue;
+                }
+            }
+            let dtype = if rng.gen_bool(0.12) {
+                DataType::Text // stringly-typed customer columns
+            } else {
+                iss.schema.attr(iss_attr).dtype
+            };
+            let desc = if spec.descriptions {
+                Some(customer_description(concept, used_channel, &mut rng))
+            } else {
+                None
+            };
+            builder = builder.attr_opt_desc(name.clone(), dtype, desc);
+            truth.insert(AttrId(attr_counter), iss_attr);
+            attr_counter += 1;
+            taken[iss_attr.index()] = true;
+            used_names.push(name);
+            placed += 1;
+        }
+    }
+
+    // Register FK relationships.
+    for (edge_i, &(child, parent)) in fk_edges.iter().enumerate() {
+        builder = builder.foreign_key(
+            &entity_names[child],
+            &fk_names[edge_i],
+            &entity_names[parent],
+            &pk_names[parent],
+        );
+    }
+
+    let source = builder.build().expect("generated customer schema must be valid");
+    assert_eq!(source.attr_count(), spec.attributes, "{} size drift", spec.name);
+
+    let dataset = Dataset {
+        name: spec.name.to_string(),
+        source,
+        target: iss.schema.clone(),
+        ground_truth: truth,
+    };
+    dataset.validate().expect("generated dataset must be consistent");
+    dataset
+}
+
+/// A customer-side paraphrase of the ISS description: short, jargon-tinged,
+/// never a verbatim copy.
+fn customer_description(
+    concept: &lsm_lexicon::Concept,
+    channel: RenameChannel,
+    rng: &mut impl Rng,
+) -> String {
+    let words: Vec<&str> = concept.description.split_whitespace().collect();
+    let half = (words.len() / 2).max(2).min(words.len());
+    let head = words[..half].join(" ");
+    match channel {
+        RenameChannel::Abbrev | RenameChannel::Private if rng.gen_bool(0.5) => {
+            format!("{} ({})", head, concept.canonical_phrase())
+        }
+        _ => head,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_text::lexical_similarity;
+
+    fn setup() -> (GeneratedIss, Lexicon) {
+        let lexicon = full_lexicon();
+        let iss = generate_retail_iss(&lexicon, IssConfig::paper());
+        (iss, lexicon)
+    }
+
+    #[test]
+    fn customer_a_matches_table_one() {
+        let (iss, lex) = setup();
+        let d = generate_customer(&iss, &lex, spec_a(), 1);
+        let stats = d.source_stats();
+        assert_eq!(stats.entities, 3);
+        assert_eq!(stats.attributes, 29);
+        assert_eq!(stats.pk_fk, 2);
+        assert!(stats.has_descriptions);
+        assert!(stats.unique_attr_names <= 29);
+    }
+
+    #[test]
+    fn customer_e_matches_table_one() {
+        let (iss, lex) = setup();
+        let d = generate_customer(&iss, &lex, spec_e(), 1);
+        let stats = d.source_stats();
+        assert_eq!(stats.entities, 25);
+        assert_eq!(stats.attributes, 530);
+        assert_eq!(stats.pk_fk, 24);
+        assert!(stats.has_descriptions);
+    }
+
+    #[test]
+    fn customers_without_descriptions_have_none() {
+        let (iss, lex) = setup();
+        for spec in [spec_b(), spec_c(), spec_d()] {
+            let d = generate_customer(&iss, &lex, spec, 1);
+            assert!(!d.source.has_descriptions(), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn ground_truth_covers_every_source_attribute() {
+        let (iss, lex) = setup();
+        let d = generate_customer(&iss, &lex, spec_b(), 1);
+        assert_eq!(d.ground_truth.len(), d.source.attr_count());
+        d.validate().unwrap();
+    }
+
+    /// The paper's key dataset property: >30 % of matches pair names that
+    /// are lexically far apart.
+    #[test]
+    fn hard_rename_fraction_exceeds_thirty_percent() {
+        let (iss, lex) = setup();
+        for spec in all_specs() {
+            let d = generate_customer(&iss, &lex, spec, 1);
+            let hard = d
+                .ground_truth
+                .pairs()
+                .filter(|&(s, t)| {
+                    lexical_similarity(&d.source.attr(s).name, &d.target.attr(t).name) < 0.6
+                })
+                .count();
+            let frac = hard as f64 / d.ground_truth.len() as f64;
+            assert!(
+                frac > 0.25,
+                "{}: hard-match fraction {frac:.2} too low",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schemas() {
+        let (iss, lex) = setup();
+        let a = generate_customer(&iss, &lex, spec_a(), 1);
+        let b = generate_customer(&iss, &lex, spec_a(), 2);
+        assert_ne!(a.source, b.source);
+        // Same seed reproduces exactly.
+        let a2 = generate_customer(&iss, &lex, spec_a(), 1);
+        assert_eq!(a.source, a2.source);
+    }
+
+    #[test]
+    fn anchor_set_is_nonempty_and_keyed() {
+        let (iss, lex) = setup();
+        let d = generate_customer(&iss, &lex, spec_d(), 1);
+        let anchors = d.source.anchor_set();
+        assert_eq!(anchors.len(), 7 + 7); // pks + fks
+        for a in anchors {
+            assert!(d.source.entity_of(a).is_key(a));
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! The synthetic retail industry-specific schema (ISS).
+//!
+//! The paper's retail ISS "consists of 92 entities, 1218 attributes, and 184
+//! PK/FK relationships" (Section III). We generate a schema of exactly that
+//! size from the curated retail lexicon: 92 entities (36 base concepts plus
+//! suffixed variants such as *ProductHistory*), a spanning tree of FK edges
+//! plus extras up to 184, one primary key per entity, and domain attributes
+//! sampled from the retail+generic concept pool with optional qualifier
+//! prefixes (`total_`, `net_`, `estimated_`, ...). Every attribute records
+//! its *provenance* — which concept (and qualifiers) it denotes — which is
+//! what lets the customer generators derive renamed copies with known ground
+//! truth.
+
+use lsm_lexicon::{ConceptDtype, ConceptId, ConceptKind, Domain, Lexicon};
+use lsm_schema::{AttrId, DataType, Schema};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Qualifier tokens prepended to domain attributes to create the multi-word
+/// ISS names the paper describes (shared with the language-model
+/// pre-training via the lexicon).
+pub use lsm_lexicon::QUALIFIERS;
+
+/// Suffix tokens used to expand the base entity concepts into 92 entities.
+const ENTITY_SUFFIXES: &[&str] =
+    &["type", "history", "detail", "status", "group", "summary", "schedule", "log"];
+
+/// Where an ISS attribute comes from — the provenance that drives customer
+/// derivation and ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrRole {
+    /// The entity's primary key.
+    PrimaryKey {
+        /// Base concept of the owning entity.
+        entity_concept: ConceptId,
+    },
+    /// A foreign key referencing another entity's primary key.
+    ForeignKey {
+        /// The referenced primary-key attribute.
+        target_pk: AttrId,
+        /// Base concept of the referenced entity.
+        parent_concept: ConceptId,
+    },
+    /// A domain attribute denoting a lexicon concept.
+    Domain {
+        /// The concept this attribute denotes.
+        concept: ConceptId,
+        /// Qualifier tokens prefixed to the canonical name.
+        qualifiers: Vec<String>,
+    },
+}
+
+/// Per-entity provenance.
+#[derive(Debug, Clone)]
+pub struct EntityOrigin {
+    /// Base entity concept.
+    pub concept: ConceptId,
+    /// Optional suffix token (`"history"`, ...).
+    pub suffix: Option<String>,
+}
+
+/// A generated ISS: the schema plus full provenance.
+#[derive(Debug, Clone)]
+pub struct GeneratedIss {
+    /// The target schema.
+    pub schema: Schema,
+    /// Role of every attribute, indexed by [`AttrId`].
+    pub roles: Vec<AttrRole>,
+    /// Origin of every entity, indexed by entity id.
+    pub entity_origins: Vec<EntityOrigin>,
+}
+
+/// Size knobs of the generator.
+#[derive(Debug, Clone, Copy)]
+pub struct IssConfig {
+    /// Number of entities.
+    pub entities: usize,
+    /// Total number of attributes.
+    pub attributes: usize,
+    /// Number of PK/FK relationships.
+    pub foreign_keys: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl IssConfig {
+    /// The paper's retail ISS dimensions.
+    pub fn paper() -> Self {
+        IssConfig { entities: 92, attributes: 1218, foreign_keys: 184, seed: 0x155 }
+    }
+
+    /// A small ISS for fast tests.
+    pub fn small() -> Self {
+        IssConfig { entities: 12, attributes: 90, foreign_keys: 14, seed: 0x155 }
+    }
+}
+
+/// Maps a lexicon dtype onto the schema dtype.
+pub fn to_data_type(d: ConceptDtype) -> DataType {
+    match d {
+        ConceptDtype::Integer => DataType::Integer,
+        ConceptDtype::Float => DataType::Float,
+        ConceptDtype::Decimal => DataType::Decimal,
+        ConceptDtype::Text => DataType::Text,
+        ConceptDtype::Boolean => DataType::Boolean,
+        ConceptDtype::Date => DataType::Date,
+        ConceptDtype::Timestamp => DataType::Timestamp,
+    }
+}
+
+struct EntityPlan {
+    tokens: Vec<String>,
+    concept: ConceptId,
+    suffix: Option<String>,
+}
+
+fn pascal(tokens: &[String]) -> String {
+    tokens
+        .iter()
+        .map(|t| {
+            let mut cs = t.chars();
+            match cs.next() {
+                Some(c) => c.to_uppercase().collect::<String>() + cs.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
+/// Generates a retail ISS of the configured size (the paper's vertical).
+pub fn generate_retail_iss(lexicon: &Lexicon, config: IssConfig) -> GeneratedIss {
+    generate_iss(lexicon, Domain::Retail, config)
+}
+
+/// Generates an industry-specific schema for any vertical in the lexicon.
+/// The paper pre-trains the matching classifier "once per ISS, in other
+/// words, per vertical" — this generator provides the other verticals.
+///
+/// # Panics
+///
+/// Panics if the configuration is infeasible (fewer attributes than
+/// `entities + foreign_keys`, more entities than base×suffix combinations,
+/// or a lexicon without entity concepts for the vertical).
+pub fn generate_iss(lexicon: &Lexicon, domain: Domain, config: IssConfig) -> GeneratedIss {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let bases: Vec<&lsm_lexicon::Concept> =
+        lexicon.usable_in(domain, ConceptKind::Entity).into_iter().collect();
+    assert!(!bases.is_empty(), "lexicon has no {domain:?} entity concepts");
+    let attr_pool: Vec<&lsm_lexicon::Concept> =
+        lexicon.usable_in(domain, ConceptKind::Attribute).into_iter().collect();
+    assert!(
+        config.attributes >= config.entities * 2 + config.foreign_keys,
+        "attribute budget too small for pk+fk structure"
+    );
+
+    // ---- plan entities: bases first, then (base, suffix) variants ----
+    let mut plans: Vec<EntityPlan> = Vec::with_capacity(config.entities);
+    for b in &bases {
+        if plans.len() == config.entities {
+            break;
+        }
+        plans.push(EntityPlan { tokens: b.canonical.clone(), concept: b.id, suffix: None });
+    }
+    'outer: for suffix in ENTITY_SUFFIXES {
+        for b in &bases {
+            if plans.len() == config.entities {
+                break 'outer;
+            }
+            let mut tokens = b.canonical.clone();
+            tokens.push(suffix.to_string());
+            plans.push(EntityPlan { tokens, concept: b.id, suffix: Some(suffix.to_string()) });
+        }
+    }
+    assert_eq!(
+        plans.len(),
+        config.entities,
+        "not enough base×suffix combinations for {} entities",
+        config.entities
+    );
+
+    // ---- plan FK edges: spanning tree + random extras ----
+    let n = plans.len();
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(config.foreign_keys); // (child, parent)
+    for child in 1..n {
+        if edges.len() == config.foreign_keys {
+            break;
+        }
+        let parent = rng.gen_range(0..child);
+        edges.push((child, parent));
+    }
+    let mut guard = 0;
+    while edges.len() < config.foreign_keys {
+        let child = rng.gen_range(0..n);
+        let parent = rng.gen_range(0..n);
+        guard += 1;
+        assert!(guard < 100_000, "could not place all FK edges");
+        if child == parent || edges.contains(&(child, parent)) {
+            continue;
+        }
+        edges.push((child, parent));
+    }
+
+    // ---- distribute the domain-attribute budget ----
+    let domain_budget = config.attributes - n - edges.len();
+    let mut quotas = vec![domain_budget / n; n];
+    for q in quotas.iter_mut().take(domain_budget % n) {
+        *q += 1;
+    }
+
+    // ---- build the schema ----
+    let schema_name = match domain {
+        Domain::Retail => "retail-iss".to_string(),
+        other => format!("{other:?}-iss").to_lowercase(),
+    };
+    let mut builder = Schema::builder(schema_name);
+    let mut roles: Vec<AttrRole> = Vec::with_capacity(config.attributes);
+    let mut entity_origins: Vec<EntityOrigin> = Vec::with_capacity(n);
+    // (entity index → pk attr name) for FK wiring.
+    let mut pk_names: Vec<String> = Vec::with_capacity(n);
+    let mut entity_names: Vec<String> = Vec::with_capacity(n);
+
+    for (ei, plan) in plans.iter().enumerate() {
+        let entity_name = pascal(&plan.tokens);
+        entity_names.push(entity_name.clone());
+        entity_origins.push(EntityOrigin { concept: plan.concept, suffix: plan.suffix.clone() });
+        builder = builder.entity(entity_name);
+
+        let mut used_names: Vec<String> = Vec::new();
+        // Primary key.
+        let pk_name = format!("{}_id", plan.tokens.join("_"));
+        builder = builder.attr_desc(
+            pk_name.clone(),
+            DataType::Integer,
+            format!("primary key of the {} entity", plan.tokens.join(" ")),
+        );
+        builder = builder.pk(&pk_name);
+        roles.push(AttrRole::PrimaryKey { entity_concept: plan.concept });
+        used_names.push(pk_name.clone());
+        pk_names.push(pk_name);
+
+        // Foreign keys out of this entity (wired after all entities exist —
+        // here we only create the attribute slots; `AttrRole::ForeignKey`
+        // target ids are patched below once ids are final).
+        for &(child, parent) in &edges {
+            if child != ei {
+                continue;
+            }
+            let fk_name = format!("{}_id", plans[parent].tokens.join("_"));
+            // A child may reference a parent whose pk-name collides with its
+            // own pk (distinct concepts guaranteed distinct token streams),
+            // but two edges to the same parent are excluded above.
+            builder = builder.attr_desc(
+                fk_name.clone(),
+                DataType::Integer,
+                format!("reference to the {} entity", plans[parent].tokens.join(" ")),
+            );
+            roles.push(AttrRole::ForeignKey {
+                target_pk: AttrId(0), // patched below
+                parent_concept: plans[parent].concept,
+            });
+            used_names.push(fk_name);
+        }
+
+        // Domain attributes.
+        let mut placed = 0;
+        let mut attempts = 0;
+        while placed < quotas[ei] {
+            attempts += 1;
+            assert!(attempts < 10_000, "cannot fill attribute quota for entity {ei}");
+            let concept = attr_pool.choose(&mut rng).expect("non-empty pool");
+            let qualifiers: Vec<String> = if rng.gen_bool(0.5) {
+                vec![QUALIFIERS[rng.gen_range(0..QUALIFIERS.len())].to_string()]
+            } else {
+                Vec::new()
+            };
+            let mut tokens = qualifiers.clone();
+            tokens.extend(concept.canonical.iter().cloned());
+            let name = tokens.join("_");
+            if used_names.contains(&name) {
+                continue;
+            }
+            builder = builder.attr_desc(
+                name.clone(),
+                to_data_type(concept.dtype),
+                concept.description.clone(),
+            );
+            roles.push(AttrRole::Domain { concept: concept.id, qualifiers });
+            used_names.push(name);
+            placed += 1;
+        }
+    }
+
+    // Register the FK relationships.
+    for &(child, parent) in &edges {
+        let fk_attr_name = format!("{}_id", plans[parent].tokens.join("_"));
+        builder = builder.foreign_key(
+            &entity_names[child],
+            &fk_attr_name,
+            &entity_names[parent],
+            &pk_names[parent],
+        );
+    }
+
+    let schema = builder.build().expect("generated ISS must be valid");
+
+    // Patch FK target ids now that the schema is built.
+    let mut patched_roles = roles;
+    for (i, role) in patched_roles.iter_mut().enumerate() {
+        if let AttrRole::ForeignKey { target_pk, parent_concept } = role {
+            let attr = &schema.attributes[i];
+            // Find the FK edge matching this attribute.
+            let fk = schema
+                .foreign_keys
+                .iter()
+                .find(|fk| fk.from == attr.id)
+                .unwrap_or_else(|| panic!("fk attribute {} without edge", attr.id));
+            *target_pk = fk.to;
+            let _ = parent_concept;
+        }
+    }
+
+    assert_eq!(schema.entity_count(), config.entities);
+    assert_eq!(schema.attr_count(), config.attributes);
+    assert_eq!(schema.foreign_keys.len(), config.foreign_keys);
+    GeneratedIss { schema, roles: patched_roles, entity_origins }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_lexicon::full_lexicon;
+
+    #[test]
+    fn paper_sized_iss_generates() {
+        let lex = full_lexicon();
+        let iss = generate_retail_iss(&lex, IssConfig::paper());
+        assert_eq!(iss.schema.entity_count(), 92);
+        assert_eq!(iss.schema.attr_count(), 1218);
+        assert_eq!(iss.schema.foreign_keys.len(), 184);
+        iss.schema.validate().unwrap();
+        assert_eq!(iss.roles.len(), 1218);
+        assert_eq!(iss.entity_origins.len(), 92);
+    }
+
+    #[test]
+    fn small_iss_generates() {
+        let lex = full_lexicon();
+        let iss = generate_retail_iss(&lex, IssConfig::small());
+        assert_eq!(iss.schema.entity_count(), 12);
+        assert_eq!(iss.schema.attr_count(), 90);
+        iss.schema.validate().unwrap();
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let lex = full_lexicon();
+        let a = generate_retail_iss(&lex, IssConfig::small());
+        let b = generate_retail_iss(&lex, IssConfig::small());
+        assert_eq!(a.schema, b.schema);
+    }
+
+    #[test]
+    fn fk_roles_point_at_parent_pks() {
+        let lex = full_lexicon();
+        let iss = generate_retail_iss(&lex, IssConfig::small());
+        for (i, role) in iss.roles.iter().enumerate() {
+            if let AttrRole::ForeignKey { target_pk, .. } = role {
+                // Target must be a primary key role.
+                assert!(matches!(iss.roles[target_pk.index()], AttrRole::PrimaryKey { .. }));
+                // And the edge must exist in the schema.
+                let attr_id = iss.schema.attributes[i].id;
+                assert!(iss
+                    .schema
+                    .foreign_keys
+                    .iter()
+                    .any(|fk| fk.from == attr_id && fk.to == *target_pk));
+            }
+        }
+    }
+
+    #[test]
+    fn every_attribute_has_description() {
+        let lex = full_lexicon();
+        let iss = generate_retail_iss(&lex, IssConfig::small());
+        assert!(iss.schema.has_descriptions());
+        for a in &iss.schema.attributes {
+            assert!(a.desc.as_deref().is_some_and(|d| !d.is_empty()));
+        }
+    }
+
+    #[test]
+    fn other_verticals_generate() {
+        let lex = full_lexicon();
+        for domain in [Domain::Health, Domain::Movie] {
+            let config = IssConfig { entities: 10, attributes: 70, foreign_keys: 11, seed: 3 };
+            let iss = generate_iss(&lex, domain, config);
+            iss.schema.validate().unwrap();
+            assert_eq!(iss.schema.entity_count(), 10, "{domain:?}");
+            assert_eq!(iss.schema.attr_count(), 70, "{domain:?}");
+            assert_ne!(iss.schema.name, "retail-iss");
+        }
+    }
+
+    #[test]
+    fn multi_word_names_exist() {
+        let lex = full_lexicon();
+        let iss = generate_retail_iss(&lex, IssConfig::paper());
+        let multi = iss
+            .schema
+            .attributes
+            .iter()
+            .filter(|a| a.name.contains('_'))
+            .count();
+        assert!(multi * 2 > iss.schema.attr_count(), "ISS names should be mostly multi-word");
+    }
+}

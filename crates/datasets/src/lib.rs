@@ -1,0 +1,78 @@
+//! # lsm-datasets
+//!
+//! Synthetic schema generators mirroring the paper's evaluation datasets.
+//!
+//! The paper evaluates on five proprietary Microsoft retail customer
+//! schemata (Table I), one retail industry-specific schema (ISS: 92
+//! entities, 1218 attributes, 184 PK/FK relationships), and three public
+//! schema pairs (Table II). None of the proprietary data is available, so
+//! this crate *generates* structurally faithful equivalents:
+//!
+//! * [`iss::generate_retail_iss`] — the target ISS at the exact size the
+//!   paper reports, built from the curated retail lexicon,
+//! * [`customers`] — customers A–E at the exact Table I sizes, derived from
+//!   the ISS through configurable *rename channels* so that the fraction of
+//!   lexically-hard matches (>30 % in the paper) is reproduced,
+//! * [`public_data`] — RDB-Star, IPFQR, and MovieLens-IMDB at the exact
+//!   Table II sizes, with the mostly-lexical match structure the paper
+//!   describes,
+//! * ground truth for every pair, known by construction.
+
+pub mod customers;
+pub mod iss;
+pub mod public_data;
+pub mod rename;
+
+use lsm_schema::{GroundTruth, Schema, SchemaStats};
+
+/// A complete matching task: source schema, target schema, and reference
+/// matches.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Display name (e.g. `"Customer A"`, `"MovieLens-IMDB"`).
+    pub name: String,
+    /// The source (customer) schema.
+    pub source: Schema,
+    /// The target (ISS) schema.
+    pub target: Schema,
+    /// Reference matches: every source attribute maps to exactly one target
+    /// attribute.
+    pub ground_truth: GroundTruth,
+}
+
+impl Dataset {
+    /// Statistics of the source schema (Table I/II rows).
+    pub fn source_stats(&self) -> SchemaStats {
+        SchemaStats::of(&self.source)
+    }
+
+    /// Statistics of the target schema.
+    pub fn target_stats(&self) -> SchemaStats {
+        SchemaStats::of(&self.target)
+    }
+
+    /// Checks internal consistency: schemata validate, and the ground truth
+    /// covers every source attribute with an existing target attribute.
+    pub fn validate(&self) -> Result<(), String> {
+        self.source.validate().map_err(|e| format!("source: {e}"))?;
+        self.target.validate().map_err(|e| format!("target: {e}"))?;
+        for s in self.source.attr_ids() {
+            let t = self
+                .ground_truth
+                .target_of(s)
+                .ok_or_else(|| format!("no ground truth for {}", self.source.qualified_name(s)))?;
+            if t.index() >= self.target.attr_count() {
+                return Err(format!("ground truth of {s} points outside the target schema"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The five customer datasets plus the three public ones, in paper
+    /// order. Convenience for experiment harnesses.
+    pub fn all(seed: u64) -> Vec<Dataset> {
+        let mut out = customers::all_customers(seed);
+        out.extend(public_data::all_public(seed));
+        out
+    }
+}

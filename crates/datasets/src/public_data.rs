@@ -1,0 +1,441 @@
+//! The three public schema pairs of Table II.
+//!
+//! * **RDB-Star** — a synthetic normalized/star pair in the style of the
+//!   CUPID evaluation: 13 source entities (65 attributes, 12 FKs) against a
+//!   5-entity star (34 attributes, 4 FKs). Matches are near-lexical, which
+//!   is why every baseline is ≈1.0 on it.
+//! * **IPFQR** — the CMS Inpatient Psychiatric Facility Quality Reporting
+//!   pair: the *state* file (1 entity, 51 columns) against the *national*
+//!   file (1 entity, 67 columns), no keys. Column names are measure codes;
+//!   matches are lexical with extra distractor columns on the target side.
+//! * **MovieLens-IMDB** — 6 entities / 19 attributes / 5 FKs against the
+//!   IMDB dataset layout (7 entities, 39 attributes, 6 FKs). A mix of exact
+//!   matches, dictionary synonyms (`releaseYear` / `startYear`), and the
+//!   id-style matches (`movieId` / `tconst`) that require contextual
+//!   knowledge — the regime where the paper's best baseline stops at 0.72
+//!   top-3.
+
+use crate::Dataset;
+use lsm_schema::{DataType, GroundTruth, Schema, SchemaBuilder};
+
+/// `(entity, [(attr, dtype)], pk_index)` rows used by the hand-written
+/// schemata.
+type EntitySpec<'a> = (&'a str, &'a [(&'a str, DataType)], Option<usize>);
+
+fn build(
+    name: &str,
+    entities: &[EntitySpec<'_>],
+    fks: &[(&str, &str, &str, &str)],
+) -> Schema {
+    let mut b: SchemaBuilder = Schema::builder(name);
+    for (ename, attrs, pk) in entities {
+        b = b.entity(*ename);
+        for (aname, dtype) in *attrs {
+            b = b.attr(*aname, *dtype);
+        }
+        if let Some(pk_idx) = pk {
+            b = b.pk(attrs[*pk_idx].0);
+        }
+    }
+    for (fe, fa, te, ta) in fks {
+        b = b.foreign_key(fe, fa, te, ta);
+    }
+    b.build().unwrap_or_else(|e| panic!("invalid hand-written schema {name}: {e}"))
+}
+
+fn truth_from_names(source: &Schema, target: &Schema, pairs: &[(&str, &str)]) -> GroundTruth {
+    let mut truth = GroundTruth::new();
+    for (s, t) in pairs {
+        let sa = source
+            .attr_by_qualified_name(s)
+            .unwrap_or_else(|| panic!("unknown source attr {s}"));
+        let ta = target
+            .attr_by_qualified_name(t)
+            .unwrap_or_else(|| panic!("unknown target attr {t}"));
+        truth.insert(sa.id, ta.id);
+    }
+    truth
+}
+
+/// RDB-Star: normalized OLTP source vs star-schema target.
+///
+/// Designed so that every source attribute has a lexically obvious target
+/// (short generic target names contained in the prefixed source names) —
+/// the property that makes all baselines score ≈1.0 on it in the paper.
+pub fn rdb_star() -> Dataset {
+    use DataType::*;
+    let source = build(
+        "RDB-Star (source)",
+        &[
+            ("Customers", &[("CustomerId", Integer), ("CompanyName", Text), ("CustomerCity", Text), ("CustomerCountry", Text), ("CustomerPhone", Text)], Some(0)),
+            ("Orders", &[("OrderId", Integer), ("CustomerId", Integer), ("OrderDate", Date), ("Freight", Decimal), ("OrderAmount", Decimal)], Some(0)),
+            ("Sales", &[("SaleOrderDetailId", Integer), ("OrderId", Integer), ("ProductId", Integer), ("Quantity", Integer), ("Discount", Decimal)], Some(0)),
+            ("Products", &[("ProductId", Integer), ("ProductName", Text), ("ProductPrice", Decimal), ("ProductCategoryId", Integer), ("ProductDiscontinued", Boolean)], Some(0)),
+            ("Suppliers", &[("SupplierId", Integer), ("SupplierName", Text), ("SupplierContact", Text), ("SupplierCity", Text), ("SupplierCountry", Text)], Some(0)),
+            ("Categories", &[("CategoryId", Integer), ("CategoryName", Text), ("CategoryCode", Text), ("CategoryLevel", Integer), ("ParentCategoryId", Integer)], Some(0)),
+            ("Employees", &[("EmployeeId", Integer), ("EmployeeName", Text), ("EmployeeCity", Text), ("HireDate", Date), ("EmployeeRegionId", Integer)], Some(0)),
+            ("Shippers", &[("FreightId", Integer), ("FreightCost", Decimal), ("FreightCompany", Text), ("FreightRegionId", Integer), ("FreightPhone", Text)], Some(0)),
+            ("Regions", &[("RegionId", Integer), ("RegionName", Text), ("RegionCountry", Text), ("RegionEmployee", Text), ("RegionCity", Text)], Some(0)),
+            ("Territories", &[("TerritoryId", Integer), ("TerritoryName", Text), ("TerritoryRegionId", Integer), ("TerritoryCountry", Text), ("TerritoryCity", Text)], Some(0)),
+            ("Stores", &[("StoreId", Integer), ("StoreName", Text), ("StoreCity", Text), ("StoreOpenDate", Date), ("StoreRegionId", Integer)], Some(0)),
+            ("Payments", &[("PaymentOrderId", Integer), ("PaymentDate", Date), ("PaymentAmount", Decimal), ("PaymentFreight", Decimal), ("PaymentDiscount", Decimal)], Some(0)),
+            ("Promotions", &[("PromotionId", Integer), ("PromotionName", Text), ("PromotionDiscount", Decimal), ("PromotionQuantity", Integer), ("PromotionOpenDate", Date)], Some(0)),
+        ],
+        &[
+            ("Orders", "CustomerId", "Customers", "CustomerId"),
+            ("Sales", "OrderId", "Orders", "OrderId"),
+            ("Sales", "ProductId", "Products", "ProductId"),
+            ("Products", "ProductCategoryId", "Categories", "CategoryId"),
+            ("Categories", "ParentCategoryId", "Categories", "CategoryId"),
+            ("Employees", "EmployeeRegionId", "Regions", "RegionId"),
+            ("Shippers", "FreightRegionId", "Regions", "RegionId"),
+            ("Territories", "TerritoryRegionId", "Regions", "RegionId"),
+            ("Stores", "StoreRegionId", "Regions", "RegionId"),
+            ("Payments", "PaymentOrderId", "Orders", "OrderId"),
+            ("Promotions", "PromotionId", "Promotions", "PromotionId"),
+            ("Suppliers", "SupplierId", "Suppliers", "SupplierId"),
+        ],
+    );
+    let target = build(
+        "RDB-Star (target)",
+        &[
+            ("OrderDetails", &[("OrderDetailId", Integer), ("OrderId", Integer), ("CustomerKey", Integer), ("ProductKey", Integer), ("StoreKey", Integer), ("DateKey", Integer), ("Quantity", Integer), ("Discount", Decimal), ("Freight", Decimal), ("Amount", Decimal)], Some(0)),
+            ("DimCustomer", &[("CustomerKey", Integer), ("CompanyName", Text), ("City", Text), ("Country", Text), ("Phone", Text), ("Contact", Text)], Some(0)),
+            ("DimProduct", &[("ProductKey", Integer), ("ProductName", Text), ("Price", Decimal), ("Category", Text), ("Supplier", Text), ("Discontinued", Boolean), ("Promotion", Text)], Some(0)),
+            ("DimStore", &[("StoreKey", Integer), ("StoreName", Text), ("StoreCity", Text), ("Region", Text), ("Territory", Text), ("Employee", Text)], Some(0)),
+            ("DimDate", &[("DateKey", Integer), ("OrderDate", Date), ("PaymentDate", Date), ("HireDate", Date), ("OpenDate", Date)], Some(0)),
+        ],
+        &[
+            ("OrderDetails", "CustomerKey", "DimCustomer", "CustomerKey"),
+            ("OrderDetails", "ProductKey", "DimProduct", "ProductKey"),
+            ("OrderDetails", "StoreKey", "DimStore", "StoreKey"),
+            ("OrderDetails", "DateKey", "DimDate", "DateKey"),
+        ],
+    );
+    let truth = truth_from_names(
+        &source,
+        &target,
+        &[
+            ("Customers.CustomerId", "DimCustomer.CustomerKey"),
+            ("Customers.CompanyName", "DimCustomer.CompanyName"),
+            ("Customers.CustomerCity", "DimCustomer.City"),
+            ("Customers.CustomerCountry", "DimCustomer.Country"),
+            ("Customers.CustomerPhone", "DimCustomer.Phone"),
+            ("Orders.OrderId", "OrderDetails.OrderId"),
+            ("Orders.CustomerId", "OrderDetails.CustomerKey"),
+            ("Orders.OrderDate", "DimDate.OrderDate"),
+            ("Orders.Freight", "OrderDetails.Freight"),
+            ("Orders.OrderAmount", "OrderDetails.Amount"),
+            ("Sales.SaleOrderDetailId", "OrderDetails.OrderDetailId"),
+            ("Sales.OrderId", "OrderDetails.OrderId"),
+            ("Sales.ProductId", "OrderDetails.ProductKey"),
+            ("Sales.Quantity", "OrderDetails.Quantity"),
+            ("Sales.Discount", "OrderDetails.Discount"),
+            ("Products.ProductId", "DimProduct.ProductKey"),
+            ("Products.ProductName", "DimProduct.ProductName"),
+            ("Products.ProductPrice", "DimProduct.Price"),
+            ("Products.ProductCategoryId", "DimProduct.Category"),
+            ("Products.ProductDiscontinued", "DimProduct.Discontinued"),
+            ("Suppliers.SupplierId", "DimProduct.Supplier"),
+            ("Suppliers.SupplierName", "DimProduct.Supplier"),
+            ("Suppliers.SupplierContact", "DimCustomer.Contact"),
+            ("Suppliers.SupplierCity", "DimCustomer.City"),
+            ("Suppliers.SupplierCountry", "DimCustomer.Country"),
+            ("Categories.CategoryId", "DimProduct.Category"),
+            ("Categories.CategoryName", "DimProduct.Category"),
+            ("Categories.CategoryCode", "DimProduct.Category"),
+            ("Categories.CategoryLevel", "DimProduct.Category"),
+            ("Categories.ParentCategoryId", "DimProduct.Category"),
+            ("Employees.EmployeeId", "DimStore.Employee"),
+            ("Employees.EmployeeName", "DimStore.Employee"),
+            ("Employees.EmployeeCity", "DimStore.StoreCity"),
+            ("Employees.HireDate", "DimDate.HireDate"),
+            ("Employees.EmployeeRegionId", "DimStore.Region"),
+            ("Shippers.FreightId", "OrderDetails.Freight"),
+            ("Shippers.FreightCost", "OrderDetails.Freight"),
+            ("Shippers.FreightCompany", "OrderDetails.Freight"),
+            ("Shippers.FreightRegionId", "DimStore.Region"),
+            ("Shippers.FreightPhone", "DimCustomer.Phone"),
+            ("Regions.RegionId", "DimStore.Region"),
+            ("Regions.RegionName", "DimStore.Region"),
+            ("Regions.RegionCountry", "DimCustomer.Country"),
+            ("Regions.RegionEmployee", "DimStore.Employee"),
+            ("Regions.RegionCity", "DimCustomer.City"),
+            ("Territories.TerritoryId", "DimStore.Territory"),
+            ("Territories.TerritoryName", "DimStore.Territory"),
+            ("Territories.TerritoryRegionId", "DimStore.Region"),
+            ("Territories.TerritoryCountry", "DimCustomer.Country"),
+            ("Territories.TerritoryCity", "DimCustomer.City"),
+            ("Stores.StoreId", "DimStore.StoreKey"),
+            ("Stores.StoreName", "DimStore.StoreName"),
+            ("Stores.StoreCity", "DimStore.StoreCity"),
+            ("Stores.StoreOpenDate", "DimDate.OpenDate"),
+            ("Stores.StoreRegionId", "DimStore.Region"),
+            ("Payments.PaymentOrderId", "OrderDetails.OrderId"),
+            ("Payments.PaymentDate", "DimDate.PaymentDate"),
+            ("Payments.PaymentAmount", "OrderDetails.Amount"),
+            ("Payments.PaymentFreight", "OrderDetails.Freight"),
+            ("Payments.PaymentDiscount", "OrderDetails.Discount"),
+            ("Promotions.PromotionId", "DimProduct.Promotion"),
+            ("Promotions.PromotionName", "DimProduct.Promotion"),
+            ("Promotions.PromotionDiscount", "OrderDetails.Discount"),
+            ("Promotions.PromotionQuantity", "OrderDetails.Quantity"),
+            ("Promotions.PromotionOpenDate", "DimDate.OpenDate"),
+        ],
+    );
+    let d = Dataset { name: "RDB-Star".to_string(), source, target, ground_truth: truth };
+    d.validate().expect("RDB-Star must be consistent");
+    d
+}
+
+/// The IPFQR quality-measure codes shared by state and national files.
+const IPFQR_MEASURES: &[&str] = &[
+    "hbips_2", "hbips_3", "hbips_5", "sub_1", "sub_2", "sub_3", "tob_1", "tob_2", "tob_3",
+    "imm_2", "fuh_7", "fuh_30", "smd", "tr_1", "med_cont",
+];
+
+/// Extra measures present only in the national file (distractors).
+const IPFQR_NATIONAL_ONLY: &[&str] = &["hbips_4", "peoc", "screening", "cont_care", "alc_use"];
+
+/// IPFQR: the state file (source) vs the national file (target).
+pub fn ipfqr() -> Dataset {
+    use DataType::*;
+    let metric_suffixes = ["rate", "numerator", "denominator"];
+
+    let mut sb = Schema::builder("IPFQR (source)").entity("StateData");
+    // 15 measures × 3 metrics = 45 columns + 6 context columns = 51.
+    for m in IPFQR_MEASURES {
+        for s in &metric_suffixes {
+            sb = sb.attr(format!("state_{m}_{s}"), if *s == "rate" { Decimal } else { Integer });
+        }
+    }
+    for (name, ty) in [
+        ("state", Text),
+        ("reporting_quarter", Text),
+        ("reporting_year", Integer),
+        ("footnote", Text),
+        ("facility_count", Integer),
+        ("start_date", Date),
+    ] {
+        sb = sb.attr(name, ty);
+    }
+    let source = sb.build().expect("IPFQR source must be valid");
+
+    let mut tb = Schema::builder("IPFQR (target)").entity("NationalData");
+    // Same 45 measure columns (national_ prefix) + distractor measures + context.
+    for m in IPFQR_MEASURES {
+        for s in &metric_suffixes {
+            tb = tb.attr(format!("national_{m}_{s}"), if *s == "rate" { Decimal } else { Integer });
+        }
+    }
+    for m in IPFQR_NATIONAL_ONLY {
+        tb = tb.attr(format!("national_{m}_rate"), Decimal);
+        tb = tb.attr(format!("national_{m}_denominator"), Integer);
+    }
+    for (name, ty) in [
+        ("nation", Text),
+        ("measure_quarter", Text),
+        ("measure_year", Integer),
+        ("footnote_text", Text),
+        ("provider_count", Integer),
+        ("start_date", Date),
+    ] {
+        tb = tb.attr(name, ty);
+    }
+    let target = tb.build().expect("IPFQR target must be valid");
+    // 45 + 10 + 6 = 61 < 67: pad with summary distractors.
+    let target = {
+        let mut tb = Schema::builder("IPFQR (target)").entity("NationalData");
+        for a in &target.attributes {
+            tb = tb.attr(a.name.clone(), a.dtype);
+        }
+        for name in [
+            "overall_rate",
+            "overall_numerator",
+            "overall_denominator",
+            "sample_size",
+            "response_rate",
+            "measure_count",
+        ] {
+            tb = tb.attr(name, Decimal);
+        }
+        tb.build().expect("IPFQR padded target must be valid")
+    };
+    assert_eq!(source.attr_count(), 51);
+    assert_eq!(target.attr_count(), 67);
+
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    for m in IPFQR_MEASURES {
+        for s in &metric_suffixes {
+            pairs.push((format!("StateData.state_{m}_{s}"), format!("NationalData.national_{m}_{s}")));
+        }
+    }
+    pairs.push(("StateData.state".into(), "NationalData.nation".into()));
+    pairs.push(("StateData.reporting_quarter".into(), "NationalData.measure_quarter".into()));
+    pairs.push(("StateData.reporting_year".into(), "NationalData.measure_year".into()));
+    pairs.push(("StateData.footnote".into(), "NationalData.footnote_text".into()));
+    pairs.push(("StateData.facility_count".into(), "NationalData.provider_count".into()));
+    pairs.push(("StateData.start_date".into(), "NationalData.start_date".into()));
+    let pair_refs: Vec<(&str, &str)> =
+        pairs.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let truth = truth_from_names(&source, &target, &pair_refs);
+
+    let d = Dataset { name: "IPFQR".to_string(), source, target, ground_truth: truth };
+    d.validate().expect("IPFQR must be consistent");
+    d
+}
+
+/// MovieLens-IMDB: the MovieLens-style source vs the IMDB dataset layout.
+pub fn movielens_imdb() -> Dataset {
+    use DataType::*;
+    let source = build(
+        "MovieLens (source)",
+        &[
+            ("movies", &[("movieId", Text), ("title", Text), ("releaseYear", Integer), ("runtime", Integer), ("genres", Text)], Some(0)),
+            ("ratings", &[("movieId", Text), ("rating", Float), ("numRatings", Integer)], Some(0)),
+            ("people", &[("personId", Text), ("name", Text), ("birthYear", Integer)], Some(0)),
+            ("credits", &[("movieId", Text), ("personId", Text), ("category", Text), ("billing", Integer)], Some(0)),
+            ("episodes", &[("episodeId", Text), ("seasonNum", Integer)], Some(0)),
+            ("crew", &[("movieId", Text), ("directors", Text)], Some(0)),
+        ],
+        &[
+            ("ratings", "movieId", "movies", "movieId"),
+            ("credits", "movieId", "movies", "movieId"),
+            ("credits", "personId", "people", "personId"),
+            ("crew", "movieId", "movies", "movieId"),
+            ("episodes", "episodeId", "movies", "movieId"),
+        ],
+    );
+    let target = build(
+        "IMDB (target)",
+        &[
+            ("titleBasics", &[("tconst", Text), ("titleType", Text), ("primaryTitle", Text), ("originalTitle", Text), ("isAdult", Boolean), ("startYear", Integer), ("endYear", Integer), ("runtimeMinutes", Integer), ("genres", Text)], Some(0)),
+            ("titleRatings", &[("tconst", Text), ("averageRating", Float), ("numVotes", Integer)], Some(0)),
+            ("nameBasics", &[("nconst", Text), ("primaryName", Text), ("birthYear", Integer), ("deathYear", Integer), ("primaryProfession", Text), ("knownForTitles", Text)], Some(0)),
+            ("titlePrincipals", &[("tconst", Text), ("ordering", Integer), ("nconst", Text), ("category", Text), ("job", Text), ("characters", Text)], Some(0)),
+            ("titleCrew", &[("tconst", Text), ("directors", Text), ("writers", Text)], Some(0)),
+            ("titleEpisode", &[("tconst", Text), ("parentTconst", Text), ("seasonNumber", Integer), ("episodeNumber", Integer)], Some(0)),
+            ("titleAkas", &[("titleId", Text), ("akaOrdering", Integer), ("akaTitle", Text), ("region", Text), ("language", Text), ("akaTypes", Text), ("akaAttributes", Text), ("isOriginalTitle", Boolean)], Some(0)),
+        ],
+        &[
+            ("titleRatings", "tconst", "titleBasics", "tconst"),
+            ("titlePrincipals", "tconst", "titleBasics", "tconst"),
+            ("titlePrincipals", "nconst", "nameBasics", "nconst"),
+            ("titleCrew", "tconst", "titleBasics", "tconst"),
+            ("titleEpisode", "tconst", "titleBasics", "tconst"),
+            ("titleAkas", "titleId", "titleBasics", "tconst"),
+        ],
+    );
+    let truth = truth_from_names(
+        &source,
+        &target,
+        &[
+            ("movies.movieId", "titleBasics.tconst"),
+            ("movies.title", "titleBasics.primaryTitle"),
+            ("movies.releaseYear", "titleBasics.startYear"),
+            ("movies.runtime", "titleBasics.runtimeMinutes"),
+            ("movies.genres", "titleBasics.genres"),
+            ("ratings.movieId", "titleRatings.tconst"),
+            ("ratings.rating", "titleRatings.averageRating"),
+            ("ratings.numRatings", "titleRatings.numVotes"),
+            ("people.personId", "nameBasics.nconst"),
+            ("people.name", "nameBasics.primaryName"),
+            ("people.birthYear", "nameBasics.birthYear"),
+            ("credits.movieId", "titlePrincipals.tconst"),
+            ("credits.personId", "titlePrincipals.nconst"),
+            ("credits.category", "titlePrincipals.category"),
+            ("credits.billing", "titlePrincipals.ordering"),
+            ("episodes.episodeId", "titleEpisode.tconst"),
+            ("episodes.seasonNum", "titleEpisode.seasonNumber"),
+            ("crew.movieId", "titleCrew.tconst"),
+            ("crew.directors", "titleCrew.directors"),
+        ],
+    );
+    let d = Dataset { name: "MovieLens-IMDB".to_string(), source, target, ground_truth: truth };
+    d.validate().expect("MovieLens-IMDB must be consistent");
+    d
+}
+
+/// All three public datasets in paper order. `seed` is accepted for
+/// interface symmetry with the customer generators; the public schemata are
+/// fixed.
+pub fn all_public(_seed: u64) -> Vec<Dataset> {
+    vec![rdb_star(), ipfqr(), movielens_imdb()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_schema::SchemaStats;
+    use lsm_text::lexical_similarity;
+
+    #[test]
+    fn rdb_star_matches_table_two() {
+        let d = rdb_star();
+        let s = SchemaStats::of(&d.source);
+        let t = SchemaStats::of(&d.target);
+        assert_eq!((s.entities, s.attributes, s.pk_fk), (13, 65, 12));
+        assert_eq!((t.entities, t.attributes, t.pk_fk), (5, 34, 4));
+        assert_eq!(d.ground_truth.len(), 65);
+    }
+
+    #[test]
+    fn ipfqr_matches_table_two() {
+        let d = ipfqr();
+        let s = SchemaStats::of(&d.source);
+        let t = SchemaStats::of(&d.target);
+        assert_eq!((s.entities, s.attributes, s.pk_fk), (1, 51, 0));
+        assert_eq!((t.entities, t.attributes, t.pk_fk), (1, 67, 0));
+        assert_eq!(d.ground_truth.len(), 51);
+    }
+
+    #[test]
+    fn movielens_matches_table_two() {
+        let d = movielens_imdb();
+        let s = SchemaStats::of(&d.source);
+        let t = SchemaStats::of(&d.target);
+        assert_eq!((s.entities, s.attributes, s.pk_fk), (6, 19, 5));
+        assert_eq!((t.entities, t.attributes, t.pk_fk), (7, 39, 6));
+        assert_eq!(d.ground_truth.len(), 19);
+    }
+
+    /// RDB-Star and IPFQR are the easy regime: matches are lexically close.
+    #[test]
+    fn easy_publics_are_mostly_lexical() {
+        for d in [rdb_star(), ipfqr()] {
+            let close = d
+                .ground_truth
+                .pairs()
+                .filter(|&(s, t)| {
+                    lexical_similarity(&d.source.attr(s).name, &d.target.attr(t).name) >= 0.6
+                })
+                .count();
+            let frac = close as f64 / d.ground_truth.len() as f64;
+            assert!(frac > 0.85, "{}: lexical fraction {frac:.2}", d.name);
+        }
+    }
+
+    /// MovieLens-IMDB sits between: a meaningful minority of hard matches.
+    #[test]
+    fn movielens_has_hard_minority() {
+        let d = movielens_imdb();
+        let hard = d
+            .ground_truth
+            .pairs()
+            .filter(|&(s, t)| {
+                lexical_similarity(&d.source.attr(s).name, &d.target.attr(t).name) < 0.6
+            })
+            .count();
+        let frac = hard as f64 / d.ground_truth.len() as f64;
+        assert!((0.15..=0.55).contains(&frac), "hard fraction {frac:.2}");
+    }
+
+    #[test]
+    fn all_public_returns_three_valid_datasets() {
+        let all = all_public(0);
+        assert_eq!(all.len(), 3);
+        for d in &all {
+            d.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Rename channels: how a customer's attribute name is derived from the ISS
+//! concept it denotes.
+//!
+//! Section III of the paper observes that "more than 30 % of the matches in
+//! the customer schemata" pair attributes whose names are semantically
+//! equivalent but lexically different, while the public datasets contain
+//! virtually none of those. Each channel below produces a different
+//! difficulty class; a [`RenameMix`] assigns sampling weights per dataset.
+
+use lsm_lexicon::Concept;
+use rand::Rng;
+
+/// Surface-naming style of a schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NamingStyle {
+    /// `price_change_percentage`
+    Snake,
+    /// `priceChangePercentage`
+    Camel,
+    /// `PriceChangePercentage`
+    Pascal,
+}
+
+impl NamingStyle {
+    /// Renders lowercase word tokens in this style.
+    pub fn render(self, tokens: &[String]) -> String {
+        match self {
+            NamingStyle::Snake => tokens.join("_"),
+            NamingStyle::Camel => {
+                let mut out = String::new();
+                for (i, t) in tokens.iter().enumerate() {
+                    if i == 0 {
+                        out.push_str(t);
+                    } else {
+                        out.push_str(&capitalize(t));
+                    }
+                }
+                out
+            }
+            NamingStyle::Pascal => tokens.iter().map(|t| capitalize(t)).collect(),
+        }
+    }
+}
+
+fn capitalize(t: &str) -> String {
+    let mut chars = t.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// How a customer surface form is derived from a concept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RenameChannel {
+    /// Same tokens as the ISS (possibly different casing style). Trivial
+    /// for every matcher.
+    Exact,
+    /// Canonical tokens with qualifiers dropped and/or tokens truncated —
+    /// lexically close. Easy for string matchers.
+    Morph,
+    /// A whole-concept abbreviation (`qty`, `ean`). The LCS-based lexical
+    /// featurizer handles these; dictionaries do not.
+    Abbrev,
+    /// A dictionary-grade synonym. Embedding/synset matchers handle these.
+    PublicSynonym,
+    /// Customer jargon — only contextual pre-training (the BERT surrogate)
+    /// connects these. This is the paper's ">30 % of matches" class.
+    Private,
+}
+
+impl RenameChannel {
+    /// Whether the channel yields names that purely lexical matchers are
+    /// expected to miss.
+    pub fn is_hard(self) -> bool {
+        matches!(self, RenameChannel::Private)
+    }
+}
+
+/// Sampling weights over the channels.
+#[derive(Debug, Clone, Copy)]
+pub struct RenameMix {
+    /// Weight of [`RenameChannel::Exact`].
+    pub exact: f64,
+    /// Weight of [`RenameChannel::Morph`].
+    pub morph: f64,
+    /// Weight of [`RenameChannel::Abbrev`].
+    pub abbrev: f64,
+    /// Weight of [`RenameChannel::PublicSynonym`].
+    pub public_syn: f64,
+    /// Weight of [`RenameChannel::Private`].
+    pub private: f64,
+}
+
+impl RenameMix {
+    /// The customer-schema regime: >30 % hard renames, the rest spread over
+    /// the easier channels.
+    pub fn customer() -> Self {
+        RenameMix { exact: 0.03, morph: 0.14, abbrev: 0.15, public_syn: 0.23, private: 0.45 }
+    }
+
+    /// The easy public-dataset regime (RDB-Star, IPFQR): near-identical
+    /// names.
+    pub fn lexical() -> Self {
+        RenameMix { exact: 0.70, morph: 0.30, abbrev: 0.0, public_syn: 0.0, private: 0.0 }
+    }
+
+    /// The MovieLens-IMDB regime: mostly lexical with some dictionary
+    /// synonyms and a sliver of hard renames.
+    pub fn mixed_public() -> Self {
+        RenameMix { exact: 0.35, morph: 0.25, abbrev: 0.05, public_syn: 0.25, private: 0.10 }
+    }
+
+    /// Samples a channel according to the weights.
+    pub fn sample(&self, rng: &mut impl Rng) -> RenameChannel {
+        let total = self.exact + self.morph + self.abbrev + self.public_syn + self.private;
+        let mut roll = rng.gen_range(0.0..total);
+        for (w, ch) in [
+            (self.exact, RenameChannel::Exact),
+            (self.morph, RenameChannel::Morph),
+            (self.abbrev, RenameChannel::Abbrev),
+            (self.public_syn, RenameChannel::PublicSynonym),
+            (self.private, RenameChannel::Private),
+        ] {
+            if roll < w {
+                return ch;
+            }
+            roll -= w;
+        }
+        RenameChannel::Exact
+    }
+}
+
+/// Applies a channel to a concept, producing the customer-side word tokens.
+/// Falls back to easier channels when the concept lacks the requested
+/// surface form (e.g. no abbreviation), and reports the channel actually
+/// used.
+pub fn apply_channel(
+    concept: &Concept,
+    qualifiers: &[String],
+    requested: RenameChannel,
+    rng: &mut impl Rng,
+) -> (Vec<String>, RenameChannel) {
+    use RenameChannel::*;
+    let pick =
+        |forms: &[Vec<String>], rng: &mut dyn rand::RngCore| forms[rng.gen_range(0..forms.len())].clone();
+    match requested {
+        Private if !concept.private_synonyms.is_empty() => {
+            // Private jargon replaces the whole name; qualifiers are folded
+            // away (customers rarely mirror ISS qualifier structure).
+            (pick(&concept.private_synonyms, rng), Private)
+        }
+        Private => apply_channel(concept, qualifiers, PublicSynonym, rng),
+        PublicSynonym if !concept.public_synonyms.is_empty() => {
+            let mut tokens = Vec::new();
+            if !qualifiers.is_empty() && rng.gen_bool(0.5) {
+                tokens.extend(qualifiers.iter().cloned());
+            }
+            tokens.extend(pick(&concept.public_synonyms, rng));
+            (tokens, PublicSynonym)
+        }
+        PublicSynonym => apply_channel(concept, qualifiers, Morph, rng),
+        Abbrev if !concept.abbreviations.is_empty() => {
+            let abbr = concept.abbreviations[rng.gen_range(0..concept.abbreviations.len())].clone();
+            let mut tokens = Vec::new();
+            if !qualifiers.is_empty() && rng.gen_bool(0.3) {
+                tokens.extend(qualifiers.iter().cloned());
+            }
+            tokens.push(abbr);
+            (tokens, Abbrev)
+        }
+        Abbrev => apply_channel(concept, qualifiers, Morph, rng),
+        Morph => {
+            // Keep canonical tokens; drop qualifiers with probability, and
+            // occasionally truncate a token to its prefix (col-name habit).
+            let mut tokens: Vec<String> = Vec::new();
+            if !qualifiers.is_empty() && rng.gen_bool(0.4) {
+                tokens.extend(qualifiers.iter().cloned());
+            }
+            for t in &concept.canonical {
+                if t.len() > 5 && rng.gen_bool(0.25) {
+                    tokens.push(t[..4].to_string());
+                } else {
+                    tokens.push(t.clone());
+                }
+            }
+            (tokens, Morph)
+        }
+        Exact => {
+            let mut tokens: Vec<String> = qualifiers.to_vec();
+            tokens.extend(concept.canonical.iter().cloned());
+            (tokens, Exact)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_lexicon::{ConceptBuilder, Domain, Lexicon};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn concept_with_everything() -> Lexicon {
+        Lexicon::assemble(vec![ConceptBuilder::attribute(Domain::Retail, "price change percentage")
+            .syn("markdown rate")
+            .private("discount")
+            .abbr("pcp")
+            .desc("reduction")])
+    }
+
+    #[test]
+    fn naming_styles_render() {
+        let toks = vec!["price".to_string(), "change".to_string()];
+        assert_eq!(NamingStyle::Snake.render(&toks), "price_change");
+        assert_eq!(NamingStyle::Camel.render(&toks), "priceChange");
+        assert_eq!(NamingStyle::Pascal.render(&toks), "PriceChange");
+        assert_eq!(NamingStyle::Snake.render(&[]), "");
+    }
+
+    #[test]
+    fn exact_channel_keeps_tokens() {
+        let lex = concept_with_everything();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let q = vec!["total".to_string()];
+        let (tokens, used) =
+            apply_channel(&lex.concepts()[0], &q, RenameChannel::Exact, &mut rng);
+        assert_eq!(used, RenameChannel::Exact);
+        assert_eq!(tokens, vec!["total", "price", "change", "percentage"]);
+    }
+
+    #[test]
+    fn private_channel_uses_jargon() {
+        let lex = concept_with_everything();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let (tokens, used) =
+            apply_channel(&lex.concepts()[0], &[], RenameChannel::Private, &mut rng);
+        assert_eq!(used, RenameChannel::Private);
+        assert_eq!(tokens, vec!["discount"]);
+    }
+
+    #[test]
+    fn abbrev_channel_uses_abbreviation() {
+        let lex = concept_with_everything();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let (tokens, used) =
+            apply_channel(&lex.concepts()[0], &[], RenameChannel::Abbrev, &mut rng);
+        assert_eq!(used, RenameChannel::Abbrev);
+        assert!(tokens.contains(&"pcp".to_string()));
+    }
+
+    #[test]
+    fn channels_fall_back_when_form_missing() {
+        let lex = Lexicon::assemble(vec![
+            ConceptBuilder::attribute(Domain::Retail, "plain concept").desc("nothing else")
+        ]);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let (_, used) = apply_channel(&lex.concepts()[0], &[], RenameChannel::Private, &mut rng);
+        assert_eq!(used, RenameChannel::Morph, "Private → PublicSynonym → Morph fallback");
+        let (_, used) = apply_channel(&lex.concepts()[0], &[], RenameChannel::Abbrev, &mut rng);
+        assert_eq!(used, RenameChannel::Morph);
+    }
+
+    #[test]
+    fn mix_sampling_respects_weights() {
+        let mix = RenameMix { exact: 1.0, morph: 0.0, abbrev: 0.0, public_syn: 0.0, private: 0.0 };
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..20 {
+            assert_eq!(mix.sample(&mut rng), RenameChannel::Exact);
+        }
+        // Customer mix produces a healthy share of hard channels.
+        let mix = RenameMix::customer();
+        let hard = (0..2000).filter(|_| mix.sample(&mut rng).is_hard()).count();
+        assert!((500..1100).contains(&hard), "hard draws: {hard}");
+    }
+}

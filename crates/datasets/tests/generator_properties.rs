@@ -1,0 +1,76 @@
+//! Property-based tests of the customer generator: for a wide range of
+//! random specs, generation either succeeds with exactly the requested
+//! shape and a consistent ground truth, or panics only on the documented
+//! infeasible configurations (which the strategy below avoids).
+
+use lsm_datasets::customers::{generate_customer, CustomerSpec};
+use lsm_datasets::iss::{generate_retail_iss, GeneratedIss, IssConfig};
+use lsm_datasets::rename::{NamingStyle, RenameMix};
+use lsm_lexicon::{full_lexicon, Lexicon};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// The ISS is expensive to build; share one across all proptest cases.
+fn shared() -> &'static (Lexicon, GeneratedIss) {
+    static SHARED: OnceLock<(Lexicon, GeneratedIss)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let lexicon = full_lexicon();
+        let iss = generate_retail_iss(&lexicon, IssConfig::small());
+        (lexicon, iss)
+    })
+}
+
+fn spec_strategy() -> impl Strategy<Value = (CustomerSpec, u64)> {
+    // entities ≤ 8 (small ISS has 12), attrs within pool limits, fks ≥ entities-1.
+    (2usize..=8, 0usize..=3, proptest::bool::ANY, 0u64..1000).prop_flat_map(
+        |(entities, extra_fks, descriptions, seed)| {
+            let fks = (entities - 1 + extra_fks).min(entities * (entities - 1));
+            // Budget: pk per entity + fks + a few domain attrs each.
+            ((entities + fks + entities * 2)..=(entities + fks + entities * 4)).prop_map(
+                move |attributes| {
+                    (
+                        CustomerSpec {
+                            name: "Prop Customer",
+                            entities,
+                            attributes,
+                            foreign_keys: fks,
+                            descriptions,
+                            style: NamingStyle::Snake,
+                            mix: RenameMix::customer(),
+                            seed: 0x1234,
+                        },
+                        seed,
+                    )
+                },
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_customers_have_requested_shape((spec, seed) in spec_strategy()) {
+        let (lexicon, iss) = shared();
+        let d = generate_customer(iss, lexicon, spec, seed);
+        d.validate().unwrap();
+        prop_assert_eq!(d.source.entity_count(), spec.entities);
+        prop_assert_eq!(d.source.attr_count(), spec.attributes);
+        prop_assert_eq!(d.source.foreign_keys.len(), spec.foreign_keys);
+        prop_assert_eq!(d.source.has_descriptions(), spec.descriptions);
+        // Ground truth is total over source attributes.
+        prop_assert_eq!(d.ground_truth.len(), spec.attributes);
+        // Anchor set = pks + fks.
+        prop_assert!(d.source.anchor_set().len() >= spec.entities);
+    }
+
+    #[test]
+    fn generation_is_deterministic((spec, seed) in spec_strategy()) {
+        let (lexicon, iss) = shared();
+        let a = generate_customer(iss, lexicon, spec, seed);
+        let b = generate_customer(iss, lexicon, spec, seed);
+        prop_assert_eq!(a.source, b.source);
+        prop_assert_eq!(a.ground_truth, b.ground_truth);
+    }
+}

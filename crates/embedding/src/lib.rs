@@ -1,0 +1,26 @@
+//! # lsm-embedding
+//!
+//! A fastText-style word-embedding surrogate.
+//!
+//! The paper's word-embedding featurizer computes "the cosine similarity
+//! between the embedding representations of the attribute names" using
+//! pre-trained FastText vectors. Offline, we reproduce the two properties of
+//! FastText that matter for schema matching:
+//!
+//! 1. **Subword robustness** — FastText represents a word as the sum of its
+//!    character-n-gram vectors, so morphological variants land nearby. We
+//!    hash character n-grams (3..=5, with boundary markers) into
+//!    deterministic pseudo-random unit vectors and average them.
+//! 2. **Distributional synonymy** — words that co-occur in the pre-training
+//!    corpus ("discount" / "markdown") end up close. We source this from the
+//!    lexicon: every *public* surface form of a concept is pulled toward the
+//!    concept's anchor vector. Private customer jargon gets no anchor —
+//!    exactly as real FastText has never seen a customer's invented
+//!    abbreviations.
+//!
+//! The result is an [`EmbeddingSpace`] with the same API surface the
+//! featurizer needs: `phrase_vector` and `name_similarity` (cosine).
+
+pub mod space;
+
+pub use space::{EmbeddingConfig, EmbeddingSpace};

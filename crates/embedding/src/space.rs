@@ -1,0 +1,383 @@
+//! The embedding space: hashed subword vectors + lexicon concept anchors.
+
+use lsm_lexicon::Lexicon;
+use lsm_text::tokenize;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of the embedding space.
+#[derive(Debug, Clone, Copy)]
+pub struct EmbeddingConfig {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Smallest character n-gram.
+    pub min_gram: usize,
+    /// Largest character n-gram.
+    pub max_gram: usize,
+    /// Weight of the subword (lexical) component.
+    pub subword_weight: f32,
+    /// Weight of the concept (semantic) component.
+    pub concept_weight: f32,
+    /// Seed for the deterministic vector construction.
+    pub seed: u64,
+}
+
+impl Default for EmbeddingConfig {
+    fn default() -> Self {
+        EmbeddingConfig {
+            dim: 64,
+            min_gram: 3,
+            max_gram: 5,
+            subword_weight: 0.8,
+            concept_weight: 0.85,
+            seed: 0xfa57_7e87,
+        }
+    }
+}
+
+/// A fixed (non-trainable) embedding space over a lexicon — the pre-trained
+/// FastText stand-in.
+#[derive(Debug, Clone)]
+pub struct EmbeddingSpace {
+    config: EmbeddingConfig,
+    /// One unit anchor vector per concept, indexed by `ConceptId`.
+    concept_anchors: Vec<Vec<f32>>,
+    /// Borrowed view of the lexicon's public phrase knowledge, flattened:
+    /// joined public phrase → concept index.
+    phrase_concepts: HashMap<String, Vec<usize>>,
+    /// token → concept indices with that token in a public phrasing.
+    token_concepts: HashMap<String, Vec<usize>>,
+    /// Memoized identifier vectors. Vector construction hashes dozens of
+    /// character n-grams, and matchers query the same attribute names
+    /// millions of times across the candidate product — the cache turns
+    /// that into one construction per name. Shared across clones.
+    identifier_cache: Arc<RwLock<HashMap<String, Vec<f32>>>>,
+    /// Memoized per-token vectors (phrase vectors average these).
+    token_cache: Arc<RwLock<HashMap<String, Vec<f32>>>>,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn unit_vector_from_seed(seed: u64, dim: usize) -> Vec<f32> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    normalize(&mut v);
+    v
+}
+
+fn normalize(v: &mut [f32]) {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v {
+            *x /= norm;
+        }
+    }
+}
+
+fn add_scaled(acc: &mut [f32], v: &[f32], s: f32) {
+    for (a, b) in acc.iter_mut().zip(v) {
+        *a += b * s;
+    }
+}
+
+/// Cosine similarity of two equal-length vectors; 0.0 if either is zero.
+pub fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot / (na * nb)) as f64
+}
+
+impl EmbeddingSpace {
+    /// Builds the space from a lexicon. Deterministic for a given
+    /// `(lexicon, config)` pair.
+    pub fn new(lexicon: &Lexicon, config: EmbeddingConfig) -> Self {
+        // Base direction per concept, seeded from the canonical phrase so
+        // the space is stable under concept reordering.
+        let bases: Vec<Vec<f32>> = lexicon
+            .concepts()
+            .iter()
+            .map(|c| {
+                unit_vector_from_seed(config.seed ^ fnv1a(c.canonical_phrase().as_bytes()), config.dim)
+            })
+            .collect();
+        // Real distributional embeddings are *crowded*: related words
+        // ("price", "cost", "amount") share directions, and same-domain
+        // words interfere. Mix each anchor with its related concepts and a
+        // deterministic handful of same-domain neighbours so that synonym
+        // retrieval over a large ISS is noisy, as it is with real FastText.
+        let mut concept_anchors = Vec::with_capacity(lexicon.len());
+        for c in lexicon.concepts() {
+            let mut anchor = bases[c.id.index()].clone();
+            for &rel in &c.related {
+                add_scaled(&mut anchor, &bases[rel.index()], 0.45);
+            }
+            let same_domain: Vec<usize> = lexicon
+                .concepts()
+                .iter()
+                .filter(|o| o.domain == c.domain && o.id != c.id)
+                .map(|o| o.id.index())
+                .collect();
+            // Crowding models interference inside a *large* vocabulary;
+            // with only a handful of domain concepts it would just erase
+            // the signal, so require a realistic neighbourhood size.
+            if same_domain.len() >= 8 {
+                let h = fnv1a(c.canonical_phrase().as_bytes());
+                for k in 0..3u64 {
+                    let pick = same_domain
+                        [(h.wrapping_mul(2654435761).wrapping_add(k * 40503) % same_domain.len() as u64)
+                            as usize];
+                    add_scaled(&mut anchor, &bases[pick], 0.30);
+                }
+            }
+            normalize(&mut anchor);
+            concept_anchors.push(anchor);
+        }
+        let mut phrase_concepts: std::collections::HashMap<String, Vec<usize>> =
+            std::collections::HashMap::new();
+        let mut token_concepts: std::collections::HashMap<String, Vec<usize>> =
+            std::collections::HashMap::new();
+        for c in lexicon.concepts() {
+            for phrasing in c.public_phrasings() {
+                phrase_concepts
+                    .entry(phrasing.join(" "))
+                    .or_default()
+                    .push(c.id.index());
+                for token in phrasing {
+                    let entry = token_concepts.entry(token.clone()).or_default();
+                    if !entry.contains(&c.id.index()) {
+                        entry.push(c.id.index());
+                    }
+                }
+            }
+        }
+        EmbeddingSpace {
+            config,
+            concept_anchors,
+            phrase_concepts,
+            token_concepts,
+            identifier_cache: Arc::new(RwLock::new(HashMap::new())),
+            token_cache: Arc::new(RwLock::new(HashMap::new())),
+        }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// The subword (character n-gram) component of a token's vector.
+    fn subword_vector(&self, token: &str) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.config.dim];
+        let padded: Vec<char> = std::iter::once('<')
+            .chain(token.chars())
+            .chain(std::iter::once('>'))
+            .collect();
+        let mut grams = 0usize;
+        for n in self.config.min_gram..=self.config.max_gram {
+            if padded.len() < n {
+                continue;
+            }
+            for w in padded.windows(n) {
+                let s: String = w.iter().collect();
+                let v = unit_vector_from_seed(self.config.seed ^ fnv1a(s.as_bytes()), self.config.dim);
+                add_scaled(&mut acc, &v, 1.0);
+                grams += 1;
+            }
+        }
+        if grams == 0 {
+            // Token shorter than every gram size: hash the whole token.
+            let v =
+                unit_vector_from_seed(self.config.seed ^ fnv1a(token.as_bytes()), self.config.dim);
+            acc = v;
+        }
+        normalize(&mut acc);
+        acc
+    }
+
+    /// The embedding of one token: subword vector plus concept anchors of
+    /// every concept whose public vocabulary mentions the token. Memoized.
+    pub fn token_vector(&self, token: &str) -> Vec<f32> {
+        if let Some(v) = self.token_cache.read().expect("token cache poisoned").get(token) {
+            return v.clone();
+        }
+        let v = self.token_vector_uncached(token);
+        self.token_cache
+            .write()
+            .expect("token cache poisoned")
+            .insert(token.to_string(), v.clone());
+        v
+    }
+
+    fn token_vector_uncached(&self, token: &str) -> Vec<f32> {
+        let mut acc = self.subword_vector(token);
+        for x in acc.iter_mut() {
+            *x *= self.config.subword_weight;
+        }
+        if let Some(cs) = self.token_concepts.get(token) {
+            let share = self.config.concept_weight / cs.len() as f32;
+            for &ci in cs {
+                add_scaled(&mut acc, &self.concept_anchors[ci], share);
+            }
+        }
+        normalize(&mut acc);
+        acc
+    }
+
+    /// The embedding of a token sequence: mean of token vectors, plus a
+    /// strong concept anchor when the *whole phrase* is a public surface
+    /// form (multi-word synonymy: "unit count" → *quantity*).
+    pub fn phrase_vector(&self, tokens: &[String]) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.config.dim];
+        if tokens.is_empty() {
+            return acc;
+        }
+        for t in tokens {
+            let v = self.token_vector(t);
+            add_scaled(&mut acc, &v, 1.0 / tokens.len() as f32);
+        }
+        if let Some(cs) = self.phrase_concepts.get(&tokens.join(" ")) {
+            let share = self.config.concept_weight / cs.len() as f32;
+            for &ci in cs {
+                add_scaled(&mut acc, &self.concept_anchors[ci], share);
+            }
+        }
+        normalize(&mut acc);
+        acc
+    }
+
+    /// The embedding of a raw identifier (`TransactionLine.discount_pct`
+    /// style): tokenized via [`lsm_text::tokenize()`], then
+    /// [`phrase_vector`](Self::phrase_vector). Memoized.
+    pub fn identifier_vector(&self, identifier: &str) -> Vec<f32> {
+        if let Some(v) = self
+            .identifier_cache
+            .read()
+            .expect("identifier cache poisoned")
+            .get(identifier)
+        {
+            return v.clone();
+        }
+        let v = self.phrase_vector(&tokenize(identifier));
+        self.identifier_cache
+            .write()
+            .expect("identifier cache poisoned")
+            .insert(identifier.to_string(), v.clone());
+        v
+    }
+
+    /// Cosine similarity between two identifiers — the word-embedding
+    /// featurizer of Section IV-C2.
+    pub fn name_similarity(&self, a: &str, b: &str) -> f64 {
+        cosine(&self.identifier_vector(a), &self.identifier_vector(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_lexicon::{ConceptBuilder, Domain, Lexicon};
+
+    fn lex() -> Lexicon {
+        Lexicon::assemble(vec![
+            ConceptBuilder::attribute(Domain::Retail, "quantity")
+                .syn("unit count")
+                .private("item amount")
+                .desc("units"),
+            ConceptBuilder::attribute(Domain::Retail, "price change percentage")
+                .syn("markdown rate")
+                .private("discount")
+                .desc("reduction"),
+            ConceptBuilder::attribute(Domain::Retail, "store name").desc("name of store"),
+        ])
+    }
+
+    fn space() -> EmbeddingSpace {
+        EmbeddingSpace::new(&lex(), EmbeddingConfig::default())
+    }
+
+    #[test]
+    fn identical_names_have_similarity_one() {
+        let s = space();
+        assert!((s.name_similarity("quantity", "quantity") - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn public_synonyms_are_close() {
+        let s = space();
+        let syn = s.name_similarity("unit_count", "quantity");
+        let unrelated = s.name_similarity("store_name", "quantity");
+        assert!(syn > 0.5, "synonym similarity {syn}");
+        assert!(syn > unrelated + 0.2, "syn {syn} vs unrelated {unrelated}");
+    }
+
+    #[test]
+    fn private_jargon_gets_no_anchor() {
+        let s = space();
+        // "discount" is private jargon for price change percentage: the
+        // embedding space (FastText surrogate) must NOT connect them.
+        let private = s.name_similarity("discount", "price_change_percentage");
+        let public = s.name_similarity("markdown_rate", "price_change_percentage");
+        assert!(public > private + 0.2, "public {public} vs private {private}");
+    }
+
+    #[test]
+    fn morphological_variants_share_subwords() {
+        let s = space();
+        let close = s.name_similarity("pricing", "price");
+        let far = s.name_similarity("zebra", "price");
+        assert!(close > far, "close {close} vs far {far}");
+    }
+
+    #[test]
+    fn vectors_are_unit_length_and_deterministic() {
+        let s = space();
+        let v = s.identifier_vector("unit_count");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4);
+        let s2 = space();
+        assert_eq!(v, s2.identifier_vector("unit_count"));
+    }
+
+    #[test]
+    fn empty_identifier_yields_zero_similarity() {
+        let s = space();
+        assert_eq!(s.name_similarity("", "quantity"), 0.0);
+        assert_eq!(s.name_similarity("--", "quantity"), 0.0);
+    }
+
+    #[test]
+    fn short_tokens_still_embed() {
+        let s = space();
+        let v = s.identifier_vector("id");
+        assert!(v.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn cosine_edge_cases() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let s = space();
+        let ab = s.name_similarity("unit_count", "price_change_percentage");
+        let ba = s.name_similarity("price_change_percentage", "unit_count");
+        assert!((ab - ba).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,82 @@
+//! Retrieval-quality properties of the embedding space over the full
+//! lexicon — the FastText surrogate must behave like a distributional
+//! embedding: public synonyms retrieve well, private jargon does not, and
+//! the space is deterministic.
+
+use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
+use lsm_lexicon::{full_lexicon, ConceptKind};
+
+#[test]
+fn public_synonyms_retrieve_their_concept_better_than_chance() {
+    let lexicon = full_lexicon();
+    let space = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+    // For each attribute concept with a public synonym, check that the
+    // canonical phrase is ranked above the median against 40 distractors.
+    let attrs: Vec<_> = lexicon
+        .concepts()
+        .iter()
+        .filter(|c| c.kind == ConceptKind::Attribute && !c.public_synonyms.is_empty())
+        .collect();
+    let mut wins = 0;
+    let mut total = 0;
+    for (i, c) in attrs.iter().enumerate().take(60) {
+        let query = space.phrase_vector(&c.public_synonyms[0]);
+        let own = lsm_embedding::space::cosine(&query, &space.phrase_vector(&c.canonical));
+        let mut beaten = 0;
+        let mut n = 0;
+        for (j, other) in attrs.iter().enumerate().take(60) {
+            if i == j {
+                continue;
+            }
+            let d = lsm_embedding::space::cosine(&query, &space.phrase_vector(&other.canonical));
+            if own > d {
+                beaten += 1;
+            }
+            n += 1;
+        }
+        total += 1;
+        if beaten * 2 > n {
+            wins += 1;
+        }
+    }
+    assert!(
+        wins * 10 >= total * 9,
+        "public synonyms should retrieve their concept: {wins}/{total}"
+    );
+}
+
+#[test]
+fn private_jargon_retrieves_worse_than_public_synonyms() {
+    let lexicon = full_lexicon();
+    let space = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+    let mut public_sims = Vec::new();
+    let mut private_sims = Vec::new();
+    for c in lexicon.concepts() {
+        let canonical = space.phrase_vector(&c.canonical);
+        for syn in &c.public_synonyms {
+            public_sims
+                .push(lsm_embedding::space::cosine(&space.phrase_vector(syn), &canonical));
+        }
+        for syn in &c.private_synonyms {
+            private_sims
+                .push(lsm_embedding::space::cosine(&space.phrase_vector(syn), &canonical));
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&public_sims) > mean(&private_sims) + 0.15,
+        "public {:.3} vs private {:.3}",
+        mean(&public_sims),
+        mean(&private_sims)
+    );
+}
+
+#[test]
+fn space_is_deterministic_across_instances() {
+    let lexicon = full_lexicon();
+    let a = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+    let b = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+    for name in ["order_total_amount", "discount", "qty", "European_Article_Number"] {
+        assert_eq!(a.identifier_vector(name), b.identifier_vector(name), "{name}");
+    }
+}

@@ -1,0 +1,260 @@
+//! Concepts: the atomic units of meaning in the lexicon.
+//!
+//! A concept bundles every surface form under which a single idea — "the
+//! fractional price reduction applied to a sale" — can appear in a schema:
+//! its canonical (ISS-style) token sequence, dictionary synonyms, customer
+//! jargon, and abbreviations, plus a natural-language description, a typical
+//! data type, and relations to adjacent concepts.
+
+use serde::{Deserialize, Serialize};
+
+/// The data type a concept's attribute typically carries.
+///
+/// Mirrors `lsm_schema::DataType`; kept as a plain string-free enum here so
+/// the lexicon crate stays independent of the schema crate (conversion lives
+/// in `lsm-datasets`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConceptDtype {
+    /// Whole numbers.
+    Integer,
+    /// Binary floating point.
+    Float,
+    /// Exact decimals (prices, percentages).
+    Decimal,
+    /// Character data.
+    Text,
+    /// Booleans / flags.
+    Boolean,
+    /// Calendar dates.
+    Date,
+    /// Points in time.
+    Timestamp,
+}
+
+/// Identifier of a concept within a [`Lexicon`](crate::Lexicon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConceptId(pub u32);
+
+impl ConceptId {
+    /// Dense index form.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The industry vertical a concept belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// Retail (the paper's customer schemata and ISS).
+    Retail,
+    /// Movies (MovieLens-IMDB public dataset).
+    Movie,
+    /// Healthcare (IPFQR public dataset).
+    Health,
+    /// Cross-domain concepts: identifiers, names, codes, timestamps.
+    Generic,
+}
+
+/// Whether a concept names an entity (table) or an attribute (column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConceptKind {
+    /// Entity/table-level concept, e.g. *transaction line*.
+    Entity,
+    /// Attribute/column-level concept, e.g. *price change percentage*.
+    Attribute,
+}
+
+/// A single concept with all its surface forms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Concept {
+    /// Identifier within the owning lexicon.
+    pub id: ConceptId,
+    /// Entity or attribute concept.
+    pub kind: ConceptKind,
+    /// Industry vertical.
+    pub domain: Domain,
+    /// Canonical token sequence, ISS naming style
+    /// (e.g. `["price", "change", "percentage"]`).
+    pub canonical: Vec<String>,
+    /// Dictionary-grade synonymous phrasings. Visible to the embedding and
+    /// synset surrogates (≈ FastText / WordNet knowledge).
+    pub public_synonyms: Vec<Vec<String>>,
+    /// Customer-specific phrasings and jargon. Visible *only* to the MLM
+    /// pre-training corpus (≈ BERT's contextual knowledge).
+    pub private_synonyms: Vec<Vec<String>>,
+    /// Short forms of the whole concept (e.g. `"pcp"`, `"qty"`).
+    pub abbreviations: Vec<String>,
+    /// One-sentence natural-language description (ISS documentation style).
+    pub description: String,
+    /// Typical data type of an attribute carrying this concept.
+    pub dtype: ConceptDtype,
+    /// Adjacent concepts (same semantic neighbourhood); verbalized in the
+    /// pre-training corpus.
+    pub related: Vec<ConceptId>,
+}
+
+impl Concept {
+    /// Canonical form joined with spaces.
+    pub fn canonical_phrase(&self) -> String {
+        self.canonical.join(" ")
+    }
+
+    /// Every surface form: canonical + public + private synonyms, in that
+    /// order. Abbreviations are excluded (they are single tokens, not
+    /// phrases).
+    pub fn all_phrasings(&self) -> impl Iterator<Item = &Vec<String>> {
+        std::iter::once(&self.canonical)
+            .chain(self.public_synonyms.iter())
+            .chain(self.private_synonyms.iter())
+    }
+
+    /// Surface forms visible to the public synset/embedding surrogates.
+    pub fn public_phrasings(&self) -> impl Iterator<Item = &Vec<String>> {
+        std::iter::once(&self.canonical).chain(self.public_synonyms.iter())
+    }
+}
+
+/// Fluent construction of a [`Concept`]; used by the curated domain tables.
+#[derive(Debug, Clone)]
+pub struct ConceptBuilder {
+    kind: ConceptKind,
+    domain: Domain,
+    canonical: Vec<String>,
+    public_synonyms: Vec<Vec<String>>,
+    private_synonyms: Vec<Vec<String>>,
+    abbreviations: Vec<String>,
+    description: String,
+    dtype: ConceptDtype,
+    related_names: Vec<String>,
+}
+
+fn split(phrase: &str) -> Vec<String> {
+    phrase.split_whitespace().map(str::to_string).collect()
+}
+
+impl ConceptBuilder {
+    /// Starts an attribute concept with the given space-separated canonical
+    /// phrase.
+    pub fn attribute(domain: Domain, canonical: &str) -> Self {
+        ConceptBuilder {
+            kind: ConceptKind::Attribute,
+            domain,
+            canonical: split(canonical),
+            public_synonyms: Vec::new(),
+            private_synonyms: Vec::new(),
+            abbreviations: Vec::new(),
+            description: String::new(),
+            dtype: ConceptDtype::Text,
+            related_names: Vec::new(),
+        }
+    }
+
+    /// Starts an entity concept.
+    pub fn entity(domain: Domain, canonical: &str) -> Self {
+        let mut b = Self::attribute(domain, canonical);
+        b.kind = ConceptKind::Entity;
+        b
+    }
+
+    /// Adds a public (dictionary-grade) synonym phrase.
+    pub fn syn(mut self, phrase: &str) -> Self {
+        self.public_synonyms.push(split(phrase));
+        self
+    }
+
+    /// Adds a private (customer-jargon) phrase.
+    pub fn private(mut self, phrase: &str) -> Self {
+        self.private_synonyms.push(split(phrase));
+        self
+    }
+
+    /// Adds an abbreviation token.
+    pub fn abbr(mut self, token: &str) -> Self {
+        self.abbreviations.push(token.to_string());
+        self
+    }
+
+    /// Sets the description.
+    pub fn desc(mut self, text: &str) -> Self {
+        self.description = text.to_string();
+        self
+    }
+
+    /// Sets the typical data type.
+    pub fn dtype(mut self, dtype: ConceptDtype) -> Self {
+        self.dtype = dtype;
+        self
+    }
+
+    /// Declares a related concept by canonical phrase; resolved when the
+    /// lexicon is assembled.
+    pub fn related(mut self, canonical: &str) -> Self {
+        self.related_names.push(canonical.to_string());
+        self
+    }
+
+    /// Finishes the builder. `id` and resolved `related` ids are filled in
+    /// by [`Lexicon::assemble`](crate::Lexicon::assemble).
+    pub(crate) fn finish(self, id: ConceptId) -> (Concept, Vec<String>) {
+        (
+            Concept {
+                id,
+                kind: self.kind,
+                domain: self.domain,
+                canonical: self.canonical,
+                public_synonyms: self.public_synonyms,
+                private_synonyms: self.private_synonyms,
+                abbreviations: self.abbreviations,
+                description: self.description,
+                dtype: self.dtype,
+                related: Vec::new(),
+            },
+            self.related_names,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_splits_phrases_into_tokens() {
+        let (c, related) = ConceptBuilder::attribute(Domain::Retail, "price change percentage")
+            .syn("discount")
+            .syn("markdown rate")
+            .private("promo cut")
+            .abbr("pcp")
+            .desc("fractional price reduction applied at sale time")
+            .dtype(ConceptDtype::Decimal)
+            .related("sale price")
+            .finish(ConceptId(0));
+        assert_eq!(c.canonical, vec!["price", "change", "percentage"]);
+        assert_eq!(c.canonical_phrase(), "price change percentage");
+        assert_eq!(c.public_synonyms.len(), 2);
+        assert_eq!(c.public_synonyms[1], vec!["markdown", "rate"]);
+        assert_eq!(c.private_synonyms, vec![vec!["promo", "cut"]]);
+        assert_eq!(c.abbreviations, vec!["pcp"]);
+        assert_eq!(c.dtype, ConceptDtype::Decimal);
+        assert_eq!(related, vec!["sale price"]);
+    }
+
+    #[test]
+    fn phrasing_iterators_respect_visibility() {
+        let (c, _) = ConceptBuilder::attribute(Domain::Retail, "quantity")
+            .syn("count")
+            .private("item amount")
+            .finish(ConceptId(1));
+        assert_eq!(c.all_phrasings().count(), 3);
+        assert_eq!(c.public_phrasings().count(), 2);
+        // Private phrasing is not among the public ones.
+        assert!(c.public_phrasings().all(|p| p != &vec!["item".to_string(), "amount".to_string()]));
+    }
+
+    #[test]
+    fn entity_builder_sets_kind() {
+        let (c, _) = ConceptBuilder::entity(Domain::Retail, "transaction line").finish(ConceptId(2));
+        assert_eq!(c.kind, ConceptKind::Entity);
+    }
+}

@@ -1,0 +1,259 @@
+//! Synthetic domain-corpus generation for MLM pre-training.
+//!
+//! Real BERT acquires its knowledge from the Toronto Books and Wikipedia
+//! corpora; our mini-BERT acquires the equivalent *domain* knowledge from
+//! sentences verbalizing the lexicon: synonym statements, descriptions,
+//! abbreviation expansions, concept relations, and schema-flavoured chatter.
+//! Crucially, the corpus includes the *private* customer phrasings — the
+//! paraphrase knowledge that dictionary-based baselines never see — which is
+//! precisely the asymmetry the paper attributes to pre-trained language
+//! models.
+
+use crate::concept::ConceptKind;
+use crate::lexicon::Lexicon;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+
+/// Configuration of the corpus generator.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// PRNG seed; the corpus is fully deterministic given the seed.
+    pub seed: u64,
+    /// How many sentence variants to emit per (concept, surface form) pair.
+    pub repeats_per_form: usize,
+    /// Whether private (customer-jargon) phrasings are verbalized. The BERT
+    /// corpus sets this to `true`; ablations can turn it off.
+    pub include_private: bool,
+    /// Number of extra schema-chatter sentences mixing co-domain concepts.
+    pub chatter_sentences: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            seed: 0x5eed,
+            repeats_per_form: 3,
+            include_private: true,
+            chatter_sentences: 400,
+        }
+    }
+}
+
+/// Generates tokenized sentences from a lexicon.
+#[derive(Debug)]
+pub struct CorpusGenerator<'a> {
+    lexicon: &'a Lexicon,
+    config: CorpusConfig,
+}
+
+fn sentence(parts: &[&[String]], glue: &[&str]) -> Vec<String> {
+    // Interleave glue words (split on spaces) with token slices:
+    // glue[0] parts[0] glue[1] parts[1] ... glue[n].
+    let mut out = Vec::new();
+    for (i, part) in parts.iter().enumerate() {
+        out.extend(glue[i].split_whitespace().map(str::to_string));
+        out.extend(part.iter().cloned());
+    }
+    if glue.len() > parts.len() {
+        out.extend(glue[parts.len()].split_whitespace().map(str::to_string));
+    }
+    out
+}
+
+impl<'a> CorpusGenerator<'a> {
+    /// Creates a generator over `lexicon` with the given configuration.
+    pub fn new(lexicon: &'a Lexicon, config: CorpusConfig) -> Self {
+        CorpusGenerator { lexicon, config }
+    }
+
+    /// Generates the corpus: a vector of tokenized sentences.
+    pub fn generate(&self) -> Vec<Vec<String>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut corpus: Vec<Vec<String>> = Vec::new();
+
+        let synonym_templates: &[(&str, &str, &str)] = &[
+            ("the", "is also called the", ""),
+            ("the", "is another name for the", ""),
+            ("analysts record the", "as the", ""),
+            ("in many schemas the", "column stores the", ""),
+            ("people often say", "when they mean the", ""),
+        ];
+        let desc_templates: &[(&str, &str)] = &[
+            ("the", "is"),
+            ("a", "denotes"),
+            ("by definition the", "captures"),
+        ];
+        let relation_templates: &[(&str, &str, &str)] = &[
+            ("the", "is closely related to the", ""),
+            ("a change in the", "usually affects the", ""),
+            ("reports often show the", "next to the", ""),
+        ];
+        let abbr_templates: &[(&str, &str, &str)] = &[
+            ("", "is short for", ""),
+            ("the abbreviation", "stands for the", ""),
+            ("", "abbreviates", ""),
+        ];
+
+        for c in self.lexicon.concepts() {
+            let canonical = &c.canonical;
+            // Synonym statements, public and (optionally) private.
+            let mut forms: Vec<&Vec<String>> = c.public_synonyms.iter().collect();
+            if self.config.include_private {
+                forms.extend(c.private_synonyms.iter());
+            }
+            for form in forms {
+                for _ in 0..self.config.repeats_per_form {
+                    let (a, b, z) = *synonym_templates
+                        .choose(&mut rng)
+                        .expect("templates are non-empty");
+                    // Emit both directions so the relation is symmetric in
+                    // the data.
+                    if rng.gen_bool(0.5) {
+                        corpus.push(sentence(&[form, canonical], &[a, b, z]));
+                    } else {
+                        corpus.push(sentence(&[canonical, form], &[a, b, z]));
+                    }
+                }
+            }
+            // Description statements.
+            if !c.description.is_empty() {
+                let desc_tokens: Vec<String> =
+                    c.description.split_whitespace().map(|t| t.to_lowercase()).collect();
+                for _ in 0..self.config.repeats_per_form {
+                    let (a, b) = *desc_templates.choose(&mut rng).expect("non-empty");
+                    corpus.push(sentence(&[canonical, &desc_tokens], &[a, b, ""]));
+                }
+            }
+            // Abbreviation expansions.
+            for abbr in &c.abbreviations {
+                let abbr_tokens = vec![abbr.clone()];
+                for _ in 0..self.config.repeats_per_form {
+                    let (a, b, z) = *abbr_templates.choose(&mut rng).expect("non-empty");
+                    corpus.push(sentence(&[&abbr_tokens, canonical], &[a, b, z]));
+                }
+            }
+            // Relation statements.
+            for &rel in &c.related {
+                let other = &self.lexicon.concept(rel).canonical;
+                let (a, b, z) = *relation_templates.choose(&mut rng).expect("non-empty");
+                corpus.push(sentence(&[canonical, other], &[a, b, z]));
+            }
+        }
+
+        // Schema-flavoured chatter: "each <entity> records the <attr> and
+        // the <attr>". Mixes co-domain concepts so attention heads see
+        // attribute vocabulary in entity context.
+        let entities: Vec<_> = self
+            .lexicon
+            .concepts()
+            .iter()
+            .filter(|c| c.kind == ConceptKind::Entity)
+            .collect();
+        let attrs: Vec<_> = self
+            .lexicon
+            .concepts()
+            .iter()
+            .filter(|c| c.kind == ConceptKind::Attribute)
+            .collect();
+        if !entities.is_empty() && attrs.len() >= 2 {
+            for _ in 0..self.config.chatter_sentences {
+                let e = entities.choose(&mut rng).expect("non-empty");
+                let a1 = attrs.choose(&mut rng).expect("non-empty");
+                let a2 = attrs.choose(&mut rng).expect("non-empty");
+                // Qualified attribute mentions ("the total quantity") keep
+                // ISS-style qualifier prefixes in the vocabulary.
+                let mut a1_tokens = a1.canonical.clone();
+                if rng.gen_bool(0.3) {
+                    let q = crate::QUALIFIERS[rng.gen_range(0..crate::QUALIFIERS.len())];
+                    a1_tokens.insert(0, q.to_string());
+                }
+                corpus.push(sentence(
+                    &[&e.canonical, &a1_tokens, &a2.canonical],
+                    &["each", "record stores the", "and the", ""],
+                ));
+            }
+        }
+
+        corpus.shuffle(&mut rng);
+        corpus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::{ConceptBuilder, Domain};
+
+    fn lex() -> Lexicon {
+        Lexicon::assemble(vec![
+            ConceptBuilder::attribute(Domain::Retail, "quantity")
+                .syn("unit count")
+                .private("item amount")
+                .abbr("qty")
+                .desc("number of units sold")
+                .related("total amount"),
+            ConceptBuilder::attribute(Domain::Retail, "total amount").desc("value of the line"),
+            ConceptBuilder::entity(Domain::Retail, "transaction line").desc("a sales line"),
+        ])
+    }
+
+    #[test]
+    fn corpus_is_deterministic_per_seed() {
+        let l = lex();
+        let a = CorpusGenerator::new(&l, CorpusConfig::default()).generate();
+        let b = CorpusGenerator::new(&l, CorpusConfig::default()).generate();
+        assert_eq!(a, b);
+        let c = CorpusGenerator::new(&l, CorpusConfig { seed: 7, ..Default::default() }).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn corpus_mentions_private_forms_when_enabled() {
+        let l = lex();
+        let corpus = CorpusGenerator::new(&l, CorpusConfig::default()).generate();
+        let has_private = corpus.iter().any(|s| {
+            s.windows(2).any(|w| w[0] == "item" && w[1] == "amount")
+        });
+        assert!(has_private, "private phrasing should appear in the corpus");
+    }
+
+    #[test]
+    fn corpus_hides_private_forms_when_disabled() {
+        let l = lex();
+        let cfg = CorpusConfig { include_private: false, ..Default::default() };
+        let corpus = CorpusGenerator::new(&l, cfg).generate();
+        let has_private = corpus.iter().any(|s| {
+            s.windows(2).any(|w| w[0] == "item" && w[1] == "amount")
+        });
+        assert!(!has_private);
+    }
+
+    #[test]
+    fn corpus_covers_abbreviations_and_descriptions() {
+        let l = lex();
+        let corpus = CorpusGenerator::new(&l, CorpusConfig::default()).generate();
+        assert!(corpus.iter().any(|s| s.contains(&"qty".to_string())));
+        assert!(corpus.iter().any(|s| s.contains(&"units".to_string())));
+    }
+
+    #[test]
+    fn chatter_uses_entity_context() {
+        let l = lex();
+        let corpus = CorpusGenerator::new(&l, CorpusConfig::default()).generate();
+        assert!(corpus.iter().any(|s| s.first().is_some_and(|t| t == "each")));
+    }
+
+    #[test]
+    fn sentences_are_lowercase_tokens() {
+        let l = lex();
+        let corpus = CorpusGenerator::new(&l, CorpusConfig::default()).generate();
+        for s in &corpus {
+            assert!(!s.is_empty());
+            for t in s {
+                assert_eq!(t, &t.to_lowercase(), "token {t:?} should be lowercase");
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Cross-domain concepts: identifiers, names, codes, timestamps, contact
+//! details. These appear in every vertical's schemata.
+
+use crate::concept::{ConceptBuilder, ConceptDtype, Domain};
+
+/// The generic attribute concepts.
+pub fn concepts() -> Vec<ConceptBuilder> {
+    use ConceptDtype::*;
+    let d = Domain::Generic;
+    vec![
+        ConceptBuilder::attribute(d, "identifier")
+            .syn("id")
+            .syn("key")
+            .private("record ref")
+            .abbr("id")
+            .dtype(Integer)
+            .desc("surrogate key uniquely identifying a record"),
+        ConceptBuilder::attribute(d, "name")
+            .syn("title")
+            .syn("label")
+            .private("caption text")
+            .dtype(Text)
+            .desc("human readable name of the record"),
+        ConceptBuilder::attribute(d, "code")
+            .syn("short code")
+            .private("sys tag")
+            .abbr("cd")
+            .dtype(Text)
+            .desc("short alphanumeric code classifying the record"),
+        ConceptBuilder::attribute(d, "status")
+            .syn("state")
+            .private("lifecycle stage")
+            .abbr("stat")
+            .dtype(Text)
+            .desc("current lifecycle status of the record"),
+        ConceptBuilder::attribute(d, "description")
+            .syn("comment")
+            .syn("remarks")
+            .private("free text note")
+            .abbr("desc")
+            .dtype(Text)
+            .desc("long form description of the record"),
+        ConceptBuilder::attribute(d, "created timestamp")
+            .syn("creation time")
+            .private("row inserted at")
+            .abbr("ctime")
+            .dtype(Timestamp)
+            .desc("point in time when the record was created"),
+        ConceptBuilder::attribute(d, "updated timestamp")
+            .syn("modification time")
+            .syn("last modified")
+            .private("row touched at")
+            .abbr("mtime")
+            .dtype(Timestamp)
+            .desc("point in time when the record was last updated"),
+        ConceptBuilder::attribute(d, "start date")
+            .syn("effective date")
+            .syn("valid from")
+            .private("kick off day")
+            .dtype(Date)
+            .desc("first day on which the record is effective"),
+        ConceptBuilder::attribute(d, "end date")
+            .syn("expiration date")
+            .syn("valid to")
+            .private("sunset day")
+            .dtype(Date)
+            .desc("last day on which the record is effective")
+            .related("start date"),
+        ConceptBuilder::attribute(d, "email address")
+            .syn("email")
+            .syn("electronic mail")
+            .private("contact mailbox")
+            .dtype(Text)
+            .desc("email address used to contact the person"),
+        ConceptBuilder::attribute(d, "phone number")
+            .syn("telephone")
+            .syn("contact number")
+            .private("call line")
+            .abbr("phone")
+            .dtype(Text)
+            .desc("telephone number used to contact the person"),
+        ConceptBuilder::attribute(d, "street address")
+            .syn("address line")
+            .private("mailing locale")
+            .abbr("addr")
+            .dtype(Text)
+            .desc("street and house number of a postal address"),
+        ConceptBuilder::attribute(d, "city")
+            .syn("town")
+            .syn("municipality")
+            .private("urban area name")
+            .dtype(Text)
+            .desc("city portion of a postal address"),
+        ConceptBuilder::attribute(d, "postal code")
+            .syn("zip code")
+            .syn("zip")
+            .private("mail routing code")
+            .dtype(Text)
+            .desc("postal routing code of an address")
+            .related("city"),
+        ConceptBuilder::attribute(d, "country")
+            .syn("nation")
+            .private("geo region iso")
+            .dtype(Text)
+            .desc("country portion of a postal address"),
+        ConceptBuilder::attribute(d, "state province")
+            .syn("region")
+            .syn("province")
+            .private("admin district")
+            .dtype(Text)
+            .desc("state or province of a postal address")
+            .related("country"),
+        ConceptBuilder::attribute(d, "currency code")
+            .syn("currency")
+            .private("money unit iso")
+            .abbr("ccy")
+            .dtype(Text)
+            .desc("iso currency code the monetary values are expressed in"),
+        ConceptBuilder::attribute(d, "type")
+            .syn("category kind")
+            .syn("kind")
+            .private("class bucket")
+            .dtype(Text)
+            .desc("classification of the record into a kind"),
+        ConceptBuilder::attribute(d, "active flag")
+            .syn("enabled")
+            .syn("is active")
+            .private("live switch")
+            .dtype(Boolean)
+            .desc("whether the record is currently active"),
+        ConceptBuilder::attribute(d, "url")
+            .syn("web address")
+            .syn("link")
+            .private("homepage locator")
+            .dtype(Text)
+            .desc("web address associated with the record"),
+        ConceptBuilder::attribute(d, "sequence number")
+            .syn("ordinal")
+            .syn("position")
+            .private("sort slot")
+            .abbr("seq")
+            .dtype(Integer)
+            .desc("ordinal position of the record within its parent"),
+        ConceptBuilder::attribute(d, "version number")
+            .syn("revision")
+            .private("change iteration")
+            .abbr("ver")
+            .dtype(Integer)
+            .desc("monotonically increasing revision of the record"),
+        ConceptBuilder::attribute(d, "first name")
+            .syn("given name")
+            .private("forename text")
+            .dtype(Text)
+            .desc("given name of a person"),
+        ConceptBuilder::attribute(d, "last name")
+            .syn("family name")
+            .syn("surname")
+            .private("kin name")
+            .dtype(Text)
+            .desc("family name of a person")
+            .related("first name"),
+        ConceptBuilder::attribute(d, "birth date")
+            .syn("date of birth")
+            .private("natal day")
+            .abbr("dob")
+            .dtype(Date)
+            .desc("date on which the person was born"),
+        ConceptBuilder::attribute(d, "note")
+            .syn("annotation")
+            .private("scribble text")
+            .dtype(Text)
+            .desc("free form annotation attached to the record"),
+        ConceptBuilder::attribute(d, "external reference")
+            .syn("external id")
+            .private("partner handle")
+            .abbr("xref")
+            .dtype(Text)
+            .desc("identifier of the record in an external system"),
+        ConceptBuilder::attribute(d, "language code")
+            .syn("locale")
+            .private("tongue iso")
+            .abbr("lang")
+            .dtype(Text)
+            .desc("iso language code of textual content"),
+        ConceptBuilder::attribute(d, "latitude")
+            .private("geo north coord")
+            .abbr("lat")
+            .dtype(Float)
+            .desc("geographic latitude in decimal degrees"),
+        ConceptBuilder::attribute(d, "longitude")
+            .private("geo east coord")
+            .abbr("lon")
+            .dtype(Float)
+            .desc("geographic longitude in decimal degrees")
+            .related("latitude"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::Lexicon;
+
+    #[test]
+    fn generic_table_assembles_alone() {
+        let lex = Lexicon::assemble(concepts());
+        assert!(lex.len() >= 30);
+        assert!(lex.find_canonical("identifier").is_some());
+        assert!(lex.are_public_synonyms("zip code", "postal code"));
+    }
+}

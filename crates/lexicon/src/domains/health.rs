@@ -1,0 +1,139 @@
+//! Healthcare concepts backing the IPFQR public dataset (Inpatient
+//! Psychiatric Facility Quality Reporting).
+//!
+//! The paper uses the IPFQR *state* file as source and *national* file as
+//! target; both are single flat entities whose columns are quality-measure
+//! rates. Matches are overwhelmingly near-lexical, which is why every
+//! baseline scores ≈1.0 on it (Table III). We therefore curate concepts
+//! whose alternative forms stay lexically close.
+
+use crate::concept::{ConceptBuilder, ConceptDtype, Domain};
+
+/// Health attribute and entity concepts.
+pub fn concepts() -> Vec<ConceptBuilder> {
+    use ConceptDtype::*;
+    let d = Domain::Health;
+    vec![
+        // entities
+        ConceptBuilder::entity(d, "facility").syn("provider").desc("an inpatient psychiatric facility"),
+        ConceptBuilder::entity(d, "measure response").syn("measure data").desc("reported values for one quality measure"),
+        // attributes
+        ConceptBuilder::attribute(d, "facility name")
+            .syn("provider name")
+            .dtype(Text)
+            .desc("name of the reporting facility"),
+        ConceptBuilder::attribute(d, "facility identifier")
+            .syn("provider number")
+            .syn("ccn")
+            .dtype(Text)
+            .desc("cms certification number of the facility"),
+        ConceptBuilder::attribute(d, "measure code")
+            .syn("measure identifier")
+            .dtype(Text)
+            .desc("code of the quality measure"),
+        ConceptBuilder::attribute(d, "measure description")
+            .syn("measure name")
+            .dtype(Text)
+            .desc("description of the quality measure")
+            .related("measure code"),
+        ConceptBuilder::attribute(d, "numerator")
+            .syn("numerator count")
+            .dtype(Integer)
+            .desc("numerator of the measure rate"),
+        ConceptBuilder::attribute(d, "denominator")
+            .syn("denominator count")
+            .dtype(Integer)
+            .desc("denominator of the measure rate")
+            .related("numerator"),
+        ConceptBuilder::attribute(d, "measure rate")
+            .syn("rate percent")
+            .syn("percentage rate")
+            .dtype(Decimal)
+            .desc("reported rate of the quality measure"),
+        ConceptBuilder::attribute(d, "state average rate")
+            .syn("state rate")
+            .dtype(Decimal)
+            .desc("average measure rate across the state"),
+        ConceptBuilder::attribute(d, "national average rate")
+            .syn("national rate")
+            .dtype(Decimal)
+            .desc("average measure rate across the nation")
+            .related("state average rate"),
+        ConceptBuilder::attribute(d, "reporting quarter")
+            .syn("quarter")
+            .dtype(Text)
+            .desc("calendar quarter the data covers"),
+        ConceptBuilder::attribute(d, "reporting year")
+            .syn("data year")
+            .dtype(Integer)
+            .desc("calendar year the data covers")
+            .related("reporting quarter"),
+        ConceptBuilder::attribute(d, "footnote")
+            .syn("footnote text")
+            .dtype(Text)
+            .desc("footnote qualifying the reported value"),
+        ConceptBuilder::attribute(d, "sample size")
+            .syn("patient count")
+            .dtype(Integer)
+            .desc("number of patients in the measured sample"),
+        ConceptBuilder::attribute(d, "survey response rate")
+            .syn("response rate percent")
+            .dtype(Decimal)
+            .desc("fraction of surveyed patients who responded"),
+        ConceptBuilder::attribute(d, "screening rate")
+            .syn("screening percent")
+            .dtype(Decimal)
+            .desc("rate of patients screened for the condition"),
+        ConceptBuilder::attribute(d, "readmission rate")
+            .syn("readmit rate")
+            .dtype(Decimal)
+            .desc("rate of patients readmitted after discharge"),
+        ConceptBuilder::attribute(d, "restraint hours")
+            .syn("restraint use hours")
+            .dtype(Float)
+            .desc("hours of physical restraint use per thousand patient hours"),
+        ConceptBuilder::attribute(d, "seclusion hours")
+            .syn("seclusion use hours")
+            .dtype(Float)
+            .desc("hours of seclusion use per thousand patient hours")
+            .related("restraint hours"),
+        ConceptBuilder::attribute(d, "discharge count")
+            .syn("discharges")
+            .dtype(Integer)
+            .desc("number of patient discharges in the period"),
+        ConceptBuilder::attribute(d, "medication continuation rate")
+            .syn("medication adherence rate")
+            .dtype(Decimal)
+            .desc("rate of patients continuing medication after discharge"),
+        ConceptBuilder::attribute(d, "follow up rate")
+            .syn("followup percent")
+            .dtype(Decimal)
+            .desc("rate of patients receiving timely follow up care"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::Lexicon;
+
+    #[test]
+    fn health_table_assembles() {
+        let lex = Lexicon::assemble(concepts());
+        assert!(lex.len() >= 20);
+        assert!(lex.are_public_synonyms("readmit rate", "readmission rate"));
+    }
+
+    /// IPFQR matches must stay easy: no private synonyms in this domain.
+    #[test]
+    fn health_concepts_have_no_private_jargon() {
+        let lex = Lexicon::assemble(concepts());
+        for c in lex.concepts() {
+            assert!(
+                c.private_synonyms.is_empty(),
+                "{:?} should not have private synonyms",
+                c.canonical_phrase()
+            );
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Curated concept tables, one module per industry vertical.
+//!
+//! These tables are the reproduction's stand-in for proprietary knowledge:
+//! the Microsoft retail ISS vocabulary, the naming habits of real customers,
+//! and the public datasets' schemata. Each concept lists the canonical
+//! ISS-style phrase, dictionary synonyms (public), customer jargon
+//! (private), abbreviations, a description, a data type, and its semantic
+//! neighbours.
+
+pub mod generic;
+pub mod health;
+pub mod movie;
+pub mod retail;
+
+use crate::concept::ConceptBuilder;
+use crate::lexicon::Lexicon;
+
+/// Assembles the full multi-domain lexicon used throughout the repo.
+pub fn full_lexicon() -> Lexicon {
+    let mut builders: Vec<ConceptBuilder> = Vec::new();
+    builders.extend(generic::concepts());
+    builders.extend(retail::attribute_concepts());
+    builders.extend(retail::entity_concepts());
+    builders.extend(movie::concepts());
+    builders.extend(health::concepts());
+    Lexicon::assemble(builders)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::{ConceptKind, Domain};
+
+    #[test]
+    fn full_lexicon_assembles() {
+        let lex = full_lexicon();
+        assert!(lex.len() > 150, "expected a rich lexicon, got {}", lex.len());
+    }
+
+    #[test]
+    fn full_lexicon_has_all_domains() {
+        let lex = full_lexicon();
+        for d in [Domain::Retail, Domain::Movie, Domain::Health, Domain::Generic] {
+            assert!(lex.of_domain(d).count() > 0, "missing domain {d:?}");
+        }
+    }
+
+    #[test]
+    fn retail_has_entity_and_attribute_concepts() {
+        let lex = full_lexicon();
+        let entities = lex
+            .of_domain(Domain::Retail)
+            .filter(|c| c.kind == ConceptKind::Entity)
+            .count();
+        let attrs = lex
+            .of_domain(Domain::Retail)
+            .filter(|c| c.kind == ConceptKind::Attribute)
+            .count();
+        assert!(entities >= 30, "need ≥30 retail entity concepts, got {entities}");
+        assert!(attrs >= 80, "need ≥80 retail attribute concepts, got {attrs}");
+    }
+
+    #[test]
+    fn every_concept_has_a_description() {
+        let lex = full_lexicon();
+        for c in lex.concepts() {
+            assert!(
+                !c.description.is_empty(),
+                "concept {:?} lacks a description",
+                c.canonical_phrase()
+            );
+        }
+    }
+
+    /// The hard-rename channels need material to draw from: a healthy share
+    /// of attribute concepts must carry private synonyms, and some public
+    /// synonyms must be lexically disjoint from their canonical form.
+    #[test]
+    fn rename_channels_have_material() {
+        let lex = full_lexicon();
+        let attrs: Vec<_> = lex
+            .concepts()
+            .iter()
+            .filter(|c| c.kind == ConceptKind::Attribute)
+            .collect();
+        let with_private = attrs.iter().filter(|c| !c.private_synonyms.is_empty()).count();
+        let with_public = attrs.iter().filter(|c| !c.public_synonyms.is_empty()).count();
+        let with_abbr = attrs.iter().filter(|c| !c.abbreviations.is_empty()).count();
+        assert!(with_private * 3 >= attrs.len(), "≥1/3 of attribute concepts need private synonyms");
+        assert!(with_public * 2 >= attrs.len(), "≥1/2 need public synonyms");
+        assert!(with_abbr * 10 >= attrs.len(), "≥1/10 need abbreviations");
+    }
+}

@@ -1,0 +1,166 @@
+//! Movie-domain concepts backing the MovieLens-IMDB public dataset.
+//!
+//! The paper reports moderate baseline accuracy (~0.54-0.72 top-3) on this
+//! pair: the schemata are small but some matches need light semantics (e.g.
+//! MovieLens `rating` vs IMDB `averageRating`). We model that regime with
+//! mostly public synonyms and a few private phrasings.
+
+use crate::concept::{ConceptBuilder, ConceptDtype, Domain};
+
+/// Movie attribute and entity concepts.
+pub fn concepts() -> Vec<ConceptBuilder> {
+    use ConceptDtype::*;
+    let d = Domain::Movie;
+    vec![
+        // entities
+        ConceptBuilder::entity(d, "movie").syn("film").syn("title basics").desc("a released motion picture"),
+        ConceptBuilder::entity(d, "rating").syn("title rating").desc("aggregate user ratings for a movie"),
+        ConceptBuilder::entity(d, "person").syn("name basics").private("talent").desc("an actor director or crew member"),
+        ConceptBuilder::entity(d, "cast member").syn("principal").desc("a person credited on a movie"),
+        ConceptBuilder::entity(d, "genre link").syn("movie genre").desc("association of a movie with a genre"),
+        ConceptBuilder::entity(d, "user").syn("reviewer").desc("a platform user who rates movies"),
+        ConceptBuilder::entity(d, "tag").syn("keyword").desc("a free text tag applied to a movie"),
+        ConceptBuilder::entity(d, "episode").syn("tv episode").desc("an episode of a series"),
+        // attributes
+        ConceptBuilder::attribute(d, "movie identifier")
+            .syn("movie id")
+            .private("tconst")
+            .private("title const")
+            .dtype(Text)
+            .desc("unique identifier of a movie title"),
+        ConceptBuilder::attribute(d, "person identifier")
+            .syn("person id")
+            .private("nconst")
+            .private("name const")
+            .dtype(Text)
+            .desc("unique identifier of a person")
+            .related("movie identifier"),
+        ConceptBuilder::attribute(d, "movie title")
+            .syn("primary title")
+            .syn("film name")
+            .private("marquee text")
+            .dtype(Text)
+            .desc("the display title of the movie"),
+        ConceptBuilder::attribute(d, "original title")
+            .syn("native title")
+            .dtype(Text)
+            .desc("title in the original language")
+            .related("movie title"),
+        ConceptBuilder::attribute(d, "release year")
+            .syn("start year")
+            .syn("premiere year")
+            .private("vintage")
+            .dtype(Integer)
+            .desc("year the movie was first released"),
+        ConceptBuilder::attribute(d, "runtime minutes")
+            .syn("duration")
+            .syn("length minutes")
+            .private("sit time")
+            .dtype(Integer)
+            .desc("running time of the movie in minutes"),
+        ConceptBuilder::attribute(d, "genre list")
+            .syn("genres")
+            .syn("category tags")
+            .dtype(Text)
+            .desc("pipe separated list of genres"),
+        ConceptBuilder::attribute(d, "average rating")
+            .syn("mean score")
+            .syn("user rating")
+            .private("crowd verdict")
+            .dtype(Float)
+            .desc("mean of all user ratings for the movie"),
+        ConceptBuilder::attribute(d, "vote count")
+            .syn("number of votes")
+            .syn("ratings count")
+            .private("ballot tally")
+            .dtype(Integer)
+            .desc("number of user ratings received")
+            .related("average rating"),
+        ConceptBuilder::attribute(d, "rating value")
+            .syn("score given")
+            .syn("stars")
+            .dtype(Float)
+            .desc("the score one user gave one movie"),
+        ConceptBuilder::attribute(d, "rating timestamp")
+            .syn("rated at")
+            .private("clocked moment")
+            .dtype(Timestamp)
+            .desc("time the user submitted the rating"),
+        ConceptBuilder::attribute(d, "adult flag")
+            .syn("is adult")
+            .dtype(Boolean)
+            .desc("whether the movie is adult only content"),
+        ConceptBuilder::attribute(d, "director name")
+            .syn("directed by")
+            .private("helmer")
+            .dtype(Text)
+            .desc("name of the movie director"),
+        ConceptBuilder::attribute(d, "actor name")
+            .syn("performer name")
+            .private("screen talent")
+            .dtype(Text)
+            .desc("name of a credited actor"),
+        ConceptBuilder::attribute(d, "character name")
+            .syn("role name")
+            .dtype(Text)
+            .desc("name of the character played")
+            .related("actor name"),
+        ConceptBuilder::attribute(d, "birth year")
+            .syn("year of birth")
+            .dtype(Integer)
+            .desc("year the person was born"),
+        ConceptBuilder::attribute(d, "death year")
+            .syn("year of death")
+            .dtype(Integer)
+            .desc("year the person died if deceased")
+            .related("birth year"),
+        ConceptBuilder::attribute(d, "primary profession")
+            .syn("main occupation")
+            .dtype(Text)
+            .desc("comma separated main professions of the person"),
+        ConceptBuilder::attribute(d, "known for titles")
+            .syn("famous works")
+            .dtype(Text)
+            .desc("titles the person is best known for"),
+        ConceptBuilder::attribute(d, "tag text")
+            .syn("keyword text")
+            .dtype(Text)
+            .desc("the text of the applied tag"),
+        ConceptBuilder::attribute(d, "tag relevance")
+            .syn("keyword relevance")
+            .dtype(Float)
+            .desc("relevance weight of the tag for the movie")
+            .related("tag text"),
+        ConceptBuilder::attribute(d, "season number")
+            .syn("season")
+            .dtype(Integer)
+            .desc("season the episode belongs to"),
+        ConceptBuilder::attribute(d, "episode number")
+            .syn("episode ordinal")
+            .dtype(Integer)
+            .desc("position of the episode within its season")
+            .related("season number"),
+        ConceptBuilder::attribute(d, "job category")
+            .syn("credit category")
+            .dtype(Text)
+            .desc("credit category of the cast member"),
+        ConceptBuilder::attribute(d, "ordering")
+            .syn("billing order")
+            .dtype(Integer)
+            .desc("billing position of the credit"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::Lexicon;
+
+    #[test]
+    fn movie_table_assembles() {
+        let lex = Lexicon::assemble(concepts());
+        assert!(lex.len() >= 25);
+        assert!(lex.are_public_synonyms("duration", "runtime minutes"));
+        assert!(lex.are_public_synonyms("mean score", "average rating"));
+    }
+}

@@ -1,0 +1,630 @@
+//! Retail-domain concepts: the vocabulary of the synthetic industry-specific
+//! schema (ISS) and of the customer schemata derived from it.
+//!
+//! Several concepts encode the paper's own running examples: `quantity` vs
+//! `item_amount`, `price change percentage` vs `discount`, `european article
+//! number` vs `EAN`, `total order line amount` vs `items_subtotal`,
+//! `suggested retail price` vs `full_price`, and `promised available
+//! curbside pickup timestamp` vs `pick_up_estimated_time`. Whether an
+//! alternative form is *public* (dictionary-grade, visible to the
+//! FastText/WordNet surrogates) or *private* (customer jargon, visible only
+//! to the MLM pre-training corpus) calibrates how hard each rename is for
+//! the baselines — the paper reports that >30 % of real customer matches are
+//! of the hard kind.
+
+use crate::concept::{ConceptBuilder, ConceptDtype, Domain};
+
+/// Retail attribute concepts.
+pub fn attribute_concepts() -> Vec<ConceptBuilder> {
+    use ConceptDtype::*;
+    let d = Domain::Retail;
+    vec![
+        // ----- quantities and amounts (paper examples) -----
+        ConceptBuilder::attribute(d, "quantity")
+            .syn("unit count")
+            .private("item amount")
+            .private("pieces sold")
+            .abbr("qty")
+            .dtype(Integer)
+            .desc("number of units of the product in the transaction line"),
+        ConceptBuilder::attribute(d, "price change percentage")
+            .syn("markdown rate")
+            .private("discount")
+            .private("promo cut")
+            .dtype(Decimal)
+            .desc("fractional reduction applied to the list price at sale time"),
+        ConceptBuilder::attribute(d, "european article number")
+            .syn("international article number")
+            .private("barcode digits")
+            .abbr("ean")
+            .dtype(Text)
+            .desc("standardized thirteen digit barcode identifying the product"),
+        ConceptBuilder::attribute(d, "total order line amount")
+            .syn("line total")
+            .private("items subtotal")
+            .private("extended price")
+            .dtype(Decimal)
+            .desc("monetary value of the order line after discounts")
+            .related("quantity"),
+        ConceptBuilder::attribute(d, "suggested retail price")
+            .syn("list price")
+            .private("full price")
+            .private("sticker value")
+            .abbr("msrp")
+            .dtype(Decimal)
+            .desc("price the manufacturer recommends charging consumers"),
+        ConceptBuilder::attribute(d, "promised available curbside pickup timestamp")
+            .syn("curbside pickup time")
+            .private("pick up estimated time")
+            .dtype(Timestamp)
+            .desc("time at which the curbside pickup order is promised to be ready"),
+        // ----- pricing -----
+        ConceptBuilder::attribute(d, "unit price")
+            .syn("price per unit")
+            .private("each cost")
+            .dtype(Decimal)
+            .desc("price charged for a single unit of the product"),
+        ConceptBuilder::attribute(d, "product item price amount")
+            .syn("item price")
+            .private("ticket value")
+            .dtype(Decimal)
+            .desc("monetary price of the product item on the price list"),
+        ConceptBuilder::attribute(d, "wholesale price")
+            .syn("trade price")
+            .private("bulk buy rate")
+            .dtype(Decimal)
+            .desc("price charged to resellers buying in bulk"),
+        ConceptBuilder::attribute(d, "cost of goods")
+            .syn("unit cost")
+            .private("landed spend")
+            .abbr("cogs")
+            .dtype(Decimal)
+            .desc("direct cost incurred to acquire or produce the product"),
+        ConceptBuilder::attribute(d, "margin percentage")
+            .syn("profit margin")
+            .private("take rate")
+            .dtype(Decimal)
+            .desc("fraction of the sale price retained as profit")
+            .related("cost of goods"),
+        ConceptBuilder::attribute(d, "tax amount")
+            .syn("sales tax")
+            .private("levy charge")
+            .dtype(Decimal)
+            .desc("tax collected on the transaction"),
+        ConceptBuilder::attribute(d, "tax rate")
+            .syn("tax percentage")
+            .private("levy fraction")
+            .dtype(Decimal)
+            .desc("fractional tax applied to the taxable amount")
+            .related("tax amount"),
+        ConceptBuilder::attribute(d, "net amount")
+            .syn("amount excluding tax")
+            .private("pre levy sum")
+            .dtype(Decimal)
+            .desc("monetary amount before taxes are applied"),
+        ConceptBuilder::attribute(d, "gross amount")
+            .syn("amount including tax")
+            .private("all in sum")
+            .dtype(Decimal)
+            .desc("monetary amount after taxes are applied")
+            .related("net amount"),
+        ConceptBuilder::attribute(d, "shipping cost")
+            .syn("delivery fee")
+            .private("freight charge")
+            .dtype(Decimal)
+            .desc("fee charged for delivering the order"),
+        ConceptBuilder::attribute(d, "refund amount")
+            .syn("reimbursement")
+            .private("give back sum")
+            .dtype(Decimal)
+            .desc("monetary amount returned to the customer"),
+        ConceptBuilder::attribute(d, "deposit amount")
+            .syn("down payment")
+            .private("upfront stake")
+            .dtype(Decimal)
+            .desc("amount paid in advance to reserve goods"),
+        ConceptBuilder::attribute(d, "loyalty points balance")
+            .syn("reward points")
+            .private("perk credits")
+            .dtype(Integer)
+            .desc("accumulated loyalty program points of the customer"),
+        ConceptBuilder::attribute(d, "promotion budget")
+            .syn("campaign budget")
+            .private("ad war chest")
+            .dtype(Decimal)
+            .desc("monetary budget allocated to the promotion"),
+        ConceptBuilder::attribute(d, "coupon code")
+            .syn("voucher code")
+            .private("deal token")
+            .dtype(Text)
+            .desc("alphanumeric code the customer redeems for a discount"),
+        ConceptBuilder::attribute(d, "redemption count")
+            .syn("uses count")
+            .private("burn tally")
+            .dtype(Integer)
+            .desc("number of times the coupon has been redeemed")
+            .related("coupon code"),
+        // ----- product catalog -----
+        ConceptBuilder::attribute(d, "stock keeping unit")
+            .syn("product code")
+            .private("shelf tag code")
+            .abbr("sku")
+            .dtype(Text)
+            .desc("retailer specific code identifying the sellable item"),
+        ConceptBuilder::attribute(d, "universal product code")
+            .syn("product barcode")
+            .private("scan digits")
+            .abbr("upc")
+            .dtype(Text)
+            .desc("twelve digit barcode used in north american retail"),
+        ConceptBuilder::attribute(d, "brand name")
+            .syn("make")
+            .private("marque label")
+            .dtype(Text)
+            .desc("brand under which the product is marketed"),
+        ConceptBuilder::attribute(d, "product category")
+            .syn("merchandise group")
+            .private("range bucket")
+            .dtype(Text)
+            .desc("category of the merchandise hierarchy the product sits in"),
+        ConceptBuilder::attribute(d, "product weight")
+            .syn("item weight")
+            .private("heft grams")
+            .dtype(Float)
+            .desc("weight of a single unit of the product"),
+        ConceptBuilder::attribute(d, "product color")
+            .syn("colour")
+            .private("shade finish")
+            .dtype(Text)
+            .desc("color variant of the product"),
+        ConceptBuilder::attribute(d, "product size")
+            .syn("size label")
+            .private("fit spec")
+            .dtype(Text)
+            .desc("size variant of the product"),
+        ConceptBuilder::attribute(d, "warranty period months")
+            .syn("guarantee duration")
+            .private("cover span")
+            .dtype(Integer)
+            .desc("number of months the product warranty lasts"),
+        ConceptBuilder::attribute(d, "launch date")
+            .syn("release date")
+            .private("street day")
+            .dtype(Date)
+            .desc("date the product became available for sale"),
+        ConceptBuilder::attribute(d, "discontinued flag")
+            .syn("end of life")
+            .private("sunset mark")
+            .dtype(Boolean)
+            .desc("whether the product is no longer sold"),
+        ConceptBuilder::attribute(d, "seasonal flag")
+            .syn("seasonal item")
+            .private("holiday only mark")
+            .dtype(Boolean)
+            .desc("whether the product is sold only in certain seasons"),
+        ConceptBuilder::attribute(d, "clearance flag")
+            .syn("closeout")
+            .private("rack out mark")
+            .dtype(Boolean)
+            .desc("whether the product is being cleared from inventory"),
+        // ----- inventory -----
+        ConceptBuilder::attribute(d, "stock level")
+            .syn("on hand quantity")
+            .private("shelf depth")
+            .dtype(Integer)
+            .desc("number of units currently available in inventory"),
+        ConceptBuilder::attribute(d, "reorder point")
+            .syn("replenishment threshold")
+            .private("refill trigger")
+            .dtype(Integer)
+            .desc("stock level at which a replenishment order is placed")
+            .related("stock level"),
+        ConceptBuilder::attribute(d, "safety stock")
+            .syn("buffer stock")
+            .private("cushion units")
+            .dtype(Integer)
+            .desc("extra inventory kept to absorb demand spikes"),
+        ConceptBuilder::attribute(d, "warehouse zone")
+            .syn("storage zone")
+            .private("depot sector")
+            .dtype(Text)
+            .desc("zone of the warehouse where the product is stored"),
+        ConceptBuilder::attribute(d, "bin location")
+            .syn("storage bin")
+            .private("slot coords")
+            .dtype(Text)
+            .desc("exact bin within the warehouse zone")
+            .related("warehouse zone"),
+        ConceptBuilder::attribute(d, "pallet count")
+            .syn("pallet quantity")
+            .private("skid tally")
+            .dtype(Integer)
+            .desc("number of pallets of the product in storage"),
+        ConceptBuilder::attribute(d, "lot number")
+            .syn("batch number")
+            .private("production run tag")
+            .dtype(Text)
+            .desc("identifier of the manufacturing batch"),
+        ConceptBuilder::attribute(d, "expiration date")
+            .syn("best before date")
+            .private("spoil day")
+            .dtype(Date)
+            .desc("date after which the product should not be sold")
+            .related("lot number"),
+        ConceptBuilder::attribute(d, "manufacture date")
+            .syn("production date")
+            .private("made on day")
+            .dtype(Date)
+            .desc("date the batch was manufactured"),
+        ConceptBuilder::attribute(d, "inventory valuation")
+            .syn("stock value")
+            .private("hoard worth")
+            .dtype(Decimal)
+            .desc("monetary value of the inventory on hand"),
+        // ----- orders and transactions -----
+        ConceptBuilder::attribute(d, "order date")
+            .syn("purchase date")
+            .private("basket day")
+            .dtype(Date)
+            .desc("date the order was placed"),
+        ConceptBuilder::attribute(d, "ship date")
+            .syn("dispatch date")
+            .private("out the door day")
+            .dtype(Date)
+            .desc("date the order left the warehouse")
+            .related("order date"),
+        ConceptBuilder::attribute(d, "delivery date")
+            .syn("arrival date")
+            .private("doorstep day")
+            .dtype(Date)
+            .desc("date the order reached the customer")
+            .related("ship date"),
+        ConceptBuilder::attribute(d, "payment method")
+            .syn("payment type")
+            .private("tender kind")
+            .dtype(Text)
+            .desc("instrument used to pay for the transaction"),
+        ConceptBuilder::attribute(d, "card last four")
+            .syn("card suffix")
+            .private("pan tail")
+            .dtype(Text)
+            .desc("last four digits of the payment card"),
+        ConceptBuilder::attribute(d, "authorization code")
+            .syn("approval code")
+            .private("acquirer stamp")
+            .dtype(Text)
+            .desc("code returned by the payment processor on approval"),
+        ConceptBuilder::attribute(d, "invoice number")
+            .syn("bill number")
+            .private("ar doc ref")
+            .dtype(Text)
+            .desc("identifier printed on the invoice document"),
+        ConceptBuilder::attribute(d, "receipt number")
+            .syn("ticket number")
+            .private("till slip ref")
+            .dtype(Text)
+            .desc("identifier printed on the point of sale receipt"),
+        ConceptBuilder::attribute(d, "register number")
+            .syn("till number")
+            .private("lane box id")
+            .dtype(Integer)
+            .desc("identifier of the point of sale register"),
+        ConceptBuilder::attribute(d, "cashier name")
+            .syn("clerk name")
+            .private("till operator")
+            .dtype(Text)
+            .desc("name of the employee operating the register")
+            .related("register number"),
+        ConceptBuilder::attribute(d, "line number")
+            .syn("line sequence")
+            .private("row ordinal in basket")
+            .dtype(Integer)
+            .desc("position of the line within the transaction"),
+        ConceptBuilder::attribute(d, "fulfillment status")
+            .syn("shipping status")
+            .private("parcel stage")
+            .dtype(Text)
+            .desc("progress of the order through fulfillment"),
+        ConceptBuilder::attribute(d, "tracking number")
+            .syn("shipment tracking code")
+            .private("parcel trace ref")
+            .dtype(Text)
+            .desc("carrier issued code for tracking the shipment"),
+        ConceptBuilder::attribute(d, "carrier name")
+            .syn("shipping company")
+            .private("haulier label")
+            .dtype(Text)
+            .desc("company transporting the shipment")
+            .related("tracking number"),
+        ConceptBuilder::attribute(d, "return reason")
+            .syn("refund reason")
+            .private("send back cause")
+            .dtype(Text)
+            .desc("reason the customer returned the goods"),
+        ConceptBuilder::attribute(d, "exchange flag")
+            .syn("exchanged")
+            .private("swap mark")
+            .dtype(Boolean)
+            .desc("whether the return was resolved as an exchange")
+            .related("return reason"),
+        ConceptBuilder::attribute(d, "gift wrap flag")
+            .syn("gift wrapped")
+            .private("bow tie mark")
+            .dtype(Boolean)
+            .desc("whether the item was gift wrapped"),
+        ConceptBuilder::attribute(d, "basket size")
+            .syn("items per transaction")
+            .private("haul breadth")
+            .dtype(Integer)
+            .desc("number of distinct items in the transaction"),
+        ConceptBuilder::attribute(d, "channel")
+            .syn("sales channel")
+            .private("route to market")
+            .dtype(Text)
+            .desc("channel through which the sale was made"),
+        ConceptBuilder::attribute(d, "pos terminal identifier")
+            .syn("terminal id")
+            .private("checkout box ref")
+            .dtype(Text)
+            .desc("identifier of the point of sale terminal"),
+        // ----- customer analytics -----
+        ConceptBuilder::attribute(d, "customer segment")
+            .syn("customer tier")
+            .private("shopper cohort")
+            .dtype(Text)
+            .desc("marketing segment the customer belongs to"),
+        ConceptBuilder::attribute(d, "household size")
+            .syn("family size")
+            .private("home headcount")
+            .dtype(Integer)
+            .desc("number of people in the customer household"),
+        ConceptBuilder::attribute(d, "annual income")
+            .syn("yearly income")
+            .private("take home band")
+            .dtype(Decimal)
+            .desc("estimated yearly income of the customer"),
+        ConceptBuilder::attribute(d, "visit frequency")
+            .syn("shopping frequency")
+            .private("footfall cadence")
+            .dtype(Float)
+            .desc("average number of store visits per month"),
+        ConceptBuilder::attribute(d, "churn risk score")
+            .syn("attrition risk")
+            .private("walk away odds")
+            .dtype(Float)
+            .desc("model score predicting customer attrition"),
+        ConceptBuilder::attribute(d, "satisfaction rating")
+            .syn("csat score")
+            .private("smiley tally")
+            .dtype(Float)
+            .desc("customer reported satisfaction score"),
+        ConceptBuilder::attribute(d, "review text")
+            .syn("review body")
+            .private("shopper verbatim")
+            .dtype(Text)
+            .desc("free text of the product review"),
+        ConceptBuilder::attribute(d, "review score")
+            .syn("star rating")
+            .private("rave grade")
+            .dtype(Float)
+            .desc("numeric score of the product review")
+            .related("review text"),
+        ConceptBuilder::attribute(d, "wish list count")
+            .syn("saved items count")
+            .private("someday pile size")
+            .dtype(Integer)
+            .desc("number of items on the customer wish list"),
+        ConceptBuilder::attribute(d, "cart abandonment rate")
+            .syn("abandonment rate")
+            .private("bail fraction")
+            .dtype(Float)
+            .desc("fraction of carts abandoned before checkout"),
+        ConceptBuilder::attribute(d, "opt in flag")
+            .syn("marketing consent")
+            .private("spam ok mark")
+            .dtype(Boolean)
+            .desc("whether the customer consented to marketing contact"),
+        // ----- store operations -----
+        ConceptBuilder::attribute(d, "store area square meters")
+            .syn("floor area")
+            .private("footprint sqm")
+            .dtype(Float)
+            .desc("selling floor area of the store"),
+        ConceptBuilder::attribute(d, "aisle number")
+            .syn("aisle")
+            .private("gangway index")
+            .dtype(Integer)
+            .desc("aisle of the store where the product is displayed"),
+        ConceptBuilder::attribute(d, "shelf position")
+            .syn("shelf slot")
+            .private("planogram spot")
+            .dtype(Text)
+            .desc("exact shelf placement within the aisle")
+            .related("aisle number"),
+        ConceptBuilder::attribute(d, "opening hour")
+            .syn("opens at")
+            .private("doors up time")
+            .dtype(Text)
+            .desc("time of day the store opens"),
+        ConceptBuilder::attribute(d, "closing hour")
+            .syn("closes at")
+            .private("doors down time")
+            .dtype(Text)
+            .desc("time of day the store closes")
+            .related("opening hour"),
+        ConceptBuilder::attribute(d, "headcount")
+            .syn("employee count")
+            .private("crew size")
+            .dtype(Integer)
+            .desc("number of employees working at the store"),
+        ConceptBuilder::attribute(d, "manager name")
+            .syn("store manager")
+            .private("site lead")
+            .dtype(Text)
+            .desc("name of the store manager"),
+        ConceptBuilder::attribute(d, "franchise flag")
+            .syn("franchised")
+            .private("licensee mark")
+            .dtype(Boolean)
+            .desc("whether the store is operated by a franchisee"),
+        // ----- suppliers and purchasing -----
+        ConceptBuilder::attribute(d, "supplier name")
+            .syn("vendor name")
+            .private("source firm")
+            .dtype(Text)
+            .desc("name of the company supplying the goods"),
+        ConceptBuilder::attribute(d, "lead time days")
+            .syn("delivery lead time")
+            .private("wait window days")
+            .dtype(Integer)
+            .desc("days between placing and receiving a purchase order"),
+        ConceptBuilder::attribute(d, "minimum order quantity")
+            .syn("minimum purchase")
+            .private("floor batch size")
+            .abbr("moq")
+            .dtype(Integer)
+            .desc("smallest quantity the supplier will accept"),
+        ConceptBuilder::attribute(d, "payment terms")
+            .syn("credit terms")
+            .private("settle window")
+            .dtype(Text)
+            .desc("contractual terms for paying the supplier"),
+        ConceptBuilder::attribute(d, "purchase order number")
+            .syn("po number")
+            .private("buy docket ref")
+            .dtype(Text)
+            .desc("identifier of the purchase order document"),
+        // ----- promotions -----
+        ConceptBuilder::attribute(d, "discount percentage")
+            .syn("percent off")
+            .private("slash depth")
+            .dtype(Decimal)
+            .desc("advertised percentage reduction of the promotion"),
+        ConceptBuilder::attribute(d, "promotion name")
+            .syn("campaign name")
+            .private("push moniker")
+            .dtype(Text)
+            .desc("marketing name of the promotion"),
+        ConceptBuilder::attribute(d, "redemption limit")
+            .syn("usage limit")
+            .private("burn ceiling")
+            .dtype(Integer)
+            .desc("maximum number of redemptions allowed"),
+        ConceptBuilder::attribute(d, "target audience")
+            .syn("audience segment")
+            .private("aim cohort")
+            .dtype(Text)
+            .desc("customer segment the promotion targets"),
+    ]
+}
+
+/// Retail entity (table) concepts.
+pub fn entity_concepts() -> Vec<ConceptBuilder> {
+    let d = Domain::Retail;
+    let e = |canonical: &str| ConceptBuilder::entity(d, canonical);
+    vec![
+        e("transaction line")
+            .syn("sales line")
+            .private("orders")
+            .desc("one product position within a sales transaction"),
+        e("transaction header")
+            .syn("sales transaction")
+            .private("basket")
+            .desc("a completed sales transaction at a point of sale"),
+        e("product").syn("item").private("article").desc("a sellable good in the catalog"),
+        e("brand").syn("make").private("marque").desc("a brand under which products are sold"),
+        e("customer").syn("shopper").private("client account").desc("a person buying goods"),
+        e("store").syn("shop").private("outlet site").desc("a physical retail location"),
+        e("promotion").syn("campaign").private("deal push").desc("a time bound marketing campaign"),
+        e("coupon").syn("voucher").private("deal slip").desc("a redeemable discount instrument"),
+        e("supplier").syn("vendor").private("source partner").desc("a company supplying goods"),
+        e("warehouse").syn("distribution center").private("depot").desc("a storage facility"),
+        e("inventory").syn("stock").private("holding ledger").desc("stock levels per product and site"),
+        e("purchase order").syn("procurement order").private("buy docket").desc("an order placed with a supplier"),
+        e("shipment").syn("delivery").private("parcel run").desc("a physical movement of goods"),
+        e("return").syn("refund case").private("send back").desc("goods returned by a customer"),
+        e("payment").syn("tender").private("settlement").desc("a payment applied to a transaction"),
+        e("invoice").syn("bill").private("ar document").desc("a billing document for a sale"),
+        e("price list").syn("tariff").private("rate card").desc("prices of products over time"),
+        e("product related status").syn("product status").private("item state").desc("lifecycle status codes of products"),
+        e("category").syn("merchandise category").private("range group").desc("a node of the merchandise hierarchy"),
+        e("loyalty program").syn("rewards program").private("perks club").desc("a customer loyalty scheme"),
+        e("loyalty account").syn("rewards account").private("perks wallet").desc("a customer membership in a loyalty program"),
+        e("employee").syn("staff member").private("crew member").desc("a person employed at a store"),
+        e("register").syn("till").private("lane box").desc("a point of sale register"),
+        e("gift card").syn("stored value card").private("plastic credit").desc("a prepaid stored value instrument"),
+        e("wish list").syn("saved items").private("someday pile").desc("products a customer saved for later"),
+        e("review").syn("product review").private("shopper write up").desc("a customer review of a product"),
+        e("address").syn("postal address").private("mail point").desc("a postal address record"),
+        e("contact").syn("contact detail").private("reach record").desc("contact details for a party"),
+        e("currency").syn("currency unit").private("money denomination").desc("a currency and its codes"),
+        e("tax jurisdiction").syn("tax region").private("levy zone").desc("a region with its own tax rules"),
+        e("planogram").syn("shelf layout").private("display map").desc("the planned shelf layout of a store"),
+        e("assortment").syn("product assortment").private("range plan").desc("the set of products a store carries"),
+        e("price change").syn("reprice event").private("tag swap").desc("a historical price change event"),
+        e("stock movement").syn("inventory movement").private("ledger hop").desc("a movement of stock between locations"),
+        e("delivery slot").syn("time window").private("van window").desc("a bookable delivery time window"),
+        e("basket item").syn("cart line").private("trolley row").desc("an item placed in an online cart"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::ConceptKind;
+    use crate::lexicon::Lexicon;
+
+    fn lex() -> Lexicon {
+        let mut b = attribute_concepts();
+        b.extend(entity_concepts());
+        Lexicon::assemble(b)
+    }
+
+    #[test]
+    fn retail_table_assembles() {
+        let lex = lex();
+        assert!(lex.len() >= 120, "got {}", lex.len());
+    }
+
+    #[test]
+    fn paper_examples_are_present() {
+        let lex = lex();
+        // quantity vs item_amount: private, so NOT public synonyms.
+        assert!(lex.find_canonical("quantity").is_some());
+        assert!(!lex.are_public_synonyms("quantity", "item amount"));
+        // EAN is an abbreviation — invisible to the synset view.
+        assert!(lex.public_synsets_of("ean").is_empty());
+        let hits = lex.lookup_phrase("ean");
+        assert_eq!(hits.len(), 1);
+        // discount is customer jargon for price change percentage.
+        assert!(!lex.are_public_synonyms("discount", "price change percentage"));
+        assert_eq!(
+            lex.lookup_phrase("discount").len(),
+            1,
+            "discount should be exactly one concept's private synonym"
+        );
+    }
+
+    #[test]
+    fn entity_concepts_are_entities() {
+        let lex = lex();
+        let tl = lex.find_canonical("transaction line").unwrap();
+        assert_eq!(lex.concept(tl).kind, ConceptKind::Entity);
+    }
+
+    #[test]
+    fn every_attribute_concept_has_private_or_public_synonym_or_abbr() {
+        let lex = lex();
+        for c in lex.concepts() {
+            if c.kind == ConceptKind::Attribute {
+                assert!(
+                    !c.public_synonyms.is_empty()
+                        || !c.private_synonyms.is_empty()
+                        || !c.abbreviations.is_empty(),
+                    "{:?} has no alternative surface form",
+                    c.canonical_phrase()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! The [`Lexicon`] container: assembled concepts with phrase and token
+//! indexes, plus the public *synset view* used as the WordNet surrogate.
+
+use crate::concept::{Concept, ConceptBuilder, ConceptId, ConceptKind, Domain};
+use std::collections::HashMap;
+
+/// Which surface form a phrase lookup hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SurfaceForm {
+    /// The canonical ISS-style phrase.
+    Canonical,
+    /// A dictionary-grade synonym (public knowledge).
+    PublicSynonym,
+    /// Customer jargon (corpus-only knowledge).
+    PrivateSynonym,
+    /// A whole-concept abbreviation token.
+    Abbreviation,
+}
+
+impl SurfaceForm {
+    /// Whether this form is visible to the public synset/embedding
+    /// surrogates (FastText/WordNet analogue).
+    pub fn is_public(self) -> bool {
+        matches!(self, SurfaceForm::Canonical | SurfaceForm::PublicSynonym)
+    }
+}
+
+/// An assembled, indexed lexicon.
+#[derive(Debug, Clone)]
+pub struct Lexicon {
+    concepts: Vec<Concept>,
+    /// space-joined lowercase phrase → (concept, form) hits.
+    phrase_index: HashMap<String, Vec<(ConceptId, SurfaceForm)>>,
+    /// single token → concepts mentioning it in a *public* phrasing.
+    public_token_index: HashMap<String, Vec<ConceptId>>,
+}
+
+impl Lexicon {
+    /// Assembles a lexicon from concept builders, assigning ids in order and
+    /// resolving `related` references by canonical phrase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `related` reference names an unknown canonical phrase or
+    /// if two concepts share a canonical phrase — both indicate a bug in the
+    /// curated tables, not runtime input.
+    pub fn assemble(builders: Vec<ConceptBuilder>) -> Self {
+        let mut concepts = Vec::with_capacity(builders.len());
+        let mut pending_related = Vec::with_capacity(builders.len());
+        for (i, b) in builders.into_iter().enumerate() {
+            let (c, related) = b.finish(ConceptId(i as u32));
+            concepts.push(c);
+            pending_related.push(related);
+        }
+        // Resolve related references.
+        let by_canonical: HashMap<String, ConceptId> = {
+            let mut m = HashMap::new();
+            for c in &concepts {
+                let key = c.canonical_phrase();
+                assert!(
+                    m.insert(key.clone(), c.id).is_none(),
+                    "duplicate canonical phrase in lexicon: {key:?}"
+                );
+            }
+            m
+        };
+        for (c, related) in concepts.iter_mut().zip(pending_related) {
+            for name in related {
+                let id = *by_canonical
+                    .get(&name)
+                    .unwrap_or_else(|| panic!("related reference to unknown concept {name:?}"));
+                c.related.push(id);
+            }
+        }
+        // Build indexes.
+        let mut phrase_index: HashMap<String, Vec<(ConceptId, SurfaceForm)>> = HashMap::new();
+        let mut public_token_index: HashMap<String, Vec<ConceptId>> = HashMap::new();
+        for c in &concepts {
+            let mut add = |phrase: &[String], form: SurfaceForm| {
+                phrase_index
+                    .entry(phrase.join(" "))
+                    .or_default()
+                    .push((c.id, form));
+            };
+            add(&c.canonical, SurfaceForm::Canonical);
+            for s in &c.public_synonyms {
+                add(s, SurfaceForm::PublicSynonym);
+            }
+            for s in &c.private_synonyms {
+                add(s, SurfaceForm::PrivateSynonym);
+            }
+            for a in &c.abbreviations {
+                add(std::slice::from_ref(a), SurfaceForm::Abbreviation);
+            }
+            for phrasing in c.public_phrasings() {
+                for token in phrasing {
+                    let entry = public_token_index.entry(token.clone()).or_default();
+                    if !entry.contains(&c.id) {
+                        entry.push(c.id);
+                    }
+                }
+            }
+        }
+        Lexicon { concepts, phrase_index, public_token_index }
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// True when the lexicon holds no concepts.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// The concept with this id.
+    pub fn concept(&self, id: ConceptId) -> &Concept {
+        &self.concepts[id.index()]
+    }
+
+    /// All concepts in id order.
+    pub fn concepts(&self) -> &[Concept] {
+        &self.concepts
+    }
+
+    /// Concepts of one domain (plus none others).
+    pub fn of_domain(&self, domain: Domain) -> impl Iterator<Item = &Concept> {
+        self.concepts.iter().filter(move |c| c.domain == domain)
+    }
+
+    /// Concepts of one kind within a domain; [`Domain::Generic`] concepts
+    /// are shared across verticals, so they are included for any requested
+    /// domain.
+    pub fn usable_in(&self, domain: Domain, kind: ConceptKind) -> Vec<&Concept> {
+        self.concepts
+            .iter()
+            .filter(|c| c.kind == kind && (c.domain == domain || c.domain == Domain::Generic))
+            .collect()
+    }
+
+    /// All `(concept, form)` hits for a space-joined lowercase phrase.
+    pub fn lookup_phrase(&self, phrase: &str) -> &[(ConceptId, SurfaceForm)] {
+        self.phrase_index.get(phrase).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The concept whose canonical phrase is `phrase`, if any.
+    pub fn find_canonical(&self, phrase: &str) -> Option<ConceptId> {
+        self.lookup_phrase(phrase)
+            .iter()
+            .find(|(_, f)| *f == SurfaceForm::Canonical)
+            .map(|&(id, _)| id)
+    }
+
+    /// WordNet-surrogate synset lookup: the concepts for which `phrase` is a
+    /// *public* surface form (canonical or dictionary synonym). Private
+    /// jargon and abbreviations are invisible here, exactly as customer
+    /// terminology is invisible to WordNet.
+    pub fn public_synsets_of(&self, phrase: &str) -> Vec<ConceptId> {
+        self.lookup_phrase(phrase)
+            .iter()
+            .filter(|(_, f)| f.is_public())
+            .map(|&(id, _)| id)
+            .collect()
+    }
+
+    /// Whether two phrases share a public synset.
+    pub fn are_public_synonyms(&self, a: &str, b: &str) -> bool {
+        let sa = self.public_synsets_of(a);
+        if sa.is_empty() {
+            return false;
+        }
+        self.public_synsets_of(b).iter().any(|id| sa.contains(id))
+    }
+
+    /// Concepts whose public phrasings mention `token`.
+    pub fn public_concepts_of_token(&self, token: &str) -> &[ConceptId] {
+        self.public_token_index.get(token).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Every distinct token across all phrasings and descriptions — the raw
+    /// vocabulary the corpus generator and tokenizers draw from.
+    pub fn vocabulary(&self) -> Vec<String> {
+        let mut vocab: Vec<String> = Vec::new();
+        let mut push = |t: &str| {
+            if !vocab.iter().any(|v| v == t) {
+                vocab.push(t.to_string());
+            }
+        };
+        for c in &self.concepts {
+            for p in c.all_phrasings() {
+                for t in p {
+                    push(t);
+                }
+            }
+            for a in &c.abbreviations {
+                push(a);
+            }
+            for t in c.description.split_whitespace() {
+                push(&t.to_lowercase());
+            }
+        }
+        vocab.sort_unstable();
+        vocab
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::{ConceptBuilder, ConceptDtype};
+
+    fn tiny() -> Lexicon {
+        Lexicon::assemble(vec![
+            ConceptBuilder::attribute(Domain::Retail, "price change percentage")
+                .syn("discount")
+                .private("promo cut")
+                .abbr("pcp")
+                .desc("fractional price reduction")
+                .dtype(ConceptDtype::Decimal)
+                .related("quantity"),
+            ConceptBuilder::attribute(Domain::Retail, "quantity")
+                .syn("count")
+                .private("item amount")
+                .abbr("qty")
+                .desc("number of units"),
+            ConceptBuilder::entity(Domain::Retail, "transaction line").syn("order line"),
+        ])
+    }
+
+    #[test]
+    fn assemble_assigns_ids_and_resolves_related() {
+        let lex = tiny();
+        assert_eq!(lex.len(), 3);
+        assert_eq!(lex.concept(ConceptId(0)).related, vec![ConceptId(1)]);
+        assert!(lex.concept(ConceptId(1)).related.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown concept")]
+    fn unknown_related_reference_panics() {
+        Lexicon::assemble(vec![
+            ConceptBuilder::attribute(Domain::Retail, "a").related("nope"),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate canonical")]
+    fn duplicate_canonical_panics() {
+        Lexicon::assemble(vec![
+            ConceptBuilder::attribute(Domain::Retail, "a"),
+            ConceptBuilder::attribute(Domain::Movie, "a"),
+        ]);
+    }
+
+    #[test]
+    fn public_synsets_exclude_private_forms() {
+        let lex = tiny();
+        assert_eq!(lex.public_synsets_of("discount"), vec![ConceptId(0)]);
+        assert_eq!(lex.public_synsets_of("price change percentage"), vec![ConceptId(0)]);
+        assert!(lex.public_synsets_of("promo cut").is_empty());
+        assert!(lex.public_synsets_of("pcp").is_empty());
+    }
+
+    #[test]
+    fn are_public_synonyms_links_canonical_and_syn() {
+        let lex = tiny();
+        assert!(lex.are_public_synonyms("discount", "price change percentage"));
+        assert!(!lex.are_public_synonyms("discount", "quantity"));
+        assert!(!lex.are_public_synonyms("promo cut", "price change percentage"));
+        assert!(!lex.are_public_synonyms("zebra", "discount"));
+    }
+
+    #[test]
+    fn lookup_phrase_reports_form() {
+        let lex = tiny();
+        assert_eq!(lex.lookup_phrase("qty"), &[(ConceptId(1), SurfaceForm::Abbreviation)]);
+        assert_eq!(
+            lex.lookup_phrase("item amount"),
+            &[(ConceptId(1), SurfaceForm::PrivateSynonym)]
+        );
+        assert!(lex.lookup_phrase("nothing here").is_empty());
+    }
+
+    #[test]
+    fn token_index_covers_public_phrasings_only() {
+        let lex = tiny();
+        assert_eq!(lex.public_concepts_of_token("price"), &[ConceptId(0)]);
+        assert_eq!(lex.public_concepts_of_token("line"), &[ConceptId(2)]);
+        // "promo" appears only in a private phrasing.
+        assert!(lex.public_concepts_of_token("promo").is_empty());
+    }
+
+    #[test]
+    fn usable_in_includes_generic() {
+        let lex = Lexicon::assemble(vec![
+            ConceptBuilder::attribute(Domain::Retail, "discount rate"),
+            ConceptBuilder::attribute(Domain::Generic, "identifier"),
+            ConceptBuilder::attribute(Domain::Movie, "runtime"),
+        ]);
+        let retail = lex.usable_in(Domain::Retail, ConceptKind::Attribute);
+        let phrases: Vec<_> = retail.iter().map(|c| c.canonical_phrase()).collect();
+        assert!(phrases.contains(&"discount rate".to_string()));
+        assert!(phrases.contains(&"identifier".to_string()));
+        assert!(!phrases.contains(&"runtime".to_string()));
+    }
+
+    #[test]
+    fn vocabulary_is_sorted_and_deduped() {
+        let lex = tiny();
+        let vocab = lex.vocabulary();
+        let mut sorted = vocab.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(vocab, sorted);
+        assert!(vocab.contains(&"discount".to_string()));
+        assert!(vocab.contains(&"promo".to_string())); // corpus needs private tokens
+        assert!(vocab.contains(&"units".to_string())); // description tokens too
+    }
+}

@@ -1,0 +1,41 @@
+//! # lsm-lexicon
+//!
+//! A curated, multi-domain concept lexicon plus a synthetic-corpus
+//! generator. Together they stand in for the *world knowledge* the paper's
+//! pre-trained artifacts carry:
+//!
+//! * Real **FastText** embeddings know that `discount` and `markdown` are
+//!   distributionally similar → our embedding surrogate reads the lexicon's
+//!   *public synonyms*.
+//! * Real **WordNet** (used by S-MATCH) stores synsets of common English →
+//!   our synset view exposes canonical forms + public synonyms only.
+//! * Real **BERT** (pre-trained on Books+Wikipedia) has seen paraphrases and
+//!   co-occurrences far beyond dictionary synonymy → our mini-BERT is
+//!   MLM-pre-trained on the [`corpus`] generated from the lexicon, which
+//!   additionally verbalizes *private* (customer-style) phrasings and
+//!   concept relations.
+//!
+//! The split between public and private surface forms is the load-bearing
+//! dial of the reproduction: customer schemata rename >30 % of attributes to
+//! forms that only contextual pre-training can connect back to the ISS
+//! vocabulary — exactly the regime where the paper shows dictionary-based
+//! baselines collapse and LSM keeps working.
+
+pub mod concept;
+pub mod corpus;
+pub mod domains;
+pub mod lexicon;
+
+pub use concept::{Concept, ConceptBuilder, ConceptDtype, ConceptId, ConceptKind, Domain};
+
+/// Qualifier tokens that schema designers prepend to attribute names
+/// (`total_amount`, `estimated_delivery_date`, ...). Shared by the ISS
+/// generator and by the language-model pre-training so that qualified names
+/// are in-distribution for both.
+pub const QUALIFIERS: &[&str] = &[
+    "total", "net", "gross", "estimated", "actual", "primary", "secondary", "original",
+    "current", "previous", "minimum", "maximum", "average", "expected", "first", "last",
+];
+pub use corpus::{CorpusConfig, CorpusGenerator};
+pub use domains::full_lexicon;
+pub use lexicon::{Lexicon, SurfaceForm};

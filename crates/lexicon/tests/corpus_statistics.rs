@@ -1,0 +1,57 @@
+//! Statistical properties of the generated corpus over the full lexicon —
+//! the MLM substrate must be rich enough to carry the paraphrase knowledge.
+
+use lsm_lexicon::{full_lexicon, ConceptKind, CorpusConfig, CorpusGenerator};
+use std::collections::HashSet;
+
+#[test]
+fn corpus_is_large_and_diverse() {
+    let lexicon = full_lexicon();
+    let corpus = CorpusGenerator::new(&lexicon, CorpusConfig::default()).generate();
+    assert!(corpus.len() > 2000, "corpus too small: {}", corpus.len());
+    let distinct: HashSet<&Vec<String>> = corpus.iter().collect();
+    assert!(
+        distinct.len() * 10 >= corpus.len() * 7,
+        "≥70% of sentences should be distinct: {}/{}",
+        distinct.len(),
+        corpus.len()
+    );
+}
+
+#[test]
+fn every_attribute_concept_is_mentioned() {
+    let lexicon = full_lexicon();
+    let corpus = CorpusGenerator::new(&lexicon, CorpusConfig::default()).generate();
+    let vocab: HashSet<&str> =
+        corpus.iter().flat_map(|s| s.iter().map(String::as_str)).collect();
+    for c in lexicon.concepts() {
+        if c.kind == ConceptKind::Attribute {
+            for tok in &c.canonical {
+                assert!(vocab.contains(tok.as_str()), "token {tok:?} of {:?} never appears", c.canonical_phrase());
+            }
+            for p in &c.private_synonyms {
+                for tok in p {
+                    assert!(
+                        vocab.contains(tok.as_str()),
+                        "private token {tok:?} of {:?} never appears",
+                        c.canonical_phrase()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn qualifiers_appear_in_the_corpus() {
+    let lexicon = full_lexicon();
+    let corpus = CorpusGenerator::new(&lexicon, CorpusConfig::default()).generate();
+    let vocab: HashSet<&str> =
+        corpus.iter().flat_map(|s| s.iter().map(String::as_str)).collect();
+    let present = lsm_lexicon::QUALIFIERS.iter().filter(|q| vocab.contains(**q)).count();
+    assert!(
+        present * 2 >= lsm_lexicon::QUALIFIERS.len(),
+        "at least half the qualifiers should appear: {present}/{}",
+        lsm_lexicon::QUALIFIERS.len()
+    );
+}

@@ -1,0 +1,58 @@
+//! # lsm
+//!
+//! The facade crate of the Learned Schema Matcher (LSM) reproduction —
+//! re-exports the full public API so downstream users depend on one crate.
+//!
+//! LSM (Zhang et al., *Schema Matching using Pre-Trained Language Models*,
+//! ICDE 2023) maps a customer's relational schema onto a large
+//! industry-specific schema without touching the customer's data, combining
+//! a fine-tuned language-model featurizer with active learning.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lsm::prelude::*;
+//!
+//! // A matching task: customer schema, ISS, reference matches.
+//! let dataset = lsm::datasets::public_data::movielens_imdb();
+//!
+//! // Shared pre-trained artifacts.
+//! let lexicon = lsm::lexicon::full_lexicon();
+//! let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+//!
+//! // A fast, BERT-less matcher (enable BERT for full quality).
+//! let config = LsmConfig { use_bert: false, ..Default::default() };
+//! let matcher = LsmMatcher::new(&dataset.source, &dataset.target, &embedding, None, config);
+//! let scores = matcher.predict(&LabelStore::new());
+//! let sources: Vec<_> = dataset.source.attr_ids().collect();
+//! let top3 = scores.top_k_accuracy(&dataset.ground_truth, &sources, 3);
+//! assert!(top3 > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod report;
+
+pub use lsm_baselines as baselines;
+pub use lsm_core as core;
+pub use lsm_datasets as datasets;
+pub use lsm_embedding as embedding;
+pub use lsm_lexicon as lexicon;
+pub use lsm_nn as nn;
+pub use lsm_schema as schema;
+pub use lsm_text as text;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use lsm_baselines::{MatchContext, Matcher};
+    pub use lsm_core::{
+        run_session, BertFeaturizer, BertFeaturizerConfig, LabelStore, LsmConfig, LsmMatcher,
+        NoisyOracle, Oracle, PerfectOracle, SelectionStrategy, SessionConfig,
+    };
+    pub use lsm_datasets::Dataset;
+    pub use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
+    pub use lsm_lexicon::{full_lexicon, Lexicon};
+    pub use lsm_schema::{
+        AttrId, DataType, EntityId, GroundTruth, Schema, SchemaStats, ScoreMatrix,
+    };
+}

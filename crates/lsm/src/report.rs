@@ -1,0 +1,178 @@
+//! Session transcripts and human-readable reports.
+//!
+//! [`RecordingOracle`] wraps any [`Oracle`] and records the interaction —
+//! which attributes the user was asked to label and what they answered —
+//! without touching the session driver. [`render_report`] turns the
+//! recording plus the [`SessionOutcome`] into the kind of summary an
+//! operator would attach to an onboarding ticket.
+
+use lsm_core::metrics::SessionOutcome;
+use lsm_core::Oracle;
+use lsm_schema::{AttrId, GroundTruth, Schema};
+
+/// One recorded labeling interaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelEvent {
+    /// The source attribute the strategy selected.
+    pub source: AttrId,
+    /// The target the (possibly noisy) user answered with.
+    pub answered: AttrId,
+    /// Whether the answer matches the ground truth.
+    pub correct: bool,
+}
+
+/// An [`Oracle`] wrapper that records every labeling request.
+pub struct RecordingOracle<O: Oracle> {
+    inner: O,
+    events: Vec<LabelEvent>,
+}
+
+impl<O: Oracle> RecordingOracle<O> {
+    /// Wraps an oracle.
+    pub fn new(inner: O) -> Self {
+        RecordingOracle { inner, events: Vec::new() }
+    }
+
+    /// The recorded labeling events, in order.
+    pub fn events(&self) -> &[LabelEvent] {
+        &self.events
+    }
+
+    /// Unwraps the inner oracle.
+    pub fn into_inner(self) -> (O, Vec<LabelEvent>) {
+        (self.inner, self.events)
+    }
+}
+
+impl<O: Oracle> Oracle for RecordingOracle<O> {
+    fn label(&mut self, source_attr: AttrId) -> AttrId {
+        let answered = self.inner.label(source_attr);
+        let correct = self.inner.truth().is_correct(source_attr, answered);
+        self.events.push(LabelEvent { source: source_attr, answered, correct });
+        answered
+    }
+
+    fn confirms(&self, source_attr: AttrId, target_attr: AttrId) -> bool {
+        self.inner.confirms(source_attr, target_attr)
+    }
+
+    fn truth(&self) -> &GroundTruth {
+        self.inner.truth()
+    }
+}
+
+/// Renders a human-readable session report: headline savings, the learning
+/// curve, and the list of attributes the user had to label by hand.
+pub fn render_report(
+    title: &str,
+    outcome: &SessionOutcome,
+    events: &[LabelEvent],
+    source: &Schema,
+    target: &Schema,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# Matching session: {title}\n\n"));
+    let last = outcome.curve.last();
+    out.push_str(&format!(
+        "- attributes matched correctly: {}/{}\n",
+        last.map(|p| p.matched_correct).unwrap_or(0),
+        outcome.total_attributes
+    ));
+    out.push_str(&format!(
+        "- labels provided: {} ({:.0}% of the schema; {:.0}% saved vs manual labeling)\n",
+        outcome.labels_used,
+        outcome.labeling_cost_pct(),
+        100.0 - outcome.labeling_cost_pct()
+    ));
+    out.push_str(&format!("- suggestion reviews: {}\n", outcome.reviews_done));
+    out.push_str(&format!(
+        "- mean response time: {:.2}s over {} rounds\n",
+        outcome.mean_response_time(),
+        outcome.response_times.len()
+    ));
+
+    out.push_str("\n## Learning curve (labels% → correct%)\n\n");
+    for p in &outcome.curve {
+        out.push_str(&format!("- {:>5.1}% → {:>5.1}%\n", p.labels_pct(), p.correct_pct()));
+    }
+
+    if !events.is_empty() {
+        out.push_str("\n## Attributes labeled by the user\n\n");
+        for e in events {
+            out.push_str(&format!(
+                "- {} → {}{}\n",
+                source.qualified_name(e.source),
+                target.qualified_name(e.answered),
+                if e.correct { "" } else { "  (incorrect label!)" }
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_core::{run_session, PerfectOracle, SessionConfig};
+    use lsm_core::session::PinnedBaselineEngine;
+    use lsm_schema::{DataType, ScoreMatrix};
+
+    fn fixture() -> (Schema, Schema, GroundTruth, ScoreMatrix) {
+        let source = Schema::builder("s")
+            .entity("A")
+            .attr("x", DataType::Text)
+            .attr("y", DataType::Text)
+            .attr("z", DataType::Text)
+            .build()
+            .unwrap();
+        let target = Schema::builder("t")
+            .entity("B")
+            .attr("u", DataType::Text)
+            .attr("v", DataType::Text)
+            .attr("w", DataType::Text)
+            .attr("q", DataType::Text)
+            .build()
+            .unwrap();
+        let truth = GroundTruth::from_pairs([
+            (AttrId(0), AttrId(0)),
+            (AttrId(1), AttrId(1)),
+            (AttrId(2), AttrId(2)),
+        ]);
+        // Only row 0's truth is suggested; rows 1-2 rank three wrong
+        // candidates on top and therefore need direct labels.
+        let mut scores = ScoreMatrix::zeros(3, 4);
+        scores.set(AttrId(0), AttrId(0), 0.9);
+        scores.set(AttrId(1), AttrId(3), 0.9);
+        scores.set(AttrId(1), AttrId(0), 0.5);
+        scores.set(AttrId(1), AttrId(2), 0.4);
+        scores.set(AttrId(2), AttrId(3), 0.8);
+        scores.set(AttrId(2), AttrId(0), 0.5);
+        scores.set(AttrId(2), AttrId(1), 0.4);
+        (source, target, truth, scores)
+    }
+
+    #[test]
+    fn recording_oracle_captures_label_events() {
+        let (source, target, truth, scores) = fixture();
+        let mut engine = PinnedBaselineEngine::new(source.clone(), scores);
+        let mut oracle = RecordingOracle::new(PerfectOracle::new(truth));
+        let outcome = run_session(&mut engine, &mut oracle, SessionConfig::default());
+        assert_eq!(outcome.labels_used, 2);
+        assert_eq!(oracle.events().len(), 2);
+        assert!(oracle.events().iter().all(|e| e.correct));
+        let _ = target;
+    }
+
+    #[test]
+    fn report_contains_headline_and_labeled_attrs() {
+        let (source, target, truth, scores) = fixture();
+        let mut engine = PinnedBaselineEngine::new(source.clone(), scores);
+        let mut oracle = RecordingOracle::new(PerfectOracle::new(truth));
+        let outcome = run_session(&mut engine, &mut oracle, SessionConfig::default());
+        let report = render_report("fixture", &outcome, oracle.events(), &source, &target);
+        assert!(report.contains("attributes matched correctly: 3/3"));
+        assert!(report.contains("Attributes labeled by the user"));
+        assert!(report.contains("A.y"));
+        assert!(!report.contains("incorrect label"));
+    }
+}

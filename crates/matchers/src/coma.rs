@@ -1,0 +1,169 @@
+//! COMA: a library of name matchers combined by an aggregation function.
+//!
+//! "The matchers cover a broad spectrum of similarity metrics such as affix,
+//! n-gram, Soundex, edit distance, etc. To combine the similarities, COMA
+//! can choose from various aggregation functions such as min, max, average."
+//! We implement exactly that library over normalized attribute names (and
+//! token-soundex for the phonetic matcher) and let the tuner pick the
+//! aggregation, as the paper does.
+
+use crate::{MatchContext, Matcher};
+use lsm_schema::{Schema, ScoreMatrix};
+use lsm_text::metrics::{
+    affix_similarity, edit_similarity, soundex, trigram_similarity,
+};
+use lsm_text::{normalize_join, tokenize};
+
+/// How individual matcher scores are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Maximum of the individual scores (optimistic).
+    Max,
+    /// Mean of the individual scores.
+    Average,
+    /// Minimum of the individual scores (pessimistic).
+    Min,
+    /// Mean of the two largest scores — COMA's "harmonise" flavour.
+    TopTwoAverage,
+}
+
+impl Aggregation {
+    fn combine(self, scores: &[f64]) -> f64 {
+        match self {
+            Aggregation::Max => scores.iter().copied().fold(0.0, f64::max),
+            Aggregation::Average => scores.iter().sum::<f64>() / scores.len() as f64,
+            Aggregation::Min => scores.iter().copied().fold(1.0, f64::min),
+            Aggregation::TopTwoAverage => {
+                let mut sorted = scores.to_vec();
+                sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+                (sorted[0] + sorted.get(1).copied().unwrap_or(sorted[0])) / 2.0
+            }
+        }
+    }
+}
+
+/// COMA with one aggregation strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Coma {
+    /// The aggregation function combining the matcher library.
+    pub aggregation: Aggregation,
+}
+
+impl Coma {
+    /// Creates COMA with the given aggregation.
+    pub fn new(aggregation: Aggregation) -> Self {
+        Coma { aggregation }
+    }
+
+    /// The strategies the tuner searches.
+    pub fn grid() -> Vec<Coma> {
+        vec![
+            Coma::new(Aggregation::Max),
+            Coma::new(Aggregation::Average),
+            Coma::new(Aggregation::TopTwoAverage),
+            Coma::new(Aggregation::Min),
+        ]
+    }
+
+    /// The individual matcher scores for a pair of raw attribute names.
+    pub fn matcher_scores(a: &str, b: &str) -> Vec<f64> {
+        let na = normalize_join(a);
+        let nb = normalize_join(b);
+        // Token-level Soundex: fraction of source tokens with a phonetic
+        // counterpart on the other side.
+        let ta = tokenize(a);
+        let tb = tokenize(b);
+        let phonetic = if ta.is_empty() || tb.is_empty() {
+            0.0
+        } else {
+            let tb_codes: Vec<String> = tb.iter().map(|t| soundex(t)).collect();
+            ta.iter().filter(|t| tb_codes.contains(&soundex(t))).count() as f64 / ta.len() as f64
+        };
+        vec![
+            affix_similarity(&na, &nb),
+            trigram_similarity(&na, &nb),
+            edit_similarity(&na, &nb),
+            phonetic,
+        ]
+    }
+}
+
+impl Matcher for Coma {
+    fn name(&self) -> String {
+        format!("COMA({:?})", self.aggregation)
+    }
+
+    fn score(&self, _ctx: &MatchContext<'_>, source: &Schema, target: &Schema) -> ScoreMatrix {
+        let mut m = ScoreMatrix::zeros(source.attr_count(), target.attr_count());
+        for s in source.attr_ids() {
+            for t in target.attr_ids() {
+                let scores = Coma::matcher_scores(&source.attr(s).name, &target.attr(t).name);
+                m.set(s, t, self.aggregation.combine(&scores));
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
+    use lsm_lexicon::full_lexicon;
+    use lsm_schema::{AttrId, DataType};
+
+    #[test]
+    fn aggregations_combine_sanely() {
+        let scores = [0.2, 0.8, 0.5];
+        assert_eq!(Aggregation::Max.combine(&scores), 0.8);
+        assert_eq!(Aggregation::Min.combine(&scores), 0.2);
+        assert!((Aggregation::Average.combine(&scores) - 0.5).abs() < 1e-12);
+        assert!((Aggregation::TopTwoAverage.combine(&scores) - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matcher_scores_are_bounded() {
+        for (a, b) in [("order_id", "OrderKey"), ("discount", "price_change"), ("", "x")] {
+            for s in Coma::matcher_scores(a, b) {
+                assert!((0.0..=1.0).contains(&s), "{a} vs {b}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_names_score_one_under_max() {
+        let scores = Coma::matcher_scores("unit_price", "unit_price");
+        assert_eq!(Aggregation::Max.combine(&scores), 1.0);
+    }
+
+    /// Reproduces the paper's COMA failure mode: edit-distance style
+    /// matchers pull `item_amount` toward `product_item_price_amount`
+    /// rather than the correct `quantity`.
+    #[test]
+    fn coma_failure_mode_on_figure_one_example() {
+        let lex = full_lexicon();
+        let emb = EmbeddingSpace::new(&lex, EmbeddingConfig::default());
+        let ctx = MatchContext { embedding: &emb, lexicon: &lex };
+        let source = Schema::builder("s")
+            .entity("Orders")
+            .attr("item_amount", DataType::Integer)
+            .build()
+            .unwrap();
+        let target = Schema::builder("t")
+            .entity("TransactionLine")
+            .attr("quantity", DataType::Integer)
+            .attr("product_item_price_amount", DataType::Decimal)
+            .build()
+            .unwrap();
+        let m = Coma::new(Aggregation::Max).score(&ctx, &source, &target);
+        assert!(
+            m.get(AttrId(0), AttrId(1)) > m.get(AttrId(0), AttrId(0)),
+            "COMA should (wrongly) prefer the lexically-overlapping name"
+        );
+    }
+
+    #[test]
+    fn grid_has_all_aggregations() {
+        assert_eq!(Coma::grid().len(), 4);
+    }
+}

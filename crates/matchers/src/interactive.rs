@@ -1,0 +1,100 @@
+//! Interactive mode for the baselines (Section V-C comparison).
+//!
+//! The paper runs COMA and CUPID "in interactive mode" and gives every
+//! baseline the same smart attribute-selection strategy as LSM. For these
+//! systems user feedback *pins* matches but does not retrain a model: a
+//! labeled correct pair gets maximal score (and its row is settled), labeled
+//! incorrect pairs are suppressed. This is precisely why their curves in
+//! Fig. 5 converge to the manual-labeling diagonal — each label fixes one
+//! attribute and generalizes to nothing else.
+
+use lsm_schema::{AttrId, ScoreMatrix};
+
+/// The labels collected from the user so far.
+#[derive(Debug, Clone, Default)]
+pub struct PinnedLabels {
+    /// Confirmed correct pairs.
+    pub positive: Vec<(AttrId, AttrId)>,
+    /// Confirmed incorrect pairs.
+    pub negative: Vec<(AttrId, AttrId)>,
+}
+
+impl PinnedLabels {
+    /// Creates an empty label set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a confirmed match.
+    pub fn confirm(&mut self, source: AttrId, target: AttrId) {
+        if !self.positive.contains(&(source, target)) {
+            self.positive.push((source, target));
+        }
+    }
+
+    /// Records a rejected pair.
+    pub fn reject(&mut self, source: AttrId, target: AttrId) {
+        if !self.negative.contains(&(source, target)) {
+            self.negative.push((source, target));
+        }
+    }
+
+    /// Applies the pins onto a base score matrix: positives saturate to a
+    /// score above everything else, negatives drop to the floor.
+    pub fn apply(&self, base: &ScoreMatrix) -> ScoreMatrix {
+        let mut out = base.clone();
+        for &(s, t) in &self.negative {
+            out.set(s, t, f64::MIN);
+        }
+        for &(s, t) in &self.positive {
+            // Clear the row, then pin.
+            for v in out.row_mut(s) {
+                *v = f64::MIN;
+            }
+            out.set(s, t, f64::MAX);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ScoreMatrix {
+        let mut m = ScoreMatrix::zeros(2, 3);
+        m.set(AttrId(0), AttrId(0), 0.9);
+        m.set(AttrId(0), AttrId(1), 0.5);
+        m.set(AttrId(1), AttrId(2), 0.8);
+        m
+    }
+
+    #[test]
+    fn positive_pin_wins_its_row() {
+        let mut labels = PinnedLabels::new();
+        labels.confirm(AttrId(0), AttrId(1));
+        let m = labels.apply(&base());
+        assert_eq!(m.best(AttrId(0)).unwrap().0, AttrId(1));
+        // Other rows untouched.
+        assert_eq!(m.best(AttrId(1)).unwrap().0, AttrId(2));
+    }
+
+    #[test]
+    fn negative_pin_suppresses_pair() {
+        let mut labels = PinnedLabels::new();
+        labels.reject(AttrId(0), AttrId(0));
+        let m = labels.apply(&base());
+        assert_eq!(m.best(AttrId(0)).unwrap().0, AttrId(1));
+    }
+
+    #[test]
+    fn pins_are_idempotent() {
+        let mut labels = PinnedLabels::new();
+        labels.confirm(AttrId(0), AttrId(1));
+        labels.confirm(AttrId(0), AttrId(1));
+        labels.reject(AttrId(1), AttrId(0));
+        labels.reject(AttrId(1), AttrId(0));
+        assert_eq!(labels.positive.len(), 1);
+        assert_eq!(labels.negative.len(), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! # lsm-baselines
+//!
+//! From-scratch implementations of the six baseline schema matchers the
+//! paper evaluates against (Section III):
+//!
+//! | Module | Method | Core idea |
+//! |---|---|---|
+//! | [`cupid`] | CUPID (Madhavan et al., VLDB'01) | linguistic + structural weighted sum |
+//! | [`coma`] | COMA (Do & Rahm, VLDB'02) | library of name matchers + aggregation |
+//! | [`smatch`] | S-MATCH (Giunchiglia et al., ESWS'04) | synset (WordNet-surrogate) relations |
+//! | [`flooding`] | Similarity Flooding (Melnik et al., ICDE'02) | fixpoint propagation on the pairwise connectivity graph |
+//! | [`lsd`] | LSD (Doan et al., 2000) | multi-strategy learning from labeled examples |
+//! | [`mlm`] | MLM (Sahay et al., 2019) | schema featurization + k-means clustering |
+//!
+//! All matchers implement the [`Matcher`] trait: given the source and target
+//! schemata (and the shared [`MatchContext`] carrying the pre-trained
+//! embedding space and the synset lexicon) they emit a
+//! [`ScoreMatrix`] over all candidate pairs.
+//! [`tune`] provides the grid-search the paper applies to every baseline,
+//! and [`interactive`] the label-pinning interactive mode used in the
+//! end-to-end comparison (Section V-C).
+
+pub mod coma;
+pub mod cupid;
+pub mod flooding;
+pub mod interactive;
+pub mod lsd;
+pub mod mlm;
+pub mod smatch;
+pub mod tune;
+
+use lsm_embedding::EmbeddingSpace;
+use lsm_lexicon::Lexicon;
+use lsm_schema::{AttrId, Schema, ScoreMatrix};
+
+/// Shared read-only context: the pre-trained embedding space (FastText
+/// surrogate) and the lexicon (WordNet surrogate).
+pub struct MatchContext<'a> {
+    /// Pre-trained word embeddings.
+    pub embedding: &'a EmbeddingSpace,
+    /// Synset lexicon.
+    pub lexicon: &'a Lexicon,
+}
+
+/// A schema matcher: scores every (source, target) attribute pair.
+pub trait Matcher {
+    /// Human-readable name (may include the configuration, e.g.
+    /// `"COMA(max)"`).
+    fn name(&self) -> String;
+
+    /// Incorporates labeled examples `(source, target)` where available.
+    /// Most baselines ignore labels; LSD trains on them. The default is a
+    /// no-op.
+    fn train(
+        &mut self,
+        _ctx: &MatchContext<'_>,
+        _source: &Schema,
+        _target: &Schema,
+        _examples: &[(AttrId, AttrId)],
+    ) {
+    }
+
+    /// Produces the score matrix over `source × target` attributes.
+    fn score(&self, ctx: &MatchContext<'_>, source: &Schema, target: &Schema) -> ScoreMatrix;
+}

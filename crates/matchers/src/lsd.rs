@@ -1,0 +1,229 @@
+//! LSD: multi-strategy learning from labeled examples.
+//!
+//! LSD learns from provided example matches with several individual
+//! learners, then combines their predictions. Following the paper's
+//! schema-only adaptation we implement three of its learners (the
+//! county-name recognizer has no analogue in our domain):
+//!
+//! 1. **WHIRL** — nearest-neighbour over TF-IDF encodings of attribute
+//!    name + description text,
+//! 2. **Naive Bayes** — multinomial NB over description tokens,
+//! 3. **Name matcher** — similarity of the attribute name to the names of
+//!    labeled examples.
+//!
+//! Each learner scores `P(target t | source s)` by analogy to labeled
+//! examples; the meta-combiner averages them. The structural weakness the
+//! paper exposes is inherent: a learner can only predict *target attributes
+//! it has seen labels for*, so with 50 % training labels the other half of
+//! the target space is unreachable — hence LSD's near-zero accuracy on
+//! unseen customers.
+
+use crate::{MatchContext, Matcher};
+use lsm_schema::{AttrId, Schema, ScoreMatrix};
+use lsm_text::tfidf::{TfIdfSpace, TfIdfVector};
+use lsm_text::tokenize::tokenize_text;
+use lsm_text::{metrics::edit_similarity, tokenize};
+use std::collections::HashMap;
+
+/// LSD with its training state.
+#[derive(Debug, Default)]
+pub struct Lsd {
+    /// Labeled examples: (source attr, target attr).
+    examples: Vec<(AttrId, AttrId)>,
+}
+
+impl Lsd {
+    /// Creates an untrained LSD.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn attr_text(schema: &Schema, a: AttrId) -> Vec<String> {
+        let attr = schema.attr(a);
+        let mut toks = tokenize(&attr.name);
+        toks.extend(tokenize_text(attr.desc_or_empty()));
+        toks
+    }
+}
+
+impl Matcher for Lsd {
+    fn name(&self) -> String {
+        "LSD".to_string()
+    }
+
+    fn train(
+        &mut self,
+        _ctx: &MatchContext<'_>,
+        _source: &Schema,
+        _target: &Schema,
+        examples: &[(AttrId, AttrId)],
+    ) {
+        self.examples = examples.to_vec();
+    }
+
+    fn score(&self, _ctx: &MatchContext<'_>, source: &Schema, target: &Schema) -> ScoreMatrix {
+        let mut m = ScoreMatrix::zeros(source.attr_count(), target.attr_count());
+        if self.examples.is_empty() {
+            return m; // untrained LSD predicts nothing
+        }
+
+        // ---- WHIRL: TF-IDF space over all labeled source texts ----
+        let corpus: Vec<Vec<String>> = self
+            .examples
+            .iter()
+            .map(|&(s, _)| Self::attr_text(source, s))
+            .collect();
+        let space = TfIdfSpace::fit(&corpus);
+        let example_vectors: Vec<(TfIdfVector, AttrId)> = self
+            .examples
+            .iter()
+            .zip(&corpus)
+            .map(|(&(_, t), text)| (space.embed(text), t))
+            .collect();
+
+        // ---- Naive Bayes over description tokens ----
+        // P(token | target) with Laplace smoothing, over labeled examples.
+        let mut class_token_counts: HashMap<AttrId, HashMap<String, usize>> = HashMap::new();
+        let mut class_totals: HashMap<AttrId, usize> = HashMap::new();
+        let mut vocab: Vec<String> = Vec::new();
+        for (&(s, t), _) in self.examples.iter().zip(&corpus) {
+            let tokens = tokenize_text(source.attr(s).desc_or_empty());
+            let entry = class_token_counts.entry(t).or_default();
+            for tok in tokens {
+                *entry.entry(tok.clone()).or_insert(0) += 1;
+                *class_totals.entry(t).or_insert(0) += 1;
+                if !vocab.contains(&tok) {
+                    vocab.push(tok);
+                }
+            }
+        }
+
+        // ---- scoring ----
+        for s in source.attr_ids() {
+            let text = Self::attr_text(source, s);
+            let vec = space.embed(&text);
+            // WHIRL: nearest labeled neighbour votes for its target.
+            let mut whirl: HashMap<AttrId, f64> = HashMap::new();
+            for (ev, t) in &example_vectors {
+                let sim = vec.cosine(ev);
+                let best = whirl.entry(*t).or_insert(0.0);
+                if sim > *best {
+                    *best = sim;
+                }
+            }
+            // Naive Bayes: log-likelihood of the description under each
+            // labeled class, converted to a normalized score.
+            let desc_tokens = tokenize_text(source.attr(s).desc_or_empty());
+            let mut nb: HashMap<AttrId, f64> = HashMap::new();
+            if !desc_tokens.is_empty() && !vocab.is_empty() {
+                let mut lls: Vec<(AttrId, f64)> = Vec::new();
+                for (&t, counts) in &class_token_counts {
+                    let total = class_totals[&t] as f64;
+                    let mut ll = 0.0;
+                    for tok in &desc_tokens {
+                        let c = counts.get(tok).copied().unwrap_or(0) as f64;
+                        ll += ((c + 1.0) / (total + vocab.len() as f64)).ln();
+                    }
+                    lls.push((t, ll));
+                }
+                let max = lls.iter().map(|&(_, l)| l).fold(f64::NEG_INFINITY, f64::max);
+                let z: f64 = lls.iter().map(|&(_, l)| (l - max).exp()).sum();
+                for (t, l) in lls {
+                    nb.insert(t, (l - max).exp() / z);
+                }
+            }
+            // Name matcher: best name similarity to a labeled example of
+            // each target.
+            let mut namer: HashMap<AttrId, f64> = HashMap::new();
+            for &(es, t) in &self.examples {
+                let sim = edit_similarity(&source.attr(s).name, &source.attr(es).name);
+                let best = namer.entry(t).or_insert(0.0);
+                if sim > *best {
+                    *best = sim;
+                }
+            }
+
+            for t in target.attr_ids() {
+                let w = whirl.get(&t).copied().unwrap_or(0.0);
+                let n = nb.get(&t).copied().unwrap_or(0.0);
+                let nm = namer.get(&t).copied().unwrap_or(0.0);
+                m.set(s, t, (w + n + nm) / 3.0);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
+    use lsm_lexicon::full_lexicon;
+    use lsm_schema::DataType;
+
+    fn fixtures() -> (lsm_lexicon::Lexicon, EmbeddingSpace) {
+        let lex = full_lexicon();
+        let emb = EmbeddingSpace::new(&lex, EmbeddingConfig::default());
+        (lex, emb)
+    }
+
+    fn pair() -> (Schema, Schema) {
+        let source = Schema::builder("s")
+            .entity("E")
+            .attr_desc("order_total", DataType::Decimal, "total money value of the order")
+            .attr_desc("order_total_2023", DataType::Decimal, "total money value of the order last year")
+            .attr_desc("customer_city", DataType::Text, "city where the customer lives")
+            .build()
+            .unwrap();
+        let target = Schema::builder("t")
+            .entity("F")
+            .attr("grand_total", DataType::Decimal)
+            .attr("city", DataType::Text)
+            .attr("unrelated", DataType::Text)
+            .build()
+            .unwrap();
+        (source, target)
+    }
+
+    #[test]
+    fn untrained_lsd_scores_zero() {
+        let (lex, emb) = fixtures();
+        let ctx = MatchContext { embedding: &emb, lexicon: &lex };
+        let (s, t) = pair();
+        let m = Lsd::new().score(&ctx, &s, &t);
+        for a in s.attr_ids() {
+            for b in t.attr_ids() {
+                assert_eq!(m.get(a, b), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lsd_generalizes_to_similar_labeled_text() {
+        let (lex, emb) = fixtures();
+        let ctx = MatchContext { embedding: &emb, lexicon: &lex };
+        let (s, t) = pair();
+        let mut lsd = Lsd::new();
+        // Label order_total → grand_total and customer_city → city.
+        lsd.train(&ctx, &s, &t, &[(AttrId(0), AttrId(0)), (AttrId(2), AttrId(1))]);
+        let m = lsd.score(&ctx, &s, &t);
+        // order_total_2023 resembles the order_total example.
+        assert!(m.get(AttrId(1), AttrId(0)) > m.get(AttrId(1), AttrId(1)));
+        assert!(m.get(AttrId(1), AttrId(0)) > m.get(AttrId(1), AttrId(2)));
+    }
+
+    /// LSD's structural blindness: targets never seen in training get zero
+    /// mass — the cause of its near-zero customer accuracy in the paper.
+    #[test]
+    fn lsd_cannot_predict_unseen_targets() {
+        let (lex, emb) = fixtures();
+        let ctx = MatchContext { embedding: &emb, lexicon: &lex };
+        let (s, t) = pair();
+        let mut lsd = Lsd::new();
+        lsd.train(&ctx, &s, &t, &[(AttrId(0), AttrId(0))]);
+        let m = lsd.score(&ctx, &s, &t);
+        for a in s.attr_ids() {
+            assert_eq!(m.get(a, AttrId(2)), 0.0, "unseen target must stay at zero");
+        }
+    }
+}

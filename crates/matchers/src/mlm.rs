@@ -1,0 +1,208 @@
+//! MLM: schema featurization + k-means clustering (Sahay et al., 2019).
+//!
+//! MLM "featurizes the candidate matches using both the schema
+//! specifications and the data records", then clusters with k-means.
+//! Adapted to the data-free setting (as the paper does), the features are
+//! schema-level only: an embedding of the attribute name plus structural
+//! features (name length, token count, dtype family, key-ness). All source
+//! and target attributes are embedded into the same feature space and
+//! clustered; a pair's score combines cluster co-membership and feature
+//! distance.
+
+use crate::{MatchContext, Matcher};
+use lsm_schema::{DataType, Schema, ScoreMatrix};
+use lsm_text::tokenize;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// MLM with a fixed cluster count and seed.
+#[derive(Debug, Clone, Copy)]
+pub struct Mlm {
+    /// Number of k-means clusters.
+    pub clusters: usize,
+    /// k-means iterations.
+    pub iterations: usize,
+    /// PRNG seed for centroid initialization.
+    pub seed: u64,
+}
+
+impl Default for Mlm {
+    fn default() -> Self {
+        Mlm { clusters: 12, iterations: 15, seed: 0x31a7 }
+    }
+}
+
+fn dtype_onehot(d: DataType) -> [f32; 4] {
+    use lsm_schema::dtype::TypeFamily::*;
+    let mut v = [0.0; 4];
+    let idx = match d.family() {
+        Numeric => 0,
+        Textual => 1,
+        Temporal => 2,
+        Binary => 3,
+    };
+    v[idx] = 1.0;
+    v
+}
+
+fn featurize(ctx: &MatchContext<'_>, schema: &Schema, a: lsm_schema::AttrId) -> Vec<f32> {
+    let attr = schema.attr(a);
+    let mut v = ctx.embedding.identifier_vector(&attr.name);
+    let tokens = tokenize(&attr.name);
+    v.push(attr.name.len() as f32 / 32.0);
+    v.push(tokens.len() as f32 / 6.0);
+    v.extend(dtype_onehot(attr.dtype));
+    v.push(if schema.entity_of(a).is_key(a) { 1.0 } else { 0.0 });
+    v
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Plain k-means over row vectors; returns per-point assignments.
+fn kmeans(points: &[Vec<f32>], k: usize, iterations: usize, seed: u64) -> Vec<usize> {
+    assert!(!points.is_empty());
+    let k = k.min(points.len());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.shuffle(&mut rng);
+    let mut centroids: Vec<Vec<f32>> = idx[..k].iter().map(|&i| points[i].clone()).collect();
+    let dim = points[0].len();
+    let mut assign = vec![0usize; points.len()];
+    for _ in 0..iterations {
+        // Assign.
+        for (pi, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f32::INFINITY;
+            for (ci, c) in centroids.iter().enumerate() {
+                let d = sq_dist(p, c);
+                if d < best_d {
+                    best_d = d;
+                    best = ci;
+                }
+            }
+            assign[pi] = best;
+        }
+        // Update.
+        let mut sums = vec![vec![0.0f32; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (pi, p) in points.iter().enumerate() {
+            counts[assign[pi]] += 1;
+            for (s, &x) in sums[assign[pi]].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for ci in 0..k {
+            if counts[ci] > 0 {
+                for s in &mut sums[ci] {
+                    *s /= counts[ci] as f32;
+                }
+                centroids[ci] = sums[ci].clone();
+            }
+        }
+    }
+    assign
+}
+
+impl Matcher for Mlm {
+    fn name(&self) -> String {
+        format!("MLM(k={})", self.clusters)
+    }
+
+    fn score(&self, ctx: &MatchContext<'_>, source: &Schema, target: &Schema) -> ScoreMatrix {
+        let s_feats: Vec<Vec<f32>> =
+            source.attr_ids().map(|a| featurize(ctx, source, a)).collect();
+        let t_feats: Vec<Vec<f32>> =
+            target.attr_ids().map(|a| featurize(ctx, target, a)).collect();
+        let mut all = s_feats.clone();
+        all.extend(t_feats.iter().cloned());
+        let assign = kmeans(&all, self.clusters, self.iterations, self.seed);
+        let (s_assign, t_assign) = assign.split_at(s_feats.len());
+
+        let mut m = ScoreMatrix::zeros(source.attr_count(), target.attr_count());
+        for s in source.attr_ids() {
+            for t in target.attr_ids() {
+                let proximity = 1.0 / (1.0 + sq_dist(&s_feats[s.index()], &t_feats[t.index()]) as f64);
+                let same_cluster = if s_assign[s.index()] == t_assign[t.index()] { 1.0 } else { 0.0 };
+                m.set(s, t, 0.5 * proximity + 0.5 * same_cluster * proximity);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
+    use lsm_lexicon::full_lexicon;
+    use lsm_schema::{AttrId, DataType};
+
+    fn fixtures() -> (lsm_lexicon::Lexicon, EmbeddingSpace) {
+        let lex = full_lexicon();
+        let emb = EmbeddingSpace::new(&lex, EmbeddingConfig::default());
+        (lex, emb)
+    }
+
+    #[test]
+    fn kmeans_separates_obvious_clusters() {
+        let mut points = Vec::new();
+        for i in 0..10 {
+            points.push(vec![0.0 + i as f32 * 0.01, 0.0]);
+            points.push(vec![10.0 + i as f32 * 0.01, 10.0]);
+        }
+        let assign = kmeans(&points, 2, 10, 1);
+        // Even indices together, odd indices together.
+        let a0 = assign[0];
+        let a1 = assign[1];
+        assert_ne!(a0, a1);
+        for i in 0..10 {
+            assert_eq!(assign[2 * i], a0);
+            assert_eq!(assign[2 * i + 1], a1);
+        }
+    }
+
+    #[test]
+    fn kmeans_handles_k_larger_than_points() {
+        let points = vec![vec![0.0], vec![1.0]];
+        let assign = kmeans(&points, 10, 5, 0);
+        assert_eq!(assign.len(), 2);
+    }
+
+    #[test]
+    fn mlm_scores_same_name_highest() {
+        let (lex, emb) = fixtures();
+        let ctx = MatchContext { embedding: &emb, lexicon: &lex };
+        let source = Schema::builder("s")
+            .entity("E")
+            .attr("unit_price", DataType::Decimal)
+            .build()
+            .unwrap();
+        let target = Schema::builder("t")
+            .entity("F")
+            .attr("unit_price", DataType::Decimal)
+            .attr("city", DataType::Text)
+            .build()
+            .unwrap();
+        let m = Mlm::default().score(&ctx, &source, &target);
+        assert!(m.get(AttrId(0), AttrId(0)) > m.get(AttrId(0), AttrId(1)));
+    }
+
+    #[test]
+    fn mlm_is_deterministic() {
+        let (lex, emb) = fixtures();
+        let ctx = MatchContext { embedding: &emb, lexicon: &lex };
+        let source = Schema::builder("s")
+            .entity("E")
+            .attr("a", DataType::Text)
+            .attr("b", DataType::Integer)
+            .build()
+            .unwrap();
+        let target = source.clone();
+        let m1 = Mlm::default().score(&ctx, &source, &target);
+        let m2 = Mlm::default().score(&ctx, &source, &target);
+        assert_eq!(m1, m2);
+    }
+}

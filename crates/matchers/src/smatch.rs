@@ -1,0 +1,145 @@
+//! S-MATCH: semantic matching through a synset dictionary.
+//!
+//! S-MATCH "uses WordNet to understand the meaning of the nodes ... and
+//! identify synonyms". Restricted to attribute equivalence (the paper does
+//! the same), the algorithm becomes: map each name's tokens/phrases onto
+//! synsets via the dictionary and score the overlap of the resulting concept
+//! sets. Customer jargon and abbreviations are out-of-dictionary — exactly
+//! the WordNet blind spot the paper documents.
+
+use crate::{MatchContext, Matcher};
+use lsm_lexicon::{ConceptId, Lexicon};
+use lsm_schema::{Schema, ScoreMatrix};
+use lsm_text::tokenize;
+
+/// S-MATCH over the lexicon's public synset view.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SMatch;
+
+/// The "meaning" of an identifier: the synsets of its whole phrase and of
+/// each token, plus the raw tokens for out-of-dictionary fallback.
+#[derive(Debug, Clone)]
+struct Meaning {
+    concepts: Vec<ConceptId>,
+    tokens: Vec<String>,
+}
+
+fn meaning(lexicon: &Lexicon, identifier: &str) -> Meaning {
+    let tokens = tokenize(identifier);
+    let mut concepts: Vec<ConceptId> = Vec::new();
+    // Whole-phrase synsets first (multi-word concepts), then per-token.
+    for c in lexicon.public_synsets_of(&tokens.join(" ")) {
+        if !concepts.contains(&c) {
+            concepts.push(c);
+        }
+    }
+    for t in &tokens {
+        for &c in lexicon.public_concepts_of_token(t) {
+            if !concepts.contains(&c) {
+                concepts.push(c);
+            }
+        }
+    }
+    Meaning { concepts, tokens }
+}
+
+fn jaccard<T: PartialEq>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let shared = a.iter().filter(|x| b.contains(x)).count();
+    let union = a.len() + b.len() - shared;
+    if union == 0 {
+        0.0
+    } else {
+        shared as f64 / union as f64
+    }
+}
+
+impl Matcher for SMatch {
+    fn name(&self) -> String {
+        "S-MATCH".to_string()
+    }
+
+    fn score(&self, ctx: &MatchContext<'_>, source: &Schema, target: &Schema) -> ScoreMatrix {
+        let s_meanings: Vec<Meaning> =
+            source.attributes.iter().map(|a| meaning(ctx.lexicon, &a.name)).collect();
+        let t_meanings: Vec<Meaning> =
+            target.attributes.iter().map(|a| meaning(ctx.lexicon, &a.name)).collect();
+        let mut m = ScoreMatrix::zeros(source.attr_count(), target.attr_count());
+        for s in source.attr_ids() {
+            for t in target.attr_ids() {
+                let sm = &s_meanings[s.index()];
+                let tm = &t_meanings[t.index()];
+                // Semantic overlap dominates; raw-token overlap is the
+                // fallback for out-of-dictionary names.
+                let semantic = jaccard(&sm.concepts, &tm.concepts);
+                let literal = jaccard(&sm.tokens, &tm.tokens);
+                m.set(s, t, 0.7 * semantic + 0.3 * literal);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
+    use lsm_lexicon::full_lexicon;
+    use lsm_schema::{AttrId, DataType};
+
+    fn fixtures() -> (lsm_lexicon::Lexicon, EmbeddingSpace) {
+        let lex = full_lexicon();
+        let emb = EmbeddingSpace::new(&lex, EmbeddingConfig::default());
+        (lex, emb)
+    }
+
+    #[test]
+    fn smatch_finds_dictionary_synonyms() {
+        let (lex, emb) = fixtures();
+        let ctx = MatchContext { embedding: &emb, lexicon: &lex };
+        let source = Schema::builder("s")
+            .entity("E")
+            .attr("zip_code", DataType::Text)
+            .build()
+            .unwrap();
+        let target = Schema::builder("t")
+            .entity("F")
+            .attr("postal_code", DataType::Text)
+            .attr("unit_price", DataType::Decimal)
+            .build()
+            .unwrap();
+        let m = SMatch.score(&ctx, &source, &target);
+        assert!(m.get(AttrId(0), AttrId(0)) > m.get(AttrId(0), AttrId(1)));
+    }
+
+    #[test]
+    fn smatch_misses_private_jargon() {
+        let (lex, emb) = fixtures();
+        let ctx = MatchContext { embedding: &emb, lexicon: &lex };
+        let source = Schema::builder("s")
+            .entity("E")
+            .attr("discount", DataType::Decimal) // private jargon for price change percentage
+            .build()
+            .unwrap();
+        let target = Schema::builder("t")
+            .entity("F")
+            .attr("price_change_percentage", DataType::Decimal)
+            .attr("discount_percentage", DataType::Decimal) // lexical trap
+            .build()
+            .unwrap();
+        let m = SMatch.score(&ctx, &source, &target);
+        // The dictionary cannot connect discount → price change percentage;
+        // the literal-token trap wins. This is the documented failure mode.
+        assert!(m.get(AttrId(0), AttrId(1)) > m.get(AttrId(0), AttrId(0)));
+    }
+
+    #[test]
+    fn jaccard_properties() {
+        assert_eq!(jaccard::<u32>(&[], &[]), 0.0);
+        assert_eq!(jaccard(&[1, 2], &[1, 2]), 1.0);
+        assert_eq!(jaccard(&[1], &[2]), 0.0);
+        assert!((jaccard(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+    }
+}

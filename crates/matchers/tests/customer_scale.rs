@@ -1,0 +1,89 @@
+//! Baselines against a generated customer at reduced scale: the Section III
+//! failure modes must show up — scores are valid, but top-3 accuracy on a
+//! hard customer stays far from the near-perfect public-schema regime.
+
+use lsm_baselines::coma::Coma;
+use lsm_baselines::cupid::Cupid;
+use lsm_baselines::flooding::SimilarityFlooding;
+use lsm_baselines::mlm::Mlm;
+use lsm_baselines::smatch::SMatch;
+use lsm_baselines::tune::grid_search;
+use lsm_baselines::{MatchContext, Matcher};
+use lsm_datasets::customers::{generate_customer, CustomerSpec};
+use lsm_datasets::iss::{generate_retail_iss, IssConfig};
+use lsm_datasets::rename::{NamingStyle, RenameMix};
+use lsm_datasets::Dataset;
+use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
+use lsm_lexicon::full_lexicon;
+use lsm_schema::AttrId;
+
+fn customer() -> (lsm_lexicon::Lexicon, Dataset) {
+    let lexicon = full_lexicon();
+    let iss = generate_retail_iss(&lexicon, IssConfig::small());
+    let spec = CustomerSpec {
+        name: "Scale Customer",
+        entities: 4,
+        attributes: 28,
+        foreign_keys: 3,
+        descriptions: false,
+        style: NamingStyle::Snake,
+        mix: RenameMix::customer(),
+        seed: 0x5ca1e,
+    };
+    let d = generate_customer(&iss, &lexicon, spec, 21);
+    (lexicon, d)
+}
+
+#[test]
+fn all_baselines_produce_valid_scores_on_a_customer() {
+    let (lexicon, d) = customer();
+    let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+    let ctx = MatchContext { embedding: &embedding, lexicon: &lexicon };
+    let sources: Vec<AttrId> = d.source.attr_ids().collect();
+    let matchers: Vec<(&str, lsm_schema::ScoreMatrix)> = vec![
+        ("CUPID", Cupid::new(0.2).score(&ctx, &d.source, &d.target)),
+        ("COMA", Coma::new(lsm_baselines::coma::Aggregation::Max).score(&ctx, &d.source, &d.target)),
+        ("SM", SMatch.score(&ctx, &d.source, &d.target)),
+        ("SF", SimilarityFlooding::default().score(&ctx, &d.source, &d.target)),
+        ("MLM", Mlm::default().score(&ctx, &d.source, &d.target)),
+    ];
+    for (name, m) in &matchers {
+        let acc = m.top_k_accuracy(&d.ground_truth, &sources, 3);
+        assert!((0.0..=1.0).contains(&acc), "{name}: {acc}");
+        // The customer regime: nobody gets close to the public-schema 1.0.
+        assert!(acc < 0.9, "{name} suspiciously perfect on a hard customer: {acc}");
+        // MRR is consistent with top-1 accuracy as a lower bound.
+        let mrr = m.mean_reciprocal_rank(&d.ground_truth, &sources);
+        let top1 = m.top_k_accuracy(&d.ground_truth, &sources, 1);
+        assert!(mrr + 1e-9 >= top1, "{name}: mrr {mrr} < top-1 {top1}");
+    }
+}
+
+#[test]
+fn grid_search_never_hurts() {
+    let (lexicon, d) = customer();
+    let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+    let ctx = MatchContext { embedding: &embedding, lexicon: &lexicon };
+    let sources: Vec<AttrId> = d.source.attr_ids().collect();
+    let fixed = Cupid::new(0.0).score(&ctx, &d.source, &d.target);
+    let fixed_acc = fixed.top_k_accuracy(&d.ground_truth, &sources, 3);
+    let tuned = grid_search(Cupid::grid(), &ctx, &d.source, &d.target, &d.ground_truth, 3);
+    assert!(tuned.accuracy + 1e-9 >= fixed_acc);
+}
+
+#[test]
+fn one_to_one_extraction_is_injective_on_customer_scores() {
+    let (lexicon, d) = customer();
+    let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+    let ctx = MatchContext { embedding: &embedding, lexicon: &lexicon };
+    let m = Cupid::new(0.2).score(&ctx, &d.source, &d.target);
+    let pairs = m.extract_one_to_one(0.0);
+    let mut seen_s = std::collections::HashSet::new();
+    let mut seen_t = std::collections::HashSet::new();
+    for (s, t, _) in &pairs {
+        assert!(seen_s.insert(*s), "source {s} reused");
+        assert!(seen_t.insert(*t), "target {t} reused");
+    }
+    // Every source can be assigned (targets outnumber sources).
+    assert_eq!(pairs.len(), d.source.attr_count());
+}

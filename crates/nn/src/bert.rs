@@ -1,0 +1,339 @@
+//! The mini-BERT encoder and the pair-classification head.
+//!
+//! Architecture (Fig. 3 of the paper, scaled down):
+//!
+//! ```text
+//! token ids ──► token-emb + pos-emb ──► LayerNorm
+//!            ──► N × [ MultiHeadSelfAttention → Add&Norm → FFN(GELU) → Add&Norm ]
+//!            ──► E'[CLS]  (row 0)
+//!            ──► pooler (Linear + tanh)
+//!            ──► matching classifier (one hidden layer → logit → sigmoid)
+//! ```
+//!
+//! The classifier mirrors the paper's "binary classifier consisting of a
+//! single hidden layer neural network with a sigmoid activation function"
+//! stacked on the BERT hidden state `E'[CLS]`.
+
+use crate::bpe::{BpeVocab, SpecialToken};
+use crate::graph::{Graph, NodeId};
+use crate::layers::{Embedding, LayerNorm, Linear};
+use crate::params::ParamStore;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the encoder.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BertConfig {
+    /// Subword vocabulary size.
+    pub vocab_size: usize,
+    /// Hidden width `d`.
+    pub d_model: usize,
+    /// Number of transformer blocks.
+    pub n_layers: usize,
+    /// Attention heads (`d_model % n_heads == 0`).
+    pub n_heads: usize,
+    /// Feed-forward inner width.
+    pub d_ff: usize,
+    /// Maximum sequence length (positions table size).
+    pub max_seq: usize,
+}
+
+impl BertConfig {
+    /// A small config adequate for the schema-matching experiments.
+    pub fn small(vocab_size: usize) -> Self {
+        BertConfig { vocab_size, d_model: 48, n_layers: 2, n_heads: 4, d_ff: 96, max_seq: 48 }
+    }
+
+    /// A tiny config for unit tests.
+    pub fn tiny(vocab_size: usize) -> Self {
+        BertConfig { vocab_size, d_model: 16, n_layers: 1, n_heads: 2, d_ff: 24, max_seq: 24 }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Block {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    attn_norm: LayerNorm,
+    ff1: Linear,
+    ff2: Linear,
+    ff_norm: LayerNorm,
+}
+
+/// The transformer encoder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BertEncoder {
+    /// Hyper-parameters.
+    pub config: BertConfig,
+    token_emb: Embedding,
+    pos_emb: Embedding,
+    emb_norm: LayerNorm,
+    blocks: Vec<Block>,
+    pooler: Linear,
+}
+
+impl BertEncoder {
+    /// Registers all encoder parameters in `store`.
+    pub fn new(config: BertConfig, store: &mut ParamStore, rng: &mut impl Rng) -> Self {
+        assert_eq!(config.d_model % config.n_heads, 0, "d_model must divide into heads");
+        let d = config.d_model;
+        let token_emb = Embedding::new(store, "bert.tok", config.vocab_size, d, rng);
+        let pos_emb = Embedding::new(store, "bert.pos", config.max_seq, d, rng);
+        let emb_norm = LayerNorm::new(store, "bert.emb_norm", d);
+        let blocks = (0..config.n_layers)
+            .map(|i| Block {
+                wq: Linear::new(store, &format!("bert.{i}.wq"), d, d, rng),
+                wk: Linear::new(store, &format!("bert.{i}.wk"), d, d, rng),
+                wv: Linear::new(store, &format!("bert.{i}.wv"), d, d, rng),
+                wo: Linear::new(store, &format!("bert.{i}.wo"), d, d, rng),
+                attn_norm: LayerNorm::new(store, &format!("bert.{i}.attn_norm"), d),
+                ff1: Linear::new(store, &format!("bert.{i}.ff1"), d, config.d_ff, rng),
+                ff2: Linear::new(store, &format!("bert.{i}.ff2"), config.d_ff, d, rng),
+                ff_norm: LayerNorm::new(store, &format!("bert.{i}.ff_norm"), d),
+            })
+            .collect();
+        let pooler = Linear::new(store, "bert.pooler", d, d, rng);
+        BertEncoder { config, token_emb, pos_emb, emb_norm, blocks, pooler }
+    }
+
+    /// Truncates `ids` to the encoder's maximum sequence length.
+    pub fn truncate<'a>(&self, ids: &'a [u32]) -> &'a [u32] {
+        &ids[..ids.len().min(self.config.max_seq)]
+    }
+
+    /// Runs the encoder over a token-id sequence, returning the full hidden
+    /// state `[seq, d]`.
+    pub fn encode(&self, g: &mut Graph, store: &ParamStore, ids: &[u32]) -> NodeId {
+        let ids = self.truncate(ids);
+        assert!(!ids.is_empty(), "cannot encode an empty sequence");
+        let idx: Vec<usize> = ids.iter().map(|&i| i as usize).collect();
+        let pos: Vec<usize> = (0..idx.len()).collect();
+        let te = self.token_emb.forward(g, store, &idx);
+        let pe = self.pos_emb.forward(g, store, &pos);
+        let sum = g.add(te, pe);
+        let mut h = self.emb_norm.forward(g, store, sum);
+
+        let heads = self.config.n_heads;
+        let dh = self.config.d_model / heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        for block in &self.blocks {
+            // Multi-head self-attention.
+            let q = block.wq.forward(g, store, h);
+            let k = block.wk.forward(g, store, h);
+            let v = block.wv.forward(g, store, h);
+            let mut head_outs = Vec::with_capacity(heads);
+            for hd in 0..heads {
+                let (s, e) = (hd * dh, (hd + 1) * dh);
+                let qh = g.slice_cols(q, s, e);
+                let kh = g.slice_cols(k, s, e);
+                let vh = g.slice_cols(v, s, e);
+                let kt = g.transpose(kh);
+                let scores = g.matmul(qh, kt);
+                let scaled = g.scale(scores, scale);
+                let attn = g.softmax_rows(scaled);
+                head_outs.push(g.matmul(attn, vh));
+            }
+            let concat = g.concat_cols(&head_outs);
+            let proj = block.wo.forward(g, store, concat);
+            let res1 = g.add(h, proj);
+            let norm1 = block.attn_norm.forward(g, store, res1);
+            // Feed-forward.
+            let ff_in = block.ff1.forward(g, store, norm1);
+            let ff_act = g.gelu(ff_in);
+            let ff_out = block.ff2.forward(g, store, ff_act);
+            let res2 = g.add(norm1, ff_out);
+            h = block.ff_norm.forward(g, store, res2);
+        }
+        h
+    }
+
+    /// Encodes and pools: `tanh(W · E'[CLS] + b)`, a `[1, d]` vector.
+    pub fn pooled(&self, g: &mut Graph, store: &ParamStore, ids: &[u32]) -> NodeId {
+        let h = self.encode(g, store, ids);
+        let cls = g.slice_row(h, 0);
+        let p = self.pooler.forward(g, store, cls);
+        g.tanh(p)
+    }
+}
+
+/// Builds the `[CLS] a [SEP] b [SEP]` input of the BERT featurizer from two
+/// pre-encoded subword sequences.
+pub fn pair_input(vocab: &BpeVocab, a: &[u32], b: &[u32], max_seq: usize) -> Vec<u32> {
+    let _ = vocab; // ids are already vocab-encoded; kept for symmetry/future masking
+    let budget = max_seq.saturating_sub(3); // CLS + 2×SEP
+    let half = budget / 2;
+    let (ta, tb) = if a.len() + b.len() <= budget {
+        (a.len(), b.len())
+    } else if a.len() <= half {
+        (a.len(), budget - a.len())
+    } else if b.len() <= half {
+        (budget - b.len(), b.len())
+    } else {
+        (half, budget - half)
+    };
+    let mut out = Vec::with_capacity(ta + tb + 3);
+    out.push(SpecialToken::Cls.id());
+    out.extend_from_slice(&a[..ta]);
+    out.push(SpecialToken::Sep.id());
+    out.extend_from_slice(&b[..tb]);
+    out.push(SpecialToken::Sep.id());
+    out
+}
+
+/// The matching classifier: one hidden layer over the pooled `[CLS]` state,
+/// emitting a single logit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PairClassifier {
+    hidden: Linear,
+    out: Linear,
+}
+
+impl PairClassifier {
+    /// Registers classifier parameters (`hidden_dim` defaults to `d_model`
+    /// when you pass it as such).
+    pub fn new(store: &mut ParamStore, d_model: usize, hidden_dim: usize, rng: &mut impl Rng) -> Self {
+        PairClassifier {
+            hidden: Linear::new(store, "clf.hidden", d_model, hidden_dim, rng),
+            out: Linear::new(store, "clf.out", hidden_dim, 1, rng),
+        }
+    }
+
+    /// The raw matching logit for a pooled `[1, d]` vector.
+    pub fn logit(&self, g: &mut Graph, store: &ParamStore, pooled: NodeId) -> NodeId {
+        let h = self.hidden.forward(g, store, pooled);
+        let a = g.gelu(h);
+        self.out.forward(g, store, a)
+    }
+
+    /// The matching probability (sigmoid of the logit).
+    pub fn probability(&self, g: &mut Graph, store: &ParamStore, pooled: NodeId) -> NodeId {
+        let z = self.logit(g, store, pooled);
+        g.sigmoid(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, AdamConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (BertEncoder, PairClassifier, ParamStore) {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let enc = BertEncoder::new(BertConfig::tiny(30), &mut store, &mut rng);
+        let clf = PairClassifier::new(&mut store, 16, 16, &mut rng);
+        (enc, clf, store)
+    }
+
+    #[test]
+    fn encode_shapes() {
+        let (enc, _, store) = setup();
+        let mut g = Graph::new();
+        let h = enc.encode(&mut g, &store, &[1, 7, 8, 2]);
+        assert_eq!(g.value(h).shape(), (4, 16));
+        let p = enc.pooled(&mut g, &store, &[1, 7, 8, 2]);
+        assert_eq!(g.value(p).shape(), (1, 16));
+        // tanh output is bounded.
+        assert!(g.value(p).data().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn encode_truncates_to_max_seq() {
+        let (enc, _, store) = setup();
+        let long: Vec<u32> = (0..100).map(|i| 5 + (i % 20)).collect();
+        let mut g = Graph::new();
+        let h = enc.encode(&mut g, &store, &long);
+        assert_eq!(g.value(h).rows(), enc.config.max_seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn encode_rejects_empty() {
+        let (enc, _, store) = setup();
+        let mut g = Graph::new();
+        enc.encode(&mut g, &store, &[]);
+    }
+
+    #[test]
+    fn pair_input_layout_and_truncation() {
+        let corpus = vec![vec!["a", "b", "c"]];
+        let vocab = BpeVocab::train(&corpus, 5);
+        let a = [10, 11, 12];
+        let b = [13, 14];
+        let ids = pair_input(&vocab, &a, &b, 32);
+        assert_eq!(ids[0], SpecialToken::Cls.id());
+        assert_eq!(ids[4], SpecialToken::Sep.id());
+        assert_eq!(*ids.last().unwrap(), SpecialToken::Sep.id());
+        assert_eq!(ids.len(), 8);
+        // Over-long inputs fit max_seq.
+        let long: Vec<u32> = vec![9; 50];
+        let ids = pair_input(&vocab, &long, &long, 24);
+        assert!(ids.len() <= 24);
+        // Both sides keep at least part of their content.
+        assert!(ids.iter().filter(|&&i| i == SpecialToken::Sep.id()).count() == 2);
+    }
+
+    #[test]
+    fn pair_input_asymmetric_budget() {
+        let corpus = vec![vec!["a"]];
+        let vocab = BpeVocab::train(&corpus, 2);
+        let short = [7u32];
+        let long: Vec<u32> = vec![8; 40];
+        let ids = pair_input(&vocab, &short, &long, 20);
+        assert!(ids.len() <= 20);
+        // The short side survives untruncated.
+        assert_eq!(ids[1], 7);
+    }
+
+    #[test]
+    fn classifier_emits_probability() {
+        let (enc, clf, store) = setup();
+        let mut g = Graph::new();
+        let pooled = enc.pooled(&mut g, &store, &[1, 5, 2, 6, 2]);
+        let p = clf.probability(&mut g, &store, pooled);
+        let v = g.value(p).item();
+        assert!((0.0..=1.0).contains(&v));
+    }
+
+    /// End-to-end: the encoder + classifier can overfit a toy
+    /// discrimination task (pairs (x, x) positive, (x, y) negative).
+    #[test]
+    fn bert_learns_toy_pair_task() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let enc = BertEncoder::new(BertConfig::tiny(20), &mut store, &mut rng);
+        let clf = PairClassifier::new(&mut store, 16, 16, &mut rng);
+        let mut opt = Adam::new(AdamConfig { lr: 5e-3, ..Default::default() });
+        // Token 5 pairs with 5, 6 with 6; mismatches are negative.
+        let samples: Vec<(Vec<u32>, f32)> = vec![
+            (vec![1, 5, 2, 5, 2], 1.0),
+            (vec![1, 6, 2, 6, 2], 1.0),
+            (vec![1, 5, 2, 6, 2], 0.0),
+            (vec![1, 6, 2, 5, 2], 0.0),
+        ];
+        for _ in 0..60 {
+            let mut g = Graph::new();
+            let mut losses = Vec::new();
+            for (ids, label) in &samples {
+                let pooled = enc.pooled(&mut g, &store, ids);
+                let z = clf.logit(&mut g, &store, pooled);
+                losses.push(g.bce_with_logits(z, *label, 1.0));
+            }
+            let loss = g.mean_scalars(&losses);
+            g.backward(loss, &mut store);
+            store.clip_grad_norm(5.0);
+            opt.step(&mut store);
+        }
+        for (ids, label) in &samples {
+            let mut g = Graph::new();
+            let pooled = enc.pooled(&mut g, &store, ids);
+            let p = clf.probability(&mut g, &store, pooled);
+            let v = g.value(p).item();
+            assert_eq!(v > 0.5, *label > 0.5, "ids {ids:?} → {v}");
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Byte-pair-encoding subword vocabulary (WordPiece surrogate).
+//!
+//! BERT's WordPiece tokenizer lets the model handle words it never saw —
+//! the critical property for customer abbreviations like `qty` or `ean`.
+//! We train a classic character-level BPE on the synthetic domain corpus:
+//! start from single characters, repeatedly merge the most frequent adjacent
+//! pair. At encode time a word is split into characters and merges are
+//! replayed in rank order, so any in-alphabet word gets *some* subword
+//! decomposition and out-of-alphabet characters map to `[UNK]`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The special tokens, with fixed ids `0..=4`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecialToken {
+    /// Padding.
+    Pad,
+    /// Sequence-start classifier token.
+    Cls,
+    /// Separator between sentence segments.
+    Sep,
+    /// Masked-token placeholder for MLM.
+    Mask,
+    /// Unknown character fallback.
+    Unk,
+}
+
+impl SpecialToken {
+    /// The token id.
+    pub fn id(self) -> u32 {
+        match self {
+            SpecialToken::Pad => 0,
+            SpecialToken::Cls => 1,
+            SpecialToken::Sep => 2,
+            SpecialToken::Mask => 3,
+            SpecialToken::Unk => 4,
+        }
+    }
+
+    /// The surface form.
+    pub fn piece(self) -> &'static str {
+        match self {
+            SpecialToken::Pad => "[PAD]",
+            SpecialToken::Cls => "[CLS]",
+            SpecialToken::Sep => "[SEP]",
+            SpecialToken::Mask => "[MASK]",
+            SpecialToken::Unk => "[UNK]",
+        }
+    }
+
+    /// All special tokens in id order.
+    pub const ALL: [SpecialToken; 5] = [
+        SpecialToken::Pad,
+        SpecialToken::Cls,
+        SpecialToken::Sep,
+        SpecialToken::Mask,
+        SpecialToken::Unk,
+    ];
+}
+
+/// A trained BPE vocabulary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "BpeVocabData", into = "BpeVocabData")]
+pub struct BpeVocab {
+    /// piece string → id.
+    piece_to_id: HashMap<String, u32>,
+    /// id → piece string.
+    id_to_piece: Vec<String>,
+    /// `(left, right) → rank`; lower rank merges first.
+    merge_ranks: HashMap<(String, String), usize>,
+}
+
+/// Serialization form of a [`BpeVocab`]: the piece list and the merge
+/// operations in rank order (JSON maps cannot key on tuples).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BpeVocabData {
+    /// id → piece.
+    pub pieces: Vec<String>,
+    /// Merge operations, lowest rank first.
+    pub merges: Vec<(String, String)>,
+}
+
+impl From<BpeVocab> for BpeVocabData {
+    fn from(v: BpeVocab) -> Self {
+        let mut merges: Vec<((String, String), usize)> = v.merge_ranks.into_iter().collect();
+        merges.sort_by_key(|&(_, rank)| rank);
+        BpeVocabData {
+            pieces: v.id_to_piece,
+            merges: merges.into_iter().map(|(pair, _)| pair).collect(),
+        }
+    }
+}
+
+impl From<BpeVocabData> for BpeVocab {
+    fn from(d: BpeVocabData) -> Self {
+        let piece_to_id =
+            d.pieces.iter().enumerate().map(|(i, p)| (p.clone(), i as u32)).collect();
+        let merge_ranks =
+            d.merges.into_iter().enumerate().map(|(rank, pair)| (pair, rank)).collect();
+        BpeVocab { piece_to_id, id_to_piece: d.pieces, merge_ranks }
+    }
+}
+
+impl BpeVocab {
+    /// Trains a BPE vocabulary on tokenized sentences.
+    ///
+    /// `merges` bounds the number of merge operations (vocabulary size is
+    /// roughly `5 + |alphabet| + merges`).
+    pub fn train<S: AsRef<str>>(corpus: &[Vec<S>], merges: usize) -> Self {
+        // Word frequency table, each word as a symbol sequence.
+        let mut word_freqs: HashMap<Vec<String>, usize> = HashMap::new();
+        for sent in corpus {
+            for word in sent {
+                let symbols: Vec<String> =
+                    word.as_ref().chars().map(|c| c.to_string()).collect();
+                if !symbols.is_empty() {
+                    *word_freqs.entry(symbols).or_insert(0) += 1;
+                }
+            }
+        }
+
+        let mut merge_ranks: HashMap<(String, String), usize> = HashMap::new();
+        for rank in 0..merges {
+            // Count adjacent pairs.
+            let mut pair_counts: HashMap<(String, String), usize> = HashMap::new();
+            for (word, &freq) in &word_freqs {
+                for w in word.windows(2) {
+                    *pair_counts.entry((w[0].clone(), w[1].clone())).or_insert(0) += freq;
+                }
+            }
+            // Deterministic best pair: max count, ties by lexicographic order.
+            let Some((best_pair, best_count)) = pair_counts
+                .into_iter()
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+            else {
+                break;
+            };
+            if best_count < 2 {
+                break; // no productive merges left
+            }
+            merge_ranks.insert(best_pair.clone(), rank);
+            // Apply the merge to every word.
+            let merged_symbol = format!("{}{}", best_pair.0, best_pair.1);
+            let mut next: HashMap<Vec<String>, usize> = HashMap::with_capacity(word_freqs.len());
+            for (word, freq) in word_freqs {
+                let mut out: Vec<String> = Vec::with_capacity(word.len());
+                let mut i = 0;
+                while i < word.len() {
+                    if i + 1 < word.len()
+                        && word[i] == best_pair.0
+                        && word[i + 1] == best_pair.1
+                    {
+                        out.push(merged_symbol.clone());
+                        i += 2;
+                    } else {
+                        out.push(word[i].clone());
+                        i += 1;
+                    }
+                }
+                *next.entry(out).or_insert(0) += freq;
+            }
+            word_freqs = next;
+        }
+
+        // Assemble the vocabulary: specials, then alphabet + merge products,
+        // sorted for determinism.
+        let mut pieces: Vec<String> = Vec::new();
+        for word in word_freqs.keys() {
+            for s in word {
+                if !pieces.contains(s) {
+                    pieces.push(s.clone());
+                }
+            }
+        }
+        // Single characters that were fully merged away still need entries
+        // (encode starts from characters).
+        let mut chars: Vec<String> = Vec::new();
+        for (a, b) in merge_ranks.keys() {
+            for s in [a, b] {
+                if s.chars().count() == 1 && !chars.contains(s) {
+                    chars.push(s.clone());
+                }
+            }
+        }
+        for (a, b) in merge_ranks.keys() {
+            let m = format!("{a}{b}");
+            if !pieces.contains(&m) {
+                pieces.push(m);
+            }
+        }
+        for c in chars {
+            if !pieces.contains(&c) {
+                pieces.push(c);
+            }
+        }
+        pieces.sort_unstable();
+        pieces.dedup();
+
+        let mut id_to_piece: Vec<String> =
+            SpecialToken::ALL.iter().map(|s| s.piece().to_string()).collect();
+        id_to_piece.extend(pieces);
+        let piece_to_id =
+            id_to_piece.iter().enumerate().map(|(i, p)| (p.clone(), i as u32)).collect();
+        BpeVocab { piece_to_id, id_to_piece, merge_ranks }
+    }
+
+    /// Vocabulary size including specials.
+    pub fn size(&self) -> usize {
+        self.id_to_piece.len()
+    }
+
+    /// The piece string for an id.
+    pub fn piece(&self, id: u32) -> &str {
+        &self.id_to_piece[id as usize]
+    }
+
+    /// The id of an exact piece, if present.
+    pub fn id_of(&self, piece: &str) -> Option<u32> {
+        self.piece_to_id.get(piece).copied()
+    }
+
+    /// Splits one word into subword pieces by replaying merges in rank
+    /// order. Characters outside the alphabet become `[UNK]`.
+    pub fn encode_word(&self, word: &str) -> Vec<u32> {
+        let mut symbols: Vec<String> = word.chars().map(|c| c.to_string()).collect();
+        if symbols.is_empty() {
+            return Vec::new();
+        }
+        loop {
+            // Find the adjacent pair with the lowest merge rank.
+            let mut best: Option<(usize, usize)> = None; // (position, rank)
+            for i in 0..symbols.len() - 1 {
+                if let Some(&rank) =
+                    self.merge_ranks.get(&(symbols[i].clone(), symbols[i + 1].clone()))
+                {
+                    if best.is_none_or(|(_, r)| rank < r) {
+                        best = Some((i, rank));
+                    }
+                }
+            }
+            let Some((pos, _)) = best else { break };
+            let merged = format!("{}{}", symbols[pos], symbols[pos + 1]);
+            symbols.splice(pos..pos + 2, [merged]);
+        }
+        symbols
+            .iter()
+            .map(|s| self.id_of(s).unwrap_or(SpecialToken::Unk.id()))
+            .collect()
+    }
+
+    /// Encodes a sequence of words, concatenating their subword pieces.
+    pub fn encode_words<S: AsRef<str>>(&self, words: &[S]) -> Vec<u32> {
+        words.iter().flat_map(|w| self.encode_word(w.as_ref())).collect()
+    }
+
+    /// Ids that are real content pieces (not special tokens); used to sample
+    /// random replacement tokens during MLM.
+    pub fn content_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        (SpecialToken::ALL.len() as u32..self.size() as u32).filter(move |_| true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Vec<&'static str>> {
+        vec![
+            vec!["the", "order", "total", "amount"],
+            vec!["the", "order", "line", "amount"],
+            vec!["total", "order", "amount", "order"],
+            vec!["quantity", "of", "the", "order"],
+            vec!["amount", "and", "quantity"],
+        ]
+    }
+
+    #[test]
+    fn special_tokens_have_fixed_ids() {
+        let v = BpeVocab::train(&corpus(), 20);
+        assert_eq!(v.id_of("[CLS]"), Some(1));
+        assert_eq!(v.id_of("[MASK]"), Some(3));
+        assert_eq!(v.piece(0), "[PAD]");
+    }
+
+    #[test]
+    fn frequent_words_become_single_pieces() {
+        let v = BpeVocab::train(&corpus(), 200);
+        // "order" appears 6 times — after enough merges it is one piece.
+        let ids = v.encode_word("order");
+        assert_eq!(ids.len(), 1, "pieces: {:?}", ids.iter().map(|&i| v.piece(i)).collect::<Vec<_>>());
+        assert_eq!(v.piece(ids[0]), "order");
+    }
+
+    #[test]
+    fn unseen_words_decompose_into_subwords() {
+        let v = BpeVocab::train(&corpus(), 200);
+        // "reorder" was never seen but shares subword structure.
+        let ids = v.encode_word("reorder");
+        assert!(!ids.is_empty());
+        assert!(ids.iter().all(|&i| v.piece(i) != "[UNK]"));
+        let joined: String = ids.iter().map(|&i| v.piece(i)).collect();
+        assert_eq!(joined, "reorder");
+    }
+
+    #[test]
+    fn out_of_alphabet_chars_are_unk() {
+        let v = BpeVocab::train(&corpus(), 20);
+        let ids = v.encode_word("ça");
+        assert!(ids.contains(&SpecialToken::Unk.id()));
+    }
+
+    #[test]
+    fn encoding_round_trips_characters() {
+        let v = BpeVocab::train(&corpus(), 50);
+        for word in ["order", "total", "quantity", "amount", "ordertotal"] {
+            let ids = v.encode_word(word);
+            let joined: String = ids.iter().map(|&i| v.piece(i)).collect();
+            assert_eq!(joined, word);
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = BpeVocab::train(&corpus(), 30);
+        let b = BpeVocab::train(&corpus(), 30);
+        assert_eq!(a.size(), b.size());
+        assert_eq!(a.encode_word("quantity"), b.encode_word("quantity"));
+    }
+
+    #[test]
+    fn encode_words_concatenates() {
+        let v = BpeVocab::train(&corpus(), 100);
+        let joined = v.encode_words(&["order", "amount"]);
+        let separate: Vec<u32> = v
+            .encode_word("order")
+            .into_iter()
+            .chain(v.encode_word("amount"))
+            .collect();
+        assert_eq!(joined, separate);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_encoding() {
+        let v = BpeVocab::train(&corpus(), 100);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: BpeVocab = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.size(), v.size());
+        for word in ["order", "quantity", "reorder", "zzz"] {
+            assert_eq!(back.encode_word(word), v.encode_word(word), "{word}");
+        }
+    }
+
+    #[test]
+    fn empty_word_is_empty() {
+        let v = BpeVocab::train(&corpus(), 10);
+        assert!(v.encode_word("").is_empty());
+    }
+}

@@ -1,0 +1,842 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is a flat tape of nodes, each holding its forward value and
+//! the operation that produced it. Because nodes are appended in topological
+//! order, `backward` is a single reverse sweep over the tape. Parameters are
+//! mounted from a [`ParamStore`]; their gradients are
+//! written back to the store at the end of the sweep.
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Index of a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+/// The operation that produced a node's value.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Constant leaf — no gradient flows into it.
+    Input,
+    /// Parameter leaf — gradient is accumulated into the store.
+    Param(ParamId),
+    /// `A × B` matrix product.
+    MatMul(NodeId, NodeId),
+    /// `A + B`, same shape.
+    Add(NodeId, NodeId),
+    /// `A ∘ B` elementwise, same shape.
+    Mul(NodeId, NodeId),
+    /// `A · c`.
+    Scale(NodeId, f32),
+    /// `A [n,d] + b [1,d]` broadcast over rows.
+    AddRow(NodeId, NodeId),
+    /// GELU activation (tanh approximation).
+    Gelu(NodeId),
+    /// Hyperbolic tangent.
+    Tanh(NodeId),
+    /// Logistic sigmoid.
+    Sigmoid(NodeId),
+    /// Row-wise softmax.
+    SoftmaxRows(NodeId),
+    /// Row-wise layer normalization with learned `γ` and `β` (both `[1,d]`).
+    LayerNorm { x: NodeId, gamma: NodeId, beta: NodeId },
+    /// Matrix transpose.
+    Transpose(NodeId),
+    /// Columns `[start, end)` of the input.
+    SliceCols(NodeId, usize, usize),
+    /// Horizontal concatenation of inputs (equal row counts).
+    ConcatCols(Vec<NodeId>),
+    /// A single row of the input as a `[1, d]` tensor.
+    SliceRow(NodeId, usize),
+    /// Rows of a table selected by index (embedding lookup); duplicates
+    /// allowed.
+    Gather(NodeId, Vec<usize>),
+    /// Weighted binary cross-entropy with logits: input is `[1,1]` logit;
+    /// stored are the target and the sample weight.
+    BceWithLogits { logit: NodeId, target: f32, weight: f32 },
+    /// Mean cross-entropy over selected `(row, class)` pairs of a logits
+    /// matrix.
+    CrossEntropyRows { logits: NodeId, targets: Vec<(usize, usize)> },
+    /// Mean of several `[1,1]` scalars.
+    MeanScalars(Vec<NodeId>),
+}
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+}
+
+/// The autograd tape.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+fn gelu_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/π)
+    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+fn gelu_grad_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let x3 = 0.044_715 * x * x * x;
+    let t = (C * (x + x3)).tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044_715 * x * x)
+}
+
+fn sigmoid_scalar(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+fn softmax_row_in_place(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in row.iter_mut() {
+        *v /= sum;
+    }
+}
+
+const LN_EPS: f32 = 1e-5;
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> NodeId {
+        self.nodes.push(Node { value, grad: None, op });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    fn val(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        self.val(id)
+    }
+
+    /// The gradient of a node after [`backward`](Self::backward); zeros if
+    /// no gradient reached it.
+    pub fn grad(&self, id: NodeId) -> Tensor {
+        let n = &self.nodes[id.0];
+        n.grad.clone().unwrap_or_else(|| {
+            let (r, c) = n.value.shape();
+            Tensor::zeros(r, c)
+        })
+    }
+
+    // ----- leaf constructors -----
+
+    /// Mounts a constant input (no gradient).
+    pub fn input(&mut self, value: Tensor) -> NodeId {
+        self.push(value, Op::Input)
+    }
+
+    /// Mounts a parameter from the store (gradient flows back to it).
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    // ----- ops -----
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.val(a).matmul(self.val(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Elementwise sum (same shape).
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.val(a).add(self.val(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise product (same shape).
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.val(a).mul(self.val(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: NodeId, factor: f32) -> NodeId {
+        let v = self.val(a).scale(factor);
+        self.push(v, Op::Scale(a, factor))
+    }
+
+    /// Adds a `[1, d]` row vector to every row of a `[n, d]` matrix.
+    pub fn add_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let (n, d) = self.val(a).shape();
+        assert_eq!(self.val(row).shape(), (1, d), "add_row bias shape");
+        let mut v = self.val(a).clone();
+        for r in 0..n {
+            let bias = self.val(row).row(0).to_vec();
+            for (x, b) in v.row_mut(r).iter_mut().zip(&bias) {
+                *x += b;
+            }
+        }
+        self.push(v, Op::AddRow(a, row))
+    }
+
+    /// GELU activation.
+    pub fn gelu(&mut self, a: NodeId) -> NodeId {
+        let mut v = self.val(a).clone();
+        for x in v.data_mut() {
+            *x = gelu_scalar(*x);
+        }
+        self.push(v, Op::Gelu(a))
+    }
+
+    /// Tanh activation.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let mut v = self.val(a).clone();
+        for x in v.data_mut() {
+            *x = x.tanh();
+        }
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Sigmoid activation.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let mut v = self.val(a).clone();
+        for x in v.data_mut() {
+            *x = sigmoid_scalar(*x);
+        }
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
+        let mut v = self.val(a).clone();
+        let rows = v.rows();
+        for r in 0..rows {
+            softmax_row_in_place(v.row_mut(r));
+        }
+        self.push(v, Op::SoftmaxRows(a))
+    }
+
+    /// Row-wise layer normalization with learned scale and shift.
+    pub fn layer_norm(&mut self, x: NodeId, gamma: NodeId, beta: NodeId) -> NodeId {
+        let (n, d) = self.val(x).shape();
+        assert_eq!(self.val(gamma).shape(), (1, d));
+        assert_eq!(self.val(beta).shape(), (1, d));
+        let mut v = Tensor::zeros(n, d);
+        for r in 0..n {
+            let row = self.val(x).row(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|&x| (x - mean).powi(2)).sum::<f32>() / d as f32;
+            let inv_std = 1.0 / (var + LN_EPS).sqrt();
+            let gamma_row = self.val(gamma).row(0);
+            let beta_row = self.val(beta).row(0);
+            for c in 0..d {
+                let xhat = (row[c] - mean) * inv_std;
+                v.set(r, c, gamma_row[c] * xhat + beta_row[c]);
+            }
+        }
+        self.push(v, Op::LayerNorm { x, gamma, beta })
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: NodeId) -> NodeId {
+        let v = self.val(a).transpose();
+        self.push(v, Op::Transpose(a))
+    }
+
+    /// Columns `[start, end)`.
+    pub fn slice_cols(&mut self, a: NodeId, start: usize, end: usize) -> NodeId {
+        let (n, d) = self.val(a).shape();
+        assert!(start < end && end <= d, "slice_cols out of range");
+        let mut v = Tensor::zeros(n, end - start);
+        for r in 0..n {
+            v.row_mut(r).copy_from_slice(&self.val(a).row(r)[start..end]);
+        }
+        self.push(v, Op::SliceCols(a, start, end))
+    }
+
+    /// Horizontal concatenation.
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "concat_cols needs at least one input");
+        let n = self.val(parts[0]).rows();
+        let total: usize = parts.iter().map(|&p| self.val(p).cols()).sum();
+        let mut v = Tensor::zeros(n, total);
+        for r in 0..n {
+            let mut offset = 0;
+            for &p in parts {
+                let pc = self.val(p).cols();
+                assert_eq!(self.val(p).rows(), n, "concat_cols row mismatch");
+                v.row_mut(r)[offset..offset + pc].copy_from_slice(self.val(p).row(r));
+                offset += pc;
+            }
+        }
+        self.push(v, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// One row as `[1, d]`.
+    pub fn slice_row(&mut self, a: NodeId, row: usize) -> NodeId {
+        let d = self.val(a).cols();
+        assert!(row < self.val(a).rows(), "slice_row out of range");
+        let v = Tensor::from_vec(1, d, self.val(a).row(row).to_vec());
+        self.push(v, Op::SliceRow(a, row))
+    }
+
+    /// Embedding lookup: stacks `table[indices[i]]` rows.
+    pub fn gather(&mut self, table: NodeId, indices: &[usize]) -> NodeId {
+        let d = self.val(table).cols();
+        let rows = self.val(table).rows();
+        let mut v = Tensor::zeros(indices.len(), d);
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < rows, "gather index {idx} out of range ({rows} rows)");
+            v.row_mut(i).copy_from_slice(self.val(table).row(idx));
+        }
+        self.push(v, Op::Gather(table, indices.to_vec()))
+    }
+
+    /// Weighted binary cross-entropy with logits on a `[1,1]` logit.
+    pub fn bce_with_logits(&mut self, logit: NodeId, target: f32, weight: f32) -> NodeId {
+        let z = self.val(logit).item();
+        // Numerically stable: max(z,0) - z t + ln(1 + e^{-|z|}).
+        let loss = weight * (z.max(0.0) - z * target + (-z.abs()).exp().ln_1p());
+        self.push(Tensor::scalar(loss), Op::BceWithLogits { logit, target, weight })
+    }
+
+    /// Mean cross-entropy over `(row, class)` pairs of a logits matrix.
+    pub fn cross_entropy_rows(&mut self, logits: NodeId, targets: &[(usize, usize)]) -> NodeId {
+        assert!(!targets.is_empty(), "cross_entropy_rows needs at least one target");
+        let l = self.val(logits);
+        let mut total = 0.0;
+        for &(row, class) in targets {
+            let r = l.row(row);
+            let max = r.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let logsum: f32 = r.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+            total += logsum - r[class];
+        }
+        let loss = total / targets.len() as f32;
+        self.push(Tensor::scalar(loss), Op::CrossEntropyRows { logits, targets: targets.to_vec() })
+    }
+
+    /// Mean of `[1,1]` scalars (batch-loss averaging).
+    pub fn mean_scalars(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "mean_scalars needs at least one input");
+        let mean =
+            parts.iter().map(|&p| self.val(p).item()).sum::<f32>() / parts.len() as f32;
+        self.push(Tensor::scalar(mean), Op::MeanScalars(parts.to_vec()))
+    }
+
+    // ----- backward -----
+
+    fn grad_mut(&mut self, id: NodeId) -> &mut Tensor {
+        let (r, c) = self.nodes[id.0].value.shape();
+        self.nodes[id.0].grad.get_or_insert_with(|| Tensor::zeros(r, c))
+    }
+
+    fn add_grad(&mut self, id: NodeId, delta: &Tensor) {
+        self.grad_mut(id).add_scaled(delta, 1.0);
+    }
+
+    /// Runs reverse-mode differentiation from `loss` (must be `[1,1]`),
+    /// accumulating parameter gradients into `store`.
+    pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) {
+        assert_eq!(self.val(loss).shape(), (1, 1), "backward requires a scalar loss");
+        *self.grad_mut(loss) = Tensor::scalar(1.0);
+
+        for i in (0..self.nodes.len()).rev() {
+            let Some(g) = self.nodes[i].grad.clone() else {
+                continue;
+            };
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Input => {}
+                Op::Param(pid) => store.accumulate_grad(pid, &g),
+                Op::MatMul(a, b) => {
+                    let da = g.matmul(&self.val(b).transpose());
+                    let db = self.val(a).transpose().matmul(&g);
+                    self.add_grad(a, &da);
+                    self.add_grad(b, &db);
+                }
+                Op::Add(a, b) => {
+                    self.add_grad(a, &g);
+                    self.add_grad(b, &g);
+                }
+                Op::Mul(a, b) => {
+                    let da = g.mul(self.val(b));
+                    let db = g.mul(self.val(a));
+                    self.add_grad(a, &da);
+                    self.add_grad(b, &db);
+                }
+                Op::Scale(a, f) => {
+                    let da = g.scale(f);
+                    self.add_grad(a, &da);
+                }
+                Op::AddRow(a, row) => {
+                    self.add_grad(a, &g);
+                    let d = g.cols();
+                    let mut drow = Tensor::zeros(1, d);
+                    for r in 0..g.rows() {
+                        for c in 0..d {
+                            drow.set(0, c, drow.get(0, c) + g.get(r, c));
+                        }
+                    }
+                    self.add_grad(row, &drow);
+                }
+                Op::Gelu(a) => {
+                    let mut da = g.clone();
+                    for (dg, &x) in da.data_mut().iter_mut().zip(self.val(a).data()) {
+                        *dg *= gelu_grad_scalar(x);
+                    }
+                    self.add_grad(a, &da);
+                }
+                Op::Tanh(a) => {
+                    let y = self.nodes[i].value.clone();
+                    let mut da = g.clone();
+                    for (dg, &yv) in da.data_mut().iter_mut().zip(y.data()) {
+                        *dg *= 1.0 - yv * yv;
+                    }
+                    self.add_grad(a, &da);
+                }
+                Op::Sigmoid(a) => {
+                    let y = self.nodes[i].value.clone();
+                    let mut da = g.clone();
+                    for (dg, &yv) in da.data_mut().iter_mut().zip(y.data()) {
+                        *dg *= yv * (1.0 - yv);
+                    }
+                    self.add_grad(a, &da);
+                }
+                Op::SoftmaxRows(a) => {
+                    let y = self.nodes[i].value.clone();
+                    let (n, d) = y.shape();
+                    let mut da = Tensor::zeros(n, d);
+                    for r in 0..n {
+                        let yr = y.row(r);
+                        let gr = g.row(r);
+                        let dot: f32 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
+                        for c in 0..d {
+                            da.set(r, c, yr[c] * (gr[c] - dot));
+                        }
+                    }
+                    self.add_grad(a, &da);
+                }
+                Op::LayerNorm { x, gamma, beta } => {
+                    let xv = self.val(x).clone();
+                    let gammav = self.val(gamma).clone();
+                    let (n, d) = xv.shape();
+                    let mut dx = Tensor::zeros(n, d);
+                    let mut dgamma = Tensor::zeros(1, d);
+                    let mut dbeta = Tensor::zeros(1, d);
+                    for r in 0..n {
+                        let row = xv.row(r);
+                        let mean = row.iter().sum::<f32>() / d as f32;
+                        let var =
+                            row.iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / d as f32;
+                        let inv_std = 1.0 / (var + LN_EPS).sqrt();
+                        let xhat: Vec<f32> =
+                            row.iter().map(|&v| (v - mean) * inv_std).collect();
+                        let gr = g.row(r);
+                        // dγ and dβ accumulate over rows.
+                        for c in 0..d {
+                            dgamma.set(0, c, dgamma.get(0, c) + gr[c] * xhat[c]);
+                            dbeta.set(0, c, dbeta.get(0, c) + gr[c]);
+                        }
+                        // dx via the standard LayerNorm backward.
+                        let gy: Vec<f32> =
+                            (0..d).map(|c| gr[c] * gammav.get(0, c)).collect();
+                        let mean_gy = gy.iter().sum::<f32>() / d as f32;
+                        let mean_gy_xhat =
+                            gy.iter().zip(&xhat).map(|(a, b)| a * b).sum::<f32>() / d as f32;
+                        for c in 0..d {
+                            let v = (gy[c] - mean_gy - xhat[c] * mean_gy_xhat) * inv_std;
+                            dx.set(r, c, v);
+                        }
+                    }
+                    self.add_grad(x, &dx);
+                    self.add_grad(gamma, &dgamma);
+                    self.add_grad(beta, &dbeta);
+                }
+                Op::Transpose(a) => {
+                    let da = g.transpose();
+                    self.add_grad(a, &da);
+                }
+                Op::SliceCols(a, start, _end) => {
+                    let (n, d) = self.val(a).shape();
+                    let mut da = Tensor::zeros(n, d);
+                    for r in 0..n {
+                        for c in 0..g.cols() {
+                            da.set(r, start + c, g.get(r, c));
+                        }
+                    }
+                    self.add_grad(a, &da);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut offset = 0;
+                    for p in parts {
+                        let (n, pc) = self.val(p).shape();
+                        let mut dp = Tensor::zeros(n, pc);
+                        for r in 0..n {
+                            for c in 0..pc {
+                                dp.set(r, c, g.get(r, offset + c));
+                            }
+                        }
+                        offset += pc;
+                        self.add_grad(p, &dp);
+                    }
+                }
+                Op::SliceRow(a, row) => {
+                    let (n, d) = self.val(a).shape();
+                    let mut da = Tensor::zeros(n, d);
+                    for c in 0..d {
+                        da.set(row, c, g.get(0, c));
+                    }
+                    self.add_grad(a, &da);
+                }
+                Op::Gather(table, indices) => {
+                    let (n, d) = self.val(table).shape();
+                    let mut dt = Tensor::zeros(n, d);
+                    for (i, &idx) in indices.iter().enumerate() {
+                        for c in 0..d {
+                            dt.set(idx, c, dt.get(idx, c) + g.get(i, c));
+                        }
+                    }
+                    self.add_grad(table, &dt);
+                }
+                Op::BceWithLogits { logit, target, weight } => {
+                    let z = self.val(logit).item();
+                    let dz = weight * (sigmoid_scalar(z) - target) * g.item();
+                    let dl = Tensor::scalar(dz);
+                    self.add_grad(logit, &dl);
+                }
+                Op::CrossEntropyRows { logits, targets } => {
+                    let l = self.val(logits).clone();
+                    let (n, v) = l.shape();
+                    let mut dl = Tensor::zeros(n, v);
+                    let scale = g.item() / targets.len() as f32;
+                    for &(row, class) in &targets {
+                        let r = l.row(row);
+                        let max = r.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                        let sum: f32 = r.iter().map(|&x| (x - max).exp()).sum();
+                        for (c, &logit) in r.iter().enumerate() {
+                            let p = ((logit - max).exp()) / sum;
+                            let delta = if c == class { 1.0 } else { 0.0 };
+                            dl.set(row, c, dl.get(row, c) + (p - delta) * scale);
+                        }
+                    }
+                    self.add_grad(logits, &dl);
+                }
+                Op::MeanScalars(parts) => {
+                    let share = g.item() / parts.len() as f32;
+                    let dp = Tensor::scalar(share);
+                    for p in parts {
+                        self.add_grad(p, &dp);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Finite-difference gradient check: builds the graph twice per
+    /// perturbed parameter element and compares numeric vs analytic grads.
+    fn grad_check<F>(param_shapes: &[(usize, usize)], build: F, seed: u64)
+    where
+        F: Fn(&mut Graph, &[NodeId]) -> NodeId,
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let ids: Vec<ParamId> = param_shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(r, c))| store.add_xavier(format!("p{i}"), r, c, &mut rng))
+            .collect();
+
+        // Analytic gradients.
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = ids.iter().map(|&id| g.param(&store, id)).collect();
+        let loss = build(&mut g, &nodes);
+        let base_loss = g.value(loss).item();
+        g.backward(loss, &mut store);
+
+        // Numeric gradients via central differences.
+        let eps = 3e-3f32;
+        for (pi, &pid) in ids.iter().enumerate() {
+            let len = store.value(pid).len();
+            for ei in 0..len {
+                let orig = store.value(pid).data()[ei];
+                let eval = |store: &ParamStore| {
+                    let mut g = Graph::new();
+                    let nodes: Vec<NodeId> = ids.iter().map(|&id| g.param(store, id)).collect();
+                    let loss = build(&mut g, &nodes);
+                    g.value(loss).item()
+                };
+                let mut s2 = store.clone();
+                s2.value_mut(pid).data_mut()[ei] = orig + eps;
+                let lp = eval(&s2);
+                s2.value_mut(pid).data_mut()[ei] = orig - eps;
+                let lm = eval(&s2);
+                let numeric = (lp - lm) / (2.0 * eps);
+                let analytic = store.grad(pid).data()[ei];
+                let tol = 1e-2 * (1.0 + numeric.abs().max(analytic.abs()));
+                assert!(
+                    (numeric - analytic).abs() < tol,
+                    "param {pi} elem {ei}: numeric {numeric} vs analytic {analytic} \
+                     (loss {base_loss})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradcheck_matmul_chain() {
+        grad_check(
+            &[(2, 3), (3, 2)],
+            |g, p| {
+                let c = g.matmul(p[0], p[1]);
+                let t = g.tanh(c);
+                // Reduce to scalar: sum via matmul with ones.
+                let ones_r = g.input(Tensor::full(1, 2, 1.0));
+                let ones_c = g.input(Tensor::full(2, 1, 1.0));
+                let s = g.matmul(ones_r, t);
+                g.matmul(s, ones_c)
+            },
+            1,
+        );
+    }
+
+    #[test]
+    fn gradcheck_add_mul_scale() {
+        grad_check(
+            &[(2, 2), (2, 2)],
+            |g, p| {
+                let a = g.add(p[0], p[1]);
+                let m = g.mul(a, p[0]);
+                let s = g.scale(m, 0.5);
+                let ones_r = g.input(Tensor::full(1, 2, 1.0));
+                let ones_c = g.input(Tensor::full(2, 1, 1.0));
+                let t = g.matmul(ones_r, s);
+                g.matmul(t, ones_c)
+            },
+            2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_softmax_and_layernorm() {
+        grad_check(
+            &[(2, 4), (1, 4), (1, 4)],
+            |g, p| {
+                let sm = g.softmax_rows(p[0]);
+                let ln = g.layer_norm(sm, p[1], p[2]);
+                let gl = g.gelu(ln);
+                let ones_r = g.input(Tensor::full(1, 2, 1.0));
+                let ones_c = g.input(Tensor::full(4, 1, 1.0));
+                let t = g.matmul(ones_r, gl);
+                g.matmul(t, ones_c)
+            },
+            3,
+        );
+    }
+
+    #[test]
+    fn gradcheck_attention_shaped() {
+        // Q·Kᵀ softmax · V — the exact dataflow of one attention head.
+        grad_check(
+            &[(3, 4), (3, 4), (3, 4)],
+            |g, p| {
+                let kt = g.transpose(p[1]);
+                let scores = g.matmul(p[0], kt);
+                let scaled = g.scale(scores, 0.5);
+                let attn = g.softmax_rows(scaled);
+                let out = g.matmul(attn, p[2]);
+                let ones_r = g.input(Tensor::full(1, 3, 1.0));
+                let ones_c = g.input(Tensor::full(4, 1, 1.0));
+                let t = g.matmul(ones_r, out);
+                g.matmul(t, ones_c)
+            },
+            4,
+        );
+    }
+
+    #[test]
+    fn gradcheck_slice_concat_gather() {
+        grad_check(
+            &[(4, 6)],
+            |g, p| {
+                let left = g.slice_cols(p[0], 0, 3);
+                let right = g.slice_cols(p[0], 3, 6);
+                let cat = g.concat_cols(&[right, left]);
+                let picked = g.gather(cat, &[0, 2, 2, 3]);
+                let row = g.slice_row(picked, 1);
+                let sg = g.sigmoid(row);
+                let ones_c = g.input(Tensor::full(6, 1, 1.0));
+                g.matmul(sg, ones_c)
+            },
+            5,
+        );
+    }
+
+    #[test]
+    fn gradcheck_bce_loss() {
+        grad_check(
+            &[(1, 4), (4, 1)],
+            |g, p| {
+                let z = g.matmul(p[0], p[1]);
+                g.bce_with_logits(z, 1.0, 2.0)
+            },
+            6,
+        );
+        grad_check(
+            &[(1, 4), (4, 1)],
+            |g, p| {
+                let z = g.matmul(p[0], p[1]);
+                g.bce_with_logits(z, 0.0, 0.7)
+            },
+            7,
+        );
+    }
+
+    #[test]
+    fn gradcheck_cross_entropy() {
+        grad_check(
+            &[(3, 5)],
+            |g, p| g.cross_entropy_rows(p[0], &[(0, 1), (2, 4)]),
+            8,
+        );
+    }
+
+    #[test]
+    fn gradcheck_add_row_and_mean() {
+        grad_check(
+            &[(3, 2), (1, 2)],
+            |g, p| {
+                let y = g.add_row(p[0], p[1]);
+                let r0 = g.slice_row(y, 0);
+                let r2 = g.slice_row(y, 2);
+                let ones_c = g.input(Tensor::full(2, 1, 1.0));
+                let s0 = g.matmul(r0, ones_c);
+                let s2 = g.matmul(r2, ones_c);
+                let l0 = g.bce_with_logits(s0, 1.0, 1.0);
+                let l2 = g.bce_with_logits(s2, 0.0, 1.0);
+                g.mean_scalars(&[l0, l2])
+            },
+            9,
+        );
+    }
+
+    #[test]
+    fn forward_values_are_correct() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec(1, 2, vec![0.0, 10.0]));
+        let sm = g.softmax_rows(a);
+        let v = g.value(sm);
+        assert!(v.get(0, 1) > 0.99);
+        assert!((v.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+
+        let s = g.sigmoid(a);
+        assert!((g.value(s).get(0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layer_norm_normalizes_rows() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(2, 4, vec![1., 2., 3., 4., 10., 20., 30., 40.]));
+        let gamma = g.input(Tensor::full(1, 4, 1.0));
+        let beta = g.input(Tensor::zeros(1, 4));
+        let y = g.layer_norm(x, gamma, beta);
+        for r in 0..2 {
+            let row = g.value(y).row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn inputs_receive_no_parameter_grads() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(1, 1, vec![2.0]));
+        let mut g = Graph::new();
+        let x = g.input(Tensor::scalar(3.0));
+        let wp = g.param(&store, w);
+        let y = g.mul(x, wp);
+        let loss = g.bce_with_logits(y, 1.0, 1.0);
+        g.backward(loss, &mut store);
+        // d loss / d w = x * (σ(xw) - 1)
+        let expected = 3.0 * (super::sigmoid_scalar(6.0) - 1.0);
+        assert!((store.grad(w).item() - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_requires_scalar() {
+        let mut store = ParamStore::new();
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(2, 2));
+        g.backward(x, &mut store);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Property: softmax rows always sum to 1 and stay in (0, 1).
+        #[test]
+        fn softmax_rows_are_distributions(vals in proptest::collection::vec(-20.0f32..20.0, 8)) {
+            let mut g = Graph::new();
+            let x = g.input(Tensor::from_vec(2, 4, vals));
+            let y = g.softmax_rows(x);
+            for r in 0..2 {
+                let row = g.value(y).row(r);
+                let sum: f32 = row.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4);
+                prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            }
+        }
+
+        /// Property: the full gradcheck holds for random seeds on a small
+        /// MLP-shaped graph.
+        #[test]
+        fn gradcheck_mlp_random_seeds(seed in 0u64..50) {
+            grad_check(
+                &[(2, 3), (1, 3), (3, 1)],
+                |g, p| {
+                    let h = g.gelu(p[0]);
+                    let hb = g.add_row(h, p[1]);
+                    let z = g.matmul(hb, p[2]);
+                    let z0 = g.slice_row(z, 0);
+                    let z1 = g.slice_row(z, 1);
+                    let l0 = g.bce_with_logits(z0, 1.0, 1.0);
+                    let l1 = g.bce_with_logits(z1, 0.0, 1.0);
+                    g.mean_scalars(&[l0, l1])
+                },
+                seed,
+            );
+        }
+    }
+}

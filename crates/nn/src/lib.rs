@@ -1,0 +1,45 @@
+//! # lsm-nn
+//!
+//! A minimal, dependency-light neural-network library: 2-D tensors, a
+//! tape-based reverse-mode autograd graph, Adam, and a mini-BERT
+//! transformer encoder with WordPiece-style subword tokenization and
+//! masked-language-model pre-training.
+//!
+//! This crate is the substrate for the paper's *BERT featurizer*
+//! (Section IV-C1). The real system fine-tunes a 110M-parameter BERT
+//! pre-trained on Books+Wikipedia; our substitution is a from-scratch
+//! transformer of the same architecture family (token+position embeddings →
+//! stacked self-attention blocks → `[CLS]` pooler → classifier head),
+//! MLM-pre-trained on the synthetic domain corpus of `lsm-lexicon`. Both the
+//! pre-training objective and the downstream pair-classification interface
+//! match the paper; only the scale differs.
+//!
+//! Design notes:
+//!
+//! * Tensors are dense 2-D `f32` matrices — sequences are `[seq, d]`,
+//!   batches are looped. At the model sizes this repo uses (d ≈ 64,
+//!   seq ≤ 48) this is faster than shape bookkeeping would be.
+//! * Autograd is a flat tape ([`graph::Graph`]) with an explicit `Op`
+//!   enum; `backward` walks the tape in reverse. No shared-ownership
+//!   indirection, fully checkable by finite differences (see the property
+//!   tests in `graph::tests`).
+//! * Parameters live outside the tape in a [`params::ParamStore`], so one
+//!   model can be run through many forward graphs (one per step) while the
+//!   optimizer state persists.
+
+pub mod bert;
+pub mod bpe;
+pub mod graph;
+pub mod layers;
+pub mod mlm;
+pub mod optim;
+pub mod params;
+pub mod tensor;
+
+pub use bert::{BertConfig, BertEncoder, PairClassifier};
+pub use bpe::{BpeVocab, SpecialToken};
+pub use graph::{Graph, NodeId};
+pub use mlm::{MlmConfig, MlmTrainer};
+pub use optim::{Adam, AdamConfig};
+pub use params::{ParamId, ParamStore};
+pub use tensor::Tensor;

@@ -1,0 +1,170 @@
+//! Adam optimizer with optional decoupled weight decay (AdamW).
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Hyper-parameters for [`Adam`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdamConfig {
+    /// Learning rate α.
+    pub lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Numerical-stability term ε.
+    pub eps: f32,
+    /// Decoupled weight decay λ (0 disables).
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+    }
+}
+
+/// Adam/AdamW over a [`ParamStore`]. Moment buffers are lazily sized on the
+/// first step.
+#[derive(Debug)]
+pub struct Adam {
+    config: AdamConfig,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an optimizer with the given hyper-parameters.
+    pub fn new(config: AdamConfig) -> Self {
+        Adam { config, m: Vec::new(), v: Vec::new(), t: 0 }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Current learning rate (mutable via [`set_lr`](Self::set_lr) for
+    /// schedules).
+    pub fn lr(&self) -> f32 {
+        self.config.lr
+    }
+
+    /// Overrides the learning rate (for warmup/decay schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.config.lr = lr;
+    }
+
+    fn ensure_buffers(&mut self, store: &ParamStore) {
+        while self.m.len() < store.len() {
+            let id = ParamId(self.m.len());
+            let (r, c) = store.value(id).shape();
+            self.m.push(Tensor::zeros(r, c));
+            self.v.push(Tensor::zeros(r, c));
+        }
+    }
+
+    /// Applies one update using the gradients currently accumulated in
+    /// `store`, then zeroes them.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        self.ensure_buffers(store);
+        self.t += 1;
+        let AdamConfig { lr, beta1, beta2, eps, weight_decay } = self.config;
+        let bias1 = 1.0 - beta1.powi(self.t as i32);
+        let bias2 = 1.0 - beta2.powi(self.t as i32);
+        for id in store.ids().collect::<Vec<_>>() {
+            let grad = store.grad(id).clone();
+            let m = &mut self.m[id.0];
+            let v = &mut self.v[id.0];
+            let value = store.value_mut(id);
+            for i in 0..value.len() {
+                let g = grad.data()[i];
+                let mi = beta1 * m.data()[i] + (1.0 - beta1) * g;
+                let vi = beta2 * v.data()[i] + (1.0 - beta2) * g * g;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let m_hat = mi / bias1;
+                let v_hat = vi / bias2;
+                let mut update = lr * m_hat / (v_hat.sqrt() + eps);
+                if weight_decay > 0.0 {
+                    update += lr * weight_decay * value.data()[i];
+                }
+                value.data_mut()[i] -= update;
+            }
+        }
+        store.zero_grads();
+    }
+}
+
+/// Linear warmup followed by linear decay to zero — the schedule BERT
+/// fine-tuning conventionally uses.
+pub fn warmup_linear(step: u64, warmup: u64, total: u64, peak_lr: f32) -> f32 {
+    if total == 0 {
+        return peak_lr;
+    }
+    if step < warmup {
+        return peak_lr * (step as f32 + 1.0) / (warmup.max(1) as f32);
+    }
+    let remaining = total.saturating_sub(step) as f32;
+    let span = total.saturating_sub(warmup).max(1) as f32;
+    peak_lr * (remaining / span).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// Minimizes (w - 3)² via BCE-free quadratic built from graph ops.
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(0.0));
+        let mut opt = Adam::new(AdamConfig { lr: 0.1, ..Default::default() });
+        for _ in 0..200 {
+            let mut g = Graph::new();
+            let wp = g.param(&store, w);
+            let c = g.input(Tensor::scalar(-3.0));
+            let diff = g.add(wp, c);
+            let sq = g.mul(diff, diff);
+            g.backward(sq, &mut store);
+            opt.step(&mut store);
+        }
+        assert!((store.value(w).item() - 3.0).abs() < 1e-2, "w = {}", store.value(w).item());
+    }
+
+    #[test]
+    fn adam_step_zeroes_grads() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(1.0));
+        store.accumulate_grad(w, &Tensor::scalar(1.0));
+        let mut opt = Adam::new(AdamConfig::default());
+        opt.step(&mut store);
+        assert_eq!(store.grad(w).item(), 0.0);
+        assert_eq!(opt.steps(), 1);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(10.0));
+        let mut opt = Adam::new(AdamConfig { lr: 0.1, weight_decay: 0.5, ..Default::default() });
+        // Zero gradient: only decay acts.
+        for _ in 0..10 {
+            opt.step(&mut store);
+        }
+        assert!(store.value(w).item() < 10.0);
+    }
+
+    #[test]
+    fn warmup_linear_shape() {
+        let peak = 1.0;
+        assert!(warmup_linear(0, 10, 100, peak) < warmup_linear(9, 10, 100, peak));
+        assert!((warmup_linear(9, 10, 100, peak) - peak).abs() < 1e-6);
+        assert!(warmup_linear(50, 10, 100, peak) < peak);
+        assert!(warmup_linear(99, 10, 100, peak) > 0.0);
+        assert_eq!(warmup_linear(100, 10, 100, peak), 0.0);
+        assert_eq!(warmup_linear(5, 0, 0, peak), peak);
+    }
+}

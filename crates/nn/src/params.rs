@@ -1,0 +1,201 @@
+//! Parameter storage decoupled from the autograd tape.
+//!
+//! A [`ParamStore`] owns the trainable tensors of a model together with
+//! their accumulated gradients. Each training step builds a fresh
+//! [`Graph`](crate::Graph), mounts parameters into it by [`ParamId`], runs
+//! `backward`, and the gradients land back here where the optimizer
+//! ([`Adam`](crate::Adam)) consumes them.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a parameter within its [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub usize);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ParamEntry {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+}
+
+/// Owns all trainable parameters of a model.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    entries: Vec<ParamEntry>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter with an explicit initial value.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let (r, c) = value.shape();
+        self.entries.push(ParamEntry { name: name.into(), grad: Tensor::zeros(r, c), value });
+        ParamId(self.entries.len() - 1)
+    }
+
+    /// Registers a Xavier-initialized parameter.
+    pub fn add_xavier(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        rng: &mut impl Rng,
+    ) -> ParamId {
+        self.add(name, Tensor::xavier(rows, cols, rng))
+    }
+
+    /// Registers a zero-initialized parameter (biases, LayerNorm β).
+    pub fn add_zeros(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> ParamId {
+        self.add(name, Tensor::zeros(rows, cols))
+    }
+
+    /// Registers a one-initialized parameter (LayerNorm γ).
+    pub fn add_ones(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> ParamId {
+        self.add(name, Tensor::full(rows, cols, 1.0))
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn scalar_count(&self) -> usize {
+        self.entries.iter().map(|e| e.value.len()).sum()
+    }
+
+    /// The parameter value.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].value
+    }
+
+    /// Mutable parameter value (used by the optimizer).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].value
+    }
+
+    /// The accumulated gradient.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].grad
+    }
+
+    /// Accumulates `delta` into the gradient of `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, delta: &Tensor) {
+        self.entries[id.0].grad.add_scaled(delta, 1.0);
+    }
+
+    /// The parameter's registration name (debugging / introspection).
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    /// All parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.entries.len()).map(ParamId)
+    }
+
+    /// Zeroes all gradients (call between optimizer steps).
+    pub fn zero_grads(&mut self) {
+        for e in &mut self.entries {
+            e.grad.fill_zero();
+        }
+    }
+
+    /// Global L2 norm of all gradients, for clipping and diagnostics.
+    pub fn grad_norm(&self) -> f32 {
+        self.entries
+            .iter()
+            .map(|e| e.grad.data().iter().map(|x| x * x).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales all gradients so their global norm is at most `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let factor = max_norm / norm;
+            for e in &mut self.entries {
+                for g in e.grad.data_mut() {
+                    *g *= factor;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        let b = store.add_zeros("b", 1, 2);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.scalar_count(), 6);
+        assert_eq!(store.value(w).get(1, 0), 3.0);
+        assert_eq!(store.value(b).data(), &[0., 0.]);
+        assert_eq!(store.name(w), "w");
+    }
+
+    #[test]
+    fn grads_accumulate_and_zero() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros(1, 2));
+        store.accumulate_grad(w, &Tensor::from_vec(1, 2, vec![1., 2.]));
+        store.accumulate_grad(w, &Tensor::from_vec(1, 2, vec![1., 2.]));
+        assert_eq!(store.grad(w).data(), &[2., 4.]);
+        store.zero_grads();
+        assert_eq!(store.grad(w).data(), &[0., 0.]);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down_only() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros(1, 2));
+        store.accumulate_grad(w, &Tensor::from_vec(1, 2, vec![3., 4.]));
+        assert!((store.grad_norm() - 5.0).abs() < 1e-6);
+        store.clip_grad_norm(10.0);
+        assert!((store.grad_norm() - 5.0).abs() < 1e-6); // unchanged
+        store.clip_grad_norm(1.0);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_values() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        store.accumulate_grad(w, &Tensor::from_vec(2, 2, vec![0.1, 0.2, 0.3, 0.4]));
+        let json = serde_json::to_string(&store).unwrap();
+        let back: ParamStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.value(w), store.value(w));
+        assert_eq!(back.grad(w), store.grad(w));
+        assert_eq!(back.name(w), "w");
+    }
+
+    #[test]
+    fn ones_and_xavier_initializers() {
+        let mut store = ParamStore::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let g = store.add_ones("gamma", 1, 4);
+        let w = store.add_xavier("w", 4, 4, &mut rng);
+        assert!(store.value(g).data().iter().all(|&v| v == 1.0));
+        assert!(store.value(w).data().iter().any(|&v| v != 0.0));
+    }
+}

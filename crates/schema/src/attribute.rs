@@ -1,0 +1,86 @@
+//! Attributes: named, typed columns that belong to exactly one entity.
+
+use crate::dtype::DataType;
+use crate::ids::{AttrId, EntityId};
+use serde::{Deserialize, Serialize};
+
+/// A single attribute (column) of an entity.
+///
+/// Per the paper's problem statement, each attribute `a` has a name
+/// `a.name`, a data type `a.dtype`, and optionally a natural-language
+/// description `a.desc`; it belongs to exactly one entity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Identifier, unique within the owning schema.
+    pub id: AttrId,
+    /// The entity this attribute belongs to.
+    pub entity: EntityId,
+    /// Raw attribute name as found in the schema (e.g. `promised_ts`).
+    pub name: String,
+    /// Data type.
+    pub dtype: DataType,
+    /// Optional natural-language description. Only some customer schemata in
+    /// the paper carry these (Table I, column "Desc.").
+    pub desc: Option<String>,
+}
+
+impl Attribute {
+    /// The description if present, or the empty string.
+    ///
+    /// Featurizers concatenate `name desc`, so an absent description is
+    /// equivalent to an empty one.
+    pub fn desc_or_empty(&self) -> &str {
+        self.desc.as_deref().unwrap_or("")
+    }
+
+    /// `name` followed by the description when available, separated by one
+    /// space. This is the per-attribute half of the BERT featurizer's input
+    /// sentence `[CLS] a.name a.desc [SEP] ...`.
+    pub fn text(&self) -> String {
+        match &self.desc {
+            Some(d) if !d.is_empty() => format!("{} {}", self.name, d),
+            _ => self.name.clone(),
+        }
+    }
+
+    /// Like [`Attribute::text`] but ignoring the description. Used by the
+    /// description-ablation experiment (paper Section V-E / Fig. 7).
+    pub fn text_name_only(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr(desc: Option<&str>) -> Attribute {
+        Attribute {
+            id: AttrId(0),
+            entity: EntityId(0),
+            name: "order_id".to_string(),
+            dtype: DataType::Integer,
+            desc: desc.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn text_without_description_is_just_name() {
+        assert_eq!(attr(None).text(), "order_id");
+        assert_eq!(attr(Some("")).text(), "order_id");
+    }
+
+    #[test]
+    fn text_with_description_appends_it() {
+        assert_eq!(
+            attr(Some("unique order identifier")).text(),
+            "order_id unique order identifier"
+        );
+    }
+
+    #[test]
+    fn desc_or_empty_never_panics() {
+        assert_eq!(attr(None).desc_or_empty(), "");
+        assert_eq!(attr(Some("x")).desc_or_empty(), "x");
+    }
+}

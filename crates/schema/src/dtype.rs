@@ -1,0 +1,225 @@
+//! Attribute data types and the compatibility relation used by LSM's
+//! score adjustment.
+//!
+//! Section IV-D of the paper: *"in nearly all correct matches, the source and
+//! target attributes have compatible data types. Therefore, we set the score
+//! of a pair consisting of attributes with incompatible data types to be 0."*
+//! Compatibility is deliberately coarser than equality — an `INT` column and
+//! a `DECIMAL` column can denote the same quantity, while an `INT` and a
+//! `VARCHAR` almost never do.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The data type of an attribute, abstracted over concrete SQL dialects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Whole numbers (`INT`, `BIGINT`, `SMALLINT`, ...).
+    Integer,
+    /// Binary floating point (`FLOAT`, `DOUBLE`, `REAL`).
+    Float,
+    /// Exact decimals (`DECIMAL`, `NUMERIC`, `MONEY`).
+    Decimal,
+    /// Character data (`VARCHAR`, `TEXT`, `CHAR`, ...).
+    Text,
+    /// Booleans / bit flags.
+    Boolean,
+    /// Calendar dates without a time component.
+    Date,
+    /// Points in time (`TIMESTAMP`, `DATETIME`).
+    Timestamp,
+    /// Opaque binary payloads (`BLOB`, `VARBINARY`).
+    Binary,
+}
+
+/// Broad families used by the compatibility relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeFamily {
+    /// All numeric types, including booleans stored as 0/1 flags.
+    Numeric,
+    /// Character data.
+    Textual,
+    /// Dates and timestamps.
+    Temporal,
+    /// Binary payloads.
+    Binary,
+}
+
+impl DataType {
+    /// All variants, in declaration order. Useful for exhaustive tests and
+    /// synthetic data generation.
+    pub const ALL: [DataType; 8] = [
+        DataType::Integer,
+        DataType::Float,
+        DataType::Decimal,
+        DataType::Text,
+        DataType::Boolean,
+        DataType::Date,
+        DataType::Timestamp,
+        DataType::Binary,
+    ];
+
+    /// The broad family this type belongs to.
+    pub fn family(self) -> TypeFamily {
+        match self {
+            DataType::Integer | DataType::Float | DataType::Decimal | DataType::Boolean => {
+                TypeFamily::Numeric
+            }
+            DataType::Text => TypeFamily::Textual,
+            DataType::Date | DataType::Timestamp => TypeFamily::Temporal,
+            DataType::Binary => TypeFamily::Binary,
+        }
+    }
+
+    /// Whether a source attribute of type `self` can plausibly correspond to
+    /// a target attribute of type `other`.
+    ///
+    /// The relation is reflexive and symmetric: two types are compatible iff
+    /// they share a [`TypeFamily`], except that `Text` is additionally
+    /// compatible with everything. Real customer schemata frequently store
+    /// numbers, dates, and identifiers in `VARCHAR` columns, so gating on the
+    /// textual family would zero out genuine matches.
+    pub fn compatible(self, other: DataType) -> bool {
+        if self == other {
+            return true;
+        }
+        if self == DataType::Text || other == DataType::Text {
+            return true;
+        }
+        self.family() == other.family()
+    }
+
+    /// Canonical lowercase name, the inverse of [`FromStr`].
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Integer => "integer",
+            DataType::Float => "float",
+            DataType::Decimal => "decimal",
+            DataType::Text => "text",
+            DataType::Boolean => "boolean",
+            DataType::Date => "date",
+            DataType::Timestamp => "timestamp",
+            DataType::Binary => "binary",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown SQL type name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDataTypeError(pub String);
+
+impl fmt::Display for ParseDataTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown data type: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseDataTypeError {}
+
+impl FromStr for DataType {
+    type Err = ParseDataTypeError;
+
+    /// Parses both the canonical names and common SQL spellings
+    /// (`"varchar(255)"`, `"BIGINT"`, `"datetime2"`, ...).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().to_ascii_lowercase();
+        // Strip a parenthesised length/precision suffix: varchar(255) -> varchar.
+        let base = lower.split('(').next().unwrap_or("").trim();
+        let ty = match base {
+            "integer" | "int" | "bigint" | "smallint" | "tinyint" | "serial" | "int4" | "int8" => {
+                DataType::Integer
+            }
+            "float" | "double" | "real" | "double precision" | "float4" | "float8" => {
+                DataType::Float
+            }
+            "decimal" | "numeric" | "money" | "number" => DataType::Decimal,
+            "text" | "varchar" | "char" | "nvarchar" | "nchar" | "string" | "clob"
+            | "character varying" => DataType::Text,
+            "boolean" | "bool" | "bit" => DataType::Boolean,
+            "date" => DataType::Date,
+            "timestamp" | "datetime" | "datetime2" | "timestamptz" | "smalldatetime" | "time" => {
+                DataType::Timestamp
+            }
+            "binary" | "varbinary" | "blob" | "bytea" | "image" => DataType::Binary,
+            _ => return Err(ParseDataTypeError(s.to_string())),
+        };
+        Ok(ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compatibility_is_reflexive() {
+        for &t in &DataType::ALL {
+            assert!(t.compatible(t), "{t} should be self-compatible");
+        }
+    }
+
+    #[test]
+    fn compatibility_is_symmetric() {
+        for &a in &DataType::ALL {
+            for &b in &DataType::ALL {
+                assert_eq!(a.compatible(b), b.compatible(a), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_family_is_mutually_compatible() {
+        assert!(DataType::Integer.compatible(DataType::Decimal));
+        assert!(DataType::Integer.compatible(DataType::Float));
+        assert!(DataType::Decimal.compatible(DataType::Float));
+        assert!(DataType::Boolean.compatible(DataType::Integer));
+    }
+
+    #[test]
+    fn text_is_compatible_with_everything() {
+        for &t in &DataType::ALL {
+            assert!(DataType::Text.compatible(t));
+        }
+    }
+
+    #[test]
+    fn cross_family_is_incompatible() {
+        assert!(!DataType::Integer.compatible(DataType::Date));
+        assert!(!DataType::Binary.compatible(DataType::Decimal));
+        assert!(!DataType::Timestamp.compatible(DataType::Boolean));
+    }
+
+    #[test]
+    fn temporal_family() {
+        assert!(DataType::Date.compatible(DataType::Timestamp));
+    }
+
+    #[test]
+    fn parses_common_sql_spellings() {
+        assert_eq!("BIGINT".parse::<DataType>().unwrap(), DataType::Integer);
+        assert_eq!("varchar(255)".parse::<DataType>().unwrap(), DataType::Text);
+        assert_eq!("datetime2".parse::<DataType>().unwrap(), DataType::Timestamp);
+        assert_eq!("NUMERIC(10,2)".parse::<DataType>().unwrap(), DataType::Decimal);
+        assert_eq!(" bool ".parse::<DataType>().unwrap(), DataType::Boolean);
+    }
+
+    #[test]
+    fn parse_round_trips_canonical_names() {
+        for &t in &DataType::ALL {
+            assert_eq!(t.name().parse::<DataType>().unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("froboz".parse::<DataType>().is_err());
+        assert!("".parse::<DataType>().is_err());
+    }
+}

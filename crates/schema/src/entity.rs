@@ -1,0 +1,70 @@
+//! Entities: named collections of attributes with an optional primary key.
+
+use crate::ids::{AttrId, EntityId};
+use serde::{Deserialize, Serialize};
+
+/// An entity (table) of a schema.
+///
+/// Per the paper, each entity `e` has a name `e.name`, a primary key `e.pk`,
+/// and a set of foreign keys `e.fks`. We keep the primary key optional
+/// because one of the public datasets (IPFQR) has entities without declared
+/// keys (Table II reports zero PK/FK relationships for it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Entity {
+    /// Identifier, unique within the owning schema.
+    pub id: EntityId,
+    /// Entity (table) name, e.g. `TransactionLine`.
+    pub name: String,
+    /// Attributes of this entity, in declaration order.
+    pub attrs: Vec<AttrId>,
+    /// Primary-key attribute, if declared.
+    pub pk: Option<AttrId>,
+    /// Foreign-key attributes of this entity (the referencing side).
+    pub fks: Vec<AttrId>,
+}
+
+impl Entity {
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether `attr` is this entity's primary key or one of its foreign
+    /// keys. These *anchor attributes* drive LSM's default attribute
+    /// selection strategy (Section IV-E2).
+    pub fn is_key(&self, attr: AttrId) -> bool {
+        self.pk == Some(attr) || self.fks.contains(&attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_key_covers_pk_and_fks() {
+        let e = Entity {
+            id: EntityId(0),
+            name: "Orders".into(),
+            attrs: vec![AttrId(0), AttrId(1), AttrId(2)],
+            pk: Some(AttrId(0)),
+            fks: vec![AttrId(1)],
+        };
+        assert!(e.is_key(AttrId(0)));
+        assert!(e.is_key(AttrId(1)));
+        assert!(!e.is_key(AttrId(2)));
+        assert_eq!(e.arity(), 3);
+    }
+
+    #[test]
+    fn entity_without_pk_has_no_keys() {
+        let e = Entity {
+            id: EntityId(0),
+            name: "Flat".into(),
+            attrs: vec![AttrId(0)],
+            pk: None,
+            fks: vec![],
+        };
+        assert!(!e.is_key(AttrId(0)));
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for schema construction and validation.
+
+use crate::ids::{AttrId, EntityId};
+use std::fmt;
+
+/// Errors raised while building or validating a [`Schema`](crate::Schema) or
+/// a [`MatchResult`](crate::MatchResult).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Two entities share a name.
+    DuplicateEntity(String),
+    /// Two attributes of the same entity share a name.
+    DuplicateAttribute { entity: String, attr: String },
+    /// A referenced entity does not exist.
+    UnknownEntity(String),
+    /// A referenced attribute does not exist.
+    UnknownAttribute(String),
+    /// An id points outside the schema's arenas.
+    DanglingId(String),
+    /// A foreign key's endpoints live in the wrong entities.
+    InvalidForeignKey { from: AttrId, to: AttrId },
+    /// A primary key attribute does not belong to its entity.
+    InvalidPrimaryKey { entity: EntityId, attr: AttrId },
+    /// A match result uses the same source or target attribute twice
+    /// (violates Definition 2 of the paper).
+    DuplicateCorrespondence(AttrId),
+    /// An entity match pairs attributes outside its declared entities.
+    CorrespondenceOutsideEntities { source: AttrId, target: AttrId },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateEntity(name) => write!(f, "duplicate entity {name:?}"),
+            SchemaError::DuplicateAttribute { entity, attr } => {
+                write!(f, "duplicate attribute {attr:?} in entity {entity:?}")
+            }
+            SchemaError::UnknownEntity(name) => write!(f, "unknown entity {name:?}"),
+            SchemaError::UnknownAttribute(name) => write!(f, "unknown attribute {name:?}"),
+            SchemaError::DanglingId(what) => write!(f, "dangling id: {what}"),
+            SchemaError::InvalidForeignKey { from, to } => {
+                write!(f, "invalid foreign key {from} -> {to}")
+            }
+            SchemaError::InvalidPrimaryKey { entity, attr } => {
+                write!(f, "primary key {attr} does not belong to entity {entity}")
+            }
+            SchemaError::DuplicateCorrespondence(attr) => {
+                write!(f, "attribute {attr} appears in more than one correspondence")
+            }
+            SchemaError::CorrespondenceOutsideEntities { source, target } => {
+                write!(
+                    f,
+                    "correspondence ({source}, {target}) pairs attributes outside the declared entities"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readably() {
+        let e = SchemaError::DuplicateEntity("Orders".into());
+        assert!(e.to_string().contains("Orders"));
+        let e = SchemaError::InvalidForeignKey { from: AttrId(1), to: AttrId(2) };
+        assert!(e.to_string().contains("a1"));
+        assert!(e.to_string().contains("a2"));
+    }
+}

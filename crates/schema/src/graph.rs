@@ -1,0 +1,207 @@
+//! The entity join graph and shortest paths.
+//!
+//! LSM's prediction step penalizes matches that pull new ISS entities into
+//! the result: the penalization term is `z = 1 / (1 + log(1 + sp(at, M)))`,
+//! where `sp` is the shortest path *on the join graph of the ISS* between the
+//! entity containing the candidate target attribute and the entities already
+//! matched (Section IV-D). This module provides that graph and a BFS-based
+//! all-pairs distance table.
+
+use crate::ids::EntityId;
+use crate::schema::Schema;
+use std::collections::VecDeque;
+
+/// Distance value meaning "no path".
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Undirected entity adjacency induced by PK/FK relationships.
+#[derive(Debug, Clone)]
+pub struct JoinGraph {
+    n: usize,
+    adjacency: Vec<Vec<EntityId>>,
+}
+
+impl JoinGraph {
+    /// Builds the join graph of `schema`: entities are nodes; each PK/FK
+    /// relationship contributes an undirected edge.
+    pub fn from_schema(schema: &Schema) -> Self {
+        let n = schema.entity_count();
+        let mut adjacency = vec![Vec::new(); n];
+        for fk in &schema.foreign_keys {
+            let (a, b) = (fk.from_entity, fk.to_entity);
+            if a == b {
+                continue;
+            }
+            if !adjacency[a.index()].contains(&b) {
+                adjacency[a.index()].push(b);
+            }
+            if !adjacency[b.index()].contains(&a) {
+                adjacency[b.index()].push(a);
+            }
+        }
+        JoinGraph { n, adjacency }
+    }
+
+    /// Number of entities (nodes).
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Direct neighbors of an entity.
+    pub fn neighbors(&self, e: EntityId) -> &[EntityId] {
+        &self.adjacency[e.index()]
+    }
+
+    /// BFS distances (in join hops) from `source` to every entity.
+    /// Unreachable entities get [`UNREACHABLE`].
+    pub fn distances_from(&self, source: EntityId) -> Vec<u32> {
+        let mut dist = vec![UNREACHABLE; self.n];
+        let mut queue = VecDeque::new();
+        dist[source.index()] = 0;
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()];
+            for &v in &self.adjacency[u.index()] {
+                if dist[v.index()] == UNREACHABLE {
+                    dist[v.index()] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Shortest distance (join hops) between two entities, or
+    /// [`UNREACHABLE`].
+    pub fn distance(&self, a: EntityId, b: EntityId) -> u32 {
+        self.distances_from(a)[b.index()]
+    }
+
+    /// `sp(e, M)`: the shortest distance from `e` to any entity in `matched`.
+    ///
+    /// Edge cases follow LSM's usage: if `matched` is empty there is no
+    /// context to be near, so the distance is `0` (no penalty on the very
+    /// first match); if `e` is itself in `matched`, the distance is `0`; if
+    /// no matched entity is reachable, a large-but-finite fallback of
+    /// `node_count` hops is used so that the penalty stays well-defined.
+    pub fn distance_to_set(&self, e: EntityId, matched: &[EntityId]) -> u32 {
+        if matched.is_empty() {
+            return 0;
+        }
+        if matched.contains(&e) {
+            return 0;
+        }
+        let dist = self.distances_from(e);
+        let best = matched.iter().map(|m| dist[m.index()]).min().unwrap_or(UNREACHABLE);
+        if best == UNREACHABLE {
+            self.n as u32
+        } else {
+            best
+        }
+    }
+
+    /// LSM's new-entity penalization term
+    /// `z = 1 / (1 + log(1 + sp(e, M)))` (natural log).
+    ///
+    /// `z = 1` when the entity is already part of the matched set (or the set
+    /// is empty), and decays towards zero as the entity moves further away on
+    /// the join graph.
+    pub fn entity_penalty(&self, e: EntityId, matched: &[EntityId]) -> f64 {
+        let sp = self.distance_to_set(e, matched) as f64;
+        1.0 / (1.0 + (1.0 + sp).ln())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DataType;
+
+    /// A -> B -> C chain plus isolated D.
+    fn chain() -> Schema {
+        Schema::builder("chain")
+            .entity("A")
+            .attr("a_id", DataType::Integer)
+            .pk("a_id")
+            .entity("B")
+            .attr("b_id", DataType::Integer)
+            .attr("a_id", DataType::Integer)
+            .pk("b_id")
+            .entity("C")
+            .attr("c_id", DataType::Integer)
+            .attr("b_id", DataType::Integer)
+            .pk("c_id")
+            .entity("D")
+            .attr("d_id", DataType::Integer)
+            .pk("d_id")
+            .foreign_key("B", "a_id", "A", "a_id")
+            .foreign_key("C", "b_id", "B", "b_id")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn distances_follow_bfs() {
+        let g = chain().join_graph();
+        assert_eq!(g.distance(EntityId(0), EntityId(0)), 0);
+        assert_eq!(g.distance(EntityId(0), EntityId(1)), 1);
+        assert_eq!(g.distance(EntityId(0), EntityId(2)), 2);
+        assert_eq!(g.distance(EntityId(0), EntityId(3)), UNREACHABLE);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let g = chain().join_graph();
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                assert_eq!(
+                    g.distance(EntityId(a), EntityId(b)),
+                    g.distance(EntityId(b), EntityId(a))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_count_ignores_duplicates_and_self_loops() {
+        let g = chain().join_graph();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn distance_to_empty_set_is_zero() {
+        let g = chain().join_graph();
+        assert_eq!(g.distance_to_set(EntityId(2), &[]), 0);
+    }
+
+    #[test]
+    fn distance_to_set_takes_minimum() {
+        let g = chain().join_graph();
+        assert_eq!(g.distance_to_set(EntityId(2), &[EntityId(0), EntityId(1)]), 1);
+        assert_eq!(g.distance_to_set(EntityId(2), &[EntityId(2)]), 0);
+    }
+
+    #[test]
+    fn unreachable_entity_gets_finite_fallback() {
+        let g = chain().join_graph();
+        assert_eq!(g.distance_to_set(EntityId(3), &[EntityId(0)]), 4);
+    }
+
+    #[test]
+    fn penalty_is_one_for_member_and_decreasing_with_distance() {
+        let g = chain().join_graph();
+        let z0 = g.entity_penalty(EntityId(0), &[EntityId(0)]);
+        let z1 = g.entity_penalty(EntityId(1), &[EntityId(0)]);
+        let z2 = g.entity_penalty(EntityId(2), &[EntityId(0)]);
+        assert!((z0 - 1.0).abs() < 1e-12);
+        assert!(z1 < z0);
+        assert!(z2 < z1);
+        assert!(z2 > 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Compact integer identifiers for entities and attributes.
+//!
+//! Both LSM and the baselines operate on the Cartesian product of source and
+//! target attribute sets, so attribute identity is on the hot path. We use
+//! `u32` newtypes that double as dense indices into the owning [`Schema`]'s
+//! arenas, avoiding string keys everywhere past the parsing boundary.
+//!
+//! [`Schema`]: crate::schema::Schema
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an [`Entity`](crate::Entity) within a single schema.
+///
+/// Also its dense index into [`Schema::entities`](crate::Schema::entities).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EntityId(pub u32);
+
+/// Identifier of an [`Attribute`](crate::Attribute) within a single schema.
+///
+/// Also its dense index into [`Schema::attributes`](crate::Schema::attributes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttrId(pub u32);
+
+impl EntityId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl AttrId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl From<EntityId> for usize {
+    fn from(id: EntityId) -> usize {
+        id.index()
+    }
+}
+
+impl From<AttrId> for usize {
+    fn from(id: AttrId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_indices() {
+        assert_eq!(EntityId(7).index(), 7);
+        assert_eq!(AttrId(0).index(), 0);
+        assert_eq!(usize::from(AttrId(3)), 3);
+        assert_eq!(usize::from(EntityId(3)), 3);
+    }
+
+    #[test]
+    fn ids_display_compactly() {
+        assert_eq!(EntityId(2).to_string(), "e2");
+        assert_eq!(AttrId(11).to_string(), "a11");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(AttrId(1) < AttrId(2));
+        assert!(EntityId(0) < EntityId(1));
+    }
+}

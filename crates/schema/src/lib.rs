@@ -1,0 +1,45 @@
+//! # lsm-schema
+//!
+//! The Entity/Relationship schema model underpinning the Learned Schema
+//! Matcher (LSM) reproduction.
+//!
+//! The paper (Zhang et al., *Schema Matching using Pre-Trained Language
+//! Models*, ICDE 2023) defines a schema `S` as a set of entities `E`, a set
+//! of attributes `A` (each belonging to exactly one entity), and a set of
+//! PK/FK relationships `R`. Attributes carry a name, a data type, and an
+//! optional natural-language description.
+//!
+//! This crate provides:
+//!
+//! * [`Schema`], [`Entity`], [`Attribute`], [`DataType`] — the E/R model,
+//! * [`SchemaBuilder`] — ergonomic, validated construction,
+//! * [`JoinGraph`] — the entity join graph with BFS shortest paths (used by
+//!   LSM's new-entity penalization term),
+//! * [`Correspondence`], [`EntityMatch`], [`MatchResult`] — the output of the
+//!   matching process (Definitions 1 and 2 in the paper),
+//! * [`GroundTruth`] — reference matches used by the evaluation harness,
+//! * [`ScoreMatrix`] — dense source×target score storage with top-k
+//!   extraction shared by LSM and all baselines,
+//! * [`SchemaStats`] — the per-schema statistics reported in Tables I/II.
+
+pub mod attribute;
+pub mod dtype;
+pub mod entity;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod matching;
+pub mod schema;
+pub mod score;
+pub mod stats;
+
+pub use attribute::Attribute;
+pub use dtype::DataType;
+pub use entity::Entity;
+pub use error::SchemaError;
+pub use graph::JoinGraph;
+pub use ids::{AttrId, EntityId};
+pub use matching::{Correspondence, EntityMatch, GroundTruth, MatchResult};
+pub use schema::{ForeignKey, Schema, SchemaBuilder};
+pub use score::{RankedSuggestions, ScoreMatrix};
+pub use stats::SchemaStats;

@@ -1,0 +1,281 @@
+//! Matching outputs: correspondences, entity matches, full match results
+//! (Definitions 1 and 2 of the paper) and ground-truth tables.
+
+use crate::error::SchemaError;
+use crate::ids::{AttrId, EntityId};
+use crate::schema::Schema;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// An attribute correspondence `r = (a_source, a_target)` asserting equality
+/// between a source attribute and a target (ISS) attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Correspondence {
+    /// Attribute in the source (customer) schema.
+    pub source: AttrId,
+    /// Attribute in the target (ISS) schema.
+    pub target: AttrId,
+}
+
+/// An entity match `(e_source, e_target, m)` — Definition 1: a pair of
+/// entities and a set of attribute correspondences between them, where each
+/// source and target attribute occurs in at most one correspondence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntityMatch {
+    /// Entity in the source schema.
+    pub source_entity: EntityId,
+    /// Entity in the target schema.
+    pub target_entity: EntityId,
+    /// Correspondences between attributes of the two entities.
+    pub correspondences: Vec<Correspondence>,
+}
+
+/// The result `M` of the schema matching process — Definition 2: a set of
+/// entity matches where each attribute of either schema appears at most once.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MatchResult {
+    /// Entity matches making up the result.
+    pub matches: Vec<EntityMatch>,
+}
+
+impl MatchResult {
+    /// Builds a [`MatchResult`] by grouping flat correspondences by their
+    /// (source entity, target entity) pair.
+    pub fn from_correspondences(
+        source: &Schema,
+        target: &Schema,
+        correspondences: impl IntoIterator<Item = Correspondence>,
+    ) -> Self {
+        let mut groups: BTreeMap<(EntityId, EntityId), Vec<Correspondence>> = BTreeMap::new();
+        for c in correspondences {
+            let se = source.attr(c.source).entity;
+            let te = target.attr(c.target).entity;
+            groups.entry((se, te)).or_default().push(c);
+        }
+        MatchResult {
+            matches: groups
+                .into_iter()
+                .map(|((se, te), cs)| EntityMatch {
+                    source_entity: se,
+                    target_entity: te,
+                    correspondences: cs,
+                })
+                .collect(),
+        }
+    }
+
+    /// All correspondences across all entity matches.
+    pub fn correspondences(&self) -> impl Iterator<Item = Correspondence> + '_ {
+        self.matches.iter().flat_map(|m| m.correspondences.iter().copied())
+    }
+
+    /// Total number of correspondences.
+    pub fn len(&self) -> usize {
+        self.matches.iter().map(|m| m.correspondences.len()).sum()
+    }
+
+    /// True when no correspondences exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The distinct target entities used by this result. Determines which
+    /// ISS entities a customer has to join against — fewer is better, which
+    /// is why LSM penalizes introducing new ones.
+    pub fn target_entities(&self) -> Vec<EntityId> {
+        let mut out: Vec<EntityId> = self.matches.iter().map(|m| m.target_entity).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Validates Definitions 1 and 2: every attribute appears at most once
+    /// across the whole result, and each correspondence joins attributes of
+    /// its entity match's declared entities.
+    pub fn validate(&self, source: &Schema, target: &Schema) -> Result<(), SchemaError> {
+        let mut seen_source: HashSet<AttrId> = HashSet::new();
+        let mut seen_target: HashSet<AttrId> = HashSet::new();
+        for em in &self.matches {
+            for c in &em.correspondences {
+                if source.attr(c.source).entity != em.source_entity
+                    || target.attr(c.target).entity != em.target_entity
+                {
+                    return Err(SchemaError::CorrespondenceOutsideEntities {
+                        source: c.source,
+                        target: c.target,
+                    });
+                }
+                if !seen_source.insert(c.source) {
+                    return Err(SchemaError::DuplicateCorrespondence(c.source));
+                }
+                if !seen_target.insert(c.target) {
+                    return Err(SchemaError::DuplicateCorrespondence(c.target));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reference (ground-truth) matches for an evaluation dataset.
+///
+/// The paper's setting guarantees every source attribute has exactly one
+/// correct target attribute in the ISS ("Since the ISS captures a wide
+/// variety of concepts for an industry, each of the source attributes has a
+/// matching attribute in the target", Section V-A).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    map: BTreeMap<AttrId, AttrId>,
+}
+
+impl GroundTruth {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from `(source, target)` pairs. Later entries overwrite earlier
+    /// ones for the same source attribute.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (AttrId, AttrId)>) -> Self {
+        GroundTruth { map: pairs.into_iter().collect() }
+    }
+
+    /// Records that `source` correctly maps to `target`.
+    pub fn insert(&mut self, source: AttrId, target: AttrId) {
+        self.map.insert(source, target);
+    }
+
+    /// The correct target for a source attribute, if recorded.
+    pub fn target_of(&self, source: AttrId) -> Option<AttrId> {
+        self.map.get(&source).copied()
+    }
+
+    /// Whether `(source, target)` is a correct match.
+    pub fn is_correct(&self, source: AttrId, target: AttrId) -> bool {
+        self.target_of(source) == Some(target)
+    }
+
+    /// Number of recorded matches.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no matches are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates `(source, target)` pairs in source-id order.
+    pub fn pairs(&self) -> impl Iterator<Item = (AttrId, AttrId)> + '_ {
+        self.map.iter().map(|(&s, &t)| (s, t))
+    }
+
+    /// All source attributes with a recorded match, in id order.
+    pub fn sources(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Fraction of ground-truth pairs on which `predicate` holds. Helper for
+    /// accuracy-style metrics.
+    pub fn fraction(&self, mut predicate: impl FnMut(AttrId, AttrId) -> bool) -> f64 {
+        if self.map.is_empty() {
+            return 0.0;
+        }
+        let hits = self.pairs().filter(|&(s, t)| predicate(s, t)).count();
+        hits as f64 / self.map.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DataType;
+
+    fn schemas() -> (Schema, Schema) {
+        let source = Schema::builder("src")
+            .entity("Orders")
+            .attr("order_id", DataType::Integer)
+            .attr("discount", DataType::Decimal)
+            .build()
+            .unwrap();
+        let target = Schema::builder("tgt")
+            .entity("TransactionLine")
+            .attr("transaction_id", DataType::Integer)
+            .attr("price_change_percentage", DataType::Decimal)
+            .entity("Store")
+            .attr("store_id", DataType::Integer)
+            .build()
+            .unwrap();
+        (source, target)
+    }
+
+    #[test]
+    fn from_correspondences_groups_by_entity_pair() {
+        let (s, t) = schemas();
+        let result = MatchResult::from_correspondences(
+            &s,
+            &t,
+            vec![
+                Correspondence { source: AttrId(0), target: AttrId(0) },
+                Correspondence { source: AttrId(1), target: AttrId(1) },
+            ],
+        );
+        assert_eq!(result.matches.len(), 1);
+        assert_eq!(result.len(), 2);
+        assert_eq!(result.target_entities(), vec![EntityId(0)]);
+        result.validate(&s, &t).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_source_attr() {
+        let (s, t) = schemas();
+        let result = MatchResult::from_correspondences(
+            &s,
+            &t,
+            vec![
+                Correspondence { source: AttrId(0), target: AttrId(0) },
+                Correspondence { source: AttrId(0), target: AttrId(2) },
+            ],
+        );
+        assert!(matches!(
+            result.validate(&s, &t),
+            Err(SchemaError::DuplicateCorrespondence(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_target_attr() {
+        let (s, t) = schemas();
+        let result = MatchResult::from_correspondences(
+            &s,
+            &t,
+            vec![
+                Correspondence { source: AttrId(0), target: AttrId(1) },
+                Correspondence { source: AttrId(1), target: AttrId(1) },
+            ],
+        );
+        assert!(matches!(
+            result.validate(&s, &t),
+            Err(SchemaError::DuplicateCorrespondence(_))
+        ));
+    }
+
+    #[test]
+    fn ground_truth_lookup() {
+        let mut gt = GroundTruth::new();
+        gt.insert(AttrId(0), AttrId(5));
+        gt.insert(AttrId(1), AttrId(3));
+        assert!(gt.is_correct(AttrId(0), AttrId(5)));
+        assert!(!gt.is_correct(AttrId(0), AttrId(3)));
+        assert_eq!(gt.target_of(AttrId(2)), None);
+        assert_eq!(gt.len(), 2);
+    }
+
+    #[test]
+    fn ground_truth_fraction() {
+        let gt = GroundTruth::from_pairs([(AttrId(0), AttrId(0)), (AttrId(1), AttrId(1))]);
+        assert_eq!(gt.fraction(|s, t| s == t), 1.0);
+        assert_eq!(gt.fraction(|s, _| s == AttrId(0)), 0.5);
+        assert_eq!(GroundTruth::new().fraction(|_, _| true), 0.0);
+    }
+}

@@ -1,0 +1,538 @@
+//! The [`Schema`] container and its validated [`SchemaBuilder`].
+
+use crate::attribute::Attribute;
+use crate::dtype::DataType;
+use crate::entity::Entity;
+use crate::error::SchemaError;
+use crate::graph::JoinGraph;
+use crate::ids::{AttrId, EntityId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A PK/FK relationship: the attribute `from` (in entity `from_entity`)
+/// references the attribute `to` (in entity `to_entity`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ForeignKey {
+    /// Referencing entity.
+    pub from_entity: EntityId,
+    /// Referencing (foreign-key) attribute.
+    pub from: AttrId,
+    /// Referenced entity.
+    pub to_entity: EntityId,
+    /// Referenced (usually primary-key) attribute.
+    pub to: AttrId,
+}
+
+/// A relational schema in the E/R model: entities, attributes, and PK/FK
+/// relationships.
+///
+/// Entities and attributes are stored in dense arenas indexed by their ids,
+/// which keeps the hot `O(|As| × |At|)` candidate loops allocation-free.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Human-readable schema name (e.g. `"retail-iss"` or `"customer-a"`).
+    pub name: String,
+    /// Entity arena; `entities[e.index()].id == e`.
+    pub entities: Vec<Entity>,
+    /// Attribute arena; `attributes[a.index()].id == a`.
+    pub attributes: Vec<Attribute>,
+    /// All PK/FK relationships.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl Schema {
+    /// Starts building a schema with the given name.
+    pub fn builder(name: impl Into<String>) -> SchemaBuilder {
+        SchemaBuilder::new(name)
+    }
+
+    /// Number of entities.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of attributes across all entities.
+    pub fn attr_count(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// The entity owning `id`. Panics on a foreign id — ids must come from
+    /// this schema.
+    pub fn entity(&self, id: EntityId) -> &Entity {
+        &self.entities[id.index()]
+    }
+
+    /// The attribute with this `id`. Panics on a foreign id.
+    pub fn attr(&self, id: AttrId) -> &Attribute {
+        &self.attributes[id.index()]
+    }
+
+    /// The entity an attribute belongs to.
+    pub fn entity_of(&self, attr: AttrId) -> &Entity {
+        self.entity(self.attr(attr).entity)
+    }
+
+    /// Iterator over all attribute ids in arena order.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.attributes.len() as u32).map(AttrId)
+    }
+
+    /// Iterator over all entity ids in arena order.
+    pub fn entity_ids(&self) -> impl Iterator<Item = EntityId> + '_ {
+        (0..self.entities.len() as u32).map(EntityId)
+    }
+
+    /// `Entity.attribute` qualified name, the paper's display form
+    /// (e.g. `Orders.discount`).
+    pub fn qualified_name(&self, attr: AttrId) -> String {
+        let a = self.attr(attr);
+        format!("{}.{}", self.entity(a.entity).name, a.name)
+    }
+
+    /// Looks up an entity by name (exact match).
+    pub fn entity_by_name(&self, name: &str) -> Option<&Entity> {
+        self.entities.iter().find(|e| e.name == name)
+    }
+
+    /// Looks up an attribute by `entity` and `attribute` name.
+    pub fn attr_by_name(&self, entity: &str, attr: &str) -> Option<&Attribute> {
+        let e = self.entity_by_name(entity)?;
+        e.attrs.iter().map(|&a| self.attr(a)).find(|a| a.name == attr)
+    }
+
+    /// Looks up an attribute by qualified `Entity.attribute` name.
+    pub fn attr_by_qualified_name(&self, qualified: &str) -> Option<&Attribute> {
+        let (entity, attr) = qualified.split_once('.')?;
+        self.attr_by_name(entity, attr)
+    }
+
+    /// The *anchor set* of the schema: `{e.pk, e.fks | ∀e ∈ Es}` in entity
+    /// order, primary keys before foreign keys within each entity. This is
+    /// the default anchor set of the least-confident-anchor strategy
+    /// (Section IV-E2).
+    pub fn anchor_set(&self) -> Vec<AttrId> {
+        let mut anchors = Vec::new();
+        for e in &self.entities {
+            if let Some(pk) = e.pk {
+                anchors.push(pk);
+            }
+            for &fk in &e.fks {
+                if !anchors.contains(&fk) {
+                    anchors.push(fk);
+                }
+            }
+        }
+        anchors
+    }
+
+    /// Builds the entity join graph induced by the PK/FK relationships.
+    pub fn join_graph(&self) -> JoinGraph {
+        JoinGraph::from_schema(self)
+    }
+
+    /// Number of distinct attribute names (Table I column
+    /// "# Unique Attr. Names").
+    pub fn unique_attr_name_count(&self) -> usize {
+        let mut names: Vec<&str> = self.attributes.iter().map(|a| a.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len()
+    }
+
+    /// Whether any attribute carries a natural-language description.
+    pub fn has_descriptions(&self) -> bool {
+        self.attributes.iter().any(|a| a.desc.as_deref().is_some_and(|d| !d.is_empty()))
+    }
+
+    /// Returns a copy of the schema with every attribute description
+    /// removed. Used by the description-ablation experiment (Fig. 7).
+    pub fn without_descriptions(&self) -> Schema {
+        let mut s = self.clone();
+        for a in &mut s.attributes {
+            a.desc = None;
+        }
+        s
+    }
+
+    /// Validates internal consistency: arena ids line up, attributes point
+    /// back at their entities, PK/FK endpoints exist and live in the right
+    /// entities, and names are unique where required.
+    pub fn validate(&self) -> Result<(), SchemaError> {
+        let mut entity_names: HashMap<&str, ()> = HashMap::new();
+        for (i, e) in self.entities.iter().enumerate() {
+            if e.id.index() != i {
+                return Err(SchemaError::DanglingId(format!(
+                    "entity arena slot {i} holds id {}",
+                    e.id
+                )));
+            }
+            if entity_names.insert(e.name.as_str(), ()).is_some() {
+                return Err(SchemaError::DuplicateEntity(e.name.clone()));
+            }
+            let mut attr_names: HashMap<&str, ()> = HashMap::new();
+            for &a in &e.attrs {
+                let attr = self
+                    .attributes
+                    .get(a.index())
+                    .ok_or_else(|| SchemaError::DanglingId(format!("attribute {a}")))?;
+                if attr.entity != e.id {
+                    return Err(SchemaError::DanglingId(format!(
+                        "attribute {a} listed in entity {} but owned by {}",
+                        e.id, attr.entity
+                    )));
+                }
+                if attr_names.insert(attr.name.as_str(), ()).is_some() {
+                    return Err(SchemaError::DuplicateAttribute {
+                        entity: e.name.clone(),
+                        attr: attr.name.clone(),
+                    });
+                }
+            }
+            if let Some(pk) = e.pk {
+                if !e.attrs.contains(&pk) {
+                    return Err(SchemaError::InvalidPrimaryKey { entity: e.id, attr: pk });
+                }
+            }
+            for &fk in &e.fks {
+                if !e.attrs.contains(&fk) {
+                    return Err(SchemaError::DanglingId(format!(
+                        "fk attribute {fk} not in entity {}",
+                        e.id
+                    )));
+                }
+            }
+        }
+        for (i, a) in self.attributes.iter().enumerate() {
+            if a.id.index() != i {
+                return Err(SchemaError::DanglingId(format!(
+                    "attribute arena slot {i} holds id {}",
+                    a.id
+                )));
+            }
+            let owner = self
+                .entities
+                .get(a.entity.index())
+                .ok_or_else(|| SchemaError::DanglingId(format!("entity {}", a.entity)))?;
+            if !owner.attrs.contains(&a.id) {
+                return Err(SchemaError::DanglingId(format!(
+                    "attribute {} not listed by its entity {}",
+                    a.id, a.entity
+                )));
+            }
+        }
+        for fk in &self.foreign_keys {
+            let from_ok = self
+                .attributes
+                .get(fk.from.index())
+                .is_some_and(|a| a.entity == fk.from_entity);
+            let to_ok =
+                self.attributes.get(fk.to.index()).is_some_and(|a| a.entity == fk.to_entity);
+            if !from_ok || !to_ok {
+                return Err(SchemaError::InvalidForeignKey { from: fk.from, to: fk.to });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validated, incremental construction of a [`Schema`].
+///
+/// ```
+/// use lsm_schema::{Schema, DataType};
+///
+/// let schema = Schema::builder("shop")
+///     .entity("Orders")
+///     .attr("order_id", DataType::Integer)
+///     .attr_desc("discount", DataType::Decimal, "price reduction applied")
+///     .pk("order_id")
+///     .entity("Items")
+///     .attr("item_id", DataType::Integer)
+///     .pk("item_id")
+///     .attr("order_id", DataType::Integer)
+///     .foreign_key("Items", "order_id", "Orders", "order_id")
+///     .build()
+///     .unwrap();
+/// assert_eq!(schema.entity_count(), 2);
+/// assert_eq!(schema.attr_count(), 4);
+/// ```
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    name: String,
+    entities: Vec<Entity>,
+    attributes: Vec<Attribute>,
+    /// (from_entity_name, from_attr_name, to_entity_name, to_attr_name)
+    pending_fks: Vec<(String, String, String, String)>,
+    error: Option<SchemaError>,
+}
+
+impl SchemaBuilder {
+    /// Creates an empty builder.
+    pub fn new(name: impl Into<String>) -> Self {
+        SchemaBuilder {
+            name: name.into(),
+            entities: Vec::new(),
+            attributes: Vec::new(),
+            pending_fks: Vec::new(),
+            error: None,
+        }
+    }
+
+    fn record_err(&mut self, e: SchemaError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    /// Starts a new entity. Subsequent [`attr`](Self::attr) calls add
+    /// attributes to it.
+    pub fn entity(mut self, name: impl Into<String>) -> Self {
+        let name = name.into();
+        if self.entities.iter().any(|e| e.name == name) {
+            self.record_err(SchemaError::DuplicateEntity(name.clone()));
+        }
+        let id = EntityId(self.entities.len() as u32);
+        self.entities.push(Entity { id, name, attrs: Vec::new(), pk: None, fks: Vec::new() });
+        self
+    }
+
+    /// Adds an attribute without a description to the current entity.
+    pub fn attr(self, name: impl Into<String>, dtype: DataType) -> Self {
+        self.push_attr(name.into(), dtype, None)
+    }
+
+    /// Adds an attribute with a natural-language description.
+    pub fn attr_desc(
+        self,
+        name: impl Into<String>,
+        dtype: DataType,
+        desc: impl Into<String>,
+    ) -> Self {
+        self.push_attr(name.into(), dtype, Some(desc.into()))
+    }
+
+    /// Adds an attribute with an optional description.
+    pub fn attr_opt_desc(
+        self,
+        name: impl Into<String>,
+        dtype: DataType,
+        desc: Option<String>,
+    ) -> Self {
+        self.push_attr(name.into(), dtype, desc)
+    }
+
+    fn push_attr(mut self, name: String, dtype: DataType, desc: Option<String>) -> Self {
+        let Some(entity) = self.entities.last_mut() else {
+            self.record_err(SchemaError::UnknownEntity("<no current entity>".into()));
+            return self;
+        };
+        let owned_names: Vec<&Attribute> =
+            entity.attrs.iter().map(|&a| &self.attributes[a.index()]).collect();
+        if owned_names.iter().any(|a| a.name == name) {
+            let entity_name = entity.name.clone();
+            self.record_err(SchemaError::DuplicateAttribute { entity: entity_name, attr: name });
+            return self;
+        }
+        let id = AttrId(self.attributes.len() as u32);
+        entity.attrs.push(id);
+        let entity_id = entity.id;
+        self.attributes.push(Attribute { id, entity: entity_id, name, dtype, desc });
+        self
+    }
+
+    /// Declares the current entity's primary key by attribute name.
+    pub fn pk(mut self, attr_name: &str) -> Self {
+        let Some(entity) = self.entities.last() else {
+            self.record_err(SchemaError::UnknownEntity("<no current entity>".into()));
+            return self;
+        };
+        let found =
+            entity.attrs.iter().copied().find(|&a| self.attributes[a.index()].name == attr_name);
+        match found {
+            Some(a) => self.entities.last_mut().expect("checked above").pk = Some(a),
+            None => self.record_err(SchemaError::UnknownAttribute(attr_name.to_string())),
+        }
+        self
+    }
+
+    /// Declares a foreign key by entity/attribute names. Resolved at
+    /// [`build`](Self::build) time so forward references work.
+    pub fn foreign_key(
+        mut self,
+        from_entity: &str,
+        from_attr: &str,
+        to_entity: &str,
+        to_attr: &str,
+    ) -> Self {
+        self.pending_fks.push((
+            from_entity.to_string(),
+            from_attr.to_string(),
+            to_entity.to_string(),
+            to_attr.to_string(),
+        ));
+        self
+    }
+
+    /// Finishes construction, resolving foreign keys and validating.
+    pub fn build(mut self) -> Result<Schema, SchemaError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        let mut schema = Schema {
+            name: self.name,
+            entities: self.entities,
+            attributes: self.attributes,
+            foreign_keys: Vec::new(),
+        };
+        for (fe, fa, te, ta) in self.pending_fks {
+            let from = schema
+                .attr_by_name(&fe, &fa)
+                .map(|a| (a.entity, a.id))
+                .ok_or_else(|| SchemaError::UnknownAttribute(format!("{fe}.{fa}")))?;
+            let to = schema
+                .attr_by_name(&te, &ta)
+                .map(|a| (a.entity, a.id))
+                .ok_or_else(|| SchemaError::UnknownAttribute(format!("{te}.{ta}")))?;
+            schema.foreign_keys.push(ForeignKey {
+                from_entity: from.0,
+                from: from.1,
+                to_entity: to.0,
+                to: to.1,
+            });
+            let from_entity = &mut schema.entities[from.0.index()];
+            if !from_entity.fks.contains(&from.1) {
+                from_entity.fks.push(from.1);
+            }
+        }
+        schema.validate()?;
+        Ok(schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Schema {
+        Schema::builder("shop")
+            .entity("Orders")
+            .attr("order_id", DataType::Integer)
+            .attr("discount", DataType::Decimal)
+            .pk("order_id")
+            .entity("Items")
+            .attr("item_id", DataType::Integer)
+            .attr("order_id", DataType::Integer)
+            .pk("item_id")
+            .foreign_key("Items", "order_id", "Orders", "order_id")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_schema() {
+        let s = small();
+        assert_eq!(s.entity_count(), 2);
+        assert_eq!(s.attr_count(), 4);
+        assert_eq!(s.foreign_keys.len(), 1);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn qualified_names_and_lookup_round_trip() {
+        let s = small();
+        let a = s.attr_by_qualified_name("Orders.discount").unwrap();
+        assert_eq!(s.qualified_name(a.id), "Orders.discount");
+        assert!(s.attr_by_qualified_name("Orders.nope").is_none());
+        assert!(s.attr_by_qualified_name("garbage").is_none());
+    }
+
+    #[test]
+    fn fk_registration_updates_entity_fk_list() {
+        let s = small();
+        let items = s.entity_by_name("Items").unwrap();
+        assert_eq!(items.fks.len(), 1);
+        assert_eq!(s.attr(items.fks[0]).name, "order_id");
+    }
+
+    #[test]
+    fn anchor_set_is_pk_then_fk_per_entity() {
+        let s = small();
+        let anchors = s.anchor_set();
+        let names: Vec<_> = anchors.iter().map(|&a| s.qualified_name(a)).collect();
+        assert_eq!(names, vec!["Orders.order_id", "Items.item_id", "Items.order_id"]);
+    }
+
+    #[test]
+    fn duplicate_entity_is_rejected() {
+        let err = Schema::builder("x").entity("A").entity("A").build().unwrap_err();
+        assert_eq!(err, SchemaError::DuplicateEntity("A".into()));
+    }
+
+    #[test]
+    fn duplicate_attr_within_entity_is_rejected() {
+        let err = Schema::builder("x")
+            .entity("A")
+            .attr("c", DataType::Text)
+            .attr("c", DataType::Text)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn same_attr_name_in_different_entities_is_fine() {
+        let s = Schema::builder("x")
+            .entity("A")
+            .attr("id", DataType::Integer)
+            .entity("B")
+            .attr("id", DataType::Integer)
+            .build()
+            .unwrap();
+        assert_eq!(s.attr_count(), 2);
+        assert_eq!(s.unique_attr_name_count(), 1);
+    }
+
+    #[test]
+    fn attr_before_entity_is_rejected() {
+        let err = Schema::builder("x").attr("a", DataType::Text).build().unwrap_err();
+        assert!(matches!(err, SchemaError::UnknownEntity(_)));
+    }
+
+    #[test]
+    fn unknown_pk_is_rejected() {
+        let err = Schema::builder("x").entity("A").pk("nope").build().unwrap_err();
+        assert_eq!(err, SchemaError::UnknownAttribute("nope".into()));
+    }
+
+    #[test]
+    fn unknown_fk_endpoint_is_rejected() {
+        let err = Schema::builder("x")
+            .entity("A")
+            .attr("id", DataType::Integer)
+            .foreign_key("A", "id", "B", "id")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SchemaError::UnknownAttribute("B.id".into()));
+    }
+
+    #[test]
+    fn without_descriptions_strips_all() {
+        let s = Schema::builder("x")
+            .entity("A")
+            .attr_desc("id", DataType::Integer, "identifier")
+            .build()
+            .unwrap();
+        assert!(s.has_descriptions());
+        let stripped = s.without_descriptions();
+        assert!(!stripped.has_descriptions());
+        // Original untouched.
+        assert!(s.has_descriptions());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = small();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schema = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,346 @@
+//! Dense score storage for the source×target candidate-pair matrix, with
+//! top-k ranking and the evaluation metrics shared by LSM and all baselines.
+//!
+//! Every matcher studied in the paper "generates a matching score for each
+//! pair of attributes at the source and target schema" (Section III,
+//! Methodology). The evaluation then checks "whether the correct target
+//! attribute is in the top-3 candidate target attributes list" — top-k
+//! accuracy. This module hosts both the matrix and that metric so each
+//! matcher implements only the scores.
+
+use crate::ids::AttrId;
+use crate::matching::GroundTruth;
+use serde::{Deserialize, Serialize};
+
+/// A dense `|As| × |At|` matrix of matching scores.
+///
+/// Rows are source attributes, columns target attributes, both indexed by
+/// their dense [`AttrId`]s. Scores are arbitrary reals; larger means more
+/// likely to match.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl ScoreMatrix {
+    /// Creates a matrix of zeros for `rows` source and `cols` target
+    /// attributes.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        ScoreMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Number of source attributes (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of target attributes (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn idx(&self, s: AttrId, t: AttrId) -> usize {
+        debug_assert!(s.index() < self.rows && t.index() < self.cols);
+        s.index() * self.cols + t.index()
+    }
+
+    /// The score of pair `(s, t)`.
+    #[inline]
+    pub fn get(&self, s: AttrId, t: AttrId) -> f64 {
+        self.data[self.idx(s, t)]
+    }
+
+    /// Sets the score of pair `(s, t)`.
+    #[inline]
+    pub fn set(&mut self, s: AttrId, t: AttrId, score: f64) {
+        let i = self.idx(s, t);
+        self.data[i] = score;
+    }
+
+    /// Multiplies the score of pair `(s, t)` by `factor` (used by the
+    /// new-entity penalty).
+    #[inline]
+    pub fn scale(&mut self, s: AttrId, t: AttrId, factor: f64) {
+        let i = self.idx(s, t);
+        self.data[i] *= factor;
+    }
+
+    /// Mutable row of scores for one source attribute.
+    pub fn row_mut(&mut self, s: AttrId) -> &mut [f64] {
+        let start = s.index() * self.cols;
+        &mut self.data[start..start + self.cols]
+    }
+
+    /// Immutable row of scores for one source attribute.
+    pub fn row(&self, s: AttrId) -> &[f64] {
+        let start = s.index() * self.cols;
+        &self.data[start..start + self.cols]
+    }
+
+    /// The `k` best target attributes for source attribute `s`, best first.
+    /// Ties break toward the lower attribute id, making rankings
+    /// deterministic.
+    pub fn top_k(&self, s: AttrId, k: usize) -> Vec<(AttrId, f64)> {
+        let row = self.row(s);
+        let mut ranked: Vec<(AttrId, f64)> =
+            row.iter().enumerate().map(|(j, &v)| (AttrId(j as u32), v)).collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// The single best target for `s` (with its score), or `None` for an
+    /// empty target side.
+    pub fn best(&self, s: AttrId) -> Option<(AttrId, f64)> {
+        self.top_k(s, 1).into_iter().next()
+    }
+
+    /// The maximum score in row `s` — LSM's *prediction confidence*
+    /// `c_s = max_t score(s, t)` (Section IV-D).
+    pub fn confidence(&self, s: AttrId) -> f64 {
+        self.row(s).iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Softmax-normalized confidence of row `s`, used by the least-confidence
+    /// selection strategy (Section IV-E2): the softmax probability of the
+    /// best-scoring candidate. A row whose scores are nearly uniform has a
+    /// probability near `1/|At|` (uncertain); a row with one dominant score
+    /// has probability near 1 (confident).
+    pub fn softmax_confidence(&self, s: AttrId) -> f64 {
+        let row = self.row(s);
+        if row.is_empty() {
+            return 0.0;
+        }
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let denom: f64 = row.iter().map(|&v| (v - max).exp()).sum();
+        1.0 / denom
+    }
+
+    /// Mean reciprocal rank of the true target across the given sources
+    /// (1.0 = always ranked first; sources without ground truth score 0).
+    pub fn mean_reciprocal_rank(&self, truth: &GroundTruth, sources: &[AttrId]) -> f64 {
+        if sources.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = sources
+            .iter()
+            .map(|&s| {
+                let Some(correct) = truth.target_of(s) else { return 0.0 };
+                let ranked = self.top_k(s, self.cols);
+                match ranked.iter().position(|&(t, _)| t == correct) {
+                    Some(pos) => 1.0 / (pos + 1) as f64,
+                    None => 0.0,
+                }
+            })
+            .sum();
+        total / sources.len() as f64
+    }
+
+    /// Precision@k: among the `k · |sources|` suggested pairs, the fraction
+    /// that are correct. With one true target per source this equals
+    /// `top_k_accuracy / k`.
+    pub fn precision_at_k(&self, truth: &GroundTruth, sources: &[AttrId], k: usize) -> f64 {
+        if sources.is_empty() || k == 0 {
+            return 0.0;
+        }
+        let hits: usize = sources
+            .iter()
+            .map(|&s| {
+                self.top_k(s, k)
+                    .iter()
+                    .filter(|&&(t, _)| truth.is_correct(s, t))
+                    .count()
+            })
+            .sum();
+        hits as f64 / (k * sources.len()) as f64
+    }
+
+    /// Extracts a one-to-one assignment greedily: repeatedly commits the
+    /// globally best-scoring pair whose source and target are both still
+    /// free, stopping below `threshold`. This realizes Definition 2 of the
+    /// paper (each attribute in at most one correspondence) from raw
+    /// scores.
+    pub fn extract_one_to_one(&self, threshold: f64) -> Vec<(AttrId, AttrId, f64)> {
+        let mut pairs: Vec<(AttrId, AttrId, f64)> = (0..self.rows)
+            .flat_map(|s| {
+                (0..self.cols).map(move |t| (AttrId(s as u32), AttrId(t as u32)))
+            })
+            .map(|(s, t)| (s, t, self.get(s, t)))
+            .filter(|&(_, _, v)| v >= threshold)
+            .collect();
+        pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        let mut used_s = vec![false; self.rows];
+        let mut used_t = vec![false; self.cols];
+        let mut out = Vec::new();
+        for (s, t, v) in pairs {
+            if !used_s[s.index()] && !used_t[t.index()] {
+                used_s[s.index()] = true;
+                used_t[t.index()] = true;
+                out.push((s, t, v));
+            }
+        }
+        out.sort_by_key(|&(s, _, _)| s);
+        out
+    }
+
+    /// Top-k accuracy against a ground truth, restricted to the given source
+    /// attributes (pass all sources for the non-interactive Tables III/IV,
+    /// or the unlabeled remainder during active learning).
+    pub fn top_k_accuracy(&self, truth: &GroundTruth, sources: &[AttrId], k: usize) -> f64 {
+        if sources.is_empty() {
+            return 0.0;
+        }
+        let hits = sources
+            .iter()
+            .filter(|&&s| {
+                truth.target_of(s).is_some_and(|correct| {
+                    self.top_k(s, k).iter().any(|&(t, _)| t == correct)
+                })
+            })
+            .count();
+        hits as f64 / sources.len() as f64
+    }
+}
+
+/// The ranked suggestion list LSM shows the user for one source attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedSuggestions {
+    /// The source attribute the suggestions are for.
+    pub source: AttrId,
+    /// Top-k `(target, score)` pairs, best first.
+    pub candidates: Vec<(AttrId, f64)>,
+}
+
+impl RankedSuggestions {
+    /// Whether `target` is among the suggestions.
+    pub fn contains(&self, target: AttrId) -> bool {
+        self.candidates.iter().any(|&(t, _)| t == target)
+    }
+
+    /// The suggested targets without scores.
+    pub fn targets(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.candidates.iter().map(|&(t, _)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> ScoreMatrix {
+        let mut m = ScoreMatrix::zeros(2, 3);
+        m.set(AttrId(0), AttrId(0), 0.1);
+        m.set(AttrId(0), AttrId(1), 0.9);
+        m.set(AttrId(0), AttrId(2), 0.5);
+        m.set(AttrId(1), AttrId(0), 0.4);
+        m.set(AttrId(1), AttrId(1), 0.4);
+        m.set(AttrId(1), AttrId(2), 0.2);
+        m
+    }
+
+    #[test]
+    fn top_k_orders_descending() {
+        let m = matrix();
+        let top = m.top_k(AttrId(0), 2);
+        assert_eq!(top[0].0, AttrId(1));
+        assert_eq!(top[1].0, AttrId(2));
+    }
+
+    #[test]
+    fn top_k_ties_break_to_lower_id() {
+        let m = matrix();
+        let top = m.top_k(AttrId(1), 2);
+        assert_eq!(top[0].0, AttrId(0));
+        assert_eq!(top[1].0, AttrId(1));
+    }
+
+    #[test]
+    fn top_k_truncates_at_row_width() {
+        let m = matrix();
+        assert_eq!(m.top_k(AttrId(0), 10).len(), 3);
+    }
+
+    #[test]
+    fn confidence_is_row_max() {
+        let m = matrix();
+        assert_eq!(m.confidence(AttrId(0)), 0.9);
+        assert_eq!(m.confidence(AttrId(1)), 0.4);
+    }
+
+    #[test]
+    fn softmax_confidence_prefers_peaked_rows() {
+        let m = matrix();
+        // Row 0 is peaked (0.9 vs 0.1/0.5); row 1 is flat (0.4, 0.4, 0.2).
+        assert!(m.softmax_confidence(AttrId(0)) > m.softmax_confidence(AttrId(1)));
+    }
+
+    #[test]
+    fn top_k_accuracy_counts_hits() {
+        let m = matrix();
+        let truth = GroundTruth::from_pairs([(AttrId(0), AttrId(1)), (AttrId(1), AttrId(2))]);
+        let all = [AttrId(0), AttrId(1)];
+        assert_eq!(m.top_k_accuracy(&truth, &all, 1), 0.5);
+        assert_eq!(m.top_k_accuracy(&truth, &all, 3), 1.0);
+        assert_eq!(m.top_k_accuracy(&truth, &[], 3), 0.0);
+    }
+
+    #[test]
+    fn mrr_reflects_rank_of_truth() {
+        let m = matrix();
+        let truth = GroundTruth::from_pairs([(AttrId(0), AttrId(1)), (AttrId(1), AttrId(2))]);
+        // Row 0: truth ranked 1st (rr = 1); row 1: truth ranked 3rd (rr = 1/3).
+        let mrr = m.mean_reciprocal_rank(&truth, &[AttrId(0), AttrId(1)]);
+        assert!((mrr - (1.0 + 1.0 / 3.0) / 2.0).abs() < 1e-12);
+        assert_eq!(m.mean_reciprocal_rank(&truth, &[]), 0.0);
+    }
+
+    #[test]
+    fn precision_at_k_counts_suggested_hits() {
+        let m = matrix();
+        let truth = GroundTruth::from_pairs([(AttrId(0), AttrId(1)), (AttrId(1), AttrId(2))]);
+        let all = [AttrId(0), AttrId(1)];
+        // k=1: one hit of two suggestions.
+        assert!((m.precision_at_k(&truth, &all, 1) - 0.5).abs() < 1e-12);
+        // k=3: two hits of six suggestions.
+        assert!((m.precision_at_k(&truth, &all, 3) - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(m.precision_at_k(&truth, &all, 0), 0.0);
+    }
+
+    #[test]
+    fn one_to_one_extraction_respects_definition_two() {
+        // Two sources competing for the same best target: the higher score
+        // wins it; the loser takes its next-best free target.
+        let mut m = ScoreMatrix::zeros(2, 2);
+        m.set(AttrId(0), AttrId(0), 0.9);
+        m.set(AttrId(1), AttrId(0), 0.8);
+        m.set(AttrId(1), AttrId(1), 0.5);
+        let pairs = m.extract_one_to_one(0.1);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!((pairs[0].0, pairs[0].1), (AttrId(0), AttrId(0)));
+        assert_eq!((pairs[1].0, pairs[1].1), (AttrId(1), AttrId(1)));
+        // Threshold prunes weak pairs.
+        let pairs = m.extract_one_to_one(0.6);
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn scale_multiplies_in_place() {
+        let mut m = matrix();
+        m.scale(AttrId(0), AttrId(1), 0.5);
+        assert!((m.get(AttrId(0), AttrId(1)) - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranked_suggestions_contains() {
+        let s = RankedSuggestions {
+            source: AttrId(0),
+            candidates: vec![(AttrId(1), 0.9), (AttrId(2), 0.5)],
+        };
+        assert!(s.contains(AttrId(2)));
+        assert!(!s.contains(AttrId(0)));
+        assert_eq!(s.targets().collect::<Vec<_>>(), vec![AttrId(1), AttrId(2)]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Schema statistics as reported in Tables I and II of the paper.
+
+use crate::schema::Schema;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics of a schema: the columns of Tables I and II.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemaStats {
+    /// Schema name.
+    pub name: String,
+    /// Number of entities.
+    pub entities: usize,
+    /// Number of attributes.
+    pub attributes: usize,
+    /// Number of distinct attribute names.
+    pub unique_attr_names: usize,
+    /// Number of PK/FK relationships.
+    pub pk_fk: usize,
+    /// Whether any attribute carries a description.
+    pub has_descriptions: bool,
+}
+
+impl SchemaStats {
+    /// Computes the statistics of a schema.
+    pub fn of(schema: &Schema) -> Self {
+        SchemaStats {
+            name: schema.name.clone(),
+            entities: schema.entity_count(),
+            attributes: schema.attr_count(),
+            unique_attr_names: schema.unique_attr_name_count(),
+            pk_fk: schema.foreign_keys.len(),
+            has_descriptions: schema.has_descriptions(),
+        }
+    }
+}
+
+impl fmt::Display for SchemaStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<18} {:>9} {:>7} {:>13} {:>7}   {}",
+            self.name,
+            self.entities,
+            self.attributes,
+            self.unique_attr_names,
+            self.pk_fk,
+            if self.has_descriptions { "Y" } else { "N" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DataType;
+
+    #[test]
+    fn stats_count_everything() {
+        let s = Schema::builder("tiny")
+            .entity("A")
+            .attr_desc("id", DataType::Integer, "identifier")
+            .attr("name", DataType::Text)
+            .pk("id")
+            .entity("B")
+            .attr("id", DataType::Integer)
+            .attr("a_id", DataType::Integer)
+            .pk("id")
+            .foreign_key("B", "a_id", "A", "id")
+            .build()
+            .unwrap();
+        let stats = SchemaStats::of(&s);
+        assert_eq!(stats.entities, 2);
+        assert_eq!(stats.attributes, 4);
+        assert_eq!(stats.unique_attr_names, 3); // id, name, a_id
+        assert_eq!(stats.pk_fk, 1);
+        assert!(stats.has_descriptions);
+    }
+
+    #[test]
+    fn stats_display_contains_name() {
+        let s = Schema::builder("tiny").entity("A").attr("x", DataType::Text).build().unwrap();
+        let line = SchemaStats::of(&s).to_string();
+        assert!(line.contains("tiny"));
+        assert!(line.trim_end().ends_with('N'));
+    }
+}

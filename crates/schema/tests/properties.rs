@@ -1,0 +1,92 @@
+//! Property-based tests over the schema substrate: score-matrix ranking
+//! invariants and join-graph BFS properties on randomized inputs.
+
+use lsm_schema::{AttrId, DataType, EntityId, GroundTruth, Schema, ScoreMatrix};
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = ScoreMatrix> {
+    proptest::collection::vec(0.0f64..1.0, rows * cols).prop_map(move |vals| {
+        let mut m = ScoreMatrix::zeros(rows, cols);
+        for (i, v) in vals.into_iter().enumerate() {
+            m.set(AttrId((i / cols) as u32), AttrId((i % cols) as u32), v);
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn top_k_is_sorted_and_contains_row_max(m in matrix(4, 9), k in 1usize..12) {
+        for r in 0..4u32 {
+            let top = m.top_k(AttrId(r), k);
+            prop_assert_eq!(top.len(), k.min(9));
+            // Descending scores.
+            for w in top.windows(2) {
+                prop_assert!(w[0].1 >= w[1].1);
+            }
+            // The best element matches the row max.
+            let row_max = (0..9u32).map(|c| m.get(AttrId(r), AttrId(c))).fold(f64::MIN, f64::max);
+            prop_assert!((top[0].1 - row_max).abs() < 1e-12);
+            // Confidence equals the row max.
+            prop_assert!((m.confidence(AttrId(r)) - row_max).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn top_k_accuracy_is_monotone_in_k(m in matrix(5, 7)) {
+        let truth = GroundTruth::from_pairs((0..5).map(|i| (AttrId(i), AttrId(i % 7))));
+        let sources: Vec<AttrId> = (0..5).map(AttrId).collect();
+        let mut prev = 0.0;
+        for k in 1..=7 {
+            let acc = m.top_k_accuracy(&truth, &sources, k);
+            prop_assert!(acc >= prev - 1e-12, "accuracy must grow with k");
+            prev = acc;
+        }
+        // k = |targets| always hits 1.0 when all sources have truth.
+        prop_assert!((prev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_confidence_is_probability(m in matrix(3, 6)) {
+        for r in 0..3u32 {
+            let c = m.softmax_confidence(AttrId(r));
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+        }
+    }
+
+    /// Random chain schemas: BFS distances respect the chain structure.
+    #[test]
+    fn join_graph_distances_on_chains(n in 2usize..10) {
+        let mut b = Schema::builder("chain");
+        for i in 0..n {
+            b = b.entity(format!("E{i}"))
+                .attr("pk", DataType::Integer)
+                .pk("pk");
+            if i > 0 {
+                b = b.attr("parent", DataType::Integer);
+            }
+        }
+        for i in 1..n {
+            b = b.foreign_key(&format!("E{i}"), "parent", &format!("E{}", i - 1), "pk");
+        }
+        let schema = b.build().unwrap();
+        let g = schema.join_graph();
+        for i in 0..n {
+            for j in 0..n {
+                let d = g.distance(EntityId(i as u32), EntityId(j as u32));
+                prop_assert_eq!(d as usize, i.abs_diff(j));
+            }
+        }
+        // Penalty decreases monotonically with distance from entity 0.
+        let matched = [EntityId(0)];
+        let mut prev = f64::INFINITY;
+        for i in 0..n {
+            let z = g.entity_penalty(EntityId(i as u32), &matched);
+            prop_assert!(z <= prev + 1e-12);
+            prop_assert!(z > 0.0 && z <= 1.0);
+            prev = z;
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The paper's lexical featurizer.
+//!
+//! Section IV-C2: *"For the attribute pair (as, at), the similarity score is
+//! calculated as `lsc(as.name, at.name) / min(len(as.name), len(at.name))`
+//! where `lsc` computes the length of the longest common subsequence. The
+//! lexical featurizer is capable of handling abbreviations."*
+//!
+//! Normalizing by the *shorter* string is what makes abbreviations work: the
+//! characters of `qty` appear in order inside `quantity`, so
+//! `lcs = 3 = len("qty")` and the score is `1.0`.
+
+use crate::metrics::lcs::lcs_length;
+
+/// The lexical featurizer score `lcs(a, b) / min(|a|, |b|)` over lowercase
+/// forms. Returns `1.0` for two empty strings and `0.0` when exactly one is
+/// empty.
+pub fn lexical_similarity(a: &str, b: &str) -> f64 {
+    let a = a.to_lowercase();
+    let b = b.to_lowercase();
+    let (la, lb) = (a.chars().count(), b.chars().count());
+    if la == 0 && lb == 0 {
+        return 1.0;
+    }
+    let denom = la.min(lb);
+    if denom == 0 {
+        return 0.0;
+    }
+    lcs_length(&a, &b) as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_names_score_one() {
+        assert_eq!(lexical_similarity("discount", "discount"), 1.0);
+    }
+
+    #[test]
+    fn abbreviation_scores_one() {
+        assert_eq!(lexical_similarity("qty", "quantity"), 1.0);
+        assert_eq!(lexical_similarity("amt", "amount"), 1.0);
+        assert_eq!(lexical_similarity("desc", "description"), 1.0);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(lexical_similarity("OrderID", "order_id"), 1.0 * 7.0 / 7.0);
+    }
+
+    #[test]
+    fn unrelated_names_score_low() {
+        assert!(lexical_similarity("store", "unit") < 0.5);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(lexical_similarity("", ""), 1.0);
+        assert_eq!(lexical_similarity("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn bounded_and_symmetric() {
+        let pairs = [("item_amount", "quantity"), ("a", "b"), ("ean", "european_article_number")];
+        for (a, b) in pairs {
+            let s = lexical_similarity(a, b);
+            assert!((0.0..=1.0).contains(&s));
+            assert_eq!(s, lexical_similarity(b, a));
+        }
+    }
+
+    /// The min-normalization is also the featurizer's known weakness: short
+    /// names embedded in long ones score highly. This is why LSM combines
+    /// several featurizers.
+    #[test]
+    fn substring_containment_saturates() {
+        assert_eq!(lexical_similarity("amount", "product_item_price_amount"), 1.0);
+    }
+}

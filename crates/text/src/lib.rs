@@ -1,0 +1,28 @@
+//! # lsm-text
+//!
+//! Identifier tokenization and string-similarity metrics for schema
+//! matching.
+//!
+//! Schema attribute names mix `snake_case`, `camelCase`, acronyms, digits,
+//! and abbreviations. Every matcher in the LSM paper — the baselines of
+//! Section III as much as LSM's own featurizers — starts by splitting such
+//! identifiers into word tokens and then measuring similarity. This crate
+//! supplies:
+//!
+//! * [`tokenize()`] — identifier → word tokens (handles `snake_case`,
+//!   `camelCase`, `PascalCase`, digit runs, and acronym boundaries),
+//! * [`metrics`] — the string-similarity toolbox used by COMA and friends:
+//!   longest common subsequence, Levenshtein, Jaro-Winkler, n-gram overlap,
+//!   affix similarity, Soundex,
+//! * [`lexical`] — the paper's lexical featurizer
+//!   `lcs(a, b) / min(len(a), len(b))` (Section IV-C2),
+//! * [`tfidf`] — a TF-IDF vector space with cosine similarity, the substrate
+//!   of LSD's WHIRL nearest-neighbour learner.
+
+pub mod lexical;
+pub mod metrics;
+pub mod tfidf;
+pub mod tokenize;
+
+pub use lexical::lexical_similarity;
+pub use tokenize::{normalize_join, tokenize};

@@ -1,0 +1,71 @@
+//! Affix (common prefix/suffix) similarity, one of COMA's name matchers.
+
+/// Length of the common prefix of `a` and `b` (in chars).
+fn common_prefix(a: &str, b: &str) -> usize {
+    a.chars().zip(b.chars()).take_while(|(x, y)| x == y).count()
+}
+
+/// Length of the common suffix of `a` and `b` (in chars).
+fn common_suffix(a: &str, b: &str) -> usize {
+    a.chars()
+        .rev()
+        .zip(b.chars().rev())
+        .take_while(|(x, y)| x == y)
+        .count()
+}
+
+/// Affix similarity: `max(prefix, suffix) / min(|a|, |b|)`, clamped to
+/// `[0, 1]`. Two empty strings are identical (`1.0`); one empty string
+/// matches nothing (`0.0`).
+pub fn affix_similarity(a: &str, b: &str) -> f64 {
+    let (la, lb) = (a.chars().count(), b.chars().count());
+    if la == 0 && lb == 0 {
+        return 1.0;
+    }
+    let denom = la.min(lb);
+    if denom == 0 {
+        return 0.0;
+    }
+    let affix = common_prefix(a, b).max(common_suffix(a, b));
+    (affix as f64 / denom as f64).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_prefix_scores() {
+        // "order_" is a shared prefix of length 6; min length 8.
+        assert!((affix_similarity("order_id", "order_key") - 6.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_suffix_scores() {
+        let s = affix_similarity("item_amount", "total_amount");
+        assert!((s - 7.0 / 11.0).abs() < 1e-12); // "_amount"
+    }
+
+    #[test]
+    fn identical_is_one_and_disjoint_is_zero() {
+        assert_eq!(affix_similarity("abc", "abc"), 1.0);
+        assert_eq!(affix_similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(affix_similarity("", ""), 1.0);
+        assert_eq!(affix_similarity("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn substring_containment_saturates() {
+        // "id" is both prefix and suffix constrained by min length.
+        assert_eq!(affix_similarity("id", "identifier"), 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(affix_similarity("abcx", "abcy"), affix_similarity("abcy", "abcx"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Levenshtein edit distance.
+
+/// Levenshtein distance between `a` and `b` over Unicode scalar values
+/// (insertions, deletions, substitutions all cost 1).
+///
+/// `O(|a| × |b|)` time, `O(min)` space.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let (short, long): (Vec<char>, Vec<char>) = {
+        let ac: Vec<char> = a.chars().collect();
+        let bc: Vec<char> = b.chars().collect();
+        if ac.len() <= bc.len() {
+            (ac, bc)
+        } else {
+            (bc, ac)
+        }
+    };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr = vec![0usize; short.len() + 1];
+    for (i, &cl) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cs) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(cl != cs);
+            curr[j + 1] = sub.min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Edit similarity `1 - dist / max(|a|, |b|)`. Returns `1.0` for two empty
+/// strings.
+pub fn edit_similarity(a: &str, b: &str) -> f64 {
+    let (la, lb) = (a.chars().count(), b.chars().count());
+    let denom = la.max(lb);
+    if denom == 0 {
+        return 1.0;
+    }
+    1.0 - edit_distance(a, b) as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basic() {
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", ""), 3);
+    }
+
+    #[test]
+    fn distance_symmetric() {
+        assert_eq!(edit_distance("discount", "amount"), edit_distance("amount", "discount"));
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let (a, b, c) = ("item_amount", "quantity", "amount");
+        assert!(edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c));
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(edit_similarity("", ""), 1.0);
+        assert_eq!(edit_similarity("same", "same"), 1.0);
+        assert_eq!(edit_similarity("abc", "xyz"), 0.0);
+        let s = edit_similarity("order_id", "order_key");
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    /// The paper's COMA example: edit distance pulls `item_amount` toward
+    /// `product_item_price_amount` rather than the correct `quantity`.
+    #[test]
+    fn coma_failure_mode_reproduces() {
+        let wrong = edit_similarity("item_amount", "product_item_price_amount");
+        let right = edit_similarity("item_amount", "quantity");
+        assert!(wrong > right);
+    }
+}

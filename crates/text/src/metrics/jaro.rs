@@ -1,0 +1,98 @@
+//! Jaro and Jaro-Winkler similarity.
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro_similarity(a: &str, b: &str) -> f64 {
+    let s: Vec<char> = a.chars().collect();
+    let t: Vec<char> = b.chars().collect();
+    if s.is_empty() && t.is_empty() {
+        return 1.0;
+    }
+    if s.is_empty() || t.is_empty() {
+        return 0.0;
+    }
+    let window = (s.len().max(t.len()) / 2).saturating_sub(1);
+    let mut s_matched = vec![false; s.len()];
+    let mut t_matched = vec![false; t.len()];
+    let mut matches = 0usize;
+    for (i, &cs) in s.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(t.len());
+        for j in lo..hi {
+            if !t_matched[j] && t[j] == cs {
+                s_matched[i] = true;
+                t_matched[j] = true;
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Count transpositions between the matched sequences.
+    let s_seq: Vec<char> =
+        s.iter().zip(&s_matched).filter_map(|(&c, &m)| m.then_some(c)).collect();
+    let t_seq: Vec<char> =
+        t.iter().zip(&t_matched).filter_map(|(&c, &m)| m.then_some(c)).collect();
+    let transpositions = s_seq.iter().zip(&t_seq).filter(|(a, b)| a != b).count() / 2;
+    let m = matches as f64;
+    (m / s.len() as f64 + m / t.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by up to 4 characters of common
+/// prefix with scaling factor `p = 0.1`.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let jaro = jaro_similarity(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    jaro + prefix * 0.1 * (1.0 - jaro)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-3
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        assert!(close(jaro_similarity("MARTHA", "MARHTA"), 0.944));
+        assert!(close(jaro_similarity("DIXON", "DICKSONX"), 0.767));
+        assert!(close(jaro_similarity("CRATE", "TRACE"), 0.733));
+    }
+
+    #[test]
+    fn jaro_identity_and_disjoint() {
+        assert_eq!(jaro_similarity("abc", "abc"), 1.0);
+        assert_eq!(jaro_similarity("abc", "xyz"), 0.0);
+        assert_eq!(jaro_similarity("", ""), 1.0);
+        assert_eq!(jaro_similarity("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn winkler_boosts_shared_prefix() {
+        let plain = jaro_similarity("prefix_a", "prefix_b");
+        let boosted = jaro_winkler("prefix_a", "prefix_b");
+        assert!(boosted > plain);
+        assert!(boosted <= 1.0);
+    }
+
+    #[test]
+    fn winkler_known_value() {
+        assert!(close(jaro_winkler("MARTHA", "MARHTA"), 0.961));
+    }
+
+    #[test]
+    fn jaro_symmetric() {
+        assert!(close(
+            jaro_similarity("discount", "price_change"),
+            jaro_similarity("price_change", "discount")
+        ));
+    }
+}

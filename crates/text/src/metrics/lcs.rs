@@ -1,0 +1,88 @@
+//! Longest common subsequence.
+
+/// Length of the longest common subsequence of `a` and `b`, over Unicode
+/// scalar values.
+///
+/// Runs in `O(|a| × |b|)` time and `O(min(|a|, |b|))` space (two rolling
+/// rows).
+pub fn lcs_length(a: &str, b: &str) -> usize {
+    let (short, long): (Vec<char>, Vec<char>) = {
+        let ac: Vec<char> = a.chars().collect();
+        let bc: Vec<char> = b.chars().collect();
+        if ac.len() <= bc.len() {
+            (ac, bc)
+        } else {
+            (bc, ac)
+        }
+    };
+    if short.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; short.len() + 1];
+    let mut curr = vec![0usize; short.len() + 1];
+    for &cl in &long {
+        for (j, &cs) in short.iter().enumerate() {
+            curr[j + 1] = if cl == cs {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(curr[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// LCS similarity normalized by the longer string:
+/// `lcs(a, b) / max(|a|, |b|)`. Returns `1.0` for two empty strings.
+pub fn lcs_similarity(a: &str, b: &str) -> f64 {
+    let (la, lb) = (a.chars().count(), b.chars().count());
+    let denom = la.max(lb);
+    if denom == 0 {
+        return 1.0;
+    }
+    lcs_length(a, b) as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcs_basic() {
+        assert_eq!(lcs_length("abcde", "ace"), 3);
+        assert_eq!(lcs_length("abc", "abc"), 3);
+        assert_eq!(lcs_length("abc", "def"), 0);
+    }
+
+    #[test]
+    fn lcs_empty() {
+        assert_eq!(lcs_length("", "abc"), 0);
+        assert_eq!(lcs_length("", ""), 0);
+    }
+
+    #[test]
+    fn lcs_is_symmetric() {
+        assert_eq!(lcs_length("quantity", "item_amount"), lcs_length("item_amount", "quantity"));
+    }
+
+    #[test]
+    fn lcs_handles_abbreviations() {
+        // "qty" is a subsequence of "quantity".
+        assert_eq!(lcs_length("qty", "quantity"), 3);
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(lcs_similarity("", ""), 1.0);
+        assert_eq!(lcs_similarity("abc", "abc"), 1.0);
+        assert_eq!(lcs_similarity("abc", ""), 0.0);
+        let s = lcs_similarity("discount", "price_change_percentage");
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn lcs_unicode() {
+        assert_eq!(lcs_length("naïve", "naive"), 4);
+    }
+}

@@ -1,0 +1,20 @@
+//! String-similarity metrics.
+//!
+//! COMA (Do & Rahm, VLDB 2002) combines a library of name matchers — affix,
+//! n-gram, edit distance, Soundex — and the other baselines each lean on one
+//! or more of these. All similarities returned here are normalized to
+//! `[0, 1]` with `1` meaning identical.
+
+pub mod affix;
+pub mod edit;
+pub mod jaro;
+pub mod lcs;
+pub mod ngram;
+pub mod soundex;
+
+pub use affix::affix_similarity;
+pub use edit::{edit_distance, edit_similarity};
+pub use jaro::{jaro_similarity, jaro_winkler};
+pub use lcs::{lcs_length, lcs_similarity};
+pub use ngram::{ngram_similarity, trigram_similarity};
+pub use soundex::{soundex, soundex_similarity};

@@ -1,0 +1,96 @@
+//! Character n-gram overlap (Dice coefficient).
+
+use std::collections::HashMap;
+
+/// Multiset of character n-grams of `s`. Strings shorter than `n` yield the
+/// whole string as a single gram so that very short names still compare.
+fn grams(s: &str, n: usize) -> HashMap<Vec<char>, usize> {
+    let chars: Vec<char> = s.chars().collect();
+    let mut out = HashMap::new();
+    if chars.is_empty() {
+        return out;
+    }
+    if chars.len() < n {
+        *out.entry(chars).or_insert(0) += 1;
+        return out;
+    }
+    for w in chars.windows(n) {
+        *out.entry(w.to_vec()).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Dice similarity over character n-gram multisets:
+/// `2 · |grams(a) ∩ grams(b)| / (|grams(a)| + |grams(b)|)`.
+pub fn ngram_similarity(a: &str, b: &str, n: usize) -> f64 {
+    assert!(n > 0, "n-gram size must be positive");
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let ga = grams(a, n);
+    let gb = grams(b, n);
+    let total: usize = ga.values().sum::<usize>() + gb.values().sum::<usize>();
+    if total == 0 {
+        return 0.0;
+    }
+    let shared: usize = ga
+        .iter()
+        .map(|(g, &ca)| ca.min(gb.get(g).copied().unwrap_or(0)))
+        .sum();
+    2.0 * shared as f64 / total as f64
+}
+
+/// Trigram Dice similarity, COMA's default n-gram matcher.
+pub fn trigram_similarity(a: &str, b: &str) -> f64 {
+    ngram_similarity(a, b, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_are_one() {
+        assert_eq!(trigram_similarity("discount", "discount"), 1.0);
+        assert_eq!(ngram_similarity("ab", "ab", 3), 1.0);
+    }
+
+    #[test]
+    fn disjoint_strings_are_zero() {
+        assert_eq!(trigram_similarity("abcdef", "xyzuvw"), 0.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(trigram_similarity("", ""), 1.0);
+        assert_eq!(trigram_similarity("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_fractional() {
+        let s = trigram_similarity("order_id", "order_key");
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(
+            trigram_similarity("item_amount", "quantity"),
+            trigram_similarity("quantity", "item_amount")
+        );
+    }
+
+    #[test]
+    fn bigram_vs_trigram() {
+        // Shorter grams are more permissive.
+        let bi = ngram_similarity("price", "prize", 2);
+        let tri = ngram_similarity("price", "prize", 3);
+        assert!(bi >= tri);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_gram_panics() {
+        ngram_similarity("a", "b", 0);
+    }
+}

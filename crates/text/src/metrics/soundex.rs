@@ -1,0 +1,104 @@
+//! American Soundex phonetic codes, one of COMA's name matchers.
+
+/// Soundex digit class of an ASCII letter, or `None` for vowels and the
+/// letters `h`, `w`, `y` (which separate/merge runs per the algorithm).
+fn digit(c: char) -> Option<u8> {
+    match c.to_ascii_lowercase() {
+        'b' | 'f' | 'p' | 'v' => Some(1),
+        'c' | 'g' | 'j' | 'k' | 'q' | 's' | 'x' | 'z' => Some(2),
+        'd' | 't' => Some(3),
+        'l' => Some(4),
+        'm' | 'n' => Some(5),
+        'r' => Some(6),
+        _ => None,
+    }
+}
+
+/// The 4-character American Soundex code of `s` (e.g. `"Robert"` →
+/// `"R163"`). Non-alphabetic characters are skipped. Returns `"0000"` for
+/// strings without any letter.
+pub fn soundex(s: &str) -> String {
+    let letters: Vec<char> = s.chars().filter(|c| c.is_ascii_alphabetic()).collect();
+    let Some(&first) = letters.first() else {
+        return "0000".to_string();
+    };
+    let mut code = String::with_capacity(4);
+    code.push(first.to_ascii_uppercase());
+    let mut last_digit = digit(first);
+    for &c in &letters[1..] {
+        let d = digit(c);
+        match d {
+            Some(d) => {
+                if last_digit != Some(d) {
+                    code.push(char::from(b'0' + d));
+                    if code.len() == 4 {
+                        break;
+                    }
+                }
+            }
+            None => {
+                // 'h' and 'w' do not reset the run; vowels and 'y' do.
+                let lower = c.to_ascii_lowercase();
+                if lower != 'h' && lower != 'w' {
+                    last_digit = None;
+                    continue;
+                }
+            }
+        }
+        if d.is_some() {
+            last_digit = d;
+        }
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    code
+}
+
+/// `1.0` when two strings share a Soundex code, else `0.0` — the binary
+/// phonetic matcher used within COMA's aggregation.
+pub fn soundex_similarity(a: &str, b: &str) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if soundex(a) == soundex(b) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(soundex("Robert"), "R163");
+        assert_eq!(soundex("Rupert"), "R163");
+        assert_eq!(soundex("Ashcraft"), "A261");
+        assert_eq!(soundex("Tymczak"), "T522");
+        assert_eq!(soundex("Pfister"), "P236");
+        assert_eq!(soundex("Honeyman"), "H555");
+    }
+
+    #[test]
+    fn short_names_pad_with_zeros() {
+        assert_eq!(soundex("a"), "A000");
+        assert_eq!(soundex("at"), "A300");
+    }
+
+    #[test]
+    fn non_alpha_is_skipped() {
+        assert_eq!(soundex("o'brien"), soundex("obrien"));
+        assert_eq!(soundex("123"), "0000");
+        assert_eq!(soundex(""), "0000");
+    }
+
+    #[test]
+    fn similarity_is_binary() {
+        assert_eq!(soundex_similarity("Robert", "Rupert"), 1.0);
+        assert_eq!(soundex_similarity("Robert", "Smith"), 0.0);
+        assert_eq!(soundex_similarity("", ""), 1.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! TF-IDF vector space with cosine similarity.
+//!
+//! LSD's strongest individual learner is WHIRL: a nearest-neighbour
+//! classifier over TF-IDF encodings of textual descriptions (Doan et al.,
+//! 2000). This module provides the vector space: fit a vocabulary + IDF
+//! table on a corpus of token lists, then embed documents and compare them
+//! with cosine similarity.
+
+use std::collections::HashMap;
+
+/// A sparse TF-IDF document vector (term-id → weight), L2-normalized at
+/// construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TfIdfVector {
+    weights: Vec<(u32, f64)>,
+}
+
+impl TfIdfVector {
+    /// Cosine similarity between two vectors (both are unit-length, so this
+    /// is their dot product). Runs in `O(|a| + |b|)` — entries are sorted by
+    /// term id.
+    pub fn cosine(&self, other: &TfIdfVector) -> f64 {
+        let (mut i, mut j) = (0, 0);
+        let mut dot = 0.0;
+        while i < self.weights.len() && j < other.weights.len() {
+            let (ta, wa) = self.weights[i];
+            let (tb, wb) = other.weights[j];
+            match ta.cmp(&tb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += wa * wb;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        dot
+    }
+
+    /// Number of non-zero terms.
+    pub fn nnz(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when the document had no in-vocabulary terms.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+/// A fitted TF-IDF vector space: vocabulary plus smoothed IDF weights.
+#[derive(Debug, Clone)]
+pub struct TfIdfSpace {
+    vocab: HashMap<String, u32>,
+    idf: Vec<f64>,
+    documents: usize,
+}
+
+impl TfIdfSpace {
+    /// Fits the space on a corpus of tokenized documents.
+    ///
+    /// IDF uses the smoothed form `ln((1 + N) / (1 + df)) + 1`, which keeps
+    /// weights positive even for terms present in every document.
+    pub fn fit<S: AsRef<str>>(corpus: &[Vec<S>]) -> Self {
+        let mut vocab: HashMap<String, u32> = HashMap::new();
+        let mut df: Vec<usize> = Vec::new();
+        for doc in corpus {
+            let mut seen: Vec<u32> = Vec::new();
+            for tok in doc {
+                let tok = tok.as_ref();
+                let id = *vocab.entry(tok.to_string()).or_insert_with(|| {
+                    df.push(0);
+                    (df.len() - 1) as u32
+                });
+                if !seen.contains(&id) {
+                    seen.push(id);
+                    df[id as usize] += 1;
+                }
+            }
+        }
+        let n = corpus.len();
+        let idf = df
+            .iter()
+            .map(|&d| ((1.0 + n as f64) / (1.0 + d as f64)).ln() + 1.0)
+            .collect();
+        TfIdfSpace { vocab, idf, documents: n }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Number of documents the space was fitted on.
+    pub fn document_count(&self) -> usize {
+        self.documents
+    }
+
+    /// Embeds a tokenized document. Out-of-vocabulary tokens are dropped.
+    pub fn embed<S: AsRef<str>>(&self, doc: &[S]) -> TfIdfVector {
+        let mut tf: HashMap<u32, f64> = HashMap::new();
+        for tok in doc {
+            if let Some(&id) = self.vocab.get(tok.as_ref()) {
+                *tf.entry(id).or_insert(0.0) += 1.0;
+            }
+        }
+        let mut weights: Vec<(u32, f64)> = tf
+            .into_iter()
+            .map(|(id, count)| (id, count * self.idf[id as usize]))
+            .collect();
+        weights.sort_unstable_by_key(|&(id, _)| id);
+        let norm: f64 = weights.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for (_, w) in &mut weights {
+                *w /= norm;
+            }
+        }
+        TfIdfVector { weights }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Vec<&'static str>> {
+        vec![
+            vec!["order", "id", "unique"],
+            vec!["order", "total", "amount"],
+            vec!["store", "name"],
+            vec!["customer", "name"],
+        ]
+    }
+
+    #[test]
+    fn fit_builds_vocab_and_counts() {
+        let space = TfIdfSpace::fit(&corpus());
+        assert_eq!(space.document_count(), 4);
+        // order, id, unique, total, amount, store, name, customer
+        assert_eq!(space.vocab_size(), 8);
+    }
+
+    #[test]
+    fn identical_documents_have_cosine_one() {
+        let space = TfIdfSpace::fit(&corpus());
+        let v = space.embed(&["order", "id"]);
+        assert!((v.cosine(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_documents_have_cosine_zero() {
+        let space = TfIdfSpace::fit(&corpus());
+        let a = space.embed(&["order", "id"]);
+        let b = space.embed(&["store", "name"]);
+        assert_eq!(a.cosine(&b), 0.0);
+    }
+
+    #[test]
+    fn rare_terms_weigh_more_than_common_ones() {
+        let space = TfIdfSpace::fit(&corpus());
+        // "order" appears in 2 docs, "unique" in 1: a doc sharing the rare
+        // term should be closer than one sharing only the common term.
+        let probe = space.embed(&["order", "unique"]);
+        let shares_rare = space.embed(&["unique", "total"]);
+        let shares_common = space.embed(&["order", "total"]);
+        assert!(probe.cosine(&shares_rare) > probe.cosine(&shares_common));
+    }
+
+    #[test]
+    fn oov_tokens_are_dropped() {
+        let space = TfIdfSpace::fit(&corpus());
+        let v = space.embed(&["zebra", "xylophone"]);
+        assert!(v.is_empty());
+        assert_eq!(v.cosine(&space.embed(&["order"])), 0.0);
+    }
+
+    #[test]
+    fn cosine_is_symmetric_and_bounded() {
+        let space = TfIdfSpace::fit(&corpus());
+        let a = space.embed(&["order", "total", "name"]);
+        let b = space.embed(&["customer", "name", "order"]);
+        let ab = a.cosine(&b);
+        assert!((ab - b.cosine(&a)).abs() < 1e-12);
+        assert!((0.0..=1.0 + 1e-12).contains(&ab));
+    }
+
+    #[test]
+    fn term_frequency_matters() {
+        let space = TfIdfSpace::fit(&corpus());
+        let single = space.embed(&["order", "name"]);
+        let repeated = space.embed(&["order", "order", "order", "name"]);
+        let probe = space.embed(&["order"]);
+        assert!(probe.cosine(&repeated) > probe.cosine(&single));
+    }
+}

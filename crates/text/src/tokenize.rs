@@ -1,0 +1,178 @@
+//! Identifier tokenization.
+//!
+//! Splits schema identifiers such as `TransactionLine`,
+//! `product_item_price_amount`, `promisedAvailableCurbsidePickupTimestamp`,
+//! or `EAN13Code` into lowercase word tokens. Boundary rules:
+//!
+//! * any non-alphanumeric character (underscore, hyphen, dot, space, ...)
+//!   is a separator,
+//! * a lowercase→uppercase transition starts a new token (`camelCase`),
+//! * an uppercase run followed by a lowercase letter keeps the run as an
+//!   acronym and starts the new token at its last capital (`HTTPServer` →
+//!   `http`, `server`),
+//! * digit runs are their own tokens (`ean13` → `ean`, `13`).
+
+/// Splits an identifier into lowercase word tokens.
+///
+/// ```
+/// use lsm_text::tokenize;
+/// assert_eq!(tokenize("product_item_price_amount"),
+///            vec!["product", "item", "price", "amount"]);
+/// assert_eq!(tokenize("TransactionLine"), vec!["transaction", "line"]);
+/// assert_eq!(tokenize("HTTPServerURL"), vec!["http", "server", "url"]);
+/// assert_eq!(tokenize("ean13"), vec!["ean", "13"]);
+/// ```
+pub fn tokenize(identifier: &str) -> Vec<String> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Class {
+        Lower,
+        Upper,
+        Digit,
+        Other,
+    }
+    fn classify(c: char) -> Class {
+        if c.is_lowercase() {
+            Class::Lower
+        } else if c.is_uppercase() {
+            Class::Upper
+        } else if c.is_ascii_digit() {
+            Class::Digit
+        } else {
+            Class::Other
+        }
+    }
+
+    let chars: Vec<char> = identifier.chars().collect();
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for i in 0..chars.len() {
+        let c = chars[i];
+        let class = classify(c);
+        if class == Class::Other {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+            continue;
+        }
+        let boundary = if current.is_empty() {
+            false
+        } else {
+            let prev = classify(chars[i - 1]);
+            match (prev, class) {
+                // camelCase: aB
+                (Class::Lower, Class::Upper) => true,
+                // digit boundary in both directions
+                (Class::Digit, Class::Lower | Class::Upper) => true,
+                (Class::Lower | Class::Upper, Class::Digit) => true,
+                // acronym end: ABc -> split before B (last capital of run)
+                (Class::Upper, Class::Lower) => {
+                    // The previous char belongs to this token; split before
+                    // it if the char before that was also uppercase.
+                    if i >= 2 && classify(chars[i - 2]) == Class::Upper {
+                        // Move the previous capital into the new token.
+                        let moved = current.pop().expect("non-empty current");
+                        if !current.is_empty() {
+                            tokens.push(std::mem::take(&mut current));
+                        }
+                        current.push(moved);
+                    }
+                    false
+                }
+                _ => false,
+            }
+        };
+        if boundary && !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+        current.push(c);
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens.iter().map(|t| t.to_lowercase()).collect()
+}
+
+/// Tokenizes and re-joins with single spaces: the canonical normalized form
+/// of an identifier for embedding and language-model input.
+///
+/// ```
+/// use lsm_text::normalize_join;
+/// assert_eq!(normalize_join("OrderLine.TotalAmount"), "order line total amount");
+/// ```
+pub fn normalize_join(identifier: &str) -> String {
+    tokenize(identifier).join(" ")
+}
+
+/// Tokenizes free-flowing text (e.g. attribute descriptions): splits on
+/// whitespace/punctuation and lowercases, additionally splitting any
+/// camelCase identifiers embedded in the prose.
+pub fn tokenize_text(text: &str) -> Vec<String> {
+    text.split(|c: char| c.is_whitespace())
+        .flat_map(tokenize)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snake_case_splits_on_underscores() {
+        assert_eq!(tokenize("order_id"), vec!["order", "id"]);
+        assert_eq!(
+            tokenize("promised_avalailable_curbside_pickup_timestamp"),
+            vec!["promised", "avalailable", "curbside", "pickup", "timestamp"]
+        );
+    }
+
+    #[test]
+    fn camel_and_pascal_case_split_on_case_change() {
+        assert_eq!(tokenize("orderId"), vec!["order", "id"]);
+        assert_eq!(tokenize("TransactionLine"), vec!["transaction", "line"]);
+        assert_eq!(tokenize("TotalOrderLineAmount"), vec!["total", "order", "line", "amount"]);
+    }
+
+    #[test]
+    fn acronym_runs_stay_together() {
+        assert_eq!(tokenize("EAN"), vec!["ean"]);
+        assert_eq!(tokenize("HTTPServer"), vec!["http", "server"]);
+        assert_eq!(tokenize("parseURLQuick"), vec!["parse", "url", "quick"]);
+    }
+
+    #[test]
+    fn digits_are_separate_tokens() {
+        assert_eq!(tokenize("ean13"), vec!["ean", "13"]);
+        assert_eq!(tokenize("address_line2"), vec!["address", "line", "2"]);
+        assert_eq!(tokenize("13f"), vec!["13", "f"]);
+    }
+
+    #[test]
+    fn punctuation_separates() {
+        assert_eq!(tokenize("Orders.discount"), vec!["orders", "discount"]);
+        assert_eq!(tokenize("a-b c"), vec!["a", "b", "c"]);
+        assert_eq!(tokenize("--"), Vec::<String>::new());
+        assert_eq!(tokenize(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn mixed_everything() {
+        assert_eq!(
+            tokenize("productSKU_code2X"),
+            vec!["product", "sku", "code", "2", "x"]
+        );
+    }
+
+    #[test]
+    fn normalize_join_spaces_tokens() {
+        assert_eq!(normalize_join("OrderLine.TotalAmount"), "order line total amount");
+        assert_eq!(normalize_join(""), "");
+    }
+
+    #[test]
+    fn tokenize_text_handles_prose() {
+        assert_eq!(
+            tokenize_text("The orderId of the Transaction, if any."),
+            vec!["the", "order", "id", "of", "the", "transaction", "if", "any"]
+        );
+    }
+}

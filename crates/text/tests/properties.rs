@@ -1,0 +1,85 @@
+//! Property-based tests over the string-metric invariants every matcher
+//! relies on: boundedness, symmetry, identity, and tokenizer totality.
+
+use lsm_text::lexical_similarity;
+use lsm_text::metrics::{
+    affix_similarity, edit_distance, edit_similarity, jaro_similarity, jaro_winkler,
+    lcs_length, lcs_similarity, soundex, trigram_similarity,
+};
+use lsm_text::{normalize_join, tokenize};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Za-z0-9_]{0,24}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn similarities_are_bounded_and_symmetric(a in ident(), b in ident()) {
+        for (name, f) in [
+            ("lexical", lexical_similarity as fn(&str, &str) -> f64),
+            ("edit", edit_similarity),
+            ("jaro", jaro_similarity),
+            ("jaro_winkler", jaro_winkler),
+            ("trigram", trigram_similarity),
+            ("affix", affix_similarity),
+            ("lcs", lcs_similarity),
+        ] {
+            let ab = f(&a, &b);
+            let ba = f(&b, &a);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&ab), "{}({:?},{:?}) = {}", name, a, b, ab);
+            prop_assert!((ab - ba).abs() < 1e-9, "{} asymmetric on ({:?},{:?})", name, a, b);
+        }
+    }
+
+    #[test]
+    fn identity_scores_one(a in "[A-Za-z0-9_]{1,24}") {
+        prop_assert_eq!(lexical_similarity(&a, &a), 1.0);
+        prop_assert_eq!(edit_similarity(&a, &a), 1.0);
+        prop_assert_eq!(jaro_similarity(&a, &a), 1.0);
+        prop_assert_eq!(trigram_similarity(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn edit_distance_is_a_metric(a in ident(), b in ident(), c in ident()) {
+        let ab = edit_distance(&a, &b);
+        let ba = edit_distance(&b, &a);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(edit_distance(&a, &a), 0);
+        // Triangle inequality.
+        prop_assert!(edit_distance(&a, &c) <= ab + edit_distance(&b, &c));
+    }
+
+    #[test]
+    fn lcs_is_bounded_by_lengths(a in ident(), b in ident()) {
+        let l = lcs_length(&a, &b);
+        prop_assert!(l <= a.chars().count());
+        prop_assert!(l <= b.chars().count());
+    }
+
+    #[test]
+    fn tokenize_is_total_and_lossless_on_alnum(s in "[A-Za-z0-9_.]{0,40}") {
+        let tokens = tokenize(&s);
+        // Tokens are non-empty, lowercase, and cover all alphanumerics.
+        let rejoined: String = tokens.concat();
+        let expected: String = s.chars().filter(|c| c.is_alphanumeric()).collect::<String>().to_lowercase();
+        prop_assert_eq!(rejoined, expected);
+        for t in &tokens {
+            prop_assert!(!t.is_empty());
+        }
+        // normalize_join is idempotent under re-tokenization.
+        let joined = normalize_join(&s);
+        prop_assert_eq!(normalize_join(&joined), joined.clone());
+    }
+
+    #[test]
+    fn soundex_shape(s in "[A-Za-z]{1,16}") {
+        let code = soundex(&s);
+        prop_assert_eq!(code.len(), 4);
+        let mut chars = code.chars();
+        prop_assert!(chars.next().unwrap().is_ascii_uppercase());
+        prop_assert!(chars.all(|c| c.is_ascii_digit()));
+    }
+}

@@ -1,0 +1,76 @@
+//! Baseline shootout: run all six classic matchers on one dataset.
+//!
+//! ```sh
+//! cargo run --release -p lsm --example baseline_shootout [dataset]
+//! ```
+//!
+//! `dataset` is one of `rdb-star`, `ipfqr`, `movielens` (default).
+//! Reproduces the Section III motivation study on a single pair: every
+//! baseline's top-1/3/5 accuracy plus a look at where they disagree.
+
+use lsm::baselines::coma::{Aggregation, Coma};
+use lsm::baselines::cupid::Cupid;
+use lsm::baselines::flooding::SimilarityFlooding;
+use lsm::baselines::lsd::Lsd;
+use lsm::baselines::mlm::Mlm;
+use lsm::baselines::smatch::SMatch;
+use lsm::prelude::*;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "movielens".to_string());
+    let dataset = match which.as_str() {
+        "rdb-star" => lsm::datasets::public_data::rdb_star(),
+        "ipfqr" => lsm::datasets::public_data::ipfqr(),
+        "movielens" => lsm::datasets::public_data::movielens_imdb(),
+        other => {
+            eprintln!("unknown dataset {other:?}; use rdb-star | ipfqr | movielens");
+            std::process::exit(1);
+        }
+    };
+    println!("dataset: {}", dataset.name);
+
+    let lexicon = full_lexicon();
+    let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+    let ctx = MatchContext { embedding: &embedding, lexicon: &lexicon };
+    let sources: Vec<AttrId> = dataset.source.attr_ids().collect();
+
+    let mut lsd = Lsd::new();
+    let train: Vec<(AttrId, AttrId)> =
+        dataset.ground_truth.pairs().step_by(2).collect();
+    lsd.train(&ctx, &dataset.source, &dataset.target, &train);
+
+    let matchers: Vec<(&str, ScoreMatrix)> = vec![
+        ("CUPID", Cupid::new(0.2).score(&ctx, &dataset.source, &dataset.target)),
+        ("COMA", Coma::new(Aggregation::Max).score(&ctx, &dataset.source, &dataset.target)),
+        ("S-MATCH", SMatch.score(&ctx, &dataset.source, &dataset.target)),
+        ("SF", SimilarityFlooding::default().score(&ctx, &dataset.source, &dataset.target)),
+        ("LSD", lsd.score(&ctx, &dataset.source, &dataset.target)),
+        ("MLM", Mlm::default().score(&ctx, &dataset.source, &dataset.target)),
+    ];
+
+    println!("\n{:<10} {:>7} {:>7} {:>7}", "matcher", "top-1", "top-3", "top-5");
+    for (name, scores) in &matchers {
+        print!("{name:<10}");
+        for k in [1, 3, 5] {
+            print!(" {:>7.2}", scores.top_k_accuracy(&dataset.ground_truth, &sources, k));
+        }
+        println!();
+    }
+
+    // Where do the linguistic matchers disagree?
+    println!("\nattributes where CUPID and COMA pick different top-1 targets:");
+    let cupid = &matchers[0].1;
+    let coma = &matchers[1].1;
+    for &s in &sources {
+        let c1 = cupid.best(s).expect("non-empty").0;
+        let c2 = coma.best(s).expect("non-empty").0;
+        if c1 != c2 {
+            println!(
+                "  {:<24} CUPID → {:<28} COMA → {}",
+                dataset.source.qualified_name(s),
+                dataset.target.qualified_name(c1),
+                dataset.target.qualified_name(c2)
+            );
+        }
+    }
+}

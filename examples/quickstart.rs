@@ -1,0 +1,95 @@
+//! Quickstart: match a small customer schema against an ISS with LSM.
+//!
+//! ```sh
+//! cargo run --release -p lsm --example quickstart
+//! ```
+//!
+//! Builds the shared pre-trained artifacts (lexicon, embedding space), a
+//! tiny customer schema in the spirit of the paper's Figure 1, and runs a
+//! cold-start LSM prediction plus one simulated interaction round.
+
+use lsm::prelude::*;
+
+fn main() {
+    // ---- the "customer" schema from the paper's Figure 1 ----
+    let source = Schema::builder("figure-1-customer")
+        .entity("Item")
+        .attr("item_id", DataType::Integer)
+        .attr("brand_name", DataType::Text)
+        .attr("EAN", DataType::Text)
+        .attr("enabled", DataType::Boolean)
+        .pk("item_id")
+        .entity("Orders")
+        .attr("order_id", DataType::Integer)
+        .attr("item_id", DataType::Integer)
+        .attr("item_amount", DataType::Integer)
+        .attr("discount", DataType::Decimal)
+        .attr("pick_up_estimated_time", DataType::Timestamp)
+        .pk("order_id")
+        .foreign_key("Orders", "item_id", "Item", "item_id")
+        .build()
+        .expect("valid source schema");
+
+    // ---- a slice of the ISS ----
+    let target = Schema::builder("retail-iss")
+        .entity("Product")
+        .attr_desc("product_id", DataType::Integer, "primary key of the product entity")
+        .attr_desc("primary_brand_id", DataType::Integer, "brand under which the product is marketed")
+        .attr_desc("european_article_number", DataType::Text, "standardized thirteen digit barcode identifying the product")
+        .attr_desc("product_status_id", DataType::Integer, "lifecycle status of the product")
+        .pk("product_id")
+        .entity("TransactionLine")
+        .attr_desc("transaction_id", DataType::Integer, "primary key of the transaction line")
+        .attr_desc("product_id", DataType::Integer, "reference to the product entity")
+        .attr_desc("quantity", DataType::Integer, "number of units of the product in the transaction line")
+        .attr_desc("price_change_percentage", DataType::Decimal, "fractional reduction applied to the list price at sale time")
+        .attr_desc("product_item_price_amount", DataType::Decimal, "monetary price of the product item on the price list")
+        .attr_desc("promised_avalailable_curbside_pickup_timestamp", DataType::Timestamp, "time at which the curbside pickup order is promised to be ready")
+        .pk("transaction_id")
+        .foreign_key("TransactionLine", "product_id", "Product", "product_id")
+        .build()
+        .expect("valid target schema");
+
+    // ---- pre-trained artifacts ----
+    println!("building lexicon + embedding space ...");
+    let lexicon = full_lexicon();
+    let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+    println!("pre-training the BERT featurizer (MLM on the domain corpus) ...");
+    let mut bert = BertFeaturizer::pretrain(&lexicon, BertFeaturizerConfig::tiny());
+    bert.pretrain_classifier(&target);
+
+    // ---- cold-start predictions ----
+    let matcher = LsmMatcher::new(&source, &target, &embedding, Some(bert), LsmConfig::default());
+    let labels = LabelStore::new();
+    let scores = matcher.predict(&labels);
+    println!("\ncold-start top-3 suggestions:");
+    for s in source.attr_ids() {
+        let top = scores.top_k(s, 3);
+        let list: Vec<String> = top
+            .iter()
+            .map(|&(t, score)| format!("{} ({score:.2})", target.qualified_name(t)))
+            .collect();
+        println!("  {:<34} → {}", source.qualified_name(s), list.join(", "));
+    }
+
+    // ---- one interaction round: the user labels Orders.discount ----
+    let discount = source.attr_by_qualified_name("Orders.discount").expect("exists").id;
+    let pcp = target
+        .attr_by_qualified_name("TransactionLine.price_change_percentage")
+        .expect("exists")
+        .id;
+    let mut labels = LabelStore::new();
+    labels.confirm(discount, pcp);
+    let mut matcher = matcher;
+    matcher.retrain(&labels);
+    let scores = matcher.predict(&labels);
+    println!("\nafter labeling Orders.discount → TransactionLine.price_change_percentage:");
+    for s in source.attr_ids() {
+        let (t, score) = scores.best(s).expect("non-empty target");
+        println!(
+            "  {:<34} → {:<52} ({score:.2})",
+            source.qualified_name(s),
+            target.qualified_name(t)
+        );
+    }
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper, writing JSON artifacts to
+# results/ and a combined transcript to results/experiment_log.txt.
+#
+# Knobs:
+#   LSM_TRIALS=N      trials per experiment (default 3)
+#   LSM_SEED=N        base seed (default 1)
+#   LSM_FAST=1        reduced ISS smoke-test mode
+#   LSM_MAX_ATTRS=N   skip customers larger than N attributes (session figs)
+#   LSM_NO_CACHE=1    disable the pre-trained-featurizer disk cache
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+{
+  for bin in table1 table2 table3 table4 fig4 fig5 fig6 fig7 fig8 fig9 \
+             ablation_scoring ablation_selftrain ablation_pretrain; do
+    echo "=== $bin ==="
+    cargo run --release -q -p lsm-bench --bin "$bin"
+  done
+  echo "=== ALL DONE ==="
+} 2>&1 | tee results/experiment_log.txt

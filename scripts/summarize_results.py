@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Summarizes results/*.json into the markdown blocks EXPERIMENTS.md uses.
+
+Usage: python3 scripts/summarize_results.py [results_dir]
+"""
+import json
+import sys
+from pathlib import Path
+
+
+def load(results: Path, name: str):
+    path = results / f"{name}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def table3(results: Path) -> None:
+    data = load(results, "table3")
+    if not data:
+        return
+    names = ["CUPID", "COMA", "SM", "SF", "LSD", "MLM"]
+    print("\n## Table III (measured)\n")
+    print("| | " + " | ".join(names) + " |")
+    print("|---" * (len(names) + 1) + "|")
+    for row in data["rows"]:
+        cells = " | ".join(f"{row.get(n, 0):.2f}" for n in names)
+        print(f"| {row['dataset']} | {cells} |")
+
+
+def table4(results: Path) -> None:
+    data = load(results, "table4")
+    if not data:
+        return
+    print(f"\n## Table IV (measured, {data['trials']} trials, median)\n")
+    print("| dataset | baseline 1/3/5 | LSM 1/3/5 | best baseline |")
+    print("|---|---|---|---|")
+    for row in data["rows"]:
+        b, l = row["baseline_top_k"], row["lsm_top_k"]
+        print(
+            f"| {row['dataset']} | {b['1']:.2f}/{b['3']:.2f}/{b['5']:.2f} "
+            f"| {l['1']:.2f}/{l['3']:.2f}/{l['5']:.2f} | {row['best_baseline']} |"
+        )
+
+
+def fig4(results: Path) -> None:
+    data = load(results, "fig4")
+    if not data:
+        return
+    print(f"\n## Figure 4 (measured, {data['trials']} trials, mean)\n")
+    print("| customer | k | baseline | LSM |")
+    print("|---|---|---|---|")
+    for row in data["rows"]:
+        print(
+            f"| {row['customer']} | {row['k']} | {row['baseline_mean']:.2f} "
+            f"| {row['lsm_mean']:.2f} |"
+        )
+
+
+def session_fig(results: Path, name: str, curves: list[tuple[str, str]]) -> None:
+    data = load(results, name)
+    if not data:
+        return
+    print(f"\n## {name} (measured labeling cost, % of schema)\n")
+    header = "| customer | " + " | ".join(label for _, label in curves) + " |"
+    print(header)
+    print("|---" * (len(curves) + 1) + "|")
+    for customer, blob in data.items():
+        cells = []
+        for key, _ in curves:
+            node = blob.get(key)
+            if node is None:
+                cells.append("—")
+                continue
+            if "curve" in node:  # nested best-baseline objects
+                node = node["curve"]
+            cells.append(f"{node['labeling_cost_pct']:.0f}%")
+        print(f"| {customer} | " + " | ".join(cells) + " |")
+
+
+def fig9(results: Path) -> None:
+    data = load(results, "fig9")
+    if not data:
+        return
+    print("\n## Figure 9 (measured mean response time)\n")
+    print("| customer | attrs | mean response | setup |")
+    print("|---|---|---|---|")
+    for customer, blob in data.items():
+        setup = blob.get("setup_time_s")
+        setup_s = f"{setup:.0f}s" if setup is not None else "—"
+        print(
+            f"| {customer} | {blob['source_attributes']} "
+            f"| {blob['mean_response_time_s']:.2f}s | {setup_s} |"
+        )
+
+
+def main() -> None:
+    results = Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    table3(results)
+    table4(results)
+    fig4(results)
+    session_fig(
+        results,
+        "fig5",
+        [
+            ("lsm_smart", "LSM smart"),
+            ("lsm_random", "LSM random"),
+            ("best_baseline", "best baseline"),
+        ],
+    )
+    session_fig(results, "fig6", [("lsm", "LSM"), ("lsm_without_bert", "LSM w/o BERT")])
+    session_fig(
+        results,
+        "fig7",
+        [("lsm", "LSM"), ("lsm_without_description", "LSM w/o desc")],
+    )
+    session_fig(
+        results,
+        "fig8",
+        [("0", "n=0"), ("0.1", "n=0.1"), ("0.2", "n=0.2"), ("0.3", "n=0.3")],
+    )
+    fig9(results)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+//! Cross-crate integration tests over the dataset generators: every dataset
+//! validates, matches the paper's Tables I/II sizes, and exhibits the
+//! documented difficulty structure.
+
+use lsm::datasets::customers::{all_specs, generate_customer};
+use lsm::datasets::iss::{generate_retail_iss, AttrRole, IssConfig};
+use lsm::datasets::public_data::all_public;
+use lsm::prelude::*;
+use lsm::text::lexical_similarity;
+
+#[test]
+fn paper_sized_iss_and_all_customers_validate() {
+    let lexicon = full_lexicon();
+    let iss = generate_retail_iss(&lexicon, IssConfig::paper());
+    assert_eq!(
+        (iss.schema.entity_count(), iss.schema.attr_count(), iss.schema.foreign_keys.len()),
+        (92, 1218, 184)
+    );
+    let expected = [(3usize, 29usize, 2usize, true), (8, 53, 7, false), (3, 84, 2, false), (7, 136, 7, false), (25, 530, 24, true)];
+    for (spec, (entities, attrs, fks, desc)) in all_specs().into_iter().zip(expected) {
+        let d = generate_customer(&iss, &lexicon, spec, 7);
+        d.validate().unwrap();
+        let stats = d.source_stats();
+        assert_eq!(stats.entities, entities, "{}", d.name);
+        assert_eq!(stats.attributes, attrs, "{}", d.name);
+        assert_eq!(stats.pk_fk, fks, "{}", d.name);
+        assert_eq!(stats.has_descriptions, desc, "{}", d.name);
+        assert!(stats.unique_attr_names <= stats.attributes);
+    }
+}
+
+#[test]
+fn public_datasets_match_table_two() {
+    let expected = [
+        ("RDB-Star", (13, 65, 12), (5, 34, 4)),
+        ("IPFQR", (1, 51, 0), (1, 67, 0)),
+        ("MovieLens-IMDB", (6, 19, 5), (7, 39, 6)),
+    ];
+    for (d, (name, s, t)) in all_public(0).iter().zip(expected) {
+        assert_eq!(d.name, name);
+        d.validate().unwrap();
+        let ss = d.source_stats();
+        let ts = d.target_stats();
+        assert_eq!((ss.entities, ss.attributes, ss.pk_fk), s, "{name} source");
+        assert_eq!((ts.entities, ts.attributes, ts.pk_fk), t, "{name} target");
+    }
+}
+
+/// The difficulty gradient the whole evaluation rests on: customers have
+/// far more lexically-hard matches than the easy public datasets.
+#[test]
+fn difficulty_gradient_holds() {
+    let lexicon = full_lexicon();
+    let iss = generate_retail_iss(&lexicon, IssConfig::paper());
+    let hard_fraction = |d: &Dataset| {
+        d.ground_truth
+            .pairs()
+            .filter(|&(s, t)| {
+                lexical_similarity(&d.source.attr(s).name, &d.target.attr(t).name) < 0.6
+            })
+            .count() as f64
+            / d.ground_truth.len() as f64
+    };
+    let customer = generate_customer(&iss, &lexicon, all_specs()[4], 7);
+    let publics = all_public(0);
+    let rdb = hard_fraction(&publics[0]);
+    let ipfqr = hard_fraction(&publics[1]);
+    let cust = hard_fraction(&customer);
+    assert!(cust > 0.25, "customer hard fraction {cust:.2}");
+    assert!(rdb < 0.15, "RDB-Star hard fraction {rdb:.2}");
+    assert!(ipfqr < 0.15, "IPFQR hard fraction {ipfqr:.2}");
+    assert!(cust > rdb + 0.15);
+}
+
+/// Ground-truth provenance is structurally sound: customer keys map to ISS
+/// primary keys, domain attributes to domain attributes.
+#[test]
+fn ground_truth_respects_roles() {
+    let lexicon = full_lexicon();
+    let iss = generate_retail_iss(&lexicon, IssConfig::paper());
+    let d = generate_customer(&iss, &lexicon, all_specs()[1], 3);
+    for source_attr in d.source.anchor_set() {
+        let target = d.ground_truth.target_of(source_attr).expect("anchors covered");
+        assert!(
+            matches!(iss.roles[target.index()], AttrRole::PrimaryKey { .. }),
+            "key attribute should map to an ISS primary key"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_vary_schemas_but_keep_sizes() {
+    let lexicon = full_lexicon();
+    let iss = generate_retail_iss(&lexicon, IssConfig::paper());
+    let a = generate_customer(&iss, &lexicon, all_specs()[0], 1);
+    let b = generate_customer(&iss, &lexicon, all_specs()[0], 2);
+    assert_ne!(a.source, b.source);
+    assert_eq!(a.source_stats().attributes, b.source_stats().attributes);
+}

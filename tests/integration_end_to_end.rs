@@ -1,0 +1,117 @@
+//! End-to-end integration: the full LSM pipeline — pre-training, featurizing,
+//! self-training, active learning, session loop — on a reduced-scale task.
+//!
+//! Uses a small ISS and tiny encoder so the test runs in debug mode; the
+//! full-scale behaviour is exercised by the `lsm-bench` binaries.
+
+use lsm::core::metrics::manual_labeling_curve;
+use lsm::datasets::customers::{generate_customer, CustomerSpec};
+use lsm::datasets::iss::{generate_retail_iss, IssConfig};
+use lsm::datasets::rename::{NamingStyle, RenameMix};
+use lsm::prelude::*;
+
+fn small_task() -> (Lexicon, Dataset) {
+    let lexicon = full_lexicon();
+    let iss = generate_retail_iss(&lexicon, IssConfig::small());
+    let spec = CustomerSpec {
+        name: "Mini Customer",
+        entities: 3,
+        attributes: 18,
+        foreign_keys: 2,
+        descriptions: true,
+        style: NamingStyle::Snake,
+        mix: RenameMix::customer(),
+        seed: 0x77,
+    };
+    let dataset = generate_customer(&iss, &lexicon, spec, 5);
+    (lexicon, dataset)
+}
+
+fn tiny_matcher(lexicon: &Lexicon, dataset: &Dataset, use_bert: bool) -> LsmMatcher {
+    let embedding = EmbeddingSpace::new(lexicon, EmbeddingConfig::default());
+    let bert = use_bert.then(|| {
+        let mut b = BertFeaturizer::pretrain(lexicon, BertFeaturizerConfig::tiny());
+        b.pretrain_classifier(&dataset.target);
+        b
+    });
+    let config = LsmConfig { use_bert, shortlist: 16, ..Default::default() };
+    LsmMatcher::new(&dataset.source, &dataset.target, &embedding, bert, config)
+}
+
+#[test]
+fn session_fully_matches_the_schema_and_saves_labels() {
+    let (lexicon, dataset) = small_task();
+    let mut matcher = tiny_matcher(&lexicon, &dataset, true);
+    let mut oracle = PerfectOracle::new(dataset.ground_truth.clone());
+    let outcome = lsm::core::run_session(&mut matcher, &mut oracle, SessionConfig::default());
+
+    let last = outcome.curve.last().expect("non-empty curve");
+    assert_eq!(last.matched, dataset.source.attr_count(), "schema fully matched");
+    assert_eq!(last.matched_correct, last.matched, "perfect oracle ⇒ all correct");
+    assert!(
+        outcome.labels_used < dataset.source.attr_count(),
+        "active learning must beat manual labeling: {} labels for {} attrs",
+        outcome.labels_used,
+        dataset.source.attr_count()
+    );
+    assert!(!outcome.response_times.is_empty());
+    // The curve dominates the manual-labeling diagonal in area.
+    let manual = manual_labeling_curve(dataset.source.attr_count());
+    assert!(outcome.area_above_curve() < manual.area_above_curve());
+}
+
+#[test]
+fn split_evaluation_beats_chance_decisively() {
+    let (lexicon, dataset) = small_task();
+    let mut matcher = tiny_matcher(&lexicon, &dataset, true);
+    let eval = lsm::core::evaluate_split(&mut matcher, &dataset.ground_truth, 0.5, &[1, 3], 11);
+    // 90 target attributes ⇒ chance top-3 ≈ 3/90.
+    assert!(eval.accuracy(3) > 0.25, "top-3 {:.2}", eval.accuracy(3));
+    assert!(eval.accuracy(1) <= eval.accuracy(3));
+}
+
+#[test]
+fn bertless_configuration_still_completes_sessions() {
+    let (lexicon, dataset) = small_task();
+    let mut matcher = tiny_matcher(&lexicon, &dataset, false);
+    let mut oracle = PerfectOracle::new(dataset.ground_truth.clone());
+    let outcome = lsm::core::run_session(&mut matcher, &mut oracle, SessionConfig::default());
+    assert_eq!(outcome.curve.last().unwrap().matched, dataset.source.attr_count());
+}
+
+#[test]
+fn smart_selection_is_at_least_as_good_as_random_on_average() {
+    let (lexicon, dataset) = small_task();
+    let run = |strategy| {
+        let mut matcher = tiny_matcher(&lexicon, &dataset, false);
+        let mut oracle = PerfectOracle::new(dataset.ground_truth.clone());
+        let config = SessionConfig { strategy, ..Default::default() };
+        lsm::core::run_session(&mut matcher, &mut oracle, config)
+    };
+    let smart = run(SelectionStrategy::LeastConfidentAnchor);
+    let random = run(SelectionStrategy::Random);
+    // Both must terminate fully matched; the smart strategy should not be
+    // substantially worse (small instances carry variance, so allow slack).
+    assert_eq!(smart.curve.last().unwrap().matched, dataset.source.attr_count());
+    assert_eq!(random.curve.last().unwrap().matched, dataset.source.attr_count());
+    assert!(
+        smart.labels_used <= random.labels_used + 3,
+        "smart {} vs random {}",
+        smart.labels_used,
+        random.labels_used
+    );
+}
+
+#[test]
+fn session_is_deterministic_given_seeds() {
+    let (lexicon, dataset) = small_task();
+    let run = || {
+        let mut matcher = tiny_matcher(&lexicon, &dataset, false);
+        let mut oracle = PerfectOracle::new(dataset.ground_truth.clone());
+        lsm::core::run_session(&mut matcher, &mut oracle, SessionConfig::default())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.labels_used, b.labels_used);
+    assert_eq!(a.curve, b.curve);
+}

@@ -1,0 +1,104 @@
+//! Integration tests for the Section V-F noise experiment: sessions driven
+//! by a noisy oracle degrade gracefully and in proportion to the noise
+//! rate.
+
+use lsm::datasets::customers::{generate_customer, CustomerSpec};
+use lsm::datasets::iss::{generate_retail_iss, IssConfig};
+use lsm::datasets::rename::{NamingStyle, RenameMix};
+use lsm::prelude::*;
+
+fn task() -> (Lexicon, EmbeddingSpace, Dataset) {
+    let lexicon = full_lexicon();
+    let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+    let iss = generate_retail_iss(&lexicon, IssConfig::small());
+    let spec = CustomerSpec {
+        name: "Noise Customer",
+        entities: 3,
+        attributes: 20,
+        foreign_keys: 2,
+        descriptions: false,
+        style: NamingStyle::Snake,
+        mix: RenameMix::customer(),
+        seed: 0x88,
+    };
+    let dataset = generate_customer(&iss, &lexicon, spec, 9);
+    (lexicon, embedding, dataset)
+}
+
+fn run_with_noise(
+    lexicon: &Lexicon,
+    embedding: &EmbeddingSpace,
+    dataset: &Dataset,
+    noise: f64,
+) -> lsm::core::SessionOutcome {
+    let config = LsmConfig { use_bert: false, ..Default::default() };
+    let mut matcher = LsmMatcher::new(&dataset.source, &dataset.target, embedding, None, config);
+    let mut oracle = NoisyOracle::new(
+        dataset.ground_truth.clone(),
+        noise,
+        embedding,
+        &dataset.source,
+        &dataset.target,
+        42,
+    );
+    let _ = lexicon;
+    lsm::core::run_session(&mut matcher, &mut oracle, SessionConfig::default())
+}
+
+#[test]
+fn zero_noise_reaches_full_correctness() {
+    let (lexicon, embedding, dataset) = task();
+    let outcome = run_with_noise(&lexicon, &embedding, &dataset, 0.0);
+    assert_eq!(outcome.final_correct_pct(), 100.0);
+}
+
+#[test]
+fn heavy_noise_caps_correctness_but_still_terminates() {
+    let (lexicon, embedding, dataset) = task();
+    let outcome = run_with_noise(&lexicon, &embedding, &dataset, 0.5);
+    let last = outcome.curve.last().expect("curve exists");
+    // Every attribute is *matched* (possibly wrongly) …
+    assert_eq!(last.matched, dataset.source.attr_count());
+    // … but not all correctly.
+    assert!(outcome.final_correct_pct() < 100.0);
+    assert!(outcome.final_correct_pct() > 30.0, "reviewing still fixes many rows");
+}
+
+#[test]
+fn correctness_degrades_monotonically_with_noise_on_average() {
+    let (lexicon, embedding, dataset) = task();
+    let clean = run_with_noise(&lexicon, &embedding, &dataset, 0.0).final_correct_pct();
+    let light = run_with_noise(&lexicon, &embedding, &dataset, 0.2).final_correct_pct();
+    let heavy = run_with_noise(&lexicon, &embedding, &dataset, 0.8).final_correct_pct();
+    assert!(clean >= light, "clean {clean} vs light {light}");
+    assert!(light >= heavy, "light {light} vs heavy {heavy}");
+}
+
+/// The corruption model targets the embedding-nearest wrong attribute —
+/// verify the corrupted label is never the truth and is deterministic.
+#[test]
+fn corruption_is_plausible_and_deterministic() {
+    let (_, embedding, dataset) = task();
+    let mut o1 = NoisyOracle::new(
+        dataset.ground_truth.clone(),
+        1.0,
+        &embedding,
+        &dataset.source,
+        &dataset.target,
+        7,
+    );
+    let mut o2 = NoisyOracle::new(
+        dataset.ground_truth.clone(),
+        1.0,
+        &embedding,
+        &dataset.source,
+        &dataset.target,
+        7,
+    );
+    for s in dataset.source.attr_ids() {
+        let l1 = o1.label(s);
+        let l2 = o2.label(s);
+        assert_eq!(l1, l2);
+        assert_ne!(Some(l1), dataset.ground_truth.target_of(s));
+    }
+}
