@@ -1,10 +1,26 @@
-//! Microbenchmarks of the neural substrate: matmul, encoder forward pass,
-//! autograd backward, and subword encoding.
+//! Microbenchmarks of the neural substrate: matmul (naive vs blocked vs
+//! parallel), encoder forward pass, autograd backward, and subword
+//! encoding. `--bin perf_report` writes the machine-readable counterpart
+//! to `results/BENCH_nn.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lsm_nn::kernels::{matmul_blocked, matmul_mt, matmul_naive};
 use lsm_nn::{BertConfig, BertEncoder, BpeVocab, Graph, ParamStore, Tensor};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// Deterministic xorshift data in [-1, 1).
+fn pseudo_data(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+        })
+        .collect()
+}
 
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("nn_kernels");
@@ -15,6 +31,37 @@ fn bench_kernels(c: &mut Criterion) {
         bch.iter(|| black_box(black_box(&a).matmul(black_box(&b))))
     });
 
+    // Kernel comparison on the acceptance shape (256³), a BERT-small FFN
+    // GEMM (seq 48 × d 48 → ff 96), and the paper-sized batched classifier
+    // head (1218 ISS attributes × [4d → d] hidden layer).
+    for &(m, k, n, name) in &[
+        (256usize, 256usize, 256usize, "gemm_256x256x256"),
+        (48, 48, 96, "gemm_bert_ffn_48x48x96"),
+        (1218, 192, 48, "gemm_head_batched_1218x192x48"),
+    ] {
+        let a = pseudo_data(m * k, 1);
+        let b = pseudo_data(k * n, 2);
+        let mut out = vec![0.0f32; m * n];
+        group.bench_function(format!("{name}_naive"), |bch| {
+            bch.iter(|| {
+                matmul_naive(black_box(&a), black_box(&b), &mut out, m, k, n);
+                black_box(&out);
+            })
+        });
+        group.bench_function(format!("{name}_blocked"), |bch| {
+            bch.iter(|| {
+                matmul_blocked(black_box(&a), black_box(&b), &mut out, m, k, n);
+                black_box(&out);
+            })
+        });
+        group.bench_function(format!("{name}_mt4"), |bch| {
+            bch.iter(|| {
+                matmul_mt(black_box(&a), black_box(&b), &mut out, m, k, n, 4);
+                black_box(&out);
+            })
+        });
+    }
+
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let mut store = ParamStore::new();
     let encoder = BertEncoder::new(BertConfig::small(800), &mut store, &mut rng);
@@ -22,6 +69,17 @@ fn bench_kernels(c: &mut Criterion) {
     group.bench_function("encoder_forward_seq24", |bch| {
         bch.iter(|| {
             let mut g = Graph::new();
+            let pooled = encoder.pooled(&mut g, &store, black_box(&ids));
+            black_box(g.value(pooled).data()[0])
+        })
+    });
+
+    // Same forward through a reused inference-mode arena — the featurizer
+    // hot path (pooled_many) runs this way.
+    group.bench_function("encoder_forward_seq24_arena_reuse", |bch| {
+        let mut g = Graph::for_inference();
+        bch.iter(|| {
+            g.reset();
             let pooled = encoder.pooled(&mut g, &store, black_box(&ids));
             black_box(g.value(pooled).data()[0])
         })

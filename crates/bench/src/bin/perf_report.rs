@@ -1,0 +1,200 @@
+//! Machine-readable NN kernel performance report.
+//!
+//! Times the GEMM kernels (naive reference vs blocked vs multithreaded),
+//! the batched classifier head against per-pair singles, and the encoder
+//! forward with and without graph-arena reuse, then writes
+//! `results/BENCH_nn.json` so future PRs can track the perf trajectory.
+//!
+//! Criterion is a dev-dependency (benches only), so this binary hand-rolls
+//! its timing: best-of-`reps` wall clock per case, which is robust against
+//! scheduler noise on shared machines.
+//!
+//! Usage: `cargo run --release -p lsm-bench --bin perf_report [-- out.json]`
+
+use lsm_nn::kernels::{matmul_blocked, matmul_mt, matmul_naive};
+use lsm_nn::{BertConfig, BertEncoder, Graph, ParamStore, Tensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::json;
+use std::time::Instant;
+
+/// Deterministic xorshift data in [-1, 1).
+fn pseudo_data(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall-clock seconds for one invocation of `f`.
+fn time_best<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn gemm_report(m: usize, k: usize, n: usize, reps: usize) -> serde_json::Value {
+    let a = pseudo_data(m * k, 1);
+    let b = pseudo_data(k * n, 2);
+    let mut out = vec![0.0f32; m * n];
+    let flops = (2 * m * k * n) as f64;
+
+    let t_naive = time_best(
+        || {
+            matmul_naive(&a, &b, &mut out, m, k, n);
+            std::hint::black_box(&out);
+        },
+        reps,
+    );
+    let t_blocked = time_best(
+        || {
+            matmul_blocked(&a, &b, &mut out, m, k, n);
+            std::hint::black_box(&out);
+        },
+        reps,
+    );
+    let mut threads_entries = Vec::new();
+    for threads in [2usize, 4, 8] {
+        let t = time_best(
+            || {
+                matmul_mt(&a, &b, &mut out, m, k, n, threads);
+                std::hint::black_box(&out);
+            },
+            reps,
+        );
+        threads_entries.push(json!({
+            "threads": threads,
+            "seconds": t,
+            "gflops": flops / t / 1e9,
+            "speedup_vs_naive": t_naive / t,
+        }));
+    }
+    json!({
+        "shape": format!("{m}x{k}x{n}"),
+        "naive": { "seconds": t_naive, "gflops": flops / t_naive / 1e9 },
+        "blocked": {
+            "seconds": t_blocked,
+            "gflops": flops / t_blocked / 1e9,
+            "speedup_vs_naive": t_naive / t_blocked,
+        },
+        "mt": threads_entries,
+    })
+}
+
+/// Batched classifier head vs per-pair singles, at the paper's ISS scale:
+/// one `[n, 4d] × [4d, d] × [d, 1]` pass against `n` degenerate `[1, …]`
+/// passes (what the seed code did per shortlist).
+fn head_report(n: usize, d: usize, reps: usize) -> serde_json::Value {
+    let u = Tensor::from_vec(n, 4 * d, pseudo_data(n * 4 * d, 7));
+    let w1 = Tensor::from_vec(4 * d, d, pseudo_data(4 * d * d, 8));
+    let w2 = Tensor::from_vec(d, 1, pseudo_data(d, 9));
+
+    let t_batched = time_best(
+        || {
+            let h = u.matmul(&w1);
+            let z = h.matmul(&w2);
+            std::hint::black_box(z.data());
+        },
+        reps,
+    );
+    let rows: Vec<Tensor> =
+        (0..n).map(|i| Tensor::from_vec(1, 4 * d, u.row(i).to_vec())).collect();
+    let t_singles = time_best(
+        || {
+            for r in &rows {
+                let h = r.matmul(&w1);
+                let z = h.matmul(&w2);
+                std::hint::black_box(z.data());
+            }
+        },
+        reps,
+    );
+    json!({
+        "pairs": n,
+        "d_model": d,
+        "batched_seconds": t_batched,
+        "singles_seconds": t_singles,
+        "batched_speedup": t_singles / t_batched,
+    })
+}
+
+/// Encoder forward with a fresh graph per call (seed behaviour) vs a
+/// reused inference-mode arena (the pooled_many path).
+fn arena_report(reps: usize) -> serde_json::Value {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut store = ParamStore::new();
+    let encoder = BertEncoder::new(BertConfig::small(800), &mut store, &mut rng);
+    let ids: Vec<u32> = (0..24).map(|i| 5 + (i % 700)).collect();
+
+    let t_fresh = time_best(
+        || {
+            let mut g = Graph::new();
+            let pooled = encoder.pooled(&mut g, &store, &ids);
+            std::hint::black_box(g.value(pooled).data()[0]);
+        },
+        reps,
+    );
+    let mut g = Graph::for_inference();
+    let t_reused = time_best(
+        || {
+            g.reset();
+            let pooled = encoder.pooled(&mut g, &store, &ids);
+            std::hint::black_box(g.value(pooled).data()[0]);
+        },
+        reps,
+    );
+    json!({
+        "encoder": "small d48 L2 seq24",
+        "fresh_graph_seconds": t_fresh,
+        "arena_reuse_seconds": t_reused,
+        "arena_speedup": t_fresh / t_reused,
+    })
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "results/BENCH_nn.json".into());
+    let host_threads =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    eprintln!("perf_report: timing GEMM kernels …");
+    let gemms = vec![
+        gemm_report(256, 256, 256, 30),  // acceptance-criterion shape
+        gemm_report(48, 48, 96, 400),    // BERT-small FFN GEMM
+        gemm_report(1218, 192, 48, 30),  // paper-sized batched head hidden
+        gemm_report(512, 512, 512, 8),   // headroom shape
+    ];
+    eprintln!("perf_report: timing batched head …");
+    let head = head_report(1218, 48, 30);
+    eprintln!("perf_report: timing encoder arena reuse …");
+    let arena = arena_report(200);
+
+    let report = json!({
+        "bench": "nn_kernels",
+        "host_threads": host_threads,
+        "note": "naive == seed scalar kernel rounding reference; all kernels \
+                 are bitwise-identical, so speedups are free of accuracy \
+                 trade-offs. Multithreaded speedups require a multicore \
+                 host (row-partitioned, embarrassingly parallel).",
+        "gemm": gemms,
+        "classifier_head": head,
+        "graph_arena": arena,
+    });
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out_path, serde_json::to_string_pretty(&report).expect("serialize"))
+        .expect("write report");
+    println!("{}", serde_json::to_string_pretty(&report).unwrap());
+    eprintln!("perf_report: wrote {out_path}");
+}

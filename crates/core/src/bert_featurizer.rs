@@ -311,6 +311,12 @@ impl BertFeaturizer {
     /// The pooled encoding of one attribute text — cacheable (the encoder
     /// is frozen after pre-training).
     pub fn single_pooled(&self, ids: &[u32]) -> Tensor {
+        let mut g = Graph::for_inference();
+        self.pooled_with_graph(&mut g, ids)
+    }
+
+    /// One pooled encoding through a caller-provided (reusable) graph.
+    fn pooled_with_graph(&self, g: &mut Graph, ids: &[u32]) -> Tensor {
         if ids.is_empty() {
             return Tensor::zeros(1, self.encoder.config.d_model);
         }
@@ -318,23 +324,79 @@ impl BertFeaturizer {
         with_specials.push(SpecialToken::Cls.id());
         with_specials.extend_from_slice(&ids[..ids.len().min(self.encoder.config.max_seq - 2)]);
         with_specials.push(SpecialToken::Sep.id());
-        let mut g = Graph::new();
-        let pooled = self.encoder.pooled(&mut g, &self.store, &with_specials);
+        let pooled = self.encoder.pooled(g, &self.store, &with_specials);
         g.value(pooled).clone()
+    }
+
+    /// Pooled encodings for many attribute texts at once. Identical token
+    /// sequences are encoded once (attribute texts repeat heavily across
+    /// replay pairs and self-pairs), unique sequences are spread over
+    /// `threads` workers, and each worker reuses one inference-mode graph
+    /// arena across its items. Element `i` of the result is bitwise
+    /// equal to `single_pooled(ids_list[i])` for every thread count.
+    pub fn pooled_many(&self, ids_list: &[&[u32]], threads: usize) -> Vec<Tensor> {
+        let mut unique: Vec<&[u32]> = Vec::new();
+        let mut index_of: std::collections::HashMap<&[u32], usize> =
+            std::collections::HashMap::new();
+        let slots: Vec<usize> = ids_list
+            .iter()
+            .map(|&ids| {
+                *index_of.entry(ids).or_insert_with(|| {
+                    unique.push(ids);
+                    unique.len() - 1
+                })
+            })
+            .collect();
+        let unique = &unique;
+        let pooled: Vec<Tensor> = crate::featurize::parallel_rows_stateful(
+            unique.len(),
+            threads,
+            Graph::for_inference,
+            |g, i| {
+                g.reset();
+                self.pooled_with_graph(g, unique[i])
+            },
+        )
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect();
+        slots.into_iter().map(|idx| pooled[idx].clone()).collect()
     }
 
     /// The matching probability for two cached pooled vectors. The head is
     /// trained with symmetric augmentation; inference averages both
     /// directions to cancel any residual asymmetry.
     pub fn classify_pooled(&self, u: &Tensor, v: &Tensor) -> f64 {
-        let mut g = Graph::new();
-        let un = g.input(u.clone());
-        let vn = g.input(v.clone());
+        self.classify_pooled_batch(&[(u, v)], 1)[0]
+    }
+
+    /// Matching probabilities for a whole batch of pooled pairs in one
+    /// head forward: the batch is stacked into `[n, d]` matrices so each
+    /// direction costs one GEMM instead of `n` tiny ones. Every head op is
+    /// row-wise independent, so element `i` is bitwise equal to
+    /// `classify_pooled(pairs[i].0, pairs[i].1)` at every thread count.
+    pub fn classify_pooled_batch(&self, pairs: &[(&Tensor, &Tensor)], threads: usize) -> Vec<f64> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let d = self.encoder.config.d_model;
+        let n = pairs.len();
+        let mut u = Tensor::zeros(n, d);
+        let mut v = Tensor::zeros(n, d);
+        for (i, (pu, pv)) in pairs.iter().enumerate() {
+            u.row_mut(i).copy_from_slice(pu.row(0));
+            v.row_mut(i).copy_from_slice(pv.row(0));
+        }
+        let mut g = Graph::for_inference();
+        g.set_threads(threads);
+        let un = g.input(u);
+        let vn = g.input(v);
         let z1 = self.head.logit(&mut g, &self.store, un, vn);
         let z2 = self.head.logit(&mut g, &self.store, vn, un);
         let p1 = g.sigmoid(z1);
         let p2 = g.sigmoid(z2);
-        (g.value(p1).item() as f64 + g.value(p2).item() as f64) / 2.0
+        let (p1, p2) = (g.value(p1), g.value(p2));
+        (0..n).map(|i| (p1.get(i, 0) as f64 + p2.get(i, 0) as f64) / 2.0).collect()
     }
 
     /// The matching probability for a pair of attributes (convenience,
@@ -461,15 +523,24 @@ impl BertFeaturizer {
         self.fit_pairs_end_to_end(&training_pairs, epochs, cap, lr, &mut rng);
 
         // Cache the replay buffer under the final encoder: ISS samples plus
-        // a slice of paraphrase pairs.
+        // a slice of paraphrase pairs. Sides are encoded through the
+        // deduplicating batch path — the same attribute text appears in
+        // many replay pairs.
         let mut replay_pairs = pairs;
         let keep = (self.config.replay_cap / 2).min(self.paraphrase_pairs.len());
         replay_pairs.extend(self.paraphrase_pairs.iter().take(keep).cloned());
+        let mut sides: Vec<&[u32]> = Vec::with_capacity(replay_pairs.len() * 2);
+        for (a, b, _) in &replay_pairs {
+            sides.push(a);
+            sides.push(b);
+        }
+        let pooled = self.pooled_many(&sides, crate::featurize::default_threads());
         self.iss_samples = replay_pairs
             .iter()
-            .map(|(a, b, label)| HeadSample {
-                u: self.single_pooled(a),
-                v: self.single_pooled(b),
+            .zip(pooled.chunks_exact(2))
+            .map(|((_, _, label), uv)| HeadSample {
+                u: uv[0].clone(),
+                v: uv[1].clone(),
                 label: *label,
                 weight: 1.0,
             })
@@ -767,5 +838,40 @@ mod tests {
         let f = featurizer();
         let p = f.single_pooled(&[]);
         assert!(p.data().iter().all(|&v| v == 0.0));
+    }
+
+    /// The batched inference paths must be drop-in replacements: same
+    /// bits as the single-item paths, at every thread count.
+    #[test]
+    fn batched_paths_match_singles_bitwise() {
+        let f = featurizer();
+        let target = tiny_target();
+        let ids: Vec<Vec<u32>> =
+            target.attr_ids().map(|a| f.attr_token_ids(&target, a)).collect();
+        let refs: Vec<&[u32]> = ids.iter().map(|v| v.as_slice()).collect();
+        for threads in [1, 4] {
+            let many = f.pooled_many(&refs, threads);
+            for (ids, p) in refs.iter().zip(&many) {
+                let single = f.single_pooled(ids);
+                let same_bits = single
+                    .data()
+                    .iter()
+                    .zip(p.data())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same_bits, "pooled_many diverged at threads={threads}");
+            }
+            let pairs: Vec<(&Tensor, &Tensor)> = many
+                .iter()
+                .flat_map(|u| many.iter().map(move |v| (u, v)))
+                .collect();
+            let batch = f.classify_pooled_batch(&pairs, threads);
+            for (&(u, v), b) in pairs.iter().zip(&batch) {
+                assert_eq!(
+                    f.classify_pooled(u, v).to_bits(),
+                    b.to_bits(),
+                    "batched head diverged at threads={threads}"
+                );
+            }
+        }
     }
 }

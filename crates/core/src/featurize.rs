@@ -121,6 +121,48 @@ where
     out
 }
 
+/// Like [`parallel_rows`] but each worker thread carries reusable state
+/// created by `init` — e.g. an inference-mode `Graph` arena — passed
+/// mutably to every `work` call on that worker.
+pub fn parallel_rows_stateful<S, I, F, R>(
+    rows: usize,
+    threads: usize,
+    init: I,
+    work: F,
+) -> Vec<(usize, R)>
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+    R: Send,
+{
+    let threads = threads.max(1).min(rows.max(1));
+    if threads <= 1 {
+        let mut state = init();
+        return (0..rows).map(|r| (r, work(&mut state, r))).collect();
+    }
+    let (init, work) = (&init, &work);
+    let mut out: Vec<(usize, R)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move |_| {
+                    let mut state = init();
+                    let mut local = Vec::new();
+                    let mut r = w;
+                    while r < rows {
+                        local.push((r, work(&mut state, r)));
+                        r += threads;
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("thread scope failed");
+    out.sort_by_key(|&(r, _)| r);
+    out
+}
+
 /// A sensible worker count for featurization.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(8)
@@ -196,5 +238,25 @@ mod tests {
         }
         // Zero rows is fine.
         assert!(parallel_rows(0, 4, |r| r).is_empty());
+    }
+
+    #[test]
+    fn parallel_rows_stateful_covers_indices_and_reuses_state() {
+        for threads in [1, 3, 8] {
+            let results =
+                parallel_rows_stateful(10, threads, || 0usize, |calls, r| {
+                    *calls += 1;
+                    (r * 3, *calls)
+                });
+            assert_eq!(results.len(), 10);
+            let mut max_calls = 0;
+            for (r, (v, calls)) in results {
+                assert_eq!(v, r * 3);
+                max_calls = max_calls.max(calls);
+            }
+            // With fewer workers than rows, some worker must have seen its
+            // state survive across calls.
+            assert!(max_calls >= 10usize.div_ceil(threads));
+        }
     }
 }

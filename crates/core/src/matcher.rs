@@ -72,6 +72,20 @@ struct BertState {
     shortlist: Vec<Vec<AttrId>>,
 }
 
+/// Matching-head scores for every shortlisted pair: one batched head
+/// forward per source row, rows spread over `threads` workers. Returns
+/// `(row, scores-aligned-with-shortlist)` pairs in row order; scores are
+/// bitwise-identical for every thread count.
+fn score_shortlists(state: &BertState, threads: usize) -> Vec<(usize, Vec<f64>)> {
+    let fz = &state.featurizer;
+    let (s_vec, t_vec, shortlist) = (&state.s_vec, &state.t_vec, &state.shortlist);
+    parallel_rows(shortlist.len(), threads, |i| {
+        let pairs: Vec<(&Tensor, &Tensor)> =
+            shortlist[i].iter().map(|t| (&s_vec[i], &t_vec[t.index()])).collect();
+        fz.classify_pooled_batch(&pairs, 1)
+    })
+}
+
 impl LsmMatcher {
     /// Builds the session state: computes the cheap features over all
     /// candidate pairs, and (when enabled) the BERT shortlist + pooled
@@ -104,18 +118,13 @@ impl LsmMatcher {
                     .map(|a| featurizer.attr_token_ids(target, a))
                     .collect();
 
-                // Pooled encoding per attribute, in parallel.
+                // Pooled encoding per attribute: deduplicated, batched, in
+                // parallel, with per-worker graph-arena reuse.
                 let fz = &featurizer;
-                let s_vec: Vec<Tensor> =
-                    parallel_rows(ns, config.threads, |i| fz.single_pooled(&source_ids[i]))
-                        .into_iter()
-                        .map(|(_, v)| v)
-                        .collect();
-                let t_vec: Vec<Tensor> =
-                    parallel_rows(nt, config.threads, |i| fz.single_pooled(&target_ids[i]))
-                        .into_iter()
-                        .map(|(_, v)| v)
-                        .collect();
+                let s_refs: Vec<&[u32]> = source_ids.iter().map(|v| v.as_slice()).collect();
+                let t_refs: Vec<&[u32]> = target_ids.iter().map(|v| v.as_slice()).collect();
+                let s_vec: Vec<Tensor> = fz.pooled_many(&s_refs, config.threads);
+                let t_vec: Vec<Tensor> = fz.pooled_many(&t_refs, config.threads);
 
                 // Description-aware embedding vectors (name + description
                 // text) — recall aid for the shortlist only; the embedding
@@ -140,6 +149,12 @@ impl LsmMatcher {
                 let shortlist: Vec<Vec<AttrId>> =
                     parallel_rows(ns, config.threads, |i| {
                         let s = AttrId(i as u32);
+                        // The whole row goes through the matching head as
+                        // one batch (a single [nt, 4d] forward per
+                        // direction) instead of nt tiny graphs.
+                        let head_pairs: Vec<(&Tensor, &Tensor)> =
+                            t_vec.iter().map(|v| (&s_vec[i], v)).collect();
+                        let head_scores = fz.classify_pooled_batch(&head_pairs, 1);
                         let mut signals: Vec<Vec<(AttrId, f64)>> = vec![Vec::new(); 3];
                         for j in 0..nt {
                             let t = AttrId(j as u32);
@@ -148,7 +163,7 @@ impl LsmMatcher {
                                 t,
                                 lsm_embedding::space::cosine(&s_text[i], &t_text[j]),
                             ));
-                            signals[2].push((t, fz.classify_pooled(&s_vec[i], &t_vec[j])));
+                            signals[2].push((t, head_scores[j]));
                         }
                         let mut union: Vec<AttrId> = Vec::with_capacity(m);
                         // The matching head is the strongest recall signal;
@@ -181,12 +196,12 @@ impl LsmMatcher {
             None
         };
 
-        // Fill the BERT feature column on the shortlist.
+        // Fill the BERT feature column on the shortlist: one batched head
+        // forward per source row, rows in parallel.
         if let Some(state) = &bert_state {
-            for (i, row) in state.shortlist.iter().enumerate() {
-                for &t in row {
-                    let score =
-                        state.featurizer.classify_pooled(&state.s_vec[i], &state.t_vec[t.index()]);
+            let scored = score_shortlists(state, config.threads);
+            for (i, scores) in scored {
+                for (&t, &score) in state.shortlist[i].iter().zip(&scores) {
                     bert_column.set(AttrId(i as u32), t, score);
                 }
             }
@@ -271,19 +286,22 @@ impl LsmMatcher {
                     },
                 ));
                 // Refresh the BERT column under the updated head: the
-                // shortlists plus every labeled pair.
+                // shortlists (batched per row, rows in parallel) plus every
+                // labeled pair (one batch).
+                let scored = score_shortlists(state, self.config.threads);
+                let label_pairs: Vec<(&Tensor, &Tensor)> = samples
+                    .iter()
+                    .map(|&(s, t, _)| (&state.s_vec[s.index()], &state.t_vec[t.index()]))
+                    .collect();
+                let label_scores =
+                    state.featurizer.classify_pooled_batch(&label_pairs, self.config.threads);
                 let col = self.features.column_mut(feature::BERT);
-                for (i, row) in state.shortlist.iter().enumerate() {
-                    for &t in row {
-                        let score = state
-                            .featurizer
-                            .classify_pooled(&state.s_vec[i], &state.t_vec[t.index()]);
+                for (i, scores) in scored {
+                    for (&t, &score) in state.shortlist[i].iter().zip(&scores) {
                         col.set(AttrId(i as u32), t, score);
                     }
                 }
-                for &(s, t, _) in &samples {
-                    let score =
-                        state.featurizer.classify_pooled(&state.s_vec[s.index()], &state.t_vec[t.index()]);
+                for (&(s, t, _), &score) in samples.iter().zip(&label_scores) {
                     col.set(s, t, score);
                 }
             }
@@ -349,21 +367,33 @@ impl LsmMatcher {
             vec![1.0; self.target.entity_count()]
         };
 
-        for s in self.source.attr_ids() {
-            if let Some(t) = labels.positive_of(s) {
-                // Confirmed rows are settled.
-                m.set(s, t, 1.0);
-                continue;
-            }
-            let s_dtype = self.source.attr(s).dtype;
-            for t in self.target.attr_ids() {
-                if self.config.dtype_gating && !s_dtype.compatible(self.target.attr(t).dtype) {
-                    continue; // stays 0.0
+        // Rows are independent, so they parallelize freely; each row's
+        // arithmetic is untouched, keeping scores bitwise-identical to the
+        // serial sweep at every thread count.
+        let rows: Vec<(usize, Vec<f64>)> =
+            parallel_rows(ns, self.config.threads, |i| {
+                let s = AttrId(i as u32);
+                let mut row = vec![0.0f64; nt];
+                if let Some(t) = labels.positive_of(s) {
+                    // Confirmed rows are settled.
+                    row[t.index()] = 1.0;
+                    return row;
                 }
-                let mut score = self.meta.predict(&self.features.vector(s, t));
-                score *= entity_penalty[self.target.attr(t).entity.index()];
-                m.set(s, t, score);
-            }
+                let s_dtype = self.source.attr(s).dtype;
+                for (j, slot) in row.iter_mut().enumerate() {
+                    let t = AttrId(j as u32);
+                    if self.config.dtype_gating && !s_dtype.compatible(self.target.attr(t).dtype)
+                    {
+                        continue; // stays 0.0
+                    }
+                    let mut score = self.meta.predict(&self.features.vector(s, t));
+                    score *= entity_penalty[self.target.attr(t).entity.index()];
+                    *slot = score;
+                }
+                row
+            });
+        for (i, row) in rows {
+            m.row_mut(AttrId(i as u32)).copy_from_slice(&row);
         }
         m
     }
@@ -525,6 +555,41 @@ mod tests {
             assert!(nonzero <= 2, "row {s} has {nonzero} > shortlist entries");
             assert!(nonzero > 0, "row {s} has an empty BERT column");
         }
+    }
+
+    /// Acceptance criterion: thread count must never change scores. The
+    /// parallel kernels and batched head are bitwise-identical to their
+    /// serial counterparts, so the full `predict` matrix must match bit
+    /// for bit — cold and after a retrain round.
+    #[test]
+    fn predict_is_bitwise_identical_across_thread_counts() {
+        let lex = lexicon();
+        let emb = EmbeddingSpace::new(&lex, EmbeddingConfig::default());
+        let (s, t) = schemas();
+        let mut b = BertFeaturizer::pretrain(&lex, BertFeaturizerConfig::tiny());
+        b.pretrain_classifier(&t);
+        let build = |threads: usize, bert: BertFeaturizer| {
+            LsmMatcher::new(&s, &t, &emb, Some(bert), LsmConfig { threads, ..Default::default() })
+        };
+        let mut m1 = build(1, b.clone());
+        let mut m4 = build(4, b);
+        let assert_same = |a: &ScoreMatrix, b: &ScoreMatrix| {
+            for si in s.attr_ids() {
+                for ti in t.attr_ids() {
+                    assert_eq!(a.get(si, ti).to_bits(), b.get(si, ti).to_bits(), "({si}, {ti})");
+                }
+            }
+        };
+        let labels = LabelStore::new();
+        assert_same(&m1.predict(&labels), &m4.predict(&labels));
+        // And after a label round — retrain exercises the batched column
+        // refresh and the head fine-tuning on both matchers.
+        let mut labels = LabelStore::new();
+        labels.confirm(AttrId(0), AttrId(0));
+        labels.reject(AttrId(1), AttrId(1));
+        m1.retrain(&labels);
+        m4.retrain(&labels);
+        assert_same(&m1.predict(&labels), &m4.predict(&labels));
     }
 
     #[test]

@@ -5,7 +5,24 @@
 //! order, `backward` is a single reverse sweep over the tape. Parameters are
 //! mounted from a [`ParamStore`]; their gradients are
 //! written back to the store at the end of the sweep.
+//!
+//! Two throughput features keep repeated forwards cheap:
+//!
+//! * **Arena reuse** — [`Graph::reset`] clears the tape but harvests every
+//!   node's tensor buffer into a free pool, so the next forward allocates
+//!   from the pool instead of the system allocator. Encoding N attribute
+//!   texts through one graph therefore pays for the arena once, not N
+//!   times.
+//! * **Inference mode** — [`Graph::for_inference`] builds a forward-only
+//!   tape that records no provenance (every node is stored as a leaf), so
+//!   op payloads (concat part lists, gather index vectors) are dropped
+//!   immediately and [`Graph::backward`] is unavailable.
+//!
+//! Matrix products honor [`Graph::set_threads`]; the row-partitioned
+//! parallel kernel is bitwise-identical to the serial one, so thread count
+//! never changes results.
 
+use crate::kernels;
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
 
@@ -71,6 +88,12 @@ struct Node {
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    /// Recycled tensor buffers, refilled by [`reset`](Self::reset).
+    pool: Vec<Vec<f32>>,
+    /// Forward-only mode: no provenance is recorded and `backward` panics.
+    inference: bool,
+    /// Worker threads for the row-parallel matmul kernel (0/1 = serial).
+    threads: usize,
 }
 
 fn gelu_scalar(x: f32) -> f32 {
@@ -115,6 +138,33 @@ impl Graph {
         Self::default()
     }
 
+    /// Creates a forward-only tape: ops record no provenance (so payload
+    /// vectors are dropped immediately) and [`backward`](Self::backward) is
+    /// unavailable. Combine with [`reset`](Self::reset) to run many
+    /// forwards through one arena.
+    pub fn for_inference() -> Self {
+        Graph { inference: true, ..Self::default() }
+    }
+
+    /// Sets the worker-thread budget for matrix products on this tape.
+    /// Results are bitwise-identical for every thread count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// Clears the tape for the next forward pass while retaining the node
+    /// arena and recycling every tensor buffer through the internal pool —
+    /// repeated forwards stop paying per-forward allocations.
+    pub fn reset(&mut self) {
+        let Graph { nodes, pool, .. } = self;
+        for node in nodes.drain(..) {
+            pool.push(node.value.into_data());
+            if let Some(g) = node.grad {
+                pool.push(g.into_data());
+            }
+        }
+    }
+
     /// Number of nodes on the tape.
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -126,8 +176,40 @@ impl Graph {
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> NodeId {
+        let op = if self.inference { Op::Input } else { op };
         self.nodes.push(Node { value, grad: None, op });
         NodeId(self.nodes.len() - 1)
+    }
+
+    /// A pool-backed tensor of the given shape, zero-filled.
+    fn alloc(&mut self, rows: usize, cols: usize) -> Tensor {
+        match self.pool.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(rows * cols, 0.0);
+                Tensor::from_vec(rows, cols, buf)
+            }
+            None => Tensor::zeros(rows, cols),
+        }
+    }
+
+    /// A pool-backed copy of a node's value.
+    fn alloc_copy_of(&mut self, id: NodeId) -> Tensor {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        let src = &self.nodes[id.0].value;
+        let (r, c) = src.shape();
+        buf.extend_from_slice(src.data());
+        Tensor::from_vec(r, c, buf)
+    }
+
+    /// A pool-backed copy of an external tensor.
+    fn alloc_copy(&mut self, src: &Tensor) -> Tensor {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(src.data());
+        let (r, c) = src.shape();
+        Tensor::from_vec(r, c, buf)
     }
 
     fn val(&self, id: NodeId) -> &Tensor {
@@ -158,32 +240,57 @@ impl Graph {
 
     /// Mounts a parameter from the store (gradient flows back to it).
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
-        self.push(store.value(id).clone(), Op::Param(id))
+        let v = self.alloc_copy(store.value(id));
+        self.push(v, Op::Param(id))
     }
 
     // ----- ops -----
 
-    /// Matrix product.
+    /// Matrix product (cache-blocked; parallel when
+    /// [`set_threads`](Self::set_threads) allows).
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.val(a).matmul(self.val(b));
+        let (m, k) = self.val(a).shape();
+        let (k2, n) = self.val(b).shape();
+        assert_eq!(k, k2, "matmul dimension mismatch");
+        let mut v = self.alloc(m, n);
+        kernels::matmul_mt(
+            self.val(a).data(),
+            self.val(b).data(),
+            v.data_mut(),
+            m,
+            k,
+            n,
+            self.threads,
+        );
         self.push(v, Op::MatMul(a, b))
     }
 
     /// Elementwise sum (same shape).
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.val(a).add(self.val(b));
+        assert_eq!(self.val(a).shape(), self.val(b).shape(), "add shape mismatch");
+        let mut v = self.alloc_copy_of(a);
+        for (x, &y) in v.data_mut().iter_mut().zip(self.val(b).data()) {
+            *x += y;
+        }
         self.push(v, Op::Add(a, b))
     }
 
     /// Elementwise product (same shape).
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.val(a).mul(self.val(b));
+        assert_eq!(self.val(a).shape(), self.val(b).shape(), "mul shape mismatch");
+        let mut v = self.alloc_copy_of(a);
+        for (x, &y) in v.data_mut().iter_mut().zip(self.val(b).data()) {
+            *x *= y;
+        }
         self.push(v, Op::Mul(a, b))
     }
 
     /// Scalar multiple.
     pub fn scale(&mut self, a: NodeId, factor: f32) -> NodeId {
-        let v = self.val(a).scale(factor);
+        let mut v = self.alloc_copy_of(a);
+        for x in v.data_mut() {
+            *x *= factor;
+        }
         self.push(v, Op::Scale(a, factor))
     }
 
@@ -191,10 +298,10 @@ impl Graph {
     pub fn add_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
         let (n, d) = self.val(a).shape();
         assert_eq!(self.val(row).shape(), (1, d), "add_row bias shape");
-        let mut v = self.val(a).clone();
+        let mut v = self.alloc_copy_of(a);
         for r in 0..n {
-            let bias = self.val(row).row(0).to_vec();
-            for (x, b) in v.row_mut(r).iter_mut().zip(&bias) {
+            let bias = self.val(row).row(0);
+            for (x, b) in v.row_mut(r).iter_mut().zip(bias) {
                 *x += b;
             }
         }
@@ -203,7 +310,7 @@ impl Graph {
 
     /// GELU activation.
     pub fn gelu(&mut self, a: NodeId) -> NodeId {
-        let mut v = self.val(a).clone();
+        let mut v = self.alloc_copy_of(a);
         for x in v.data_mut() {
             *x = gelu_scalar(*x);
         }
@@ -212,7 +319,7 @@ impl Graph {
 
     /// Tanh activation.
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
-        let mut v = self.val(a).clone();
+        let mut v = self.alloc_copy_of(a);
         for x in v.data_mut() {
             *x = x.tanh();
         }
@@ -221,7 +328,7 @@ impl Graph {
 
     /// Sigmoid activation.
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
-        let mut v = self.val(a).clone();
+        let mut v = self.alloc_copy_of(a);
         for x in v.data_mut() {
             *x = sigmoid_scalar(*x);
         }
@@ -230,7 +337,7 @@ impl Graph {
 
     /// Row-wise softmax.
     pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
-        let mut v = self.val(a).clone();
+        let mut v = self.alloc_copy_of(a);
         let rows = v.rows();
         for r in 0..rows {
             softmax_row_in_place(v.row_mut(r));
@@ -243,7 +350,7 @@ impl Graph {
         let (n, d) = self.val(x).shape();
         assert_eq!(self.val(gamma).shape(), (1, d));
         assert_eq!(self.val(beta).shape(), (1, d));
-        let mut v = Tensor::zeros(n, d);
+        let mut v = self.alloc(n, d);
         for r in 0..n {
             let row = self.val(x).row(r);
             let mean = row.iter().sum::<f32>() / d as f32;
@@ -259,9 +366,11 @@ impl Graph {
         self.push(v, Op::LayerNorm { x, gamma, beta })
     }
 
-    /// Transpose.
+    /// Transpose (tile-blocked).
     pub fn transpose(&mut self, a: NodeId) -> NodeId {
-        let v = self.val(a).transpose();
+        let (n, d) = self.val(a).shape();
+        let mut v = self.alloc(d, n);
+        kernels::transpose_blocked(self.val(a).data(), v.data_mut(), n, d);
         self.push(v, Op::Transpose(a))
     }
 
@@ -269,7 +378,7 @@ impl Graph {
     pub fn slice_cols(&mut self, a: NodeId, start: usize, end: usize) -> NodeId {
         let (n, d) = self.val(a).shape();
         assert!(start < end && end <= d, "slice_cols out of range");
-        let mut v = Tensor::zeros(n, end - start);
+        let mut v = self.alloc(n, end - start);
         for r in 0..n {
             v.row_mut(r).copy_from_slice(&self.val(a).row(r)[start..end]);
         }
@@ -281,7 +390,7 @@ impl Graph {
         assert!(!parts.is_empty(), "concat_cols needs at least one input");
         let n = self.val(parts[0]).rows();
         let total: usize = parts.iter().map(|&p| self.val(p).cols()).sum();
-        let mut v = Tensor::zeros(n, total);
+        let mut v = self.alloc(n, total);
         for r in 0..n {
             let mut offset = 0;
             for &p in parts {
@@ -298,7 +407,8 @@ impl Graph {
     pub fn slice_row(&mut self, a: NodeId, row: usize) -> NodeId {
         let d = self.val(a).cols();
         assert!(row < self.val(a).rows(), "slice_row out of range");
-        let v = Tensor::from_vec(1, d, self.val(a).row(row).to_vec());
+        let mut v = self.alloc(1, d);
+        v.row_mut(0).copy_from_slice(self.val(a).row(row));
         self.push(v, Op::SliceRow(a, row))
     }
 
@@ -306,7 +416,7 @@ impl Graph {
     pub fn gather(&mut self, table: NodeId, indices: &[usize]) -> NodeId {
         let d = self.val(table).cols();
         let rows = self.val(table).rows();
-        let mut v = Tensor::zeros(indices.len(), d);
+        let mut v = self.alloc(indices.len(), d);
         for (i, &idx) in indices.iter().enumerate() {
             assert!(idx < rows, "gather index {idx} out of range ({rows} rows)");
             v.row_mut(i).copy_from_slice(self.val(table).row(idx));
@@ -358,7 +468,13 @@ impl Graph {
 
     /// Runs reverse-mode differentiation from `loss` (must be `[1,1]`),
     /// accumulating parameter gradients into `store`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a forward-only tape ([`Graph::for_inference`]) or a
+    /// non-scalar loss.
     pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) {
+        assert!(!self.inference, "backward on an inference-mode graph");
         assert_eq!(self.val(loss).shape(), (1, 1), "backward requires a scalar loss");
         *self.grad_mut(loss) = Tensor::scalar(1.0);
 
@@ -371,8 +487,8 @@ impl Graph {
                 Op::Input => {}
                 Op::Param(pid) => store.accumulate_grad(pid, &g),
                 Op::MatMul(a, b) => {
-                    let da = g.matmul(&self.val(b).transpose());
-                    let db = self.val(a).transpose().matmul(&g);
+                    let da = g.matmul_threaded(&self.val(b).transpose(), self.threads);
+                    let db = self.val(a).transpose().matmul_threaded(&g, self.threads);
                     self.add_grad(a, &da);
                     self.add_grad(b, &db);
                 }
@@ -799,6 +915,66 @@ mod tests {
         let mut store = ParamStore::new();
         let mut g = Graph::new();
         let x = g.input(Tensor::zeros(2, 2));
+        g.backward(x, &mut store);
+    }
+
+    /// A small forward used by the arena/inference tests below.
+    fn demo_forward(g: &mut Graph) -> Tensor {
+        let a = g.input(Tensor::from_vec(
+            3,
+            5,
+            (0..15).map(|i| i as f32 * 0.25 - 1.5).collect(),
+        ));
+        let b = g.input(Tensor::from_vec(
+            5,
+            4,
+            (0..20).map(|i| 0.7 - i as f32 * 0.11).collect(),
+        ));
+        let c = g.matmul(a, b);
+        let t = g.transpose(c);
+        let u = g.transpose(t);
+        let s = g.softmax_rows(u);
+        let gl = g.gelu(s);
+        g.value(gl).clone()
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.data().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn reset_reuses_arena_and_reproduces_values() {
+        let mut g = Graph::for_inference();
+        let first = demo_forward(&mut g);
+        for _ in 0..3 {
+            g.reset();
+            assert!(g.is_empty());
+            let again = demo_forward(&mut g);
+            assert_eq!(bits(&first), bits(&again));
+        }
+    }
+
+    #[test]
+    fn inference_forward_matches_training_forward_bitwise() {
+        let mut train = Graph::new();
+        let mut infer = Graph::for_inference();
+        assert_eq!(bits(&demo_forward(&mut train)), bits(&demo_forward(&mut infer)));
+    }
+
+    #[test]
+    fn threaded_forward_matches_serial_bitwise() {
+        let mut serial = Graph::new();
+        let mut threaded = Graph::new();
+        threaded.set_threads(4);
+        assert_eq!(bits(&demo_forward(&mut serial)), bits(&demo_forward(&mut threaded)));
+    }
+
+    #[test]
+    #[should_panic(expected = "inference-mode")]
+    fn backward_panics_in_inference_mode() {
+        let mut store = ParamStore::new();
+        let mut g = Graph::for_inference();
+        let x = g.input(Tensor::scalar(1.0));
         g.backward(x, &mut store);
     }
 

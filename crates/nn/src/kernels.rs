@@ -1,0 +1,365 @@
+//! Cache-blocked, register-tiled f32 GEMM and transpose kernels.
+//!
+//! The seed implementation of [`Tensor::matmul`](crate::Tensor::matmul) was
+//! a scalar ikj triple loop that re-read and re-wrote the output row from
+//! memory on every k step (and carried a per-element `a == 0.0` branch).
+//! These kernels replace it with the classic GotoBLAS decomposition:
+//!
+//! * the K dimension is split into `KC`-sized blocks whose B panel is
+//!   **packed** into a contiguous buffer laid out in `NR`-wide column
+//!   strips, so the innermost loop streams one cache line forward;
+//! * rows of A are processed `MR` at a time against `NR`-wide strips of the
+//!   packed panel, with the `MR × NR` accumulator tile held in registers
+//!   for the whole k block (LLVM auto-vectorizes the `NR`-wide loop);
+//! * a row-block-parallel driver ([`matmul_mt`]) splits the M dimension
+//!   across scoped threads, each writing a disjoint slice of the output.
+//!
+//! **Bitwise exactness.** Every kernel here produces output that is
+//! bit-for-bit identical to the naive ikj reference ([`matmul_naive`]):
+//! for each output element the products `a[i][k] * b[k][j]` are added one
+//! at a time in strictly increasing k order (the accumulator tile is
+//! loaded from the output at the start of each k block and stored back at
+//! the end, so crossing a block boundary does not change the rounding
+//! sequence), there are no pairwise/tree reductions, and the parallel
+//! driver partitions whole rows, which are computed independently. This is
+//! what lets `threads = 1` and `threads = N` produce identical score
+//! matrices downstream, and it is enforced by proptests in
+//! `crates/nn/tests/kernel_properties.rs`.
+//!
+//! This module is deliberately dependency-free (std only) so it can be
+//! compiled and profiled in isolation.
+
+/// Micro-tile height: rows of A processed together in the inner kernel.
+const MR: usize = 4;
+/// Micro-tile width: columns of B processed together (2 × 4-wide SIMD).
+const NR: usize = 8;
+/// K-dimension block size: one packed B panel spans `KC × n` values.
+const KC: usize = 256;
+/// M-dimension block size: rows of A per panel reuse.
+const MC: usize = 128;
+
+/// Naive ikj reference kernel (term-by-term accumulation in k order).
+///
+/// `out` must be `m * n` and is **overwritten**. This is the semantic and
+/// rounding reference for every optimized kernel in this module; it is kept
+/// for tests and benchmarks.
+pub fn matmul_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Packs the `[kc × n]` slice of B starting at row `k0` into `NR`-wide
+/// column strips: strip `j` holds rows `k0..k0+kc` of columns
+/// `j*NR..j*NR+NR`, row-major within the strip, zero-padded on the right
+/// edge. Output layout: `packed[strip][kk][jr]`.
+fn pack_b_panel(b: &[f32], n: usize, k0: usize, kc: usize, packed: &mut Vec<f32>) {
+    let strips = n.div_ceil(NR);
+    packed.clear();
+    packed.resize(strips * kc * NR, 0.0);
+    for strip in 0..strips {
+        let j0 = strip * NR;
+        let w = NR.min(n - j0);
+        let dst_base = strip * kc * NR;
+        for kk in 0..kc {
+            let src = (k0 + kk) * n + j0;
+            let dst = dst_base + kk * NR;
+            packed[dst..dst + w].copy_from_slice(&b[src..src + w]);
+            // Right-edge padding stays zero from the resize above.
+        }
+    }
+}
+
+/// The register-tiled inner kernel: accumulates the `MR × NR` tile of
+/// `out` at `(i0, j0)` over `kc` packed k steps. The tile is loaded from
+/// `out`, accumulated in registers in k order, and stored back — preserving
+/// the naive rounding sequence across k blocks.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn micro_kernel(
+    a: &[f32],
+    k: usize,
+    k0: usize,
+    kc: usize,
+    panel_strip: &[f32],
+    out: &mut [f32],
+    n: usize,
+    i0: usize,
+    j0: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, row) in acc.iter_mut().enumerate() {
+        let base = (i0 + r) * n + j0;
+        row.copy_from_slice(&out[base..base + NR]);
+    }
+    for kk in 0..kc {
+        let bvals: &[f32] = &panel_strip[kk * NR..kk * NR + NR];
+        for (r, row) in acc.iter_mut().enumerate() {
+            let av = a[(i0 + r) * k + k0 + kk];
+            for (c, o) in row.iter_mut().enumerate() {
+                *o += av * bvals[c];
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        let base = (i0 + r) * n + j0;
+        out[base..base + NR].copy_from_slice(row);
+    }
+}
+
+/// Scalar edge kernel for row/column remainders: identical accumulation
+/// order (k innermost, one term at a time).
+#[allow(clippy::too_many_arguments)]
+fn edge_kernel(
+    a: &[f32],
+    k: usize,
+    k0: usize,
+    kc: usize,
+    b: &[f32],
+    out: &mut [f32],
+    n: usize,
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) {
+    for i in rows {
+        for j in cols.clone() {
+            let mut acc = out[i * n + j];
+            for kk in 0..kc {
+                acc += a[i * k + k0 + kk] * b[(k0 + kk) * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// Single-threaded blocked GEMM: `out = A × B` with `A [m×k]`, `B [k×n]`,
+/// all row-major. `out` is overwritten. Bitwise-identical to
+/// [`matmul_naive`].
+pub fn matmul_blocked(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    let mut packed = Vec::new();
+    matmul_rows_blocked(a, b, out, m, k, n, &mut packed);
+}
+
+/// Blocked GEMM over all `m` rows of `a`/`out`, with a caller-provided
+/// packing buffer (reused across k blocks and across calls).
+#[allow(clippy::too_many_arguments)]
+fn matmul_rows_blocked(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    packed: &mut Vec<f32>,
+) {
+    let rows = 0..m;
+    let n_main = n - n % NR;
+    let mut k0 = 0;
+    while k0 < k {
+        let kc = KC.min(k - k0);
+        pack_b_panel(b, n, k0, kc, packed);
+        let mut i0 = rows.start;
+        while i0 < rows.end {
+            let mc = MC.min(rows.end - i0);
+            let m_main = i0 + (mc - mc % MR);
+            let mut i = i0;
+            while i < m_main {
+                for strip in 0..n_main / NR {
+                    let panel_strip = &packed[strip * kc * NR..(strip + 1) * kc * NR];
+                    micro_kernel(a, k, k0, kc, panel_strip, out, n, i, strip * NR);
+                }
+                if n_main < n {
+                    edge_kernel(a, k, k0, kc, b, out, n, i..i + MR, n_main..n);
+                }
+                i += MR;
+            }
+            if m_main < i0 + mc {
+                edge_kernel(a, k, k0, kc, b, out, n, m_main..i0 + mc, 0..n);
+            }
+            i0 += mc;
+        }
+        k0 += kc;
+    }
+}
+
+/// Row-block-parallel blocked GEMM: splits output rows into `threads`
+/// contiguous chunks computed on scoped threads, each with its own packing
+/// buffer and a disjoint output slice. Falls back to the single-threaded
+/// kernel when `threads <= 1` or the matrix is too small to amortize a
+/// thread spawn. Bitwise-identical to [`matmul_naive`] for any thread
+/// count.
+pub fn matmul_mt(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    // Below ~1 MFLOP a spawn costs more than it saves.
+    const PAR_MIN_FLOPS: usize = 1 << 20;
+    let threads = threads.max(1).min(m.max(1));
+    if threads <= 1 || m * k * n < PAR_MIN_FLOPS {
+        matmul_blocked(a, b, out, m, k, n);
+        return;
+    }
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    // Chunk boundaries aligned to MR so every worker runs the fast path.
+    let rows_per = m.div_ceil(threads).div_ceil(MR) * MR;
+    std::thread::scope(|scope| {
+        let mut rest = &mut out[..];
+        let mut row0 = 0;
+        while row0 < m {
+            let rows = rows_per.min(m - row0);
+            let (chunk, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            let r0 = row0;
+            scope.spawn(move || {
+                let mut packed = Vec::new();
+                // Each worker sees its chunk as a standalone `rows × n`
+                // output over the matching rows of A.
+                let a_rows = &a[r0 * k..(r0 + rows) * k];
+                matmul_rows_blocked(a_rows, b, chunk, rows, k, n, &mut packed);
+            });
+            row0 += rows;
+        }
+    });
+}
+
+/// Blocked out-of-place transpose: `out[j][i] = a[i][j]` with `a [m×n]`
+/// row-major, processed in 32×32 tiles so both matrices stream through
+/// cache line by line.
+pub fn transpose_blocked(a: &[f32], out: &mut [f32], m: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(out.len(), m * n);
+    const TILE: usize = 32;
+    let mut i0 = 0;
+    while i0 < m {
+        let ih = TILE.min(m - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let jw = TILE.min(n - j0);
+            for i in i0..i0 + ih {
+                for j in j0..j0 + jw {
+                    out[j * m + i] = a[i * n + j];
+                }
+            }
+            j0 += TILE;
+        }
+        i0 += TILE;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift values in [-1, 1) — keeps this module's tests
+    /// dependency-free.
+    pub(crate) fn pseudo_data(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+            })
+            .collect()
+    }
+
+    fn check_shape(m: usize, k: usize, n: usize, seed: u64) {
+        let a = pseudo_data(m * k, seed);
+        let b = pseudo_data(k * n, seed ^ 0xabcd);
+        let mut want = vec![0.0; m * n];
+        matmul_naive(&a, &b, &mut want, m, k, n);
+        let mut got = vec![0.0; m * n];
+        matmul_blocked(&a, &b, &mut got, m, k, n);
+        assert_eq!(
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "blocked != naive at {m}x{k}x{n}"
+        );
+        for threads in [2, 3, 4] {
+            let mut got_mt = vec![0.0; m * n];
+            matmul_mt(&a, &b, &mut got_mt, m, k, n, threads);
+            assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                got_mt.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "mt({threads}) != naive at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_bitwise_across_shapes() {
+        // Tile multiples, remainders on every dimension, degenerate edges.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (1, 7, 1),
+            (1, 300, 5),
+            (5, 1, 9),
+            (4, 8, 8),
+            (8, 16, 8),
+            (3, 5, 7),
+            (13, 17, 11),
+            (48, 48, 48),
+            (33, 257, 31),
+            (65, 64, 63),
+        ] {
+            check_shape(m, k, n, (m * 31 + k * 7 + n) as u64);
+        }
+    }
+
+    #[test]
+    fn mt_covers_uneven_row_splits() {
+        // m not divisible by threads or MR; force the parallel path by
+        // exceeding the FLOP cutoff via k*n.
+        let (m, k, n) = (37, 256, 128);
+        let a = pseudo_data(m * k, 3);
+        let b = pseudo_data(k * n, 4);
+        let mut want = vec![0.0; m * n];
+        matmul_naive(&a, &b, &mut want, m, k, n);
+        for threads in [2, 5, 8, 64] {
+            let mut got = vec![0.0; m * n];
+            matmul_mt(&a, &b, &mut got, m, k, n, threads);
+            assert_eq!(want, got, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn transpose_blocked_round_trips() {
+        for &(m, n) in &[(1, 1), (3, 5), (32, 32), (33, 65), (100, 7)] {
+            let a = pseudo_data(m * n, (m + n) as u64);
+            let mut t = vec![0.0; m * n];
+            transpose_blocked(&a, &mut t, m, n);
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(t[j * m + i], a[i * n + j]);
+                }
+            }
+            let mut back = vec![0.0; m * n];
+            transpose_blocked(&t, &mut back, n, m);
+            assert_eq!(back, a);
+        }
+    }
+}

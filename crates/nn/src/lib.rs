@@ -26,10 +26,16 @@
 //! * Parameters live outside the tape in a [`params::ParamStore`], so one
 //!   model can be run through many forward graphs (one per step) while the
 //!   optimizer state persists.
+//! * The GEMM under everything is a cache-blocked, register-tiled kernel
+//!   ([`kernels`]) with a row-partitioned multithreaded driver that is
+//!   bitwise-identical to the serial path at every thread count; graphs
+//!   support arena reuse ([`graph::Graph::reset`]) and a forward-only
+//!   inference mode for the featurizer hot path.
 
 pub mod bert;
 pub mod bpe;
 pub mod graph;
+pub mod kernels;
 pub mod layers;
 pub mod mlm;
 pub mod optim;

@@ -1,6 +1,8 @@
 //! Dense 2-D `f32` tensors with the handful of BLAS-1/2/3 kernels the
-//! transformer needs.
+//! transformer needs. The matmul and transpose entry points delegate to the
+//! cache-blocked kernels in [`crate::kernels`].
 
+use crate::kernels;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -123,40 +125,49 @@ impl Tensor {
         self.data[0]
     }
 
-    /// Matrix product `self × other`.
+    /// Matrix product `self × other` (cache-blocked, register-tiled dense
+    /// kernel; see [`crate::kernels`]).
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        self.matmul_threaded(other, 1)
+    }
+
+    /// Matrix product on up to `threads` worker threads (row-partitioned;
+    /// the result is bitwise-identical for every thread count).
+    pub fn matmul_threaded(&self, other: &Tensor, threads: usize) -> Tensor {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let mut out = Tensor::zeros(self.rows, other.cols);
-        // ikj loop order: streams over `other` rows, good cache behaviour.
-        for i in 0..self.rows {
-            let out_row_start = i * other.cols;
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                let out_row = &mut out.data[out_row_start..out_row_start + other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        self.matmul_into(other, &mut out, threads);
         out
     }
 
-    /// Transposed copy.
+    /// Matrix product written into a caller-provided output tensor (its
+    /// previous contents are overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension or output-shape mismatch.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor, threads: usize) {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        assert_eq!(out.shape(), (self.rows, other.cols), "matmul output shape mismatch");
+        kernels::matmul_mt(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+            threads,
+        );
+    }
+
+    /// Transposed copy (tile-blocked).
     pub fn transpose(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
-        }
+        kernels::transpose_blocked(&self.data, &mut out.data, self.rows, self.cols);
         out
     }
 
@@ -201,6 +212,13 @@ impl Tensor {
     /// Fills with zeros, keeping the allocation.
     pub fn fill_zero(&mut self) {
         self.data.fill(0.0);
+    }
+
+    /// Consumes the tensor, returning its backing buffer (used by the
+    /// [`Graph`](crate::Graph) arena to recycle allocations across
+    /// forwards).
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
     }
 }
 

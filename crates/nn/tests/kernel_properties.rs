@@ -1,0 +1,116 @@
+//! Property tests for the blocked/parallel GEMM kernels: every optimized
+//! path must be **bitwise** identical to the naive ikj reference across
+//! arbitrary shapes — including non-multiple-of-tile dimensions, 1×N / N×1
+//! edges, and inputs salted with ±0.0 (the seed kernel's removed sparsity
+//! branch skipped exact zeros, which is the one place term-by-term
+//! accumulation can differ in the sign of zero).
+
+use lsm_nn::kernels::{matmul_blocked, matmul_mt, matmul_naive, transpose_blocked};
+use lsm_nn::Tensor;
+use proptest::prelude::*;
+
+/// Deterministic xorshift data in [-1, 1), salted with exact +0.0 and -0.0
+/// so the dense path's zero handling is exercised.
+fn pseudo_data(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            match state % 11 {
+                0 => 0.0,
+                1 => -0.0,
+                _ => ((state >> 40) as f32 / (1u64 << 23) as f32) - 1.0,
+            }
+        })
+        .collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_all_kernels_match(m: usize, k: usize, n: usize, threads: usize, seed: u64) {
+    let a = pseudo_data(m * k, seed);
+    let b = pseudo_data(k * n, seed ^ 0xbeef);
+    let mut want = vec![0.0f32; m * n];
+    matmul_naive(&a, &b, &mut want, m, k, n);
+
+    // Pre-filled garbage: the kernels must overwrite, not accumulate.
+    let mut blocked = vec![f32::NAN; m * n];
+    matmul_blocked(&a, &b, &mut blocked, m, k, n);
+    assert_eq!(bits(&want), bits(&blocked), "blocked != naive at {m}x{k}x{n}");
+
+    let mut mt = vec![f32::NAN; m * n];
+    matmul_mt(&a, &b, &mut mt, m, k, n, threads);
+    assert_eq!(bits(&want), bits(&mt), "mt({threads}) != naive at {m}x{k}x{n}");
+
+    // The public Tensor API rides on the same kernels.
+    let ta = Tensor::from_vec(m, k, a);
+    let tb = Tensor::from_vec(k, n, b);
+    assert_eq!(bits(ta.matmul(&tb).data()), bits(&want));
+    assert_eq!(bits(ta.matmul_threaded(&tb, threads).data()), bits(&want));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random shapes, including dimensions that are not multiples of the
+    /// MR/NR/KC tile sizes, at random thread counts.
+    #[test]
+    fn blocked_and_parallel_match_naive_bitwise(
+        m in 1usize..=80,
+        k in 1usize..=300,
+        n in 1usize..=80,
+        threads in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        assert_all_kernels_match(m, k, n, threads, seed);
+    }
+
+    /// Degenerate edges: row vectors (1×N) and column vectors (N×1) on
+    /// either side.
+    #[test]
+    fn vector_edges_match_naive_bitwise(
+        dim in 1usize..=257,
+        k in 1usize..=257,
+        threads in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        assert_all_kernels_match(1, k, dim, threads, seed);  // 1×N out
+        assert_all_kernels_match(dim, k, 1, threads, seed);  // N×1 out
+        assert_all_kernels_match(1, k, 1, threads, seed);    // scalar out
+    }
+
+    /// Transpose round-trips exactly for any shape.
+    #[test]
+    fn transpose_round_trips(
+        m in 1usize..=100,
+        n in 1usize..=100,
+        seed in any::<u64>(),
+    ) {
+        let a = pseudo_data(m * n, seed);
+        let mut t = vec![0.0f32; m * n];
+        transpose_blocked(&a, &mut t, m, n);
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert_eq!(t[j * m + i].to_bits(), a[i * n + j].to_bits());
+            }
+        }
+        let mut back = vec![0.0f32; m * n];
+        transpose_blocked(&t, &mut back, n, m);
+        prop_assert_eq!(bits(&back), bits(&a));
+    }
+}
+
+/// A shape big enough to cross the parallel driver's FLOP cutoff, so the
+/// scoped-thread path itself (not the serial fallback) is exercised at
+/// several worker counts.
+#[test]
+fn parallel_path_above_cutoff_matches_naive_bitwise() {
+    let (m, k, n) = (97, 256, 64);
+    for threads in [2, 3, 4, 7, 16] {
+        assert_all_kernels_match(m, k, n, threads, 0x5eed ^ threads as u64);
+    }
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build, full test suite, and lint gate on the
+# crates touched by the performance work (ROADMAP.md "Tier-1 verify").
+#
+# Usage: scripts/tier1.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy -D warnings (lsm-nn, lsm-core, lsm-bench)"
+cargo clippy -p lsm-nn -p lsm-core -p lsm-bench --all-targets -- -D warnings
+
+echo "==> tier-1 OK"
