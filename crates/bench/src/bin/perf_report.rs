@@ -2,7 +2,10 @@
 //!
 //! Times the GEMM kernels (naive reference vs blocked vs multithreaded),
 //! the batched classifier head against per-pair singles, and the encoder
-//! forward with and without graph-arena reuse, then writes
+//! forward with and without graph-arena reuse; measures the disabled-sink
+//! observability overhead (`obs_overhead`, gated <1% of the smallest hot
+//! kernel) and embeds a per-stage breakdown of a tiny-model movielens
+//! session (`pipeline_stages`, skipped under `LSM_FAST=1`); then writes
 //! `results/BENCH_nn.json` so future PRs can track the perf trajectory.
 //!
 //! Criterion is a dev-dependency (benches only), so this binary hand-rolls
@@ -16,6 +19,7 @@ use lsm_nn::{BertConfig, BertEncoder, Graph, ParamStore, Tensor};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde_json::json;
+use std::hint::black_box;
 use std::time::Instant;
 
 /// Deterministic xorshift data in [-1, 1).
@@ -161,6 +165,124 @@ fn arena_report(reps: usize) -> serde_json::Value {
     })
 }
 
+/// The zero-overhead-when-off guard: with the obs sink disabled, one GEMM
+/// dispatch pays exactly one relaxed atomic load (`lsm_obs::add`). Measure
+/// that load directly, relate it to each `nn_kernels` shape's kernel time,
+/// and require the worst case to stay under 1%. A measured A/B of the
+/// instrumented dispatch vs the raw kernel is reported as corroboration
+/// (it is noise-dominated at these granularities, so the guard gates on
+/// the analytic number).
+fn obs_overhead_report(reps: usize) -> serde_json::Value {
+    assert!(!lsm_obs::is_enabled(), "overhead guard must run with the sink disabled");
+    const N: usize = 5_000_000;
+    let t_add = time_best(
+        || {
+            for i in 0..N {
+                lsm_obs::add(black_box(lsm_obs::Counter::GemmCalls), (i & 1) as u64);
+            }
+        },
+        3,
+    );
+    let add_ns = t_add / N as f64 * 1e9;
+    let t_span = time_best(
+        || {
+            for _ in 0..N {
+                let s = lsm_obs::span(black_box("obs.probe"));
+                black_box(&s);
+            }
+        },
+        3,
+    );
+    let span_ns = t_span / N as f64 * 1e9;
+
+    let mut shapes = Vec::new();
+    let mut worst = 0.0f64;
+    for &(m, k, n) in &[(256, 256, 256), (48, 48, 96), (1218, 192, 48), (512, 512, 512)] {
+        let a = Tensor::from_vec(m, k, pseudo_data(m * k, 11));
+        let b = Tensor::from_vec(k, n, pseudo_data(k * n, 12));
+        let mut raw = vec![0.0f32; m * n];
+        let t_raw = time_best(
+            || {
+                matmul_mt(a.data(), b.data(), &mut raw, m, k, n, 1);
+                black_box(&raw);
+            },
+            reps,
+        );
+        let mut out = Tensor::zeros(m, n);
+        let t_inst = time_best(
+            || {
+                a.matmul_into(&b, &mut out, 1);
+                black_box(out.data());
+            },
+            reps,
+        );
+        let pct = add_ns / (t_raw * 1e9) * 100.0;
+        worst = worst.max(pct);
+        shapes.push(json!({
+            "shape": format!("{m}x{k}x{n}"),
+            "raw_kernel_seconds": t_raw,
+            "instrumented_dispatch_seconds": t_inst,
+            "measured_ratio": t_inst / t_raw,
+            "disabled_counter_overhead_pct": pct,
+        }));
+    }
+    json!({
+        "disabled_counter_ns_per_call": add_ns,
+        "disabled_span_ns_per_call": span_ns,
+        "per_shape": shapes,
+        "worst_disabled_overhead_pct": worst,
+        "guard_pass_under_1pct": worst < 1.0,
+    })
+}
+
+/// Per-stage breakdown of a full `lsm session movielens --model tiny`
+/// equivalent with the sink enabled, embedded into the report so future
+/// PRs know where pipeline time goes. Also cross-checks the acceptance
+/// criterion: the `session.respond` stage total must agree with
+/// `SessionOutcome::response_times` (same measurement).
+fn pipeline_stage_report() -> serde_json::Value {
+    use lsm_core::{
+        run_session, BertFeaturizer, BertFeaturizerConfig, LsmConfig, LsmMatcher,
+        PerfectOracle, SessionConfig,
+    };
+    use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
+    use lsm_lexicon::full_lexicon;
+
+    let lexicon = full_lexicon();
+    let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+    let d = lsm_datasets::public_data::movielens_imdb();
+    eprintln!("perf_report: pre-training the tiny featurizer (pipeline breakdown) …");
+    let mut bert = BertFeaturizer::pretrain(&lexicon, BertFeaturizerConfig::tiny());
+    bert.pretrain_classifier(&d.target);
+
+    // The breakdown covers the interactive part (matcher build + session);
+    // pre-training is a once-per-domain offline cost.
+    lsm_obs::reset();
+    lsm_obs::enable();
+    let config = LsmConfig { use_bert: true, ..Default::default() };
+    let mut matcher = LsmMatcher::new(&d.source, &d.target, &embedding, Some(bert), config);
+    let mut oracle = PerfectOracle::new(d.ground_truth.clone());
+    let outcome = run_session(&mut matcher, &mut oracle, SessionConfig::default());
+    lsm_obs::disable();
+
+    let snap = lsm_obs::snapshot();
+    let respond = snap.stage("session.respond").map(|s| s.total_s).unwrap_or(0.0);
+    let sum: f64 = outcome.response_times.iter().sum();
+    let diff_pct = if sum > 0.0 { (respond - sum).abs() / sum * 100.0 } else { 0.0 };
+    let metrics: serde_json::Value =
+        serde_json::from_str(&snap.to_json()).expect("obs metrics JSON parses");
+    json!({
+        "scenario": "lsm session movielens --model tiny (sink enabled)",
+        "iterations": outcome.response_times.len(),
+        "labels_used": outcome.labels_used,
+        "response_time_sum_s": sum,
+        "respond_stage_total_s": respond,
+        "respond_vs_response_times_diff_pct": diff_pct,
+        "agreement_within_1pct": diff_pct < 1.0,
+        "metrics": metrics,
+    })
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "results/BENCH_nn.json".into());
     let host_threads =
@@ -177,6 +299,14 @@ fn main() {
     let head = head_report(1218, 48, 30);
     eprintln!("perf_report: timing encoder arena reuse …");
     let arena = arena_report(200);
+    eprintln!("perf_report: measuring obs overhead (sink disabled) …");
+    let obs_overhead = obs_overhead_report(30);
+    let pipeline = if std::env::var_os("LSM_FAST").is_some() {
+        eprintln!("perf_report: LSM_FAST set — skipping the pipeline stage breakdown");
+        serde_json::Value::Null
+    } else {
+        pipeline_stage_report()
+    };
 
     let report = json!({
         "bench": "nn_kernels",
@@ -188,6 +318,8 @@ fn main() {
         "gemm": gemms,
         "classifier_head": head,
         "graph_arena": arena,
+        "obs_overhead": obs_overhead,
+        "pipeline_stages": pipeline,
     });
 
     if let Some(dir) = std::path::Path::new(&out_path).parent() {

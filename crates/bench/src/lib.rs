@@ -7,7 +7,9 @@
 //!
 //! Every binary prints the regenerated table to stdout and writes a JSON
 //! artifact to `results/` so EXPERIMENTS.md numbers are reproducible and
-//! diffable.
+//! diffable. Convention: **stdout carries only the result artifact**
+//! (table or JSON); progress and diagnostics go to stderr (`eprintln!`),
+//! so `lsm-bench` output can be piped or redirected cleanly.
 //!
 //! Environment knobs:
 //!

@@ -309,6 +309,13 @@ pub fn session(dataset_name: &str, model: ModelChoice) -> Result<String, String>
     ));
     out.push_str(&format!("reviews: {}
 ", outcome.reviews_done));
+    if !outcome.response_times.is_empty() {
+        let mean_ms = outcome.response_times.iter().sum::<f64>()
+            / outcome.response_times.len() as f64
+            * 1e3;
+        out.push_str(&format!("mean response time: {mean_ms:.3} ms
+"));
+    }
     out.push_str("curve (labels% → correct%):
 ");
     for p in &outcome.curve {

@@ -4,12 +4,18 @@
 //! lsm stats    <schema.json>
 //! lsm match    <source.json> <target.json> [--labels labels.json]
 //!              [--model small|tiny|off] [--top-k N]
+//!              [--trace-out t.json] [--metrics-out m.json]
 //! lsm baseline <cupid|coma|smatch|sf|mlm> <source.json> <target.json> [--top-k N]
 //! lsm generate <iss|iss-small|customer-a..e|movielens|imdb|rdb-star-source|rdb-star-target>
 //! ```
 //!
 //! Schema files use the hand-writable spec format (see `lsm_cli::spec`);
 //! `lsm generate movielens` prints an example to copy from.
+//!
+//! Observability: `--trace-out` writes a Chrome trace (Perfetto /
+//! `chrome://tracing`), `--metrics-out` a per-stage metrics snapshot;
+//! either flag (or `LSM_TRACE=1`) turns the sink on, and an enabled sink
+//! prints a stage summary table to stderr. See `docs/observability.md`.
 
 use lsm_cli::commands::{self, ModelChoice};
 use std::process::ExitCode;
@@ -19,27 +25,68 @@ usage:
   lsm stats    <schema.json>
   lsm match    <source.json> <target.json> [--labels <labels.json>]
                [--model small|tiny|off] [--top-k <N>]
+               [--trace-out <trace.json>] [--metrics-out <metrics.json>]
   lsm baseline <cupid|coma|smatch|sf|mlm> <source.json> <target.json> [--top-k <N>]
   lsm extract  <source.json> <target.json> [--labels <labels.json>]
                [--model small|tiny|off] [--threshold <T>]
   lsm evaluate <predictions.json> <truth.json>
   lsm session  <movielens|rdb-star|ipfqr|customer-a..e> [--model small|tiny|off]
+               [--trace-out <trace.json>] [--metrics-out <metrics.json>]
   lsm generate <iss|iss-small|customer-a..e|movielens|imdb|rdb-star-source|rdb-star-target>
+
+Set LSM_TRACE=1 to collect and print per-stage timings without writing files.
 ";
 
 fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
 }
 
-/// Pulls `--flag value` out of an argument list, returning the remainder.
-fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
-    let pos = args.iter().position(|a| a == flag)?;
-    if pos + 1 >= args.len() {
-        return None;
+/// Pulls `--flag value` or `--flag=value` out of an argument list, leaving
+/// the remainder. A flag present without a value is an error, not a silent
+/// `None`.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let eq_prefix = format!("{flag}=");
+    let Some(pos) = args.iter().position(|a| a == flag || a.starts_with(&eq_prefix)) else {
+        return Ok(None);
+    };
+    let arg = args.remove(pos);
+    if let Some(value) = arg.strip_prefix(&eq_prefix) {
+        if value.is_empty() {
+            return Err(format!("{flag} requires a value (got `{flag}=`)"));
+        }
+        return Ok(Some(value.to_string()));
     }
-    let value = args.remove(pos + 1);
-    args.remove(pos);
-    Some(value)
+    if pos >= args.len() {
+        return Err(format!("{flag} requires a value"));
+    }
+    Ok(Some(args.remove(pos)))
+}
+
+/// Parses `--trace-out` / `--metrics-out` and enables the obs sink when
+/// either is present.
+fn take_obs_flags(args: &mut Vec<String>) -> Result<(Option<String>, Option<String>), String> {
+    let trace_out = take_flag(args, "--trace-out")?;
+    let metrics_out = take_flag(args, "--metrics-out")?;
+    if trace_out.is_some() || metrics_out.is_some() {
+        lsm_obs::enable();
+    }
+    Ok((trace_out, metrics_out))
+}
+
+/// Writes the requested observability artifacts after a command ran.
+fn write_obs_outputs(
+    trace_out: Option<&str>,
+    metrics_out: Option<&str>,
+) -> Result<(), String> {
+    if let Some(path) = trace_out {
+        lsm_obs::write_trace(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote trace to {path} (open in Perfetto or chrome://tracing)");
+    }
+    if let Some(path) = metrics_out {
+        lsm_obs::write_metrics(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote metrics to {path}");
+    }
+    Ok(())
 }
 
 fn run() -> Result<String, String> {
@@ -53,23 +100,33 @@ fn run() -> Result<String, String> {
             commands::stats(&read(path)?)
         }
         "match" => {
-            let labels = take_flag(&mut args, "--labels").map(|p| read(&p)).transpose()?;
-            let model = match take_flag(&mut args, "--model") {
+            let labels =
+                take_flag(&mut args, "--labels")?.map(|p| read(&p)).transpose()?;
+            let model = match take_flag(&mut args, "--model")? {
                 None => ModelChoice::BertTiny,
                 Some(m) => ModelChoice::parse(&m)
                     .ok_or_else(|| format!("unknown --model {m:?}; expected small|tiny|off"))?,
             };
-            let top_k = match take_flag(&mut args, "--top-k") {
+            let top_k = match take_flag(&mut args, "--top-k")? {
                 None => 3,
                 Some(k) => k.parse().map_err(|_| format!("invalid --top-k {k:?}"))?,
             };
+            let (trace_out, metrics_out) = take_obs_flags(&mut args)?;
             let [source, target] = args.as_slice() else {
                 return Err(USAGE.to_string());
             };
-            commands::match_schemas(&read(source)?, &read(target)?, labels.as_deref(), model, top_k)
+            let out = commands::match_schemas(
+                &read(source)?,
+                &read(target)?,
+                labels.as_deref(),
+                model,
+                top_k,
+            )?;
+            write_obs_outputs(trace_out.as_deref(), metrics_out.as_deref())?;
+            Ok(out)
         }
         "baseline" => {
-            let top_k = match take_flag(&mut args, "--top-k") {
+            let top_k = match take_flag(&mut args, "--top-k")? {
                 None => 3,
                 Some(k) => k.parse().map_err(|_| format!("invalid --top-k {k:?}"))?,
             };
@@ -79,13 +136,14 @@ fn run() -> Result<String, String> {
             commands::baseline(name, &read(source)?, &read(target)?, top_k)
         }
         "extract" => {
-            let labels = take_flag(&mut args, "--labels").map(|p| read(&p)).transpose()?;
-            let model = match take_flag(&mut args, "--model") {
+            let labels =
+                take_flag(&mut args, "--labels")?.map(|p| read(&p)).transpose()?;
+            let model = match take_flag(&mut args, "--model")? {
                 None => ModelChoice::BertTiny,
                 Some(m) => ModelChoice::parse(&m)
                     .ok_or_else(|| format!("unknown --model {m:?}; expected small|tiny|off"))?,
             };
-            let threshold = match take_flag(&mut args, "--threshold") {
+            let threshold = match take_flag(&mut args, "--threshold")? {
                 None => 0.3,
                 Some(t) => t.parse().map_err(|_| format!("invalid --threshold {t:?}"))?,
             };
@@ -101,15 +159,18 @@ fn run() -> Result<String, String> {
             commands::evaluate(&read(predictions)?, &read(truth)?)
         }
         "session" => {
-            let model = match take_flag(&mut args, "--model") {
+            let model = match take_flag(&mut args, "--model")? {
                 None => ModelChoice::BertTiny,
                 Some(m) => ModelChoice::parse(&m)
                     .ok_or_else(|| format!("unknown --model {m:?}; expected small|tiny|off"))?,
             };
+            let (trace_out, metrics_out) = take_obs_flags(&mut args)?;
             let [dataset] = args.as_slice() else {
                 return Err(USAGE.to_string());
             };
-            commands::session(dataset, model)
+            let out = commands::session(dataset, model)?;
+            write_obs_outputs(trace_out.as_deref(), metrics_out.as_deref())?;
+            Ok(out)
         }
         "generate" => {
             let [what] = args.as_slice() else {
@@ -122,7 +183,8 @@ fn run() -> Result<String, String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    lsm_obs::enable_from_env();
+    let code = match run() {
         Ok(out) => {
             println!("{out}");
             ExitCode::SUCCESS
@@ -131,5 +193,63 @@ fn main() -> ExitCode {
             eprintln!("{e}");
             ExitCode::FAILURE
         }
+    };
+    // An enabled sink always reports where the time went (stderr keeps
+    // stdout reserved for the command's own output).
+    if lsm_obs::is_enabled() {
+        eprint!("{}", lsm_obs::snapshot().render_table());
+    }
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::take_flag;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn take_flag_space_separated() {
+        let mut a = args(&["--model", "tiny", "x.json"]);
+        assert_eq!(take_flag(&mut a, "--model"), Ok(Some("tiny".to_string())));
+        assert_eq!(a, args(&["x.json"]));
+    }
+
+    #[test]
+    fn take_flag_equals_syntax() {
+        let mut a = args(&["x.json", "--model=small"]);
+        assert_eq!(take_flag(&mut a, "--model"), Ok(Some("small".to_string())));
+        assert_eq!(a, args(&["x.json"]));
+    }
+
+    #[test]
+    fn take_flag_absent() {
+        let mut a = args(&["x.json"]);
+        assert_eq!(take_flag(&mut a, "--model"), Ok(None));
+        assert_eq!(a, args(&["x.json"]));
+    }
+
+    #[test]
+    fn take_flag_missing_value_is_an_error() {
+        let mut a = args(&["x.json", "--model"]);
+        let err = take_flag(&mut a, "--model").unwrap_err();
+        assert!(err.contains("--model requires a value"), "got: {err}");
+    }
+
+    #[test]
+    fn take_flag_empty_equals_value_is_an_error() {
+        let mut a = args(&["--model=", "x.json"]);
+        let err = take_flag(&mut a, "--model").unwrap_err();
+        assert!(err.contains("--model requires a value"), "got: {err}");
+    }
+
+    #[test]
+    fn take_flag_does_not_match_longer_flags() {
+        // "--trace" must not swallow "--trace-out …".
+        let mut a = args(&["--trace-out", "t.json"]);
+        assert_eq!(take_flag(&mut a, "--trace"), Ok(None));
+        assert_eq!(a.len(), 2);
     }
 }

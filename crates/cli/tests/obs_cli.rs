@@ -1,0 +1,129 @@
+//! Process-level tests of the observability surface: `--metrics-out` /
+//! `--trace-out` must write valid JSON with the expected stage keys, and
+//! flag misuse must produce clear errors.
+//!
+//! `--model off` keeps the sessions fast (no BERT pre-training); the
+//! instrumented session/matcher/meta spans fire either way.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn lsm_bin() -> PathBuf {
+    let mut path = std::env::current_exe().expect("test binary path");
+    path.pop();
+    if path.ends_with("deps") {
+        path.pop();
+    }
+    path.join("lsm")
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(lsm_bin()).args(args).output().expect("spawn lsm binary");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("lsm_cli_obs");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn session_metrics_out_writes_valid_json_with_stage_keys() {
+    let metrics = tmp("session_metrics.json");
+    let (ok, out, err) =
+        run(&["session", "movielens", "--model", "off", "--metrics-out", metrics.to_str().unwrap()]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("matched"), "stdout: {out}");
+
+    let text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    let json: serde_json::Value = serde_json::from_str(&text).expect("metrics JSON parses");
+
+    let stages = json["stages"].as_object().expect("stages object");
+    for key in ["session.iteration", "session.respond", "matcher.retrain", "matcher.predict",
+        "meta.fit", "featurize.lexical", "featurize.embedding"]
+    {
+        assert!(stages.contains_key(key), "missing stage {key}; have {:?}",
+            stages.keys().collect::<Vec<_>>());
+    }
+    let respond = &stages["session.respond"];
+    assert!(respond["count"].as_u64().unwrap() > 0);
+    assert!(respond["total_s"].as_f64().unwrap() > 0.0);
+    assert!(respond["p95_s"].as_f64().unwrap() >= respond["p50_s"].as_f64().unwrap());
+
+    let counters = json["counters"].as_object().expect("counters object");
+    assert!(counters["attrs_featurized"].as_u64().unwrap() > 0);
+    // The stage summary table goes to stderr, not stdout.
+    assert!(err.contains("session.respond"), "stderr: {err}");
+    assert!(!out.contains("total_ms"), "summary leaked to stdout: {out}");
+}
+
+#[test]
+fn session_trace_out_writes_chrome_trace_events() {
+    let trace = tmp("session_trace.json");
+    let (ok, _, err) = run(&[
+        "session", "movielens", "--model=off", "--trace-out", trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {err}");
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let json: serde_json::Value = serde_json::from_str(&text).expect("trace JSON parses");
+    let events = json["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty());
+    let first = &events[0];
+    assert_eq!(first["ph"], "X");
+    assert!(first["ts"].is_number() && first["dur"].is_number());
+    assert!(first["pid"].is_number() && first["tid"].is_number());
+    assert!(events.iter().any(|e| e["name"] == "session.respond"));
+}
+
+#[test]
+fn metrics_agree_with_reported_mean_response_time() {
+    // `lsm session` prints the mean response time it computed from
+    // `SessionOutcome::response_times`; the metrics stage must be the same
+    // measurement (mean within 1%, count == iterations).
+    let metrics = tmp("agree_metrics.json");
+    let (ok, out, err) =
+        run(&["session", "rdb-star", "--model", "off", "--metrics-out", metrics.to_str().unwrap()]);
+    assert!(ok, "stderr: {err}");
+    let reported_ms: f64 = out
+        .lines()
+        .find_map(|l| l.split("mean response time: ").nth(1))
+        .and_then(|s| s.split("ms").next())
+        .expect("session output reports mean response time")
+        .trim()
+        .parse()
+        .expect("parse mean response time");
+
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    let stage = &json["stages"]["session.respond"];
+    let mean_ms = stage["mean_s"].as_f64().unwrap() * 1e3;
+    // The printed value is rounded to 3 decimals; allow that plus 1%.
+    let tol = (reported_ms.abs() * 0.01).max(0.002);
+    assert!(
+        (mean_ms - reported_ms).abs() <= tol,
+        "metrics mean {mean_ms} ms vs reported {reported_ms} ms"
+    );
+}
+
+#[test]
+fn flag_without_value_is_a_clear_error() {
+    let (ok, _, err) = run(&["session", "movielens", "--metrics-out"]);
+    assert!(!ok);
+    assert!(err.contains("--metrics-out requires a value"), "stderr: {err}");
+
+    let (ok, _, err) = run(&["match", "a.json", "b.json", "--model"]);
+    assert!(!ok);
+    assert!(err.contains("--model requires a value"), "stderr: {err}");
+}
+
+#[test]
+fn equals_flag_syntax_is_accepted() {
+    let (ok, out, err) = run(&["session", "rdb-star", "--model=off"]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("matched"), "stdout: {out}");
+}

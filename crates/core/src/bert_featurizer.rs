@@ -195,6 +195,7 @@ impl BertFeaturizer {
     /// Stage 1: vocabulary, MLM pre-training, and paraphrase-knowledge
     /// distillation. Expensive; run once per domain and clone per session.
     pub fn pretrain(lexicon: &Lexicon, config: BertFeaturizerConfig) -> Self {
+        let _span = lsm_obs::span("bert.pretrain");
         let corpus_cfg = CorpusConfig { seed: config.seed, ..Default::default() };
         let sentences = CorpusGenerator::new(lexicon, corpus_cfg).generate();
         let vocab = BpeVocab::train(&sentences, config.bpe_merges);
@@ -215,7 +216,10 @@ impl BertFeaturizer {
             vocab.size(),
             &mut rng,
         );
-        mlm.train(&encoder, &mut store, &vocab, &encoded);
+        {
+            let _span = lsm_obs::span("bert.pretrain.mlm");
+            mlm.train(&encoder, &mut store, &vocab, &encoded);
+        }
 
         let mut featurizer = BertFeaturizer {
             config,
@@ -335,6 +339,7 @@ impl BertFeaturizer {
     /// arena across its items. Element `i` of the result is bitwise
     /// equal to `single_pooled(ids_list[i])` for every thread count.
     pub fn pooled_many(&self, ids_list: &[&[u32]], threads: usize) -> Vec<Tensor> {
+        let _span = lsm_obs::span("bert.pooled_many");
         let mut unique: Vec<&[u32]> = Vec::new();
         let mut index_of: std::collections::HashMap<&[u32], usize> =
             std::collections::HashMap::new();
@@ -347,6 +352,10 @@ impl BertFeaturizer {
                 })
             })
             .collect();
+        lsm_obs::add(
+            lsm_obs::Counter::PooledCacheHits,
+            (ids_list.len() - unique.len()) as u64,
+        );
         let unique = &unique;
         let pooled: Vec<Tensor> = crate::featurize::parallel_rows_stateful(
             unique.len(),
@@ -379,6 +388,8 @@ impl BertFeaturizer {
         if pairs.is_empty() {
             return Vec::new();
         }
+        let _span = lsm_obs::span("bert.head_batch");
+        lsm_obs::add(lsm_obs::Counter::HeadPairs, pairs.len() as u64);
         let d = self.encoder.config.d_model;
         let n = pairs.len();
         let mut u = Tensor::zeros(n, d);
@@ -419,6 +430,7 @@ impl BertFeaturizer {
         if pairs.is_empty() {
             return;
         }
+        let _span = lsm_obs::span("bert.fit_end_to_end");
         let max_seq = self.encoder.config.max_seq;
         let mut opt = Adam::new(AdamConfig { lr, ..Default::default() });
         let mut order: Vec<usize> = (0..pairs.len()).collect();
@@ -460,6 +472,7 @@ impl BertFeaturizer {
     /// end-to-end. Pooled vectors are then cached as the replay buffer for
     /// head-only label updates.
     pub fn pretrain_classifier(&mut self, target: &Schema) {
+        let _span = lsm_obs::span("bert.pretrain_classifier");
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0xc1a5);
         let attr_ids: Vec<AttrId> = target.attr_ids().collect();
         let tokenized: Vec<Vec<u32>> =
@@ -594,6 +607,7 @@ impl BertFeaturizer {
 
     /// Trains the head on the replay buffer + label samples.
     fn train_head(&mut self, epochs: usize, rng: &mut ChaCha8Rng) {
+        let _span = lsm_obs::span("bert.train_head");
         let mut replay: Vec<&HeadSample> = self.iss_samples.iter().collect();
         if replay.len() > self.config.replay_cap {
             replay.shuffle(rng);

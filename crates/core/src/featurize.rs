@@ -50,6 +50,7 @@ impl FeatureTable {
 /// Computes the lexical feature over all pairs, parallelized across source
 /// rows with scoped threads.
 pub fn lexical_features(source: &Schema, target: &Schema, threads: usize) -> ScoreMatrix {
+    let _span = lsm_obs::span("featurize.lexical");
     let ns = source.attr_count();
     let nt = target.attr_count();
     let mut m = ScoreMatrix::zeros(ns, nt);
@@ -72,6 +73,7 @@ pub fn embedding_features(
     target: &Schema,
     threads: usize,
 ) -> ScoreMatrix {
+    let _span = lsm_obs::span("featurize.embedding");
     let ns = source.attr_count();
     let nt = target.attr_count();
     let s_vecs: Vec<Vec<f32>> =

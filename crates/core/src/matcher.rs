@@ -77,6 +77,7 @@ struct BertState {
 /// `(row, scores-aligned-with-shortlist)` pairs in row order; scores are
 /// bitwise-identical for every thread count.
 fn score_shortlists(state: &BertState, threads: usize) -> Vec<(usize, Vec<f64>)> {
+    let _span = lsm_obs::span("matcher.score_shortlists");
     let fz = &state.featurizer;
     let (s_vec, t_vec, shortlist) = (&state.s_vec, &state.t_vec, &state.shortlist);
     parallel_rows(shortlist.len(), threads, |i| {
@@ -101,8 +102,10 @@ impl LsmMatcher {
         bert: Option<BertFeaturizer>,
         config: LsmConfig,
     ) -> Self {
+        let _span = lsm_obs::span("matcher.new");
         let ns = source.attr_count();
         let nt = target.attr_count();
+        lsm_obs::add(lsm_obs::Counter::AttrsFeaturized, (ns + nt) as u64);
         let lexical = lexical_features(source, target, config.threads);
         let emb = embedding_features(embedding, source, target, config.threads);
         let mut bert_column = ScoreMatrix::zeros(ns, nt);
@@ -123,8 +126,10 @@ impl LsmMatcher {
                 let fz = &featurizer;
                 let s_refs: Vec<&[u32]> = source_ids.iter().map(|v| v.as_slice()).collect();
                 let t_refs: Vec<&[u32]> = target_ids.iter().map(|v| v.as_slice()).collect();
-                let s_vec: Vec<Tensor> = fz.pooled_many(&s_refs, config.threads);
-                let t_vec: Vec<Tensor> = fz.pooled_many(&t_refs, config.threads);
+                let (s_vec, t_vec): (Vec<Tensor>, Vec<Tensor>) = {
+                    let _span = lsm_obs::span("matcher.pooled_encode");
+                    (fz.pooled_many(&s_refs, config.threads), fz.pooled_many(&t_refs, config.threads))
+                };
 
                 // Description-aware embedding vectors (name + description
                 // text) — recall aid for the shortlist only; the embedding
@@ -146,6 +151,7 @@ impl LsmMatcher {
                 // is robust: one noisy signal cannot crowd out another
                 // signal's hits.
                 let m = config.shortlist.min(nt).max(1);
+                let _shortlist_span = lsm_obs::span("matcher.shortlist");
                 let shortlist: Vec<Vec<AttrId>> =
                     parallel_rows(ns, config.threads, |i| {
                         let s = AttrId(i as u32);
@@ -189,6 +195,7 @@ impl LsmMatcher {
                     .into_iter()
                     .map(|(_, v)| v)
                     .collect();
+                drop(_shortlist_span);
 
                 BertState { featurizer, s_vec, t_vec, shortlist }
             })
@@ -231,6 +238,7 @@ impl LsmMatcher {
     /// the current labels, refreshes the BERT feature column, and retrains
     /// the self-training meta-learner.
     pub fn retrain(&mut self, labels: &LabelStore) {
+        let _span = lsm_obs::span("matcher.retrain");
         let nt = self.target.attr_count();
         // Implied negatives: a confirmed match (s, t) implies every other
         // target in the row is wrong (Section IV-E1). Materialize a small
@@ -263,6 +271,7 @@ impl LsmMatcher {
 
         // ---- BERT fine-tuning on user labels ----
         if let Some(state) = &mut self.bert {
+            let _span = lsm_obs::span("matcher.retrain.bert");
             let mut samples: Vec<(AttrId, AttrId, bool)> = Vec::new();
             for (s, t) in labels.positives() {
                 samples.push((s, t, true));
@@ -308,6 +317,7 @@ impl LsmMatcher {
         }
 
         // ---- meta-learner training set ----
+        let _meta_span = lsm_obs::span("matcher.retrain.meta");
         let mut labeled: Vec<([f64; feature::COUNT], f64)> = Vec::new();
         for (s, t) in labels.positives() {
             labeled.push((self.features.vector(s, t), 1.0));
@@ -343,6 +353,7 @@ impl LsmMatcher {
     /// Step 2 prediction: scores every candidate pair and applies the
     /// score adjustments.
     pub fn predict(&self, labels: &LabelStore) -> ScoreMatrix {
+        let _span = lsm_obs::span("matcher.predict");
         let ns = self.source.attr_count();
         let nt = self.target.attr_count();
         let mut m = ScoreMatrix::zeros(ns, nt);

@@ -149,6 +149,7 @@ impl MetaLearner {
         labeled: &[([f64; feature::COUNT], f64)],
         unlabeled: &[[f64; feature::COUNT]],
     ) {
+        let _span = lsm_obs::span("meta.fit");
         let has_pos = labeled.iter().any(|&(_, y)| y > 0.5);
         let has_neg = labeled.iter().any(|&(_, y)| y < 0.5);
         if !has_pos || !has_neg {
@@ -192,6 +193,7 @@ impl MetaLearner {
             if pseudo.is_empty() {
                 break;
             }
+            lsm_obs::add(lsm_obs::Counter::PseudoLabels, pseudo.len() as u64);
             let mut train: Vec<([f64; feature::COUNT], f64)> = labeled.to_vec();
             train.extend(pseudo.into_iter().map(|(x, y, _)| (x, y)));
             self.fit_supervised(&train);

@@ -19,7 +19,6 @@ use crate::oracle::Oracle;
 use lsm_schema::{Schema, ScoreMatrix};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::time::Instant;
 
 /// Anything that can play the model's role in a session: LSM itself, or a
 /// baseline adapter.
@@ -135,11 +134,15 @@ pub fn run_session<E: SuggestionEngine, O: Oracle>(
     let mut outcome = SessionOutcome { total_attributes: total, ..Default::default() };
 
     for _ in 0..config.max_iterations {
-        // ---- Step 1+2: retrain and predict (the response time) ----
-        let t0 = Instant::now();
-        engine.retrain(&labels);
-        let scores = engine.predict(&labels);
-        outcome.response_times.push(t0.elapsed().as_secs_f64());
+        let _iteration = lsm_obs::span("session.iteration");
+        // ---- Step 1+2: retrain and predict (the response time). One
+        // measurement feeds both the reported response time and the
+        // "session.respond" stage/trace, so they cannot drift. ----
+        let (scores, respond_secs) = lsm_obs::timed("session.respond", || {
+            engine.retrain(&labels);
+            engine.predict(&labels)
+        });
+        outcome.response_times.push(respond_secs);
 
         // ---- Step 3: reviewing ----
         for s in source.attr_ids() {

@@ -1,0 +1,179 @@
+//! Tracing must be observation-only: every matcher/session result is
+//! bitwise identical with the obs sink on vs. off, and the recorded
+//! `session.respond` stage is the *same measurement* as
+//! `SessionOutcome::response_times` (totals agree exactly, not just
+//! within the 1% acceptance bound).
+
+use lsm_core::{
+    run_session, BertFeaturizer, BertFeaturizerConfig, LabelStore, LsmConfig, LsmMatcher,
+    PerfectOracle, SessionConfig,
+};
+use lsm_datasets::customers::{generate_customer, CustomerSpec};
+use lsm_datasets::iss::{generate_retail_iss, IssConfig};
+use lsm_datasets::rename::{NamingStyle, RenameMix};
+use lsm_datasets::Dataset;
+use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
+use lsm_lexicon::{full_lexicon, ConceptBuilder, ConceptDtype, Domain, Lexicon};
+use lsm_schema::{AttrId, DataType, Schema, ScoreMatrix};
+
+/// The obs sink is process-global: never interleave these tests.
+static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn task() -> (EmbeddingSpace, Dataset) {
+    let lexicon = full_lexicon();
+    let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+    let iss = generate_retail_iss(&lexicon, IssConfig::small());
+    let spec = CustomerSpec {
+        name: "Obs Customer",
+        entities: 3,
+        attributes: 18,
+        foreign_keys: 2,
+        descriptions: false,
+        style: NamingStyle::Snake,
+        mix: RenameMix::customer(),
+        seed: 0x0b5,
+    };
+    (embedding, generate_customer(&iss, &lexicon, spec, 7))
+}
+
+fn assert_matrices_bitwise_equal(a: &ScoreMatrix, b: &ScoreMatrix, rows: usize) {
+    for i in 0..rows {
+        let s = AttrId(i as u32);
+        let (ra, rb) = (a.row(s), b.row(s));
+        assert_eq!(ra.len(), rb.len());
+        for (x, y) in ra.iter().zip(rb) {
+            assert_eq!(x.to_bits(), y.to_bits(), "row {i} diverges with tracing on");
+        }
+    }
+}
+
+#[test]
+fn no_bert_predict_and_session_identical_with_tracing_on_vs_off() {
+    let _g = serial();
+    let (embedding, d) = task();
+    let config = LsmConfig { use_bert: false, ..Default::default() };
+
+    lsm_obs::reset();
+    lsm_obs::disable();
+    let matcher_off = LsmMatcher::new(&d.source, &d.target, &embedding, None, config);
+    let scores_off = matcher_off.predict(&LabelStore::new());
+    let mut m = matcher_off;
+    let mut oracle = PerfectOracle::new(d.ground_truth.clone());
+    let outcome_off = run_session(&mut m, &mut oracle, SessionConfig::default());
+
+    lsm_obs::enable();
+    let matcher_on = LsmMatcher::new(&d.source, &d.target, &embedding, None, config);
+    let scores_on = matcher_on.predict(&LabelStore::new());
+    let mut m = matcher_on;
+    let mut oracle = PerfectOracle::new(d.ground_truth.clone());
+    let outcome_on = run_session(&mut m, &mut oracle, SessionConfig::default());
+    lsm_obs::disable();
+
+    assert_matrices_bitwise_equal(&scores_off, &scores_on, d.source.attr_count());
+    assert_eq!(outcome_off.curve, outcome_on.curve);
+    assert_eq!(outcome_off.labels_used, outcome_on.labels_used);
+    assert_eq!(outcome_off.reviews_done, outcome_on.reviews_done);
+}
+
+#[test]
+fn respond_stage_is_the_same_measurement_as_response_times() {
+    let _g = serial();
+    let (embedding, d) = task();
+    let config = LsmConfig { use_bert: false, ..Default::default() };
+
+    lsm_obs::reset();
+    lsm_obs::enable();
+    let mut m = LsmMatcher::new(&d.source, &d.target, &embedding, None, config);
+    let mut oracle = PerfectOracle::new(d.ground_truth.clone());
+    let outcome = run_session(&mut m, &mut oracle, SessionConfig::default());
+    lsm_obs::disable();
+
+    let snap = lsm_obs::snapshot();
+    let respond = snap.stage("session.respond").expect("respond stage recorded");
+    assert_eq!(respond.count as usize, outcome.response_times.len());
+    let sum: f64 = outcome.response_times.iter().sum();
+    // Identical f64 samples accumulated in identical order: exact match,
+    // far inside the 1% acceptance bound.
+    assert!(
+        (respond.total_s - sum).abs() <= 1e-12 * sum.max(1.0),
+        "stage total {} vs response_times sum {}",
+        respond.total_s,
+        sum
+    );
+    let iteration = snap.stage("session.iteration").expect("iteration stage recorded");
+    assert_eq!(iteration.count, respond.count);
+    assert!(iteration.total_s >= respond.total_s);
+}
+
+// -- tiny-BERT variant: the heavily instrumented path (encoder forwards,
+// head batches, pooled cache) must also be observation-only. ------------
+
+fn tiny_lexicon() -> Lexicon {
+    Lexicon::assemble(vec![
+        ConceptBuilder::attribute(Domain::Retail, "quantity")
+            .syn("unit count")
+            .abbr("qty")
+            .dtype(ConceptDtype::Integer)
+            .desc("number of units in the line"),
+        ConceptBuilder::attribute(Domain::Retail, "total amount")
+            .syn("line total")
+            .dtype(ConceptDtype::Decimal)
+            .desc("monetary value of the line"),
+        ConceptBuilder::attribute(Domain::Retail, "store city")
+            .syn("shop town")
+            .dtype(ConceptDtype::Text)
+            .desc("city where the store is located"),
+        ConceptBuilder::entity(Domain::Retail, "transaction line")
+            .syn("order line")
+            .desc("one position of a transaction"),
+    ])
+}
+
+fn tiny_schema(name: &str) -> Schema {
+    Schema::builder(name)
+        .entity("TransactionLine")
+        .attr_desc("line_id", DataType::Integer, "primary key of the line")
+        .attr_desc("quantity", DataType::Integer, "number of units in the line")
+        .attr_desc("total_amount", DataType::Decimal, "monetary value of the line")
+        .attr_desc("store_city", DataType::Text, "city where the store is located")
+        .pk("line_id")
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn tiny_bert_predict_identical_with_tracing_on_vs_off() {
+    let _g = serial();
+    let lexicon = tiny_lexicon();
+    let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+    let target = tiny_schema("target");
+    let source = tiny_schema("source");
+    let mut bert = BertFeaturizer::pretrain(&lexicon, BertFeaturizerConfig::tiny());
+    bert.pretrain_classifier(&target);
+    let config = LsmConfig { use_bert: true, ..Default::default() };
+
+    lsm_obs::reset();
+    lsm_obs::disable();
+    let m_off =
+        LsmMatcher::new(&source, &target, &embedding, Some(bert.clone()), config);
+    let scores_off = m_off.predict(&LabelStore::new());
+
+    lsm_obs::enable();
+    let m_on = LsmMatcher::new(&source, &target, &embedding, Some(bert), config);
+    let scores_on = m_on.predict(&LabelStore::new());
+    lsm_obs::disable();
+
+    assert_matrices_bitwise_equal(&scores_off, &scores_on, source.attr_count());
+
+    // And the instrumentation did see the BERT path.
+    let snap = lsm_obs::snapshot();
+    assert!(snap.counter("encoder_forwards") > 0);
+    assert!(snap.counter("head_pairs") > 0);
+    assert!(snap.counter("gemm_calls") > 0);
+    assert!(snap.stage("bert.pooled_many").is_some());
+    assert!(snap.stage("matcher.score_shortlists").is_some());
+}

@@ -94,6 +94,7 @@ impl Matcher for Coma {
     }
 
     fn score(&self, _ctx: &MatchContext<'_>, source: &Schema, target: &Schema) -> ScoreMatrix {
+        let _span = lsm_obs::span("baseline.coma");
         let mut m = ScoreMatrix::zeros(source.attr_count(), target.attr_count());
         for s in source.attr_ids() {
             for t in target.attr_ids() {

@@ -38,6 +38,7 @@ impl Matcher for Cupid {
     }
 
     fn score(&self, ctx: &MatchContext<'_>, source: &Schema, target: &Schema) -> ScoreMatrix {
+        let _span = lsm_obs::span("baseline.cupid");
         let ns = source.attr_count();
         let nt = target.attr_count();
         let mut m = ScoreMatrix::zeros(ns, nt);

@@ -66,6 +66,7 @@ impl Matcher for SimilarityFlooding {
     }
 
     fn score(&self, ctx: &MatchContext<'_>, source: &Schema, target: &Schema) -> ScoreMatrix {
+        let _span = lsm_obs::span("baseline.sf");
         let sg = schema_graph(source);
         let tg = schema_graph(target);
         let ns = sg.adjacency.len();

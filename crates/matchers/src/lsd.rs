@@ -62,6 +62,7 @@ impl Matcher for Lsd {
     }
 
     fn score(&self, _ctx: &MatchContext<'_>, source: &Schema, target: &Schema) -> ScoreMatrix {
+        let _span = lsm_obs::span("baseline.lsd");
         let mut m = ScoreMatrix::zeros(source.attr_count(), target.attr_count());
         if self.examples.is_empty() {
             return m; // untrained LSD predicts nothing

@@ -112,6 +112,7 @@ impl Matcher for Mlm {
     }
 
     fn score(&self, ctx: &MatchContext<'_>, source: &Schema, target: &Schema) -> ScoreMatrix {
+        let _span = lsm_obs::span("baseline.mlm");
         let s_feats: Vec<Vec<f32>> =
             source.attr_ids().map(|a| featurize(ctx, source, a)).collect();
         let t_feats: Vec<Vec<f32>> =

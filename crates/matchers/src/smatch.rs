@@ -62,6 +62,7 @@ impl Matcher for SMatch {
     }
 
     fn score(&self, ctx: &MatchContext<'_>, source: &Schema, target: &Schema) -> ScoreMatrix {
+        let _span = lsm_obs::span("baseline.smatch");
         let s_meanings: Vec<Meaning> =
             source.attributes.iter().map(|a| meaning(ctx.lexicon, &a.name)).collect();
         let t_meanings: Vec<Meaning> =

@@ -151,6 +151,8 @@ impl BertEncoder {
 
     /// Encodes and pools: `tanh(W · E'[CLS] + b)`, a `[1, d]` vector.
     pub fn pooled(&self, g: &mut Graph, store: &ParamStore, ids: &[u32]) -> NodeId {
+        let _span = lsm_obs::span("nn.encoder.pooled");
+        lsm_obs::add(lsm_obs::Counter::EncoderForwards, 1);
         let h = self.encode(g, store, ids);
         let cls = g.slice_row(h, 0);
         let p = self.pooler.forward(g, store, cls);

@@ -252,6 +252,7 @@ impl Graph {
         let (m, k) = self.val(a).shape();
         let (k2, n) = self.val(b).shape();
         assert_eq!(k, k2, "matmul dimension mismatch");
+        lsm_obs::add(lsm_obs::Counter::GemmCalls, 1);
         let mut v = self.alloc(m, n);
         kernels::matmul_mt(
             self.val(a).data(),
@@ -474,6 +475,7 @@ impl Graph {
     /// Panics on a forward-only tape ([`Graph::for_inference`]) or a
     /// non-scalar loss.
     pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) {
+        let _span = lsm_obs::span("nn.backward");
         assert!(!self.inference, "backward on an inference-mode graph");
         assert_eq!(self.val(loss).shape(), (1, 1), "backward requires a scalar loss");
         *self.grad_mut(loss) = Tensor::scalar(1.0);

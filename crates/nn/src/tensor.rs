@@ -153,6 +153,7 @@ impl Tensor {
     pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor, threads: usize) {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         assert_eq!(out.shape(), (self.rows, other.cols), "matmul output shape mismatch");
+        lsm_obs::add(lsm_obs::Counter::GemmCalls, 1);
         kernels::matmul_mt(
             &self.data,
             &other.data,

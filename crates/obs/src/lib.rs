@@ -1,0 +1,735 @@
+//! # lsm-obs
+//!
+//! Zero-overhead-when-off tracing, metrics, and profiling for the lsm
+//! matcher pipeline.
+//!
+//! The crate exposes one global *sink* guarded by a single [`AtomicBool`].
+//! While the sink is disabled (the default) every instrumentation point —
+//! [`span`], [`add`], [`timed`] — compiles down to one relaxed atomic load
+//! and a branch, so instrumented hot paths (GEMM dispatch, encoder
+//! forwards, shortlist scoring) pay effectively nothing. When enabled, the
+//! sink aggregates three kinds of data:
+//!
+//! * **Stage timings** — named spans accumulate into per-stage aggregates
+//!   (count, total, min/max, and a capped sample reservoir for p50/p95).
+//! * **Pipeline counters** — fixed-enum lock-free [`Counter`]s (attributes
+//!   featurized, encoder forwards, GEMM calls, pseudo-labels, …).
+//! * **Trace events** — every recorded span also becomes a Chrome
+//!   trace-event (`ph: "X"`) with a per-thread `tid`, exportable via
+//!   [`chrome_trace_json`] and loadable in Perfetto / `chrome://tracing`.
+//!
+//! Aggregation takes one `parking_lot::Mutex` lock per span *end*; span
+//! creation never locks. Counters never lock at all.
+//!
+//! ```
+//! lsm_obs::reset();
+//! lsm_obs::enable();
+//! {
+//!     let _span = lsm_obs::span("demo.work");
+//!     lsm_obs::add(lsm_obs::Counter::GemmCalls, 3);
+//! }
+//! lsm_obs::disable();
+//! let snap = lsm_obs::snapshot();
+//! assert_eq!(snap.stage("demo.work").unwrap().count, 1);
+//! assert_eq!(snap.counter("gemm_calls"), 3);
+//! ```
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Cap on buffered Chrome trace events (~48 bytes each). Past the cap,
+/// stage aggregates keep updating but the timeline stops growing and
+/// `dropped_trace_events` counts what was lost.
+const MAX_TRACE_EVENTS: usize = 250_000;
+/// Cap on per-stage duration samples kept for percentile estimates.
+/// Count/total/min/max stay exact past the cap.
+const MAX_STAGE_SAMPLES: usize = 10_000;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Small stable per-thread id for trace events (std ThreadIds are
+    /// opaque; Chrome traces want small integers).
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// Lock-free pipeline counters. Fixed at compile time so `add` is a single
+/// indexed `fetch_add` with no allocation or locking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Attributes run through the lexical/embedding featurizers.
+    AttrsFeaturized,
+    /// Pooled encoder forward passes (the BERT featurizer hot path).
+    EncoderForwards,
+    /// GEMM dispatches through the tensor/graph layer.
+    GemmCalls,
+    /// Deduplicated encodes saved by `pooled_many`'s unique-sequence cache.
+    PooledCacheHits,
+    /// Attribute pairs scored by the batched classifier head.
+    HeadPairs,
+    /// Pseudo-labels admitted by the meta-learner's self-training rounds.
+    PseudoLabels,
+}
+
+impl Counter {
+    /// Every counter, in snapshot order.
+    pub const ALL: [Counter; 6] = [
+        Counter::AttrsFeaturized,
+        Counter::EncoderForwards,
+        Counter::GemmCalls,
+        Counter::PooledCacheHits,
+        Counter::HeadPairs,
+        Counter::PseudoLabels,
+    ];
+
+    /// Stable snake_case name used in metrics JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::AttrsFeaturized => "attrs_featurized",
+            Counter::EncoderForwards => "encoder_forwards",
+            Counter::GemmCalls => "gemm_calls",
+            Counter::PooledCacheHits => "pooled_cache_hits",
+            Counter::HeadPairs => "head_pairs",
+            Counter::PseudoLabels => "pseudo_labels",
+        }
+    }
+}
+
+static COUNTERS: [AtomicU64; Counter::ALL.len()] =
+    [const { AtomicU64::new(0) }; Counter::ALL.len()];
+
+/// Increment `counter` by `n`. No-op (one relaxed load) while disabled.
+#[inline]
+pub fn add(counter: Counter, n: u64) {
+    if ENABLED.load(Ordering::Relaxed) {
+        COUNTERS[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Current value of `counter`.
+pub fn counter_value(counter: Counter) -> u64 {
+    COUNTERS[counter as usize].load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct TraceEvent {
+    name: &'static str,
+    tid: u64,
+    ts_us: f64,
+    dur_us: f64,
+}
+
+struct StageAgg {
+    count: u64,
+    total_s: f64,
+    min_s: f64,
+    max_s: f64,
+    samples: Vec<f64>,
+}
+
+impl StageAgg {
+    fn new() -> Self {
+        StageAgg {
+            count: 0,
+            total_s: 0.0,
+            min_s: f64::INFINITY,
+            max_s: 0.0,
+            samples: Vec::new(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    /// Timeline origin: set lazily by the first recorded span after a
+    /// reset, so trace timestamps start near zero.
+    epoch: Option<Instant>,
+    stages: BTreeMap<&'static str, StageAgg>,
+    events: Vec<TraceEvent>,
+    dropped_events: u64,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REG: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+// ---------------------------------------------------------------------------
+// Enable / disable / reset
+// ---------------------------------------------------------------------------
+
+/// Turn the sink on. Instrumentation points start recording.
+pub fn enable() {
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turn the sink off. Already-collected data is kept (see [`reset`]).
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Is the sink currently recording?
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enable the sink when the `LSM_TRACE` environment variable is set to a
+/// truthy value (anything except empty or `0`).
+pub fn enable_from_env() {
+    if let Ok(v) = std::env::var("LSM_TRACE") {
+        if !v.is_empty() && v != "0" {
+            enable();
+        }
+    }
+}
+
+/// Clear all collected spans, trace events, and counters, and restart the
+/// trace timeline at zero. Does not change the enabled flag.
+pub fn reset() {
+    for c in &COUNTERS {
+        c.store(0, Ordering::Relaxed);
+    }
+    let mut reg = registry().lock();
+    reg.epoch = None;
+    reg.stages.clear();
+    reg.events.clear();
+    reg.dropped_events = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// RAII guard returned by [`span`]; records its duration on drop.
+#[must_use = "a span measures until dropped; bind it: `let _span = lsm_obs::span(..)`"]
+pub struct Span {
+    active: Option<(&'static str, Instant)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.active.take() {
+            record_span(name, start, start.elapsed());
+        }
+    }
+}
+
+/// Start a scoped span. While the sink is disabled this is one relaxed
+/// atomic load and returns an inert guard (no clock read, no lock).
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !is_enabled() {
+        return Span { active: None };
+    }
+    Span { active: Some((name, Instant::now())) }
+}
+
+/// Run `f` under a span named `name` and return `(result, elapsed_secs)`.
+///
+/// The duration is always measured (one `Instant` pair) and is recorded in
+/// the sink only when enabled — so a caller that stores the returned
+/// seconds (e.g. `SessionOutcome::response_times`) and the trace timeline
+/// are fed by the *same* measurement and cannot drift.
+pub fn timed<R>(name: &'static str, f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let result = f();
+    let dur = start.elapsed();
+    if is_enabled() {
+        record_span(name, start, dur);
+    }
+    (result, dur.as_secs_f64())
+}
+
+fn record_span(name: &'static str, start: Instant, dur: Duration) {
+    let tid = TID.with(|t| *t);
+    let dur_s = dur.as_secs_f64();
+    let mut reg = registry().lock();
+    let epoch = *reg.epoch.get_or_insert(start);
+    let ts_us = start.saturating_duration_since(epoch).as_secs_f64() * 1e6;
+    if reg.events.len() < MAX_TRACE_EVENTS {
+        reg.events.push(TraceEvent { name, tid, ts_us, dur_us: dur_s * 1e6 });
+    } else {
+        reg.dropped_events += 1;
+    }
+    let agg = reg.stages.entry(name).or_insert_with(StageAgg::new);
+    agg.count += 1;
+    agg.total_s += dur_s;
+    agg.min_s = agg.min_s.min(dur_s);
+    agg.max_s = agg.max_s.max(dur_s);
+    if agg.samples.len() < MAX_STAGE_SAMPLES {
+        agg.samples.push(dur_s);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+/// Aggregated statistics for one named stage.
+#[derive(Debug, Clone)]
+pub struct StageStats {
+    pub name: String,
+    pub count: u64,
+    pub total_s: f64,
+    pub mean_s: f64,
+    pub min_s: f64,
+    pub max_s: f64,
+    /// Median over the (capped) sample reservoir.
+    pub p50_s: f64,
+    /// 95th percentile over the (capped) sample reservoir.
+    pub p95_s: f64,
+}
+
+/// A point-in-time copy of every stage aggregate and pipeline counter.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Stages sorted by name (deterministic).
+    pub stages: Vec<StageStats>,
+    /// `(name, value)` for every [`Counter`], in [`Counter::ALL`] order.
+    pub counters: Vec<(String, u64)>,
+    /// Trace events discarded after the buffer cap was hit.
+    pub dropped_trace_events: u64,
+}
+
+/// Nearest-rank percentile over a sorted slice; 0.0 for an empty slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Take a consistent snapshot of all collected metrics.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry().lock();
+    let stages = reg
+        .stages
+        .iter()
+        .map(|(name, agg)| {
+            let mut sorted = agg.samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            StageStats {
+                name: (*name).to_string(),
+                count: agg.count,
+                total_s: agg.total_s,
+                mean_s: if agg.count > 0 { agg.total_s / agg.count as f64 } else { 0.0 },
+                min_s: if agg.count > 0 { agg.min_s } else { 0.0 },
+                max_s: agg.max_s,
+                p50_s: percentile(&sorted, 50.0),
+                p95_s: percentile(&sorted, 95.0),
+            }
+        })
+        .collect();
+    let counters = Counter::ALL
+        .iter()
+        .map(|c| (c.name().to_string(), counter_value(*c)))
+        .collect();
+    MetricsSnapshot { stages, counters, dropped_trace_events: reg.dropped_events }
+}
+
+impl MetricsSnapshot {
+    /// Look up one stage by name.
+    pub fn stage(&self, name: &str) -> Option<&StageStats> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Value of a counter by its snake_case name (0 if unknown).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Serialize to the metrics JSON schema (see `docs/observability.md`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024 + 256 * self.stages.len());
+        out.push_str("{\n  \"stages\": {");
+        for (i, s) in self.stages.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            push_json_str(&mut out, &s.name);
+            out.push_str(": {\"count\": ");
+            let _ = write!(out, "{}", s.count);
+            for (key, v) in [
+                ("total_s", s.total_s),
+                ("mean_s", s.mean_s),
+                ("min_s", s.min_s),
+                ("max_s", s.max_s),
+                ("p50_s", s.p50_s),
+                ("p95_s", s.p95_s),
+            ] {
+                let _ = write!(out, ", \"{key}\": ");
+                push_json_f64(&mut out, v);
+            }
+            out.push('}');
+        }
+        out.push_str("\n  },\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            push_json_str(&mut out, name);
+            let _ = write!(out, ": {v}");
+        }
+        let _ = write!(
+            out,
+            "\n  }},\n  \"dropped_trace_events\": {}\n}}\n",
+            self.dropped_trace_events
+        );
+        out
+    }
+
+    /// Human-readable per-stage table (for stderr summaries), stages
+    /// sorted by total time descending.
+    pub fn render_table(&self) -> String {
+        let mut rows: Vec<&StageStats> = self.stages.iter().collect();
+        rows.sort_by(|a, b| b.total_s.total_cmp(&a.total_s));
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>12} {:>12} {:>12}\n",
+            "stage", "count", "total_ms", "mean_ms", "p95_ms"
+        ));
+        for s in rows {
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>12.3} {:>12.4} {:>12.4}\n",
+                s.name,
+                s.count,
+                s.total_s * 1e3,
+                s.mean_s * 1e3,
+                s.p95_s * 1e3
+            ));
+        }
+        for (name, v) in &self.counters {
+            if *v > 0 {
+                out.push_str(&format!("counter {name:<28} {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Write the metrics snapshot JSON to `path`.
+pub fn write_metrics(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, snapshot().to_json())
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------------
+
+/// Serialize all buffered spans to Chrome trace-event JSON: an object with
+/// a `traceEvents` array of complete (`"ph": "X"`) events, loadable in
+/// Perfetto or `chrome://tracing`.
+pub fn chrome_trace_json() -> String {
+    let reg = registry().lock();
+    let mut out = String::with_capacity(64 + 96 * reg.events.len());
+    out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+    for (i, e) in reg.events.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("{\"name\": ");
+        push_json_str(&mut out, e.name);
+        out.push_str(", \"cat\": \"lsm\", \"ph\": \"X\", \"ts\": ");
+        push_json_f64(&mut out, e.ts_us);
+        out.push_str(", \"dur\": ");
+        push_json_f64(&mut out, e.dur_us);
+        let _ = write!(out, ", \"pid\": 1, \"tid\": {}}}", e.tid);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Write the Chrome trace JSON to `path`.
+pub fn write_trace(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace_json())
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON emission (no serde: this crate stays dependency-light)
+// ---------------------------------------------------------------------------
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `f64` to JSON. Rust's shortest-roundtrip `Display` is valid JSON for
+/// finite values; non-finite values (never produced by timers) become 0.
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push('0');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The sink is process-global, so tests that enable/reset it must not
+    /// interleave. (std Mutex: const-constructible, poison-tolerant.)
+    static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn busy(us: u64) {
+        let t = Instant::now();
+        while t.elapsed() < Duration::from_micros(us) {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let _g = serial();
+        reset();
+        disable();
+        {
+            let _s = span("off.stage");
+            add(Counter::GemmCalls, 5);
+        }
+        let snap = snapshot();
+        assert!(snap.stage("off.stage").is_none());
+        assert_eq!(snap.counter("gemm_calls"), 0);
+    }
+
+    #[test]
+    fn span_nesting_aggregates_both_levels() {
+        let _g = serial();
+        reset();
+        enable();
+        {
+            let _outer = span("nest.outer");
+            busy(200);
+            {
+                let _inner = span("nest.inner");
+                busy(200);
+            }
+            {
+                let _inner = span("nest.inner");
+                busy(200);
+            }
+        }
+        disable();
+        let snap = snapshot();
+        let outer = snap.stage("nest.outer").expect("outer recorded");
+        let inner = snap.stage("nest.inner").expect("inner recorded");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 2);
+        // The outer span strictly contains both inner spans.
+        assert!(outer.total_s >= inner.total_s);
+        assert!(inner.min_s > 0.0 && inner.min_s <= inner.max_s);
+        assert!(outer.p95_s >= outer.p50_s);
+    }
+
+    #[test]
+    fn counter_aggregation_and_reset() {
+        let _g = serial();
+        reset();
+        enable();
+        add(Counter::PseudoLabels, 3);
+        add(Counter::PseudoLabels, 4);
+        add(Counter::EncoderForwards, 1);
+        disable();
+        let snap = snapshot();
+        assert_eq!(snap.counter("pseudo_labels"), 7);
+        assert_eq!(snap.counter("encoder_forwards"), 1);
+        assert_eq!(snap.counter("attrs_featurized"), 0);
+        reset();
+        assert_eq!(snapshot().counter("pseudo_labels"), 0);
+    }
+
+    #[test]
+    fn timed_measures_even_when_disabled() {
+        let _g = serial();
+        reset();
+        disable();
+        let (value, secs) = timed("timed.stage", || {
+            busy(300);
+            42
+        });
+        assert_eq!(value, 42);
+        assert!(secs >= 200e-6, "timed() must measure with the sink off; got {secs}");
+        assert!(snapshot().stage("timed.stage").is_none());
+
+        enable();
+        let ((), secs_on) = timed("timed.stage", || busy(300));
+        disable();
+        let snap = snapshot();
+        let stage = snap.stage("timed.stage").expect("recorded when enabled");
+        assert_eq!(stage.count, 1);
+        // The recorded total and the returned seconds are the same measurement.
+        assert_eq!(stage.total_s, secs_on);
+    }
+
+    #[test]
+    fn trace_and_metrics_json_are_wellformed() {
+        let _g = serial();
+        reset();
+        enable();
+        {
+            let _s = span("json.stage");
+            busy(100);
+        }
+        add(Counter::HeadPairs, 11);
+        disable();
+
+        let metrics = snapshot().to_json();
+        assert_json(&metrics);
+        assert!(metrics.contains("\"json.stage\""));
+        assert!(metrics.contains("\"head_pairs\": 11"));
+
+        let trace = chrome_trace_json();
+        assert_json(&trace);
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("\"ph\": \"X\""));
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 95.0), 5.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    // -- a tiny recursive-descent JSON validity checker for the tests -----
+
+    fn assert_json(s: &str) {
+        let b = s.as_bytes();
+        let mut i = 0usize;
+        parse_value(b, &mut i);
+        skip_ws(b, &mut i);
+        assert_eq!(i, b.len(), "trailing garbage after JSON value in: {s}");
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\n' | b'\r' | b'\t') {
+            *i += 1;
+        }
+    }
+
+    fn parse_value(b: &[u8], i: &mut usize) {
+        skip_ws(b, i);
+        assert!(*i < b.len(), "unexpected end of JSON");
+        match b[*i] {
+            b'{' => {
+                *i += 1;
+                skip_ws(b, i);
+                if b[*i] == b'}' {
+                    *i += 1;
+                    return;
+                }
+                loop {
+                    parse_string(b, i);
+                    skip_ws(b, i);
+                    assert_eq!(b[*i], b':', "expected ':' at byte {i}");
+                    *i += 1;
+                    parse_value(b, i);
+                    skip_ws(b, i);
+                    match b[*i] {
+                        b',' => {
+                            *i += 1;
+                            skip_ws(b, i);
+                        }
+                        b'}' => {
+                            *i += 1;
+                            return;
+                        }
+                        c => panic!("expected ',' or '}}', got {}", c as char),
+                    }
+                }
+            }
+            b'[' => {
+                *i += 1;
+                skip_ws(b, i);
+                if b[*i] == b']' {
+                    *i += 1;
+                    return;
+                }
+                loop {
+                    parse_value(b, i);
+                    skip_ws(b, i);
+                    match b[*i] {
+                        b',' => *i += 1,
+                        b']' => {
+                            *i += 1;
+                            return;
+                        }
+                        c => panic!("expected ',' or ']', got {}", c as char),
+                    }
+                }
+            }
+            b'"' => parse_string(b, i),
+            b't' => expect(b, i, "true"),
+            b'f' => expect(b, i, "false"),
+            b'n' => expect(b, i, "null"),
+            _ => parse_number(b, i),
+        }
+    }
+
+    fn parse_string(b: &[u8], i: &mut usize) {
+        skip_ws(b, i);
+        assert_eq!(b[*i], b'"', "expected string at byte {i}");
+        *i += 1;
+        while b[*i] != b'"' {
+            assert!(b[*i] >= 0x20, "raw control char in string");
+            if b[*i] == b'\\' {
+                *i += 1;
+            }
+            *i += 1;
+        }
+        *i += 1;
+    }
+
+    fn parse_number(b: &[u8], i: &mut usize) {
+        let start = *i;
+        if b[*i] == b'-' {
+            *i += 1;
+        }
+        while *i < b.len()
+            && matches!(b[*i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        {
+            *i += 1;
+        }
+        let text = std::str::from_utf8(&b[start..*i]).unwrap();
+        assert!(text.parse::<f64>().is_ok(), "bad JSON number: {text}");
+    }
+
+    fn expect(b: &[u8], i: &mut usize, lit: &str) {
+        assert!(b[*i..].starts_with(lit.as_bytes()), "expected literal {lit}");
+        *i += lit.len();
+    }
+}

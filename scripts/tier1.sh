@@ -12,7 +12,26 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
-echo "==> cargo clippy -D warnings (lsm-nn, lsm-core, lsm-bench)"
-cargo clippy -p lsm-nn -p lsm-core -p lsm-bench --all-targets -- -D warnings
+echo "==> cargo clippy -D warnings (lsm-nn, lsm-core, lsm-bench, lsm-obs, lsm-cli)"
+cargo clippy -p lsm-nn -p lsm-core -p lsm-bench -p lsm-obs -p lsm-cli --all-targets -- -D warnings
+
+echo "==> observability smoke: lsm session movielens --model tiny --metrics-out"
+metrics=/tmp/lsm_tier1_metrics.json
+rm -f "$metrics"
+cargo run --release -p lsm-cli --bin lsm -- session movielens --model tiny --metrics-out "$metrics" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$metrics" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+respond = snap["stages"]["session.respond"]
+assert respond["count"] > 0 and respond["total_s"] > 0, respond
+assert snap["counters"]["attrs_featurized"] > 0, snap["counters"]
+print("metrics snapshot OK:",
+      f"{respond['count']} iterations, respond total {respond['total_s']:.3f}s")
+EOF
+else
+  grep -q '"session.respond"' "$metrics"
+  echo "metrics snapshot OK (python3 unavailable; key check only)"
+fi
 
 echo "==> tier-1 OK"
