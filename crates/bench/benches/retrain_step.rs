@@ -34,9 +34,7 @@ fn bench_retrain(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("retrain_step");
-    group.bench_function("retrain_meta_24x90", |b| {
-        b.iter(|| matcher.retrain(black_box(&labels)))
-    });
+    group.bench_function("retrain_meta_24x90", |b| b.iter(|| matcher.retrain(black_box(&labels))));
     group.bench_function("predict_24x90", |b| {
         b.iter(|| black_box(matcher.predict(black_box(&labels))))
     });

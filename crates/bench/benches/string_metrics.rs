@@ -3,9 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lsm_text::lexical_similarity;
-use lsm_text::metrics::{
-    edit_similarity, jaro_winkler, soundex, trigram_similarity,
-};
+use lsm_text::metrics::{edit_similarity, jaro_winkler, soundex, trigram_similarity};
 use lsm_text::tokenize;
 
 const PAIRS: &[(&str, &str)] = &[

@@ -25,11 +25,7 @@ fn main() {
     ];
 
     // One (smaller) customer keeps the quadruple pre-training affordable.
-    let dataset = harness
-        .customers(base_seed())
-        .into_iter()
-        .next()
-        .expect("customer A exists");
+    let dataset = harness.customers(base_seed()).into_iter().next().expect("customer A exists");
     println!(
         "Ablation: classifier pre-training sample types on {} (top-3, split protocol, {n} trials)",
         dataset.name

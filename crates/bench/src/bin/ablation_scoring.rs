@@ -11,10 +11,7 @@ fn main() {
         ("full", LsmConfig::default()),
         ("no dtype gating", LsmConfig { dtype_gating: false, ..Default::default() }),
         ("no entity penalty", LsmConfig { entity_penalty: false, ..Default::default() }),
-        (
-            "neither",
-            LsmConfig { dtype_gating: false, entity_penalty: false, ..Default::default() },
-        ),
+        ("neither", LsmConfig { dtype_gating: false, entity_penalty: false, ..Default::default() }),
     ];
 
     println!("Ablation: score adjustments (top-3 accuracy, split protocol, {n} trials)");

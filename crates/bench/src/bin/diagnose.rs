@@ -36,11 +36,15 @@ fn main() {
     // Per-feature-column accuracy.
     let labels = LabelStore::new();
     let cold = matcher.predict(&labels);
-    println!("cold-start LSM:   top-1 {:.2}  top-3 {:.2}  top-5 {:.2}",
+    println!(
+        "cold-start LSM:   top-1 {:.2}  top-3 {:.2}  top-5 {:.2}",
         cold.top_k_accuracy(&dataset.ground_truth, &sources, 1),
         cold.top_k_accuracy(&dataset.ground_truth, &sources, 3),
-        cold.top_k_accuracy(&dataset.ground_truth, &sources, 5));
-    for (name, f) in [("lexical", feature::LEXICAL), ("embedding", feature::EMBEDDING), ("bert", feature::BERT)] {
+        cold.top_k_accuracy(&dataset.ground_truth, &sources, 5)
+    );
+    for (name, f) in
+        [("lexical", feature::LEXICAL), ("embedding", feature::EMBEDDING), ("bert", feature::BERT)]
+    {
         let col = matcher.feature_column(f);
         println!(
             "{name:<10} alone: top-1 {:.2}  top-3 {:.2}  top-5 {:.2}",
@@ -83,8 +87,16 @@ fn main() {
         ("discount", "store_city"),
         ("qty", "quantity"),
     ] {
-        let sa = Schema::builder("probe").entity("P").attr(a, lsm_schema::DataType::Text).build().unwrap();
-        let sb = Schema::builder("probe2").entity("Q").attr(b, lsm_schema::DataType::Text).build().unwrap();
+        let sa = Schema::builder("probe")
+            .entity("P")
+            .attr(a, lsm_schema::DataType::Text)
+            .build()
+            .unwrap();
+        let sb = Schema::builder("probe2")
+            .entity("Q")
+            .attr(b, lsm_schema::DataType::Text)
+            .build()
+            .unwrap();
         let score = bert.score_pair(&sa, AttrId(0), &sb, AttrId(0));
         println!("probe {a:<24} vs {b:<26} → {score:.3}");
     }
@@ -99,5 +111,8 @@ fn main() {
         eval.test_size
     );
     let (w, b) = matcher.meta_weights();
-    println!("meta weights: lexical {:.3}  embedding {:.3}  bert {:.3}  bias {:.3}", w[0], w[1], w[2], b);
+    println!(
+        "meta weights: lexical {:.3}  embedding {:.3}  bert {:.3}  bias {:.3}",
+        w[0], w[1], w[2], b
+    );
 }

@@ -2,7 +2,7 @@
 //! (mean ± standard error over independent trials, k ∈ {1, 3, 5}).
 
 use lsm_bench::{
-    baseline_split_accuracies, base_seed, lsm_split_accuracies, mean, stderr, trials,
+    base_seed, baseline_split_accuracies, lsm_split_accuracies, mean, stderr, trials,
     write_artifact, Harness,
 };
 use lsm_core::LsmConfig;

@@ -34,7 +34,10 @@ fn main() {
             &harness,
             &d,
             LsmConfig::default(),
-            SessionConfig { strategy: SelectionStrategy::LeastConfidentAnchor, ..Default::default() },
+            SessionConfig {
+                strategy: SelectionStrategy::LeastConfidentAnchor,
+                ..Default::default()
+            },
         );
         print_curve_row("LSM w/ smart selection", &smart);
         let random = run_lsm_session(

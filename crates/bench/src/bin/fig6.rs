@@ -26,7 +26,8 @@ fn main() {
     for d in harness.customers(base_seed()) {
         eprintln!("[fig6] {} ...", d.name);
         println!("{}:", d.name);
-        let with_bert = run_lsm_session(&harness, &d, LsmConfig::default(), SessionConfig::default());
+        let with_bert =
+            run_lsm_session(&harness, &d, LsmConfig::default(), SessionConfig::default());
         print_curve_row("LSM", &with_bert);
         let without_bert = run_lsm_session(
             &harness,

@@ -30,7 +30,8 @@ fn main() {
         }
         eprintln!("[fig7] {} ...", d.name);
         println!("{}:", d.name);
-        let with_desc = run_lsm_session(&harness, &d, LsmConfig::default(), SessionConfig::default());
+        let with_desc =
+            run_lsm_session(&harness, &d, LsmConfig::default(), SessionConfig::default());
         print_curve_row("LSM", &with_desc);
 
         let stripped = Dataset {

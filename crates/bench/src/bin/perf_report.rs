@@ -111,8 +111,7 @@ fn head_report(n: usize, d: usize, reps: usize) -> serde_json::Value {
         },
         reps,
     );
-    let rows: Vec<Tensor> =
-        (0..n).map(|i| Tensor::from_vec(1, 4 * d, u.row(i).to_vec())).collect();
+    let rows: Vec<Tensor> = (0..n).map(|i| Tensor::from_vec(1, 4 * d, u.row(i).to_vec())).collect();
     let t_singles = time_best(
         || {
             for r in &rows {
@@ -242,8 +241,8 @@ fn obs_overhead_report(reps: usize) -> serde_json::Value {
 /// `SessionOutcome::response_times` (same measurement).
 fn pipeline_stage_report() -> serde_json::Value {
     use lsm_core::{
-        run_session, BertFeaturizer, BertFeaturizerConfig, LsmConfig, LsmMatcher,
-        PerfectOracle, SessionConfig,
+        run_session, BertFeaturizer, BertFeaturizerConfig, LsmConfig, LsmMatcher, PerfectOracle,
+        SessionConfig,
     };
     use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
     use lsm_lexicon::full_lexicon;
@@ -285,15 +284,14 @@ fn pipeline_stage_report() -> serde_json::Value {
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "results/BENCH_nn.json".into());
-    let host_threads =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     eprintln!("perf_report: timing GEMM kernels …");
     let gemms = vec![
-        gemm_report(256, 256, 256, 30),  // acceptance-criterion shape
-        gemm_report(48, 48, 96, 400),    // BERT-small FFN GEMM
-        gemm_report(1218, 192, 48, 30),  // paper-sized batched head hidden
-        gemm_report(512, 512, 512, 8),   // headroom shape
+        gemm_report(256, 256, 256, 30), // acceptance-criterion shape
+        gemm_report(48, 48, 96, 400),   // BERT-small FFN GEMM
+        gemm_report(1218, 192, 48, 30), // paper-sized batched head hidden
+        gemm_report(512, 512, 512, 8),  // headroom shape
     ];
     eprintln!("perf_report: timing batched head …");
     let head = head_report(1218, 48, 30);

@@ -13,10 +13,7 @@ fn main() {
     let n = trials();
 
     println!("Table IV: top-k accuracy on the public schemata (median of {n} trials)");
-    println!(
-        "{:<18} {:>22} {:>30}",
-        "", "Best Baseline (1/3/5)", "LSM (1/3/5)"
-    );
+    println!("{:<18} {:>22} {:>30}", "", "Best Baseline (1/3/5)", "LSM (1/3/5)");
     let mut rows = Vec::new();
     for d in harness.publics() {
         eprintln!("[table4] {} ...", d.name);

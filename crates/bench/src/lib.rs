@@ -18,6 +18,8 @@
 //! * `LSM_SEED` — base seed (default 1),
 //! * `LSM_FAST` — set to `1` to run on a reduced ISS for smoke-testing.
 
+#![forbid(unsafe_code)]
+
 use lsm_baselines::coma::Coma;
 use lsm_baselines::cupid::Cupid;
 use lsm_baselines::flooding::SimilarityFlooding;
@@ -130,16 +132,10 @@ impl Harness {
             IssConfig::paper()
         };
         let iss = generate_retail_iss(&lexicon, iss_config);
-        let bert_config = if fast_mode() {
-            BertFeaturizerConfig::tiny()
-        } else {
-            BertFeaturizerConfig::small()
-        };
-        let key = format!(
-            "bert_domain_{}_{}",
-            if fast_mode() { "tiny" } else { "small" },
-            lexicon.len()
-        );
+        let bert_config =
+            if fast_mode() { BertFeaturizerConfig::tiny() } else { BertFeaturizerConfig::small() };
+        let key =
+            format!("bert_domain_{}_{}", if fast_mode() { "tiny" } else { "small" }, lexicon.len());
         let bert = cached_featurizer(
             &key,
             |f| f.config_snapshot() == format!("{bert_config:?}"),
@@ -314,11 +310,7 @@ pub fn lsm_matcher_for(
     dataset: &Dataset,
     config: lsm_core::LsmConfig,
 ) -> lsm_core::LsmMatcher {
-    let bert = if config.use_bert {
-        Some(harness.bert_for(&dataset.target))
-    } else {
-        None
-    };
+    let bert = if config.use_bert { Some(harness.bert_for(&dataset.target)) } else { None };
     lsm_core::LsmMatcher::new(&dataset.source, &dataset.target, &harness.embedding, bert, config)
 }
 
@@ -358,8 +350,10 @@ pub fn baseline_split_accuracies(
     let (name, scores, _) = best_baseline(ctx, dataset, base_seed());
     let accs = (0..n_trials)
         .map(|trial| {
-            let mut engine =
-                lsm_core::session::PinnedBaselineEngine::new(dataset.source.clone(), scores.clone());
+            let mut engine = lsm_core::session::PinnedBaselineEngine::new(
+                dataset.source.clone(),
+                scores.clone(),
+            );
             let eval = lsm_core::evaluate_split(
                 &mut engine,
                 &dataset.ground_truth,
@@ -393,8 +387,7 @@ pub fn run_best_baseline_session(
     session: lsm_core::SessionConfig,
 ) -> (String, lsm_core::SessionOutcome) {
     let (name, scores, _) = best_baseline(ctx, dataset, base_seed());
-    let mut engine =
-        lsm_core::session::PinnedBaselineEngine::new(dataset.source.clone(), scores);
+    let mut engine = lsm_core::session::PinnedBaselineEngine::new(dataset.source.clone(), scores);
     let mut oracle = lsm_core::PerfectOracle::new(dataset.ground_truth.clone());
     (name, lsm_core::run_session(&mut engine, &mut oracle, session))
 }
@@ -430,13 +423,18 @@ pub fn curve_json(outcome: &lsm_core::SessionOutcome) -> serde_json::Value {
     })
 }
 
-/// Writes a JSON artifact under `results/`.
+/// Writes a JSON artifact under `results/`. The experiment harness aborts
+/// on an unwritable results directory by design: a partial artifact set
+/// would silently corrupt the paper tables assembled from it.
 pub fn write_artifact(name: &str, value: &serde_json::Value) {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    // lsm-lint: allow(R5-panic-policy, harness must abort rather than emit a partial artifact set)
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-        .expect("write artifact");
+    // lsm-lint: allow(R5-panic-policy, serde_json::Value serialization is infallible)
+    let json = serde_json::to_string_pretty(value).expect("serialize");
+    // lsm-lint: allow(R5-panic-policy, harness must abort rather than emit a partial artifact set)
+    std::fs::write(&path, json).expect("write artifact");
     eprintln!("[artifact] wrote {}", path.display());
 }
 

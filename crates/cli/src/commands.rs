@@ -99,11 +99,7 @@ pub fn match_schemas(
             .into_iter()
             .map(|(t, score)| format!("{} ({score:.2})", target.qualified_name(t)))
             .collect();
-        out.push_str(&format!(
-            "{:<40} → {}\n",
-            source.qualified_name(s),
-            suggestions.join(", ")
-        ));
+        out.push_str(&format!("{:<40} → {}\n", source.qualified_name(s), suggestions.join(", ")));
     }
     Ok(out)
 }
@@ -129,9 +125,7 @@ pub fn baseline(
         "sf" => SimilarityFlooding::default().score(&ctx, &source, &target),
         "mlm" => Mlm::default().score(&ctx, &source, &target),
         other => {
-            return Err(format!(
-                "unknown baseline {other:?}; expected cupid|coma|smatch|sf|mlm"
-            ))
+            return Err(format!("unknown baseline {other:?}; expected cupid|coma|smatch|sf|mlm"))
         }
     };
     let mut out = String::new();
@@ -141,11 +135,7 @@ pub fn baseline(
             .into_iter()
             .map(|(t, score)| format!("{} ({score:.2})", target.qualified_name(t)))
             .collect();
-        out.push_str(&format!(
-            "{:<40} → {}\n",
-            source.qualified_name(s),
-            suggestions.join(", ")
-        ));
+        out.push_str(&format!("{:<40} → {}\n", source.qualified_name(s), suggestions.join(", ")));
     }
     Ok(out)
 }
@@ -206,10 +196,7 @@ pub fn extract(
 /// `lsm evaluate`: scores a predicted match set (the `extract` output)
 /// against a reference match file (the labels format with `correct: true`
 /// rows), reporting precision, recall, and F1.
-pub fn evaluate(
-    predictions_json: &str,
-    truth_json: &str,
-) -> Result<String, String> {
+pub fn evaluate(predictions_json: &str, truth_json: &str) -> Result<String, String> {
     #[derive(serde::Deserialize)]
     struct Predictions {
         matches: Vec<PredictedMatch>,
@@ -223,11 +210,8 @@ pub fn evaluate(
         .map_err(|e| format!("invalid predictions JSON: {e}"))?;
     let truth: Vec<crate::labels::LabelSpec> =
         serde_json::from_str(truth_json).map_err(|e| format!("invalid truth JSON: {e}"))?;
-    let truth_pairs: std::collections::HashSet<(String, String)> = truth
-        .iter()
-        .filter(|l| l.correct)
-        .map(|l| (l.source.clone(), l.target.clone()))
-        .collect();
+    let truth_pairs: std::collections::HashSet<(String, String)> =
+        truth.iter().filter(|l| l.correct).map(|l| (l.source.clone(), l.target.clone())).collect();
     if truth_pairs.is_empty() {
         return Err("truth file contains no correct pairs".to_string());
     }
@@ -258,10 +242,7 @@ pub fn session(dataset_name: &str, model: ModelChoice) -> Result<String, String>
         "ipfqr" => lsm_datasets::public_data::ipfqr(),
         "customer-a" | "customer-b" | "customer-c" | "customer-d" | "customer-e" => {
             let idx = (dataset_name.as_bytes()[dataset_name.len() - 1] - b'a') as usize;
-            lsm_datasets::customers::all_customers(1)
-                .into_iter()
-                .nth(idx)
-                .expect("five customers")
+            lsm_datasets::customers::all_customers(1).into_iter().nth(idx).expect("five customers")
         }
         other => {
             return Err(format!(
@@ -292,8 +273,11 @@ pub fn session(dataset_name: &str, model: ModelChoice) -> Result<String, String>
         lsm_core::run_session(&mut matcher, &mut oracle, lsm_core::SessionConfig::default());
 
     let mut out = String::new();
-    out.push_str(&format!("dataset: {}
-", dataset.name));
+    out.push_str(&format!(
+        "dataset: {}
+",
+        dataset.name
+    ));
     out.push_str(&format!(
         "matched: {}/{} correctly
 ",
@@ -307,20 +291,30 @@ pub fn session(dataset_name: &str, model: ModelChoice) -> Result<String, String>
         outcome.labeling_cost_pct(),
         100.0 - outcome.labeling_cost_pct()
     ));
-    out.push_str(&format!("reviews: {}
-", outcome.reviews_done));
+    out.push_str(&format!(
+        "reviews: {}
+",
+        outcome.reviews_done
+    ));
     if !outcome.response_times.is_empty() {
-        let mean_ms = outcome.response_times.iter().sum::<f64>()
-            / outcome.response_times.len() as f64
-            * 1e3;
-        out.push_str(&format!("mean response time: {mean_ms:.3} ms
-"));
+        let mean_ms =
+            outcome.response_times.iter().sum::<f64>() / outcome.response_times.len() as f64 * 1e3;
+        out.push_str(&format!(
+            "mean response time: {mean_ms:.3} ms
+"
+        ));
     }
-    out.push_str("curve (labels% → correct%):
-");
+    out.push_str(
+        "curve (labels% → correct%):
+",
+    );
     for p in &outcome.curve {
-        out.push_str(&format!("  {:>5.1}% → {:>5.1}%
-", p.labels_pct(), p.correct_pct()));
+        out.push_str(&format!(
+            "  {:>5.1}% → {:>5.1}%
+",
+            p.labels_pct(),
+            p.correct_pct()
+        ));
     }
     Ok(out)
 }
@@ -395,9 +389,9 @@ mod tests {
 
     #[test]
     fn match_respects_labels() {
-        let labels = r#"[ { "source": "Orders.unit_count", "target": "TransactionLine.total_amount" } ]"#;
-        let out =
-            match_schemas(SOURCE, TARGET, Some(labels), ModelChoice::NoBert, 1).unwrap();
+        let labels =
+            r#"[ { "source": "Orders.unit_count", "target": "TransactionLine.total_amount" } ]"#;
+        let out = match_schemas(SOURCE, TARGET, Some(labels), ModelChoice::NoBert, 1).unwrap();
         let first_line = out.lines().next().unwrap();
         assert!(first_line.contains("total_amount"), "{first_line}");
     }
@@ -434,8 +428,7 @@ mod tests {
         let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
         let matches = parsed["matches"].as_array().unwrap();
         assert_eq!(matches.len(), 2); // both source attrs assigned
-        let targets: Vec<&str> =
-            matches.iter().map(|m| m["target"].as_str().unwrap()).collect();
+        let targets: Vec<&str> = matches.iter().map(|m| m["target"].as_str().unwrap()).collect();
         let mut dedup = targets.clone();
         dedup.sort_unstable();
         dedup.dedup();

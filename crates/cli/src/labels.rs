@@ -114,11 +114,11 @@ mod tests {
     #[test]
     fn unknown_names_are_rejected_with_side() {
         let (s, t) = schemas();
-        let err = parse_labels(r#"[ { "source": "A.nope", "target": "B.u" } ]"#, &s, &t)
-            .unwrap_err();
+        let err =
+            parse_labels(r#"[ { "source": "A.nope", "target": "B.u" } ]"#, &s, &t).unwrap_err();
         assert!(err.to_string().contains("source"));
-        let err = parse_labels(r#"[ { "source": "A.x", "target": "B.nope" } ]"#, &s, &t)
-            .unwrap_err();
+        let err =
+            parse_labels(r#"[ { "source": "A.x", "target": "B.nope" } ]"#, &s, &t).unwrap_err();
         assert!(err.to_string().contains("target"));
     }
 }

@@ -5,6 +5,7 @@
 //! implementations ([`commands`]) — kept in the library so they are unit
 //! testable; `main.rs` only parses arguments.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod commands;

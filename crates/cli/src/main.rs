@@ -74,10 +74,7 @@ fn take_obs_flags(args: &mut Vec<String>) -> Result<(Option<String>, Option<Stri
 }
 
 /// Writes the requested observability artifacts after a command ran.
-fn write_obs_outputs(
-    trace_out: Option<&str>,
-    metrics_out: Option<&str>,
-) -> Result<(), String> {
+fn write_obs_outputs(trace_out: Option<&str>, metrics_out: Option<&str>) -> Result<(), String> {
     if let Some(path) = trace_out {
         lsm_obs::write_trace(path).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote trace to {path} (open in Perfetto or chrome://tracing)");
@@ -100,8 +97,7 @@ fn run() -> Result<String, String> {
             commands::stats(&read(path)?)
         }
         "match" => {
-            let labels =
-                take_flag(&mut args, "--labels")?.map(|p| read(&p)).transpose()?;
+            let labels = take_flag(&mut args, "--labels")?.map(|p| read(&p)).transpose()?;
             let model = match take_flag(&mut args, "--model")? {
                 None => ModelChoice::BertTiny,
                 Some(m) => ModelChoice::parse(&m)
@@ -136,8 +132,7 @@ fn run() -> Result<String, String> {
             commands::baseline(name, &read(source)?, &read(target)?, top_k)
         }
         "extract" => {
-            let labels =
-                take_flag(&mut args, "--labels")?.map(|p| read(&p)).transpose()?;
+            let labels = take_flag(&mut args, "--labels")?.map(|p| read(&p)).transpose()?;
             let model = match take_flag(&mut args, "--model")? {
                 None => ModelChoice::BertTiny,
                 Some(m) => ModelChoice::parse(&m)

@@ -35,8 +35,14 @@ fn tmp(name: &str) -> PathBuf {
 #[test]
 fn session_metrics_out_writes_valid_json_with_stage_keys() {
     let metrics = tmp("session_metrics.json");
-    let (ok, out, err) =
-        run(&["session", "movielens", "--model", "off", "--metrics-out", metrics.to_str().unwrap()]);
+    let (ok, out, err) = run(&[
+        "session",
+        "movielens",
+        "--model",
+        "off",
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
     assert!(ok, "stderr: {err}");
     assert!(out.contains("matched"), "stdout: {out}");
 
@@ -44,11 +50,20 @@ fn session_metrics_out_writes_valid_json_with_stage_keys() {
     let json: serde_json::Value = serde_json::from_str(&text).expect("metrics JSON parses");
 
     let stages = json["stages"].as_object().expect("stages object");
-    for key in ["session.iteration", "session.respond", "matcher.retrain", "matcher.predict",
-        "meta.fit", "featurize.lexical", "featurize.embedding"]
-    {
-        assert!(stages.contains_key(key), "missing stage {key}; have {:?}",
-            stages.keys().collect::<Vec<_>>());
+    for key in [
+        "session.iteration",
+        "session.respond",
+        "matcher.retrain",
+        "matcher.predict",
+        "meta.fit",
+        "featurize.lexical",
+        "featurize.embedding",
+    ] {
+        assert!(
+            stages.contains_key(key),
+            "missing stage {key}; have {:?}",
+            stages.keys().collect::<Vec<_>>()
+        );
     }
     let respond = &stages["session.respond"];
     assert!(respond["count"].as_u64().unwrap() > 0);
@@ -65,9 +80,8 @@ fn session_metrics_out_writes_valid_json_with_stage_keys() {
 #[test]
 fn session_trace_out_writes_chrome_trace_events() {
     let trace = tmp("session_trace.json");
-    let (ok, _, err) = run(&[
-        "session", "movielens", "--model=off", "--trace-out", trace.to_str().unwrap(),
-    ]);
+    let (ok, _, err) =
+        run(&["session", "movielens", "--model=off", "--trace-out", trace.to_str().unwrap()]);
     assert!(ok, "stderr: {err}");
     let text = std::fs::read_to_string(&trace).expect("trace file written");
     let json: serde_json::Value = serde_json::from_str(&text).expect("trace JSON parses");

@@ -37,8 +37,7 @@ pub fn select_attributes(
     n: usize,
     rng: &mut ChaCha8Rng,
 ) -> Vec<AttrId> {
-    let unmatched: Vec<AttrId> =
-        source.attr_ids().filter(|&a| !labels.is_matched(a)).collect();
+    let unmatched: Vec<AttrId> = source.attr_ids().filter(|&a| !labels.is_matched(a)).collect();
     if unmatched.is_empty() || n == 0 {
         return Vec::new();
     }
@@ -56,11 +55,7 @@ pub fn select_attributes(
             if labels.matched_count() == 0 && !unmatched_anchors.is_empty() {
                 return unmatched_anchors.into_iter().take(n).collect();
             }
-            let pool = if unmatched_anchors.is_empty() {
-                unmatched
-            } else {
-                unmatched_anchors
-            };
+            let pool = if unmatched_anchors.is_empty() { unmatched } else { unmatched_anchors };
             let mut by_confidence: Vec<(AttrId, f64)> =
                 pool.into_iter().map(|a| (a, scores.softmax_confidence(a))).collect();
             by_confidence.sort_by(|a, b| {

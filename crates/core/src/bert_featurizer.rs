@@ -209,13 +209,8 @@ impl BertFeaturizer {
         };
         let encoder = BertEncoder::new(bert_config, &mut store, &mut rng);
         let head = CompareHead::new(&mut store, bert_config.d_model, &mut rng);
-        let mlm = MlmTrainer::new(
-            config.mlm,
-            &mut store,
-            bert_config.d_model,
-            vocab.size(),
-            &mut rng,
-        );
+        let mlm =
+            MlmTrainer::new(config.mlm, &mut store, bert_config.d_model, vocab.size(), &mut rng);
         {
             let _span = lsm_obs::span("bert.pretrain.mlm");
             mlm.train(&encoder, &mut store, &vocab, &encoded);
@@ -239,10 +234,8 @@ impl BertFeaturizer {
         let mut pairs: Vec<(Vec<u32>, Vec<u32>, f32)> = Vec::new();
         let concepts = lexicon.concepts();
         for c in concepts {
-            let mut forms: Vec<Vec<u32>> = c
-                .all_phrasings()
-                .map(|p| featurizer.vocab.encode_words(p))
-                .collect();
+            let mut forms: Vec<Vec<u32>> =
+                c.all_phrasings().map(|p| featurizer.vocab.encode_words(p)).collect();
             for a in &c.abbreviations {
                 forms.push(featurizer.vocab.encode_word(a));
             }
@@ -296,8 +289,7 @@ impl BertFeaturizer {
                 }
             }
         }
-        let (epochs, cap, lr) =
-            (config.paraphrase_epochs, config.pretrain_cap, config.pretrain_lr);
+        let (epochs, cap, lr) = (config.paraphrase_epochs, config.pretrain_cap, config.pretrain_lr);
         featurizer.fit_pairs_end_to_end(&pairs, epochs, cap, lr, &mut rng);
         featurizer.paraphrase_pairs = pairs;
         featurizer
@@ -352,10 +344,7 @@ impl BertFeaturizer {
                 })
             })
             .collect();
-        lsm_obs::add(
-            lsm_obs::Counter::PooledCacheHits,
-            (ids_list.len() - unique.len()) as u64,
-        );
+        lsm_obs::add(lsm_obs::Counter::PooledCacheHits, (ids_list.len() - unique.len()) as u64);
         let unique = &unique;
         let pooled: Vec<Tensor> = crate::featurize::parallel_rows_stateful(
             unique.len(),
@@ -764,10 +753,7 @@ mod tests {
         let target = tiny_target();
         let self_score = f.score_pair(&target, AttrId(1), &target, AttrId(1));
         let cross_score = f.score_pair(&target, AttrId(1), &target, AttrId(4));
-        assert!(
-            self_score > cross_score,
-            "self {self_score:.3} vs cross {cross_score:.3}"
-        );
+        assert!(self_score > cross_score, "self {self_score:.3} vs cross {cross_score:.3}");
     }
 
     /// The paraphrase stage must connect private jargon to its concept —
@@ -785,10 +771,7 @@ mod tests {
         // (t attr 4) is unrelated.
         let syn = f.score_pair(&source, AttrId(0), &target, AttrId(1));
         let unrelated = f.score_pair(&source, AttrId(0), &target, AttrId(4));
-        assert!(
-            syn > unrelated,
-            "private synonym {syn:.3} should beat unrelated {unrelated:.3}"
-        );
+        assert!(syn > unrelated, "private synonym {syn:.3} should beat unrelated {unrelated:.3}");
     }
 
     #[test]
@@ -860,24 +843,18 @@ mod tests {
     fn batched_paths_match_singles_bitwise() {
         let f = featurizer();
         let target = tiny_target();
-        let ids: Vec<Vec<u32>> =
-            target.attr_ids().map(|a| f.attr_token_ids(&target, a)).collect();
+        let ids: Vec<Vec<u32>> = target.attr_ids().map(|a| f.attr_token_ids(&target, a)).collect();
         let refs: Vec<&[u32]> = ids.iter().map(|v| v.as_slice()).collect();
         for threads in [1, 4] {
             let many = f.pooled_many(&refs, threads);
             for (ids, p) in refs.iter().zip(&many) {
                 let single = f.single_pooled(ids);
-                let same_bits = single
-                    .data()
-                    .iter()
-                    .zip(p.data())
-                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                let same_bits =
+                    single.data().iter().zip(p.data()).all(|(a, b)| a.to_bits() == b.to_bits());
                 assert!(same_bits, "pooled_many diverged at threads={threads}");
             }
-            let pairs: Vec<(&Tensor, &Tensor)> = many
-                .iter()
-                .flat_map(|u| many.iter().map(move |v| (u, v)))
-                .collect();
+            let pairs: Vec<(&Tensor, &Tensor)> =
+                many.iter().flat_map(|u| many.iter().map(move |v| (u, v))).collect();
             let batch = f.classify_pooled_batch(&pairs, threads);
             for (&(u, v), b) in pairs.iter().zip(&batch) {
                 assert_eq!(

@@ -56,10 +56,7 @@ pub fn evaluate_split<E: SuggestionEngine>(
     }
     engine.retrain(&labels);
     let scores = engine.predict(&labels);
-    let top_k = ks
-        .iter()
-        .map(|&k| (k, scores.top_k_accuracy(truth, test, k)))
-        .collect();
+    let top_k = ks.iter().map(|&k| (k, scores.top_k_accuracy(truth, test, k))).collect();
     SplitEvaluation { top_k, train_size, test_size: test.len() }
 }
 

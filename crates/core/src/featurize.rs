@@ -245,11 +245,15 @@ mod tests {
     #[test]
     fn parallel_rows_stateful_covers_indices_and_reuses_state() {
         for threads in [1, 3, 8] {
-            let results =
-                parallel_rows_stateful(10, threads, || 0usize, |calls, r| {
+            let results = parallel_rows_stateful(
+                10,
+                threads,
+                || 0usize,
+                |calls, r| {
                     *calls += 1;
                     (r * 3, *calls)
-                });
+                },
+            );
             assert_eq!(results.len(), 10);
             let mut max_calls = 0;
             for (r, (v, calls)) in results {

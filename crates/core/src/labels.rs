@@ -103,9 +103,7 @@ impl LabelStore {
     /// All explicitly rejected pairs (not counting those implied by a
     /// positive).
     pub fn negatives(&self) -> impl Iterator<Item = (AttrId, AttrId)> + '_ {
-        self.rows
-            .iter()
-            .flat_map(|(&s, r)| r.negative.iter().map(move |&t| (s, t)))
+        self.rows.iter().flat_map(|(&s, r)| r.negative.iter().map(move |&t| (s, t)))
     }
 
     /// Number of confirmed matches.

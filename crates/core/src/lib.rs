@@ -34,6 +34,8 @@
 //! the cheap featurizers plus a bi-encoder pass (pooled-vector cosine) that
 //! itself carries the MLM knowledge, so hard matches still surface.
 
+#![forbid(unsafe_code)]
+
 pub mod active;
 pub mod bert_featurizer;
 pub mod eval;

@@ -112,14 +112,10 @@ impl LsmMatcher {
 
         let bert_state = if config.use_bert {
             bert.map(|featurizer| {
-                let source_ids: Vec<Vec<u32>> = source
-                    .attr_ids()
-                    .map(|a| featurizer.attr_token_ids(source, a))
-                    .collect();
-                let target_ids: Vec<Vec<u32>> = target
-                    .attr_ids()
-                    .map(|a| featurizer.attr_token_ids(target, a))
-                    .collect();
+                let source_ids: Vec<Vec<u32>> =
+                    source.attr_ids().map(|a| featurizer.attr_token_ids(source, a)).collect();
+                let target_ids: Vec<Vec<u32>> =
+                    target.attr_ids().map(|a| featurizer.attr_token_ids(target, a)).collect();
 
                 // Pooled encoding per attribute: deduplicated, batched, in
                 // parallel, with per-worker graph-arena reuse.
@@ -128,7 +124,10 @@ impl LsmMatcher {
                 let t_refs: Vec<&[u32]> = target_ids.iter().map(|v| v.as_slice()).collect();
                 let (s_vec, t_vec): (Vec<Tensor>, Vec<Tensor>) = {
                     let _span = lsm_obs::span("matcher.pooled_encode");
-                    (fz.pooled_many(&s_refs, config.threads), fz.pooled_many(&t_refs, config.threads))
+                    (
+                        fz.pooled_many(&s_refs, config.threads),
+                        fz.pooled_many(&t_refs, config.threads),
+                    )
                 };
 
                 // Description-aware embedding vectors (name + description
@@ -152,49 +151,45 @@ impl LsmMatcher {
                 // signal's hits.
                 let m = config.shortlist.min(nt).max(1);
                 let _shortlist_span = lsm_obs::span("matcher.shortlist");
-                let shortlist: Vec<Vec<AttrId>> =
-                    parallel_rows(ns, config.threads, |i| {
-                        let s = AttrId(i as u32);
-                        // The whole row goes through the matching head as
-                        // one batch (a single [nt, 4d] forward per
-                        // direction) instead of nt tiny graphs.
-                        let head_pairs: Vec<(&Tensor, &Tensor)> =
-                            t_vec.iter().map(|v| (&s_vec[i], v)).collect();
-                        let head_scores = fz.classify_pooled_batch(&head_pairs, 1);
-                        let mut signals: Vec<Vec<(AttrId, f64)>> = vec![Vec::new(); 3];
-                        for j in 0..nt {
-                            let t = AttrId(j as u32);
-                            signals[0].push((t, lexical.get(s, t) + emb.get(s, t)));
-                            signals[1].push((
-                                t,
-                                lsm_embedding::space::cosine(&s_text[i], &t_text[j]),
-                            ));
-                            signals[2].push((t, head_scores[j]));
-                        }
-                        let mut union: Vec<AttrId> = Vec::with_capacity(m);
-                        // The matching head is the strongest recall signal;
-                        // give it the biggest share of the budget.
-                        let quota = [m / 4, m / 8, m - m / 4 - m / 8];
-                        for (signal, &q) in signals.iter_mut().zip(&quota) {
-                            signal.sort_by(|a, b| {
-                                b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-                            });
-                            let mut added = 0;
-                            for &(t, _) in signal.iter() {
-                                if added == q {
-                                    break;
-                                }
-                                if !union.contains(&t) {
-                                    union.push(t);
-                                    added += 1;
-                                }
+                let shortlist: Vec<Vec<AttrId>> = parallel_rows(ns, config.threads, |i| {
+                    let s = AttrId(i as u32);
+                    // The whole row goes through the matching head as
+                    // one batch (a single [nt, 4d] forward per
+                    // direction) instead of nt tiny graphs.
+                    let head_pairs: Vec<(&Tensor, &Tensor)> =
+                        t_vec.iter().map(|v| (&s_vec[i], v)).collect();
+                    let head_scores = fz.classify_pooled_batch(&head_pairs, 1);
+                    let mut signals: Vec<Vec<(AttrId, f64)>> = vec![Vec::new(); 3];
+                    for j in 0..nt {
+                        let t = AttrId(j as u32);
+                        signals[0].push((t, lexical.get(s, t) + emb.get(s, t)));
+                        signals[1].push((t, lsm_embedding::space::cosine(&s_text[i], &t_text[j])));
+                        signals[2].push((t, head_scores[j]));
+                    }
+                    let mut union: Vec<AttrId> = Vec::with_capacity(m);
+                    // The matching head is the strongest recall signal;
+                    // give it the biggest share of the budget.
+                    let quota = [m / 4, m / 8, m - m / 4 - m / 8];
+                    for (signal, &q) in signals.iter_mut().zip(&quota) {
+                        signal.sort_by(|a, b| {
+                            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+                        });
+                        let mut added = 0;
+                        for &(t, _) in signal.iter() {
+                            if added == q {
+                                break;
+                            }
+                            if !union.contains(&t) {
+                                union.push(t);
+                                added += 1;
                             }
                         }
-                        union
-                    })
-                    .into_iter()
-                    .map(|(_, v)| v)
-                    .collect();
+                    }
+                    union
+                })
+                .into_iter()
+                .map(|(_, v)| v)
+                .collect();
                 drop(_shortlist_span);
 
                 BertState { featurizer, s_vec, t_vec, shortlist }
@@ -287,11 +282,7 @@ impl LsmMatcher {
             if !samples.is_empty() {
                 state.featurizer.update_with_pooled_labels(samples.iter().map(
                     |&(s, t, correct)| {
-                        (
-                            state.s_vec[s.index()].clone(),
-                            state.t_vec[t.index()].clone(),
-                            correct,
-                        )
+                        (state.s_vec[s.index()].clone(), state.t_vec[t.index()].clone(), correct)
                     },
                 ));
                 // Refresh the BERT column under the updated head: the
@@ -338,8 +329,7 @@ impl LsmMatcher {
         let nt = self.target.attr_count();
         let total = ns * nt;
         let stride = (total / self.config.self_training_pool.max(1)).max(1);
-        let mut unlabeled: Vec<[f64; feature::COUNT]> =
-            Vec::with_capacity(total.div_ceil(stride));
+        let mut unlabeled: Vec<[f64; feature::COUNT]> = Vec::with_capacity(total.div_ceil(stride));
         let mut idx = 0;
         while idx < total {
             let s = AttrId((idx / nt) as u32);
@@ -370,10 +360,7 @@ impl LsmMatcher {
         let entity_penalty: Vec<f64> = if self.config.entity_penalty && !matched_entities.is_empty()
         {
             let graph = self.target.join_graph();
-            self.target
-                .entity_ids()
-                .map(|e| graph.entity_penalty(e, &matched_entities))
-                .collect()
+            self.target.entity_ids().map(|e| graph.entity_penalty(e, &matched_entities)).collect()
         } else {
             vec![1.0; self.target.entity_count()]
         };
@@ -381,28 +368,26 @@ impl LsmMatcher {
         // Rows are independent, so they parallelize freely; each row's
         // arithmetic is untouched, keeping scores bitwise-identical to the
         // serial sweep at every thread count.
-        let rows: Vec<(usize, Vec<f64>)> =
-            parallel_rows(ns, self.config.threads, |i| {
-                let s = AttrId(i as u32);
-                let mut row = vec![0.0f64; nt];
-                if let Some(t) = labels.positive_of(s) {
-                    // Confirmed rows are settled.
-                    row[t.index()] = 1.0;
-                    return row;
+        let rows: Vec<(usize, Vec<f64>)> = parallel_rows(ns, self.config.threads, |i| {
+            let s = AttrId(i as u32);
+            let mut row = vec![0.0f64; nt];
+            if let Some(t) = labels.positive_of(s) {
+                // Confirmed rows are settled.
+                row[t.index()] = 1.0;
+                return row;
+            }
+            let s_dtype = self.source.attr(s).dtype;
+            for (j, slot) in row.iter_mut().enumerate() {
+                let t = AttrId(j as u32);
+                if self.config.dtype_gating && !s_dtype.compatible(self.target.attr(t).dtype) {
+                    continue; // stays 0.0
                 }
-                let s_dtype = self.source.attr(s).dtype;
-                for (j, slot) in row.iter_mut().enumerate() {
-                    let t = AttrId(j as u32);
-                    if self.config.dtype_gating && !s_dtype.compatible(self.target.attr(t).dtype)
-                    {
-                        continue; // stays 0.0
-                    }
-                    let mut score = self.meta.predict(&self.features.vector(s, t));
-                    score *= entity_penalty[self.target.attr(t).entity.index()];
-                    *slot = score;
-                }
-                row
-            });
+                let mut score = self.meta.predict(&self.features.vector(s, t));
+                score *= entity_penalty[self.target.attr(t).entity.index()];
+                *slot = score;
+            }
+            row
+        });
         for (i, row) in rows {
             m.row_mut(AttrId(i as u32)).copy_from_slice(&row);
         }
@@ -414,7 +399,10 @@ impl LsmMatcher {
         self.source
             .attr_ids()
             .filter(|&s| !labels.is_matched(s))
-            .map(|s| RankedSuggestions { source: s, candidates: scores.top_k(s, self.config.top_k) })
+            .map(|s| RankedSuggestions {
+                source: s,
+                candidates: scores.top_k(s, self.config.top_k),
+            })
             .collect()
     }
 
@@ -430,10 +418,7 @@ impl LsmMatcher {
 
     /// The cross-encoder shortlist of one source attribute (diagnostics).
     pub fn shortlist_of(&self, s: AttrId) -> &[AttrId] {
-        self.bert
-            .as_ref()
-            .map(|b| b.shortlist[s.index()].as_slice())
-            .unwrap_or(&[])
+        self.bert.as_ref().map(|b| b.shortlist[s.index()].as_slice()).unwrap_or(&[])
     }
 
     /// The source schema of this session.
@@ -552,11 +537,7 @@ mod tests {
 
     #[test]
     fn bert_column_is_populated_on_shortlist() {
-        let m = matcher(LsmConfig {
-            shortlist: 2,
-            self_training_pool: 100,
-            ..Default::default()
-        });
+        let m = matcher(LsmConfig { shortlist: 2, self_training_pool: 100, ..Default::default() });
         assert!(m.has_bert());
         let col = m.features.column(feature::BERT);
         // Each row has exactly `shortlist` populated candidates; at least

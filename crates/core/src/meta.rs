@@ -68,12 +68,7 @@ impl MetaLearner {
     /// pairs by the *uniform prior*: the mean of the featurizer scores —
     /// the cold-start behaviour before the first interaction round.
     pub fn new(config: SelfTrainingConfig) -> Self {
-        MetaLearner {
-            weights: [1.0; feature::COUNT],
-            bias: 0.0,
-            config,
-            trained: false,
-        }
+        MetaLearner { weights: [1.0; feature::COUNT], bias: 0.0, config, trained: false }
     }
 
     /// Whether a supervised fit has happened.
@@ -92,13 +87,7 @@ impl MetaLearner {
             // Cold start: uniform average of the featurizer scores.
             return features.iter().sum::<f64>() / feature::COUNT as f64;
         }
-        let z = self
-            .weights
-            .iter()
-            .zip(features)
-            .map(|(w, f)| w * f)
-            .sum::<f64>()
-            + self.bias;
+        let z = self.weights.iter().zip(features).map(|(w, f)| w * f).sum::<f64>() + self.bias;
         sigmoid(z)
     }
 
@@ -121,8 +110,7 @@ impl MetaLearner {
             for &i in &order {
                 let (x, y) = &data[i];
                 let p = {
-                    let z = self.weights.iter().zip(x).map(|(w, f)| w * f).sum::<f64>()
-                        + self.bias;
+                    let z = self.weights.iter().zip(x).map(|(w, f)| w * f).sum::<f64>() + self.bias;
                     sigmoid(z)
                 };
                 let err = p - y;
@@ -261,9 +249,8 @@ mod tests {
         // Sparse labels + plenty of unlabeled structure: pseudo-labeling
         // should sharpen the boundary.
         let labeled = vec![pos(0.95), neg(0.05)];
-        let unlabeled: Vec<[f64; 3]> = (0..50)
-            .map(|i| if i % 2 == 0 { [0.9, 0.9, 0.9] } else { [0.1, 0.1, 0.1] })
-            .collect();
+        let unlabeled: Vec<[f64; 3]> =
+            (0..50).map(|i| if i % 2 == 0 { [0.9, 0.9, 0.9] } else { [0.1, 0.1, 0.1] }).collect();
         let mut with_st = MetaLearner::new(SelfTrainingConfig::default());
         with_st.fit(&labeled, &unlabeled);
         let mut without_st =

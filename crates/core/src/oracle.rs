@@ -99,12 +99,7 @@ impl NoisyOracle {
                 corruption.insert(s, t);
             }
         }
-        NoisyOracle {
-            truth,
-            noise_rate,
-            corruption,
-            rng: ChaCha8Rng::seed_from_u64(seed),
-        }
+        NoisyOracle { truth, noise_rate, corruption, rng: ChaCha8Rng::seed_from_u64(seed) }
     }
 }
 
@@ -151,7 +146,7 @@ mod tests {
             .unwrap();
         let truth = GroundTruth::from_pairs([(AttrId(0), AttrId(0)), (AttrId(1), AttrId(2))]);
         let lex = Lexicon::assemble(vec![
-            ConceptBuilder::attribute(Domain::Retail, "unit price").desc("price"),
+            ConceptBuilder::attribute(Domain::Retail, "unit price").desc("price")
         ]);
         let emb = EmbeddingSpace::new(&lex, EmbeddingConfig::default());
         (source, target, truth, emb)

@@ -163,10 +163,8 @@ pub fn run_session<E: SuggestionEngine, O: Oracle>(
 
         // ---- record the curve ----
         let matched = labels.matched_count();
-        let matched_correct = labels
-            .positives()
-            .filter(|&(s, t)| oracle.truth().is_correct(s, t))
-            .count();
+        let matched_correct =
+            labels.positives().filter(|&(s, t)| oracle.truth().is_correct(s, t)).count();
         outcome.curve.push(CurvePoint {
             labels_provided: outcome.labels_used,
             matched,

@@ -158,8 +158,7 @@ fn tiny_bert_predict_identical_with_tracing_on_vs_off() {
 
     lsm_obs::reset();
     lsm_obs::disable();
-    let m_off =
-        LsmMatcher::new(&source, &target, &embedding, Some(bert.clone()), config);
+    let m_off = LsmMatcher::new(&source, &target, &embedding, Some(bert.clone()), config);
     let scores_off = m_off.predict(&LabelStore::new());
 
     lsm_obs::enable();

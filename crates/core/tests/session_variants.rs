@@ -41,8 +41,7 @@ fn matcher(embedding: &EmbeddingSpace, d: &Dataset, config: LsmConfig) -> LsmMat
 fn batch_labeling_needs_fewer_iterations() {
     let (embedding, d) = task();
     let run = |n: usize| {
-        let mut m =
-            matcher(&embedding, &d, LsmConfig { use_bert: false, ..Default::default() });
+        let mut m = matcher(&embedding, &d, LsmConfig { use_bert: false, ..Default::default() });
         let mut oracle = PerfectOracle::new(d.ground_truth.clone());
         let config = SessionConfig { labels_per_iter: n, ..Default::default() };
         run_session(&mut m, &mut oracle, config)
@@ -78,11 +77,8 @@ fn ablated_scoring_still_terminates() {
 fn wider_review_list_reduces_label_cost() {
     let (embedding, d) = task();
     let run = |k: usize| {
-        let mut m = matcher(
-            &embedding,
-            &d,
-            LsmConfig { use_bert: false, top_k: k, ..Default::default() },
-        );
+        let mut m =
+            matcher(&embedding, &d, LsmConfig { use_bert: false, top_k: k, ..Default::default() });
         let mut oracle = PerfectOracle::new(d.ground_truth.clone());
         run_session(&mut m, &mut oracle, SessionConfig { top_k: k, ..Default::default() })
     };
@@ -94,11 +90,7 @@ fn wider_review_list_reduces_label_cost() {
 
 #[test]
 fn single_attribute_schema_terminates_immediately_after_one_interaction() {
-    let source = Schema::builder("one")
-        .entity("E")
-        .attr("lonely", DataType::Text)
-        .build()
-        .unwrap();
+    let source = Schema::builder("one").entity("E").attr("lonely", DataType::Text).build().unwrap();
     let mut scores = ScoreMatrix::zeros(1, 2);
     scores.set(lsm_schema::AttrId(0), lsm_schema::AttrId(1), 0.9);
     let truth =
@@ -115,8 +107,7 @@ fn single_attribute_schema_terminates_immediately_after_one_interaction() {
 fn random_strategy_differs_across_seeds_but_smart_does_not() {
     let (embedding, d) = task();
     let run = |strategy, seed| {
-        let mut m =
-            matcher(&embedding, &d, LsmConfig { use_bert: false, ..Default::default() });
+        let mut m = matcher(&embedding, &d, LsmConfig { use_bert: false, ..Default::default() });
         let mut oracle = PerfectOracle::new(d.ground_truth.clone());
         let config = SessionConfig { strategy, seed, ..Default::default() };
         run_session(&mut m, &mut oracle, config)

@@ -119,10 +119,7 @@ pub fn all_specs() -> Vec<CustomerSpec> {
 pub fn all_customers(seed: u64) -> Vec<Dataset> {
     let lexicon = full_lexicon();
     let iss = generate_retail_iss(&lexicon, IssConfig::paper());
-    all_specs()
-        .into_iter()
-        .map(|spec| generate_customer(&iss, &lexicon, spec, seed))
-        .collect()
+    all_specs().into_iter().map(|spec| generate_customer(&iss, &lexicon, spec, seed)).collect()
 }
 
 /// Generates one customer dataset from an ISS.
@@ -199,11 +196,7 @@ pub fn generate_customer(
             let mut fk_tokens = entity_tokens[parent].clone();
             fk_tokens.push("id".to_string());
             let mut name = spec.style.render(&fk_tokens);
-            while names
-                .iter()
-                .zip(&fk_edges)
-                .any(|(n, &(c, _))| c == child && n == &name)
-            {
+            while names.iter().zip(&fk_edges).any(|(n, &(c, _))| c == child && n == &name) {
                 fk_tokens.push("ref".to_string());
                 name = spec.style.render(&fk_tokens);
             }
@@ -220,12 +213,8 @@ pub fn generate_customer(
     }
 
     // Pools of ISS domain attributes: primary (own entity) and global.
-    let iss_pk_of_entity: Vec<AttrId> = iss
-        .schema
-        .entities
-        .iter()
-        .map(|e| e.pk.expect("ISS entities always have pks"))
-        .collect();
+    let iss_pk_of_entity: Vec<AttrId> =
+        iss.schema.entities.iter().map(|e| e.pk.expect("ISS entities always have pks")).collect();
     let mut global_pool: Vec<AttrId> = iss
         .schema
         .attributes
@@ -453,11 +442,7 @@ mod tests {
                 })
                 .count();
             let frac = hard as f64 / d.ground_truth.len() as f64;
-            assert!(
-                frac > 0.25,
-                "{}: hard-match fraction {frac:.2} too low",
-                spec.name
-            );
+            assert!(frac > 0.25, "{}: hard-match fraction {frac:.2} too low", spec.name);
         }
     }
 

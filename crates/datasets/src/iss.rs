@@ -407,12 +407,7 @@ mod tests {
     fn multi_word_names_exist() {
         let lex = full_lexicon();
         let iss = generate_retail_iss(&lex, IssConfig::paper());
-        let multi = iss
-            .schema
-            .attributes
-            .iter()
-            .filter(|a| a.name.contains('_'))
-            .count();
+        let multi = iss.schema.attributes.iter().filter(|a| a.name.contains('_')).count();
         assert!(multi * 2 > iss.schema.attr_count(), "ISS names should be mostly multi-word");
     }
 }

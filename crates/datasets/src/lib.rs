@@ -18,6 +18,8 @@
 //!   describes,
 //! * ground truth for every pair, known by construction.
 
+#![forbid(unsafe_code)]
+
 pub mod customers;
 pub mod iss;
 pub mod public_data;

@@ -22,11 +22,7 @@ use lsm_schema::{DataType, GroundTruth, Schema, SchemaBuilder};
 /// schemata.
 type EntitySpec<'a> = (&'a str, &'a [(&'a str, DataType)], Option<usize>);
 
-fn build(
-    name: &str,
-    entities: &[EntitySpec<'_>],
-    fks: &[(&str, &str, &str, &str)],
-) -> Schema {
+fn build(name: &str, entities: &[EntitySpec<'_>], fks: &[(&str, &str, &str, &str)]) -> Schema {
     let mut b: SchemaBuilder = Schema::builder(name);
     for (ename, attrs, pk) in entities {
         b = b.entity(*ename);
@@ -46,12 +42,10 @@ fn build(
 fn truth_from_names(source: &Schema, target: &Schema, pairs: &[(&str, &str)]) -> GroundTruth {
     let mut truth = GroundTruth::new();
     for (s, t) in pairs {
-        let sa = source
-            .attr_by_qualified_name(s)
-            .unwrap_or_else(|| panic!("unknown source attr {s}"));
-        let ta = target
-            .attr_by_qualified_name(t)
-            .unwrap_or_else(|| panic!("unknown target attr {t}"));
+        let sa =
+            source.attr_by_qualified_name(s).unwrap_or_else(|| panic!("unknown source attr {s}"));
+        let ta =
+            target.attr_by_qualified_name(t).unwrap_or_else(|| panic!("unknown target attr {t}"));
         truth.insert(sa.id, ta.id);
     }
     truth
@@ -67,19 +61,149 @@ pub fn rdb_star() -> Dataset {
     let source = build(
         "RDB-Star (source)",
         &[
-            ("Customers", &[("CustomerId", Integer), ("CompanyName", Text), ("CustomerCity", Text), ("CustomerCountry", Text), ("CustomerPhone", Text)], Some(0)),
-            ("Orders", &[("OrderId", Integer), ("CustomerId", Integer), ("OrderDate", Date), ("Freight", Decimal), ("OrderAmount", Decimal)], Some(0)),
-            ("Sales", &[("SaleOrderDetailId", Integer), ("OrderId", Integer), ("ProductId", Integer), ("Quantity", Integer), ("Discount", Decimal)], Some(0)),
-            ("Products", &[("ProductId", Integer), ("ProductName", Text), ("ProductPrice", Decimal), ("ProductCategoryId", Integer), ("ProductDiscontinued", Boolean)], Some(0)),
-            ("Suppliers", &[("SupplierId", Integer), ("SupplierName", Text), ("SupplierContact", Text), ("SupplierCity", Text), ("SupplierCountry", Text)], Some(0)),
-            ("Categories", &[("CategoryId", Integer), ("CategoryName", Text), ("CategoryCode", Text), ("CategoryLevel", Integer), ("ParentCategoryId", Integer)], Some(0)),
-            ("Employees", &[("EmployeeId", Integer), ("EmployeeName", Text), ("EmployeeCity", Text), ("HireDate", Date), ("EmployeeRegionId", Integer)], Some(0)),
-            ("Shippers", &[("FreightId", Integer), ("FreightCost", Decimal), ("FreightCompany", Text), ("FreightRegionId", Integer), ("FreightPhone", Text)], Some(0)),
-            ("Regions", &[("RegionId", Integer), ("RegionName", Text), ("RegionCountry", Text), ("RegionEmployee", Text), ("RegionCity", Text)], Some(0)),
-            ("Territories", &[("TerritoryId", Integer), ("TerritoryName", Text), ("TerritoryRegionId", Integer), ("TerritoryCountry", Text), ("TerritoryCity", Text)], Some(0)),
-            ("Stores", &[("StoreId", Integer), ("StoreName", Text), ("StoreCity", Text), ("StoreOpenDate", Date), ("StoreRegionId", Integer)], Some(0)),
-            ("Payments", &[("PaymentOrderId", Integer), ("PaymentDate", Date), ("PaymentAmount", Decimal), ("PaymentFreight", Decimal), ("PaymentDiscount", Decimal)], Some(0)),
-            ("Promotions", &[("PromotionId", Integer), ("PromotionName", Text), ("PromotionDiscount", Decimal), ("PromotionQuantity", Integer), ("PromotionOpenDate", Date)], Some(0)),
+            (
+                "Customers",
+                &[
+                    ("CustomerId", Integer),
+                    ("CompanyName", Text),
+                    ("CustomerCity", Text),
+                    ("CustomerCountry", Text),
+                    ("CustomerPhone", Text),
+                ],
+                Some(0),
+            ),
+            (
+                "Orders",
+                &[
+                    ("OrderId", Integer),
+                    ("CustomerId", Integer),
+                    ("OrderDate", Date),
+                    ("Freight", Decimal),
+                    ("OrderAmount", Decimal),
+                ],
+                Some(0),
+            ),
+            (
+                "Sales",
+                &[
+                    ("SaleOrderDetailId", Integer),
+                    ("OrderId", Integer),
+                    ("ProductId", Integer),
+                    ("Quantity", Integer),
+                    ("Discount", Decimal),
+                ],
+                Some(0),
+            ),
+            (
+                "Products",
+                &[
+                    ("ProductId", Integer),
+                    ("ProductName", Text),
+                    ("ProductPrice", Decimal),
+                    ("ProductCategoryId", Integer),
+                    ("ProductDiscontinued", Boolean),
+                ],
+                Some(0),
+            ),
+            (
+                "Suppliers",
+                &[
+                    ("SupplierId", Integer),
+                    ("SupplierName", Text),
+                    ("SupplierContact", Text),
+                    ("SupplierCity", Text),
+                    ("SupplierCountry", Text),
+                ],
+                Some(0),
+            ),
+            (
+                "Categories",
+                &[
+                    ("CategoryId", Integer),
+                    ("CategoryName", Text),
+                    ("CategoryCode", Text),
+                    ("CategoryLevel", Integer),
+                    ("ParentCategoryId", Integer),
+                ],
+                Some(0),
+            ),
+            (
+                "Employees",
+                &[
+                    ("EmployeeId", Integer),
+                    ("EmployeeName", Text),
+                    ("EmployeeCity", Text),
+                    ("HireDate", Date),
+                    ("EmployeeRegionId", Integer),
+                ],
+                Some(0),
+            ),
+            (
+                "Shippers",
+                &[
+                    ("FreightId", Integer),
+                    ("FreightCost", Decimal),
+                    ("FreightCompany", Text),
+                    ("FreightRegionId", Integer),
+                    ("FreightPhone", Text),
+                ],
+                Some(0),
+            ),
+            (
+                "Regions",
+                &[
+                    ("RegionId", Integer),
+                    ("RegionName", Text),
+                    ("RegionCountry", Text),
+                    ("RegionEmployee", Text),
+                    ("RegionCity", Text),
+                ],
+                Some(0),
+            ),
+            (
+                "Territories",
+                &[
+                    ("TerritoryId", Integer),
+                    ("TerritoryName", Text),
+                    ("TerritoryRegionId", Integer),
+                    ("TerritoryCountry", Text),
+                    ("TerritoryCity", Text),
+                ],
+                Some(0),
+            ),
+            (
+                "Stores",
+                &[
+                    ("StoreId", Integer),
+                    ("StoreName", Text),
+                    ("StoreCity", Text),
+                    ("StoreOpenDate", Date),
+                    ("StoreRegionId", Integer),
+                ],
+                Some(0),
+            ),
+            (
+                "Payments",
+                &[
+                    ("PaymentOrderId", Integer),
+                    ("PaymentDate", Date),
+                    ("PaymentAmount", Decimal),
+                    ("PaymentFreight", Decimal),
+                    ("PaymentDiscount", Decimal),
+                ],
+                Some(0),
+            ),
+            (
+                "Promotions",
+                &[
+                    ("PromotionId", Integer),
+                    ("PromotionName", Text),
+                    ("PromotionDiscount", Decimal),
+                    ("PromotionQuantity", Integer),
+                    ("PromotionOpenDate", Date),
+                ],
+                Some(0),
+            ),
         ],
         &[
             ("Orders", "CustomerId", "Customers", "CustomerId"),
@@ -99,11 +223,70 @@ pub fn rdb_star() -> Dataset {
     let target = build(
         "RDB-Star (target)",
         &[
-            ("OrderDetails", &[("OrderDetailId", Integer), ("OrderId", Integer), ("CustomerKey", Integer), ("ProductKey", Integer), ("StoreKey", Integer), ("DateKey", Integer), ("Quantity", Integer), ("Discount", Decimal), ("Freight", Decimal), ("Amount", Decimal)], Some(0)),
-            ("DimCustomer", &[("CustomerKey", Integer), ("CompanyName", Text), ("City", Text), ("Country", Text), ("Phone", Text), ("Contact", Text)], Some(0)),
-            ("DimProduct", &[("ProductKey", Integer), ("ProductName", Text), ("Price", Decimal), ("Category", Text), ("Supplier", Text), ("Discontinued", Boolean), ("Promotion", Text)], Some(0)),
-            ("DimStore", &[("StoreKey", Integer), ("StoreName", Text), ("StoreCity", Text), ("Region", Text), ("Territory", Text), ("Employee", Text)], Some(0)),
-            ("DimDate", &[("DateKey", Integer), ("OrderDate", Date), ("PaymentDate", Date), ("HireDate", Date), ("OpenDate", Date)], Some(0)),
+            (
+                "OrderDetails",
+                &[
+                    ("OrderDetailId", Integer),
+                    ("OrderId", Integer),
+                    ("CustomerKey", Integer),
+                    ("ProductKey", Integer),
+                    ("StoreKey", Integer),
+                    ("DateKey", Integer),
+                    ("Quantity", Integer),
+                    ("Discount", Decimal),
+                    ("Freight", Decimal),
+                    ("Amount", Decimal),
+                ],
+                Some(0),
+            ),
+            (
+                "DimCustomer",
+                &[
+                    ("CustomerKey", Integer),
+                    ("CompanyName", Text),
+                    ("City", Text),
+                    ("Country", Text),
+                    ("Phone", Text),
+                    ("Contact", Text),
+                ],
+                Some(0),
+            ),
+            (
+                "DimProduct",
+                &[
+                    ("ProductKey", Integer),
+                    ("ProductName", Text),
+                    ("Price", Decimal),
+                    ("Category", Text),
+                    ("Supplier", Text),
+                    ("Discontinued", Boolean),
+                    ("Promotion", Text),
+                ],
+                Some(0),
+            ),
+            (
+                "DimStore",
+                &[
+                    ("StoreKey", Integer),
+                    ("StoreName", Text),
+                    ("StoreCity", Text),
+                    ("Region", Text),
+                    ("Territory", Text),
+                    ("Employee", Text),
+                ],
+                Some(0),
+            ),
+            (
+                "DimDate",
+                &[
+                    ("DateKey", Integer),
+                    ("OrderDate", Date),
+                    ("PaymentDate", Date),
+                    ("HireDate", Date),
+                    ("OpenDate", Date),
+                ],
+                Some(0),
+            ),
         ],
         &[
             ("OrderDetails", "CustomerKey", "DimCustomer", "CustomerKey"),
@@ -190,8 +373,8 @@ pub fn rdb_star() -> Dataset {
 
 /// The IPFQR quality-measure codes shared by state and national files.
 const IPFQR_MEASURES: &[&str] = &[
-    "hbips_2", "hbips_3", "hbips_5", "sub_1", "sub_2", "sub_3", "tob_1", "tob_2", "tob_3",
-    "imm_2", "fuh_7", "fuh_30", "smd", "tr_1", "med_cont",
+    "hbips_2", "hbips_3", "hbips_5", "sub_1", "sub_2", "sub_3", "tob_1", "tob_2", "tob_3", "imm_2",
+    "fuh_7", "fuh_30", "smd", "tr_1", "med_cont",
 ];
 
 /// Extra measures present only in the national file (distractors).
@@ -267,7 +450,10 @@ pub fn ipfqr() -> Dataset {
     let mut pairs: Vec<(String, String)> = Vec::new();
     for m in IPFQR_MEASURES {
         for s in &metric_suffixes {
-            pairs.push((format!("StateData.state_{m}_{s}"), format!("NationalData.national_{m}_{s}")));
+            pairs.push((
+                format!("StateData.state_{m}_{s}"),
+                format!("NationalData.national_{m}_{s}"),
+            ));
         }
     }
     pairs.push(("StateData.state".into(), "NationalData.nation".into()));
@@ -291,10 +477,24 @@ pub fn movielens_imdb() -> Dataset {
     let source = build(
         "MovieLens (source)",
         &[
-            ("movies", &[("movieId", Text), ("title", Text), ("releaseYear", Integer), ("runtime", Integer), ("genres", Text)], Some(0)),
+            (
+                "movies",
+                &[
+                    ("movieId", Text),
+                    ("title", Text),
+                    ("releaseYear", Integer),
+                    ("runtime", Integer),
+                    ("genres", Text),
+                ],
+                Some(0),
+            ),
             ("ratings", &[("movieId", Text), ("rating", Float), ("numRatings", Integer)], Some(0)),
             ("people", &[("personId", Text), ("name", Text), ("birthYear", Integer)], Some(0)),
-            ("credits", &[("movieId", Text), ("personId", Text), ("category", Text), ("billing", Integer)], Some(0)),
+            (
+                "credits",
+                &[("movieId", Text), ("personId", Text), ("category", Text), ("billing", Integer)],
+                Some(0),
+            ),
             ("episodes", &[("episodeId", Text), ("seasonNum", Integer)], Some(0)),
             ("crew", &[("movieId", Text), ("directors", Text)], Some(0)),
         ],
@@ -309,13 +509,75 @@ pub fn movielens_imdb() -> Dataset {
     let target = build(
         "IMDB (target)",
         &[
-            ("titleBasics", &[("tconst", Text), ("titleType", Text), ("primaryTitle", Text), ("originalTitle", Text), ("isAdult", Boolean), ("startYear", Integer), ("endYear", Integer), ("runtimeMinutes", Integer), ("genres", Text)], Some(0)),
-            ("titleRatings", &[("tconst", Text), ("averageRating", Float), ("numVotes", Integer)], Some(0)),
-            ("nameBasics", &[("nconst", Text), ("primaryName", Text), ("birthYear", Integer), ("deathYear", Integer), ("primaryProfession", Text), ("knownForTitles", Text)], Some(0)),
-            ("titlePrincipals", &[("tconst", Text), ("ordering", Integer), ("nconst", Text), ("category", Text), ("job", Text), ("characters", Text)], Some(0)),
+            (
+                "titleBasics",
+                &[
+                    ("tconst", Text),
+                    ("titleType", Text),
+                    ("primaryTitle", Text),
+                    ("originalTitle", Text),
+                    ("isAdult", Boolean),
+                    ("startYear", Integer),
+                    ("endYear", Integer),
+                    ("runtimeMinutes", Integer),
+                    ("genres", Text),
+                ],
+                Some(0),
+            ),
+            (
+                "titleRatings",
+                &[("tconst", Text), ("averageRating", Float), ("numVotes", Integer)],
+                Some(0),
+            ),
+            (
+                "nameBasics",
+                &[
+                    ("nconst", Text),
+                    ("primaryName", Text),
+                    ("birthYear", Integer),
+                    ("deathYear", Integer),
+                    ("primaryProfession", Text),
+                    ("knownForTitles", Text),
+                ],
+                Some(0),
+            ),
+            (
+                "titlePrincipals",
+                &[
+                    ("tconst", Text),
+                    ("ordering", Integer),
+                    ("nconst", Text),
+                    ("category", Text),
+                    ("job", Text),
+                    ("characters", Text),
+                ],
+                Some(0),
+            ),
             ("titleCrew", &[("tconst", Text), ("directors", Text), ("writers", Text)], Some(0)),
-            ("titleEpisode", &[("tconst", Text), ("parentTconst", Text), ("seasonNumber", Integer), ("episodeNumber", Integer)], Some(0)),
-            ("titleAkas", &[("titleId", Text), ("akaOrdering", Integer), ("akaTitle", Text), ("region", Text), ("language", Text), ("akaTypes", Text), ("akaAttributes", Text), ("isOriginalTitle", Boolean)], Some(0)),
+            (
+                "titleEpisode",
+                &[
+                    ("tconst", Text),
+                    ("parentTconst", Text),
+                    ("seasonNumber", Integer),
+                    ("episodeNumber", Integer),
+                ],
+                Some(0),
+            ),
+            (
+                "titleAkas",
+                &[
+                    ("titleId", Text),
+                    ("akaOrdering", Integer),
+                    ("akaTitle", Text),
+                    ("region", Text),
+                    ("language", Text),
+                    ("akaTypes", Text),
+                    ("akaAttributes", Text),
+                    ("isOriginalTitle", Boolean),
+                ],
+                Some(0),
+            ),
         ],
         &[
             ("titleRatings", "tconst", "titleBasics", "tconst"),

@@ -142,8 +142,9 @@ pub fn apply_channel(
     rng: &mut impl Rng,
 ) -> (Vec<String>, RenameChannel) {
     use RenameChannel::*;
-    let pick =
-        |forms: &[Vec<String>], rng: &mut dyn rand::RngCore| forms[rng.gen_range(0..forms.len())].clone();
+    let pick = |forms: &[Vec<String>], rng: &mut dyn rand::RngCore| {
+        forms[rng.gen_range(0..forms.len())].clone()
+    };
     match requested {
         Private if !concept.private_synonyms.is_empty() => {
             // Private jargon replaces the whole name; qualifiers are folded
@@ -202,11 +203,14 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn concept_with_everything() -> Lexicon {
-        Lexicon::assemble(vec![ConceptBuilder::attribute(Domain::Retail, "price change percentage")
-            .syn("markdown rate")
-            .private("discount")
-            .abbr("pcp")
-            .desc("reduction")])
+        Lexicon::assemble(vec![ConceptBuilder::attribute(
+            Domain::Retail,
+            "price change percentage",
+        )
+        .syn("markdown rate")
+        .private("discount")
+        .abbr("pcp")
+        .desc("reduction")])
     }
 
     #[test]
@@ -223,8 +227,7 @@ mod tests {
         let lex = concept_with_everything();
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let q = vec!["total".to_string()];
-        let (tokens, used) =
-            apply_channel(&lex.concepts()[0], &q, RenameChannel::Exact, &mut rng);
+        let (tokens, used) = apply_channel(&lex.concepts()[0], &q, RenameChannel::Exact, &mut rng);
         assert_eq!(used, RenameChannel::Exact);
         assert_eq!(tokens, vec!["total", "price", "change", "percentage"]);
     }
@@ -251,9 +254,10 @@ mod tests {
 
     #[test]
     fn channels_fall_back_when_form_missing() {
-        let lex = Lexicon::assemble(vec![
-            ConceptBuilder::attribute(Domain::Retail, "plain concept").desc("nothing else")
-        ]);
+        let lex =
+            Lexicon::assemble(vec![
+                ConceptBuilder::attribute(Domain::Retail, "plain concept").desc("nothing else")
+            ]);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let (_, used) = apply_channel(&lex.concepts()[0], &[], RenameChannel::Private, &mut rng);
         assert_eq!(used, RenameChannel::Morph, "Private → PublicSynonym → Morph fallback");

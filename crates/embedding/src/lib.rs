@@ -21,6 +21,8 @@
 //! The result is an [`EmbeddingSpace`] with the same API surface the
 //! featurizer needs: `phrase_vector` and `name_similarity` (cosine).
 
+#![forbid(unsafe_code)]
+
 pub mod space;
 
 pub use space::{EmbeddingConfig, EmbeddingSpace};

@@ -2,11 +2,11 @@
 
 use lsm_lexicon::Lexicon;
 use lsm_text::tokenize;
-use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, RwLock};
 
 /// Configuration of the embedding space.
 #[derive(Debug, Clone, Copy)]
@@ -46,14 +46,16 @@ pub struct EmbeddingSpace {
     /// One unit anchor vector per concept, indexed by `ConceptId`.
     concept_anchors: Vec<Vec<f32>>,
     /// Borrowed view of the lexicon's public phrase knowledge, flattened:
-    /// joined public phrase → concept index.
-    phrase_concepts: HashMap<String, Vec<usize>>,
+    /// joined public phrase → concept index. Ordered maps keep every
+    /// conceivable traversal of the concept indexes deterministic.
+    phrase_concepts: BTreeMap<String, Vec<usize>>,
     /// token → concept indices with that token in a public phrasing.
-    token_concepts: HashMap<String, Vec<usize>>,
+    token_concepts: BTreeMap<String, Vec<usize>>,
     /// Memoized identifier vectors. Vector construction hashes dozens of
     /// character n-grams, and matchers query the same attribute names
     /// millions of times across the candidate product — the cache turns
     /// that into one construction per name. Shared across clones.
+    /// Lookup-only (never iterated), so a HashMap stays deterministic.
     identifier_cache: Arc<RwLock<HashMap<String, Vec<f32>>>>,
     /// Memoized per-token vectors (phrase vectors average these).
     token_cache: Arc<RwLock<HashMap<String, Vec<f32>>>>,
@@ -111,7 +113,10 @@ impl EmbeddingSpace {
             .concepts()
             .iter()
             .map(|c| {
-                unit_vector_from_seed(config.seed ^ fnv1a(c.canonical_phrase().as_bytes()), config.dim)
+                unit_vector_from_seed(
+                    config.seed ^ fnv1a(c.canonical_phrase().as_bytes()),
+                    config.dim,
+                )
             })
             .collect();
         // Real distributional embeddings are *crowded*: related words
@@ -137,25 +142,20 @@ impl EmbeddingSpace {
             if same_domain.len() >= 8 {
                 let h = fnv1a(c.canonical_phrase().as_bytes());
                 for k in 0..3u64 {
-                    let pick = same_domain
-                        [(h.wrapping_mul(2654435761).wrapping_add(k * 40503) % same_domain.len() as u64)
-                            as usize];
+                    let pick = same_domain[(h.wrapping_mul(2654435761).wrapping_add(k * 40503)
+                        % same_domain.len() as u64)
+                        as usize];
                     add_scaled(&mut anchor, &bases[pick], 0.30);
                 }
             }
             normalize(&mut anchor);
             concept_anchors.push(anchor);
         }
-        let mut phrase_concepts: std::collections::HashMap<String, Vec<usize>> =
-            std::collections::HashMap::new();
-        let mut token_concepts: std::collections::HashMap<String, Vec<usize>> =
-            std::collections::HashMap::new();
+        let mut phrase_concepts: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut token_concepts: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         for c in lexicon.concepts() {
             for phrasing in c.public_phrasings() {
-                phrase_concepts
-                    .entry(phrasing.join(" "))
-                    .or_default()
-                    .push(c.id.index());
+                phrase_concepts.entry(phrasing.join(" ")).or_default().push(c.id.index());
                 for token in phrasing {
                     let entry = token_concepts.entry(token.clone()).or_default();
                     if !entry.contains(&c.id.index()) {
@@ -182,10 +182,8 @@ impl EmbeddingSpace {
     /// The subword (character n-gram) component of a token's vector.
     fn subword_vector(&self, token: &str) -> Vec<f32> {
         let mut acc = vec![0.0f32; self.config.dim];
-        let padded: Vec<char> = std::iter::once('<')
-            .chain(token.chars())
-            .chain(std::iter::once('>'))
-            .collect();
+        let padded: Vec<char> =
+            std::iter::once('<').chain(token.chars()).chain(std::iter::once('>')).collect();
         let mut grams = 0usize;
         for n in self.config.min_gram..=self.config.max_gram {
             if padded.len() < n {
@@ -193,7 +191,8 @@ impl EmbeddingSpace {
             }
             for w in padded.windows(n) {
                 let s: String = w.iter().collect();
-                let v = unit_vector_from_seed(self.config.seed ^ fnv1a(s.as_bytes()), self.config.dim);
+                let v =
+                    unit_vector_from_seed(self.config.seed ^ fnv1a(s.as_bytes()), self.config.dim);
                 add_scaled(&mut acc, &v, 1.0);
                 grams += 1;
             }
@@ -263,11 +262,8 @@ impl EmbeddingSpace {
     /// style): tokenized via [`lsm_text::tokenize()`], then
     /// [`phrase_vector`](Self::phrase_vector). Memoized.
     pub fn identifier_vector(&self, identifier: &str) -> Vec<f32> {
-        if let Some(v) = self
-            .identifier_cache
-            .read()
-            .expect("identifier cache poisoned")
-            .get(identifier)
+        if let Some(v) =
+            self.identifier_cache.read().expect("identifier cache poisoned").get(identifier)
         {
             return v.clone();
         }

@@ -54,12 +54,10 @@ fn private_jargon_retrieves_worse_than_public_synonyms() {
     for c in lexicon.concepts() {
         let canonical = space.phrase_vector(&c.canonical);
         for syn in &c.public_synonyms {
-            public_sims
-                .push(lsm_embedding::space::cosine(&space.phrase_vector(syn), &canonical));
+            public_sims.push(lsm_embedding::space::cosine(&space.phrase_vector(syn), &canonical));
         }
         for syn in &c.private_synonyms {
-            private_sims
-                .push(lsm_embedding::space::cosine(&space.phrase_vector(syn), &canonical));
+            private_sims.push(lsm_embedding::space::cosine(&space.phrase_vector(syn), &canonical));
         }
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;

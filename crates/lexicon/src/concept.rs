@@ -254,7 +254,8 @@ mod tests {
 
     #[test]
     fn entity_builder_sets_kind() {
-        let (c, _) = ConceptBuilder::entity(Domain::Retail, "transaction line").finish(ConceptId(2));
+        let (c, _) =
+            ConceptBuilder::entity(Domain::Retail, "transaction line").finish(ConceptId(2));
         assert_eq!(c.kind, ConceptKind::Entity);
     }
 }

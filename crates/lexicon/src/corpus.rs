@@ -13,8 +13,8 @@ use crate::concept::ConceptKind;
 use crate::lexicon::Lexicon;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// Configuration of the corpus generator.
 #[derive(Debug, Clone)]
@@ -80,11 +80,8 @@ impl<'a> CorpusGenerator<'a> {
             ("in many schemas the", "column stores the", ""),
             ("people often say", "when they mean the", ""),
         ];
-        let desc_templates: &[(&str, &str)] = &[
-            ("the", "is"),
-            ("a", "denotes"),
-            ("by definition the", "captures"),
-        ];
+        let desc_templates: &[(&str, &str)] =
+            &[("the", "is"), ("a", "denotes"), ("by definition the", "captures")];
         let relation_templates: &[(&str, &str, &str)] = &[
             ("the", "is closely related to the", ""),
             ("a change in the", "usually affects the", ""),
@@ -105,9 +102,8 @@ impl<'a> CorpusGenerator<'a> {
             }
             for form in forms {
                 for _ in 0..self.config.repeats_per_form {
-                    let (a, b, z) = *synonym_templates
-                        .choose(&mut rng)
-                        .expect("templates are non-empty");
+                    let (a, b, z) =
+                        *synonym_templates.choose(&mut rng).expect("templates are non-empty");
                     // Emit both directions so the relation is symmetric in
                     // the data.
                     if rng.gen_bool(0.5) {
@@ -145,18 +141,10 @@ impl<'a> CorpusGenerator<'a> {
         // Schema-flavoured chatter: "each <entity> records the <attr> and
         // the <attr>". Mixes co-domain concepts so attention heads see
         // attribute vocabulary in entity context.
-        let entities: Vec<_> = self
-            .lexicon
-            .concepts()
-            .iter()
-            .filter(|c| c.kind == ConceptKind::Entity)
-            .collect();
-        let attrs: Vec<_> = self
-            .lexicon
-            .concepts()
-            .iter()
-            .filter(|c| c.kind == ConceptKind::Attribute)
-            .collect();
+        let entities: Vec<_> =
+            self.lexicon.concepts().iter().filter(|c| c.kind == ConceptKind::Entity).collect();
+        let attrs: Vec<_> =
+            self.lexicon.concepts().iter().filter(|c| c.kind == ConceptKind::Attribute).collect();
         if !entities.is_empty() && attrs.len() >= 2 {
             for _ in 0..self.config.chatter_sentences {
                 let e = entities.choose(&mut rng).expect("non-empty");
@@ -213,9 +201,8 @@ mod tests {
     fn corpus_mentions_private_forms_when_enabled() {
         let l = lex();
         let corpus = CorpusGenerator::new(&l, CorpusConfig::default()).generate();
-        let has_private = corpus.iter().any(|s| {
-            s.windows(2).any(|w| w[0] == "item" && w[1] == "amount")
-        });
+        let has_private =
+            corpus.iter().any(|s| s.windows(2).any(|w| w[0] == "item" && w[1] == "amount"));
         assert!(has_private, "private phrasing should appear in the corpus");
     }
 
@@ -224,9 +211,8 @@ mod tests {
         let l = lex();
         let cfg = CorpusConfig { include_private: false, ..Default::default() };
         let corpus = CorpusGenerator::new(&l, cfg).generate();
-        let has_private = corpus.iter().any(|s| {
-            s.windows(2).any(|w| w[0] == "item" && w[1] == "amount")
-        });
+        let has_private =
+            corpus.iter().any(|s| s.windows(2).any(|w| w[0] == "item" && w[1] == "amount"));
         assert!(!has_private);
     }
 

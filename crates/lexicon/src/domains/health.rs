@@ -15,8 +15,12 @@ pub fn concepts() -> Vec<ConceptBuilder> {
     let d = Domain::Health;
     vec![
         // entities
-        ConceptBuilder::entity(d, "facility").syn("provider").desc("an inpatient psychiatric facility"),
-        ConceptBuilder::entity(d, "measure response").syn("measure data").desc("reported values for one quality measure"),
+        ConceptBuilder::entity(d, "facility")
+            .syn("provider")
+            .desc("an inpatient psychiatric facility"),
+        ConceptBuilder::entity(d, "measure response")
+            .syn("measure data")
+            .desc("reported values for one quality measure"),
         // attributes
         ConceptBuilder::attribute(d, "facility name")
             .syn("provider name")

@@ -48,14 +48,10 @@ mod tests {
     #[test]
     fn retail_has_entity_and_attribute_concepts() {
         let lex = full_lexicon();
-        let entities = lex
-            .of_domain(Domain::Retail)
-            .filter(|c| c.kind == ConceptKind::Entity)
-            .count();
-        let attrs = lex
-            .of_domain(Domain::Retail)
-            .filter(|c| c.kind == ConceptKind::Attribute)
-            .count();
+        let entities =
+            lex.of_domain(Domain::Retail).filter(|c| c.kind == ConceptKind::Entity).count();
+        let attrs =
+            lex.of_domain(Domain::Retail).filter(|c| c.kind == ConceptKind::Attribute).count();
         assert!(entities >= 30, "need ≥30 retail entity concepts, got {entities}");
         assert!(attrs >= 80, "need ≥80 retail attribute concepts, got {attrs}");
     }
@@ -78,15 +74,15 @@ mod tests {
     #[test]
     fn rename_channels_have_material() {
         let lex = full_lexicon();
-        let attrs: Vec<_> = lex
-            .concepts()
-            .iter()
-            .filter(|c| c.kind == ConceptKind::Attribute)
-            .collect();
+        let attrs: Vec<_> =
+            lex.concepts().iter().filter(|c| c.kind == ConceptKind::Attribute).collect();
         let with_private = attrs.iter().filter(|c| !c.private_synonyms.is_empty()).count();
         let with_public = attrs.iter().filter(|c| !c.public_synonyms.is_empty()).count();
         let with_abbr = attrs.iter().filter(|c| !c.abbreviations.is_empty()).count();
-        assert!(with_private * 3 >= attrs.len(), "≥1/3 of attribute concepts need private synonyms");
+        assert!(
+            with_private * 3 >= attrs.len(),
+            "≥1/3 of attribute concepts need private synonyms"
+        );
         assert!(with_public * 2 >= attrs.len(), "≥1/2 need public synonyms");
         assert!(with_abbr * 10 >= attrs.len(), "≥1/10 need abbreviations");
     }

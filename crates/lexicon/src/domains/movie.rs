@@ -13,11 +13,23 @@ pub fn concepts() -> Vec<ConceptBuilder> {
     let d = Domain::Movie;
     vec![
         // entities
-        ConceptBuilder::entity(d, "movie").syn("film").syn("title basics").desc("a released motion picture"),
-        ConceptBuilder::entity(d, "rating").syn("title rating").desc("aggregate user ratings for a movie"),
-        ConceptBuilder::entity(d, "person").syn("name basics").private("talent").desc("an actor director or crew member"),
-        ConceptBuilder::entity(d, "cast member").syn("principal").desc("a person credited on a movie"),
-        ConceptBuilder::entity(d, "genre link").syn("movie genre").desc("association of a movie with a genre"),
+        ConceptBuilder::entity(d, "movie")
+            .syn("film")
+            .syn("title basics")
+            .desc("a released motion picture"),
+        ConceptBuilder::entity(d, "rating")
+            .syn("title rating")
+            .desc("aggregate user ratings for a movie"),
+        ConceptBuilder::entity(d, "person")
+            .syn("name basics")
+            .private("talent")
+            .desc("an actor director or crew member"),
+        ConceptBuilder::entity(d, "cast member")
+            .syn("principal")
+            .desc("a person credited on a movie"),
+        ConceptBuilder::entity(d, "genre link")
+            .syn("movie genre")
+            .desc("association of a movie with a genre"),
         ConceptBuilder::entity(d, "user").syn("reviewer").desc("a platform user who rates movies"),
         ConceptBuilder::entity(d, "tag").syn("keyword").desc("a free text tag applied to a movie"),
         ConceptBuilder::entity(d, "episode").syn("tv episode").desc("an episode of a series"),

@@ -539,32 +539,89 @@ pub fn entity_concepts() -> Vec<ConceptBuilder> {
         e("coupon").syn("voucher").private("deal slip").desc("a redeemable discount instrument"),
         e("supplier").syn("vendor").private("source partner").desc("a company supplying goods"),
         e("warehouse").syn("distribution center").private("depot").desc("a storage facility"),
-        e("inventory").syn("stock").private("holding ledger").desc("stock levels per product and site"),
-        e("purchase order").syn("procurement order").private("buy docket").desc("an order placed with a supplier"),
+        e("inventory")
+            .syn("stock")
+            .private("holding ledger")
+            .desc("stock levels per product and site"),
+        e("purchase order")
+            .syn("procurement order")
+            .private("buy docket")
+            .desc("an order placed with a supplier"),
         e("shipment").syn("delivery").private("parcel run").desc("a physical movement of goods"),
         e("return").syn("refund case").private("send back").desc("goods returned by a customer"),
         e("payment").syn("tender").private("settlement").desc("a payment applied to a transaction"),
         e("invoice").syn("bill").private("ar document").desc("a billing document for a sale"),
         e("price list").syn("tariff").private("rate card").desc("prices of products over time"),
-        e("product related status").syn("product status").private("item state").desc("lifecycle status codes of products"),
-        e("category").syn("merchandise category").private("range group").desc("a node of the merchandise hierarchy"),
-        e("loyalty program").syn("rewards program").private("perks club").desc("a customer loyalty scheme"),
-        e("loyalty account").syn("rewards account").private("perks wallet").desc("a customer membership in a loyalty program"),
-        e("employee").syn("staff member").private("crew member").desc("a person employed at a store"),
+        e("product related status")
+            .syn("product status")
+            .private("item state")
+            .desc("lifecycle status codes of products"),
+        e("category")
+            .syn("merchandise category")
+            .private("range group")
+            .desc("a node of the merchandise hierarchy"),
+        e("loyalty program")
+            .syn("rewards program")
+            .private("perks club")
+            .desc("a customer loyalty scheme"),
+        e("loyalty account")
+            .syn("rewards account")
+            .private("perks wallet")
+            .desc("a customer membership in a loyalty program"),
+        e("employee")
+            .syn("staff member")
+            .private("crew member")
+            .desc("a person employed at a store"),
         e("register").syn("till").private("lane box").desc("a point of sale register"),
-        e("gift card").syn("stored value card").private("plastic credit").desc("a prepaid stored value instrument"),
-        e("wish list").syn("saved items").private("someday pile").desc("products a customer saved for later"),
-        e("review").syn("product review").private("shopper write up").desc("a customer review of a product"),
+        e("gift card")
+            .syn("stored value card")
+            .private("plastic credit")
+            .desc("a prepaid stored value instrument"),
+        e("wish list")
+            .syn("saved items")
+            .private("someday pile")
+            .desc("products a customer saved for later"),
+        e("review")
+            .syn("product review")
+            .private("shopper write up")
+            .desc("a customer review of a product"),
         e("address").syn("postal address").private("mail point").desc("a postal address record"),
-        e("contact").syn("contact detail").private("reach record").desc("contact details for a party"),
-        e("currency").syn("currency unit").private("money denomination").desc("a currency and its codes"),
-        e("tax jurisdiction").syn("tax region").private("levy zone").desc("a region with its own tax rules"),
-        e("planogram").syn("shelf layout").private("display map").desc("the planned shelf layout of a store"),
-        e("assortment").syn("product assortment").private("range plan").desc("the set of products a store carries"),
-        e("price change").syn("reprice event").private("tag swap").desc("a historical price change event"),
-        e("stock movement").syn("inventory movement").private("ledger hop").desc("a movement of stock between locations"),
-        e("delivery slot").syn("time window").private("van window").desc("a bookable delivery time window"),
-        e("basket item").syn("cart line").private("trolley row").desc("an item placed in an online cart"),
+        e("contact")
+            .syn("contact detail")
+            .private("reach record")
+            .desc("contact details for a party"),
+        e("currency")
+            .syn("currency unit")
+            .private("money denomination")
+            .desc("a currency and its codes"),
+        e("tax jurisdiction")
+            .syn("tax region")
+            .private("levy zone")
+            .desc("a region with its own tax rules"),
+        e("planogram")
+            .syn("shelf layout")
+            .private("display map")
+            .desc("the planned shelf layout of a store"),
+        e("assortment")
+            .syn("product assortment")
+            .private("range plan")
+            .desc("the set of products a store carries"),
+        e("price change")
+            .syn("reprice event")
+            .private("tag swap")
+            .desc("a historical price change event"),
+        e("stock movement")
+            .syn("inventory movement")
+            .private("ledger hop")
+            .desc("a movement of stock between locations"),
+        e("delivery slot")
+            .syn("time window")
+            .private("van window")
+            .desc("a bookable delivery time window"),
+        e("basket item")
+            .syn("cart line")
+            .private("trolley row")
+            .desc("an item placed in an online cart"),
     ]
 }
 

@@ -77,10 +77,7 @@ impl Lexicon {
         let mut public_token_index: HashMap<String, Vec<ConceptId>> = HashMap::new();
         for c in &concepts {
             let mut add = |phrase: &[String], form: SurfaceForm| {
-                phrase_index
-                    .entry(phrase.join(" "))
-                    .or_default()
-                    .push((c.id, form));
+                phrase_index.entry(phrase.join(" ")).or_default().push((c.id, form));
             };
             add(&c.canonical, SurfaceForm::Canonical);
             for s in &c.public_synonyms {
@@ -239,9 +236,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown concept")]
     fn unknown_related_reference_panics() {
-        Lexicon::assemble(vec![
-            ConceptBuilder::attribute(Domain::Retail, "a").related("nope"),
-        ]);
+        Lexicon::assemble(vec![ConceptBuilder::attribute(Domain::Retail, "a").related("nope")]);
     }
 
     #[test]

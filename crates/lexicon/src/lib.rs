@@ -21,6 +21,8 @@
 //! vocabulary — exactly the regime where the paper shows dictionary-based
 //! baselines collapse and LSM keeps working.
 
+#![forbid(unsafe_code)]
+
 pub mod concept;
 pub mod corpus;
 pub mod domains;
@@ -33,8 +35,22 @@ pub use concept::{Concept, ConceptBuilder, ConceptDtype, ConceptId, ConceptKind,
 /// generator and by the language-model pre-training so that qualified names
 /// are in-distribution for both.
 pub const QUALIFIERS: &[&str] = &[
-    "total", "net", "gross", "estimated", "actual", "primary", "secondary", "original",
-    "current", "previous", "minimum", "maximum", "average", "expected", "first", "last",
+    "total",
+    "net",
+    "gross",
+    "estimated",
+    "actual",
+    "primary",
+    "secondary",
+    "original",
+    "current",
+    "previous",
+    "minimum",
+    "maximum",
+    "average",
+    "expected",
+    "first",
+    "last",
 ];
 pub use corpus::{CorpusConfig, CorpusGenerator};
 pub use domains::full_lexicon;

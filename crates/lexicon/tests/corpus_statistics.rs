@@ -22,12 +22,15 @@ fn corpus_is_large_and_diverse() {
 fn every_attribute_concept_is_mentioned() {
     let lexicon = full_lexicon();
     let corpus = CorpusGenerator::new(&lexicon, CorpusConfig::default()).generate();
-    let vocab: HashSet<&str> =
-        corpus.iter().flat_map(|s| s.iter().map(String::as_str)).collect();
+    let vocab: HashSet<&str> = corpus.iter().flat_map(|s| s.iter().map(String::as_str)).collect();
     for c in lexicon.concepts() {
         if c.kind == ConceptKind::Attribute {
             for tok in &c.canonical {
-                assert!(vocab.contains(tok.as_str()), "token {tok:?} of {:?} never appears", c.canonical_phrase());
+                assert!(
+                    vocab.contains(tok.as_str()),
+                    "token {tok:?} of {:?} never appears",
+                    c.canonical_phrase()
+                );
             }
             for p in &c.private_synonyms {
                 for tok in p {
@@ -46,8 +49,7 @@ fn every_attribute_concept_is_mentioned() {
 fn qualifiers_appear_in_the_corpus() {
     let lexicon = full_lexicon();
     let corpus = CorpusGenerator::new(&lexicon, CorpusConfig::default()).generate();
-    let vocab: HashSet<&str> =
-        corpus.iter().flat_map(|s| s.iter().map(String::as_str)).collect();
+    let vocab: HashSet<&str> = corpus.iter().flat_map(|s| s.iter().map(String::as_str)).collect();
     let present = lsm_lexicon::QUALIFIERS.iter().filter(|q| vocab.contains(**q)).count();
     assert!(
         present * 2 >= lsm_lexicon::QUALIFIERS.len(),

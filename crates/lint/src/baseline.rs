@@ -1,0 +1,320 @@
+//! The violation baseline: pre-existing debt frozen in `lint-baseline.json`.
+//!
+//! Counts are keyed by `(rule, file)` rather than by line so that unrelated
+//! edits shifting line numbers do not thaw old debt; only *more* violations
+//! of a rule in a file than the baseline records fail the build. The crate
+//! is dependency-free, so the narrow JSON schema is read and written by
+//! hand.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::rules::Violation;
+
+/// Baseline counts: `(rule, file) -> allowed violation count`.
+pub type Counts = BTreeMap<(String, String), usize>;
+
+/// Aggregates active (non-suppressed) violations into baseline counts.
+pub fn count(violations: &[Violation]) -> Counts {
+    let mut counts = Counts::new();
+    for v in violations.iter().filter(|v| v.suppressed.is_none()) {
+        *counts.entry((v.rule.to_string(), v.file.clone())).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// The `(rule, file)` groups whose current count exceeds the baseline,
+/// with `(current, allowed)` per group.
+pub fn over_baseline(current: &Counts, baseline: &Counts) -> Vec<((String, String), usize, usize)> {
+    current
+        .iter()
+        .filter_map(|(key, &cur)| {
+            let allowed = baseline.get(key).copied().unwrap_or(0);
+            (cur > allowed).then(|| (key.clone(), cur, allowed))
+        })
+        .collect()
+}
+
+/// Serializes counts to the checked-in JSON format (sorted, one entry per
+/// line, trailing newline) so regeneration is diff-stable.
+pub fn to_json(counts: &Counts) -> String {
+    let mut s = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+    for (i, ((rule, file), n)) in counts.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n    {{ \"rule\": {}, \"file\": {}, \"count\": {} }}",
+            quote(rule),
+            quote(file),
+            n
+        );
+    }
+    if counts.is_empty() {
+        s.push_str("]\n}\n");
+    } else {
+        s.push_str("\n  ]\n}\n");
+    }
+    s
+}
+
+/// Parses the baseline JSON. Accepts exactly the schema [`to_json`] writes
+/// (field order within an entry is free); anything else is an error so a
+/// corrupted baseline cannot silently allow violations.
+pub fn from_json(text: &str) -> Result<Counts, String> {
+    let mut p = Parser { bytes: text.as_bytes(), i: 0 };
+    p.ws();
+    p.expect(b'{')?;
+    let mut counts = Counts::new();
+    let mut version_seen = false;
+    loop {
+        p.ws();
+        if p.eat(b'}') {
+            break;
+        }
+        let key = p.string()?;
+        p.ws();
+        p.expect(b':')?;
+        p.ws();
+        match key.as_str() {
+            "version" => {
+                let v = p.number()?;
+                if v != 1 {
+                    return Err(format!("unsupported baseline version {v}"));
+                }
+                version_seen = true;
+            }
+            "entries" => {
+                p.expect(b'[')?;
+                loop {
+                    p.ws();
+                    if p.eat(b']') {
+                        break;
+                    }
+                    let (rule, file, n) = p.entry()?;
+                    counts.insert((rule, file), n);
+                    p.ws();
+                    if !p.eat(b',') {
+                        p.ws();
+                        p.expect(b']')?;
+                        break;
+                    }
+                }
+            }
+            other => return Err(format!("unexpected baseline key {other:?}")),
+        }
+        p.ws();
+        if !p.eat(b',') {
+            p.ws();
+            p.expect(b'}')?;
+            break;
+        }
+    }
+    if !version_seen {
+        return Err("baseline missing \"version\"".to_string());
+    }
+    Ok(counts)
+}
+
+/// Loads a baseline file; a missing file is an empty baseline (the usual
+/// state of a clean tree).
+pub fn load(path: &Path) -> Result<Counts, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => from_json(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Counts::new()),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.bytes.get(self.i).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.i) == Some(&b) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(format!(
+                "baseline parse error at byte {}: expected {:?}, found {:?}",
+                self.i,
+                b as char,
+                self.bytes.get(self.i).map(|&c| c as char)
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.i) {
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.bytes.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                            self.i += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.i += 1;
+                }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole char.
+                    let rest = &self.bytes[self.i..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().ok_or("truncated string")?;
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+                None => return Err("unterminated string in baseline".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<usize, String> {
+        let start = self.i;
+        while self.bytes.get(self.i).is_some_and(|b| b.is_ascii_digit()) {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("baseline parse error at byte {start}: expected a number"))
+    }
+
+    fn entry(&mut self) -> Result<(String, String, usize), String> {
+        self.expect(b'{')?;
+        let (mut rule, mut file, mut n) = (None, None, None);
+        loop {
+            self.ws();
+            if self.eat(b'}') {
+                break;
+            }
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            match key.as_str() {
+                "rule" => rule = Some(self.string()?),
+                "file" => file = Some(self.string()?),
+                "count" => n = Some(self.number()?),
+                other => return Err(format!("unexpected entry key {other:?}")),
+            }
+            self.ws();
+            if !self.eat(b',') {
+                self.ws();
+                self.expect(b'}')?;
+                break;
+            }
+        }
+        match (rule, file, n) {
+            (Some(r), Some(f), Some(n)) => Ok((r, f, n)),
+            _ => Err("baseline entry missing rule/file/count".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Counts {
+        let mut c = Counts::new();
+        c.insert(("R1-hash-iter".into(), "crates/core/src/x.rs".into()), 2);
+        c.insert(("R5-panic-policy".into(), "crates/nn/src/y.rs".into()), 1);
+        c
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let c = sample();
+        let parsed = from_json(&to_json(&c)).expect("round trip");
+        assert_eq!(parsed, c);
+        assert_eq!(from_json(&to_json(&Counts::new())).expect("empty"), Counts::new());
+    }
+
+    #[test]
+    fn over_baseline_flags_only_growth() {
+        let baseline = sample();
+        let mut current = sample();
+        assert!(over_baseline(&current, &baseline).is_empty());
+        current.insert(("R1-hash-iter".into(), "crates/core/src/x.rs".into()), 3);
+        let over = over_baseline(&current, &baseline);
+        assert_eq!(over.len(), 1);
+        assert_eq!(over[0].1, 3);
+        assert_eq!(over[0].2, 2);
+        // Shrinking below baseline is fine.
+        current.insert(("R1-hash-iter".into(), "crates/core/src/x.rs".into()), 0);
+        assert!(over_baseline(&current, &baseline).is_empty());
+    }
+
+    #[test]
+    fn rejects_corrupt_baselines() {
+        assert!(from_json("{}").is_err()); // missing version
+        assert!(from_json("{\"version\": 2, \"entries\": []}").is_err());
+        assert!(from_json("{\"version\": 1, \"entries\": [{\"rule\": \"R1\"}]}").is_err());
+    }
+
+    #[test]
+    fn escapes_in_paths_survive() {
+        let mut c = Counts::new();
+        c.insert(("R2-wall-clock".into(), "crates/a \"b\"/x.rs".into()), 1);
+        assert_eq!(from_json(&to_json(&c)).expect("escaped"), c);
+    }
+}

@@ -1,0 +1,75 @@
+//! Repo-specific lint policy: which crates are deterministic, who may read
+//! the wall clock, and how suppressions are spelled.
+//!
+//! The lists are keyed by the crate *directory* under `crates/` (so
+//! `matchers` means the `lsm-baselines` package) because the walker
+//! attributes files by path, not by parsing manifests.
+
+/// Crates whose scoring/featurizing output must be bitwise reproducible.
+/// Rule R1 (no `HashMap`/`HashSet` iteration) applies to their library code.
+pub const DETERMINISTIC_CRATE_DIRS: &[&str] =
+    &["core", "matchers", "nn", "text", "embedding", "datasets"];
+
+/// Crates allowed to read the wall clock (R2): the observability layer owns
+/// all timing, the bench harness measures it, and the lint's own sources
+/// discuss it.
+pub const WALL_CLOCK_CRATE_DIRS: &[&str] = &["obs", "bench", "lint"];
+
+/// Session-timing allowlist (R2): files that may take a raw `Instant` pair
+/// because they own the user-facing response-time measurement. The session
+/// loop currently routes timing through `lsm_obs::span`, but the latency it
+/// reports must keep sharing the exact instant pair with the recorded
+/// response times if it ever measures directly.
+pub const WALL_CLOCK_ALLOWED_FILES: &[&str] = &["crates/core/src/session.rs"];
+
+/// Files allowed to touch entropy sources (R3). Every RNG in the workspace
+/// is constructed from an explicit seed today, so the list is empty; a
+/// future OS-entropy seeding constructor would be registered here.
+pub const ENTROPY_ALLOWED_FILES: &[&str] = &[];
+
+/// Marker prefix of a suppression comment:
+/// `// lsm-lint: allow(rule-id, reason)`.
+pub const SUPPRESS_MARKER: &str = "lsm-lint: allow(";
+
+/// Identifiers of the five rules, used in diagnostics and suppressions.
+pub const RULE_IDS: &[&str] =
+    &["R1-hash-iter", "R2-wall-clock", "R3-entropy", "R4-unsafe-safety", "R5-panic-policy"];
+
+/// One-line rationale per rule, shown by `--list-rules`.
+pub const RULE_SUMMARIES: &[(&str, &str)] = &[
+    (
+        "R1-hash-iter",
+        "no HashMap/HashSet iteration in deterministic crates; iterate a BTreeMap or sort first",
+    ),
+    (
+        "R2-wall-clock",
+        "no Instant::now/SystemTime::now outside lsm-obs, lsm-bench, and the session allowlist",
+    ),
+    ("R3-entropy", "no thread_rng/from_entropy/OsRng; every RNG must take an explicit seed"),
+    (
+        "R4-unsafe-safety",
+        "every unsafe block needs a // SAFETY: comment; unsafe-free crates must forbid(unsafe_code)",
+    ),
+    (
+        "R5-panic-policy",
+        "no unwrap/expect on io/serde results in library code; propagate or handle the error",
+    ),
+];
+
+/// The crate directory (`core`, `matchers`, ...) a root-relative path
+/// belongs to, if it lies under `crates/`.
+pub fn crate_dir(rel_path: &str) -> Option<&str> {
+    let rest = rel_path.strip_prefix("crates/")?;
+    rest.split('/').next()
+}
+
+/// Is this root-relative path library code (eligible for R1/R5): under a
+/// crate's `src/`, not a binary target?
+pub fn is_library_code(rel_path: &str) -> bool {
+    let Some(dir) = crate_dir(rel_path) else { return false };
+    let Some(rest) = rel_path.strip_prefix("crates/") else { return false };
+    let Some(in_crate) = rest.strip_prefix(dir).and_then(|r| r.strip_prefix('/')) else {
+        return false;
+    };
+    in_crate.starts_with("src/") && !in_crate.starts_with("src/bin/") && in_crate != "src/main.rs"
+}

@@ -1,0 +1,98 @@
+//! # lsm-lint
+//!
+//! Workspace static analysis enforcing the determinism, panic-policy, and
+//! unsafe-audit invariants that the matcher's reproducibility guarantees
+//! rest on (see `docs/static-analysis.md` for the full rule catalog):
+//!
+//! * **R1-hash-iter** — no `HashMap`/`HashSet` *iteration* in deterministic
+//!   crates (`lsm-core`, `lsm-baselines`, `lsm-nn`, `lsm-text`,
+//!   `lsm-embedding`, `lsm-datasets`). Lookups are fine; iteration order is
+//!   seeded per process and would leak into scores.
+//! * **R2-wall-clock** — no `Instant::now`/`SystemTime::now` outside
+//!   `lsm-obs`, `lsm-bench`, and the session-timing allowlist.
+//! * **R3-entropy** — no `thread_rng`/`from_entropy`/`OsRng`; every RNG is
+//!   constructed from an explicit seed.
+//! * **R4-unsafe-safety** — every `unsafe` needs a `// SAFETY:` comment, and
+//!   crates with zero `unsafe` must carry `#![forbid(unsafe_code)]`.
+//! * **R5-panic-policy** — no `unwrap`/`expect` on io/serde results in
+//!   library code.
+//!
+//! Violations can be silenced inline with
+//! `// lsm-lint: allow(rule-id, reason)` or frozen wholesale in
+//! `lint-baseline.json`; only *new* violations fail the build. The crate is
+//! deliberately dependency-free: it lints the workspace before any
+//! third-party code needs to compile.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod config;
+pub mod rules;
+pub mod scan;
+pub mod walk;
+
+use std::io;
+use std::path::Path;
+
+pub use rules::Violation;
+
+/// Lints every `.rs` file under `root` (both per-file rules and the
+/// crate-level `forbid(unsafe_code)` audit). Returned violations include
+/// suppressed ones, with [`Violation::suppressed`] set.
+pub fn lint_root(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    let files = walk::rust_files(root)?;
+    let mut views = Vec::with_capacity(files.len());
+    for (rel, path) in files {
+        let raw = std::fs::read_to_string(&path)?;
+        let view = scan::FileView::new(raw);
+        out.extend(rules::check_file(&rel, &view));
+        views.push((rel, view));
+    }
+    out.extend(forbid_unsafe_audit(root, &views)?);
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(out)
+}
+
+/// The crate-level half of R4: a crate in which no file uses `unsafe` must
+/// say so in its root with `#![forbid(unsafe_code)]`, so the compiler keeps
+/// the property without this lint.
+fn forbid_unsafe_audit(
+    root: &Path,
+    views: &[(String, scan::FileView)],
+) -> io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for (dir, path) in walk::crate_dirs(root)? {
+        let prefix = format!("crates/{dir}/");
+        let uses_unsafe = views
+            .iter()
+            .filter(|(rel, _)| rel.starts_with(&prefix))
+            .any(|(_, view)| rules::file_uses_unsafe(view));
+        if uses_unsafe {
+            continue;
+        }
+        let lib_rel = format!("crates/{dir}/src/lib.rs");
+        let main_rel = format!("crates/{dir}/src/main.rs");
+        let root_file = views
+            .iter()
+            .find(|(rel, _)| *rel == lib_rel)
+            .or_else(|| views.iter().find(|(rel, _)| *rel == main_rel));
+        let Some((rel, view)) = root_file else {
+            continue; // no root source — nothing Cargo would build
+        };
+        if !rules::has_forbid_unsafe(view) {
+            out.push(Violation {
+                rule: "R4-unsafe-safety",
+                file: rel.clone(),
+                line: 1,
+                message: format!(
+                    "crate `{}` has zero unsafe code but its root lacks \
+                     `#![forbid(unsafe_code)]`; add the attribute so the compiler keeps it that way",
+                    path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or(dir)
+                ),
+                suppressed: None,
+            });
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,160 @@
+//! `lsm-lint` — workspace static analysis for determinism, panic-policy,
+//! and unsafe-audit invariants.
+//!
+//! ```text
+//! Usage: lsm-lint [--root DIR] [--baseline FILE] [--fix-baseline]
+//!                 [--verbose] [--list-rules]
+//! ```
+//!
+//! Exits 0 when no violation exceeds the baseline, 1 when new violations
+//! are found, 2 on usage or I/O errors. `--fix-baseline` rewrites the
+//! baseline to the current tree and exits 0 — use it to freeze pre-existing
+//! debt, never to silence a regression.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lsm_lint::{baseline, config, walk};
+
+struct Options {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    fix_baseline: bool,
+    verbose: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        baseline: None,
+        fix_baseline: false,
+        verbose: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = args.next().ok_or("--root requires a directory argument")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                let v = args.next().ok_or("--baseline requires a file argument")?;
+                opts.baseline = Some(PathBuf::from(v));
+            }
+            "--fix-baseline" => opts.fix_baseline = true,
+            "--verbose" => opts.verbose = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                println!(
+                    "lsm-lint: workspace static analysis (determinism / panic policy / unsafe audit)\n\
+                     \n\
+                     Usage: lsm-lint [--root DIR] [--baseline FILE] [--fix-baseline]\n\
+                     \x20                [--verbose] [--list-rules]\n\
+                     \n\
+                     Suppress a single finding with: // lsm-lint: allow(rule-id, reason)\n\
+                     Freeze existing debt with:      lsm-lint --fix-baseline"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("lsm-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for (id, summary) in config::RULE_SUMMARIES {
+            println!("{id:18} {summary}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match opts
+        .root
+        .or_else(|| std::env::current_dir().ok().and_then(|d| walk::find_workspace_root(&d)))
+    {
+        Some(root) => root,
+        None => {
+            eprintln!("lsm-lint: no workspace root found; pass --root");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = opts.baseline.unwrap_or_else(|| root.join("lint-baseline.json"));
+
+    let violations = match lsm_lint::lint_root(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("lsm-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let suppressed: Vec<_> = violations.iter().filter(|v| v.suppressed.is_some()).collect();
+    let active: Vec<_> = violations.iter().filter(|v| v.suppressed.is_none()).cloned().collect();
+    let current = baseline::count(&active);
+
+    if opts.fix_baseline {
+        let json = baseline::to_json(&current);
+        if let Err(e) = std::fs::write(&baseline_path, json) {
+            eprintln!("lsm-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "lsm-lint: baseline frozen to {} ({} entries, {} violations)",
+            baseline_path.display(),
+            current.len(),
+            active.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let frozen = match baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("lsm-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let over = baseline::over_baseline(&current, &frozen);
+
+    if opts.verbose {
+        for v in &suppressed {
+            let reason = v.suppressed.as_deref().unwrap_or("");
+            println!("{}:{}: {} suppressed ({reason})", v.file, v.line, v.rule);
+        }
+    }
+    for ((rule, file), cur, allowed) in &over {
+        for v in active.iter().filter(|v| v.rule == rule && &v.file == file) {
+            println!("{}:{}: {}: {}", v.file, v.line, v.rule, v.message);
+        }
+        if *allowed > 0 {
+            println!(
+                "  -> {file}: {cur} {rule} violations exceed the {allowed} frozen in {}",
+                baseline_path.display()
+            );
+        }
+    }
+
+    let new_count: usize = over.iter().map(|(_, cur, allowed)| cur - allowed).sum();
+    println!(
+        "lsm-lint: {} new violation(s), {} baselined, {} suppressed",
+        new_count,
+        active.len() - new_count.min(active.len()),
+        suppressed.len()
+    );
+    if over.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

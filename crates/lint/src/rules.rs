@@ -1,0 +1,528 @@
+//! The five lint rules (R1–R5) over a scanned file.
+//!
+//! Matching is token-based over the blanked code view from [`crate::scan`],
+//! so string literals and comments can never trigger a rule. The engine is
+//! heuristic by design — it has no type information — and errs toward the
+//! patterns that actually occur in this workspace; anything it cannot prove
+//! clean is flagged and can be silenced with an inline
+//! `// lsm-lint: allow(rule-id, reason)` once a human has justified it.
+
+use crate::config;
+use crate::scan::{FileView, Tok};
+
+/// One diagnostic produced by the lint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Rule identifier, e.g. `R1-hash-iter`.
+    pub rule: &'static str,
+    /// Root-relative file path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// `Some(reason)` when an inline suppression comment covers this
+    /// violation; suppressed violations never fail the build.
+    pub suppressed: Option<String>,
+}
+
+/// HashMap/HashSet methods whose call observes iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// Markers that make an `unwrap`/`expect` statement an io/serde fallible
+/// operation under R5.
+const IO_SERDE_MARKERS: &[&str] = &[
+    "serde_json",
+    "io::",
+    "File::",
+    "fs::",
+    "read_to_string",
+    "write_all",
+    "read_exact",
+    "to_writer",
+    "from_reader",
+    "create_dir",
+    "read_dir",
+    "remove_file",
+];
+
+/// Runs every per-file rule on one scanned file.
+pub fn check_file(rel_path: &str, view: &FileView) -> Vec<Violation> {
+    let toks = crate::scan::tokenize(&view.code);
+    let test_spans = cfg_test_spans(&toks);
+    let crate_dir = config::crate_dir(rel_path);
+    let library = config::is_library_code(rel_path);
+    let mut out = Vec::new();
+
+    if library && crate_dir.is_some_and(|d| config::DETERMINISTIC_CRATE_DIRS.contains(&d)) {
+        rule_hash_iter(rel_path, view, &toks, &test_spans, &mut out);
+    }
+    let clock_ok = crate_dir.is_some_and(|d| config::WALL_CLOCK_CRATE_DIRS.contains(&d))
+        || config::WALL_CLOCK_ALLOWED_FILES.contains(&rel_path);
+    if !clock_ok {
+        rule_wall_clock(rel_path, view, &toks, &mut out);
+    }
+    if !config::ENTROPY_ALLOWED_FILES.contains(&rel_path) {
+        rule_entropy(rel_path, view, &toks, &mut out);
+    }
+    rule_unsafe_safety(rel_path, view, &toks, &mut out);
+    if library {
+        rule_panic_policy(rel_path, view, &toks, &test_spans, &mut out);
+    }
+
+    apply_suppressions(view, &mut out);
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Does any file of this crate use `unsafe`? Token-level, so mentions in
+/// strings or comments do not count.
+pub fn file_uses_unsafe(view: &FileView) -> bool {
+    crate::scan::tokenize(&view.code).iter().any(|t| t.is_ident("unsafe"))
+}
+
+/// Does this crate-root file carry `#![forbid(unsafe_code)]`?
+pub fn has_forbid_unsafe(view: &FileView) -> bool {
+    let toks = crate::scan::tokenize(&view.code);
+    toks.windows(7).any(|w| {
+        w[0].is_punct("#")
+            && w[1].is_punct("!")
+            && w[2].is_punct("[")
+            && w[3].is_ident("forbid")
+            && w[4].is_punct("(")
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(")")
+    })
+}
+
+/// Byte ranges of `#[cfg(test)] mod ... { .. }` bodies.
+fn cfg_test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i + 4 < toks.len() {
+        // `#[cfg(` with `test` anywhere inside the attribute parens.
+        if toks[i].is_punct("#")
+            && toks[i + 1].is_punct("[")
+            && toks[i + 2].is_ident("cfg")
+            && toks[i + 3].is_punct("(")
+        {
+            let Some(close) = matching(toks, i + 3, "(", ")") else { break };
+            let is_test = toks[i + 3..close].iter().any(|t| t.is_ident("test"));
+            let mut j = close + 1; // expect `]`, then optional further attrs
+            if toks.get(j).map(|t| t.is_punct("]")) != Some(true) {
+                i += 1;
+                continue;
+            }
+            j += 1;
+            while toks.get(j).map(|t| t.is_punct("#")) == Some(true)
+                && toks.get(j + 1).map(|t| t.is_punct("[")) == Some(true)
+            {
+                match matching(toks, j + 1, "[", "]") {
+                    Some(end) => j = end + 1,
+                    None => break,
+                }
+            }
+            if is_test
+                && toks.get(j).is_some_and(|t| t.is_ident("mod"))
+                && toks.get(j + 1).and_then(|t| t.ident()).is_some()
+            {
+                if let Some(open) = (j + 2..toks.len().min(j + 4)).find(|&k| toks[k].is_punct("{"))
+                {
+                    if let Some(end) = matching(toks, open, "{", "}") {
+                        spans.push((toks[open].pos(), toks[end].pos()));
+                        i = end;
+                        continue;
+                    }
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Index of the token closing the bracket opened at `open`.
+fn matching(toks: &[Tok], open: usize, lhs: &str, rhs: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(lhs) {
+            depth += 1;
+        } else if t.is_punct(rhs) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+fn in_spans(pos: usize, spans: &[(usize, usize)]) -> bool {
+    spans.iter().any(|&(a, b)| pos >= a && pos <= b)
+}
+
+// ---------------------------------------------------------------- R1
+
+/// R1 — `HashMap`/`HashSet` iteration in a deterministic crate. Lookups are
+/// fine; anything that observes bucket order (`iter`, `keys`, `values`,
+/// `drain`, `retain`, for-loops, ...) is not.
+fn rule_hash_iter(
+    rel_path: &str,
+    view: &FileView,
+    toks: &[Tok],
+    test_spans: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    let tracked_fns = hash_returning_fns(toks);
+    let tracked = hash_bindings(toks, &tracked_fns);
+
+    let mut flag = |pos: usize, name: &str, how: &str| {
+        if in_spans(pos, test_spans) {
+            return;
+        }
+        out.push(Violation {
+            rule: "R1-hash-iter",
+            file: rel_path.to_string(),
+            line: view.line_of(pos),
+            message: format!(
+                "{how} of std Hash{{Map,Set}} `{name}` observes nondeterministic bucket order; \
+                 use a BTreeMap/BTreeSet or collect-and-sort before iterating"
+            ),
+            suppressed: None,
+        });
+    };
+
+    for i in 0..toks.len() {
+        // `name.iter()` / `self.name.keys()` / tracked_fn(..).values()
+        if let Some(name) = toks[i].ident() {
+            if tracked.contains(&name.to_string())
+                && toks.get(i + 1).is_some_and(|t| t.is_punct("."))
+                && toks.get(i + 2).is_some_and(|t| ITER_METHODS.iter().any(|m| t.is_ident(m)))
+                && toks.get(i + 3).is_some_and(|t| t.is_punct("("))
+            {
+                let method = toks[i + 2].ident().unwrap_or_default().to_string();
+                flag(toks[i].pos(), name, &format!("`.{method}()`"));
+            }
+            if tracked_fns.contains(&name.to_string())
+                && toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+            {
+                if let Some(close) = matching(toks, i + 1, "(", ")") {
+                    if toks.get(close + 1).is_some_and(|t| t.is_punct("."))
+                        && toks
+                            .get(close + 2)
+                            .is_some_and(|t| ITER_METHODS.iter().any(|m| t.is_ident(m)))
+                    {
+                        flag(toks[i].pos(), name, "chained iteration on the result");
+                    }
+                }
+            }
+        }
+        // `for pat in [&][mut] [self.]name {`
+        if toks[i].is_ident("for") {
+            if let Some(in_idx) = (i + 1..toks.len().min(i + 24)).find(|&k| {
+                toks[k].is_ident("in") && !toks.get(k + 1).is_some_and(|t| t.is_punct("="))
+                // not `in =`; defensive
+            }) {
+                let mut k = in_idx + 1;
+                while toks.get(k).is_some_and(|t| t.is_punct("&") || t.is_ident("mut")) {
+                    k += 1;
+                }
+                if toks.get(k).is_some_and(|t| t.is_ident("self"))
+                    && toks.get(k + 1).is_some_and(|t| t.is_punct("."))
+                {
+                    k += 2;
+                }
+                if let Some(name) = toks.get(k).and_then(|t| t.ident()) {
+                    if tracked.contains(&name.to_string())
+                        && toks.get(k + 1).is_some_and(|t| t.is_punct("{"))
+                    {
+                        flag(toks[k].pos(), name, "`for` loop");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Names of functions in this file whose return type mentions
+/// `HashMap`/`HashSet`.
+fn hash_returning_fns(toks: &[Tok]) -> Vec<String> {
+    let mut fns = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) else { continue };
+        let Some(open) = (i + 2..toks.len().min(i + 12)).find(|&k| toks[k].is_punct("(")) else {
+            continue;
+        };
+        let Some(close) = matching(toks, open, "(", ")") else { continue };
+        if !toks.get(close + 1).is_some_and(|t| t.is_punct("->")) {
+            continue;
+        }
+        let ret_end = (close + 2..toks.len())
+            .find(|&k| toks[k].is_punct("{") || toks[k].is_punct(";") || toks[k].is_ident("where"))
+            .unwrap_or(toks.len());
+        if toks[close + 2..ret_end].iter().any(|t| t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            fns.push(name.to_string());
+        }
+    }
+    fns
+}
+
+/// Identifiers bound to a `HashMap`/`HashSet`: `let` bindings with an
+/// annotated or constructor initializer, struct fields, fn parameters, and
+/// struct-literal fields initialized from a hash constructor.
+fn hash_bindings(toks: &[Tok], tracked_fns: &[String]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut track = |n: &str| {
+        if !names.iter().any(|x| x == n) {
+            names.push(n.to_string());
+        }
+    };
+    for i in 0..toks.len() {
+        // `name :` followed by a type-ish region mentioning HashMap/HashSet.
+        if let Some(name) = toks[i].ident() {
+            if toks.get(i + 1).is_some_and(|t| t.is_punct(":")) {
+                let end = toks.len().min(i + 42);
+                let mut angle = 0i32;
+                let mut paren = 0i32;
+                for t in toks.iter().take(end).skip(i + 2) {
+                    if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                        track(name);
+                        break;
+                    }
+                    if t.is_punct("<") {
+                        angle += 1;
+                    } else if t.is_punct(">") {
+                        angle -= 1;
+                        if angle < 0 {
+                            break;
+                        }
+                    } else if t.is_punct("(") {
+                        paren += 1;
+                    } else if t.is_punct(")") {
+                        paren -= 1;
+                        if paren < 0 {
+                            break;
+                        }
+                    } else if angle == 0
+                        && paren == 0
+                        && (t.is_punct(",")
+                            || t.is_punct(";")
+                            || t.is_punct("}")
+                            || t.is_punct("=")
+                            || t.is_punct("{"))
+                    {
+                        break;
+                    }
+                }
+            }
+        }
+        // `let [mut] name = [std::collections::]Hash{Map,Set}::` ctor, or a
+        // call of a function known to return one.
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).and_then(|t| t.ident()) else { continue };
+            if !toks.get(j + 1).is_some_and(|t| t.is_punct("=")) {
+                continue; // annotated lets are handled by the `name :` arm
+            }
+            let mut k = j + 2;
+            if toks.get(k).is_some_and(|t| t.is_ident("std"))
+                && toks.get(k + 1).is_some_and(|t| t.is_punct("::"))
+                && toks.get(k + 2).is_some_and(|t| t.is_ident("collections"))
+                && toks.get(k + 3).is_some_and(|t| t.is_punct("::"))
+            {
+                k += 4;
+            }
+            if let Some(head) = toks.get(k).and_then(|t| t.ident()) {
+                let is_ctor = (head == "HashMap" || head == "HashSet")
+                    && toks.get(k + 1).is_some_and(|t| t.is_punct("::"));
+                let is_tracked_call = tracked_fns.iter().any(|f| f == head)
+                    && toks.get(k + 1).is_some_and(|t| t.is_punct("("));
+                if is_ctor || is_tracked_call {
+                    track(name);
+                }
+            }
+        }
+    }
+    names
+}
+
+// ---------------------------------------------------------------- R2 / R3
+
+/// R2 — wall-clock reads outside the observability/bench layer.
+fn rule_wall_clock(rel_path: &str, view: &FileView, toks: &[Tok], out: &mut Vec<Violation>) {
+    for w in toks.windows(3) {
+        let clock = ["Instant", "SystemTime"].iter().find(|c| w[0].is_ident(c));
+        if let Some(clock) = clock {
+            if w[1].is_punct("::") && w[2].is_ident("now") {
+                out.push(Violation {
+                    rule: "R2-wall-clock",
+                    file: rel_path.to_string(),
+                    line: view.line_of(w[0].pos()),
+                    message: format!(
+                        "`{clock}::now()` outside lsm-obs/lsm-bench breaks trace/metric \
+                         attribution; time through `lsm_obs::span` or move the measurement \
+                         into the bench harness"
+                    ),
+                    suppressed: None,
+                });
+            }
+        }
+    }
+}
+
+/// R3 — entropy sources; every RNG in the workspace must take an explicit
+/// seed so any run can be replayed.
+fn rule_entropy(rel_path: &str, view: &FileView, toks: &[Tok], out: &mut Vec<Violation>) {
+    const SOURCES: &[&str] = &["thread_rng", "from_entropy", "OsRng", "getrandom"];
+    for t in toks {
+        if let Some(src) = SOURCES.iter().find(|s| t.is_ident(s)) {
+            out.push(Violation {
+                rule: "R3-entropy",
+                file: rel_path.to_string(),
+                line: view.line_of(t.pos()),
+                message: format!(
+                    "entropy source `{src}` makes runs unreproducible; construct the RNG \
+                     from an explicit seed (e.g. `ChaCha8Rng::seed_from_u64`)"
+                ),
+                suppressed: None,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R4
+
+/// R4 (per-file half) — every `unsafe` keyword needs a `SAFETY:` comment on
+/// the same line or within the three lines above it.
+fn rule_unsafe_safety(rel_path: &str, view: &FileView, toks: &[Tok], out: &mut Vec<Violation>) {
+    let raw_lines: Vec<&str> = view.raw.lines().collect();
+    for t in toks {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let line = view.line_of(t.pos());
+        let lo = line.saturating_sub(4);
+        let covered = (lo..=line)
+            .filter_map(|l| raw_lines.get(l.wrapping_sub(1)))
+            .any(|text| text.contains("SAFETY:"));
+        if !covered {
+            out.push(Violation {
+                rule: "R4-unsafe-safety",
+                file: rel_path.to_string(),
+                line,
+                message: "`unsafe` without a `// SAFETY:` comment documenting the invariant \
+                          that makes it sound"
+                    .to_string(),
+                suppressed: None,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R5
+
+/// R5 — `unwrap`/`expect` on io/serde results in library code. The statement
+/// text back to the previous `;`/`{`/`}` is searched for io/serde markers;
+/// test modules, bin targets, and non-fallible unwraps are exempt.
+fn rule_panic_policy(
+    rel_path: &str,
+    view: &FileView,
+    toks: &[Tok],
+    test_spans: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    for i in 0..toks.len() {
+        if !toks[i].is_punct(".") {
+            continue;
+        }
+        let Some(method) =
+            toks.get(i + 1).and_then(|t| t.ident()).filter(|m| *m == "unwrap" || *m == "expect")
+        else {
+            continue;
+        };
+        if !toks.get(i + 2).is_some_and(|t| t.is_punct("(")) {
+            continue;
+        }
+        let pos = toks[i].pos();
+        if in_spans(pos, test_spans) {
+            continue;
+        }
+        let start = view.code[..pos].rfind([';', '{', '}']).map(|p| p + 1).unwrap_or(0);
+        let stmt = &view.code[start..pos];
+        if let Some(marker) = IO_SERDE_MARKERS.iter().find(|m| stmt.contains(*m)) {
+            out.push(Violation {
+                rule: "R5-panic-policy",
+                file: rel_path.to_string(),
+                line: view.line_of(pos),
+                message: format!(
+                    "`.{method}()` on a fallible io/serde operation (`{marker}`) can panic \
+                     in library code; propagate the error instead"
+                ),
+                suppressed: None,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------- suppressions
+
+/// Applies `// lsm-lint: allow(rule-id, reason)` comments: a matching
+/// suppression on the violation's line or the line above marks it
+/// suppressed. A suppression without a reason does not count — the reason is
+/// the audit trail.
+fn apply_suppressions(view: &FileView, out: &mut [Violation]) {
+    let mut allows: Vec<(usize, String, Option<String>)> = Vec::new();
+    for (line, text) in view.comments_containing(config::SUPPRESS_MARKER) {
+        let Some(at) = text.find(config::SUPPRESS_MARKER) else { continue };
+        let body = &text[at + config::SUPPRESS_MARKER.len()..];
+        let Some(close) = body.find(')') else { continue };
+        let body = &body[..close];
+        let (rule, reason) = match body.split_once(',') {
+            Some((r, reason)) => (r.trim(), Some(reason.trim().to_string())),
+            None => (body.trim(), None),
+        };
+        let reason = reason.filter(|r| !r.is_empty());
+        // The comment may span several lines (block comment); attribute it
+        // to every line it covers so "line above" checks stay simple.
+        let extent = text.lines().count();
+        for l in line..line + extent {
+            allows.push((l, rule.to_string(), reason.clone()));
+        }
+    }
+    for v in out.iter_mut() {
+        for (line, rule, reason) in &allows {
+            let line_match = *line == v.line || *line + 1 == v.line;
+            let rule_match = rule == v.rule || v.rule.starts_with(&format!("{rule}-"));
+            if line_match && rule_match {
+                match reason {
+                    Some(r) => v.suppressed = Some(r.clone()),
+                    None => {
+                        v.message.push_str(
+                            " [an lsm-lint allow() comment was found but lacks a reason; \
+                             write allow(rule, why-it-is-sound)]",
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! Lossless source scanning: comment/literal blanking and tokenization.
+//!
+//! The rule engine must never match a pattern inside a string literal or a
+//! comment (`"HashMap"` in a diagnostic message is not a determinism
+//! hazard). Instead of a full parser we build a [`FileView`]: a byte-for-byte
+//! copy of the source in which every comment and every string/char literal
+//! body is replaced by spaces, so byte offsets and line numbers stay aligned
+//! with the original text. Comments are collected separately because two
+//! rules read them (`// SAFETY:` audits and `// lsm-lint: allow(..)`
+//! suppressions).
+//!
+//! The scanner understands line comments, nested block comments, string
+//! literals with escapes, raw strings (`r#".."#` with any number of hashes),
+//! byte strings, char literals, and tells `'a'` (char) apart from `'a`
+//! (lifetime).
+
+/// A scanned source file: raw text plus a code-only view.
+#[derive(Debug)]
+pub struct FileView {
+    /// The original source text.
+    pub raw: String,
+    /// Same length as `raw`, with comments and literal bodies blanked.
+    pub code: String,
+    /// Byte offset of the start of each line (index 0 = line 1).
+    line_starts: Vec<usize>,
+    /// Every comment in the file as `(first line, text)`, delimiters included.
+    pub comments: Vec<(usize, String)>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    Block(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+impl FileView {
+    /// Scans `raw` into a view. Never fails: unterminated literals simply
+    /// blank to end of file, which is what the real lexer would reject
+    /// anyway.
+    pub fn new(raw: String) -> FileView {
+        let bytes = raw.as_bytes();
+        let mut code = bytes.to_vec();
+        let mut comments: Vec<(usize, String)> = Vec::new();
+        let mut line_starts = vec![0usize];
+        let mut state = State::Normal;
+        let mut comment_start: Option<usize> = None;
+        let mut i = 0;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+            match state {
+                State::Normal => {
+                    if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                        state = State::LineComment;
+                        comment_start = Some(i);
+                        code[i] = b' ';
+                        code[i + 1] = b' ';
+                        i += 2;
+                        continue;
+                    }
+                    if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        state = State::Block(1);
+                        comment_start = Some(i);
+                        code[i] = b' ';
+                        code[i + 1] = b' ';
+                        i += 2;
+                        continue;
+                    }
+                    if b == b'"' {
+                        state = State::Str;
+                        code[i] = b' ';
+                        i += 1;
+                        continue;
+                    }
+                    // Raw (and raw byte) strings: r"..", r#".."#, br".."
+                    let prev_ident = i > 0 && is_ident_byte(bytes[i - 1]);
+                    if !prev_ident && (b == b'r' || b == b'b') {
+                        if let Some(hashes) = raw_string_open(bytes, i) {
+                            let body = i + open_len(bytes, i, hashes);
+                            for c in code.iter_mut().take(body).skip(i) {
+                                *c = b' ';
+                            }
+                            state = State::RawStr(hashes);
+                            i = body;
+                            continue;
+                        }
+                        if b == b'b' && bytes.get(i + 1) == Some(&b'"') {
+                            code[i] = b' ';
+                            code[i + 1] = b' ';
+                            state = State::Str;
+                            i += 2;
+                            continue;
+                        }
+                        if b == b'b' && bytes.get(i + 1) == Some(&b'\'') {
+                            code[i] = b' ';
+                            code[i + 1] = b' ';
+                            state = State::Char;
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    if b == b'\'' && !prev_ident {
+                        // Char literal or lifetime? `'\..'` and `'x'` are
+                        // chars; `'ident` without a closing quote is a
+                        // lifetime and is left untouched.
+                        if bytes.get(i + 1) == Some(&b'\\') || char_closes(bytes, i + 1) {
+                            code[i] = b' ';
+                            state = State::Char;
+                            i += 1;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+                State::LineComment => {
+                    if b == b'\n' {
+                        push_comment(&raw, &line_starts, comment_start.take(), i, &mut comments);
+                        state = State::Normal;
+                    } else {
+                        code[i] = b' ';
+                    }
+                    i += 1;
+                }
+                State::Block(depth) => {
+                    if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        code[i] = b' ';
+                        code[i + 1] = b' ';
+                        i += 2;
+                        if depth == 1 {
+                            push_comment(
+                                &raw,
+                                &line_starts,
+                                comment_start.take(),
+                                i,
+                                &mut comments,
+                            );
+                            state = State::Normal;
+                        } else {
+                            state = State::Block(depth - 1);
+                        }
+                        continue;
+                    }
+                    if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        code[i] = b' ';
+                        code[i + 1] = b' ';
+                        state = State::Block(depth + 1);
+                        i += 2;
+                        continue;
+                    }
+                    if b != b'\n' {
+                        code[i] = b' ';
+                    }
+                    i += 1;
+                }
+                State::Str => {
+                    if b == b'\\' {
+                        code[i] = b' ';
+                        if let Some(c) = code.get_mut(i + 1) {
+                            if bytes[i + 1] != b'\n' {
+                                *c = b' ';
+                            }
+                        }
+                        if bytes.get(i + 1) == Some(&b'\n') {
+                            line_starts.push(i + 2);
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    if b == b'"' {
+                        code[i] = b' ';
+                        state = State::Normal;
+                    } else if b != b'\n' {
+                        code[i] = b' ';
+                    }
+                    i += 1;
+                }
+                State::RawStr(hashes) => {
+                    if b == b'"' && closes_raw(bytes, i, hashes) {
+                        for k in 0..=hashes as usize {
+                            if let Some(c) = code.get_mut(i + k) {
+                                *c = b' ';
+                            }
+                        }
+                        i += 1 + hashes as usize;
+                        state = State::Normal;
+                        continue;
+                    }
+                    if b != b'\n' {
+                        code[i] = b' ';
+                    }
+                    i += 1;
+                }
+                State::Char => {
+                    if b == b'\\' {
+                        code[i] = b' ';
+                        if let Some(c) = code.get_mut(i + 1) {
+                            *c = b' ';
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    if b == b'\'' {
+                        code[i] = b' ';
+                        state = State::Normal;
+                    } else if b != b'\n' {
+                        code[i] = b' ';
+                    }
+                    i += 1;
+                }
+            }
+        }
+        if state == State::LineComment {
+            push_comment(&raw, &line_starts, comment_start.take(), bytes.len(), &mut comments);
+        }
+        let code = String::from_utf8(code).unwrap_or_else(|_| " ".repeat(raw.len()));
+        FileView { raw, code, line_starts, comments }
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, byte: usize) -> usize {
+        match self.line_starts.binary_search(&byte) {
+            Ok(idx) => idx + 1,
+            Err(idx) => idx,
+        }
+    }
+
+    /// Number of lines in the file.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// The comments whose text mentions `needle`, as `(line, text)` pairs.
+    pub fn comments_containing<'a>(
+        &'a self,
+        needle: &'a str,
+    ) -> impl Iterator<Item = (usize, &'a str)> + 'a {
+        self.comments
+            .iter()
+            .filter(move |(_, text)| text.contains(needle))
+            .map(|(line, text)| (*line, text.as_str()))
+    }
+}
+
+fn push_comment(
+    raw: &str,
+    line_starts: &[usize],
+    start: Option<usize>,
+    end: usize,
+    out: &mut Vec<(usize, String)>,
+) {
+    if let Some(start) = start {
+        let line = match line_starts.binary_search(&start) {
+            Ok(idx) => idx + 1,
+            Err(idx) => idx,
+        };
+        out.push((line, raw[start..end].to_string()));
+    }
+}
+
+/// If `bytes[i..]` opens a raw string (`r`, `br` + hashes + quote), returns
+/// the hash count.
+fn raw_string_open(bytes: &[u8], i: usize) -> Option<u32> {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Length of the raw-string opener starting at `i` (prefix + hashes + quote).
+fn open_len(bytes: &[u8], i: usize, hashes: u32) -> usize {
+    let prefix = if bytes[i] == b'b' { 2 } else { 1 };
+    prefix + hashes as usize + 1
+}
+
+/// Does the quote at `i` close a raw string with `hashes` trailing hashes?
+fn closes_raw(bytes: &[u8], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&b'#'))
+}
+
+/// Is the char starting at `i` followed by a closing single quote? Multi-byte
+/// chars are stepped over by UTF-8 length.
+fn char_closes(bytes: &[u8], i: usize) -> bool {
+    let Some(&b) = bytes.get(i) else { return false };
+    if b == b'\'' {
+        return false; // empty '' is not a char literal
+    }
+    let len = match b {
+        _ if b < 0x80 => 1,
+        _ if b >= 0xf0 => 4,
+        _ if b >= 0xe0 => 3,
+        _ => 2,
+    };
+    bytes.get(i + len) == Some(&b'\'')
+}
+
+/// One lexical token of the code view.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword, with its byte offset.
+    Ident(String, usize),
+    /// Punctuation (`::`, `->`, or a single char), with its byte offset.
+    Punct(String, usize),
+}
+
+impl Tok {
+    /// The token's byte offset in the file.
+    pub fn pos(&self) -> usize {
+        match self {
+            Tok::Ident(_, p) | Tok::Punct(_, p) => *p,
+        }
+    }
+
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s, _) => Some(s),
+            Tok::Punct(..) => None,
+        }
+    }
+
+    /// True when this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, Tok::Punct(s, _) if s == p)
+    }
+
+    /// True when this token is the identifier `id`.
+    pub fn is_ident(&self, id: &str) -> bool {
+        matches!(self, Tok::Ident(s, _) if s == id)
+    }
+}
+
+/// Tokenizes the blanked code view into identifiers and punctuation.
+/// Numbers are lumped into identifiers (they never matter to the rules);
+/// `::` and `->` come out as single tokens.
+pub fn tokenize(code: &str) -> Vec<Tok> {
+    let bytes = code.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() || b >= 0x80 {
+            i += 1;
+            continue;
+        }
+        if is_ident_byte(b) {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            toks.push(Tok::Ident(code[start..i].to_string(), start));
+            continue;
+        }
+        if b == b':' && bytes.get(i + 1) == Some(&b':') {
+            toks.push(Tok::Punct("::".to_string(), i));
+            i += 2;
+            continue;
+        }
+        if b == b'-' && bytes.get(i + 1) == Some(&b'>') {
+            toks.push(Tok::Punct("->".to_string(), i));
+            i += 2;
+            continue;
+        }
+        toks.push(Tok::Punct((b as char).to_string(), i));
+        i += 1;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_line_and_block_comments() {
+        let v = FileView::new("let a = 1; // HashMap\n/* Instant::now */ let b = 2;".to_string());
+        assert!(!v.code.contains("HashMap"));
+        assert!(!v.code.contains("Instant"));
+        assert!(v.code.contains("let a = 1;"));
+        assert!(v.code.contains("let b = 2;"));
+        assert_eq!(v.comments.len(), 2);
+        assert_eq!(v.comments[0].0, 1);
+        assert_eq!(v.comments[1].0, 2);
+    }
+
+    #[test]
+    fn blanks_string_and_char_literals() {
+        let v = FileView::new(r#"call("HashMap::new", 'x', "esc \" quote");"#.to_string());
+        assert!(!v.code.contains("HashMap"));
+        assert!(!v.code.contains("quote"));
+        assert!(v.code.contains("call("));
+        assert_eq!(v.raw.len(), v.code.len());
+    }
+
+    #[test]
+    fn raw_strings_and_nested_blocks() {
+        let src = "let s = r#\"thread_rng \"# ; /* a /* b */ Instant */ done".to_string();
+        let v = FileView::new(src);
+        assert!(!v.code.contains("thread_rng"));
+        assert!(!v.code.contains("Instant"));
+        assert!(v.code.contains("done"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let v = FileView::new("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'y';".to_string());
+        assert!(v.code.contains("'a str"));
+        assert!(!v.code.contains("'y'"));
+    }
+
+    #[test]
+    fn line_numbers_align_after_blanking() {
+        let v = FileView::new("line1\n\"multi\nline\nstring\"\nInstant::now()\n".to_string());
+        let pos = v.code.find("Instant").expect("kept");
+        assert_eq!(v.line_of(pos), 5);
+        assert_eq!(v.line_count(), 6);
+    }
+
+    #[test]
+    fn tokenizer_emits_paths_and_arrows() {
+        let toks = tokenize("fn f() -> HashMap<u32, u32> { Instant::now() }");
+        assert!(toks.iter().any(|t| t.is_punct("->")));
+        assert!(toks.iter().any(|t| t.is_punct("::")));
+        assert!(toks.iter().any(|t| t.is_ident("HashMap")));
+        let arrow = toks.iter().position(|t| t.is_punct("->")).unwrap_or(0);
+        assert!(toks[arrow + 1].is_ident("HashMap"));
+    }
+
+    #[test]
+    fn byte_strings_are_blanked() {
+        let v = FileView::new("let b = b\"SystemTime\"; let c = b'z'; keep".to_string());
+        assert!(!v.code.contains("SystemTime"));
+        assert!(v.code.contains("keep"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Workspace traversal: every `.rs` file the lint should look at.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into. `tests/fixtures` holds the lint's own
+/// deliberately-violating corpus; it is linted by the integration tests with
+/// an explicit root, never as part of the real tree.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "node_modules"];
+const SKIP_REL: &[&str] = &["tests/fixtures"];
+
+/// Collects every `.rs` file under `root`, as `(root-relative path with
+/// forward slashes, absolute path)`, sorted for deterministic output.
+pub fn rust_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = std::fs::read_dir(&dir)?;
+        for entry in entries {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let rel = relative(root, &path);
+            if entry.file_type()?.is_dir() {
+                if SKIP_DIRS.contains(&name.as_ref())
+                    || SKIP_REL.iter().any(|s| rel.ends_with(s) || rel.contains(&format!("{s}/")))
+                {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push((rel, path));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// The crate directories under `root/crates`, sorted: `(dir name, absolute
+/// path)`. Only directories containing `src/` count — that is what Cargo
+/// would build.
+pub fn crate_dirs(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let crates = root.join("crates");
+    let mut out = Vec::new();
+    if !crates.is_dir() {
+        return Ok(out);
+    }
+    for entry in std::fs::read_dir(&crates)? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() && path.join("src").is_dir() {
+            out.push((entry.file_name().to_string_lossy().into_owned(), path));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Root-relative path with forward slashes (stable across platforms, used
+/// in diagnostics and the baseline).
+pub fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let s = rel.to_string_lossy();
+    if std::path::MAIN_SEPARATOR == '/' {
+        s.into_owned()
+    } else {
+        s.replace(std::path::MAIN_SEPARATOR, "/")
+    }
+}
+
+/// Walks up from `start` to the first directory whose `Cargo.toml` declares
+/// a `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(|p| p.to_path_buf());
+    }
+    None
+}

@@ -1,0 +1,16 @@
+//! R1 clean: lookups on a `HashMap` are fine; iteration goes through a
+//! `BTreeMap`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A point lookup never observes bucket order.
+pub fn lookup(scores: &HashMap<String, f64>, key: &str) -> Option<f64> {
+    scores.get(key).copied()
+}
+
+/// Iteration is fine because the map is ordered.
+pub fn total(ordered: &BTreeMap<String, f64>) -> f64 {
+    ordered.values().sum()
+}

@@ -1,0 +1,16 @@
+//! R5 clean: io errors are propagated, and `unwrap` away from io/serde
+//! is out of scope.
+
+#![forbid(unsafe_code)]
+
+use std::io;
+
+/// The read error reaches the caller.
+pub fn slurp(path: &str) -> Result<String, io::Error> {
+    std::fs::read_to_string(path)
+}
+
+/// `unwrap` with no io/serde in the statement is not R5's business.
+pub fn answer() -> u32 {
+    "42".parse().unwrap()
+}

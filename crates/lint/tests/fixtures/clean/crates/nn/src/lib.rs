@@ -1,0 +1,8 @@
+//! R4 clean: the `unsafe` block documents its invariant.
+
+/// First byte of a slice the caller has already length-checked.
+pub fn first(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *v.get_unchecked(0) }
+}

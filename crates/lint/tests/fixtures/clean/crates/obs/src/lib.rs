@@ -1,0 +1,10 @@
+//! R2 clean: the observability crate owns the wall clock.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Timing belongs here; every other crate goes through `lsm_obs::span`.
+pub fn stamp() -> Instant {
+    Instant::now()
+}

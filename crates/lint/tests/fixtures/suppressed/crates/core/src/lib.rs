@@ -1,0 +1,17 @@
+//! Suppression fixtures: one justified allow, one missing its reason.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+/// Iteration feeding an order-insensitive count — a justified allow.
+pub fn count(scores: &HashMap<String, f64>) -> usize {
+    // lsm-lint: allow(R1-hash-iter, count is order-insensitive)
+    scores.values().count()
+}
+
+/// An allow() without a reason does not silence anything.
+pub fn sum(scores: &HashMap<String, f64>) -> f64 {
+    // lsm-lint: allow(R1-hash-iter)
+    scores.values().sum()
+}

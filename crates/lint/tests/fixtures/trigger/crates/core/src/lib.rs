@@ -1,0 +1,20 @@
+//! R1 trigger: iterating a `HashMap` in a deterministic crate.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+/// Summing over `.values()` observes bucket order: the result is an
+/// f64 fold whose rounding depends on visit order.
+pub fn sum_scores(scores: &HashMap<String, f64>) -> f64 {
+    scores.values().sum()
+}
+
+/// A `for` loop over the map observes the same bucket order.
+pub fn count_pairs(scores: &HashMap<String, f64>) -> usize {
+    let mut n = 0;
+    for _pair in scores {
+        n += 1;
+    }
+    n
+}

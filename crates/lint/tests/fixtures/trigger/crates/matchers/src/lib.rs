@@ -1,0 +1,8 @@
+//! R5 trigger: `unwrap` on an io result in library code.
+
+#![forbid(unsafe_code)]
+
+/// Panics on any read error instead of propagating it.
+pub fn slurp(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap()
+}

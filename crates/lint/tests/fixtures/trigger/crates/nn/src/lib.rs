@@ -1,0 +1,6 @@
+//! R4 trigger: an `unsafe` block whose soundness argument is missing.
+
+/// First byte without a bounds check and without a safety argument.
+pub fn first(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,7 @@
+//! R4 trigger (crate level): zero unsafe code but no `#![forbid(unsafe_code)]`.
+
+/// Nothing unsafe anywhere in this crate — the compiler should be told
+/// to keep it that way.
+pub fn double(x: u32) -> u32 {
+    x * 2
+}

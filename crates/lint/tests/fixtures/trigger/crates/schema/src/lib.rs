@@ -1,0 +1,10 @@
+//! R2 trigger: a wall-clock read outside the observability layer.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Matching latency measured ad hoc instead of through `lsm_obs::span`.
+pub fn stamp() -> Instant {
+    Instant::now()
+}

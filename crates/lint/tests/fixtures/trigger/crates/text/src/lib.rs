@@ -1,0 +1,9 @@
+//! R3 trigger: an entropy-seeded RNG.
+
+#![forbid(unsafe_code)]
+
+/// A run seeded from process entropy can never be replayed.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

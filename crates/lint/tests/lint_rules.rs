@@ -1,0 +1,122 @@
+//! End-to-end tests of the lint over the fixture corpora in
+//! `tests/fixtures/` (deliberately-violating pseudo-workspaces the walker
+//! skips in the real tree), plus the guarantee that the repository itself
+//! is lint-clean modulo the checked-in baseline.
+
+use lsm_lint::baseline;
+use lsm_lint::{lint_root, Violation};
+use std::path::PathBuf;
+
+/// `CARGO_MANIFEST_DIR` under cargo; the in-repo path when the test binary
+/// is built with bare rustc and run from the workspace root.
+fn manifest_dir() -> PathBuf {
+    PathBuf::from(option_env!("CARGO_MANIFEST_DIR").unwrap_or("crates/lint"))
+}
+
+fn lint_fixture(name: &str) -> Vec<Violation> {
+    let root = manifest_dir().join("tests/fixtures").join(name);
+    assert!(root.is_dir(), "missing fixture root {}", root.display());
+    lint_root(&root).expect("fixture root lints")
+}
+
+fn active(violations: &[Violation]) -> Vec<(&str, &str, usize)> {
+    violations
+        .iter()
+        .filter(|v| v.suppressed.is_none())
+        .map(|v| (v.rule, v.file.as_str(), v.line))
+        .collect()
+}
+
+#[test]
+fn trigger_root_flags_every_rule_with_location() {
+    let violations = lint_fixture("trigger");
+    assert_eq!(
+        active(&violations),
+        vec![
+            ("R1-hash-iter", "crates/core/src/lib.rs", 10),
+            ("R1-hash-iter", "crates/core/src/lib.rs", 16),
+            ("R5-panic-policy", "crates/matchers/src/lib.rs", 7),
+            ("R4-unsafe-safety", "crates/nn/src/lib.rs", 5),
+            ("R4-unsafe-safety", "crates/noforbid/src/lib.rs", 1),
+            ("R2-wall-clock", "crates/schema/src/lib.rs", 9),
+            ("R3-entropy", "crates/text/src/lib.rs", 7),
+        ],
+    );
+}
+
+#[test]
+fn trigger_messages_name_the_problem() {
+    let violations = lint_fixture("trigger");
+    let by_rule = |rule: &str| {
+        violations.iter().find(|v| v.rule == rule).map(|v| v.message.as_str()).unwrap_or("")
+    };
+    assert!(by_rule("R1-hash-iter").contains("bucket order"));
+    assert!(by_rule("R2-wall-clock").contains("Instant::now()"));
+    assert!(by_rule("R3-entropy").contains("thread_rng"));
+    assert!(by_rule("R4-unsafe-safety").contains("SAFETY"));
+    assert!(by_rule("R5-panic-policy").contains("fs::"));
+}
+
+#[test]
+fn clean_root_is_clean() {
+    let violations = lint_fixture("clean");
+    assert!(violations.is_empty(), "unexpected violations: {violations:?}");
+}
+
+#[test]
+fn suppression_with_reason_silences_and_records_the_reason() {
+    let violations = lint_fixture("suppressed");
+    let suppressed: Vec<_> = violations.iter().filter(|v| v.suppressed.is_some()).collect();
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].line, 10);
+    assert_eq!(suppressed[0].suppressed.as_deref(), Some("count is order-insensitive"));
+}
+
+#[test]
+fn suppression_without_reason_stays_active() {
+    let violations = lint_fixture("suppressed");
+    let still_active = active(&violations);
+    assert_eq!(still_active, vec![("R1-hash-iter", "crates/core/src/lib.rs", 16)]);
+    let v = violations.iter().find(|v| v.line == 16).unwrap();
+    assert!(v.message.contains("lacks a reason"), "no missing-reason note in {:?}", v.message);
+}
+
+#[test]
+fn baseline_freeze_round_trips_and_silences_frozen_debt() {
+    let violations = lint_fixture("trigger");
+    let counts = baseline::count(&violations);
+    assert!(!counts.is_empty());
+
+    // Freeze to disk the way --fix-baseline does, then load it back.
+    let json = baseline::to_json(&counts);
+    let path = std::env::temp_dir().join(format!("lsm-lint-baseline-{}.json", std::process::id()));
+    std::fs::write(&path, &json).expect("write temp baseline");
+    let loaded = baseline::load(&path).expect("load temp baseline");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded, counts);
+
+    // With the debt frozen, a re-run of the same tree reports nothing new.
+    assert!(baseline::over_baseline(&counts, &loaded).is_empty());
+
+    // One *new* violation beyond the frozen count does fail.
+    let mut more = counts.clone();
+    if let Some(v) = more.values_mut().next() {
+        *v += 1;
+    }
+    let over = baseline::over_baseline(&more, &loaded);
+    assert_eq!(over.len(), 1);
+}
+
+#[test]
+fn repository_tree_is_lint_clean() {
+    let repo = manifest_dir().join("../..");
+    let violations = lint_root(&repo).expect("repo lints");
+    let counts = baseline::count(&violations);
+    let frozen = baseline::load(&repo.join("lint-baseline.json")).expect("baseline loads");
+    let over = baseline::over_baseline(&counts, &frozen);
+    assert!(
+        over.is_empty(),
+        "new violations not in lint-baseline.json: {over:?}\n{:#?}",
+        violations.iter().filter(|v| v.suppressed.is_none()).collect::<Vec<_>>()
+    );
+}

@@ -29,6 +29,7 @@
 //! assert!(top3 > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod report;

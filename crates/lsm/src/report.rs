@@ -113,8 +113,8 @@ pub fn render_report(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lsm_core::{run_session, PerfectOracle, SessionConfig};
     use lsm_core::session::PinnedBaselineEngine;
+    use lsm_core::{run_session, PerfectOracle, SessionConfig};
     use lsm_schema::{DataType, ScoreMatrix};
 
     fn fixture() -> (Schema, Schema, GroundTruth, ScoreMatrix) {

@@ -9,9 +9,7 @@
 
 use crate::{MatchContext, Matcher};
 use lsm_schema::{Schema, ScoreMatrix};
-use lsm_text::metrics::{
-    affix_similarity, edit_similarity, soundex, trigram_similarity,
-};
+use lsm_text::metrics::{affix_similarity, edit_similarity, soundex, trigram_similarity};
 use lsm_text::{normalize_join, tokenize};
 
 /// How individual matcher scores are combined.

@@ -60,9 +60,8 @@ impl Matcher for Cupid {
         let mut esim = vec![vec![0.0f64; t_entities]; s_entities];
         for se in source.entity_ids() {
             for te in target.entity_ids() {
-                let name_sim = ctx
-                    .embedding
-                    .name_similarity(&source.entity(se).name, &target.entity(te).name);
+                let name_sim =
+                    ctx.embedding.name_similarity(&source.entity(se).name, &target.entity(te).name);
                 // Mean over source attrs of their best counterpart in te.
                 let attrs = &source.entity(se).attrs;
                 let content_sim = if attrs.is_empty() {
@@ -71,7 +70,8 @@ impl Matcher for Cupid {
                     attrs
                         .iter()
                         .map(|sa| {
-                            target.entity(te)
+                            target
+                                .entity(te)
                                 .attrs
                                 .iter()
                                 .map(|ta| lsim[sa.index()][ta.index()])

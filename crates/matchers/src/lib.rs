@@ -20,6 +20,8 @@
 //! and [`interactive`] the label-pinning interactive mode used in the
 //! end-to-end comparison (Section V-C).
 
+#![forbid(unsafe_code)]
+
 pub mod coma;
 pub mod cupid;
 pub mod flooding;

@@ -23,7 +23,7 @@ use lsm_schema::{AttrId, Schema, ScoreMatrix};
 use lsm_text::tfidf::{TfIdfSpace, TfIdfVector};
 use lsm_text::tokenize::tokenize_text;
 use lsm_text::{metrics::edit_similarity, tokenize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// LSD with its training state.
 #[derive(Debug, Default)]
@@ -69,11 +69,8 @@ impl Matcher for Lsd {
         }
 
         // ---- WHIRL: TF-IDF space over all labeled source texts ----
-        let corpus: Vec<Vec<String>> = self
-            .examples
-            .iter()
-            .map(|&(s, _)| Self::attr_text(source, s))
-            .collect();
+        let corpus: Vec<Vec<String>> =
+            self.examples.iter().map(|&(s, _)| Self::attr_text(source, s)).collect();
         let space = TfIdfSpace::fit(&corpus);
         let example_vectors: Vec<(TfIdfVector, AttrId)> = self
             .examples
@@ -84,8 +81,10 @@ impl Matcher for Lsd {
 
         // ---- Naive Bayes over description tokens ----
         // P(token | target) with Laplace smoothing, over labeled examples.
-        let mut class_token_counts: HashMap<AttrId, HashMap<String, usize>> = HashMap::new();
-        let mut class_totals: HashMap<AttrId, usize> = HashMap::new();
+        // BTreeMaps keyed by AttrId: the class map is iterated when scoring,
+        // and the float summation below must not depend on bucket order.
+        let mut class_token_counts: BTreeMap<AttrId, BTreeMap<String, usize>> = BTreeMap::new();
+        let mut class_totals: BTreeMap<AttrId, usize> = BTreeMap::new();
         let mut vocab: Vec<String> = Vec::new();
         for (&(s, t), _) in self.examples.iter().zip(&corpus) {
             let tokens = tokenize_text(source.attr(s).desc_or_empty());
@@ -104,7 +103,7 @@ impl Matcher for Lsd {
             let text = Self::attr_text(source, s);
             let vec = space.embed(&text);
             // WHIRL: nearest labeled neighbour votes for its target.
-            let mut whirl: HashMap<AttrId, f64> = HashMap::new();
+            let mut whirl: BTreeMap<AttrId, f64> = BTreeMap::new();
             for (ev, t) in &example_vectors {
                 let sim = vec.cosine(ev);
                 let best = whirl.entry(*t).or_insert(0.0);
@@ -115,7 +114,7 @@ impl Matcher for Lsd {
             // Naive Bayes: log-likelihood of the description under each
             // labeled class, converted to a normalized score.
             let desc_tokens = tokenize_text(source.attr(s).desc_or_empty());
-            let mut nb: HashMap<AttrId, f64> = HashMap::new();
+            let mut nb: BTreeMap<AttrId, f64> = BTreeMap::new();
             if !desc_tokens.is_empty() && !vocab.is_empty() {
                 let mut lls: Vec<(AttrId, f64)> = Vec::new();
                 for (&t, counts) in &class_token_counts {
@@ -135,7 +134,7 @@ impl Matcher for Lsd {
             }
             // Name matcher: best name similarity to a labeled example of
             // each target.
-            let mut namer: HashMap<AttrId, f64> = HashMap::new();
+            let mut namer: BTreeMap<AttrId, f64> = BTreeMap::new();
             for &(es, t) in &self.examples {
                 let sim = edit_similarity(&source.attr(s).name, &source.attr(es).name);
                 let best = namer.entry(t).or_insert(0.0);
@@ -172,7 +171,11 @@ mod tests {
         let source = Schema::builder("s")
             .entity("E")
             .attr_desc("order_total", DataType::Decimal, "total money value of the order")
-            .attr_desc("order_total_2023", DataType::Decimal, "total money value of the order last year")
+            .attr_desc(
+                "order_total_2023",
+                DataType::Decimal,
+                "total money value of the order last year",
+            )
             .attr_desc("customer_city", DataType::Text, "city where the customer lives")
             .build()
             .unwrap();

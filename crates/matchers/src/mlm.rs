@@ -113,10 +113,8 @@ impl Matcher for Mlm {
 
     fn score(&self, ctx: &MatchContext<'_>, source: &Schema, target: &Schema) -> ScoreMatrix {
         let _span = lsm_obs::span("baseline.mlm");
-        let s_feats: Vec<Vec<f32>> =
-            source.attr_ids().map(|a| featurize(ctx, source, a)).collect();
-        let t_feats: Vec<Vec<f32>> =
-            target.attr_ids().map(|a| featurize(ctx, target, a)).collect();
+        let s_feats: Vec<Vec<f32>> = source.attr_ids().map(|a| featurize(ctx, source, a)).collect();
+        let t_feats: Vec<Vec<f32>> = target.attr_ids().map(|a| featurize(ctx, target, a)).collect();
         let mut all = s_feats.clone();
         all.extend(t_feats.iter().cloned());
         let assign = kmeans(&all, self.clusters, self.iterations, self.seed);
@@ -125,8 +123,10 @@ impl Matcher for Mlm {
         let mut m = ScoreMatrix::zeros(source.attr_count(), target.attr_count());
         for s in source.attr_ids() {
             for t in target.attr_ids() {
-                let proximity = 1.0 / (1.0 + sq_dist(&s_feats[s.index()], &t_feats[t.index()]) as f64);
-                let same_cluster = if s_assign[s.index()] == t_assign[t.index()] { 1.0 } else { 0.0 };
+                let proximity =
+                    1.0 / (1.0 + sq_dist(&s_feats[s.index()], &t_feats[t.index()]) as f64);
+                let same_cluster =
+                    if s_assign[s.index()] == t_assign[t.index()] { 1.0 } else { 0.0 };
                 m.set(s, t, 0.5 * proximity + 0.5 * same_cluster * proximity);
             }
         }
@@ -176,11 +176,8 @@ mod tests {
     fn mlm_scores_same_name_highest() {
         let (lex, emb) = fixtures();
         let ctx = MatchContext { embedding: &emb, lexicon: &lex };
-        let source = Schema::builder("s")
-            .entity("E")
-            .attr("unit_price", DataType::Decimal)
-            .build()
-            .unwrap();
+        let source =
+            Schema::builder("s").entity("E").attr("unit_price", DataType::Decimal).build().unwrap();
         let target = Schema::builder("t")
             .entity("F")
             .attr("unit_price", DataType::Decimal)

@@ -100,11 +100,8 @@ mod tests {
     fn smatch_finds_dictionary_synonyms() {
         let (lex, emb) = fixtures();
         let ctx = MatchContext { embedding: &emb, lexicon: &lex };
-        let source = Schema::builder("s")
-            .entity("E")
-            .attr("zip_code", DataType::Text)
-            .build()
-            .unwrap();
+        let source =
+            Schema::builder("s").entity("E").attr("zip_code", DataType::Text).build().unwrap();
         let target = Schema::builder("t")
             .entity("F")
             .attr("postal_code", DataType::Text)

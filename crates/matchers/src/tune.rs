@@ -69,10 +69,7 @@ mod tests {
             .attr("noise_two", DataType::Text)
             .build()
             .unwrap();
-        let truth = GroundTruth::from_pairs([
-            (AttrId(0), AttrId(0)),
-            (AttrId(1), AttrId(1)),
-        ]);
+        let truth = GroundTruth::from_pairs([(AttrId(0), AttrId(0)), (AttrId(1), AttrId(1))]);
         let tuned = grid_search(Coma::grid(), &ctx, &source, &target, &truth, 1);
         assert_eq!(tuned.accuracy, 1.0);
         assert!(tuned.name.starts_with("COMA"));

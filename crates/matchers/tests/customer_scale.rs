@@ -42,7 +42,10 @@ fn all_baselines_produce_valid_scores_on_a_customer() {
     let sources: Vec<AttrId> = d.source.attr_ids().collect();
     let matchers: Vec<(&str, lsm_schema::ScoreMatrix)> = vec![
         ("CUPID", Cupid::new(0.2).score(&ctx, &d.source, &d.target)),
-        ("COMA", Coma::new(lsm_baselines::coma::Aggregation::Max).score(&ctx, &d.source, &d.target)),
+        (
+            "COMA",
+            Coma::new(lsm_baselines::coma::Aggregation::Max).score(&ctx, &d.source, &d.target),
+        ),
         ("SM", SMatch.score(&ctx, &d.source, &d.target)),
         ("SF", SimilarityFlooding::default().score(&ctx, &d.source, &d.target)),
         ("MLM", Mlm::default().score(&ctx, &d.source, &d.target)),

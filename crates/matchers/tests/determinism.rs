@@ -1,0 +1,127 @@
+//! Property-based determinism tests for the scoring paths the static
+//! analysis guards (lint rule R1): training and scoring twice on the same
+//! inputs must produce bitwise-identical matrices. The float folds inside
+//! LSD's naive-Bayes normalization and the TF-IDF embedding would break
+//! this under `HashMap` iteration, whose order differs between instances
+//! even within one process.
+
+use lsm_baselines::coma::{Aggregation, Coma};
+use lsm_baselines::cupid::Cupid;
+use lsm_baselines::lsd::Lsd;
+use lsm_baselines::{MatchContext, Matcher};
+use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
+use lsm_lexicon::{full_lexicon, Lexicon};
+use lsm_schema::{AttrId, DataType, Schema, ScoreMatrix};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// The embedding space is expensive; share one across all cases.
+fn shared() -> &'static (Lexicon, EmbeddingSpace) {
+    static SHARED: OnceLock<(Lexicon, EmbeddingSpace)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let lexicon = full_lexicon();
+        let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+        (lexicon, embedding)
+    })
+}
+
+/// Word pool for generated attribute names and descriptions; overlapping
+/// words across attributes exercise the shared TF-IDF/NB vocabulary.
+const WORDS: &[&str] = &[
+    "order", "total", "customer", "city", "price", "item", "date", "name", "status", "amount",
+    "zip", "phone", "email", "quantity",
+];
+
+/// One generated attribute: two word indices and whether it has a
+/// description.
+type AttrGene = (usize, usize, bool);
+
+fn schema_from(name: &str, attrs: &[AttrGene]) -> Schema {
+    let mut b = Schema::builder(name).entity("E");
+    for (i, &(w1, w2, described)) in attrs.iter().enumerate() {
+        let a = WORDS[w1 % WORDS.len()];
+        let b_word = WORDS[w2 % WORDS.len()];
+        let attr_name = format!("{a}_{b_word}_{i}");
+        if described {
+            let desc = format!("the {b_word} {a} recorded for this row");
+            b = b.attr_desc(attr_name, DataType::Text, desc);
+        } else {
+            b = b.attr(attr_name, DataType::Text);
+        }
+    }
+    b.build().expect("generated schema is valid")
+}
+
+/// All matrix entries as raw bits, so comparison is exact (no epsilon).
+fn bits(m: &ScoreMatrix, s: &Schema, t: &Schema) -> Vec<u64> {
+    let mut out = Vec::new();
+    for a in s.attr_ids() {
+        for b in t.attr_ids() {
+            out.push(m.get(a, b).to_bits());
+        }
+    }
+    out
+}
+
+fn pair_strategy() -> impl Strategy<Value = (Vec<AttrGene>, Vec<AttrGene>, Vec<(usize, usize)>)> {
+    let gene = || (0usize..WORDS.len(), 0usize..WORDS.len(), proptest::bool::ANY);
+    (
+        proptest::collection::vec(gene(), 1..6),
+        proptest::collection::vec(gene(), 1..5),
+        proptest::collection::vec((0usize..16, 0usize..16), 1..4),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn lsd_scores_are_bitwise_reproducible(
+        (src, tgt, raw_examples) in pair_strategy()
+    ) {
+        let (lexicon, embedding) = shared();
+        let ctx = MatchContext { embedding, lexicon };
+        let source = schema_from("s", &src);
+        let target = schema_from("t", &tgt);
+        let src_ids: Vec<AttrId> = source.attr_ids().collect();
+        let tgt_ids: Vec<AttrId> = target.attr_ids().collect();
+        let examples: Vec<(AttrId, AttrId)> = raw_examples
+            .iter()
+            .map(|&(a, b)| (src_ids[a % src_ids.len()], tgt_ids[b % tgt_ids.len()]))
+            .collect();
+
+        let run = || {
+            let mut lsd = Lsd::new();
+            lsd.train(&ctx, &source, &target, &examples);
+            lsd.score(&ctx, &source, &target)
+        };
+        let first = run();
+        let second = run();
+        prop_assert_eq!(
+            bits(&first, &source, &target),
+            bits(&second, &source, &target),
+            "LSD scores must not depend on map iteration order"
+        );
+    }
+
+    #[test]
+    fn unsupervised_matcher_scores_are_bitwise_reproducible(
+        (src, tgt, _) in pair_strategy()
+    ) {
+        let (lexicon, embedding) = shared();
+        let ctx = MatchContext { embedding, lexicon };
+        let source = schema_from("s", &src);
+        let target = schema_from("t", &tgt);
+
+        let coma = Coma::new(Aggregation::TopTwoAverage);
+        prop_assert_eq!(
+            bits(&coma.score(&ctx, &source, &target), &source, &target),
+            bits(&coma.score(&ctx, &source, &target), &source, &target)
+        );
+        let cupid = Cupid::new(0.5);
+        prop_assert_eq!(
+            bits(&cupid.score(&ctx, &source, &target), &source, &target),
+            bits(&cupid.score(&ctx, &source, &target), &source, &target)
+        );
+    }
+}

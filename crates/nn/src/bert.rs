@@ -195,7 +195,12 @@ pub struct PairClassifier {
 impl PairClassifier {
     /// Registers classifier parameters (`hidden_dim` defaults to `d_model`
     /// when you pass it as such).
-    pub fn new(store: &mut ParamStore, d_model: usize, hidden_dim: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        d_model: usize,
+        hidden_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         PairClassifier {
             hidden: Linear::new(store, "clf.hidden", d_model, hidden_dim, rng),
             out: Linear::new(store, "clf.out", hidden_dim, 1, rng),

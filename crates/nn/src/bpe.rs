@@ -9,7 +9,7 @@
 //! decomposition and out-of-alphabet characters map to `[UNK]`.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// The special tokens, with fixed ids `0..=4`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,12 +63,13 @@ impl SpecialToken {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(from = "BpeVocabData", into = "BpeVocabData")]
 pub struct BpeVocab {
-    /// piece string → id.
+    /// piece string → id. Lookup-only, so hash order never observable.
     piece_to_id: HashMap<String, u32>,
     /// id → piece string.
     id_to_piece: Vec<String>,
-    /// `(left, right) → rank`; lower rank merges first.
-    merge_ranks: HashMap<(String, String), usize>,
+    /// `(left, right) → rank`; lower rank merges first. Ordered so that
+    /// serialization and vocabulary assembly iterate deterministically.
+    merge_ranks: BTreeMap<(String, String), usize>,
 }
 
 /// Serialization form of a [`BpeVocab`]: the piece list and the merge
@@ -94,8 +95,7 @@ impl From<BpeVocab> for BpeVocabData {
 
 impl From<BpeVocabData> for BpeVocab {
     fn from(d: BpeVocabData) -> Self {
-        let piece_to_id =
-            d.pieces.iter().enumerate().map(|(i, p)| (p.clone(), i as u32)).collect();
+        let piece_to_id = d.pieces.iter().enumerate().map(|(i, p)| (p.clone(), i as u32)).collect();
         let merge_ranks =
             d.merges.into_iter().enumerate().map(|(rank, pair)| (pair, rank)).collect();
         BpeVocab { piece_to_id, id_to_piece: d.pieces, merge_ranks }
@@ -108,31 +108,31 @@ impl BpeVocab {
     /// `merges` bounds the number of merge operations (vocabulary size is
     /// roughly `5 + |alphabet| + merges`).
     pub fn train<S: AsRef<str>>(corpus: &[Vec<S>], merges: usize) -> Self {
-        // Word frequency table, each word as a symbol sequence.
-        let mut word_freqs: HashMap<Vec<String>, usize> = HashMap::new();
+        // Word frequency table, each word as a symbol sequence. Ordered maps
+        // throughout training: pair selection and vocabulary assembly
+        // iterate these tables, and bucket order must not leak into ranks.
+        let mut word_freqs: BTreeMap<Vec<String>, usize> = BTreeMap::new();
         for sent in corpus {
             for word in sent {
-                let symbols: Vec<String> =
-                    word.as_ref().chars().map(|c| c.to_string()).collect();
+                let symbols: Vec<String> = word.as_ref().chars().map(|c| c.to_string()).collect();
                 if !symbols.is_empty() {
                     *word_freqs.entry(symbols).or_insert(0) += 1;
                 }
             }
         }
 
-        let mut merge_ranks: HashMap<(String, String), usize> = HashMap::new();
+        let mut merge_ranks: BTreeMap<(String, String), usize> = BTreeMap::new();
         for rank in 0..merges {
             // Count adjacent pairs.
-            let mut pair_counts: HashMap<(String, String), usize> = HashMap::new();
+            let mut pair_counts: BTreeMap<(String, String), usize> = BTreeMap::new();
             for (word, &freq) in &word_freqs {
                 for w in word.windows(2) {
                     *pair_counts.entry((w[0].clone(), w[1].clone())).or_insert(0) += freq;
                 }
             }
             // Deterministic best pair: max count, ties by lexicographic order.
-            let Some((best_pair, best_count)) = pair_counts
-                .into_iter()
-                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+            let Some((best_pair, best_count)) =
+                pair_counts.into_iter().max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
             else {
                 break;
             };
@@ -142,15 +142,12 @@ impl BpeVocab {
             merge_ranks.insert(best_pair.clone(), rank);
             // Apply the merge to every word.
             let merged_symbol = format!("{}{}", best_pair.0, best_pair.1);
-            let mut next: HashMap<Vec<String>, usize> = HashMap::with_capacity(word_freqs.len());
+            let mut next: BTreeMap<Vec<String>, usize> = BTreeMap::new();
             for (word, freq) in word_freqs {
                 let mut out: Vec<String> = Vec::with_capacity(word.len());
                 let mut i = 0;
                 while i < word.len() {
-                    if i + 1 < word.len()
-                        && word[i] == best_pair.0
-                        && word[i + 1] == best_pair.1
-                    {
+                    if i + 1 < word.len() && word[i] == best_pair.0 && word[i + 1] == best_pair.1 {
                         out.push(merged_symbol.clone());
                         i += 2;
                     } else {
@@ -243,10 +240,7 @@ impl BpeVocab {
             let merged = format!("{}{}", symbols[pos], symbols[pos + 1]);
             symbols.splice(pos..pos + 2, [merged]);
         }
-        symbols
-            .iter()
-            .map(|s| self.id_of(s).unwrap_or(SpecialToken::Unk.id()))
-            .collect()
+        symbols.iter().map(|s| self.id_of(s).unwrap_or(SpecialToken::Unk.id())).collect()
     }
 
     /// Encodes a sequence of words, concatenating their subword pieces.
@@ -288,7 +282,12 @@ mod tests {
         let v = BpeVocab::train(&corpus(), 200);
         // "order" appears 6 times — after enough merges it is one piece.
         let ids = v.encode_word("order");
-        assert_eq!(ids.len(), 1, "pieces: {:?}", ids.iter().map(|&i| v.piece(i)).collect::<Vec<_>>());
+        assert_eq!(
+            ids.len(),
+            1,
+            "pieces: {:?}",
+            ids.iter().map(|&i| v.piece(i)).collect::<Vec<_>>()
+        );
         assert_eq!(v.piece(ids[0]), "order");
     }
 
@@ -332,11 +331,8 @@ mod tests {
     fn encode_words_concatenates() {
         let v = BpeVocab::train(&corpus(), 100);
         let joined = v.encode_words(&["order", "amount"]);
-        let separate: Vec<u32> = v
-            .encode_word("order")
-            .into_iter()
-            .chain(v.encode_word("amount"))
-            .collect();
+        let separate: Vec<u32> =
+            v.encode_word("order").into_iter().chain(v.encode_word("amount")).collect();
         assert_eq!(joined, separate);
     }
 

@@ -451,8 +451,7 @@ impl Graph {
     /// Mean of `[1,1]` scalars (batch-loss averaging).
     pub fn mean_scalars(&mut self, parts: &[NodeId]) -> NodeId {
         assert!(!parts.is_empty(), "mean_scalars needs at least one input");
-        let mean =
-            parts.iter().map(|&p| self.val(p).item()).sum::<f32>() / parts.len() as f32;
+        let mean = parts.iter().map(|&p| self.val(p).item()).sum::<f32>() / parts.len() as f32;
         self.push(Tensor::scalar(mean), Op::MeanScalars(parts.to_vec()))
     }
 
@@ -566,11 +565,9 @@ impl Graph {
                     for r in 0..n {
                         let row = xv.row(r);
                         let mean = row.iter().sum::<f32>() / d as f32;
-                        let var =
-                            row.iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / d as f32;
+                        let var = row.iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / d as f32;
                         let inv_std = 1.0 / (var + LN_EPS).sqrt();
-                        let xhat: Vec<f32> =
-                            row.iter().map(|&v| (v - mean) * inv_std).collect();
+                        let xhat: Vec<f32> = row.iter().map(|&v| (v - mean) * inv_std).collect();
                         let gr = g.row(r);
                         // dγ and dβ accumulate over rows.
                         for c in 0..d {
@@ -578,8 +575,7 @@ impl Graph {
                             dbeta.set(0, c, dbeta.get(0, c) + gr[c]);
                         }
                         // dx via the standard LayerNorm backward.
-                        let gy: Vec<f32> =
-                            (0..d).map(|c| gr[c] * gammav.get(0, c)).collect();
+                        let gy: Vec<f32> = (0..d).map(|c| gr[c] * gammav.get(0, c)).collect();
                         let mean_gy = gy.iter().sum::<f32>() / d as f32;
                         let mean_gy_xhat =
                             gy.iter().zip(&xhat).map(|(a, b)| a * b).sum::<f32>() / d as f32;
@@ -841,11 +837,7 @@ mod tests {
 
     #[test]
     fn gradcheck_cross_entropy() {
-        grad_check(
-            &[(3, 5)],
-            |g, p| g.cross_entropy_rows(p[0], &[(0, 1), (2, 4)]),
-            8,
-        );
+        grad_check(&[(3, 5)], |g, p| g.cross_entropy_rows(p[0], &[(0, 1), (2, 4)]), 8);
     }
 
     #[test]
@@ -922,16 +914,8 @@ mod tests {
 
     /// A small forward used by the arena/inference tests below.
     fn demo_forward(g: &mut Graph) -> Tensor {
-        let a = g.input(Tensor::from_vec(
-            3,
-            5,
-            (0..15).map(|i| i as f32 * 0.25 - 1.5).collect(),
-        ));
-        let b = g.input(Tensor::from_vec(
-            5,
-            4,
-            (0..20).map(|i| 0.7 - i as f32 * 0.11).collect(),
-        ));
+        let a = g.input(Tensor::from_vec(3, 5, (0..15).map(|i| i as f32 * 0.25 - 1.5).collect()));
+        let b = g.input(Tensor::from_vec(5, 4, (0..20).map(|i| 0.7 - i as f32 * 0.11).collect()));
         let c = g.matmul(a, b);
         let t = g.transpose(c);
         let u = g.transpose(t);

@@ -145,7 +145,8 @@ mod tests {
         let mut store = ParamStore::new();
         let l1 = Linear::new(&mut store, "l1", 2, 8, &mut rng);
         let l2 = Linear::new(&mut store, "l2", 8, 1, &mut rng);
-        let data = [([0.0f32, 0.0], 0.0f32), ([0.0, 1.0], 1.0), ([1.0, 0.0], 1.0), ([1.0, 1.0], 0.0)];
+        let data =
+            [([0.0f32, 0.0], 0.0f32), ([0.0, 1.0], 1.0), ([1.0, 0.0], 1.0), ([1.0, 1.0], 0.0)];
         let mut opt = Adam::new(AdamConfig { lr: 0.05, ..Default::default() });
         for _ in 0..400 {
             let mut g = Graph::new();

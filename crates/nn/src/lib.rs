@@ -32,6 +32,8 @@
 //!   support arena reuse ([`graph::Graph::reset`]) and a forward-only
 //!   inference mode for the featurizer hot path.
 
+#![forbid(unsafe_code)]
+
 pub mod bert;
 pub mod bpe;
 pub mod graph;

@@ -162,10 +162,7 @@ mod tests {
         assert_eq!(losses.len(), 60);
         let early: f32 = losses[..10].iter().sum::<f32>() / 10.0;
         let late: f32 = losses[50..].iter().sum::<f32>() / 10.0;
-        assert!(
-            late < early * 0.8,
-            "MLM loss should drop: early {early:.3} late {late:.3}"
-        );
+        assert!(late < early * 0.8, "MLM loss should drop: early {early:.3} late {late:.3}");
     }
 
     #[test]
@@ -175,8 +172,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let mut store = ParamStore::new();
         let encoder = BertEncoder::new(BertConfig::tiny(vocab.size()), &mut store, &mut rng);
-        let trainer =
-            MlmTrainer::new(MlmConfig::default(), &mut store, 16, vocab.size(), &mut rng);
+        let trainer = MlmTrainer::new(MlmConfig::default(), &mut store, 16, vocab.size(), &mut rng);
         let losses = trainer.train(&encoder, &mut store, &vocab, &[vec![3]]);
         assert!(losses.is_empty());
     }

@@ -34,6 +34,8 @@
 //! assert_eq!(snap.counter("gemm_calls"), 3);
 //! ```
 
+#![forbid(unsafe_code)]
+
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -141,13 +143,7 @@ struct StageAgg {
 
 impl StageAgg {
     fn new() -> Self {
-        StageAgg {
-            count: 0,
-            total_s: 0.0,
-            min_s: f64::INFINITY,
-            max_s: 0.0,
-            samples: Vec::new(),
-        }
+        StageAgg { count: 0, total_s: 0.0, min_s: f64::INFINITY, max_s: 0.0, samples: Vec::new() }
     }
 }
 
@@ -334,10 +330,7 @@ pub fn snapshot() -> MetricsSnapshot {
             }
         })
         .collect();
-    let counters = Counter::ALL
-        .iter()
-        .map(|c| (c.name().to_string(), counter_value(*c)))
-        .collect();
+    let counters = Counter::ALL.iter().map(|c| (c.name().to_string(), counter_value(*c))).collect();
     MetricsSnapshot { stages, counters, dropped_trace_events: reg.dropped_events }
 }
 
@@ -380,11 +373,8 @@ impl MetricsSnapshot {
             push_json_str(&mut out, name);
             let _ = write!(out, ": {v}");
         }
-        let _ = write!(
-            out,
-            "\n  }},\n  \"dropped_trace_events\": {}\n}}\n",
-            self.dropped_trace_events
-        );
+        let _ =
+            write!(out, "\n  }},\n  \"dropped_trace_events\": {}\n}}\n", self.dropped_trace_events);
         out
     }
 
@@ -719,9 +709,7 @@ mod tests {
         if b[*i] == b'-' {
             *i += 1;
         }
-        while *i < b.len()
-            && matches!(b[*i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-        {
+        while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
             *i += 1;
         }
         let text = std::str::from_utf8(&b[start..*i]).unwrap();

@@ -57,10 +57,7 @@ fn concurrent_spans_and_counters_aggregate_exactly() {
         let end = part.find('}').expect("tid field closes");
         tids.insert(part[..end].trim().to_string());
     }
-    assert!(
-        tids.len() > 1,
-        "expected events from multiple threads, got tids {tids:?}"
-    );
+    assert!(tids.len() > 1, "expected events from multiple threads, got tids {tids:?}");
 }
 
 #[test]

@@ -132,24 +132,23 @@ impl FromStr for DataType {
         let lower = s.trim().to_ascii_lowercase();
         // Strip a parenthesised length/precision suffix: varchar(255) -> varchar.
         let base = lower.split('(').next().unwrap_or("").trim();
-        let ty = match base {
-            "integer" | "int" | "bigint" | "smallint" | "tinyint" | "serial" | "int4" | "int8" => {
-                DataType::Integer
-            }
-            "float" | "double" | "real" | "double precision" | "float4" | "float8" => {
-                DataType::Float
-            }
-            "decimal" | "numeric" | "money" | "number" => DataType::Decimal,
-            "text" | "varchar" | "char" | "nvarchar" | "nchar" | "string" | "clob"
-            | "character varying" => DataType::Text,
-            "boolean" | "bool" | "bit" => DataType::Boolean,
-            "date" => DataType::Date,
-            "timestamp" | "datetime" | "datetime2" | "timestamptz" | "smalldatetime" | "time" => {
-                DataType::Timestamp
-            }
-            "binary" | "varbinary" | "blob" | "bytea" | "image" => DataType::Binary,
-            _ => return Err(ParseDataTypeError(s.to_string())),
-        };
+        let ty =
+            match base {
+                "integer" | "int" | "bigint" | "smallint" | "tinyint" | "serial" | "int4"
+                | "int8" => DataType::Integer,
+                "float" | "double" | "real" | "double precision" | "float4" | "float8" => {
+                    DataType::Float
+                }
+                "decimal" | "numeric" | "money" | "number" => DataType::Decimal,
+                "text" | "varchar" | "char" | "nvarchar" | "nchar" | "string" | "clob"
+                | "character varying" => DataType::Text,
+                "boolean" | "bool" | "bit" => DataType::Boolean,
+                "date" => DataType::Date,
+                "timestamp" | "datetime" | "datetime2" | "timestamptz" | "smalldatetime"
+                | "time" => DataType::Timestamp,
+                "binary" | "varbinary" | "blob" | "bytea" | "image" => DataType::Binary,
+                _ => return Err(ParseDataTypeError(s.to_string())),
+            };
         Ok(ty)
     }
 }

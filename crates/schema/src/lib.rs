@@ -22,6 +22,8 @@
 //!   extraction shared by LSM and all baselines,
 //! * [`SchemaStats`] — the per-schema statistics reported in Tables I/II.
 
+#![forbid(unsafe_code)]
+
 pub mod attribute;
 pub mod dtype;
 pub mod entity;

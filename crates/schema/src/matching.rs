@@ -237,10 +237,7 @@ mod tests {
                 Correspondence { source: AttrId(0), target: AttrId(2) },
             ],
         );
-        assert!(matches!(
-            result.validate(&s, &t),
-            Err(SchemaError::DuplicateCorrespondence(_))
-        ));
+        assert!(matches!(result.validate(&s, &t), Err(SchemaError::DuplicateCorrespondence(_))));
     }
 
     #[test]
@@ -254,10 +251,7 @@ mod tests {
                 Correspondence { source: AttrId(1), target: AttrId(1) },
             ],
         );
-        assert!(matches!(
-            result.validate(&s, &t),
-            Err(SchemaError::DuplicateCorrespondence(_))
-        ));
+        assert!(matches!(result.validate(&s, &t), Err(SchemaError::DuplicateCorrespondence(_))));
     }
 
     #[test]

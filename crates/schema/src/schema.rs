@@ -221,10 +221,8 @@ impl Schema {
             }
         }
         for fk in &self.foreign_keys {
-            let from_ok = self
-                .attributes
-                .get(fk.from.index())
-                .is_some_and(|a| a.entity == fk.from_entity);
+            let from_ok =
+                self.attributes.get(fk.from.index()).is_some_and(|a| a.entity == fk.from_entity);
             let to_ok =
                 self.attributes.get(fk.to.index()).is_some_and(|a| a.entity == fk.to_entity);
             if !from_ok || !to_ok {

@@ -87,7 +87,9 @@ impl ScoreMatrix {
         let row = self.row(s);
         let mut ranked: Vec<(AttrId, f64)> =
             row.iter().enumerate().map(|(j, &v)| (AttrId(j as u32), v)).collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
         ranked.truncate(k);
         ranked
     }
@@ -148,12 +150,7 @@ impl ScoreMatrix {
         }
         let hits: usize = sources
             .iter()
-            .map(|&s| {
-                self.top_k(s, k)
-                    .iter()
-                    .filter(|&&(t, _)| truth.is_correct(s, t))
-                    .count()
-            })
+            .map(|&s| self.top_k(s, k).iter().filter(|&&(t, _)| truth.is_correct(s, t)).count())
             .sum();
         hits as f64 / (k * sources.len()) as f64
     }
@@ -165,9 +162,7 @@ impl ScoreMatrix {
     /// scores.
     pub fn extract_one_to_one(&self, threshold: f64) -> Vec<(AttrId, AttrId, f64)> {
         let mut pairs: Vec<(AttrId, AttrId, f64)> = (0..self.rows)
-            .flat_map(|s| {
-                (0..self.cols).map(move |t| (AttrId(s as u32), AttrId(t as u32)))
-            })
+            .flat_map(|s| (0..self.cols).map(move |t| (AttrId(s as u32), AttrId(t as u32))))
             .map(|(s, t)| (s, t, self.get(s, t)))
             .filter(|&(_, _, v)| v >= threshold)
             .collect();
@@ -196,9 +191,9 @@ impl ScoreMatrix {
         let hits = sources
             .iter()
             .filter(|&&s| {
-                truth.target_of(s).is_some_and(|correct| {
-                    self.top_k(s, k).iter().any(|&(t, _)| t == correct)
-                })
+                truth
+                    .target_of(s)
+                    .is_some_and(|correct| self.top_k(s, k).iter().any(|&(t, _)| t == correct))
             })
             .count();
         hits as f64 / sources.len() as f64

@@ -19,6 +19,8 @@
 //! * [`tfidf`] — a TF-IDF vector space with cosine similarity, the substrate
 //!   of LSD's WHIRL nearest-neighbour learner.
 
+#![forbid(unsafe_code)]
+
 pub mod lexical;
 pub mod metrics;
 pub mod tfidf;

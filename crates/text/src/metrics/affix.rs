@@ -7,11 +7,7 @@ fn common_prefix(a: &str, b: &str) -> usize {
 
 /// Length of the common suffix of `a` and `b` (in chars).
 fn common_suffix(a: &str, b: &str) -> usize {
-    a.chars()
-        .rev()
-        .zip(b.chars().rev())
-        .take_while(|(x, y)| x == y)
-        .count()
+    a.chars().rev().zip(b.chars().rev()).take_while(|(x, y)| x == y).count()
 }
 
 /// Affix similarity: `max(prefix, suffix) / min(|a|, |b|)`, clamped to

@@ -30,10 +30,8 @@ pub fn jaro_similarity(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     // Count transpositions between the matched sequences.
-    let s_seq: Vec<char> =
-        s.iter().zip(&s_matched).filter_map(|(&c, &m)| m.then_some(c)).collect();
-    let t_seq: Vec<char> =
-        t.iter().zip(&t_matched).filter_map(|(&c, &m)| m.then_some(c)).collect();
+    let s_seq: Vec<char> = s.iter().zip(&s_matched).filter_map(|(&c, &m)| m.then_some(c)).collect();
+    let t_seq: Vec<char> = t.iter().zip(&t_matched).filter_map(|(&c, &m)| m.then_some(c)).collect();
     let transpositions = s_seq.iter().zip(&t_seq).filter(|(a, b)| a != b).count() / 2;
     let m = matches as f64;
     (m / s.len() as f64 + m / t.len() as f64 + (m - transpositions as f64) / m) / 3.0
@@ -43,12 +41,7 @@ pub fn jaro_similarity(a: &str, b: &str) -> f64 {
 /// prefix with scaling factor `p = 0.1`.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     let jaro = jaro_similarity(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count() as f64;
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count() as f64;
     jaro + prefix * 0.1 * (1.0 - jaro)
 }
 

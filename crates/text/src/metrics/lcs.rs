@@ -22,11 +22,7 @@ pub fn lcs_length(a: &str, b: &str) -> usize {
     let mut curr = vec![0usize; short.len() + 1];
     for &cl in &long {
         for (j, &cs) in short.iter().enumerate() {
-            curr[j + 1] = if cl == cs {
-                prev[j] + 1
-            } else {
-                prev[j + 1].max(curr[j])
-            };
+            curr[j + 1] = if cl == cs { prev[j] + 1 } else { prev[j + 1].max(curr[j]) };
         }
         std::mem::swap(&mut prev, &mut curr);
     }

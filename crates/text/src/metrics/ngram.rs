@@ -1,12 +1,13 @@
 //! Character n-gram overlap (Dice coefficient).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-/// Multiset of character n-grams of `s`. Strings shorter than `n` yield the
-/// whole string as a single gram so that very short names still compare.
-fn grams(s: &str, n: usize) -> HashMap<Vec<char>, usize> {
+/// Multiset of character n-grams of `s`, ordered so the overlap scan below
+/// iterates deterministically. Strings shorter than `n` yield the whole
+/// string as a single gram so that very short names still compare.
+fn grams(s: &str, n: usize) -> BTreeMap<Vec<char>, usize> {
     let chars: Vec<char> = s.chars().collect();
-    let mut out = HashMap::new();
+    let mut out = BTreeMap::new();
     if chars.is_empty() {
         return out;
     }
@@ -33,10 +34,7 @@ pub fn ngram_similarity(a: &str, b: &str, n: usize) -> f64 {
     if total == 0 {
         return 0.0;
     }
-    let shared: usize = ga
-        .iter()
-        .map(|(g, &ca)| ca.min(gb.get(g).copied().unwrap_or(0)))
-        .sum();
+    let shared: usize = ga.iter().map(|(g, &ca)| ca.min(gb.get(g).copied().unwrap_or(0))).sum();
     2.0 * shared as f64 / total as f64
 }
 

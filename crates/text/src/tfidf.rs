@@ -6,7 +6,7 @@
 //! table on a corpus of token lists, then embed documents and compare them
 //! with cosine similarity.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A sparse TF-IDF document vector (term-id → weight), L2-normalized at
 /// construction.
@@ -50,6 +50,9 @@ impl TfIdfVector {
 }
 
 /// A fitted TF-IDF vector space: vocabulary plus smoothed IDF weights.
+///
+/// The vocabulary map is lookup-only (term ids are assigned in first-seen
+/// corpus order and never iterated), so a `HashMap` is deterministic here.
 #[derive(Debug, Clone)]
 pub struct TfIdfSpace {
     vocab: HashMap<String, u32>,
@@ -80,10 +83,7 @@ impl TfIdfSpace {
             }
         }
         let n = corpus.len();
-        let idf = df
-            .iter()
-            .map(|&d| ((1.0 + n as f64) / (1.0 + d as f64)).ln() + 1.0)
-            .collect();
+        let idf = df.iter().map(|&d| ((1.0 + n as f64) / (1.0 + d as f64)).ln() + 1.0).collect();
         TfIdfSpace { vocab, idf, documents: n }
     }
 
@@ -99,17 +99,16 @@ impl TfIdfSpace {
 
     /// Embeds a tokenized document. Out-of-vocabulary tokens are dropped.
     pub fn embed<S: AsRef<str>>(&self, doc: &[S]) -> TfIdfVector {
-        let mut tf: HashMap<u32, f64> = HashMap::new();
+        // A BTreeMap keeps term-frequency iteration in term-id order, so the
+        // weight vector comes out sorted without a separate sort step.
+        let mut tf: BTreeMap<u32, f64> = BTreeMap::new();
         for tok in doc {
             if let Some(&id) = self.vocab.get(tok.as_ref()) {
                 *tf.entry(id).or_insert(0.0) += 1.0;
             }
         }
-        let mut weights: Vec<(u32, f64)> = tf
-            .into_iter()
-            .map(|(id, count)| (id, count * self.idf[id as usize]))
-            .collect();
-        weights.sort_unstable_by_key(|&(id, _)| id);
+        let mut weights: Vec<(u32, f64)> =
+            tf.into_iter().map(|(id, count)| (id, count * self.idf[id as usize])).collect();
         let norm: f64 = weights.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
         if norm > 0.0 {
             for (_, w) in &mut weights {

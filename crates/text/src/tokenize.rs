@@ -107,9 +107,7 @@ pub fn normalize_join(identifier: &str) -> String {
 /// whitespace/punctuation and lowercases, additionally splitting any
 /// camelCase identifiers embedded in the prose.
 pub fn tokenize_text(text: &str) -> Vec<String> {
-    text.split(|c: char| c.is_whitespace())
-        .flat_map(tokenize)
-        .collect()
+    text.split(|c: char| c.is_whitespace()).flat_map(tokenize).collect()
 }
 
 #[cfg(test)]
@@ -156,10 +154,7 @@ mod tests {
 
     #[test]
     fn mixed_everything() {
-        assert_eq!(
-            tokenize("productSKU_code2X"),
-            vec!["product", "sku", "code", "2", "x"]
-        );
+        assert_eq!(tokenize("productSKU_code2X"), vec!["product", "sku", "code", "2", "x"]);
     }
 
     #[test]

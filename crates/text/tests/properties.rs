@@ -3,8 +3,8 @@
 
 use lsm_text::lexical_similarity;
 use lsm_text::metrics::{
-    affix_similarity, edit_distance, edit_similarity, jaro_similarity, jaro_winkler,
-    lcs_length, lcs_similarity, soundex, trigram_similarity,
+    affix_similarity, edit_distance, edit_similarity, jaro_similarity, jaro_winkler, lcs_length,
+    lcs_similarity, soundex, trigram_similarity,
 };
 use lsm_text::{normalize_join, tokenize};
 use proptest::prelude::*;

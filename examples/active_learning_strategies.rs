@@ -59,7 +59,5 @@ fn main() {
             if smart.labels_used <= random.labels_used { "yes" } else { "no" }
         );
     }
-    println!(
-        "\ntotals: smart {smart_total} vs random {random_total} labels across 5 seeds"
-    );
+    println!("\ntotals: smart {smart_total} vs random {random_total} labels across 5 seeds");
 }

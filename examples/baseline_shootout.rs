@@ -35,8 +35,7 @@ fn main() {
     let sources: Vec<AttrId> = dataset.source.attr_ids().collect();
 
     let mut lsd = Lsd::new();
-    let train: Vec<(AttrId, AttrId)> =
-        dataset.ground_truth.pairs().step_by(2).collect();
+    let train: Vec<(AttrId, AttrId)> = dataset.ground_truth.pairs().step_by(2).collect();
     lsd.train(&ctx, &dataset.source, &dataset.target, &train);
 
     let matchers: Vec<(&str, ScoreMatrix)> = vec![

@@ -35,10 +35,7 @@ fn main() {
 
     // Non-interactive split evaluation (Table IV protocol).
     let eval = evaluate_split(&mut matcher, &dataset.ground_truth, 0.5, &[1, 3, 5], 7);
-    println!(
-        "\nsplit evaluation ({} train / {} test):",
-        eval.train_size, eval.test_size
-    );
+    println!("\nsplit evaluation ({} train / {} test):", eval.train_size, eval.test_size);
     for (k, acc) in &eval.top_k {
         println!("  top-{k} accuracy: {acc:.2}");
     }

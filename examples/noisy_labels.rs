@@ -30,7 +30,10 @@ fn main() {
     };
     let dataset = generate_customer(&iss, &lexicon, spec, 77);
 
-    println!("{:<8} {:>16} {:>18} {:>14}", "noise", "labels used", "correct matches", "wrong labels");
+    println!(
+        "{:<8} {:>16} {:>18} {:>14}",
+        "noise", "labels used", "correct matches", "wrong labels"
+    );
     for noise in [0.0, 0.1, 0.2, 0.3] {
         let config = LsmConfig { use_bert: false, ..Default::default() };
         let mut matcher =

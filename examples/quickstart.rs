@@ -34,17 +34,41 @@ fn main() {
     let target = Schema::builder("retail-iss")
         .entity("Product")
         .attr_desc("product_id", DataType::Integer, "primary key of the product entity")
-        .attr_desc("primary_brand_id", DataType::Integer, "brand under which the product is marketed")
-        .attr_desc("european_article_number", DataType::Text, "standardized thirteen digit barcode identifying the product")
+        .attr_desc(
+            "primary_brand_id",
+            DataType::Integer,
+            "brand under which the product is marketed",
+        )
+        .attr_desc(
+            "european_article_number",
+            DataType::Text,
+            "standardized thirteen digit barcode identifying the product",
+        )
         .attr_desc("product_status_id", DataType::Integer, "lifecycle status of the product")
         .pk("product_id")
         .entity("TransactionLine")
         .attr_desc("transaction_id", DataType::Integer, "primary key of the transaction line")
         .attr_desc("product_id", DataType::Integer, "reference to the product entity")
-        .attr_desc("quantity", DataType::Integer, "number of units of the product in the transaction line")
-        .attr_desc("price_change_percentage", DataType::Decimal, "fractional reduction applied to the list price at sale time")
-        .attr_desc("product_item_price_amount", DataType::Decimal, "monetary price of the product item on the price list")
-        .attr_desc("promised_avalailable_curbside_pickup_timestamp", DataType::Timestamp, "time at which the curbside pickup order is promised to be ready")
+        .attr_desc(
+            "quantity",
+            DataType::Integer,
+            "number of units of the product in the transaction line",
+        )
+        .attr_desc(
+            "price_change_percentage",
+            DataType::Decimal,
+            "fractional reduction applied to the list price at sale time",
+        )
+        .attr_desc(
+            "product_item_price_amount",
+            DataType::Decimal,
+            "monetary price of the product item on the price list",
+        )
+        .attr_desc(
+            "promised_avalailable_curbside_pickup_timestamp",
+            DataType::Timestamp,
+            "time at which the curbside pickup order is promised to be ready",
+        )
         .pk("transaction_id")
         .foreign_key("TransactionLine", "product_id", "Product", "product_id")
         .build()

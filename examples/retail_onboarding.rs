@@ -43,12 +43,7 @@ fn main() {
     let outcome = run_session(&mut matcher, &mut oracle, SessionConfig::default());
 
     // Render the onboarding report an operator would file.
-    let report = render_report(
-        &dataset.name,
-        &outcome,
-        oracle.events(),
-        &dataset.source,
-        &dataset.target,
-    );
+    let report =
+        render_report(&dataset.name, &outcome, oracle.events(), &dataset.source, &dataset.target);
     println!("\n{report}");
 }

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 verification: release build, full test suite, and lint gate on the
-# crates touched by the performance work (ROADMAP.md "Tier-1 verify").
+# Tier-1 verification: format check, release build, full test suite,
+# workspace clippy, the lsm-lint static-analysis gate, and an observability
+# smoke test (ROADMAP.md "Tier-1 verify").
 #
 # Usage: scripts/tier1.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
 
 echo "==> cargo build --release"
 cargo build --release --workspace
@@ -12,8 +16,11 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
-echo "==> cargo clippy -D warnings (lsm-nn, lsm-core, lsm-bench, lsm-obs, lsm-cli)"
-cargo clippy -p lsm-nn -p lsm-core -p lsm-bench -p lsm-obs -p lsm-cli --all-targets -- -D warnings
+echo "==> cargo clippy -D warnings (workspace)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> lsm-lint (determinism / panic-policy / unsafe-audit)"
+cargo run --release -p lsm-lint
 
 echo "==> observability smoke: lsm session movielens --model tiny --metrics-out"
 metrics=/tmp/lsm_tier1_metrics.json

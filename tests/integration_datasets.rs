@@ -16,7 +16,13 @@ fn paper_sized_iss_and_all_customers_validate() {
         (iss.schema.entity_count(), iss.schema.attr_count(), iss.schema.foreign_keys.len()),
         (92, 1218, 184)
     );
-    let expected = [(3usize, 29usize, 2usize, true), (8, 53, 7, false), (3, 84, 2, false), (7, 136, 7, false), (25, 530, 24, true)];
+    let expected = [
+        (3usize, 29usize, 2usize, true),
+        (8, 53, 7, false),
+        (3, 84, 2, false),
+        (7, 136, 7, false),
+        (25, 530, 24, true),
+    ];
     for (spec, (entities, attrs, fks, desc)) in all_specs().into_iter().zip(expected) {
         let d = generate_customer(&iss, &lexicon, spec, 7);
         d.validate().unwrap();
