@@ -5,7 +5,9 @@
 //! forward with and without graph-arena reuse; measures the disabled-sink
 //! observability overhead (`obs_overhead`, gated <1% of the smallest hot
 //! kernel) and embeds a per-stage breakdown of a tiny-model movielens
-//! session (`pipeline_stages`, skipped under `LSM_FAST=1`); then writes
+//! session run with the crash-safe journal attached (`pipeline_stages`,
+//! gating persistence cost <2% of response time; skipped under
+//! `LSM_FAST=1`); then writes
 //! `results/BENCH_nn.json` so future PRs can track the perf trajectory.
 //!
 //! Criterion is a dev-dependency (benches only), so this binary hand-rolls
@@ -239,13 +241,19 @@ fn obs_overhead_report(reps: usize) -> serde_json::Value {
 /// PRs know where pipeline time goes. Also cross-checks the acceptance
 /// criterion: the `session.respond` stage total must agree with
 /// `SessionOutcome::response_times` (same measurement).
+///
+/// The session runs with the crash-safe journal attached (the `--journal`
+/// production configuration), and the report gates the persistence cost:
+/// `journal.append` + `checkpoint.write` stage totals must stay under 2%
+/// of the `session.respond` total.
 fn pipeline_stage_report() -> serde_json::Value {
     use lsm_core::{
-        run_session, BertFeaturizer, BertFeaturizerConfig, LsmConfig, LsmMatcher, PerfectOracle,
-        SessionConfig,
+        run_session_with_sink, BertFeaturizer, BertFeaturizerConfig, LsmConfig, LsmMatcher,
+        PerfectOracle, SessionConfig,
     };
     use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
     use lsm_lexicon::full_lexicon;
+    use lsm_store::{JournalOptions, JournalSink};
 
     let lexicon = full_lexicon();
     let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
@@ -254,6 +262,11 @@ fn pipeline_stage_report() -> serde_json::Value {
     let mut bert = BertFeaturizer::pretrain(&lexicon, BertFeaturizerConfig::tiny());
     bert.pretrain_classifier(&d.target);
 
+    let dir = std::env::temp_dir().join(format!("lsm-perf-report-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create perf_report scratch dir");
+    let journal = dir.join("session.journal");
+    let ckpt = dir.join("session.journal.ckpt");
+
     // The breakdown covers the interactive part (matcher build + session);
     // pre-training is a once-per-domain offline cost.
     lsm_obs::reset();
@@ -261,23 +274,38 @@ fn pipeline_stage_report() -> serde_json::Value {
     let config = LsmConfig { use_bert: true, ..Default::default() };
     let mut matcher = LsmMatcher::new(&d.source, &d.target, &embedding, Some(bert), config);
     let mut oracle = PerfectOracle::new(d.ground_truth.clone());
-    let outcome = run_session(&mut matcher, &mut oracle, SessionConfig::default());
+    let mut sink = JournalSink::create(&journal, Some(&ckpt), JournalOptions::default())
+        .expect("create bench journal");
+    let outcome =
+        run_session_with_sink(&mut matcher, &mut oracle, SessionConfig::default(), &mut sink)
+            .expect("journaled bench session");
+    sink.finish().expect("finalize bench journal");
     lsm_obs::disable();
+    let journal_bytes = std::fs::metadata(&journal).map(|m| m.len()).unwrap_or(0);
+    std::fs::remove_dir_all(&dir).ok();
 
     let snap = lsm_obs::snapshot();
     let respond = snap.stage("session.respond").map(|s| s.total_s).unwrap_or(0.0);
+    let appends = snap.stage("journal.append").map(|s| s.total_s).unwrap_or(0.0);
+    let checkpoints = snap.stage("checkpoint.write").map(|s| s.total_s).unwrap_or(0.0);
+    let journal_pct = if respond > 0.0 { (appends + checkpoints) / respond * 100.0 } else { 0.0 };
     let sum: f64 = outcome.response_times.iter().sum();
     let diff_pct = if sum > 0.0 { (respond - sum).abs() / sum * 100.0 } else { 0.0 };
     let metrics: serde_json::Value =
         serde_json::from_str(&snap.to_json()).expect("obs metrics JSON parses");
     json!({
-        "scenario": "lsm session movielens --model tiny (sink enabled)",
+        "scenario": "lsm session movielens --model tiny --journal … (sink enabled)",
         "iterations": outcome.response_times.len(),
         "labels_used": outcome.labels_used,
         "response_time_sum_s": sum,
         "respond_stage_total_s": respond,
         "respond_vs_response_times_diff_pct": diff_pct,
         "agreement_within_1pct": diff_pct < 1.0,
+        "journal_append_total_s": appends,
+        "checkpoint_write_total_s": checkpoints,
+        "journal_bytes": journal_bytes,
+        "journal_overhead_pct": journal_pct,
+        "journal_overhead_under_2pct": journal_pct < 2.0,
         "metrics": metrics,
     })
 }

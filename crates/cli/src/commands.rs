@@ -13,6 +13,8 @@ use lsm_core::{LabelStore, LsmConfig, LsmMatcher};
 use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
 use lsm_lexicon::full_lexicon;
 use lsm_schema::{Schema, SchemaStats};
+use lsm_store::{JournalOptions, JournalSink};
+use std::path::Path;
 
 /// Which model powers `lsm match`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -235,7 +237,21 @@ precision: {precision:.3}  recall: {recall:.3}  f1: {f1:.3}",
 
 /// `lsm session <dataset>`: simulates a full interactive matching session
 /// on a built-in dataset and reports the labeling cost.
-pub fn session(dataset_name: &str, model: ModelChoice) -> Result<String, String> {
+///
+/// With `journal` set, every label event is persisted to a crash-safe
+/// journal (plus a `<journal>.ckpt` checkpoint) as the session runs. With
+/// `resume` set, a previous session is recovered from that journal pair
+/// and continued to completion; the recovered prefix and the live
+/// continuation produce the same outcome as an uninterrupted run.
+pub fn session(
+    dataset_name: &str,
+    model: ModelChoice,
+    journal: Option<&str>,
+    resume: Option<&str>,
+) -> Result<String, String> {
+    if journal.is_some() && resume.is_some() {
+        return Err("--journal and --resume are mutually exclusive".to_string());
+    }
     let dataset = match dataset_name {
         "movielens" => lsm_datasets::public_data::movielens_imdb(),
         "rdb-star" => lsm_datasets::public_data::rdb_star(),
@@ -269,8 +285,82 @@ pub fn session(dataset_name: &str, model: ModelChoice) -> Result<String, String>
     let config = LsmConfig { use_bert: bert.is_some(), ..Default::default() };
     let mut matcher = LsmMatcher::new(&dataset.source, &dataset.target, &embedding, bert, config);
     let mut oracle = lsm_core::PerfectOracle::new(dataset.ground_truth.clone());
-    let outcome =
-        lsm_core::run_session(&mut matcher, &mut oracle, lsm_core::SessionConfig::default());
+    let session_config = lsm_core::SessionConfig::default();
+    let outcome = match (journal, resume) {
+        (None, None) => lsm_core::run_session(&mut matcher, &mut oracle, session_config),
+        (Some(path), None) => {
+            let ckpt = format!("{path}.ckpt");
+            let mut sink = JournalSink::create(
+                Path::new(path),
+                Some(Path::new(&ckpt)),
+                JournalOptions::default(),
+            )
+            .map_err(|e| format!("cannot create journal {path}: {e}"))?;
+            let outcome = lsm_core::run_session_with_sink(
+                &mut matcher,
+                &mut oracle,
+                session_config,
+                &mut sink,
+            )
+            .map_err(|e| e.to_string())?;
+            sink.finish().map_err(|e| format!("cannot finalize journal {path}: {e}"))?;
+            eprintln!("journaled session to {path} (checkpoint: {ckpt})");
+            outcome
+        }
+        (None, Some(path)) => {
+            let ckpt = format!("{path}.ckpt");
+            let (sink, recovered) = JournalSink::resume(
+                Path::new(path),
+                Some(Path::new(&ckpt)),
+                JournalOptions::default(),
+            )
+            .map_err(|e| format!("cannot recover journal {path}: {e}"))?;
+            let total = recovered.state.outcome.total_attributes;
+            if recovered.state.started && total != dataset.source.attr_count() {
+                return Err(format!(
+                    "journal {path} belongs to a different task: it records {total} source \
+                     attributes, dataset {dataset_name:?} has {}",
+                    dataset.source.attr_count()
+                ));
+            }
+            // Replay stats go to stderr so stdout stays comparable with an
+            // uninterrupted run.
+            eprintln!(
+                "resumed from {}: {} iteration(s), {} label(s) replayed{}{}",
+                if recovered.from_checkpoint { "checkpoint + journal" } else { "journal" },
+                recovered.state.iterations_done,
+                recovered.state.outcome.labels_used,
+                if recovered.truncated_bytes > 0 {
+                    format!("; {} damaged/uncommitted byte(s) discarded", recovered.truncated_bytes)
+                } else {
+                    String::new()
+                },
+                if recovered.dropped_tail_records > 0 {
+                    format!(
+                        " ({} record(s) of an incomplete iteration)",
+                        recovered.dropped_tail_records
+                    )
+                } else {
+                    String::new()
+                },
+            );
+            let mut sink = sink;
+            let config = recovered.config.unwrap_or(session_config);
+            let outcome = lsm_core::resume_session(
+                &mut matcher,
+                &mut oracle,
+                config,
+                recovered.state,
+                &mut sink,
+            )
+            .map_err(|e| e.to_string())?;
+            sink.finish().map_err(|e| format!("cannot finalize journal {path}: {e}"))?;
+            outcome
+        }
+        (Some(_), Some(_)) => {
+            return Err("--journal and --resume are mutually exclusive".to_string())
+        }
+    };
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -437,9 +527,47 @@ mod tests {
 
     #[test]
     fn session_runs_on_movielens_without_bert() {
-        let out = session("movielens", ModelChoice::NoBert).unwrap();
+        let out = session("movielens", ModelChoice::NoBert, None, None).unwrap();
         assert!(out.contains("matched: 19/19"), "{out}");
-        assert!(session("nope", ModelChoice::NoBert).is_err());
+        assert!(session("nope", ModelChoice::NoBert, None, None).is_err());
+    }
+
+    #[test]
+    fn session_rejects_journal_plus_resume() {
+        let err = session("movielens", ModelChoice::NoBert, Some("a"), Some("b")).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn session_journal_then_resume_reproduces_the_run() {
+        let dir = std::env::temp_dir().join(format!("lsm-cli-session-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("ml.journal");
+        let jpath = journal.to_str().unwrap();
+
+        let reference = session("movielens", ModelChoice::NoBert, Some(jpath), None).unwrap();
+        assert!(reference.contains("matched: 19/19"), "{reference}");
+
+        // Tear the tail off the journal and resume: the report (minus the
+        // wall-clock response-time line) must come out identical.
+        let bytes = std::fs::read(&journal).unwrap();
+        std::fs::write(&journal, &bytes[..bytes.len() - bytes.len() / 3]).unwrap();
+        let resumed = session("movielens", ModelChoice::NoBert, None, Some(jpath)).unwrap();
+
+        let strip = |s: &str| -> String {
+            s.lines()
+                .filter(|l| !l.starts_with("mean response time"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&resumed), strip(&reference));
+
+        // A journal recorded for a different schema size is rejected.
+        let err = session("rdb-star", ModelChoice::NoBert, None, Some(jpath)).unwrap_err();
+        assert!(err.contains("different task"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -31,6 +31,7 @@ usage:
                [--model small|tiny|off] [--threshold <T>]
   lsm evaluate <predictions.json> <truth.json>
   lsm session  <movielens|rdb-star|ipfqr|customer-a..e> [--model small|tiny|off]
+               [--journal <session.journal> | --resume <session.journal>]
                [--trace-out <trace.json>] [--metrics-out <metrics.json>]
   lsm generate <iss|iss-small|customer-a..e|movielens|imdb|rdb-star-source|rdb-star-target>
 
@@ -159,11 +160,13 @@ fn run() -> Result<String, String> {
                 Some(m) => ModelChoice::parse(&m)
                     .ok_or_else(|| format!("unknown --model {m:?}; expected small|tiny|off"))?,
             };
+            let journal = take_flag(&mut args, "--journal")?;
+            let resume = take_flag(&mut args, "--resume")?;
             let (trace_out, metrics_out) = take_obs_flags(&mut args)?;
             let [dataset] = args.as_slice() else {
                 return Err(USAGE.to_string());
             };
-            let out = commands::session(dataset, model)?;
+            let out = commands::session(dataset, model, journal.as_deref(), resume.as_deref())?;
             write_obs_outputs(trace_out.as_deref(), metrics_out.as_deref())?;
             Ok(out)
         }

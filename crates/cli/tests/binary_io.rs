@@ -71,6 +71,45 @@ fn generate_stats_baseline_round_trip() {
 }
 
 #[test]
+fn session_journal_crash_resume_round_trip() {
+    let dir = std::env::temp_dir().join(format!("lsm_cli_session_resume_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("session.journal");
+    let jpath = journal.to_str().unwrap();
+
+    // Conflicting flags are rejected up front.
+    let (ok, _, err) = run(&["session", "movielens", "--journal", jpath, "--resume", jpath]);
+    assert!(!ok);
+    assert!(err.contains("mutually exclusive"), "{err}");
+
+    let (ok, reference, err) = run(&["session", "movielens", "--model", "off", "--journal", jpath]);
+    assert!(ok, "{err}");
+    assert!(reference.contains("matched: 19/19"), "{reference}");
+    assert!(journal.exists());
+    assert!(dir.join("session.journal.ckpt").exists());
+
+    // Simulate a crash by tearing off the journal tail. Also drop the
+    // checkpoint (which the completed run finalized) so recovery has to
+    // replay the torn journal and actually continue the session live.
+    let bytes = std::fs::read(&journal).unwrap();
+    std::fs::write(&journal, &bytes[..bytes.len() / 2]).unwrap();
+    std::fs::remove_file(dir.join("session.journal.ckpt")).unwrap();
+    let (ok, resumed, err) = run(&["session", "movielens", "--model", "off", "--resume", jpath]);
+    assert!(ok, "{err}");
+    assert!(err.contains("resumed from"), "{err}");
+
+    // Everything except the wall-clock response-time line must match the
+    // uninterrupted run.
+    let strip = |s: &str| -> String {
+        s.lines().filter(|l| !l.starts_with("mean response time")).collect::<Vec<_>>().join("\n")
+    };
+    assert_eq!(strip(&resumed), strip(&reference));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn missing_file_reports_path() {
     let (ok, _, err) = run(&["stats", "/nonexistent/schema.json"]);
     assert!(!ok);

@@ -58,9 +58,11 @@ pub fn select_attributes(
             let pool = if unmatched_anchors.is_empty() { unmatched } else { unmatched_anchors };
             let mut by_confidence: Vec<(AttrId, f64)> =
                 pool.into_iter().map(|a| (a, scores.softmax_confidence(a))).collect();
-            by_confidence.sort_by(|a, b| {
-                a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-            });
+            // total_cmp: a NaN confidence (possible when a score row is
+            // poisoned) must sort as a value — greater than every number —
+            // not silently collapse to Equal and fall back to pool order,
+            // which would break the documented AttrId tie-break.
+            by_confidence.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             by_confidence.into_iter().take(n).map(|(a, _)| a).collect()
         }
     }
@@ -154,6 +156,50 @@ mod tests {
         );
         // Non-anchor rows are 1 and 2; row 1 is less confident.
         assert_eq!(picked, vec![AttrId(1)]);
+    }
+
+    /// A poisoned (all-NaN-confidence) row set must still select
+    /// deterministically by the AttrId tie-break, and a NaN row must never
+    /// outrank a finite low-confidence row.
+    #[test]
+    fn nan_confidences_sort_deterministically() {
+        let s = schema();
+        let anchors = s.anchor_set(); // rows 0, 3, 4
+        let mut labels = LabelStore::new();
+        labels.confirm(AttrId(0), AttrId(0)); // past the first iteration
+
+        // Row 3 gets a NaN confidence (0/0-style poisoned scores); row 4
+        // stays finite and must win the least-confident pick.
+        let mut m = peaked_scores();
+        for v in m.row_mut(AttrId(3)) {
+            *v = f64::NAN;
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let picked = select_attributes(
+            SelectionStrategy::LeastConfidentAnchor,
+            &s,
+            &m,
+            &labels,
+            &anchors,
+            1,
+            &mut rng,
+        );
+        assert_eq!(picked, vec![AttrId(4)], "NaN sorts above every finite confidence");
+
+        // All candidates NaN: the AttrId tie-break decides, deterministically.
+        for v in m.row_mut(AttrId(4)) {
+            *v = f64::NAN;
+        }
+        let picked = select_attributes(
+            SelectionStrategy::LeastConfidentAnchor,
+            &s,
+            &m,
+            &labels,
+            &anchors,
+            2,
+            &mut rng,
+        );
+        assert_eq!(picked, vec![AttrId(3), AttrId(4)]);
     }
 
     #[test]

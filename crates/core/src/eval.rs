@@ -49,6 +49,15 @@ pub fn evaluate_split<E: SuggestionEngine>(
     sources.shuffle(&mut rng);
     let train_size = (sources.len() as f64 * train_fraction).round() as usize;
     let (train, test) = sources.split_at(train_size);
+    // With a small schema and a high fraction, `round()` can swallow every
+    // source into `train` (e.g. 3 sources × 0.9 → 3); accuracy over an
+    // empty test set would be 0/0. Fail loudly instead of reporting NaN.
+    assert!(
+        !test.is_empty() || sources.is_empty(),
+        "evaluate_split: train_fraction {train_fraction} leaves no test attributes \
+         ({} sources all fell into the training split); lower the fraction",
+        sources.len()
+    );
 
     let mut labels = LabelStore::new();
     for &s in train {
@@ -120,6 +129,21 @@ mod tests {
         let a = evaluate_split(&mut e1, &truth, 0.5, &[1], 3);
         let b = evaluate_split(&mut e2, &truth, 0.5, &[1], 3);
         assert_eq!(a.accuracy(1), b.accuracy(1));
+    }
+
+    /// 3 sources × 0.9 rounds to a train size of 3 — nothing left to test.
+    /// That must be a loud failure, not a NaN accuracy.
+    #[test]
+    #[should_panic(expected = "leaves no test attributes")]
+    fn empty_test_split_fails_loudly() {
+        let (source, _, scores) = fixtures();
+        let truth = GroundTruth::from_pairs([
+            (AttrId(0), AttrId(0)),
+            (AttrId(1), AttrId(1)),
+            (AttrId(2), AttrId(2)),
+        ]);
+        let mut engine = PinnedBaselineEngine::new(source, scores);
+        evaluate_split(&mut engine, &truth, 0.9, &[1], 7);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub enum Label {
     Unlabeled,
 }
 
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct Row {
     /// Confirmed target, if any. Implies every other pair in the row is
     /// incorrect.
@@ -37,7 +37,11 @@ struct Row {
 }
 
 /// Sparse label storage over the candidate-pair matrix.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares the full label state — used by the persistence
+/// layer to assert that journal replay reconstructs the live session
+/// exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LabelStore {
     rows: BTreeMap<AttrId, Row>,
 }

@@ -55,4 +55,8 @@ pub use matcher::{LsmConfig, LsmMatcher};
 pub use meta::{MetaLearner, SelfTrainingConfig};
 pub use metrics::{CurvePoint, SessionOutcome};
 pub use oracle::{NoisyOracle, Oracle, PerfectOracle};
-pub use session::{run_session, SessionConfig, SuggestionEngine};
+pub use session::{
+    resume_session, run_session, run_session_with_sink, NullSink, PinnedBaselineEngine,
+    ReviewOutcome, SessionConfig, SessionEvent, SessionSink, SessionState, SinkError,
+    SuggestionEngine,
+};

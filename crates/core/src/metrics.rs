@@ -29,7 +29,10 @@ impl CurvePoint {
 }
 
 /// The record of one simulated end-to-end session.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// `PartialEq` is exact (f64 `==` on response times): the persistence
+/// layer's resume-equivalence guarantee is *bitwise*, not approximate.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SessionOutcome {
     /// Learning-curve points, one per iteration (plus the initial state).
     pub curve: Vec<CurvePoint>,

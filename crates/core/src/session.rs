@@ -10,13 +10,29 @@
 //! 4. otherwise the selection strategy picks `N` attributes (N = 1 in the
 //!    paper) and the user provides their correct mappings — these are the
 //!    *labels* whose count is the human labeling cost.
+//!
+//! ## Event sourcing
+//!
+//! The loop is *event-sourced*: every state change is expressed as a
+//! [`SessionEvent`] and applied through [`SessionState::apply`] — the only
+//! mutation path. A [`SessionSink`] observes the identical event stream,
+//! which is what makes crash-safe persistence (the `lsm-store` journal)
+//! correct by construction: replaying the journal calls the same `apply`
+//! the live loop called, so a resumed session is bitwise-identical to an
+//! uninterrupted one.
+//!
+//! Determinism contract for resume: engines must be deterministic functions
+//! of the label state (true for [`LsmMatcher`] and
+//! [`PinnedBaselineEngine`]), oracles deterministic per attribute, and the
+//! selection RNG is re-seeded per iteration from `config.seed` and the
+//! iteration index — no RNG state needs to survive a crash.
 
 use crate::active::{select_attributes, SelectionStrategy};
 use crate::labels::LabelStore;
 use crate::matcher::LsmMatcher;
 use crate::metrics::{CurvePoint, SessionOutcome};
 use crate::oracle::Oracle;
-use lsm_schema::{Schema, ScoreMatrix};
+use lsm_schema::{AttrId, Schema, ScoreMatrix};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -78,10 +94,12 @@ impl SuggestionEngine for PinnedBaselineEngine {
     fn predict(&self, labels: &LabelStore) -> ScoreMatrix {
         let mut m = self.base.clone();
         for (s, t) in labels.positives() {
+            // Finite saturation sentinels: f64::MIN/MAX would overflow
+            // exp-based consumers (softmax_confidence) to ±inf/NaN.
             for v in m.row_mut(s) {
-                *v = f64::MIN;
+                *v = ScoreMatrix::PINNED_MIN;
             }
-            m.set(s, t, f64::MAX);
+            m.set(s, t, ScoreMatrix::PINNED_MAX);
         }
         m
     }
@@ -92,7 +110,7 @@ impl SuggestionEngine for PinnedBaselineEngine {
 }
 
 /// Session parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SessionConfig {
     /// Suggestions shown per attribute (k = 3 in the paper).
     pub top_k: usize,
@@ -118,6 +136,297 @@ impl Default for SessionConfig {
     }
 }
 
+/// What the user did with one attribute's top-k suggestion list (Step 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReviewOutcome {
+    /// The user confirmed this target from the list.
+    Confirmed(AttrId),
+    /// The user rejected every shown target (the listed ones).
+    RejectedAll(Vec<AttrId>),
+}
+
+/// One state transition of an interactive session. The live loop and a
+/// journal replay both go through [`SessionState::apply`], so the event
+/// stream *is* the session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionEvent {
+    /// Session begins: schema size and the full configuration.
+    SessionStart {
+        /// Source attributes in the task.
+        total_attributes: usize,
+        /// The session parameters (persisted so `--resume` can rebuild an
+        /// identical session).
+        config: SessionConfig,
+    },
+    /// Step 1: the engine retrained and predicted in `secs` (Fig. 9).
+    Respond {
+        /// 0-based iteration index.
+        iteration: usize,
+        /// Response time in seconds.
+        secs: f64,
+    },
+    /// Step 2: the user reviewed one attribute's suggestions.
+    Review {
+        /// 0-based iteration index.
+        iteration: usize,
+        /// The reviewed source attribute.
+        source: AttrId,
+        /// Confirmation or rejection.
+        outcome: ReviewOutcome,
+    },
+    /// The learning curve gained a point.
+    Curve {
+        /// 0-based iteration index (or the final count, for the closing
+        /// point pushed after the loop).
+        iteration: usize,
+        /// The recorded point.
+        point: CurvePoint,
+    },
+    /// Step 4: the user directly labeled an attribute picked by `strategy`.
+    DirectLabel {
+        /// 0-based iteration index.
+        iteration: usize,
+        /// The labeled source attribute.
+        source: AttrId,
+        /// Its correct target.
+        target: AttrId,
+        /// The strategy that picked it (metadata for audit).
+        strategy: SelectionStrategy,
+    },
+    /// The selection strategy returned nothing (e.g. `labels_per_iter` is
+    /// 0): the session cannot progress further.
+    Stalled {
+        /// 0-based iteration index.
+        iteration: usize,
+    },
+    /// The iteration committed. This is the journal's durability boundary:
+    /// recovery discards partial iterations past the last `IterationEnd`.
+    IterationEnd {
+        /// 0-based iteration index.
+        iteration: usize,
+    },
+}
+
+/// Error surfaced by a [`SessionSink`] (e.g. a journal write failure). The
+/// session aborts rather than running un-persisted past the failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkError(pub String);
+
+impl std::fmt::Display for SinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session sink: {}", self.0)
+    }
+}
+
+impl std::error::Error for SinkError {}
+
+/// Observer of the session's event stream — the hook `lsm-store` plugs its
+/// write-ahead journal into. Core stays dependency-free: it only knows this
+/// trait.
+pub trait SessionSink {
+    /// Called once per event, *after* the event was applied to the live
+    /// state. An error aborts the session.
+    fn on_event(&mut self, event: &SessionEvent) -> Result<(), SinkError>;
+
+    /// Maps a measured response time before it is recorded and journaled.
+    /// The default is the identity. Test harnesses override this with a
+    /// deterministic function of `iteration` so an interrupted-and-resumed
+    /// session reproduces the uninterrupted run *bitwise*, response times
+    /// included.
+    fn map_response_time(&mut self, _iteration: usize, measured: f64) -> f64 {
+        measured
+    }
+}
+
+/// The no-op sink used by [`run_session`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl SessionSink for NullSink {
+    fn on_event(&mut self, _event: &SessionEvent) -> Result<(), SinkError> {
+        Ok(())
+    }
+}
+
+/// The replayable state of a session: exactly what a journal reconstructs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionState {
+    /// The label store the engine retrains on.
+    pub labels: LabelStore,
+    /// The outcome accumulated so far (curve, costs, response times).
+    pub outcome: SessionOutcome,
+    /// Completed (committed) iterations.
+    pub iterations_done: usize,
+    /// Whether `SessionStart` was applied.
+    pub started: bool,
+    /// Whether the session stalled (empty selection).
+    pub stalled: bool,
+}
+
+impl SessionState {
+    /// Fresh, unstarted state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies one event. This is the **only** mutation path of a session —
+    /// the live loop and journal replay are the same code.
+    pub fn apply(&mut self, event: &SessionEvent) {
+        match event {
+            SessionEvent::SessionStart { total_attributes, .. } => {
+                self.started = true;
+                self.outcome.total_attributes = *total_attributes;
+            }
+            SessionEvent::Respond { secs, .. } => self.outcome.response_times.push(*secs),
+            SessionEvent::Review { source, outcome, .. } => {
+                self.outcome.reviews_done += 1;
+                match outcome {
+                    ReviewOutcome::Confirmed(t) => self.labels.confirm(*source, *t),
+                    ReviewOutcome::RejectedAll(ts) => {
+                        for t in ts {
+                            self.labels.reject(*source, *t);
+                        }
+                    }
+                }
+            }
+            SessionEvent::Curve { point, .. } => self.outcome.curve.push(*point),
+            SessionEvent::DirectLabel { source, target, .. } => {
+                self.labels.confirm(*source, *target);
+                self.outcome.labels_used += 1;
+            }
+            SessionEvent::Stalled { .. } => self.stalled = true,
+            SessionEvent::IterationEnd { .. } => self.iterations_done += 1,
+        }
+    }
+
+    /// Whether the last curve point shows a fully matched schema.
+    pub fn is_complete(&self) -> bool {
+        self.outcome.curve.last().is_some_and(|p| p.matched == p.total)
+    }
+}
+
+/// The per-iteration selection RNG. Re-seeding from `(seed, iteration)`
+/// instead of streaming one RNG across iterations makes every iteration's
+/// draws independent of history — a resumed iteration N sees exactly the
+/// RNG an uninterrupted run saw, with no RNG state to persist. Iteration 0
+/// uses `seed` itself, preserving pre-existing session outcomes.
+fn iteration_rng(seed: u64, iteration: usize) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed ^ (iteration as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn curve_point<O: Oracle>(state: &SessionState, oracle: &O, total: usize) -> CurvePoint {
+    let matched = state.labels.matched_count();
+    let matched_correct =
+        state.labels.positives().filter(|&(s, t)| oracle.truth().is_correct(s, t)).count();
+    CurvePoint { labels_provided: state.outcome.labels_used, matched, matched_correct, total }
+}
+
+fn emit<S: SessionSink>(
+    state: &mut SessionState,
+    sink: &mut S,
+    event: SessionEvent,
+) -> Result<(), SinkError> {
+    state.apply(&event);
+    sink.on_event(&event)
+}
+
+/// The shared driver behind [`run_session`], [`run_session_with_sink`],
+/// and [`resume_session`]: continues `state` until completion, stall, or
+/// the iteration bound.
+fn drive<E: SuggestionEngine, O: Oracle, S: SessionSink>(
+    engine: &mut E,
+    oracle: &mut O,
+    config: SessionConfig,
+    mut state: SessionState,
+    sink: &mut S,
+) -> Result<SessionOutcome, SinkError> {
+    let source = engine.source().clone();
+    let total = source.attr_count();
+    let anchors = source.anchor_set();
+
+    if !state.started {
+        emit(&mut state, sink, SessionEvent::SessionStart { total_attributes: total, config })?;
+    }
+
+    while state.iterations_done < config.max_iterations && !state.stalled && !state.is_complete() {
+        let it = state.iterations_done;
+        let _iteration = lsm_obs::span("session.iteration");
+        // ---- Step 1+2: retrain and predict (the response time). One
+        // measurement feeds both the reported response time and the
+        // "session.respond" stage/trace, so they cannot drift. ----
+        let (scores, measured) = lsm_obs::timed("session.respond", || {
+            engine.retrain(&state.labels);
+            engine.predict(&state.labels)
+        });
+        let secs = sink.map_response_time(it, measured);
+        emit(&mut state, sink, SessionEvent::Respond { iteration: it, secs })?;
+
+        // ---- Step 3: reviewing ----
+        for s in source.attr_ids() {
+            if state.labels.is_matched(s) {
+                continue;
+            }
+            let top = scores.top_k(s, config.top_k);
+            let outcome = match top.iter().find(|&&(t, _)| oracle.confirms(s, t)) {
+                Some(&(t, _)) => ReviewOutcome::Confirmed(t),
+                None => ReviewOutcome::RejectedAll(top.iter().map(|&(t, _)| t).collect()),
+            };
+            emit(&mut state, sink, SessionEvent::Review { iteration: it, source: s, outcome })?;
+        }
+
+        // ---- record the curve ----
+        let point = curve_point(&state, oracle, total);
+        emit(&mut state, sink, SessionEvent::Curve { iteration: it, point })?;
+        if point.matched == total {
+            emit(&mut state, sink, SessionEvent::IterationEnd { iteration: it })?;
+            break;
+        }
+
+        // ---- Step 4: label the selected attributes ----
+        let mut rng = iteration_rng(config.seed, it);
+        let picked = select_attributes(
+            config.strategy,
+            &source,
+            &scores,
+            &state.labels,
+            &anchors,
+            config.labels_per_iter,
+            &mut rng,
+        );
+        if picked.is_empty() {
+            emit(&mut state, sink, SessionEvent::Stalled { iteration: it })?;
+            emit(&mut state, sink, SessionEvent::IterationEnd { iteration: it })?;
+            break;
+        }
+        for s in picked {
+            let t = oracle.label(s);
+            emit(
+                &mut state,
+                sink,
+                SessionEvent::DirectLabel {
+                    iteration: it,
+                    source: s,
+                    target: t,
+                    strategy: config.strategy,
+                },
+            )?;
+        }
+        emit(&mut state, sink, SessionEvent::IterationEnd { iteration: it })?;
+    }
+
+    // Closing curve point: labels granted in Step 4 of the final iteration
+    // before the max_iterations cutoff would otherwise be counted in
+    // labels_used but never reflected on the curve.
+    let needs_close =
+        state.outcome.curve.last().is_some_and(|p| p.labels_provided != state.outcome.labels_used);
+    if needs_close {
+        let point = curve_point(&state, oracle, total);
+        let it = state.iterations_done;
+        emit(&mut state, sink, SessionEvent::Curve { iteration: it, point })?;
+    }
+    Ok(state.outcome)
+}
+
 /// Runs a full interactive session until the source schema is fully
 /// matched (or the iteration bound is hit). Returns the learning curve and
 /// cost metrics.
@@ -126,75 +435,32 @@ pub fn run_session<E: SuggestionEngine, O: Oracle>(
     oracle: &mut O,
     config: SessionConfig,
 ) -> SessionOutcome {
-    let source = engine.source().clone();
-    let total = source.attr_count();
-    let anchors = source.anchor_set();
-    let mut labels = LabelStore::new();
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let mut outcome = SessionOutcome { total_attributes: total, ..Default::default() };
+    let mut sink = NullSink;
+    run_session_with_sink(engine, oracle, config, &mut sink).expect("NullSink is infallible")
+}
 
-    for _ in 0..config.max_iterations {
-        let _iteration = lsm_obs::span("session.iteration");
-        // ---- Step 1+2: retrain and predict (the response time). One
-        // measurement feeds both the reported response time and the
-        // "session.respond" stage/trace, so they cannot drift. ----
-        let (scores, respond_secs) = lsm_obs::timed("session.respond", || {
-            engine.retrain(&labels);
-            engine.predict(&labels)
-        });
-        outcome.response_times.push(respond_secs);
+/// [`run_session`] with an event sink (e.g. the `lsm-store` journal). A
+/// sink error aborts the session — it never continues un-persisted.
+pub fn run_session_with_sink<E: SuggestionEngine, O: Oracle, S: SessionSink>(
+    engine: &mut E,
+    oracle: &mut O,
+    config: SessionConfig,
+    sink: &mut S,
+) -> Result<SessionOutcome, SinkError> {
+    drive(engine, oracle, config, SessionState::new(), sink)
+}
 
-        // ---- Step 3: reviewing ----
-        for s in source.attr_ids() {
-            if labels.is_matched(s) {
-                continue;
-            }
-            outcome.reviews_done += 1;
-            let top = scores.top_k(s, config.top_k);
-            match top.iter().find(|&&(t, _)| oracle.confirms(s, t)) {
-                Some(&(t, _)) => labels.confirm(s, t),
-                None => {
-                    for &(t, _) in &top {
-                        labels.reject(s, t);
-                    }
-                }
-            }
-        }
-
-        // ---- record the curve ----
-        let matched = labels.matched_count();
-        let matched_correct =
-            labels.positives().filter(|&(s, t)| oracle.truth().is_correct(s, t)).count();
-        outcome.curve.push(CurvePoint {
-            labels_provided: outcome.labels_used,
-            matched,
-            matched_correct,
-            total,
-        });
-        if matched == total {
-            break;
-        }
-
-        // ---- Step 4: label the selected attributes ----
-        let picked = select_attributes(
-            config.strategy,
-            &source,
-            &scores,
-            &labels,
-            &anchors,
-            config.labels_per_iter,
-            &mut rng,
-        );
-        if picked.is_empty() {
-            break;
-        }
-        for s in picked {
-            let t = oracle.label(s);
-            labels.confirm(s, t);
-            outcome.labels_used += 1;
-        }
-    }
-    outcome
+/// Continues a session from a recovered [`SessionState`] (journal replay
+/// and/or checkpoint). With deterministic engines and oracles the final
+/// [`SessionOutcome`] is identical to the uninterrupted run's.
+pub fn resume_session<E: SuggestionEngine, O: Oracle, S: SessionSink>(
+    engine: &mut E,
+    oracle: &mut O,
+    config: SessionConfig,
+    state: SessionState,
+    sink: &mut S,
+) -> Result<SessionOutcome, SinkError> {
+    drive(engine, oracle, config, state, sink)
 }
 
 #[cfg(test)]
@@ -238,6 +504,28 @@ mod tests {
         m
     }
 
+    /// Truth targets (0..4) score zero; distractors (4..8) score high — an
+    /// all-wrong static ranking.
+    fn distractor_scores() -> ScoreMatrix {
+        let mut m = ScoreMatrix::zeros(4, 8);
+        for s in 0..4u32 {
+            for t in 4..8u32 {
+                m.set(AttrId(s), AttrId(t), 0.5 + f64::from(t) / 100.0);
+            }
+        }
+        m
+    }
+
+    /// The invariant the closing curve point guarantees: every direct label
+    /// is reflected on the curve.
+    fn assert_curve_closed(outcome: &SessionOutcome) {
+        assert_eq!(
+            outcome.curve.last().map(|p| p.labels_provided),
+            Some(outcome.labels_used),
+            "curve tail must account for all labels: {outcome:?}"
+        );
+    }
+
     #[test]
     fn session_terminates_fully_matched() {
         let mut engine = PinnedBaselineEngine::new(source(), base_scores());
@@ -248,6 +536,7 @@ mod tests {
         assert_eq!(last.matched_correct, 4);
         // Rows 0 and 1 were matched by reviewing; 2 and 3 needed labels.
         assert_eq!(outcome.labels_used, 2);
+        assert_curve_closed(&outcome);
     }
 
     #[test]
@@ -259,6 +548,7 @@ mod tests {
         assert!(outcome.reviews_done >= 4);
         assert_eq!(outcome.total_attributes, 4);
         assert!(!outcome.response_times.is_empty());
+        assert_curve_closed(&outcome);
     }
 
     #[test]
@@ -270,6 +560,7 @@ mod tests {
             assert!(w[1].matched >= w[0].matched);
             assert!(w[1].labels_provided >= w[0].labels_provided);
         }
+        assert_curve_closed(&outcome);
     }
 
     #[test]
@@ -280,6 +571,26 @@ mod tests {
         let outcome = run_session(&mut engine, &mut oracle, config);
         assert_eq!(outcome.curve.len(), 2);
         assert!(outcome.labels_used <= 2);
+        assert_curve_closed(&outcome);
+    }
+
+    /// The session-curve tail undercount: with an all-wrong ranking and a
+    /// 2-iteration cutoff, the direct label granted in Step 4 of the final
+    /// iteration must still reach the curve via the closing point.
+    #[test]
+    fn closing_curve_point_covers_final_iteration_labels() {
+        let mut engine = PinnedBaselineEngine::new(source(), distractor_scores());
+        let mut oracle = PerfectOracle::new(truth());
+        let config = SessionConfig { max_iterations: 2, ..Default::default() };
+        let outcome = run_session(&mut engine, &mut oracle, config);
+        assert_eq!(outcome.labels_used, 2);
+        // Two in-loop points plus the closing point.
+        assert_eq!(outcome.curve.len(), 3);
+        let last = outcome.curve.last().unwrap();
+        assert_eq!(last.labels_provided, 2);
+        assert_eq!(last.matched, 2);
+        assert_eq!(last.matched_correct, 2);
+        assert_curve_closed(&outcome);
     }
 
     #[test]
@@ -295,23 +606,188 @@ mod tests {
         assert_eq!(m.row(AttrId(3)), engine.base.row(AttrId(3)));
     }
 
+    /// Regression for the saturation sentinels: a pinned row must keep a
+    /// finite softmax confidence (f64::MIN/MAX used to overflow `exp`).
+    #[test]
+    fn pinned_engine_confidence_is_finite() {
+        let engine = PinnedBaselineEngine::new(source(), base_scores());
+        let mut labels = LabelStore::new();
+        labels.confirm(AttrId(1), AttrId(1));
+        let m = engine.predict(&labels);
+        let c = m.softmax_confidence(AttrId(1));
+        assert!(c.is_finite(), "pinned row confidence must be finite, got {c}");
+        assert!(c > 0.99, "a settled row is maximally confident, got {c}");
+    }
+
     /// The degenerate walk-the-list behaviour must not exist: with an
     /// all-wrong static ranking, a session's matches can only come from
     /// direct labels (the manual-labeling diagonal).
     #[test]
     fn static_baseline_collapses_to_manual_labeling() {
-        // Truth targets (0..4) score zero; distractors (4..8) score high.
-        let mut m = ScoreMatrix::zeros(4, 8);
-        for s in 0..4u32 {
-            for t in 4..8u32 {
-                m.set(AttrId(s), AttrId(t), 0.5 + f64::from(t) / 100.0);
-            }
-        }
-        let mut engine = PinnedBaselineEngine::new(source(), m);
+        let mut engine = PinnedBaselineEngine::new(source(), distractor_scores());
         let mut oracle = PerfectOracle::new(truth());
         let outcome = run_session(&mut engine, &mut oracle, SessionConfig::default());
         // Every attribute needed a direct label.
         assert_eq!(outcome.labels_used, 4);
         assert_eq!(outcome.curve.last().unwrap().matched_correct, 4);
+        assert_curve_closed(&outcome);
+    }
+
+    // ---- event-sourcing and resume ------------------------------------
+
+    /// Collects every event; maps response times to a deterministic
+    /// function of the iteration so outcomes are bitwise-reproducible.
+    #[derive(Default)]
+    struct RecordingSink {
+        events: Vec<SessionEvent>,
+    }
+
+    impl SessionSink for RecordingSink {
+        fn on_event(&mut self, event: &SessionEvent) -> Result<(), SinkError> {
+            self.events.push(event.clone());
+            Ok(())
+        }
+
+        fn map_response_time(&mut self, iteration: usize, _measured: f64) -> f64 {
+            det_time(iteration)
+        }
+    }
+
+    /// Exact binary fraction — addition-free of rounding surprises.
+    fn det_time(iteration: usize) -> f64 {
+        (iteration as f64 + 1.0) * 0.0625
+    }
+
+    fn run_recorded(config: SessionConfig) -> (SessionOutcome, Vec<SessionEvent>) {
+        let mut engine = PinnedBaselineEngine::new(source(), base_scores());
+        let mut oracle = PerfectOracle::new(truth());
+        let mut sink = RecordingSink::default();
+        let outcome = run_session_with_sink(&mut engine, &mut oracle, config, &mut sink).unwrap();
+        (outcome, sink.events)
+    }
+
+    #[test]
+    fn replaying_all_events_reconstructs_the_outcome() {
+        let (outcome, events) = run_recorded(SessionConfig::default());
+        let mut replayed = SessionState::new();
+        for e in &events {
+            replayed.apply(e);
+        }
+        assert_eq!(replayed.outcome, outcome);
+        assert!(replayed.is_complete());
+        // The replayed label store matches what the engine was trained on.
+        assert_eq!(replayed.labels.matched_count(), 4);
+    }
+
+    /// Replay any prefix ending at an iteration boundary, then resume: the
+    /// final outcome must be bitwise-identical (f64 `==` on every response
+    /// time) to the uninterrupted run.
+    #[test]
+    fn resume_from_any_iteration_boundary_is_bitwise_identical() {
+        let config = SessionConfig::default();
+        let (reference, events) = run_recorded(config);
+        let boundaries: Vec<usize> =
+            std::iter::once(1) // after SessionStart
+                .chain(events.iter().enumerate().filter_map(|(i, e)| {
+                    matches!(e, SessionEvent::IterationEnd { .. }).then_some(i + 1)
+                }))
+                .collect();
+        assert!(boundaries.len() >= 3, "expected a multi-iteration session");
+        for &cut in &boundaries {
+            let mut state = SessionState::new();
+            for e in &events[..cut] {
+                state.apply(e);
+            }
+            let mut engine = PinnedBaselineEngine::new(source(), base_scores());
+            let mut oracle = PerfectOracle::new(truth());
+            let mut sink = RecordingSink::default();
+            let resumed =
+                resume_session(&mut engine, &mut oracle, config, state, &mut sink).unwrap();
+            assert_eq!(resumed, reference, "prefix of {cut} events diverged");
+            for (a, b) in resumed.response_times.iter().zip(&reference.response_times) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn resuming_a_complete_session_is_a_no_op() {
+        let config = SessionConfig::default();
+        let (reference, events) = run_recorded(config);
+        let mut state = SessionState::new();
+        for e in &events {
+            state.apply(e);
+        }
+        let mut engine = PinnedBaselineEngine::new(source(), base_scores());
+        let mut oracle = PerfectOracle::new(truth());
+        let mut sink = RecordingSink::default();
+        let resumed = resume_session(&mut engine, &mut oracle, config, state, &mut sink).unwrap();
+        assert_eq!(resumed, reference);
+        assert!(sink.events.is_empty(), "no new events on a finished session");
+    }
+
+    #[test]
+    fn zero_labels_per_iter_stalls_cleanly() {
+        let mut engine = PinnedBaselineEngine::new(source(), distractor_scores());
+        let mut oracle = PerfectOracle::new(truth());
+        let config = SessionConfig { labels_per_iter: 0, ..Default::default() };
+        let mut sink = RecordingSink::default();
+        let outcome = run_session_with_sink(&mut engine, &mut oracle, config, &mut sink).unwrap();
+        assert_eq!(outcome.labels_used, 0);
+        assert_eq!(outcome.response_times.len(), 1, "stalls after one iteration");
+        assert!(sink.events.iter().any(|e| matches!(e, SessionEvent::Stalled { .. })));
+        // The stream still ends on the durability boundary.
+        assert!(matches!(sink.events.last(), Some(SessionEvent::IterationEnd { .. })));
+        assert_curve_closed(&outcome);
+    }
+
+    /// A failing sink aborts the session instead of running un-persisted.
+    #[test]
+    fn sink_error_aborts_the_session() {
+        struct FailingSink(usize);
+        impl SessionSink for FailingSink {
+            fn on_event(&mut self, _event: &SessionEvent) -> Result<(), SinkError> {
+                if self.0 == 0 {
+                    return Err(SinkError("disk full".into()));
+                }
+                self.0 -= 1;
+                Ok(())
+            }
+        }
+        let mut engine = PinnedBaselineEngine::new(source(), base_scores());
+        let mut oracle = PerfectOracle::new(truth());
+        let mut sink = FailingSink(3);
+        let err =
+            run_session_with_sink(&mut engine, &mut oracle, SessionConfig::default(), &mut sink)
+                .unwrap_err();
+        assert!(err.to_string().contains("disk full"), "{err}");
+    }
+
+    /// The random strategy draws from a per-iteration RNG, so it must also
+    /// resume bitwise-identically.
+    #[test]
+    fn random_strategy_resume_is_bitwise_identical() {
+        let config =
+            SessionConfig { strategy: SelectionStrategy::Random, seed: 17, ..Default::default() };
+        let run = |state: SessionState, sink: &mut RecordingSink| {
+            let mut engine = PinnedBaselineEngine::new(source(), distractor_scores());
+            let mut oracle = PerfectOracle::new(truth());
+            resume_session(&mut engine, &mut oracle, config, state, sink).unwrap()
+        };
+        let mut full_sink = RecordingSink::default();
+        let reference = run(SessionState::new(), &mut full_sink);
+        // Cut after the first IterationEnd.
+        let cut = full_sink
+            .events
+            .iter()
+            .position(|e| matches!(e, SessionEvent::IterationEnd { .. }))
+            .unwrap()
+            + 1;
+        let mut state = SessionState::new();
+        for e in &full_sink.events[..cut] {
+            state.apply(e);
+        }
+        let resumed = run(state, &mut RecordingSink::default());
+        assert_eq!(resumed, reference);
     }
 }

@@ -7,8 +7,11 @@
 
 /// Crates whose scoring/featurizing output must be bitwise reproducible.
 /// Rule R1 (no `HashMap`/`HashSet` iteration) applies to their library code.
+/// `store` is here because journal replay must reconstruct sessions
+/// bitwise: any hash-order dependence in what it writes would break the
+/// resume-equivalence guarantee.
 pub const DETERMINISTIC_CRATE_DIRS: &[&str] =
-    &["core", "matchers", "nn", "text", "embedding", "datasets"];
+    &["core", "matchers", "nn", "text", "embedding", "datasets", "store"];
 
 /// Crates allowed to read the wall clock (R2): the observability layer owns
 /// all timing, the bench harness measures it, and the lint's own sources

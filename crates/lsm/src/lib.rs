@@ -41,6 +41,7 @@ pub use lsm_embedding as embedding;
 pub use lsm_lexicon as lexicon;
 pub use lsm_nn as nn;
 pub use lsm_schema as schema;
+pub use lsm_store as store;
 pub use lsm_text as text;
 
 /// The most common imports in one place.

@@ -40,18 +40,22 @@ impl PinnedLabels {
     }
 
     /// Applies the pins onto a base score matrix: positives saturate to a
-    /// score above everything else, negatives drop to the floor.
+    /// score above everything else, negatives drop to the floor. The
+    /// sentinels are finite ([`ScoreMatrix::PINNED_MIN`]/[`PINNED_MAX`]) so
+    /// exp-based consumers such as `softmax_confidence` stay finite.
+    ///
+    /// [`PINNED_MAX`]: ScoreMatrix::PINNED_MAX
     pub fn apply(&self, base: &ScoreMatrix) -> ScoreMatrix {
         let mut out = base.clone();
         for &(s, t) in &self.negative {
-            out.set(s, t, f64::MIN);
+            out.set(s, t, ScoreMatrix::PINNED_MIN);
         }
         for &(s, t) in &self.positive {
             // Clear the row, then pin.
             for v in out.row_mut(s) {
-                *v = f64::MIN;
+                *v = ScoreMatrix::PINNED_MIN;
             }
-            out.set(s, t, f64::MAX);
+            out.set(s, t, ScoreMatrix::PINNED_MAX);
         }
         out
     }
@@ -85,6 +89,19 @@ mod tests {
         labels.reject(AttrId(0), AttrId(0));
         let m = labels.apply(&base());
         assert_eq!(m.best(AttrId(0)).unwrap().0, AttrId(1));
+    }
+
+    #[test]
+    fn pinned_rows_keep_finite_confidence() {
+        let mut labels = PinnedLabels::new();
+        labels.confirm(AttrId(0), AttrId(1));
+        labels.reject(AttrId(1), AttrId(2));
+        let m = labels.apply(&base());
+        for s in [AttrId(0), AttrId(1)] {
+            let c = m.softmax_confidence(s);
+            assert!(c.is_finite(), "row {s:?} confidence must be finite, got {c}");
+        }
+        assert!(m.softmax_confidence(AttrId(0)) > 0.99);
     }
 
     #[test]

@@ -80,17 +80,26 @@ pub enum Counter {
     HeadPairs,
     /// Pseudo-labels admitted by the meta-learner's self-training rounds.
     PseudoLabels,
+    /// Session events appended to the lsm-store write-ahead journal.
+    JournalAppends,
+    /// Atomic checkpoint files written by lsm-store.
+    CheckpointWrites,
+    /// Journal/checkpoint recoveries performed (session resumes).
+    JournalRecoveries,
 }
 
 impl Counter {
     /// Every counter, in snapshot order.
-    pub const ALL: [Counter; 6] = [
+    pub const ALL: [Counter; 9] = [
         Counter::AttrsFeaturized,
         Counter::EncoderForwards,
         Counter::GemmCalls,
         Counter::PooledCacheHits,
         Counter::HeadPairs,
         Counter::PseudoLabels,
+        Counter::JournalAppends,
+        Counter::CheckpointWrites,
+        Counter::JournalRecoveries,
     ];
 
     /// Stable snake_case name used in metrics JSON.
@@ -102,6 +111,9 @@ impl Counter {
             Counter::PooledCacheHits => "pooled_cache_hits",
             Counter::HeadPairs => "head_pairs",
             Counter::PseudoLabels => "pseudo_labels",
+            Counter::JournalAppends => "journal_appends",
+            Counter::CheckpointWrites => "checkpoint_writes",
+            Counter::JournalRecoveries => "journal_recoveries",
         }
     }
 }

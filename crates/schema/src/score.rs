@@ -25,6 +25,18 @@ pub struct ScoreMatrix {
 }
 
 impl ScoreMatrix {
+    /// Saturating floor used when user feedback *pins* a row: low enough to
+    /// lose every comparison against real scores, but finite, so
+    /// `exp`-based consumers ([`ScoreMatrix::softmax_confidence`]) stay
+    /// finite. (`f64::MIN`/`f64::MAX` overflow `exp` to `0`/`+inf` and turn
+    /// softmax denominators into `inf`/NaN.)
+    pub const PINNED_MIN: f64 = -64.0;
+
+    /// Saturating ceiling for a pinned-correct pair; see
+    /// [`ScoreMatrix::PINNED_MIN`]. `exp(64)` is comfortably finite
+    /// (`exp` overflows only past ~709).
+    pub const PINNED_MAX: f64 = 64.0;
+
     /// Creates a matrix of zeros for `rows` source and `cols` target
     /// attributes.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -270,6 +282,20 @@ mod tests {
         let m = matrix();
         // Row 0 is peaked (0.9 vs 0.1/0.5); row 1 is flat (0.4, 0.4, 0.2).
         assert!(m.softmax_confidence(AttrId(0)) > m.softmax_confidence(AttrId(1)));
+    }
+
+    #[test]
+    fn pinned_sentinels_keep_softmax_finite() {
+        let mut m = ScoreMatrix::zeros(1, 3);
+        for v in m.row_mut(AttrId(0)) {
+            *v = ScoreMatrix::PINNED_MIN;
+        }
+        m.set(AttrId(0), AttrId(1), ScoreMatrix::PINNED_MAX);
+        let c = m.softmax_confidence(AttrId(0));
+        assert!(c.is_finite(), "pinned row must keep a finite confidence, got {c}");
+        // A fully-settled row is maximally confident.
+        assert!(c > 0.99, "{c}");
+        assert_eq!(m.best(AttrId(0)).unwrap().0, AttrId(1));
     }
 
     #[test]

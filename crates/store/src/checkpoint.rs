@@ -1,0 +1,195 @@
+//! Checkpoint files: one atomically-written full session snapshot.
+//!
+//! A checkpoint is derivable data (the journal can always rebuild it), so
+//! reading is maximally tolerant: a missing, torn, or corrupt checkpoint
+//! is simply `None` and recovery falls back to the journal. Only a format
+//! version skew is a hard error — silently ignoring a newer checkpoint
+//! would discard state a newer build persisted on purpose.
+//!
+//! Atomicity: the snapshot is written to a sibling `*.tmp` file, synced,
+//! then `rename`d over the target (POSIX rename is atomic), and the parent
+//! directory is synced so the rename itself survives power loss. A crash
+//! at any point leaves either the old checkpoint or the new one — never a
+//! half-written file under the checkpoint's name.
+
+use crate::codec::{decode_payload, encode_payload, Payload};
+use crate::frame::{
+    check_header, encode_header, encode_record, scan_records, HeaderIssue, CHECKPOINT_MAGIC,
+    FORMAT_VERSION, HEADER_LEN,
+};
+use crate::StoreError;
+use lsm_core::{SessionConfig, SessionState};
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+#[cfg(unix)]
+fn sync_parent(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()
+}
+
+#[cfg(not(unix))]
+fn sync_parent(_path: &Path) -> std::io::Result<()> {
+    // Directory handles cannot be fsynced portably; rename-over is still
+    // the best available guarantee.
+    Ok(())
+}
+
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Atomically replaces the checkpoint at `path` with a snapshot of
+/// `config` + `state`.
+pub fn write_checkpoint(
+    path: &Path,
+    config: &SessionConfig,
+    state: &SessionState,
+) -> Result<(), StoreError> {
+    let payload = encode_payload(&Payload::Snapshot { config: *config, state: state.clone() });
+    let tmp = tmp_path(path);
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(&encode_header(CHECKPOINT_MAGIC))?;
+        file.write_all(&encode_record(&payload))?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    sync_parent(path)?;
+    Ok(())
+}
+
+/// Reads a checkpoint. `Ok(None)` when it is missing or damaged in any way
+/// (recovery falls back to the journal); `Err` only on I/O failure or
+/// format version skew.
+pub fn read_checkpoint(path: &Path) -> Result<Option<(SessionConfig, SessionState)>, StoreError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    match check_header(&bytes, CHECKPOINT_MAGIC) {
+        Ok(()) => {}
+        Err(HeaderIssue::VersionSkew(found)) => {
+            return Err(StoreError::VersionSkew { found, supported: FORMAT_VERSION });
+        }
+        Err(HeaderIssue::Torn | HeaderIssue::BadMagic) => return Ok(None),
+    }
+    let scan = scan_records(&bytes, HEADER_LEN);
+    let Some((_, payload_bytes)) = scan.records.first() else {
+        return Ok(None); // torn or checksum-failing snapshot record
+    };
+    match decode_payload(payload_bytes) {
+        Ok(Payload::Snapshot { config, state }) => Ok(Some((config, state))),
+        // Wrong payload kind or undecodable bytes: a damaged checkpoint.
+        Ok(Payload::Event(_)) | Err(_) => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_dir;
+    use lsm_core::SessionEvent;
+    use lsm_schema::AttrId;
+
+    fn sample_state() -> SessionState {
+        let mut state = SessionState::new();
+        state.apply(&SessionEvent::SessionStart {
+            total_attributes: 7,
+            config: SessionConfig::default(),
+        });
+        state.apply(&SessionEvent::DirectLabel {
+            iteration: 0,
+            source: AttrId(2),
+            target: AttrId(5),
+            strategy: lsm_core::SelectionStrategy::LeastConfidentAnchor,
+        });
+        state.apply(&SessionEvent::IterationEnd { iteration: 0 });
+        state
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = test_dir("ckpt-roundtrip");
+        let path = dir.join("s.ckpt");
+        let config = SessionConfig { seed: 42, ..Default::default() };
+        let state = sample_state();
+        write_checkpoint(&path, &config, &state).unwrap();
+        let (back_config, back_state) = read_checkpoint(&path).unwrap().expect("present");
+        assert_eq!(back_config, config);
+        assert_eq!(back_state, state);
+        assert!(!tmp_path(&path).exists(), "tmp file must not survive");
+    }
+
+    #[test]
+    fn rewrite_replaces_atomically() {
+        let dir = test_dir("ckpt-rewrite");
+        let path = dir.join("s.ckpt");
+        let mut state = sample_state();
+        write_checkpoint(&path, &SessionConfig::default(), &state).unwrap();
+        state.apply(&SessionEvent::IterationEnd { iteration: 1 });
+        write_checkpoint(&path, &SessionConfig::default(), &state).unwrap();
+        let (_, back) = read_checkpoint(&path).unwrap().expect("present");
+        assert_eq!(back.iterations_done, 2);
+    }
+
+    #[test]
+    fn missing_and_damaged_are_none() {
+        let dir = test_dir("ckpt-damaged");
+        let path = dir.join("s.ckpt");
+        assert_eq!(read_checkpoint(&path).unwrap(), None, "missing");
+
+        std::fs::write(&path, b"LS").unwrap();
+        assert_eq!(read_checkpoint(&path).unwrap(), None, "torn header");
+
+        std::fs::write(&path, b"NOPE0000").unwrap();
+        assert_eq!(read_checkpoint(&path).unwrap(), None, "bad magic");
+
+        // A real checkpoint with one payload byte flipped (CRC catches it).
+        write_checkpoint(&path, &SessionConfig::default(), &sample_state()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(read_checkpoint(&path).unwrap(), None, "bit flip");
+
+        // Truncated mid-record.
+        write_checkpoint(&path, &SessionConfig::default(), &sample_state()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(read_checkpoint(&path).unwrap(), None, "torn record");
+    }
+
+    #[test]
+    fn version_skew_is_a_hard_error() {
+        let dir = test_dir("ckpt-skew");
+        let path = dir.join("s.ckpt");
+        write_checkpoint(&path, &SessionConfig::default(), &sample_state()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4] = 3;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(StoreError::VersionSkew { found: 3, supported: FORMAT_VERSION })
+        ));
+    }
+
+    #[test]
+    fn stale_tmp_file_is_overwritten() {
+        let dir = test_dir("ckpt-stale-tmp");
+        let path = dir.join("s.ckpt");
+        // A crash mid-write leaves a tmp file behind; the next write must
+        // simply replace it.
+        std::fs::write(tmp_path(&path), b"half-written garbage").unwrap();
+        write_checkpoint(&path, &SessionConfig::default(), &sample_state()).unwrap();
+        assert!(read_checkpoint(&path).unwrap().is_some());
+        assert!(!tmp_path(&path).exists());
+    }
+}

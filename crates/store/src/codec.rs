@@ -1,0 +1,555 @@
+//! The record payload codec: [`SessionEvent`]s and full session snapshots
+//! as fixed little-endian bytes.
+//!
+//! Hand-rolled on purpose: the journal format is versioned
+//! ([`FORMAT_VERSION`](crate::frame::FORMAT_VERSION)), so its byte layout
+//! must be under this crate's explicit control rather than implied by a
+//! serde implementation that could shift with a dependency upgrade. Every
+//! integer is little-endian; `usize` travels as `u64`; `f64` travels as its
+//! IEEE-754 bit pattern (`to_bits`), which is what makes resumed response
+//! times *bitwise* identical to the journaled ones.
+//!
+//! ```text
+//! payload  := 0x01 event | 0x02 snapshot          (record kinds)
+//! event    := tag[u8] body                        (tags 0..=6, one per
+//!                                                  SessionEvent variant)
+//! snapshot := config state                        (Rebase + checkpoints)
+//! ```
+//!
+//! Decoding is strict: unknown tags, short buffers, and trailing bytes are
+//! all errors — a CRC-valid record that fails to decode marks real
+//! corruption (or version skew inside v1), not something to guess around.
+
+use lsm_core::{
+    CurvePoint, LabelStore, ReviewOutcome, SelectionStrategy, SessionConfig, SessionEvent,
+    SessionOutcome, SessionState,
+};
+use lsm_schema::AttrId;
+
+/// A payload decoded from one journal/checkpoint record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// One session event (record kind `0x01`).
+    Event(SessionEvent),
+    /// A full snapshot rebasing subsequent replay (record kind `0x02`):
+    /// written when a session resumes from a checkpoint that is ahead of
+    /// its (truncated) journal, and as the body of every checkpoint file.
+    Snapshot {
+        /// The session parameters.
+        config: SessionConfig,
+        /// The complete replayable state.
+        state: SessionState,
+    },
+}
+
+/// A decoding failure: position within the payload plus what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Byte position inside the payload.
+    pub at: usize,
+    /// What was expected/found.
+    pub reason: String,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "undecodable payload at byte {}: {}", self.at, self.reason)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const KIND_EVENT: u8 = 0x01;
+const KIND_SNAPSHOT: u8 = 0x02;
+
+const TAG_SESSION_START: u8 = 0;
+const TAG_RESPOND: u8 = 1;
+const TAG_REVIEW: u8 = 2;
+const TAG_CURVE: u8 = 3;
+const TAG_DIRECT_LABEL: u8 = 4;
+const TAG_STALLED: u8 = 5;
+const TAG_ITERATION_END: u8 = 6;
+
+// ---- writing ----------------------------------------------------------
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_attr(out: &mut Vec<u8>, a: AttrId) {
+    put_u32(out, a.0);
+}
+
+fn strategy_code(s: SelectionStrategy) -> u8 {
+    match s {
+        SelectionStrategy::LeastConfidentAnchor => 0,
+        SelectionStrategy::Random => 1,
+    }
+}
+
+fn put_config(out: &mut Vec<u8>, c: &SessionConfig) {
+    put_usize(out, c.top_k);
+    put_usize(out, c.labels_per_iter);
+    put_u8(out, strategy_code(c.strategy));
+    put_usize(out, c.max_iterations);
+    put_u64(out, c.seed);
+}
+
+fn put_point(out: &mut Vec<u8>, p: &CurvePoint) {
+    put_usize(out, p.labels_provided);
+    put_usize(out, p.matched);
+    put_usize(out, p.matched_correct);
+    put_usize(out, p.total);
+}
+
+fn put_event(out: &mut Vec<u8>, e: &SessionEvent) {
+    match e {
+        SessionEvent::SessionStart { total_attributes, config } => {
+            put_u8(out, TAG_SESSION_START);
+            put_usize(out, *total_attributes);
+            put_config(out, config);
+        }
+        SessionEvent::Respond { iteration, secs } => {
+            put_u8(out, TAG_RESPOND);
+            put_usize(out, *iteration);
+            put_f64(out, *secs);
+        }
+        SessionEvent::Review { iteration, source, outcome } => {
+            put_u8(out, TAG_REVIEW);
+            put_usize(out, *iteration);
+            put_attr(out, *source);
+            match outcome {
+                ReviewOutcome::Confirmed(t) => {
+                    put_u8(out, 0);
+                    put_attr(out, *t);
+                }
+                ReviewOutcome::RejectedAll(ts) => {
+                    put_u8(out, 1);
+                    put_usize(out, ts.len());
+                    for t in ts {
+                        put_attr(out, *t);
+                    }
+                }
+            }
+        }
+        SessionEvent::Curve { iteration, point } => {
+            put_u8(out, TAG_CURVE);
+            put_usize(out, *iteration);
+            put_point(out, point);
+        }
+        SessionEvent::DirectLabel { iteration, source, target, strategy } => {
+            put_u8(out, TAG_DIRECT_LABEL);
+            put_usize(out, *iteration);
+            put_attr(out, *source);
+            put_attr(out, *target);
+            put_u8(out, strategy_code(*strategy));
+        }
+        SessionEvent::Stalled { iteration } => {
+            put_u8(out, TAG_STALLED);
+            put_usize(out, *iteration);
+        }
+        SessionEvent::IterationEnd { iteration } => {
+            put_u8(out, TAG_ITERATION_END);
+            put_usize(out, *iteration);
+        }
+    }
+}
+
+fn put_snapshot(out: &mut Vec<u8>, config: &SessionConfig, state: &SessionState) {
+    put_config(out, config);
+    // Labels: positives first, then explicit negatives — the same order
+    // decoding replays them in (confirm clears a row's negatives, so the
+    // reverse order would lose labels).
+    let positives: Vec<_> = state.labels.positives().collect();
+    put_usize(out, positives.len());
+    for (s, t) in positives {
+        put_attr(out, s);
+        put_attr(out, t);
+    }
+    let negatives: Vec<_> = state.labels.negatives().collect();
+    put_usize(out, negatives.len());
+    for (s, t) in negatives {
+        put_attr(out, s);
+        put_attr(out, t);
+    }
+    // Outcome.
+    put_usize(out, state.outcome.curve.len());
+    for p in &state.outcome.curve {
+        put_point(out, p);
+    }
+    put_usize(out, state.outcome.labels_used);
+    put_usize(out, state.outcome.reviews_done);
+    put_usize(out, state.outcome.response_times.len());
+    for &t in &state.outcome.response_times {
+        put_f64(out, t);
+    }
+    put_usize(out, state.outcome.total_attributes);
+    // Loop position.
+    put_usize(out, state.iterations_done);
+    put_u8(out, state.started as u8);
+    put_u8(out, state.stalled as u8);
+}
+
+/// Encodes one record payload.
+pub fn encode_payload(p: &Payload) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match p {
+        Payload::Event(e) => {
+            put_u8(&mut out, KIND_EVENT);
+            put_event(&mut out, e);
+        }
+        Payload::Snapshot { config, state } => {
+            put_u8(&mut out, KIND_SNAPSHOT);
+            put_snapshot(&mut out, config, state);
+        }
+    }
+    out
+}
+
+// ---- reading ----------------------------------------------------------
+
+struct Buf<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Buf<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Buf { bytes, pos: 0 }
+    }
+
+    fn err<T>(&self, reason: impl Into<String>) -> Result<T, CodecError> {
+        Err(CodecError { at: self.pos, reason: reason.into() })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.bytes.len() - self.pos < n {
+            return self.err(format!("need {n} more bytes, have {}", self.bytes.len() - self.pos));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn usize(&mut self) -> Result<usize, CodecError> {
+        let v = self.u64()?;
+        match usize::try_from(v) {
+            Ok(v) => Ok(v),
+            Err(_) => self.err(format!("u64 {v} does not fit usize")),
+        }
+    }
+
+    /// A `usize` that will be used to size an allocation: also bounded by
+    /// the remaining payload so a corrupt count cannot balloon memory.
+    fn count(&mut self, elem_size: usize) -> Result<usize, CodecError> {
+        let n = self.usize()?;
+        let remaining = self.bytes.len() - self.pos;
+        if n.saturating_mul(elem_size) > remaining {
+            return self.err(format!("count {n} exceeds remaining {remaining} bytes"));
+        }
+        Ok(n)
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn attr(&mut self) -> Result<AttrId, CodecError> {
+        Ok(AttrId(self.u32()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => self.err(format!("invalid bool byte {v:#04x}")),
+        }
+    }
+
+    fn strategy(&mut self) -> Result<SelectionStrategy, CodecError> {
+        match self.u8()? {
+            0 => Ok(SelectionStrategy::LeastConfidentAnchor),
+            1 => Ok(SelectionStrategy::Random),
+            v => self.err(format!("unknown strategy code {v:#04x}")),
+        }
+    }
+
+    fn config(&mut self) -> Result<SessionConfig, CodecError> {
+        Ok(SessionConfig {
+            top_k: self.usize()?,
+            labels_per_iter: self.usize()?,
+            strategy: self.strategy()?,
+            max_iterations: self.usize()?,
+            seed: self.u64()?,
+        })
+    }
+
+    fn point(&mut self) -> Result<CurvePoint, CodecError> {
+        Ok(CurvePoint {
+            labels_provided: self.usize()?,
+            matched: self.usize()?,
+            matched_correct: self.usize()?,
+            total: self.usize()?,
+        })
+    }
+
+    fn event(&mut self) -> Result<SessionEvent, CodecError> {
+        let tag = self.u8()?;
+        match tag {
+            TAG_SESSION_START => Ok(SessionEvent::SessionStart {
+                total_attributes: self.usize()?,
+                config: self.config()?,
+            }),
+            TAG_RESPOND => {
+                Ok(SessionEvent::Respond { iteration: self.usize()?, secs: self.f64()? })
+            }
+            TAG_REVIEW => {
+                let iteration = self.usize()?;
+                let source = self.attr()?;
+                let outcome = match self.u8()? {
+                    0 => ReviewOutcome::Confirmed(self.attr()?),
+                    1 => {
+                        let n = self.count(4)?;
+                        let mut ts = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            ts.push(self.attr()?);
+                        }
+                        ReviewOutcome::RejectedAll(ts)
+                    }
+                    v => return self.err(format!("unknown review outcome {v:#04x}")),
+                };
+                Ok(SessionEvent::Review { iteration, source, outcome })
+            }
+            TAG_CURVE => Ok(SessionEvent::Curve { iteration: self.usize()?, point: self.point()? }),
+            TAG_DIRECT_LABEL => Ok(SessionEvent::DirectLabel {
+                iteration: self.usize()?,
+                source: self.attr()?,
+                target: self.attr()?,
+                strategy: self.strategy()?,
+            }),
+            TAG_STALLED => Ok(SessionEvent::Stalled { iteration: self.usize()? }),
+            TAG_ITERATION_END => Ok(SessionEvent::IterationEnd { iteration: self.usize()? }),
+            v => self.err(format!("unknown event tag {v:#04x}")),
+        }
+    }
+
+    fn snapshot(&mut self) -> Result<(SessionConfig, SessionState), CodecError> {
+        let config = self.config()?;
+        let mut labels = LabelStore::new();
+        let n_pos = self.count(8)?;
+        for _ in 0..n_pos {
+            let (s, t) = (self.attr()?, self.attr()?);
+            labels.confirm(s, t);
+        }
+        let n_neg = self.count(8)?;
+        for _ in 0..n_neg {
+            let (s, t) = (self.attr()?, self.attr()?);
+            labels.reject(s, t);
+        }
+        let n_curve = self.count(32)?;
+        let mut curve = Vec::with_capacity(n_curve);
+        for _ in 0..n_curve {
+            curve.push(self.point()?);
+        }
+        let labels_used = self.usize()?;
+        let reviews_done = self.usize()?;
+        let n_times = self.count(8)?;
+        let mut response_times = Vec::with_capacity(n_times);
+        for _ in 0..n_times {
+            response_times.push(self.f64()?);
+        }
+        let total_attributes = self.usize()?;
+        let outcome =
+            SessionOutcome { curve, labels_used, reviews_done, response_times, total_attributes };
+        let state = SessionState {
+            labels,
+            outcome,
+            iterations_done: self.usize()?,
+            started: self.bool()?,
+            stalled: self.bool()?,
+        };
+        Ok((config, state))
+    }
+
+    fn finish(self) -> Result<(), CodecError> {
+        if self.pos != self.bytes.len() {
+            let extra = self.bytes.len() - self.pos;
+            return self.err(format!("{extra} trailing bytes after payload"));
+        }
+        Ok(())
+    }
+}
+
+/// Decodes one record payload. Strict: the whole buffer must be consumed.
+pub fn decode_payload(bytes: &[u8]) -> Result<Payload, CodecError> {
+    let mut buf = Buf::new(bytes);
+    let payload = match buf.u8()? {
+        KIND_EVENT => Payload::Event(buf.event()?),
+        KIND_SNAPSHOT => {
+            let (config, state) = buf.snapshot()?;
+            Payload::Snapshot { config, state }
+        }
+        v => return Err(CodecError { at: 0, reason: format!("unknown record kind {v:#04x}") }),
+    };
+    buf.finish()?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(p: Payload) {
+        let bytes = encode_payload(&p);
+        assert_eq!(decode_payload(&bytes).expect("decodes"), p);
+    }
+
+    fn sample_events() -> Vec<SessionEvent> {
+        vec![
+            SessionEvent::SessionStart {
+                total_attributes: 19,
+                config: SessionConfig {
+                    top_k: 3,
+                    labels_per_iter: 2,
+                    strategy: SelectionStrategy::Random,
+                    max_iterations: 500,
+                    seed: 0xDEAD_BEEF,
+                },
+            },
+            SessionEvent::Respond { iteration: 4, secs: 0.3125 },
+            SessionEvent::Review {
+                iteration: 4,
+                source: AttrId(7),
+                outcome: ReviewOutcome::Confirmed(AttrId(2)),
+            },
+            SessionEvent::Review {
+                iteration: 4,
+                source: AttrId(8),
+                outcome: ReviewOutcome::RejectedAll(vec![AttrId(1), AttrId(5), AttrId(9)]),
+            },
+            SessionEvent::Review {
+                iteration: 5,
+                source: AttrId(8),
+                outcome: ReviewOutcome::RejectedAll(vec![]),
+            },
+            SessionEvent::Curve {
+                iteration: 4,
+                point: CurvePoint { labels_provided: 3, matched: 9, matched_correct: 8, total: 19 },
+            },
+            SessionEvent::DirectLabel {
+                iteration: 4,
+                source: AttrId(11),
+                target: AttrId(3),
+                strategy: SelectionStrategy::LeastConfidentAnchor,
+            },
+            SessionEvent::Stalled { iteration: 6 },
+            SessionEvent::IterationEnd { iteration: 4 },
+        ]
+    }
+
+    #[test]
+    fn every_event_variant_roundtrips() {
+        for e in sample_events() {
+            roundtrip(Payload::Event(e));
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_with_full_state() {
+        let mut state = SessionState::new();
+        for e in sample_events() {
+            state.apply(&e);
+        }
+        assert!(state.labels.matched_count() > 0);
+        assert!(state.labels.negative_count() > 0);
+        roundtrip(Payload::Snapshot { config: SessionConfig::default(), state });
+    }
+
+    #[test]
+    fn response_time_bits_survive_exactly() {
+        // A value with no short decimal representation.
+        let secs = f64::from_bits(0x3FD5_5555_5555_5555);
+        let bytes = encode_payload(&Payload::Event(SessionEvent::Respond { iteration: 0, secs }));
+        match decode_payload(&bytes).expect("decodes") {
+            Payload::Event(SessionEvent::Respond { secs: back, .. }) => {
+                assert_eq!(back.to_bits(), secs.to_bits());
+            }
+            other => panic!("wrong payload: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_kind_and_tag_are_errors() {
+        assert!(decode_payload(&[0x07]).is_err());
+        // Kind=event, tag=99.
+        assert!(decode_payload(&[0x01, 99]).is_err());
+        // Kind=event, review with an unknown outcome code.
+        let mut bytes = vec![0x01, TAG_REVIEW];
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.push(9);
+        assert!(decode_payload(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_and_padded_payloads_are_errors() {
+        let bytes = encode_payload(&Payload::Event(SessionEvent::IterationEnd { iteration: 3 }));
+        for cut in 0..bytes.len() {
+            assert!(decode_payload(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        let err = decode_payload(&padded).expect_err("trailing byte accepted");
+        assert!(err.reason.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_count_cannot_balloon_allocation() {
+        // Review/RejectedAll with a count of u64::MAX but no bytes behind it.
+        let mut bytes = vec![0x01, TAG_REVIEW];
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.push(1);
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = decode_payload(&bytes).expect_err("implausible count accepted");
+        assert!(err.reason.contains("exceeds remaining"), "{err}");
+    }
+
+    /// The on-disk strategy codes are part of format v1 — changing them
+    /// breaks old journals.
+    #[test]
+    fn strategy_codes_are_stable() {
+        assert_eq!(strategy_code(SelectionStrategy::LeastConfidentAnchor), 0);
+        assert_eq!(strategy_code(SelectionStrategy::Random), 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! File framing: versioned headers and length-prefixed, checksummed
+//! records, independent of what the payloads mean.
+//!
+//! ```text
+//! file    := header record*
+//! header  := magic[4] version[u32 LE]
+//! record  := len[u32 LE] crc[u32 LE] payload[len]     (crc over payload)
+//! ```
+//!
+//! Scanning tolerates a damaged tail: it returns every record up to the
+//! first torn/invalid one plus the byte offset where validity ends, which
+//! is exactly what truncate-at-first-invalid recovery needs.
+
+use crate::crc32::crc32;
+
+/// Journal file magic: `LSMJ`.
+pub const JOURNAL_MAGIC: [u8; 4] = *b"LSMJ";
+/// Checkpoint file magic: `LSMC`.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"LSMC";
+/// The on-disk format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+/// Bytes of `magic + version`.
+pub const HEADER_LEN: u64 = 8;
+/// Bytes of `len + crc` preceding each payload.
+pub const RECORD_HEADER_LEN: u64 = 8;
+/// Upper bound on a single record's payload. A valid session event is tiny;
+/// a length field past this bound is treated as corruption rather than an
+/// instruction to allocate gigabytes.
+pub const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
+
+/// Why a header failed validation — recovery treats these differently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeaderIssue {
+    /// Fewer than [`HEADER_LEN`] bytes: a crash before the header sync.
+    Torn,
+    /// The magic does not match: not this kind of file at all.
+    BadMagic,
+    /// Recognized file, unsupported format version.
+    VersionSkew(u32),
+}
+
+/// The `magic + version` header bytes.
+pub fn encode_header(magic: [u8; 4]) -> [u8; 8] {
+    let v = FORMAT_VERSION.to_le_bytes();
+    [magic[0], magic[1], magic[2], magic[3], v[0], v[1], v[2], v[3]]
+}
+
+/// Validates a file's header against the expected magic.
+pub fn check_header(bytes: &[u8], magic: [u8; 4]) -> Result<(), HeaderIssue> {
+    if bytes.len() < HEADER_LEN as usize {
+        return Err(HeaderIssue::Torn);
+    }
+    if bytes[..4] != magic {
+        return Err(HeaderIssue::BadMagic);
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != FORMAT_VERSION {
+        return Err(HeaderIssue::VersionSkew(version));
+    }
+    Ok(())
+}
+
+/// Frames one payload as `len + crc + payload`.
+pub fn encode_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEADER_LEN as usize + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Result of scanning a record region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanOutcome {
+    /// `(end_offset, payload)` per intact record, in file order;
+    /// `end_offset` is the absolute offset of the first byte *after* the
+    /// record.
+    pub records: Vec<(u64, Vec<u8>)>,
+    /// Absolute offset where validity ends (end of the last intact record,
+    /// or of the header when none).
+    pub valid_len: u64,
+    /// Offset and description of the first invalid record, if any.
+    pub damage: Option<(u64, String)>,
+}
+
+/// Scans `file[start..]` as a record sequence, stopping at the first torn
+/// or checksum-failing record.
+pub fn scan_records(file: &[u8], start: u64) -> ScanOutcome {
+    let mut records = Vec::new();
+    let mut pos = start as usize;
+    let mut damage = None;
+    loop {
+        if pos == file.len() {
+            break; // clean end
+        }
+        let avail = file.len() - pos;
+        if avail < RECORD_HEADER_LEN as usize {
+            damage = Some((pos as u64, format!("torn record header ({avail} bytes)")));
+            break;
+        }
+        let len = u32::from_le_bytes([file[pos], file[pos + 1], file[pos + 2], file[pos + 3]]);
+        let crc = u32::from_le_bytes([file[pos + 4], file[pos + 5], file[pos + 6], file[pos + 7]]);
+        if len > MAX_RECORD_LEN {
+            damage = Some((pos as u64, format!("implausible record length {len}")));
+            break;
+        }
+        let body_start = pos + RECORD_HEADER_LEN as usize;
+        let body_end = body_start + len as usize;
+        if body_end > file.len() {
+            damage = Some((
+                pos as u64,
+                format!("torn record body ({} of {len} bytes)", file.len() - body_start),
+            ));
+            break;
+        }
+        let payload = &file[body_start..body_end];
+        let actual = crc32(payload);
+        if actual != crc {
+            damage = Some((
+                pos as u64,
+                format!("checksum mismatch (stored {crc:#010x}, computed {actual:#010x})"),
+            ));
+            break;
+        }
+        records.push((body_end as u64, payload.to_vec()));
+        pos = body_end;
+    }
+    let valid_len = records.last().map(|&(end, _)| end).unwrap_or(start);
+    ScanOutcome { records, valid_len, damage }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn journal_bytes(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut f = encode_header(JOURNAL_MAGIC).to_vec();
+        for p in payloads {
+            f.extend_from_slice(&encode_record(p));
+        }
+        f
+    }
+
+    #[test]
+    fn header_roundtrip_and_issues() {
+        let h = encode_header(JOURNAL_MAGIC);
+        assert_eq!(check_header(&h, JOURNAL_MAGIC), Ok(()));
+        assert_eq!(check_header(&h, CHECKPOINT_MAGIC), Err(HeaderIssue::BadMagic));
+        assert_eq!(check_header(&h[..5], JOURNAL_MAGIC), Err(HeaderIssue::Torn));
+        let mut skewed = h;
+        skewed[4] = 2;
+        assert_eq!(check_header(&skewed, JOURNAL_MAGIC), Err(HeaderIssue::VersionSkew(2)));
+    }
+
+    #[test]
+    fn scan_roundtrips_clean_files() {
+        let f = journal_bytes(&[b"alpha", b"", b"gamma-gamma"]);
+        let out = scan_records(&f, HEADER_LEN);
+        assert_eq!(out.damage, None);
+        assert_eq!(out.valid_len, f.len() as u64);
+        let payloads: Vec<&[u8]> = out.records.iter().map(|(_, p)| p.as_slice()).collect();
+        assert_eq!(payloads, vec![b"alpha" as &[u8], b"", b"gamma-gamma"]);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_tolerated() {
+        let f = journal_bytes(&[b"alpha", b"beta", b"gamma"]);
+        let full = scan_records(&f, HEADER_LEN);
+        // Record boundaries (absolute end offsets).
+        let boundaries: Vec<u64> = full.records.iter().map(|&(e, _)| e).collect();
+        for cut in HEADER_LEN as usize..f.len() {
+            let out = scan_records(&f[..cut], HEADER_LEN);
+            // Valid prefix = all records wholly inside the cut.
+            let expect_records = boundaries.iter().filter(|&&e| e <= cut as u64).count();
+            assert_eq!(out.records.len(), expect_records, "cut at {cut}");
+            // A cut exactly on a boundary is clean; anything else is damage.
+            assert_eq!(
+                out.damage.is_none(),
+                boundaries.contains(&(cut as u64)) || cut as u64 == HEADER_LEN,
+                "cut at {cut}"
+            );
+            // valid_len never exceeds the cut and always lands on a boundary.
+            assert!(out.valid_len <= cut as u64);
+        }
+    }
+
+    #[test]
+    fn bit_flip_in_any_record_byte_is_caught() {
+        let f = journal_bytes(&[b"alpha", b"beta"]);
+        for pos in HEADER_LEN as usize..f.len() {
+            for bit in 0..8 {
+                let mut corrupt = f.clone();
+                corrupt[pos] ^= 1 << bit;
+                let out = scan_records(&corrupt, HEADER_LEN);
+                // The scan must never return a payload that differs from an
+                // original record (either the damaged record is dropped, or
+                // the flip hit a later record and the prefix survives).
+                for (_, p) in &out.records {
+                    assert!(
+                        p.as_slice() == b"alpha" || p.as_slice() == b"beta",
+                        "flip at {pos}:{bit} produced forged payload {p:?}"
+                    );
+                }
+                assert!(out.records.len() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn implausible_length_is_damage_not_allocation() {
+        let mut f = encode_header(JOURNAL_MAGIC).to_vec();
+        f.extend_from_slice(&u32::MAX.to_le_bytes());
+        f.extend_from_slice(&0u32.to_le_bytes());
+        let out = scan_records(&f, HEADER_LEN);
+        assert!(out.records.is_empty());
+        let (off, reason) = out.damage.expect("flagged");
+        assert_eq!(off, HEADER_LEN);
+        assert!(reason.contains("implausible"), "{reason}");
+    }
+
+    #[test]
+    fn empty_region_scans_clean() {
+        let f = encode_header(JOURNAL_MAGIC).to_vec();
+        let out = scan_records(&f, HEADER_LEN);
+        assert!(out.records.is_empty());
+        assert_eq!(out.valid_len, HEADER_LEN);
+        assert_eq!(out.damage, None);
+    }
+}

@@ -1,0 +1,251 @@
+//! The write-ahead journal file: append, sync, and raw reading.
+//!
+//! A journal is `header record*` (see [`frame`](crate::frame)); each record
+//! payload is one [`Payload`] (see [`codec`](crate::codec)). Appends are a
+//! single `write` of the fully assembled record, so a crash can only tear
+//! the *tail* — never interleave two records.
+
+use crate::codec::{decode_payload, encode_payload, Payload};
+use crate::frame::{
+    check_header, encode_header, encode_record, scan_records, HeaderIssue, FORMAT_VERSION,
+    HEADER_LEN, JOURNAL_MAGIC,
+};
+use crate::StoreError;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// When the journal file is `fsync`ed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Sync at every `IterationEnd` — the durability unit. An OS crash
+    /// loses at most the current (uncommitted) iteration, which recovery
+    /// discards anyway.
+    #[default]
+    EveryIteration,
+    /// Sync after every single append. Safest, slowest.
+    EveryAppend,
+    /// Never sync explicitly (tests / throwaway runs). Process crashes are
+    /// still safe (the OS keeps the page cache); only power loss can bite.
+    Never,
+}
+
+/// Appends records to a journal file.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    path: PathBuf,
+}
+
+impl JournalWriter {
+    /// Creates (or truncates) a journal: writes and syncs the header.
+    pub fn create(path: &Path) -> Result<Self, StoreError> {
+        let mut file = OpenOptions::new().write(true).create(true).truncate(true).open(path)?;
+        file.write_all(&encode_header(JOURNAL_MAGIC))?;
+        file.sync_all()?;
+        Ok(JournalWriter { file, path: path.to_path_buf() })
+    }
+
+    /// Opens an existing journal for appending after truncating it to
+    /// `offset` — the valid boundary computed by recovery. Any torn or
+    /// post-boundary bytes are physically discarded, so the file on disk is
+    /// always a clean prefix. An `offset` inside the header (including 0)
+    /// rewrites a fresh header.
+    pub fn open_at(path: &Path, offset: u64) -> Result<Self, StoreError> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        if offset < HEADER_LEN {
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&encode_header(JOURNAL_MAGIC))?;
+        } else {
+            file.set_len(offset)?;
+            file.seek(SeekFrom::Start(offset))?;
+        }
+        file.sync_all()?;
+        Ok(JournalWriter { file, path: path.to_path_buf() })
+    }
+
+    /// Appends one payload as a framed record (a single `write` call).
+    pub fn append(&mut self, payload: &Payload) -> Result<(), StoreError> {
+        let record = encode_record(&encode_payload(payload));
+        self.file.write_all(&record)?;
+        Ok(())
+    }
+
+    /// Flushes appended records to stable storage.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Everything readable from a journal file, tolerating a damaged tail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalContents {
+    /// `(end_offset, payload)` per intact, decodable record in file order.
+    pub records: Vec<(u64, Payload)>,
+    /// Offset where frame- and codec-level validity ends: end of the last
+    /// good record, [`HEADER_LEN`] for an intact-but-empty journal, `0`
+    /// when even the header is torn.
+    pub valid_len: u64,
+    /// Offset and description of the first damaged record, if any.
+    pub damage: Option<(u64, String)>,
+}
+
+/// Reads a journal file. Tail damage (torn/bit-flipped records, a torn
+/// header) is *reported*, not an error; only a wrong magic or a format
+/// version skew fails hard.
+pub fn read_journal(path: &Path) -> Result<JournalContents, StoreError> {
+    let bytes = std::fs::read(path)?;
+    match check_header(&bytes, JOURNAL_MAGIC) {
+        Ok(()) => {}
+        Err(HeaderIssue::Torn) => {
+            // A crash before the header sync: an empty journal.
+            return Ok(JournalContents {
+                records: Vec::new(),
+                valid_len: 0,
+                damage: Some((0, format!("torn header ({} bytes)", bytes.len()))),
+            });
+        }
+        Err(HeaderIssue::BadMagic) => {
+            return Err(StoreError::Corrupt {
+                offset: 0,
+                reason: "bad magic: not a journal file".into(),
+            });
+        }
+        Err(HeaderIssue::VersionSkew(found)) => {
+            return Err(StoreError::VersionSkew { found, supported: FORMAT_VERSION });
+        }
+    }
+    let scan = scan_records(&bytes, HEADER_LEN);
+    let mut records = Vec::with_capacity(scan.records.len());
+    let mut valid_len = HEADER_LEN;
+    let mut damage = scan.damage;
+    for (end, payload_bytes) in scan.records {
+        match decode_payload(&payload_bytes) {
+            Ok(p) => {
+                records.push((end, p));
+                valid_len = end;
+            }
+            Err(e) => {
+                // CRC-valid but undecodable: damage from here on.
+                damage = Some((valid_len, e.to_string()));
+                break;
+            }
+        }
+    }
+    Ok(JournalContents { records, valid_len, damage })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_dir;
+    use lsm_core::SessionEvent;
+
+    fn ev(iteration: usize) -> Payload {
+        Payload::Event(SessionEvent::IterationEnd { iteration })
+    }
+
+    #[test]
+    fn create_append_read_roundtrip() {
+        let dir = test_dir("journal-roundtrip");
+        let path = dir.join("s.journal");
+        let mut w = JournalWriter::create(&path).unwrap();
+        for i in 0..3 {
+            w.append(&ev(i)).unwrap();
+        }
+        w.sync().unwrap();
+        let contents = read_journal(&path).unwrap();
+        assert_eq!(contents.damage, None);
+        assert_eq!(contents.records.len(), 3);
+        assert_eq!(contents.records[2].1, ev(2));
+        assert_eq!(contents.valid_len, std::fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn open_at_truncates_and_continues() {
+        let dir = test_dir("journal-open-at");
+        let path = dir.join("s.journal");
+        let mut w = JournalWriter::create(&path).unwrap();
+        for i in 0..3 {
+            w.append(&ev(i)).unwrap();
+        }
+        w.sync().unwrap();
+        let boundary = read_journal(&path).unwrap().records[1].0;
+        drop(w);
+        let mut w = JournalWriter::open_at(&path, boundary).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), boundary);
+        w.append(&ev(9)).unwrap();
+        w.sync().unwrap();
+        let contents = read_journal(&path).unwrap();
+        assert_eq!(
+            contents.records.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>(),
+            vec![ev(0), ev(1), ev(9)]
+        );
+    }
+
+    #[test]
+    fn open_at_zero_rewrites_header() {
+        let dir = test_dir("journal-open-zero");
+        let path = dir.join("s.journal");
+        std::fs::write(&path, b"LS").unwrap(); // torn header
+        let mut w = JournalWriter::open_at(&path, 0).unwrap();
+        w.append(&ev(0)).unwrap();
+        w.sync().unwrap();
+        let contents = read_journal(&path).unwrap();
+        assert_eq!(contents.damage, None);
+        assert_eq!(contents.records.len(), 1);
+    }
+
+    #[test]
+    fn torn_header_is_tolerated_as_empty() {
+        let dir = test_dir("journal-torn-header");
+        let path = dir.join("s.journal");
+        std::fs::write(&path, b"LSM").unwrap();
+        let contents = read_journal(&path).unwrap();
+        assert!(contents.records.is_empty());
+        assert_eq!(contents.valid_len, 0);
+        assert!(contents.damage.is_some());
+    }
+
+    #[test]
+    fn wrong_magic_and_version_skew_fail_hard() {
+        let dir = test_dir("journal-bad-header");
+        let path = dir.join("s.journal");
+        std::fs::write(&path, b"GARBAGE!").unwrap();
+        assert!(matches!(read_journal(&path), Err(StoreError::Corrupt { offset: 0, .. })));
+        let mut skewed = encode_header(JOURNAL_MAGIC).to_vec();
+        skewed[4] = 9;
+        std::fs::write(&path, &skewed).unwrap();
+        assert!(matches!(
+            read_journal(&path),
+            Err(StoreError::VersionSkew { found: 9, supported: FORMAT_VERSION })
+        ));
+    }
+
+    #[test]
+    fn undecodable_record_is_reported_as_damage() {
+        let dir = test_dir("journal-undecodable");
+        let path = dir.join("s.journal");
+        let mut w = JournalWriter::create(&path).unwrap();
+        w.append(&ev(0)).unwrap();
+        w.sync().unwrap();
+        let good_len = std::fs::metadata(&path).unwrap().len();
+        // Append a frame-valid record whose payload has an unknown kind.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&encode_record(&[0x77]));
+        std::fs::write(&path, &bytes).unwrap();
+        let contents = read_journal(&path).unwrap();
+        assert_eq!(contents.records.len(), 1);
+        assert_eq!(contents.valid_len, good_len);
+        let (off, reason) = contents.damage.unwrap();
+        assert_eq!(off, good_len);
+        assert!(reason.contains("unknown record kind"), "{reason}");
+    }
+}

@@ -1,0 +1,103 @@
+//! # lsm-store
+//!
+//! Crash-safe persistence for interactive matching sessions (the paper's
+//! Section V-C loop): a real deployment of that loop spends hours of expert
+//! labeling time, so the label history must survive process death.
+//!
+//! Two complementary artifacts (full spec in `docs/persistence.md`):
+//!
+//! * **Write-ahead journal** — an append-only file of length-prefixed,
+//!   CRC-32-checksummed [`SessionEvent`] records behind a versioned header.
+//!   Every label/review/curve event is appended before the session
+//!   proceeds; `fsync` happens at iteration boundaries (the durability
+//!   unit).
+//! * **Checkpoints** — periodic full snapshots of the replayable
+//!   [`SessionState`] + [`SessionConfig`], written atomically via
+//!   tmp-file + fsync + rename, so recovery of a long session does not
+//!   need to replay the whole journal and a journal lost entirely can
+//!   still resume from the last checkpoint.
+//!
+//! Recovery ([`recover`]) is corruption-tolerant: a torn or bit-flipped
+//! record *truncates* the journal at the last intact iteration boundary
+//! instead of failing the load, and a corrupt checkpoint falls back to the
+//! journal (and vice versa). Only a wrong magic (not this file type) or a
+//! format-version skew is a hard error.
+//!
+//! The crate deliberately hand-rolls its binary codec ([`codec`]) instead
+//! of using serde: the format is versioned and fixed little-endian, so the
+//! on-disk layout cannot silently change with a dependency upgrade.
+//!
+//! [`SessionEvent`]: lsm_core::SessionEvent
+//! [`SessionState`]: lsm_core::SessionState
+//! [`SessionConfig`]: lsm_core::SessionConfig
+//! [`recover`]: recover::recover
+
+#![forbid(unsafe_code)]
+
+pub mod checkpoint;
+pub mod codec;
+pub mod crc32;
+pub mod frame;
+pub mod journal;
+pub mod recover;
+pub mod sink;
+#[cfg(test)]
+mod testutil;
+
+pub use checkpoint::{read_checkpoint, write_checkpoint};
+pub use frame::{CHECKPOINT_MAGIC, FORMAT_VERSION, JOURNAL_MAGIC};
+pub use journal::{read_journal, JournalWriter, SyncPolicy};
+pub use recover::{recover, Recovered};
+pub use sink::{JournalOptions, JournalSink};
+
+/// Errors of the persistence layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O failure.
+    Io(std::io::Error),
+    /// The file is recognizably ours but damaged beyond the tolerated
+    /// torn-tail case (e.g. a corrupt header on a non-empty file).
+    Corrupt {
+        /// Byte offset of the damage.
+        offset: u64,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The file was written by a different (newer) format version.
+    VersionSkew {
+        /// Version found in the file header.
+        found: u32,
+        /// The version this build supports.
+        supported: u32,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "journal I/O: {e}"),
+            StoreError::Corrupt { offset, reason } => {
+                write!(f, "corrupt store file at byte {offset}: {reason}")
+            }
+            StoreError::VersionSkew { found, supported } => write!(
+                f,
+                "store format version skew: file has v{found}, this build supports v{supported}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

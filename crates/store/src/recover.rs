@@ -1,0 +1,340 @@
+//! Crash recovery: rebuild a [`SessionState`] from journal + checkpoint,
+//! tolerating arbitrary tail damage.
+//!
+//! Two rules make recovery correct rather than merely lenient:
+//!
+//! 1. **Truncate at the last iteration boundary**, not at the first
+//!    invalid record. A crash can leave *intact* records of an iteration
+//!    whose `IterationEnd` never hit the disk; replaying those and then
+//!    re-running the iteration would double-apply its labels. Valid
+//!    resume points are therefore ends of `IterationEnd`, `SessionStart`,
+//!    or snapshot (rebase) records only.
+//! 2. **The checkpoint wins only when it is ahead** of what the journal
+//!    replays to (more committed iterations). In that case the journal is
+//!    missing history, so the resumed session must first append a rebase
+//!    snapshot ([`Recovered::needs_rebase`]) — otherwise a later replay of
+//!    that journal would silently lose the checkpointed prefix.
+
+use crate::checkpoint::read_checkpoint;
+use crate::codec::Payload;
+use crate::journal::{read_journal, JournalContents};
+use crate::StoreError;
+use lsm_core::{SessionConfig, SessionEvent, SessionState};
+use std::path::Path;
+
+/// The result of [`recover`]: everything needed to resume a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovered {
+    /// The persisted session configuration (from `SessionStart`, a rebase
+    /// snapshot, or the checkpoint). `None` only for an empty journal with
+    /// no checkpoint.
+    pub config: Option<SessionConfig>,
+    /// The replayed state to resume from.
+    pub state: SessionState,
+    /// Journal offset to reopen at ([`JournalWriter::open_at`] truncates
+    /// here, discarding damaged or uncommitted bytes).
+    ///
+    /// [`JournalWriter::open_at`]: crate::journal::JournalWriter::open_at
+    pub resume_offset: u64,
+    /// The checkpoint was ahead of the journal: the resumed journal must
+    /// start with a rebase snapshot of `state`.
+    pub needs_rebase: bool,
+    /// Physical journal bytes past `resume_offset` (damaged tail plus any
+    /// uncommitted iteration).
+    pub truncated_bytes: u64,
+    /// Intact journal records discarded because they sat past the last
+    /// iteration boundary (an uncommitted iteration).
+    pub dropped_tail_records: usize,
+    /// Whether `state` came from the checkpoint rather than journal
+    /// replay.
+    pub from_checkpoint: bool,
+}
+
+fn is_boundary(p: &Payload) -> bool {
+    matches!(
+        p,
+        Payload::Event(SessionEvent::IterationEnd { .. })
+            | Payload::Event(SessionEvent::SessionStart { .. })
+            | Payload::Snapshot { .. }
+    )
+}
+
+/// Replays the journal's boundary-consistent prefix.
+fn replay(contents: &JournalContents) -> (Option<SessionConfig>, SessionState, u64, usize) {
+    let boundary_idx = contents.records.iter().rposition(|(_, p)| is_boundary(p));
+    let (prefix, resume_offset) = match boundary_idx {
+        Some(i) => (&contents.records[..=i], contents.records[i].0),
+        // No boundary at all: nothing replayable. Resume right after the
+        // header (or at 0 to rewrite a torn header).
+        None => (&contents.records[..0], contents.valid_len.min(crate::frame::HEADER_LEN)),
+    };
+    let mut config = None;
+    let mut state = SessionState::new();
+    for (_, payload) in prefix {
+        match payload {
+            Payload::Event(e) => {
+                if let SessionEvent::SessionStart { config: c, .. } = e {
+                    config = Some(*c);
+                }
+                state.apply(e);
+            }
+            Payload::Snapshot { config: c, state: s } => {
+                config = Some(*c);
+                state = s.clone();
+            }
+        }
+    }
+    let dropped = contents.records.len() - prefix.len();
+    (config, state, resume_offset, dropped)
+}
+
+/// Recovers a session from its journal and (optionally) checkpoint.
+///
+/// A missing journal file is an empty journal (the checkpoint may still
+/// carry the session). Hard errors are limited to I/O failures, a journal
+/// header with the wrong magic, and format version skew in either file.
+pub fn recover(
+    journal_path: &Path,
+    checkpoint_path: Option<&Path>,
+) -> Result<Recovered, StoreError> {
+    let _span = lsm_obs::span("journal.recover");
+    lsm_obs::add(lsm_obs::Counter::JournalRecoveries, 1);
+
+    let (contents, file_len) = match read_journal(journal_path) {
+        Ok(c) => {
+            let len = std::fs::metadata(journal_path)?.len();
+            (c, len)
+        }
+        Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+            (JournalContents { records: Vec::new(), valid_len: 0, damage: None }, 0)
+        }
+        Err(e) => return Err(e),
+    };
+    let (mut config, mut state, resume_offset, dropped_tail_records) = replay(&contents);
+
+    let mut from_checkpoint = false;
+    let mut needs_rebase = false;
+    if let Some(ck_path) = checkpoint_path {
+        if let Some((ck_config, ck_state)) = read_checkpoint(ck_path)? {
+            if ck_state.iterations_done > state.iterations_done {
+                config = Some(ck_config);
+                state = ck_state;
+                from_checkpoint = true;
+                needs_rebase = true;
+            }
+        }
+    }
+
+    Ok(Recovered {
+        config,
+        state,
+        resume_offset,
+        needs_rebase,
+        truncated_bytes: file_len.saturating_sub(resume_offset),
+        dropped_tail_records,
+        from_checkpoint,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::write_checkpoint;
+    use crate::journal::JournalWriter;
+    use crate::testutil::test_dir;
+    use lsm_core::SelectionStrategy;
+    use lsm_schema::AttrId;
+
+    fn start() -> SessionEvent {
+        SessionEvent::SessionStart { total_attributes: 4, config: SessionConfig::default() }
+    }
+
+    fn label(iteration: usize, s: u32) -> SessionEvent {
+        SessionEvent::DirectLabel {
+            iteration,
+            source: AttrId(s),
+            target: AttrId(s),
+            strategy: SelectionStrategy::LeastConfidentAnchor,
+        }
+    }
+
+    fn write_events(path: &Path, events: &[SessionEvent]) {
+        let mut w = JournalWriter::create(path).unwrap();
+        for e in events {
+            w.append(&Payload::Event(e.clone())).unwrap();
+        }
+        w.sync().unwrap();
+    }
+
+    #[test]
+    fn fresh_paths_recover_to_empty() {
+        let dir = test_dir("recover-fresh");
+        let r = recover(&dir.join("missing.journal"), Some(&dir.join("missing.ckpt"))).unwrap();
+        assert_eq!(r.config, None);
+        assert_eq!(r.state, SessionState::new());
+        assert_eq!(r.resume_offset, 0);
+        assert!(!r.needs_rebase && !r.from_checkpoint);
+    }
+
+    #[test]
+    fn clean_journal_replays_fully() {
+        let dir = test_dir("recover-clean");
+        let path = dir.join("s.journal");
+        write_events(&path, &[start(), label(0, 0), SessionEvent::IterationEnd { iteration: 0 }]);
+        let r = recover(&path, None).unwrap();
+        assert_eq!(r.config, Some(SessionConfig::default()));
+        assert_eq!(r.state.iterations_done, 1);
+        assert_eq!(r.state.outcome.labels_used, 1);
+        assert_eq!(r.truncated_bytes, 0);
+        assert_eq!(r.dropped_tail_records, 0);
+        assert_eq!(r.resume_offset, std::fs::metadata(&path).unwrap().len());
+    }
+
+    /// Intact records of an uncommitted iteration must be dropped, not
+    /// replayed: resuming re-runs that iteration from scratch.
+    #[test]
+    fn partial_iteration_is_discarded_at_the_boundary() {
+        let dir = test_dir("recover-partial");
+        let path = dir.join("s.journal");
+        write_events(
+            &path,
+            &[
+                start(),
+                label(0, 0),
+                SessionEvent::IterationEnd { iteration: 0 },
+                // Iteration 1 began but never committed:
+                SessionEvent::Respond { iteration: 1, secs: 0.125 },
+                label(1, 1),
+            ],
+        );
+        let r = recover(&path, None).unwrap();
+        assert_eq!(r.state.iterations_done, 1);
+        assert_eq!(r.state.outcome.labels_used, 1, "uncommitted label not replayed");
+        assert_eq!(r.state.outcome.response_times.len(), 0, "uncommitted respond dropped");
+        assert_eq!(r.dropped_tail_records, 2);
+        assert!(r.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn corrupt_tail_truncates_to_last_boundary() {
+        let dir = test_dir("recover-corrupt-tail");
+        let path = dir.join("s.journal");
+        write_events(&path, &[start(), label(0, 0), SessionEvent::IterationEnd { iteration: 0 }]);
+        let boundary = std::fs::metadata(&path).unwrap().len();
+        // A committed iteration 1 whose bytes were then damaged.
+        let mut w = JournalWriter::open_at(&path, boundary).unwrap();
+        w.append(&Payload::Event(label(1, 1))).unwrap();
+        w.append(&Payload::Event(SessionEvent::IterationEnd { iteration: 1 })).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let hit = boundary as usize + 10;
+        bytes[hit] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let r = recover(&path, None).unwrap();
+        assert_eq!(r.state.iterations_done, 1);
+        assert_eq!(r.resume_offset, boundary);
+        assert_eq!(r.truncated_bytes, bytes.len() as u64 - boundary);
+    }
+
+    #[test]
+    fn checkpoint_ahead_wins_and_requests_rebase() {
+        let dir = test_dir("recover-ckpt-ahead");
+        let journal = dir.join("s.journal");
+        let ckpt = dir.join("s.ckpt");
+        write_events(
+            &journal,
+            &[start(), label(0, 0), SessionEvent::IterationEnd { iteration: 0 }],
+        );
+        let mut ahead = SessionState::new();
+        for e in [
+            start(),
+            label(0, 0),
+            SessionEvent::IterationEnd { iteration: 0 },
+            label(1, 1),
+            SessionEvent::IterationEnd { iteration: 1 },
+        ] {
+            ahead.apply(&e);
+        }
+        let config = SessionConfig { seed: 99, ..Default::default() };
+        write_checkpoint(&ckpt, &config, &ahead).unwrap();
+        let r = recover(&journal, Some(&ckpt)).unwrap();
+        assert!(r.from_checkpoint && r.needs_rebase);
+        assert_eq!(r.config, Some(config));
+        assert_eq!(r.state, ahead);
+    }
+
+    #[test]
+    fn checkpoint_behind_or_corrupt_defers_to_journal() {
+        let dir = test_dir("recover-ckpt-behind");
+        let journal = dir.join("s.journal");
+        let ckpt = dir.join("s.ckpt");
+        write_events(
+            &journal,
+            &[
+                start(),
+                label(0, 0),
+                SessionEvent::IterationEnd { iteration: 0 },
+                label(1, 1),
+                SessionEvent::IterationEnd { iteration: 1 },
+            ],
+        );
+        // Behind: only iteration 0.
+        let mut behind = SessionState::new();
+        for e in [start(), label(0, 0), SessionEvent::IterationEnd { iteration: 0 }] {
+            behind.apply(&e);
+        }
+        write_checkpoint(&ckpt, &SessionConfig::default(), &behind).unwrap();
+        let r = recover(&journal, Some(&ckpt)).unwrap();
+        assert!(!r.from_checkpoint && !r.needs_rebase);
+        assert_eq!(r.state.iterations_done, 2);
+        // Corrupt checkpoint: same outcome.
+        std::fs::write(&ckpt, b"NOPE!!!!").unwrap();
+        let r = recover(&journal, Some(&ckpt)).unwrap();
+        assert!(!r.from_checkpoint);
+        assert_eq!(r.state.iterations_done, 2);
+    }
+
+    #[test]
+    fn rebase_record_resets_replay() {
+        let dir = test_dir("recover-rebase");
+        let path = dir.join("s.journal");
+        let mut rebased = SessionState::new();
+        for e in [
+            start(),
+            label(0, 0),
+            SessionEvent::IterationEnd { iteration: 0 },
+            label(1, 1),
+            SessionEvent::IterationEnd { iteration: 1 },
+        ] {
+            rebased.apply(&e);
+        }
+        let config = SessionConfig { seed: 7, ..Default::default() };
+        let mut w = JournalWriter::create(&path).unwrap();
+        // Journal holds only iteration 0, then a rebase snapshot from a
+        // checkpoint that knew iterations 0-1, then iteration 2 events.
+        w.append(&Payload::Event(start())).unwrap();
+        w.append(&Payload::Event(label(0, 0))).unwrap();
+        w.append(&Payload::Event(SessionEvent::IterationEnd { iteration: 0 })).unwrap();
+        w.append(&Payload::Snapshot { config, state: rebased.clone() }).unwrap();
+        w.append(&Payload::Event(label(2, 2))).unwrap();
+        w.append(&Payload::Event(SessionEvent::IterationEnd { iteration: 2 })).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let r = recover(&path, None).unwrap();
+        assert_eq!(r.config, Some(config));
+        assert_eq!(r.state.iterations_done, 3);
+        assert_eq!(r.state.outcome.labels_used, 3);
+    }
+
+    #[test]
+    fn version_skew_in_journal_is_a_hard_error() {
+        let dir = test_dir("recover-skew");
+        let path = dir.join("s.journal");
+        write_events(&path, &[start()]);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4] = 2;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(recover(&path, None), Err(StoreError::VersionSkew { found: 2, .. })));
+    }
+}

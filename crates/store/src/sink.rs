@@ -1,0 +1,299 @@
+//! [`JournalSink`]: the [`SessionSink`] implementation that plugs the
+//! write-ahead journal and checkpointing into `run_session_with_sink` /
+//! `resume_session`.
+//!
+//! The sink keeps a *replica* [`SessionState`] by applying every event it
+//! journals — the same `apply` the live loop uses — so checkpoints are
+//! always snapshots of exactly what the journal would replay to.
+
+use crate::checkpoint::write_checkpoint;
+use crate::codec::Payload;
+use crate::journal::{JournalWriter, SyncPolicy};
+use crate::recover::{recover, Recovered};
+use crate::StoreError;
+use lsm_core::{SessionConfig, SessionEvent, SessionSink, SessionState, SinkError};
+use std::path::{Path, PathBuf};
+
+/// Tuning knobs for [`JournalSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalOptions {
+    /// Write a checkpoint every this many committed iterations (`0`
+    /// disables checkpointing).
+    pub checkpoint_every: usize,
+    /// When the journal file is fsynced.
+    pub sync: SyncPolicy,
+}
+
+impl Default for JournalOptions {
+    fn default() -> Self {
+        JournalOptions { checkpoint_every: 8, sync: SyncPolicy::EveryIteration }
+    }
+}
+
+/// A [`SessionSink`] that journals every event and periodically
+/// checkpoints.
+#[derive(Debug)]
+pub struct JournalSink {
+    writer: JournalWriter,
+    checkpoint_path: Option<PathBuf>,
+    opts: JournalOptions,
+    config: Option<SessionConfig>,
+    replica: SessionState,
+    iterations_since_checkpoint: usize,
+}
+
+fn to_sink(e: StoreError) -> SinkError {
+    SinkError(e.to_string())
+}
+
+impl JournalSink {
+    /// Starts a fresh journal (truncating any existing file at `journal`).
+    pub fn create(
+        journal: &Path,
+        checkpoint: Option<&Path>,
+        opts: JournalOptions,
+    ) -> Result<Self, StoreError> {
+        Ok(JournalSink {
+            writer: JournalWriter::create(journal)?,
+            checkpoint_path: checkpoint.map(Path::to_path_buf),
+            opts,
+            config: None,
+            replica: SessionState::new(),
+            iterations_since_checkpoint: 0,
+        })
+    }
+
+    /// Recovers an interrupted session and reopens its journal for
+    /// appending. The damaged/uncommitted tail is physically truncated;
+    /// when the checkpoint was ahead of the journal a rebase snapshot is
+    /// appended first so the journal alone stays replayable.
+    ///
+    /// Pass [`Recovered::state`]'s clone (i.e. [`JournalSink::state`]) to
+    /// [`resume_session`](lsm_core::resume_session) together with this
+    /// sink.
+    pub fn resume(
+        journal: &Path,
+        checkpoint: Option<&Path>,
+        opts: JournalOptions,
+    ) -> Result<(Self, Recovered), StoreError> {
+        let recovered = recover(journal, checkpoint)?;
+        let mut writer = JournalWriter::open_at(journal, recovered.resume_offset)?;
+        if recovered.needs_rebase {
+            if let Some(config) = recovered.config {
+                writer.append(&Payload::Snapshot { config, state: recovered.state.clone() })?;
+                writer.sync()?;
+            }
+        }
+        let sink = JournalSink {
+            writer,
+            checkpoint_path: checkpoint.map(Path::to_path_buf),
+            opts,
+            config: recovered.config,
+            replica: recovered.state.clone(),
+            iterations_since_checkpoint: 0,
+        };
+        Ok((sink, recovered))
+    }
+
+    /// The replica state (recovered + everything journaled since).
+    pub fn state(&self) -> &SessionState {
+        &self.replica
+    }
+
+    /// The session configuration, once known.
+    pub fn config(&self) -> Option<SessionConfig> {
+        self.config
+    }
+
+    /// Final flush (and checkpoint, if configured) at the end of a run.
+    pub fn finish(&mut self) -> Result<(), StoreError> {
+        self.writer.sync()?;
+        if self.opts.checkpoint_every > 0 {
+            self.write_checkpoint_now()?;
+        }
+        Ok(())
+    }
+
+    fn write_checkpoint_now(&mut self) -> Result<(), StoreError> {
+        let (Some(path), Some(config)) = (self.checkpoint_path.as_deref(), self.config) else {
+            return Ok(());
+        };
+        let _span = lsm_obs::span("checkpoint.write");
+        write_checkpoint(path, &config, &self.replica)?;
+        lsm_obs::add(lsm_obs::Counter::CheckpointWrites, 1);
+        self.iterations_since_checkpoint = 0;
+        Ok(())
+    }
+}
+
+impl SessionSink for JournalSink {
+    fn on_event(&mut self, event: &SessionEvent) -> Result<(), SinkError> {
+        let _span = lsm_obs::span("journal.append");
+        if let SessionEvent::SessionStart { config, .. } = event {
+            self.config = Some(*config);
+        }
+        self.replica.apply(event);
+        self.writer.append(&Payload::Event(event.clone())).map_err(to_sink)?;
+        lsm_obs::add(lsm_obs::Counter::JournalAppends, 1);
+        if self.opts.sync == SyncPolicy::EveryAppend {
+            self.writer.sync().map_err(to_sink)?;
+        }
+        if matches!(event, SessionEvent::IterationEnd { .. }) {
+            if self.opts.sync == SyncPolicy::EveryIteration {
+                self.writer.sync().map_err(to_sink)?;
+            }
+            self.iterations_since_checkpoint += 1;
+            if self.opts.checkpoint_every > 0
+                && self.iterations_since_checkpoint >= self.opts.checkpoint_every
+            {
+                self.write_checkpoint_now().map_err(to_sink)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::read_checkpoint;
+    use crate::testutil::test_dir;
+    use lsm_core::{run_session_with_sink, PerfectOracle, PinnedBaselineEngine, SessionConfig};
+    use lsm_schema::{AttrId, DataType, GroundTruth, Schema, ScoreMatrix};
+
+    fn source() -> Schema {
+        Schema::builder("s")
+            .entity("A")
+            .attr("a_id", DataType::Integer)
+            .attr("x", DataType::Text)
+            .attr("y", DataType::Text)
+            .attr("z", DataType::Text)
+            .pk("a_id")
+            .build()
+            .unwrap()
+    }
+
+    fn truth() -> GroundTruth {
+        GroundTruth::from_pairs([
+            (AttrId(0), AttrId(0)),
+            (AttrId(1), AttrId(1)),
+            (AttrId(2), AttrId(2)),
+            (AttrId(3), AttrId(3)),
+        ])
+    }
+
+    /// An all-wrong static ranking: every attribute needs a direct label,
+    /// giving the session several iterations to journal.
+    fn distractor_scores() -> ScoreMatrix {
+        let mut m = ScoreMatrix::zeros(4, 8);
+        for s in 0..4u32 {
+            for t in 4..8u32 {
+                m.set(AttrId(s), AttrId(t), 0.5 + f64::from(t) / 100.0);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn journaled_run_is_fully_recoverable() {
+        let dir = test_dir("sink-full-run");
+        let journal = dir.join("s.journal");
+        let ckpt = dir.join("s.ckpt");
+        let mut sink = JournalSink::create(
+            &journal,
+            Some(&ckpt),
+            JournalOptions { checkpoint_every: 1, ..Default::default() },
+        )
+        .unwrap();
+        let mut engine = PinnedBaselineEngine::new(source(), distractor_scores());
+        let mut oracle = PerfectOracle::new(truth());
+        let outcome =
+            run_session_with_sink(&mut engine, &mut oracle, SessionConfig::default(), &mut sink)
+                .unwrap();
+        sink.finish().unwrap();
+        assert_eq!(outcome.labels_used, 4);
+
+        // The journal alone replays to the exact outcome — response-time
+        // f64s included, because they travel as raw bits.
+        let r = recover(&journal, None).unwrap();
+        assert_eq!(r.state.outcome, outcome);
+        assert!(r.state.is_complete());
+        // The checkpoint holds the same state.
+        let (_, ck_state) = read_checkpoint(&ckpt).unwrap().expect("checkpoint written");
+        assert_eq!(ck_state.outcome, outcome);
+    }
+
+    #[test]
+    fn resume_continues_the_same_journal_file() {
+        let dir = test_dir("sink-resume");
+        let journal = dir.join("s.journal");
+        // Run to completion once to get a reference journal.
+        let mut sink = JournalSink::create(&journal, None, JournalOptions::default()).unwrap();
+        let mut engine = PinnedBaselineEngine::new(source(), distractor_scores());
+        let mut oracle = PerfectOracle::new(truth());
+        let outcome =
+            run_session_with_sink(&mut engine, &mut oracle, SessionConfig::default(), &mut sink)
+                .unwrap();
+        sink.finish().unwrap();
+
+        // Chop the journal mid-file and resume: the finished file must
+        // replay to a complete session again.
+        let bytes = std::fs::read(&journal).unwrap();
+        std::fs::write(&journal, &bytes[..bytes.len() * 2 / 3]).unwrap();
+        let (mut sink, recovered) =
+            JournalSink::resume(&journal, None, JournalOptions::default()).unwrap();
+        assert!(recovered.truncated_bytes > 0);
+        assert!(!recovered.state.is_complete());
+        let config = recovered.config.expect("journal had SessionStart");
+        let mut engine = PinnedBaselineEngine::new(source(), distractor_scores());
+        let mut oracle = PerfectOracle::new(truth());
+        let resumed =
+            lsm_core::resume_session(&mut engine, &mut oracle, config, recovered.state, &mut sink)
+                .unwrap();
+        sink.finish().unwrap();
+        // Deterministic everything except wall-clock response times.
+        assert_eq!(resumed.curve, outcome.curve);
+        assert_eq!(resumed.labels_used, outcome.labels_used);
+        assert_eq!(resumed.reviews_done, outcome.reviews_done);
+        assert_eq!(resumed.response_times.len(), outcome.response_times.len());
+        // And the patched journal file replays to the resumed outcome.
+        let r = recover(&journal, None).unwrap();
+        assert_eq!(r.state.outcome, resumed);
+    }
+
+    #[test]
+    fn rebase_snapshot_keeps_a_behind_journal_replayable() {
+        let dir = test_dir("sink-rebase");
+        let journal = dir.join("s.journal");
+        let ckpt = dir.join("s.ckpt");
+        let opts = JournalOptions { checkpoint_every: 1, ..Default::default() };
+        let mut sink = JournalSink::create(&journal, Some(&ckpt), opts).unwrap();
+        let mut engine = PinnedBaselineEngine::new(source(), distractor_scores());
+        let mut oracle = PerfectOracle::new(truth());
+        run_session_with_sink(&mut engine, &mut oracle, SessionConfig::default(), &mut sink)
+            .unwrap();
+        sink.finish().unwrap();
+
+        // Lose the journal entirely; only the checkpoint survives.
+        std::fs::write(&journal, b"LS").unwrap();
+        let (mut sink, recovered) = JournalSink::resume(&journal, Some(&ckpt), opts).unwrap();
+        assert!(recovered.from_checkpoint && recovered.needs_rebase);
+        assert!(recovered.state.is_complete());
+        let config = recovered.config.unwrap();
+        let mut engine = PinnedBaselineEngine::new(source(), distractor_scores());
+        let mut oracle = PerfectOracle::new(truth());
+        let resumed = lsm_core::resume_session(
+            &mut engine,
+            &mut oracle,
+            config,
+            recovered.state.clone(),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(resumed, recovered.state.outcome, "complete session resumes as a no-op");
+        // The rewritten journal starts with the rebase snapshot and
+        // replays to the full state on its own.
+        let r = recover(&journal, None).unwrap();
+        assert_eq!(r.state.outcome, resumed);
+    }
+}

@@ -1,0 +1,13 @@
+//! Unit-test helpers (compiled only under `cfg(test)`).
+
+use std::path::PathBuf;
+
+/// A fresh per-test scratch directory under the system temp dir, namespaced
+/// by process id so parallel test binaries cannot collide.
+pub fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lsm-store-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // lsm-lint: allow(R5-panic-policy, cfg(test)-only module; a setup failure should abort the test)
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}

@@ -1,0 +1,69 @@
+//! Shared fixtures for the store integration tests.
+
+use lsm_core::{SessionEvent, SessionSink, SinkError};
+use lsm_schema::{AttrId, DataType, GroundTruth, Schema, ScoreMatrix};
+use std::path::PathBuf;
+
+/// A fresh scratch directory namespaced by process id and test name.
+pub fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lsm-store-it-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+/// Wraps any sink with a deterministic response clock: `f(iteration)` is an
+/// exact binary fraction, so an interrupted-and-resumed session reproduces
+/// the uninterrupted run *bitwise*, response times included.
+pub struct DetSink<S>(pub S);
+
+pub fn det_time(iteration: usize) -> f64 {
+    (iteration as f64 + 1.0) * 0.0625
+}
+
+impl<S: SessionSink> SessionSink for DetSink<S> {
+    fn on_event(&mut self, event: &SessionEvent) -> Result<(), SinkError> {
+        self.0.on_event(event)
+    }
+
+    fn map_response_time(&mut self, iteration: usize, _measured: f64) -> f64 {
+        det_time(iteration)
+    }
+}
+
+/// A source schema with `n` text attributes (plus nothing else) whose truth
+/// is the identity mapping.
+pub fn source(n: usize) -> Schema {
+    let mut b = Schema::builder("s").entity("A").attr("a_id", DataType::Integer);
+    for i in 1..n {
+        b = b.attr(format!("col_{i}"), DataType::Text);
+    }
+    b.pk("a_id").build().expect("valid schema")
+}
+
+pub fn truth(n: usize) -> GroundTruth {
+    GroundTruth::from_pairs((0..n as u32).map(|i| (AttrId(i), AttrId(i))))
+}
+
+/// An all-wrong static ranking over `n × 2n`: truth targets score zero, so
+/// every attribute needs a direct label and the session runs `n`-ish
+/// iterations — plenty of journal to injure.
+pub fn distractor_scores(n: usize) -> ScoreMatrix {
+    let mut m = ScoreMatrix::zeros(n, 2 * n);
+    for s in 0..n as u32 {
+        for t in n as u32..2 * n as u32 {
+            m.set(AttrId(s), AttrId(t), 0.5 + f64::from(t) / 100.0);
+        }
+    }
+    m
+}
+
+/// A mixed ranking: the first two rows rank their truth on top, the rest
+/// rank distractors — so sessions both confirm-by-review and direct-label.
+pub fn mixed_scores(n: usize) -> ScoreMatrix {
+    let mut m = distractor_scores(n);
+    for s in 0..2u32.min(n as u32) {
+        m.set(AttrId(s), AttrId(s), 2.0);
+    }
+    m
+}

@@ -1,0 +1,189 @@
+//! Fault injection: kill or corrupt the journal at **every byte offset**
+//! and assert the resumed session produces a `SessionOutcome` bitwise
+//! identical to the uninterrupted run.
+//!
+//! This is the tentpole guarantee of `lsm-store`. The response clock is the
+//! deterministic [`DetSink`], so "bitwise" includes every `f64` response
+//! time (`to_bits` equality), not just the integer fields.
+
+mod common;
+
+use common::{distractor_scores, source, test_dir, truth, DetSink};
+use lsm_core::{
+    resume_session, run_session_with_sink, PerfectOracle, PinnedBaselineEngine, SessionConfig,
+    SessionOutcome,
+};
+use lsm_store::{recover, JournalOptions, JournalSink, StoreError, SyncPolicy};
+use std::path::Path;
+
+const N: usize = 4;
+
+fn engine() -> PinnedBaselineEngine {
+    PinnedBaselineEngine::new(source(N), distractor_scores(N))
+}
+
+fn opts() -> JournalOptions {
+    // Sync policy is irrelevant under test (no power loss); Never keeps the
+    // thousands of injected runs fast.
+    JournalOptions { checkpoint_every: 1, sync: SyncPolicy::Never }
+}
+
+/// The uninterrupted reference run, journaled.
+fn reference(dir: &Path) -> (SessionOutcome, Vec<u8>) {
+    let journal = dir.join("reference.journal");
+    let mut sink = DetSink(JournalSink::create(&journal, None, opts()).expect("create journal"));
+    let mut oracle = PerfectOracle::new(truth(N));
+    let outcome =
+        run_session_with_sink(&mut engine(), &mut oracle, SessionConfig::default(), &mut sink)
+            .expect("journaled run");
+    sink.0.finish().expect("final sync");
+    let bytes = std::fs::read(&journal).expect("read journal");
+    (outcome, bytes)
+}
+
+fn assert_bitwise_eq(resumed: &SessionOutcome, reference: &SessionOutcome, ctx: &str) {
+    assert_eq!(resumed, reference, "{ctx}: outcome diverged");
+    assert_eq!(
+        resumed.response_times.len(),
+        reference.response_times.len(),
+        "{ctx}: response-time count"
+    );
+    for (i, (a, b)) in resumed.response_times.iter().zip(&reference.response_times).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: response time {i} not bitwise equal");
+    }
+}
+
+/// Resumes from whatever is on disk at `journal` and checks the outcome.
+fn resume_and_check(journal: &Path, ckpt: Option<&Path>, reference: &SessionOutcome, ctx: &str) {
+    let (sink, recovered) = JournalSink::resume(journal, ckpt, opts()).expect("resume");
+    let config = recovered.config.unwrap_or_default();
+    let mut sink = DetSink(sink);
+    let mut oracle = PerfectOracle::new(truth(N));
+    let resumed = resume_session(&mut engine(), &mut oracle, config, recovered.state, &mut sink)
+        .expect("resumed run");
+    sink.0.finish().expect("final sync");
+    assert_bitwise_eq(&resumed, reference, ctx);
+    // The repaired-and-continued journal file must itself replay to the
+    // same outcome: crash-resume-crash-resume chains stay safe.
+    let replayed = recover(journal, None).expect("replay repaired journal");
+    assert_bitwise_eq(&replayed.state.outcome, reference, &format!("{ctx} (replay)"));
+}
+
+/// Kill the process at every byte offset of the journal (simulated by
+/// truncation, since appends and fsync make the tail the only loss mode).
+#[test]
+fn truncation_at_every_byte_offset_resumes_identically() {
+    let dir = test_dir("fi-truncate");
+    let (ref_outcome, ref_bytes) = reference(&dir);
+    assert!(ref_bytes.len() > 100, "reference journal suspiciously small");
+    let journal = dir.join("cut.journal");
+    for cut in 0..=ref_bytes.len() {
+        std::fs::write(&journal, &ref_bytes[..cut]).expect("write cut journal");
+        resume_and_check(&journal, None, &ref_outcome, &format!("cut at {cut}"));
+    }
+}
+
+/// Flip one bit in every byte of the journal. Body corruption must be
+/// detected and truncated away (resume still reaches the reference
+/// outcome); only header corruption — the file's identity — may fail hard,
+/// and must do so cleanly.
+#[test]
+fn bit_flip_at_every_byte_offset_is_contained() {
+    let dir = test_dir("fi-bitflip");
+    let (ref_outcome, ref_bytes) = reference(&dir);
+    let journal = dir.join("flipped.journal");
+    for pos in 0..ref_bytes.len() {
+        let mut bytes = ref_bytes.clone();
+        bytes[pos] ^= 1 << (pos % 8);
+        std::fs::write(&journal, &bytes).expect("write flipped journal");
+        if pos < 8 {
+            // Magic or version byte: a hard, explicit error.
+            let err = JournalSink::resume(&journal, None, opts())
+                .err()
+                .unwrap_or_else(|| panic!("header flip at {pos} was not rejected"));
+            assert!(
+                matches!(err, StoreError::Corrupt { .. } | StoreError::VersionSkew { .. }),
+                "header flip at {pos}: unexpected error {err}"
+            );
+        } else {
+            resume_and_check(&journal, None, &ref_outcome, &format!("flip at {pos}"));
+        }
+    }
+}
+
+/// Same sweep with a checkpoint alongside: the checkpoint may only ever
+/// *improve* recovery, never change the outcome.
+#[test]
+fn truncation_with_checkpoint_resumes_identically() {
+    let dir = test_dir("fi-truncate-ckpt");
+    let journal = dir.join("s.journal");
+    let ckpt = dir.join("s.ckpt");
+    let mut sink =
+        DetSink(JournalSink::create(&journal, Some(&ckpt), opts()).expect("create journal"));
+    let mut oracle = PerfectOracle::new(truth(N));
+    let ref_outcome =
+        run_session_with_sink(&mut engine(), &mut oracle, SessionConfig::default(), &mut sink)
+            .expect("journaled run");
+    sink.0.finish().expect("final sync");
+    let ref_bytes = std::fs::read(&journal).expect("read journal");
+    let ref_ckpt = std::fs::read(&ckpt).expect("read checkpoint");
+
+    let cut_journal = dir.join("cut.journal");
+    let cut_ckpt = dir.join("cut.ckpt");
+    for cut in 0..=ref_bytes.len() {
+        std::fs::write(&cut_journal, &ref_bytes[..cut]).expect("write cut journal");
+        std::fs::write(&cut_ckpt, &ref_ckpt).expect("write checkpoint copy");
+        resume_and_check(
+            &cut_journal,
+            Some(&cut_ckpt),
+            &ref_outcome,
+            &format!("cut at {cut} with checkpoint"),
+        );
+    }
+}
+
+/// The journal is gone entirely (or reduced to garbage shorter than its
+/// header) but a checkpoint survives: the session still resumes to the
+/// reference outcome via the rebase path.
+#[test]
+fn checkpoint_only_recovery_resumes_identically() {
+    let dir = test_dir("fi-ckpt-only");
+    let journal = dir.join("s.journal");
+    let ckpt = dir.join("s.ckpt");
+    // Checkpoint after every iteration, then interrupt by dropping the
+    // journal mid-run: emulate with a full run + a journal cut to its first
+    // 100 bytes (inside iteration 0's records).
+    let mut sink =
+        DetSink(JournalSink::create(&journal, Some(&ckpt), opts()).expect("create journal"));
+    let mut oracle = PerfectOracle::new(truth(N));
+    let ref_outcome =
+        run_session_with_sink(&mut engine(), &mut oracle, SessionConfig::default(), &mut sink)
+            .expect("journaled run");
+    sink.0.finish().expect("final sync");
+
+    for keep in [0usize, 3, 8, 100] {
+        let bytes = std::fs::read(&journal).expect("read journal");
+        let cut_journal = dir.join(format!("cut-{keep}.journal"));
+        std::fs::write(&cut_journal, &bytes[..keep]).expect("write cut journal");
+        let cut_ckpt = dir.join(format!("cut-{keep}.ckpt"));
+        std::fs::copy(&ckpt, &cut_ckpt).expect("copy checkpoint");
+        let (sink, recovered) =
+            JournalSink::resume(&cut_journal, Some(&cut_ckpt), opts()).expect("resume");
+        assert!(recovered.from_checkpoint, "keep={keep}: checkpoint should lead recovery");
+        assert!(recovered.needs_rebase, "keep={keep}");
+        let config = recovered.config.expect("config from checkpoint");
+        let mut sink = DetSink(sink);
+        let mut oracle = PerfectOracle::new(truth(N));
+        let resumed =
+            resume_session(&mut engine(), &mut oracle, config, recovered.state, &mut sink)
+                .expect("resumed run");
+        assert_bitwise_eq(&resumed, &ref_outcome, &format!("checkpoint-only keep={keep}"));
+        // The rebased journal must now stand alone.
+        let replayed = recover(&cut_journal, None).expect("replay rebased journal");
+        assert_bitwise_eq(
+            &replayed.state.outcome,
+            &ref_outcome,
+            &format!("checkpoint-only keep={keep} (replay)"),
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! Recovery edge cases beyond the exhaustive byte sweep: empty files,
+//! checkpoint/journal disagreement, duplicate labels straddling a
+//! checkpoint, version skew, and crash-during-resume chains.
+
+mod common;
+
+use common::{mixed_scores, source, test_dir, truth, DetSink};
+use lsm_core::{
+    resume_session, run_session_with_sink, PerfectOracle, PinnedBaselineEngine, SessionConfig,
+    SessionState,
+};
+use lsm_store::{
+    read_checkpoint, recover, write_checkpoint, JournalOptions, JournalSink, StoreError, SyncPolicy,
+};
+use std::path::Path;
+
+const N: usize = 5;
+
+fn engine() -> PinnedBaselineEngine {
+    PinnedBaselineEngine::new(source(N), mixed_scores(N))
+}
+
+fn opts() -> JournalOptions {
+    JournalOptions { checkpoint_every: 1, sync: SyncPolicy::Never }
+}
+
+fn reference_run(journal: &Path, ckpt: Option<&Path>) -> lsm_core::SessionOutcome {
+    let mut sink = DetSink(JournalSink::create(journal, ckpt, opts()).expect("create"));
+    let mut oracle = PerfectOracle::new(truth(N));
+    let outcome =
+        run_session_with_sink(&mut engine(), &mut oracle, SessionConfig::default(), &mut sink)
+            .expect("run");
+    sink.0.finish().expect("finish");
+    outcome
+}
+
+#[test]
+fn zero_byte_journal_resumes_from_scratch() {
+    let dir = test_dir("re-zero-byte");
+    let journal = dir.join("s.journal");
+    std::fs::write(&journal, b"").expect("write");
+    let (sink, recovered) = JournalSink::resume(&journal, None, opts()).expect("resume");
+    assert_eq!(recovered.state, SessionState::new());
+    assert_eq!(recovered.config, None);
+    drop(sink);
+    // The reopened file has a fresh valid header.
+    assert!(recover(&journal, None).is_ok());
+}
+
+/// A label the checkpoint already contains shows up again in the journal
+/// (e.g. the sync landed but the checkpoint was from one iteration later):
+/// confirm is idempotent, so replay and rebase agree.
+#[test]
+fn duplicate_confirm_across_checkpoint_is_idempotent() {
+    let dir = test_dir("re-dup-confirm");
+    let journal = dir.join("s.journal");
+    let ckpt = dir.join("s.ckpt");
+    let outcome = reference_run(&journal, Some(&ckpt));
+
+    // Craft a checkpoint from mid-session: replay the journal's first two
+    // committed iterations only.
+    let full = recover(&journal, None).expect("replay");
+    assert!(full.state.iterations_done >= 2, "need a multi-iteration session");
+    let (config, mid_state) = {
+        let bytes = std::fs::read(&journal).expect("read");
+        // Reuse recovery itself to build the mid state: truncate a copy
+        // after iteration 2's boundary by scanning with recover on
+        // progressively shorter prefixes.
+        let mut chosen: Option<SessionState> = None;
+        for cut in (8..=bytes.len()).rev() {
+            let tmp = dir.join("probe.journal");
+            std::fs::write(&tmp, &bytes[..cut]).expect("write probe");
+            let r = recover(&tmp, None).expect("probe replay");
+            if r.state.iterations_done == 2 {
+                chosen = Some(r.state);
+                break;
+            }
+        }
+        (full.config.expect("config"), chosen.expect("a 2-iteration prefix exists"))
+    };
+    // The checkpoint is AHEAD of a journal truncated to 1 iteration, and
+    // the journal's iteration-1 records (already inside the checkpoint)
+    // are exactly the duplicate-confirm hazard.
+    write_checkpoint(&ckpt, &config, &mid_state).expect("write checkpoint");
+    let bytes = std::fs::read(&journal).expect("read");
+    let mut one_iter = None;
+    for cut in 8..=bytes.len() {
+        let tmp = dir.join("probe.journal");
+        std::fs::write(&tmp, &bytes[..cut]).expect("write probe");
+        if recover(&tmp, None).expect("probe").state.iterations_done == 1 {
+            one_iter = Some(cut);
+            break;
+        }
+    }
+    let cut = one_iter.expect("a 1-iteration prefix exists");
+    std::fs::write(&journal, &bytes[..cut]).expect("truncate journal");
+
+    let (sink, recovered) = JournalSink::resume(&journal, Some(&ckpt), opts()).expect("resume");
+    assert!(recovered.from_checkpoint && recovered.needs_rebase);
+    assert_eq!(recovered.state, mid_state, "rebase replaces, never re-applies");
+    let mut sink = DetSink(sink);
+    let mut oracle = PerfectOracle::new(truth(N));
+    let resumed = resume_session(
+        &mut engine(),
+        &mut oracle,
+        recovered.config.expect("config"),
+        recovered.state,
+        &mut sink,
+    )
+    .expect("resume");
+    sink.0.finish().expect("finish");
+    assert_eq!(resumed, outcome);
+    // No double counting anywhere.
+    assert_eq!(resumed.labels_used, outcome.labels_used);
+    let replayed = recover(&journal, None).expect("replay rebased journal");
+    assert_eq!(replayed.state.outcome, outcome);
+}
+
+/// Crash during the *resumed* run: resume, cut again, resume again.
+#[test]
+fn double_crash_double_resume_is_still_identical() {
+    let dir = test_dir("re-double-crash");
+    let journal = dir.join("s.journal");
+    let outcome = reference_run(&journal, None);
+    let ref_bytes = std::fs::read(&journal).expect("read");
+
+    // First crash: keep 40 %.
+    std::fs::write(&journal, &ref_bytes[..ref_bytes.len() * 2 / 5]).expect("cut 1");
+    {
+        let (sink, recovered) = JournalSink::resume(&journal, None, opts()).expect("resume 1");
+        let mut sink = DetSink(sink);
+        let mut oracle = PerfectOracle::new(truth(N));
+        resume_session(
+            &mut engine(),
+            &mut oracle,
+            recovered.config.unwrap_or_default(),
+            recovered.state,
+            &mut sink,
+        )
+        .expect("resumed run 1");
+        sink.0.finish().expect("finish 1");
+    }
+    // Second crash: cut the (rewritten) journal again, then resume to the
+    // end.
+    let bytes = std::fs::read(&journal).expect("read");
+    std::fs::write(&journal, &bytes[..bytes.len() * 4 / 5]).expect("cut 2");
+    let (sink, recovered) = JournalSink::resume(&journal, None, opts()).expect("resume 2");
+    let mut sink = DetSink(sink);
+    let mut oracle = PerfectOracle::new(truth(N));
+    let resumed = resume_session(
+        &mut engine(),
+        &mut oracle,
+        recovered.config.unwrap_or_default(),
+        recovered.state,
+        &mut sink,
+    )
+    .expect("resumed run 2");
+    sink.0.finish().expect("finish 2");
+    assert_eq!(resumed, outcome);
+    for (a, b) in resumed.response_times.iter().zip(&outcome.response_times) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+#[test]
+fn version_skew_is_rejected_in_both_files() {
+    let dir = test_dir("re-version-skew");
+    let journal = dir.join("s.journal");
+    let ckpt = dir.join("s.ckpt");
+    reference_run(&journal, Some(&ckpt));
+
+    let mut bytes = std::fs::read(&journal).expect("read journal");
+    bytes[4] = 2;
+    std::fs::write(&journal, &bytes).expect("write");
+    assert!(matches!(
+        recover(&journal, None),
+        Err(StoreError::VersionSkew { found: 2, supported: 1 })
+    ));
+    bytes[4] = 1;
+    std::fs::write(&journal, &bytes).expect("restore");
+
+    let mut ck_bytes = std::fs::read(&ckpt).expect("read checkpoint");
+    ck_bytes[4] = 7;
+    std::fs::write(&ckpt, &ck_bytes).expect("write");
+    assert!(matches!(
+        recover(&journal, Some(&ckpt)),
+        Err(StoreError::VersionSkew { found: 7, supported: 1 })
+    ));
+    assert!(matches!(
+        read_checkpoint(&ckpt),
+        Err(StoreError::VersionSkew { found: 7, supported: 1 })
+    ));
+}
+
+/// A checkpoint that is merely *equal* to the journal must not trigger a
+/// rebase (no journal bloat on clean restarts).
+#[test]
+fn equal_checkpoint_defers_to_journal() {
+    let dir = test_dir("re-equal-ckpt");
+    let journal = dir.join("s.journal");
+    let ckpt = dir.join("s.ckpt");
+    reference_run(&journal, Some(&ckpt));
+    let len_before = std::fs::metadata(&journal).expect("meta").len();
+    let (_, ck_state) = read_checkpoint(&ckpt).expect("read").expect("present");
+    let journal_state = recover(&journal, None).expect("replay").state;
+    assert_eq!(ck_state.iterations_done, journal_state.iterations_done);
+
+    let (sink, recovered) = JournalSink::resume(&journal, Some(&ckpt), opts()).expect("resume");
+    assert!(!recovered.from_checkpoint && !recovered.needs_rebase);
+    drop(sink);
+    assert_eq!(std::fs::metadata(&journal).expect("meta").len(), len_before);
+}
+
+/// Corruption inside an earlier *rebase* record: everything after it is
+/// unreachable, but recovery still degrades cleanly to the pre-rebase
+/// prefix plus the (intact) checkpoint.
+#[test]
+fn damaged_rebase_record_falls_back_cleanly() {
+    let dir = test_dir("re-damaged-rebase");
+    let journal = dir.join("s.journal");
+    let ckpt = dir.join("s.ckpt");
+    let outcome = reference_run(&journal, Some(&ckpt));
+    // Force a rebase: lose the journal, resume from checkpoint.
+    std::fs::write(&journal, b"").expect("drop journal");
+    {
+        let (sink, recovered) = JournalSink::resume(&journal, Some(&ckpt), opts()).expect("resume");
+        assert!(recovered.needs_rebase);
+        drop(sink);
+    }
+    // Now damage a byte inside the rebase snapshot record.
+    let mut bytes = std::fs::read(&journal).expect("read");
+    let mid = 8 + (bytes.len() - 8) / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&journal, &bytes).expect("write");
+    let r = recover(&journal, Some(&ckpt)).expect("recover");
+    // The journal alone is now empty-ish, so the checkpoint must lead.
+    assert!(r.from_checkpoint);
+    assert_eq!(r.state.outcome, outcome);
+}

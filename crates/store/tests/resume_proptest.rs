@@ -1,0 +1,90 @@
+//! Property: for ANY generated task (schema size, score matrix, strategy,
+//! seed) and ANY journal cut point, crash-then-resume produces a
+//! `SessionOutcome` bitwise identical to the uninterrupted run.
+
+mod common;
+
+use common::{source, test_dir, truth, DetSink};
+use lsm_core::{
+    resume_session, run_session_with_sink, PerfectOracle, PinnedBaselineEngine, SelectionStrategy,
+    SessionConfig,
+};
+use lsm_schema::{AttrId, ScoreMatrix};
+use lsm_store::{JournalOptions, JournalSink, SyncPolicy};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_scores(n: usize, seed: u64) -> ScoreMatrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut m = ScoreMatrix::zeros(n, 2 * n);
+    for s in 0..n as u32 {
+        for t in 0..2 * n as u32 {
+            m.set(AttrId(s), AttrId(t), rng.gen_range(0.0..1.0));
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn resume_from_any_cut_is_bitwise_identical(
+        n in 3usize..6,
+        random_strategy in any::<bool>(),
+        labels_per_iter in 1usize..3,
+        seed in any::<u64>(),
+        scores_seed in any::<u64>(),
+        cut_frac in 0.0f64..=1.0,
+    ) {
+        let dir = test_dir("proptest-resume");
+        let journal = dir.join("s.journal");
+        let ckpt = dir.join("s.ckpt");
+        let config = SessionConfig {
+            labels_per_iter,
+            strategy: if random_strategy {
+                SelectionStrategy::Random
+            } else {
+                SelectionStrategy::LeastConfidentAnchor
+            },
+            seed,
+            ..Default::default()
+        };
+        let scores = random_scores(n, scores_seed);
+        let opts = JournalOptions { checkpoint_every: 2, sync: SyncPolicy::Never };
+
+        // Uninterrupted reference.
+        let mut sink = DetSink(JournalSink::create(&journal, Some(&ckpt), opts).expect("create"));
+        let mut engine = PinnedBaselineEngine::new(source(n), scores.clone());
+        let mut oracle = PerfectOracle::new(truth(n));
+        let reference = run_session_with_sink(&mut engine, &mut oracle, config, &mut sink)
+            .expect("journaled run");
+        sink.0.finish().expect("finish");
+
+        // Crash at an arbitrary byte, resume, compare.
+        let bytes = std::fs::read(&journal).expect("read journal");
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let cut = cut.min(bytes.len());
+        std::fs::write(&journal, &bytes[..cut]).expect("cut journal");
+
+        let (sink, recovered) = JournalSink::resume(&journal, Some(&ckpt), opts).expect("resume");
+        let mut sink = DetSink(sink);
+        let mut engine = PinnedBaselineEngine::new(source(n), scores);
+        let mut oracle = PerfectOracle::new(truth(n));
+        let resumed = resume_session(
+            &mut engine,
+            &mut oracle,
+            recovered.config.unwrap_or(config),
+            recovered.state,
+            &mut sink,
+        )
+        .expect("resumed run");
+        sink.0.finish().expect("finish");
+
+        prop_assert_eq!(&resumed, &reference);
+        for (a, b) in resumed.response_times.iter().zip(&reference.response_times) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

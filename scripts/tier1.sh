@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: format check, release build, full test suite,
-# workspace clippy, the lsm-lint static-analysis gate, and an observability
-# smoke test (ROADMAP.md "Tier-1 verify").
+# workspace clippy, the lsm-lint static-analysis gate, an observability
+# smoke test, and a crash/resume persistence smoke test
+# (ROADMAP.md "Tier-1 verify").
 #
 # Usage: scripts/tier1.sh
 set -euo pipefail
@@ -40,5 +41,26 @@ else
   grep -q '"session.respond"' "$metrics"
   echo "metrics snapshot OK (python3 unavailable; key check only)"
 fi
+
+echo "==> persistence smoke: journal a session, tear its tail off, resume"
+journal=/tmp/lsm_tier1_session.journal
+rm -f "$journal" "$journal.ckpt"
+cargo run --release -p lsm-cli --bin lsm -- session movielens --model off --journal "$journal" >/tmp/lsm_tier1_ref.out
+test -s "$journal"
+test -s "$journal.ckpt"
+# Simulate a crash: drop the last 200 bytes (tearing the final records) and
+# the checkpoint, then resume; the session must still finish 19/19.
+truncate -s -200 "$journal"
+rm -f "$journal.ckpt"
+cargo run --release -p lsm-cli --bin lsm -- session movielens --model off --resume "$journal" >/tmp/lsm_tier1_resume.out
+grep -q "matched: 19/19" /tmp/lsm_tier1_resume.out
+# Modulo the wall-clock response-time line, the resumed report is identical.
+if ! diff <(grep -v "^mean response time" /tmp/lsm_tier1_ref.out) \
+          <(grep -v "^mean response time" /tmp/lsm_tier1_resume.out); then
+  echo "resumed session output diverged from the uninterrupted run" >&2
+  exit 1
+fi
+rm -f "$journal" "$journal.ckpt" /tmp/lsm_tier1_ref.out /tmp/lsm_tier1_resume.out
+echo "persistence smoke OK: torn journal resumed to an identical report"
 
 echo "==> tier-1 OK"
