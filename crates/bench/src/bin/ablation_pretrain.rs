@@ -61,5 +61,6 @@ fn main() {
         println!("{name:<22} top-3 {:.2}", mean(&accs));
         artifact.push(serde_json::json!({ "variant": name, "top3": mean(&accs) }));
     }
-    write_artifact("ablation_pretrain", &serde_json::json!({ "rows": artifact }));
+    write_artifact("ablation_pretrain", &serde_json::json!({ "rows": artifact }))
+        .expect("write artifact");
 }

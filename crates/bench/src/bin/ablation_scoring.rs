@@ -47,5 +47,6 @@ fn main() {
         println!();
         artifact.push(serde_json::Value::Object(row));
     }
-    write_artifact("ablation_scoring", &serde_json::json!({ "rows": artifact }));
+    write_artifact("ablation_scoring", &serde_json::json!({ "rows": artifact }))
+        .expect("write artifact");
 }

@@ -58,5 +58,6 @@ fn main() {
         println!();
         artifact.push(serde_json::Value::Object(row));
     }
-    write_artifact("ablation_selftrain", &serde_json::json!({ "rows": artifact }));
+    write_artifact("ablation_selftrain", &serde_json::json!({ "rows": artifact }))
+        .expect("write artifact");
 }

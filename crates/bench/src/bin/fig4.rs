@@ -42,5 +42,6 @@ fn main() {
             }));
         }
     }
-    write_artifact("fig4", &serde_json::json!({ "trials": n, "rows": rows }));
+    write_artifact("fig4", &serde_json::json!({ "trials": n, "rows": rows }))
+        .expect("write artifact");
 }

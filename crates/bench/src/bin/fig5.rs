@@ -62,5 +62,5 @@ fn main() {
             }),
         );
     }
-    write_artifact("fig5", &serde_json::Value::Object(artifact));
+    write_artifact("fig5", &serde_json::Value::Object(artifact)).expect("write artifact");
 }

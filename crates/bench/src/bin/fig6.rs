@@ -49,5 +49,5 @@ fn main() {
             }),
         );
     }
-    write_artifact("fig6", &serde_json::Value::Object(artifact));
+    write_artifact("fig6", &serde_json::Value::Object(artifact)).expect("write artifact");
 }

@@ -56,5 +56,5 @@ fn main() {
             }),
         );
     }
-    write_artifact("fig7", &serde_json::Value::Object(artifact));
+    write_artifact("fig7", &serde_json::Value::Object(artifact)).expect("write artifact");
 }

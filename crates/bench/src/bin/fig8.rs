@@ -50,5 +50,5 @@ fn main() {
         );
         artifact.insert(d.name.clone(), serde_json::Value::Object(per_noise));
     }
-    write_artifact("fig8", &serde_json::Value::Object(artifact));
+    write_artifact("fig8", &serde_json::Value::Object(artifact)).expect("write artifact");
 }

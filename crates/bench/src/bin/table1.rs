@@ -36,5 +36,6 @@ fn main() {
             "customers": rows,
             "iss": { "entities": iss.entities, "attributes": iss.attributes, "pk_fk": iss.pk_fk },
         }),
-    );
+    )
+    .expect("write artifact");
 }

@@ -28,5 +28,5 @@ fn main() {
             }));
         }
     }
-    write_artifact("table2", &serde_json::json!({ "rows": rows }));
+    write_artifact("table2", &serde_json::json!({ "rows": rows })).expect("write artifact");
 }

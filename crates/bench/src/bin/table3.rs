@@ -34,5 +34,6 @@ fn main() {
         println!();
         artifact_rows.push(serde_json::Value::Object(row));
     }
-    write_artifact("table3", &serde_json::json!({ "rows": artifact_rows }));
+    write_artifact("table3", &serde_json::json!({ "rows": artifact_rows }))
+        .expect("write artifact");
 }

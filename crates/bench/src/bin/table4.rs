@@ -36,5 +36,6 @@ fn main() {
             "lsm_top_k": { "1": l_med[0], "3": l_med[1], "5": l_med[2] },
         }));
     }
-    write_artifact("table4", &serde_json::json!({ "trials": n, "rows": rows }));
+    write_artifact("table4", &serde_json::json!({ "trials": n, "rows": rows }))
+        .expect("write artifact");
 }

@@ -446,7 +446,7 @@ pub fn generate(what: &str) -> Result<String, String> {
             ))
         }
     };
-    Ok(SchemaSpec::from_schema(&schema).to_json())
+    SchemaSpec::from_schema(&schema).to_json().map_err(|e| e.to_string())
 }
 
 #[cfg(test)]

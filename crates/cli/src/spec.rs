@@ -122,9 +122,8 @@ impl SchemaSpec {
     }
 
     /// Renders the spec as pretty JSON.
-    pub fn to_json(&self) -> String {
-        // lsm-lint: allow(R5-panic-policy, plain-struct serialization has no fallible Serialize impl and no io)
-        serde_json::to_string_pretty(self).expect("spec serializes")
+    pub fn to_json(&self) -> Result<String, SpecError> {
+        serde_json::to_string_pretty(self).map_err(SpecError::Json)
     }
 
     /// Converts the spec into a validated [`Schema`].

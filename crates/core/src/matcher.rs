@@ -171,9 +171,7 @@ impl LsmMatcher {
                     // give it the biggest share of the budget.
                     let quota = [m / 4, m / 8, m - m / 4 - m / 8];
                     for (signal, &q) in signals.iter_mut().zip(&quota) {
-                        signal.sort_by(|a, b| {
-                            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-                        });
+                        signal.sort_by(|a, b| b.1.total_cmp(&a.1));
                         let mut added = 0;
                         for &(t, _) in signal.iter() {
                             if added == q {

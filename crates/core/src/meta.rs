@@ -176,7 +176,7 @@ impl MetaLearner {
                     pseudo.push((*x, 0.0, 1.0 - p));
                 }
             }
-            pseudo.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+            pseudo.sort_by(|a, b| b.2.total_cmp(&a.2));
             pseudo.truncate(self.config.max_pseudo_per_round);
             if pseudo.is_empty() {
                 break;

@@ -1,10 +1,13 @@
 //! The violation baseline: pre-existing debt frozen in `lint-baseline.json`.
 //!
-//! Counts are keyed by `(rule, file)` rather than by line so that unrelated
-//! edits shifting line numbers do not thaw old debt; only *more* violations
-//! of a rule in a file than the baseline records fail the build. The crate
-//! is dependency-free, so the narrow JSON schema is read and written by
-//! hand.
+//! Since version 2 the counts are keyed by `(rule, item)` where *item* is
+//! the fully-qualified function the violation sits in (e.g.
+//! `core::matcher::LsmMatcher::retrain`), falling back to the file path for
+//! violations outside any function. Item keys survive both line shifts
+//! *and* file moves; only *more* violations of a rule on an item than the
+//! baseline records fail the build. Version-1 baselines (keyed by file)
+//! are still read — run `--fix-baseline` once to migrate. The crate is
+//! dependency-free, so the narrow JSON schema is read and written by hand.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -12,19 +15,25 @@ use std::path::Path;
 
 use crate::rules::Violation;
 
-/// Baseline counts: `(rule, file) -> allowed violation count`.
+/// Baseline counts: `(rule, item-or-file) -> allowed violation count`.
 pub type Counts = BTreeMap<(String, String), usize>;
+
+/// The baseline key of one violation: its fully-qualified item when known,
+/// its file otherwise.
+pub fn key_of(v: &Violation) -> (String, String) {
+    (v.rule.to_string(), v.item.clone().unwrap_or_else(|| v.file.clone()))
+}
 
 /// Aggregates active (non-suppressed) violations into baseline counts.
 pub fn count(violations: &[Violation]) -> Counts {
     let mut counts = Counts::new();
     for v in violations.iter().filter(|v| v.suppressed.is_none()) {
-        *counts.entry((v.rule.to_string(), v.file.clone())).or_insert(0) += 1;
+        *counts.entry(key_of(v)).or_insert(0) += 1;
     }
     counts
 }
 
-/// The `(rule, file)` groups whose current count exceeds the baseline,
+/// The `(rule, item)` groups whose current count exceeds the baseline,
 /// with `(current, allowed)` per group.
 pub fn over_baseline(current: &Counts, baseline: &Counts) -> Vec<((String, String), usize, usize)> {
     current
@@ -36,19 +45,39 @@ pub fn over_baseline(current: &Counts, baseline: &Counts) -> Vec<((String, Strin
         .collect()
 }
 
+/// For each violation (in order), is it covered by the frozen baseline?
+/// The first `allowed` active violations of a key are covered; suppressed
+/// violations are never baseline-covered (their inline allow covers them).
+pub fn covered_flags(violations: &[Violation], baseline: &Counts) -> Vec<bool> {
+    let mut used: Counts = Counts::new();
+    violations
+        .iter()
+        .map(|v| {
+            if v.suppressed.is_some() {
+                return false;
+            }
+            let key = key_of(v);
+            let allowed = baseline.get(&key).copied().unwrap_or(0);
+            let n = used.entry(key).or_insert(0);
+            *n += 1;
+            *n <= allowed
+        })
+        .collect()
+}
+
 /// Serializes counts to the checked-in JSON format (sorted, one entry per
 /// line, trailing newline) so regeneration is diff-stable.
 pub fn to_json(counts: &Counts) -> String {
-    let mut s = String::from("{\n  \"version\": 1,\n  \"entries\": [");
-    for (i, ((rule, file), n)) in counts.iter().enumerate() {
+    let mut s = String::from("{\n  \"version\": 2,\n  \"entries\": [");
+    for (i, ((rule, item), n)) in counts.iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
         let _ = write!(
             s,
-            "\n    {{ \"rule\": {}, \"file\": {}, \"count\": {} }}",
+            "\n    {{ \"rule\": {}, \"item\": {}, \"count\": {} }}",
             quote(rule),
-            quote(file),
+            quote(item),
             n
         );
     }
@@ -60,9 +89,10 @@ pub fn to_json(counts: &Counts) -> String {
     s
 }
 
-/// Parses the baseline JSON. Accepts exactly the schema [`to_json`] writes
-/// (field order within an entry is free); anything else is an error so a
-/// corrupted baseline cannot silently allow violations.
+/// Parses the baseline JSON. Accepts the version-2 schema [`to_json`]
+/// writes and the legacy version-1 schema (entries keyed by `"file"`);
+/// anything else is an error so a corrupted baseline cannot silently allow
+/// violations.
 pub fn from_json(text: &str) -> Result<Counts, String> {
     let mut p = Parser { bytes: text.as_bytes(), i: 0 };
     p.ws();
@@ -81,7 +111,7 @@ pub fn from_json(text: &str) -> Result<Counts, String> {
         match key.as_str() {
             "version" => {
                 let v = p.number()?;
-                if v != 1 {
+                if v != 1 && v != 2 {
                     return Err(format!("unsupported baseline version {v}"));
                 }
                 version_seen = true;
@@ -93,8 +123,8 @@ pub fn from_json(text: &str) -> Result<Counts, String> {
                     if p.eat(b']') {
                         break;
                     }
-                    let (rule, file, n) = p.entry()?;
-                    counts.insert((rule, file), n);
+                    let (rule, item, n) = p.entry()?;
+                    counts.insert((rule, item), n);
                     p.ws();
                     if !p.eat(b',') {
                         p.ws();
@@ -128,7 +158,7 @@ pub fn load(path: &Path) -> Result<Counts, String> {
     }
 }
 
-fn quote(s: &str) -> String {
+pub(crate) fn quote(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -240,7 +270,7 @@ impl Parser<'_> {
 
     fn entry(&mut self) -> Result<(String, String, usize), String> {
         self.expect(b'{')?;
-        let (mut rule, mut file, mut n) = (None, None, None);
+        let (mut rule, mut item, mut n) = (None, None, None);
         loop {
             self.ws();
             if self.eat(b'}') {
@@ -252,7 +282,8 @@ impl Parser<'_> {
             self.ws();
             match key.as_str() {
                 "rule" => rule = Some(self.string()?),
-                "file" => file = Some(self.string()?),
+                // `"file"` is the version-1 spelling of the same key.
+                "item" | "file" => item = Some(self.string()?),
                 "count" => n = Some(self.number()?),
                 other => return Err(format!("unexpected entry key {other:?}")),
             }
@@ -263,9 +294,9 @@ impl Parser<'_> {
                 break;
             }
         }
-        match (rule, file, n) {
+        match (rule, item, n) {
             (Some(r), Some(f), Some(n)) => Ok((r, f, n)),
-            _ => Err("baseline entry missing rule/file/count".to_string()),
+            _ => Err("baseline entry missing rule/item/count".to_string()),
         }
     }
 }
@@ -276,9 +307,20 @@ mod tests {
 
     fn sample() -> Counts {
         let mut c = Counts::new();
-        c.insert(("R1-hash-iter".into(), "crates/core/src/x.rs".into()), 2);
+        c.insert(("R1-hash-iter".into(), "core::featurize::tally".into()), 2);
         c.insert(("R5-panic-policy".into(), "crates/nn/src/y.rs".into()), 1);
         c
+    }
+
+    fn violation(rule: &'static str, item: Option<&str>) -> Violation {
+        Violation {
+            rule,
+            file: "crates/nn/src/y.rs".into(),
+            line: 1,
+            message: String::new(),
+            suppressed: None,
+            item: item.map(|s| s.to_string()),
+        }
     }
 
     #[test]
@@ -290,25 +332,55 @@ mod tests {
     }
 
     #[test]
+    fn reads_legacy_version_1_file_keys() {
+        let v1 = "{\n  \"version\": 1,\n  \"entries\": [\n    \
+                  { \"rule\": \"R1-hash-iter\", \"file\": \"crates/core/src/x.rs\", \"count\": 2 }\n  ]\n}\n";
+        let parsed = from_json(v1).expect("v1");
+        assert_eq!(parsed.get(&("R1-hash-iter".into(), "crates/core/src/x.rs".into())), Some(&2));
+    }
+
+    #[test]
+    fn keys_prefer_item_over_file() {
+        let vs = vec![
+            violation("R5-panic-policy", Some("nn::y::load")),
+            violation("R5-panic-policy", None),
+        ];
+        let c = count(&vs);
+        assert_eq!(c.get(&("R5-panic-policy".into(), "nn::y::load".into())), Some(&1));
+        assert_eq!(c.get(&("R5-panic-policy".into(), "crates/nn/src/y.rs".into())), Some(&1));
+    }
+
+    #[test]
     fn over_baseline_flags_only_growth() {
         let baseline = sample();
         let mut current = sample();
         assert!(over_baseline(&current, &baseline).is_empty());
-        current.insert(("R1-hash-iter".into(), "crates/core/src/x.rs".into()), 3);
+        current.insert(("R1-hash-iter".into(), "core::featurize::tally".into()), 3);
         let over = over_baseline(&current, &baseline);
         assert_eq!(over.len(), 1);
         assert_eq!(over[0].1, 3);
         assert_eq!(over[0].2, 2);
         // Shrinking below baseline is fine.
-        current.insert(("R1-hash-iter".into(), "crates/core/src/x.rs".into()), 0);
+        current.insert(("R1-hash-iter".into(), "core::featurize::tally".into()), 0);
         assert!(over_baseline(&current, &baseline).is_empty());
+    }
+
+    #[test]
+    fn covered_flags_cover_first_allowed_per_key() {
+        let mut baseline = Counts::new();
+        baseline.insert(("R5-panic-policy".into(), "nn::y::load".into()), 1);
+        let vs = vec![
+            violation("R5-panic-policy", Some("nn::y::load")),
+            violation("R5-panic-policy", Some("nn::y::load")),
+        ];
+        assert_eq!(covered_flags(&vs, &baseline), vec![true, false]);
     }
 
     #[test]
     fn rejects_corrupt_baselines() {
         assert!(from_json("{}").is_err()); // missing version
-        assert!(from_json("{\"version\": 2, \"entries\": []}").is_err());
-        assert!(from_json("{\"version\": 1, \"entries\": [{\"rule\": \"R1\"}]}").is_err());
+        assert!(from_json("{\"version\": 3, \"entries\": []}").is_err());
+        assert!(from_json("{\"version\": 2, \"entries\": [{\"rule\": \"R1\"}]}").is_err());
     }
 
     #[test]

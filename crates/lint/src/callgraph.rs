@@ -1,0 +1,244 @@
+//! An over-approximate workspace call graph over the resolved functions.
+//!
+//! Edges are resolved *by name*, with narrowing where the token stream
+//! gives more context:
+//!
+//! * `Type::name(..)` — methods of `impl Type`/`trait Type` named `name`,
+//!   falling back to every fn named `name`;
+//! * `.name(..)` — every *method* named `name` in the workspace (trait
+//!   dispatch is over-approximated: a call through `&dyn Trait` gets an
+//!   edge to every impl). Receiver-typed resolution is out of scope; a
+//!   method name with no workspace definition (std methods like `.iter()`)
+//!   produces no edge;
+//! * bare `name(..)` — fns named `name`, preferring same-file, then
+//!   same-crate, then workspace-wide matches.
+//!
+//! The graph never prunes: anything it cannot resolve precisely gains
+//! *more* edges, so reachability verdicts (rule R8) can report false
+//! positives — silenced with a reasoned `allow` — but not false negatives
+//! within the name-matching model.
+
+use std::collections::BTreeMap;
+
+use crate::resolve::Workspace;
+use crate::scan::Tok;
+
+/// Keywords and control-flow idents that look like `name (` in the token
+/// stream but are never calls.
+const NOT_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "mut", "ref", "move", "in", "as",
+    "where", "impl", "dyn", "else", "await", "unsafe", "box", "pub", "crate", "super", "self",
+    "Self", "use", "mod", "struct", "enum", "union", "trait", "type", "const", "static",
+];
+
+/// The call graph: `edges[i]` lists callee fn indices of fn `i` (indices
+/// into [`Workspace::fns`]), deduplicated and sorted.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph. `file_toks` maps root-relative path → its token
+    /// stream (the same stream the items were parsed from).
+    pub fn build(ws: &Workspace, file_toks: &BTreeMap<String, Vec<Tok>>) -> CallGraph {
+        // Name indexes, all BTree-backed for deterministic edge order.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut typed: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (i, f) in ws.fns.iter().enumerate() {
+            by_name.entry(&f.item.name).or_default().push(i);
+            if let Some(ty) = f.item.self_ty.as_deref() {
+                methods.entry(&f.item.name).or_default().push(i);
+                typed.entry((ty, &f.item.name)).or_default().push(i);
+            }
+        }
+
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); ws.fns.len()];
+        for (caller, f) in ws.fns.iter().enumerate() {
+            let Some(toks) = file_toks.get(&f.item.file) else { continue };
+            let (lo, hi) = f.item.body;
+            if lo == hi {
+                continue;
+            }
+            let body: Vec<&Tok> = toks.iter().filter(|t| t.pos() > lo && t.pos() < hi).collect();
+            for k in 0..body.len() {
+                let Some(name) = body[k].ident() else { continue };
+                if NOT_CALLS.contains(&name) {
+                    continue;
+                }
+                let next = body.get(k + 1);
+                if !next.is_some_and(|t| t.is_punct("(")) {
+                    continue; // not `name (`
+                }
+                let prev = k.checked_sub(1).map(|p| body[p]);
+                if prev.is_some_and(|t| t.is_ident("fn")) {
+                    continue; // nested definition
+                }
+                let callees: &[usize] = if prev.is_some_and(|t| t.is_punct(".")) {
+                    // `.name(` — method call, trait dispatch over-approx.
+                    methods.get(name).map(|v| v.as_slice()).unwrap_or(&[])
+                } else if prev.is_some_and(|t| t.is_punct("::")) {
+                    // `Seg::name(` — type- or path-qualified.
+                    let seg = k.checked_sub(2).and_then(|p| body[p].ident());
+                    match seg.and_then(|s| typed.get(&(s, name))) {
+                        Some(v) => v.as_slice(),
+                        None => by_name.get(name).map(|v| v.as_slice()).unwrap_or(&[]),
+                    }
+                } else {
+                    by_name.get(name).map(|v| v.as_slice()).unwrap_or(&[])
+                };
+                if callees.is_empty() {
+                    continue;
+                }
+                // Narrow bare-name candidates: same file beats same crate
+                // beats workspace-wide.
+                let chosen: Vec<usize> = {
+                    let same_file: Vec<usize> = callees
+                        .iter()
+                        .copied()
+                        .filter(|&c| ws.fns[c].item.file == f.item.file)
+                        .collect();
+                    if !same_file.is_empty() {
+                        same_file
+                    } else {
+                        let same_crate: Vec<usize> = callees
+                            .iter()
+                            .copied()
+                            .filter(|&c| ws.fns[c].crate_dir == f.crate_dir)
+                            .collect();
+                        if !same_crate.is_empty() {
+                            same_crate
+                        } else {
+                            callees.to_vec()
+                        }
+                    }
+                };
+                for c in chosen {
+                    if c != caller {
+                        edges[caller].push(c);
+                    }
+                }
+            }
+        }
+        for e in &mut edges {
+            e.sort_unstable();
+            e.dedup();
+        }
+        CallGraph { edges }
+    }
+
+    /// BFS from `roots`; returns, for every reachable fn, the index of the
+    /// fn it was first reached *from* (roots map to themselves). Cycles are
+    /// handled naturally — each node is visited once.
+    pub fn reach_from(&self, roots: &[usize]) -> BTreeMap<usize, usize> {
+        let mut pred: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &r in roots {
+            if !pred.contains_key(&r) {
+                pred.insert(r, r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for &c in &self.edges[n] {
+                if !pred.contains_key(&c) {
+                    pred.insert(c, n);
+                    queue.push_back(c);
+                }
+            }
+        }
+        pred
+    }
+
+    /// The call path `root -> .. -> target` implied by a [`reach_from`]
+    /// predecessor map, as fn indices.
+    pub fn path_to(pred: &BTreeMap<usize, usize>, target: usize) -> Vec<usize> {
+        let mut path = vec![target];
+        let mut cur = target;
+        while let Some(&p) = pred.get(&cur) {
+            if p == cur {
+                break;
+            }
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_file;
+    use crate::resolve::Workspace;
+    use crate::scan::{tokenize, FileView};
+
+    fn build(files: &[(&str, &str)]) -> (Workspace, CallGraph) {
+        let mut items = BTreeMap::new();
+        let mut toks_map = BTreeMap::new();
+        for (path, src) in files {
+            let view = FileView::new(src.to_string());
+            let toks = tokenize(&view.code);
+            items.insert(path.to_string(), parse_file(path, &view, &toks, &[]));
+            toks_map.insert(path.to_string(), toks);
+        }
+        let ws = Workspace::resolve(&items);
+        let cg = CallGraph::build(&ws, &toks_map);
+        (ws, cg)
+    }
+
+    fn idx(ws: &Workspace, fq: &str) -> usize {
+        ws.fns.iter().position(|f| f.fq == fq).unwrap_or_else(|| panic!("missing {fq}"))
+    }
+
+    #[test]
+    fn direct_and_cross_crate_edges() {
+        let (ws, cg) = build(&[
+            ("crates/a/src/lib.rs", "pub fn entry() { helper(); beta_load(); } fn helper() {}"),
+            ("crates/b/src/lib.rs", "pub fn beta_load() {}"),
+        ]);
+        let entry = idx(&ws, "a::entry");
+        assert!(cg.edges[entry].contains(&idx(&ws, "a::helper")));
+        assert!(cg.edges[entry].contains(&idx(&ws, "b::beta_load")));
+    }
+
+    #[test]
+    fn method_calls_over_approximate_across_impls() {
+        let (ws, cg) = build(&[(
+            "crates/a/src/lib.rs",
+            "pub trait T { fn go(&self); } pub struct X; pub struct Y; \
+             impl T for X { fn go(&self) {} } impl T for Y { fn go(&self) {} } \
+             pub fn run(t: &dyn T) { t.go(); }",
+        )]);
+        let run = idx(&ws, "a::run");
+        assert!(cg.edges[run].contains(&idx(&ws, "a::X::go")));
+        assert!(cg.edges[run].contains(&idx(&ws, "a::Y::go")));
+    }
+
+    #[test]
+    fn reachability_handles_cycles() {
+        let (ws, cg) = build(&[(
+            "crates/a/src/lib.rs",
+            "pub fn top() { ping(); } fn ping() { pong(); } fn pong() { ping(); sink(); } \
+             fn sink() {} fn island() {}",
+        )]);
+        let reach = cg.reach_from(&[idx(&ws, "a::top")]);
+        assert!(reach.contains_key(&idx(&ws, "a::sink")));
+        assert!(!reach.contains_key(&idx(&ws, "a::island")));
+        let path = CallGraph::path_to(&reach, idx(&ws, "a::sink"));
+        assert_eq!(path.first().copied(), Some(idx(&ws, "a::top")));
+        assert_eq!(path.len(), 4, "top -> ping -> pong -> sink");
+    }
+
+    #[test]
+    fn same_file_narrowing_beats_workspace_matches() {
+        let (ws, cg) = build(&[
+            ("crates/a/src/lib.rs", "pub fn go() { load(); } fn load() {}"),
+            ("crates/b/src/lib.rs", "pub fn load() {}"),
+        ]);
+        let go = idx(&ws, "a::go");
+        assert_eq!(cg.edges[go], vec![idx(&ws, "a::load")]);
+    }
+}

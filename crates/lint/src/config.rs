@@ -30,13 +30,27 @@ pub const WALL_CLOCK_ALLOWED_FILES: &[&str] = &["crates/core/src/session.rs"];
 /// future OS-entropy seeding constructor would be registered here.
 pub const ENTROPY_ALLOWED_FILES: &[&str] = &[];
 
+/// Crates whose float code sits on a score path (R6): the deterministic
+/// set plus `schema` (score matrices live there) and `bench` (metric
+/// aggregation must reproduce across runs to be comparable).
+pub const FLOAT_SCORE_CRATE_DIRS: &[&str] =
+    &["core", "matchers", "nn", "text", "embedding", "datasets", "store", "schema", "bench"];
+
 /// Marker prefix of a suppression comment:
 /// `// lsm-lint: allow(rule-id, reason)`.
 pub const SUPPRESS_MARKER: &str = "lsm-lint: allow(";
 
-/// Identifiers of the five rules, used in diagnostics and suppressions.
-pub const RULE_IDS: &[&str] =
-    &["R1-hash-iter", "R2-wall-clock", "R3-entropy", "R4-unsafe-safety", "R5-panic-policy"];
+/// Identifiers of the eight rules, used in diagnostics and suppressions.
+pub const RULE_IDS: &[&str] = &[
+    "R1-hash-iter",
+    "R2-wall-clock",
+    "R3-entropy",
+    "R4-unsafe-safety",
+    "R5-panic-policy",
+    "R6-float-determinism",
+    "R7-concurrency",
+    "R8-panic-reachability",
+];
 
 /// One-line rationale per rule, shown by `--list-rules`.
 pub const RULE_SUMMARIES: &[(&str, &str)] = &[
@@ -56,6 +70,20 @@ pub const RULE_SUMMARIES: &[(&str, &str)] = &[
     (
         "R5-panic-policy",
         "no unwrap/expect on io/serde results in library code; propagate or handle the error",
+    ),
+    (
+        "R6-float-determinism",
+        "no partial_cmp comparators or parallel float reductions on score paths; use total_cmp \
+         and fixed-order block reductions",
+    ),
+    (
+        "R7-concurrency",
+        "no static mut, no Relaxed loads feeding comparisons, no locks inside #[inline] hot paths",
+    ),
+    (
+        "R8-panic-reachability",
+        "no io/serde unwrap/expect/panic! reachable from a pub API of a library crate \
+         (call-graph-transitive R5)",
     ),
 ];
 

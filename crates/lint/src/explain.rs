@@ -1,0 +1,137 @@
+//! `lsm-lint --explain <rule>`: the long-form rationale behind each rule,
+//! with a concrete before/after where one exists in this repository's
+//! history. The short one-liners live in [`crate::config::RULE_SUMMARIES`];
+//! this module is what a contributor reads when the gate rejects their PR.
+
+/// Long-form explanation per rule id.
+const EXPLANATIONS: &[(&str, &str)] = &[
+    (
+        "R1-hash-iter",
+        "R1-hash-iter — no HashMap/HashSet iteration in deterministic crates.\n\
+         \n\
+         std's hashers are seeded per process, so iteration order differs between\n\
+         runs. Any score, feature vector, or serialized artifact built by iterating\n\
+         a hash container silently changes across runs. Lookups are fine.\n\
+         \n\
+         before:  for (tok, n) in counts.iter() { ... }        // HashMap\n\
+         after:   let counts: BTreeMap<_, _> = ...;            // or collect-and-sort\n",
+    ),
+    (
+        "R2-wall-clock",
+        "R2-wall-clock — no Instant::now/SystemTime::now outside lsm-obs/lsm-bench.\n\
+         \n\
+         Timing belongs to the observability layer so every measurement lands in\n\
+         the same trace with the same epoch. A raw clock read elsewhere produces\n\
+         timings nothing can attribute or compare.\n\
+         \n\
+         before:  let t0 = Instant::now(); work(); log(t0.elapsed());\n\
+         after:   let _span = lsm_obs::span(\"work\"); work();\n",
+    ),
+    (
+        "R3-entropy",
+        "R3-entropy — every RNG takes an explicit seed.\n\
+         \n\
+         thread_rng/from_entropy/OsRng make a run unreproducible: no seed, no\n\
+         replay. All randomness flows from a seed recorded in the experiment\n\
+         config.\n\
+         \n\
+         before:  let mut rng = rand::thread_rng();\n\
+         after:   let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);\n",
+    ),
+    (
+        "R4-unsafe-safety",
+        "R4-unsafe-safety — unsafe needs a // SAFETY: comment; unsafe-free crates\n\
+         must carry #![forbid(unsafe_code)].\n\
+         \n\
+         The comment states the invariant that makes the block sound, where the\n\
+         next editor will see it. The forbid attribute makes \"this crate has no\n\
+         unsafe\" a compiler-checked property instead of a lint-checked one.\n",
+    ),
+    (
+        "R5-panic-policy",
+        "R5-panic-policy — no unwrap/expect on io/serde results in library code.\n\
+         \n\
+         Disk and serde failures are expected at runtime (truncated journal,\n\
+         concurrent writer, disk full). Library code propagates them; only bin\n\
+         targets decide to abort.\n\
+         \n\
+         before:  let cfg = std::fs::read_to_string(p).unwrap();\n\
+         after:   let cfg = std::fs::read_to_string(p)?;\n",
+    ),
+    (
+        "R6-float-determinism",
+        "R6-float-determinism — no order-sensitive float operations on score paths.\n\
+         \n\
+         Float addition is not associative and partial_cmp is not total, so both\n\
+         parallel reductions and NaN-fallback comparators make score matrices\n\
+         differ across runs or thread counts — breaking the bitwise-reproducibility\n\
+         guarantee the matcher's proptests enforce.\n\
+         \n\
+         before:  pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(Equal));\n\
+         after:   pairs.sort_by(|a, b| b.2.total_cmp(&a.2));\n\
+         \n\
+         before:  let s: f64 = xs.par_iter().sum();\n\
+         after:   chunk xs, reduce each chunk sequentially, combine in index order\n\
+         (see Tensor::matmul_threaded: threads write disjoint slices, the merge\n\
+         order is fixed).\n",
+    ),
+    (
+        "R7-concurrency",
+        "R7-concurrency — shared-state discipline.\n\
+         \n\
+         Three shapes are flagged: (1) `static mut` — unsynchronized shared\n\
+         mutable state, UB under concurrent access; use an atomic, Mutex, or\n\
+         OnceLock. (2) an Ordering::Relaxed load feeding a comparison — the\n\
+         snapshot can be arbitrarily stale relative to the writes it gates; load\n\
+         with Acquire. A bare boolean gate (`if ENABLED.load(Relaxed)`) stays\n\
+         legal: that is the zero-overhead-when-off fast path. (3) `.lock()`\n\
+         inside an #[inline] fn — inline functions are the hot-path contract and\n\
+         a lock there serializes every caller; move it behind an out-of-line\n\
+         slow path.\n\
+         \n\
+         before:  COUNTERS[c].load(Ordering::Relaxed) >= cap\n\
+         after:   COUNTERS[c].load(Ordering::Acquire) >= cap\n",
+    ),
+    (
+        "R8-panic-reachability",
+        "R8-panic-reachability — the call-graph-transitive form of R5.\n\
+         \n\
+         R5 flags an unwrap on io/serde where it lexically sits; R8 asks whether a\n\
+         pub API of a library crate can *reach* one, across files and crates, and\n\
+         prints the call path (e.g. `core::api::respond -> store::journal::append`).\n\
+         The graph is over-approximate — name-matched calls, trait dispatch fans\n\
+         out to every impl — so it can report paths that cannot happen at runtime\n\
+         (suppress with a reasoned allow) but does not miss ones that can.\n\
+         \n\
+         fix: propagate the error across the reported path instead of panicking,\n\
+         or make the entry point fallible.\n",
+    ),
+];
+
+/// The long explanation for `rule`, accepting either the full id
+/// (`R6-float-determinism`) or the bare number (`R6`).
+pub fn explain(rule: &str) -> Option<&'static str> {
+    EXPLANATIONS
+        .iter()
+        .find(|(id, _)| *id == rule || id.split('-').next() == Some(rule))
+        .map(|(_, text)| *text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config;
+
+    #[test]
+    fn every_rule_has_an_explanation() {
+        for id in config::RULE_IDS {
+            assert!(explain(id).is_some(), "no --explain text for {id}");
+        }
+    }
+
+    #[test]
+    fn short_ids_resolve() {
+        assert!(explain("R8").is_some_and(|t| t.contains("call-graph-transitive")));
+        assert!(explain("R9").is_none());
+    }
+}

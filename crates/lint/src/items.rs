@@ -1,0 +1,469 @@
+//! A lightweight Rust *item* parser over the blanked token stream.
+//!
+//! This is not a grammar-complete parser: it extracts exactly the shapes the
+//! workspace-semantic rules need — `fn` definitions (with visibility,
+//! attributes, containing module path, and the `impl`/`trait` self type),
+//! `mod` declarations, and `use` re-exports. Everything it cannot parse it
+//! skips, erring toward *over*-approximation downstream (an unresolved
+//! module counts as public, an unresolved call matches by name), which for
+//! reachability-style rules means more findings, never silently fewer.
+
+use crate::scan::{FileView, Tok};
+
+/// One `fn` item (free function, inherent/trait-impl method, or trait
+/// default method).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's bare name.
+    pub name: String,
+    /// Root-relative path of the defining file.
+    pub file: String,
+    /// Inline-module path within the file (file-level modules are resolved
+    /// separately by [`crate::resolve`]).
+    pub inline_mods: Vec<String>,
+    /// Were all enclosing *inline* modules declared `pub`?
+    pub inline_mods_pub: bool,
+    /// The `impl`/`trait` self type this fn is a method of, if any.
+    pub self_ty: Option<String>,
+    /// Is this a method of a `impl Trait for Type` block? (Such methods are
+    /// callable through the trait even without a `pub` keyword.)
+    pub in_trait_impl: bool,
+    /// Carries a bare `pub` (not `pub(crate)`/`pub(super)`).
+    pub is_pub: bool,
+    /// Carries an `#[inline]`/`#[inline(..)]` attribute.
+    pub is_inline: bool,
+    /// Lies inside a `#[cfg(test)] mod` body.
+    pub in_test: bool,
+    /// Byte offset of the `fn` keyword (for diagnostics).
+    pub pos: usize,
+    /// Byte span of the body braces; empty (`pos..pos`) for a bodyless
+    /// trait-method declaration.
+    pub body: (usize, usize),
+}
+
+/// A `mod name;` / `mod name { .. }` declaration.
+#[derive(Debug, Clone)]
+pub struct ModDecl {
+    /// Root-relative path of the declaring file.
+    pub file: String,
+    /// The declared module name.
+    pub name: String,
+    /// Declared with a bare `pub`.
+    pub is_pub: bool,
+}
+
+/// A `pub use ..;` re-export: the leaf names it makes visible.
+#[derive(Debug, Clone)]
+pub struct ReExport {
+    /// Root-relative path of the re-exporting file.
+    pub file: String,
+    /// Every identifier mentioned in the use-tree (over-approximate: path
+    /// segments are included, so `pub use a::b::c` re-exports along `a`,
+    /// `b`, and `c` as far as the visibility check is concerned).
+    pub names: Vec<String>,
+    /// Whether the tree contains a `*` glob.
+    pub glob: bool,
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    pub fns: Vec<FnItem>,
+    pub mods: Vec<ModDecl>,
+    pub reexports: Vec<ReExport>,
+}
+
+/// Index of the token closing the bracket opened at `open`.
+pub(crate) fn matching(toks: &[Tok], open: usize, lhs: &str, rhs: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(lhs) {
+            depth += 1;
+        } else if t.is_punct(rhs) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// An open scope during the single parsing pass.
+enum Scope {
+    /// `mod name {` with its visibility.
+    Mod { name: String, is_pub: bool },
+    /// `impl Type {` / `impl Trait for Type {` / `trait Name {`.
+    Ty { name: String, trait_impl: bool },
+}
+
+/// Parses one scanned file into items. `test_spans` are the byte ranges of
+/// `#[cfg(test)] mod` bodies (see `rules::cfg_test_spans`).
+pub fn parse_file(
+    rel_path: &str,
+    _view: &FileView,
+    toks: &[Tok],
+    test_spans: &[(usize, usize)],
+) -> FileItems {
+    let mut out = FileItems::default();
+    // (scope, token index of the closing `}`)
+    let mut stack: Vec<(Scope, usize)> = Vec::new();
+    let in_test = |pos: usize| test_spans.iter().any(|&(a, b)| pos >= a && pos <= b);
+
+    let mut i = 0;
+    while i < toks.len() {
+        while stack.last().is_some_and(|&(_, close)| close < i) {
+            stack.pop();
+        }
+        let t = &toks[i];
+
+        if t.is_ident("mod") {
+            if let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) {
+                let is_pub = bare_pub_before(toks, i);
+                match toks.get(i + 2) {
+                    Some(t) if t.is_punct(";") => {
+                        out.mods.push(ModDecl {
+                            file: rel_path.to_string(),
+                            name: name.to_string(),
+                            is_pub,
+                        });
+                        i += 3;
+                        continue;
+                    }
+                    Some(t) if t.is_punct("{") => {
+                        out.mods.push(ModDecl {
+                            file: rel_path.to_string(),
+                            name: name.to_string(),
+                            is_pub,
+                        });
+                        if let Some(close) = matching(toks, i + 2, "{", "}") {
+                            stack.push((Scope::Mod { name: name.to_string(), is_pub }, close));
+                        }
+                        i += 3;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        if t.is_ident("impl") || t.is_ident("trait") {
+            let is_trait_decl = t.is_ident("trait");
+            // Find the opening `{` of the block body (skipping generics,
+            // the trait path, `for Type`, and any `where` clause).
+            let Some(open) = (i + 1..toks.len()).find(|&k| {
+                toks[k].is_punct("{") || toks[k].is_punct(";") // `impl Trait for T;`? be safe
+            }) else {
+                i += 1;
+                continue;
+            };
+            if toks[open].is_punct("{") {
+                let name = if is_trait_decl {
+                    toks.get(i + 1).and_then(|t| t.ident()).unwrap_or_default().to_string()
+                } else {
+                    impl_self_type(&toks[i + 1..open])
+                };
+                let trait_impl =
+                    !is_trait_decl && toks[i + 1..open].iter().any(|t| t.is_ident("for"));
+                if let Some(close) = matching(toks, open, "{", "}") {
+                    if !name.is_empty() {
+                        stack.push((Scope::Ty { name, trait_impl }, close));
+                    }
+                    i = open + 1;
+                    continue;
+                }
+            }
+        }
+
+        if t.is_ident("use") {
+            let is_pub = bare_pub_before(toks, i);
+            let end = (i + 1..toks.len()).find(|&k| toks[k].is_punct(";")).unwrap_or(toks.len());
+            if is_pub {
+                let mut names = Vec::new();
+                let mut glob = false;
+                for t in &toks[i + 1..end] {
+                    if t.is_punct("*") {
+                        glob = true;
+                    }
+                    if let Some(id) = t.ident() {
+                        if !matches!(id, "crate" | "self" | "super" | "as") {
+                            names.push(id.to_string());
+                        }
+                    }
+                }
+                out.reexports.push(ReExport { file: rel_path.to_string(), names, glob });
+            }
+            i = end + 1;
+            continue;
+        }
+
+        if t.is_ident("fn") {
+            if let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) {
+                let (is_pub, is_inline) = fn_qualifiers(toks, i);
+                let sig_end = (i + 2..toks.len())
+                    .find(|&k| toks[k].is_punct("{") || toks[k].is_punct(";"))
+                    .unwrap_or(toks.len());
+                let body = if sig_end < toks.len() && toks[sig_end].is_punct("{") {
+                    match matching(toks, sig_end, "{", "}") {
+                        Some(close) => (toks[sig_end].pos(), toks[close].pos()),
+                        None => (t.pos(), t.pos()),
+                    }
+                } else {
+                    (t.pos(), t.pos())
+                };
+                let inline_mods: Vec<String> = stack
+                    .iter()
+                    .filter_map(|(s, _)| match s {
+                        Scope::Mod { name, .. } => Some(name.clone()),
+                        Scope::Ty { .. } => None,
+                    })
+                    .collect();
+                let inline_mods_pub = stack.iter().all(|(s, _)| match s {
+                    Scope::Mod { is_pub, .. } => *is_pub,
+                    Scope::Ty { .. } => true,
+                });
+                let (self_ty, in_trait_impl) = stack
+                    .iter()
+                    .rev()
+                    .find_map(|(s, _)| match s {
+                        Scope::Ty { name, trait_impl } => Some((name.clone(), *trait_impl)),
+                        Scope::Mod { .. } => None,
+                    })
+                    .map(|(n, ti)| (Some(n), ti))
+                    .unwrap_or((None, false));
+                out.fns.push(FnItem {
+                    name: name.to_string(),
+                    file: rel_path.to_string(),
+                    inline_mods,
+                    inline_mods_pub,
+                    self_ty,
+                    in_trait_impl,
+                    is_pub,
+                    is_inline,
+                    in_test: in_test(t.pos()),
+                    pos: t.pos(),
+                    body,
+                });
+                // Continue scanning *inside* the body too: nested items and
+                // call sites are handled by later passes over the same
+                // token stream.
+                i = sig_end.max(i + 2);
+                continue;
+            }
+        }
+
+        i += 1;
+    }
+    out
+}
+
+/// The self type of an `impl` header given the tokens between `impl` and
+/// `{`: for `impl Trait for Type` the segment after `for`; otherwise the
+/// first path segment at generic-depth 0 (`impl<T> Foo<T>` → `Foo`).
+fn impl_self_type(header: &[Tok]) -> String {
+    let mut depth = 0i32;
+    let mut after_for = None;
+    for (k, t) in header.iter().enumerate() {
+        if t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(">") {
+            depth -= 1;
+        } else if depth == 0 && t.is_ident("for") {
+            after_for = Some(k + 1);
+            break;
+        }
+    }
+    let slice = match after_for {
+        Some(k) => &header[k..],
+        None => header,
+    };
+    // Last ident of the leading path at depth 0 (handles `a::b::Type` and
+    // stops before `where`).
+    let mut depth = 0i32;
+    let mut last = String::new();
+    for t in slice {
+        if t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(">") {
+            depth -= 1;
+        } else if depth == 0 {
+            if t.is_ident("where") {
+                break;
+            }
+            if let Some(id) = t.ident() {
+                last = id.to_string();
+            } else if !t.is_punct("::") && !t.is_punct("&") {
+                break;
+            }
+        }
+    }
+    last
+}
+
+/// Does the declaration starting at token `i` carry a *bare* `pub`
+/// (skipping `const`/`unsafe`/`async`/`extern "abi"` qualifiers)?
+fn bare_pub_before(toks: &[Tok], i: usize) -> bool {
+    let mut k = i;
+    while k > 0 {
+        k -= 1;
+        let t = &toks[k];
+        if t.ident().is_some_and(|id| matches!(id, "const" | "unsafe" | "async" | "default")) {
+            continue;
+        }
+        if t.is_ident("extern") {
+            continue;
+        }
+        if t.is_punct(")") {
+            // `pub(crate)` / `pub(super)` — restricted, not external.
+            return false;
+        }
+        return t.is_ident("pub");
+    }
+    false
+}
+
+/// `(is_pub, is_inline)` for the `fn` at token index `i`: visibility as in
+/// [`bare_pub_before`], plus a scan over the contiguous `#[..]` attribute
+/// groups directly above for `inline`.
+fn fn_qualifiers(toks: &[Tok], i: usize) -> (bool, bool) {
+    let is_pub = bare_pub_before(toks, i);
+    // Walk backward over qualifiers and (for restricted pub) the
+    // parenthesized scope, to the start of the declaration.
+    let mut k = i;
+    while k > 0 {
+        let t = &toks[k - 1];
+        if t.ident().is_some_and(|id| {
+            matches!(id, "const" | "unsafe" | "async" | "default" | "extern" | "pub")
+        }) {
+            k -= 1;
+            continue;
+        }
+        if t.is_punct(")") {
+            // Scan back to the matching `(` (pub(crate) scopes are tiny).
+            let mut j = k - 1;
+            let mut depth = 0i32;
+            while j > 0 {
+                if toks[j].is_punct(")") {
+                    depth += 1;
+                } else if toks[j].is_punct("(") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j -= 1;
+            }
+            k = j;
+            continue;
+        }
+        break;
+    }
+    // Now walk attribute groups `# [ .. ]` ending right before `k`.
+    let mut is_inline = false;
+    let mut end = k; // exclusive
+    while end >= 2 && toks[end - 1].is_punct("]") {
+        // Find the `[` matching this `]`, then expect `#` before it.
+        let mut j = end - 1;
+        let mut depth = 0i32;
+        while j > 0 {
+            if toks[j].is_punct("]") {
+                depth += 1;
+            } else if toks[j].is_punct("[") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j -= 1;
+        }
+        if j == 0 || !toks[j - 1].is_punct("#") {
+            break;
+        }
+        if toks[j..end].iter().any(|t| t.is_ident("inline")) {
+            is_inline = true;
+        }
+        end = j - 1;
+    }
+    (is_pub, is_inline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{tokenize, FileView};
+
+    fn parse(src: &str) -> FileItems {
+        let view = FileView::new(src.to_string());
+        let toks = tokenize(&view.code);
+        parse_file("crates/x/src/lib.rs", &view, &toks, &[])
+    }
+
+    #[test]
+    fn free_fns_with_visibility() {
+        let items = parse("pub fn a() {} fn b() {} pub(crate) fn c() {}");
+        let names: Vec<(&str, bool)> =
+            items.fns.iter().map(|f| (f.name.as_str(), f.is_pub)).collect();
+        assert_eq!(names, vec![("a", true), ("b", false), ("c", false)]);
+    }
+
+    #[test]
+    fn methods_get_self_type_and_trait_impl_flag() {
+        let items = parse(
+            "struct S; impl S { pub fn m(&self) {} } \
+             trait T { fn d(&self) {} } impl T for S { fn d(&self) {} }",
+        );
+        let m = items.fns.iter().find(|f| f.name == "m").unwrap();
+        assert_eq!(m.self_ty.as_deref(), Some("S"));
+        assert!(!m.in_trait_impl);
+        let impls: Vec<_> = items.fns.iter().filter(|f| f.name == "d").collect();
+        assert_eq!(impls.len(), 2);
+        assert_eq!(impls[0].self_ty.as_deref(), Some("T")); // trait default
+        assert_eq!(impls[1].self_ty.as_deref(), Some("S"));
+        assert!(impls[1].in_trait_impl);
+    }
+
+    #[test]
+    fn inline_modules_nest_and_carry_visibility() {
+        let items = parse("pub mod outer { mod inner { pub fn deep() {} } }");
+        let f = &items.fns[0];
+        assert_eq!(f.inline_mods, vec!["outer", "inner"]);
+        assert!(!f.inline_mods_pub, "inner mod is private");
+        assert_eq!(items.mods.len(), 2);
+    }
+
+    #[test]
+    fn mod_decls_and_reexports() {
+        let items = parse("pub mod a; mod b; pub use b::{helper, other as alias}; use b::c;");
+        assert_eq!(items.mods.len(), 2);
+        assert!(items.mods[0].is_pub && !items.mods[1].is_pub);
+        assert_eq!(items.reexports.len(), 1, "plain `use` is not a re-export");
+        let re = &items.reexports[0];
+        assert!(re.names.iter().any(|n| n == "helper"));
+        assert!(re.names.iter().any(|n| n == "alias"));
+    }
+
+    #[test]
+    fn inline_attribute_detected() {
+        let items =
+            parse("#[inline]\npub fn hot() {} #[inline(always)] fn hotter() {} fn cold() {}");
+        let by_name = |n: &str| items.fns.iter().find(|f| f.name == n).unwrap();
+        assert!(by_name("hot").is_inline);
+        assert!(by_name("hotter").is_inline);
+        assert!(!by_name("cold").is_inline);
+    }
+
+    #[test]
+    fn generic_impl_self_type() {
+        let items = parse("impl<T: Clone> Wrapper<T> { fn get(&self) {} }");
+        assert_eq!(items.fns[0].self_ty.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn body_spans_cover_the_braces() {
+        let src = "pub fn f() { inner(); }";
+        let items = parse(src);
+        let (a, b) = items.fns[0].body;
+        assert_eq!(&src[a..a + 1], "{");
+        assert_eq!(&src[b..b + 1], "}");
+    }
+}

@@ -16,42 +16,129 @@
 //!   crates with zero `unsafe` must carry `#![forbid(unsafe_code)]`.
 //! * **R5-panic-policy** — no `unwrap`/`expect` on io/serde results in
 //!   library code.
+//! * **R6-float-determinism** — no `partial_cmp` comparators or parallel
+//!   float reductions on score paths.
+//! * **R7-concurrency** — no `static mut`, no `Relaxed` loads feeding
+//!   comparisons, no locks inside `#[inline]` hot paths.
+//! * **R8-panic-reachability** — no io/serde panic site reachable from a
+//!   `pub` API of a library crate, proved on an over-approximate
+//!   workspace call graph ([`items`] → [`resolve`] → [`callgraph`]).
 //!
-//! Violations can be silenced inline with
+//! R1–R5 are per-file token scans; R6–R8 are workspace-semantic — the lint
+//! parses items, resolves module paths to fully-qualified names, and builds
+//! a call graph across every crate. Violations can be silenced inline with
 //! `// lsm-lint: allow(rule-id, reason)` or frozen wholesale in
-//! `lint-baseline.json`; only *new* violations fail the build. The crate is
-//! deliberately dependency-free: it lints the workspace before any
-//! third-party code needs to compile.
+//! `lint-baseline.json` (keyed by `(rule, fully-qualified-item)` since
+//! version 2); only *new* violations fail the build. [`sarif`] renders the
+//! findings as SARIF 2.1.0 for CI annotation. The crate is deliberately
+//! dependency-free: it lints the workspace before any third-party code
+//! needs to compile.
 
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod config;
+pub mod explain;
+pub mod items;
+pub mod resolve;
 pub mod rules;
+pub mod sarif;
 pub mod scan;
+pub mod semrules;
 pub mod walk;
 
+use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
 pub use rules::Violation;
+use semrules::FileCtx;
 
-/// Lints every `.rs` file under `root` (both per-file rules and the
-/// crate-level `forbid(unsafe_code)` audit). Returned violations include
-/// suppressed ones, with [`Violation::suppressed`] set.
+/// Lints every `.rs` file under `root`: the per-file rules R1–R5, the
+/// crate-level `forbid(unsafe_code)` audit, and the workspace-semantic
+/// rules R6–R8 over the resolved call graph. Returned violations include
+/// suppressed ones, with [`Violation::suppressed`] set, and carry the
+/// enclosing function's fully-qualified name in [`Violation::item`] where
+/// the resolver could attribute one.
 pub fn lint_root(root: &Path) -> io::Result<Vec<Violation>> {
     let mut out = Vec::new();
-    let files = walk::rust_files(root)?;
-    let mut views = Vec::with_capacity(files.len());
-    for (rel, path) in files {
+    let mut ctxs: BTreeMap<String, FileCtx> = BTreeMap::new();
+    for (rel, path) in walk::rust_files(root)? {
         let raw = std::fs::read_to_string(&path)?;
         let view = scan::FileView::new(raw);
-        out.extend(rules::check_file(&rel, &view));
-        views.push((rel, view));
+        let toks = scan::tokenize(&view.code);
+        let test_spans = rules::cfg_test_spans(&toks);
+        out.extend(rules::check_file(&rel, &view, &toks, &test_spans));
+        ctxs.insert(rel, FileCtx { view, toks, test_spans });
     }
-    out.extend(forbid_unsafe_audit(root, &views)?);
+    out.extend(forbid_unsafe_audit(root, &ctxs)?);
+
+    // Workspace pass: items -> module resolution -> call graph -> R6-R8.
+    let mut items_map = BTreeMap::new();
+    let mut toks_map = BTreeMap::new();
+    for (rel, ctx) in &ctxs {
+        items_map
+            .insert(rel.clone(), items::parse_file(rel, &ctx.view, &ctx.toks, &ctx.test_spans));
+        toks_map.insert(rel.clone(), ctx.toks.clone());
+    }
+    let ws = resolve::Workspace::resolve(&items_map);
+    let cg = callgraph::CallGraph::build(&ws, &toks_map);
+    let mut sem = semrules::check_workspace(&ws, &cg, &ctxs);
+    suppress_per_file(&ctxs, &mut sem);
+    out.extend(sem);
+
+    attach_items(&ws, &ctxs, &mut out);
     out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(out)
+}
+
+/// Applies inline `lsm-lint: allow(..)` comments to workspace-rule
+/// violations, file by file (the per-file rules already did their own).
+fn suppress_per_file(ctxs: &BTreeMap<String, FileCtx>, sem: &mut [Violation]) {
+    sem.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    let mut i = 0;
+    while i < sem.len() {
+        let mut j = i + 1;
+        while j < sem.len() && sem[j].file == sem[i].file {
+            j += 1;
+        }
+        if let Some(ctx) = ctxs.get(&sem[i].file) {
+            rules::apply_suppressions(&ctx.view, &mut sem[i..j]);
+        }
+        i = j;
+    }
+}
+
+/// Attributes each violation to the innermost resolved function whose span
+/// contains its line, so the baseline can key on stable item names instead
+/// of file paths.
+fn attach_items(ws: &resolve::Workspace, ctxs: &BTreeMap<String, FileCtx>, out: &mut [Violation]) {
+    let mut per_file: BTreeMap<&str, Vec<(usize, usize, &str)>> = BTreeMap::new();
+    for f in &ws.fns {
+        let Some(ctx) = ctxs.get(&f.item.file) else { continue };
+        let (lo, hi) = f.item.body;
+        if lo == hi {
+            continue;
+        }
+        let start = ctx.view.line_of(f.item.pos);
+        let end = ctx.view.line_of(hi);
+        per_file.entry(f.item.file.as_str()).or_default().push((start, end, f.fq.as_str()));
+    }
+    for v in out.iter_mut() {
+        if v.item.is_some() {
+            continue;
+        }
+        if let Some(fns) = per_file.get(v.file.as_str()) {
+            let innermost = fns
+                .iter()
+                .filter(|(s, e, _)| *s <= v.line && v.line <= *e)
+                .max_by_key(|(s, _, _)| *s);
+            if let Some((_, _, fq)) = innermost {
+                v.item = Some(fq.to_string());
+            }
+        }
+    }
 }
 
 /// The crate-level half of R4: a crate in which no file uses `unsafe` must
@@ -59,28 +146,26 @@ pub fn lint_root(root: &Path) -> io::Result<Vec<Violation>> {
 /// the property without this lint.
 fn forbid_unsafe_audit(
     root: &Path,
-    views: &[(String, scan::FileView)],
+    ctxs: &BTreeMap<String, FileCtx>,
 ) -> io::Result<Vec<Violation>> {
     let mut out = Vec::new();
     for (dir, path) in walk::crate_dirs(root)? {
         let prefix = format!("crates/{dir}/");
-        let uses_unsafe = views
+        let uses_unsafe = ctxs
             .iter()
             .filter(|(rel, _)| rel.starts_with(&prefix))
-            .any(|(_, view)| rules::file_uses_unsafe(view));
+            .any(|(_, ctx)| rules::file_uses_unsafe(&ctx.toks));
         if uses_unsafe {
             continue;
         }
         let lib_rel = format!("crates/{dir}/src/lib.rs");
         let main_rel = format!("crates/{dir}/src/main.rs");
-        let root_file = views
-            .iter()
-            .find(|(rel, _)| *rel == lib_rel)
-            .or_else(|| views.iter().find(|(rel, _)| *rel == main_rel));
-        let Some((rel, view)) = root_file else {
+        let root_file =
+            ctxs.get_key_value(lib_rel.as_str()).or_else(|| ctxs.get_key_value(main_rel.as_str()));
+        let Some((rel, ctx)) = root_file else {
             continue; // no root source — nothing Cargo would build
         };
-        if !rules::has_forbid_unsafe(view) {
+        if !rules::has_forbid_unsafe(&ctx.toks) {
             out.push(Violation {
                 rule: "R4-unsafe-safety",
                 file: rel.clone(),
@@ -91,6 +176,7 @@ fn forbid_unsafe_audit(
                     path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or(dir)
                 ),
                 suppressed: None,
+                item: None,
             });
         }
     }

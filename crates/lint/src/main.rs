@@ -3,25 +3,35 @@
 //!
 //! ```text
 //! Usage: lsm-lint [--root DIR] [--baseline FILE] [--fix-baseline]
-//!                 [--verbose] [--list-rules]
+//!                 [--format human|sarif] [--out FILE]
+//!                 [--verbose] [--list-rules] [--explain RULE]
 //! ```
 //!
 //! Exits 0 when no violation exceeds the baseline, 1 when new violations
 //! are found, 2 on usage or I/O errors. `--fix-baseline` rewrites the
 //! baseline to the current tree and exits 0 — use it to freeze pre-existing
-//! debt, never to silence a regression.
+//! debt, never to silence a regression. `--format sarif` writes a SARIF
+//! 2.1.0 log (to `--out` or stdout) while keeping the same exit-code gate.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lsm_lint::{baseline, config, walk};
+use lsm_lint::{baseline, config, explain, sarif, walk};
+
+enum Format {
+    Human,
+    Sarif,
+}
 
 struct Options {
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
     fix_baseline: bool,
+    format: Format,
+    out: Option<PathBuf>,
     verbose: bool,
     list_rules: bool,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -29,8 +39,11 @@ fn parse_args() -> Result<Options, String> {
         root: None,
         baseline: None,
         fix_baseline: false,
+        format: Format::Human,
+        out: None,
         verbose: false,
         list_rules: false,
+        explain: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -44,6 +57,22 @@ fn parse_args() -> Result<Options, String> {
                 opts.baseline = Some(PathBuf::from(v));
             }
             "--fix-baseline" => opts.fix_baseline = true,
+            "--format" => {
+                let v = args.next().ok_or("--format requires `human` or `sarif`")?;
+                opts.format = match v.as_str() {
+                    "human" => Format::Human,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format `{other}` (human|sarif)")),
+                };
+            }
+            "--out" => {
+                let v = args.next().ok_or("--out requires a file argument")?;
+                opts.out = Some(PathBuf::from(v));
+            }
+            "--explain" => {
+                let v = args.next().ok_or("--explain requires a rule id (e.g. R6)")?;
+                opts.explain = Some(v);
+            }
             "--verbose" => opts.verbose = true,
             "--list-rules" => opts.list_rules = true,
             "--help" | "-h" => {
@@ -51,10 +80,12 @@ fn parse_args() -> Result<Options, String> {
                     "lsm-lint: workspace static analysis (determinism / panic policy / unsafe audit)\n\
                      \n\
                      Usage: lsm-lint [--root DIR] [--baseline FILE] [--fix-baseline]\n\
-                     \x20                [--verbose] [--list-rules]\n\
+                     \x20                [--format human|sarif] [--out FILE]\n\
+                     \x20                [--verbose] [--list-rules] [--explain RULE]\n\
                      \n\
                      Suppress a single finding with: // lsm-lint: allow(rule-id, reason)\n\
-                     Freeze existing debt with:      lsm-lint --fix-baseline"
+                     Freeze existing debt with:      lsm-lint --fix-baseline\n\
+                     Read a rule's rationale with:   lsm-lint --explain R8"
                 );
                 std::process::exit(0);
             }
@@ -75,9 +106,24 @@ fn main() -> ExitCode {
 
     if opts.list_rules {
         for (id, summary) in config::RULE_SUMMARIES {
-            println!("{id:18} {summary}");
+            println!("{id:22} {summary}");
         }
         return ExitCode::SUCCESS;
+    }
+    if let Some(rule) = &opts.explain {
+        match explain::explain(rule) {
+            Some(text) => {
+                println!("{text}");
+                return ExitCode::SUCCESS;
+            }
+            None => {
+                eprintln!(
+                    "lsm-lint: unknown rule `{rule}`; known rules: {}",
+                    config::RULE_IDS.join(", ")
+                );
+                return ExitCode::from(2);
+            }
+        }
     }
 
     let root = match opts
@@ -127,19 +173,38 @@ fn main() -> ExitCode {
     };
     let over = baseline::over_baseline(&current, &frozen);
 
+    if let Format::Sarif = opts.format {
+        let covered = baseline::covered_flags(&violations, &frozen);
+        let log = sarif::to_sarif(&violations, &covered);
+        match &opts.out {
+            Some(path) => {
+                if let Some(dir) = path.parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                if let Err(e) = std::fs::write(path, log) {
+                    eprintln!("lsm-lint: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!("lsm-lint: SARIF written to {}", path.display());
+            }
+            None => print!("{log}"),
+        }
+        return if over.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
     if opts.verbose {
         for v in &suppressed {
             let reason = v.suppressed.as_deref().unwrap_or("");
             println!("{}:{}: {} suppressed ({reason})", v.file, v.line, v.rule);
         }
     }
-    for ((rule, file), cur, allowed) in &over {
-        for v in active.iter().filter(|v| v.rule == rule && &v.file == file) {
+    for ((rule, item), cur, allowed) in &over {
+        for v in active.iter().filter(|v| v.rule == rule && &baseline::key_of(v).1 == item) {
             println!("{}:{}: {}: {}", v.file, v.line, v.rule, v.message);
         }
         if *allowed > 0 {
             println!(
-                "  -> {file}: {cur} {rule} violations exceed the {allowed} frozen in {}",
+                "  -> {item}: {cur} {rule} violations exceed the {allowed} frozen in {}",
                 baseline_path.display()
             );
         }

@@ -1,0 +1,216 @@
+//! Module resolution: file → module path, fully-qualified item names, and
+//! external visibility (including `pub use` re-exports).
+//!
+//! Paths are resolved structurally from the file layout (`src/lib.rs` is the
+//! crate root, `src/a/b.rs` is module `a::b`) and `mod` declarations parsed
+//! by [`crate::items`]. Where the tree cannot be resolved (an undeclared
+//! module, a `#[path]` attribute, a glob re-export) the resolver
+//! over-approximates toward *visible*, so reachability rules see more
+//! roots, never fewer.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config;
+use crate::items::{FileItems, FnItem};
+
+/// One resolved function with its workspace-unique name.
+#[derive(Debug, Clone)]
+pub struct ResolvedFn {
+    /// The parsed item.
+    pub item: FnItem,
+    /// Fully-qualified name, e.g. `core::matcher::LsmMatcher::retrain`.
+    pub fq: String,
+    /// Crate directory under `crates/` (`core`, `matchers`, ...), if any.
+    pub crate_dir: Option<String>,
+    /// Is this fn part of *library* code (`src/`, not a bin target)?
+    pub library: bool,
+    /// Reachable from outside its crate: bare `pub` through a `pub` module
+    /// chain, or re-exported via `pub use`.
+    pub external: bool,
+}
+
+/// The resolved workspace: every fn with a stable fully-qualified name.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pub fns: Vec<ResolvedFn>,
+}
+
+impl Workspace {
+    /// Resolves all parsed files. `files` maps root-relative path → items.
+    pub fn resolve(files: &BTreeMap<String, FileItems>) -> Workspace {
+        // (file, mod name) -> declared pub? Used for the file-module chain.
+        let mut mod_vis: BTreeMap<(String, String), bool> = BTreeMap::new();
+        for (file, items) in files {
+            for m in &items.mods {
+                let e = mod_vis.entry((file.clone(), m.name.clone())).or_insert(false);
+                *e = *e || m.is_pub;
+            }
+        }
+        // Per crate: names mentioned by a `pub use`, and whether any glob
+        // re-export exists (globs over-approximate to "everything pub").
+        let mut reexported: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut glob_reexport: BTreeSet<String> = BTreeSet::new();
+        for (file, items) in files {
+            let Some(dir) = config::crate_dir(file) else { continue };
+            for re in &items.reexports {
+                let set = reexported.entry(dir.to_string()).or_default();
+                for n in &re.names {
+                    set.insert(n.clone());
+                }
+                if re.glob {
+                    glob_reexport.insert(dir.to_string());
+                }
+            }
+        }
+
+        let mut out = Workspace::default();
+        for (file, items) in files {
+            let crate_dir = config::crate_dir(file).map(|d| d.to_string());
+            let library = config::is_library_code(file);
+            let file_mods = file_module_path(file);
+            let file_mods_pub =
+                file_mods.iter().enumerate().all(|(k, name)| match parent_file_of(file, k) {
+                    Some(parent) => mod_vis.get(&(parent, name.clone())).copied().unwrap_or(true),
+                    None => true,
+                });
+            for f in &items.fns {
+                let mut segs: Vec<&str> = Vec::new();
+                if let Some(d) = crate_dir.as_deref() {
+                    segs.push(d);
+                }
+                for m in &file_mods {
+                    segs.push(m);
+                }
+                for m in &f.inline_mods {
+                    segs.push(m);
+                }
+                if let Some(ty) = f.self_ty.as_deref() {
+                    segs.push(ty);
+                }
+                segs.push(&f.name);
+                let fq = if crate_dir.is_some() {
+                    segs.join("::")
+                } else {
+                    // Non-crate files (top-level tests/, examples/) keep the
+                    // path as a disambiguating prefix.
+                    format!("{}::{}", file, f.name)
+                };
+                let re = crate_dir
+                    .as_deref()
+                    .and_then(|d| reexported.get(d))
+                    .is_some_and(|set| set.contains(&f.name));
+                let glob = crate_dir.as_deref().is_some_and(|d| glob_reexport.contains(d));
+                let external = library
+                    && f.is_pub
+                    && !f.in_test
+                    && (f.inline_mods_pub && file_mods_pub || re || glob);
+                out.fns.push(ResolvedFn {
+                    item: f.clone(),
+                    fq,
+                    crate_dir: crate_dir.clone(),
+                    library,
+                    external,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// The file-level module path of a root-relative source file:
+/// `crates/x/src/lib.rs` → `[]`, `crates/x/src/a/b.rs` → `["a", "b"]`,
+/// `crates/x/src/a/mod.rs` → `["a"]`. Bin targets resolve to `[]`.
+pub fn file_module_path(rel_path: &str) -> Vec<String> {
+    let Some(dir) = config::crate_dir(rel_path) else { return Vec::new() };
+    let Some(in_src) = rel_path
+        .strip_prefix("crates/")
+        .and_then(|r| r.strip_prefix(dir))
+        .and_then(|r| r.strip_prefix("/src/"))
+    else {
+        return Vec::new();
+    };
+    if in_src == "lib.rs" || in_src == "main.rs" || in_src.starts_with("bin/") {
+        return Vec::new();
+    }
+    let mut segs: Vec<String> =
+        in_src.trim_end_matches(".rs").split('/').map(|s| s.to_string()).collect();
+    if segs.last().is_some_and(|s| s == "mod") {
+        segs.pop();
+    }
+    segs
+}
+
+/// The file in which module segment `k` of `rel_path`'s module chain is
+/// declared: segment 0 lives in the crate root, segment k>0 in the file of
+/// the enclosing module (`a.rs` or `a/mod.rs` — whichever exists is the
+/// caller's concern; we return the `a.rs` spelling and the `mod.rs`
+/// spelling is tried by the lookup's default-pub fallback).
+fn parent_file_of(rel_path: &str, k: usize) -> Option<String> {
+    let dir = config::crate_dir(rel_path)?;
+    let mods = file_module_path(rel_path);
+    if k == 0 {
+        return Some(format!("crates/{dir}/src/lib.rs"));
+    }
+    let prefix = mods.get(..k)?.join("/");
+    Some(format!("crates/{dir}/src/{prefix}.rs"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{tokenize, FileView};
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        let mut map = BTreeMap::new();
+        for (path, src) in files {
+            let view = FileView::new(src.to_string());
+            let toks = tokenize(&view.code);
+            map.insert(path.to_string(), crate::items::parse_file(path, &view, &toks, &[]));
+        }
+        Workspace::resolve(&map)
+    }
+
+    fn find<'a>(w: &'a Workspace, fq: &str) -> &'a ResolvedFn {
+        w.fns.iter().find(|f| f.fq == fq).unwrap_or_else(|| {
+            panic!("no fn {fq}; have {:?}", w.fns.iter().map(|f| &f.fq).collect::<Vec<_>>())
+        })
+    }
+
+    #[test]
+    fn fq_names_follow_file_layout() {
+        let w = ws(&[
+            ("crates/core/src/lib.rs", "pub mod a; pub fn root() {}"),
+            ("crates/core/src/a.rs", "pub fn leaf() {}"),
+        ]);
+        assert_eq!(find(&w, "core::root").item.name, "root");
+        assert!(find(&w, "core::a::leaf").external);
+    }
+
+    #[test]
+    fn private_module_blocks_visibility_unless_reexported() {
+        let w = ws(&[
+            ("crates/core/src/lib.rs", "mod detail;"),
+            ("crates/core/src/detail.rs", "pub fn hidden() {}"),
+        ]);
+        assert!(!find(&w, "core::detail::hidden").external);
+
+        let w = ws(&[
+            ("crates/core/src/lib.rs", "mod detail; pub use detail::hidden;"),
+            ("crates/core/src/detail.rs", "pub fn hidden() {}"),
+        ]);
+        assert!(find(&w, "core::detail::hidden").external);
+    }
+
+    #[test]
+    fn bin_targets_are_not_external() {
+        let w = ws(&[("crates/cli/src/main.rs", "pub fn run() {}")]);
+        assert!(!find(&w, "cli::run").external, "bin code has no library API");
+    }
+
+    #[test]
+    fn methods_join_their_self_type() {
+        let w = ws(&[("crates/core/src/m.rs", "pub struct S; impl S { pub fn go(&self) {} }")]);
+        // `mod m;` is undeclared → resolver defaults the chain to pub.
+        assert!(find(&w, "core::m::S::go").external);
+    }
+}

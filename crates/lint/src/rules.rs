@@ -24,6 +24,10 @@ pub struct Violation {
     /// `Some(reason)` when an inline suppression comment covers this
     /// violation; suppressed violations never fail the build.
     pub suppressed: Option<String>,
+    /// Fully-qualified name of the enclosing function when the workspace
+    /// resolver could attribute it (e.g. `core::matcher::LsmMatcher::score`);
+    /// the baseline keys on this, falling back to the file.
+    pub item: Option<String>,
 }
 
 /// HashMap/HashSet methods whose call observes iteration order.
@@ -41,8 +45,8 @@ const ITER_METHODS: &[&str] = &[
 ];
 
 /// Markers that make an `unwrap`/`expect` statement an io/serde fallible
-/// operation under R5.
-const IO_SERDE_MARKERS: &[&str] = &[
+/// operation under R5 (and R8, which shares the site heuristic).
+pub(crate) const IO_SERDE_MARKERS: &[&str] = &[
     "serde_json",
     "io::",
     "File::",
@@ -57,28 +61,33 @@ const IO_SERDE_MARKERS: &[&str] = &[
     "remove_file",
 ];
 
-/// Runs every per-file rule on one scanned file.
-pub fn check_file(rel_path: &str, view: &FileView) -> Vec<Violation> {
-    let toks = crate::scan::tokenize(&view.code);
-    let test_spans = cfg_test_spans(&toks);
+/// Runs every per-file rule on one scanned file. The caller tokenizes once
+/// and shares the stream (and `#[cfg(test)]` spans) with the workspace
+/// rules.
+pub fn check_file(
+    rel_path: &str,
+    view: &FileView,
+    toks: &[Tok],
+    test_spans: &[(usize, usize)],
+) -> Vec<Violation> {
     let crate_dir = config::crate_dir(rel_path);
     let library = config::is_library_code(rel_path);
     let mut out = Vec::new();
 
     if library && crate_dir.is_some_and(|d| config::DETERMINISTIC_CRATE_DIRS.contains(&d)) {
-        rule_hash_iter(rel_path, view, &toks, &test_spans, &mut out);
+        rule_hash_iter(rel_path, view, toks, test_spans, &mut out);
     }
     let clock_ok = crate_dir.is_some_and(|d| config::WALL_CLOCK_CRATE_DIRS.contains(&d))
         || config::WALL_CLOCK_ALLOWED_FILES.contains(&rel_path);
     if !clock_ok {
-        rule_wall_clock(rel_path, view, &toks, &mut out);
+        rule_wall_clock(rel_path, view, toks, &mut out);
     }
     if !config::ENTROPY_ALLOWED_FILES.contains(&rel_path) {
-        rule_entropy(rel_path, view, &toks, &mut out);
+        rule_entropy(rel_path, view, toks, &mut out);
     }
-    rule_unsafe_safety(rel_path, view, &toks, &mut out);
+    rule_unsafe_safety(rel_path, view, toks, &mut out);
     if library {
-        rule_panic_policy(rel_path, view, &toks, &test_spans, &mut out);
+        rule_panic_policy(rel_path, view, toks, test_spans, &mut out);
     }
 
     apply_suppressions(view, &mut out);
@@ -86,15 +95,14 @@ pub fn check_file(rel_path: &str, view: &FileView) -> Vec<Violation> {
     out
 }
 
-/// Does any file of this crate use `unsafe`? Token-level, so mentions in
-/// strings or comments do not count.
-pub fn file_uses_unsafe(view: &FileView) -> bool {
-    crate::scan::tokenize(&view.code).iter().any(|t| t.is_ident("unsafe"))
+/// Does this file use `unsafe`? Token-level, so mentions in strings or
+/// comments do not count.
+pub fn file_uses_unsafe(toks: &[Tok]) -> bool {
+    toks.iter().any(|t| t.is_ident("unsafe"))
 }
 
 /// Does this crate-root file carry `#![forbid(unsafe_code)]`?
-pub fn has_forbid_unsafe(view: &FileView) -> bool {
-    let toks = crate::scan::tokenize(&view.code);
+pub fn has_forbid_unsafe(toks: &[Tok]) -> bool {
     toks.windows(7).any(|w| {
         w[0].is_punct("#")
             && w[1].is_punct("!")
@@ -107,7 +115,7 @@ pub fn has_forbid_unsafe(view: &FileView) -> bool {
 }
 
 /// Byte ranges of `#[cfg(test)] mod ... { .. }` bodies.
-fn cfg_test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+pub(crate) fn cfg_test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
     let mut spans = Vec::new();
     let mut i = 0;
     while i + 4 < toks.len() {
@@ -202,6 +210,7 @@ fn rule_hash_iter(
                  use a BTreeMap/BTreeSet or collect-and-sort before iterating"
             ),
             suppressed: None,
+            item: None,
         });
     };
 
@@ -383,6 +392,7 @@ fn rule_wall_clock(rel_path: &str, view: &FileView, toks: &[Tok], out: &mut Vec<
                          into the bench harness"
                     ),
                     suppressed: None,
+                    item: None,
                 });
             }
         }
@@ -404,6 +414,7 @@ fn rule_entropy(rel_path: &str, view: &FileView, toks: &[Tok], out: &mut Vec<Vio
                      from an explicit seed (e.g. `ChaCha8Rng::seed_from_u64`)"
                 ),
                 suppressed: None,
+                item: None,
             });
         }
     }
@@ -433,6 +444,7 @@ fn rule_unsafe_safety(rel_path: &str, view: &FileView, toks: &[Tok], out: &mut V
                           that makes it sound"
                     .to_string(),
                 suppressed: None,
+                item: None,
             });
         }
     }
@@ -478,6 +490,7 @@ fn rule_panic_policy(
                      in library code; propagate the error instead"
                 ),
                 suppressed: None,
+                item: None,
             });
         }
     }
@@ -489,7 +502,7 @@ fn rule_panic_policy(
 /// suppression on the violation's line or the line above marks it
 /// suppressed. A suppression without a reason does not count — the reason is
 /// the audit trail.
-fn apply_suppressions(view: &FileView, out: &mut [Violation]) {
+pub(crate) fn apply_suppressions(view: &FileView, out: &mut [Violation]) {
     let mut allows: Vec<(usize, String, Option<String>)> = Vec::new();
     for (line, text) in view.comments_containing(config::SUPPRESS_MARKER) {
         let Some(at) = text.find(config::SUPPRESS_MARKER) else { continue };

@@ -1,0 +1,157 @@
+//! SARIF 2.1.0 export so CI (GitHub code scanning via
+//! `codeql-action/upload-sarif`) can annotate findings inline on PRs.
+//!
+//! One run, one driver (`lsm-lint`), the full rule catalog under
+//! `tool.driver.rules`, and one `result` per violation. Suppression state
+//! is carried in the standard `suppressions` property: an inline
+//! `lsm-lint: allow(..)` becomes `"kind": "inSource"` with the reason as
+//! justification, a baseline-covered violation becomes `"kind":
+//! "external"`. Viewers treat any result with a non-empty `suppressions`
+//! array as suppressed, which matches the gate's exit-code semantics.
+
+use std::fmt::Write as _;
+
+use crate::baseline::quote;
+use crate::config;
+use crate::rules::Violation;
+
+/// Renders violations as a SARIF 2.1.0 log. `covered[i]` says whether
+/// `violations[i]` is absorbed by the frozen baseline (see
+/// [`crate::baseline::covered_flags`]).
+pub fn to_sarif(violations: &[Violation], covered: &[bool]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"lsm-lint\",\n");
+    s.push_str("          \"informationUri\": \"docs/static-analysis.md\",\n");
+    s.push_str("          \"rules\": [\n");
+    for (i, (id, summary)) in config::RULE_SUMMARIES.iter().enumerate() {
+        let _ = write!(
+            s,
+            "            {{ \"id\": {}, \"shortDescription\": {{ \"text\": {} }} }}{}\n",
+            quote(id),
+            quote(summary),
+            if i + 1 < config::RULE_SUMMARIES.len() { "," } else { "" }
+        );
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let is_covered = covered.get(i).copied().unwrap_or(false);
+        let level = if v.suppressed.is_some() {
+            "note"
+        } else if is_covered {
+            "warning"
+        } else {
+            "error"
+        };
+        let rule_index = config::RULE_IDS.iter().position(|r| *r == v.rule);
+        s.push_str("\n        {\n");
+        let _ = writeln!(s, "          \"ruleId\": {},", quote(v.rule));
+        if let Some(idx) = rule_index {
+            let _ = writeln!(s, "          \"ruleIndex\": {idx},");
+        }
+        let _ = writeln!(s, "          \"level\": {},", quote(level));
+        let _ = writeln!(s, "          \"message\": {{ \"text\": {} }},", quote(&v.message));
+        let _ = write!(
+            s,
+            "          \"locations\": [\n            {{ \"physicalLocation\": {{ \
+             \"artifactLocation\": {{ \"uri\": {}, \"uriBaseId\": \"SRCROOT\" }}, \
+             \"region\": {{ \"startLine\": {} }} }} }}\n          ]",
+            quote(&v.file),
+            v.line.max(1)
+        );
+        if let Some(item) = &v.item {
+            s.push_str(",\n");
+            let _ = write!(s, "          \"properties\": {{ \"item\": {} }}", quote(item));
+        }
+        match (&v.suppressed, is_covered) {
+            (Some(reason), _) => {
+                s.push_str(",\n");
+                let _ = write!(
+                    s,
+                    "          \"suppressions\": [\n            {{ \"kind\": \"inSource\", \
+                     \"justification\": {} }}\n          ]",
+                    quote(reason)
+                );
+            }
+            (None, true) => {
+                s.push_str(",\n");
+                s.push_str(
+                    "          \"suppressions\": [\n            { \"kind\": \"external\", \
+                     \"justification\": \"frozen in lint-baseline.json\" }\n          ]",
+                );
+            }
+            (None, false) => {}
+        }
+        s.push_str("\n        }");
+    }
+    if violations.is_empty() {
+        s.push_str("]\n");
+    } else {
+        s.push_str("\n      ]\n");
+    }
+    s.push_str("    }\n  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(rule: &'static str, suppressed: Option<&str>) -> Violation {
+        Violation {
+            rule,
+            file: "crates/core/src/matcher.rs".into(),
+            line: 42,
+            message: "a \"quoted\" message".into(),
+            suppressed: suppressed.map(|s| s.to_string()),
+            item: Some("core::matcher::retrain".into()),
+        }
+    }
+
+    #[test]
+    fn sarif_names_schema_rules_and_locations() {
+        let vs = vec![violation("R6-float-determinism", None)];
+        let s = to_sarif(&vs, &[false]);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("sarif-2.1.0.json"));
+        assert!(s.contains("\"ruleId\": \"R6-float-determinism\""));
+        assert!(s.contains("\"startLine\": 42"));
+        assert!(s.contains("\"uri\": \"crates/core/src/matcher.rs\""));
+        assert!(s.contains("a \\\"quoted\\\" message"));
+        assert!(s.contains("\"item\": \"core::matcher::retrain\""));
+        // The full catalog rides along in the driver.
+        for id in config::RULE_IDS {
+            assert!(s.contains(&format!("\"id\": \"{id}\"")), "missing rule {id}");
+        }
+    }
+
+    #[test]
+    fn suppression_kinds_follow_violation_state() {
+        let vs = vec![
+            violation("R5-panic-policy", Some("checked at startup")),
+            violation("R5-panic-policy", None),
+            violation("R5-panic-policy", None),
+        ];
+        let s = to_sarif(&vs, &[false, true, false]);
+        assert!(s.contains("\"kind\": \"inSource\""));
+        assert!(s.contains("\"justification\": \"checked at startup\""));
+        assert!(s.contains("\"kind\": \"external\""));
+        assert_eq!(s.matches("\"level\": \"error\"").count(), 1);
+        assert_eq!(s.matches("\"level\": \"warning\"").count(), 1);
+        assert_eq!(s.matches("\"level\": \"note\"").count(), 1);
+    }
+
+    #[test]
+    fn empty_report_is_well_formed() {
+        let s = to_sarif(&[], &[]);
+        assert!(s.contains("\"results\": []"));
+    }
+}

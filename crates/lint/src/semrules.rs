@@ -1,0 +1,455 @@
+//! The workspace-semantic rules R6–R8, layered on the item parser
+//! ([`crate::items`]), module resolution ([`crate::resolve`]), and the
+//! over-approximate call graph ([`crate::callgraph`]).
+//!
+//! * **R6-float-determinism** — order-sensitive float operations on score
+//!   paths: `.partial_cmp(..)` comparators (NaN turns `unwrap`/`unwrap_or`
+//!   into an ordering coin-flip; `total_cmp` is total and bitwise-stable)
+//!   and parallel reductions (`par_iter().sum()` and friends) whose float
+//!   accumulation order depends on scheduling.
+//! * **R7-concurrency** — shared mutable statics, `Ordering::Relaxed`
+//!   atomic loads feeding comparisons (a relaxed snapshot compared against
+//!   a cap can run arbitrarily stale), and lock acquisition inside
+//!   `#[inline]` hot-path functions.
+//! * **R8-panic-reachability** — the call-graph-transitive form of R5: an
+//!   `unwrap`/`expect`/`panic!` on an io/serde operation that a `pub` API
+//!   of a library crate can reach, reported with the call path.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::CallGraph;
+use crate::config;
+use crate::resolve::Workspace;
+use crate::rules::{Violation, IO_SERDE_MARKERS};
+use crate::scan::{FileView, Tok};
+
+/// Per-file inputs shared with the lexical rules: the scanned view, its
+/// token stream, and the `#[cfg(test)]` spans.
+pub struct FileCtx {
+    pub view: FileView,
+    pub toks: Vec<Tok>,
+    pub test_spans: Vec<(usize, usize)>,
+}
+
+/// Runs R6–R8 over the resolved workspace. `files` maps root-relative path
+/// to its scanned context; violations come back unsorted and unsuppressed
+/// (the caller applies inline suppressions per file).
+pub fn check_workspace(
+    ws: &Workspace,
+    cg: &CallGraph,
+    files: &BTreeMap<String, FileCtx>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (rel, ctx) in files {
+        rule_float_determinism(rel, ctx, &mut out);
+        rule_concurrency(rel, ctx, &mut out);
+    }
+    rule_lock_in_inline(ws, files, &mut out);
+    rule_panic_reachability(ws, cg, files, &mut out);
+    out
+}
+
+/// The statement around byte `pos`: back to the previous `;`/`{`/`}` and
+/// forward to the next. Operates on the blanked code view, so strings and
+/// comments cannot contribute matches.
+fn stmt_around(code: &str, pos: usize) -> &str {
+    let start = code[..pos].rfind([';', '{', '}']).map(|p| p + 1).unwrap_or(0);
+    let end = code[pos..].find([';', '{', '}']).map(|p| pos + p).unwrap_or(code.len());
+    &code[start..end]
+}
+
+/// Does this (rustfmt-formatted) statement contain a binary comparison?
+/// Spaced `<`/`>` keeps generics (`Vec<f64>`) and `->`/`=>` from matching.
+fn has_comparison(stmt: &str) -> bool {
+    ["==", "!=", "<=", ">=", " < ", " > "].iter().any(|op| stmt.contains(op))
+}
+
+fn in_spans(pos: usize, spans: &[(usize, usize)]) -> bool {
+    spans.iter().any(|&(a, b)| pos >= a && pos <= b)
+}
+
+// ---------------------------------------------------------------- R6
+
+/// Iterator adapters that make a reduction order-sensitive when the source
+/// is a parallel iterator.
+const PAR_SOURCES: &[&str] = &["par_iter", "par_iter_mut", "into_par_iter", "par_bridge"];
+const REDUCERS: &[&str] = &[".sum(", ".product(", ".fold(", ".reduce("];
+
+/// R6 — order-sensitive float operations in score-path crates.
+fn rule_float_determinism(rel_path: &str, ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let in_scope = config::is_library_code(rel_path)
+        && config::crate_dir(rel_path).is_some_and(|d| config::FLOAT_SCORE_CRATE_DIRS.contains(&d));
+    if !in_scope {
+        return;
+    }
+    let toks = &ctx.toks;
+    for i in 0..toks.len() {
+        if in_spans(toks[i].pos(), &ctx.test_spans) {
+            continue;
+        }
+        // `.partial_cmp(` — a partial order on a score path. NaN makes the
+        // comparator's fallback fire, and *which* elements hit the fallback
+        // depends on data order; `total_cmp` never needs one.
+        if toks[i].is_punct(".")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("partial_cmp"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct("("))
+        {
+            out.push(Violation {
+                rule: "R6-float-determinism",
+                file: rel_path.to_string(),
+                line: ctx.view.line_of(toks[i].pos()),
+                message: "`.partial_cmp(..)` comparator on a score path is not a total order \
+                          (NaN hits the fallback arm); use `f64::total_cmp` for a NaN-stable, \
+                          bitwise-reproducible sort"
+                    .to_string(),
+                suppressed: None,
+                item: None,
+            });
+        }
+        // `par_iter().sum()` and friends — float reduction order follows
+        // work-stealing, so the sum is not bitwise-stable across runs.
+        if let Some(src) = PAR_SOURCES.iter().find(|s| toks[i].is_ident(s)) {
+            if toks.get(i + 1).is_some_and(|t| t.is_punct("(")) {
+                let stmt = stmt_around(&ctx.view.code, toks[i].pos());
+                if let Some(red) = REDUCERS.iter().find(|r| stmt.contains(*r)) {
+                    out.push(Violation {
+                        rule: "R6-float-determinism",
+                        file: rel_path.to_string(),
+                        line: ctx.view.line_of(toks[i].pos()),
+                        message: format!(
+                            "parallel reduction `{src}()..{red})` accumulates floats in \
+                             scheduling order; use a fixed-order block reduction (chunk, \
+                             reduce each chunk sequentially, then combine in index order)"
+                        ),
+                        suppressed: None,
+                        item: None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R7
+
+/// R7 (lexical half) — shared mutable statics and relaxed atomic snapshots
+/// feeding comparisons.
+fn rule_concurrency(rel_path: &str, ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !config::is_library_code(rel_path) {
+        return;
+    }
+    let toks = &ctx.toks;
+    for i in 0..toks.len() {
+        if in_spans(toks[i].pos(), &ctx.test_spans) {
+            continue;
+        }
+        if toks[i].is_ident("static") && toks.get(i + 1).is_some_and(|t| t.is_ident("mut")) {
+            out.push(Violation {
+                rule: "R7-concurrency",
+                file: rel_path.to_string(),
+                line: ctx.view.line_of(toks[i].pos()),
+                message: "`static mut` is unsynchronized shared mutable state; use an atomic, \
+                          a `Mutex`, or `OnceLock`"
+                    .to_string(),
+                suppressed: None,
+                item: None,
+            });
+        }
+        // `.load(Ordering::Relaxed)` whose statement compares the result.
+        // A bare boolean gate (`if ENABLED.load(Relaxed)`) is fine — that
+        // is the sanctioned zero-overhead fast path — but a relaxed
+        // snapshot compared against a cap or another counter can be
+        // arbitrarily stale relative to the writes it gates.
+        if toks[i].is_punct(".")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("load"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct("("))
+        {
+            let close = crate::items::matching(toks, i + 2, "(", ")");
+            let relaxed =
+                close.is_some_and(|c| toks[i + 2..c].iter().any(|t| t.is_ident("Relaxed")));
+            if relaxed {
+                let stmt = stmt_around(&ctx.view.code, toks[i].pos());
+                if has_comparison(stmt) {
+                    out.push(Violation {
+                        rule: "R7-concurrency",
+                        file: rel_path.to_string(),
+                        line: ctx.view.line_of(toks[i].pos()),
+                        message: "`Ordering::Relaxed` load feeds a comparison; the snapshot \
+                                  can be arbitrarily stale relative to the writes it gates — \
+                                  load with `Ordering::Acquire`"
+                            .to_string(),
+                        suppressed: None,
+                        item: None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// R7 (item-aware half) — lock acquisition inside an `#[inline]` function.
+/// Inline functions are the observability hot path contract: they must stay
+/// a relaxed load when the sink is off, and a lock would serialize every
+/// caller.
+fn rule_lock_in_inline(
+    ws: &Workspace,
+    files: &BTreeMap<String, FileCtx>,
+    out: &mut Vec<Violation>,
+) {
+    for f in &ws.fns {
+        if !f.item.is_inline || f.item.in_test || !f.library {
+            continue;
+        }
+        let Some(ctx) = files.get(&f.item.file) else { continue };
+        let (lo, hi) = f.item.body;
+        for k in 0..ctx.toks.len() {
+            let t = &ctx.toks[k];
+            if t.pos() <= lo || t.pos() >= hi || !t.is_punct(".") {
+                continue;
+            }
+            if ctx.toks.get(k + 1).is_some_and(|x| x.is_ident("lock"))
+                && ctx.toks.get(k + 2).is_some_and(|x| x.is_punct("("))
+            {
+                out.push(Violation {
+                    rule: "R7-concurrency",
+                    file: f.item.file.clone(),
+                    line: ctx.view.line_of(t.pos()),
+                    message: format!(
+                        "`.lock()` inside `#[inline]` fn `{}`; inline functions are the \
+                         hot-path contract — move the lock behind an out-of-line slow path",
+                        f.fq
+                    ),
+                    suppressed: None,
+                    item: None,
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R8
+
+/// One io/serde panic site inside a function body.
+struct PanicSite {
+    line: usize,
+    what: String,
+}
+
+/// R8 — io/serde panic sites transitively reachable from an externally
+/// visible `pub` API of a library crate. The reported path is the BFS
+/// shortest path in the over-approximate call graph.
+fn rule_panic_reachability(
+    ws: &Workspace,
+    cg: &CallGraph,
+    files: &BTreeMap<String, FileCtx>,
+    out: &mut Vec<Violation>,
+) {
+    let mut sites: BTreeMap<usize, Vec<PanicSite>> = BTreeMap::new();
+    for (idx, f) in ws.fns.iter().enumerate() {
+        if !f.library || f.item.in_test {
+            continue;
+        }
+        let Some(ctx) = files.get(&f.item.file) else { continue };
+        let found = panic_sites_in_body(ctx, f.item.body);
+        if !found.is_empty() {
+            sites.insert(idx, found);
+        }
+    }
+    if sites.is_empty() {
+        return;
+    }
+
+    let roots: Vec<usize> =
+        ws.fns.iter().enumerate().filter(|(_, f)| f.external).map(|(i, _)| i).collect();
+    let reach = cg.reach_from(&roots);
+
+    for (idx, found) in &sites {
+        if !reach.contains_key(idx) {
+            continue;
+        }
+        let path = CallGraph::path_to(&reach, *idx);
+        let chain = path.iter().map(|&i| ws.fns[i].fq.as_str()).collect::<Vec<_>>().join(" -> ");
+        let f = &ws.fns[*idx];
+        for site in found {
+            out.push(Violation {
+                rule: "R8-panic-reachability",
+                file: f.item.file.clone(),
+                line: site.line,
+                message: format!(
+                    "{} is reachable from the public API: {chain}; propagate the error \
+                     across this path instead of panicking",
+                    site.what
+                ),
+                suppressed: None,
+                item: None,
+            });
+        }
+    }
+}
+
+/// Io/serde `unwrap`/`expect`/`panic!` sites in one body span, excluding
+/// `#[cfg(test)]` regions — the same statement heuristic as R5.
+fn panic_sites_in_body(ctx: &FileCtx, body: (usize, usize)) -> Vec<PanicSite> {
+    let (lo, hi) = body;
+    let mut found = Vec::new();
+    let toks = &ctx.toks;
+    for i in 0..toks.len() {
+        let pos = toks[i].pos();
+        if pos <= lo || pos >= hi || in_spans(pos, &ctx.test_spans) {
+            continue;
+        }
+        if toks[i].is_punct(".") {
+            let Some(method) = toks
+                .get(i + 1)
+                .and_then(|t| t.ident())
+                .filter(|m| *m == "unwrap" || *m == "expect")
+            else {
+                continue;
+            };
+            if !toks.get(i + 2).is_some_and(|t| t.is_punct("(")) {
+                continue;
+            }
+            let stmt = stmt_around(&ctx.view.code, pos);
+            if let Some(marker) = IO_SERDE_MARKERS.iter().find(|m| stmt.contains(*m)) {
+                found.push(PanicSite {
+                    line: ctx.view.line_of(pos),
+                    what: format!("`.{method}()` on a fallible io/serde operation (`{marker}`)"),
+                });
+            }
+        } else if toks[i].is_ident("panic") && toks.get(i + 1).is_some_and(|t| t.is_punct("!")) {
+            let stmt = stmt_around(&ctx.view.code, pos);
+            if let Some(marker) = IO_SERDE_MARKERS.iter().find(|m| stmt.contains(*m)) {
+                found.push(PanicSite {
+                    line: ctx.view.line_of(pos),
+                    what: format!("`panic!` in an io/serde statement (`{marker}`)"),
+                });
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_file;
+    use crate::scan::{tokenize, FileView};
+
+    fn run(files: &[(&str, &str)]) -> Vec<Violation> {
+        let mut ctxs = BTreeMap::new();
+        let mut items = BTreeMap::new();
+        let mut toks_map = BTreeMap::new();
+        for (path, src) in files {
+            let view = FileView::new(src.to_string());
+            let toks = tokenize(&view.code);
+            let test_spans = crate::rules::cfg_test_spans(&toks);
+            items.insert(path.to_string(), parse_file(path, &view, &toks, &test_spans));
+            toks_map.insert(path.to_string(), toks.clone());
+            ctxs.insert(path.to_string(), FileCtx { view, toks, test_spans });
+        }
+        let ws = Workspace::resolve(&items);
+        let cg = CallGraph::build(&ws, &toks_map);
+        check_workspace(&ws, &cg, &ctxs)
+    }
+
+    #[test]
+    fn r6_flags_partial_cmp_and_parallel_reductions() {
+        let v = run(&[(
+            "crates/core/src/score.rs",
+            "pub fn rank(xs: &mut [f64]) {\n\
+             \u{20}   xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+             \u{20}   let _s: f64 = xs.par_iter().map(|x| x * x).sum();\n\
+             }\n",
+        )]);
+        let rules: Vec<&str> = v.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, vec!["R6-float-determinism", "R6-float-determinism"]);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[1].line, 3);
+    }
+
+    #[test]
+    fn r6_ignores_non_score_crates_and_tests() {
+        let v = run(&[
+            ("crates/obs/src/x.rs", "pub fn f(a: f64, b: f64) { a.partial_cmp(&b); }"),
+            (
+                "crates/core/src/y.rs",
+                "#[cfg(test)]\nmod tests {\n    fn f(a: f64, b: f64) { a.partial_cmp(&b); }\n}\n",
+            ),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r7_flags_static_mut_and_relaxed_comparison() {
+        let v = run(&[(
+            "crates/core/src/state.rs",
+            "static mut COUNT: u64 = 0;\n\
+             pub fn over(cap: u64) -> bool {\n\
+             \u{20}   N.load(Ordering::Relaxed) >= cap\n\
+             }\n\
+             pub fn gate() -> bool {\n\
+             \u{20}   if ENABLED.load(Ordering::Relaxed) { true } else { false }\n\
+             }\n",
+        )]);
+        let lines: Vec<(usize, &str)> = v.iter().map(|x| (x.line, x.rule)).collect();
+        assert_eq!(lines, vec![(1, "R7-concurrency"), (3, "R7-concurrency")]);
+    }
+
+    #[test]
+    fn r7_flags_lock_in_inline_fn() {
+        let v = run(&[(
+            "crates/obs/src/m.rs",
+            "#[inline]\npub fn hot() {\n    let _g = registry().lock();\n}\n\
+             pub fn cold() {\n    let _g = registry().lock();\n}\n",
+        )]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].message.contains("obs::m::hot"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn r8_reports_reachable_sites_with_path() {
+        let v = run(&[
+            ("crates/core/src/lib.rs", "pub mod api;\nmod inner;\n"),
+            (
+                "crates/core/src/api.rs",
+                "pub fn entry(p: &str) -> String {\n    crate::inner::slurp(p)\n}\n",
+            ),
+            (
+                "crates/core/src/inner.rs",
+                "pub fn slurp(p: &str) -> String {\n\
+                 \u{20}   std::fs::read_to_string(p).unwrap()\n\
+                 }\n\
+                 pub fn unreached(p: &str) -> String {\n\
+                 \u{20}   std::fs::read_to_string(p).unwrap()\n\
+                 }\n",
+            ),
+        ]);
+        // `slurp` is reached from `entry`; `unreached` is *also* a root on
+        // its own? No — `inner` is a private module and nothing re-exports
+        // it, so only the path through `entry` fires.
+        let r8: Vec<&Violation> = v.iter().filter(|x| x.rule == "R8-panic-reachability").collect();
+        assert_eq!(r8.len(), 1, "{v:?}");
+        assert_eq!(r8[0].file, "crates/core/src/inner.rs");
+        assert_eq!(r8[0].line, 2);
+        assert!(
+            r8[0].message.contains("core::api::entry -> core::inner::slurp"),
+            "{}",
+            r8[0].message
+        );
+    }
+
+    #[test]
+    fn r8_is_silent_when_sites_are_unreachable() {
+        let v = run(&[
+            ("crates/core/src/lib.rs", "mod inner;\npub fn safe() -> u32 { 1 }\n"),
+            (
+                "crates/core/src/inner.rs",
+                "fn private_slurp(p: &str) -> String {\n\
+                 \u{20}   std::fs::read_to_string(p).unwrap()\n\
+                 }\n",
+            ),
+        ]);
+        assert!(!v.iter().any(|x| x.rule == "R8-panic-reachability"), "{v:?}");
+    }
+}

@@ -1,0 +1,92 @@
+//! R8 reachability verdicts over the on-disk fixture workspace in
+//! `tests/fixtures/callgraph/`: a `pub use` re-export out of a private
+//! module (plus a cross-crate re-export of the same fn), trait-method
+//! dispatch behind `dyn`, and a recursion cycle — and one dead private
+//! loader that must stay un-flagged.
+
+use lsm_lint::{lint_root, Violation};
+use std::path::PathBuf;
+
+fn manifest_dir() -> PathBuf {
+    PathBuf::from(option_env!("CARGO_MANIFEST_DIR").unwrap_or("crates/lint"))
+}
+
+fn lint_callgraph_fixture() -> Vec<Violation> {
+    let root = manifest_dir().join("tests/fixtures/callgraph");
+    assert!(root.is_dir(), "missing fixture root {}", root.display());
+    lint_root(&root).expect("fixture root lints")
+}
+
+fn r8(violations: &[Violation]) -> Vec<&Violation> {
+    violations.iter().filter(|v| v.rule == "R8-panic-reachability").collect()
+}
+
+#[test]
+fn r8_fires_on_exactly_the_reachable_sites() {
+    let violations = lint_callgraph_fixture();
+    let located: Vec<(&str, usize)> =
+        r8(&violations).iter().map(|v| (v.file.as_str(), v.line)).collect();
+    assert_eq!(
+        located,
+        vec![
+            ("crates/engine/src/lib.rs", 17),
+            ("crates/gateway/src/internal.rs", 5),
+            ("crates/pipeline/src/lib.rs", 19),
+        ],
+    );
+}
+
+#[test]
+fn reexport_out_of_a_private_module_makes_the_fn_a_root() {
+    let violations = lint_callgraph_fixture();
+    let v = r8(&violations)
+        .into_iter()
+        .find(|v| v.file == "crates/gateway/src/internal.rs")
+        .expect("gateway finding");
+    // `internal` is a private module; only the `pub use` makes the loader
+    // part of the public API, so the path starts (and ends) at the fn.
+    assert!(v.message.contains("public API: gateway::internal::load_manifest;"), "{}", v.message);
+}
+
+#[test]
+fn trait_dispatch_reaches_the_io_backed_impl_only() {
+    let violations = lint_callgraph_fixture();
+    let v = r8(&violations)
+        .into_iter()
+        .find(|v| v.file == "crates/engine/src/lib.rs")
+        .expect("engine finding");
+    assert!(v.message.contains("engine::run -> engine::JsonCodec::decode"), "{}", v.message);
+}
+
+#[test]
+fn cycles_do_not_break_reachability_or_path_reporting() {
+    let violations = lint_callgraph_fixture();
+    let v = r8(&violations)
+        .into_iter()
+        .find(|v| v.file == "crates/pipeline/src/lib.rs")
+        .expect("pipeline finding");
+    assert!(
+        v.message
+            .contains("pipeline::ingest -> pipeline::parse_chunk -> pipeline::resolve_include"),
+        "{}",
+        v.message
+    );
+}
+
+#[test]
+fn unreachable_private_site_gets_r5_but_not_r8() {
+    let violations = lint_callgraph_fixture();
+    let dead_line = 25; // `dead_loader`'s unwrap in crates/pipeline/src/lib.rs
+    assert!(violations.iter().any(|v| v.rule == "R5-panic-policy" && v.line == dead_line));
+    assert!(!r8(&violations).iter().any(|v| v.line == dead_line));
+}
+
+#[test]
+fn violations_carry_fully_qualified_items() {
+    let violations = lint_callgraph_fixture();
+    let v = r8(&violations)
+        .into_iter()
+        .find(|v| v.file == "crates/engine/src/lib.rs")
+        .expect("engine finding");
+    assert_eq!(v.item.as_deref(), Some("engine::JsonCodec::decode"));
+}

@@ -1,0 +1,312 @@
+//! Shared fixture builder for the lint integration tests.
+//!
+//! The clean/trigger/suppressed corpora used to live as three checked-in
+//! directory trees that drifted apart; they are now generated into a temp
+//! directory from the snippet constants below, so every test sees the same
+//! base workspace and a trigger fixture is "clean plus the one bad file".
+//! The call-graph fixture stays on disk under `tests/fixtures/callgraph/`
+//! (its multi-file module structure is the thing under test).
+
+#![allow(dead_code)] // each integration test binary uses a subset
+
+use std::path::{Path, PathBuf};
+
+/// A generated fixture workspace, removed on drop.
+pub struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+/// Builds fixture workspaces from `(root-relative path, contents)` pairs.
+pub struct FixtureBuilder {
+    root: PathBuf,
+    files: Vec<(String, String)>,
+}
+
+impl FixtureBuilder {
+    /// A fresh builder rooted in a unique temp directory.
+    pub fn new(name: &str) -> FixtureBuilder {
+        let root =
+            std::env::temp_dir().join(format!("lsm-lint-fixture-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        FixtureBuilder { root, files: Vec::new() }
+    }
+
+    /// Adds (or overrides) one file.
+    pub fn file(mut self, rel: &str, contents: &str) -> FixtureBuilder {
+        self.files.retain(|(r, _)| r != rel);
+        self.files.push((rel.to_string(), contents.to_string()));
+        self
+    }
+
+    /// Writes everything to disk.
+    pub fn build(self) -> Fixture {
+        for (rel, contents) in &self.files {
+            let path = self.root.join(rel);
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir).expect("fixture dir");
+            }
+            std::fs::write(&path, contents).expect("fixture file");
+        }
+        Fixture { root: self.root }
+    }
+}
+
+// ------------------------------------------------------------- snippets
+
+pub const CLEAN_CORE: &str = "\
+//! R1 clean: lookups on a `HashMap` are fine; iteration goes through a
+//! `BTreeMap`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A point lookup never observes bucket order.
+pub fn lookup(scores: &HashMap<String, f64>, key: &str) -> Option<f64> {
+    scores.get(key).copied()
+}
+
+/// Iteration is fine because the map is ordered.
+pub fn total(ordered: &BTreeMap<String, f64>) -> f64 {
+    ordered.values().sum()
+}
+";
+
+pub const CLEAN_MATCHERS: &str = "\
+//! R5/R8 clean: io errors are propagated, and `unwrap` away from io/serde
+//! is out of scope.
+
+#![forbid(unsafe_code)]
+
+use std::io;
+
+/// The read error reaches the caller.
+pub fn slurp(path: &str) -> Result<String, io::Error> {
+    std::fs::read_to_string(path)
+}
+
+/// `unwrap` with no io/serde in the statement is not R5's business.
+pub fn answer() -> u32 {
+    \"42\".parse().unwrap()
+}
+";
+
+pub const CLEAN_NN: &str = "\
+//! R4 clean: the `unsafe` block documents its invariant.
+
+/// First byte of a slice the caller has already length-checked.
+pub fn first(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *v.get_unchecked(0) }
+}
+";
+
+pub const CLEAN_OBS: &str = "\
+//! R2 clean: the observability crate owns the wall clock.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Timing belongs here; every other crate goes through `lsm_obs::span`.
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+";
+
+pub const CLEAN_TEXT: &str = "\
+//! R3 clean: the RNG takes an explicit seed.
+
+#![forbid(unsafe_code)]
+
+/// Replayable: the caller decides the seed.
+pub fn roll(seed: u64) -> u64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    rng.next_u64()
+}
+";
+
+pub const TRIGGER_CORE: &str = "\
+//! R1 trigger: iterating a `HashMap` in a deterministic crate.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+/// Summing over `.values()` observes bucket order: the result is an
+/// f64 fold whose rounding depends on visit order.
+pub fn sum_scores(scores: &HashMap<String, f64>) -> f64 {
+    scores.values().sum()
+}
+
+/// A `for` loop over the map observes the same bucket order.
+pub fn count_pairs(scores: &HashMap<String, f64>) -> usize {
+    let mut n = 0;
+    for _pair in scores {
+        n += 1;
+    }
+    n
+}
+";
+
+pub const TRIGGER_MATCHERS: &str = "\
+//! R5/R8 trigger: a `pub` fn that panics on an io error.
+
+#![forbid(unsafe_code)]
+
+/// Panics on any read error instead of propagating it.
+pub fn slurp(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap()
+}
+";
+
+pub const TRIGGER_NN: &str = "\
+//! R4 trigger: an `unsafe` block whose soundness argument is missing.
+
+/// First byte without a bounds check and without a safety argument.
+pub fn first(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}
+";
+
+pub const TRIGGER_NOFORBID: &str = "\
+//! R4 trigger (crate level): zero unsafe code but no `#![forbid(unsafe_code)]`.
+
+/// Nothing unsafe anywhere in this crate — the compiler should be told
+/// to keep it that way.
+pub fn double(x: u32) -> u32 {
+    x * 2
+}
+";
+
+pub const TRIGGER_SCHEMA: &str = "\
+//! R2 trigger: a wall-clock read outside the observability layer.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Matching latency measured ad hoc instead of through `lsm_obs::span`.
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+";
+
+pub const TRIGGER_TEXT: &str = "\
+//! R3 trigger: an entropy-seeded RNG.
+
+#![forbid(unsafe_code)]
+
+/// A run seeded from process entropy can never be replayed.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+";
+
+pub const TRIGGER_EMBEDDING: &str = "\
+//! R6 trigger: order-sensitive float operations on a score path.
+
+#![forbid(unsafe_code)]
+
+/// NaN hits the fallback arm, so the ranking depends on data order.
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+/// Scheduling decides the fold order of this parallel float sum.
+pub fn energy(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * x).sum()
+}
+";
+
+pub const TRIGGER_STORE: &str = "\
+//! R7 trigger: concurrency-discipline hazards.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static mut LAST: u64 = 0;
+
+/// A relaxed snapshot compared against a cap can run stale.
+pub fn over_cap(cap: u64) -> bool {
+    HITS.load(Ordering::Relaxed) >= cap
+}
+
+/// A lock inside an `#[inline]` fn serializes every caller.
+#[inline]
+pub fn hot(m: &std::sync::Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}
+";
+
+pub const SUPPRESSED_CORE: &str = "\
+//! Suppression fixtures: one justified allow, one missing its reason.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+/// Iteration feeding an order-insensitive count — a justified allow.
+pub fn count(scores: &HashMap<String, f64>) -> usize {
+    // lsm-lint: allow(R1-hash-iter, count is order-insensitive)
+    scores.values().count()
+}
+
+/// An allow() without a reason does not silence anything.
+pub fn sum(scores: &HashMap<String, f64>) -> f64 {
+    // lsm-lint: allow(R1-hash-iter)
+    scores.values().sum()
+}
+";
+
+// ------------------------------------------------------------- workspaces
+
+/// The rule-abiding base workspace every corpus starts from.
+pub fn clean_builder(name: &str) -> FixtureBuilder {
+    FixtureBuilder::new(name)
+        .file("crates/core/src/lib.rs", CLEAN_CORE)
+        .file("crates/matchers/src/lib.rs", CLEAN_MATCHERS)
+        .file("crates/nn/src/lib.rs", CLEAN_NN)
+        .file("crates/obs/src/lib.rs", CLEAN_OBS)
+        .file("crates/text/src/lib.rs", CLEAN_TEXT)
+}
+
+/// Clean base workspace.
+pub fn clean_fixture() -> Fixture {
+    clean_builder("clean").build()
+}
+
+/// The clean base with every rule's trigger layered on top.
+pub fn trigger_fixture() -> Fixture {
+    clean_builder("trigger")
+        .file("crates/core/src/lib.rs", TRIGGER_CORE)
+        .file("crates/matchers/src/lib.rs", TRIGGER_MATCHERS)
+        .file("crates/nn/src/lib.rs", TRIGGER_NN)
+        .file("crates/noforbid/src/lib.rs", TRIGGER_NOFORBID)
+        .file("crates/schema/src/lib.rs", TRIGGER_SCHEMA)
+        .file("crates/text/src/lib.rs", TRIGGER_TEXT)
+        .file("crates/embedding/src/lib.rs", TRIGGER_EMBEDDING)
+        .file("crates/store/src/lib.rs", TRIGGER_STORE)
+        .build()
+}
+
+/// The clean base with the suppression corpus in `core`.
+pub fn suppressed_fixture() -> Fixture {
+    clean_builder("suppressed").file("crates/core/src/lib.rs", SUPPRESSED_CORE).build()
+}

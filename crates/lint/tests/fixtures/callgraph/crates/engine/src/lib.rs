@@ -1,0 +1,33 @@
+//! Trait dispatch: the panic site hides behind `dyn Codec`, so reaching it
+//! requires the call graph's dispatch over-approximation.
+
+#![forbid(unsafe_code)]
+
+/// Decoding interface the pipeline is generic over.
+pub trait Codec {
+    /// Decodes the file at `path`.
+    fn decode(&self, path: &str) -> String;
+}
+
+/// The io-backed implementation.
+pub struct JsonCodec;
+
+impl Codec for JsonCodec {
+    fn decode(&self, path: &str) -> String {
+        std::fs::read_to_string(path).unwrap()
+    }
+}
+
+/// An implementation with no io at all.
+pub struct NullCodec;
+
+impl Codec for NullCodec {
+    fn decode(&self, _path: &str) -> String {
+        String::new()
+    }
+}
+
+/// The dynamic call site: every `decode` impl is a possible callee.
+pub fn run(codec: &dyn Codec, path: &str) -> String {
+    codec.decode(path)
+}

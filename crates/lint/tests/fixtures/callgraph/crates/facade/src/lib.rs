@@ -1,0 +1,11 @@
+//! Cross-crate re-export: forwards `gateway`'s loader and calls it across
+//! the crate boundary.
+
+#![forbid(unsafe_code)]
+
+pub use lsm_gateway::load_manifest;
+
+/// A cross-crate call edge into `gateway`.
+pub fn fetch(path: &str) -> String {
+    load_manifest(path)
+}

@@ -1,0 +1,6 @@
+//! Private module; `load_manifest` escapes only via the re-export.
+
+/// Reachable from outside solely through `pub use` in `lib.rs`.
+pub fn load_manifest(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap()
+}

@@ -1,0 +1,8 @@
+//! Public surface: the loader lives in a private module and is visible
+//! outside the crate only through the `pub use` re-export below.
+
+#![forbid(unsafe_code)]
+
+mod internal;
+
+pub use internal::load_manifest;

@@ -1,0 +1,26 @@
+//! A recursion cycle between two private helpers, reachable from `ingest`,
+//! plus a dead loader no public path reaches.
+
+#![forbid(unsafe_code)]
+
+/// The only public entry point.
+pub fn ingest(path: &str) -> String {
+    parse_chunk(path, 0)
+}
+
+fn parse_chunk(path: &str, depth: usize) -> String {
+    if depth > 4 {
+        return String::new();
+    }
+    resolve_include(path, depth)
+}
+
+fn resolve_include(path: &str, depth: usize) -> String {
+    let text = std::fs::read_to_string(path).unwrap();
+    parse_chunk(&text, depth + 1)
+}
+
+/// Never called and not `pub`: R5 still applies, R8 must stay quiet.
+fn dead_loader(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap()
+}

@@ -1,7 +1,8 @@
-//! End-to-end tests of the lint over the fixture corpora in
-//! `tests/fixtures/` (deliberately-violating pseudo-workspaces the walker
-//! skips in the real tree), plus the guarantee that the repository itself
-//! is lint-clean modulo the checked-in baseline.
+//! End-to-end tests of the lint over generated fixture workspaces (see
+//! `common.rs` for the shared builder and snippets), plus the guarantee
+//! that the repository itself is lint-clean modulo the checked-in baseline.
+
+mod common;
 
 use lsm_lint::baseline;
 use lsm_lint::{lint_root, Violation};
@@ -13,10 +14,8 @@ fn manifest_dir() -> PathBuf {
     PathBuf::from(option_env!("CARGO_MANIFEST_DIR").unwrap_or("crates/lint"))
 }
 
-fn lint_fixture(name: &str) -> Vec<Violation> {
-    let root = manifest_dir().join("tests/fixtures").join(name);
-    assert!(root.is_dir(), "missing fixture root {}", root.display());
-    lint_root(&root).expect("fixture root lints")
+fn lint_fixture(fixture: &common::Fixture) -> Vec<Violation> {
+    lint_root(fixture.root()).expect("fixture root lints")
 }
 
 fn active(violations: &[Violation]) -> Vec<(&str, &str, usize)> {
@@ -29,16 +28,23 @@ fn active(violations: &[Violation]) -> Vec<(&str, &str, usize)> {
 
 #[test]
 fn trigger_root_flags_every_rule_with_location() {
-    let violations = lint_fixture("trigger");
+    let fixture = common::trigger_fixture();
+    let violations = lint_fixture(&fixture);
     assert_eq!(
         active(&violations),
         vec![
             ("R1-hash-iter", "crates/core/src/lib.rs", 10),
             ("R1-hash-iter", "crates/core/src/lib.rs", 16),
+            ("R6-float-determinism", "crates/embedding/src/lib.rs", 7),
+            ("R6-float-determinism", "crates/embedding/src/lib.rs", 12),
             ("R5-panic-policy", "crates/matchers/src/lib.rs", 7),
+            ("R8-panic-reachability", "crates/matchers/src/lib.rs", 7),
             ("R4-unsafe-safety", "crates/nn/src/lib.rs", 5),
             ("R4-unsafe-safety", "crates/noforbid/src/lib.rs", 1),
             ("R2-wall-clock", "crates/schema/src/lib.rs", 9),
+            ("R7-concurrency", "crates/store/src/lib.rs", 8),
+            ("R7-concurrency", "crates/store/src/lib.rs", 12),
+            ("R7-concurrency", "crates/store/src/lib.rs", 18),
             ("R3-entropy", "crates/text/src/lib.rs", 7),
         ],
     );
@@ -46,7 +52,8 @@ fn trigger_root_flags_every_rule_with_location() {
 
 #[test]
 fn trigger_messages_name_the_problem() {
-    let violations = lint_fixture("trigger");
+    let fixture = common::trigger_fixture();
+    let violations = lint_fixture(&fixture);
     let by_rule = |rule: &str| {
         violations.iter().find(|v| v.rule == rule).map(|v| v.message.as_str()).unwrap_or("")
     };
@@ -55,17 +62,37 @@ fn trigger_messages_name_the_problem() {
     assert!(by_rule("R3-entropy").contains("thread_rng"));
     assert!(by_rule("R4-unsafe-safety").contains("SAFETY"));
     assert!(by_rule("R5-panic-policy").contains("fs::"));
+    assert!(by_rule("R6-float-determinism").contains("total_cmp"));
+    assert!(by_rule("R7-concurrency").contains("static mut"));
+    assert!(by_rule("R8-panic-reachability").contains("public API: matchers::slurp"));
+}
+
+#[test]
+fn violations_are_attributed_to_their_enclosing_item() {
+    let fixture = common::trigger_fixture();
+    let violations = lint_fixture(&fixture);
+    let item_of = |rule: &str, line: usize| {
+        violations.iter().find(|v| v.rule == rule && v.line == line).and_then(|v| v.item.as_deref())
+    };
+    assert_eq!(item_of("R1-hash-iter", 10), Some("core::sum_scores"));
+    assert_eq!(item_of("R6-float-determinism", 7), Some("embedding::rank"));
+    assert_eq!(item_of("R7-concurrency", 18), Some("store::hot"));
+    assert_eq!(item_of("R8-panic-reachability", 7), Some("matchers::slurp"));
+    // A crate-level finding has no enclosing fn; the baseline keys it by file.
+    assert_eq!(item_of("R4-unsafe-safety", 1), None);
 }
 
 #[test]
 fn clean_root_is_clean() {
-    let violations = lint_fixture("clean");
+    let fixture = common::clean_fixture();
+    let violations = lint_fixture(&fixture);
     assert!(violations.is_empty(), "unexpected violations: {violations:?}");
 }
 
 #[test]
 fn suppression_with_reason_silences_and_records_the_reason() {
-    let violations = lint_fixture("suppressed");
+    let fixture = common::suppressed_fixture();
+    let violations = lint_fixture(&fixture);
     let suppressed: Vec<_> = violations.iter().filter(|v| v.suppressed.is_some()).collect();
     assert_eq!(suppressed.len(), 1);
     assert_eq!(suppressed[0].line, 10);
@@ -74,7 +101,8 @@ fn suppression_with_reason_silences_and_records_the_reason() {
 
 #[test]
 fn suppression_without_reason_stays_active() {
-    let violations = lint_fixture("suppressed");
+    let fixture = common::suppressed_fixture();
+    let violations = lint_fixture(&fixture);
     let still_active = active(&violations);
     assert_eq!(still_active, vec![("R1-hash-iter", "crates/core/src/lib.rs", 16)]);
     let v = violations.iter().find(|v| v.line == 16).unwrap();
@@ -83,9 +111,12 @@ fn suppression_without_reason_stays_active() {
 
 #[test]
 fn baseline_freeze_round_trips_and_silences_frozen_debt() {
-    let violations = lint_fixture("trigger");
+    let fixture = common::trigger_fixture();
+    let violations = lint_fixture(&fixture);
     let counts = baseline::count(&violations);
     assert!(!counts.is_empty());
+    // The baseline keys on items where the resolver attributed one.
+    assert!(counts.contains_key(&("R1-hash-iter".into(), "core::sum_scores".into())), "{counts:?}");
 
     // Freeze to disk the way --fix-baseline does, then load it back.
     let json = baseline::to_json(&counts);

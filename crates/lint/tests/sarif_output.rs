@@ -1,0 +1,257 @@
+//! End-to-end SARIF export over the generated trigger fixture: the log must
+//! be syntactically valid JSON and carry the structure SARIF 2.1.0 requires
+//! (`version`, `runs[].tool.driver`, per-result `ruleId`/`message`/
+//! `locations`). The crate is dependency-free, so a tiny JSON reader lives
+//! here instead of a schema-validation library.
+
+mod common;
+
+use lsm_lint::{baseline, lint_root, sarif};
+
+/// A minimal JSON value — just enough to check the SARIF shape.
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn arr(&self) -> &[Json] {
+        match self {
+            Json::Arr(items) => items,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    fn str(&self) -> &str {
+        match self {
+            Json::Str(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+}
+
+fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    let v = value(bytes, &mut i)?;
+    ws(bytes, &mut i);
+    if i != bytes.len() {
+        return Err(format!("trailing bytes at {i}"));
+    }
+    Ok(v)
+}
+
+fn ws(b: &[u8], i: &mut usize) {
+    while b.get(*i).is_some_and(|c| c.is_ascii_whitespace()) {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => {
+            *i += 1;
+            let mut fields = Vec::new();
+            ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                ws(b, i);
+                let Json::Str(key) = value(b, i)? else {
+                    return Err(format!("non-string object key at {i}"));
+                };
+                ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return Err(format!("expected ':' at {i}"));
+                }
+                *i += 1;
+                fields.push((key, value(b, i)?));
+                ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    other => return Err(format!("expected ',' or '}}' at {i}, got {other:?}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *i += 1;
+            let mut items = Vec::new();
+            ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(value(b, i)?);
+                ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    other => return Err(format!("expected ',' or ']' at {i}, got {other:?}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *i += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*i) {
+                    Some(b'"') => {
+                        *i += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *i += 1;
+                        match b.get(*i) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b'u') => {
+                                let hex = b
+                                    .get(*i + 1..*i + 5)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .ok_or("truncated \\u escape")?;
+                                let code =
+                                    u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                                s.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                                *i += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *i += 1;
+                    }
+                    Some(&c) if c < 0x20 => {
+                        return Err(format!("raw control byte {c:#x} in string at {i}"));
+                    }
+                    Some(&c) if c < 0x80 => {
+                        s.push(c as char);
+                        *i += 1;
+                    }
+                    Some(_) => {
+                        let rest = std::str::from_utf8(&b[*i..]).map_err(|e| e.to_string())?;
+                        let c = rest.chars().next().ok_or("truncated string")?;
+                        s.push(c);
+                        *i += c.len_utf8();
+                    }
+                    None => return Err("unterminated string".to_string()),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *i;
+            *i += 1;
+            while b.get(*i).is_some_and(|c| {
+                c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-')
+            }) {
+                *i += 1;
+            }
+            std::str::from_utf8(&b[start..*i])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at {start}"))
+        }
+        Some(b't') if b[*i..].starts_with(b"true") => {
+            *i += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*i..].starts_with(b"false") => {
+            *i += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*i..].starts_with(b"null") => {
+            *i += 4;
+            Ok(Json::Null)
+        }
+        other => Err(format!("unexpected byte {other:?} at {i}")),
+    }
+}
+
+fn trigger_sarif() -> Json {
+    let fixture = common::trigger_fixture();
+    let violations = lint_root(fixture.root()).expect("fixture lints");
+    assert!(!violations.is_empty());
+    let covered = baseline::covered_flags(&violations, &baseline::Counts::new());
+    let log = sarif::to_sarif(&violations, &covered);
+    parse(&log).expect("SARIF log is valid JSON")
+}
+
+#[test]
+fn sarif_log_has_the_required_2_1_0_structure() {
+    let log = trigger_sarif();
+    assert_eq!(log.get("version").expect("version").str(), "2.1.0");
+    assert!(log.get("$schema").expect("$schema").str().contains("sarif-2.1.0.json"));
+
+    let runs = log.get("runs").expect("runs").arr();
+    assert_eq!(runs.len(), 1);
+    let driver = runs[0].get("tool").and_then(|t| t.get("driver")).expect("tool.driver");
+    assert_eq!(driver.get("name").expect("driver name").str(), "lsm-lint");
+    // The full catalog, R1 through R8, rides in the driver rules.
+    assert_eq!(driver.get("rules").expect("driver rules").arr().len(), 8);
+}
+
+#[test]
+fn every_result_is_locatable_and_typed() {
+    let log = trigger_sarif();
+    let results = log.get("runs").expect("runs").arr()[0].get("results").expect("results").arr();
+    assert!(!results.is_empty());
+    for r in results {
+        let rule_id = r.get("ruleId").expect("ruleId").str();
+        assert!(rule_id.starts_with('R'), "odd ruleId {rule_id}");
+        r.get("message").and_then(|m| m.get("text")).expect("message.text");
+        let locations = r.get("locations").expect("locations").arr();
+        assert_eq!(locations.len(), 1);
+        let phys = locations[0].get("physicalLocation").expect("physicalLocation");
+        let uri = phys
+            .get("artifactLocation")
+            .and_then(|a| a.get("uri"))
+            .expect("artifactLocation.uri")
+            .str();
+        assert!(uri.ends_with(".rs"), "odd uri {uri}");
+        let line =
+            phys.get("region").and_then(|reg| reg.get("startLine")).expect("region.startLine");
+        assert!(matches!(line, Json::Num(n) if *n >= 1.0));
+    }
+}
+
+#[test]
+fn unbaselined_findings_are_errors_and_frozen_ones_warnings() {
+    let fixture = common::trigger_fixture();
+    let violations = lint_root(fixture.root()).expect("fixture lints");
+    // Freeze the fixture's own debt: everything becomes a suppressed warning.
+    let frozen = baseline::count(&violations);
+    let covered = baseline::covered_flags(&violations, &frozen);
+    let log = parse(&sarif::to_sarif(&violations, &covered)).expect("valid JSON");
+    let results = log.get("runs").expect("runs").arr()[0].get("results").expect("results").arr();
+    for r in results {
+        assert_eq!(r.get("level").expect("level").str(), "warning");
+        let kind =
+            r.get("suppressions").expect("suppressions").arr()[0].get("kind").expect("kind").str();
+        assert_eq!(kind, "external");
+    }
+}

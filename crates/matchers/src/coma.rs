@@ -33,7 +33,7 @@ impl Aggregation {
             Aggregation::Min => scores.iter().copied().fold(1.0, f64::min),
             Aggregation::TopTwoAverage => {
                 let mut sorted = scores.to_vec();
-                sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+                sorted.sort_by(|a, b| b.total_cmp(a));
                 (sorted[0] + sorted.get(1).copied().unwrap_or(sorted[0])) / 2.0
             }
         }

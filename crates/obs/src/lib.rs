@@ -129,9 +129,12 @@ pub fn add(counter: Counter, n: u64) {
     }
 }
 
-/// Current value of `counter`.
+/// Current value of `counter`. Snapshot reads use `Acquire` so a value
+/// compared against a cap (or read after another thread's counters) sees
+/// every increment that happened-before it; the `add` fast path stays a
+/// relaxed `fetch_add`.
 pub fn counter_value(counter: Counter) -> u64 {
-    COUNTERS[counter as usize].load(Ordering::Relaxed)
+    COUNTERS[counter as usize].load(Ordering::Acquire)
 }
 
 // ---------------------------------------------------------------------------

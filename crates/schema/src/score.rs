@@ -99,9 +99,7 @@ impl ScoreMatrix {
         let row = self.row(s);
         let mut ranked: Vec<(AttrId, f64)> =
             row.iter().enumerate().map(|(j, &v)| (AttrId(j as u32), v)).collect();
-        ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-        });
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked.truncate(k);
         ranked
     }
@@ -178,7 +176,7 @@ impl ScoreMatrix {
             .map(|(s, t)| (s, t, self.get(s, t)))
             .filter(|&(_, _, v)| v >= threshold)
             .collect();
-        pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        pairs.sort_by(|a, b| b.2.total_cmp(&a.2));
         let mut used_s = vec![false; self.rows];
         let mut used_t = vec![false; self.cols];
         let mut out = Vec::new();

@@ -20,8 +20,12 @@ cargo test -q --workspace
 echo "==> cargo clippy -D warnings (workspace)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> lsm-lint (determinism / panic-policy / unsafe-audit)"
+echo "==> lsm-lint (determinism / concurrency / panic-policy / unsafe-audit)"
 cargo run --release -p lsm-lint
+
+echo "==> lsm-lint SARIF artifact (results/lint.sarif)"
+cargo run --release -p lsm-lint -- --format sarif --out results/lint.sarif
+test -s results/lint.sarif
 
 echo "==> observability smoke: lsm session movielens --model tiny --metrics-out"
 metrics=/tmp/lsm_tier1_metrics.json
