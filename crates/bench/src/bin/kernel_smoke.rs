@@ -1,0 +1,96 @@
+//! Fast kernel-parity smoke for tier-1 (`scripts/tier1.sh`).
+//!
+//! Proves on three representative shapes, in seconds, that
+//!
+//! * every exact-class kernel (blocked, mt) is bitwise-identical to the
+//!   seed scalar reference `matmul_naive`,
+//! * every fma-class kernel (simd, simd-mt) is bitwise-identical to the
+//!   scalar-fma reference `matmul_naive_fma`,
+//! * the int8 qdot GEMM stays within a coarse drift envelope of the f32
+//!   result (the *matching-quality* gate lives in
+//!   `crates/core/tests/quant_accuracy.rs`; this is a wiring check that
+//!   quantize → accumulate → dequant is not broken).
+//!
+//! Exits non-zero with a message on the first mismatch.
+
+use lsm_nn::kernels::{
+    matmul_blocked, matmul_mt, matmul_naive, matmul_naive_fma, matmul_simd, matmul_simd_mt,
+};
+use lsm_nn::{QuantLinear, QuantScratch};
+
+/// Deterministic xorshift data in [-1, 1).
+fn pseudo_data(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+        })
+        .collect()
+}
+
+fn assert_bitwise(label: &str, shape: (usize, usize, usize), got: &[f32], want: &[f32]) {
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        if g.to_bits() != w.to_bits() {
+            eprintln!("kernel_smoke: {label} diverged at {:?} element {i}: {g:e} vs {w:e}", shape);
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    // Non-tile-multiple, tall-skinny, and square shapes.
+    for &(m, k, n) in &[(7usize, 13usize, 9usize), (97, 48, 33), (64, 64, 64)] {
+        let a = pseudo_data(m * k, 0xa + m as u64);
+        let b = pseudo_data(k * n, 0xb + n as u64);
+        let mut want = vec![0.0f32; m * n];
+        let mut got = vec![0.0f32; m * n];
+
+        matmul_naive(&a, &b, &mut want, m, k, n);
+        matmul_blocked(&a, &b, &mut got, m, k, n);
+        assert_bitwise("blocked vs naive", (m, k, n), &got, &want);
+        for threads in [2, 4] {
+            matmul_mt(&a, &b, &mut got, m, k, n, threads);
+            assert_bitwise("mt vs naive", (m, k, n), &got, &want);
+        }
+
+        matmul_naive_fma(&a, &b, &mut want, m, k, n);
+        matmul_simd(&a, &b, &mut got, m, k, n);
+        assert_bitwise("simd vs naive_fma", (m, k, n), &got, &want);
+        for threads in [2, 4] {
+            matmul_simd_mt(&a, &b, &mut got, m, k, n, threads);
+            assert_bitwise("simd_mt vs naive_fma", (m, k, n), &got, &want);
+        }
+
+        // Int8 drift envelope: inputs are in [-1, 1), the i8 grid step is
+        // act_absmax/127 per factor, so per-element error stays well under
+        // 0.05·k after accumulation for these small k.
+        let act_absmax = a.iter().fold(0.0f32, |mx, v| mx.max(v.abs()));
+        let q = QuantLinear::quantize(&b, &vec![0.0f32; n], k, n, act_absmax);
+        let mut qx = QuantScratch::default();
+        let mut qout = vec![0.0f32; m * n];
+        q.forward(&a, &mut qout, m, &mut qx);
+        matmul_naive(&a, &b, &mut want, m, k, n);
+        let tol = 0.05 * k as f32;
+        for (i, (g, w)) in qout.iter().zip(&want).enumerate() {
+            if (g - w).abs() > tol {
+                eprintln!(
+                    "kernel_smoke: int8 drift {:.4} beyond envelope {tol:.4} at \
+                     {m}x{k}x{n} element {i}",
+                    (g - w).abs()
+                );
+                std::process::exit(1);
+            }
+        }
+
+        // Re-quantizing must reproduce identical bits (per-backend
+        // determinism at the kernel level).
+        let q2 = QuantLinear::quantize(&b, &vec![0.0f32; n], k, n, act_absmax);
+        let mut qout2 = vec![0.0f32; m * n];
+        q2.forward(&a, &mut qout2, m, &mut qx);
+        assert_bitwise("int8 re-quantization", (m, k, n), &qout2, &qout);
+    }
+    println!("kernel_smoke: all variants parity-clean (3 shapes, 2 rounding classes + int8)");
+}

@@ -1,8 +1,11 @@
 //! Machine-readable NN kernel performance report.
 //!
-//! Times the GEMM kernels (naive reference vs blocked vs multithreaded),
-//! the batched classifier head against per-pair singles, and the encoder
-//! forward with and without graph-arena reuse; measures the disabled-sink
+//! Times the GEMM kernels (the exact class: naive/blocked/multithreaded;
+//! the fma class: scalar-fma/SIMD/SIMD-multithreaded; the int8 qdot GEMM),
+//! the batched classifier head against per-pair singles, the encoder
+//! forward with and without graph-arena reuse, and end-to-end pooled
+//! encoding per backend (f32 graph vs compiled simd/int8/f16 plans,
+//! including quantized-vs-f32 drift); measures the disabled-sink
 //! observability overhead (`obs_overhead`, gated <1% of the smallest hot
 //! kernel) and embeds a per-stage breakdown of a tiny-model movielens
 //! session run with the crash-safe journal attached (`pipeline_stages`,
@@ -16,8 +19,12 @@
 //!
 //! Usage: `cargo run --release -p lsm-bench --bin perf_report [-- out.json]`
 
-use lsm_nn::kernels::{matmul_blocked, matmul_mt, matmul_naive};
-use lsm_nn::{BertConfig, BertEncoder, Graph, ParamStore, Tensor};
+use lsm_nn::kernels::{
+    matmul_blocked, matmul_mt, matmul_naive, matmul_naive_fma, matmul_simd, matmul_simd_mt,
+};
+use lsm_nn::{
+    BertConfig, BertEncoder, FastEncoder, Graph, ParamStore, QuantLinear, QuantScratch, Tensor,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde_json::json;
@@ -47,6 +54,43 @@ fn time_best<F: FnMut()>(mut f: F, reps: usize) -> f64 {
         best = best.min(t.elapsed().as_secs_f64());
     }
     best
+}
+
+/// Compile-time SIMD capability of this build (`-C target-cpu=native` in
+/// `.cargo/config.toml` makes these reflect the host).
+fn simd_caps() -> (&'static str, usize) {
+    if cfg!(target_feature = "avx512f") {
+        ("avx512f", 16)
+    } else if cfg!(target_feature = "avx2") {
+        ("avx2", 8)
+    } else if cfg!(target_feature = "neon") {
+        ("neon", 4)
+    } else if cfg!(target_feature = "sse2") {
+        ("sse2", 4)
+    } else {
+        ("scalar", 1)
+    }
+}
+
+/// Host context header: readers of a checked-in report need to know what
+/// machine and toolchain produced the numbers before comparing them.
+fn host_report() -> serde_json::Value {
+    let (feature, lanes) = simd_caps();
+    let rustc = std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into());
+    json!({
+        "logical_cores": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "simd_target_feature": feature,
+        "simd_f32_lanes": lanes,
+        "rustc": rustc,
+        "arch": std::env::consts::ARCH,
+        "os": std::env::consts::OS,
+    })
 }
 
 fn gemm_report(m: usize, k: usize, n: usize, reps: usize) -> serde_json::Value {
@@ -85,6 +129,52 @@ fn gemm_report(m: usize, k: usize, n: usize, reps: usize) -> serde_json::Value {
             "speedup_vs_naive": t_naive / t,
         }));
     }
+    // The fma rounding class: reference scalar-fma kernel, the SIMD
+    // microkernel, and its row-partitioned driver. Bitwise-identical to
+    // each other (kernel proptests), different bits from the exact class.
+    let t_fma = time_best(
+        || {
+            matmul_naive_fma(&a, &b, &mut out, m, k, n);
+            std::hint::black_box(&out);
+        },
+        reps,
+    );
+    let t_simd = time_best(
+        || {
+            matmul_simd(&a, &b, &mut out, m, k, n);
+            std::hint::black_box(&out);
+        },
+        reps,
+    );
+    let mut simd_mt_entries = Vec::new();
+    for threads in [2usize, 4, 8] {
+        let t = time_best(
+            || {
+                matmul_simd_mt(&a, &b, &mut out, m, k, n, threads);
+                std::hint::black_box(&out);
+            },
+            reps,
+        );
+        simd_mt_entries.push(json!({
+            "threads": threads,
+            "seconds": t,
+            "gflops": flops / t / 1e9,
+            "speedup_vs_blocked": t_blocked / t,
+        }));
+    }
+
+    // Int8 qdot GEMM at the same shape, dressed as one QuantLinear layer
+    // ([n, k] transposed weights, per-row scales, dequant epilogue).
+    let wq = QuantLinear::quantize(&b, &vec![0.0f32; n], k, n, absmax_of(&a));
+    let mut qx = QuantScratch::default();
+    let t_int8 = time_best(
+        || {
+            wq.forward(&a, &mut out, m, &mut qx);
+            std::hint::black_box(&out);
+        },
+        reps,
+    );
+
     json!({
         "shape": format!("{m}x{k}x{n}"),
         "naive": { "seconds": t_naive, "gflops": flops / t_naive / 1e9 },
@@ -94,6 +184,99 @@ fn gemm_report(m: usize, k: usize, n: usize, reps: usize) -> serde_json::Value {
             "speedup_vs_naive": t_naive / t_blocked,
         },
         "mt": threads_entries,
+        "naive_fma": { "seconds": t_fma, "gflops": flops / t_fma / 1e9 },
+        "simd": {
+            "seconds": t_simd,
+            "gflops": flops / t_simd / 1e9,
+            "speedup_vs_blocked": t_blocked / t_simd,
+        },
+        "simd_mt": simd_mt_entries,
+        "int8": {
+            "seconds": t_int8,
+            "gflops": flops / t_int8 / 1e9,
+            "speedup_vs_blocked": t_blocked / t_int8,
+        },
+    })
+}
+
+fn absmax_of(x: &[f32]) -> f32 {
+    x.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+}
+
+/// End-to-end pooled encoding, f32 graph path (arena reuse — the best the
+/// exact class offers) vs each compiled fast-plan backend, plus the
+/// quantized-vs-f32 drift those backends introduce. The int8 acceptance
+/// gate (≥3× over f32 blocked) reads from here.
+fn encoder_backend_report(reps: usize) -> serde_json::Value {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut store = ParamStore::new();
+    let encoder = BertEncoder::new(BertConfig::small(800), &mut store, &mut rng);
+    let seqs: Vec<Vec<u32>> =
+        (0..8u32).map(|s| (0..24).map(|i| 5 + ((s * 31 + i) % 700)).collect()).collect();
+
+    let mut g = Graph::for_inference();
+    let t_f32 = time_best(
+        || {
+            for ids in &seqs {
+                g.reset();
+                let pooled = encoder.pooled(&mut g, &store, ids);
+                std::hint::black_box(g.value(pooled).data()[0]);
+            }
+        },
+        reps,
+    );
+    let reference: Vec<Tensor> = seqs
+        .iter()
+        .map(|ids| {
+            g.reset();
+            let pooled = encoder.pooled(&mut g, &store, ids);
+            g.value(pooled).clone()
+        })
+        .collect();
+
+    let simd_plan = FastEncoder::from_bert(&encoder, &store);
+    let int8_plan = simd_plan.to_int8(&seqs);
+    let f16_plan = simd_plan.to_f16();
+
+    let mut backends = Vec::new();
+    for plan in [&simd_plan, &int8_plan, &f16_plan] {
+        let t = time_best(
+            || {
+                for ids in &seqs {
+                    std::hint::black_box(plan.pooled(ids).data()[0]);
+                }
+            },
+            reps,
+        );
+        let mut max_abs = 0.0f32;
+        let mut sum_abs = 0.0f64;
+        let mut count = 0usize;
+        for (ids, r) in seqs.iter().zip(&reference) {
+            let p = plan.pooled(ids);
+            for (a, b) in p.data().iter().zip(r.data()) {
+                max_abs = max_abs.max((a - b).abs());
+                sum_abs += (a - b).abs() as f64;
+                count += 1;
+            }
+        }
+        backends.push(json!({
+            "backend": plan.backend().name(),
+            "seconds_per_batch": t,
+            "speedup_vs_f32_graph": t_f32 / t,
+            "drift_vs_f32": {
+                "max_abs": max_abs,
+                "mean_abs": sum_abs / count as f64,
+            },
+        }));
+    }
+    json!({
+        "encoder": "small d48 L2 seq24, batch of 8 sequences",
+        "f32_graph_seconds_per_batch": t_f32,
+        "fast_backends": backends,
+        "note": "speedup_vs_f32_graph is end-to-end pooled encoding; the \
+                 int8 acceptance gate requires >=3x here. drift_vs_f32 is \
+                 over pooled output elements; the matching-F1 impact of \
+                 that drift is gated in crates/core/tests/quant_accuracy.rs.",
     })
 }
 
@@ -312,6 +495,7 @@ fn pipeline_stage_report() -> serde_json::Value {
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "results/BENCH_nn.json".into());
+    let host = host_report();
     let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     eprintln!("perf_report: timing GEMM kernels …");
@@ -325,6 +509,8 @@ fn main() {
     let head = head_report(1218, 48, 30);
     eprintln!("perf_report: timing encoder arena reuse …");
     let arena = arena_report(200);
+    eprintln!("perf_report: timing encoder backends (f32 graph vs fast plans) …");
+    let encoder_backends = encoder_backend_report(50);
     eprintln!("perf_report: measuring obs overhead (sink disabled) …");
     let obs_overhead = obs_overhead_report(30);
     let pipeline = if std::env::var_os("LSM_FAST").is_some() {
@@ -336,14 +522,19 @@ fn main() {
 
     let report = json!({
         "bench": "nn_kernels",
+        "host": host,
         "host_threads": host_threads,
-        "note": "naive == seed scalar kernel rounding reference; all kernels \
-                 are bitwise-identical, so speedups are free of accuracy \
-                 trade-offs. Multithreaded speedups require a multicore \
-                 host (row-partitioned, embarrassingly parallel).",
+        "note": "naive/blocked/mt form the exact rounding class (bitwise vs \
+                 the seed scalar kernel); naive_fma/simd/simd_mt form the \
+                 fma class (bitwise vs the scalar-fma reference); int8 is \
+                 the quantized opt-in backend. Classes differ in bits, \
+                 each class is deterministic at every thread count. \
+                 Multithreaded speedups require a multicore host \
+                 (row-partitioned, embarrassingly parallel).",
         "gemm": gemms,
         "classifier_head": head,
         "graph_arena": arena,
+        "encoder_backends": encoder_backends,
         "obs_overhead": obs_overhead,
         "pipeline_stages": pipeline,
     });

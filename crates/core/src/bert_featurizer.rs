@@ -33,8 +33,8 @@
 use lsm_lexicon::{CorpusConfig, CorpusGenerator, Lexicon};
 use lsm_nn::layers::Linear;
 use lsm_nn::{
-    Adam, AdamConfig, BertConfig, BertEncoder, BpeVocab, Graph, MlmConfig, MlmTrainer, NodeId,
-    ParamStore, SpecialToken, Tensor,
+    Adam, AdamConfig, BertConfig, BertEncoder, BpeVocab, FastBackend, FastEncoder, Graph,
+    MlmConfig, MlmTrainer, NodeId, ParamStore, SpecialToken, Tensor,
 };
 use lsm_schema::{AttrId, Schema};
 use lsm_text::tokenize;
@@ -89,6 +89,40 @@ pub enum EncoderSize {
     Small,
     /// d=16, 1 layer — unit tests.
     Tiny,
+}
+
+/// Inference backend for the *frozen* encoder
+/// ([`BertFeaturizer::set_backend`]).
+///
+/// `F32` is the paper-faithful default: the graph path in the exact
+/// rounding class, bitwise-deterministic at every thread count. The other
+/// three compile the frozen weights into a graph-free
+/// [`FastEncoder`] plan; they change pooled-vector bits (fma rounding
+/// and/or reduced precision) but not the matching decisions they feed —
+/// the int8 accuracy gate in `tests/quant_accuracy.rs` pins that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EncoderBackend {
+    /// Paper-faithful f32 graph path (default).
+    F32,
+    /// Graph-free f32 plan on the SIMD microkernels.
+    Simd,
+    /// Int8 weights + activations, one-shot-calibrated over the
+    /// pre-training paraphrase corpus.
+    Int8,
+    /// f16-storage weights decoded on the fly (half the plan memory).
+    F16,
+}
+
+impl EncoderBackend {
+    /// Stable snake-case name (benchmark tables, CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            EncoderBackend::F32 => "f32",
+            EncoderBackend::Simd => "simd",
+            EncoderBackend::Int8 => "int8",
+            EncoderBackend::F16 => "f16",
+        }
+    }
 }
 
 impl BertFeaturizerConfig {
@@ -189,6 +223,12 @@ pub struct BertFeaturizer {
     iss_samples: Vec<HeadSample>,
     /// Human-label samples accumulated over the session.
     label_samples: Vec<HeadSample>,
+    /// Compiled fast-encoder plan; `None` means the paper-faithful F32
+    /// graph path. Never serialized — a plan is a cheap pure function of
+    /// the weights, so [`load`](Self::load) resets to `F32` and callers
+    /// re-select a backend explicitly.
+    #[serde(skip)]
+    fast: Option<FastEncoder>,
 }
 
 impl BertFeaturizer {
@@ -225,6 +265,7 @@ impl BertFeaturizer {
             paraphrase_pairs: Vec::new(),
             iss_samples: Vec::new(),
             label_samples: Vec::new(),
+            fast: None,
         };
 
         // Paraphrase distillation: surface forms of the same concept (in
@@ -312,16 +353,90 @@ impl BertFeaturizer {
     }
 
     /// One pooled encoding through a caller-provided (reusable) graph.
+    /// When a fast backend is selected the graph is bypassed entirely —
+    /// the compiled plan runs the forward over borrowed slices.
     fn pooled_with_graph(&self, g: &mut Graph, ids: &[u32]) -> Tensor {
         if ids.is_empty() {
             return Tensor::zeros(1, self.encoder.config.d_model);
         }
+        let with_specials = self.prep_sequence(ids);
+        if let Some(plan) = &self.fast {
+            return plan.pooled(&with_specials);
+        }
+        let pooled = self.encoder.pooled(g, &self.store, &with_specials);
+        g.value(pooled).clone()
+    }
+
+    /// `[CLS] ids [SEP]`, truncated to the encoder's window.
+    fn prep_sequence(&self, ids: &[u32]) -> Vec<u32> {
         let mut with_specials = Vec::with_capacity(ids.len() + 2);
         with_specials.push(SpecialToken::Cls.id());
         with_specials.extend_from_slice(&ids[..ids.len().min(self.encoder.config.max_seq - 2)]);
         with_specials.push(SpecialToken::Sep.id());
-        let pooled = self.encoder.pooled(g, &self.store, &with_specials);
-        g.value(pooled).clone()
+        with_specials
+    }
+
+    /// The active inference backend for the frozen encoder.
+    pub fn backend(&self) -> EncoderBackend {
+        match &self.fast {
+            None => EncoderBackend::F32,
+            Some(plan) => match plan.backend() {
+                FastBackend::Simd => EncoderBackend::Simd,
+                FastBackend::Int8 => EncoderBackend::Int8,
+                FastBackend::F16 => EncoderBackend::F16,
+            },
+        }
+    }
+
+    /// Selects the inference backend for the frozen encoder.
+    ///
+    /// Compiling a plan copies the encoder weights once; `Int8`
+    /// additionally runs one-shot activation calibration over (a capped
+    /// sample of) the pre-training paraphrase corpus. Any subsequent
+    /// encoder *training* (`pretrain_classifier`) invalidates the plan and
+    /// silently resets the backend to `F32` — re-select afterwards.
+    /// Pooled-vector caches are per-backend state: callers that switch
+    /// backends mid-session must drop caches built under the old one.
+    pub fn set_backend(&mut self, backend: EncoderBackend) {
+        let _span = lsm_obs::span("bert.set_backend");
+        match backend {
+            EncoderBackend::F32 => self.fast = None,
+            EncoderBackend::Simd => {
+                self.fast = Some(FastEncoder::from_bert(&self.encoder, &self.store));
+            }
+            EncoderBackend::Int8 => {
+                let plan = FastEncoder::from_bert(&self.encoder, &self.store);
+                let calib = self.calibration_corpus(256);
+                self.fast = Some(plan.to_int8(&calib));
+            }
+            EncoderBackend::F16 => {
+                self.fast = Some(FastEncoder::from_bert(&self.encoder, &self.store).to_f16());
+            }
+        }
+    }
+
+    /// CLS/SEP-prepped sequences for int8 activation calibration, drawn
+    /// from the pre-training paraphrase corpus (both sides of up to `cap`
+    /// pairs). Falls back to the bare special-token sequence when no
+    /// corpus is available (a featurizer that never pre-trained), so
+    /// calibration is always possible.
+    fn calibration_corpus(&self, cap: usize) -> Vec<Vec<u32>> {
+        let mut out = Vec::with_capacity(cap);
+        'outer: for (a, b, _) in &self.paraphrase_pairs {
+            for side in [a, b] {
+                if side.is_empty() {
+                    continue;
+                }
+                out.push(self.prep_sequence(side));
+                if out.len() >= cap {
+                    break 'outer;
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push(self.prep_sequence(&[]));
+        }
+        out
     }
 
     /// Pooled encodings for many attribute texts at once. Identical token
@@ -420,6 +535,9 @@ impl BertFeaturizer {
             return;
         }
         let _span = lsm_obs::span("bert.fit_end_to_end");
+        // Encoder weights are about to change: any compiled fast plan is a
+        // stale snapshot. Training always runs on the F32 graph path.
+        self.fast = None;
         let max_seq = self.encoder.config.max_seq;
         let mut opt = Adam::new(AdamConfig { lr, ..Default::default() });
         let mut order: Vec<usize> = (0..pairs.len()).collect();
@@ -835,6 +953,76 @@ mod tests {
         let f = featurizer();
         let p = f.single_pooled(&[]);
         assert!(p.data().iter().all(|&v| v == 0.0));
+    }
+
+    fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
+        a.data().iter().zip(b.data()).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+    }
+
+    /// Backend selection: every fast backend stays close to the F32 graph
+    /// path on pooled vectors, re-selection is bitwise-reproducible, and
+    /// switching back to F32 restores the original bits exactly.
+    #[test]
+    fn fast_backends_track_f32_and_are_deterministic() {
+        let mut f = featurizer();
+        let target = tiny_target();
+        let ids: Vec<Vec<u32>> = target.attr_ids().map(|a| f.attr_token_ids(&target, a)).collect();
+        assert_eq!(f.backend(), EncoderBackend::F32);
+        let reference: Vec<Tensor> = ids.iter().map(|i| f.single_pooled(i)).collect();
+
+        for (backend, tol) in
+            [(EncoderBackend::Simd, 1e-4), (EncoderBackend::F16, 2e-2), (EncoderBackend::Int8, 0.2)]
+        {
+            f.set_backend(backend);
+            assert_eq!(f.backend(), backend);
+            let first: Vec<Tensor> = ids.iter().map(|i| f.single_pooled(i)).collect();
+            for (r, p) in reference.iter().zip(&first) {
+                let d = max_abs_diff(r, p);
+                assert!(d < tol, "{} drifted {d} from f32", backend.name());
+            }
+            // Re-selecting the same backend (including a fresh int8
+            // calibration pass) must reproduce identical bits.
+            f.set_backend(backend);
+            for (a, b) in first.iter().zip(ids.iter().map(|i| f.single_pooled(i))) {
+                let same = a.data().iter().zip(b.data()).all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(same, "{} not deterministic across re-selection", backend.name());
+            }
+        }
+
+        f.set_backend(EncoderBackend::F32);
+        for (r, i) in reference.iter().zip(&ids) {
+            assert_eq!(r, &f.single_pooled(i), "F32 path changed after backend round-trip");
+        }
+    }
+
+    /// The batched path must agree with singles under a fast backend too
+    /// (the plan is `Sync`; workers share it without a graph).
+    #[test]
+    fn batched_pooling_matches_singles_under_int8() {
+        let mut f = featurizer();
+        let target = tiny_target();
+        f.set_backend(EncoderBackend::Int8);
+        let ids: Vec<Vec<u32>> = target.attr_ids().map(|a| f.attr_token_ids(&target, a)).collect();
+        let refs: Vec<&[u32]> = ids.iter().map(|v| v.as_slice()).collect();
+        for threads in [1, 4] {
+            for (i, p) in f.pooled_many(&refs, threads).iter().enumerate() {
+                let single = f.single_pooled(refs[i]);
+                let same =
+                    single.data().iter().zip(p.data()).all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "int8 pooled_many diverged at threads={threads}");
+            }
+        }
+    }
+
+    /// Classifier pre-training mutates the encoder, so it must drop any
+    /// compiled plan back to the F32 path (stale-snapshot guard).
+    #[test]
+    fn encoder_training_resets_fast_backend() {
+        let mut f = featurizer();
+        f.set_backend(EncoderBackend::Simd);
+        assert_eq!(f.backend(), EncoderBackend::Simd);
+        f.pretrain_classifier(&tiny_target());
+        assert_eq!(f.backend(), EncoderBackend::F32);
     }
 
     /// The batched inference paths must be drop-in replacements: same

@@ -48,7 +48,7 @@ pub mod oracle;
 pub mod session;
 
 pub use active::SelectionStrategy;
-pub use bert_featurizer::{BertFeaturizer, BertFeaturizerConfig};
+pub use bert_featurizer::{BertFeaturizer, BertFeaturizerConfig, EncoderBackend};
 pub use eval::{evaluate_split, SplitEvaluation};
 pub use labels::{Label, LabelStore};
 pub use matcher::{LsmConfig, LsmMatcher};

@@ -73,8 +73,9 @@ pub const RULE_SUMMARIES: &[(&str, &str)] = &[
     ),
     (
         "R6-float-determinism",
-        "no partial_cmp comparators or parallel float reductions on score paths; use total_cmp \
-         and fixed-order block reductions",
+        "no partial_cmp comparators, parallel float reductions, or undocumented dequantization \
+         casts on score paths; use total_cmp, fixed-order block reductions, and scoped allows \
+         on sanctioned int8 epilogues",
     ),
     (
         "R7-concurrency",

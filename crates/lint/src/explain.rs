@@ -73,7 +73,13 @@ const EXPLANATIONS: &[(&str, &str)] = &[
          before:  let s: f64 = xs.par_iter().sum();\n\
          after:   chunk xs, reduce each chunk sequentially, combine in index order\n\
          (see Tensor::matmul_threaded: threads write disjoint slices, the merge\n\
-         order is fixed).\n",
+         order is fixed).\n\
+         \n\
+         Integer-accumulator dequantization (`acc as f32 * act_scale`) re-rounds\n\
+         every score it produces. lsm-nn's opt-in int8 backend is the sanctioned\n\
+         exception: its epilogues carry a scoped\n\
+         `// lsm-lint: allow(R6-float-determinism, reason)` documenting why the\n\
+         exact i32 accumulation keeps the path deterministic per backend.\n",
     ),
     (
         "R7-concurrency",

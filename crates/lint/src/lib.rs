@@ -16,8 +16,8 @@
 //!   crates with zero `unsafe` must carry `#![forbid(unsafe_code)]`.
 //! * **R5-panic-policy** — no `unwrap`/`expect` on io/serde results in
 //!   library code.
-//! * **R6-float-determinism** — no `partial_cmp` comparators or parallel
-//!   float reductions on score paths.
+//! * **R6-float-determinism** — no `partial_cmp` comparators, parallel
+//!   float reductions, or undocumented dequantization casts on score paths.
 //! * **R7-concurrency** — no `static mut`, no `Relaxed` loads feeding
 //!   comparisons, no locks inside `#[inline]` hot paths.
 //! * **R8-panic-reachability** — no io/serde panic site reachable from a

@@ -4,9 +4,11 @@
 //!
 //! * **R6-float-determinism** — order-sensitive float operations on score
 //!   paths: `.partial_cmp(..)` comparators (NaN turns `unwrap`/`unwrap_or`
-//!   into an ordering coin-flip; `total_cmp` is total and bitwise-stable)
-//!   and parallel reductions (`par_iter().sum()` and friends) whose float
-//!   accumulation order depends on scheduling.
+//!   into an ordering coin-flip; `total_cmp` is total and bitwise-stable),
+//!   parallel reductions (`par_iter().sum()` and friends) whose float
+//!   accumulation order depends on scheduling, and integer-accumulator
+//!   dequantization (`as f32` under a `*_scale` factor) — sanctioned only
+//!   as an opt-in backend with a scoped, reasoned allow.
 //! * **R7-concurrency** — shared mutable statics, `Ordering::Relaxed`
 //!   atomic loads feeding comparisons (a relaxed snapshot compared against
 //!   a cap can run arbitrarily stale), and lock acquisition inside
@@ -68,6 +70,21 @@ fn in_spans(pos: usize, spans: &[(usize, usize)]) -> bool {
     spans.iter().any(|&(a, b)| pos >= a && pos <= b)
 }
 
+/// Does the statement reference a quantization scale — an identifier
+/// *ending* in `_scale` (`act_scale`, `w_scale`)? The boundary check keeps
+/// prefixes like `add_scaled` from matching.
+fn has_scale_factor(stmt: &str) -> bool {
+    let mut from = 0;
+    while let Some(p) = stmt[from..].find("_scale") {
+        let end = from + p + "_scale".len();
+        if stmt[end..].chars().next().is_none_or(|c| !c.is_ascii_alphanumeric() && c != '_') {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
 // ---------------------------------------------------------------- R6
 
 /// Iterator adapters that make a reduction order-sensitive when the source
@@ -101,6 +118,29 @@ fn rule_float_determinism(rel_path: &str, ctx: &FileCtx, out: &mut Vec<Violation
                 message: "`.partial_cmp(..)` comparator on a score path is not a total order \
                           (NaN hits the fallback arm); use `f64::total_cmp` for a NaN-stable, \
                           bitwise-reproducible sort"
+                    .to_string(),
+                suppressed: None,
+                item: None,
+            });
+        }
+        // `acc as f32 * w_scale[..]`-shaped dequantization: an integer
+        // accumulator crossing into floats under a quantization scale.
+        // The cast itself is exact, but the multiply re-rounds every
+        // score, so the site must be an explicit, documented opt-in —
+        // lsm-nn's quantized backend records that contract with a scoped
+        // allow on each epilogue line.
+        if toks[i].is_ident("as")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("f32"))
+            && has_scale_factor(stmt_around(&ctx.view.code, toks[i].pos()))
+        {
+            out.push(Violation {
+                rule: "R6-float-determinism",
+                file: rel_path.to_string(),
+                line: ctx.view.line_of(toks[i].pos()),
+                message: "integer-accumulator dequantization (`as f32` under a `*_scale` \
+                          factor) leaves the bitwise-exact rounding class of the score path; \
+                          keep it behind an opt-in quantized backend and record the \
+                          justification with a scoped `lsm-lint: allow(..)`"
                     .to_string(),
                 suppressed: None,
                 item: None,
@@ -365,6 +405,43 @@ mod tests {
         assert_eq!(rules, vec!["R6-float-determinism", "R6-float-determinism"]);
         assert_eq!(v[0].line, 2);
         assert_eq!(v[1].line, 3);
+    }
+
+    #[test]
+    fn r6_flags_dequant_epilogue_but_not_plain_casts() {
+        let v = run(&[(
+            "crates/nn/src/q.rs",
+            "pub fn dequant(acc: i32, act_scale: f32, w_scale: f32) -> f32 {\n\
+             \u{20}   acc as f32 * (act_scale * w_scale)\n\
+             }\n\
+             pub fn plain(n: usize) -> f32 {\n\
+             \u{20}   n as f32\n\
+             }\n\
+             pub fn prefix_only(n: i32, add_scaled: f32) -> f32 {\n\
+             \u{20}   n as f32 + add_scaled\n\
+             }\n",
+        )]);
+        let hits: Vec<(usize, &str)> = v.iter().map(|x| (x.line, x.rule)).collect();
+        assert_eq!(hits, vec![(2, "R6-float-determinism")], "{v:?}");
+        assert!(v[0].message.contains("dequantization"), "{}", v[0].message);
+    }
+
+    /// The sanctioned spelling: a scoped allow with a reason on the int8
+    /// dequant epilogue suppresses the violation but keeps the record.
+    #[test]
+    fn r6_dequant_scoped_allow_records_reason() {
+        let src = "pub fn dequant(acc: i32, act_scale: f32) -> f32 {\n\
+                   \u{20}   // lsm-lint: allow(R6-float-determinism, int8 epilogue: exact i32 accumulator under static scales)\n\
+                   \u{20}   acc as f32 * act_scale\n\
+                   }\n";
+        let mut v = run(&[("crates/nn/src/q.rs", src)]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        let view = FileView::new(src.to_string());
+        crate::rules::apply_suppressions(&view, &mut v);
+        assert!(
+            v[0].suppressed.as_deref().is_some_and(|r| r.contains("exact i32 accumulator")),
+            "{v:?}"
+        );
     }
 
     #[test]

@@ -51,15 +51,15 @@ impl BertConfig {
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct Block {
-    wq: Linear,
-    wk: Linear,
-    wv: Linear,
-    wo: Linear,
-    attn_norm: LayerNorm,
-    ff1: Linear,
-    ff2: Linear,
-    ff_norm: LayerNorm,
+pub(crate) struct Block {
+    pub(crate) wq: Linear,
+    pub(crate) wk: Linear,
+    pub(crate) wv: Linear,
+    pub(crate) wo: Linear,
+    pub(crate) attn_norm: LayerNorm,
+    pub(crate) ff1: Linear,
+    pub(crate) ff2: Linear,
+    pub(crate) ff_norm: LayerNorm,
 }
 
 /// The transformer encoder.
@@ -147,6 +147,12 @@ impl BertEncoder {
             h = block.ff_norm.forward(g, store, res2);
         }
         h
+    }
+
+    /// The encoder's components, for graph-free plan compilation
+    /// ([`crate::fast::FastEncoder`]).
+    pub(crate) fn fast_parts(&self) -> (&Embedding, &Embedding, &LayerNorm, &[Block], &Linear) {
+        (&self.token_emb, &self.pos_emb, &self.emb_norm, &self.blocks, &self.pooler)
     }
 
     /// Encodes and pools: `tanh(W · E'[CLS] + b)`, a `[1, d]` vector.

@@ -1,0 +1,654 @@
+//! Graph-free inference for the **frozen** encoder.
+//!
+//! The autograd [`Graph`](crate::Graph) re-mounts every parameter tensor
+//! into its arena on every forward (`Graph::param` copies ~10⁵ floats per
+//! pooled encoding at the experiment scale) because training needs
+//! per-node gradient slots. Inference over a frozen encoder needs none of
+//! that, so a [`FastEncoder`] compiles the encoder + [`ParamStore`]
+//! weights once into a flat plan and runs the whole pooled forward over
+//! borrowed slices: no tape, no parameter copies, weight panels pre-packed
+//! into tile strips at compile time ([`PackedGemm`]), attention heads run
+//! as register-tile k-outer GEMMs over padded strips, and softmax/GELU use
+//! the lane-parallel polynomial kernels ([`softmax_rows`], [`gelu_lanes`])
+//! instead of per-element libm calls.
+//!
+//! Three storage/compute backends share the plan:
+//!
+//! * [`FastBackend::Simd`] — f32 weights, fma-class SIMD kernels.
+//! * [`FastBackend::Int8`] — [`QuantLinear`] affine layers calibrated
+//!   one-shot over the pre-training corpus ([`FastEncoder::to_int8`]).
+//! * [`FastBackend::F16`] — f16-storage weights decoded on the fly.
+//!
+//! All three are **opt-in**: the paper-faithful f32 graph path stays the
+//! default, and its exact-class rounding is untouched. Each backend is a
+//! pure function of (weights, input): bitwise-identical across runs and
+//! thread counts (the fast path is single-threaded per sequence — the
+//! featurizer parallelizes across sequences, which composes with the
+//! per-sequence determinism).
+
+use crate::bert::BertEncoder;
+use crate::kernels::{
+    dot_lanes, gelu_lanes, kouter_pad, matmul_kouter_padded, reduce_sum_lanes, softmax_rows,
+    PackedGemm,
+};
+use crate::layers::{Embedding, LayerNorm, Linear};
+use crate::params::ParamStore;
+use crate::quant::{self, F16Linear, QuantLinear, QuantScratch};
+use crate::tensor::Tensor;
+
+/// Storage/compute backend of a compiled [`FastEncoder`] plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastBackend {
+    /// f32 weights through the SIMD microkernels (fma rounding class).
+    Simd,
+    /// int8 weights + activations with a dequant epilogue.
+    Int8,
+    /// f16-storage weights, decoded to f32 before the SIMD GEMM.
+    F16,
+}
+
+impl FastBackend {
+    /// Stable snake-case name (benchmark tables, smoke logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            FastBackend::Simd => "simd",
+            FastBackend::Int8 => "int8",
+            FastBackend::F16 => "f16",
+        }
+    }
+}
+
+/// f32 affine layer of the plan (`w` is `[in][out]` row-major — the SIMD
+/// GEMM's B layout). The weight panel is packed once at plan-compile time
+/// ([`PackedGemm`]); the raw `w` is kept for the `to_int8`/`to_f16`
+/// conversions.
+#[derive(Debug, Clone)]
+struct DenseF32 {
+    w: Vec<f32>,
+    packed: PackedGemm,
+    bias: Vec<f32>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl DenseF32 {
+    fn new(w: Vec<f32>, bias: Vec<f32>, in_dim: usize, out_dim: usize) -> Self {
+        let packed = PackedGemm::pack(&w, in_dim, out_dim);
+        DenseF32 { w, packed, bias, in_dim, out_dim }
+    }
+
+    fn forward(&self, x: &[f32], out: &mut [f32], rows: usize) {
+        self.packed.run(x, out, rows);
+        for r in 0..rows {
+            let or = &mut out[r * self.out_dim..(r + 1) * self.out_dim];
+            for (o, &b) in or.iter_mut().zip(&self.bias) {
+                *o += b;
+            }
+        }
+    }
+}
+
+/// One affine layer in any of the three storage formats.
+#[derive(Debug, Clone)]
+enum FastLinear {
+    F32(DenseF32),
+    F16(F16Linear),
+    Int8(QuantLinear),
+}
+
+impl FastLinear {
+    fn out_dim(&self) -> usize {
+        match self {
+            FastLinear::F32(l) => l.out_dim,
+            FastLinear::F16(l) => l.out_dim,
+            FastLinear::Int8(l) => l.out_dim,
+        }
+    }
+
+    /// The scratch pieces are passed individually (not as `&mut Scratch`)
+    /// so call sites can borrow other scratch fields as inputs/outputs in
+    /// the same expression.
+    fn forward(
+        &self,
+        x: &[f32],
+        out: &mut [f32],
+        rows: usize,
+        quant: &mut QuantScratch,
+        wbuf: &mut Vec<f32>,
+    ) {
+        match self {
+            FastLinear::F32(l) => l.forward(x, out, rows),
+            FastLinear::F16(l) => l.forward(x, out, rows, wbuf),
+            FastLinear::Int8(l) => l.forward(x, out, rows, quant),
+        }
+    }
+}
+
+/// LayerNorm parameters (always f32 — they are `2·d` floats per site).
+#[derive(Debug, Clone)]
+struct FastNorm {
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+}
+
+/// An embedding table in f32 or f16 storage.
+#[derive(Debug, Clone)]
+enum FastTable {
+    F32 { data: Vec<f32>, dim: usize },
+    F16 { data: Vec<u16>, dim: usize },
+}
+
+impl FastTable {
+    fn rows(&self) -> usize {
+        match self {
+            FastTable::F32 { data, dim } => data.len() / dim,
+            FastTable::F16 { data, dim } => data.len() / dim,
+        }
+    }
+
+    /// `dst += table[idx]`.
+    fn add_row(&self, idx: usize, dst: &mut [f32]) {
+        match self {
+            FastTable::F32 { data, dim } => {
+                for (d, &s) in dst.iter_mut().zip(&data[idx * dim..(idx + 1) * dim]) {
+                    *d += s;
+                }
+            }
+            FastTable::F16 { data, dim } => {
+                for (d, &s) in dst.iter_mut().zip(&data[idx * dim..(idx + 1) * dim]) {
+                    *d += quant::f16_bits_to_f32(s);
+                }
+            }
+        }
+    }
+}
+
+/// One transformer block of the plan.
+#[derive(Debug, Clone)]
+struct FastBlock {
+    wq: FastLinear,
+    wk: FastLinear,
+    wv: FastLinear,
+    wo: FastLinear,
+    attn_norm: FastNorm,
+    ff1: FastLinear,
+    ff2: FastLinear,
+    ff_norm: FastNorm,
+}
+
+/// Per-call scratch buffers; every forward reuses the same allocations
+/// within the call, and the struct is cheap enough to build per call (a
+/// dozen empty `Vec`s), which keeps [`FastEncoder::pooled`] `&self` and
+/// `Sync`.
+#[derive(Default)]
+struct Scratch {
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    scores: Vec<f32>,
+    concat: Vec<f32>,
+    ff: Vec<f32>,
+    tmp: Vec<f32>,
+    centered: Vec<f32>,
+    /// Packed per-head query block, `[seq][dh]`, pre-scaled by `1/√dh`.
+    qh: Vec<f32>,
+    /// Per-head transposed key block, `[dh][npq]` (`npq`-padded rows).
+    kt: Vec<f32>,
+    /// Packed per-head value block, `[seq][npv]` (`npv`-padded rows).
+    vh: Vec<f32>,
+    /// Per-head attention output, `[seq][npv]`.
+    av: Vec<f32>,
+    /// Quantized-activation buffers for int8 layers.
+    quant: QuantScratch,
+    /// Decoded-weight panel for f16 layers.
+    wbuf: Vec<f32>,
+}
+
+/// Row-wise layer normalization over `[rows][d]`, lane-reduced.
+fn layer_norm_rows(h: &mut [f32], rows: usize, d: usize, norm: &FastNorm, centered: &mut Vec<f32>) {
+    centered.clear();
+    centered.resize(d, 0.0);
+    for r in 0..rows {
+        let row = &mut h[r * d..(r + 1) * d];
+        let mean = reduce_sum_lanes(row) / d as f32;
+        for (c, &x) in centered.iter_mut().zip(row.iter()) {
+            *c = x - mean;
+        }
+        let var = dot_lanes(centered, centered) / d as f32;
+        let inv_std = 1.0 / (var + crate::graph::LN_EPS).sqrt();
+        for ((y, &c), (&g, &b)) in
+            row.iter_mut().zip(centered.iter()).zip(norm.gamma.iter().zip(&norm.beta))
+        {
+            *y = g * (c * inv_std) + b;
+        }
+    }
+}
+
+/// Calibration-site observer: records the absmax of each quantized
+/// layer's input activations. Site layout: `4·block + {0: attention
+/// input, 1: head-concat (wo input), 2: ff1 input, 3: ff2 input}`, then
+/// one final site for the pooler input.
+fn observe(sites: &mut Option<&mut [f32]>, site: usize, x: &[f32]) {
+    if let Some(s) = sites.as_deref_mut() {
+        s[site] = s[site].max(quant::absmax(x));
+    }
+}
+
+/// A compiled, immutable inference plan for a frozen [`BertEncoder`].
+#[derive(Debug, Clone)]
+pub struct FastEncoder {
+    backend: FastBackend,
+    d: usize,
+    heads: usize,
+    max_seq: usize,
+    tok: FastTable,
+    pos: FastTable,
+    emb_norm: FastNorm,
+    blocks: Vec<FastBlock>,
+    pooler: FastLinear,
+}
+
+fn dense(store: &ParamStore, lin: &Linear) -> DenseF32 {
+    DenseF32::new(
+        store.value(lin.weight_id()).data().to_vec(),
+        store.value(lin.bias_id()).data().to_vec(),
+        lin.in_dim,
+        lin.out_dim,
+    )
+}
+
+fn norm(store: &ParamStore, ln: &LayerNorm) -> FastNorm {
+    FastNorm {
+        gamma: store.value(ln.gamma_id()).data().to_vec(),
+        beta: store.value(ln.beta_id()).data().to_vec(),
+    }
+}
+
+fn table(store: &ParamStore, emb: &Embedding) -> FastTable {
+    FastTable::F32 { data: store.value(emb.table_id()).data().to_vec(), dim: emb.dim }
+}
+
+impl FastEncoder {
+    /// Compiles the f32 SIMD plan from a trained encoder. The plan copies
+    /// the weights once; the encoder and store are not borrowed after
+    /// construction.
+    pub fn from_bert(enc: &BertEncoder, store: &ParamStore) -> Self {
+        let (token_emb, pos_emb, emb_norm, blocks, pooler) = enc.fast_parts();
+        FastEncoder {
+            backend: FastBackend::Simd,
+            d: enc.config.d_model,
+            heads: enc.config.n_heads,
+            max_seq: enc.config.max_seq,
+            tok: table(store, token_emb),
+            pos: table(store, pos_emb),
+            emb_norm: norm(store, emb_norm),
+            blocks: blocks
+                .iter()
+                .map(|b| FastBlock {
+                    wq: FastLinear::F32(dense(store, &b.wq)),
+                    wk: FastLinear::F32(dense(store, &b.wk)),
+                    wv: FastLinear::F32(dense(store, &b.wv)),
+                    wo: FastLinear::F32(dense(store, &b.wo)),
+                    attn_norm: norm(store, &b.attn_norm),
+                    ff1: FastLinear::F32(dense(store, &b.ff1)),
+                    ff2: FastLinear::F32(dense(store, &b.ff2)),
+                    ff_norm: norm(store, &b.ff_norm),
+                })
+                .collect(),
+            pooler: FastLinear::F32(dense(store, &pooler)),
+        }
+    }
+
+    /// The plan's backend.
+    pub fn backend(&self) -> FastBackend {
+        self.backend
+    }
+
+    /// Hidden width of the plan.
+    pub fn d_model(&self) -> usize {
+        self.d
+    }
+
+    /// One-shot int8 quantization: runs the f32 plan over `calib` (token
+    /// sequences from the pre-training corpus, already CLS/SEP-prepped),
+    /// records per-site activation ranges, then quantizes every affine
+    /// layer per-output-row. Embedding tables and LayerNorm parameters
+    /// stay f32. Must be called on the [`FastBackend::Simd`] plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is not the f32 SIMD plan or `calib` contains no
+    /// non-empty sequence.
+    pub fn to_int8(&self, calib: &[Vec<u32>]) -> Self {
+        assert_eq!(self.backend, FastBackend::Simd, "quantize from the f32 SIMD plan");
+        let n_sites = 4 * self.blocks.len() + 1;
+        let mut sites = vec![0.0f32; n_sites];
+        let mut seen = 0usize;
+        for seq in calib {
+            if seq.is_empty() {
+                continue;
+            }
+            seen += 1;
+            self.pooled_raw(seq, Some(sites.as_mut_slice()));
+        }
+        assert!(seen > 0, "int8 calibration requires a non-empty corpus");
+
+        let quantize = |lin: &FastLinear, site: usize| -> FastLinear {
+            let FastLinear::F32(l) = lin else { unreachable!("Simd plan holds f32 layers") };
+            FastLinear::Int8(QuantLinear::quantize(&l.w, &l.bias, l.in_dim, l.out_dim, sites[site]))
+        };
+        FastEncoder {
+            backend: FastBackend::Int8,
+            blocks: self
+                .blocks
+                .iter()
+                .enumerate()
+                .map(|(i, b)| FastBlock {
+                    wq: quantize(&b.wq, 4 * i),
+                    wk: quantize(&b.wk, 4 * i),
+                    wv: quantize(&b.wv, 4 * i),
+                    wo: quantize(&b.wo, 4 * i + 1),
+                    attn_norm: b.attn_norm.clone(),
+                    ff1: quantize(&b.ff1, 4 * i + 2),
+                    ff2: quantize(&b.ff2, 4 * i + 3),
+                    ff_norm: b.ff_norm.clone(),
+                })
+                .collect(),
+            pooler: quantize(&self.pooler, n_sites - 1),
+            tok: self.tok.clone(),
+            pos: self.pos.clone(),
+            emb_norm: self.emb_norm.clone(),
+            d: self.d,
+            heads: self.heads,
+            max_seq: self.max_seq,
+        }
+    }
+
+    /// Re-encodes the plan with f16-storage weights and embedding tables
+    /// (biases and LayerNorm parameters stay f32). Must be called on the
+    /// [`FastBackend::Simd`] plan.
+    pub fn to_f16(&self) -> Self {
+        assert_eq!(self.backend, FastBackend::Simd, "encode f16 from the f32 SIMD plan");
+        let f16 = |lin: &FastLinear| -> FastLinear {
+            let FastLinear::F32(l) = lin else { unreachable!("Simd plan holds f32 layers") };
+            FastLinear::F16(F16Linear::encode(&l.w, &l.bias, l.in_dim, l.out_dim))
+        };
+        let f16_table = |t: &FastTable| -> FastTable {
+            let FastTable::F32 { data, dim } = t else {
+                unreachable!("Simd plan holds f32 tables")
+            };
+            FastTable::F16 { data: quant::encode_f16(data), dim: *dim }
+        };
+        FastEncoder {
+            backend: FastBackend::F16,
+            blocks: self
+                .blocks
+                .iter()
+                .map(|b| FastBlock {
+                    wq: f16(&b.wq),
+                    wk: f16(&b.wk),
+                    wv: f16(&b.wv),
+                    wo: f16(&b.wo),
+                    attn_norm: b.attn_norm.clone(),
+                    ff1: f16(&b.ff1),
+                    ff2: f16(&b.ff2),
+                    ff_norm: b.ff_norm.clone(),
+                })
+                .collect(),
+            pooler: f16(&self.pooler),
+            tok: f16_table(&self.tok),
+            pos: f16_table(&self.pos),
+            emb_norm: self.emb_norm.clone(),
+            d: self.d,
+            heads: self.heads,
+            max_seq: self.max_seq,
+        }
+    }
+
+    /// The pooled `[1, d]` encoding of a token sequence — the graph-free
+    /// equivalent of [`BertEncoder::pooled`] under this plan's backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sequence (match the graph path's contract).
+    pub fn pooled(&self, ids: &[u32]) -> Tensor {
+        let _span = lsm_obs::span("nn.encoder.pooled_fast");
+        lsm_obs::add(lsm_obs::Counter::EncoderForwards, 1);
+        Tensor::from_vec(1, self.d, self.pooled_raw(ids, None))
+    }
+
+    /// The full forward; `sites` switches on calibration recording.
+    fn pooled_raw(&self, ids: &[u32], mut sites: Option<&mut [f32]>) -> Vec<f32> {
+        assert!(!ids.is_empty(), "cannot encode an empty sequence");
+        let ids = &ids[..ids.len().min(self.max_seq)];
+        let (d, seq, heads) = (self.d, ids.len(), self.heads);
+        let dh = d / heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut s = Scratch::default();
+
+        // Embedding gather + position add, then the embedding LayerNorm.
+        let mut h = vec![0.0f32; seq * d];
+        for (i, &id) in ids.iter().enumerate() {
+            let row = &mut h[i * d..(i + 1) * d];
+            let idx = id as usize;
+            assert!(idx < self.tok.rows(), "token id {idx} out of range");
+            self.tok.add_row(idx, row);
+            self.pos.add_row(i, row);
+        }
+        layer_norm_rows(&mut h, seq, d, &self.emb_norm, &mut s.centered);
+
+        // Padded row strides for the attention register-tile GEMMs.
+        let npq = kouter_pad(seq);
+        let npv = kouter_pad(dh);
+
+        for (bi, block) in self.blocks.iter().enumerate() {
+            // Multi-head self-attention.
+            observe(&mut sites, 4 * bi, &h);
+            s.q.clear();
+            s.q.resize(seq * d, 0.0);
+            s.k.clear();
+            s.k.resize(seq * d, 0.0);
+            s.v.clear();
+            s.v.resize(seq * d, 0.0);
+            match (&block.wq, &block.wk, &block.wv) {
+                (FastLinear::Int8(lq), FastLinear::Int8(lk), FastLinear::Int8(lv)) => {
+                    // Q/K/V calibrate against the same input site, so their
+                    // activation scales are identical: quantize + pack `h`
+                    // once and stream it through all three integer GEMMs.
+                    debug_assert_eq!(lq.act_scale().to_bits(), lk.act_scale().to_bits());
+                    debug_assert_eq!(lq.act_scale().to_bits(), lv.act_scale().to_bits());
+                    lq.quantize_acts(&h, seq, &mut s.quant);
+                    lq.forward_acts(&s.quant, &mut s.q, seq);
+                    lk.forward_acts(&s.quant, &mut s.k, seq);
+                    lv.forward_acts(&s.quant, &mut s.v, seq);
+                }
+                _ => {
+                    block.wq.forward(&h, &mut s.q, seq, &mut s.quant, &mut s.wbuf);
+                    block.wk.forward(&h, &mut s.k, seq, &mut s.quant, &mut s.wbuf);
+                    block.wv.forward(&h, &mut s.v, seq, &mut s.quant, &mut s.wbuf);
+                }
+            }
+            s.scores.clear();
+            s.scores.resize(seq * npq, 0.0);
+            s.concat.clear();
+            s.concat.resize(seq * d, 0.0);
+            s.qh.clear();
+            s.qh.resize(seq * dh, 0.0);
+            s.kt.clear();
+            s.kt.resize(dh * npq, 0.0);
+            s.vh.clear();
+            s.vh.resize(seq * npv, 0.0);
+            s.av.clear();
+            s.av.resize(seq * npv, 0.0);
+            for hd in 0..heads {
+                let (c0, c1) = (hd * dh, (hd + 1) * dh);
+                // Pack this head: Q rows pre-scaled by 1/√dh (folding the
+                // score scale into the cheaper [seq][dh] operand), K
+                // transposed into npq-padded rows, V into npv-padded rows.
+                // The zero pad lanes keep the register-tile GEMM's extra
+                // lanes at exactly 0.0, so both attention products run with
+                // their accumulator rows fully in vector registers.
+                for r in 0..seq {
+                    for (dst, &qv) in
+                        s.qh[r * dh..(r + 1) * dh].iter_mut().zip(&s.q[r * d + c0..r * d + c1])
+                    {
+                        *dst = qv * scale;
+                    }
+                    s.vh[r * npv..r * npv + dh].copy_from_slice(&s.v[r * d + c0..r * d + c1]);
+                    for (p, &kv) in s.k[r * d + c0..r * d + c1].iter().enumerate() {
+                        s.kt[p * npq + r] = kv;
+                    }
+                }
+                matmul_kouter_padded(&s.qh, dh, &s.kt, &mut s.scores, seq, dh, npq);
+                softmax_rows(&mut s.scores, seq, seq, npq);
+                matmul_kouter_padded(&s.scores, npq, &s.vh, &mut s.av, seq, seq, npv);
+                for r in 0..seq {
+                    s.concat[r * d + c0..r * d + c1].copy_from_slice(&s.av[r * npv..r * npv + dh]);
+                }
+            }
+            observe(&mut sites, 4 * bi + 1, &s.concat);
+            s.tmp.clear();
+            s.tmp.resize(seq * d, 0.0);
+            block.wo.forward(&s.concat, &mut s.tmp, seq, &mut s.quant, &mut s.wbuf);
+            for (hv, &p) in h.iter_mut().zip(&s.tmp) {
+                *hv += p; // residual
+            }
+            layer_norm_rows(&mut h, seq, d, &block.attn_norm, &mut s.centered);
+
+            // Feed-forward.
+            observe(&mut sites, 4 * bi + 2, &h);
+            let d_ff = block.ff1.out_dim();
+            s.ff.clear();
+            s.ff.resize(seq * d_ff, 0.0);
+            block.ff1.forward(&h, &mut s.ff, seq, &mut s.quant, &mut s.wbuf);
+            gelu_lanes(&mut s.ff);
+            observe(&mut sites, 4 * bi + 3, &s.ff);
+            block.ff2.forward(&s.ff, &mut s.tmp, seq, &mut s.quant, &mut s.wbuf);
+            for (hv, &p) in h.iter_mut().zip(&s.tmp) {
+                *hv += p; // residual
+            }
+            layer_norm_rows(&mut h, seq, d, &block.ff_norm, &mut s.centered);
+        }
+
+        // Pool: tanh(W · E'[CLS] + b).
+        let cls = &h[..d];
+        observe(&mut sites, 4 * self.blocks.len(), cls);
+        let mut pooled = vec![0.0f32; d];
+        self.pooler.forward(cls, &mut pooled, 1, &mut s.quant, &mut s.wbuf);
+        for v in pooled.iter_mut() {
+            *v = v.tanh();
+        }
+        pooled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bert::BertConfig;
+    use crate::graph::Graph;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(seed: u64) -> (BertEncoder, ParamStore) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let enc = BertEncoder::new(BertConfig::tiny(30), &mut store, &mut rng);
+        (enc, store)
+    }
+
+    fn graph_pooled(enc: &BertEncoder, store: &ParamStore, ids: &[u32]) -> Vec<f32> {
+        let mut g = Graph::for_inference();
+        let p = enc.pooled(&mut g, store, ids);
+        g.value(p).data().to_vec()
+    }
+
+    #[test]
+    fn simd_plan_tracks_graph_path_closely() {
+        let (enc, store) = setup(7);
+        let fast = FastEncoder::from_bert(&enc, &store);
+        for ids in [vec![1u32, 7, 8, 2], vec![3], (0..30u32).map(|i| i % 29).collect()] {
+            let reference = graph_pooled(&enc, &store, &ids);
+            let got = fast.pooled(&ids);
+            assert_eq!(got.shape(), (1, enc.config.d_model));
+            for (a, b) in reference.iter().zip(got.data()) {
+                // Same math, different rounding class: tight but not bitwise.
+                assert!((a - b).abs() < 1e-4, "graph {a} vs fast {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_plan_is_deterministic_across_runs() {
+        let (enc, store) = setup(8);
+        let fast = FastEncoder::from_bert(&enc, &store);
+        let fast2 = FastEncoder::from_bert(&enc, &store);
+        let ids = vec![1u32, 9, 4, 2, 2, 17];
+        let a = fast.pooled(&ids);
+        let b = fast2.pooled(&ids);
+        let c = fast.pooled(&ids);
+        assert!(a.data().iter().zip(b.data()).all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert!(a.data().iter().zip(c.data()).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn int8_plan_is_deterministic_and_close() {
+        let (enc, store) = setup(9);
+        let fast = FastEncoder::from_bert(&enc, &store);
+        let calib: Vec<Vec<u32>> = (0..8).map(|i| vec![1, 3 + i, 5, 2 + i, 2]).collect();
+        let q = fast.to_int8(&calib);
+        assert_eq!(q.backend(), FastBackend::Int8);
+        let ids = vec![1u32, 5, 7, 2];
+        let a = q.pooled(&ids);
+        // Re-quantize from scratch: calibration and quantization are pure.
+        let q2 = fast.to_int8(&calib);
+        let b = q2.pooled(&ids);
+        assert!(a.data().iter().zip(b.data()).all(|(x, y)| x.to_bits() == y.to_bits()));
+        // tanh-pooled outputs live in [-1, 1]; int8 noise stays small.
+        let f = fast.pooled(&ids);
+        for (x, y) in f.data().iter().zip(a.data()) {
+            assert!((x - y).abs() < 0.15, "f32 {x} vs int8 {y}");
+        }
+    }
+
+    #[test]
+    fn f16_plan_is_deterministic_and_close() {
+        let (enc, store) = setup(10);
+        let fast = FastEncoder::from_bert(&enc, &store);
+        let h = fast.to_f16();
+        assert_eq!(h.backend(), FastBackend::F16);
+        let ids = vec![1u32, 6, 3, 11, 2];
+        let a = h.pooled(&ids);
+        let b = fast.to_f16().pooled(&ids);
+        assert!(a.data().iter().zip(b.data()).all(|(x, y)| x.to_bits() == y.to_bits()));
+        let f = fast.pooled(&ids);
+        for (x, y) in f.data().iter().zip(a.data()) {
+            assert!((x - y).abs() < 2e-2, "f32 {x} vs f16 {y}");
+        }
+    }
+
+    #[test]
+    fn truncates_to_max_seq_like_the_graph_path() {
+        let (enc, store) = setup(11);
+        let fast = FastEncoder::from_bert(&enc, &store);
+        let long: Vec<u32> = (0..100).map(|i| 5 + (i % 20)).collect();
+        let truncated = &long[..enc.config.max_seq];
+        let a = fast.pooled(&long);
+        let b = fast.pooled(truncated);
+        assert!(a.data().iter().zip(b.data()).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn rejects_empty_sequences() {
+        let (enc, store) = setup(12);
+        FastEncoder::from_bert(&enc, &store).pooled(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty corpus")]
+    fn int8_requires_calibration_data() {
+        let (enc, store) = setup(13);
+        FastEncoder::from_bert(&enc, &store).to_int8(&[]);
+    }
+}

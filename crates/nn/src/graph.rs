@@ -96,7 +96,7 @@ pub struct Graph {
     threads: usize,
 }
 
-fn gelu_scalar(x: f32) -> f32 {
+pub(crate) fn gelu_scalar(x: f32) -> f32 {
     const C: f32 = 0.797_884_6; // sqrt(2/π)
     0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
 }
@@ -130,7 +130,7 @@ fn softmax_row_in_place(row: &mut [f32]) {
     }
 }
 
-const LN_EPS: f32 = 1e-5;
+pub(crate) const LN_EPS: f32 = 1e-5;
 
 impl Graph {
     /// Creates an empty tape.
@@ -254,15 +254,11 @@ impl Graph {
         assert_eq!(k, k2, "matmul dimension mismatch");
         lsm_obs::add(lsm_obs::Counter::GemmCalls, 1);
         let mut v = self.alloc(m, n);
-        kernels::matmul_mt(
-            self.val(a).data(),
-            self.val(b).data(),
-            v.data_mut(),
-            m,
-            k,
-            n,
-            self.threads,
-        );
+        // Exact rounding class: the training path must stay bitwise-stable
+        // across kernel generations (see `kernels::RoundingClass`).
+        let variant =
+            kernels::KernelVariant::select(kernels::RoundingClass::Exact, m, k, n, self.threads);
+        variant.run(self.val(a).data(), self.val(b).data(), v.data_mut(), m, k, n, self.threads);
         self.push(v, Op::MatMul(a, b))
     }
 
@@ -367,11 +363,12 @@ impl Graph {
         self.push(v, Op::LayerNorm { x, gamma, beta })
     }
 
-    /// Transpose (tile-blocked).
+    /// Transpose (SIMD-tiled; bit-identical to the blocked kernel — pure
+    /// data movement, so the exact rounding class is unaffected).
     pub fn transpose(&mut self, a: NodeId) -> NodeId {
         let (n, d) = self.val(a).shape();
         let mut v = self.alloc(d, n);
-        kernels::transpose_blocked(self.val(a).data(), v.data_mut(), n, d);
+        kernels::transpose_simd(self.val(a).data(), v.data_mut(), n, d);
         self.push(v, Op::Transpose(a))
     }
 

@@ -28,6 +28,37 @@
 //!
 //! This module is deliberately dependency-free (std only) so it can be
 //! compiled and profiled in isolation.
+//!
+//! **Rounding classes.** The kernels form two families that are each
+//! internally bitwise-reproducible but differ from each other by design:
+//!
+//! * the *exact* class ([`matmul_naive`], [`matmul_blocked`],
+//!   [`matmul_mt`]) accumulates with separate multiply and add (two
+//!   roundings per term) and is the paper-faithful default — every result
+//!   in the training/scoring pipeline is bit-for-bit stable against it;
+//! * the *fma* class ([`matmul_naive_fma`], [`matmul_simd`],
+//!   [`matmul_simd_mt`]) accumulates with fused multiply-add (one rounding
+//!   per term), which is what lets the microkernels run on the FMA units
+//!   at full width. Every fma-class kernel is bit-for-bit identical to the
+//!   scalar [`matmul_naive_fma`] reference for any shape, tile choice, and
+//!   thread count — the class is deterministic, it just rounds differently
+//!   from the exact class (observed drift ~1 ulp per accumulation step).
+//!
+//! The opt-in SIMD/quantized encoder backends use the fma class; the
+//! default graph path never does. [`KernelVariant`] names both families
+//! for runtime selection and benchmarking.
+//!
+//! **Autovectorization contract.** The fma microkernels are safe Rust
+//! shaped so LLVM reliably emits wide FMA loops: the hot loop lives in an
+//! `#[inline(never)]` function (so surrounding code cannot perturb
+//! codegen), iterates over exact-size `[f32; N]` chunk slices (no bounds
+//! checks, so no side exits), has a single exit condition (so accumulator
+//! stores sink out of the loop instead of spilling every iteration), and
+//! keeps the accumulator tile as a by-value local. Breaking any of these
+//! drops throughput by 3-15x; `docs/kernels.md` records the measurements.
+//! The repo's `.cargo/config.toml` builds with `-C target-cpu=native` —
+//! without a native FMA target feature, `f32::mul_add` lowers to the
+//! (correct but slow) libm fallback.
 
 /// Micro-tile height: rows of A processed together in the inner kernel.
 const MR: usize = 4;
@@ -197,12 +228,97 @@ fn matmul_rows_blocked(
     }
 }
 
-/// Row-block-parallel blocked GEMM: splits output rows into `threads`
-/// contiguous chunks computed on scoped threads, each with its own packing
-/// buffer and a disjoint output slice. Falls back to the single-threaded
-/// kernel when `threads <= 1` or the matrix is too small to amortize a
-/// thread spawn. Bitwise-identical to [`matmul_naive`] for any thread
-/// count.
+/// Product of `m * k * n` below which a thread spawn costs more than the
+/// parallel work saves (≈2 MFLOP; a spawn is tens of microseconds, which
+/// is the whole kernel at that size).
+const PAR_MIN_MKN: usize = 1 << 20;
+
+/// Logical cores available to this process (cached; queried once).
+fn host_parallelism() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, |c| c.get()))
+}
+
+/// Packs **all** k blocks of B into `NR`-wide column strips up front so a
+/// parallel driver's workers can share one read-only pack instead of each
+/// re-packing every panel. Returns the packed buffer plus one
+/// `(k0, kc, offset)` descriptor per k block; each block's panel uses the
+/// same `[strip][kk][jr]` layout as [`pack_b_panel`].
+fn pack_b_all(b: &[f32], k: usize, n: usize) -> (Vec<f32>, Vec<(usize, usize, usize)>) {
+    let strips = n.div_ceil(NR);
+    let mut blocks = Vec::new();
+    let mut k0 = 0;
+    let mut offset = 0;
+    while k0 < k {
+        let kc = KC.min(k - k0);
+        blocks.push((k0, kc, offset));
+        offset += strips * kc * NR;
+        k0 += kc;
+    }
+    let mut packed = vec![0.0f32; offset];
+    for &(k0, kc, off) in &blocks {
+        for strip in 0..strips {
+            let j0 = strip * NR;
+            let w = NR.min(n - j0);
+            let dst_base = off + strip * kc * NR;
+            for kk in 0..kc {
+                let src = (k0 + kk) * n + j0;
+                let dst = dst_base + kk * NR;
+                packed[dst..dst + w].copy_from_slice(&b[src..src + w]);
+            }
+        }
+    }
+    (packed, blocks)
+}
+
+/// Blocked GEMM over a worker's row range against a shared pre-packed B
+/// (from [`pack_b_all`]). Same traversal and accumulation order as
+/// [`matmul_rows_blocked`] — only the panel source differs.
+#[allow(clippy::too_many_arguments)]
+fn matmul_rows_packed(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    packed: &[f32],
+    blocks: &[(usize, usize, usize)],
+) {
+    let n_main = n - n % NR;
+    for &(k0, kc, off) in blocks {
+        let panel = &packed[off..off + n.div_ceil(NR) * kc * NR];
+        let mut i0 = 0;
+        while i0 < m {
+            let mc = MC.min(m - i0);
+            let m_main = i0 + (mc - mc % MR);
+            let mut i = i0;
+            while i < m_main {
+                for strip in 0..n_main / NR {
+                    let panel_strip = &panel[strip * kc * NR..(strip + 1) * kc * NR];
+                    micro_kernel(a, k, k0, kc, panel_strip, out, n, i, strip * NR);
+                }
+                if n_main < n {
+                    edge_kernel(a, k, k0, kc, b, out, n, i..i + MR, n_main..n);
+                }
+                i += MR;
+            }
+            if m_main < i0 + mc {
+                edge_kernel(a, k, k0, kc, b, out, n, m_main..i0 + mc, 0..n);
+            }
+            i0 += mc;
+        }
+    }
+}
+
+/// Row-block-parallel blocked GEMM: splits output rows into contiguous
+/// chunks computed on scoped threads. B is packed **once** and shared
+/// read-only by every worker (workers used to each re-pack every panel,
+/// which made multithreading lose to single-thread at every benchmarked
+/// shape). `threads` is a cap: the effective worker count is clamped to
+/// the host's available parallelism, and small shapes (or an effective
+/// count of 1) fall back to the single-threaded kernel. Bitwise-identical
+/// to [`matmul_naive`] for any thread count.
 pub fn matmul_mt(
     a: &[f32],
     b: &[f32],
@@ -212,10 +328,29 @@ pub fn matmul_mt(
     n: usize,
     threads: usize,
 ) {
-    // Below ~1 MFLOP a spawn costs more than it saves.
-    const PAR_MIN_FLOPS: usize = 1 << 20;
+    let threads = threads.max(1).min(m.max(1)).min(host_parallelism());
+    if threads <= 1 || m * k * n < PAR_MIN_MKN {
+        matmul_blocked(a, b, out, m, k, n);
+        return;
+    }
+    matmul_mt_unclamped(a, b, out, m, k, n, threads);
+}
+
+/// The scoped-thread driver behind [`matmul_mt`], with **exactly** the
+/// requested worker count — no host clamp, no FLOP cutoff. Public so tests
+/// and benchmarks can exercise the parallel machinery on hosts with fewer
+/// cores than workers; production code should call [`matmul_mt`].
+pub fn matmul_mt_unclamped(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
     let threads = threads.max(1).min(m.max(1));
-    if threads <= 1 || m * k * n < PAR_MIN_FLOPS {
+    if threads <= 1 {
         matmul_blocked(a, b, out, m, k, n);
         return;
     }
@@ -223,8 +358,10 @@ pub fn matmul_mt(
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     out.fill(0.0);
+    let (packed, blocks) = pack_b_all(b, k, n);
     // Chunk boundaries aligned to MR so every worker runs the fast path.
     let rows_per = m.div_ceil(threads).div_ceil(MR) * MR;
+    let (packed, blocks) = (&packed, &blocks);
     std::thread::scope(|scope| {
         let mut rest = &mut out[..];
         let mut row0 = 0;
@@ -234,11 +371,11 @@ pub fn matmul_mt(
             rest = tail;
             let r0 = row0;
             scope.spawn(move || {
-                let mut packed = Vec::new();
                 // Each worker sees its chunk as a standalone `rows × n`
-                // output over the matching rows of A.
+                // output over the matching rows of A, against the shared
+                // read-only pack.
                 let a_rows = &a[r0 * k..(r0 + rows) * k];
-                matmul_rows_blocked(a_rows, b, chunk, rows, k, n, &mut packed);
+                matmul_rows_packed(a_rows, b, chunk, rows, k, n, packed, blocks);
             });
             row0 += rows;
         }
@@ -269,8 +406,784 @@ pub fn transpose_blocked(a: &[f32], out: &mut [f32], m: usize, n: usize) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The fma rounding class: scalar reference + SIMD microkernels.
+// ---------------------------------------------------------------------------
+
+/// Scalar ikj reference for the **fma rounding class**: identical loop
+/// structure to [`matmul_naive`], but each term is accumulated with
+/// `f32::mul_add` (one rounding instead of two). Every SIMD kernel below
+/// is bit-for-bit identical to this reference for any shape and thread
+/// count.
+pub fn matmul_naive_fma(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o = av.mul_add(bv, *o);
+            }
+        }
+    }
+}
+
+/// Wide fma micro-tile: rows per tile (12 × 256-bit accumulator lanes).
+const WMR: usize = 6;
+/// Wide fma micro-tile: columns per tile.
+const WNR: usize = 32;
+/// Narrow fma micro-tile rows — used when `n ≤ NARROW_N_MAX`, where the
+/// wide tile wastes lanes on padding.
+const TMR: usize = 4;
+/// Narrow fma micro-tile columns (covers the encoder's d=48 widths in one
+/// strip).
+const TNR: usize = 48;
+/// K block size for the SIMD drivers.
+const SKC: usize = 256;
+/// Output widths up to this use the narrow 4×48 tile (measured faster on
+/// `n ≤ 64` shapes; see `docs/kernels.md`).
+const NARROW_N_MAX: usize = 64;
+
+/// The fma inner loop: `acc[r][c] = fma(a[r], b[c], acc[r][c])` over all
+/// packed k steps, in increasing k order per output element.
+///
+/// Codegen contract (measured, see module docs): `#[inline(never)]`,
+/// exact-size chunk slices, single exit, by-value accumulator. `av` and
+/// `bv` must have equal length (the packed k depth).
+#[inline(never)]
+fn fma_micro<const MRX: usize, const NRX: usize>(
+    av: &[[f32; MRX]],
+    bv: &[[f32; NRX]],
+    mut acc: [[f32; NRX]; MRX],
+) -> [[f32; NRX]; MRX] {
+    debug_assert_eq!(av.len(), bv.len());
+    for (a, b) in av.iter().zip(bv) {
+        for r in 0..MRX {
+            let ar = a[r];
+            for c in 0..NRX {
+                acc[r][c] = ar.mul_add(b[c], acc[r][c]);
+            }
+        }
+    }
+    acc
+}
+
+/// SIMD GEMM driver for one micro-tile shape over a row range of A.
+///
+/// B is packed per k block into `NRX`-wide zero-padded strips; the A rows
+/// for each `MRX`-high strip are packed just-in-time into `[kc][MRX]`
+/// layout (zero-padded at the bottom edge, so the tile loop has no edge
+/// cases — padded lanes compute `fma(0, b, acc) = acc` and are never
+/// stored). The first k block initializes accumulators to zero (no output
+/// pre-fill pass); later blocks reload the tile from `out`, preserving
+/// per-element k order across blocks.
+fn matmul_simd_rows<const MRX: usize, const NRX: usize>(
+    a: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    packed: &[f32],
+    blocks: &[(usize, usize, usize)],
+) {
+    let strips = n.div_ceil(NRX);
+    let rstrips = m.div_ceil(MRX);
+    let mut pa: Vec<f32> = Vec::new();
+    for &(k0, kc, off) in blocks {
+        let (ball, _) = packed[off..off + strips * kc * NRX].as_chunks::<NRX>();
+        for rs in 0..rstrips {
+            let i0 = rs * MRX;
+            let h = MRX.min(m - i0);
+            pa.clear();
+            pa.resize(kc * MRX, 0.0);
+            for r in 0..h {
+                let row = &a[(i0 + r) * k + k0..(i0 + r) * k + k0 + kc];
+                for (kk, &v) in row.iter().enumerate() {
+                    pa[kk * MRX + r] = v;
+                }
+            }
+            let (achunks, _) = pa.as_chunks::<MRX>();
+            for (s, bchunks) in ball.chunks_exact(kc).enumerate() {
+                let j0 = s * NRX;
+                let w = NRX.min(n - j0);
+                let mut acc = [[0.0f32; NRX]; MRX];
+                if k0 > 0 {
+                    for (r, row) in acc.iter_mut().enumerate().take(h) {
+                        let base = (i0 + r) * n + j0;
+                        row[..w].copy_from_slice(&out[base..base + w]);
+                    }
+                }
+                acc = fma_micro(achunks, bchunks, acc);
+                for (r, row) in acc.iter().enumerate().take(h) {
+                    let base = (i0 + r) * n + j0;
+                    out[base..base + w].copy_from_slice(&row[..w]);
+                }
+            }
+        }
+    }
+}
+
+/// Packs all k blocks of B into `NRX`-wide zero-padded strips for the SIMD
+/// drivers; layout `[block][strip][kk][jr]` with `(k0, kc, offset)`
+/// descriptors.
+fn pack_b_simd<const NRX: usize>(
+    b: &[f32],
+    k: usize,
+    n: usize,
+) -> (Vec<f32>, Vec<(usize, usize, usize)>) {
+    let strips = n.div_ceil(NRX);
+    let mut blocks = Vec::new();
+    let (mut k0, mut offset) = (0, 0);
+    while k0 < k {
+        let kc = SKC.min(k - k0);
+        blocks.push((k0, kc, offset));
+        offset += strips * kc * NRX;
+        k0 += kc;
+    }
+    let mut packed = vec![0.0f32; offset];
+    for &(k0, kc, off) in &blocks {
+        for s in 0..strips {
+            let j0 = s * NRX;
+            let w = NRX.min(n - j0);
+            for kk in 0..kc {
+                let src = (k0 + kk) * n + j0;
+                let dst = off + s * kc * NRX + kk * NRX;
+                packed[dst..dst + w].copy_from_slice(&b[src..src + w]);
+            }
+        }
+    }
+    (packed, blocks)
+}
+
+fn matmul_simd_tile<const MRX: usize, const NRX: usize>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let (packed, blocks) = pack_b_simd::<NRX>(b, k, n);
+    matmul_simd_rows::<MRX, NRX>(a, out, m, k, n, &packed, &blocks);
+}
+
+/// Single-threaded SIMD (fma-class) GEMM. Picks the narrow 4×48 tile for
+/// `n ≤ 64` outputs and the wide 6×32 tile otherwise; both produce
+/// bit-identical results (each output element is the same k-ordered fma
+/// chain regardless of tile), so the shape heuristic is a pure performance
+/// choice. Bitwise-identical to [`matmul_naive_fma`].
+pub fn matmul_simd(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    if n <= NARROW_N_MAX {
+        matmul_simd_tile::<TMR, TNR>(a, b, out, m, k, n);
+    } else {
+        matmul_simd_tile::<WMR, WNR>(a, b, out, m, k, n);
+    }
+}
+
+fn matmul_simd_mt_tile<const MRX: usize, const NRX: usize>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    let (packed, blocks) = pack_b_simd::<NRX>(b, k, n);
+    // Chunk boundaries aligned to the tile height so only the last worker
+    // can see a partial bottom strip.
+    let rows_per = m.div_ceil(threads).div_ceil(MRX) * MRX;
+    let (packed, blocks) = (&packed, &blocks);
+    std::thread::scope(|scope| {
+        let mut rest = &mut out[..];
+        let mut row0 = 0;
+        while row0 < m {
+            let rows = rows_per.min(m - row0);
+            let (chunk, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            let r0 = row0;
+            scope.spawn(move || {
+                let a_rows = &a[r0 * k..(r0 + rows) * k];
+                matmul_simd_rows::<MRX, NRX>(a_rows, chunk, rows, k, n, packed, blocks);
+            });
+            row0 += rows;
+        }
+    });
+}
+
+/// Row-partitioned parallel SIMD GEMM sharing one read-only B pack across
+/// workers. `threads` is a cap (clamped to host parallelism); small shapes
+/// fall back to [`matmul_simd`]. Bitwise-identical to
+/// [`matmul_naive_fma`] at any thread count.
+pub fn matmul_simd_mt(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    let threads = threads.max(1).min(m.max(1)).min(host_parallelism());
+    if threads <= 1 || m * k * n < PAR_MIN_MKN {
+        matmul_simd(a, b, out, m, k, n);
+        return;
+    }
+    matmul_simd_mt_unclamped(a, b, out, m, k, n, threads);
+}
+
+/// The scoped-thread SIMD driver with exactly the requested worker count —
+/// no host clamp, no FLOP cutoff. For tests and benchmarks; production
+/// code should call [`matmul_simd_mt`].
+pub fn matmul_simd_mt_unclamped(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    let threads = threads.max(1).min(m.max(1));
+    if threads <= 1 {
+        matmul_simd(a, b, out, m, k, n);
+        return;
+    }
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    if n <= NARROW_N_MAX {
+        matmul_simd_mt_tile::<TMR, TNR>(a, b, out, m, k, n, threads);
+    } else {
+        matmul_simd_mt_tile::<WMR, WNR>(a, b, out, m, k, n, threads);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime kernel selection.
+// ---------------------------------------------------------------------------
+
+/// Which rounding family a kernel belongs to (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundingClass {
+    /// Separate multiply + add per term; the paper-faithful default.
+    Exact,
+    /// Fused multiply-add per term; the opt-in SIMD/quantized class.
+    Fma,
+}
+
+/// A named GEMM implementation, selectable at runtime. `Naive*` variants
+/// are rounding references kept for tests and benchmarks; production
+/// call sites go through [`KernelVariant::select`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelVariant {
+    /// Scalar ikj reference (exact class).
+    Naive,
+    /// Cache-blocked register-tiled kernel (exact class).
+    Blocked,
+    /// Row-parallel blocked kernel with shared B pack (exact class).
+    BlockedMt,
+    /// Scalar ikj fma reference (fma class).
+    NaiveFma,
+    /// Autovectorized fma microkernel (fma class).
+    Simd,
+    /// Row-parallel SIMD kernel with shared B pack (fma class).
+    SimdMt,
+}
+
+impl KernelVariant {
+    /// Stable snake-case name (used in benchmark tables and smoke logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelVariant::Naive => "naive",
+            KernelVariant::Blocked => "blocked",
+            KernelVariant::BlockedMt => "blocked-mt",
+            KernelVariant::NaiveFma => "naive-fma",
+            KernelVariant::Simd => "simd",
+            KernelVariant::SimdMt => "simd-mt",
+        }
+    }
+
+    /// The rounding family this variant belongs to.
+    pub fn class(self) -> RoundingClass {
+        match self {
+            KernelVariant::Naive | KernelVariant::Blocked | KernelVariant::BlockedMt => {
+                RoundingClass::Exact
+            }
+            KernelVariant::NaiveFma | KernelVariant::Simd | KernelVariant::SimdMt => {
+                RoundingClass::Fma
+            }
+        }
+    }
+
+    /// Picks the production kernel for a shape within a rounding class:
+    /// the blocked/SIMD kernel single-threaded, or its row-parallel driver
+    /// when a thread cap > 1 is requested and the shape is large enough to
+    /// amortize spawning (the parallel drivers re-check and fall back, so
+    /// this is a labeling choice, not a correctness one).
+    pub fn select(class: RoundingClass, m: usize, k: usize, n: usize, threads: usize) -> Self {
+        let parallel = threads > 1 && m * k * n >= PAR_MIN_MKN && host_parallelism() > 1;
+        match (class, parallel) {
+            (RoundingClass::Exact, false) => KernelVariant::Blocked,
+            (RoundingClass::Exact, true) => KernelVariant::BlockedMt,
+            (RoundingClass::Fma, false) => KernelVariant::Simd,
+            (RoundingClass::Fma, true) => KernelVariant::SimdMt,
+        }
+    }
+
+    /// Runs this variant. `threads` is ignored by single-threaded
+    /// variants.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        self,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        threads: usize,
+    ) {
+        match self {
+            KernelVariant::Naive => matmul_naive(a, b, out, m, k, n),
+            KernelVariant::Blocked => matmul_blocked(a, b, out, m, k, n),
+            KernelVariant::BlockedMt => matmul_mt(a, b, out, m, k, n, threads),
+            KernelVariant::NaiveFma => matmul_naive_fma(a, b, out, m, k, n),
+            KernelVariant::Simd => matmul_simd(a, b, out, m, k, n),
+            KernelVariant::SimdMt => matmul_simd_mt(a, b, out, m, k, n, threads),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lane-reduced vector primitives for the fast encoder path.
+// ---------------------------------------------------------------------------
+
+/// Number of parallel accumulator lanes in the reductions below (one
+/// 256-bit vector of f32).
+const LANES: usize = 8;
+
+/// Lane-parallel sum: eight fixed accumulator lanes combined in a fixed
+/// pairwise tree, remainder added sequentially. Deterministic for a given
+/// input, but rounds differently from a sequential `iter().sum()` — the
+/// fma-class caveat from the module docs applies.
+pub fn reduce_sum_lanes(x: &[f32]) -> f32 {
+    let (chunks, tail) = x.as_chunks::<LANES>();
+    let mut lanes = [0.0f32; LANES];
+    for c in chunks {
+        for (l, &v) in lanes.iter_mut().zip(c) {
+            *l += v;
+        }
+    }
+    let mut acc = ((lanes[0] + lanes[4]) + (lanes[2] + lanes[6]))
+        + ((lanes[1] + lanes[5]) + (lanes[3] + lanes[7]));
+    for &v in tail {
+        acc += v;
+    }
+    acc
+}
+
+/// Lane-parallel dot product with fma accumulation (same determinism
+/// contract as [`reduce_sum_lanes`]).
+pub fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let (ac, at) = a.as_chunks::<LANES>();
+    let (bc, bt) = b.as_chunks::<LANES>();
+    let mut lanes = [0.0f32; LANES];
+    for (ca, cb) in ac.iter().zip(bc) {
+        for r in 0..LANES {
+            lanes[r] = ca[r].mul_add(cb[r], lanes[r]);
+        }
+    }
+    let mut acc = ((lanes[0] + lanes[4]) + (lanes[2] + lanes[6]))
+        + ((lanes[1] + lanes[5]) + (lanes[3] + lanes[7]));
+    for (&va, &vb) in at.iter().zip(bt) {
+        acc = va.mul_add(vb, acc);
+    }
+    acc
+}
+
+/// Maximum over a non-empty slice (lane-split; `max` is order-insensitive
+/// for non-NaN inputs, so this matches the sequential fold bitwise).
+pub fn reduce_max(x: &[f32]) -> f32 {
+    debug_assert!(!x.is_empty());
+    let (chunks, tail) = x.as_chunks::<LANES>();
+    let mut m = f32::NEG_INFINITY;
+    if !chunks.is_empty() {
+        let mut lanes = [f32::NEG_INFINITY; LANES];
+        for c in chunks {
+            for (l, &v) in lanes.iter_mut().zip(c) {
+                *l = l.max(v);
+            }
+        }
+        for &l in &lanes {
+            m = m.max(l);
+        }
+    }
+    for &v in tail {
+        m = m.max(v);
+    }
+    m
+}
+
+/// `acc[i] = fma(s, x[i], acc[i])` — the stride-1 axpy used by the
+/// attention value accumulation in the fast path.
+pub fn axpy(acc: &mut [f32], x: &[f32], s: f32) {
+    debug_assert_eq!(acc.len(), x.len());
+    for (o, &v) in acc.iter_mut().zip(x) {
+        *o = s.mul_add(v, *o);
+    }
+}
+
+/// A pre-packed B operand for repeated [`matmul_simd`]-class GEMMs.
+///
+/// [`matmul_simd`] re-packs B into tile strips on every call; for a frozen
+/// weight matrix multiplied against many activation batches (the fast
+/// encoder path) that packing is pure overhead. `PackedGemm::pack` runs
+/// the identical packing once, and [`PackedGemm::run`] is bitwise-equal to
+/// `matmul_simd(a, b, out, m, k, n)` for every shape — same tiles, same
+/// k-ordered fma chains, just without the per-call pack.
+#[derive(Debug, Clone)]
+pub struct PackedGemm {
+    packed: Vec<f32>,
+    blocks: Vec<(usize, usize, usize)>,
+    k: usize,
+    n: usize,
+    narrow: bool,
+}
+
+impl PackedGemm {
+    /// Packs `b` (`[k][n]` row-major) with the same strip layout
+    /// [`matmul_simd`] would choose for this `n`.
+    pub fn pack(b: &[f32], k: usize, n: usize) -> Self {
+        debug_assert_eq!(b.len(), k * n);
+        let narrow = n <= NARROW_N_MAX;
+        let (packed, blocks) =
+            if narrow { pack_b_simd::<TNR>(b, k, n) } else { pack_b_simd::<WNR>(b, k, n) };
+        PackedGemm { packed, blocks, k, n, narrow }
+    }
+
+    /// Inner (reduction) dimension of the packed operand.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output width of the packed operand.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `out = a × B` for `a` of shape `[m][k]`. Bitwise-identical to
+    /// [`matmul_simd`] with the original `b`.
+    pub fn run(&self, a: &[f32], out: &mut [f32], m: usize) {
+        debug_assert_eq!(a.len(), m * self.k);
+        debug_assert_eq!(out.len(), m * self.n);
+        if self.k == 0 {
+            out.fill(0.0);
+            return;
+        }
+        if self.narrow {
+            matmul_simd_rows::<TMR, TNR>(a, out, m, self.k, self.n, &self.packed, &self.blocks);
+        } else {
+            matmul_simd_rows::<WMR, WNR>(a, out, m, self.k, self.n, &self.packed, &self.blocks);
+        }
+    }
+}
+
+/// Broadcast k-outer fma GEMM for small shapes (attention-head blocks).
+///
+/// For each output row the k dimension is walked in ascending order with
+/// one fma per term, so every output element sees the exact chain
+/// [`matmul_naive_fma`] computes — this is a *performance* variant of the
+/// fma rounding class, not a new class. It skips packing entirely and
+/// vectorizes over the `n`-wide inner loop, which wins over the tiled
+/// kernels when `m·k·n` is tiny and `n` is a fraction of a tile strip
+/// (head-sized GEMMs: n = seq or n = d/heads).
+pub fn matmul_kouter(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    for r in 0..m {
+        let or = &mut out[r * n..(r + 1) * n];
+        for (p, &av) in a[r * k..(r + 1) * k].iter().enumerate() {
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in or.iter_mut().zip(brow) {
+                *o = av.mul_add(bv, *o);
+            }
+        }
+    }
+}
+
+/// Fixed-width k-outer tile: `b` and `out` rows are exactly `NP` floats
+/// (zero-padded past the logical width), so the whole accumulator row is
+/// `NP/16` vector registers for the entire k walk — one broadcast-fma per
+/// term with no load/store of partial sums. `a` rows are read at `astride`
+/// (first `k` entries), letting a padded output of one call feed the `a`
+/// side of the next.
+#[inline(never)]
+fn kouter_fixed<const NP: usize>(
+    a: &[f32],
+    astride: usize,
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+) {
+    debug_assert!(m == 0 || a.len() >= (m - 1) * astride + k);
+    debug_assert_eq!(b.len(), k * NP);
+    debug_assert_eq!(out.len(), m * NP);
+    let (bv, _) = b.as_chunks::<NP>();
+    for r in 0..m {
+        let mut acc = [0.0f32; NP];
+        for (p, brow) in bv.iter().enumerate().take(k) {
+            let av = a[r * astride + p];
+            for c in 0..NP {
+                acc[c] = av.mul_add(brow[c], acc[c]);
+            }
+        }
+        out[r * NP..(r + 1) * NP].copy_from_slice(&acc);
+    }
+}
+
+/// The padded row stride the register-tile k-outer kernel wants for a
+/// logical width `n`. Widths ≤ 64 snap to a vector-register tier; wider
+/// shapes return `n` itself, which routes the padded entry point to the
+/// memory-accumulator fallback.
+pub fn kouter_pad(n: usize) -> usize {
+    match n {
+        0..=16 => 16,
+        17..=32 => 32,
+        33..=48 => 48,
+        49..=64 => 64,
+        _ => n,
+    }
+}
+
+/// [`matmul_kouter`] over padded rows: `b` and `out` row stride is
+/// `np = kouter_pad(n)` with zero padding beyond the logical width, and
+/// `a` rows are read at `astride ≥ k`. Per logical output element this
+/// computes the exact ascending-k fma chain of [`matmul_naive_fma`] (the
+/// zero pad lanes add `av·0` terms that never touch real lanes), so it is
+/// the same rounding class as [`matmul_kouter`] — only the accumulator
+/// residency changes.
+pub fn matmul_kouter_padded(
+    a: &[f32],
+    astride: usize,
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    np: usize,
+) {
+    match np {
+        16 => kouter_fixed::<16>(a, astride, b, out, m, k),
+        32 => kouter_fixed::<32>(a, astride, b, out, m, k),
+        48 => kouter_fixed::<48>(a, astride, b, out, m, k),
+        64 => kouter_fixed::<64>(a, astride, b, out, m, k),
+        _ => {
+            out.fill(0.0);
+            for r in 0..m {
+                let or = &mut out[r * np..(r + 1) * np];
+                for p in 0..k {
+                    let av = a[r * astride + p];
+                    let brow = &b[p * np..(p + 1) * np];
+                    for (o, &bv) in or.iter_mut().zip(brow) {
+                        *o = av.mul_add(bv, *o);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lane-parallel transcendental microkernels (fast-path softmax / gelu).
+// ---------------------------------------------------------------------------
+
+/// Upper input clamp for [`exp_lanes`]: keeps the scale exponent `n ≤ 127`
+/// so the 2ⁿ bit-construction below stays finite.
+const EXP_MAX_IN: f32 = 88.0;
+/// Lower input clamp: below this `exp` underflows f32 anyway.
+const EXP_MIN_IN: f32 = -87.0;
+
+/// One element of the polynomial exp. Cephes-style: split `x = n·ln2 + r`
+/// with `|r| ≤ ln2/2`, evaluate a degree-5 minimax polynomial for
+/// `exp(r)`, and scale by 2ⁿ through direct exponent-field construction.
+/// Every step is an elementwise float/int op with no data-dependent
+/// branches, so the loop over a slice autovectorizes and the result is a
+/// pure function of the input bits (deterministic everywhere). Max
+/// relative error vs `f32::exp` ≈ 2 ulp.
+#[inline(always)]
+fn exp_elem(x: f32) -> f32 {
+    let x = x.clamp(EXP_MIN_IN, EXP_MAX_IN);
+    // Round-to-nearest via the 1.5·2²³ magic-add trick — `f32::round`
+    // does not reliably vectorize, float add/sub does.
+    const MAGIC: f32 = 12_582_912.0;
+    const MAGIC_BITS: u32 = 0x4B40_0000;
+    const _: () = assert!(MAGIC.to_bits() == MAGIC_BITS);
+    let nm = x.mul_add(std::f32::consts::LOG2_E, MAGIC);
+    let nf = nm - MAGIC;
+    // r = x - n·ln2 in two pieces, preserving low bits of the reduction.
+    const LN2_HI: f32 = 0.693_145_75;
+    const LN2_LO: f32 = 1.428_606_8e-6;
+    let r = (-nf).mul_add(LN2_LO, (-nf).mul_add(LN2_HI, x));
+    let p = 1.987_569_1e-4_f32;
+    let p = p.mul_add(r, 1.398_199_9e-3);
+    let p = p.mul_add(r, 8.333_452e-3);
+    let p = p.mul_add(r, 4.166_579_6e-2);
+    let p = p.mul_add(r, 1.666_666_5e-1);
+    let p = p.mul_add(r, 0.5);
+    let e = (p * r * r + r) + 1.0;
+    // 2ⁿ: n ∈ [-126, 127] after the input clamp, so the biased exponent
+    // field (n+127) << 23 is always a finite normal number. n is read
+    // straight out of the magic-add mantissa bits (`nm = MAGIC + n`
+    // exactly, so the bias subtracts away) — bit-identical to `nf as i32`
+    // but pure integer ops, where the saturating float→int `as` cast
+    // lowers to scalar `llvm.fptosi.sat` converts that de-vectorize the
+    // whole surrounding loop.
+    let n = nm.to_bits().wrapping_sub(MAGIC_BITS) as i32;
+    let scale = f32::from_bits(((n + 127) as u32) << 23);
+    e * scale
+}
+
+/// `tanh` via the exp core: `tanh(y) = 1 − 2/(exp(2y) + 1)`. The clamp in
+/// [`exp_elem`] makes the extremes exact (±1). Max absolute error ≈ 1e-7.
+#[inline(always)]
+fn tanh_elem(y: f32) -> f32 {
+    let e = exp_elem(2.0 * y);
+    1.0 - 2.0 / (e + 1.0)
+}
+
+/// In-place lane-parallel `exp` over a slice.
+///
+/// This is the **fma/quantized-class** softmax exponential for the opt-in
+/// fast encoder backends: deterministic (pure function of input bits, no
+/// reductions) but *not* bit-identical to libm `f32::exp`, so the
+/// paper-faithful graph path must never call it. ~8x faster than the libm
+/// loop because the polynomial vectorizes.
+#[inline(never)]
+pub fn exp_lanes(xs: &mut [f32]) {
+    for v in xs.iter_mut() {
+        *v = exp_elem(*v);
+    }
+}
+
+/// Fused row softmax over an `[rows][stride]` matrix with active width
+/// `n`: per row — max, `exp(x − max)` through the polynomial core, a
+/// deterministic lane sum, then normalize. One outlined call per matrix
+/// instead of per row, which matters when rows are attention-score width
+/// (a vector and a half). Each row is the contiguous `n`-wide prefix of
+/// its stride slot; pad entries beyond `n` are never read or written.
+/// (A fixed-padded-width variant that processed whole stride slots was
+/// tried and lost ~2x: the pad lanes are pure extra exp work, and the
+/// const-width max reduction scalarized under SLP.) Same class /
+/// determinism contract as [`exp_lanes`]: opt-in fast backends only.
+#[inline(never)]
+pub fn softmax_rows(x: &mut [f32], rows: usize, n: usize, stride: usize) {
+    debug_assert!(n <= stride && n > 0);
+    debug_assert!(x.len() >= rows * stride + n - stride || rows == 0);
+    for r in 0..rows {
+        let row = &mut x[r * stride..r * stride + n];
+        let mx = reduce_max(row);
+        for v in row.iter_mut() {
+            *v = exp_elem(*v - mx);
+        }
+        let inv = 1.0 / reduce_sum_lanes(row);
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// In-place lane-parallel tanh-form GELU (same constants as the graph
+/// path's scalar gelu) over a slice. Same class/determinism contract as
+/// [`exp_lanes`]: deterministic everywhere, ≈1e-7 absolute error vs the
+/// libm-backed scalar, opt-in backends only.
+#[inline(never)]
+pub fn gelu_lanes(xs: &mut [f32]) {
+    const C: f32 = 0.797_884_6; // sqrt(2/π)
+    for v in xs.iter_mut() {
+        let x = *v;
+        let y = C * (x + 0.044_715 * x * x * x);
+        *v = 0.5 * x * (1.0 + tanh_elem(y));
+    }
+}
+
+/// Out-of-place transpose with an 8×8 fully-unrolled micro-tile inside the
+/// 32×32 cache tile, giving LLVM straight-line chunked loads/stores to
+/// shuffle-vectorize. Pure data movement — bit-identical to
+/// [`transpose_blocked`] (there is only one correct answer), so it is a
+/// drop-in performance variant, not a new rounding class.
+pub fn transpose_simd(a: &[f32], out: &mut [f32], m: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(out.len(), m * n);
+    const TILE: usize = 32;
+    const MICRO: usize = 8;
+    let m_main = m - m % MICRO;
+    let n_main = n - n % MICRO;
+    let mut i0 = 0;
+    while i0 < m_main {
+        let ih = TILE.min(m_main - i0);
+        let mut j0 = 0;
+        while j0 < n_main {
+            let jw = TILE.min(n_main - j0);
+            let mut i = i0;
+            while i < i0 + ih {
+                let mut j = j0;
+                while j < j0 + jw {
+                    // 8×8 micro-transpose: read eight row chunks, write
+                    // eight column chunks.
+                    let mut stage = [[0.0f32; MICRO]; MICRO];
+                    for (r, row) in stage.iter_mut().enumerate() {
+                        let base = (i + r) * n + j;
+                        row.copy_from_slice(&a[base..base + MICRO]);
+                    }
+                    for c in 0..MICRO {
+                        let base = (j + c) * m + i;
+                        let dst = &mut out[base..base + MICRO];
+                        for (r, d) in dst.iter_mut().enumerate() {
+                            *d = stage[r][c];
+                        }
+                    }
+                    j += MICRO;
+                }
+                i += MICRO;
+            }
+            j0 += jw;
+        }
+        i0 += ih;
+    }
+    // Row and column remainders: scalar.
+    for i in 0..m_main {
+        for j in n_main..n {
+            out[j * m + i] = a[i * n + j];
+        }
+    }
+    for i in m_main..m {
+        for j in 0..n {
+            out[j * m + i] = a[i * n + j];
+        }
+    }
+}
+
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     /// Deterministic xorshift values in [-1, 1) — keeps this module's tests
@@ -346,6 +1259,146 @@ mod tests {
         }
     }
 
+    fn check_fma_shape(m: usize, k: usize, n: usize, seed: u64) {
+        let a = pseudo_data(m * k, seed);
+        let b = pseudo_data(k * n, seed ^ 0x5a5a);
+        let mut want = vec![0.0; m * n];
+        matmul_naive_fma(&a, &b, &mut want, m, k, n);
+        let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+        let mut simd = vec![f32::NAN; m * n];
+        matmul_simd(&a, &b, &mut simd, m, k, n);
+        assert_eq!(
+            want_bits,
+            simd.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "simd != naive-fma at {m}x{k}x{n}"
+        );
+        for threads in [2, 3, 5] {
+            let mut mt = vec![f32::NAN; m * n];
+            matmul_simd_mt_unclamped(&a, &b, &mut mt, m, k, n, threads);
+            assert_eq!(
+                want_bits,
+                mt.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "simd-mt({threads}) != naive-fma at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn simd_matches_fma_reference_bitwise_across_shapes() {
+        // Both tiles (narrow n ≤ 64, wide n > 64), remainders on every
+        // dimension, k-block boundaries, and degenerate edges.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (1, 7, 1),
+            (5, 1, 9),
+            (3, 5, 7),
+            (13, 17, 11),
+            (48, 48, 48),
+            (48, 48, 96),
+            (7, 300, 65),
+            (33, 257, 31),
+            (65, 64, 63),
+            (97, 256, 130),
+        ] {
+            check_fma_shape(m, k, n, (m * 13 + k * 5 + n) as u64);
+        }
+    }
+
+    #[test]
+    fn zero_size_dims_are_handled_by_every_variant() {
+        for &(m, k, n) in &[(0, 4, 4), (4, 0, 4), (4, 4, 0), (0, 0, 0), (3, 0, 0)] {
+            let a = pseudo_data(m * k, 1);
+            let b = pseudo_data(k * n, 2);
+            let mut want = vec![f32::NAN; m * n];
+            matmul_naive(&a, &b, &mut want, m, k, n);
+            for variant in [
+                KernelVariant::Blocked,
+                KernelVariant::BlockedMt,
+                KernelVariant::NaiveFma,
+                KernelVariant::Simd,
+                KernelVariant::SimdMt,
+            ] {
+                let mut got = vec![f32::NAN; m * n];
+                variant.run(&a, &b, &mut got, m, k, n, 4);
+                // With a zero-size k, every class agrees: all zeros.
+                assert_eq!(want, got, "{} at {m}x{k}x{n}", variant.name());
+            }
+        }
+    }
+
+    #[test]
+    fn variant_selection_and_names() {
+        assert_eq!(KernelVariant::select(RoundingClass::Exact, 8, 8, 8, 4), KernelVariant::Blocked);
+        assert_eq!(KernelVariant::select(RoundingClass::Fma, 8, 8, 8, 1), KernelVariant::Simd);
+        let big = KernelVariant::select(RoundingClass::Exact, 512, 512, 512, 4);
+        // On a single-core host the parallel label is never selected.
+        if host_parallelism() > 1 {
+            assert_eq!(big, KernelVariant::BlockedMt);
+        } else {
+            assert_eq!(big, KernelVariant::Blocked);
+        }
+        assert_eq!(KernelVariant::Simd.class(), RoundingClass::Fma);
+        assert_eq!(KernelVariant::BlockedMt.class(), RoundingClass::Exact);
+        assert_eq!(KernelVariant::SimdMt.name(), "simd-mt");
+    }
+
+    #[test]
+    fn lane_reductions_match_references() {
+        for len in [0usize, 1, 3, 8, 9, 17, 64, 100] {
+            let x = pseudo_data(len, len as u64 + 1);
+            let y = pseudo_data(len, len as u64 + 2);
+            let seq_sum: f32 = x.iter().sum();
+            assert!((reduce_sum_lanes(&x) - seq_sum).abs() <= 1e-4 * (1.0 + seq_sum.abs()));
+            let seq_dot: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            assert!((dot_lanes(&x, &y) - seq_dot).abs() <= 1e-4 * (1.0 + seq_dot.abs()));
+            if len > 0 {
+                let seq_max = x.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+                assert_eq!(reduce_max(&x).to_bits(), seq_max.to_bits());
+            }
+        }
+        let mut acc = vec![1.0f32; 11];
+        let x = pseudo_data(11, 9);
+        axpy(&mut acc, &x, 0.5);
+        for (o, &v) in acc.iter().zip(&x) {
+            assert_eq!(o.to_bits(), 0.5f32.mul_add(v, 1.0).to_bits());
+        }
+    }
+
+    #[test]
+    fn transpose_simd_is_bit_identical_to_blocked() {
+        for &(m, n) in &[(1, 1), (3, 5), (8, 8), (32, 32), (33, 65), (100, 7), (40, 48)] {
+            let a = pseudo_data(m * n, (m * 3 + n) as u64);
+            let mut want = vec![0.0; m * n];
+            transpose_blocked(&a, &mut want, m, n);
+            let mut got = vec![f32::NAN; m * n];
+            transpose_simd(&a, &mut got, m, n);
+            assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "transpose_simd != transpose_blocked at {m}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn mt_unclamped_shares_packed_panels_correctly() {
+        // Shapes straddling KC and NR boundaries, forced through the
+        // scoped-thread path regardless of host cores.
+        for &(m, k, n, threads) in &[(37, 256, 128, 3), (12, 300, 17, 5), (64, 513, 40, 2)] {
+            let a = pseudo_data(m * k, 11);
+            let b = pseudo_data(k * n, 12);
+            let mut want = vec![0.0; m * n];
+            matmul_naive(&a, &b, &mut want, m, k, n);
+            let mut got = vec![f32::NAN; m * n];
+            matmul_mt_unclamped(&a, &b, &mut got, m, k, n, threads);
+            assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "mt_unclamped({threads}) != naive at {m}x{k}x{n}"
+            );
+        }
+    }
+
     #[test]
     fn transpose_blocked_round_trips() {
         for &(m, n) in &[(1, 1), (3, 5), (32, 32), (33, 65), (100, 7)] {
@@ -360,6 +1413,137 @@ mod tests {
             let mut back = vec![0.0; m * n];
             transpose_blocked(&t, &mut back, n, m);
             assert_eq!(back, a);
+        }
+    }
+
+    #[test]
+    fn packed_gemm_matches_matmul_simd_bitwise() {
+        // Narrow and wide tile selection, remainders, repeated reuse.
+        for &(m, k, n) in &[(1, 1, 1), (7, 13, 9), (24, 48, 48), (24, 96, 48), (5, 40, 130)] {
+            let a = pseudo_data(m * k, 7 + n as u64);
+            let b = pseudo_data(k * n, 9 + m as u64);
+            let mut want = vec![0.0; m * n];
+            matmul_simd(&a, &b, &mut want, m, k, n);
+            let pg = PackedGemm::pack(&b, k, n);
+            assert_eq!((pg.k(), pg.n()), (k, n));
+            let mut got = vec![0.0; m * n];
+            for _ in 0..2 {
+                pg.run(&a, &mut got, m);
+                assert!(
+                    want.iter().zip(&got).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "PackedGemm != matmul_simd at {m}x{k}x{n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kouter_matches_naive_fma_bitwise() {
+        // Head-sized attention shapes plus edges: the k-outer walk must
+        // reproduce the scalar-fma chain exactly.
+        for &(m, k, n) in &[(1, 1, 1), (24, 12, 24), (24, 24, 12), (7, 5, 3), (3, 64, 48)] {
+            let a = pseudo_data(m * k, 17 + k as u64);
+            let b = pseudo_data(k * n, 19 + n as u64);
+            let mut want = vec![0.0; m * n];
+            matmul_naive_fma(&a, &b, &mut want, m, k, n);
+            let mut got = vec![0.0; m * n];
+            matmul_kouter(&a, &b, &mut got, m, k, n);
+            assert!(
+                want.iter().zip(&got).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "kouter != naive_fma at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn kouter_padded_matches_naive_fma_on_logical_lanes() {
+        // Register-tile tiers (np ≤ 64) and the wide fallback (np = n) must
+        // both reproduce the scalar-fma chain on every logical lane.
+        for &(m, k, n) in &[(24, 12, 24), (24, 24, 12), (5, 7, 48), (1, 3, 50), (4, 9, 80)] {
+            let np = kouter_pad(n);
+            let a = pseudo_data(m * k, 29 + n as u64);
+            let b = pseudo_data(k * n, 31 + k as u64);
+            // Pad B rows to np with zeros.
+            let mut bp = vec![0.0f32; k * np];
+            for p in 0..k {
+                bp[p * np..p * np + n].copy_from_slice(&b[p * n..(p + 1) * n]);
+            }
+            let mut want = vec![0.0; m * n];
+            matmul_naive_fma(&a, &b, &mut want, m, k, n);
+            let mut got = vec![0.0; m * np];
+            matmul_kouter_padded(&a, k, &bp, &mut got, m, k, np);
+            for r in 0..m {
+                for c in 0..n {
+                    assert_eq!(
+                        want[r * n + c].to_bits(),
+                        got[r * np + c].to_bits(),
+                        "kouter_padded != naive_fma at {m}x{k}x{n} [{r},{c}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_rows_normalizes_and_is_deterministic() {
+        let rows = 9;
+        let (n, stride) = (24, 32);
+        let mut x = pseudo_data(rows * stride, 37);
+        for v in x.iter_mut() {
+            *v *= 4.0;
+        }
+        let orig = x.clone();
+        let mut second = x.clone();
+        softmax_rows(&mut x, rows, n, stride);
+        softmax_rows(&mut second, rows, n, stride);
+        for r in 0..rows {
+            let row = &x[r * stride..r * stride + n];
+            // Deterministic, matches the libm reference closely, sums to 1.
+            let mx = orig[r * stride..r * stride + n].iter().cloned().fold(f32::MIN, f32::max);
+            for (c, &g) in row.iter().enumerate() {
+                assert_eq!(g.to_bits(), second[r * stride + c].to_bits());
+                let want_num = (orig[r * stride + c] - mx).exp();
+                let want_den: f32 =
+                    orig[r * stride..r * stride + n].iter().map(|&v| (v - mx).exp()).sum();
+                let want = want_num / want_den;
+                assert!((g - want).abs() < 1e-5, "softmax[{r},{c}] = {g}, want {want}");
+            }
+            // Pad lanes beyond the active width are never touched.
+            for c in n..stride {
+                assert_eq!(x[r * stride + c].to_bits(), orig[r * stride + c].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn exp_lanes_tracks_libm_closely_and_is_deterministic() {
+        let mut xs: Vec<f32> = (-2000..2000).map(|i| i as f32 * 0.05).collect();
+        xs.extend([0.0, -0.0, 1e-20, -1e-20, 87.9, -90.0, 200.0, -200.0]);
+        let mut got = xs.clone();
+        exp_lanes(&mut got);
+        let mut got2 = xs.clone();
+        exp_lanes(&mut got2);
+        for ((&x, &g), &g2) in xs.iter().zip(&got).zip(&got2) {
+            assert_eq!(g.to_bits(), g2.to_bits(), "exp_lanes nondeterministic at {x}");
+            let want = x.clamp(EXP_MIN_IN, EXP_MAX_IN).exp();
+            let tol = want * 1e-6 + f32::MIN_POSITIVE;
+            assert!((g - want).abs() <= tol, "exp_lanes({x}) = {g}, libm {want}");
+        }
+    }
+
+    #[test]
+    fn gelu_lanes_tracks_the_scalar_gelu() {
+        let mut xs: Vec<f32> = (-800..800).map(|i| i as f32 * 0.01).collect();
+        xs.extend([0.0, -0.0, 30.0, -30.0]);
+        let got = {
+            let mut v = xs.clone();
+            gelu_lanes(&mut v);
+            v
+        };
+        const C: f32 = 0.797_884_6;
+        for (&x, &g) in xs.iter().zip(&got) {
+            let want = 0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh());
+            assert!((g - want).abs() <= 2e-6 * want.abs().max(1.0), "gelu({x}) = {g}, want {want}");
         }
     }
 }

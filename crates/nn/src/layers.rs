@@ -39,6 +39,16 @@ impl Linear {
         let xw = g.matmul(x, w);
         g.add_row(xw, b)
     }
+
+    /// The weight parameter id (for graph-free plan compilation).
+    pub(crate) fn weight_id(&self) -> ParamId {
+        self.w
+    }
+
+    /// The bias parameter id.
+    pub(crate) fn bias_id(&self) -> ParamId {
+        self.b
+    }
 }
 
 /// Learned layer normalization (`γ`, `β` of width `d`).
@@ -61,6 +71,16 @@ impl LayerNorm {
         let gamma = g.param(store, self.gamma);
         let beta = g.param(store, self.beta);
         g.layer_norm(x, gamma, beta)
+    }
+
+    /// The γ parameter id (for graph-free plan compilation).
+    pub(crate) fn gamma_id(&self) -> ParamId {
+        self.gamma
+    }
+
+    /// The β parameter id.
+    pub(crate) fn beta_id(&self) -> ParamId {
+        self.beta
     }
 }
 
@@ -91,6 +111,11 @@ impl Embedding {
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, indices: &[usize]) -> NodeId {
         let t = g.param(store, self.table);
         g.gather(t, indices)
+    }
+
+    /// The table parameter id (for graph-free plan compilation).
+    pub(crate) fn table_id(&self) -> ParamId {
+        self.table
     }
 }
 

@@ -31,23 +31,32 @@
 //!   bitwise-identical to the serial path at every thread count; graphs
 //!   support arena reuse ([`graph::Graph::reset`]) and a forward-only
 //!   inference mode for the featurizer hot path.
+//! * The *frozen* encoder additionally compiles into a graph-free
+//!   [`fast::FastEncoder`] plan (SIMD f32, one-shot-calibrated int8, or
+//!   f16 storage — see [`quant`]); the paper-faithful f32 graph path stays
+//!   the default and keeps its exact rounding class.
 
 #![forbid(unsafe_code)]
 
 pub mod bert;
 pub mod bpe;
+pub mod fast;
 pub mod graph;
 pub mod kernels;
 pub mod layers;
 pub mod mlm;
 pub mod optim;
 pub mod params;
+pub mod quant;
 pub mod tensor;
 
 pub use bert::{BertConfig, BertEncoder, PairClassifier};
 pub use bpe::{BpeVocab, SpecialToken};
+pub use fast::{FastBackend, FastEncoder};
 pub use graph::{Graph, NodeId};
+pub use kernels::{KernelVariant, RoundingClass};
 pub use mlm::{MlmConfig, MlmTrainer};
 pub use optim::{Adam, AdamConfig};
 pub use params::{ParamId, ParamStore};
+pub use quant::{F16Linear, QuantLinear, QuantScratch};
 pub use tensor::Tensor;

@@ -1,0 +1,588 @@
+//! Post-training quantization for the **frozen** encoder.
+//!
+//! The encoder never changes after pre-training (stage 3 label updates
+//! retrain only the head — see `lsm-core`'s featurizer), which makes
+//! one-shot post-training quantization safe by construction: calibrate
+//! once over the pre-training corpus, quantize once, serve forever.
+//!
+//! Two storage formats are provided:
+//!
+//! * **int8** ([`QuantLinear`]) — weights are quantized symmetrically
+//!   *per output row* (`w_scale[j] = absmax(row j) / 127`), activations
+//!   with a single *static per-site* scale recorded during calibration
+//!   (`act_scale = absmax(site) / 127`). The GEMM accumulates exact `i32`
+//!   products and a dequant epilogue rescales into f32 and adds the f32
+//!   bias. Because integer accumulation is associative, the int8 path is
+//!   bitwise-identical across runs and thread counts by construction; the
+//!   only rounding happens in the (deterministic, data-independent-order)
+//!   epilogue.
+//! * **f16 storage** ([`F16Linear`], [`f32_to_f16_bits`]) — IEEE 754
+//!   binary16 with round-to-nearest-even, halving the frozen encoder's
+//!   memory footprint. Compute stays f32: weights are decoded into a
+//!   scratch panel and fed to the SIMD GEMM, so the only error is the
+//!   one-time storage rounding of the weights.
+//!
+//! Neither format touches the paper-faithful f32 path: both are opt-in
+//! backends selected through `lsm-nn`'s [`crate::fast::FastEncoder`].
+
+use crate::kernels;
+
+// ---------------------------------------------------------------------------
+// IEEE 754 binary16 (f16) storage conversion.
+// ---------------------------------------------------------------------------
+
+/// Converts an `f32` to IEEE 754 binary16 bits with round-to-nearest-even.
+/// Overflow saturates to ±inf; subnormals and zeroes round like any other
+/// value. Deterministic bit-exact function of the input bits.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN: keep the class, quiet the payload.
+        return sign | 0x7c00 | if mant != 0 { 0x0200 } else { 0 };
+    }
+    // Unbiased exponent, rebased to f16's bias of 15.
+    let e16 = exp - 127 + 15;
+    if e16 >= 0x1f {
+        return sign | 0x7c00; // overflow → ±inf
+    }
+    if e16 <= 0 {
+        // Subnormal (or zero) in f16: shift the implicit-1 mantissa right.
+        if e16 < -10 {
+            return sign; // underflow → ±0
+        }
+        let m = mant | 0x0080_0000; // implicit leading 1
+        let shift = (14 - e16) as u32;
+        let half = m >> shift;
+        let rem = m & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let rounded = match rem.cmp(&halfway) {
+            std::cmp::Ordering::Greater => half + 1,
+            std::cmp::Ordering::Equal => half + (half & 1), // ties to even
+            std::cmp::Ordering::Less => half,
+        };
+        return sign | rounded as u16;
+    }
+    // Normal: round the 23-bit mantissa to 10 bits (ties to even).
+    let half = mant >> 13;
+    let rem = mant & 0x1fff;
+    let rounded = match rem.cmp(&0x1000) {
+        std::cmp::Ordering::Greater => half + 1,
+        std::cmp::Ordering::Equal => half + (half & 1),
+        std::cmp::Ordering::Less => half,
+    };
+    // A mantissa carry bumps the exponent; e16 == 0x1e + carry → inf is
+    // handled naturally because the packed add overflows into the exponent.
+    sign | (((e16 as u32) << 10) + rounded) as u16
+}
+
+/// Converts IEEE 754 binary16 bits back to `f32` (exact — every f16 value
+/// is representable in f32).
+pub fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = ((bits >> 10) & 0x1f) as u32;
+    let mant = (bits & 0x03ff) as u32;
+    let out = if exp == 0x1f {
+        sign | 0x7f80_0000 | (mant << 13) // inf / NaN
+    } else if exp == 0 {
+        if mant == 0 {
+            sign // ±0
+        } else {
+            // Subnormal (value = mant · 2⁻²⁴): normalize. With the top
+            // set bit at position p, shift = 10 - p, the biased f32
+            // exponent is 127 + (p - 24) = 113 - shift, and
+            // `mant << shift` puts the fraction bits in a 10-bit field.
+            let shift = mant.leading_zeros() - 21;
+            let m = (mant << shift) & 0x03ff;
+            let e = 113 - shift;
+            sign | (e << 23) | (m << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(out)
+}
+
+/// Encodes a whole slice to f16 bits.
+pub fn encode_f16(src: &[f32]) -> Vec<u16> {
+    src.iter().map(|&v| f32_to_f16_bits(v)).collect()
+}
+
+/// Decodes f16 bits into a caller-provided f32 buffer.
+pub fn decode_f16(src: &[u16], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = f16_bits_to_f32(s);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Symmetric int8 quantization.
+// ---------------------------------------------------------------------------
+
+/// The symmetric quantization range: values map to `[-127, 127]` (the
+/// `-128` code is unused so negation stays closed).
+pub const QMAX: f32 = 127.0;
+
+/// The magic constant for round-to-nearest-even extraction: adding
+/// `1.5·2²³` to any value in `[-2²², 2²²)` forces the float's exponent so
+/// its rounded integer part lands in the low mantissa bits, two's
+/// complement, biased by exactly `MAGIC.to_bits()`.
+const MAGIC: f32 = 12_582_912.0; // 1.5 · 2²³
+const MAGIC_BITS: u32 = 0x4B40_0000;
+const _: () = assert!(MAGIC.to_bits() == MAGIC_BITS);
+
+/// Rounds a clamped value to its nearest integer (ties to even) by
+/// magic-add and reads the result straight out of the mantissa bits.
+/// Bit-identical to `((c + MAGIC) - MAGIC) as i32` but compiles to pure
+/// integer ops — Rust's saturating float→int `as` cast lowers to
+/// `llvm.fptosi.sat`, which blocks vectorization of quantize loops.
+#[inline]
+fn round_even_i32(c: f32) -> i32 {
+    (c + MAGIC).to_bits().wrapping_sub(MAGIC_BITS) as i32
+}
+
+/// Quantizes one value with a precomputed reciprocal scale. Rounds to
+/// nearest (ties to even) via the `1.5·2²³` magic-add trick: after the
+/// clamp the value sits in `[-127, 127]`, far below the `2²²` threshold
+/// where the trick is exact, and unlike `f32::round` the whole chain
+/// vectorizes. Deterministic pure function of the input bits.
+#[inline]
+pub fn quantize_symmetric(x: f32, inv_scale: f32) -> i8 {
+    let c = (x * inv_scale).clamp(-QMAX, QMAX);
+    round_even_i32(c) as i8
+}
+
+/// The largest magnitude in a slice (0.0 for an empty slice).
+pub fn absmax(x: &[f32]) -> f32 {
+    let mut m = 0.0f32;
+    for &v in x {
+        m = m.max(v.abs());
+    }
+    m
+}
+
+/// Quantized micro-tile height (activation rows per tile).
+const QMR: usize = 4;
+/// Quantized micro-tile width (output columns per strip — matches the
+/// narrow f32 tile so d=48 widths take one strip).
+const QNR: usize = 48;
+
+/// The integer GEMM micro-tile: `QMR` packed activation rows against one
+/// `QNR`-wide packed weight strip, accumulating exact `i32` products.
+/// Operands hold int8-quantized values widened to `i16` storage so the
+/// inner loop is a stride-1 widen/multiply/add chain LLVM vectorizes at
+/// full width (a safe-Rust `i8×i8` MAC does not autovectorize — see
+/// `docs/kernels.md`). Same codegen contract as the f32 `fma_micro`:
+/// `#[inline(never)]`, exact-size chunk slices, by-value accumulator.
+/// Integer adds are associative, so any vectorization factor produces the
+/// same bits.
+#[inline(never)]
+fn qmicro(av: &[[i16; QMR]], bv: &[[i16; QNR]], mut acc: [[i32; QNR]; QMR]) -> [[i32; QNR]; QMR] {
+    debug_assert_eq!(av.len(), bv.len());
+    for (a, b) in av.iter().zip(bv) {
+        for r in 0..QMR {
+            let ar = a[r] as i32;
+            for c in 0..QNR {
+                acc[r][c] += ar * b[c] as i32;
+            }
+        }
+    }
+    acc
+}
+
+/// An affine layer (`y = x·W + b`) with int8-quantized weights and
+/// activations.
+///
+/// Weights are quantized per output row (`w_scale[j] = absmax(col j)/127`)
+/// and held twice: the canonical `[out][in]` `i8` array (`wt`, 1 B/weight
+/// — the serializable storage form) and a pre-packed `i16` strip layout
+/// (`wp`) the integer micro-tile streams at full SIMD width. Activations
+/// use one static calibrated scale. Bias stays f32 and is added in the
+/// dequant epilogue.
+#[derive(Debug, Clone)]
+pub struct QuantLinear {
+    /// Transposed quantized weights, `[out][in]` row-major (canonical).
+    wt: Vec<i8>,
+    /// Pre-packed compute copy: `[strip][kk][QNR]` `i16` strips,
+    /// zero-padded on the right edge (packed once at quantize time, the
+    /// GEMM-side analogue of `kernels::PackedGemm`).
+    wp: Vec<i16>,
+    /// Per-output-row dequantization scales (`absmax(row)/127`).
+    w_scale: Vec<f32>,
+    /// f32 bias, length `out_dim`.
+    bias: Vec<f32>,
+    /// Static input-activation scale from one-shot calibration.
+    act_scale: f32,
+    /// Input width.
+    pub in_dim: usize,
+    /// Output width.
+    pub out_dim: usize,
+}
+
+impl QuantLinear {
+    /// Quantizes an f32 layer. `w` is `[in][out]` row-major (the layout
+    /// [`crate::layers::Linear`] trains in); `act_absmax` is the largest
+    /// activation magnitude this layer's input site saw during
+    /// calibration.
+    pub fn quantize(
+        w: &[f32],
+        bias: &[f32],
+        in_dim: usize,
+        out_dim: usize,
+        act_absmax: f32,
+    ) -> Self {
+        assert_eq!(w.len(), in_dim * out_dim, "weight shape mismatch");
+        assert_eq!(bias.len(), out_dim, "bias shape mismatch");
+        // Transpose to [out][in] and scale each output row independently.
+        let mut wt = vec![0i8; in_dim * out_dim];
+        let mut w_scale = vec![0.0f32; out_dim];
+        for j in 0..out_dim {
+            let mut m = 0.0f32;
+            for i in 0..in_dim {
+                m = m.max(w[i * out_dim + j].abs());
+            }
+            let scale = m / QMAX;
+            w_scale[j] = scale;
+            let inv = if scale > 0.0 { 1.0 / scale } else { 0.0 };
+            for i in 0..in_dim {
+                wt[j * in_dim + i] = quantize_symmetric(w[i * out_dim + j], inv);
+            }
+        }
+        // Pre-pack the compute strips: wp[s][kk][c] = wt[(s·QNR+c)][kk],
+        // zero-padded where the last strip extends past out_dim.
+        let strips = out_dim.div_ceil(QNR);
+        let mut wp = vec![0i16; strips * in_dim * QNR];
+        for s in 0..strips {
+            let j0 = s * QNR;
+            let width = QNR.min(out_dim - j0);
+            for kk in 0..in_dim {
+                let dst = s * in_dim * QNR + kk * QNR;
+                for c in 0..width {
+                    wp[dst + c] = wt[(j0 + c) * in_dim + kk] as i16;
+                }
+            }
+        }
+        let act_scale = act_absmax / QMAX;
+        QuantLinear { wt, wp, w_scale, bias: bias.to_vec(), act_scale, in_dim, out_dim }
+    }
+
+    /// The calibrated static activation scale (diagnostics).
+    pub fn act_scale(&self) -> f32 {
+        self.act_scale
+    }
+
+    /// Canonical quantized weights, `[out][in]` row-major `i8` (the
+    /// serializable storage form; the compute path reads the packed copy).
+    pub fn weights_i8(&self) -> &[i8] {
+        &self.wt
+    }
+
+    /// Quantizes `rows` rows of `x` with this layer's calibrated activation
+    /// scale and packs them into the `[rstrip][kk][QMR]` layout
+    /// [`Self::forward_acts`] streams. Two phases: a contiguous rounding
+    /// loop (stride-1 integer extraction, so it vectorizes) into `s.rowq` —
+    /// zero-padded to whole `QMR`-row strips — then a bounds-check-free
+    /// 4-way-zip interleave into `s.packed`. Layers that share an input
+    /// site — the Q/K/V projections calibrate against the same absmax,
+    /// hence carry the same scale — can quantize once and feed the same
+    /// scratch to all three [`Self::forward_acts`] calls.
+    pub fn quantize_acts(&self, x: &[f32], rows: usize, s: &mut QuantScratch) {
+        debug_assert_eq!(x.len(), rows * self.in_dim);
+        let ind = self.in_dim;
+        let inv_act = if self.act_scale > 0.0 { 1.0 / self.act_scale } else { 0.0 };
+        let rstrips = rows.div_ceil(QMR);
+        s.rowq.clear();
+        s.rowq.resize(rstrips * QMR * ind, 0);
+        // `x` is shorter than the padded scratch when `rows % QMR != 0`;
+        // `zip` stops at the real rows and the pad rows stay zero.
+        for (qv, &v) in s.rowq.iter_mut().zip(x) {
+            let c = (v * inv_act).clamp(-QMAX, QMAX);
+            *qv = round_even_i32(c) as i16;
+        }
+        s.packed.clear();
+        s.packed.resize(rstrips * ind * QMR, 0);
+        const { assert!(QMR == 4, "the interleave below zips exactly four rows") };
+        for (strip, rows4) in
+            s.packed.chunks_exact_mut(ind * QMR).zip(s.rowq.chunks_exact(ind * QMR))
+        {
+            let (cells, _) = strip.as_chunks_mut::<QMR>();
+            let (r0, rest) = rows4.split_at(ind);
+            let (r1, rest) = rest.split_at(ind);
+            let (r2, r3) = rest.split_at(ind);
+            for ((((cell, &a0), &a1), &a2), &a3) in cells.iter_mut().zip(r0).zip(r1).zip(r2).zip(r3)
+            {
+                *cell = [a0, a1, a2, a3];
+            }
+        }
+    }
+
+    /// The integer GEMM + dequant epilogue over activations already
+    /// quantized and packed by [`Self::quantize_acts`] — either by this
+    /// layer or by a sibling with the identical activation scale.
+    ///
+    /// Each `i32` accumulator sums `in_dim` products bounded by 127², so
+    /// the exact-integer guarantee holds for any `in_dim` below ~1.3e5 —
+    /// far above any encoder width this crate builds.
+    pub fn forward_acts(&self, s: &QuantScratch, out: &mut [f32], rows: usize) {
+        debug_assert_eq!(out.len(), rows * self.out_dim);
+        debug_assert!(s.packed.len() >= rows.div_ceil(QMR) * self.in_dim * QMR);
+        let (ind, outd) = (self.in_dim, self.out_dim);
+        let strips = outd.div_ceil(QNR);
+        for rs in 0..rows.div_ceil(QMR) {
+            let r0 = rs * QMR;
+            let h = QMR.min(rows - r0);
+            let (av, _) = s.packed[rs * ind * QMR..(rs + 1) * ind * QMR].as_chunks::<QMR>();
+            for st in 0..strips {
+                let j0 = st * QNR;
+                let width = QNR.min(outd - j0);
+                let (bv, _) = self.wp[st * ind * QNR..(st + 1) * ind * QNR].as_chunks::<QNR>();
+                let acc = qmicro(av, bv, [[0i32; QNR]; QMR]);
+                for (r, arow) in acc.iter().enumerate().take(h) {
+                    let or = &mut out[(r0 + r) * outd + j0..(r0 + r) * outd + j0 + width];
+                    for (t, (o, &a)) in or.iter_mut().zip(&arow[..width]).enumerate() {
+                        // lsm-lint: allow(R6-float-determinism, int8 dequant epilogue: the i32 accumulator is exact and the static scales make this a deterministic opt-in rounding class, not an order-sensitive float reduction)
+                        *o = a as f32 * (self.act_scale * self.w_scale[j0 + t]) + self.bias[j0 + t];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Quantized forward: `out[r] = dequant(q(x[r]) · Wᵀ) + b` for each of
+    /// `rows` input rows. `s` is caller-provided scratch (resized as
+    /// needed) so steady-state forwards do not allocate.
+    pub fn forward(&self, x: &[f32], out: &mut [f32], rows: usize, s: &mut QuantScratch) {
+        self.quantize_acts(x, rows, s);
+        self.forward_acts(s, out, rows);
+    }
+}
+
+/// Reusable scratch for [`QuantLinear`] forwards: the row-major quantized
+/// activations and the k-major packed tile strips the micro-kernel streams.
+#[derive(Debug, Clone, Default)]
+pub struct QuantScratch {
+    rowq: Vec<i16>,
+    packed: Vec<i16>,
+}
+
+/// An affine layer with f16-storage weights: decoded to f32 on the fly
+/// and fed to the SIMD GEMM, so compute rounding matches the fma class
+/// exactly and the only extra error is the one-time weight storage
+/// rounding.
+#[derive(Debug, Clone)]
+pub struct F16Linear {
+    /// f16-encoded weights, `[in][out]` row-major (the GEMM's B layout).
+    w: Vec<u16>,
+    /// f32 bias, length `out_dim`.
+    bias: Vec<f32>,
+    /// Input width.
+    pub in_dim: usize,
+    /// Output width.
+    pub out_dim: usize,
+}
+
+impl F16Linear {
+    /// Encodes an f32 layer (`w` is `[in][out]` row-major).
+    pub fn encode(w: &[f32], bias: &[f32], in_dim: usize, out_dim: usize) -> Self {
+        assert_eq!(w.len(), in_dim * out_dim, "weight shape mismatch");
+        assert_eq!(bias.len(), out_dim, "bias shape mismatch");
+        F16Linear { w: encode_f16(w), bias: bias.to_vec(), in_dim, out_dim }
+    }
+
+    /// Forward through the SIMD GEMM. `wbuf` is scratch for the decoded
+    /// weight panel (resized as needed).
+    pub fn forward(&self, x: &[f32], out: &mut [f32], rows: usize, wbuf: &mut Vec<f32>) {
+        debug_assert_eq!(x.len(), rows * self.in_dim);
+        debug_assert_eq!(out.len(), rows * self.out_dim);
+        wbuf.clear();
+        wbuf.resize(self.w.len(), 0.0);
+        decode_f16(&self.w, wbuf);
+        kernels::matmul_simd(x, wbuf, out, rows, self.in_dim, self.out_dim);
+        for r in 0..rows {
+            let or = &mut out[r * self.out_dim..(r + 1) * self.out_dim];
+            for (o, &b) in or.iter_mut().zip(&self.bias) {
+                *o += b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::tests::pseudo_data;
+
+    #[test]
+    fn f16_round_trips_exact_values() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.099975586] {
+            let bits = f32_to_f16_bits(v);
+            assert_eq!(f16_bits_to_f32(bits), v, "value {v} should be f16-exact");
+        }
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(f32::INFINITY)), f32::INFINITY);
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn f16_overflow_saturates_and_subnormals_survive() {
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e6)), f32::INFINITY);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(-1e6)), f32::NEG_INFINITY);
+        // Smallest f16 subnormal is 2^-24 ≈ 5.96e-8.
+        let sub = 2.0f32.powi(-24);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(sub)), sub);
+        // Values far below the subnormal range flush to zero.
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e-10)), 0.0);
+    }
+
+    #[test]
+    fn f16_error_is_bounded_by_half_ulp() {
+        let data = pseudo_data(4096, 42);
+        for &v in &data {
+            let back = f16_bits_to_f32(f32_to_f16_bits(v));
+            // Relative error of RNE binary16 is at most 2^-11 for normals.
+            let tol = v.abs().max(2.0f32.powi(-14)) * 2.0f32.powi(-11);
+            assert!((back - v).abs() <= tol, "{v} → {back}");
+        }
+    }
+
+    #[test]
+    fn f16_rne_matches_reference_on_all_u16_patterns() {
+        // Round-trip every f16 bit pattern: decode is exact, so encoding
+        // the decoded value must reproduce the original bits (modulo the
+        // canonical quiet-NaN payload).
+        for bits in 0..=u16::MAX {
+            let v = f16_bits_to_f32(bits);
+            if v.is_nan() {
+                assert!(f16_bits_to_f32(f32_to_f16_bits(v)).is_nan());
+                continue;
+            }
+            let back = f32_to_f16_bits(v);
+            assert_eq!(back, bits, "f16 bits {bits:#06x} → {v} → {back:#06x}");
+        }
+    }
+
+    #[test]
+    fn quantize_symmetric_is_clamped_and_deterministic() {
+        assert_eq!(quantize_symmetric(0.0, 1.0), 0);
+        assert_eq!(quantize_symmetric(1000.0, 1.0), 127);
+        assert_eq!(quantize_symmetric(-1000.0, 1.0), -127);
+        // Ties round to even (the magic-add rounding class).
+        assert_eq!(quantize_symmetric(0.5, 1.0), 0);
+        assert_eq!(quantize_symmetric(-0.5, 1.0), 0);
+        assert_eq!(quantize_symmetric(1.5, 1.0), 2);
+        assert_eq!(quantize_symmetric(2.5, 1.0), 2);
+        assert_eq!(quantize_symmetric(0.7, 1.0), 1);
+        assert_eq!(quantize_symmetric(-1.7, 1.0), -2);
+    }
+
+    /// Reference scalar implementation of the quantized forward, computed
+    /// in the mathematically obvious order.
+    fn quant_forward_reference(q: &QuantLinear, x: &[f32], rows: usize) -> Vec<f32> {
+        let inv_act = if q.act_scale > 0.0 { 1.0 / q.act_scale } else { 0.0 };
+        let mut out = vec![0.0f32; rows * q.out_dim];
+        for r in 0..rows {
+            let xr = &x[r * q.in_dim..(r + 1) * q.in_dim];
+            let qx: Vec<i8> = xr.iter().map(|&v| quantize_symmetric(v, inv_act)).collect();
+            for j in 0..q.out_dim {
+                let mut acc = 0i32;
+                for i in 0..q.in_dim {
+                    acc += qx[i] as i32 * q.wt[j * q.in_dim + i] as i32;
+                }
+                out[r * q.out_dim + j] = acc as f32 * (q.act_scale * q.w_scale[j]) + q.bias[j];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn quant_forward_matches_reference_bitwise() {
+        for &(rows, ind, outd) in &[(1usize, 48usize, 48usize), (7, 33, 5), (4, 96, 48), (3, 1, 9)]
+        {
+            let w = pseudo_data(ind * outd, 1);
+            let bias = pseudo_data(outd, 2);
+            let x = pseudo_data(rows * ind, 3);
+            let q = QuantLinear::quantize(&w, &bias, ind, outd, absmax(&x));
+            let mut out = vec![0.0f32; rows * outd];
+            let mut qx = QuantScratch::default();
+            q.forward(&x, &mut out, rows, &mut qx);
+            let reference = quant_forward_reference(&q, &x, rows);
+            let same = out.iter().zip(&reference).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "shape {rows}x{ind}x{outd} diverged from the scalar reference");
+        }
+    }
+
+    #[test]
+    fn quant_forward_approximates_f32() {
+        let (rows, ind, outd) = (8, 48, 48);
+        let w = pseudo_data(ind * outd, 11);
+        let bias = pseudo_data(outd, 12);
+        let x = pseudo_data(rows * ind, 13);
+        let q = QuantLinear::quantize(&w, &bias, ind, outd, absmax(&x));
+        let mut out = vec![0.0f32; rows * outd];
+        let mut qx = QuantScratch::default();
+        q.forward(&x, &mut out, rows, &mut qx);
+        let mut exact = vec![0.0f32; rows * outd];
+        crate::kernels::matmul_naive(&x, &w, &mut exact, rows, ind, outd);
+        for (e, b) in exact
+            .iter_mut()
+            .zip(&bias.iter().cycle().take(rows * outd).copied().collect::<Vec<_>>())
+        {
+            *e += b;
+        }
+        let mut max_err = 0.0f32;
+        let mut scale = 0.0f32;
+        for (a, e) in out.iter().zip(&exact) {
+            max_err = max_err.max((a - e).abs());
+            scale = scale.max(e.abs());
+        }
+        // 8-bit symmetric quantization of both operands at d=48 stays
+        // within a couple of percent of the exact product.
+        assert!(max_err <= 0.05 * scale.max(1.0), "max_err {max_err} vs scale {scale}");
+    }
+
+    #[test]
+    fn f16_linear_matches_simd_gemm_on_decoded_weights() {
+        let (rows, ind, outd) = (5, 40, 24);
+        let w = pseudo_data(ind * outd, 21);
+        let bias = pseudo_data(outd, 22);
+        let x = pseudo_data(rows * ind, 23);
+        let f16 = F16Linear::encode(&w, &bias, ind, outd);
+        let mut out = vec![0.0f32; rows * outd];
+        let mut wbuf = Vec::new();
+        f16.forward(&x, &mut out, rows, &mut wbuf);
+        // Reference: decode then run the same SIMD kernel + bias add.
+        let mut wdec = vec![0.0f32; ind * outd];
+        decode_f16(&encode_f16(&w), &mut wdec);
+        let mut reference = vec![0.0f32; rows * outd];
+        crate::kernels::matmul_simd(&x, &wdec, &mut reference, rows, ind, outd);
+        for r in 0..rows {
+            for (o, &b) in reference[r * outd..(r + 1) * outd].iter_mut().zip(&bias) {
+                *o += b;
+            }
+        }
+        let same = out.iter().zip(&reference).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "F16Linear must equal SIMD GEMM over decoded weights bitwise");
+    }
+
+    #[test]
+    fn zero_weight_rows_quantize_without_nan() {
+        let (ind, outd) = (8, 4);
+        let mut w = pseudo_data(ind * outd, 31);
+        for i in 0..ind {
+            w[i * outd + 2] = 0.0; // zero out one output column
+        }
+        let bias = vec![0.25f32; outd];
+        let q = QuantLinear::quantize(&w, &bias, ind, outd, 0.0); // zero act scale too
+        let x = pseudo_data(ind, 32);
+        let mut out = vec![0.0f32; outd];
+        let mut qx = QuantScratch::default();
+        q.forward(&x, &mut out, 1, &mut qx);
+        assert!(out.iter().all(|v| v.is_finite()));
+        // With a zero activation scale every activation quantizes to 0, so
+        // the output is exactly the bias.
+        assert_eq!(out, vec![0.25f32; outd]);
+    }
+}

@@ -154,7 +154,16 @@ impl Tensor {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         assert_eq!(out.shape(), (self.rows, other.cols), "matmul output shape mismatch");
         lsm_obs::add(lsm_obs::Counter::GemmCalls, 1);
-        kernels::matmul_mt(
+        // Runtime variant selection in the exact rounding class: bitwise
+        // equal to `matmul_naive` at every thread count.
+        let variant = kernels::KernelVariant::select(
+            kernels::RoundingClass::Exact,
+            self.rows,
+            self.cols,
+            other.cols,
+            threads,
+        );
+        variant.run(
             &self.data,
             &other.data,
             &mut out.data,
@@ -165,10 +174,10 @@ impl Tensor {
         );
     }
 
-    /// Transposed copy (tile-blocked).
+    /// Transposed copy (SIMD-tiled; bit-identical to the blocked kernel).
     pub fn transpose(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
-        kernels::transpose_blocked(&self.data, &mut out.data, self.rows, self.cols);
+        kernels::transpose_simd(&self.data, &mut out.data, self.rows, self.cols);
         out
     }
 

@@ -5,7 +5,11 @@
 //! branch skipped exact zeros, which is the one place term-by-term
 //! accumulation can differ in the sign of zero).
 
-use lsm_nn::kernels::{matmul_blocked, matmul_mt, matmul_naive, transpose_blocked};
+use lsm_nn::kernels::{
+    matmul_blocked, matmul_mt, matmul_mt_unclamped, matmul_naive, matmul_naive_fma, matmul_simd,
+    matmul_simd_mt, matmul_simd_mt_unclamped, transpose_blocked, transpose_simd, KernelVariant,
+    RoundingClass,
+};
 use lsm_nn::Tensor;
 use proptest::prelude::*;
 
@@ -104,6 +108,148 @@ proptest! {
     }
 }
 
+/// The fma rounding class: the SIMD kernels (serial and parallel) must be
+/// **bitwise** identical to the scalar fma reference `matmul_naive_fma`
+/// at every shape and thread count — including shapes that are not
+/// multiples of the 6×32 / 4×48 register tiles.
+fn assert_fma_kernels_match(m: usize, k: usize, n: usize, threads: usize, seed: u64) {
+    let a = pseudo_data(m * k, seed);
+    let b = pseudo_data(k * n, seed ^ 0xfaced);
+    let mut want = vec![0.0f32; m * n];
+    matmul_naive_fma(&a, &b, &mut want, m, k, n);
+
+    let mut simd = vec![f32::NAN; m * n];
+    matmul_simd(&a, &b, &mut simd, m, k, n);
+    assert_eq!(bits(&want), bits(&simd), "simd != naive_fma at {m}x{k}x{n}");
+
+    let mut mt = vec![f32::NAN; m * n];
+    matmul_simd_mt(&a, &b, &mut mt, m, k, n, threads);
+    assert_eq!(bits(&want), bits(&mt), "simd_mt({threads}) != naive_fma at {m}x{k}x{n}");
+
+    // Bypass the host-parallelism clamp so the row-partitioned path runs
+    // with exactly `threads` workers even on small hosts.
+    let mut unclamped = vec![f32::NAN; m * n];
+    matmul_simd_mt_unclamped(&a, &b, &mut unclamped, m, k, n, threads);
+    assert_eq!(bits(&want), bits(&unclamped), "simd_mt_unclamped({threads}) at {m}x{k}x{n}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random shapes for the fma class, mirroring the exact-class sweep.
+    #[test]
+    fn simd_kernels_match_fma_reference_bitwise(
+        m in 1usize..=80,
+        k in 1usize..=300,
+        n in 1usize..=80,
+        threads in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        assert_fma_kernels_match(m, k, n, threads, seed);
+    }
+
+    /// The rank-1 (k=1) edge for every kernel in both rounding classes:
+    /// with one multiply per output there is nothing to re-associate, so
+    /// ALL variants must agree with `matmul_naive` bitwise.
+    #[test]
+    fn rank1_update_matches_naive_across_all_variants(
+        m in 1usize..=96,
+        n in 1usize..=96,
+        threads in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let a = pseudo_data(m, seed);
+        let b = pseudo_data(n, seed ^ 0x1);
+        let mut want = vec![0.0f32; m * n];
+        matmul_naive(&a, &b, &mut want, m, 1, n);
+        for variant in [
+            KernelVariant::Naive,
+            KernelVariant::Blocked,
+            KernelVariant::BlockedMt,
+            KernelVariant::NaiveFma,
+            KernelVariant::Simd,
+            KernelVariant::SimdMt,
+        ] {
+            let mut got = vec![f32::NAN; m * n];
+            variant.run(&a, &b, &mut got, m, 1, n, threads);
+            prop_assert_eq!(bits(&want), bits(&got), "{} != naive at {}x1x{}", variant.name(), m, n);
+        }
+    }
+
+    /// SIMD transpose is pure data movement: bitwise equal to the blocked
+    /// transpose (and hence to the naive index swap) for any shape.
+    #[test]
+    fn transpose_simd_matches_blocked_bitwise(
+        m in 1usize..=130,
+        n in 1usize..=130,
+        seed in any::<u64>(),
+    ) {
+        let a = pseudo_data(m * n, seed);
+        let mut blocked = vec![f32::NAN; m * n];
+        transpose_blocked(&a, &mut blocked, m, n);
+        let mut simd = vec![f32::NAN; m * n];
+        transpose_simd(&a, &mut simd, m, n);
+        prop_assert_eq!(bits(&blocked), bits(&simd));
+    }
+
+    /// Runtime selection never changes results: for any shape and thread
+    /// count, the selected variant's output is bitwise identical to its
+    /// class reference.
+    #[test]
+    fn variant_selection_preserves_class_semantics(
+        m in 1usize..=64,
+        k in 1usize..=200,
+        n in 1usize..=64,
+        threads in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let a = pseudo_data(m * k, seed);
+        let b = pseudo_data(k * n, seed ^ 0x2);
+        for (class, reference) in [
+            (RoundingClass::Exact, matmul_naive as fn(&[f32], &[f32], &mut [f32], usize, usize, usize)),
+            (RoundingClass::Fma, matmul_naive_fma as fn(&[f32], &[f32], &mut [f32], usize, usize, usize)),
+        ] {
+            let mut want = vec![0.0f32; m * n];
+            reference(&a, &b, &mut want, m, k, n);
+            let variant = KernelVariant::select(class, m, k, n, threads);
+            prop_assert_eq!(variant.class(), class);
+            let mut got = vec![f32::NAN; m * n];
+            variant.run(&a, &b, &mut got, m, k, n, threads);
+            prop_assert_eq!(bits(&want), bits(&got), "selected {} at {}x{}x{}", variant.name(), m, k, n);
+        }
+    }
+}
+
+/// Zero-sized dimensions: every kernel must accept empty operands without
+/// panicking and leave a zero-length output untouched.
+#[test]
+fn zero_size_dims_are_nops() {
+    for (m, k, n) in [(0, 5, 7), (5, 0, 7), (5, 7, 0), (0, 0, 0)] {
+        let a = pseudo_data(m * k, 3);
+        let b = pseudo_data(k * n, 4);
+        let mut want = vec![0.0f32; m * n];
+        matmul_naive(&a, &b, &mut want, m, k, n);
+        // k == 0 is an empty sum: the kernels must still overwrite out
+        // with zeros, matching naive.
+        for variant in [
+            KernelVariant::Naive,
+            KernelVariant::Blocked,
+            KernelVariant::BlockedMt,
+            KernelVariant::NaiveFma,
+            KernelVariant::Simd,
+            KernelVariant::SimdMt,
+        ] {
+            let mut got = vec![f32::NAN; m * n];
+            variant.run(&a, &b, &mut got, m, k, n, 4);
+            assert_eq!(bits(&want), bits(&got), "{} at {m}x{k}x{n}", variant.name());
+        }
+    }
+    // Zero-row / zero-col transpose.
+    let mut empty: Vec<f32> = Vec::new();
+    transpose_blocked(&[], &mut empty, 0, 7);
+    transpose_simd(&[], &mut empty, 7, 0);
+}
+
 /// A shape big enough to cross the parallel driver's FLOP cutoff, so the
 /// scoped-thread path itself (not the serial fallback) is exercised at
 /// several worker counts.
@@ -112,5 +258,26 @@ fn parallel_path_above_cutoff_matches_naive_bitwise() {
     let (m, k, n) = (97, 256, 64);
     for threads in [2, 3, 4, 7, 16] {
         assert_all_kernels_match(m, k, n, threads, 0x5eed ^ threads as u64);
+    }
+}
+
+/// Same, for the fma class: unclamped worker counts at a shape above the
+/// FLOP cutoff, so row partitioning itself is exercised.
+#[test]
+fn fma_parallel_path_above_cutoff_matches_reference_bitwise() {
+    let (m, k, n) = (97, 256, 64);
+    let a = pseudo_data(m * k, 0xabc);
+    let b = pseudo_data(k * n, 0xdef);
+    let mut want = vec![0.0f32; m * n];
+    matmul_naive_fma(&a, &b, &mut want, m, k, n);
+    for threads in [2, 3, 4, 7, 16] {
+        let mut got = vec![f32::NAN; m * n];
+        matmul_simd_mt_unclamped(&a, &b, &mut got, m, k, n, threads);
+        assert_eq!(bits(&want), bits(&got), "simd_mt_unclamped({threads})");
+        let mut exact = vec![f32::NAN; m * n];
+        matmul_mt_unclamped(&a, &b, &mut exact, m, k, n, threads);
+        let mut naive = vec![0.0f32; m * n];
+        matmul_naive(&a, &b, &mut naive, m, k, n);
+        assert_eq!(bits(&naive), bits(&exact), "mt_unclamped({threads})");
     }
 }

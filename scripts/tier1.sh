@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: format check, release build, full test suite,
-# workspace clippy, the lsm-lint static-analysis gate, an observability
-# smoke test, and a crash/resume persistence smoke test
-# (ROADMAP.md "Tier-1 verify").
+# workspace clippy, the lsm-lint static-analysis gate, a kernel-parity /
+# int8-drift smoke, an observability smoke test, and a crash/resume
+# persistence smoke test (ROADMAP.md "Tier-1 verify").
 #
 # Usage: scripts/tier1.sh
 set -euo pipefail
@@ -26,6 +26,12 @@ cargo run --release -p lsm-lint
 echo "==> lsm-lint SARIF artifact (results/lint.sarif)"
 cargo run --release -p lsm-lint -- --format sarif --out results/lint.sarif
 test -s results/lint.sarif
+
+echo "==> kernel parity smoke: exact/fma bitwise + int8 drift envelope"
+cargo run --release -p lsm-bench --bin kernel_smoke
+
+echo "==> int8 matching-quality drift gate (quantized F1 within 0.5 of f32)"
+cargo test -q --release -p lsm-core --test quant_accuracy
 
 echo "==> observability smoke: lsm session movielens --model tiny --metrics-out"
 metrics=/tmp/lsm_tier1_metrics.json
