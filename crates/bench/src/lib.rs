@@ -20,6 +20,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod regress;
+
 use lsm_baselines::coma::Coma;
 use lsm_baselines::cupid::Cupid;
 use lsm_baselines::flooding::SimilarityFlooding;

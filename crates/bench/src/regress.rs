@@ -1,0 +1,631 @@
+//! Noise-aware perf-regression comparison and trajectory tracking for
+//! `perf_report`.
+//!
+//! A report's comparable metrics are the *flattened* time-denominated
+//! leaves of its JSON (`…seconds`, `…seconds_per_batch`, `…ns_per_call`)
+//! — all lower-is-better wall-clock numbers produced by best-of-reps
+//! timing. Comparison against a baseline report is noise-aware on three
+//! axes:
+//!
+//! * **median of N repeats** — the caller can re-run the report and merge
+//!   runs with [`median_merge`], so one noisy run cannot fake a regression;
+//! * **per-metric relative thresholds** — micro-timings tolerate more
+//!   relative noise than macro-timings ([`threshold_pct`]: <100µs → 50%,
+//!   <5ms → 25%, ≥5ms → 10%);
+//! * **host fingerprinting** — a baseline produced on different hardware
+//!   ([`host_fingerprint`]) downgrades the gate to advisory-only;
+//! * **oversubscription exclusion** — multithreaded timings whose thread
+//!   count exceeds the host's logical cores are reported but never gated
+//!   ([`MetricDelta::gated`]): N threads on fewer cores time the OS
+//!   scheduler, not the code;
+//! * **calibration-drift detection** — the disabled-sink obs microbenches
+//!   are pure-CPU calibration metrics no code change touches; if they
+//!   drift more than [`CALIBRATION_DRIFT_LIMIT_PCT`] between baseline and
+//!   current, the *host* changed speed (frequency scaling, CPU steal on a
+//!   shared VM), so the gate downgrades to advisory instead of blaming
+//!   the code.
+//!
+//! Every full run appends a [`trajectory_entry`] (host fingerprint,
+//! flattened metrics, per-stage p50/p95/p99) to the versioned
+//! `results/BENCH_trajectory.json` via [`append_trajectory`].
+
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Version stamp of `results/BENCH_trajectory.json`.
+pub const TRAJECTORY_VERSION: u64 = 1;
+
+/// Max tolerated drift (percent) on the calibration metrics before the
+/// comparison concludes the host itself changed speed. Kept at the
+/// tightest gating tier: beyond this, every macro metric would plausibly
+/// drift by the same amount for reasons unrelated to the code.
+pub const CALIBRATION_DRIFT_LIMIT_PCT: f64 = 10.0;
+
+/// Calibration metrics: single-threaded, allocation-free, cache-resident
+/// microbenches whose cost no pipeline code change can move. They measure
+/// the host, so baseline-vs-current drift on them is host noise.
+fn is_calibration_key(key: &str) -> bool {
+    key.starts_with("obs_overhead.disabled_") && key.ends_with("ns_per_call")
+}
+
+/// Compact host identity from a report's `host` object. Two reports with
+/// different fingerprints are never gated against each other.
+pub fn host_fingerprint(host: &Value) -> String {
+    format!(
+        "{}-{}-{}c-{}",
+        host["arch"].as_str().unwrap_or("unknown"),
+        host["os"].as_str().unwrap_or("unknown"),
+        host["logical_cores"].as_u64().unwrap_or(0),
+        host["simd_target_feature"].as_str().unwrap_or("unknown"),
+    )
+}
+
+/// Multiplier converting a metric's value to seconds, or `None` when the
+/// key is not a comparable time metric.
+fn metric_unit(key: &str) -> Option<f64> {
+    let leaf = key.rsplit('.').next().unwrap_or(key);
+    if leaf.ends_with("ns_per_call") {
+        Some(1e-9)
+    } else if leaf.ends_with("seconds") || leaf.ends_with("seconds_per_batch") {
+        Some(1.0)
+    } else {
+        None
+    }
+}
+
+/// Stable label for an array element: its `shape`/`backend`/`threads`/
+/// `name` field when present, so array reordering cannot misalign metrics.
+fn element_label(v: &Value) -> Option<String> {
+    for k in ["shape", "backend", "name"] {
+        if let Some(s) = v.get(k).and_then(Value::as_str) {
+            return Some(s.to_string());
+        }
+    }
+    v.get("threads").and_then(Value::as_u64).map(|t| format!("t{t}"))
+}
+
+fn walk(v: &Value, path: &str, out: &mut BTreeMap<String, f64>) {
+    match v {
+        Value::Object(map) => {
+            for (k, child) in map {
+                // The embedded per-stage metrics snapshot comes from a
+                // single sink-enabled session run — too noisy to gate on;
+                // its percentiles go to the trajectory instead.
+                if k == "metrics" {
+                    continue;
+                }
+                let p = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                walk(child, &p, out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, child) in items.iter().enumerate() {
+                let seg = element_label(child).unwrap_or_else(|| i.to_string());
+                let p = if path.is_empty() { seg } else { format!("{path}.{seg}") };
+                walk(child, &p, out);
+            }
+        }
+        Value::Number(n) => {
+            if metric_unit(path).is_some() {
+                if let Some(f) = n.as_f64() {
+                    if f.is_finite() && f > 0.0 {
+                        out.insert(path.to_string(), f);
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// All comparable time metrics of a report, keyed by JSON path.
+pub fn flatten_metrics(report: &Value) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    walk(report, "", &mut out);
+    out
+}
+
+/// Per-metric regression threshold (percent), by baseline magnitude:
+/// micro-timings are scheduler-noise-dominated and tolerate more.
+pub fn threshold_pct(key: &str, baseline: f64) -> f64 {
+    let secs = baseline * metric_unit(key).unwrap_or(1.0);
+    if secs < 100e-6 {
+        50.0
+    } else if secs < 5e-3 {
+        25.0
+    } else {
+        10.0
+    }
+}
+
+/// Per-key median across several runs' flattened metrics. A key missing
+/// from some runs takes the median of the runs that have it.
+pub fn median_merge(runs: &[BTreeMap<String, f64>]) -> BTreeMap<String, f64> {
+    let mut merged: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for run in runs {
+        for (k, &v) in run {
+            merged.entry(k.clone()).or_default().push(v);
+        }
+    }
+    merged.into_iter().map(|(k, vs)| (k, crate::median(&vs))).collect()
+}
+
+/// One metric's baseline-vs-current outcome.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    pub key: String,
+    pub baseline: f64,
+    pub current: f64,
+    /// Signed percent change (`+` is slower).
+    pub change_pct: f64,
+    pub threshold_pct: f64,
+    /// False for oversubscribed multithreaded metrics (thread count above
+    /// the host's logical cores): reported, never gated — wall time of N
+    /// threads on fewer cores measures the scheduler, not the code.
+    pub gated: bool,
+    pub regressed: bool,
+}
+
+/// Thread count encoded in a flattened key's `t<N>` segment, if any
+/// (`gemm.512x512x512.simd_mt.t8.seconds` → 8).
+fn thread_count(key: &str) -> Option<u64> {
+    key.split('.')
+        .filter_map(|seg| seg.strip_prefix('t'))
+        .find_map(|digits| (!digits.is_empty()).then(|| digits.parse().ok()).flatten())
+}
+
+/// Outcome of comparing a current run against a baseline report.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    pub deltas: Vec<MetricDelta>,
+    /// Keys in the baseline with no current measurement.
+    pub missing_in_current: Vec<String>,
+    /// Keys measured now that the baseline lacks (new benches).
+    pub new_in_current: Vec<String>,
+    pub baseline_fingerprint: String,
+    pub current_fingerprint: String,
+    pub fingerprint_match: bool,
+    /// Worst absolute drift (percent) across the calibration metrics
+    /// present in both runs; 0 when none are shared.
+    pub calibration_drift_pct: f64,
+    /// True when calibration drift exceeded
+    /// [`CALIBRATION_DRIFT_LIMIT_PCT`]: the host changed speed.
+    pub calibration_shifted: bool,
+    /// False when `--advisory`, a fingerprint mismatch, or a calibration
+    /// shift downgraded the gate: regressions are reported but do not
+    /// fail the run.
+    pub enforcing: bool,
+}
+
+impl Comparison {
+    /// Confirmed regressions (subset of `deltas`).
+    pub fn regressions(&self) -> Vec<&MetricDelta> {
+        self.deltas.iter().filter(|d| d.regressed).collect()
+    }
+
+    /// Should the process exit non-zero?
+    pub fn failed(&self) -> bool {
+        self.enforcing && self.deltas.iter().any(|d| d.regressed)
+    }
+
+    /// Human-readable summary table (for stderr).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "perf compare: baseline {} vs current {} ({})\n",
+            self.baseline_fingerprint,
+            self.current_fingerprint,
+            if self.enforcing {
+                "enforcing"
+            } else if !self.fingerprint_match {
+                "advisory: host fingerprint mismatch"
+            } else if self.calibration_shifted {
+                "advisory: host speed shifted"
+            } else {
+                "advisory"
+            }
+        ));
+        if self.calibration_drift_pct > 0.0 {
+            out.push_str(&format!(
+                "calibration drift {:.1}% (limit {:.0}%): {}\n",
+                self.calibration_drift_pct,
+                CALIBRATION_DRIFT_LIMIT_PCT,
+                if self.calibration_shifted {
+                    "host speed changed between runs — deltas are advisory"
+                } else {
+                    "host speed stable"
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "{:<56} {:>12} {:>12} {:>8} {:>6}  {}\n",
+            "metric", "baseline_s", "current_s", "delta%", "thr%", "status"
+        ));
+        let mut rows: Vec<&MetricDelta> = self.deltas.iter().collect();
+        rows.sort_by(|a, b| b.change_pct.total_cmp(&a.change_pct));
+        for d in rows {
+            out.push_str(&format!(
+                "{:<56} {:>12.3e} {:>12.3e} {:>+8.1} {:>6.0}  {}\n",
+                d.key,
+                d.baseline,
+                d.current,
+                d.change_pct,
+                d.threshold_pct,
+                if d.regressed {
+                    "REGRESSED"
+                } else if !d.gated {
+                    "ungated (oversubscribed)"
+                } else {
+                    "ok"
+                }
+            ));
+        }
+        for k in &self.missing_in_current {
+            out.push_str(&format!("{k:<56} (missing in current run)\n"));
+        }
+        for k in &self.new_in_current {
+            out.push_str(&format!("{k:<56} (new metric, no baseline)\n"));
+        }
+        let n_reg = self.deltas.iter().filter(|d| d.regressed).count();
+        out.push_str(&format!(
+            "perf compare: {} metrics, {} regressed — {}\n",
+            self.deltas.len(),
+            n_reg,
+            if n_reg == 0 {
+                "PASS"
+            } else if self.enforcing {
+                "FAIL"
+            } else {
+                "advisory (not failing the run)"
+            }
+        ));
+        out
+    }
+
+    /// Machine-readable form, embedded in reports/artifacts.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "baseline_fingerprint": self.baseline_fingerprint.clone(),
+            "current_fingerprint": self.current_fingerprint.clone(),
+            "fingerprint_match": self.fingerprint_match,
+            "calibration_drift_pct": self.calibration_drift_pct,
+            "calibration_shifted": self.calibration_shifted,
+            "enforcing": self.enforcing,
+            "regressed": self.deltas.iter().filter(|d| d.regressed).count(),
+            "metrics": self.deltas.iter().map(|d| json!({
+                "key": d.key.clone(),
+                "baseline": d.baseline,
+                "current": d.current,
+                "change_pct": d.change_pct,
+                "threshold_pct": d.threshold_pct,
+                "gated": d.gated,
+                "regressed": d.regressed,
+            })).collect::<Vec<_>>(),
+            "missing_in_current": self.missing_in_current.clone(),
+            "new_in_current": self.new_in_current.clone(),
+        })
+    }
+}
+
+/// Compares current (already median-merged) metrics against a baseline
+/// report. `advisory` forces advisory mode; a host-fingerprint mismatch
+/// forces it too.
+pub fn compare(
+    baseline_report: &Value,
+    current_metrics: &BTreeMap<String, f64>,
+    current_fingerprint: &str,
+    advisory: bool,
+) -> Comparison {
+    let baseline_metrics = flatten_metrics(baseline_report);
+    let baseline_fingerprint =
+        baseline_report.get("host").map(host_fingerprint).unwrap_or_else(|| "unknown".to_string());
+    let fingerprint_match = baseline_fingerprint == current_fingerprint;
+
+    // Host-speed check: drift on the calibration microbenches cannot come
+    // from pipeline code, so beyond the limit the host itself shifted.
+    let calibration_drift_pct = baseline_metrics
+        .iter()
+        .filter(|(k, _)| is_calibration_key(k))
+        .filter_map(|(k, &base)| {
+            current_metrics.get(k).map(|&cur| ((cur / base - 1.0) * 100.0).abs())
+        })
+        .fold(0.0, f64::max);
+    let calibration_shifted = calibration_drift_pct > CALIBRATION_DRIFT_LIMIT_PCT;
+    let enforcing = !advisory && fingerprint_match && !calibration_shifted;
+
+    // Multithreaded timings are only gateable when the host can actually
+    // run the threads in parallel; oversubscribed ones stay advisory.
+    let cores =
+        baseline_report.pointer("/host/logical_cores").and_then(Value::as_u64).unwrap_or(u64::MAX);
+
+    let mut deltas = Vec::new();
+    let mut missing = Vec::new();
+    for (key, &base) in &baseline_metrics {
+        match current_metrics.get(key) {
+            Some(&cur) => {
+                let change_pct = (cur / base - 1.0) * 100.0;
+                let thr = threshold_pct(key, base);
+                let gated = thread_count(key).map_or(true, |t| t <= cores);
+                deltas.push(MetricDelta {
+                    key: key.clone(),
+                    baseline: base,
+                    current: cur,
+                    change_pct,
+                    threshold_pct: thr,
+                    gated,
+                    regressed: gated && change_pct > thr,
+                });
+            }
+            None => missing.push(key.clone()),
+        }
+    }
+    let new_in_current =
+        current_metrics.keys().filter(|k| !baseline_metrics.contains_key(*k)).cloned().collect();
+    Comparison {
+        deltas,
+        missing_in_current: missing,
+        new_in_current,
+        baseline_fingerprint,
+        current_fingerprint: current_fingerprint.to_string(),
+        fingerprint_match,
+        calibration_drift_pct,
+        calibration_shifted,
+        enforcing,
+    }
+}
+
+/// One trajectory entry for a produced report: host identity, flattened
+/// metrics, and per-stage latency percentiles from the pipeline breakdown.
+pub fn trajectory_entry(report: &Value, timestamp_unix: u64) -> Value {
+    let mut stages = serde_json::Map::new();
+    if let Some(sts) = report.pointer("/pipeline_stages/metrics/stages").and_then(|v| v.as_object())
+    {
+        for (name, s) in sts {
+            stages.insert(
+                name.clone(),
+                json!({
+                    "count": s["count"].clone(),
+                    "p50_s": s["p50_s"].clone(),
+                    "p95_s": s["p95_s"].clone(),
+                    "p99_s": s["p99_s"].clone(),
+                }),
+            );
+        }
+    }
+    json!({
+        "timestamp_unix": timestamp_unix,
+        "host_fingerprint":
+            report.get("host").map(host_fingerprint).unwrap_or_else(|| "unknown".to_string()),
+        "host": report.get("host").cloned().unwrap_or(Value::Null),
+        "metrics": flatten_metrics(report),
+        "stage_percentiles": Value::Object(stages),
+    })
+}
+
+/// Appends `entry` to the versioned trajectory file at `path` (created on
+/// first use), returning the new entry count. A file with a different
+/// `trajectory_version` or broken JSON is an error, not silent data loss.
+pub fn append_trajectory(path: &Path, entry: Value) -> std::io::Result<usize> {
+    let mut doc = match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let doc: Value = serde_json::from_str(&text).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{} is not valid JSON: {e}", path.display()),
+                )
+            })?;
+            let version = doc["trajectory_version"].as_u64();
+            if version != Some(TRAJECTORY_VERSION) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: trajectory_version {version:?}, expected {TRAJECTORY_VERSION}",
+                        path.display()
+                    ),
+                ));
+            }
+            doc
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            json!({ "trajectory_version": TRAJECTORY_VERSION, "entries": [] })
+        }
+        Err(e) => return Err(e),
+    };
+    let entries = doc["entries"].as_array_mut().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{}: entries is not an array", path.display()),
+        )
+    })?;
+    entries.push(entry);
+    let count = entries.len();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, serde_json::to_string_pretty(&doc)?)?;
+    Ok(count)
+}
+
+/// A synthetic report with known metric magnitudes, every pipeline value
+/// scaled by `scale` — the fixture for [`self_test`] and the unit tests.
+/// The calibration microbench deliberately does NOT scale: a code
+/// regression slows the pipeline, not the disabled-sink no-op.
+fn sample_report(scale: f64) -> Value {
+    json!({
+        "bench": "selftest",
+        "host": {
+            "arch": "x86_64", "os": "linux",
+            "logical_cores": 8, "simd_target_feature": "avx2",
+        },
+        "gemm": [
+            {
+                "shape": "256x256x256",
+                "blocked": { "seconds": 8.0e-3 * scale },
+                "simd": { "seconds": 2.0e-3 * scale },
+                "mt": [ { "threads": 2, "seconds": 4.0e-3 * scale } ],
+            },
+        ],
+        "classifier_head": { "batched_seconds": 6.0e-3 * scale },
+        "kernel_dispatch": { "dispatch_ns_per_call": 80.0 * scale },
+        "encoder_backends": {
+            "f32_graph_seconds_per_batch": 50.0e-3 * scale,
+            "fast_backends": [
+                { "backend": "int8", "seconds_per_batch": 12.0e-3 * scale },
+            ],
+        },
+        "obs_overhead": { "disabled_counter_ns_per_call": 0.5 },
+    })
+}
+
+/// End-to-end self-check of the gate, run by `perf_report
+/// --selftest-compare` (and tier1.sh): identical runs must pass, an
+/// injected 20% slowdown must be detected on macro metrics, and a host
+/// fingerprint mismatch must downgrade to advisory.
+pub fn self_test() -> Result<(), String> {
+    let base = sample_report(1.0);
+    let fp = host_fingerprint(&base["host"]);
+
+    // Back-to-back identical runs: zero regressions, enforcing, passing.
+    let same = compare(&base, &flatten_metrics(&base), &fp, false);
+    if !same.enforcing || same.failed() || !same.regressions().is_empty() {
+        return Err(format!(
+            "identical runs must pass enforcing comparison; got {} regressions",
+            same.regressions().len()
+        ));
+    }
+
+    // A uniform 20% slowdown: every >=5ms metric (10% threshold) trips.
+    let slow = compare(&base, &flatten_metrics(&sample_report(1.2)), &fp, false);
+    if !slow.failed() {
+        return Err("injected 20% slowdown was not detected".to_string());
+    }
+    // …while the sub-100µs metric absorbs it as noise (50% threshold).
+    if slow.regressions().iter().any(|d| d.key.contains("ns_per_call")) {
+        return Err("micro-metric noise threshold too tight".to_string());
+    }
+
+    // Same slowdown, foreign baseline host: reported but advisory.
+    let foreign = compare(&base, &flatten_metrics(&sample_report(1.2)), "arm64-mac-4c-neon", false);
+    if foreign.enforcing || foreign.failed() || foreign.regressions().is_empty() {
+        return Err("fingerprint mismatch must downgrade to advisory".to_string());
+    }
+
+    // A whole-host slowdown (same fingerprint, but the pure-CPU
+    // calibration microbench drifted with everything else — frequency
+    // scaling or CPU steal): the gate must self-downgrade, not blame the
+    // code.
+    let mut host_shift = sample_report(1.2);
+    host_shift["obs_overhead"]["disabled_counter_ns_per_call"] = json!(0.5 * 1.2);
+    let shifted = compare(&base, &flatten_metrics(&host_shift), &fp, false);
+    if !shifted.calibration_shifted || shifted.enforcing || shifted.failed() {
+        return Err("host-speed shift must downgrade to advisory".to_string());
+    }
+
+    // A 20% speed-up is not a regression.
+    let fast = compare(&base, &flatten_metrics(&sample_report(0.8)), &fp, false);
+    if fast.failed() {
+        return Err("a speed-up must not fail the gate".to_string());
+    }
+
+    // Oversubscribed multithreaded timings never gate: with a 1-core
+    // baseline host, a 2x slowdown on the t2 metric alone is scheduler
+    // noise, not a code regression…
+    let mut base_1c = sample_report(1.0);
+    base_1c["host"]["logical_cores"] = json!(1);
+    let fp_1c = host_fingerprint(&base_1c["host"]);
+    let mut slow_mt = sample_report(1.0);
+    slow_mt["gemm"][0]["mt"][0]["seconds"] = json!(8.0e-3);
+    let over = compare(&base_1c, &flatten_metrics(&slow_mt), &fp_1c, false);
+    if over.failed() || !over.enforcing {
+        return Err("oversubscribed mt metric must not gate on a 1-core host".to_string());
+    }
+    // …while on an 8-core host the same t2 slowdown is real and fails.
+    let parallel = compare(&base, &flatten_metrics(&slow_mt), &fp, false);
+    if !parallel.failed() {
+        return Err("mt regression on a capable host must be detected".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_picks_time_metrics_with_stable_keys() {
+        let m = flatten_metrics(&sample_report(1.0));
+        assert_eq!(m["gemm.256x256x256.blocked.seconds"], 8.0e-3);
+        assert_eq!(m["gemm.256x256x256.mt.t2.seconds"], 4.0e-3);
+        assert_eq!(m["classifier_head.batched_seconds"], 6.0e-3);
+        assert_eq!(m["encoder_backends.f32_graph_seconds_per_batch"], 50.0e-3);
+        assert_eq!(m["encoder_backends.fast_backends.int8.seconds_per_batch"], 12.0e-3);
+        assert_eq!(m["obs_overhead.disabled_counter_ns_per_call"], 0.5);
+        assert_eq!(m["kernel_dispatch.dispatch_ns_per_call"], 80.0);
+        // Non-time leaves (counts, names, hosts) are excluded.
+        assert!(m.keys().all(|k| metric_unit(k).is_some()));
+    }
+
+    #[test]
+    fn embedded_metrics_snapshot_is_not_gated() {
+        let report = json!({
+            "pipeline_stages": {
+                "metrics": { "stages": { "x": { "total_s": 1.0, "raw_seconds": 2.0 } } },
+                "respond_seconds": 3.0,
+            }
+        });
+        let m = flatten_metrics(&report);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m["pipeline_stages.respond_seconds"], 3.0);
+    }
+
+    #[test]
+    fn thresholds_scale_with_magnitude() {
+        assert_eq!(threshold_pct("x.seconds", 10e-6), 50.0);
+        assert_eq!(threshold_pct("x.seconds", 1e-3), 25.0);
+        assert_eq!(threshold_pct("x.seconds", 10e-3), 10.0);
+        // ns_per_call values are nanoseconds: 0.5ns is deep micro.
+        assert_eq!(threshold_pct("x.disabled_counter_ns_per_call", 0.5), 50.0);
+    }
+
+    #[test]
+    fn median_merge_is_robust_to_one_outlier() {
+        let runs: Vec<BTreeMap<String, f64>> = [1.0, 1.02, 9.0]
+            .iter()
+            .map(|&s| BTreeMap::from([("k.seconds".to_string(), 8e-3 * s)]))
+            .collect();
+        let merged = median_merge(&runs);
+        assert!((merged["k.seconds"] - 8e-3 * 1.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_test_passes() {
+        self_test().expect("regression-gate self test");
+    }
+
+    #[test]
+    fn trajectory_appends_versioned_entries() {
+        let dir = std::env::temp_dir().join(format!("lsm-regress-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("traj.json");
+        std::fs::remove_file(&path).ok();
+
+        let report = sample_report(1.0);
+        let n1 = append_trajectory(&path, trajectory_entry(&report, 1000)).unwrap();
+        let n2 = append_trajectory(&path, trajectory_entry(&report, 2000)).unwrap();
+        assert_eq!((n1, n2), (1, 2));
+
+        let doc: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc["trajectory_version"].as_u64(), Some(TRAJECTORY_VERSION));
+        let entries = doc["entries"].as_array().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0]["timestamp_unix"].as_u64(), Some(1000));
+        assert_eq!(entries[1]["host_fingerprint"].as_str(), Some("x86_64-linux-8c-avx2"));
+        assert!(entries[0]["metrics"]["classifier_head.batched_seconds"].is_number());
+
+        // A wrong version is an explicit error.
+        std::fs::write(&path, r#"{"trajectory_version": 99, "entries": []}"#).unwrap();
+        assert!(append_trajectory(&path, trajectory_entry(&report, 3000)).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

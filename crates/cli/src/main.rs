@@ -20,6 +20,14 @@
 use lsm_cli::commands::{self, ModelChoice};
 use std::process::ExitCode;
 
+/// With `--features alloc-track` the whole binary allocates through the
+/// counting wrapper, so `--metrics-out` snapshots carry per-stage
+/// bytes/count and peak in-use bytes. Off by default: plain builds keep
+/// the system allocator and a forbid(unsafe) dependency tree.
+#[cfg(feature = "alloc-track")]
+#[global_allocator]
+static COUNTING_ALLOC: lsm_obs::CountingAlloc = lsm_obs::CountingAlloc;
+
 const USAGE: &str = "\
 usage:
   lsm stats    <schema.json>

@@ -49,6 +49,8 @@ fn session_metrics_out_writes_valid_json_with_stage_keys() {
     let text = std::fs::read_to_string(&metrics).expect("metrics file written");
     let json: serde_json::Value = serde_json::from_str(&text).expect("metrics JSON parses");
 
+    assert_eq!(json["schema_version"].as_u64(), Some(2), "metrics snapshot schema version");
+
     let stages = json["stages"].as_object().expect("stages object");
     for key in [
         "session.iteration",
@@ -69,9 +71,27 @@ fn session_metrics_out_writes_valid_json_with_stage_keys() {
     assert!(respond["count"].as_u64().unwrap() > 0);
     assert!(respond["total_s"].as_f64().unwrap() > 0.0);
     assert!(respond["p95_s"].as_f64().unwrap() >= respond["p50_s"].as_f64().unwrap());
+    assert!(respond["p99_s"].as_f64().unwrap() >= respond["p95_s"].as_f64().unwrap());
+
+    // v2: every stage carries its log2-bucket histogram, consistent with
+    // the aggregate count.
+    let hist = &respond["hist"];
+    assert_eq!(hist["count"].as_u64(), respond["count"].as_u64());
+    assert!(hist["max_ns"].as_u64().unwrap() > 0);
+    let buckets = hist["buckets"].as_array().expect("sparse bucket array");
+    assert!(!buckets.is_empty());
+    let bucket_total: u64 = buckets.iter().map(|b| b[1].as_u64().unwrap()).sum();
+    assert_eq!(bucket_total, respond["count"].as_u64().unwrap());
+
+    // v2: alloc section present (null unless built with alloc-track).
+    assert!(json.as_object().unwrap().contains_key("alloc"), "alloc key missing");
+    if cfg!(feature = "alloc-track") {
+        assert!(json["alloc"]["total_bytes"].as_u64().unwrap() > 0);
+    }
 
     let counters = json["counters"].as_object().expect("counters object");
     assert!(counters["attrs_featurized"].as_u64().unwrap() > 0);
+    assert!(counters.contains_key("journal_fsyncs"), "v2 counter set missing journal_fsyncs");
     // The stage summary table goes to stderr, not stdout.
     assert!(err.contains("session.respond"), "stderr: {err}");
     assert!(!out.contains("total_ms"), "summary leaked to stdout: {out}");

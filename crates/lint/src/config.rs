@@ -14,8 +14,10 @@ pub const DETERMINISTIC_CRATE_DIRS: &[&str] =
     &["core", "matchers", "nn", "text", "embedding", "datasets", "store"];
 
 /// Crates allowed to read the wall clock (R2): the observability layer owns
-/// all timing, the bench harness measures it, and the lint's own sources
-/// discuss it.
+/// all timing — including the span-scope `Instant` pairs that feed the
+/// log₂-bucket latency histograms — the bench harness measures it (the
+/// perf-regression gate's repeated report builds live there), and the
+/// lint's own sources discuss it.
 pub const WALL_CLOCK_CRATE_DIRS: &[&str] = &["obs", "bench", "lint"];
 
 /// Session-timing allowlist (R2): files that may take a raw `Instant` pair

@@ -56,6 +56,16 @@ impl FastBackend {
             FastBackend::F16 => "f16",
         }
     }
+
+    /// Per-backend span name for pooled forwards, so perf_report's
+    /// pipeline-stage table separates simd/int8/f16 latency histograms.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            FastBackend::Simd => "nn.encoder.pooled_fast.simd",
+            FastBackend::Int8 => "nn.encoder.pooled_fast.int8",
+            FastBackend::F16 => "nn.encoder.pooled_fast.f16",
+        }
+    }
 }
 
 /// f32 affine layer of the plan (`w` is `[in][out]` row-major — the SIMD
@@ -412,7 +422,7 @@ impl FastEncoder {
     ///
     /// Panics on an empty sequence (match the graph path's contract).
     pub fn pooled(&self, ids: &[u32]) -> Tensor {
-        let _span = lsm_obs::span("nn.encoder.pooled_fast");
+        let _span = lsm_obs::span(self.backend.span_name());
         lsm_obs::add(lsm_obs::Counter::EncoderForwards, 1);
         Tensor::from_vec(1, self.d, self.pooled_raw(ids, None))
     }

@@ -737,6 +737,7 @@ impl KernelVariant {
     /// amortize spawning (the parallel drivers re-check and fall back, so
     /// this is a labeling choice, not a correctness one).
     pub fn select(class: RoundingClass, m: usize, k: usize, n: usize, threads: usize) -> Self {
+        lsm_obs::add(lsm_obs::Counter::KernelVariantSelected, 1);
         let parallel = threads > 1 && m * k * n >= PAR_MIN_MKN && host_parallelism() > 1;
         match (class, parallel) {
             (RoundingClass::Exact, false) => KernelVariant::Blocked,

@@ -328,6 +328,7 @@ impl QuantLinear {
     /// the exact-integer guarantee holds for any `in_dim` below ~1.3e5 —
     /// far above any encoder width this crate builds.
     pub fn forward_acts(&self, s: &QuantScratch, out: &mut [f32], rows: usize) {
+        lsm_obs::add(lsm_obs::Counter::QuantForwards, 1);
         debug_assert_eq!(out.len(), rows * self.out_dim);
         debug_assert!(s.packed.len() >= rows.div_ceil(QMR) * self.in_dim * QMR);
         let (ind, outd) = (self.in_dim, self.out_dim);
@@ -396,6 +397,7 @@ impl F16Linear {
     /// Forward through the SIMD GEMM. `wbuf` is scratch for the decoded
     /// weight panel (resized as needed).
     pub fn forward(&self, x: &[f32], out: &mut [f32], rows: usize, wbuf: &mut Vec<f32>) {
+        lsm_obs::add(lsm_obs::Counter::F16Forwards, 1);
         debug_assert_eq!(x.len(), rows * self.in_dim);
         debug_assert_eq!(out.len(), rows * self.out_dim);
         wbuf.clear();

@@ -1,0 +1,124 @@
+//! Opt-in counting `#[global_allocator]` wrapper (`alloc-track` feature).
+//!
+//! [`CountingAlloc`] delegates every call verbatim to [`std::alloc::System`]
+//! and maintains process-wide totals (bytes/count allocated, live bytes,
+//! peak live bytes) plus per-thread running totals that `Span` reads at
+//! start/end to attribute allocation deltas to pipeline stages.
+//!
+//! This module is the only sanctioned `unsafe` code in the workspace: the
+//! `GlobalAlloc` trait is itself unsafe, and every impl below is a pure
+//! pass-through — we never touch the returned memory, only count sizes.
+//! Accounting uses relaxed atomic RMWs and const-initialised thread-local
+//! `Cell`s, so the allocator never allocates, locks, or panics itself
+//! (thread-local access uses `try_with` to stay sound during TLS teardown).
+//!
+//! Install it from a binary crate built with the feature:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: lsm_obs::CountingAlloc = lsm_obs::CountingAlloc;
+//! ```
+
+use crate::AllocStats;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TOTAL_BYTES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_COUNT: AtomicU64 = AtomicU64::new(0);
+static IN_USE: AtomicU64 = AtomicU64::new(0);
+static PEAK_IN_USE: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // const-init Cells: first access never allocates (an allocating
+    // thread_local inside the global allocator would recurse).
+    static TL_BYTES: Cell<u64> = const { Cell::new(0) };
+    static TL_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn on_alloc(size: usize) {
+    let size = size as u64;
+    TOTAL_BYTES.fetch_add(size, Ordering::Relaxed);
+    TOTAL_COUNT.fetch_add(1, Ordering::Relaxed);
+    let live = IN_USE.fetch_add(size, Ordering::Relaxed).wrapping_add(size);
+    PEAK_IN_USE.fetch_max(live, Ordering::Relaxed);
+    // During thread teardown the TLS slots may already be destroyed;
+    // try_with skips per-thread accounting then (global totals still count).
+    let _ = TL_BYTES.try_with(|c| c.set(c.get().wrapping_add(size)));
+    let _ = TL_COUNT.try_with(|c| c.set(c.get() + 1));
+}
+
+#[inline]
+fn on_dealloc(size: usize) {
+    IN_USE.fetch_sub(size as u64, Ordering::Relaxed);
+}
+
+/// Counting wrapper around the system allocator. See the module docs.
+pub struct CountingAlloc;
+
+// SAFETY: every method delegates verbatim to `System`, which upholds the
+// GlobalAlloc contract; we only read `layout.size()` for accounting and
+// never dereference, retain, or hand out different pointers.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds GlobalAlloc's contract for `layout`.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: `layout` is passed through unchanged from our caller,
+        // who guarantees it is valid per the GlobalAlloc contract.
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    // SAFETY: caller upholds GlobalAlloc's contract for `layout`.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: `layout` is passed through unchanged from our caller.
+        let p = unsafe { System.alloc_zeroed(layout) };
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    // SAFETY: caller guarantees `ptr` came from this allocator with `layout`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` are passed through unchanged from our
+        // caller, and every pointer we hand out comes from `System`.
+        unsafe { System.dealloc(ptr, layout) };
+        on_dealloc(layout.size());
+    }
+
+    // SAFETY: caller guarantees `ptr` came from this allocator with
+    // `layout` and that `new_size` is valid per the GlobalAlloc contract.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: arguments are passed through unchanged from our caller,
+        // and every pointer we hand out comes from `System`.
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            // Counted as dealloc(old) + alloc(new): totals grow by the new
+            // size, live bytes move by the delta.
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Process-wide totals. Acquire loads so a snapshot taken after joining a
+/// worker thread sees that thread's allocations.
+pub(crate) fn global_stats() -> AllocStats {
+    AllocStats {
+        total_bytes: TOTAL_BYTES.load(Ordering::Acquire),
+        total_count: TOTAL_COUNT.load(Ordering::Acquire),
+        in_use_bytes: IN_USE.load(Ordering::Acquire),
+        peak_in_use_bytes: PEAK_IN_USE.load(Ordering::Acquire),
+    }
+}
+
+/// `(bytes, count)` allocated so far on the calling thread.
+#[inline]
+pub(crate) fn thread_totals() -> (u64, u64) {
+    (TL_BYTES.try_with(Cell::get).unwrap_or(0), TL_COUNT.try_with(Cell::get).unwrap_or(0))
+}

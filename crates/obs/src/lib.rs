@@ -8,18 +8,27 @@
 //! [`span`], [`add`], [`timed`] — compiles down to one relaxed atomic load
 //! and a branch, so instrumented hot paths (GEMM dispatch, encoder
 //! forwards, shortlist scoring) pay effectively nothing. When enabled, the
-//! sink aggregates three kinds of data:
+//! sink aggregates four kinds of data:
 //!
-//! * **Stage timings** — named spans accumulate into per-stage aggregates
-//!   (count, total, min/max, and a capped sample reservoir for p50/p95).
+//! * **Stage timings** — named spans accumulate into per-stage aggregates:
+//!   count, total, min/max, and a lock-free log₂-bucket [`Histogram`]
+//!   (64 `AtomicU64` buckets, no allocation on the hot path) from which
+//!   p50/p95/p99 are computed exact-within-bucket.
 //! * **Pipeline counters** — fixed-enum lock-free [`Counter`]s (attributes
-//!   featurized, encoder forwards, GEMM calls, pseudo-labels, …).
+//!   featurized, encoder forwards, GEMM calls, quantized forwards, …).
 //! * **Trace events** — every recorded span also becomes a Chrome
 //!   trace-event (`ph: "X"`) with a per-thread `tid`, exportable via
 //!   [`chrome_trace_json`] and loadable in Perfetto / `chrome://tracing`.
+//!   Counter values and per-stage running percentiles are additionally
+//!   sampled every [`COUNTER_SAMPLE_EVERY`] span ends into `ph: "C"`
+//!   counter tracks.
+//! * **Allocations** (opt-in, `alloc-track` cargo feature) — a counting
+//!   `#[global_allocator]` wrapper ([`CountingAlloc`]) reports bytes/count
+//!   allocated per pipeline stage plus peak in-use bytes. Off by default;
+//!   when the feature is disabled this crate still forbids `unsafe`.
 //!
 //! Aggregation takes one `parking_lot::Mutex` lock per span *end*; span
-//! creation never locks. Counters never lock at all.
+//! creation never locks. Counters and histogram buckets never lock at all.
 //!
 //! ```
 //! lsm_obs::reset();
@@ -34,7 +43,10 @@
 //! assert_eq!(snap.counter("gemm_calls"), 3);
 //! ```
 
-#![forbid(unsafe_code)]
+// The counting global-allocator shim (`alloc.rs`, behind the `alloc-track`
+// feature) is the only sanctioned unsafe code in the workspace; with the
+// feature off the crate keeps the workspace-wide forbid.
+#![cfg_attr(not(feature = "alloc-track"), forbid(unsafe_code))]
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -43,13 +55,24 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
+#[cfg(feature = "alloc-track")]
+mod alloc;
+#[cfg(feature = "alloc-track")]
+pub use alloc::CountingAlloc;
+
 /// Cap on buffered Chrome trace events (~48 bytes each). Past the cap,
 /// stage aggregates keep updating but the timeline stops growing and
 /// `dropped_trace_events` counts what was lost.
 const MAX_TRACE_EVENTS: usize = 250_000;
-/// Cap on per-stage duration samples kept for percentile estimates.
-/// Count/total/min/max stay exact past the cap.
-const MAX_STAGE_SAMPLES: usize = 10_000;
+/// Every N-th recorded span end also snapshots all counter values and
+/// per-stage running percentiles into a Chrome `ph: "C"` counter sample.
+pub const COUNTER_SAMPLE_EVERY: u64 = 64;
+/// Cap on buffered counter samples (one per [`COUNTER_SAMPLE_EVERY`] spans).
+const MAX_COUNTER_SAMPLES: usize = 4096;
+/// Current `--metrics-out` snapshot schema version. v2 added `hist`
+/// (log₂-bucket histograms + `p99_s`) per stage and the top-level `alloc`
+/// section; v1 snapshots remain readable by `scripts/summarize_results.py`.
+pub const METRICS_SCHEMA_VERSION: u64 = 2;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
@@ -82,15 +105,23 @@ pub enum Counter {
     PseudoLabels,
     /// Session events appended to the lsm-store write-ahead journal.
     JournalAppends,
+    /// `fsync` (`sync_data`) calls flushing the write-ahead journal.
+    JournalFsyncs,
     /// Atomic checkpoint files written by lsm-store.
     CheckpointWrites,
     /// Journal/checkpoint recoveries performed (session resumes).
     JournalRecoveries,
+    /// Int8 `QuantLinear` forward passes (weights or activations path).
+    QuantForwards,
+    /// IEEE-f16-storage `F16Linear` forward passes.
+    F16Forwards,
+    /// Runtime GEMM kernel-variant selections (`KernelVariant::select`).
+    KernelVariantSelected,
 }
 
 impl Counter {
     /// Every counter, in snapshot order.
-    pub const ALL: [Counter; 9] = [
+    pub const ALL: [Counter; 13] = [
         Counter::AttrsFeaturized,
         Counter::EncoderForwards,
         Counter::GemmCalls,
@@ -98,8 +129,12 @@ impl Counter {
         Counter::HeadPairs,
         Counter::PseudoLabels,
         Counter::JournalAppends,
+        Counter::JournalFsyncs,
         Counter::CheckpointWrites,
         Counter::JournalRecoveries,
+        Counter::QuantForwards,
+        Counter::F16Forwards,
+        Counter::KernelVariantSelected,
     ];
 
     /// Stable snake_case name used in metrics JSON.
@@ -112,8 +147,12 @@ impl Counter {
             Counter::HeadPairs => "head_pairs",
             Counter::PseudoLabels => "pseudo_labels",
             Counter::JournalAppends => "journal_appends",
+            Counter::JournalFsyncs => "journal_fsyncs",
             Counter::CheckpointWrites => "checkpoint_writes",
             Counter::JournalRecoveries => "journal_recoveries",
+            Counter::QuantForwards => "quant_forwards",
+            Counter::F16Forwards => "f16_forwards",
+            Counter::KernelVariantSelected => "kernel_variant_selected",
         }
     }
 }
@@ -138,6 +177,197 @@ pub fn counter_value(counter: Counter) -> u64 {
 }
 
 // ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Number of log₂ buckets; bucket `i` covers `[2^i, 2^(i+1))` nanoseconds
+/// (bucket 0 additionally absorbs 0 ns), bucket 63 is open-ended.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Lock-free log₂-bucket latency histogram.
+///
+/// Recording is a handful of relaxed atomic RMWs on a fixed
+/// `[AtomicU64; 64]` — no locks, no allocation, safe to hammer from any
+/// number of threads. Percentiles computed from a [`HistogramSnapshot`]
+/// are *exact within one bucket*: the reported value is the geometric
+/// midpoint `2^i·√2` of the bucket holding the true nearest-rank sample,
+/// so it is within a factor of √2 (< one bucket's factor-2 width) of the
+/// exact sort-based percentile.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Histogram {
+    /// A new empty histogram. `const` so it can back a `static`.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a nanosecond value: `floor(log₂(ns))`, clamped.
+    #[inline]
+    pub fn bucket_index(ns: u64) -> usize {
+        if ns < 2 {
+            0
+        } else {
+            (63 - ns.leading_zeros()) as usize
+        }
+    }
+
+    /// Record one latency observation, in nanoseconds. Lock-free.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Record one latency observation from a `Duration`.
+    #[inline]
+    pub fn record(&self, dur: Duration) {
+        self.record_ns(duration_ns(dur));
+    }
+
+    /// Point-in-time copy of all buckets and summary stats.
+    pub fn snap(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Acquire);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Acquire),
+            sum_ns: self.sum_ns.load(Ordering::Acquire),
+            max_ns: self.max_ns.load(Ordering::Acquire),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+#[inline]
+fn duration_ns(dur: Duration) -> u64 {
+    u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A point-in-time copy of a [`Histogram`]'s buckets and summary stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observation count per log₂ bucket.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total observations (sum of all buckets).
+    pub count: u64,
+    /// Exact sum of all recorded nanosecond values.
+    pub sum_ns: u64,
+    /// Exact maximum recorded nanosecond value.
+    pub max_ns: u64,
+}
+
+impl Default for HistogramSnapshot {
+    // Derive can't: `[u64; 64]: Default` is only implemented up to 32.
+    fn default() -> Self {
+        HistogramSnapshot { buckets: [0; HIST_BUCKETS], count: 0, sum_ns: 0, max_ns: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Nearest-rank percentile estimate in nanoseconds; 0.0 when empty.
+    ///
+    /// Walks the cumulative bucket counts to the bucket holding the
+    /// nearest-rank sample and returns that bucket's geometric midpoint
+    /// (`2^i·√2`, clamped to the exact recorded max), so the estimate is
+    /// within one bucket's relative error (a factor of 2) of the exact
+    /// sort-based nearest-rank percentile.
+    pub fn percentile_ns(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (p.clamp(0.0, 100.0) / 100.0 * (self.count - 1) as f64).round() as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum > rank {
+                let mid = if i == 0 { 1.0 } else { (1u64 << i) as f64 * std::f64::consts::SQRT_2 };
+                return mid.min(self.max_ns as f64);
+            }
+        }
+        self.max_ns as f64
+    }
+
+    /// Nearest-rank percentile estimate in seconds; 0.0 when empty.
+    pub fn percentile_s(&self, p: f64) -> f64 {
+        self.percentile_ns(p) * 1e-9
+    }
+
+    /// `(bucket_index, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i, c)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Allocation stats (populated only with the `alloc-track` feature)
+// ---------------------------------------------------------------------------
+
+/// Process-wide allocation totals reported by [`CountingAlloc`].
+///
+/// The struct itself is always available so downstream code can consume
+/// snapshots without feature-gating; [`MetricsSnapshot::alloc`] is `Some`
+/// only when this crate is built with the `alloc-track` feature.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Cumulative bytes handed out since process start.
+    pub total_bytes: u64,
+    /// Cumulative allocation calls since process start.
+    pub total_count: u64,
+    /// Bytes currently live (allocated minus deallocated).
+    pub in_use_bytes: u64,
+    /// High-water mark of `in_use_bytes`.
+    pub peak_in_use_bytes: u64,
+}
+
+/// Current process-wide allocation totals, or `None` when the
+/// `alloc-track` feature is off (or the wrapper isn't installed, in which
+/// case all fields are zero).
+pub fn alloc_stats() -> Option<AllocStats> {
+    #[cfg(feature = "alloc-track")]
+    {
+        Some(alloc::global_stats())
+    }
+    #[cfg(not(feature = "alloc-track"))]
+    {
+        None
+    }
+}
+
+/// `(bytes, count)` allocated so far on the calling thread. Zeros when the
+/// `alloc-track` feature is off — span alloc deltas then stay zero.
+#[inline]
+fn thread_alloc_totals() -> (u64, u64) {
+    #[cfg(feature = "alloc-track")]
+    {
+        alloc::thread_totals()
+    }
+    #[cfg(not(feature = "alloc-track"))]
+    {
+        (0, 0)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
 
@@ -148,17 +378,35 @@ struct TraceEvent {
     dur_us: f64,
 }
 
+/// One periodic `ph: "C"` sample: all counter values plus each stage's
+/// running p50/p95 at the moment of capture.
+struct CounterSample {
+    ts_us: f64,
+    counters: [u64; Counter::ALL.len()],
+    stage_pcts: Vec<(&'static str, f64, f64)>,
+}
+
 struct StageAgg {
     count: u64,
     total_s: f64,
     min_s: f64,
     max_s: f64,
-    samples: Vec<f64>,
+    hist: Histogram,
+    alloc_bytes: u64,
+    alloc_count: u64,
 }
 
 impl StageAgg {
     fn new() -> Self {
-        StageAgg { count: 0, total_s: 0.0, min_s: f64::INFINITY, max_s: 0.0, samples: Vec::new() }
+        StageAgg {
+            count: 0,
+            total_s: 0.0,
+            min_s: f64::INFINITY,
+            max_s: 0.0,
+            hist: Histogram::new(),
+            alloc_bytes: 0,
+            alloc_count: 0,
+        }
     }
 }
 
@@ -170,6 +418,9 @@ struct Registry {
     stages: BTreeMap<&'static str, StageAgg>,
     events: Vec<TraceEvent>,
     dropped_events: u64,
+    /// Recorded span ends since the last reset; drives counter sampling.
+    span_ticks: u64,
+    counter_samples: Vec<CounterSample>,
 }
 
 fn registry() -> &'static Mutex<Registry> {
@@ -207,8 +458,9 @@ pub fn enable_from_env() {
     }
 }
 
-/// Clear all collected spans, trace events, and counters, and restart the
-/// trace timeline at zero. Does not change the enabled flag.
+/// Clear all collected spans, trace events, counter samples, and counters,
+/// and restart the trace timeline at zero. Does not change the enabled
+/// flag, and does not reset process-lifetime [`alloc_stats`] totals.
 pub fn reset() {
     for c in &COUNTERS {
         c.store(0, Ordering::Relaxed);
@@ -218,6 +470,8 @@ pub fn reset() {
     reg.stages.clear();
     reg.events.clear();
     reg.dropped_events = 0;
+    reg.span_ticks = 0;
+    reg.counter_samples.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -228,12 +482,18 @@ pub fn reset() {
 #[must_use = "a span measures until dropped; bind it: `let _span = lsm_obs::span(..)`"]
 pub struct Span {
     active: Option<(&'static str, Instant)>,
+    /// Thread-local (bytes, count) allocated at span start; the drop-time
+    /// delta is attributed to the stage (inclusive of nested spans, same
+    /// thread only). Always zero without the `alloc-track` feature.
+    alloc_start: (u64, u64),
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some((name, start)) = self.active.take() {
-            record_span(name, start, start.elapsed());
+            let (b0, c0) = self.alloc_start;
+            let (b1, c1) = thread_alloc_totals();
+            record_span(name, start, start.elapsed(), b1.saturating_sub(b0), c1.saturating_sub(c0));
         }
     }
 }
@@ -243,9 +503,9 @@ impl Drop for Span {
 #[inline]
 pub fn span(name: &'static str) -> Span {
     if !is_enabled() {
-        return Span { active: None };
+        return Span { active: None, alloc_start: (0, 0) };
     }
-    Span { active: Some((name, Instant::now())) }
+    Span { active: Some((name, Instant::now())), alloc_start: thread_alloc_totals() }
 }
 
 /// Run `f` under a span named `name` and return `(result, elapsed_secs)`.
@@ -255,16 +515,18 @@ pub fn span(name: &'static str) -> Span {
 /// seconds (e.g. `SessionOutcome::response_times`) and the trace timeline
 /// are fed by the *same* measurement and cannot drift.
 pub fn timed<R>(name: &'static str, f: impl FnOnce() -> R) -> (R, f64) {
+    let alloc0 = thread_alloc_totals();
     let start = Instant::now();
     let result = f();
     let dur = start.elapsed();
     if is_enabled() {
-        record_span(name, start, dur);
+        let (b1, c1) = thread_alloc_totals();
+        record_span(name, start, dur, b1.saturating_sub(alloc0.0), c1.saturating_sub(alloc0.1));
     }
     (result, dur.as_secs_f64())
 }
 
-fn record_span(name: &'static str, start: Instant, dur: Duration) {
+fn record_span(name: &'static str, start: Instant, dur: Duration, ab: u64, ac: u64) {
     let tid = TID.with(|t| *t);
     let dur_s = dur.as_secs_f64();
     let mut reg = registry().lock();
@@ -280,8 +542,29 @@ fn record_span(name: &'static str, start: Instant, dur: Duration) {
     agg.total_s += dur_s;
     agg.min_s = agg.min_s.min(dur_s);
     agg.max_s = agg.max_s.max(dur_s);
-    if agg.samples.len() < MAX_STAGE_SAMPLES {
-        agg.samples.push(dur_s);
+    agg.hist.record(dur);
+    agg.alloc_bytes += ab;
+    agg.alloc_count += ac;
+    reg.span_ticks += 1;
+    // Periodic counter-track sample: every COUNTER_SAMPLE_EVERY span ends,
+    // capture all counter values and each stage's running p50/p95. This is
+    // off the per-span fast path (1/64 of ends) and capped.
+    if reg.span_ticks % COUNTER_SAMPLE_EVERY == 1 && reg.counter_samples.len() < MAX_COUNTER_SAMPLES
+    {
+        let end_us = ts_us + dur_s * 1e6;
+        let mut counters = [0u64; Counter::ALL.len()];
+        for (slot, c) in counters.iter_mut().zip(Counter::ALL.iter()) {
+            *slot = counter_value(*c);
+        }
+        let stage_pcts = reg
+            .stages
+            .iter()
+            .map(|(n, a)| {
+                let h = a.hist.snap();
+                (*n, h.percentile_s(50.0), h.percentile_s(95.0))
+            })
+            .collect();
+        reg.counter_samples.push(CounterSample { ts_us: end_us, counters, stage_pcts });
     }
 }
 
@@ -298,10 +581,20 @@ pub struct StageStats {
     pub mean_s: f64,
     pub min_s: f64,
     pub max_s: f64,
-    /// Median over the (capped) sample reservoir.
+    /// Median, exact within one histogram bucket.
     pub p50_s: f64,
-    /// 95th percentile over the (capped) sample reservoir.
+    /// 95th percentile, exact within one histogram bucket.
     pub p95_s: f64,
+    /// 99th percentile, exact within one histogram bucket.
+    pub p99_s: f64,
+    /// Full log₂-bucket latency distribution for this stage.
+    pub hist: HistogramSnapshot,
+    /// Bytes allocated inside this stage's spans (calling thread only);
+    /// always 0 without the `alloc-track` feature.
+    pub alloc_bytes: u64,
+    /// Allocation calls inside this stage's spans (calling thread only);
+    /// always 0 without the `alloc-track` feature.
+    pub alloc_count: u64,
 }
 
 /// A point-in-time copy of every stage aggregate and pipeline counter.
@@ -311,17 +604,10 @@ pub struct MetricsSnapshot {
     pub stages: Vec<StageStats>,
     /// `(name, value)` for every [`Counter`], in [`Counter::ALL`] order.
     pub counters: Vec<(String, u64)>,
+    /// Process-wide allocation totals; `Some` only under `alloc-track`.
+    pub alloc: Option<AllocStats>,
     /// Trace events discarded after the buffer cap was hit.
     pub dropped_trace_events: u64,
-}
-
-/// Nearest-rank percentile over a sorted slice; 0.0 for an empty slice.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 /// Take a consistent snapshot of all collected metrics.
@@ -331,8 +617,7 @@ pub fn snapshot() -> MetricsSnapshot {
         .stages
         .iter()
         .map(|(name, agg)| {
-            let mut sorted = agg.samples.clone();
-            sorted.sort_by(f64::total_cmp);
+            let hist = agg.hist.snap();
             StageStats {
                 name: (*name).to_string(),
                 count: agg.count,
@@ -340,13 +625,24 @@ pub fn snapshot() -> MetricsSnapshot {
                 mean_s: if agg.count > 0 { agg.total_s / agg.count as f64 } else { 0.0 },
                 min_s: if agg.count > 0 { agg.min_s } else { 0.0 },
                 max_s: agg.max_s,
-                p50_s: percentile(&sorted, 50.0),
-                p95_s: percentile(&sorted, 95.0),
+                // Clamp against the exact f64 max so `p* <= max_s` holds
+                // even when ns->s conversions round differently.
+                p50_s: hist.percentile_s(50.0).min(agg.max_s),
+                p95_s: hist.percentile_s(95.0).min(agg.max_s),
+                p99_s: hist.percentile_s(99.0).min(agg.max_s),
+                hist,
+                alloc_bytes: agg.alloc_bytes,
+                alloc_count: agg.alloc_count,
             }
         })
         .collect();
     let counters = Counter::ALL.iter().map(|c| (c.name().to_string(), counter_value(*c))).collect();
-    MetricsSnapshot { stages, counters, dropped_trace_events: reg.dropped_events }
+    MetricsSnapshot {
+        stages,
+        counters,
+        alloc: alloc_stats(),
+        dropped_trace_events: reg.dropped_events,
+    }
 }
 
 impl MetricsSnapshot {
@@ -360,10 +656,11 @@ impl MetricsSnapshot {
         self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
     }
 
-    /// Serialize to the metrics JSON schema (see `docs/observability.md`).
+    /// Serialize to the v2 metrics JSON schema (see `docs/observability.md`).
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(1024 + 256 * self.stages.len());
-        out.push_str("{\n  \"stages\": {");
+        let mut out = String::with_capacity(2048 + 512 * self.stages.len());
+        let _ =
+            write!(out, "{{\n  \"schema_version\": {METRICS_SCHEMA_VERSION},\n  \"stages\": {{");
         for (i, s) in self.stages.iter().enumerate() {
             out.push_str(if i == 0 { "\n    " } else { ",\n    " });
             push_json_str(&mut out, &s.name);
@@ -376,11 +673,28 @@ impl MetricsSnapshot {
                 ("max_s", s.max_s),
                 ("p50_s", s.p50_s),
                 ("p95_s", s.p95_s),
+                ("p99_s", s.p99_s),
             ] {
                 let _ = write!(out, ", \"{key}\": ");
                 push_json_f64(&mut out, v);
             }
-            out.push('}');
+            let _ = write!(
+                out,
+                ", \"alloc_bytes\": {}, \"alloc_count\": {}",
+                s.alloc_bytes, s.alloc_count
+            );
+            let _ = write!(
+                out,
+                ", \"hist\": {{\"count\": {}, \"sum_ns\": {}, \"max_ns\": {}, \"buckets\": [",
+                s.hist.count, s.hist.sum_ns, s.hist.max_ns
+            );
+            for (j, (idx, c)) in s.hist.nonzero_buckets().into_iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{idx}, {c}]");
+            }
+            out.push_str("]}}");
         }
         out.push_str("\n  },\n  \"counters\": {");
         for (i, (name, v)) in self.counters.iter().enumerate() {
@@ -388,8 +702,18 @@ impl MetricsSnapshot {
             push_json_str(&mut out, name);
             let _ = write!(out, ": {v}");
         }
-        let _ =
-            write!(out, "\n  }},\n  \"dropped_trace_events\": {}\n}}\n", self.dropped_trace_events);
+        out.push_str("\n  },\n  \"alloc\": ");
+        match &self.alloc {
+            Some(a) => {
+                let _ = write!(
+                    out,
+                    "{{\"total_bytes\": {}, \"total_count\": {}, \"in_use_bytes\": {}, \"peak_in_use_bytes\": {}}}",
+                    a.total_bytes, a.total_count, a.in_use_bytes, a.peak_in_use_bytes
+                );
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(out, ",\n  \"dropped_trace_events\": {}\n}}\n", self.dropped_trace_events);
         out
     }
 
@@ -400,17 +724,24 @@ impl MetricsSnapshot {
         rows.sort_by(|a, b| b.total_s.total_cmp(&a.total_s));
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<28} {:>8} {:>12} {:>12} {:>12}\n",
-            "stage", "count", "total_ms", "mean_ms", "p95_ms"
+            "{:<28} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+            "stage", "count", "total_ms", "mean_ms", "p95_ms", "p99_ms"
         ));
         for s in rows {
             out.push_str(&format!(
-                "{:<28} {:>8} {:>12.3} {:>12.4} {:>12.4}\n",
+                "{:<28} {:>8} {:>12.3} {:>12.4} {:>12.4} {:>12.4}\n",
                 s.name,
                 s.count,
                 s.total_s * 1e3,
                 s.mean_s * 1e3,
-                s.p95_s * 1e3
+                s.p95_s * 1e3,
+                s.p99_s * 1e3
+            ));
+        }
+        if let Some(a) = &self.alloc {
+            out.push_str(&format!(
+                "alloc {:>20} bytes in {} calls, peak in-use {} bytes\n",
+                a.total_bytes, a.total_count, a.peak_in_use_bytes
             ));
         }
         for (name, v) in &self.counters {
@@ -432,14 +763,19 @@ pub fn write_metrics(path: &str) -> std::io::Result<()> {
 // ---------------------------------------------------------------------------
 
 /// Serialize all buffered spans to Chrome trace-event JSON: an object with
-/// a `traceEvents` array of complete (`"ph": "X"`) events, loadable in
-/// Perfetto or `chrome://tracing`.
+/// a `traceEvents` array of complete (`"ph": "X"`) events plus periodic
+/// counter (`"ph": "C"`) samples — `counter.<name>` tracks for every
+/// pipeline [`Counter`] and `latency.<stage>` tracks carrying the running
+/// p50/p95 (in ms) of each stage histogram. Loadable in Perfetto or
+/// `chrome://tracing`.
 pub fn chrome_trace_json() -> String {
     let reg = registry().lock();
     let mut out = String::with_capacity(64 + 96 * reg.events.len());
     out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
-    for (i, e) in reg.events.iter().enumerate() {
-        out.push_str(if i == 0 { "\n" } else { ",\n" });
+    let mut first = true;
+    for e in reg.events.iter() {
+        out.push_str(if first { "\n" } else { ",\n" });
+        first = false;
         out.push_str("{\"name\": ");
         push_json_str(&mut out, e.name);
         out.push_str(", \"cat\": \"lsm\", \"ph\": \"X\", \"ts\": ");
@@ -447,6 +783,35 @@ pub fn chrome_trace_json() -> String {
         out.push_str(", \"dur\": ");
         push_json_f64(&mut out, e.dur_us);
         let _ = write!(out, ", \"pid\": 1, \"tid\": {}}}", e.tid);
+    }
+    // Counter tracks: only counters that ever became nonzero get a track,
+    // so idle counters don't clutter the timeline.
+    let live: Vec<usize> = (0..Counter::ALL.len())
+        .filter(|&i| reg.counter_samples.iter().any(|s| s.counters[i] > 0))
+        .collect();
+    for s in reg.counter_samples.iter() {
+        for &i in &live {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            out.push_str("{\"name\": ");
+            push_json_str(&mut out, &format!("counter.{}", Counter::ALL[i].name()));
+            out.push_str(", \"cat\": \"lsm\", \"ph\": \"C\", \"ts\": ");
+            push_json_f64(&mut out, s.ts_us);
+            let _ = write!(out, ", \"pid\": 1, \"args\": {{\"value\": {}}}}}", s.counters[i]);
+        }
+        for (stage, p50_s, p95_s) in s.stage_pcts.iter() {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            out.push_str("{\"name\": ");
+            push_json_str(&mut out, &format!("latency.{stage}"));
+            out.push_str(", \"cat\": \"lsm\", \"ph\": \"C\", \"ts\": ");
+            push_json_f64(&mut out, s.ts_us);
+            out.push_str(", \"pid\": 1, \"args\": {\"p50_ms\": ");
+            push_json_f64(&mut out, p50_s * 1e3);
+            out.push_str(", \"p95_ms\": ");
+            push_json_f64(&mut out, p95_s * 1e3);
+            out.push_str("}}");
+        }
     }
     out.push_str("\n]}\n");
     out
@@ -549,6 +914,11 @@ mod tests {
         assert!(outer.total_s >= inner.total_s);
         assert!(inner.min_s > 0.0 && inner.min_s <= inner.max_s);
         assert!(outer.p95_s >= outer.p50_s);
+        assert!(outer.p99_s >= outer.p95_s);
+        // The histogram saw exactly the recorded spans.
+        assert_eq!(outer.hist.count, 1);
+        assert_eq!(inner.hist.count, 2);
+        assert!(inner.hist.max_ns > 0);
     }
 
     #[test]
@@ -559,10 +929,14 @@ mod tests {
         add(Counter::PseudoLabels, 3);
         add(Counter::PseudoLabels, 4);
         add(Counter::EncoderForwards, 1);
+        add(Counter::QuantForwards, 2);
+        add(Counter::JournalFsyncs, 1);
         disable();
         let snap = snapshot();
         assert_eq!(snap.counter("pseudo_labels"), 7);
         assert_eq!(snap.counter("encoder_forwards"), 1);
+        assert_eq!(snap.counter("quant_forwards"), 2);
+        assert_eq!(snap.counter("journal_fsyncs"), 1);
         assert_eq!(snap.counter("attrs_featurized"), 0);
         reset();
         assert_eq!(snapshot().counter("pseudo_labels"), 0);
@@ -592,26 +966,68 @@ mod tests {
     }
 
     #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = Histogram::new();
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(1023), 9);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 63);
+
+        for ns in [100u64, 200, 400, 800, 100_000] {
+            h.record_ns(ns);
+        }
+        let s = h.snap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum_ns, 101_500);
+        assert_eq!(s.max_ns, 100_000);
+        // rank(50, n=5) = 2 -> 400ns lives in bucket 8 [256,512); midpoint 362.
+        let p50 = s.percentile_ns(50.0);
+        assert!((p50 / 400.0 - 1.0).abs() < 0.5, "p50 {p50} not within half of 400");
+        // p100 lands in the max's bucket: within a factor of 2 of the exact
+        // max, never above it (estimates are clamped to max_ns).
+        let p100 = s.percentile_ns(100.0);
+        assert!((50_000.0..=100_000.0).contains(&p100), "p100 {p100}");
+        assert_eq!(HistogramSnapshot::default().percentile_ns(50.0), 0.0);
+        // Percentiles are monotone in p.
+        assert!(s.percentile_ns(95.0) >= s.percentile_ns(50.0));
+    }
+
+    #[test]
     fn trace_and_metrics_json_are_wellformed() {
         let _g = serial();
         reset();
         enable();
-        {
-            let _s = span("json.stage");
-            busy(100);
-        }
+        // Count first so the periodic samples see a nonzero value, then
+        // enough spans to trip at least one counter-track sample.
         add(Counter::HeadPairs, 11);
+        for _ in 0..(COUNTER_SAMPLE_EVERY + 2) {
+            let _s = span("json.stage");
+            busy(5);
+        }
         disable();
 
         let metrics = snapshot().to_json();
         assert_json(&metrics);
+        assert!(metrics.contains("\"schema_version\": 2"));
         assert!(metrics.contains("\"json.stage\""));
         assert!(metrics.contains("\"head_pairs\": 11"));
+        assert!(metrics.contains("\"p99_s\""));
+        assert!(metrics.contains("\"hist\""));
+        assert!(metrics.contains("\"buckets\""));
+        #[cfg(not(feature = "alloc-track"))]
+        assert!(metrics.contains("\"alloc\": null"));
 
         let trace = chrome_trace_json();
         assert_json(&trace);
         assert!(trace.contains("\"traceEvents\""));
         assert!(trace.contains("\"ph\": \"X\""));
+        assert!(trace.contains("\"ph\": \"C\""), "counter tracks missing: {trace}");
+        assert!(trace.contains("\"counter.head_pairs\""));
+        assert!(trace.contains("\"latency.json.stage\""));
     }
 
     #[test]
@@ -619,15 +1035,6 @@ mod tests {
         let mut s = String::new();
         push_json_str(&mut s, "a\"b\\c\nd\te\u{1}");
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
-    }
-
-    #[test]
-    fn percentile_nearest_rank() {
-        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
-        assert_eq!(percentile(&v, 50.0), 3.0);
-        assert_eq!(percentile(&v, 95.0), 5.0);
-        assert_eq!(percentile(&v, 0.0), 1.0);
-        assert_eq!(percentile(&[], 50.0), 0.0);
     }
 
     // -- a tiny recursive-descent JSON validity checker for the tests -----

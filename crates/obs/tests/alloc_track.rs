@@ -1,0 +1,76 @@
+//! Integration test for the `alloc-track` counting allocator: installs
+//! [`lsm_obs::CountingAlloc`] as this test binary's global allocator and
+//! checks that global totals grow, peak tracks live bytes, and span-scoped
+//! allocation deltas land on the owning stage.
+//!
+//! The whole file is feature-gated: without `--features alloc-track` it
+//! compiles to an empty test binary.
+#![cfg(feature = "alloc-track")]
+
+#[global_allocator]
+static ALLOC: lsm_obs::CountingAlloc = lsm_obs::CountingAlloc;
+
+#[test]
+fn global_totals_and_peak_track_allocations() {
+    let before = lsm_obs::alloc_stats().expect("alloc-track feature is on");
+    // The test harness itself allocates, so totals are already nonzero.
+    assert!(before.total_bytes > 0 && before.total_count > 0);
+    assert!(before.peak_in_use_bytes >= before.in_use_bytes);
+
+    const BIG: usize = 1 << 20;
+    let buf = vec![7u8; BIG];
+    let mid = lsm_obs::alloc_stats().unwrap();
+    assert!(
+        mid.total_bytes >= before.total_bytes + BIG as u64,
+        "1MiB allocation not counted: {} -> {}",
+        before.total_bytes,
+        mid.total_bytes
+    );
+    assert!(mid.total_count > before.total_count);
+    assert!(mid.peak_in_use_bytes >= before.in_use_bytes + BIG as u64);
+
+    drop(buf);
+    let after = lsm_obs::alloc_stats().unwrap();
+    // Freeing must shrink live bytes below the held-buffer level; the
+    // cumulative totals never decrease.
+    assert!(after.in_use_bytes < mid.in_use_bytes);
+    assert!(after.total_bytes >= mid.total_bytes);
+}
+
+#[test]
+fn span_attributes_allocation_deltas_to_stages() {
+    lsm_obs::reset();
+    lsm_obs::enable();
+    {
+        let _s = lsm_obs::span("alloc.heavy");
+        let v = vec![1u8; 200_000];
+        std::hint::black_box(&v);
+    }
+    {
+        let _s = lsm_obs::span("alloc.light");
+        std::hint::black_box(3u32);
+    }
+    lsm_obs::disable();
+    let snap = lsm_obs::snapshot();
+
+    let heavy = snap.stage("alloc.heavy").expect("heavy stage recorded");
+    assert!(
+        heavy.alloc_bytes >= 200_000,
+        "200kB vec not attributed to its span: {} bytes",
+        heavy.alloc_bytes
+    );
+    assert!(heavy.alloc_count >= 1);
+
+    let light = snap.stage("alloc.light").expect("light stage recorded");
+    assert!(
+        light.alloc_bytes < 200_000,
+        "allocation-free span charged {} bytes",
+        light.alloc_bytes
+    );
+
+    // The v2 JSON surfaces both the per-stage fields and the alloc section.
+    let json = snap.to_json();
+    assert!(json.contains("\"alloc_bytes\""));
+    assert!(json.contains("\"total_bytes\""));
+    assert!(json.contains("\"peak_in_use_bytes\""));
+}

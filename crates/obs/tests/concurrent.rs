@@ -61,6 +61,39 @@ fn concurrent_spans_and_counters_aggregate_exactly() {
 }
 
 #[test]
+fn histogram_hammered_from_8_threads_loses_nothing() {
+    const THREADS: usize = 8;
+    const RECORDS_PER_THREAD: u64 = 10_000;
+
+    // A standalone histogram needs no sink state, but keep the tests
+    // serialized anyway — they share the process.
+    let _serial = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let hist = lsm_obs::Histogram::new();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS as u64 {
+            let hist = &hist;
+            scope.spawn(move || {
+                for i in 0..RECORDS_PER_THREAD {
+                    // Spread records across many buckets, deterministically.
+                    hist.record_ns(1 + (t * RECORDS_PER_THREAD + i) % (1 << 20));
+                }
+            });
+        }
+    });
+
+    let snap = hist.snap();
+    let total = THREADS as u64 * RECORDS_PER_THREAD;
+    assert_eq!(snap.count, total, "lost histogram records under contention");
+    assert_eq!(snap.buckets.iter().sum::<u64>(), total, "bucket sum disagrees with count");
+    assert!(snap.max_ns >= 1 && snap.max_ns < (1 << 20));
+    assert!(snap.sum_ns > 0);
+    let p50 = snap.percentile_ns(50.0);
+    let p99 = snap.percentile_ns(99.0);
+    assert!(p50 > 0.0 && p50 <= p99 && p99 <= snap.max_ns as f64);
+}
+
+#[test]
 fn toggling_mid_flight_never_corrupts_aggregates() {
     let _serial = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
     for _ in 0..50 {

@@ -1,0 +1,59 @@
+//! Property tests for the log₂-bucket latency histogram: its nearest-rank
+//! percentile estimates must stay within one bucket's relative error (a
+//! factor of 2) of the exact sort-based nearest-rank percentiles, for any
+//! sample set and any percentile.
+
+use lsm_obs::Histogram;
+use proptest::prelude::*;
+
+/// Exact nearest-rank percentile with the same rank formula the histogram
+/// uses: `rank = round(p/100 · (n-1))` over the ascending sort.
+fn exact_percentile_ns(samples: &[u64], p: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+proptest! {
+    #[test]
+    fn percentiles_within_one_bucket_of_exact(
+        // >= 1ns: a 0ns sample has no meaningful relative error.
+        samples in proptest::collection::vec(1u64..1u64 << 40, 1..200),
+        p in 0.0f64..100.0,
+    ) {
+        let h = Histogram::new();
+        for &ns in &samples {
+            h.record_ns(ns);
+        }
+        let snap = h.snap();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.sum_ns, samples.iter().sum::<u64>());
+        prop_assert_eq!(snap.max_ns, *samples.iter().max().unwrap());
+
+        let exact = exact_percentile_ns(&samples, p) as f64;
+        let est = snap.percentile_ns(p);
+        // One log₂ bucket spans a factor of 2; the geometric-midpoint
+        // estimate (clamped to max) is within √2 ≤ 2 of the exact value.
+        prop_assert!(
+            est >= exact / 2.0 && est <= exact * 2.0,
+            "p{:.1}: estimate {} vs exact {} (ratio {})",
+            p, est, exact, est / exact
+        );
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_p(
+        samples in proptest::collection::vec(1u64..1u64 << 40, 1..100),
+        lo in 0.0f64..100.0,
+        hi in 0.0f64..100.0,
+    ) {
+        let h = Histogram::new();
+        for &ns in &samples {
+            h.record_ns(ns);
+        }
+        let snap = h.snap();
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        prop_assert!(snap.percentile_ns(lo) <= snap.percentile_ns(hi));
+    }
+}

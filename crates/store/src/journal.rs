@@ -72,9 +72,13 @@ impl JournalWriter {
         Ok(())
     }
 
-    /// Flushes appended records to stable storage.
+    /// Flushes appended records to stable storage. The fsync is the WAL's
+    /// tail-latency bottleneck, so it gets its own span (histogram) and
+    /// counter.
     pub fn sync(&mut self) -> Result<(), StoreError> {
+        let _span = lsm_obs::span("journal.fsync");
         self.file.sync_data()?;
+        lsm_obs::add(lsm_obs::Counter::JournalFsyncs, 1);
         Ok(())
     }
 

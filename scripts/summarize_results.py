@@ -1,11 +1,105 @@
 #!/usr/bin/env python3
 """Summarizes results/*.json into the markdown blocks EXPERIMENTS.md uses.
 
-Usage: python3 scripts/summarize_results.py [results_dir]
+Usage:
+  python3 scripts/summarize_results.py [results_dir]
+  python3 scripts/summarize_results.py --metrics <snapshot.json>
+  python3 scripts/summarize_results.py --self-test
+
+``--metrics`` renders a ``--metrics-out`` snapshot (the v2 schema with
+histograms/percentiles/alloc, or the original v1 without them) as a
+markdown table. ``--self-test`` checks that reader against embedded v1
+and v2 fixtures — the back-compat gate for the snapshot schema.
 """
 import json
 import sys
 from pathlib import Path
+
+
+def metrics_summary(snap: dict) -> list[str]:
+    """Renders a metrics snapshot (schema v1 or v2) as markdown lines.
+
+    v1 snapshots have no ``schema_version`` key and their stages carry
+    only count/total/mean/min/max/p50/p95; v2 adds ``p99_s``, the
+    ``hist`` block, per-stage alloc columns, and a top-level ``alloc``
+    section. The reader requires only the v1 fields and treats
+    everything newer as optional.
+    """
+    version = snap.get("schema_version", 1)
+    lines = [f"## Metrics snapshot (schema v{version})", ""]
+    lines.append("| stage | count | total_s | mean_ms | p50_ms | p95_ms | p99_ms | alloc |")
+    lines.append("|---|---|---|---|---|---|---|---|")
+
+    def ms(stage: dict, key: str) -> str:
+        value = stage.get(key)  # p99_s/alloc are v2-only: absent in v1
+        return f"{value * 1e3:.3f}" if value is not None else "—"
+
+    for name, stage in sorted(snap["stages"].items()):
+        alloc = stage.get("alloc_bytes")
+        alloc_s = f"{alloc / 1024:.0f}KiB" if alloc else "—"
+        lines.append(
+            f"| {name} | {stage['count']} | {stage['total_s']:.3f} "
+            f"| {ms(stage, 'mean_s')} | {ms(stage, 'p50_s')} "
+            f"| {ms(stage, 'p95_s')} | {ms(stage, 'p99_s')} | {alloc_s} |"
+        )
+    counters = ", ".join(f"{k}={v}" for k, v in sorted(snap["counters"].items()) if v)
+    lines += ["", f"counters: {counters or 'none'}"]
+    alloc = snap.get("alloc")
+    if alloc:
+        lines.append(
+            f"alloc: total {alloc['total_bytes'] / 1e6:.1f}MB in "
+            f"{alloc['total_count']} allocations, peak in-use "
+            f"{alloc['peak_in_use_bytes'] / 1e6:.1f}MB"
+        )
+    return lines
+
+
+V1_FIXTURE = {
+    "stages": {
+        "session.respond": {
+            "count": 19, "total_s": 1.9, "mean_s": 0.1, "min_s": 0.05,
+            "max_s": 0.2, "p50_s": 0.09, "p95_s": 0.18,
+        },
+    },
+    "counters": {"attrs_featurized": 42, "gemm_calls": 0},
+    "dropped_trace_events": 0,
+}
+
+V2_FIXTURE = {
+    "schema_version": 2,
+    "stages": {
+        "session.respond": {
+            "count": 19, "total_s": 1.9, "mean_s": 0.1, "min_s": 0.05,
+            "max_s": 0.2, "p50_s": 0.09, "p95_s": 0.18, "p99_s": 0.19,
+            "alloc_bytes": 1048576, "alloc_count": 300,
+            "hist": {"count": 19, "sum_ns": 1900000000, "max_ns": 200000000,
+                     "buckets": [[26, 10], [27, 9]]},
+        },
+    },
+    "counters": {"attrs_featurized": 42, "journal_fsyncs": 7},
+    "alloc": {"total_bytes": 5000000, "total_count": 1200,
+              "in_use_bytes": 100000, "peak_in_use_bytes": 2000000},
+    "dropped_trace_events": 0,
+}
+
+
+def self_test() -> None:
+    """v1-compat gate: the reader must handle both snapshot schemas."""
+    v1 = metrics_summary(V1_FIXTURE)
+    assert any("session.respond | 19 | 1.900" in line for line in v1), v1
+    assert any("| 180.000 | — | —" in line for line in v1), v1  # no p99/alloc in v1
+    assert any("attrs_featurized=42" in line for line in v1), v1
+
+    v2 = metrics_summary(V2_FIXTURE)
+    assert v2[0].endswith("(schema v2)"), v2
+    assert any("| 190.000 | 1024KiB" in line for line in v2), v2
+    assert any("journal_fsyncs=7" in line for line in v2), v2
+    assert any("peak in-use 2.0MB" in line for line in v2), v2
+    # A v2 snapshot read by v1-era logic: the v1 keys are all still there.
+    for stage in V2_FIXTURE["stages"].values():
+        for key in ("count", "total_s", "mean_s", "min_s", "max_s", "p50_s", "p95_s"):
+            assert key in stage, key
+    print("summarize_results --self-test: PASS (v1 and v2 snapshots both render)")
 
 
 def load(results: Path, name: str):
@@ -95,6 +189,12 @@ def fig9(results: Path) -> None:
 
 
 def main() -> None:
+    if len(sys.argv) > 1 and sys.argv[1] == "--self-test":
+        self_test()
+        return
+    if len(sys.argv) > 2 and sys.argv[1] == "--metrics":
+        print("\n".join(metrics_summary(json.loads(Path(sys.argv[2]).read_text()))))
+        return
     results = Path(sys.argv[1] if len(sys.argv) > 1 else "results")
     table3(results)
     table4(results)

@@ -41,16 +41,40 @@ if command -v python3 >/dev/null 2>&1; then
   python3 - "$metrics" <<'EOF'
 import json, sys
 snap = json.load(open(sys.argv[1]))
+assert snap.get("schema_version") == 2, snap.get("schema_version")
 respond = snap["stages"]["session.respond"]
 assert respond["count"] > 0 and respond["total_s"] > 0, respond
+# v2: per-stage log2 histogram consistent with the aggregate count.
+assert respond["p99_s"] >= respond["p95_s"] >= respond["p50_s"], respond
+hist = respond["hist"]
+assert sum(n for _, n in hist["buckets"]) == respond["count"] == hist["count"], hist
 assert snap["counters"]["attrs_featurized"] > 0, snap["counters"]
+assert "alloc" in snap, "v2 snapshots carry an alloc section (null unless alloc-track)"
 print("metrics snapshot OK:",
-      f"{respond['count']} iterations, respond total {respond['total_s']:.3f}s")
+      f"{respond['count']} iterations, respond total {respond['total_s']:.3f}s,"
+      f" p95 {respond['p95_s']*1e3:.1f}ms")
 EOF
+  echo "==> metrics reader: v1-compat self-test + v2 render"
+  python3 scripts/summarize_results.py --self-test
+  python3 scripts/summarize_results.py --metrics "$metrics" >/dev/null
 else
   grep -q '"session.respond"' "$metrics"
+  grep -q '"schema_version": 2' "$metrics"
   echo "metrics snapshot OK (python3 unavailable; key check only)"
 fi
+
+echo "==> alloc-track: counting-allocator tests (opt-in feature)"
+cargo test -q -p lsm-obs --features alloc-track --test alloc_track -- --test-threads=1
+
+echo "==> perf-regression gate self-test (injected 20% slowdown must trip)"
+cargo run --release -p lsm-bench --bin perf_report -- --selftest-compare
+
+echo "==> perf_report smoke: <1% disabled-histogram guard + advisory compare"
+# LSM_FAST keeps this quick; the guard failing exits non-zero even in
+# advisory mode, so this doubles as the histogram disabled-overhead smoke.
+LSM_FAST=1 cargo run --release -p lsm-bench --bin perf_report -- /tmp/lsm_tier1_bench.json \
+  --trajectory /tmp/lsm_tier1_traj.json --compare results/BENCH_nn.json --advisory >/dev/null
+test -s /tmp/lsm_tier1_traj.json
 
 echo "==> persistence smoke: journal a session, tear its tail off, resume"
 journal=/tmp/lsm_tier1_session.journal
