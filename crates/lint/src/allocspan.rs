@@ -1,0 +1,177 @@
+//! R12 — allocation inside an instrumented span scope on alloc-tracked
+//! hot paths.
+//!
+//! The PR 7 alloc-tracker attributes every heap allocation to the
+//! innermost open span. On the paths it showed hot
+//! ([`crate::config::ALLOC_HOT_FILES`]: the fast-encoder forward loop and
+//! the journal append/fsync path), an allocation inside a span scope is
+//! charged to *every timed iteration* — it inflates the latency histogram
+//! the span exists to measure, and it is usually an accidental `vec!` /
+//! `collect()` / `format!` that a hoisted scratch buffer removes.
+//!
+//! A span scope is either the rest of the enclosing block after a
+//! `let _span = lsm_obs::span(..);` binding (RAII guard, dropped at block
+//! end), or the closure body of `lsm_obs::timed(.., || { .. })`. Resizes
+//! and `reserve` calls on pre-existing buffers are not flagged — amortized
+//! reuse is the sanctioned pattern the rule pushes toward.
+
+use std::collections::BTreeMap;
+
+use crate::config;
+use crate::items::matching;
+use crate::rules::{Related, Violation};
+use crate::scan::Tok;
+use crate::semrules::FileCtx;
+
+/// Constructor paths (`Type::method`) that allocate.
+const ALLOC_PATHS: &[(&str, &[&str])] = &[
+    ("Vec", &["new", "with_capacity", "from"]),
+    ("String", &["new", "with_capacity", "from"]),
+    ("Box", &["new"]),
+    ("VecDeque", &["new", "with_capacity"]),
+    ("BTreeMap", &["new"]),
+    ("BTreeSet", &["new"]),
+];
+
+/// Methods that allocate a fresh owned value from a borrowed one.
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "to_string", "collect"];
+
+/// Runs R12 over the alloc-tracked hot-path files.
+pub fn check_files(files: &BTreeMap<String, FileCtx>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (rel, ctx) in files {
+        if config::ALLOC_HOT_FILES.contains(&rel.as_str()) && config::is_library_code(rel) {
+            check_file(rel, ctx, &mut out);
+        }
+    }
+    out
+}
+
+fn check_file(rel: &str, ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let toks = &ctx.toks;
+    for k in 0..toks.len() {
+        if in_test(ctx, toks[k].pos()) {
+            continue;
+        }
+        if !(toks[k].is_ident("lsm_obs") && toks.get(k + 1).is_some_and(|t| t.is_punct("::"))) {
+            continue;
+        }
+        let Some(callee) = toks.get(k + 2).and_then(|t| t.ident()) else { continue };
+        let Some(open) = (k + 3..toks.len().min(k + 5)).find(|&j| toks[j].is_punct("(")) else {
+            continue;
+        };
+        let scope = match callee {
+            // `let _span = lsm_obs::span(..);` — guard lives to block end.
+            "span" => {
+                let Some(close) = matching(toks, open, "(", ")") else { continue };
+                span_guard_scope(toks, k, close)
+            }
+            // `lsm_obs::timed(.., || { .. })` — the closure body is timed.
+            "timed" => matching(toks, open, "(", ")").map(|close| (open + 1, close)),
+            _ => continue,
+        };
+        let Some((lo, hi)) = scope else { continue };
+        let span_line = ctx.view.line_of(toks[k].pos());
+        let span_name = span_name(ctx, toks[k].pos());
+        for j in lo..hi {
+            if let Some(what) = alloc_marker(toks, j) {
+                out.push(Violation {
+                    rule: "R12-alloc-in-span",
+                    file: rel.to_string(),
+                    line: ctx.view.line_of(toks[j].pos()),
+                    message: format!(
+                        "`{what}` allocates inside the `{span_name}` span scope (opened at \
+                         line {span_line}); the alloc-tracker charges it to every timed \
+                         iteration — hoist a scratch buffer outside the span or move the \
+                         allocation out of the timed region"
+                    ),
+                    suppressed: None,
+                    item: None,
+                    related: vec![Related {
+                        file: rel.to_string(),
+                        line: span_line,
+                        note: format!("`{span_name}` span opened here"),
+                    }],
+                });
+            }
+        }
+    }
+}
+
+/// Token range from the end of the span-binding statement to the end of
+/// the enclosing block (where the RAII guard drops).
+fn span_guard_scope(toks: &[Tok], span_tok: usize, call_close: usize) -> Option<(usize, usize)> {
+    // Only a `let`-bound span guards a scope; a bare `lsm_obs::span(..);`
+    // statement drops immediately (R2's concern, not ours).
+    let stmt_start = (0..span_tok)
+        .rev()
+        .find(|&j| toks[j].is_punct(";") || toks[j].is_punct("{") || toks[j].is_punct("}"))
+        .map(|j| j + 1)
+        .unwrap_or(0);
+    if !toks.get(stmt_start).is_some_and(|t| t.is_ident("let")) {
+        return None;
+    }
+    // Enclosing block: innermost `{` still open at the span site.
+    let mut stack: Vec<usize> = Vec::new();
+    for (j, t) in toks.iter().enumerate() {
+        if j >= span_tok {
+            break;
+        }
+        if t.is_punct("{") {
+            stack.push(j);
+        } else if t.is_punct("}") {
+            stack.pop();
+        }
+    }
+    let open_block = *stack.last()?;
+    let close_block = matching(toks, open_block, "{", "}")?;
+    let stmt_end = (call_close..close_block).find(|&j| toks[j].is_punct(";"))?;
+    Some((stmt_end + 1, close_block))
+}
+
+/// The span's name for the message: the first string literal of the call
+/// in the raw source, or `<dynamic>` when the name is computed.
+fn span_name(ctx: &FileCtx, pos: usize) -> String {
+    let raw = &ctx.view.raw;
+    let stmt_end = raw[pos..].find(';').map(|p| pos + p).unwrap_or(raw.len());
+    let Some(q1) = raw[pos..stmt_end].find('"').map(|p| pos + p) else {
+        return "<dynamic>".to_string();
+    };
+    match raw[q1 + 1..stmt_end].find('"') {
+        Some(q2) => raw[q1 + 1..q1 + 1 + q2].to_string(),
+        None => "<dynamic>".to_string(),
+    }
+}
+
+/// Is the token at `j` the start of an allocating expression? Returns a
+/// short description.
+fn alloc_marker(toks: &[Tok], j: usize) -> Option<String> {
+    let t = &toks[j];
+    if (t.is_ident("vec") || t.is_ident("format"))
+        && toks.get(j + 1).is_some_and(|x| x.is_punct("!"))
+    {
+        return Some(format!("{}!", t.ident().unwrap_or_default()));
+    }
+    if let Some(ty) = t.ident() {
+        if let Some((_, methods)) = ALLOC_PATHS.iter().find(|(p, _)| *p == ty) {
+            if toks.get(j + 1).is_some_and(|x| x.is_punct("::")) {
+                if let Some(m) = toks.get(j + 2).and_then(|x| x.ident()) {
+                    if methods.contains(&m) {
+                        return Some(format!("{ty}::{m}"));
+                    }
+                }
+            }
+        }
+    }
+    if t.is_punct(".")
+        && toks.get(j + 2).is_some_and(|x| x.is_punct("("))
+        && toks.get(j + 1).and_then(|x| x.ident()).is_some_and(|m| ALLOC_METHODS.contains(&m))
+    {
+        return Some(format!(".{}()", toks[j + 1].ident().unwrap_or_default()));
+    }
+    None
+}
+
+fn in_test(ctx: &FileCtx, pos: usize) -> bool {
+    ctx.test_spans.iter().any(|&(a, b)| pos >= a && pos <= b)
+}

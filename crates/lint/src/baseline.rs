@@ -65,6 +65,36 @@ pub fn covered_flags(violations: &[Violation], baseline: &Counts) -> Vec<bool> {
         .collect()
 }
 
+/// Baseline entries that no longer correspond to anything in the tree,
+/// each with a human-readable reason. An entry is stale when its rule id
+/// is not in the catalog, its item key (`a::b::c` form) names a function
+/// the resolver no longer sees, or its file key names a path that no
+/// longer exists under `root`. Stale entries are debt the tree has already
+/// paid down — `--check-baseline` reports them and `--fix-baseline`
+/// (which re-counts from scratch) prunes them.
+pub fn stale_entries(
+    baseline: &Counts,
+    known_items: &std::collections::BTreeSet<String>,
+    root: &Path,
+) -> Vec<((String, String), String)> {
+    let items = known_items;
+    let mut out = Vec::new();
+    for (rule, item) in baseline.keys() {
+        let reason = if !crate::config::RULE_IDS.contains(&rule.as_str()) {
+            Some(format!("rule `{rule}` is not in the catalog"))
+        } else if item.contains("::") {
+            (!items.contains(item.as_str()))
+                .then(|| format!("item `{item}` no longer resolves to a function"))
+        } else {
+            (!root.join(item).is_file()).then(|| format!("file `{item}` no longer exists"))
+        };
+        if let Some(reason) = reason {
+            out.push(((rule.clone(), item.clone()), reason));
+        }
+    }
+    out
+}
+
 /// Serializes counts to the checked-in JSON format (sorted, one entry per
 /// line, trailing newline) so regeneration is diff-stable.
 pub fn to_json(counts: &Counts) -> String {
@@ -319,6 +349,7 @@ mod tests {
             line: 1,
             message: String::new(),
             suppressed: None,
+            related: Vec::new(),
             item: item.map(|s| s.to_string()),
         }
     }
@@ -374,6 +405,35 @@ mod tests {
             violation("R5-panic-policy", Some("nn::y::load")),
         ];
         assert_eq!(covered_flags(&vs, &baseline), vec![true, false]);
+    }
+
+    #[test]
+    fn stale_entries_flag_dead_rules_items_and_files() {
+        let mut baseline = Counts::new();
+        baseline.insert(("R1-hash-iter".into(), "core::featurize::tally".into()), 2);
+        baseline.insert(("R1-hash-iter".into(), "core::gone::forever".into()), 1);
+        baseline.insert(("R99-no-such-rule".into(), "core::featurize::tally".into()), 1);
+        baseline.insert(("R5-panic-policy".into(), "no/such/file.rs".into()), 1);
+        // A live file key stays.
+        baseline.insert(("R5-panic-policy".into(), "src/live.rs".into()), 1);
+        let known: std::collections::BTreeSet<String> =
+            ["core::featurize::tally".to_string()].into_iter().collect();
+        let root = std::env::temp_dir().join("lsm-lint-stale-entry-test");
+        std::fs::create_dir_all(root.join("src")).expect("temp root");
+        std::fs::write(root.join("src/live.rs"), "").expect("temp file");
+        let stale = stale_entries(&baseline, &known, &root);
+        let keys: Vec<&(String, String)> = stale.iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            keys,
+            vec![
+                &("R1-hash-iter".into(), "core::gone::forever".into()),
+                &("R5-panic-policy".into(), "no/such/file.rs".into()),
+                &("R99-no-such-rule".into(), "core::featurize::tally".into()),
+            ],
+        );
+        assert!(stale[0].1.contains("no longer resolves"));
+        assert!(stale[1].1.contains("no longer exists"));
+        assert!(stale[2].1.contains("not in the catalog"));
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! R10 — cast discipline on kernel paths: unchecked `as` narrowing of
+//! index/length/accumulator values, and wrapping arithmetic.
+//!
+//! Scope is [`crate::config::KERNEL_PATH_FILES`] — the SIMD microkernels,
+//! the int8/f16 quantization layer, and the fast encoder. There, a value
+//! that silently truncates is not a style problem: a `usize` length pushed
+//! through `as u16`, or an i32 accumulator through `as i16`, corrupts the
+//! score matrix without a panic, and only on inputs big enough that no
+//! unit test sees them.
+//!
+//! The rule uses the [`crate::dataflow`] def-use pass to decide which
+//! values are *risky*:
+//!
+//! * loop counters (`for i in 0..n`),
+//! * bindings initialized from `.len()`,
+//! * compound-assignment accumulators (`acc += ..`),
+//!
+//! and which are *checked* — defined through `clamp`/`min`/`max`/`%`/bit
+//! masks, or mentioned in an `assert!`/`debug_assert!`. A narrowing `as`
+//! whose operand references a risky, unchecked value is flagged. Widening
+//! loads (`wt[idx] as i16` where only the *index* is risky) are fine: the
+//! operand walk skips `[..]` index expressions.
+//!
+//! Independently, every `.wrapping_*` call outside tests is flagged:
+//! intentional bit-twiddling wraps (the `to_bits` magic-rounding trick)
+//! must state their invariant in a scoped allow; everything else should
+//! widen or use checked arithmetic.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::config;
+use crate::dataflow::{fn_flow, matching_back};
+use crate::items::matching;
+use crate::resolve::Workspace;
+use crate::rules::Violation;
+use crate::scan::Tok;
+use crate::semrules::FileCtx;
+
+/// Target widths an `as` cast can narrow into.
+const NARROW_TYPES: &[&str] = &["i8", "u8", "i16", "u16", "i32", "u32"];
+
+/// Wrapping-arithmetic methods R10 refuses without a stated invariant.
+const WRAPPING: &[&str] = &[
+    "wrapping_add",
+    "wrapping_sub",
+    "wrapping_mul",
+    "wrapping_neg",
+    "wrapping_shl",
+    "wrapping_shr",
+];
+
+/// Runs R10 over the kernel-path files of the workspace.
+pub fn check_workspace(ws: &Workspace, files: &BTreeMap<String, FileCtx>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in &ws.fns {
+        if f.item.in_test || !config::KERNEL_PATH_FILES.contains(&f.item.file.as_str()) {
+            continue;
+        }
+        let Some(ctx) = files.get(&f.item.file) else { continue };
+        let (lo, hi) = f.item.body;
+        if lo >= hi {
+            continue;
+        }
+        check_fn(&f.item.file, &f.fq, ctx, (lo, hi), &mut out);
+    }
+    out
+}
+
+fn check_fn(file: &str, fq: &str, ctx: &FileCtx, body: (usize, usize), out: &mut Vec<Violation>) {
+    let toks = &ctx.toks;
+    let flow = fn_flow(toks, body);
+    let (start, end) = flow.toks;
+
+    let mut risky: BTreeSet<&str> = BTreeSet::new();
+    let mut checked: BTreeSet<&str> = BTreeSet::new();
+    for def in &flow.defs {
+        if def.is_loop_var || def.is_accum {
+            risky.insert(def.name.as_str());
+        }
+        if def.has_init() {
+            if init_has_len(toks, def.init) {
+                risky.insert(def.name.as_str());
+            }
+            if init_is_checked(toks, def.init) {
+                checked.insert(def.name.as_str());
+            }
+        }
+    }
+    // `assert!(..)` / `debug_assert!(..)` mentioning a name checks it.
+    for k in start..end {
+        let is_assert =
+            toks[k].ident().is_some_and(|n| n == "assert" || n.starts_with("debug_assert"));
+        if is_assert && toks.get(k + 1).is_some_and(|t| t.is_punct("!")) {
+            if let Some(open) = (k + 2..end.min(k + 4)).find(|&j| toks[j].is_punct("(")) {
+                if let Some(close) = matching(toks, open, "(", ")") {
+                    for t in &toks[open..close.min(end)] {
+                        if let Some(n) = t.ident() {
+                            if let Some(name) = risky.get(n) {
+                                checked.insert(name);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for k in start..end {
+        if in_test(ctx, toks[k].pos()) {
+            continue;
+        }
+        // `.wrapping_*(` — wraps silently; either a deliberate bit trick
+        // (state it in a scoped allow) or a latent overflow bug.
+        if toks[k].is_punct(".")
+            && toks.get(k + 1).and_then(|t| t.ident()).is_some_and(|n| WRAPPING.contains(&n))
+            && toks.get(k + 2).is_some_and(|t| t.is_punct("("))
+        {
+            let method = toks[k + 1].ident().unwrap_or_default();
+            out.push(Violation {
+                rule: "R10-cast-discipline",
+                file: file.to_string(),
+                line: ctx.view.line_of(toks[k].pos()),
+                message: format!(
+                    "`.{method}(..)` in kernel code (`{fq}`) discards overflow silently; if \
+                     the wrap is a deliberate bit manipulation, state the invariant in a \
+                     scoped `lsm-lint: allow(R10, ..)`, otherwise widen the type or use \
+                     checked arithmetic"
+                ),
+                suppressed: None,
+                item: Some(fq.to_string()),
+                related: Vec::new(),
+            });
+        }
+        // `<operand> as <narrow>` with a risky, unchecked operand.
+        if !toks[k].is_ident("as") {
+            continue;
+        }
+        let Some(ty) = toks.get(k + 1).and_then(|t| t.ident()) else { continue };
+        if !NARROW_TYPES.contains(&ty) {
+            continue;
+        }
+        let op_start = operand_start(toks, k);
+        let names = operand_value_idents(toks, op_start, k);
+        // A wrapping call in the operand already got its own finding.
+        if names.iter().any(|n| WRAPPING.contains(&n.as_str())) {
+            continue;
+        }
+        let has_len = names.iter().any(|n| n == "len");
+        let risk = names.iter().find(|n| risky.contains(n.as_str()));
+        let (Some(what), false) = (
+            risk.cloned().or_else(|| has_len.then(|| "len()".to_string())),
+            risk.is_some_and(|n| checked.contains(n.as_str())),
+        ) else {
+            continue;
+        };
+        if stmt_is_checked(&ctx.view.code, toks[k].pos()) {
+            continue;
+        }
+        out.push(Violation {
+            rule: "R10-cast-discipline",
+            file: file.to_string(),
+            line: ctx.view.line_of(toks[k].pos()),
+            message: format!(
+                "narrowing `as {ty}` of index/length/accumulator value `{what}` in `{fq}` \
+                 truncates silently on large inputs; clamp or mask first (and \
+                 `debug_assert!` the range), or widen the target type"
+            ),
+            suppressed: None,
+            item: Some(fq.to_string()),
+            related: Vec::new(),
+        });
+    }
+}
+
+fn in_test(ctx: &FileCtx, pos: usize) -> bool {
+    ctx.test_spans.iter().any(|&(a, b)| pos >= a && pos <= b)
+}
+
+/// Does the initializer call `.len()`?
+fn init_has_len(toks: &[Tok], init: (usize, usize)) -> bool {
+    (init.0..init.1)
+        .any(|k| toks[k].is_ident("len") && toks.get(k + 1).is_some_and(|t| t.is_punct("(")))
+}
+
+/// Does the initializer pass through a range check (`clamp`/`min`/`max`,
+/// `%`, or a bit mask)?
+fn init_is_checked(toks: &[Tok], init: (usize, usize)) -> bool {
+    (init.0..init.1).any(|k| {
+        let t = &toks[k];
+        if t.is_punct("%") {
+            return true;
+        }
+        if t.is_punct("&") && toks.get(k + 1).and_then(|x| x.ident()).is_some_and(is_number) {
+            return true;
+        }
+        t.ident().is_some_and(|n| n == "clamp" || n == "min" || n == "max")
+            && toks.get(k + 1).is_some_and(|x| x.is_punct("("))
+    })
+}
+
+/// Does the statement around the cast itself apply a check?
+fn stmt_is_checked(code: &str, pos: usize) -> bool {
+    let start = code[..pos].rfind([';', '{', '}']).map(|p| p + 1).unwrap_or(0);
+    let end = code[pos..].find([';', '{', '}']).map(|p| pos + p).unwrap_or(code.len());
+    let stmt = &code[start..end];
+    ["clamp(", ".min(", ".max(", "debug_assert", "assert!", "% ", "& 0x"]
+        .iter()
+        .any(|m| stmt.contains(m))
+}
+
+/// The tokenizer lumps numeric literals in with identifiers; a "number" is
+/// an ident starting with a digit.
+fn is_number(n: &str) -> bool {
+    n.starts_with(|c: char| c.is_ascii_digit())
+}
+
+/// Token index where the operand of the `as` at `as_idx` begins: walks back
+/// over one postfix expression — call/index groups, `.`/`::` chains, a
+/// parenthesized group.
+fn operand_start(toks: &[Tok], as_idx: usize) -> usize {
+    let mut k = as_idx;
+    let mut i = as_idx as isize - 1;
+    while i >= 0 {
+        let t = &toks[i as usize];
+        if t.is_punct(")") || t.is_punct("]") {
+            let (l, r) = if t.is_punct(")") { ("(", ")") } else { ("[", "]") };
+            match matching_back(toks, i as usize, l, r) {
+                Some(open) => {
+                    k = open;
+                    i = open as isize - 1;
+                }
+                None => break,
+            }
+        } else if t.ident().is_some() {
+            k = i as usize;
+            if i >= 1
+                && (toks[(i - 1) as usize].is_punct(".") || toks[(i - 1) as usize].is_punct("::"))
+            {
+                i -= 2;
+            } else {
+                break;
+            }
+        } else if t.is_punct(".") {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    k
+}
+
+/// Identifiers in the operand that name values (not field/path segments),
+/// skipping everything inside `[..]` index expressions.
+fn operand_value_idents(toks: &[Tok], start: usize, end: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut bracket = 0i32;
+    for k in start..end {
+        let t = &toks[k];
+        if t.is_punct("[") {
+            bracket += 1;
+        } else if t.is_punct("]") {
+            bracket -= 1;
+        } else if bracket == 0 {
+            if let Some(n) = t.ident() {
+                if k > start && toks[k - 1].is_punct("::") {
+                    continue;
+                }
+                if !is_number(n) {
+                    out.push(n.to_string());
+                }
+            }
+        }
+    }
+    out
+}

@@ -38,11 +38,27 @@ pub const ENTROPY_ALLOWED_FILES: &[&str] = &[];
 pub const FLOAT_SCORE_CRATE_DIRS: &[&str] =
     &["core", "matchers", "nn", "text", "embedding", "datasets", "store", "schema", "bench"];
 
+/// Kernel-path files under rule R10 (unchecked narrowing / wrapping
+/// arithmetic): the SIMD microkernels, the int8/f16 quantization layer,
+/// and the graph-free fast encoder that dispatches them. These are the
+/// files where an index, length, or accumulator silently truncating is a
+/// score-corruption bug rather than a style issue.
+pub const KERNEL_PATH_FILES: &[&str] =
+    &["crates/nn/src/kernels.rs", "crates/nn/src/quant.rs", "crates/nn/src/fast.rs"];
+
+/// Files under rule R12 (allocation inside an instrumented span): the
+/// paths the PR 7 alloc-tracker showed hot — the fast-encoder forward
+/// loop and the journal append/fsync path. A `vec!`/`collect`/`format!`
+/// inside one of their span scopes charges a hidden allocation to every
+/// single iteration the histogram times.
+pub const ALLOC_HOT_FILES: &[&str] =
+    &["crates/nn/src/fast.rs", "crates/store/src/journal.rs", "crates/store/src/sink.rs"];
+
 /// Marker prefix of a suppression comment:
 /// `// lsm-lint: allow(rule-id, reason)`.
 pub const SUPPRESS_MARKER: &str = "lsm-lint: allow(";
 
-/// Identifiers of the eight rules, used in diagnostics and suppressions.
+/// Identifiers of the twelve rules, used in diagnostics and suppressions.
 pub const RULE_IDS: &[&str] = &[
     "R1-hash-iter",
     "R2-wall-clock",
@@ -52,6 +68,10 @@ pub const RULE_IDS: &[&str] = &[
     "R6-float-determinism",
     "R7-concurrency",
     "R8-panic-reachability",
+    "R9-taint",
+    "R10-cast-discipline",
+    "R11-lock-discipline",
+    "R12-alloc-in-span",
 ];
 
 /// One-line rationale per rule, shown by `--list-rules`.
@@ -88,7 +108,38 @@ pub const RULE_SUMMARIES: &[(&str, &str)] = &[
         "no io/serde unwrap/expect/panic! reachable from a pub API of a library crate \
          (call-graph-transitive R5)",
     ),
+    (
+        "R9-taint",
+        "no wall-clock/entropy/env-derived value reaching a deterministic score path through \
+         a binding or helper call (dataflow-transitive R2/R3)",
+    ),
+    (
+        "R10-cast-discipline",
+        "no unchecked `as` narrowing of index/length/accumulator values and no wrapping \
+         arithmetic in kernel/quant code; clamp, mask, or state the invariant in a scoped allow",
+    ),
+    (
+        "R11-lock-discipline",
+        "no lock-order cycles across the workspace call graph; Acquire loads must pair with a \
+         release-class write; no Relaxed spin-wait conditions",
+    ),
+    (
+        "R12-alloc-in-span",
+        "no hidden allocation inside an instrumented span scope on alloc-tracked hot paths; \
+         hoist a scratch buffer or move the allocation out of the timed region",
+    ),
 ];
+
+/// The SARIF `defaultConfiguration.level` for a rule. R12 is advisory
+/// (an allocation in a span is a perf smell, not a correctness bug); every
+/// other rule guards a correctness invariant.
+pub fn default_level(rule: &str) -> &'static str {
+    if rule.starts_with("R12") {
+        "warning"
+    } else {
+        "error"
+    }
+}
 
 /// The crate directory (`core`, `matchers`, ...) a root-relative path
 /// belongs to, if it lies under `crates/`.

@@ -1,0 +1,728 @@
+//! Intraprocedural dataflow over the token stream: def-use chains for the
+//! bindings of one function body, plus workspace-level taint propagation
+//! along the call graph.
+//!
+//! The engine is deliberately shallow — no types, no CFG — but it is
+//! enough to answer the two questions the dataflow rules (R9–R12) ask:
+//!
+//! 1. *Where does this value come from?* Every `let` binding, `for` loop
+//!    variable, and reassignment is a [`Def`] whose initializer token
+//!    range can be inspected for sources ([`direct_source`]), for uses of
+//!    other bindings, and for calls into taint-returning functions.
+//! 2. *Does it go anywhere?* [`uses_after`] finds the value-position uses
+//!    of a name, so a binding that is never read (the `let _span = ..`
+//!    guard idiom) never propagates anything.
+//!
+//! [`TaintAnalysis`] runs the per-function pass to a workspace fixpoint:
+//! a function whose return value is tainted (its tail expression or a
+//! `return` mentions a source or a tainted binding) taints the bindings
+//! of every caller that consumes its result, with call edges resolved by
+//! the same narrowed name matching as [`crate::callgraph`]. Chains are
+//! recorded hop by hop so rule R9 can print *how* the value was laundered
+//! and SARIF can attach the hops as `relatedLocations`.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::CallGraph;
+use crate::items::matching;
+use crate::resolve::Workspace;
+use crate::scan::Tok;
+use crate::semrules::FileCtx;
+
+/// One definition site in a function body.
+#[derive(Debug, Clone)]
+pub struct Def {
+    /// The bound name.
+    pub name: String,
+    /// Byte offset of the name token.
+    pub pos: usize,
+    /// Token-index range `[start, end)` of the initializer expression in
+    /// the file stream; empty (`start == end`) for bare declarations.
+    pub init: (usize, usize),
+    /// `x += ..`-family compound assignment (the def reads the old value).
+    pub is_accum: bool,
+    /// A `for` loop variable (the init range is the iterated expression).
+    pub is_loop_var: bool,
+}
+
+impl Def {
+    /// Does this def have an initializer?
+    pub fn has_init(&self) -> bool {
+        self.init.0 < self.init.1
+    }
+}
+
+/// Def-use view of one function body.
+#[derive(Debug, Default)]
+pub struct FnFlow {
+    /// Definition sites in source order.
+    pub defs: Vec<Def>,
+    /// Token-index range `[start, end)` of the body in the file stream.
+    pub toks: (usize, usize),
+}
+
+/// Token indices `[start, end)` of the tokens strictly inside the byte
+/// span `body` (the span of a function body including its braces).
+pub fn body_token_range(toks: &[Tok], body: (usize, usize)) -> (usize, usize) {
+    let (lo, hi) = body;
+    let start = toks.partition_point(|t| t.pos() <= lo);
+    let end = toks.partition_point(|t| t.pos() < hi);
+    (start, end)
+}
+
+/// Index of the token opening the bracket closed at `close`, scanning
+/// backward.
+pub(crate) fn matching_back(toks: &[Tok], close: usize, lhs: &str, rhs: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for k in (0..=close).rev() {
+        if toks[k].is_punct(rhs) {
+            depth += 1;
+        } else if toks[k].is_punct(lhs) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Extracts the def sites of one function body from the file token stream.
+pub fn fn_flow(toks: &[Tok], body: (usize, usize)) -> FnFlow {
+    let (start, end) = body_token_range(toks, body);
+    let mut defs = Vec::new();
+    let mut i = start;
+    while i < end {
+        if toks[i].is_ident("let") {
+            let (names, after_pat) = let_pattern(toks, i + 1, end);
+            if let Some((init, next)) = let_init(toks, after_pat, end) {
+                for (name, pos) in names {
+                    defs.push(Def { name, pos, init, is_accum: false, is_loop_var: false });
+                }
+                i = next;
+                continue;
+            }
+            i = after_pat;
+            continue;
+        }
+        if toks[i].is_ident("for") {
+            if let Some(def_list) = for_defs(toks, i, end) {
+                let next = def_list.last().map(|d: &Def| d.init.1).unwrap_or(i + 1);
+                defs.extend(def_list);
+                i = next;
+                continue;
+            }
+        }
+        // Reassignment at statement start: `x = ..;`, `x += ..;`,
+        // `*x += ..;`, `x[i] -= ..;`. Match arms (`pat => ..`) are fenced
+        // off by rejecting `=` followed by `>`.
+        let at_stmt_start = i == start
+            || toks[i - 1].is_punct(";")
+            || toks[i - 1].is_punct("{")
+            || toks[i - 1].is_punct("}");
+        let mut j = i;
+        if at_stmt_start && toks[j].is_punct("*") {
+            j += 1;
+        }
+        if at_stmt_start && toks.get(j).and_then(|t| t.ident()).is_some() {
+            let name_idx = j;
+            let mut k = j + 1;
+            while k < end && toks[k].is_punct("[") {
+                match matching(toks, k, "[", "]") {
+                    Some(close) => k = close + 1,
+                    None => break,
+                }
+            }
+            let (is_assign, is_accum, eq_idx) = assign_op(toks, k, end);
+            if is_assign {
+                if let Some((init, next)) = init_to_semi(toks, eq_idx + 1, end) {
+                    defs.push(Def {
+                        name: toks[name_idx].ident().unwrap_or_default().to_string(),
+                        pos: toks[name_idx].pos(),
+                        init,
+                        is_accum,
+                        is_loop_var: false,
+                    });
+                    i = next;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    FnFlow { defs, toks: (start, end) }
+}
+
+/// Names bound by the pattern starting at `i` (after `let`), and the token
+/// index just past the pattern.
+fn let_pattern(toks: &[Tok], mut i: usize, end: usize) -> (Vec<(String, usize)>, usize) {
+    let mut names = Vec::new();
+    while toks.get(i).is_some_and(|t| t.is_ident("mut") || t.is_ident("ref")) {
+        i += 1;
+    }
+    if i >= end {
+        return (names, i);
+    }
+    if toks[i].is_punct("(") || toks[i].is_punct("[") {
+        let (l, r) = if toks[i].is_punct("(") { ("(", ")") } else { ("[", "]") };
+        if let Some(close) = matching(toks, i, l, r) {
+            for t in &toks[i + 1..close.min(end)] {
+                if let Some(n) = t.ident() {
+                    if n != "mut" && n != "ref" && n != "_" {
+                        names.push((n.to_string(), t.pos()));
+                    }
+                }
+            }
+            return (names, close + 1);
+        }
+    } else if let Some(n) = toks[i].ident() {
+        // `let Some(x) = ..` / `let Struct { x } = ..`: skip the path, bind
+        // the idents inside the payload.
+        let mut j = i + 1;
+        while toks.get(j).is_some_and(|t| t.is_punct("::")) {
+            j += 2;
+        }
+        if toks.get(j).is_some_and(|t| t.is_punct("(") || t.is_punct("{")) {
+            let (l, r) = if toks[j].is_punct("(") { ("(", ")") } else { ("{", "}") };
+            if let Some(close) = matching(toks, j, l, r) {
+                for t in &toks[j + 1..close.min(end)] {
+                    if let Some(n) = t.ident() {
+                        if n != "mut" && n != "ref" && n != "_" {
+                            names.push((n.to_string(), t.pos()));
+                        }
+                    }
+                }
+                return (names, close + 1);
+            }
+        }
+        names.push((n.to_string(), toks[i].pos()));
+        return (names, i + 1);
+    }
+    (names, i + 1)
+}
+
+/// Skips an optional `: Type` annotation after a pattern, then parses the
+/// `= init ;` tail. Returns the init token range and the index just past
+/// the terminating `;`.
+fn let_init(toks: &[Tok], mut i: usize, end: usize) -> Option<((usize, usize), usize)> {
+    if toks.get(i).is_some_and(|t| t.is_punct(":")) {
+        // Walk the type to the `=` at bracket/angle depth zero.
+        let (mut paren, mut bracket, mut angle) = (0i32, 0i32, 0i32);
+        i += 1;
+        while i < end {
+            let t = &toks[i];
+            if t.is_punct("(") {
+                paren += 1;
+            } else if t.is_punct(")") {
+                paren -= 1;
+            } else if t.is_punct("[") {
+                bracket += 1;
+            } else if t.is_punct("]") {
+                bracket -= 1;
+            } else if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") {
+                angle -= 1;
+            } else if paren == 0 && bracket == 0 && angle <= 0 {
+                if t.is_punct("=") {
+                    break;
+                }
+                if t.is_punct(";") {
+                    return None; // `let x: T;` — no initializer
+                }
+            }
+            i += 1;
+        }
+    }
+    if !toks.get(i).is_some_and(|t| t.is_punct("=")) {
+        return None;
+    }
+    if toks.get(i + 1).is_some_and(|t| t.is_punct("=") || t.is_punct(">")) {
+        return None; // `==` / `=>` — not an assignment
+    }
+    init_to_semi(toks, i + 1, end)
+}
+
+/// The token range from `i` to the `;` at brace/paren/bracket depth zero,
+/// and the index just past that `;`.
+fn init_to_semi(toks: &[Tok], i: usize, end: usize) -> Option<((usize, usize), usize)> {
+    let (mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32);
+    let mut k = i;
+    while k < end {
+        let t = &toks[k];
+        if t.is_punct("(") {
+            paren += 1;
+        } else if t.is_punct(")") {
+            paren -= 1;
+            if paren < 0 {
+                break;
+            }
+        } else if t.is_punct("[") {
+            bracket += 1;
+        } else if t.is_punct("]") {
+            bracket -= 1;
+            if bracket < 0 {
+                break;
+            }
+        } else if t.is_punct("{") {
+            brace += 1;
+        } else if t.is_punct("}") {
+            brace -= 1;
+            if brace < 0 {
+                break;
+            }
+        } else if t.is_punct(";") && paren == 0 && bracket == 0 && brace == 0 {
+            return Some(((i, k), k + 1));
+        }
+        k += 1;
+    }
+    // Unterminated (tail expression of a block) — treat what we saw as the
+    // initializer.
+    (k > i).then_some(((i, k), k))
+}
+
+/// `for pat in expr {` — defs for the loop variables with the iterated
+/// expression as init.
+fn for_defs(toks: &[Tok], i: usize, end: usize) -> Option<Vec<Def>> {
+    let (names, after_pat) = let_pattern(toks, i + 1, end);
+    let in_idx = (after_pat..end.min(after_pat + 8)).find(|&k| toks[k].is_ident("in"))?;
+    let (mut paren, mut bracket) = (0i32, 0i32);
+    let mut k = in_idx + 1;
+    while k < end {
+        let t = &toks[k];
+        if t.is_punct("(") {
+            paren += 1;
+        } else if t.is_punct(")") {
+            paren -= 1;
+        } else if t.is_punct("[") {
+            bracket += 1;
+        } else if t.is_punct("]") {
+            bracket -= 1;
+        } else if t.is_punct("{") && paren == 0 && bracket == 0 {
+            break;
+        }
+        k += 1;
+    }
+    if k <= in_idx + 1 || k >= end {
+        return None;
+    }
+    Some(
+        names
+            .into_iter()
+            .map(|(name, pos)| Def {
+                name,
+                pos,
+                init: (in_idx + 1, k),
+                is_accum: false,
+                is_loop_var: true,
+            })
+            .collect(),
+    )
+}
+
+/// Classifies the tokens at `k` as an assignment operator. Returns
+/// `(is_assignment, is_compound, index_of_final_'=')`.
+fn assign_op(toks: &[Tok], k: usize, end: usize) -> (bool, bool, usize) {
+    if k >= end {
+        return (false, false, k);
+    }
+    if toks[k].is_punct("=") {
+        let next_breaks = toks.get(k + 1).is_some_and(|t| t.is_punct("=") || t.is_punct(">"));
+        return (!next_breaks, false, k);
+    }
+    const OPS: &[&str] = &["+", "-", "*", "/", "%", "|", "&", "^"];
+    if OPS.iter().any(|op| toks[k].is_punct(op))
+        && toks.get(k + 1).is_some_and(|t| t.is_punct("="))
+        && !toks.get(k + 2).is_some_and(|t| t.is_punct("="))
+    {
+        return (true, true, k + 1);
+    }
+    (false, false, k)
+}
+
+/// Byte positions where `name` is read as a value inside the token range,
+/// strictly after byte offset `after`. Field accesses (`.name`), path
+/// segments (`::name`, `name::`), and struct-literal labels (`name:`) do
+/// not count.
+pub fn uses_after(toks: &[Tok], range: (usize, usize), name: &str, after: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    for k in range.0..range.1 {
+        if !toks[k].is_ident(name) || toks[k].pos() <= after {
+            continue;
+        }
+        if k > 0 && (toks[k - 1].is_punct(".") || toks[k - 1].is_punct("::")) {
+            continue;
+        }
+        if toks.get(k + 1).is_some_and(|t| t.is_punct("::")) {
+            continue;
+        }
+        if toks.get(k + 1).is_some_and(|t| t.is_punct(":")) {
+            continue;
+        }
+        out.push(toks[k].pos());
+    }
+    out
+}
+
+// ---------------------------------------------------------------- taint
+
+/// What kind of nondeterminism a tainted value carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaintClass {
+    /// Wall-clock reads (`Instant::now`, `SystemTime::now`).
+    Clock,
+    /// OS entropy (`thread_rng`, `from_entropy`, `OsRng`, `getrandom`).
+    Entropy,
+    /// Process environment (`env::var`, `env::args`).
+    Env,
+}
+
+impl TaintClass {
+    /// Human-readable label used in rule messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaintClass::Clock => "wall-clock",
+            TaintClass::Entropy => "entropy",
+            TaintClass::Env => "environment",
+        }
+    }
+}
+
+/// One step of a taint chain, printable and exportable as a SARIF related
+/// location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hop {
+    pub file: String,
+    pub line: usize,
+    pub what: String,
+}
+
+/// A taint verdict: the class plus the chain of hops from the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Taint {
+    pub class: TaintClass,
+    pub chain: Vec<Hop>,
+}
+
+/// Finds a direct nondeterminism source in a token range: the pattern and
+/// the byte position of its first token.
+pub fn direct_source(toks: &[Tok], range: (usize, usize)) -> Option<(TaintClass, usize, String)> {
+    const ENTROPY: &[&str] = &["thread_rng", "from_entropy", "OsRng", "getrandom"];
+    for k in range.0..range.1 {
+        let t = &toks[k];
+        if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+            && toks.get(k + 1).is_some_and(|x| x.is_punct("::"))
+            && toks.get(k + 2).is_some_and(|x| x.is_ident("now"))
+        {
+            let name = t.ident().unwrap_or_default();
+            return Some((TaintClass::Clock, t.pos(), format!("`{name}::now()`")));
+        }
+        if let Some(src) = ENTROPY.iter().find(|s| t.is_ident(s)) {
+            return Some((TaintClass::Entropy, t.pos(), format!("`{src}`")));
+        }
+        if t.is_ident("env")
+            && toks.get(k + 1).is_some_and(|x| x.is_punct("::"))
+            && toks
+                .get(k + 2)
+                .is_some_and(|x| x.is_ident("var") || x.is_ident("var_os") || x.is_ident("args"))
+        {
+            let what = toks[k + 2].ident().unwrap_or_default();
+            return Some((TaintClass::Env, t.pos(), format!("`env::{what}`")));
+        }
+    }
+    None
+}
+
+/// One tainted binding of a function.
+#[derive(Debug, Clone)]
+pub struct TaintedLocal {
+    /// The bound name.
+    pub name: String,
+    /// Byte position and line of the def.
+    pub pos: usize,
+    pub line: usize,
+    /// The taint and its chain (source first, this def last).
+    pub taint: Taint,
+    /// `true` when the taint arrived through another binding or a call —
+    /// the laundered case R2/R3 cannot see. `false` means the source is
+    /// textually in this def's own initializer (R2/R3 territory).
+    pub laundered: bool,
+    /// Is the binding read anywhere after its defining statement? Unused
+    /// guards (`let _span = ..`) never flow.
+    pub used: bool,
+}
+
+/// Workspace taint: per-function return taint and tainted locals, computed
+/// to a fixpoint over the call graph.
+pub struct TaintAnalysis {
+    /// Indexed like [`Workspace::fns`]: taint of the return value.
+    pub returns: Vec<Option<Taint>>,
+    /// Indexed like [`Workspace::fns`]: tainted bindings.
+    pub locals: Vec<Vec<TaintedLocal>>,
+}
+
+impl TaintAnalysis {
+    /// Runs the analysis over every resolved function.
+    pub fn build(
+        ws: &Workspace,
+        cg: &CallGraph,
+        files: &BTreeMap<String, FileCtx>,
+    ) -> TaintAnalysis {
+        let n = ws.fns.len();
+        let flows: Vec<Option<FnFlow>> = ws
+            .fns
+            .iter()
+            .map(|f| {
+                let ctx = files.get(&f.item.file)?;
+                let (lo, hi) = f.item.body;
+                (lo < hi).then(|| fn_flow(&ctx.toks, (lo, hi)))
+            })
+            .collect();
+
+        let mut returns: Vec<Option<Taint>> = vec![None; n];
+        let mut locals: Vec<Vec<TaintedLocal>> = vec![Vec::new(); n];
+        // Chains are short (source -> helper -> binding); 8 passes is far
+        // beyond any real call-depth growth per pass.
+        for _ in 0..8 {
+            let mut changed = false;
+            for idx in 0..n {
+                let (Some(flow), Some(ctx)) = (&flows[idx], files.get(&ws.fns[idx].item.file))
+                else {
+                    continue;
+                };
+                let (new_locals, new_ret) = analyze_fn(ws, cg, idx, flow, ctx, &returns);
+                if returns[idx] != new_ret {
+                    returns[idx] = new_ret;
+                    changed = true;
+                }
+                locals[idx] = new_locals;
+            }
+            if !changed {
+                break;
+            }
+        }
+        TaintAnalysis { returns, locals }
+    }
+}
+
+/// The per-function taint pass: seeds from direct sources, propagates
+/// through bindings in order, consults `returns` for call edges, and
+/// derives the function's own return taint.
+fn analyze_fn(
+    ws: &Workspace,
+    cg: &CallGraph,
+    idx: usize,
+    flow: &FnFlow,
+    ctx: &FileCtx,
+    returns: &[Option<Taint>],
+) -> (Vec<TaintedLocal>, Option<Taint>) {
+    let f = &ws.fns[idx];
+    let toks = &ctx.toks;
+    let file = &f.item.file;
+    let mut map: BTreeMap<String, Taint> = BTreeMap::new();
+    let mut out: Vec<TaintedLocal> = Vec::new();
+
+    // Taint of an expression token range, if any, with the hop that
+    // explains it.
+    let eval = |range: (usize, usize), map: &BTreeMap<String, Taint>| -> Option<(Taint, bool)> {
+        if let Some((class, pos, what)) = direct_source(toks, range) {
+            let hop = Hop { file: file.clone(), line: ctx.view.line_of(pos), what };
+            return Some((Taint { class, chain: vec![hop] }, false));
+        }
+        for k in range.0..range.1 {
+            let Some(name) = toks[k].ident() else { continue };
+            if k > 0 && (toks[k - 1].is_punct(".") || toks[k - 1].is_punct("::")) {
+                continue;
+            }
+            if let Some(t) = map.get(name) {
+                let hop = Hop {
+                    file: file.clone(),
+                    line: ctx.view.line_of(toks[k].pos()),
+                    what: format!("through `{name}`"),
+                };
+                let mut chain = t.chain.clone();
+                chain.push(hop);
+                return Some((Taint { class: t.class, chain }, true));
+            }
+            // A call whose callee returns taint: `name(..)` or `.name(..)`.
+            if toks.get(k + 1).is_some_and(|t| t.is_punct("(")) {
+                for &callee in &cg.edges[idx] {
+                    if ws.fns[callee].item.name != name {
+                        continue;
+                    }
+                    if let Some(rt) = returns[callee].as_ref() {
+                        let hop = Hop {
+                            file: file.clone(),
+                            line: ctx.view.line_of(toks[k].pos()),
+                            what: format!(
+                                "call to `{}` (returns a {}-derived value)",
+                                ws.fns[callee].fq,
+                                rt.class.label()
+                            ),
+                        };
+                        let mut chain = rt.chain.clone();
+                        chain.push(hop);
+                        return Some((Taint { class: rt.class, chain }, true));
+                    }
+                }
+            }
+        }
+        None
+    };
+
+    for def in &flow.defs {
+        if !def.has_init() {
+            continue;
+        }
+        if let Some((taint, laundered)) = eval(def.init, &map) {
+            let init_end = toks.get(def.init.1.saturating_sub(1)).map(|t| t.pos()).unwrap_or(0);
+            let used = !uses_after(toks, flow.toks, &def.name, init_end).is_empty();
+            out.push(TaintedLocal {
+                name: def.name.clone(),
+                pos: def.pos,
+                line: ctx.view.line_of(def.pos),
+                taint: taint.clone(),
+                laundered,
+                used,
+            });
+            map.insert(def.name.clone(), taint);
+        }
+    }
+
+    // Return taint: `return <expr>` statements and the tail expression.
+    let mut ret = None;
+    let (start, end) = flow.toks;
+    for k in start..end {
+        if toks[k].is_ident("return") {
+            if let Some(((lo, hi), _)) = init_to_semi(toks, k + 1, end) {
+                if let Some((t, _)) = eval((lo, hi), &map) {
+                    ret = Some(t);
+                    break;
+                }
+            }
+        }
+    }
+    if ret.is_none() {
+        if let Some(tail) = tail_expr_range(toks, start, end) {
+            ret = eval(tail, &map).map(|(t, _)| t);
+        }
+    }
+    (out, ret)
+}
+
+/// The tail-expression token range of a body: everything after the last
+/// `;` at body depth zero. A body ending in `;` has no tail.
+fn tail_expr_range(toks: &[Tok], start: usize, end: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i32;
+    let mut last_semi = None;
+    for k in start..end {
+        let t = &toks[k];
+        if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if t.is_punct(";") && depth == 0 {
+            last_semi = Some(k);
+        }
+    }
+    let tail_start = last_semi.map(|k| k + 1).unwrap_or(start);
+    (tail_start < end).then_some((tail_start, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{tokenize, FileView};
+
+    fn flow_of(src: &str) -> (FileView, Vec<Tok>, FnFlow) {
+        let view = FileView::new(src.to_string());
+        let toks = tokenize(&view.code);
+        let open = src.find('{').expect("body open");
+        let close = src.rfind('}').expect("body close");
+        let flow = fn_flow(&toks, (open, close));
+        (view, toks, flow)
+    }
+
+    #[test]
+    fn defs_cover_lets_loops_and_reassignments() {
+        let src = "fn f(xs: &[u32]) {\n\
+                   \u{20}   let n = xs.len();\n\
+                   \u{20}   let (a, b) = (1, 2);\n\
+                   \u{20}   let mut acc = 0;\n\
+                   \u{20}   for i in 0..n {\n\
+                   \u{20}       acc += xs[i] + a + b;\n\
+                   \u{20}   }\n\
+                   }\n";
+        let (_, _, flow) = flow_of(src);
+        let names: Vec<(&str, bool, bool)> =
+            flow.defs.iter().map(|d| (d.name.as_str(), d.is_accum, d.is_loop_var)).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("n", false, false),
+                ("a", false, false),
+                ("b", false, false),
+                ("acc", false, false),
+                ("i", false, true),
+                ("acc", true, false),
+            ],
+            "{flow:?}"
+        );
+    }
+
+    #[test]
+    fn match_arms_are_not_defs() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
+                   \u{20}   match x {\n\
+                   \u{20}       Some(v) => v,\n\
+                   \u{20}       None => 0,\n\
+                   \u{20}   }\n\
+                   }\n";
+        let (_, _, flow) = flow_of(src);
+        assert!(flow.defs.is_empty(), "{:?}", flow.defs);
+    }
+
+    #[test]
+    fn uses_exclude_fields_paths_and_labels() {
+        let src = "fn f() {\n\
+                   \u{20}   let dt = 1;\n\
+                   \u{20}   let s = S { dt: 0 };\n\
+                   \u{20}   let x = s.dt + m::dt;\n\
+                   \u{20}   sink(dt);\n\
+                   }\n";
+        let (_, toks, flow) = flow_of(src);
+        let def = &flow.defs[0];
+        let init_end = toks[def.init.1 - 1].pos();
+        let uses = uses_after(&toks, flow.toks, "dt", init_end);
+        assert_eq!(uses.len(), 1, "only the sink(dt) use counts: {uses:?}");
+    }
+
+    #[test]
+    fn direct_sources_classify() {
+        let cases = [
+            ("let t = Instant::now();", Some(TaintClass::Clock)),
+            ("let t = SystemTime::now();", Some(TaintClass::Clock)),
+            ("let r = thread_rng();", Some(TaintClass::Entropy)),
+            ("let v = std::env::var(\"X\");", Some(TaintClass::Env)),
+            ("let x = seed + 1;", None),
+        ];
+        for (src, expect) in cases {
+            let view = FileView::new(src.to_string());
+            let toks = tokenize(&view.code);
+            let got = direct_source(&toks, (0, toks.len())).map(|(c, _, _)| c);
+            assert_eq!(got, expect, "{src}");
+        }
+    }
+
+    #[test]
+    fn unused_guard_bindings_report_used_false() {
+        let src = "fn f() {\n\
+                   \u{20}   let _span = obs_span();\n\
+                   \u{20}   work();\n\
+                   }\n";
+        let (_, toks, flow) = flow_of(src);
+        let def = &flow.defs[0];
+        let init_end = toks[def.init.1 - 1].pos();
+        assert!(uses_after(&toks, flow.toks, "_span", init_end).is_empty());
+    }
+}

@@ -112,6 +112,90 @@ const EXPLANATIONS: &[(&str, &str)] = &[
          fix: propagate the error across the reported path instead of panicking,\n\
          or make the entry point fallible.\n",
     ),
+    (
+        "R9-taint",
+        "R9-taint — the dataflow-transitive form of R2/R3.\n\
+         \n\
+         R2/R3 flag the textual site of a clock/entropy/env read. They cannot see\n\
+         the value being laundered through a binding or a helper before it reaches\n\
+         a deterministic crate. R9 builds def-use chains per function and\n\
+         propagates taint along the workspace call graph: a *used* binding in a\n\
+         deterministic crate whose value derives from Instant::now / thread_rng /\n\
+         env::var through at least one hop is flagged, with the full chain in the\n\
+         message (and as SARIF relatedLocations).\n\
+         \n\
+         before:  fn jitter() -> f64 { Instant::now().elapsed().as_secs_f64() }\n\
+         \u{20}        let eps = jitter();   // R2 sees nothing here\n\
+         \u{20}        score += eps;         // nondeterminism is now in the score\n\
+         after:   take the value from explicit config/seed, or keep the timing\n\
+         inside lsm-obs (span/timed), whose guards never feed a score.\n\
+         \n\
+         Unused guard bindings (`let _span = lsm_obs::span(..)`) are not flagged:\n\
+         a value nothing reads cannot flow anywhere.\n",
+    ),
+    (
+        "R10-cast-discipline",
+        "R10-cast-discipline — unchecked narrowing and wrapping arithmetic in\n\
+         kernel/quant code (crates/nn kernels.rs, quant.rs, fast.rs).\n\
+         \n\
+         A `usize` length or an i32 accumulator pushed through `as u16`/`as i16`\n\
+         truncates silently, corrupting the score matrix only on inputs larger\n\
+         than any unit test. The rule tracks which values are risky (loop\n\
+         counters, .len() bindings, `+=` accumulators) via def-use chains and\n\
+         flags narrowing casts whose operand uses one without a clamp/min/max/\n\
+         mask/assert. Widening loads (`wt[idx] as i16` where only the *index* is\n\
+         risky) pass: index expressions inside `[..]` are skipped.\n\
+         \n\
+         before:  let n = xs.len(); header.count = n as u16;\n\
+         after:   debug_assert!(n <= u16::MAX as usize); header.count =\n\
+         \u{20}        n.min(u16::MAX as usize) as u16;\n\
+         \n\
+         `.wrapping_*` is flagged unconditionally outside tests: a deliberate bit\n\
+         trick (the to_bits magic-rounding constant) documents its invariant in a\n\
+         scoped `lsm-lint: allow(R10, ..)`; anything else widens or checks.\n",
+    ),
+    (
+        "R11-lock-discipline",
+        "R11-lock-discipline — lock-order cycles and atomics pairing for the\n\
+         lock-free layer.\n\
+         \n\
+         (1) Every `.lock()` acquisition is edged against the locks already held\n\
+         (directly or transitively through the call graph). A cycle means two\n\
+         threads can take the same locks in opposite orders and deadlock; the\n\
+         report lists every acquisition site in the cycle. Impose one global\n\
+         acquisition order.\n\
+         \n\
+         (2) An Ordering::Acquire load of a cell whose writes are all Relaxed\n\
+         pairs with nothing — the Acquire is a lie, and multi-cell snapshots\n\
+         (histogram count vs buckets) can tear. Upgrade the writes (an RMW at\n\
+         AcqRel costs nothing extra on x86) or relax the load and document the\n\
+         external synchronization.\n\
+         \n\
+         before:  buckets.fetch_add(1, Relaxed);  ...  buckets.load(Acquire)\n\
+         after:   buckets.fetch_add(1, AcqRel);   ...  buckets.load(Acquire)\n\
+         \n\
+         (3) `while X.load(Relaxed)` spin conditions may never observe the store\n\
+         they wait for in bounded time and order nothing after exit; use Acquire.\n",
+    ),
+    (
+        "R12-alloc-in-span",
+        "R12-alloc-in-span — hidden allocation inside an instrumented span scope\n\
+         on alloc-tracked hot paths (fast encoder forward, journal append/fsync).\n\
+         \n\
+         The alloc-tracker attributes every allocation to the innermost open\n\
+         span. A `vec!`, `.collect()`, or `format!` inside a hot span scope is\n\
+         charged to every timed iteration: it inflates the latency histogram the\n\
+         span exists to measure and turns a fixed cost into a per-call one.\n\
+         \n\
+         before:  let _span = lsm_obs::span(\"nn.encoder\");\n\
+         \u{20}        let buf: Vec<f32> = input.iter().map(f).collect();\n\
+         after:   hoist `buf` into a reusable scratch owned by the encoder and\n\
+         \u{20}        `clear()` + `extend()` it inside the span.\n\
+         \n\
+         `resize`/`reserve` on a pre-existing buffer are not flagged — amortized\n\
+         reuse is exactly the pattern this rule pushes toward. Advisory level:\n\
+         exported to SARIF as `warning`, not `error`.\n",
+    ),
 ];
 
 /// The long explanation for `rule`, accepting either the full id
@@ -138,6 +222,8 @@ mod tests {
     #[test]
     fn short_ids_resolve() {
         assert!(explain("R8").is_some_and(|t| t.contains("call-graph-transitive")));
-        assert!(explain("R9").is_none());
+        assert!(explain("R9").is_some_and(|t| t.contains("dataflow-transitive")));
+        assert!(explain("R12").is_some_and(|t| t.contains("alloc-tracked")));
+        assert!(explain("R13").is_none());
     }
 }

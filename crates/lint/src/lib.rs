@@ -36,23 +36,28 @@
 
 #![forbid(unsafe_code)]
 
+pub mod allocspan;
 pub mod baseline;
 pub mod callgraph;
+pub mod casts;
 pub mod config;
+pub mod dataflow;
 pub mod explain;
 pub mod items;
+pub mod locks;
 pub mod resolve;
 pub mod rules;
 pub mod sarif;
 pub mod scan;
 pub mod semrules;
+pub mod taint;
 pub mod walk;
 
 use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
-pub use rules::Violation;
+pub use rules::{Related, Violation};
 use semrules::FileCtx;
 
 /// Lints every `.rs` file under `root`: the per-file rules R1–R5, the
@@ -62,6 +67,16 @@ use semrules::FileCtx;
 /// enclosing function's fully-qualified name in [`Violation::item`] where
 /// the resolver could attribute one.
 pub fn lint_root(root: &Path) -> io::Result<Vec<Violation>> {
+    lint_root_with_items(root).map(|(violations, _)| violations)
+}
+
+/// Like [`lint_root`], but also returns the set of fully-qualified item
+/// names the resolver knows, for baseline staleness checks
+/// (`--check-baseline`): a baselined `(rule, item)` whose item no longer
+/// exists cannot ever be matched again and should be pruned.
+pub fn lint_root_with_items(
+    root: &Path,
+) -> io::Result<(Vec<Violation>, std::collections::BTreeSet<String>)> {
     let mut out = Vec::new();
     let mut ctxs: BTreeMap<String, FileCtx> = BTreeMap::new();
     for (rel, path) in walk::rust_files(root)? {
@@ -85,12 +100,18 @@ pub fn lint_root(root: &Path) -> io::Result<Vec<Violation>> {
     let ws = resolve::Workspace::resolve(&items_map);
     let cg = callgraph::CallGraph::build(&ws, &toks_map);
     let mut sem = semrules::check_workspace(&ws, &cg, &ctxs);
+    // Dataflow rules R9-R12 (def-use chains + taint over the call graph).
+    sem.extend(taint::check_workspace(&ws, &cg, &ctxs));
+    sem.extend(casts::check_workspace(&ws, &ctxs));
+    sem.extend(locks::check_workspace(&ws, &cg, &ctxs));
+    sem.extend(allocspan::check_files(&ctxs));
     suppress_per_file(&ctxs, &mut sem);
     out.extend(sem);
 
     attach_items(&ws, &ctxs, &mut out);
     out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(out)
+    let items = ws.fns.iter().map(|f| f.fq.clone()).collect();
+    Ok((out, items))
 }
 
 /// Applies inline `lsm-lint: allow(..)` comments to workspace-rule
@@ -176,6 +197,7 @@ fn forbid_unsafe_audit(
                     path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or(dir)
                 ),
                 suppressed: None,
+                related: Vec::new(),
                 item: None,
             });
         }

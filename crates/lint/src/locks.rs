@@ -1,0 +1,510 @@
+//! R11 — lock and atomics discipline for the lock-free layer.
+//!
+//! Three checks, all over the resolved workspace:
+//!
+//! 1. **Lock-acquisition order.** Every `.lock()` in a function body is an
+//!    acquisition of the lock named by its receiver (`registry().lock()`
+//!    acquires `registry`, `self.inner.lock()` acquires `inner`). While a
+//!    guard is live (its `let` binding until `drop(guard)` or end of
+//!    body), any further acquisition — directly, or transitively through
+//!    a call-graph edge — adds an order edge. A cycle in that graph is a
+//!    potential deadlock: two threads taking the same locks in opposite
+//!    orders. Each cycle is reported once, with every acquisition site as
+//!    a related location.
+//! 2. **Acquire/Release pairing.** An `Ordering::Acquire` load of an
+//!    atomic cell whose writes are all `Relaxed` has nothing to pair
+//!    with: the load's ordering is a lie, and readers can see torn
+//!    multi-cell snapshots (count updated, bucket not). Flagged at the
+//!    load, with the unpaired writes as related locations. Loop/binding
+//!    aliases (`for b in &self.buckets`) are resolved through the
+//!    dataflow def-use pass.
+//! 3. **Relaxed spin-waits.** `while X.load(Relaxed)`-style conditions
+//!    may never observe the store they wait for in bounded time and order
+//!    nothing afterward; spin conditions must use `Acquire`.
+//!
+//! The sanctioned `ENABLED` gate (SeqCst store, Relaxed load, documented
+//! zero-overhead-when-off) passes all three by construction: its loads
+//! are Relaxed (not one-sided Acquire) and never spin.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::CallGraph;
+use crate::config;
+use crate::dataflow::{body_token_range, fn_flow, matching_back};
+use crate::items::matching;
+use crate::resolve::Workspace;
+use crate::rules::{Related, Violation};
+use crate::scan::Tok;
+use crate::semrules::FileCtx;
+
+/// Runs R11 over the resolved workspace.
+pub fn check_workspace(
+    ws: &Workspace,
+    cg: &CallGraph,
+    files: &BTreeMap<String, FileCtx>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_lock_order(ws, cg, files, &mut out);
+    for (rel, ctx) in files {
+        if !config::is_library_code(rel) {
+            continue;
+        }
+        check_atomics(rel, ctx, &mut out);
+        check_spin(rel, ctx, &mut out);
+    }
+    out
+}
+
+// ------------------------------------------------------------ lock order
+
+/// One `.lock()` call: the lock's name, the byte position of the call, and
+/// the byte range over which its guard is held.
+struct Acquisition {
+    lock: String,
+    pos: usize,
+    held: (usize, usize),
+}
+
+fn check_lock_order(
+    ws: &Workspace,
+    cg: &CallGraph,
+    files: &BTreeMap<String, FileCtx>,
+    out: &mut Vec<Violation>,
+) {
+    let n = ws.fns.len();
+    let mut acqs: Vec<Vec<Acquisition>> = Vec::with_capacity(n);
+    for f in &ws.fns {
+        let ctx = files.get(&f.item.file);
+        let (lo, hi) = f.item.body;
+        acqs.push(match ctx {
+            Some(ctx) if lo < hi && !f.item.in_test => acquisitions(&ctx.toks, (lo, hi)),
+            _ => Vec::new(),
+        });
+    }
+
+    // Locks each function acquires transitively (itself or any callee).
+    let mut trans: Vec<BTreeSet<String>> =
+        acqs.iter().map(|a| a.iter().map(|x| x.lock.clone()).collect::<BTreeSet<_>>()).collect();
+    // Propagate to a fixpoint: callers inherit callee lock sets.
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            for &j in &cg.edges[i] {
+                if !trans[j].is_empty() && !trans[j].is_subset(&trans[i]) {
+                    let add: Vec<String> = trans[j].difference(&trans[i]).cloned().collect();
+                    trans[i].extend(add);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Order edges: lock A held while lock B is acquired (directly or via a
+    // call). Edge metadata keeps one witness site per edge.
+    struct Edge {
+        file: String,
+        line: usize,
+        note: String,
+    }
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    for (i, f) in ws.fns.iter().enumerate() {
+        let Some(ctx) = files.get(&f.item.file) else { continue };
+        for a in &acqs[i] {
+            // Direct nesting within this body.
+            for b in &acqs[i] {
+                if b.lock != a.lock && b.pos > a.held.0 && b.pos < a.held.1 {
+                    edges.entry((a.lock.clone(), b.lock.clone())).or_insert_with(|| Edge {
+                        file: f.item.file.clone(),
+                        line: ctx.view.line_of(b.pos),
+                        note: format!(
+                            "`{}` acquired in `{}` while holding `{}`",
+                            b.lock, f.fq, a.lock
+                        ),
+                    });
+                }
+            }
+            // Calls made while the guard is held acquire the callee's
+            // transitive lock set.
+            let (start, end) = body_token_range(&ctx.toks, a.held);
+            for k in start..end {
+                let Some(name) = ctx.toks[k].ident() else { continue };
+                if !ctx.toks.get(k + 1).is_some_and(|t| t.is_punct("(")) {
+                    continue;
+                }
+                for &callee in &cg.edges[i] {
+                    if ws.fns[callee].item.name != name {
+                        continue;
+                    }
+                    for lock in trans[callee].iter() {
+                        if *lock == a.lock {
+                            continue;
+                        }
+                        edges.entry((a.lock.clone(), lock.clone())).or_insert_with(|| Edge {
+                            file: f.item.file.clone(),
+                            line: ctx.view.line_of(ctx.toks[k].pos()),
+                            note: format!(
+                                "`{}` reaches `.lock()` on `{}` via `{}` while `{}` holds `{}`",
+                                name, lock, ws.fns[callee].fq, f.fq, a.lock
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection over the order graph, one report per cycle.
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a.as_str()).or_default().push(b.as_str());
+    }
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in adj.keys().copied().collect::<Vec<_>>() {
+        let mut path = vec![start];
+        let mut on_path: BTreeSet<&str> = [start].into();
+        dfs_cycles(start, &adj, &mut path, &mut on_path, &mut |cycle| {
+            let mut key: Vec<String> = cycle.iter().map(|s| s.to_string()).collect();
+            key.sort();
+            if !reported.insert(key) {
+                return;
+            }
+            let pairs: Vec<(&str, &str)> =
+                cycle.iter().zip(cycle.iter().cycle().skip(1)).map(|(a, b)| (*a, *b)).collect();
+            let first = &edges[&(pairs[0].0.to_string(), pairs[0].1.to_string())];
+            out.push(Violation {
+                rule: "R11-lock-discipline",
+                file: first.file.clone(),
+                line: first.line,
+                message: format!(
+                    "lock-order cycle {}: two threads interleaving these acquisitions \
+                     deadlock; impose a single global acquisition order",
+                    cycle.join(" -> ") + " -> " + cycle[0],
+                ),
+                suppressed: None,
+                item: None,
+                related: pairs
+                    .iter()
+                    .map(|(a, b)| {
+                        let e = &edges[&(a.to_string(), b.to_string())];
+                        Related { file: e.file.clone(), line: e.line, note: e.note.clone() }
+                    })
+                    .collect(),
+            });
+        });
+    }
+}
+
+/// DFS enumerating elementary cycles through `node` (bounded by graph size;
+/// lock graphs here are tiny).
+fn dfs_cycles<'a>(
+    node: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    path: &mut Vec<&'a str>,
+    on_path: &mut BTreeSet<&'a str>,
+    report: &mut impl FnMut(&[&str]),
+) {
+    let Some(nexts) = adj.get(node) else { return };
+    for &next in nexts {
+        if next == path[0] {
+            report(path);
+        } else if !on_path.contains(next) {
+            path.push(next);
+            on_path.insert(next);
+            dfs_cycles(next, adj, path, on_path, report);
+            path.pop();
+            on_path.remove(next);
+        }
+    }
+}
+
+/// `.lock()` calls in a body with receiver names and guard-held ranges.
+fn acquisitions(toks: &[Tok], body: (usize, usize)) -> Vec<Acquisition> {
+    let (start, end) = body_token_range(toks, body);
+    let mut out = Vec::new();
+    for k in start..end {
+        if !(toks[k].is_punct(".")
+            && toks.get(k + 1).is_some_and(|t| t.is_ident("lock"))
+            && toks.get(k + 2).is_some_and(|t| t.is_punct("(")))
+        {
+            continue;
+        }
+        let Some(lock) = receiver_name(toks, k) else { continue };
+        // Guard range: if the statement binds a guard, the guard lives to
+        // `drop(guard)` or end of body; otherwise the temporary dies at
+        // the statement's `;`.
+        // The statement starts after the previous `;`/`{`/`}` — or at the
+        // body's first token when the acquisition is the first statement
+        // (the body range excludes the fn's opening brace).
+        let stmt_start = (start..k)
+            .rev()
+            .find(|&j| toks[j].is_punct(";") || toks[j].is_punct("{") || toks[j].is_punct("}"))
+            .map(|j| j + 1)
+            .unwrap_or(start);
+        let guard = {
+            let mut j = stmt_start;
+            if toks.get(j).is_some_and(|t| t.is_ident("let")) {
+                j += 1;
+                while toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                    j += 1;
+                }
+                toks.get(j).and_then(|t| t.ident()).map(|n| n.to_string())
+            } else {
+                None
+            }
+        };
+        let held_from = toks[k].pos();
+        let held_to = match &guard {
+            Some(g) if g != "_" => (k..end)
+                .find(|&j| {
+                    toks[j].is_ident("drop")
+                        && toks.get(j + 1).is_some_and(|t| t.is_punct("("))
+                        && toks.get(j + 2).is_some_and(|t| t.is_ident(g))
+                })
+                .map(|j| toks[j].pos())
+                .unwrap_or(body.1),
+            _ => (k..end).find(|&j| toks[j].is_punct(";")).map(|j| toks[j].pos()).unwrap_or(body.1),
+        };
+        out.push(Acquisition { lock, pos: toks[k].pos(), held: (held_from, held_to) });
+    }
+    out
+}
+
+/// The lock name for the receiver of the `.lock()` whose dot is at `dot`:
+/// the identifier before the dot, unwrapping one trailing call or index
+/// group (`registry().lock()` → `registry`).
+fn receiver_name(toks: &[Tok], dot: usize) -> Option<String> {
+    let mut i = dot.checked_sub(1)?;
+    loop {
+        let t = &toks[i];
+        if t.is_punct(")") || t.is_punct("]") {
+            let (l, r) = if t.is_punct(")") { ("(", ")") } else { ("[", "]") };
+            i = matching_back(toks, i, l, r)?.checked_sub(1)?;
+        } else if let Some(n) = t.ident() {
+            return Some(n.to_string());
+        } else {
+            return None;
+        }
+    }
+}
+
+// ------------------------------------------------------------- atomics
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+const RELEASE_CLASS: &[&str] = &["Release", "AcqRel", "SeqCst"];
+const WRITE_METHODS: &[&str] = &[
+    "store",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_max",
+    "fetch_min",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// One atomic operation on a named cell.
+struct AtomicOp {
+    cell: String,
+    is_write: bool,
+    orderings: Vec<String>,
+    pos: usize,
+}
+
+/// Missing Acquire/Release pairing: an Acquire load of a cell whose writes
+/// never release.
+fn check_atomics(rel: &str, ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let toks = &ctx.toks;
+    let cells = atomic_cells(toks);
+    if cells.is_empty() {
+        return;
+    }
+    let aliases = cell_aliases(ctx, &cells);
+    let mut ops: Vec<AtomicOp> = Vec::new();
+    for k in 0..toks.len() {
+        if in_test(ctx, toks[k].pos()) {
+            continue;
+        }
+        if !toks[k].is_punct(".") || !toks.get(k + 2).is_some_and(|t| t.is_punct("(")) {
+            continue;
+        }
+        let Some(method) = toks.get(k + 1).and_then(|t| t.ident()) else { continue };
+        let is_write = WRITE_METHODS.contains(&method);
+        if !is_write && method != "load" {
+            continue;
+        }
+        let Some(recv) = receiver_name(toks, k) else { continue };
+        let cell = if cells.contains(recv.as_str()) {
+            recv
+        } else if let Some(c) = aliases.get(recv.as_str()) {
+            c.clone()
+        } else {
+            continue;
+        };
+        let Some(close) = matching(toks, k + 2, "(", ")") else { continue };
+        let orderings: Vec<String> = toks[k + 2..close]
+            .iter()
+            .filter_map(|t| t.ident())
+            .filter(|n| ORDERINGS.contains(n))
+            .map(|n| n.to_string())
+            .collect();
+        ops.push(AtomicOp { cell, is_write, orderings, pos: toks[k].pos() });
+    }
+
+    let mut by_cell: BTreeMap<&str, Vec<&AtomicOp>> = BTreeMap::new();
+    for op in &ops {
+        by_cell.entry(op.cell.as_str()).or_default().push(op);
+    }
+    for (cell, ops) in by_cell {
+        let writes: Vec<&&AtomicOp> = ops.iter().filter(|o| o.is_write).collect();
+        if writes.is_empty() {
+            continue;
+        }
+        let releases = writes
+            .iter()
+            .any(|o| o.orderings.iter().any(|ord| RELEASE_CLASS.contains(&ord.as_str())));
+        if releases {
+            continue;
+        }
+        let Some(acq_load) =
+            ops.iter().find(|o| !o.is_write && o.orderings.iter().any(|ord| ord == "Acquire"))
+        else {
+            continue;
+        };
+        out.push(Violation {
+            rule: "R11-lock-discipline",
+            file: rel.to_string(),
+            line: ctx.view.line_of(acq_load.pos),
+            message: format!(
+                "`{cell}` is loaded with `Ordering::Acquire` but every write to it is \
+                 `Relaxed` — there is no release-class write to pair with, so the load \
+                 orders nothing; upgrade the writes (strengthening an RMW costs nothing \
+                 on x86) or relax the load and document the external synchronization"
+            ),
+            suppressed: None,
+            item: None,
+            related: writes
+                .iter()
+                .map(|o| Related {
+                    file: rel.to_string(),
+                    line: ctx.view.line_of(o.pos),
+                    note: format!(
+                        "unpaired write ({})",
+                        o.orderings.first().map(String::as_str).unwrap_or("?")
+                    ),
+                })
+                .collect(),
+        });
+    }
+}
+
+/// Names declared as atomic cells: `NAME: AtomicU64`, `name: [AtomicU64; N]`.
+fn atomic_cells(toks: &[Tok]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for k in 0..toks.len() {
+        let Some(name) = toks[k].ident() else { continue };
+        if !toks.get(k + 1).is_some_and(|t| t.is_punct(":")) {
+            continue;
+        }
+        let mut j = k + 2;
+        while toks.get(j).is_some_and(|t| t.is_punct("[") || t.is_punct("&") || t.is_punct("'")) {
+            j += 1;
+        }
+        // skip a lifetime name after `'`
+        if toks.get(j.wrapping_sub(1)).is_some_and(|t| t.is_punct("'")) {
+            j += 1;
+        }
+        if toks.get(j).and_then(|t| t.ident()).is_some_and(|n| n.starts_with("Atomic")) {
+            out.insert(name.to_string());
+        }
+    }
+    out
+}
+
+/// Bindings that alias a cell: `for b in &self.buckets`, `let c = &COUNTERS[i]`.
+fn cell_aliases(ctx: &FileCtx, cells: &BTreeSet<String>) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let toks = &ctx.toks;
+    let flow = fn_flow(toks, (0, usize::MAX));
+    for def in &flow.defs {
+        if !def.has_init() {
+            continue;
+        }
+        for t in &toks[def.init.0..def.init.1] {
+            if let Some(n) = t.ident() {
+                if cells.contains(n) {
+                    out.insert(def.name.clone(), n.to_string());
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------- spin waits
+
+/// `while <cond>` conditions doing a Relaxed atomic load: the spin may
+/// never observe the store it waits for and orders nothing after exit.
+fn check_spin(rel: &str, ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let toks = &ctx.toks;
+    for k in 0..toks.len() {
+        if !toks[k].is_ident("while") || in_test(ctx, toks[k].pos()) {
+            continue;
+        }
+        // Condition: tokens to the `{` at depth zero.
+        let (mut paren, mut bracket) = (0i32, 0i32);
+        let mut j = k + 1;
+        let mut relaxed_load = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct("(") {
+                paren += 1;
+            } else if t.is_punct(")") {
+                paren -= 1;
+            } else if t.is_punct("[") {
+                bracket += 1;
+            } else if t.is_punct("]") {
+                bracket -= 1;
+            } else if t.is_punct("{") && paren == 0 && bracket == 0 {
+                break;
+            } else if t.is_punct(";") {
+                break;
+            }
+            if t.is_punct(".")
+                && toks.get(j + 1).is_some_and(|x| x.is_ident("load"))
+                && toks.get(j + 2).is_some_and(|x| x.is_punct("("))
+            {
+                if let Some(close) = matching(toks, j + 2, "(", ")") {
+                    if toks[j + 2..close].iter().any(|x| x.is_ident("Relaxed")) {
+                        relaxed_load = Some(toks[j].pos());
+                    }
+                }
+            }
+            j += 1;
+        }
+        if let Some(pos) = relaxed_load {
+            out.push(Violation {
+                rule: "R11-lock-discipline",
+                file: rel.to_string(),
+                line: ctx.view.line_of(pos),
+                message: "Relaxed atomic load in a `while` spin condition: the loop may \
+                          never observe the store it waits for in bounded time, and exit \
+                          orders nothing that follows; load with `Ordering::Acquire`"
+                    .to_string(),
+                suppressed: None,
+                item: None,
+                related: Vec::new(),
+            });
+        }
+    }
+}
+
+fn in_test(ctx: &FileCtx, pos: usize) -> bool {
+    ctx.test_spans.iter().any(|&(a, b)| pos >= a && pos <= b)
+}

@@ -3,15 +3,19 @@
 //!
 //! ```text
 //! Usage: lsm-lint [--root DIR] [--baseline FILE] [--fix-baseline]
-//!                 [--format human|sarif] [--out FILE]
+//!                 [--check-baseline] [--format human|sarif] [--out FILE]
 //!                 [--verbose] [--list-rules] [--explain RULE]
 //! ```
 //!
 //! Exits 0 when no violation exceeds the baseline, 1 when new violations
 //! are found, 2 on usage or I/O errors. `--fix-baseline` rewrites the
 //! baseline to the current tree and exits 0 — use it to freeze pre-existing
-//! debt, never to silence a regression. `--format sarif` writes a SARIF
-//! 2.1.0 log (to `--out` or stdout) while keeping the same exit-code gate.
+//! debt, never to silence a regression. `--check-baseline` fails (exit 1)
+//! when the baseline carries stale entries — unknown rules, items that no
+//! longer resolve, files that no longer exist — so paid-down debt cannot
+//! linger as headroom; `--fix-baseline` prunes them. `--format sarif`
+//! writes a SARIF 2.1.0 log (to `--out` or stdout) while keeping the same
+//! exit-code gate.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,6 +31,7 @@ struct Options {
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
     fix_baseline: bool,
+    check_baseline: bool,
     format: Format,
     out: Option<PathBuf>,
     verbose: bool,
@@ -39,6 +44,7 @@ fn parse_args() -> Result<Options, String> {
         root: None,
         baseline: None,
         fix_baseline: false,
+        check_baseline: false,
         format: Format::Human,
         out: None,
         verbose: false,
@@ -57,6 +63,7 @@ fn parse_args() -> Result<Options, String> {
                 opts.baseline = Some(PathBuf::from(v));
             }
             "--fix-baseline" => opts.fix_baseline = true,
+            "--check-baseline" => opts.check_baseline = true,
             "--format" => {
                 let v = args.next().ok_or("--format requires `human` or `sarif`")?;
                 opts.format = match v.as_str() {
@@ -80,11 +87,12 @@ fn parse_args() -> Result<Options, String> {
                     "lsm-lint: workspace static analysis (determinism / panic policy / unsafe audit)\n\
                      \n\
                      Usage: lsm-lint [--root DIR] [--baseline FILE] [--fix-baseline]\n\
-                     \x20                [--format human|sarif] [--out FILE]\n\
+                     \x20                [--check-baseline] [--format human|sarif] [--out FILE]\n\
                      \x20                [--verbose] [--list-rules] [--explain RULE]\n\
                      \n\
                      Suppress a single finding with: // lsm-lint: allow(rule-id, reason)\n\
                      Freeze existing debt with:      lsm-lint --fix-baseline\n\
+                     Audit the frozen debt with:     lsm-lint --check-baseline\n\
                      Read a rule's rationale with:   lsm-lint --explain R8"
                 );
                 std::process::exit(0);
@@ -138,13 +146,41 @@ fn main() -> ExitCode {
     };
     let baseline_path = opts.baseline.unwrap_or_else(|| root.join("lint-baseline.json"));
 
-    let violations = match lsm_lint::lint_root(&root) {
+    let (violations, known_items) = match lsm_lint::lint_root_with_items(&root) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("lsm-lint: failed to scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+
+    if opts.check_baseline {
+        let frozen = match baseline::load(&baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("lsm-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let stale = baseline::stale_entries(&frozen, &known_items, &root);
+        for ((rule, item), reason) in &stale {
+            println!(
+                "{}: stale baseline entry ({rule}, {item}): {reason}",
+                baseline_path.display()
+            );
+        }
+        return if stale.is_empty() {
+            println!("lsm-lint: baseline is tight ({} entries, none stale)", frozen.len());
+            ExitCode::SUCCESS
+        } else {
+            println!(
+                "lsm-lint: {} stale baseline entr{} — run `lsm-lint --fix-baseline` to prune",
+                stale.len(),
+                if stale.len() == 1 { "y" } else { "ies" }
+            );
+            ExitCode::FAILURE
+        };
+    }
     let suppressed: Vec<_> = violations.iter().filter(|v| v.suppressed.is_some()).collect();
     let active: Vec<_> = violations.iter().filter(|v| v.suppressed.is_none()).cloned().collect();
     let current = baseline::count(&active);

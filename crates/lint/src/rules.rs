@@ -28,6 +28,22 @@ pub struct Violation {
     /// resolver could attribute it (e.g. `core::matcher::LsmMatcher::score`);
     /// the baseline keys on this, falling back to the file.
     pub item: Option<String>,
+    /// Secondary code locations that explain the finding — the hops of an
+    /// R9 taint chain, the acquisition sites of an R11 lock cycle, the
+    /// writes an Acquire load fails to pair with. Exported as SARIF
+    /// `relatedLocations`.
+    pub related: Vec<Related>,
+}
+
+/// A secondary location attached to a [`Violation`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Related {
+    /// Root-relative file path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What this site contributes (e.g. "`Instant::now()` source").
+    pub note: String,
 }
 
 /// HashMap/HashSet methods whose call observes iteration order.
@@ -141,6 +157,16 @@ pub(crate) fn cfg_test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
                     None => break,
                 }
             }
+            // Visibility before the module: `pub mod`, `pub(crate) mod`.
+            if toks.get(j).is_some_and(|t| t.is_ident("pub")) {
+                j += 1;
+                if toks.get(j).is_some_and(|t| t.is_punct("(")) {
+                    match matching(toks, j, "(", ")") {
+                        Some(end) => j = end + 1,
+                        None => {}
+                    }
+                }
+            }
             if is_test
                 && toks.get(j).is_some_and(|t| t.is_ident("mod"))
                 && toks.get(j + 1).and_then(|t| t.ident()).is_some()
@@ -210,6 +236,7 @@ fn rule_hash_iter(
                  use a BTreeMap/BTreeSet or collect-and-sort before iterating"
             ),
             suppressed: None,
+            related: Vec::new(),
             item: None,
         });
     };
@@ -392,6 +419,7 @@ fn rule_wall_clock(rel_path: &str, view: &FileView, toks: &[Tok], out: &mut Vec<
                          into the bench harness"
                     ),
                     suppressed: None,
+                    related: Vec::new(),
                     item: None,
                 });
             }
@@ -414,6 +442,7 @@ fn rule_entropy(rel_path: &str, view: &FileView, toks: &[Tok], out: &mut Vec<Vio
                      from an explicit seed (e.g. `ChaCha8Rng::seed_from_u64`)"
                 ),
                 suppressed: None,
+                related: Vec::new(),
                 item: None,
             });
         }
@@ -444,6 +473,7 @@ fn rule_unsafe_safety(rel_path: &str, view: &FileView, toks: &[Tok], out: &mut V
                           that makes it sound"
                     .to_string(),
                 suppressed: None,
+                related: Vec::new(),
                 item: None,
             });
         }
@@ -490,6 +520,7 @@ fn rule_panic_policy(
                      in library code; propagate the error instead"
                 ),
                 suppressed: None,
+                related: Vec::new(),
                 item: None,
             });
         }
@@ -498,27 +529,55 @@ fn rule_panic_policy(
 
 // ---------------------------------------------------------------- suppressions
 
+/// Does this comma-separated segment look like a rule id (`R6`,
+/// `R10-cast-discipline`)? Used to split the leading rule list of an
+/// allow comment from its reason.
+fn looks_like_rule_id(s: &str) -> bool {
+    let s = s.trim();
+    let Some(rest) = s.strip_prefix('R') else { return false };
+    let digits = rest.chars().take_while(|c| c.is_ascii_digit()).count();
+    if digits == 0 {
+        return false;
+    }
+    let tail = &rest[digits..];
+    tail.is_empty()
+        || (tail.starts_with('-') && tail.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'))
+}
+
 /// Applies `// lsm-lint: allow(rule-id, reason)` comments: a matching
 /// suppression on the violation's line or the line above marks it
-/// suppressed. A suppression without a reason does not count — the reason is
-/// the audit trail.
+/// suppressed. One comment may cover several rules —
+/// `allow(R6, R10, shared reason)` — the leading comma-separated segments
+/// that look like rule ids are rules, everything after is the reason. The
+/// reason may contain parentheses (the close paren is matched from the
+/// right), but must end on the same comment line. A suppression without a
+/// reason does not count — the reason is the audit trail.
 pub(crate) fn apply_suppressions(view: &FileView, out: &mut [Violation]) {
     let mut allows: Vec<(usize, String, Option<String>)> = Vec::new();
     for (line, text) in view.comments_containing(config::SUPPRESS_MARKER) {
         let Some(at) = text.find(config::SUPPRESS_MARKER) else { continue };
         let body = &text[at + config::SUPPRESS_MARKER.len()..];
-        let Some(close) = body.find(')') else { continue };
+        let Some(close) = body.rfind(')') else { continue };
         let body = &body[..close];
-        let (rule, reason) = match body.split_once(',') {
-            Some((r, reason)) => (r.trim(), Some(reason.trim().to_string())),
-            None => (body.trim(), None),
-        };
-        let reason = reason.filter(|r| !r.is_empty());
+        let parts: Vec<&str> = body.split(',').collect();
+        let mut rules: Vec<String> = Vec::new();
+        let mut i = 0;
+        while i < parts.len() && looks_like_rule_id(parts[i]) {
+            rules.push(parts[i].trim().to_string());
+            i += 1;
+        }
+        if rules.is_empty() {
+            continue;
+        }
+        let reason = parts[i..].join(",").trim().to_string();
+        let reason = (!reason.is_empty()).then_some(reason);
         // The comment may span several lines (block comment); attribute it
         // to every line it covers so "line above" checks stay simple.
         let extent = text.lines().count();
         for l in line..line + extent {
-            allows.push((l, rule.to_string(), reason.clone()));
+            for rule in &rules {
+                allows.push((l, rule.clone(), reason.clone()));
+            }
         }
     }
     for v in out.iter_mut() {

@@ -13,6 +13,7 @@ use std::fmt::Write as _;
 
 use crate::baseline::quote;
 use crate::config;
+use crate::explain;
 use crate::rules::Violation;
 
 /// Renders violations as a SARIF 2.1.0 log. `covered[i]` says whether
@@ -29,11 +30,21 @@ pub fn to_sarif(violations: &[Violation], covered: &[bool]) -> String {
     s.push_str("          \"informationUri\": \"docs/static-analysis.md\",\n");
     s.push_str("          \"rules\": [\n");
     for (i, (id, summary)) in config::RULE_SUMMARIES.iter().enumerate() {
-        let _ = write!(
+        s.push_str("            {\n");
+        let _ = writeln!(s, "              \"id\": {},", quote(id));
+        let _ =
+            writeln!(s, "              \"shortDescription\": {{ \"text\": {} }},", quote(summary));
+        if let Some(text) = explain::explain(id) {
+            let _ = writeln!(s, "              \"help\": {{ \"text\": {} }},", quote(text));
+        }
+        let _ = writeln!(
             s,
-            "            {{ \"id\": {}, \"shortDescription\": {{ \"text\": {} }} }}{}\n",
-            quote(id),
-            quote(summary),
+            "              \"defaultConfiguration\": {{ \"level\": {} }}",
+            quote(config::default_level(id))
+        );
+        let _ = writeln!(
+            s,
+            "            }}{}",
             if i + 1 < config::RULE_SUMMARIES.len() { "," } else { "" }
         );
     }
@@ -49,7 +60,8 @@ pub fn to_sarif(violations: &[Violation], covered: &[bool]) -> String {
         } else if is_covered {
             "warning"
         } else {
-            "error"
+            // Advisory rules (R12) stay at their catalog level even when new.
+            config::default_level(v.rule)
         };
         let rule_index = config::RULE_IDS.iter().position(|r| *r == v.rule);
         s.push_str("\n        {\n");
@@ -67,6 +79,25 @@ pub fn to_sarif(violations: &[Violation], covered: &[bool]) -> String {
             quote(&v.file),
             v.line.max(1)
         );
+        if !v.related.is_empty() {
+            s.push_str(",\n          \"relatedLocations\": [");
+            for (j, r) in v.related.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "\n            {{ \"physicalLocation\": {{ \
+                     \"artifactLocation\": {{ \"uri\": {}, \"uriBaseId\": \"SRCROOT\" }}, \
+                     \"region\": {{ \"startLine\": {} }} }}, \
+                     \"message\": {{ \"text\": {} }} }}",
+                    quote(&r.file),
+                    r.line.max(1),
+                    quote(&r.note)
+                );
+            }
+            s.push_str("\n          ]");
+        }
         if let Some(item) = &v.item {
             s.push_str(",\n");
             let _ = write!(s, "          \"properties\": {{ \"item\": {} }}", quote(item));
@@ -112,6 +143,7 @@ mod tests {
             line: 42,
             message: "a \"quoted\" message".into(),
             suppressed: suppressed.map(|s| s.to_string()),
+            related: Vec::new(),
             item: Some("core::matcher::retrain".into()),
         }
     }
@@ -127,10 +159,45 @@ mod tests {
         assert!(s.contains("\"uri\": \"crates/core/src/matcher.rs\""));
         assert!(s.contains("a \\\"quoted\\\" message"));
         assert!(s.contains("\"item\": \"core::matcher::retrain\""));
-        // The full catalog rides along in the driver.
+        // The full catalog rides along in the driver, with help text and a
+        // default severity per rule.
         for id in config::RULE_IDS {
             assert!(s.contains(&format!("\"id\": \"{id}\"")), "missing rule {id}");
         }
+        assert_eq!(s.matches("\"help\":").count(), config::RULE_IDS.len());
+        assert_eq!(s.matches("\"defaultConfiguration\":").count(), config::RULE_IDS.len());
+        assert!(s.contains("\"defaultConfiguration\": { \"level\": \"warning\" }"));
+    }
+
+    #[test]
+    fn related_locations_carry_taint_chains_and_cycle_paths() {
+        let mut v = violation("R11-lock-discipline", None);
+        v.related = vec![
+            crate::rules::Related {
+                file: "crates/store/src/journal.rs".into(),
+                line: 7,
+                note: "journal -> sink".into(),
+            },
+            crate::rules::Related {
+                file: "crates/store/src/sink.rs".into(),
+                line: 9,
+                note: "sink -> journal".into(),
+            },
+        ];
+        let s = to_sarif(&[v], &[false]);
+        assert_eq!(s.matches("\"relatedLocations\":").count(), 1);
+        assert!(s.contains("\"uri\": \"crates/store/src/sink.rs\""));
+        assert!(s.contains("\"text\": \"journal -> sink\""));
+        assert!(s.contains("\"startLine\": 9"));
+    }
+
+    #[test]
+    fn advisory_rules_export_at_warning_even_when_new() {
+        let s = to_sarif(&[violation("R12-alloc-in-span", None)], &[false]);
+        // The result (not just the catalog) carries the advisory level.
+        assert!(s.contains("\"ruleId\": \"R12-alloc-in-span\""));
+        assert_eq!(s.matches("\n          \"level\": \"error\",").count(), 0);
+        assert_eq!(s.matches("\n          \"level\": \"warning\",").count(), 1);
     }
 
     #[test]
@@ -144,9 +211,11 @@ mod tests {
         assert!(s.contains("\"kind\": \"inSource\""));
         assert!(s.contains("\"justification\": \"checked at startup\""));
         assert!(s.contains("\"kind\": \"external\""));
-        assert_eq!(s.matches("\"level\": \"error\"").count(), 1);
-        assert_eq!(s.matches("\"level\": \"warning\"").count(), 1);
-        assert_eq!(s.matches("\"level\": \"note\"").count(), 1);
+        // Count per-result level lines (the rule catalog carries its own
+        // `defaultConfiguration.level` entries at a deeper indent).
+        assert_eq!(s.matches("\n          \"level\": \"error\",").count(), 1);
+        assert_eq!(s.matches("\n          \"level\": \"warning\",").count(), 1);
+        assert_eq!(s.matches("\n          \"level\": \"note\",").count(), 1);
     }
 
     #[test]

@@ -120,6 +120,7 @@ fn rule_float_determinism(rel_path: &str, ctx: &FileCtx, out: &mut Vec<Violation
                           bitwise-reproducible sort"
                     .to_string(),
                 suppressed: None,
+                related: Vec::new(),
                 item: None,
             });
         }
@@ -143,6 +144,7 @@ fn rule_float_determinism(rel_path: &str, ctx: &FileCtx, out: &mut Vec<Violation
                           justification with a scoped `lsm-lint: allow(..)`"
                     .to_string(),
                 suppressed: None,
+                related: Vec::new(),
                 item: None,
             });
         }
@@ -162,6 +164,7 @@ fn rule_float_determinism(rel_path: &str, ctx: &FileCtx, out: &mut Vec<Violation
                              reduce each chunk sequentially, then combine in index order)"
                         ),
                         suppressed: None,
+                        related: Vec::new(),
                         item: None,
                     });
                 }
@@ -192,6 +195,7 @@ fn rule_concurrency(rel_path: &str, ctx: &FileCtx, out: &mut Vec<Violation>) {
                           a `Mutex`, or `OnceLock`"
                     .to_string(),
                 suppressed: None,
+                related: Vec::new(),
                 item: None,
             });
         }
@@ -219,6 +223,7 @@ fn rule_concurrency(rel_path: &str, ctx: &FileCtx, out: &mut Vec<Violation>) {
                                   load with `Ordering::Acquire`"
                             .to_string(),
                         suppressed: None,
+                        related: Vec::new(),
                         item: None,
                     });
                 }
@@ -260,6 +265,7 @@ fn rule_lock_in_inline(
                         f.fq
                     ),
                     suppressed: None,
+                    related: Vec::new(),
                     item: None,
                 });
             }
@@ -321,6 +327,7 @@ fn rule_panic_reachability(
                     site.what
                 ),
                 suppressed: None,
+                related: Vec::new(),
                 item: None,
             });
         }

@@ -1,0 +1,96 @@
+//! R9 — taint tracking from nondeterminism sources into deterministic
+//! score-path values.
+//!
+//! R2/R3 flag the *textual* site of `Instant::now()` / `thread_rng()` /
+//! `env::var`. They cannot see the laundered case:
+//!
+//! ```text
+//! fn jitter() -> f64 { Instant::now().elapsed().as_secs_f64() }  // obs? no: core
+//! ...
+//! let eps = jitter();          // R2 sees nothing here
+//! score += eps;                // nondeterminism is now in the score
+//! ```
+//!
+//! R9 runs the [`crate::dataflow`] taint fixpoint over the workspace and
+//! flags any *used* binding in a deterministic crate whose value derives
+//! from a clock/entropy/env source through at least one hop (a binding or
+//! a call). Direct sources stay R2/R3's findings — one site, one rule.
+//! The full chain is reported in the message and attached as related
+//! locations for SARIF.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::CallGraph;
+use crate::config;
+use crate::dataflow::{TaintAnalysis, TaintClass};
+use crate::resolve::Workspace;
+use crate::rules::{Related, Violation};
+use crate::semrules::FileCtx;
+
+/// Runs R9 over the resolved workspace.
+pub fn check_workspace(
+    ws: &Workspace,
+    cg: &CallGraph,
+    files: &BTreeMap<String, FileCtx>,
+) -> Vec<Violation> {
+    let ta = TaintAnalysis::build(ws, cg, files);
+    let mut out = Vec::new();
+    for (idx, f) in ws.fns.iter().enumerate() {
+        if !f.library || f.item.in_test {
+            continue;
+        }
+        let in_scope =
+            f.crate_dir.as_deref().is_some_and(|d| config::DETERMINISTIC_CRATE_DIRS.contains(&d));
+        if !in_scope {
+            continue;
+        }
+        for tl in &ta.locals[idx] {
+            // Direct sources in the initializer are R2/R3 findings at the
+            // same line; R9 only reports what they cannot see.
+            if !tl.laundered || !tl.used {
+                continue;
+            }
+            let allowed = match tl.taint.class {
+                TaintClass::Clock => {
+                    config::WALL_CLOCK_ALLOWED_FILES.contains(&f.item.file.as_str())
+                }
+                TaintClass::Entropy => {
+                    config::ENTROPY_ALLOWED_FILES.contains(&f.item.file.as_str())
+                }
+                TaintClass::Env => false,
+            };
+            if allowed {
+                continue;
+            }
+            let chain = tl
+                .taint
+                .chain
+                .iter()
+                .map(|h| format!("{} ({}:{})", h.what, h.file, h.line))
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            out.push(Violation {
+                rule: "R9-taint",
+                file: f.item.file.clone(),
+                line: tl.line,
+                message: format!(
+                    "`{}` in `{}` holds a {}-derived value on a deterministic score path \
+                     (taint chain: {chain}); a replayed session cannot reproduce it — take \
+                     the value from explicit config/seed or keep it inside lsm-obs",
+                    tl.name,
+                    f.fq,
+                    tl.taint.class.label()
+                ),
+                suppressed: None,
+                item: Some(f.fq.clone()),
+                related: tl
+                    .taint
+                    .chain
+                    .iter()
+                    .map(|h| Related { file: h.file.clone(), line: h.line, note: h.what.clone() })
+                    .collect(),
+            });
+        }
+    }
+    out
+}

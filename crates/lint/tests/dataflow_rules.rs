@@ -1,0 +1,386 @@
+//! End-to-end tests of the dataflow-aware rules (R9–R12) over generated
+//! fixture workspaces, plus the inline-suppression edge cases the new
+//! rules rely on: same-line vs line-above comments, several rules in one
+//! comment, parenthesized reasons, and missing-reason rejection for each
+//! new rule.
+
+mod common;
+
+use lsm_lint::{lint_root, Violation};
+
+fn lint(fixture: &common::Fixture) -> Vec<Violation> {
+    lint_root(fixture.root()).expect("fixture root lints")
+}
+
+fn active_of<'a>(violations: &'a [Violation], rule: &str) -> Vec<&'a Violation> {
+    violations.iter().filter(|v| v.suppressed.is_none() && v.rule == rule).collect()
+}
+
+// ------------------------------------------------------------------ R9
+
+const R9_TRIGGER_CORE: &str = "\
+//! R9 triggers: clock taint laundered through a helper and a binding hop.
+
+#![forbid(unsafe_code)]
+
+/// Ad-hoc jitter helper: the clock read itself is R2's finding.
+fn jitter() -> f64 {
+    std::time::Instant::now().elapsed().as_secs_f64()
+}
+
+/// The laundered value lands in a score: R2 sees nothing here.
+pub fn score(base: f64) -> f64 {
+    let eps = jitter();
+    base + eps
+}
+
+/// A binding hop inside one function is still a hop.
+pub fn skewed(base: f64) -> f64 {
+    let t0 = std::time::Instant::now();
+    let warm = t0;
+    base + warm.elapsed().as_secs_f64()
+}
+";
+
+#[test]
+fn r9_flags_laundered_clock_values_with_their_chains() {
+    let fixture =
+        common::clean_builder("r9-trigger").file("crates/core/src/lib.rs", R9_TRIGGER_CORE).build();
+    let violations = lint(&fixture);
+    let r9 = active_of(&violations, "R9-taint");
+    let lines: Vec<usize> = r9.iter().map(|v| v.line).collect();
+    assert_eq!(lines, vec![12, 19], "{r9:?}");
+    // The call-laundered finding names the hop through `jitter` and
+    // carries the chain as related locations for SARIF.
+    let through_call = r9.iter().find(|v| v.line == 12).expect("laundered call finding");
+    assert!(through_call.message.contains("jitter"), "{}", through_call.message);
+    assert!(!through_call.related.is_empty());
+    // Direct source bindings stay R2's findings: `t0` itself is not R9.
+    assert!(!lines.contains(&18));
+    let r2_lines: Vec<usize> = active_of(&violations, "R2-wall-clock")
+        .iter()
+        .filter(|v| v.file == "crates/core/src/lib.rs")
+        .map(|v| v.line)
+        .collect();
+    assert_eq!(r2_lines, vec![7, 18]);
+}
+
+// ----------------------------------------------------------------- R10
+
+const R10_TRIGGER_KERNELS: &str = "\
+//! R10 triggers: unchecked narrowing and wrapping arithmetic on kernel
+//! paths.
+
+#![forbid(unsafe_code)]
+
+/// The packed header width silently truncates large inputs.
+pub fn pack(xs: &[f32]) -> Vec<u16> {
+    let n = xs.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        out.push(i as u16);
+    }
+    out.push(n as u16);
+    out
+}
+
+/// Checked narrowing passes: `min` bounds the value in-statement.
+pub fn bounded(xs: &[f32]) -> u16 {
+    let n = xs.len();
+    n.min(u16::MAX as usize) as u16
+}
+
+/// Wrapping arithmetic outside tests must state its invariant.
+pub fn fold(xs: &[u32]) -> u32 {
+    let mut acc = 0u32;
+    for x in xs {
+        acc = acc.wrapping_add(*x);
+    }
+    acc
+}
+";
+
+#[test]
+fn r10_flags_unchecked_narrowing_and_wrapping_only() {
+    let fixture = common::clean_builder("r10-trigger")
+        .file("crates/nn/src/kernels.rs", R10_TRIGGER_KERNELS)
+        .build();
+    let violations = lint(&fixture);
+    let r10 = active_of(&violations, "R10-cast-discipline");
+    let lines: Vec<usize> = r10.iter().map(|v| v.line).collect();
+    // Loop counter narrowed, length narrowed, wrapping accumulator — and
+    // nothing on the `min`-bounded cast in `bounded`.
+    assert_eq!(lines, vec![11, 13, 27], "{r10:?}");
+    assert!(r10[0].message.contains("as u16"), "{}", r10[0].message);
+    assert!(r10[2].message.contains("wrapping_add"), "{}", r10[2].message);
+}
+
+// ----------------------------------------------------------------- R11
+
+const R11_TRIGGER_STORE: &str = "\
+//! R11 triggers: unpaired Acquire, opposite lock orders, relaxed spin.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A counter whose snapshot load claims Acquire with nothing to pair.
+pub struct Stats {
+    hits: AtomicU64,
+}
+
+impl Stats {
+    pub fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> u64 {
+        self.hits.load(Ordering::Acquire)
+    }
+}
+
+/// Two locks the API takes in opposite orders.
+pub struct Pair {
+    left: Mutex<u64>,
+    right: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let a = self.left.lock().unwrap();
+        let b = self.right.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u64 {
+        let b = self.right.lock().unwrap();
+        let a = self.left.lock().unwrap();
+        *a + *b
+    }
+}
+
+/// A relaxed spin-wait can spin forever and orders nothing.
+pub fn wait_ready(flag: &AtomicU64) {
+    while flag.load(Ordering::Relaxed) == 0 {
+        std::hint::spin_loop();
+    }
+}
+";
+
+#[test]
+fn r11_flags_unpaired_acquire_lock_cycles_and_relaxed_spins() {
+    let fixture = common::clean_builder("r11-trigger")
+        .file("crates/store/src/lib.rs", R11_TRIGGER_STORE)
+        .build();
+    let violations = lint(&fixture);
+    let r11 = active_of(&violations, "R11-lock-discipline");
+    assert_eq!(r11.len(), 3, "{r11:?}");
+    let acquire = r11.iter().find(|v| v.message.contains("Acquire")).expect("atomics finding");
+    assert_eq!(acquire.line, 19);
+    // The unpaired writes ride along as related locations.
+    assert!(acquire.related.iter().any(|r| r.line == 15), "{:?}", acquire.related);
+    let cycle = r11.iter().find(|v| v.message.contains("cycle")).expect("lock-order finding");
+    assert!(cycle.related.len() >= 2, "{:?}", cycle.related);
+    let spin = r11.iter().find(|v| v.message.contains("spin")).expect("spin finding");
+    assert_eq!(spin.line, 45);
+}
+
+#[test]
+fn r11_is_silent_on_consistent_order_and_paired_atomics() {
+    let clean = "\
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct Stats {
+    hits: AtomicU64,
+}
+
+impl Stats {
+    pub fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::AcqRel);
+    }
+
+    pub fn snapshot(&self) -> u64 {
+        self.hits.load(Ordering::Acquire)
+    }
+}
+
+pub struct Pair {
+    left: Mutex<u64>,
+    right: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let a = self.left.lock().unwrap();
+        let b = self.right.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn also_forward(&self) -> u64 {
+        let a = self.left.lock().unwrap();
+        let b = self.right.lock().unwrap();
+        *a - *b
+    }
+}
+";
+    let fixture = common::clean_builder("r11-clean").file("crates/store/src/lib.rs", clean).build();
+    let violations = lint(&fixture);
+    assert!(active_of(&violations, "R11-lock-discipline").is_empty(), "{violations:?}");
+}
+
+// ----------------------------------------------------------------- R12
+
+const R12_TRIGGER_JOURNAL: &str = "\
+//! R12 triggers: fresh allocations inside instrumented spans.
+
+#![forbid(unsafe_code)]
+
+/// The span times the flush; the per-call Vec is measured noise.
+pub fn flush(frames: &[u64]) -> usize {
+    let _span = lsm_obs::span(\"journal.flush\");
+    let staged: Vec<u64> = frames.to_vec();
+    staged.len()
+}
+
+/// The closure body allocates inside `timed`.
+pub fn drain() -> usize {
+    lsm_obs::timed(\"journal.drain\", || {
+        let buf = vec![0u8; 4096];
+        buf.len()
+    })
+}
+
+/// Reuse passes: `resize` on a caller-owned buffer is the pattern the
+/// rule pushes toward, and allocation outside the span is out of scope.
+pub fn reuse(frames: &[u64], scratch: &mut Vec<u64>) -> usize {
+    let staged: Vec<u64> = frames.to_vec();
+    let _span = lsm_obs::span(\"journal.reuse\");
+    scratch.resize(staged.len(), 0);
+    scratch.len()
+}
+";
+
+#[test]
+fn r12_flags_allocations_inside_spans_and_names_the_span() {
+    let fixture = common::clean_builder("r12-trigger")
+        .file("crates/store/src/journal.rs", R12_TRIGGER_JOURNAL)
+        .build();
+    let violations = lint(&fixture);
+    let r12 = active_of(&violations, "R12-alloc-in-span");
+    let lines: Vec<usize> = r12.iter().map(|v| v.line).collect();
+    assert_eq!(lines, vec![8, 15], "{r12:?}");
+    assert!(r12[0].message.contains("journal.flush"), "{}", r12[0].message);
+    assert!(r12[1].message.contains("journal.drain"), "{}", r12[1].message);
+    // The span-open site rides along as a related location.
+    assert_eq!(r12[0].related.first().map(|r| r.line), Some(7));
+}
+
+// ---------------------------------------------------- suppression edges
+
+const SUPPRESSED_KERNELS: &str = "\
+//! Suppression placement: same-line and line-above, with a parenthesized
+//! reason.
+
+#![forbid(unsafe_code)]
+
+pub fn pack(xs: &[f32]) -> Vec<u16> {
+    let n = xs.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        // lsm-lint: allow(R10-cast-discipline, bounded (see pack docs) by construction)
+        out.push(i as u16);
+    }
+    out.push(n as u16); // lsm-lint: allow(R10-cast-discipline, header count is caller-bounded)
+    out
+}
+";
+
+#[test]
+fn suppressions_work_on_the_same_line_and_the_line_above() {
+    let fixture = common::clean_builder("suppress-placement")
+        .file("crates/nn/src/kernels.rs", SUPPRESSED_KERNELS)
+        .build();
+    let violations = lint(&fixture);
+    assert!(active_of(&violations, "R10-cast-discipline").is_empty(), "{violations:?}");
+    let mut reasons: Vec<&str> = violations
+        .iter()
+        .filter(|v| v.rule == "R10-cast-discipline")
+        .filter_map(|v| v.suppressed.as_deref())
+        .collect();
+    reasons.sort_unstable();
+    // The parenthesized reason survives in full — the close paren is
+    // matched from the right, not the first `)` in the text.
+    assert_eq!(
+        reasons,
+        vec!["bounded (see pack docs) by construction", "header count is caller-bounded"],
+    );
+}
+
+const SUPPRESSED_MULTI_RULE: &str = "\
+//! One allow comment covering two rules that fire on the same line.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn wait_ready(flag: &AtomicU64) {
+    // lsm-lint: allow(R7-concurrency, R11-lock-discipline, startup handshake; bounded by the init barrier)
+    while flag.load(Ordering::Relaxed) == 0 {
+        std::hint::spin_loop();
+    }
+}
+";
+
+#[test]
+fn one_comment_suppresses_several_rules() {
+    let fixture = common::clean_builder("suppress-multi")
+        .file("crates/store/src/lib.rs", SUPPRESSED_MULTI_RULE)
+        .build();
+    let violations = lint(&fixture);
+    assert!(active_of(&violations, "R7-concurrency").is_empty(), "{violations:?}");
+    assert!(active_of(&violations, "R11-lock-discipline").is_empty(), "{violations:?}");
+    let suppressed: Vec<&str> =
+        violations.iter().filter(|v| v.line == 9).filter_map(|v| v.suppressed.as_deref()).collect();
+    assert_eq!(suppressed.len(), 2, "{violations:?}");
+    for reason in suppressed {
+        assert_eq!(reason, "startup handshake; bounded by the init barrier");
+    }
+}
+
+#[test]
+fn missing_reason_rejection_for_each_new_rule() {
+    let r9 = R9_TRIGGER_CORE.replace(
+        "    let eps = jitter();",
+        "    // lsm-lint: allow(R9-taint)\n    let eps = jitter();",
+    );
+    let r10 = R10_TRIGGER_KERNELS.replace(
+        "    out.push(n as u16);",
+        "    // lsm-lint: allow(R10-cast-discipline)\n    out.push(n as u16);",
+    );
+    let r11 = R11_TRIGGER_STORE.replace(
+        "        self.hits.load(Ordering::Acquire)",
+        "        // lsm-lint: allow(R11-lock-discipline)\n        self.hits.load(Ordering::Acquire)",
+    );
+    let r12 = R12_TRIGGER_JOURNAL.replace(
+        "    let staged: Vec<u64> = frames.to_vec();\n    staged.len()",
+        "    // lsm-lint: allow(R12-alloc-in-span)\n    let staged: Vec<u64> = frames.to_vec();\n    staged.len()",
+    );
+    let fixture = common::clean_builder("suppress-no-reason")
+        .file("crates/core/src/lib.rs", &r9)
+        .file("crates/nn/src/kernels.rs", &r10)
+        .file("crates/store/src/lib.rs", &r11)
+        .file("crates/store/src/journal.rs", &r12)
+        .build();
+    let violations = lint(&fixture);
+    for rule in ["R9-taint", "R10-cast-discipline", "R11-lock-discipline", "R12-alloc-in-span"] {
+        let hit = violations
+            .iter()
+            .find(|v| v.rule == rule && v.message.contains("lacks a reason"))
+            .unwrap_or_else(|| panic!("no missing-reason note for {rule}: {violations:#?}"));
+        assert!(hit.suppressed.is_none(), "{rule} must stay active");
+    }
+}

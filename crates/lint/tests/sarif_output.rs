@@ -211,8 +211,57 @@ fn sarif_log_has_the_required_2_1_0_structure() {
     assert_eq!(runs.len(), 1);
     let driver = runs[0].get("tool").and_then(|t| t.get("driver")).expect("tool.driver");
     assert_eq!(driver.get("name").expect("driver name").str(), "lsm-lint");
-    // The full catalog, R1 through R8, rides in the driver rules.
-    assert_eq!(driver.get("rules").expect("driver rules").arr().len(), 8);
+    // The full catalog, R1 through R12, rides in the driver rules, each
+    // with help text and a default severity.
+    let rules = driver.get("rules").expect("driver rules").arr();
+    assert_eq!(rules.len(), 12);
+    for rule in rules {
+        let id = rule.get("id").expect("rule id").str();
+        rule.get("shortDescription").and_then(|d| d.get("text")).expect("shortDescription");
+        assert!(
+            rule.get("help").and_then(|h| h.get("text")).is_some(),
+            "rule {id} lacks help text"
+        );
+        let level = rule
+            .get("defaultConfiguration")
+            .and_then(|c| c.get("level"))
+            .expect("defaultConfiguration.level")
+            .str();
+        let expected = if id.starts_with("R12") { "warning" } else { "error" };
+        assert_eq!(level, expected, "rule {id}");
+    }
+}
+
+#[test]
+fn related_locations_survive_the_json_round_trip() {
+    let mut v = lsm_lint::Violation {
+        rule: "R9-taint",
+        file: "crates/core/src/score.rs".into(),
+        line: 10,
+        message: "clock taint reaches a score".into(),
+        suppressed: None,
+        related: Vec::new(),
+        item: None,
+    };
+    v.related.push(lsm_lint::Related {
+        file: "crates/core/src/util.rs".into(),
+        line: 4,
+        note: "Instant::now() (crates/core/src/util.rs:4)".into(),
+    });
+    let log = parse(&sarif::to_sarif(&[v], &[false])).expect("valid JSON");
+    let results = log.get("runs").expect("runs").arr()[0].get("results").expect("results").arr();
+    let related = results[0].get("relatedLocations").expect("relatedLocations").arr();
+    assert_eq!(related.len(), 1);
+    let phys = related[0].get("physicalLocation").expect("physicalLocation");
+    assert_eq!(
+        phys.get("artifactLocation").and_then(|a| a.get("uri")).expect("uri").str(),
+        "crates/core/src/util.rs"
+    );
+    assert!(matches!(
+        phys.get("region").and_then(|r| r.get("startLine")),
+        Some(Json::Num(n)) if *n == 4.0
+    ));
+    related[0].get("message").and_then(|m| m.get("text")).expect("related message");
 }
 
 #[test]

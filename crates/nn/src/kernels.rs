@@ -1058,6 +1058,8 @@ fn exp_elem(x: f32) -> f32 {
     // but pure integer ops, where the saturating float→int `as` cast
     // lowers to scalar `llvm.fptosi.sat` converts that de-vectorize the
     // whole surrounding loop.
+    debug_assert!((-200.0..200.0).contains(&nf), "exp_elem clamp keeps n in [-126, 127]");
+    // lsm-lint: allow(R10-cast-discipline, exact bias removal; nm == MAGIC + n with n in [-126, 127] after the input clamp, so no over/underflow)
     let n = nm.to_bits().wrapping_sub(MAGIC_BITS) as i32;
     let scale = f32::from_bits(((n + 127) as u32) << 23);
     e * scale

@@ -142,6 +142,14 @@ const _: () = assert!(MAGIC.to_bits() == MAGIC_BITS);
 /// `llvm.fptosi.sat`, which blocks vectorization of quantize loops.
 #[inline]
 fn round_even_i32(c: f32) -> i32 {
+    debug_assert!(
+        (-4_194_304.0..4_194_304.0).contains(&c),
+        "magic-add rounding is only exact for |c| < 2^22 (got {c})"
+    );
+    // The wrap IS the bias removal: `(c + MAGIC).to_bits()` equals
+    // `MAGIC_BITS + round(c)` exactly for `|c| < 2²²`, so subtracting
+    // `MAGIC_BITS` cannot over- or underflow.
+    // lsm-lint: allow(R10-cast-discipline, exact bias removal; range debug_assert-ed above and enforced by every caller's clamp)
     (c + MAGIC).to_bits().wrapping_sub(MAGIC_BITS) as i32
 }
 

@@ -8,7 +8,7 @@
 //! This module is the only sanctioned `unsafe` code in the workspace: the
 //! `GlobalAlloc` trait is itself unsafe, and every impl below is a pure
 //! pass-through — we never touch the returned memory, only count sizes.
-//! Accounting uses relaxed atomic RMWs and const-initialised thread-local
+//! Accounting uses lock-free atomic RMWs and const-initialised thread-local
 //! `Cell`s, so the allocator never allocates, locks, or panics itself
 //! (thread-local access uses `try_with` to stay sound during TLS teardown).
 //!
@@ -36,13 +36,17 @@ thread_local! {
     static TL_COUNT: Cell<u64> = const { Cell::new(0) };
 }
 
+// The accounting RMWs release so `global_stats`'s `Acquire` loads pair
+// with them (R11): a snapshot taken after joining a worker thread sees
+// that thread's allocations. On x86 the lock-prefixed RMW is the same
+// instruction at either ordering, so the allocator fast path is unchanged.
 #[inline]
 fn on_alloc(size: usize) {
     let size = size as u64;
-    TOTAL_BYTES.fetch_add(size, Ordering::Relaxed);
-    TOTAL_COUNT.fetch_add(1, Ordering::Relaxed);
-    let live = IN_USE.fetch_add(size, Ordering::Relaxed).wrapping_add(size);
-    PEAK_IN_USE.fetch_max(live, Ordering::Relaxed);
+    TOTAL_BYTES.fetch_add(size, Ordering::AcqRel);
+    TOTAL_COUNT.fetch_add(1, Ordering::AcqRel);
+    let live = IN_USE.fetch_add(size, Ordering::AcqRel).wrapping_add(size);
+    PEAK_IN_USE.fetch_max(live, Ordering::AcqRel);
     // During thread teardown the TLS slots may already be destroyed;
     // try_with skips per-thread accounting then (global totals still count).
     let _ = TL_BYTES.try_with(|c| c.set(c.get().wrapping_add(size)));
@@ -51,7 +55,7 @@ fn on_alloc(size: usize) {
 
 #[inline]
 fn on_dealloc(size: usize) {
-    IN_USE.fetch_sub(size as u64, Ordering::Relaxed);
+    IN_USE.fetch_sub(size as u64, Ordering::AcqRel);
 }
 
 /// Counting wrapper around the system allocator. See the module docs.

@@ -161,17 +161,19 @@ static COUNTERS: [AtomicU64; Counter::ALL.len()] =
     [const { AtomicU64::new(0) }; Counter::ALL.len()];
 
 /// Increment `counter` by `n`. No-op (one relaxed load) while disabled.
+/// The RMW releases so the `Acquire` load in [`counter_value`] has a write
+/// to pair with (R11); on x86 the lock-prefixed add is identical either way.
 #[inline]
 pub fn add(counter: Counter, n: u64) {
     if ENABLED.load(Ordering::Relaxed) {
-        COUNTERS[counter as usize].fetch_add(n, Ordering::Relaxed);
+        COUNTERS[counter as usize].fetch_add(n, Ordering::AcqRel);
     }
 }
 
-/// Current value of `counter`. Snapshot reads use `Acquire` so a value
-/// compared against a cap (or read after another thread's counters) sees
-/// every increment that happened-before it; the `add` fast path stays a
-/// relaxed `fetch_add`.
+/// Current value of `counter`. Snapshot reads use `Acquire`, pairing with
+/// the `AcqRel` increments in [`add`], so a value compared against a cap
+/// (or read after another thread's counters) sees every increment that
+/// happened-before it.
 pub fn counter_value(counter: Counter) -> u64 {
     COUNTERS[counter as usize].load(Ordering::Acquire)
 }
@@ -186,7 +188,7 @@ pub const HIST_BUCKETS: usize = 64;
 
 /// Lock-free log₂-bucket latency histogram.
 ///
-/// Recording is a handful of relaxed atomic RMWs on a fixed
+/// Recording is a handful of lock-free atomic RMWs on a fixed
 /// `[AtomicU64; 64]` — no locks, no allocation, safe to hammer from any
 /// number of threads. Percentiles computed from a [`HistogramSnapshot`]
 /// are *exact within one bucket*: the reported value is the geometric
@@ -222,13 +224,17 @@ impl Histogram {
         }
     }
 
-    /// Record one latency observation, in nanoseconds. Lock-free.
+    /// Record one latency observation, in nanoseconds. Lock-free. The RMWs
+    /// release so [`Histogram::snap`]'s `Acquire` loads pair with them
+    /// (R11): a snapshot that observes the `count` increment also observes
+    /// the bucket increment that happened-before it. On x86 the
+    /// lock-prefixed RMW is the same instruction at either ordering.
     #[inline]
     pub fn record_ns(&self, ns: u64) {
-        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
-        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::AcqRel);
+        self.count.fetch_add(1, Ordering::AcqRel);
+        self.sum_ns.fetch_add(ns, Ordering::AcqRel);
+        self.max_ns.fetch_max(ns, Ordering::AcqRel);
     }
 
     /// Record one latency observation from a `Duration`.

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Dynamic-sanitizer pass over the lock-free layer, complementing the
+# static R11/R12 lint rules (docs/static-analysis.md "Sanitizers"):
+#
+#   - Miri interprets the only unsafe code in the workspace — the counting
+#     #[global_allocator] shim behind lsm-obs's `alloc-track` feature —
+#     plus the WAL fault-injection suite, catching UB and (experimentally)
+#     weak-memory bugs the type system cannot.
+#   - ThreadSanitizer builds the obs concurrency hammers with
+#     `-Zsanitizer=thread` and races real threads over the histogram /
+#     counter / trace paths the R11 atomics rule reasons about statically.
+#
+# Both need a nightly toolchain:
+#
+#   rustup toolchain install nightly
+#   rustup +nightly component add miri rust-src
+#
+# Usage: scripts/sanitize.sh [miri|tsan|all]   (default: all)
+#
+# Env knobs: MIRIFLAGS / TSAN_OPTIONS are respected and extended, never
+# clobbered. Exit is non-zero if any requested sanitizer fails or is
+# unavailable (CI treats the whole job as advisory instead).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-all}"
+case "$mode" in miri | tsan | all) ;; *)
+  echo "usage: scripts/sanitize.sh [miri|tsan|all]" >&2
+  exit 2
+  ;;
+esac
+
+if ! rustup toolchain list 2>/dev/null | grep -q '^nightly'; then
+  echo "sanitize: nightly toolchain not installed (rustup toolchain install nightly)" >&2
+  exit 1
+fi
+
+run_miri() {
+  if ! cargo +nightly miri --version >/dev/null 2>&1; then
+    echo "sanitize: miri not installed (rustup +nightly component add miri)" >&2
+    return 1
+  fi
+  echo "==> miri: counting-allocator shim (lsm-obs, alloc-track, unsafe audit)"
+  # The shim's tests install the global allocator; single-threaded keeps
+  # the process-global totals deterministic under the interpreter too.
+  cargo +nightly miri test -p lsm-obs --features alloc-track --test alloc_track -- --test-threads=1
+
+  echo "==> miri: WAL fault injection (lsm-store, torn-tail recovery)"
+  # The suite writes real journal files; isolation must be off for file IO.
+  MIRIFLAGS="${MIRIFLAGS:-} -Zmiri-disable-isolation" \
+    cargo +nightly miri test -p lsm-store --test fault_injection
+}
+
+run_tsan() {
+  if ! rustup +nightly component list 2>/dev/null | grep -q 'rust-src.*(installed)'; then
+    echo "sanitize: rust-src not installed (rustup +nightly component add rust-src)" >&2
+    return 1
+  fi
+  echo "==> ThreadSanitizer: obs concurrency hammers (spans/counters under 8 threads)"
+  # -Zbuild-std rebuilds std with TSan so the runtime sees every atomic.
+  # parking_lot's futex fast path is invisible to TSan and reports known
+  # false positives; scripts/tsan-suppressions.txt quarantines those so a
+  # genuine race in our code still fails the run.
+  TSAN_OPTIONS="${TSAN_OPTIONS:-} suppressions=$PWD/scripts/tsan-suppressions.txt" \
+    RUSTFLAGS="${RUSTFLAGS:-} -Zsanitizer=thread" \
+    cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
+    -p lsm-obs --test concurrent
+}
+
+status=0
+case "$mode" in
+miri) run_miri || status=1 ;;
+tsan) run_tsan || status=1 ;;
+all)
+  run_miri || status=1
+  run_tsan || status=1
+  ;;
+esac
+
+if [[ "$status" -eq 0 ]]; then
+  echo "==> sanitize OK"
+else
+  echo "==> sanitize FAILED (see above)" >&2
+fi
+exit "$status"

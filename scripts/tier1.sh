@@ -23,6 +23,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> lsm-lint (determinism / concurrency / panic-policy / unsafe-audit)"
 cargo run --release -p lsm-lint
 
+echo "==> lsm-lint baseline hygiene (no stale frozen-debt entries)"
+cargo run --release -p lsm-lint -- --check-baseline
+
 echo "==> lsm-lint SARIF artifact (results/lint.sarif)"
 cargo run --release -p lsm-lint -- --format sarif --out results/lint.sarif
 test -s results/lint.sarif
