@@ -1,0 +1,399 @@
+//! Concurrent serving benchmark for the `lsm-serve` daemon.
+//!
+//! Spawns the daemon in-process on an ephemeral loopback port, then
+//! drives N concurrent client sessions (default 8) over real TCP: each
+//! client opens its own journal-backed session on the same dataset and
+//! answers the selection strategy's picks from ground truth until the
+//! session completes. Every `LABEL` reply carries the cost of committing
+//! the iteration *and* eagerly computing the next round's suggestions, so
+//! the request round-trip is the **label-round latency** — the number an
+//! interactive reviewer actually waits on.
+//!
+//! Reported to `results/BENCH_serve.json`:
+//!
+//! * `serve.round_p50/p95/p99/mean_seconds` — label-round latency across
+//!   every round of every session (gated by the perf-regression gate),
+//! * `serve.sessions_per_second` and `serve.wall_s` — completed-session
+//!   throughput (recorded, never time-gated),
+//! * `serve.cache` — shared pooled-encoding cache hits/misses/hit rate;
+//!   with a model enabled and >1 session the hit rate must be positive
+//!   (sessions share the target ISS encodings) or the run FAILS,
+//! * `pipeline_stages.metrics` — the obs snapshot (the `serve.respond`
+//!   stage percentiles feed `BENCH_trajectory.json`, namespaced apart
+//!   from the in-process driver's `session.respond`).
+//!
+//! ```text
+//! serve_load [out.json] [--sessions N] [--model off|tiny|small]
+//!            [--dataset name] [--cache-capacity N] [--repeats N]
+//!            [--compare baseline.json] [--advisory] [--trajectory t.json]
+//! ```
+//!
+//! Exit codes mirror `perf_report`: 1 = confirmed regression (or a zero
+//! cache hit rate when one was required), 2 = usage error.
+
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+fn simd_caps() -> (&'static str, usize) {
+    if cfg!(target_feature = "avx512f") {
+        ("avx512f", 16)
+    } else if cfg!(target_feature = "avx2") {
+        ("avx2", 8)
+    } else if cfg!(target_feature = "neon") {
+        ("neon", 4)
+    } else if cfg!(target_feature = "sse2") {
+        ("sse2", 4)
+    } else {
+        ("scalar", 1)
+    }
+}
+
+fn host_report() -> Value {
+    let (feature, lanes) = simd_caps();
+    let rustc = std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into());
+    json!({
+        "logical_cores": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "simd_target_feature": feature,
+        "simd_f32_lanes": lanes,
+        "rustc": rustc,
+        "arch": std::env::consts::ARCH,
+        "os": std::env::consts::OS,
+    })
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample, `q` in [0, 1].
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        let reader = BufReader::new(stream.try_clone().expect("clone socket"));
+        Client { reader, writer: stream }
+    }
+
+    fn request(&mut self, line: &str) -> Value {
+        self.writer.write_all(line.as_bytes()).expect("send request");
+        self.writer.write_all(b"\n").expect("send newline");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        serde_json::from_str(reply.trim_end()).expect("reply is one JSON object")
+    }
+
+    fn ok(&mut self, line: &str) -> Value {
+        let v = self.request(line);
+        assert_eq!(v["ok"], Value::Bool(true), "request {line:?} failed: {v}");
+        v
+    }
+}
+
+struct CliArgs {
+    out_path: String,
+    sessions: usize,
+    model: String,
+    dataset: String,
+    cache_capacity: usize,
+    compare: Option<String>,
+    advisory: bool,
+    trajectory: String,
+    repeats: usize,
+}
+
+fn parse_args() -> Result<CliArgs, String> {
+    let mut cli = CliArgs {
+        out_path: "results/BENCH_serve.json".into(),
+        sessions: 8,
+        model: "tiny".into(),
+        dataset: "movielens".into(),
+        cache_capacity: 4096,
+        compare: None,
+        advisory: false,
+        trajectory: "results/BENCH_trajectory.json".into(),
+        repeats: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--sessions" => {
+                let n = args.next().ok_or("--sessions requires a count")?;
+                cli.sessions = n
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("invalid --sessions {n:?}"))?;
+            }
+            "--model" => {
+                let m = args.next().ok_or("--model requires off|tiny|small")?;
+                if !["off", "tiny", "small"].contains(&m.as_str()) {
+                    return Err(format!("unknown --model {m:?}; expected off|tiny|small"));
+                }
+                cli.model = m;
+            }
+            "--dataset" => {
+                cli.dataset = args.next().ok_or("--dataset requires a name")?;
+            }
+            "--cache-capacity" => {
+                let n = args.next().ok_or("--cache-capacity requires a count")?;
+                cli.cache_capacity =
+                    n.parse().map_err(|_| format!("invalid --cache-capacity {n:?}"))?;
+            }
+            "--compare" => {
+                cli.compare = Some(args.next().ok_or("--compare requires a baseline path")?);
+            }
+            "--advisory" => cli.advisory = true,
+            "--trajectory" => {
+                cli.trajectory = args.next().ok_or("--trajectory requires a path (or `none`)")?;
+            }
+            "--repeats" => {
+                let n = args.next().ok_or("--repeats requires a count")?;
+                cli.repeats =
+                    n.parse().ok().filter(|&n| n >= 1).ok_or(format!("invalid --repeats {n:?}"))?;
+            }
+            other if !other.starts_with('-') => cli.out_path = other.to_string(),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(cli)
+}
+
+/// One full load pass: spawn, drive every session to completion, shut
+/// down, report.
+fn run_load(cli: &CliArgs) -> Value {
+    let dataset = lsm_datasets::by_name(&cli.dataset, 1).unwrap_or_else(|| {
+        eprintln!("serve_load: unknown dataset {:?}", cli.dataset);
+        std::process::exit(2);
+    });
+    let truth: BTreeMap<String, String> = dataset
+        .source
+        .attr_ids()
+        .map(|s| {
+            let t = dataset.ground_truth.target_of(s).expect("total ground truth");
+            (dataset.source.qualified_name(s), dataset.target.qualified_name(t))
+        })
+        .collect();
+    let total_attrs = dataset.source.attr_count();
+
+    let journal_dir = std::env::temp_dir().join(format!("lsm-serve-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let config = lsm_serve::ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        journal_dir: journal_dir.clone(),
+        cache_capacity: cli.cache_capacity,
+        ..Default::default()
+    };
+    let handle = lsm_serve::spawn(config).expect("spawn daemon");
+    let addr = handle.addr();
+    eprintln!(
+        "serve_load: daemon on {addr}; {} sessions × {} ({} attrs, model {})",
+        cli.sessions, cli.dataset, total_attrs, cli.model
+    );
+
+    // Warm up shared state off the clock: featurizer pre-training and the
+    // first cache fill happen once per daemon, not once per measured
+    // round. The load below still measures real cross-session contention.
+    if cli.model != "off" {
+        handle.preload(match cli.model.as_str() {
+            "small" => lsm_serve::ServeModel::Small,
+            _ => lsm_serve::ServeModel::Tiny,
+        });
+    }
+
+    let wall = Instant::now();
+    let mut per_session: Vec<(usize, Vec<f64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cli.sessions)
+            .map(|i| {
+                let truth = &truth;
+                let model = &cli.model;
+                let dataset = &cli.dataset;
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr);
+                    let open = c.ok(&format!(
+                        r#"OPEN {{"session":"load-{i}","dataset":{dataset:?},"model":{model:?}}}"#
+                    ));
+                    assert_eq!(open["resumed"], Value::Bool(false));
+                    let mut latencies = Vec::new();
+                    loop {
+                        let s = c.ok(&format!(r#"SUGGEST {{"session":"load-{i}"}}"#));
+                        if s["complete"] == Value::Bool(true) {
+                            break;
+                        }
+                        let pick =
+                            s["pick"][0].as_str().expect("incomplete session has a pick").to_string();
+                        let target = &truth[&pick];
+                        let line = format!(
+                            r#"LABEL {{"session":"load-{i}","source":{pick:?},"target":{target:?}}}"#
+                        );
+                        let t = Instant::now();
+                        c.ok(&line);
+                        latencies.push(t.elapsed().as_secs_f64());
+                    }
+                    c.ok(&format!(r#"EXPORT {{"session":"load-{i}"}}"#));
+                    c.ok(&format!(r#"CLOSE {{"session":"load-{i}"}}"#));
+                    (i, latencies)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+    per_session.sort_by_key(|&(i, _)| i);
+
+    let cache = handle.cache_stats();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&journal_dir);
+
+    let mut rounds: Vec<f64> = per_session.iter().flat_map(|(_, l)| l.iter().copied()).collect();
+    rounds.sort_by(f64::total_cmp);
+    let mean =
+        if rounds.is_empty() { 0.0 } else { rounds.iter().sum::<f64>() / rounds.len() as f64 };
+
+    let snapshot: Value =
+        serde_json::from_str(&lsm_obs::snapshot().to_json()).expect("obs metrics JSON parses");
+
+    json!({
+        "bench": "serve",
+        "host": host_report(),
+        "scenario": format!(
+            "{} concurrent TCP sessions on {} (model {}, cache capacity {})",
+            cli.sessions, cli.dataset, cli.model, cli.cache_capacity
+        ),
+        "serve": {
+            "sessions": cli.sessions,
+            "dataset": cli.dataset.clone(),
+            "model": cli.model.clone(),
+            "total_attributes": total_attrs,
+            "label_rounds": rounds.len(),
+            "round_p50_seconds": percentile(&rounds, 0.50),
+            "round_p95_seconds": percentile(&rounds, 0.95),
+            "round_p99_seconds": percentile(&rounds, 0.99),
+            "round_mean_seconds": mean,
+            // Wall-clock throughput: real but scheduler-dependent, so the
+            // key deliberately avoids the gated *seconds suffixes.
+            "wall_s": wall_s,
+            "sessions_per_second": cli.sessions as f64 / wall_s.max(1e-9),
+            "rounds_per_session": per_session.iter().map(|(_, l)| l.len()).collect::<Vec<_>>(),
+            "cache": {
+                "capacity": cli.cache_capacity,
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "insertions": cache.insertions,
+                "evictions": cache.evictions,
+                "hit_rate": cache.hit_rate(),
+            },
+        },
+        "pipeline_stages": { "metrics": snapshot },
+    })
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("serve_load: {e}");
+            std::process::exit(2);
+        }
+    };
+    lsm_obs::enable();
+
+    let mut reports = Vec::with_capacity(cli.repeats);
+    for rep in 0..cli.repeats {
+        if cli.repeats > 1 {
+            eprintln!("serve_load: run {}/{} …", rep + 1, cli.repeats);
+        }
+        if rep > 0 {
+            lsm_obs::reset();
+        }
+        reports.push(run_load(&cli));
+    }
+    let report = reports.last().expect("at least one run").clone();
+    let merged = lsm_bench::regress::median_merge(
+        &reports.iter().map(lsm_bench::regress::flatten_metrics).collect::<Vec<_>>(),
+    );
+
+    if let Some(dir) = std::path::Path::new(&cli.out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&cli.out_path, serde_json::to_string_pretty(&report).expect("serialize"))
+        .expect("write report");
+    println!("{}", serde_json::to_string_pretty(&report).expect("serialize"));
+    eprintln!("serve_load: wrote {}", cli.out_path);
+
+    if cli.trajectory != "none" {
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut entry = lsm_bench::regress::trajectory_entry(&report, ts);
+        entry["metrics"] = serde_json::to_value(&merged).expect("metric map serializes");
+        match lsm_bench::regress::append_trajectory(std::path::Path::new(&cli.trajectory), entry) {
+            Ok(n) => eprintln!("serve_load: trajectory {} now has {n} entries", cli.trajectory),
+            Err(e) => {
+                eprintln!("serve_load: cannot append trajectory {}: {e}", cli.trajectory);
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut regressed = false;
+    if let Some(baseline_path) = &cli.compare {
+        let baseline: Value = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("cannot read {baseline_path}: {e}"))
+            .and_then(|text| {
+                serde_json::from_str(&text).map_err(|e| format!("{baseline_path}: {e}"))
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("serve_load: {e}");
+                std::process::exit(2);
+            });
+        let fp = lsm_bench::regress::host_fingerprint(&report["host"]);
+        let cmp = lsm_bench::regress::compare(&baseline, &merged, &fp, cli.advisory);
+        eprint!("{}", cmp.render_table());
+        let cmp_path = std::path::Path::new(&cli.out_path).with_extension("compare.json");
+        if let Ok(text) = serde_json::to_string_pretty(&cmp.to_json()) {
+            if std::fs::write(&cmp_path, text).is_ok() {
+                eprintln!("serve_load: wrote {}", cmp_path.display());
+            }
+        }
+        regressed = cmp.failed();
+    }
+
+    // Acceptance guard: concurrent sessions over one target ISS must
+    // share pooled encodings. A zero hit rate with a model enabled means
+    // the cross-session cache is not actually plugged in.
+    let hit_rate = report["serve"]["cache"]["hit_rate"].as_f64().unwrap_or(0.0);
+    if cli.model != "off" && cli.sessions > 1 && hit_rate <= 0.0 {
+        eprintln!(
+            "serve_load: FAIL — pooled-encoding cache hit rate is 0 across {} sessions",
+            cli.sessions
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "serve_load: p99 label round {:.1} ms, cache hit rate {:.1}%",
+        report["serve"]["round_p99_seconds"].as_f64().unwrap_or(0.0) * 1e3,
+        hit_rate * 100.0
+    );
+    if regressed {
+        eprintln!("serve_load: FAIL — confirmed perf regression vs baseline");
+        std::process::exit(1);
+    }
+}

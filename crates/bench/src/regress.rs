@@ -375,8 +375,16 @@ pub fn compare(
     }
 }
 
-/// One trajectory entry for a produced report: host identity, flattened
-/// metrics, and per-stage latency percentiles from the pipeline breakdown.
+/// One trajectory entry for a produced report: which bench produced it,
+/// host identity, flattened metrics, and per-stage latency percentiles
+/// from the pipeline breakdown.
+///
+/// The `bench` tag comes from the report's top-level `"bench"` field
+/// (`"perf"` when absent, for pre-tag baselines). Several benches append
+/// to the *same* `results/BENCH_trajectory.json`, so each bench must (a)
+/// tag its entries and (b) namespace its metric keys — `serve_load` nests
+/// everything under a top-level `"serve"` object precisely so its
+/// flattened `serve.*` keys cannot collide with `perf_report`'s.
 pub fn trajectory_entry(report: &Value, timestamp_unix: u64) -> Value {
     let mut stages = serde_json::Map::new();
     if let Some(sts) = report.pointer("/pipeline_stages/metrics/stages").and_then(|v| v.as_object())
@@ -395,6 +403,7 @@ pub fn trajectory_entry(report: &Value, timestamp_unix: u64) -> Value {
     }
     json!({
         "timestamp_unix": timestamp_unix,
+        "bench": report.get("bench").and_then(Value::as_str).unwrap_or("perf"),
         "host_fingerprint":
             report.get("host").map(host_fingerprint).unwrap_or_else(|| "unknown".to_string()),
         "host": report.get("host").cloned().unwrap_or(Value::Null),
@@ -601,6 +610,85 @@ mod tests {
     #[test]
     fn self_test_passes() {
         self_test().expect("regression-gate self test");
+    }
+
+    /// The shape `serve_load` writes (metrics nested under `"serve"`, obs
+    /// snapshot under a skipped `"metrics"` key) — kept in sync with
+    /// `bin/serve_load.rs`.
+    fn sample_serve_report() -> Value {
+        json!({
+            "bench": "serve",
+            "host": {
+                "arch": "x86_64", "os": "linux",
+                "logical_cores": 8, "simd_target_feature": "avx2",
+            },
+            "serve": {
+                "sessions": 8,
+                "label_rounds": 152,
+                "round_p50_seconds": 2.0e-3,
+                "round_p95_seconds": 5.0e-3,
+                "round_p99_seconds": 9.0e-3,
+                "round_mean_seconds": 2.5e-3,
+                "sessions_per_second": 4.0,
+                "cache": { "hits": 640, "misses": 80, "hit_rate": 0.888 },
+            },
+            "pipeline_stages": {
+                "metrics": { "stages": { "serve.respond": {
+                    "count": 160, "p50_s": 1.8e-3, "p95_s": 4.0e-3, "p99_s": 8.0e-3,
+                } } },
+            },
+        })
+    }
+
+    #[test]
+    fn benches_share_the_trajectory_without_key_collisions() {
+        let perf = sample_report(1.0);
+        let serve = sample_serve_report();
+
+        // Entries are distinguishable by their bench tag…
+        let pe = trajectory_entry(&perf, 1);
+        let se = trajectory_entry(&serve, 2);
+        assert_eq!(pe["bench"], json!("selftest"));
+        assert_eq!(se["bench"], json!("serve"));
+        assert_eq!(trajectory_entry(&json!({"host": {}}), 3)["bench"], json!("perf"));
+
+        // …and their gated metric keys are disjoint: serve nests under
+        // "serve.", perf_report never does.
+        let pm = flatten_metrics(&perf);
+        let sm = flatten_metrics(&serve);
+        assert!(!sm.is_empty(), "serve report must expose gated latency metrics");
+        assert!(
+            sm.keys().all(|k| k.starts_with("serve.")),
+            "serve metrics must stay in their namespace: {:?}",
+            sm.keys().collect::<Vec<_>>()
+        );
+        let collisions: Vec<&String> = pm.keys().filter(|k| sm.contains_key(*k)).collect();
+        assert!(collisions.is_empty(), "cross-bench metric collisions: {collisions:?}");
+
+        // Throughput and hit rate are recorded but never time-gated.
+        assert!(!sm.contains_key("serve.sessions_per_second"));
+        assert!(!sm.contains_key("serve.cache.hit_rate"));
+
+        // Stage percentiles land namespaced too (serve.respond, never the
+        // in-process driver's session.respond).
+        assert!(se["stage_percentiles"]["serve.respond"]["p99_s"].is_number());
+
+        // Both entries coexist in one trajectory file.
+        let dir = std::env::temp_dir().join(format!("lsm-regress-mixed-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("traj.json");
+        std::fs::remove_file(&path).ok();
+        append_trajectory(&path, pe).unwrap();
+        assert_eq!(append_trajectory(&path, se).unwrap(), 2);
+        let doc: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let benches: Vec<&str> = doc["entries"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|e| e["bench"].as_str().unwrap())
+            .collect();
+        assert_eq!(benches, ["selftest", "serve"]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -252,20 +252,12 @@ pub fn session(
     if journal.is_some() && resume.is_some() {
         return Err("--journal and --resume are mutually exclusive".to_string());
     }
-    let dataset = match dataset_name {
-        "movielens" => lsm_datasets::public_data::movielens_imdb(),
-        "rdb-star" => lsm_datasets::public_data::rdb_star(),
-        "ipfqr" => lsm_datasets::public_data::ipfqr(),
-        "customer-a" | "customer-b" | "customer-c" | "customer-d" | "customer-e" => {
-            let idx = (dataset_name.as_bytes()[dataset_name.len() - 1] - b'a') as usize;
-            lsm_datasets::customers::all_customers(1).into_iter().nth(idx).expect("five customers")
-        }
-        other => {
-            return Err(format!(
-                "unknown dataset {other:?}; expected movielens|rdb-star|ipfqr|customer-a..e"
-            ))
-        }
-    };
+    let dataset = lsm_datasets::by_name(dataset_name, 1).ok_or_else(|| {
+        format!(
+            "unknown dataset {dataset_name:?}; expected one of {}",
+            lsm_datasets::DATASET_NAMES.join("|")
+        )
+    })?;
     let lexicon = full_lexicon();
     let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
     let bert = match model {
@@ -409,6 +401,44 @@ pub fn session(
     Ok(out)
 }
 
+/// `lsm serve`: runs the multi-session matching daemon (see
+/// `docs/serving.md`) until a client sends `SHUTDOWN`.
+///
+/// Prints the bound address on stdout as soon as the listener is up —
+/// with `--addr 127.0.0.1:0` that line is how scripts learn the
+/// ephemeral port. `--preload` pre-trains a featurizer base at startup
+/// so the first `OPEN` using it doesn't pay the warm-up.
+pub fn serve(
+    addr: &str,
+    journal_dir: &str,
+    cache_capacity: usize,
+    preload: Option<&str>,
+) -> Result<String, String> {
+    let preload_model = preload
+        .map(|m| {
+            lsm_serve::ServeModel::parse(m)
+                .ok_or_else(|| format!("unknown --preload {m:?}; expected small|tiny|off"))
+        })
+        .transpose()?;
+    let config = lsm_serve::ServeConfig {
+        addr: addr.to_string(),
+        journal_dir: std::path::PathBuf::from(journal_dir),
+        cache_capacity,
+        ..Default::default()
+    };
+    let handle = lsm_serve::spawn(config).map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+    let bound = handle.addr();
+    println!("lsm-serve listening on {bound} (journals in {journal_dir})");
+    if let Some(model) = preload_model {
+        if model != lsm_serve::ServeModel::Off {
+            eprintln!("pre-training the {} featurizer ...", model.name());
+        }
+        handle.preload(model);
+    }
+    handle.join();
+    Ok(format!("lsm-serve on {bound} shut down"))
+}
+
 /// `lsm generate <what>`: emits a sample schema in the spec format.
 pub fn generate(what: &str) -> Result<String, String> {
     let schema: Schema = match what {
@@ -429,11 +459,10 @@ pub fn generate(what: &str) -> Result<String, String> {
             .schema
         }
         "customer-a" | "customer-b" | "customer-c" | "customer-d" | "customer-e" => {
-            let idx = (what.as_bytes()[what.len() - 1] - b'a') as usize;
-            lsm_datasets::customers::all_customers(1)
-                .into_iter()
-                .nth(idx)
-                .expect("five customers")
+            lsm_datasets::by_name(what, 1)
+                .ok_or_else(|| {
+                    format!("customer dataset {what:?} is out of range; expected customer-a..e")
+                })?
                 .source
         }
         "movielens" => lsm_datasets::public_data::movielens_imdb().source,

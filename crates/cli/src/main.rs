@@ -41,6 +41,8 @@ usage:
   lsm session  <movielens|rdb-star|ipfqr|customer-a..e> [--model small|tiny|off]
                [--journal <session.journal> | --resume <session.journal>]
                [--trace-out <trace.json>] [--metrics-out <metrics.json>]
+  lsm serve    [--addr <host:port>] [--journal-dir <dir>] [--cache-capacity <N>]
+               [--preload small|tiny|off]
   lsm generate <iss|iss-small|customer-a..e|movielens|imdb|rdb-star-source|rdb-star-target>
 
 Set LSM_TRACE=1 to collect and print per-stage timings without writing files.
@@ -69,6 +71,19 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, Strin
         return Err(format!("{flag} requires a value"));
     }
     Ok(Some(args.remove(pos)))
+}
+
+/// Rejects whatever still looks like a flag once a command's `take_flag`
+/// pass is done. This has to be loud: a typoed `--journel session.log`
+/// would otherwise be read as two positional arguments — at best a
+/// confusing usage error, at worst (for commands with optional
+/// positionals) a run that silently drops the behaviour the user asked
+/// for, e.g. persistence.
+fn reject_unknown_flags(args: &[String]) -> Result<(), String> {
+    match args.iter().find(|a| a.starts_with("--")) {
+        Some(flag) => Err(format!("unknown flag {flag} for this command\n\n{USAGE}")),
+        None => Ok(()),
+    }
 }
 
 /// Parses `--trace-out` / `--metrics-out` and enables the obs sink when
@@ -100,6 +115,7 @@ fn run() -> Result<String, String> {
     let command = if args.is_empty() { String::new() } else { args.remove(0) };
     match command.as_str() {
         "stats" => {
+            reject_unknown_flags(&args)?;
             let [path] = args.as_slice() else {
                 return Err(USAGE.to_string());
             };
@@ -117,6 +133,7 @@ fn run() -> Result<String, String> {
                 Some(k) => k.parse().map_err(|_| format!("invalid --top-k {k:?}"))?,
             };
             let (trace_out, metrics_out) = take_obs_flags(&mut args)?;
+            reject_unknown_flags(&args)?;
             let [source, target] = args.as_slice() else {
                 return Err(USAGE.to_string());
             };
@@ -135,6 +152,7 @@ fn run() -> Result<String, String> {
                 None => 3,
                 Some(k) => k.parse().map_err(|_| format!("invalid --top-k {k:?}"))?,
             };
+            reject_unknown_flags(&args)?;
             let [name, source, target] = args.as_slice() else {
                 return Err(USAGE.to_string());
             };
@@ -151,12 +169,14 @@ fn run() -> Result<String, String> {
                 None => 0.3,
                 Some(t) => t.parse().map_err(|_| format!("invalid --threshold {t:?}"))?,
             };
+            reject_unknown_flags(&args)?;
             let [source, target] = args.as_slice() else {
                 return Err(USAGE.to_string());
             };
             commands::extract(&read(source)?, &read(target)?, labels.as_deref(), model, threshold)
         }
         "evaluate" => {
+            reject_unknown_flags(&args)?;
             let [predictions, truth] = args.as_slice() else {
                 return Err(USAGE.to_string());
             };
@@ -171,6 +191,7 @@ fn run() -> Result<String, String> {
             let journal = take_flag(&mut args, "--journal")?;
             let resume = take_flag(&mut args, "--resume")?;
             let (trace_out, metrics_out) = take_obs_flags(&mut args)?;
+            reject_unknown_flags(&args)?;
             let [dataset] = args.as_slice() else {
                 return Err(USAGE.to_string());
             };
@@ -178,7 +199,24 @@ fn run() -> Result<String, String> {
             write_obs_outputs(trace_out.as_deref(), metrics_out.as_deref())?;
             Ok(out)
         }
+        "serve" => {
+            let addr =
+                take_flag(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7400".to_string());
+            let journal_dir = take_flag(&mut args, "--journal-dir")?
+                .unwrap_or_else(|| "serve-journals".to_string());
+            let cache_capacity = match take_flag(&mut args, "--cache-capacity")? {
+                None => 4096,
+                Some(n) => n.parse().map_err(|_| format!("invalid --cache-capacity {n:?}"))?,
+            };
+            let preload = take_flag(&mut args, "--preload")?;
+            reject_unknown_flags(&args)?;
+            if !args.is_empty() {
+                return Err(USAGE.to_string());
+            }
+            commands::serve(&addr, &journal_dir, cache_capacity, preload.as_deref())
+        }
         "generate" => {
+            reject_unknown_flags(&args)?;
             let [what] = args.as_slice() else {
                 return Err(USAGE.to_string());
             };
@@ -210,7 +248,7 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::take_flag;
+    use super::{reject_unknown_flags, take_flag};
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
@@ -249,6 +287,27 @@ mod tests {
         let mut a = args(&["--model=", "x.json"]);
         let err = take_flag(&mut a, "--model").unwrap_err();
         assert!(err.contains("--model requires a value"), "got: {err}");
+    }
+
+    #[test]
+    fn leftover_flags_are_rejected() {
+        // The regression this guards: `--journel x.journal` (typo) used to
+        // be treated as positional arguments, silently running the
+        // session without persistence.
+        let a = args(&["movielens", "--journel", "x.journal"]);
+        let err = reject_unknown_flags(&a).unwrap_err();
+        assert!(err.contains("unknown flag --journel"), "got: {err}");
+
+        let a = args(&["--top-k=3", "src.json"]);
+        let err = reject_unknown_flags(&a).unwrap_err();
+        assert!(err.contains("unknown flag --top-k=3"), "got: {err}");
+    }
+
+    #[test]
+    fn positional_arguments_pass_the_flag_check() {
+        // Dataset names contain dashes but don't *start* with `--`.
+        assert_eq!(reject_unknown_flags(&args(&["customer-a", "x.json"])), Ok(()));
+        assert_eq!(reject_unknown_flags(&[]), Ok(()));
     }
 
     #[test]

@@ -169,6 +169,25 @@ impl BertFeaturizerConfig {
     }
 }
 
+/// A shared cache of pooled attribute encodings, consulted by
+/// [`BertFeaturizer::pooled_many_cached`].
+///
+/// The encoder is frozen at inference time, so a pooled vector is a pure
+/// function of `(backend, token ids)` — that pair is the cache key.
+/// Implementations must be safe to share across threads (the serve daemon
+/// hands one instance to every concurrent session) and must return on
+/// `get` exactly the bits a prior `put` stored: the bitwise-identity
+/// guarantee of [`pooled_many`](BertFeaturizer::pooled_many) extends to
+/// the cached path only if the cache never alters a stored tensor.
+pub trait PooledCache: Send + Sync {
+    /// The cached pooled vector for `ids` under `backend`, if present.
+    fn get(&self, backend: &str, ids: &[u32]) -> Option<Tensor>;
+    /// Stores a freshly computed pooled vector. Implementations may
+    /// decline (e.g. capacity eviction) — correctness never depends on a
+    /// `put` being retained.
+    fn put(&self, backend: &str, ids: &[u32], pooled: &Tensor);
+}
+
 /// One head training sample: cached pooled vectors of the two sides, the
 /// label, and the sample weight.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -474,6 +493,60 @@ impl BertFeaturizer {
         .map(|(_, v)| v)
         .collect();
         slots.into_iter().map(|idx| pooled[idx].clone()).collect()
+    }
+
+    /// Like [`pooled_many`](Self::pooled_many), but consults a shared
+    /// cross-request cache before encoding. Entries are keyed by the
+    /// active backend's name plus the exact token-id sequence, so a hit
+    /// returns the vector an earlier call computed through the identical
+    /// code path: element `i` of the result is bitwise equal to
+    /// `single_pooled(ids_list[i])` whether it was served from the cache
+    /// or computed here. `cache: None` degenerates to `pooled_many`.
+    pub fn pooled_many_cached(
+        &self,
+        ids_list: &[&[u32]],
+        threads: usize,
+        cache: Option<&dyn PooledCache>,
+    ) -> Vec<Tensor> {
+        let Some(cache) = cache else { return self.pooled_many(ids_list, threads) };
+        let _span = lsm_obs::span("bert.pooled_many");
+        let backend = self.backend().name();
+        let mut unique: Vec<&[u32]> = Vec::new();
+        let mut index_of: std::collections::HashMap<&[u32], usize> =
+            std::collections::HashMap::new();
+        let slots: Vec<usize> = ids_list
+            .iter()
+            .map(|&ids| {
+                *index_of.entry(ids).or_insert_with(|| {
+                    unique.push(ids);
+                    unique.len() - 1
+                })
+            })
+            .collect();
+        lsm_obs::add(lsm_obs::Counter::PooledCacheHits, (ids_list.len() - unique.len()) as u64);
+        let mut resolved: Vec<Option<Tensor>> =
+            unique.iter().map(|ids| cache.get(backend, ids)).collect();
+        let missing: Vec<usize> = (0..unique.len()).filter(|&i| resolved[i].is_none()).collect();
+        let unique = &unique;
+        let computed = crate::featurize::parallel_rows_stateful(
+            missing.len(),
+            threads,
+            Graph::for_inference,
+            |g, i| {
+                g.reset();
+                self.pooled_with_graph(g, unique[missing[i]])
+            },
+        );
+        for ((_, pooled), &slot) in computed.into_iter().zip(&missing) {
+            cache.put(backend, unique[slot], &pooled);
+            resolved[slot] = Some(pooled);
+        }
+        // Every slot is Some by construction; the fallback recomputes
+        // rather than panicking (R8: no panic reachable from a pub API).
+        slots
+            .into_iter()
+            .map(|idx| resolved[idx].clone().unwrap_or_else(|| self.single_pooled(unique[idx])))
+            .collect()
     }
 
     /// The matching probability for two cached pooled vectors. The head is

@@ -48,7 +48,7 @@ pub mod oracle;
 pub mod session;
 
 pub use active::SelectionStrategy;
-pub use bert_featurizer::{BertFeaturizer, BertFeaturizerConfig, EncoderBackend};
+pub use bert_featurizer::{BertFeaturizer, BertFeaturizerConfig, EncoderBackend, PooledCache};
 pub use eval::{evaluate_split, SplitEvaluation};
 pub use labels::{Label, LabelStore};
 pub use matcher::{LsmConfig, LsmMatcher};
@@ -56,7 +56,7 @@ pub use meta::{MetaLearner, SelfTrainingConfig};
 pub use metrics::{CurvePoint, SessionOutcome};
 pub use oracle::{NoisyOracle, Oracle, PerfectOracle};
 pub use session::{
-    resume_session, run_session, run_session_with_sink, NullSink, PinnedBaselineEngine,
-    ReviewOutcome, SessionConfig, SessionEvent, SessionSink, SessionState, SinkError,
-    SuggestionEngine,
+    iteration_rng, resume_session, run_session, run_session_with_sink, NullSink,
+    PinnedBaselineEngine, ReviewOutcome, SessionConfig, SessionEvent, SessionSink, SessionState,
+    SinkError, SuggestionEngine,
 };

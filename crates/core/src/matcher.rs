@@ -102,6 +102,23 @@ impl LsmMatcher {
         bert: Option<BertFeaturizer>,
         config: LsmConfig,
     ) -> Self {
+        Self::new_with_cache(source, target, embedding, bert, config, None)
+    }
+
+    /// Like [`new`](Self::new), but pooled attribute encodings are looked
+    /// up in (and written back to) a shared [`PooledCache`] before the
+    /// encoder runs. The serve daemon passes one cache to every concurrent
+    /// session so the frozen-encoder work for a repeated attribute text is
+    /// paid once per process; `pooled_many_cached` guarantees the vectors
+    /// are bitwise-identical to the uncached path either way.
+    pub fn new_with_cache(
+        source: &Schema,
+        target: &Schema,
+        embedding: &EmbeddingSpace,
+        bert: Option<BertFeaturizer>,
+        config: LsmConfig,
+        cache: Option<&dyn crate::bert_featurizer::PooledCache>,
+    ) -> Self {
         let _span = lsm_obs::span("matcher.new");
         let ns = source.attr_count();
         let nt = target.attr_count();
@@ -125,8 +142,8 @@ impl LsmMatcher {
                 let (s_vec, t_vec): (Vec<Tensor>, Vec<Tensor>) = {
                     let _span = lsm_obs::span("matcher.pooled_encode");
                     (
-                        fz.pooled_many(&s_refs, config.threads),
-                        fz.pooled_many(&t_refs, config.threads),
+                        fz.pooled_many_cached(&s_refs, config.threads, cache),
+                        fz.pooled_many_cached(&t_refs, config.threads, cache),
                     )
                 };
 

@@ -309,8 +309,10 @@ impl SessionState {
 /// instead of streaming one RNG across iterations makes every iteration's
 /// draws independent of history — a resumed iteration N sees exactly the
 /// RNG an uninterrupted run saw, with no RNG state to persist. Iteration 0
-/// uses `seed` itself, preserving pre-existing session outcomes.
-fn iteration_rng(seed: u64, iteration: usize) -> ChaCha8Rng {
+/// uses `seed` itself, preserving pre-existing session outcomes. Public so
+/// out-of-process drivers (the serve daemon's round loop) reproduce the
+/// exact anchor selection an in-process driven session would make.
+pub fn iteration_rng(seed: u64, iteration: usize) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(seed ^ (iteration as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 

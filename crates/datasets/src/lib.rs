@@ -78,3 +78,41 @@ impl Dataset {
         out
     }
 }
+
+/// Every name accepted by [`by_name`], for error messages and CLI help.
+pub const DATASET_NAMES: &[&str] = &[
+    "movielens",
+    "rdb-star",
+    "ipfqr",
+    "customer-a",
+    "customer-b",
+    "customer-c",
+    "customer-d",
+    "customer-e",
+];
+
+/// Resolves a CLI/protocol dataset name to a generated dataset.
+///
+/// `seed` feeds the customer rename channels (the public pairs are
+/// seed-free). Customer indices are bounds-checked rather than asserted —
+/// `customer-f`, or a generator producing fewer than five customers,
+/// yields `None` so front ends can report the valid range (see
+/// [`DATASET_NAMES`]) instead of panicking on user input.
+pub fn by_name(name: &str, seed: u64) -> Option<Dataset> {
+    match name {
+        "movielens" => Some(public_data::movielens_imdb()),
+        "rdb-star" => Some(public_data::rdb_star()),
+        "ipfqr" => Some(public_data::ipfqr()),
+        _ => {
+            let idx = match name.strip_prefix("customer-")? {
+                "a" => 0,
+                "b" => 1,
+                "c" => 2,
+                "d" => 3,
+                "e" => 4,
+                _ => return None,
+            };
+            customers::all_customers(seed).into_iter().nth(idx)
+        }
+    }
+}

@@ -9,9 +9,11 @@
 /// Rule R1 (no `HashMap`/`HashSet` iteration) applies to their library code.
 /// `store` is here because journal replay must reconstruct sessions
 /// bitwise: any hash-order dependence in what it writes would break the
-/// resume-equivalence guarantee.
+/// resume-equivalence guarantee. `serve` is here for the same reason: a
+/// resumed daemon session must replay to the same state the live one
+/// reached, and the shared encoding cache must evict deterministically.
 pub const DETERMINISTIC_CRATE_DIRS: &[&str] =
-    &["core", "matchers", "nn", "text", "embedding", "datasets", "store"];
+    &["core", "matchers", "nn", "text", "embedding", "datasets", "store", "serve"];
 
 /// Crates allowed to read the wall clock (R2): the observability layer owns
 /// all timing — including the span-scope `Instant` pairs that feed the
@@ -24,8 +26,11 @@ pub const WALL_CLOCK_CRATE_DIRS: &[&str] = &["obs", "bench", "lint"];
 /// because they own the user-facing response-time measurement. The session
 /// loop currently routes timing through `lsm_obs::span`, but the latency it
 /// reports must keep sharing the exact instant pair with the recorded
-/// response times if it ever measures directly.
-pub const WALL_CLOCK_ALLOWED_FILES: &[&str] = &["crates/core/src/session.rs"];
+/// response times if it ever measures directly. The daemon's session
+/// wrapper is allowed for the same reason: its `serve.*` stage timings
+/// route through `lsm_obs::timed`.
+pub const WALL_CLOCK_ALLOWED_FILES: &[&str] =
+    &["crates/core/src/session.rs", "crates/serve/src/session.rs"];
 
 /// Files allowed to touch entropy sources (R3). Every RNG in the workspace
 /// is constructed from an explicit seed today, so the list is empty; a
@@ -35,8 +40,18 @@ pub const ENTROPY_ALLOWED_FILES: &[&str] = &[];
 /// Crates whose float code sits on a score path (R6): the deterministic
 /// set plus `schema` (score matrices live there) and `bench` (metric
 /// aggregation must reproduce across runs to be comparable).
-pub const FLOAT_SCORE_CRATE_DIRS: &[&str] =
-    &["core", "matchers", "nn", "text", "embedding", "datasets", "store", "schema", "bench"];
+pub const FLOAT_SCORE_CRATE_DIRS: &[&str] = &[
+    "core",
+    "matchers",
+    "nn",
+    "text",
+    "embedding",
+    "datasets",
+    "store",
+    "schema",
+    "bench",
+    "serve",
+];
 
 /// Kernel-path files under rule R10 (unchecked narrowing / wrapping
 /// arithmetic): the SIMD microkernels, the int8/f16 quantization layer,
@@ -48,11 +63,16 @@ pub const KERNEL_PATH_FILES: &[&str] =
 
 /// Files under rule R12 (allocation inside an instrumented span): the
 /// paths the PR 7 alloc-tracker showed hot — the fast-encoder forward
-/// loop and the journal append/fsync path. A `vec!`/`collect`/`format!`
-/// inside one of their span scopes charges a hidden allocation to every
-/// single iteration the histogram times.
-pub const ALLOC_HOT_FILES: &[&str] =
-    &["crates/nn/src/fast.rs", "crates/store/src/journal.rs", "crates/store/src/sink.rs"];
+/// loop and the journal append/fsync path — plus the shared pooled-encoding
+/// cache, whose lookup sits inside every encoder span the daemon times. A
+/// `vec!`/`collect`/`format!` inside one of their span scopes charges a
+/// hidden allocation to every single iteration the histogram times.
+pub const ALLOC_HOT_FILES: &[&str] = &[
+    "crates/nn/src/fast.rs",
+    "crates/store/src/journal.rs",
+    "crates/store/src/sink.rs",
+    "crates/serve/src/cache.rs",
+];
 
 /// Marker prefix of a suppression comment:
 /// `// lsm-lint: allow(rule-id, reason)`.

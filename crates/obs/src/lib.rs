@@ -117,11 +117,17 @@ pub enum Counter {
     F16Forwards,
     /// Runtime GEMM kernel-variant selections (`KernelVariant::select`).
     KernelVariantSelected,
+    /// Cross-session pooled-encoding cache hits in the serve daemon.
+    ServeCacheHits,
+    /// Cross-session pooled-encoding cache misses in the serve daemon.
+    ServeCacheMisses,
+    /// Entries evicted from the serve daemon's bounded encoding cache.
+    ServeCacheEvictions,
 }
 
 impl Counter {
     /// Every counter, in snapshot order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 16] = [
         Counter::AttrsFeaturized,
         Counter::EncoderForwards,
         Counter::GemmCalls,
@@ -135,6 +141,9 @@ impl Counter {
         Counter::QuantForwards,
         Counter::F16Forwards,
         Counter::KernelVariantSelected,
+        Counter::ServeCacheHits,
+        Counter::ServeCacheMisses,
+        Counter::ServeCacheEvictions,
     ];
 
     /// Stable snake_case name used in metrics JSON.
@@ -153,6 +162,9 @@ impl Counter {
             Counter::QuantForwards => "quant_forwards",
             Counter::F16Forwards => "f16_forwards",
             Counter::KernelVariantSelected => "kernel_variant_selected",
+            Counter::ServeCacheHits => "serve_cache_hits",
+            Counter::ServeCacheMisses => "serve_cache_misses",
+            Counter::ServeCacheEvictions => "serve_cache_evictions",
         }
     }
 }

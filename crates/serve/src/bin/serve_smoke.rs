@@ -1,0 +1,124 @@
+//! Tier-1 smoke test of the serve daemon: spawn on an ephemeral port,
+//! run one scripted movielens session over real TCP to completion
+//! (answering the strategy's picks from the generated ground truth),
+//! check the export, close, and shut the daemon down cleanly.
+//!
+//! ```text
+//! serve_smoke [--model off|tiny|small]
+//! ```
+//!
+//! Exits 0 and prints `serve_smoke: OK …` on success; any protocol or
+//! invariant failure panics (non-zero exit), which is what the tier-1
+//! script keys on.
+
+use lsm_serve::{spawn, ServeConfig};
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        let reader = BufReader::new(stream.try_clone().expect("clone socket"));
+        Client { reader, writer: stream }
+    }
+
+    fn request(&mut self, line: &str) -> Value {
+        self.writer.write_all(line.as_bytes()).expect("send request");
+        self.writer.write_all(b"\n").expect("send newline");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        serde_json::from_str(reply.trim_end()).expect("reply is one JSON object")
+    }
+
+    fn ok(&mut self, line: &str) -> Value {
+        let v = self.request(line);
+        assert_eq!(v["ok"], Value::Bool(true), "request {line:?} failed: {v}");
+        v
+    }
+}
+
+fn main() {
+    let mut model = "off".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--model" => model = args.next().expect("--model requires a value"),
+            other => panic!("serve_smoke: unknown argument {other:?}"),
+        }
+    }
+
+    let dir = std::env::temp_dir().join(format!("lsm-serve-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create smoke journal dir");
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        journal_dir: dir.clone(),
+        ..Default::default()
+    };
+    let handle = spawn(config).expect("spawn daemon");
+    let addr = handle.addr();
+    eprintln!("serve_smoke: daemon on {addr}");
+
+    // The client answers labels from its own copy of the generated
+    // dataset — the daemon and the client derive the same truth.
+    let dataset = lsm_datasets::by_name("movielens", 1).expect("movielens dataset");
+    let truth_by_name: BTreeMap<String, String> = dataset
+        .source
+        .attr_ids()
+        .map(|s| {
+            let t = dataset.ground_truth.target_of(s).expect("total ground truth");
+            (dataset.source.qualified_name(s), dataset.target.qualified_name(t))
+        })
+        .collect();
+
+    let mut c = Client::connect(addr);
+    c.ok("PING");
+
+    // Unknown dataset must be a protocol error, not a dead daemon.
+    let bad = c.request(r#"OPEN {"session":"bad","dataset":"customer-f"}"#);
+    assert_eq!(bad["ok"], Value::Bool(false), "customer-f must be rejected: {bad}");
+    assert_eq!(bad["code"], Value::from(404), "out-of-range dataset is a 404: {bad}");
+
+    let open =
+        c.ok(&format!(r#"OPEN {{"session":"smoke","dataset":"movielens","model":{model:?}}}"#));
+    assert_eq!(open["resumed"], Value::Bool(false));
+    let total = open["total_attributes"].as_u64().expect("total_attributes");
+
+    let mut rounds = 0usize;
+    loop {
+        let s = c.ok(r#"SUGGEST {"session":"smoke"}"#);
+        if s["complete"] == Value::Bool(true) {
+            break;
+        }
+        let pick = s["pick"][0].as_str().expect("an incomplete session has a pick").to_string();
+        let target = truth_by_name.get(&pick).expect("pick resolves in ground truth");
+        c.ok(&format!(r#"LABEL {{"session":"smoke","source":{pick:?},"target":{target:?}}}"#));
+        rounds += 1;
+        assert!(rounds <= total as usize, "session must converge within {total} label rounds");
+    }
+
+    let export = c.ok(r#"EXPORT {"session":"smoke"}"#);
+    assert_eq!(export["matched"].as_u64(), Some(total), "export must cover the schema: {export}");
+    let mapping = export["mapping"].as_array().expect("mapping array");
+    assert_eq!(mapping.len() as u64, total);
+    assert!(
+        mapping.iter().all(|m| m["correct"] == Value::Bool(true)),
+        "perfect labels must yield a correct mapping"
+    );
+
+    c.ok(r#"CLOSE {"session":"smoke"}"#);
+    let gone = c.request(r#"SUGGEST {"session":"smoke"}"#);
+    assert_eq!(gone["code"], Value::from(404), "closed session must be gone: {gone}");
+
+    let down = c.ok("SHUTDOWN");
+    assert_eq!(down["shutting_down"], Value::Bool(true));
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+    println!("serve_smoke: OK — {rounds} label rounds to {total}/{total} matched (model {model})");
+}

@@ -1,0 +1,271 @@
+//! The shared, bounded pooled-encoding cache.
+//!
+//! Every concurrent session of the daemon encodes its attribute texts
+//! through the same frozen encoder, so the pooled vector of a repeated
+//! attribute (the target ISS is shared by every customer session) is
+//! identical work done over and over. [`EncodingCache`] is the
+//! cross-session store [`lsm_core::PooledCache`] plugs into
+//! `pooled_many_cached`: keyed by the active encoder backend plus the
+//! exact token-id sequence, so a hit returns a vector the encoder itself
+//! produced earlier through the identical code path — bitwise equal to
+//! what an uncached session would compute.
+//!
+//! ## Determinism
+//!
+//! The cache never *changes* a result, only skips recomputing it, so the
+//! matching pipeline stays bitwise reproducible under any interleaving of
+//! sessions. Internally:
+//!
+//! * entries live in a `BTreeMap` keyed by a 64-bit FNV-1a hash of
+//!   `(backend, ids)`; the full key is stored and verified on every hit,
+//!   so a hash collision degrades to a miss instead of returning another
+//!   attribute's vector,
+//! * a colliding *insert* (same hash, different key) is declined rather
+//!   than overwriting — first writer wins, deterministically,
+//! * eviction is FIFO in insertion order (a `VecDeque` of hashes), not
+//!   LRU: the eviction sequence depends only on the order of first
+//!   insertion, which every interleaving of identical sessions produces
+//!   the same way once the cache is driven single-threaded, and which
+//!   never affects results in any case — only hit rates.
+//!
+//! Hits, misses, insertions, and evictions are counted per-instance
+//! (atomics, readable via [`CacheStats`]) and mirrored to the process-wide
+//! `lsm-obs` counters (`serve_cache_hits`/`…_misses`/`…_evictions`) so the
+//! serve bench and the obs snapshot agree.
+
+use lsm_core::PooledCache;
+use lsm_nn::Tensor;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One cached pooled vector plus the full key that produced it.
+struct Entry {
+    backend: String,
+    ids: Vec<u32>,
+    pooled: Tensor,
+}
+
+struct Inner {
+    map: BTreeMap<u64, Entry>,
+    /// Insertion order of the hashes in `map` — the FIFO eviction queue.
+    order: VecDeque<u64>,
+}
+
+/// Counter snapshot of one cache instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits over lookups, in `[0, 1]`; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// Bounded cross-session pooled-encoding cache (see module docs).
+pub struct EncodingCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// 64-bit FNV-1a over the backend name and the token-id bytes. Stable
+/// across processes (no `RandomState`), cheap, and collision-checked at
+/// the call sites.
+fn key_hash(backend: &str, ids: &[u32]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in backend.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    h = (h ^ 0xff).wrapping_mul(PRIME); // separator: backend | ids
+    for &id in ids {
+        for b in id.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+impl EncodingCache {
+    /// A cache holding at most `capacity` pooled vectors. Capacity 0 is a
+    /// pass-through (every lookup misses, nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        EncodingCache {
+            inner: Mutex::new(Inner { map: BTreeMap::new(), order: VecDeque::new() }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the per-instance counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Acquire),
+            misses: self.misses.load(Ordering::Acquire),
+            insertions: self.insertions.load(Ordering::Acquire),
+            evictions: self.evictions.load(Ordering::Acquire),
+        }
+    }
+}
+
+impl PooledCache for EncodingCache {
+    fn get(&self, backend: &str, ids: &[u32]) -> Option<Tensor> {
+        let h = key_hash(backend, ids);
+        let inner = self.inner.lock();
+        match inner.map.get(&h) {
+            // Full-key verification: a hash collision is a miss, never a
+            // wrong vector.
+            Some(e) if e.backend == backend && e.ids == ids => {
+                let pooled = e.pooled.clone();
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::AcqRel);
+                lsm_obs::add(lsm_obs::Counter::ServeCacheHits, 1);
+                Some(pooled)
+            }
+            _ => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::AcqRel);
+                lsm_obs::add(lsm_obs::Counter::ServeCacheMisses, 1);
+                None
+            }
+        }
+    }
+
+    fn put(&self, backend: &str, ids: &[u32], pooled: &Tensor) {
+        if self.capacity == 0 {
+            return;
+        }
+        let h = key_hash(backend, ids);
+        let mut evicted = 0u64;
+        {
+            let mut inner = self.inner.lock();
+            // First writer wins: an existing entry — same key (concurrent
+            // sessions racing on the same attribute compute identical
+            // vectors anyway) or a colliding one — is never overwritten.
+            if inner.map.contains_key(&h) {
+                return;
+            }
+            while inner.map.len() >= self.capacity {
+                match inner.order.pop_front() {
+                    Some(old) => {
+                        inner.map.remove(&old);
+                        evicted += 1;
+                    }
+                    None => break,
+                }
+            }
+            inner.map.insert(
+                h,
+                Entry { backend: backend.to_string(), ids: ids.to_vec(), pooled: pooled.clone() },
+            );
+            inner.order.push_back(h);
+        }
+        self.insertions.fetch_add(1, Ordering::AcqRel);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::AcqRel);
+            lsm_obs::add(lsm_obs::Counter::ServeCacheEvictions, evicted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_of(seed: f32) -> Tensor {
+        Tensor::from_vec(1, 4, vec![seed, seed + 1.0, seed + 2.0, seed + 3.0])
+    }
+
+    #[test]
+    fn get_after_put_returns_the_same_bits() {
+        let cache = EncodingCache::new(8);
+        let v = vec_of(0.5);
+        cache.put("f32", &[1, 2, 3], &v);
+        let got = cache.get("f32", &[1, 2, 3]).expect("hit");
+        let same = got.data().iter().zip(v.data()).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "cached vector must be bitwise identical");
+    }
+
+    #[test]
+    fn backend_is_part_of_the_key() {
+        let cache = EncodingCache::new(8);
+        cache.put("f32", &[1, 2, 3], &vec_of(0.0));
+        assert!(cache.get("int8", &[1, 2, 3]).is_none(), "other backend must miss");
+        assert!(cache.get("f32", &[1, 2]).is_none(), "other ids must miss");
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn eviction_is_fifo_in_insertion_order() {
+        let cache = EncodingCache::new(2);
+        cache.put("f32", &[1], &vec_of(1.0));
+        cache.put("f32", &[2], &vec_of(2.0));
+        cache.put("f32", &[3], &vec_of(3.0)); // evicts [1], the oldest
+        assert!(cache.get("f32", &[1]).is_none(), "oldest entry must be evicted first");
+        assert!(cache.get("f32", &[2]).is_some());
+        assert!(cache.get("f32", &[3]).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn first_writer_wins_on_duplicate_put() {
+        let cache = EncodingCache::new(8);
+        cache.put("f32", &[7], &vec_of(1.0));
+        cache.put("f32", &[7], &vec_of(9.0)); // declined, not overwritten
+        let got = cache.get("f32", &[7]).expect("hit");
+        assert_eq!(got.data()[0].to_bits(), 1.0f32.to_bits());
+        assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_a_pass_through() {
+        let cache = EncodingCache::new(0);
+        cache.put("f32", &[1], &vec_of(1.0));
+        assert!(cache.get("f32", &[1]).is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().insertions, 0);
+    }
+
+    #[test]
+    fn stats_track_lookups() {
+        let cache = EncodingCache::new(4);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        cache.put("f32", &[1], &vec_of(1.0));
+        cache.get("f32", &[1]);
+        cache.get("f32", &[2]);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,62 @@
+//! # lsm-serve
+//!
+//! A long-lived matching daemon multiplexing concurrent active-learning
+//! sessions over shared read-only model state.
+//!
+//! The interactive CLI (`lsm session`) builds the embedding space and the
+//! pre-trained featurizer, runs exactly one simulated session, and exits
+//! — fine for experiments, wasteful for serving: a deployment matches
+//! many customer schemata against the *same* target ISS, so the expensive
+//! state (lexicon, embedding space, MLM + classifier pre-training, and
+//! the pooled encodings of every ISS attribute) is identical across
+//! sessions. This crate keeps all of it resident:
+//!
+//! * [`SharedState`] — lexicon, embedding space, and memoized pre-trained
+//!   featurizers behind an `Arc`, cloned per session so fine-tuning stays
+//!   session-local;
+//! * [`EncodingCache`] — a bounded, deterministically-evicting (FIFO)
+//!   cross-session cache of pooled attribute encodings, plugged into
+//!   `LsmMatcher::new_with_cache`; hits are bitwise identical to what an
+//!   uncached session would compute;
+//! * [`ServeSession`] — one journal-backed session whose event stream
+//!   follows the in-process driver exactly, so a killed daemon resumes
+//!   mid-protocol from `<journal_dir>/<id>.journal`;
+//! * [`server`] — a dependency-free TCP line protocol
+//!   (`OPEN`/`SUGGEST`/`LABEL`/`EXPORT`/`CLOSE`, JSON payloads) with
+//!   per-connection read timeouts and clock-free graceful shutdown.
+//!
+//! `serve_load` in `lsm-bench` drives N concurrent sessions against a
+//! spawned daemon and records label-round latency percentiles, session
+//! throughput, and the cache hit rate into `results/BENCH_serve.json`.
+
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod protocol;
+pub mod server;
+pub mod session;
+pub mod state;
+
+pub use cache::{CacheStats, EncodingCache};
+pub use protocol::ProtocolError;
+pub use server::{spawn, ServeConfig, ServerHandle};
+pub use session::ServeSession;
+pub use state::{ServeModel, SharedState};
+
+#[cfg(test)]
+mod send_assertions {
+    //! The daemon moves sessions and shared state across threads; these
+    //! compile-time assertions pin the auto-traits that makes sound.
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn shared_state_and_sessions_cross_threads() {
+        assert_send_sync::<SharedState>();
+        assert_send_sync::<EncodingCache>();
+        assert_send::<ServeSession>();
+        assert_send_sync::<ServerHandle>();
+    }
+}

@@ -1,0 +1,267 @@
+//! The dependency-free TCP line protocol.
+//!
+//! One request per line: an upper-case verb, optionally followed by a
+//! single space and a JSON object payload. One JSON object per line back:
+//! `{"ok":true, …}` on success, `{"ok":false,"code":…,"error":…}` on
+//! failure. HTTP-flavoured codes, carried inside the JSON (the transport
+//! itself is bare TCP):
+//!
+//! | verb       | payload                                        |
+//! |------------|------------------------------------------------|
+//! | `PING`     | —                                              |
+//! | `OPEN`     | `{"session","dataset","model"?}`               |
+//! | `SUGGEST`  | `{"session"}`                                  |
+//! | `LABEL`    | `{"session","source","target"}`                |
+//! | `EXPORT`   | `{"session"}`                                  |
+//! | `CLOSE`    | `{"session"}`                                  |
+//! | `SHUTDOWN` | —                                              |
+//!
+//! Attribute references are qualified names (`Entity.attribute`), exactly
+//! as the CLI prints them. Session ids are `[A-Za-z0-9_-]{1,64}` — they
+//! become journal file names, so anything path-like is rejected up front.
+
+use serde_json::{json, Value};
+
+/// Error reply: an HTTP-flavoured code plus a message. `4xx` are request
+/// problems (bad JSON, unknown dataset, conflicting state), `5xx` are
+/// server-side failures (journal I/O).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    pub code: u16,
+    pub message: String,
+}
+
+impl ProtocolError {
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ProtocolError { code: 400, message: message.into() }
+    }
+
+    pub fn not_found(message: impl Into<String>) -> Self {
+        ProtocolError { code: 404, message: message.into() }
+    }
+
+    pub fn conflict(message: impl Into<String>) -> Self {
+        ProtocolError { code: 409, message: message.into() }
+    }
+
+    pub fn internal(message: impl Into<String>) -> Self {
+        ProtocolError { code: 500, message: message.into() }
+    }
+
+    /// The one-line JSON reply for this error.
+    pub fn to_reply(&self) -> Value {
+        json!({ "ok": false, "code": self.code, "error": self.message.clone() })
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+/// `OPEN` payload.
+#[derive(Debug, Clone)]
+pub struct OpenRequest {
+    pub session: String,
+    pub dataset: String,
+    /// `"off"` (default), `"tiny"`, or `"small"`.
+    pub model: Option<String>,
+}
+
+/// `SUGGEST` / `EXPORT` / `CLOSE` payload.
+#[derive(Debug, Clone)]
+pub struct SessionRequest {
+    pub session: String,
+}
+
+/// `LABEL` payload: one direct label, attribute names qualified.
+#[derive(Debug, Clone)]
+pub struct LabelRequest {
+    pub session: String,
+    pub source: String,
+    pub target: String,
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone)]
+pub enum Request {
+    Ping,
+    Open(OpenRequest),
+    Suggest(SessionRequest),
+    Label(LabelRequest),
+    Export(SessionRequest),
+    Close(SessionRequest),
+    Shutdown,
+}
+
+/// Parses a verb's payload into its JSON object. Fields are extracted by
+/// hand (no `Deserialize` derives) so every failure names the verb and
+/// the offending field, and an unknown field is rejected rather than
+/// silently dropped — the payload-level analogue of the CLI refusing
+/// unknown flags.
+fn payload_fields(verb: &str, rest: &str) -> Result<serde_json::Map<String, Value>, ProtocolError> {
+    if rest.trim().is_empty() {
+        return Err(ProtocolError::bad_request(format!("{verb} requires a JSON payload")));
+    }
+    let parsed: Value = serde_json::from_str(rest)
+        .map_err(|e| ProtocolError::bad_request(format!("{verb} payload: {e}")))?;
+    match parsed {
+        Value::Object(map) => Ok(map),
+        _ => Err(ProtocolError::bad_request(format!("{verb} payload must be a JSON object"))),
+    }
+}
+
+/// Removes a required string field from a payload object.
+fn take_string(
+    fields: &mut serde_json::Map<String, Value>,
+    verb: &str,
+    name: &str,
+) -> Result<String, ProtocolError> {
+    match fields.remove(name) {
+        Some(Value::String(s)) => Ok(s),
+        Some(_) => {
+            Err(ProtocolError::bad_request(format!("{verb} field {name:?} must be a string")))
+        }
+        None => Err(ProtocolError::bad_request(format!("{verb} payload is missing {name:?}"))),
+    }
+}
+
+/// Removes an optional string field (absent and `null` both mean `None`).
+fn take_opt_string(
+    fields: &mut serde_json::Map<String, Value>,
+    verb: &str,
+    name: &str,
+) -> Result<Option<String>, ProtocolError> {
+    match fields.remove(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::String(s)) => Ok(Some(s)),
+        Some(_) => {
+            Err(ProtocolError::bad_request(format!("{verb} field {name:?} must be a string")))
+        }
+    }
+}
+
+/// Rejects whatever is left in the payload once the verb's fields are out.
+fn reject_unknown_fields(
+    fields: &serde_json::Map<String, Value>,
+    verb: &str,
+) -> Result<(), ProtocolError> {
+    match fields.keys().next() {
+        None => Ok(()),
+        Some(key) => {
+            Err(ProtocolError::bad_request(format!("{verb} payload has unknown field {key:?}")))
+        }
+    }
+}
+
+fn session_request(verb: &str, rest: &str) -> Result<SessionRequest, ProtocolError> {
+    let mut fields = payload_fields(verb, rest)?;
+    let session = take_string(&mut fields, verb, "session")?;
+    reject_unknown_fields(&fields, verb)?;
+    Ok(SessionRequest { session })
+}
+
+/// Parses one request line (without the trailing newline).
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(' ') {
+        Some((v, r)) => (v, r),
+        None => (line, ""),
+    };
+    match verb {
+        "PING" => Ok(Request::Ping),
+        "OPEN" => {
+            let mut fields = payload_fields(verb, rest)?;
+            let session = take_string(&mut fields, verb, "session")?;
+            let dataset = take_string(&mut fields, verb, "dataset")?;
+            let model = take_opt_string(&mut fields, verb, "model")?;
+            reject_unknown_fields(&fields, verb)?;
+            Ok(Request::Open(OpenRequest { session, dataset, model }))
+        }
+        "SUGGEST" => Ok(Request::Suggest(session_request(verb, rest)?)),
+        "LABEL" => {
+            let mut fields = payload_fields(verb, rest)?;
+            let session = take_string(&mut fields, verb, "session")?;
+            let source = take_string(&mut fields, verb, "source")?;
+            let target = take_string(&mut fields, verb, "target")?;
+            reject_unknown_fields(&fields, verb)?;
+            Ok(Request::Label(LabelRequest { session, source, target }))
+        }
+        "EXPORT" => Ok(Request::Export(session_request(verb, rest)?)),
+        "CLOSE" => Ok(Request::Close(session_request(verb, rest)?)),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        "" => Err(ProtocolError::bad_request("empty request line")),
+        other => Err(ProtocolError::bad_request(format!(
+            "unknown verb {other:?}; expected PING|OPEN|SUGGEST|LABEL|EXPORT|CLOSE|SHUTDOWN"
+        ))),
+    }
+}
+
+/// Validates a session id for use as a journal file name.
+pub fn validate_session_id(id: &str) -> Result<(), ProtocolError> {
+    let ok = !id.is_empty()
+        && id.len() <= 64
+        && id.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if ok {
+        Ok(())
+    } else {
+        Err(ProtocolError::bad_request(format!(
+            "invalid session id {id:?}: expected [A-Za-z0-9_-]{{1,64}}"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_parse_with_and_without_payload() {
+        assert!(matches!(parse_request("PING"), Ok(Request::Ping)));
+        assert!(matches!(parse_request("SHUTDOWN"), Ok(Request::Shutdown)));
+        let open = parse_request(r#"OPEN {"session":"s1","dataset":"movielens"}"#);
+        match open {
+            Ok(Request::Open(o)) => {
+                assert_eq!(o.session, "s1");
+                assert_eq!(o.dataset, "movielens");
+                assert!(o.model.is_none());
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_payload_is_a_400() {
+        let err = parse_request("OPEN not-json").unwrap_err();
+        assert_eq!(err.code, 400);
+        let err = parse_request(r#"SUGGEST {"nope":1}"#).unwrap_err();
+        assert_eq!(err.code, 400);
+        let err = parse_request("LABEL").unwrap_err();
+        assert_eq!(err.code, 400);
+    }
+
+    #[test]
+    fn unknown_verb_is_a_400() {
+        let err = parse_request("DELETE {}").unwrap_err();
+        assert_eq!(err.code, 400);
+        assert!(err.message.contains("unknown verb"));
+    }
+
+    #[test]
+    fn session_ids_are_path_safe() {
+        assert!(validate_session_id("user-42_a").is_ok());
+        assert!(validate_session_id("").is_err());
+        assert!(validate_session_id("../escape").is_err());
+        assert!(validate_session_id("a/b").is_err());
+        assert!(validate_session_id(&"x".repeat(65)).is_err());
+    }
+
+    #[test]
+    fn error_reply_shape() {
+        let e = ProtocolError::not_found("no such session");
+        let v = e.to_reply();
+        assert_eq!(v["ok"], serde_json::json!(false));
+        assert_eq!(v["code"], serde_json::json!(404));
+    }
+}

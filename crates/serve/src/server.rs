@@ -1,0 +1,330 @@
+//! The TCP daemon: accept loop, per-connection threads, and the session
+//! manager multiplexing every open session over one [`SharedState`].
+//!
+//! ## Locking discipline
+//!
+//! Two lock levels, acquired strictly in this order:
+//!
+//! 1. the sessions *map* lock — held only to look up / insert / remove a
+//!    session's slot (an `Arc<Mutex<…>>`), never across session work,
+//! 2. a session *slot* lock — held for the duration of one request
+//!    against that session.
+//!
+//! `OPEN` inserts an empty slot and acquires its lock *before* releasing
+//! the map lock, so concurrent requests for the same id queue on the slot
+//! while the (potentially pre-training) open runs — without blocking
+//! requests for other sessions. The shared featurizer-memo and
+//! encoding-cache locks sit strictly below the slot lock in the order.
+//!
+//! ## Shutdown
+//!
+//! Graceful and clock-free: a `SHUTDOWN` request (or
+//! [`ServerHandle::shutdown`]) sets an atomic flag and pokes the listener
+//! with a loopback connect to wake the blocking `accept`. Connection
+//! threads poll the flag between reads (their sockets carry a read
+//! timeout), so the whole daemon quiesces within one poll interval and
+//! every thread is joined. Open sessions are *not* finalized — their
+//! journals stay at the last committed iteration, which is exactly the
+//! crash-safe state `OPEN` resumes from.
+
+use crate::protocol::{parse_request, validate_session_id, ProtocolError, Request};
+use crate::session::ServeSession;
+use crate::state::SharedState;
+use lsm_core::SessionConfig;
+use parking_lot::Mutex;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 asks the OS for an ephemeral port.
+    pub addr: String,
+    /// Directory of per-session journals (`<id>.journal` + checkpoint).
+    pub journal_dir: PathBuf,
+    /// Pooled-encoding cache capacity, in entries.
+    pub cache_capacity: usize,
+    /// Threads each session's matcher may use. Sessions are already
+    /// concurrent with each other, so the default keeps each engine
+    /// single-threaded.
+    pub engine_threads: usize,
+    /// Seed for the generated customer datasets (the CLI uses 1).
+    pub dataset_seed: u64,
+    /// Session parameters for fresh sessions (resumed ones keep their
+    /// journaled configuration).
+    pub session: SessionConfig,
+    /// Socket read timeout — the granularity at which idle connection
+    /// threads notice a shutdown.
+    pub read_timeout_ms: u64,
+    /// Consecutive read timeouts before an idle connection is dropped
+    /// (`read_timeout_ms × idle_timeout_polls` of silence).
+    pub idle_timeout_polls: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7400".to_string(),
+            journal_dir: PathBuf::from("serve-journals"),
+            cache_capacity: 4096,
+            engine_threads: 1,
+            dataset_seed: 1,
+            session: SessionConfig::default(),
+            read_timeout_ms: 200,
+            idle_timeout_polls: 1500,
+        }
+    }
+}
+
+type Slot = Arc<Mutex<Option<ServeSession>>>;
+
+struct Daemon {
+    shared: SharedState,
+    sessions: Mutex<BTreeMap<String, Slot>>,
+    config: ServeConfig,
+    shutdown: AtomicBool,
+    local_addr: Mutex<Option<SocketAddr>>,
+}
+
+impl Daemon {
+    fn new(config: ServeConfig) -> Self {
+        Daemon {
+            shared: SharedState::new(config.cache_capacity),
+            sessions: Mutex::new(BTreeMap::new()),
+            config,
+            shutdown: AtomicBool::new(false),
+            local_addr: Mutex::new(None),
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway loopback connection.
+        let addr = *self.local_addr.lock();
+        if let Some(addr) = addr {
+            drop(TcpStream::connect(addr));
+        }
+    }
+
+    fn open(&self, req: crate::protocol::OpenRequest) -> Result<Value, ProtocolError> {
+        validate_session_id(&req.session)?;
+        let slot: Slot = Arc::new(Mutex::new(None));
+        let mut guard = {
+            let mut map = self.sessions.lock();
+            if map.contains_key(&req.session) {
+                return Err(ProtocolError::conflict(format!(
+                    "session {:?} is already open",
+                    req.session
+                )));
+            }
+            map.insert(req.session.clone(), slot.clone());
+            // Lock the fresh slot before the map unlocks: same-id requests
+            // queue here until the open finishes (or the slot is removed).
+            slot.lock()
+        };
+        let opened = ServeSession::open(
+            &self.shared,
+            &self.config.journal_dir,
+            &req,
+            self.config.session,
+            self.config.engine_threads,
+            self.config.dataset_seed,
+        );
+        match opened {
+            Ok(session) => {
+                let reply = session.open_reply();
+                *guard = Some(session);
+                Ok(reply)
+            }
+            Err(e) => {
+                drop(guard);
+                self.sessions.lock().remove(&req.session);
+                Err(e)
+            }
+        }
+    }
+
+    fn with_session<R>(
+        &self,
+        id: &str,
+        f: impl FnOnce(&mut ServeSession) -> Result<R, ProtocolError>,
+    ) -> Result<R, ProtocolError> {
+        let slot = self
+            .sessions
+            .lock()
+            .get(id)
+            .cloned()
+            .ok_or_else(|| ProtocolError::not_found(format!("no open session {id:?}")))?;
+        let mut guard = slot.lock();
+        match guard.as_mut() {
+            Some(session) => f(session),
+            None => Err(ProtocolError::not_found(format!("session {id:?} failed to open"))),
+        }
+    }
+
+    fn close(&self, id: &str) -> Result<Value, ProtocolError> {
+        let slot = self
+            .sessions
+            .lock()
+            .remove(id)
+            .ok_or_else(|| ProtocolError::not_found(format!("no open session {id:?}")))?;
+        let mut guard = slot.lock();
+        if let Some(session) = guard.as_mut() {
+            session.close()?;
+        }
+        *guard = None;
+        Ok(json!({ "ok": true, "session": id, "closed": true }))
+    }
+
+    fn handle(&self, req: Request) -> Result<Value, ProtocolError> {
+        match req {
+            Request::Ping => Ok(json!({ "ok": true })),
+            Request::Open(o) => self.open(o),
+            Request::Suggest(r) => self.with_session(&r.session, |s| Ok(s.suggest_reply())),
+            Request::Label(r) => self.with_session(&r.session, |s| s.label(&r.source, &r.target)),
+            Request::Export(r) => self.with_session(&r.session, |s| Ok(s.export_reply())),
+            Request::Close(r) => self.close(&r.session),
+            Request::Shutdown => {
+                self.begin_shutdown();
+                Ok(json!({ "ok": true, "shutting_down": true }))
+            }
+        }
+    }
+
+    fn dispatch(&self, line: &str) -> Value {
+        match parse_request(line) {
+            Ok(req) => self.handle(req).unwrap_or_else(|e| e.to_reply()),
+            Err(e) => e.to_reply(),
+        }
+    }
+}
+
+fn serve_connection(daemon: &Daemon, stream: TcpStream) {
+    let poll = Duration::from_millis(daemon.config.read_timeout_ms.max(1));
+    if stream.set_read_timeout(Some(poll)).is_err() {
+        return;
+    }
+    let clone = match stream.try_clone() {
+        Ok(c) => c,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(clone);
+    let mut writer = stream;
+    let mut line = String::new();
+    let mut idle = 0u32;
+    loop {
+        if daemon.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // `line` is NOT cleared on a timeout: a partially received request
+        // stays buffered and completes on a later read.
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed the connection
+            Ok(_) => {
+                idle = 0;
+                let reply = daemon.dispatch(line.trim_end());
+                line.clear();
+                let mut text = reply.to_string();
+                text.push('\n');
+                if writer.write_all(text.as_bytes()).is_err() {
+                    return;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                idle += 1;
+                if idle >= daemon.config.idle_timeout_polls {
+                    return; // per-connection read timeout: drop the idler
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn accept_loop(daemon: Arc<Daemon>, listener: TcpListener) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if daemon.shutdown.load(Ordering::Acquire) {
+                    break; // the wake-up connect, or a straggler during shutdown
+                }
+                let d = Arc::clone(&daemon);
+                connections.push(std::thread::spawn(move || serve_connection(&d, stream)));
+            }
+            Err(_) => {
+                if daemon.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+        }
+    }
+    for c in connections {
+        drop(c.join());
+    }
+}
+
+/// A running daemon: its bound address plus shutdown/join control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    daemon: Arc<Daemon>,
+    thread: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The address the daemon is listening on (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counter snapshot of the shared pooled-encoding cache (the
+    /// `serve_load` bench reads the hit rate from here so its numbers
+    /// match this daemon instance, not the process-wide obs counters).
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.daemon.shared.cache().stats()
+    }
+
+    /// Pre-trains `model`'s base featurizer now instead of on the first
+    /// `OPEN` that asks for it. Blocks the caller; the daemon keeps
+    /// accepting meanwhile.
+    pub fn preload(&self, model: crate::state::ServeModel) {
+        self.daemon.shared.preload(model);
+    }
+
+    /// Requests a graceful shutdown and waits for every connection thread
+    /// to drain.
+    pub fn shutdown(self) {
+        self.daemon.begin_shutdown();
+        drop(self.thread.join());
+    }
+
+    /// Blocks until the daemon shuts down (via the `SHUTDOWN` verb or
+    /// [`shutdown`](Self::shutdown) from another thread).
+    pub fn join(self) {
+        drop(self.thread.join());
+    }
+}
+
+/// Binds `config.addr`, builds the shared state, and starts the accept
+/// loop on a background thread.
+pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let daemon = Arc::new(Daemon::new(config));
+    *daemon.local_addr.lock() = Some(addr);
+    let d = Arc::clone(&daemon);
+    let thread = std::thread::spawn(move || accept_loop(d, listener));
+    Ok(ServerHandle { addr, daemon, thread })
+}

@@ -1,0 +1,417 @@
+//! One journal-backed active-learning session, driven by protocol
+//! requests instead of an in-process loop.
+//!
+//! The daemon replays the exact event discipline of
+//! `lsm_core::session::drive`: every mutation is a [`SessionEvent`]
+//! applied through [`SessionState::apply`] and mirrored to a
+//! [`JournalSink`], with `IterationEnd` as the durability boundary. One
+//! *round* is one paper iteration:
+//!
+//! 1. [`ServeSession::start_round`] — retrain + predict (the timed
+//!    response), server-side review of every unmatched attribute's top-k
+//!    against the dataset's ground truth (the datasets are generated, so
+//!    truth is known by construction — the daemon plays the reviewing
+//!    user the way the CLI simulation does), one curve point, and the
+//!    selection strategy's picks for this round;
+//! 2. `LABEL` requests supply the direct labels (the client plays the
+//!    labeling user — answering the picks reproduces the in-process
+//!    session exactly; labeling other unmatched attributes is allowed and
+//!    simply journals a different, equally valid trajectory);
+//! 3. once `labels_per_iter` labels arrive, `IterationEnd` commits the
+//!    round and the next one starts eagerly, so the `LABEL` reply carries
+//!    the next round's suggestions cost — the *label-round latency* the
+//!    serve bench measures.
+//!
+//! A killed daemon restarts from the journal: recovery truncates any
+//! uncommitted round, `OPEN` resumes at the boundary, and `start_round`
+//! recomputes the identical respond/review/curve events (engines are
+//! deterministic functions of the label state; the per-iteration RNG is
+//! re-derived via [`iteration_rng`]). Response-time *values* differ — as
+//! they do for any wall-clock re-run — but every other field of the
+//! stream is bitwise identical.
+
+use crate::protocol::{OpenRequest, ProtocolError};
+use crate::state::{ServeModel, SharedState};
+use lsm_core::{active::select_attributes, CurvePoint};
+use lsm_core::{
+    iteration_rng, LsmConfig, LsmMatcher, ReviewOutcome, SessionConfig, SessionEvent, SessionSink,
+    SessionState,
+};
+use lsm_datasets::Dataset;
+use lsm_schema::{AttrId, ScoreMatrix};
+use lsm_store::{JournalOptions, JournalSink};
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One live session (see module docs).
+pub struct ServeSession {
+    id: String,
+    dataset_key: String,
+    model: ServeModel,
+    dataset: Dataset,
+    config: SessionConfig,
+    engine: LsmMatcher,
+    state: SessionState,
+    sink: JournalSink,
+    anchors: Vec<AttrId>,
+    /// The open round's predictions; `None` when no round is open
+    /// (complete, stalled, or out of iteration budget).
+    scores: Option<ScoreMatrix>,
+    /// The strategy's picks awaiting labels this round.
+    picked: Vec<AttrId>,
+    labels_this_round: usize,
+    resumed: bool,
+    source_by_name: BTreeMap<String, AttrId>,
+    target_by_name: BTreeMap<String, AttrId>,
+}
+
+impl ServeSession {
+    /// Opens (or resumes, when its journal already exists) the session
+    /// described by `req`, journaling under `journal_dir/<id>.journal`.
+    pub fn open(
+        shared: &SharedState,
+        journal_dir: &Path,
+        req: &OpenRequest,
+        session_config: SessionConfig,
+        engine_threads: usize,
+        dataset_seed: u64,
+    ) -> Result<ServeSession, ProtocolError> {
+        let model_name = req.model.as_deref().unwrap_or("off");
+        let model = ServeModel::parse(model_name).ok_or_else(|| {
+            ProtocolError::bad_request(format!(
+                "unknown model {model_name:?}; expected off|tiny|small"
+            ))
+        })?;
+        let dataset = lsm_datasets::by_name(&req.dataset, dataset_seed).ok_or_else(|| {
+            ProtocolError::not_found(format!(
+                "unknown dataset {:?}; expected one of {}",
+                req.dataset,
+                lsm_datasets::DATASET_NAMES.join("|")
+            ))
+        })?;
+
+        std::fs::create_dir_all(journal_dir)
+            .map_err(|e| ProtocolError::internal(format!("journal dir: {e}")))?;
+        let journal = journal_dir.join(format!("{}.journal", req.session));
+        let checkpoint = journal_dir.join(format!("{}.journal.ckpt", req.session));
+        let resumable = journal.exists() || checkpoint.exists();
+
+        let (sink, config, resumed) = if resumable {
+            let (sink, recovered) =
+                JournalSink::resume(&journal, Some(&checkpoint), JournalOptions::default())
+                    .map_err(|e| ProtocolError::internal(format!("journal resume: {e}")))?;
+            let config = recovered.config.unwrap_or(session_config);
+            if recovered.state.started
+                && recovered.state.outcome.total_attributes != dataset.source.attr_count()
+            {
+                return Err(ProtocolError::conflict(format!(
+                    "journal for session {:?} belongs to a different task ({} attributes, dataset {:?} has {})",
+                    req.session,
+                    recovered.state.outcome.total_attributes,
+                    req.dataset,
+                    dataset.source.attr_count()
+                )));
+            }
+            (sink, config, true)
+        } else {
+            let sink = JournalSink::create(&journal, Some(&checkpoint), JournalOptions::default())
+                .map_err(|e| ProtocolError::internal(format!("journal create: {e}")))?;
+            (sink, session_config, false)
+        };
+
+        let featurizer = shared.featurizer_for(model, &req.dataset, &dataset);
+        let lsm_config = LsmConfig {
+            use_bert: featurizer.is_some(),
+            threads: engine_threads,
+            ..Default::default()
+        };
+        let engine = LsmMatcher::new_with_cache(
+            &dataset.source,
+            &dataset.target,
+            shared.embedding(),
+            featurizer,
+            lsm_config,
+            Some(shared.cache() as &dyn lsm_core::PooledCache),
+        );
+
+        let source_by_name =
+            dataset.source.attr_ids().map(|a| (dataset.source.qualified_name(a), a)).collect();
+        let target_by_name =
+            dataset.target.attr_ids().map(|a| (dataset.target.qualified_name(a), a)).collect();
+        let anchors = dataset.source.anchor_set();
+        let state = sink.state().clone();
+
+        let mut session = ServeSession {
+            id: req.session.clone(),
+            dataset_key: req.dataset.clone(),
+            model,
+            dataset,
+            config,
+            engine,
+            state,
+            sink,
+            anchors,
+            scores: None,
+            picked: Vec::new(),
+            labels_this_round: 0,
+            resumed,
+            source_by_name,
+            target_by_name,
+        };
+        if !session.state.started {
+            let total = session.total();
+            session.emit(SessionEvent::SessionStart { total_attributes: total, config })?;
+        }
+        session.start_round()?;
+        Ok(session)
+    }
+
+    /// The session id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    fn total(&self) -> usize {
+        self.dataset.source.attr_count()
+    }
+
+    fn emit(&mut self, event: SessionEvent) -> Result<(), ProtocolError> {
+        self.state.apply(&event);
+        self.sink
+            .on_event(&event)
+            .map_err(|e| ProtocolError::internal(format!("session {:?}: {e}", self.id)))
+    }
+
+    fn curve_point(&self) -> CurvePoint {
+        let matched = self.state.labels.matched_count();
+        let matched_correct = self
+            .state
+            .labels
+            .positives()
+            .filter(|&(s, t)| self.dataset.ground_truth.is_correct(s, t))
+            .count();
+        CurvePoint {
+            labels_provided: self.state.outcome.labels_used,
+            matched,
+            matched_correct,
+            total: self.total(),
+        }
+    }
+
+    /// Opens the next round: respond (timed retrain + predict), reviews,
+    /// curve point, and the strategy's picks — the exact event order of
+    /// the in-process driver. No-op when the session cannot progress or a
+    /// round is already open.
+    fn start_round(&mut self) -> Result<(), ProtocolError> {
+        if self.scores.is_some()
+            || self.state.stalled
+            || self.state.is_complete()
+            || self.state.iterations_done >= self.config.max_iterations
+        {
+            return Ok(());
+        }
+        let it = self.state.iterations_done;
+        let (scores, secs) = {
+            let engine = &mut self.engine;
+            let labels = &self.state.labels;
+            lsm_obs::timed("serve.respond", || {
+                engine.retrain(labels);
+                engine.predict(labels)
+            })
+        };
+        self.emit(SessionEvent::Respond { iteration: it, secs })?;
+
+        let attrs: Vec<AttrId> = self.dataset.source.attr_ids().collect();
+        for s in attrs {
+            if self.state.labels.is_matched(s) {
+                continue;
+            }
+            let top = scores.top_k(s, self.config.top_k);
+            let outcome =
+                match top.iter().find(|&&(t, _)| self.dataset.ground_truth.is_correct(s, t)) {
+                    Some(&(t, _)) => ReviewOutcome::Confirmed(t),
+                    None => ReviewOutcome::RejectedAll(top.iter().map(|&(t, _)| t).collect()),
+                };
+            self.emit(SessionEvent::Review { iteration: it, source: s, outcome })?;
+        }
+
+        let point = self.curve_point();
+        self.emit(SessionEvent::Curve { iteration: it, point })?;
+        if point.matched == self.total() {
+            self.emit(SessionEvent::IterationEnd { iteration: it })?;
+            return Ok(());
+        }
+
+        let mut rng = iteration_rng(self.config.seed, it);
+        let picked = select_attributes(
+            self.config.strategy,
+            &self.dataset.source,
+            &scores,
+            &self.state.labels,
+            &self.anchors,
+            self.config.labels_per_iter,
+            &mut rng,
+        );
+        if picked.is_empty() {
+            self.emit(SessionEvent::Stalled { iteration: it })?;
+            self.emit(SessionEvent::IterationEnd { iteration: it })?;
+            return Ok(());
+        }
+        self.picked = picked;
+        self.labels_this_round = 0;
+        self.scores = Some(scores);
+        Ok(())
+    }
+
+    fn resolve_source(&self, name: &str) -> Result<AttrId, ProtocolError> {
+        self.source_by_name.get(name).copied().ok_or_else(|| {
+            ProtocolError::not_found(format!("unknown source attribute {name:?} (qualified name)"))
+        })
+    }
+
+    fn resolve_target(&self, name: &str) -> Result<AttrId, ProtocolError> {
+        self.target_by_name.get(name).copied().ok_or_else(|| {
+            ProtocolError::not_found(format!("unknown target attribute {name:?} (qualified name)"))
+        })
+    }
+
+    /// Applies one direct label. When the round's label budget is filled,
+    /// commits the iteration and eagerly opens the next round (the
+    /// label-round cost). Returns the post-label status reply.
+    pub fn label(&mut self, source: &str, target: &str) -> Result<Value, ProtocolError> {
+        if self.state.is_complete() {
+            return Err(ProtocolError::conflict("session is already complete"));
+        }
+        if self.state.stalled {
+            return Err(ProtocolError::conflict("session is stalled"));
+        }
+        if self.scores.is_none() {
+            return Err(ProtocolError::conflict("iteration budget exhausted"));
+        }
+        let s = self.resolve_source(source)?;
+        let t = self.resolve_target(target)?;
+        if self.state.labels.is_matched(s) {
+            return Err(ProtocolError::conflict(format!("{source:?} is already matched")));
+        }
+        let it = self.state.iterations_done;
+        let strategy = self.config.strategy;
+        self.emit(SessionEvent::DirectLabel { iteration: it, source: s, target: t, strategy })?;
+        self.labels_this_round += 1;
+        if self.labels_this_round >= self.config.labels_per_iter.max(1) {
+            self.emit(SessionEvent::IterationEnd { iteration: it })?;
+            self.scores = None;
+            self.picked.clear();
+            self.start_round()?;
+        }
+        Ok(self.status_reply())
+    }
+
+    fn status_fields(&self) -> Value {
+        json!({
+            "session": self.id.clone(),
+            "dataset": self.dataset_key.clone(),
+            "model": self.model.name(),
+            "iteration": self.state.iterations_done,
+            "total_attributes": self.total(),
+            "matched": self.state.labels.matched_count(),
+            "labels_used": self.state.outcome.labels_used,
+            "reviews_done": self.state.outcome.reviews_done,
+            "complete": self.state.is_complete(),
+            "stalled": self.state.stalled,
+        })
+    }
+
+    fn status_reply(&self) -> Value {
+        let mut v = self.status_fields();
+        v["ok"] = json!(true);
+        v
+    }
+
+    /// The `OPEN` reply.
+    pub fn open_reply(&self) -> Value {
+        let mut v = self.status_reply();
+        v["resumed"] = json!(self.resumed);
+        v
+    }
+
+    /// The `SUGGEST` reply: top-k candidates for every unmatched source
+    /// attribute plus the strategy's picks for this round.
+    pub fn suggest_reply(&self) -> Value {
+        let mut suggestions = Vec::new();
+        if let Some(scores) = &self.scores {
+            for s in self.dataset.source.attr_ids() {
+                if self.state.labels.is_matched(s) {
+                    continue;
+                }
+                let candidates: Vec<Value> = scores
+                    .top_k(s, self.config.top_k)
+                    .into_iter()
+                    .map(|(t, score)| {
+                        json!({ "target": self.dataset.target.qualified_name(t), "score": score })
+                    })
+                    .collect();
+                suggestions.push(json!({
+                    "source": self.dataset.source.qualified_name(s),
+                    "candidates": candidates,
+                }));
+            }
+        }
+        let pick: Vec<String> =
+            self.picked.iter().map(|&s| self.dataset.source.qualified_name(s)).collect();
+        let mut v = self.status_reply();
+        v["suggestions"] = json!(suggestions);
+        v["pick"] = json!(pick);
+        v
+    }
+
+    /// The `EXPORT` reply: the confirmed mapping, top-1 predictions for
+    /// whatever is still unmatched, and the learning curve. Response
+    /// times are deliberately excluded — they are wall-clock and would
+    /// make otherwise identical sessions compare unequal.
+    pub fn export_reply(&self) -> Value {
+        let mut mapping = Vec::new();
+        for (s, t) in self.state.labels.positives() {
+            mapping.push(json!({
+                "source": self.dataset.source.qualified_name(s),
+                "target": self.dataset.target.qualified_name(t),
+                "correct": self.dataset.ground_truth.is_correct(s, t),
+            }));
+        }
+        let mut predictions = Vec::new();
+        if let Some(scores) = &self.scores {
+            for s in self.dataset.source.attr_ids() {
+                if self.state.labels.is_matched(s) {
+                    continue;
+                }
+                if let Some((t, score)) = scores.top_k(s, 1).into_iter().next() {
+                    predictions.push(json!({
+                        "source": self.dataset.source.qualified_name(s),
+                        "target": self.dataset.target.qualified_name(t),
+                        "score": score,
+                    }));
+                }
+            }
+        }
+        let curve: Vec<Value> = self
+            .state
+            .outcome
+            .curve
+            .iter()
+            .map(|p| json!([p.labels_provided, p.matched, p.matched_correct, p.total]))
+            .collect();
+        let mut v = self.status_reply();
+        v["mapping"] = json!(mapping);
+        v["predictions"] = json!(predictions);
+        v["curve"] = json!(curve);
+        v
+    }
+
+    /// Finalizes the journal (flush + checkpoint). Called by `CLOSE`; a
+    /// dropped-without-close session simply keeps its journal resumable.
+    pub fn close(&mut self) -> Result<(), ProtocolError> {
+        self.sink
+            .finish()
+            .map_err(|e| ProtocolError::internal(format!("session {:?}: {e}", self.id)))
+    }
+}

@@ -1,0 +1,165 @@
+//! Process-wide read-mostly state shared by every session.
+//!
+//! Built once when the daemon starts and handed to connection threads
+//! behind an `Arc`:
+//!
+//! * the retail lexicon and the word-embedding space (immutable after
+//!   construction — plain shared reads),
+//! * the [`EncodingCache`] every session's matcher consults,
+//! * a memo of pre-trained featurizers: the expensive MLM pre-training is
+//!   done once per model size, the classifier pre-training once per
+//!   `(model, dataset)` pair, and each session then *clones* the finished
+//!   featurizer so its fine-tuning stays session-local — exactly the
+//!   contract `LsmMatcher::new` documents.
+//!
+//! The memo lock is held across a pre-training build on purpose: two
+//! concurrent `OPEN`s of the same model would otherwise both pay the
+//! multi-second pre-training. Serializing them means the second opener
+//! waits and then clones. Pre-training is deterministic, so which opener
+//! builds is unobservable in the results.
+
+use crate::cache::EncodingCache;
+use lsm_core::{BertFeaturizer, BertFeaturizerConfig};
+use lsm_datasets::Dataset;
+use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
+use lsm_lexicon::{full_lexicon, Lexicon};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Encoder model a session runs with, mirroring the CLI's `--model` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeModel {
+    /// Cheap featurizers only (no BERT column).
+    Off,
+    /// The fast CI model.
+    Tiny,
+    /// The experiment model.
+    Small,
+}
+
+impl ServeModel {
+    /// Parses the protocol/CLI spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(ServeModel::Off),
+            "tiny" => Some(ServeModel::Tiny),
+            "small" => Some(ServeModel::Small),
+            _ => None,
+        }
+    }
+
+    /// Stable protocol spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeModel::Off => "off",
+            ServeModel::Tiny => "tiny",
+            ServeModel::Small => "small",
+        }
+    }
+
+    fn featurizer_config(self) -> Option<BertFeaturizerConfig> {
+        match self {
+            ServeModel::Off => None,
+            ServeModel::Tiny => Some(BertFeaturizerConfig::tiny()),
+            ServeModel::Small => Some(BertFeaturizerConfig::small()),
+        }
+    }
+}
+
+/// Featurizer memo: MLM-pre-trained bases per model, classifier-tuned
+/// clones per `(model, dataset)`.
+#[derive(Default)]
+struct FeaturizerMemo {
+    bases: BTreeMap<&'static str, BertFeaturizer>,
+    tuned: BTreeMap<String, BertFeaturizer>,
+}
+
+/// The shared state (see module docs).
+pub struct SharedState {
+    lexicon: Lexicon,
+    embedding: EmbeddingSpace,
+    cache: EncodingCache,
+    memo: Mutex<FeaturizerMemo>,
+}
+
+impl SharedState {
+    /// Builds the lexicon, the embedding space, and an empty cache of
+    /// `cache_capacity` pooled vectors. Featurizers are built lazily on
+    /// the first `OPEN` that needs them.
+    pub fn new(cache_capacity: usize) -> Self {
+        let lexicon = full_lexicon();
+        let embedding = EmbeddingSpace::new(&lexicon, EmbeddingConfig::default());
+        SharedState {
+            lexicon,
+            embedding,
+            cache: EncodingCache::new(cache_capacity),
+            memo: Mutex::new(FeaturizerMemo::default()),
+        }
+    }
+
+    /// The shared embedding space.
+    pub fn embedding(&self) -> &EmbeddingSpace {
+        &self.embedding
+    }
+
+    /// The shared pooled-encoding cache.
+    pub fn cache(&self) -> &EncodingCache {
+        &self.cache
+    }
+
+    /// Pre-trains and memoizes `model`'s base featurizer ahead of the
+    /// first `OPEN` that needs it, so that open doesn't pay the
+    /// multi-second MLM pre-training. No-op for [`ServeModel::Off`] or
+    /// when the base is already built.
+    pub fn preload(&self, model: ServeModel) {
+        let Some(config) = model.featurizer_config() else { return };
+        let mut memo = self.memo.lock();
+        if !memo.bases.contains_key(model.name()) {
+            let built = BertFeaturizer::pretrain(&self.lexicon, config);
+            memo.bases.insert(model.name(), built);
+        }
+    }
+
+    /// A classifier-pre-trained featurizer for `model` on `dataset`'s
+    /// target, cloned from the memo (building the memo entries on first
+    /// use). `None` for [`ServeModel::Off`]. `dataset_key` is the protocol
+    /// dataset name, which keys the tuned memo.
+    pub fn featurizer_for(
+        &self,
+        model: ServeModel,
+        dataset_key: &str,
+        dataset: &Dataset,
+    ) -> Option<BertFeaturizer> {
+        let config = model.featurizer_config()?;
+        let tuned_key = format!("{}/{dataset_key}", model.name());
+        let mut memo = self.memo.lock();
+        if let Some(f) = memo.tuned.get(&tuned_key) {
+            return Some(f.clone());
+        }
+        let base = match memo.bases.get(model.name()) {
+            Some(b) => b.clone(),
+            None => {
+                let built = BertFeaturizer::pretrain(&self.lexicon, config);
+                memo.bases.insert(model.name(), built.clone());
+                built
+            }
+        };
+        let mut tuned = base;
+        tuned.pretrain_classifier(&dataset.target);
+        memo.tuned.insert(tuned_key, tuned.clone());
+        Some(tuned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_names_round_trip() {
+        for m in [ServeModel::Off, ServeModel::Tiny, ServeModel::Small] {
+            assert_eq!(ServeModel::parse(m.name()), Some(m));
+        }
+        assert_eq!(ServeModel::parse("large"), None);
+    }
+}

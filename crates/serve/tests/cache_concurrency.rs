@@ -1,0 +1,159 @@
+//! Concurrency and determinism tests for the shared pooled-encoding
+//! cache: N threads hammering one [`EncodingCache`] through the real
+//! featurizer path must produce vectors bitwise identical to the
+//! uncached single-session path, whether they hit or miss — and a
+//! capacity-starved cache must only ever cost recomputation, never
+//! correctness.
+
+use lsm_core::{BertFeaturizer, BertFeaturizerConfig, PooledCache};
+use lsm_lexicon::full_lexicon;
+use lsm_serve::EncodingCache;
+use std::sync::OnceLock;
+
+/// One tiny MLM-pre-trained featurizer for the whole test binary
+/// (pre-training dominates the runtime; every test shares it read-only).
+fn featurizer() -> &'static BertFeaturizer {
+    static F: OnceLock<BertFeaturizer> = OnceLock::new();
+    F.get_or_init(|| BertFeaturizer::pretrain(&full_lexicon(), BertFeaturizerConfig::tiny()))
+}
+
+/// Token-id sequences for the movielens source attributes — the real
+/// shape of what sessions encode — deduplicated so per-sequence counter
+/// arithmetic below is exact.
+fn attribute_ids(f: &BertFeaturizer) -> Vec<Vec<u32>> {
+    let dataset = lsm_datasets::by_name("movielens", 1).expect("movielens dataset");
+    let mut out: Vec<Vec<u32>> = Vec::new();
+    for a in dataset.source.attr_ids() {
+        let ids = f.attr_token_ids(&dataset.source, a);
+        if !out.contains(&ids) {
+            out.push(ids);
+        }
+    }
+    out
+}
+
+fn bits(t: &lsm_nn::Tensor) -> Vec<u32> {
+    t.data().iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn concurrent_same_attributes_are_bitwise_identical_to_uncached() {
+    let f = featurizer();
+    let ids = attribute_ids(f);
+    let reference: Vec<Vec<u32>> = ids.iter().map(|i| bits(&f.single_pooled(i))).collect();
+
+    let cache = EncodingCache::new(1024);
+    // Warm the cache on one thread so every worker below is guaranteed to
+    // exercise the hit path.
+    let refs: Vec<&[u32]> = ids.iter().map(|i| i.as_slice()).collect();
+    let warm = f.pooled_many_cached(&refs, 1, Some(&cache as &dyn PooledCache));
+    for (w, r) in warm.iter().zip(&reference) {
+        assert_eq!(&bits(w), r, "warm-up must match the uncached path");
+    }
+    let warm_stats = cache.stats();
+    assert!(warm_stats.insertions > 0, "warm-up must populate the cache");
+
+    std::thread::scope(|scope| {
+        for worker in 0..8 {
+            let refs = &refs;
+            let reference = &reference;
+            let cache = &cache;
+            scope.spawn(move || {
+                let out = f.pooled_many_cached(refs, 1, Some(cache as &dyn PooledCache));
+                for (i, t) in out.iter().enumerate() {
+                    assert_eq!(
+                        bits(t),
+                        reference[i],
+                        "worker {worker}: cached vector {i} diverged from single_pooled"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = cache.stats();
+    assert!(
+        stats.hits >= warm_stats.misses * 8,
+        "every worker lookup after warm-up must hit (stats: {stats:?})"
+    );
+    assert_eq!(
+        stats.misses, warm_stats.misses,
+        "no worker may miss on a warmed cache (stats: {stats:?})"
+    );
+}
+
+#[test]
+fn concurrent_disjoint_attributes_fill_the_cache_once() {
+    let f = featurizer();
+    let ids = attribute_ids(f);
+    let reference: Vec<Vec<u32>> = ids.iter().map(|i| bits(&f.single_pooled(i))).collect();
+
+    let cache = EncodingCache::new(1024);
+    // Each worker encodes a disjoint slice; together they cover the set.
+    let workers = 4;
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let ids = &ids;
+            let reference = &reference;
+            let cache = &cache;
+            scope.spawn(move || {
+                for (i, seq) in ids.iter().enumerate() {
+                    if i % workers != w {
+                        continue;
+                    }
+                    let refs = [seq.as_slice()];
+                    let out = f.pooled_many_cached(&refs, 1, Some(cache as &dyn PooledCache));
+                    assert_eq!(bits(&out[0]), reference[i], "vector {i} diverged");
+                }
+            });
+        }
+    });
+
+    let stats = cache.stats();
+    assert_eq!(
+        stats.insertions,
+        ids.len() as u64,
+        "disjoint workers insert each unique attribute exactly once (stats: {stats:?})"
+    );
+    assert_eq!(stats.evictions, 0, "capacity 1024 must not evict {} entries", ids.len());
+
+    // A second pass over everything is all hits, still bitwise identical.
+    let refs: Vec<&[u32]> = ids.iter().map(|i| i.as_slice()).collect();
+    let before = cache.stats();
+    let out = f.pooled_many_cached(&refs, 1, Some(&cache as &dyn PooledCache));
+    for (i, t) in out.iter().enumerate() {
+        assert_eq!(bits(t), reference[i], "second-pass vector {i} diverged");
+    }
+    let after = cache.stats();
+    assert_eq!(after.misses, before.misses, "second pass must be all hits");
+}
+
+#[test]
+fn capacity_starved_cache_stays_correct_under_threads() {
+    let f = featurizer();
+    let ids = attribute_ids(f);
+    let reference: Vec<Vec<u32>> = ids.iter().map(|i| bits(&f.single_pooled(i))).collect();
+
+    // Room for two entries: almost every access evicts, so the test walks
+    // the miss → insert → evict path constantly while threads interleave.
+    let cache = EncodingCache::new(2);
+    let refs: Vec<&[u32]> = ids.iter().map(|i| i.as_slice()).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let refs = &refs;
+            let reference = &reference;
+            let cache = &cache;
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    let out = f.pooled_many_cached(refs, 1, Some(cache as &dyn PooledCache));
+                    for (i, t) in out.iter().enumerate() {
+                        assert_eq!(bits(t), reference[i], "starved-cache vector {i} diverged");
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = cache.stats();
+    assert!(stats.evictions > 0, "capacity 2 must evict under this load (stats: {stats:?})");
+}

@@ -1,0 +1,223 @@
+//! End-to-end daemon tests over real loopback TCP: protocol errors must
+//! come back as error replies (never kill the daemon), and a daemon
+//! killed mid-protocol must resume its sessions from the journal and
+//! finish with exactly the trajectory an uninterrupted run produces.
+
+use lsm_serve::{spawn, ServeConfig, ServerHandle};
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        let reader = BufReader::new(stream.try_clone().expect("clone socket"));
+        Client { reader, writer: stream }
+    }
+
+    fn request(&mut self, line: &str) -> Value {
+        self.writer.write_all(line.as_bytes()).expect("send request");
+        self.writer.write_all(b"\n").expect("send newline");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        serde_json::from_str(reply.trim_end()).expect("reply is one JSON object")
+    }
+
+    fn ok(&mut self, line: &str) -> Value {
+        let v = self.request(line);
+        assert_eq!(v["ok"], Value::Bool(true), "request {line:?} failed: {v}");
+        v
+    }
+}
+
+fn temp_journal_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lsm-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create journal dir");
+    dir
+}
+
+fn spawn_on(dir: &std::path::Path) -> ServerHandle {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        journal_dir: dir.to_path_buf(),
+        ..Default::default()
+    };
+    spawn(config).expect("spawn daemon")
+}
+
+/// Qualified-name ground truth of the movielens task — the labels the
+/// simulated user answers with (clients derive the same generated data
+/// as the daemon).
+fn movielens_truth() -> BTreeMap<String, String> {
+    let dataset = lsm_datasets::by_name("movielens", 1).expect("movielens dataset");
+    dataset
+        .source
+        .attr_ids()
+        .map(|s| {
+            let t = dataset.ground_truth.target_of(s).expect("total ground truth");
+            (dataset.source.qualified_name(s), dataset.target.qualified_name(t))
+        })
+        .collect()
+}
+
+/// Answers the strategy's first pick with ground truth until the session
+/// completes or `max_rounds` labels were given; returns the label count.
+fn label_rounds(
+    c: &mut Client,
+    session: &str,
+    truth: &BTreeMap<String, String>,
+    max_rounds: usize,
+) -> usize {
+    let mut rounds = 0;
+    while rounds < max_rounds {
+        let s = c.ok(&format!(r#"SUGGEST {{"session":{session:?}}}"#));
+        if s["complete"] == Value::Bool(true) {
+            break;
+        }
+        let pick = s["pick"][0].as_str().expect("incomplete session has a pick").to_string();
+        let target = &truth[&pick];
+        c.ok(&format!(r#"LABEL {{"session":{session:?},"source":{pick:?},"target":{target:?}}}"#));
+        rounds += 1;
+    }
+    rounds
+}
+
+#[test]
+fn protocol_errors_do_not_kill_the_daemon() {
+    let dir = temp_journal_dir("errors");
+    let handle = spawn_on(&dir);
+    let mut c = Client::connect(handle.addr());
+
+    let bad = c.request(r#"OPEN {"session":"x","dataset":"no-such-dataset"}"#);
+    assert_eq!(bad["ok"], Value::Bool(false));
+    assert_eq!(bad["code"], Value::from(404), "unknown dataset: {bad}");
+    assert!(
+        bad["error"].as_str().unwrap_or("").contains("movielens"),
+        "the error must list valid datasets: {bad}"
+    );
+
+    let bad_id = c.request(r#"OPEN {"session":"../escape","dataset":"movielens"}"#);
+    assert_eq!(bad_id["code"], Value::from(400), "path-like session id: {bad_id}");
+
+    let garbage = c.request("OPEN this-is-not-json");
+    assert_eq!(garbage["code"], Value::from(400), "malformed payload: {garbage}");
+
+    let unknown = c.request(r#"FROBNICATE {"session":"x"}"#);
+    assert_eq!(unknown["code"], Value::from(400), "unknown verb: {unknown}");
+
+    let gone = c.request(r#"SUGGEST {"session":"never-opened"}"#);
+    assert_eq!(gone["code"], Value::from(404), "unopened session: {gone}");
+
+    // The daemon is still fully functional after every rejected request.
+    c.ok("PING");
+    let open = c.ok(r#"OPEN {"session":"ok1","dataset":"movielens"}"#);
+    assert_eq!(open["resumed"], Value::Bool(false));
+
+    let dup = c.request(r#"OPEN {"session":"ok1","dataset":"movielens"}"#);
+    assert_eq!(dup["code"], Value::from(409), "duplicate open: {dup}");
+
+    let bad_attr =
+        c.request(r#"LABEL {"session":"ok1","source":"Nope.nope","target":"Nope.nope"}"#);
+    assert_eq!(bad_attr["code"], Value::from(404), "unknown attribute: {bad_attr}");
+
+    c.ok(r#"CLOSE {"session":"ok1"}"#);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_daemon_resumes_sessions_from_the_journal() {
+    let truth = movielens_truth();
+
+    // Reference: one uninterrupted session driven to completion.
+    let ref_dir = temp_journal_dir("reference");
+    let handle = spawn_on(&ref_dir);
+    let mut c = Client::connect(handle.addr());
+    c.ok(r#"OPEN {"session":"ref","dataset":"movielens"}"#);
+    let ref_rounds = label_rounds(&mut c, "ref", &truth, usize::MAX);
+    let reference = c.ok(r#"EXPORT {"session":"ref"}"#);
+    assert_eq!(reference["complete"], Value::Bool(true));
+    c.ok(r#"CLOSE {"session":"ref"}"#);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    assert!(
+        ref_rounds >= 2,
+        "movielens must need at least two label rounds for this test to interrupt one \
+         (took {ref_rounds})"
+    );
+    let interrupt_after = (ref_rounds / 2).max(1);
+
+    // Interrupted: same session, killed mid-protocol without CLOSE.
+    let dir = temp_journal_dir("resume");
+    let handle = spawn_on(&dir);
+    let mut c = Client::connect(handle.addr());
+    let open = c.ok(r#"OPEN {"session":"s","dataset":"movielens"}"#);
+    assert_eq!(open["resumed"], Value::Bool(false));
+    let done_before = label_rounds(&mut c, "s", &truth, interrupt_after);
+    assert_eq!(done_before, interrupt_after);
+    drop(c);
+    handle.shutdown(); // no CLOSE: the journal stays at the last committed iteration
+
+    assert!(
+        dir.join("s.journal").exists(),
+        "the interrupted session must leave its journal behind"
+    );
+
+    // Resume on a fresh daemon over the same journal directory.
+    let handle = spawn_on(&dir);
+    let mut c = Client::connect(handle.addr());
+    let reopened = c.ok(r#"OPEN {"session":"s","dataset":"movielens"}"#);
+    assert_eq!(reopened["resumed"], Value::Bool(true), "must resume from the journal: {reopened}");
+    assert_eq!(
+        reopened["labels_used"],
+        Value::from(interrupt_after),
+        "every committed label survives the kill: {reopened}"
+    );
+
+    label_rounds(&mut c, "s", &truth, usize::MAX);
+    let resumed = c.ok(r#"EXPORT {"session":"s"}"#);
+    c.ok(r#"CLOSE {"session":"s"}"#);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The kill is invisible in the result: identical mapping, identical
+    // learning curve, identical label spend. (Response times are excluded
+    // from EXPORT precisely because they are wall-clock.)
+    assert_eq!(resumed["complete"], Value::Bool(true));
+    assert_eq!(resumed["mapping"], reference["mapping"], "mapping diverged after resume");
+    assert_eq!(resumed["curve"], reference["curve"], "learning curve diverged after resume");
+    assert_eq!(resumed["labels_used"], reference["labels_used"]);
+    assert_eq!(resumed["reviews_done"], reference["reviews_done"]);
+}
+
+#[test]
+fn resuming_under_a_different_dataset_is_a_conflict() {
+    let dir = temp_journal_dir("conflict");
+    let handle = spawn_on(&dir);
+    let mut c = Client::connect(handle.addr());
+    c.ok(r#"OPEN {"session":"s","dataset":"movielens"}"#);
+    c.ok(r#"CLOSE {"session":"s"}"#);
+    handle.shutdown();
+
+    let handle = spawn_on(&dir);
+    let mut c = Client::connect(handle.addr());
+    let clash = c.request(r#"OPEN {"session":"s","dataset":"rdb-star"}"#);
+    if clash["ok"] == Value::Bool(true) {
+        // Same attribute count: indistinguishable by shape, resume is
+        // allowed. Different count: must be rejected as a conflict.
+        assert_eq!(clash["resumed"], Value::Bool(true));
+    } else {
+        assert_eq!(clash["code"], Value::from(409), "mismatched journal: {clash}");
+    }
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

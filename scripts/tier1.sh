@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: format check, release build, full test suite,
 # workspace clippy, the lsm-lint static-analysis gate, a kernel-parity /
-# int8-drift smoke, an observability smoke test, and a crash/resume
-# persistence smoke test (ROADMAP.md "Tier-1 verify").
+# int8-drift smoke, an observability smoke test, a crash/resume
+# persistence smoke test, and a serving-daemon protocol smoke
+# (ROADMAP.md "Tier-1 verify").
 #
 # Usage: scripts/tier1.sh
 set -euo pipefail
@@ -99,5 +100,12 @@ if ! diff <(grep -v "^mean response time" /tmp/lsm_tier1_ref.out) \
 fi
 rm -f "$journal" "$journal.ckpt" /tmp/lsm_tier1_ref.out /tmp/lsm_tier1_resume.out
 echo "persistence smoke OK: torn journal resumed to an identical report"
+
+echo "==> serve smoke: daemon protocol drive over loopback TCP"
+# Spawns the lsm-serve daemon on an ephemeral port, drives one session to
+# 19/19 over the line protocol (OPEN/SUGGEST/LABEL/EXPORT/CLOSE), and
+# exercises the protocol-error paths. The bin asserts internally and
+# prints one OK line.
+cargo run --release -p lsm-serve --bin serve_smoke | grep "serve_smoke: OK"
 
 echo "==> tier-1 OK"
