@@ -355,25 +355,30 @@ fn main() {
 
     let mut regressed = false;
     if let Some(baseline_path) = &cli.compare {
-        let baseline: Value = std::fs::read_to_string(baseline_path)
-            .map_err(|e| format!("cannot read {baseline_path}: {e}"))
-            .and_then(|text| {
-                serde_json::from_str(&text).map_err(|e| format!("{baseline_path}: {e}"))
-            })
-            .unwrap_or_else(|e| {
+        let path = std::path::Path::new(baseline_path);
+        // A missing baseline is the first run of this bench tag, reported
+        // explicitly and advisory; a corrupt one is still a hard error.
+        match lsm_bench::regress::load_baseline(path) {
+            Ok(Some(baseline)) => {
+                let fp = lsm_bench::regress::host_fingerprint(&report["host"]);
+                let cmp = lsm_bench::regress::compare(&baseline, &merged, &fp, cli.advisory);
+                eprint!("{}", cmp.render_table());
+                let cmp_path = std::path::Path::new(&cli.out_path).with_extension("compare.json");
+                if let Ok(text) = serde_json::to_string_pretty(&cmp.to_json()) {
+                    if std::fs::write(&cmp_path, text).is_ok() {
+                        eprintln!("serve_load: wrote {}", cmp_path.display());
+                    }
+                }
+                regressed = cmp.failed();
+            }
+            Ok(None) => {
+                eprintln!("{}", lsm_bench::regress::first_run_notice("serve_load", path));
+            }
+            Err(e) => {
                 eprintln!("serve_load: {e}");
                 std::process::exit(2);
-            });
-        let fp = lsm_bench::regress::host_fingerprint(&report["host"]);
-        let cmp = lsm_bench::regress::compare(&baseline, &merged, &fp, cli.advisory);
-        eprint!("{}", cmp.render_table());
-        let cmp_path = std::path::Path::new(&cli.out_path).with_extension("compare.json");
-        if let Ok(text) = serde_json::to_string_pretty(&cmp.to_json()) {
-            if std::fs::write(&cmp_path, text).is_ok() {
-                eprintln!("serve_load: wrote {}", cmp_path.display());
             }
         }
-        regressed = cmp.failed();
     }
 
     // Acceptance guard: concurrent sessions over one target ISS must

@@ -456,6 +456,38 @@ pub fn append_trajectory(path: &Path, entry: Value) -> std::io::Result<usize> {
     Ok(count)
 }
 
+/// Loads a comparison baseline for `--compare`.
+///
+/// Distinguishes the three cases the callers kept conflating:
+///
+/// * `Ok(Some(report))` — baseline present and parseable, gate normally;
+/// * `Ok(None)` — no file at `path`: the *first run* of a bench tag on
+///   this branch. Not an error — the caller reports it explicitly and
+///   skips the gate (the run it just wrote becomes the future baseline);
+/// * `Err(_)` — the file exists but is unreadable or broken JSON. That is
+///   a corrupt baseline, never silently treated as a first run.
+pub fn load_baseline(path: &Path) -> Result<Option<Value>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    serde_json::from_str(&text)
+        .map(Some)
+        .map_err(|e| format!("{} is not valid JSON: {e}", path.display()))
+}
+
+/// The advisory notice both bench bins print when [`load_baseline`]
+/// returns `Ok(None)` — one recognizable line instead of two ad-hoc ones.
+pub fn first_run_notice(bench: &str, path: &Path) -> String {
+    format!(
+        "{bench}: no baseline at {} — first run for this bench tag; \
+         skipping the regression gate (advisory). The report just written \
+         can be committed as the baseline.",
+        path.display()
+    )
+}
+
 /// A synthetic report with known metric magnitudes, every pipeline value
 /// scaled by `scale` — the fixture for [`self_test`] and the unit tests.
 /// The calibration microbench deliberately does NOT scale: a code
@@ -610,6 +642,34 @@ mod tests {
     #[test]
     fn self_test_passes() {
         self_test().expect("regression-gate self test");
+    }
+
+    #[test]
+    fn missing_baseline_is_a_first_run_not_an_error() {
+        let dir = std::env::temp_dir().join(format!("lsm-regress-baseline-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+
+        // Absent file: Ok(None), and the notice names the tag and path.
+        let missing = dir.join("BENCH_missing.json");
+        assert_eq!(load_baseline(&missing).expect("missing file is a first run"), None);
+        let notice = first_run_notice("serve_load", &missing);
+        assert!(notice.contains("serve_load") && notice.contains("BENCH_missing.json"));
+        assert!(notice.contains("first run"), "notice must say why the gate is skipped");
+
+        // Present + parseable: Ok(Some(..)) round-trips the report.
+        let present = dir.join("BENCH_present.json");
+        std::fs::write(&present, sample_report(1.0).to_string()).expect("write baseline");
+        let loaded = load_baseline(&present).expect("readable baseline").expect("present");
+        assert_eq!(flatten_metrics(&loaded), flatten_metrics(&sample_report(1.0)));
+
+        // Present but corrupt: an error naming the file — never silently
+        // treated as a first run.
+        let corrupt = dir.join("BENCH_corrupt.json");
+        std::fs::write(&corrupt, "{ not json").expect("write corrupt baseline");
+        let err = load_baseline(&corrupt).expect_err("corrupt baseline must error");
+        assert!(err.contains("BENCH_corrupt.json"), "error names the file: {err}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// The shape `serve_load` writes (metrics nested under `"serve"`, obs

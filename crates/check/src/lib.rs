@@ -1,0 +1,161 @@
+//! `lsm-check` — a loom-style concurrency model checker for the
+//! workspace's hand-written concurrent layer.
+//!
+//! ## Why
+//!
+//! The reproduction's core guarantee — bitwise-identical match scores and
+//! exports at any thread count — rests on a small amount of hand-written
+//! concurrency: the serve daemon's two-level `sessions-map → slot` lock
+//! discipline, the bounded FIFO pooled-encoding cache, the atomic
+//! shutdown handshake, and `lsm-obs`'s lock-free counters/histograms.
+//! The static rules (lsm-lint R7/R11) reason about these
+//! over-approximately, and TSan runs nightly, advisory, and
+//! nondeterministically. This crate closes the gap: it *exhaustively*
+//! explores every bounded interleaving of a small concurrent model, on
+//! stable Rust, deterministically, in CI.
+//!
+//! ## How
+//!
+//! [`sync`] is a drop-in shim for the synchronization vocabulary the
+//! workspace uses (`Mutex`, `Condvar`, the `Atomic*` family, `Arc`, and
+//! `thread::spawn`/`JoinHandle`). In a normal build it is a pure
+//! re-export of `parking_lot` / `std` — zero cost, bitwise-identical
+//! codegen. Under `RUSTFLAGS="--cfg lsm_model_check"` every acquire,
+//! load, store, and RMW instead routes through a cooperative scheduler
+//! that:
+//!
+//! - runs the model's threads one at a time, transferring control at
+//!   every shared-memory operation (a *schedule point*),
+//! - explores all interleavings by stateless depth-first re-execution
+//!   over a trail of recorded choices, with sleep-set pruning of
+//!   interleavings that only reorder independent operations,
+//! - models `Relaxed` vs `Acquire`/`Release` visibility with a
+//!   per-location store history and per-thread views: a `Relaxed` load
+//!   may (as an explored choice) read any coherence-allowed stale store,
+//!   while an `Acquire` load that reads a `Release` store joins the
+//!   writer's view (happens-before),
+//! - detects deadlocks (every unfinished thread blocked) and lock-order
+//!   cycles via a runtime lock-order graph, cross-referencing the static
+//!   rule in the failure message (`lsm-lint --explain R11-lock-discipline`),
+//! - on failure prints a deterministic schedule trace that
+//!   `LSM_CHECK_REPLAY=<trace>` replays exactly.
+//!
+//! ## Writing a model
+//!
+//! ```
+//! use lsm_check::sync::{Arc, AtomicU64, Ordering, thread};
+//!
+//! lsm_check::model(|| {
+//!     let n = Arc::new(AtomicU64::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = thread::spawn(move || {
+//!         n2.fetch_add(1, Ordering::AcqRel);
+//!     });
+//!     n.fetch_add(1, Ordering::AcqRel);
+//!     t.join().unwrap();
+//!     assert_eq!(n.load(Ordering::Acquire), 2);
+//! });
+//! ```
+//!
+//! The closure runs once per explored interleaving, so it must be
+//! restartable: construct fresh state at the top, or reset any process
+//! statics it touches (e.g. `lsm_obs::reset()`). In a normal build
+//! `model` runs the closure exactly once with real concurrency, so the
+//! same tests double as smoke tests without the cfg.
+//!
+//! ## Bounds
+//!
+//! Exploration is exhaustive within [`Model`]'s bounds: a cap on the
+//! number of executions and a per-execution operation cap (which also
+//! catches unbounded spin loops). Exceeding a bound is a checker
+//! *failure*, never a silent pass — shrink the model or raise the bound
+//! (`sanitize.sh check` runs the suites with the unbounded environment
+//! override `LSM_CHECK_MAX_EXECUTIONS=0`).
+
+#[cfg(lsm_model_check)]
+mod memory;
+mod report;
+#[cfg(lsm_model_check)]
+mod sched;
+pub mod sync;
+
+pub use report::{Failure, FailureKind, Report};
+
+/// Exploration bounds and entry point; `Model::new().check(f)` returns
+/// the outcome instead of panicking, for expect-failure fixtures.
+#[derive(Debug, Clone)]
+pub struct Model {
+    /// Maximum interleavings to explore before failing with
+    /// [`FailureKind::BoundExceeded`]. `0` means unbounded.
+    /// Overridable via `LSM_CHECK_MAX_EXECUTIONS`.
+    pub max_executions: usize,
+    /// Maximum schedule points in one execution before failing with
+    /// [`FailureKind::Livelock`] (catches Relaxed spin loops that no
+    /// interleaving ever satisfies).
+    pub max_ops: usize,
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        let max_executions = std::env::var("LSM_CHECK_MAX_EXECUTIONS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200_000);
+        Model { max_executions, max_ops: 20_000 }
+    }
+}
+
+impl Model {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn max_executions(mut self, n: usize) -> Self {
+        self.max_executions = n;
+        self
+    }
+
+    pub fn max_ops(mut self, n: usize) -> Self {
+        self.max_ops = n;
+        self
+    }
+
+    /// Explores every interleaving of `f` within the bounds. Returns the
+    /// first failure found, or a coverage report.
+    #[cfg(lsm_model_check)]
+    pub fn check<F>(&self, f: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        sched::explore(self.clone(), std::sync::Arc::new(f))
+    }
+
+    /// Normal build: runs `f` once with real concurrency. The model
+    /// suites stay green (as plain smoke tests) without the cfg.
+    #[cfg(not(lsm_model_check))]
+    pub fn check<F>(&self, f: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        f();
+        Ok(Report { executions: 1, pruned: 0, max_depth: 0, exhaustive: false })
+    }
+}
+
+/// Checks `f` under the model and panics with the schedule trace on any
+/// failure. The assert-style entry point for model tests.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    if let Err(failure) = Model::new().check(f) {
+        panic!("{failure}");
+    }
+}
+
+/// True when this build routes [`sync`] through the model scheduler.
+/// Lets suites that *require* exploration (injected-bug fixtures)
+/// self-skip in normal builds.
+pub const fn model_build() -> bool {
+    cfg!(lsm_model_check)
+}

@@ -1,0 +1,164 @@
+//! The store-history memory model: per-location store buffers and
+//! per-thread views distinguishing `Relaxed` from `Acquire`/`Release`
+//! visibility.
+//!
+//! Every atomic location keeps its full modification order (the sequence
+//! of stores). Every thread keeps a *view*: for each location, the
+//! earliest store index it is still allowed to read (coherence — a
+//! thread never reads older than something it has already read, written,
+//! or synchronized with). The ordering semantics on top:
+//!
+//! - a **store** appends to the modification order; a release-class
+//!   store snapshots the writer's view into the store,
+//! - a **load** may read *any* store at or after the thread's view floor
+//!   for that location — each allowed stale read is a separate explored
+//!   choice. An acquire-class load that reads a release-class store
+//!   joins the writer's snapshotted view (happens-before edge). A
+//!   `Relaxed` load reads the value but learns nothing,
+//! - an **RMW** always reads the latest store (read-modify-write
+//!   atomicity in the modification order), joining views only when both
+//!   sides are release/acquire class,
+//! - **`SeqCst`** is approximated as acquire/release plus always-reads-
+//!   latest. The checker therefore explores a superset of `SeqCst`
+//!   behaviors for pure Rel/Acq code and the workspace does not rely on
+//!   `SeqCst`-only total-order properties (lsm-lint R7/R11 police the
+//!   orderings in use).
+//!
+//! Mutexes route through the same mechanism: unlock records the
+//! releaser's view on the lock, lock joins it — total synchronization on
+//! the lock's location.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+
+/// Per-thread visibility floor: location → earliest readable store index.
+pub(crate) type View = BTreeMap<usize, usize>;
+
+pub(crate) fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+pub(crate) fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Joins `other` into `view` (pointwise max of visibility floors).
+pub(crate) fn join_views(view: &mut View, other: &View) {
+    for (&loc, &idx) in other {
+        let e = view.entry(loc).or_insert(0);
+        if idx > *e {
+            *e = idx;
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Store {
+    val: u64,
+    /// Release-class store: `view` is the writer's snapshot to join on an
+    /// acquiring read.
+    release: bool,
+    view: View,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Memory {
+    locs: BTreeMap<usize, Vec<Store>>,
+}
+
+impl Memory {
+    /// First touch of a location adopts the live value of the real cell
+    /// as the initial store (index 0, non-release) — this is what makes
+    /// process statics (counters, enable gates) checkable: whatever the
+    /// model closure's reset left there is the initial state.
+    pub(crate) fn ensure(&mut self, loc: usize, live: u64) {
+        self.locs
+            .entry(loc)
+            .or_insert_with(|| vec![Store { val: live, release: false, view: View::new() }]);
+    }
+
+    /// Number of stores a load at `loc` may legally read for a thread
+    /// whose visibility floor is `floor` (callers branch over this).
+    pub(crate) fn load_candidates(&self, loc: usize, floor: usize) -> usize {
+        self.locs[&loc].len() - floor
+    }
+
+    /// Visibility floor of `loc` in `view`.
+    pub(crate) fn floor(view: &View, loc: usize) -> usize {
+        view.get(&loc).copied().unwrap_or(0)
+    }
+
+    /// Commits a load of the store at `floor + pick`, updating coherence
+    /// and (for acquire reads of release stores) joining the writer's
+    /// view. Returns the value read.
+    pub(crate) fn load_commit(
+        &self,
+        loc: usize,
+        pick: usize,
+        ord: Ordering,
+        view: &mut View,
+    ) -> u64 {
+        let floor = Self::floor(view, loc);
+        let stores = &self.locs[&loc];
+        // SeqCst loads read the latest store (see module docs).
+        let idx = if ord == Ordering::SeqCst { stores.len() - 1 } else { floor + pick };
+        let store = &stores[idx];
+        let val = store.val;
+        if is_acquire(ord) && store.release {
+            let writer_view = store.view.clone();
+            join_views(view, &writer_view);
+        }
+        let e = view.entry(loc).or_insert(0);
+        if idx > *e {
+            *e = idx;
+        }
+        val
+    }
+
+    /// Appends a store, returning nothing; the writer always sees its
+    /// own store (its floor moves to the new index).
+    pub(crate) fn store(&mut self, loc: usize, ord: Ordering, val: u64, view: &mut View) {
+        let idx = self.locs[&loc].len();
+        view.insert(loc, idx);
+        let release = is_release(ord);
+        let snapshot = if release { view.clone() } else { View::new() };
+        self.locs.get_mut(&loc).unwrap().push(Store { val, release, view: snapshot });
+    }
+
+    /// Read-modify-write: reads the latest store (modification-order
+    /// atomicity), applies `f`, appends the result. Returns the value
+    /// read.
+    pub(crate) fn rmw(
+        &mut self,
+        loc: usize,
+        ord: Ordering,
+        view: &mut View,
+        f: &mut dyn FnMut(u64) -> u64,
+    ) -> u64 {
+        let stores = &self.locs[&loc];
+        let idx = stores.len() - 1;
+        let latest = &stores[idx];
+        let old = latest.val;
+        if is_acquire(ord) && latest.release {
+            let writer_view = latest.view.clone();
+            join_views(view, &writer_view);
+        }
+        let e = view.entry(loc).or_insert(0);
+        if idx > *e {
+            *e = idx;
+        }
+        let new = f(old);
+        self.store(loc, ord, new, view);
+        old
+    }
+
+    /// Latest value in modification order (for compare-and-swap reads
+    /// and failure diagnostics).
+    pub(crate) fn latest(&self, loc: usize) -> u64 {
+        self.locs[&loc].last().unwrap().val
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.locs.clear();
+    }
+}

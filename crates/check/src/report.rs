@@ -1,0 +1,163 @@
+//! Checker outcomes: the coverage report of a clean run and the
+//! replayable failure of a buggy one.
+
+use std::fmt;
+
+/// Coverage summary of a completed exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Interleavings fully executed.
+    pub executions: usize,
+    /// Executions cut short because every enabled thread was in the
+    /// sleep set (the interleaving was covered by an earlier execution
+    /// that only reordered independent operations).
+    pub pruned: usize,
+    /// Deepest schedule-point count seen in one execution.
+    pub max_depth: usize,
+    /// True when the state space was exhausted (always, unless the
+    /// normal-build single-run path produced this report).
+    pub exhaustive: bool,
+}
+
+/// What went wrong in the failing interleaving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A model thread panicked (assertion failure in the model body).
+    Panic(String),
+    /// Every unfinished thread is blocked on a lock, join, or condvar.
+    Deadlock,
+    /// The runtime lock-order graph acquired a cycle.
+    LockOrderCycle(String),
+    /// One execution exceeded `Model::max_ops` schedule points —
+    /// a spin loop no interleaving satisfies, or a model too large.
+    Livelock,
+    /// Exploration exceeded `Model::max_executions` before exhausting
+    /// the state space. Never a silent pass: shrink the model, raise
+    /// the bound, or run `sanitize.sh check` (unbounded).
+    BoundExceeded,
+    /// An `LSM_CHECK_REPLAY` trace did not match the model (stale trace
+    /// or changed code).
+    ReplayMismatch(String),
+}
+
+/// A failing interleaving: the kind, the deterministic schedule trace
+/// that reproduces it, and the tail of the operation log.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub kind: FailureKind,
+    /// Comma-separated choice sequence; re-run the same test binary with
+    /// `LSM_CHECK_REPLAY=<trace>` to replay this exact interleaving.
+    pub trace: String,
+    /// Human-readable tail of the schedule (thread, operation, location)
+    /// leading up to the failure.
+    pub ops_tail: Vec<String>,
+    /// Executions completed before the failing one.
+    pub executions: usize,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "lsm-check: model failure after {} execution(s)", self.executions)?;
+        match &self.kind {
+            FailureKind::Panic(msg) => writeln!(f, "  kind: thread panic: {msg}")?,
+            FailureKind::Deadlock => {
+                writeln!(f, "  kind: deadlock — every unfinished thread is blocked")?
+            }
+            FailureKind::LockOrderCycle(cycle) => {
+                writeln!(f, "  kind: lock-order cycle: {cycle}")?;
+                writeln!(
+                    f,
+                    "  note: the static rule for this class is R11 — see \
+                     `lsm-lint --explain R11-lock-discipline` for the \
+                     workspace lock-order policy and the static graph"
+                )?;
+            }
+            FailureKind::Livelock => writeln!(
+                f,
+                "  kind: livelock — one execution exceeded the schedule-point \
+                 bound (unsatisfiable spin loop, or raise Model::max_ops)"
+            )?,
+            FailureKind::BoundExceeded => writeln!(
+                f,
+                "  kind: execution bound exceeded before exhausting the state \
+                 space (raise LSM_CHECK_MAX_EXECUTIONS, 0 = unbounded, or \
+                 shrink the model)"
+            )?,
+            FailureKind::ReplayMismatch(msg) => {
+                writeln!(f, "  kind: LSM_CHECK_REPLAY trace mismatch: {msg}")?
+            }
+        }
+        if !self.ops_tail.is_empty() {
+            writeln!(f, "  schedule tail:")?;
+            for op in &self.ops_tail {
+                writeln!(f, "    {op}")?;
+            }
+        }
+        if self.trace.is_empty() {
+            writeln!(f, "  trace: (empty — failure before the first choice)")?;
+        } else {
+            writeln!(f, "  replay: LSM_CHECK_REPLAY={} <same test binary>", self.trace)?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a choice sequence as the `LSM_CHECK_REPLAY` wire format.
+#[cfg_attr(not(lsm_model_check), allow(dead_code))]
+pub(crate) fn format_trace(choices: &[usize]) -> String {
+    choices.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",")
+}
+
+/// Parses the `LSM_CHECK_REPLAY` wire format.
+#[cfg_attr(not(lsm_model_check), allow(dead_code))]
+pub(crate) fn parse_trace(s: &str) -> Result<Vec<usize>, String> {
+    if s.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|tok| {
+            tok.trim().parse::<usize>().map_err(|e| format!("bad trace element {tok:?}: {e}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_round_trips() {
+        let choices = vec![0, 3, 1, 0, 2];
+        let text = format_trace(&choices);
+        assert_eq!(text, "0,3,1,0,2");
+        assert_eq!(parse_trace(&text).unwrap(), choices);
+        assert_eq!(parse_trace("").unwrap(), Vec::<usize>::new());
+        assert_eq!(parse_trace(" 1 , 2 ").unwrap(), vec![1, 2]);
+        assert!(parse_trace("1,x").is_err());
+    }
+
+    #[test]
+    fn failure_display_carries_replay_line() {
+        let f = Failure {
+            kind: FailureKind::Deadlock,
+            trace: "0,1,1".into(),
+            ops_tail: vec!["t1 lock Mutex@0x10".into()],
+            executions: 4,
+        };
+        let text = f.to_string();
+        assert!(text.contains("deadlock"), "{text}");
+        assert!(text.contains("LSM_CHECK_REPLAY=0,1,1"), "{text}");
+        assert!(text.contains("t1 lock Mutex@0x10"), "{text}");
+    }
+
+    #[test]
+    fn lock_cycle_display_cross_references_r11() {
+        let f = Failure {
+            kind: FailureKind::LockOrderCycle("Mutex@a -> Mutex@b -> Mutex@a".into()),
+            trace: "1".into(),
+            ops_tail: vec![],
+            executions: 0,
+        };
+        assert!(f.to_string().contains("R11-lock-discipline"));
+    }
+}

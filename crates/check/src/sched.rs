@@ -1,0 +1,1050 @@
+//! The cooperative exploration scheduler (only compiled under
+//! `cfg(lsm_model_check)`).
+//!
+//! Model threads are real OS threads, but a token-passing protocol keeps
+//! exactly one runnable at a time: every shared-memory operation parks
+//! the caller, picks the next pending operation to execute, and waits to
+//! be granted. The sequence of picks is the *trail*; exploration is a
+//! stateless depth-first re-execution over it — after each execution the
+//! deepest non-exhausted choice advances and the closure re-runs,
+//! deterministically replaying the prefix.
+//!
+//! Sleep sets prune interleavings that only reorder independent
+//! operations: when the DFS backtracks past a branch, that branch's
+//! (thread, op) goes to sleep for the point's remaining branches, wakes
+//! when a dependent operation executes, and an execution in which every
+//! enabled thread is asleep aborts early — it was covered by an earlier
+//! execution.
+//!
+//! All nondeterminism (schedule picks *and* stale-load value picks)
+//! funnels through the trail, so the flat integer sequence printed on
+//! failure is a complete replay recipe: `LSM_CHECK_REPLAY=<trace>`
+//! forces that exact execution.
+
+use crate::memory::{self, Memory, View};
+use crate::report::{format_trace, parse_trace, Failure, FailureKind, Report};
+use crate::Model;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Ops retained for the failure report's schedule tail.
+const OPS_LOG_CAP: usize = 48;
+
+pub(crate) type Tid = usize;
+
+/// Unwind payload used to abort an in-flight execution (pruned by sleep
+/// sets, or poisoned by a failure on another thread). Never user-visible:
+/// the thread wrapper catches it and the panic hook silences it.
+pub(crate) struct AbortToken;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Op {
+    Start,
+    Yield,
+    Spawn(Tid),
+    Load { loc: usize, kind: &'static str },
+    Store { loc: usize, kind: &'static str },
+    Rmw { loc: usize, kind: &'static str },
+    Lock { loc: usize },
+    Unlock { loc: usize },
+    CvWait { cv: usize, mutex: usize },
+    CvNotify { cv: usize, all: bool },
+    Join { target: Tid },
+}
+
+/// (location, writes?) of a plain memory op.
+fn mem_loc(op: &Op) -> Option<(usize, bool)> {
+    match op {
+        Op::Load { loc, .. } => Some((*loc, false)),
+        Op::Store { loc, .. } | Op::Rmw { loc, .. } => Some((*loc, true)),
+        _ => None,
+    }
+}
+
+fn lock_loc(op: &Op) -> Option<usize> {
+    match op {
+        Op::Lock { loc } | Op::Unlock { loc } => Some(*loc),
+        _ => None,
+    }
+}
+
+/// The independence relation driving sleep-set wakes: two operations are
+/// dependent when reordering them can change the outcome. Conservative
+/// over-approximation (extra dependence costs pruning, never soundness).
+fn dependent(a: &Op, b: &Op) -> bool {
+    if let (Some((la, wa)), Some((lb, wb))) = (mem_loc(a), mem_loc(b)) {
+        return la == lb && (wa || wb);
+    }
+    // Joins observe thread completion; keep them dependent with
+    // everything rather than modeling a "finish" op.
+    if matches!(a, Op::Join { .. }) || matches!(b, Op::Join { .. }) {
+        return true;
+    }
+    if let (Some(la), Some(lb)) = (lock_loc(a), lock_loc(b)) {
+        return la == lb;
+    }
+    match (a, b) {
+        (Op::CvWait { cv: ca, mutex: ma }, Op::CvWait { cv: cb, mutex: mb }) => {
+            ca == cb || ma == mb
+        }
+        (Op::CvWait { cv: cw, .. }, Op::CvNotify { cv: cn, .. })
+        | (Op::CvNotify { cv: cn, .. }, Op::CvWait { cv: cw, .. }) => cw == cn,
+        (Op::CvNotify { cv: ca, .. }, Op::CvNotify { cv: cb, .. }) => ca == cb,
+        // A wait releases and reacquires its mutex.
+        (Op::CvWait { mutex, .. }, other) | (other, Op::CvWait { mutex, .. }) => {
+            lock_loc(other) == Some(*mutex)
+        }
+        _ => false,
+    }
+}
+
+enum Ts {
+    /// Registered by `spawn`; its OS thread may not have parked yet (its
+    /// pending op is `Start`).
+    Starting,
+    /// Parked at a pending op, waiting to be granted.
+    Ready(Op),
+    /// The single thread currently executing model code.
+    Running,
+    /// Inside `Condvar::wait`, mutex released, not yet notified. The
+    /// mutex is what a notify re-parks the waiter to reacquire.
+    BlockedCv {
+        cv: usize,
+        mutex: usize,
+    },
+    Finished,
+}
+
+struct ThreadState {
+    state: Ts,
+    /// Locks held, in acquisition order (feeds the lock-order graph).
+    held: Vec<usize>,
+    view: View,
+}
+
+impl ThreadState {
+    fn new() -> Self {
+        ThreadState { state: Ts::Starting, held: Vec::new(), view: View::new() }
+    }
+}
+
+#[derive(Debug)]
+enum TrailEntry {
+    /// A schedule point: which pending op executes next. `options` are
+    /// the enabled, non-sleeping threads at first exploration;
+    /// `option_ops` their pending ops (for sleep-set re-seeding);
+    /// branches `0..taken` are already explored.
+    Sched { options: Vec<Tid>, option_ops: Vec<Op>, taken: usize },
+    /// A value branch (stale-load pick, condvar-waiter pick).
+    Pick { n: usize, taken: usize },
+}
+
+#[derive(Default)]
+struct LockState {
+    owner: Option<Tid>,
+    /// View of the last releaser — joined by the next acquirer.
+    released_view: View,
+}
+
+struct ExecInner {
+    threads: Vec<ThreadState>,
+    granted: Option<Tid>,
+    /// The thread currently holding the scheduler token (granted and
+    /// running its op / continuation). `pick` may only run when this is
+    /// `None`: a freshly spawned OS thread parking at `Op::Start` while
+    /// its parent still runs must NOT trigger a pick, or the recorded
+    /// option sets would depend on OS timing and DFS prefix replay
+    /// would diverge.
+    active: Option<Tid>,
+    trail: Vec<TrailEntry>,
+    cursor: usize,
+    sleep: Vec<(Tid, Op)>,
+    mem: Memory,
+    locks: BTreeMap<usize, LockState>,
+    lock_labels: BTreeMap<usize, String>,
+    lock_edges: BTreeSet<(usize, usize)>,
+    ops_log: VecDeque<String>,
+    op_count: usize,
+    max_ops: usize,
+    /// Every choice made this execution (schedule → chosen tid, value
+    /// pick → index) — the replayable trace.
+    choices: Vec<usize>,
+    /// Forced choices when `LSM_CHECK_REPLAY` is set.
+    replay: Option<VecDeque<usize>>,
+    failure: Option<FailureKind>,
+    abort: bool,
+    pruned: bool,
+    exec_done: bool,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct ExecShared {
+    inner: StdMutex<ExecInner>,
+    cv: StdCondvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+struct Ctx {
+    exec: Arc<ExecShared>,
+    tid: Tid,
+}
+
+fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Is the calling thread part of an active model execution?
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// Silences the `AbortToken` unwinds the scheduler uses internally;
+/// every other panic keeps the previous hook (so a failing model
+/// assertion still prints its location once).
+fn install_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<AbortToken>().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+impl ExecShared {
+    fn new(trail: Vec<TrailEntry>, replay: Option<VecDeque<usize>>, max_ops: usize) -> Self {
+        ExecShared {
+            inner: StdMutex::new(ExecInner {
+                threads: Vec::new(),
+                granted: None,
+                active: None,
+                trail,
+                cursor: 0,
+                sleep: Vec::new(),
+                mem: Memory::default(),
+                locks: BTreeMap::new(),
+                lock_labels: BTreeMap::new(),
+                lock_edges: BTreeSet::new(),
+                ops_log: VecDeque::new(),
+                op_count: 0,
+                max_ops,
+                choices: Vec::new(),
+                replay,
+                failure: None,
+                abort: false,
+                pruned: false,
+                exec_done: false,
+                handles: Vec::new(),
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    /// Poison-tolerant lock: a panicking model thread (assertion failure
+    /// in the body) must not wedge the scheduler for everyone else.
+    fn lock(&self) -> StdMutexGuard<'_, ExecInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait<'a>(&'a self, g: StdMutexGuard<'a, ExecInner>) -> StdMutexGuard<'a, ExecInner> {
+        self.cv.wait(g).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Parks the caller at `op`, transfers control, and returns once
+    /// granted; the caller performs the op's effect under the returned
+    /// guard.
+    fn park(&self, tid: Tid, op: Op) -> StdMutexGuard<'_, ExecInner> {
+        let mut inner = self.lock();
+        if inner.abort {
+            drop(inner);
+            panic::panic_any(AbortToken);
+        }
+        inner.op_count += 1;
+        if inner.op_count > inner.max_ops && inner.failure.is_none() {
+            inner.failure = Some(FailureKind::Livelock);
+            self.abort_exec(&mut inner);
+            drop(inner);
+            panic::panic_any(AbortToken);
+        }
+        inner.threads[tid].state = Ts::Ready(op);
+        if inner.active == Some(tid) {
+            inner.active = None;
+        }
+        if inner.granted.is_none() && inner.active.is_none() {
+            self.pick(&mut inner);
+        }
+        self.wait_for_grant(inner, tid)
+    }
+
+    fn wait_for_grant<'a>(
+        &'a self,
+        mut inner: StdMutexGuard<'a, ExecInner>,
+        tid: Tid,
+    ) -> StdMutexGuard<'a, ExecInner> {
+        loop {
+            if inner.abort {
+                drop(inner);
+                panic::panic_any(AbortToken);
+            }
+            if inner.granted == Some(tid) {
+                break;
+            }
+            inner = self.wait(inner);
+        }
+        inner.granted = None;
+        inner.active = Some(tid);
+        inner.threads[tid].state = Ts::Running;
+        inner
+    }
+
+    /// Wakes everything to unwind; with a failure set this poisons the
+    /// execution, without one it marks the execution pruned.
+    fn abort_exec(&self, inner: &mut ExecInner) {
+        inner.abort = true;
+        self.cv.notify_all();
+    }
+
+    fn fail(&self, inner: &mut ExecInner, kind: FailureKind) {
+        if inner.failure.is_none() {
+            inner.failure = Some(kind);
+        }
+        self.abort_exec(inner);
+    }
+
+    /// The schedule choice: which pending op executes next. Called with
+    /// no thread running and nothing granted.
+    fn pick(&self, inner: &mut ExecInner) {
+        debug_assert!(inner.granted.is_none());
+        let enabled: Vec<Tid> = (0..inner.threads.len()).filter(|&t| inner.is_enabled(t)).collect();
+        if enabled.is_empty() {
+            let unfinished: Vec<Tid> = (0..inner.threads.len())
+                .filter(|&t| !matches!(inner.threads[t].state, Ts::Finished))
+                .collect();
+            if unfinished.is_empty() {
+                inner.exec_done = true;
+                self.cv.notify_all();
+            } else {
+                let mut lines = Vec::new();
+                for &t in &unfinished {
+                    lines.push(format!("t{t} blocked: {}", inner.describe_block(t)));
+                }
+                for l in lines {
+                    inner.log_line(l);
+                }
+                self.fail(inner, FailureKind::Deadlock);
+            }
+            return;
+        }
+        let chosen: Tid;
+        if inner.cursor < inner.trail.len() {
+            // Deterministic replay of the DFS prefix; branches explored
+            // before the current one go to sleep.
+            let (options, taken) = match &inner.trail[inner.cursor] {
+                TrailEntry::Sched { options, taken, .. } => (options.clone(), *taken),
+                TrailEntry::Pick { .. } => {
+                    self.fail(
+                        inner,
+                        FailureKind::ReplayMismatch(
+                            "internal: DFS prefix diverged (pick where schedule expected)".into(),
+                        ),
+                    );
+                    return;
+                }
+            };
+            for &t in &options[..taken] {
+                // Seed from the *live* pending op, not the recorded one:
+                // heap addresses inside ops are not stable across
+                // executions, and a stale address would never match the
+                // dependence check that is supposed to wake the sleeper
+                // (silently over-pruning). Prefix replay is
+                // deterministic, so the live op is the same logical op.
+                if matches!(inner.threads[t].state, Ts::Starting | Ts::Ready(_)) {
+                    let op = inner.pending_op(t);
+                    inner.sleep.push((t, op));
+                }
+            }
+            chosen = options[taken];
+            if !enabled.contains(&chosen) {
+                self.fail(
+                    inner,
+                    FailureKind::ReplayMismatch("internal: DFS prefix diverged".into()),
+                );
+                return;
+            }
+            inner.cursor += 1;
+        } else if inner.replay.is_some() {
+            match inner.replay.as_mut().unwrap().pop_front() {
+                Some(tid) if enabled.contains(&tid) => chosen = tid,
+                Some(tid) => {
+                    self.fail(
+                        inner,
+                        FailureKind::ReplayMismatch(format!(
+                            "trace schedules t{tid}, but enabled threads are {enabled:?}"
+                        )),
+                    );
+                    return;
+                }
+                None => {
+                    self.fail(
+                        inner,
+                        FailureKind::ReplayMismatch("trace ended before the schedule did".into()),
+                    );
+                    return;
+                }
+            }
+        } else {
+            let candidates: Vec<Tid> = enabled
+                .iter()
+                .copied()
+                .filter(|t| !inner.sleep.iter().any(|(st, _)| st == t))
+                .collect();
+            if candidates.is_empty() {
+                // Every enabled thread is asleep: any continuation only
+                // reorders independent ops relative to an execution
+                // already explored.
+                inner.pruned = true;
+                self.abort_exec(inner);
+                return;
+            }
+            let option_ops: Vec<Op> = candidates.iter().map(|&t| inner.pending_op(t)).collect();
+            chosen = candidates[0];
+            inner.trail.push(TrailEntry::Sched { options: candidates, option_ops, taken: 0 });
+            inner.cursor += 1;
+        }
+        // The chosen thread may sit in the sleep set when a prefix
+        // replay or a condvar wake re-selects it; waking it is sound
+        // (dropping sleep entries only loses pruning, never coverage).
+        inner.sleep.retain(|(t, _)| *t != chosen);
+        inner.choices.push(chosen);
+        inner.granted = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    /// A value branch (stale-load pick, condvar-waiter pick) by the
+    /// currently granted thread. Panics out of the execution on replay
+    /// mismatch.
+    fn choose_value(&self, inner: &mut StdMutexGuard<'_, ExecInner>, n: usize) -> usize {
+        debug_assert!(n >= 1);
+        let pick;
+        if inner.cursor < inner.trail.len() {
+            match &inner.trail[inner.cursor] {
+                TrailEntry::Pick { n: en, taken } if *en == n => pick = *taken,
+                _ => {
+                    self.fail(
+                        inner,
+                        FailureKind::ReplayMismatch(
+                            "internal: DFS prefix diverged (schedule where pick expected)".into(),
+                        ),
+                    );
+                    return 0; // caller unwinds via the abort check below
+                }
+            }
+            inner.cursor += 1;
+        } else if inner.replay.is_some() {
+            match inner.replay.as_mut().unwrap().pop_front() {
+                Some(k) if k < n => pick = k,
+                Some(k) => {
+                    self.fail(
+                        inner,
+                        FailureKind::ReplayMismatch(format!(
+                            "trace picks value branch {k}, but only {n} branches exist"
+                        )),
+                    );
+                    return 0;
+                }
+                None => {
+                    self.fail(
+                        inner,
+                        FailureKind::ReplayMismatch("trace ended before the schedule did".into()),
+                    );
+                    return 0;
+                }
+            }
+        } else {
+            inner.trail.push(TrailEntry::Pick { n, taken: 0 });
+            inner.cursor += 1;
+            pick = 0;
+        }
+        inner.choices.push(pick);
+        pick
+    }
+
+    /// Effect epilogue: log the executed op and wake sleepers dependent
+    /// with it.
+    fn executed(&self, inner: &mut ExecInner, tid: Tid, op: &Op) {
+        let line = inner.render_op(tid, op);
+        inner.log_line(line);
+        inner.sleep.retain(|(_, slept)| !dependent(op, slept));
+    }
+
+    /// Acquire effect shared by `Mutex::lock` and the condvar reacquire:
+    /// takes ownership, joins the releaser's view, extends the runtime
+    /// lock-order graph, and fails on a cycle.
+    fn lock_effect(&self, inner: &mut StdMutexGuard<'_, ExecInner>, tid: Tid, loc: usize) {
+        let lock = inner.locks.entry(loc).or_default();
+        debug_assert!(lock.owner.is_none());
+        lock.owner = Some(tid);
+        let released = lock.released_view.clone();
+        let mut view = std::mem::take(&mut inner.threads[tid].view);
+        memory::join_views(&mut view, &released);
+        inner.threads[tid].view = view;
+        let held = inner.threads[tid].held.clone();
+        let mut cycle = None;
+        for &h in &held {
+            if h != loc && inner.lock_edges.insert((h, loc)) {
+                if let Some(path) = inner.find_cycle(loc) {
+                    cycle = Some(path);
+                    break;
+                }
+            }
+        }
+        inner.threads[tid].held.push(loc);
+        if let Some(path) = cycle {
+            self.fail(inner, FailureKind::LockOrderCycle(path));
+        }
+    }
+
+    /// Release effect shared by guard drop and `Condvar::wait`.
+    fn unlock_effect(&self, inner: &mut ExecInner, tid: Tid, loc: usize) {
+        let view = inner.threads[tid].view.clone();
+        let lock = inner.locks.entry(loc).or_default();
+        debug_assert_eq!(lock.owner, Some(tid));
+        lock.owner = None;
+        lock.released_view = view;
+        inner.threads[tid].held.retain(|&h| h != loc);
+    }
+
+    /// Checks for an abort raised while this thread held the guard
+    /// (lock-order cycle, replay mismatch) and unwinds if so.
+    fn bail_if_aborted(&self, inner: StdMutexGuard<'_, ExecInner>) {
+        if inner.abort {
+            drop(inner);
+            panic::panic_any(AbortToken);
+        }
+    }
+
+    fn finish_thread(&self, tid: Tid, result: std::thread::Result<()>) {
+        let mut inner = self.lock();
+        inner.threads[tid].state = Ts::Finished;
+        if inner.active == Some(tid) {
+            inner.active = None;
+        }
+        match result {
+            Ok(()) => {}
+            Err(payload) if payload.downcast_ref::<AbortToken>().is_some() => {}
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&'static str>().copied())
+                    .unwrap_or("<non-string panic payload>")
+                    .to_string();
+                self.fail(&mut inner, FailureKind::Panic(msg));
+            }
+        }
+        let all_finished = inner.threads.iter().all(|t| matches!(t.state, Ts::Finished));
+        if all_finished {
+            inner.exec_done = true;
+            self.cv.notify_all();
+        } else if !inner.abort && inner.granted.is_none() && inner.active.is_none() {
+            self.pick(&mut inner);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+}
+
+impl ExecInner {
+    fn pending_op(&self, tid: Tid) -> Op {
+        match &self.threads[tid].state {
+            Ts::Starting => Op::Start,
+            Ts::Ready(op) => op.clone(),
+            _ => unreachable!("pending_op on a non-parked thread"),
+        }
+    }
+
+    fn is_enabled(&self, tid: Tid) -> bool {
+        match &self.threads[tid].state {
+            Ts::Starting => true,
+            Ts::Ready(op) => match op {
+                Op::Lock { loc } => self.locks.get(loc).map_or(true, |l| l.owner.is_none()),
+                Op::Join { target } => {
+                    matches!(self.threads[*target].state, Ts::Finished)
+                }
+                _ => true,
+            },
+            _ => false,
+        }
+    }
+
+    fn describe_block(&self, tid: Tid) -> String {
+        match &self.threads[tid].state {
+            Ts::Ready(Op::Lock { loc }) => {
+                let owner = self.locks.get(loc).and_then(|l| l.owner);
+                format!(
+                    "waiting for {} (held by {})",
+                    self.lock_label(*loc),
+                    owner.map_or("nobody".to_string(), |t| format!("t{t}"))
+                )
+            }
+            Ts::Ready(Op::Join { target }) => format!("joining t{target}"),
+            Ts::BlockedCv { cv, .. } => {
+                format!("waiting on Condvar@{cv:#x} (never notified?)")
+            }
+            Ts::Ready(op) => format!("parked at {op:?}"),
+            _ => "in an unexpected state".to_string(),
+        }
+    }
+
+    fn lock_label(&self, loc: usize) -> String {
+        self.lock_labels.get(&loc).cloned().unwrap_or_else(|| format!("Mutex@{loc:#x}"))
+    }
+
+    fn render_op(&self, tid: Tid, op: &Op) -> String {
+        match op {
+            Op::Start => format!("t{tid} start"),
+            Op::Yield => format!("t{tid} yield"),
+            Op::Spawn(child) => format!("t{tid} spawn t{child}"),
+            Op::Load { loc, kind } => format!("t{tid} load {kind}@{loc:#x}"),
+            Op::Store { loc, kind } => format!("t{tid} store {kind}@{loc:#x}"),
+            Op::Rmw { loc, kind } => format!("t{tid} rmw {kind}@{loc:#x}"),
+            Op::Lock { loc } => format!("t{tid} lock {}", self.lock_label(*loc)),
+            Op::Unlock { loc } => format!("t{tid} unlock {}", self.lock_label(*loc)),
+            Op::CvWait { cv, mutex } => {
+                format!("t{tid} condvar-wait Condvar@{cv:#x} releasing {}", self.lock_label(*mutex))
+            }
+            Op::CvNotify { cv, all } => {
+                format!("t{tid} notify_{} Condvar@{cv:#x}", if *all { "all" } else { "one" })
+            }
+            Op::Join { target } => format!("t{tid} join t{target}"),
+        }
+    }
+
+    fn log_line(&mut self, line: String) {
+        if self.ops_log.len() >= OPS_LOG_CAP {
+            self.ops_log.pop_front();
+        }
+        self.ops_log.push_back(line);
+    }
+
+    /// A cycle through `start` in the lock-order graph, rendered with
+    /// labels, if one exists.
+    fn find_cycle(&self, start: usize) -> Option<String> {
+        let mut stack = vec![(start, vec![start])];
+        let mut seen = BTreeSet::new();
+        while let Some((node, path)) = stack.pop() {
+            for &(from, to) in self.lock_edges.range((node, 0)..=(node, usize::MAX)) {
+                debug_assert_eq!(from, node);
+                if to == start {
+                    let mut s = String::new();
+                    for &l in &path {
+                        s.push_str(&self.lock_label(l));
+                        s.push_str(" -> ");
+                    }
+                    s.push_str(&self.lock_label(start));
+                    return Some(s);
+                }
+                if seen.insert(to) {
+                    let mut p = path.clone();
+                    p.push(to);
+                    stack.push((to, p));
+                }
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shim entry points. Each returns `None` when the calling thread is not
+// part of an active model execution (the shim then falls through to the
+// plain operation).
+// ---------------------------------------------------------------------
+
+pub(crate) fn atomic_load(loc: usize, kind: &'static str, ord: Ordering, live: u64) -> Option<u64> {
+    let ctx = current()?;
+    let op = Op::Load { loc, kind };
+    let mut inner = ctx.exec.park(ctx.tid, op.clone());
+    inner.mem.ensure(loc, live);
+    let floor = Memory::floor(&inner.threads[ctx.tid].view, loc);
+    let n = if ord == Ordering::SeqCst { 1 } else { inner.mem.load_candidates(loc, floor) };
+    let pick = if n > 1 { ctx.exec.choose_value(&mut inner, n) } else { 0 };
+    if inner.abort {
+        drop(inner);
+        panic::panic_any(AbortToken);
+    }
+    let mut view = std::mem::take(&mut inner.threads[ctx.tid].view);
+    let val = inner.mem.load_commit(loc, pick, ord, &mut view);
+    inner.threads[ctx.tid].view = view;
+    ctx.exec.executed(&mut inner, ctx.tid, &op);
+    Some(val)
+}
+
+pub(crate) fn atomic_store(
+    loc: usize,
+    kind: &'static str,
+    ord: Ordering,
+    val: u64,
+    live: u64,
+) -> Option<()> {
+    let ctx = current()?;
+    let op = Op::Store { loc, kind };
+    let mut inner = ctx.exec.park(ctx.tid, op.clone());
+    inner.mem.ensure(loc, live);
+    let mut view = std::mem::take(&mut inner.threads[ctx.tid].view);
+    inner.mem.store(loc, ord, val, &mut view);
+    inner.threads[ctx.tid].view = view;
+    ctx.exec.executed(&mut inner, ctx.tid, &op);
+    Some(())
+}
+
+/// Returns `(old, new_latest)` — the shim writes `new_latest` through to
+/// the real cell so fall-through code and the next execution's initial
+/// store stay coherent.
+pub(crate) fn atomic_rmw(
+    loc: usize,
+    kind: &'static str,
+    ord: Ordering,
+    live: u64,
+    f: &mut dyn FnMut(u64) -> u64,
+) -> Option<(u64, u64)> {
+    let ctx = current()?;
+    let op = Op::Rmw { loc, kind };
+    let mut inner = ctx.exec.park(ctx.tid, op.clone());
+    inner.mem.ensure(loc, live);
+    let mut view = std::mem::take(&mut inner.threads[ctx.tid].view);
+    let old = inner.mem.rmw(loc, ord, &mut view, f);
+    inner.threads[ctx.tid].view = view;
+    let latest = inner.mem.latest(loc);
+    ctx.exec.executed(&mut inner, ctx.tid, &op);
+    Some((old, latest))
+}
+
+/// Compare-exchange: reads the latest store (modification-order
+/// atomicity); on success stores `new` with `succ` ordering, on failure
+/// behaves as a load with `fail` ordering. Returns the std-shaped
+/// result plus the latest value for write-through.
+pub(crate) fn atomic_cas(
+    loc: usize,
+    kind: &'static str,
+    expected: u64,
+    new: u64,
+    succ: Ordering,
+    fail: Ordering,
+    live: u64,
+) -> Option<(Result<u64, u64>, u64)> {
+    let ctx = current()?;
+    let op = Op::Rmw { loc, kind };
+    let mut inner = ctx.exec.park(ctx.tid, op.clone());
+    inner.mem.ensure(loc, live);
+    let latest = inner.mem.latest(loc);
+    let mut view = std::mem::take(&mut inner.threads[ctx.tid].view);
+    let result = if latest == expected {
+        inner.mem.rmw(loc, succ, &mut view, &mut |_| new);
+        Ok(latest)
+    } else {
+        let floor = Memory::floor(&view, loc);
+        let n = inner.mem.load_candidates(loc, floor);
+        // A failed CAS still reads the latest store.
+        inner.mem.load_commit(loc, n - 1, fail, &mut view);
+        Err(latest)
+    };
+    inner.threads[ctx.tid].view = view;
+    let latest_after = inner.mem.latest(loc);
+    ctx.exec.executed(&mut inner, ctx.tid, &op);
+    Some((result, latest_after))
+}
+
+pub(crate) fn mutex_lock(loc: usize, label: &str) -> Option<()> {
+    let ctx = current()?;
+    let op = Op::Lock { loc };
+    let mut inner = ctx.exec.park(ctx.tid, op.clone());
+    if !inner.lock_labels.contains_key(&loc) {
+        inner.lock_labels.insert(loc, label.to_string());
+    }
+    ctx.exec.lock_effect(&mut inner, ctx.tid, loc);
+    ctx.exec.executed(&mut inner, ctx.tid, &op);
+    ctx.exec.bail_if_aborted(inner);
+    Some(())
+}
+
+/// Guard-drop release. `panicking` releases silently (no schedule
+/// point) so unwinding guards cannot wedge an aborting execution.
+pub(crate) fn mutex_unlock(loc: usize, panicking: bool) -> Option<()> {
+    let ctx = current()?;
+    if panicking {
+        let mut inner = ctx.exec.lock();
+        if inner.locks.get(&loc).is_some_and(|l| l.owner == Some(ctx.tid)) {
+            ctx.exec.unlock_effect(&mut inner, ctx.tid, loc);
+        }
+        return Some(());
+    }
+    let op = Op::Unlock { loc };
+    let mut inner = ctx.exec.park(ctx.tid, op.clone());
+    ctx.exec.unlock_effect(&mut inner, ctx.tid, loc);
+    ctx.exec.executed(&mut inner, ctx.tid, &op);
+    Some(())
+}
+
+pub(crate) fn condvar_wait(cv: usize, mutex: usize) -> Option<()> {
+    let ctx = current()?;
+    let op = Op::CvWait { cv, mutex };
+    let mut inner = ctx.exec.park(ctx.tid, op.clone());
+    // Atomically: release the mutex and block on the condvar.
+    ctx.exec.unlock_effect(&mut inner, ctx.tid, mutex);
+    ctx.exec.executed(&mut inner, ctx.tid, &op);
+    inner.threads[ctx.tid].state = Ts::BlockedCv { cv, mutex };
+    // Blocking hands off the scheduler token.
+    if inner.active == Some(ctx.tid) {
+        inner.active = None;
+    }
+    if inner.granted.is_none() && inner.active.is_none() {
+        ctx.exec.pick(&mut inner);
+    }
+    // Woken by a notify (which re-parks us at Lock(mutex)); granted once
+    // the mutex is free.
+    let mut inner = ctx.exec.wait_for_grant(inner, ctx.tid);
+    let reacquire = Op::Lock { loc: mutex };
+    ctx.exec.lock_effect(&mut inner, ctx.tid, mutex);
+    ctx.exec.executed(&mut inner, ctx.tid, &reacquire);
+    ctx.exec.bail_if_aborted(inner);
+    Some(())
+}
+
+pub(crate) fn condvar_notify(cv: usize, all: bool) -> Option<()> {
+    let ctx = current()?;
+    let op = Op::CvNotify { cv, all };
+    let mut inner = ctx.exec.park(ctx.tid, op.clone());
+    let waiters: Vec<(Tid, usize)> = (0..inner.threads.len())
+        .filter_map(|t| match inner.threads[t].state {
+            Ts::BlockedCv { cv: c, mutex } if c == cv => Some((t, mutex)),
+            _ => None,
+        })
+        .collect();
+    if !waiters.is_empty() {
+        let chosen: Vec<(Tid, usize)> = if all {
+            waiters
+        } else if waiters.len() > 1 {
+            // Which waiter wakes is a genuine nondeterministic choice.
+            let k = ctx.exec.choose_value(&mut inner, waiters.len());
+            vec![waiters[k]]
+        } else {
+            waiters
+        };
+        if inner.abort {
+            drop(inner);
+            panic::panic_any(AbortToken);
+        }
+        for (t, mutex) in chosen {
+            // A woken waiter's pending op is its mutex reacquire; its
+            // own `condvar_wait` frame performs the acquire effect once
+            // granted.
+            inner.threads[t].state = Ts::Ready(Op::Lock { loc: mutex });
+        }
+    }
+    ctx.exec.executed(&mut inner, ctx.tid, &op);
+    Some(())
+}
+
+pub(crate) fn spawn_thread(f: Box<dyn FnOnce() + Send + 'static>) -> Option<Tid> {
+    let ctx = current()?;
+    let child;
+    {
+        let mut inner = ctx.exec.lock();
+        if inner.abort {
+            drop(inner);
+            panic::panic_any(AbortToken);
+        }
+        child = inner.threads.len();
+        let mut state = ThreadState::new();
+        // `thread::spawn` synchronizes-with the child's start: the
+        // child sees everything the parent wrote before spawning.
+        state.view = inner.threads[ctx.tid].view.clone();
+        inner.threads.push(state);
+        let exec = Arc::clone(&ctx.exec);
+        let handle = std::thread::Builder::new()
+            .name(format!("lsm-check-t{child}"))
+            .spawn(move || thread_main(exec, child, f))
+            .expect("lsm-check: OS thread spawn failed");
+        inner.handles.push(handle);
+    }
+    // The spawn is a schedule point: the child is choosable from here on.
+    let op = Op::Spawn(child);
+    let mut inner = ctx.exec.park(ctx.tid, op.clone());
+    ctx.exec.executed(&mut inner, ctx.tid, &op);
+    Some(child)
+}
+
+pub(crate) fn join_thread(target: Tid) -> Option<()> {
+    let ctx = current()?;
+    let op = Op::Join { target };
+    let mut inner = ctx.exec.park(ctx.tid, op.clone());
+    // `JoinHandle::join` synchronizes-with the child's completion:
+    // everything the child wrote is visible to the joiner afterwards.
+    let child_view = inner.threads[target].view.clone();
+    crate::memory::join_views(&mut inner.threads[ctx.tid].view, &child_view);
+    ctx.exec.executed(&mut inner, ctx.tid, &op);
+    Some(())
+}
+
+pub(crate) fn yield_now() -> Option<()> {
+    let ctx = current()?;
+    let op = Op::Yield;
+    let mut inner = ctx.exec.park(ctx.tid, op.clone());
+    ctx.exec.executed(&mut inner, ctx.tid, &op);
+    Some(())
+}
+
+fn thread_main(exec: Arc<ExecShared>, tid: Tid, f: Box<dyn FnOnce() + Send>) {
+    CTX.with(|c| *c.borrow_mut() = Some(Ctx { exec: Arc::clone(&exec), tid }));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        let op = Op::Start;
+        let mut inner = exec.park(tid, op.clone());
+        exec.executed(&mut inner, tid, &op);
+        drop(inner);
+        f()
+    }));
+    CTX.with(|c| *c.borrow_mut() = None);
+    exec.finish_thread(tid, result);
+}
+
+// ---------------------------------------------------------------------
+// Controller
+// ---------------------------------------------------------------------
+
+pub(crate) fn explore(
+    model: Model,
+    f: Arc<dyn Fn() + Send + Sync + 'static>,
+) -> Result<Report, Failure> {
+    install_hook();
+    let replay = match std::env::var("LSM_CHECK_REPLAY") {
+        Ok(text) => match parse_trace(&text) {
+            Ok(v) => Some(v),
+            Err(e) => {
+                return Err(Failure {
+                    kind: FailureKind::ReplayMismatch(e),
+                    trace: String::new(),
+                    ops_tail: Vec::new(),
+                    executions: 0,
+                })
+            }
+        },
+        Err(_) => None,
+    };
+    let mut trail: Vec<TrailEntry> = Vec::new();
+    let mut executions = 0usize;
+    let mut pruned = 0usize;
+    let mut max_depth = 0usize;
+    loop {
+        if model.max_executions != 0 && executions + pruned >= model.max_executions {
+            return Err(Failure {
+                kind: FailureKind::BoundExceeded,
+                trace: String::new(),
+                ops_tail: Vec::new(),
+                executions,
+            });
+        }
+        let exec = Arc::new(ExecShared::new(
+            std::mem::take(&mut trail),
+            replay.clone().map(VecDeque::from),
+            model.max_ops,
+        ));
+        {
+            let mut inner = exec.lock();
+            inner.threads.push(ThreadState::new());
+            let e2 = Arc::clone(&exec);
+            let f2 = Arc::clone(&f);
+            let handle = std::thread::Builder::new()
+                .name("lsm-check-t0".into())
+                .spawn(move || thread_main(e2, 0, Box::new(move || f2())))
+                .expect("lsm-check: OS thread spawn failed");
+            inner.handles.push(handle);
+        }
+        let mut inner = exec.lock();
+        while !inner.exec_done {
+            inner = exec.wait(inner);
+        }
+        let handles = std::mem::take(&mut inner.handles);
+        drop(inner);
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut inner = exec.lock();
+        let mut failure = inner.failure.take();
+        if failure.is_none() {
+            if let Some(forced) = &inner.replay {
+                if !forced.is_empty() {
+                    failure = Some(FailureKind::ReplayMismatch(format!(
+                        "trace has {} leftover choice(s) after the schedule finished",
+                        forced.len()
+                    )));
+                }
+            }
+        }
+        let choices = std::mem::take(&mut inner.choices);
+        let ops_tail: Vec<String> = inner.ops_log.drain(..).collect();
+        trail = std::mem::take(&mut inner.trail);
+        let depth = inner.op_count;
+        let was_pruned = inner.pruned;
+        inner.mem.clear();
+        drop(inner);
+
+        if let Some(kind) = failure {
+            return Err(Failure { kind, trace: format_trace(&choices), ops_tail, executions });
+        }
+        if replay.is_some() {
+            // Replay runs exactly one schedule.
+            return Ok(Report { executions: 1, pruned: 0, max_depth: depth, exhaustive: false });
+        }
+        if was_pruned {
+            pruned += 1;
+        } else {
+            executions += 1;
+        }
+        max_depth = max_depth.max(depth);
+        if std::env::var_os("LSM_CHECK_DEBUG").is_some() {
+            let kind = if was_pruned { "pruned" } else { "full" };
+            eprintln!("lsm-check[{}]: {kind} choices={choices:?}", executions + pruned);
+            for l in &ops_tail {
+                eprintln!("    {l}");
+            }
+            for (i, e) in trail.iter().enumerate() {
+                match e {
+                    TrailEntry::Sched { options, taken, option_ops } => {
+                        eprintln!("    trail[{i}] sched options={options:?} taken={taken} ops={option_ops:?}")
+                    }
+                    TrailEntry::Pick { n, taken } => {
+                        eprintln!("    trail[{i}] pick n={n} taken={taken}")
+                    }
+                }
+            }
+        }
+        // Backtrack: advance the deepest non-exhausted choice.
+        loop {
+            match trail.last_mut() {
+                None => return Ok(Report { executions, pruned, max_depth, exhaustive: true }),
+                Some(TrailEntry::Sched { options, taken, .. }) if *taken + 1 < options.len() => {
+                    *taken += 1;
+                    break;
+                }
+                Some(TrailEntry::Pick { n, taken }) if *taken + 1 < *n => {
+                    *taken += 1;
+                    break;
+                }
+                Some(_) => {
+                    trail.pop();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,450 @@
+//! The shim synchronization vocabulary.
+//!
+//! Normal builds re-export `parking_lot` / `std` — zero-cost, so code
+//! ported onto `lsm_check::sync` is bitwise-unchanged. Under
+//! `cfg(lsm_model_check)` the same names are model types that route
+//! every operation through the exploration scheduler.
+//!
+//! Model-build callers outside an active `lsm_check::model(...)`
+//! execution fall through to the plain operation (a real `parking_lot`
+//! raw mutex backs each model `Mutex`), so ordinary unit tests keep
+//! passing when the whole workspace is compiled with the cfg.
+//!
+//! Model types identify locations by address: don't move a `Mutex`,
+//! `Condvar`, or atomic between operations inside a model (keep them in
+//! an `Arc`, a `static`, or a stack slot for the whole closure — the
+//! same rule loom has).
+
+pub use std::sync::atomic::Ordering;
+pub use std::sync::Arc;
+
+#[cfg(not(lsm_model_check))]
+pub use parking_lot::{Condvar, Mutex, MutexGuard};
+#[cfg(not(lsm_model_check))]
+pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+
+/// `std::thread` subset: `spawn`/`JoinHandle` under the scheduler's
+/// control in model executions.
+#[cfg(not(lsm_model_check))]
+pub mod thread {
+    pub use std::thread::{sleep, spawn, yield_now, JoinHandle, Result};
+}
+
+#[cfg(lsm_model_check)]
+pub use model::{thread, AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard};
+
+#[cfg(lsm_model_check)]
+mod model {
+    use crate::sched;
+    use parking_lot::lock_api::RawMutex as _;
+    use std::cell::UnsafeCell;
+    use std::ops::{Deref, DerefMut};
+    use std::panic::Location;
+    use std::sync::atomic::Ordering;
+
+    fn addr_of<T: ?Sized>(r: &T) -> usize {
+        r as *const T as *const u8 as usize
+    }
+
+    // -- atomics ------------------------------------------------------
+
+    macro_rules! model_atomic_int {
+        ($name:ident, $raw:ty, $prim:ty, $kind:literal) => {
+            /// Model atomic: operations are schedule points; the real
+            /// cell shadows the latest store (fall-through + next
+            /// execution's initial value).
+            #[derive(Debug, Default)]
+            pub struct $name {
+                v: $raw,
+            }
+
+            impl $name {
+                pub const fn new(v: $prim) -> Self {
+                    Self { v: <$raw>::new(v) }
+                }
+
+                fn live(&self) -> u64 {
+                    self.v.load(Ordering::Relaxed) as u64
+                }
+
+                pub fn load(&self, ord: Ordering) -> $prim {
+                    match sched::atomic_load(addr_of(self), $kind, ord, self.live()) {
+                        Some(v) => v as $prim,
+                        None => self.v.load(ord),
+                    }
+                }
+
+                pub fn store(&self, val: $prim, ord: Ordering) {
+                    match sched::atomic_store(addr_of(self), $kind, ord, val as u64, self.live()) {
+                        Some(()) => self.v.store(val, Ordering::Relaxed),
+                        None => self.v.store(val, ord),
+                    }
+                }
+
+                fn rmw(
+                    &self,
+                    ord: Ordering,
+                    mut f: impl FnMut($prim) -> $prim,
+                    fallback: impl FnOnce() -> $prim,
+                ) -> $prim {
+                    let mut g = |v: u64| f(v as $prim) as u64;
+                    match sched::atomic_rmw(addr_of(self), $kind, ord, self.live(), &mut g) {
+                        Some((old, latest)) => {
+                            self.v.store(latest as $prim, Ordering::Relaxed);
+                            old as $prim
+                        }
+                        None => fallback(),
+                    }
+                }
+
+                pub fn fetch_add(&self, n: $prim, ord: Ordering) -> $prim {
+                    self.rmw(ord, |v| v.wrapping_add(n), || self.v.fetch_add(n, ord))
+                }
+
+                pub fn fetch_sub(&self, n: $prim, ord: Ordering) -> $prim {
+                    self.rmw(ord, |v| v.wrapping_sub(n), || self.v.fetch_sub(n, ord))
+                }
+
+                pub fn fetch_max(&self, n: $prim, ord: Ordering) -> $prim {
+                    self.rmw(ord, |v| v.max(n), || self.v.fetch_max(n, ord))
+                }
+
+                pub fn fetch_min(&self, n: $prim, ord: Ordering) -> $prim {
+                    self.rmw(ord, |v| v.min(n), || self.v.fetch_min(n, ord))
+                }
+
+                pub fn swap(&self, n: $prim, ord: Ordering) -> $prim {
+                    self.rmw(ord, |_| n, || self.v.swap(n, ord))
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    succ: Ordering,
+                    fail: Ordering,
+                ) -> Result<$prim, $prim> {
+                    match sched::atomic_cas(
+                        addr_of(self),
+                        $kind,
+                        current as u64,
+                        new as u64,
+                        succ,
+                        fail,
+                        self.live(),
+                    ) {
+                        Some((res, latest)) => {
+                            self.v.store(latest as $prim, Ordering::Relaxed);
+                            res.map(|v| v as $prim).map_err(|v| v as $prim)
+                        }
+                        None => self.v.compare_exchange(current, new, succ, fail),
+                    }
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    succ: Ordering,
+                    fail: Ordering,
+                ) -> Result<$prim, $prim> {
+                    // The model has no spurious failures.
+                    self.compare_exchange(current, new, succ, fail)
+                }
+            }
+        };
+    }
+
+    model_atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64, "AtomicU64");
+    model_atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize, "AtomicUsize");
+
+    /// Model `AtomicBool` (values 0/1 in the store history).
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        v: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> Self {
+            Self { v: std::sync::atomic::AtomicBool::new(v) }
+        }
+
+        fn live(&self) -> u64 {
+            self.v.load(Ordering::Relaxed) as u64
+        }
+
+        pub fn load(&self, ord: Ordering) -> bool {
+            match sched::atomic_load(addr_of(self), "AtomicBool", ord, self.live()) {
+                Some(v) => v != 0,
+                None => self.v.load(ord),
+            }
+        }
+
+        pub fn store(&self, val: bool, ord: Ordering) {
+            match sched::atomic_store(addr_of(self), "AtomicBool", ord, val as u64, self.live()) {
+                Some(()) => self.v.store(val, Ordering::Relaxed),
+                None => self.v.store(val, ord),
+            }
+        }
+
+        pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+            let mut f = |_: u64| val as u64;
+            match sched::atomic_rmw(addr_of(self), "AtomicBool", ord, self.live(), &mut f) {
+                Some((old, latest)) => {
+                    self.v.store(latest != 0, Ordering::Relaxed);
+                    old != 0
+                }
+                None => self.v.swap(val, ord),
+            }
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            succ: Ordering,
+            fail: Ordering,
+        ) -> Result<bool, bool> {
+            match sched::atomic_cas(
+                addr_of(self),
+                "AtomicBool",
+                current as u64,
+                new as u64,
+                succ,
+                fail,
+                self.live(),
+            ) {
+                Some((res, latest)) => {
+                    self.v.store(latest != 0, Ordering::Relaxed);
+                    res.map(|v| v != 0).map_err(|v| v != 0)
+                }
+                None => self.v.compare_exchange(current, new, succ, fail),
+            }
+        }
+    }
+
+    // -- mutex --------------------------------------------------------
+
+    /// Model mutex: the scheduler enforces mutual exclusion and records
+    /// the acquisition in the runtime lock-order graph; a real raw
+    /// mutex backs fall-through use (and is uncontended inside a model
+    /// execution, where only one thread runs at a time).
+    pub struct Mutex<T: ?Sized> {
+        raw: parking_lot::RawMutex,
+        created: &'static Location<'static>,
+        data: UnsafeCell<T>,
+    }
+
+    // SAFETY: the scheduler (model path) or the raw mutex (fall-through
+    // path) guarantees exclusive access to `data`; same bounds as
+    // parking_lot::Mutex.
+    unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+    // SAFETY: as above — `&Mutex<T>` only hands out `&mut T` under the
+    // exclusion protocol.
+    unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+    impl<T> Mutex<T> {
+        #[track_caller]
+        pub fn new(data: T) -> Self {
+            Mutex {
+                raw: parking_lot::RawMutex::INIT,
+                created: Location::caller(),
+                data: UnsafeCell::new(data),
+            }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.data.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        fn label(&self) -> String {
+            format!("Mutex({}:{})", self.created.file(), self.created.line())
+        }
+
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            // Model first: parks until the scheduler grants the lock
+            // (so the raw acquire below never contends), or returns
+            // None for plain fall-through locking.
+            sched::mutex_lock(addr_of(self), &self.label());
+            self.raw.lock();
+            MutexGuard { m: self }
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.data.get_mut()
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        #[track_caller]
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Mutex({})", self.created)
+        }
+    }
+
+    pub struct MutexGuard<'a, T: ?Sized> {
+        m: &'a Mutex<T>,
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // SAFETY: the guard proves this thread holds the lock.
+            unsafe { &*self.m.data.get() }
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // SAFETY: the guard proves this thread holds the lock
+            // exclusively.
+            unsafe { &mut *self.m.data.get() }
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Raw first: if the model unlock unwinds (execution abort),
+            // the raw mutex must not stay locked — the `Mutex` may be a
+            // static reused by the next execution. No other model
+            // thread runs until the model unlock executes, so nothing
+            // observes the window.
+            // SAFETY: the guard being dropped proves we hold the raw
+            // mutex.
+            unsafe { self.m.raw.unlock() }
+            sched::mutex_unlock(addr_of(self.m), std::thread::panicking());
+        }
+    }
+
+    // -- condvar ------------------------------------------------------
+
+    /// Model condvar. No spurious wakeups: a wait returns only after a
+    /// notify (which is exactly what makes lost-wakeup bugs findable).
+    /// Fall-through use (outside a model execution, in a model build)
+    /// spins on an epoch — adequate for tests, never reached by
+    /// production code, which compiles against parking_lot.
+    #[derive(Debug, Default)]
+    pub struct Condvar {
+        epoch: std::sync::atomic::AtomicU64,
+    }
+
+    impl Condvar {
+        pub const fn new() -> Self {
+            Condvar { epoch: std::sync::atomic::AtomicU64::new(0) }
+        }
+
+        pub fn wait<T: ?Sized>(&self, guard: &mut MutexGuard<'_, T>) {
+            let mutex_addr = addr_of(guard.m);
+            // SAFETY: the guard proves we hold the raw mutex; wait
+            // releases it and reacquires before returning (on both the
+            // normal and unwinding paths), upholding the guard's
+            // invariant that its Drop releases a held raw mutex.
+            unsafe { guard.m.raw.unlock() }
+            let waited = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sched::condvar_wait(addr_of(self), mutex_addr)
+            }));
+            match waited {
+                Ok(Some(())) => guard.m.raw.lock(),
+                Ok(None) => {
+                    let e = self.epoch.load(Ordering::Acquire);
+                    while self.epoch.load(Ordering::Acquire) == e {
+                        std::thread::yield_now();
+                    }
+                    guard.m.raw.lock();
+                }
+                Err(payload) => {
+                    // Execution abort: restore the guard invariant, then
+                    // keep unwinding.
+                    guard.m.raw.lock();
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+
+        pub fn notify_one(&self) {
+            self.epoch.fetch_add(1, Ordering::Release);
+            sched::condvar_notify(addr_of(self), false);
+        }
+
+        pub fn notify_all(&self) {
+            self.epoch.fetch_add(1, Ordering::Release);
+            sched::condvar_notify(addr_of(self), true);
+        }
+    }
+
+    // -- thread -------------------------------------------------------
+
+    pub mod thread {
+        use crate::sched;
+        use std::sync::{Arc, Mutex as StdMutex};
+        use std::time::Duration;
+
+        pub use std::thread::Result;
+
+        enum Inner<T> {
+            Model { tid: usize, result: Arc<StdMutex<Option<T>>> },
+            Real(std::thread::JoinHandle<T>),
+        }
+
+        pub struct JoinHandle<T>(Inner<T>);
+
+        pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            if sched::in_model() {
+                let result = Arc::new(StdMutex::new(None));
+                let slot = Arc::clone(&result);
+                let tid = sched::spawn_thread(Box::new(move || {
+                    let r = f();
+                    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+                }))
+                .expect("in_model checked above");
+                JoinHandle(Inner::Model { tid, result })
+            } else {
+                JoinHandle(Inner::Real(std::thread::spawn(f)))
+            }
+        }
+
+        impl<T> JoinHandle<T> {
+            pub fn join(self) -> Result<T> {
+                match self.0 {
+                    Inner::Model { tid, result } => {
+                        sched::join_thread(tid);
+                        match result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                            Some(v) => Ok(v),
+                            // The child unwound (its panic already
+                            // poisoned the execution as the model
+                            // failure); unwind the joiner too.
+                            None => std::panic::panic_any(sched::AbortToken),
+                        }
+                    }
+                    Inner::Real(h) => h.join(),
+                }
+            }
+        }
+
+        pub fn yield_now() {
+            if sched::yield_now().is_none() {
+                std::thread::yield_now();
+            }
+        }
+
+        /// Durations are meaningless under the model: sleeping is just
+        /// a yield (a schedule point).
+        pub fn sleep(d: Duration) {
+            if sched::yield_now().is_none() {
+                std::thread::sleep(d);
+            }
+        }
+    }
+}

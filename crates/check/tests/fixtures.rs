@@ -1,0 +1,190 @@
+//! Seeded injected-bug fixtures: each fixture plants a known
+//! concurrency bug, asserts the checker catches it, and then replays
+//! the printed trace via `LSM_CHECK_REPLAY` to prove the failing
+//! interleaving reproduces deterministically.
+//!
+//! These only mean something under `--cfg lsm_model_check`; in a normal
+//! build they self-skip (running the buggy models for real would be a
+//! probabilistic test).
+
+use lsm_check::sync::{thread, Arc, AtomicU64, Mutex, Ordering};
+use lsm_check::{Failure, FailureKind, Model};
+
+/// Serializes fixtures that mutate the process-wide `LSM_CHECK_REPLAY`
+/// environment variable (libtest runs tests concurrently).
+fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Restores the env var on scope exit even if an assertion fails.
+struct ReplayEnv;
+
+impl ReplayEnv {
+    fn set(trace: &str) -> Self {
+        std::env::set_var("LSM_CHECK_REPLAY", trace);
+        ReplayEnv
+    }
+}
+
+impl Drop for ReplayEnv {
+    fn drop(&mut self) {
+        std::env::remove_var("LSM_CHECK_REPLAY");
+    }
+}
+
+/// Runs `f` under exploration, then replays the failing trace and
+/// asserts the replayed execution reaches an identical failure.
+fn catch_and_replay<F>(f: F) -> (Failure, Failure)
+where
+    F: Fn() + Send + Sync + Clone + 'static,
+{
+    let _guard = env_lock();
+    std::env::remove_var("LSM_CHECK_REPLAY");
+    let first = Model::new().check(f.clone()).expect_err("fixture bug must be caught");
+    assert!(!first.trace.is_empty(), "failure must carry a replay trace:\n{first}");
+    let replayed = {
+        let _env = ReplayEnv::set(&first.trace);
+        Model::new().check(f).expect_err("replay must reproduce the failure")
+    };
+    assert_eq!(
+        replayed.kind, first.kind,
+        "replay diverged:\n-- exploration --\n{first}\n-- replay --\n{replayed}"
+    );
+    assert_eq!(replayed.trace, first.trace, "replay must follow the given trace");
+    (first, replayed)
+}
+
+/// Fixture 1: dropped Release fence. The writer publishes a payload and
+/// then sets a ready-flag with `Relaxed` where `Release` is required;
+/// an `Acquire` reader that observes the flag can still read the stale
+/// payload. The checker must find the stale interleaving and its trace
+/// must replay to the same assertion failure.
+#[test]
+fn dropped_release_fence_caught_and_replays() {
+    if !lsm_check::model_build() {
+        eprintln!("skipped: requires --cfg lsm_model_check");
+        return;
+    }
+    let (first, _replayed) = catch_and_replay(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            // BUG: must be Ordering::Release to publish `data`.
+            f2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "flag observed but payload is stale");
+        }
+        t.join().unwrap();
+    });
+    match &first.kind {
+        FailureKind::Panic(msg) => {
+            assert!(msg.contains("payload is stale"), "unexpected panic: {msg}")
+        }
+        other => panic!("expected the stale-read panic, got {other:?}"),
+    }
+    let rendered = first.to_string();
+    assert!(rendered.contains("LSM_CHECK_REPLAY="), "{rendered}");
+}
+
+/// Fixture 2: inverted lock order. Two threads take the same pair of
+/// mutexes in opposite orders; the checker reports it (as a lock-order
+/// cycle from the runtime graph, or as the deadlock itself) and the
+/// trace replays to the identical failure.
+#[test]
+fn inverted_lock_order_caught_and_replays() {
+    if !lsm_check::model_build() {
+        eprintln!("skipped: requires --cfg lsm_model_check");
+        return;
+    }
+    let (first, _replayed) = catch_and_replay(|| {
+        let a = Arc::new(Mutex::new(0u64));
+        let b = Arc::new(Mutex::new(0u64));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let mut ga = a2.lock();
+            let mut gb = b2.lock();
+            *ga += 1;
+            *gb += 1;
+        });
+        // BUG: opposite acquisition order from the spawned thread.
+        let mut gb = b.lock();
+        let mut ga = a.lock();
+        *gb += 1;
+        *ga += 1;
+        drop((gb, ga));
+        t.join().unwrap();
+    });
+    assert!(
+        matches!(first.kind, FailureKind::LockOrderCycle(_) | FailureKind::Deadlock),
+        "expected a lock-order failure, got {:?}",
+        first.kind
+    );
+    if let FailureKind::LockOrderCycle(_) = first.kind {
+        assert!(first.to_string().contains("R11-lock-discipline"), "{first}");
+    }
+}
+
+/// Fixture 3: non-atomic check-then-act on a shared counter. Two
+/// threads do load + store instead of fetch_add; an interleaving loses
+/// one increment. Replays deterministically.
+#[test]
+fn lost_update_caught_and_replays() {
+    if !lsm_check::model_build() {
+        eprintln!("skipped: requires --cfg lsm_model_check");
+        return;
+    }
+    let (first, _replayed) = catch_and_replay(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let spawn_incr = |n: &Arc<AtomicU64>| {
+            let n = Arc::clone(n);
+            thread::spawn(move || {
+                // BUG: load+store races with the other increment.
+                let v = n.load(Ordering::SeqCst);
+                n.store(v + 1, Ordering::SeqCst);
+            })
+        };
+        let t1 = spawn_incr(&n);
+        let t2 = spawn_incr(&n);
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 2, "an increment was lost");
+    });
+    match &first.kind {
+        FailureKind::Panic(msg) => {
+            assert!(msg.contains("an increment was lost"), "unexpected panic: {msg}")
+        }
+        other => panic!("expected the lost-update panic, got {other:?}"),
+    }
+}
+
+/// A stale trace against a different model is a loud `ReplayMismatch`,
+/// never a bogus pass/fail.
+#[test]
+fn stale_replay_trace_is_rejected() {
+    if !lsm_check::model_build() {
+        eprintln!("skipped: requires --cfg lsm_model_check");
+        return;
+    }
+    let _guard = env_lock();
+    let _env = ReplayEnv::set("9,9,9,9");
+    let failure = Model::new()
+        .check(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                n2.fetch_add(1, Ordering::AcqRel);
+            });
+            n.fetch_add(1, Ordering::AcqRel);
+            t.join().unwrap();
+        })
+        .expect_err("nonsense trace must be rejected");
+    assert!(
+        matches!(failure.kind, FailureKind::ReplayMismatch(_)),
+        "expected ReplayMismatch, got {:?}",
+        failure.kind
+    );
+}

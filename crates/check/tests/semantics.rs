@@ -1,0 +1,287 @@
+//! Scheduler and memory-model semantics: clean models must pass in
+//! every interleaving; the model-only tests assert the checker's
+//! exploration actually visits the behaviors the memory model allows.
+//!
+//! In a normal (non-`lsm_model_check`) build the clean models run once
+//! with real concurrency and the exploration-dependent tests self-skip.
+
+use lsm_check::sync::{thread, Arc, AtomicU64, Condvar, Mutex, Ordering};
+use lsm_check::{FailureKind, Model};
+
+/// Two threads increment under a mutex: exact count in every schedule.
+#[test]
+fn mutex_counter_exact() {
+    lsm_check::model(|| {
+        let n = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    *n.lock() += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock(), 2);
+    });
+}
+
+/// Release/Acquire message passing: an acquire load that observes the
+/// release-stored flag must also observe the data written before it.
+#[test]
+fn rel_acq_message_passing_clean() {
+    lsm_check::model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "acquire read must see the data");
+        }
+        t.join().unwrap();
+    });
+}
+
+/// Two Relaxed RMWs never lose an update (modification-order atomicity).
+#[test]
+fn relaxed_rmw_no_lost_update() {
+    lsm_check::model(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || {
+            n2.fetch_add(1, Ordering::Relaxed);
+        });
+        n.fetch_add(1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(n.load(Ordering::Acquire), 2);
+    });
+}
+
+/// The model explores Relaxed stale reads: across the state space a
+/// Relaxed load of a Relaxed-stored flag observes both 0 and 1.
+#[test]
+fn relaxed_load_explores_stale_and_fresh() {
+    if !lsm_check::model_build() {
+        eprintln!("skipped: requires --cfg lsm_model_check");
+        return;
+    }
+    use std::sync::atomic::AtomicU64 as RealAtomicU64;
+    static SEEN: [RealAtomicU64; 2] = [RealAtomicU64::new(0), RealAtomicU64::new(0)];
+    SEEN[0].store(0, Ordering::SeqCst);
+    SEEN[1].store(0, Ordering::SeqCst);
+    let report = Model::new()
+        .check(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let done = Arc::new(AtomicU64::new(0));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&done));
+            let t = thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.fetch_add(1, Ordering::Relaxed);
+            });
+            // When the Relaxed `done` read observes the increment, the
+            // writer's `data` store has definitely executed (program
+            // order) — but with no release/acquire edge the reader may
+            // still see the stale 0 *or* the fresh 42.
+            if done.load(Ordering::Relaxed) == 1 {
+                let v = data.load(Ordering::Relaxed);
+                assert!(v == 0 || v == 42, "impossible data value {v}");
+                SEEN[(v == 42) as usize].store(1, Ordering::SeqCst);
+            }
+            t.join().unwrap();
+        })
+        .expect("clean model");
+    assert!(report.exhaustive);
+    assert_eq!(SEEN[1].load(Ordering::SeqCst), 1, "must explore the fresh read");
+    assert_eq!(SEEN[0].load(Ordering::SeqCst), 1, "must explore the stale read");
+}
+
+/// `join` synchronizes-with the child's completion: after the join even
+/// a Relaxed load must observe the child's writes.
+#[test]
+fn join_publishes_child_writes() {
+    lsm_check::model(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || {
+            n2.store(7, Ordering::Relaxed);
+        });
+        t.join().unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 7);
+    });
+}
+
+/// A condvar handshake with the canonical predicate loop passes in
+/// every interleaving (no wakeup is ever lost when the predicate is
+/// re-checked under the lock).
+#[test]
+fn condvar_handshake_clean() {
+    lsm_check::model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock();
+            *ready = true;
+            cv.notify_one();
+            drop(ready);
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock();
+        while !*ready {
+            cv.wait(&mut ready);
+        }
+        drop(ready);
+        t.join().unwrap();
+    });
+}
+
+/// An inverted lock order is reported as a cycle in the runtime
+/// lock-order graph, cross-referencing the static rule R11.
+#[test]
+fn lock_order_cycle_reported() {
+    if !lsm_check::model_build() {
+        eprintln!("skipped: requires --cfg lsm_model_check");
+        return;
+    }
+    let failure = Model::new()
+        .check(|| {
+            let a = Arc::new(Mutex::new(0u64));
+            let b = Arc::new(Mutex::new(0u64));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let ga = a2.lock();
+                let gb = b2.lock();
+                drop((ga, gb));
+            });
+            let gb = b.lock();
+            let ga = a.lock();
+            drop((gb, ga));
+            t.join().unwrap();
+        })
+        .expect_err("inverted lock order must be caught");
+    match &failure.kind {
+        FailureKind::LockOrderCycle(_) | FailureKind::Deadlock => {}
+        other => panic!("expected a lock-order failure, got {other:?}"),
+    }
+    let rendered = failure.to_string();
+    if matches!(failure.kind, FailureKind::LockOrderCycle(_)) {
+        assert!(rendered.contains("R11-lock-discipline"), "{rendered}");
+    }
+    assert!(!failure.trace.is_empty(), "failure carries a replay trace");
+}
+
+/// A waiter that checks its predicate *before* taking the lock into
+/// account misses a notify that fires in between: the checker finds the
+/// lost wakeup as a deadlock.
+#[test]
+fn lost_wakeup_caught() {
+    if !lsm_check::model_build() {
+        eprintln!("skipped: requires --cfg lsm_model_check");
+        return;
+    }
+    let failure = Model::new()
+        .check(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let (m, cv) = &*p2;
+                *m.lock() = true;
+                cv.notify_one();
+            });
+            let (m, cv) = &*pair;
+            // BUG: predicate checked without holding the lock across
+            // the wait decision — the notify can land in the gap.
+            let ready = *m.lock();
+            if !ready {
+                let mut g = m.lock();
+                cv.wait(&mut g);
+                drop(g);
+            }
+            t.join().unwrap();
+        })
+        .expect_err("lost wakeup must deadlock in some interleaving");
+    assert!(
+        matches!(failure.kind, FailureKind::Deadlock),
+        "expected deadlock, got {:?}",
+        failure.kind
+    );
+    assert!(failure.to_string().contains("Condvar"), "{failure}");
+}
+
+/// Sleep sets prune schedules that only reorder operations on disjoint
+/// locations.
+#[test]
+fn sleep_sets_prune_independent_ops() {
+    if !lsm_check::model_build() {
+        eprintln!("skipped: requires --cfg lsm_model_check");
+        return;
+    }
+    let report = Model::new()
+        .check(|| {
+            let a = Arc::new(AtomicU64::new(0));
+            let b = Arc::new(AtomicU64::new(0));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t1 = thread::spawn(move || {
+                a2.store(1, Ordering::Release);
+            });
+            let t2 = thread::spawn(move || {
+                b2.store(1, Ordering::Release);
+            });
+            t1.join().unwrap();
+            t2.join().unwrap();
+        })
+        .expect("clean model");
+    assert!(report.exhaustive);
+    assert!(
+        report.pruned > 0,
+        "independent ops must produce sleep-set pruning, report: {report:?}"
+    );
+}
+
+/// The exploration bound is a loud failure, never a silent pass.
+#[test]
+fn execution_bound_is_explicit() {
+    if !lsm_check::model_build() {
+        eprintln!("skipped: requires --cfg lsm_model_check");
+        return;
+    }
+    let failure = Model::new()
+        .max_executions(1)
+        .check(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                n2.fetch_add(1, Ordering::AcqRel);
+            });
+            n.fetch_add(1, Ordering::AcqRel);
+            t.join().unwrap();
+        })
+        .expect_err("a 2-thread race cannot fit in one execution");
+    assert!(matches!(failure.kind, FailureKind::BoundExceeded));
+}
+
+/// An unsatisfiable Relaxed spin is caught by the per-execution op
+/// bound instead of hanging the suite.
+#[test]
+fn livelock_caught() {
+    if !lsm_check::model_build() {
+        eprintln!("skipped: requires --cfg lsm_model_check");
+        return;
+    }
+    let failure = Model::new()
+        .max_ops(200)
+        .check(|| {
+            let flag = AtomicU64::new(0);
+            // Nobody ever stores 1.
+            while flag.load(Ordering::Relaxed) == 0 {
+                std::hint::spin_loop();
+            }
+        })
+        .expect_err("spin on a never-written flag must be flagged");
+    assert!(matches!(failure.kind, FailureKind::Livelock));
+}

@@ -74,6 +74,41 @@ pub const ALLOC_HOT_FILES: &[&str] = &[
     "crates/serve/src/cache.rs",
 ];
 
+/// Crates excluded from R11's name-keyed lock graph and atomics-pairing
+/// heuristics because they *implement* synchronization rather than use
+/// it: the lsm-check model-checker shim wraps every lock/atomic the
+/// workspace takes, so its internals (scheduler token handoff, raw
+/// parking_lot mutexes, per-execution state) acquire locks under generic
+/// receiver names (`inner`, `raw`) that would alias application locks in
+/// the global graph and fabricate cross-crate cycles. Its protocols are
+/// checked the stronger way — exhaustive interleaving exploration in
+/// `crates/check/tests/` — and runtime lock-order cycles found by that
+/// exploration cross-reference R11 in their failure reports.
+pub const SYNC_IMPL_CRATE_DIRS: &[&str] = &["check"];
+
+/// Is this root-relative path inside a sync-implementation crate (see
+/// [`SYNC_IMPL_CRATE_DIRS`])?
+pub fn is_sync_impl(rel_path: &str) -> bool {
+    crate_dir(rel_path).is_some_and(|d| SYNC_IMPL_CRATE_DIRS.contains(&d))
+}
+
+/// Crate directories whose extern (link) name does not follow the
+/// `lsm_<dir>` convention. Everything else maps `crates/<dir>` to
+/// `lsm_<dir>` — see [`crate_extern_name`].
+const CRATE_EXTERN_EXCEPTIONS: &[(&str, &str)] = &[("matchers", "lsm_baselines"), ("lsm", "lsm")];
+
+/// The identifier under which code in other crates names `crates/<dir>`
+/// (`use lsm_obs::span`, `lsm_serve::SessionRegistry`). Used to derive the
+/// workspace dependency DAG from the sources themselves: a crate that
+/// never mentions another crate's extern name cannot call into it.
+pub fn crate_extern_name(dir: &str) -> String {
+    CRATE_EXTERN_EXCEPTIONS
+        .iter()
+        .find(|(d, _)| *d == dir)
+        .map(|(_, name)| (*name).to_string())
+        .unwrap_or_else(|| format!("lsm_{dir}"))
+}
+
 /// Marker prefix of a suppression comment:
 /// `// lsm-lint: allow(rule-id, reason)`.
 pub const SUPPRESS_MARKER: &str = "lsm-lint: allow(";

@@ -175,7 +175,15 @@ const EXPLANATIONS: &[(&str, &str)] = &[
          after:   buckets.fetch_add(1, AcqRel);   ...  buckets.load(Acquire)\n\
          \n\
          (3) `while X.load(Relaxed)` spin conditions may never observe the store\n\
-         they wait for in bounded time and order nothing after exit; use Acquire.\n",
+         they wait for in bounded time and order nothing after exit; use Acquire.\n\
+         \n\
+         R11 reasons statically and over-approximately. Its dynamic complement\n\
+         is the lsm-check model checker (crates/check): port the suspect code\n\
+         onto lsm_check::sync and write a model test — the checker explores\n\
+         every bounded interleaving on stable Rust, detects the deadlock R11\n\
+         predicts via its runtime lock-order graph, and prints a deterministic\n\
+         trace replayable with LSM_CHECK_REPLAY. See docs/static-analysis.md\n\
+         (\"Model checking\") and crates/{obs,serve}/tests/model.rs.\n",
     ),
     (
         "R12-alloc-in-span",

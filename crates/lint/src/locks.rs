@@ -10,7 +10,12 @@
 //!    a call-graph edge — adds an order edge. A cycle in that graph is a
 //!    potential deadlock: two threads taking the same locks in opposite
 //!    orders. Each cycle is reported once, with every acquisition site as
-//!    a related location.
+//!    a related location. Call-graph edges that point *against* the
+//!    workspace dependency DAG (derived from the sources: crate `a`
+//!    depends on `b` iff some file in `a` names `b`'s extern crate) are
+//!    ignored — the name-keyed graph fuses identically-named methods
+//!    across unrelated crates, and an upstream crate cannot call into a
+//!    crate that depends on it.
 //! 2. **Acquire/Release pairing.** An `Ordering::Acquire` load of an
 //!    atomic cell whose writes are all `Relaxed` has nothing to pair
 //!    with: the load's ordering is a lie, and readers can see torn
@@ -46,7 +51,7 @@ pub fn check_workspace(
     let mut out = Vec::new();
     check_lock_order(ws, cg, files, &mut out);
     for (rel, ctx) in files {
-        if !config::is_library_code(rel) {
+        if !config::is_library_code(rel) || config::is_sync_impl(rel) {
             continue;
         }
         check_atomics(rel, ctx, &mut out);
@@ -77,7 +82,9 @@ fn check_lock_order(
         let ctx = files.get(&f.item.file);
         let (lo, hi) = f.item.body;
         acqs.push(match ctx {
-            Some(ctx) if lo < hi && !f.item.in_test => acquisitions(&ctx.toks, (lo, hi)),
+            Some(ctx) if lo < hi && !f.item.in_test && !config::is_sync_impl(&f.item.file) => {
+                acquisitions(&ctx.toks, (lo, hi))
+            }
             _ => Vec::new(),
         });
     }
@@ -85,11 +92,34 @@ fn check_lock_order(
     // Locks each function acquires transitively (itself or any callee).
     let mut trans: Vec<BTreeSet<String>> =
         acqs.iter().map(|a| a.iter().map(|x| x.lock.clone()).collect::<BTreeSet<_>>()).collect();
-    // Propagate to a fixpoint: callers inherit callee lock sets.
+    // Propagate to a fixpoint: callers inherit callee lock sets, but only
+    // along edges a real call could take. Two classes of fabricated edge
+    // are excluded: (1) functions in sync-implementation crates — the
+    // name-keyed call graph resolves every application `.lock()`/`.len()`/
+    // `.get()` against the shim's identically-named methods, so letting
+    // lock sets flow through them splices unrelated crates' acquisitions
+    // into one fabricated cycle; (2) edges that contradict the crate
+    // dependency DAG — `reg.events.len()` in lsm-obs cannot reach
+    // `SessionRegistry::len` in lsm-serve, because serve depends on obs
+    // and not the other way around.
+    let sync_impl: Vec<bool> = ws.fns.iter().map(|f| config::is_sync_impl(&f.item.file)).collect();
+    let deps = crate_dep_closure(files);
+    let may_call = |i: usize, j: usize| -> bool {
+        match (ws.fns[i].crate_dir.as_deref(), ws.fns[j].crate_dir.as_deref()) {
+            (Some(a), Some(b)) if a != b => deps.get(a).is_some_and(|d| d.contains(b)),
+            _ => true,
+        }
+    };
     loop {
         let mut changed = false;
         for i in 0..n {
+            if sync_impl[i] {
+                continue;
+            }
             for &j in &cg.edges[i] {
+                if sync_impl[j] || !may_call(i, j) {
+                    continue;
+                }
                 if !trans[j].is_empty() && !trans[j].is_subset(&trans[i]) {
                     let add: Vec<String> = trans[j].difference(&trans[i]).cloned().collect();
                     trans[i].extend(add);
@@ -135,7 +165,7 @@ fn check_lock_order(
                     continue;
                 }
                 for &callee in &cg.edges[i] {
-                    if ws.fns[callee].item.name != name {
+                    if ws.fns[callee].item.name != name || !may_call(i, callee) {
                         continue;
                     }
                     for lock in trans[callee].iter() {
@@ -195,6 +225,53 @@ fn check_lock_order(
             });
         });
     }
+}
+
+/// The transitive closure of the source-derived crate dependency DAG:
+/// crate `a` depends on crate `b` iff some file in `a` mentions `b`'s
+/// extern name (`use lsm_b::..`, `lsm_b::item`). Any real call from `a`
+/// into `b` must name the crate somewhere in `a`'s sources, so a
+/// name-keyed call-graph edge from `a` into a crate absent from this
+/// closure is a fusion artifact, not a possible call.
+fn crate_dep_closure(files: &BTreeMap<String, FileCtx>) -> BTreeMap<String, BTreeSet<String>> {
+    let dirs: BTreeSet<&str> = files.keys().filter_map(|rel| config::crate_dir(rel)).collect();
+    let extern_of: BTreeMap<String, &str> =
+        dirs.iter().map(|d| (config::crate_extern_name(d), *d)).collect();
+    let mut deps: BTreeMap<String, BTreeSet<String>> =
+        dirs.iter().map(|d| ((*d).to_string(), BTreeSet::new())).collect();
+    for (rel, ctx) in files {
+        let Some(dir) = config::crate_dir(rel) else { continue };
+        for t in &ctx.toks {
+            let Some(name) = t.ident() else { continue };
+            if let Some(dep) = extern_of.get(name).filter(|dep| **dep != dir) {
+                if let Some(set) = deps.get_mut(dir) {
+                    set.insert((*dep).to_string());
+                }
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for dir in &dirs {
+            let direct: Vec<String> = deps[*dir].iter().cloned().collect();
+            let mut add: Vec<String> = Vec::new();
+            for dep in &direct {
+                if let Some(next) = deps.get(dep.as_str()) {
+                    add.extend(next.difference(&deps[*dir]).cloned());
+                }
+            }
+            if !add.is_empty() {
+                if let Some(set) = deps.get_mut(*dir) {
+                    set.extend(add);
+                }
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    deps
 }
 
 /// DFS enumerating elementary cycles through `node` (bounded by graph size;
@@ -507,4 +584,119 @@ fn check_spin(rel: &str, ctx: &FileCtx, out: &mut Vec<Violation>) {
 
 fn in_test(ctx: &FileCtx, pos: usize) -> bool {
     ctx.test_spans.iter().any(|&(a, b)| pos >= a && pos <= b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_file;
+    use crate::scan::{tokenize, FileView};
+
+    fn run(files: &[(&str, &str)]) -> Vec<Violation> {
+        let mut ctxs = BTreeMap::new();
+        let mut items = BTreeMap::new();
+        let mut toks_map = BTreeMap::new();
+        for (path, src) in files {
+            let view = FileView::new(src.to_string());
+            let toks = tokenize(&view.code);
+            let test_spans = crate::rules::cfg_test_spans(&toks);
+            items.insert(path.to_string(), parse_file(path, &view, &toks, &test_spans));
+            toks_map.insert(path.to_string(), toks.clone());
+            ctxs.insert(path.to_string(), FileCtx { view, toks, test_spans });
+        }
+        let ws = Workspace::resolve(&items);
+        let cg = CallGraph::build(&ws, &toks_map);
+        check_workspace(&ws, &cg, &ctxs)
+    }
+
+    /// The upstream crate (obs) holds `registry` and calls `.len()` on a
+    /// plain Vec; the downstream crate (serve) has a `len` method that
+    /// locks `slots` and an `open` that holds `slots` while calling into
+    /// obs. The name-keyed graph fuses obs's `.len()` with serve's — but
+    /// obs does not depend on serve, so the fabricated `registry -> slots`
+    /// edge must be pruned and no cycle reported.
+    #[test]
+    fn dependency_direction_prunes_fused_cross_crate_cycles() {
+        let v = run(&[
+            (
+                "crates/obs/src/lib.rs",
+                "pub fn record_span() {\n\
+                 \u{20}   let mut reg = registry().lock();\n\
+                 \u{20}   if reg.events.len() < 4 { reg.events.push(1); }\n\
+                 }\n",
+            ),
+            (
+                "crates/serve/src/registry.rs",
+                "use lsm_obs::record_span;\n\
+                 pub struct SessionRegistry;\n\
+                 impl SessionRegistry {\n\
+                 \u{20}   pub fn len(&self) -> usize {\n\
+                 \u{20}       let g = self.slots.lock();\n\
+                 \u{20}       g.len()\n\
+                 \u{20}   }\n\
+                 \u{20}   pub fn open(&self) {\n\
+                 \u{20}       let g = self.slots.lock();\n\
+                 \u{20}       record_span();\n\
+                 \u{20}   }\n\
+                 }\n",
+            ),
+        ]);
+        let cycles: Vec<&Violation> =
+            v.iter().filter(|x| x.message.contains("lock-order cycle")).collect();
+        assert!(cycles.is_empty(), "fused cross-crate cycle not pruned: {cycles:?}");
+    }
+
+    /// Same shape, but the crates genuinely depend on each other — the
+    /// dependency filter must not hide a cycle both directions can take.
+    #[test]
+    fn mutually_dependent_crates_still_form_cycles() {
+        let v = run(&[
+            (
+                "crates/obs/src/lib.rs",
+                "use lsm_serve::SessionRegistry;\n\
+                 pub fn record_span(r: &SessionRegistry) {\n\
+                 \u{20}   let mut reg = registry().lock();\n\
+                 \u{20}   if r.len() < 4 { reg.events.push(1); }\n\
+                 }\n",
+            ),
+            (
+                "crates/serve/src/registry.rs",
+                "use lsm_obs::record_span;\n\
+                 pub struct SessionRegistry;\n\
+                 impl SessionRegistry {\n\
+                 \u{20}   pub fn len(&self) -> usize {\n\
+                 \u{20}       let g = self.slots.lock();\n\
+                 \u{20}       g.len()\n\
+                 \u{20}   }\n\
+                 \u{20}   pub fn open(&self) {\n\
+                 \u{20}       let g = self.slots.lock();\n\
+                 \u{20}       record_span(self);\n\
+                 \u{20}   }\n\
+                 }\n",
+            ),
+        ]);
+        assert!(
+            v.iter().any(|x| x.message.contains("lock-order cycle")),
+            "genuine cross-crate cycle must survive the dependency filter: {v:?}"
+        );
+    }
+
+    /// The closure is transitive: a -> b -> c puts c in a's reach.
+    #[test]
+    fn dep_closure_is_transitive() {
+        let mut ctxs = BTreeMap::new();
+        for (path, src) in [
+            ("crates/serve/src/lib.rs", "use lsm_core::x;"),
+            ("crates/core/src/lib.rs", "use lsm_obs::span;"),
+            ("crates/obs/src/lib.rs", "pub fn span() {}"),
+        ] {
+            let view = FileView::new(src.to_string());
+            let toks = tokenize(&view.code);
+            ctxs.insert(path.to_string(), FileCtx { view, toks, test_spans: Vec::new() });
+        }
+        let deps = crate_dep_closure(&ctxs);
+        assert!(deps["serve"].contains("core"));
+        assert!(deps["serve"].contains("obs"), "transitive dep missing: {deps:?}");
+        assert!(deps["obs"].is_empty());
+    }
 }

@@ -36,9 +36,16 @@ pub struct FixtureBuilder {
 
 impl FixtureBuilder {
     /// A fresh builder rooted in a unique temp directory.
+    ///
+    /// The root embeds a process-wide counter on top of the pid: two tests
+    /// in one binary can build same-named fixtures concurrently, and a
+    /// shared path would let one fixture's `Drop` delete the directory out
+    /// from under the other mid-build.
     pub fn new(name: &str) -> FixtureBuilder {
-        let root =
-            std::env::temp_dir().join(format!("lsm-lint-fixture-{name}-{}", std::process::id()));
+        static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let root = std::env::temp_dir()
+            .join(format!("lsm-lint-fixture-{name}-{}-{n}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         FixtureBuilder { root, files: Vec::new() }
     }

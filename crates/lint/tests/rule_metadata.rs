@@ -1,0 +1,95 @@
+//! Rule-catalog metadata completeness: every rule the gate can fire must
+//! be documented everywhere a contributor meets it — `--explain`, the
+//! one-line `--list-rules` summary, and the SARIF `rules` descriptor CI
+//! uploads to code scanning. A rule added without its metadata fails
+//! here, not in a reviewer's browser.
+
+use lsm_lint::{config, explain, sarif};
+
+/// The catalog is exactly R1..R12, each id numbered and kebab-styled.
+#[test]
+fn catalog_is_contiguous_r1_to_r12() {
+    let numbers: Vec<usize> = config::RULE_IDS
+        .iter()
+        .map(|id| {
+            let bare = id.split('-').next().expect("rule id has a number part");
+            bare.strip_prefix('R')
+                .and_then(|n| n.parse().ok())
+                .unwrap_or_else(|| panic!("malformed rule id {id:?}"))
+        })
+        .collect();
+    assert_eq!(numbers, (1..=12).collect::<Vec<_>>(), "rule ids must be contiguous R1..R12");
+}
+
+/// Every rule id resolves through `--explain`, in both spellings, with
+/// non-trivial text that leads with the rule's own id.
+#[test]
+fn every_rule_has_explain_text() {
+    for id in config::RULE_IDS {
+        let text =
+            explain::explain(id).unwrap_or_else(|| panic!("no --explain entry for {id} (full id)"));
+        assert!(text.len() > 80, "--explain {id} is a stub ({} bytes)", text.len());
+        assert!(text.contains(id), "--explain {id} must lead with its id");
+        let bare = id.split('-').next().expect("id number");
+        assert_eq!(
+            explain::explain(bare),
+            Some(text),
+            "--explain {bare} (bare number) must resolve to the same text"
+        );
+    }
+}
+
+/// Every rule has a one-line summary, and the summary table is in the
+/// same order as the id list (SARIF `ruleIndex` relies on that).
+#[test]
+fn every_rule_has_a_summary_in_catalog_order() {
+    assert_eq!(config::RULE_SUMMARIES.len(), config::RULE_IDS.len());
+    for (id, (summary_id, summary)) in config::RULE_IDS.iter().zip(config::RULE_SUMMARIES) {
+        assert_eq!(id, summary_id, "RULE_SUMMARIES order must match RULE_IDS");
+        assert!(!summary.is_empty(), "empty summary for {id}");
+    }
+}
+
+/// The SARIF driver carries a full descriptor per rule: id,
+/// shortDescription, long-form help (the `--explain` text), and a default
+/// level. Checked on an empty report so this is about the catalog, not
+/// any particular finding.
+#[test]
+fn sarif_rules_descriptors_are_complete() {
+    let s = sarif::to_sarif(&[], &[]);
+    for id in config::RULE_IDS {
+        assert!(
+            s.contains(&format!("\"id\": \"{id}\"")),
+            "SARIF rules[] is missing a descriptor for {id}"
+        );
+    }
+    let n = config::RULE_IDS.len();
+    assert_eq!(
+        s.matches("\"shortDescription\":").count(),
+        n,
+        "every SARIF rule descriptor needs a shortDescription"
+    );
+    assert_eq!(
+        s.matches("\"help\":").count(),
+        n,
+        "every SARIF rule descriptor needs help text (the --explain entry)"
+    );
+    assert_eq!(
+        s.matches("\"defaultConfiguration\":").count(),
+        n,
+        "every SARIF rule descriptor needs a defaultConfiguration level"
+    );
+    for level in ["\"error\"", "\"warning\""] {
+        assert!(s.contains(level), "catalog must export both error and advisory levels");
+    }
+}
+
+/// The R11 explanation cross-references its dynamic complement, the
+/// lsm-check model checker — the failure message a contributor gets from
+/// a lock-order finding points at how to *prove* the fix.
+#[test]
+fn r11_explain_cross_references_the_model_checker() {
+    let text = explain::explain("R11").expect("R11 explanation");
+    assert!(text.contains("lsm-check"), "R11 --explain must point at the model checker");
+    assert!(text.contains("LSM_CHECK_REPLAY"), "R11 --explain must mention trace replay");
+}

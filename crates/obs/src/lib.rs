@@ -48,10 +48,15 @@
 // feature off the crate keeps the workspace-wide forbid.
 #![cfg_attr(not(feature = "alloc-track"), forbid(unsafe_code))]
 
-use parking_lot::Mutex;
+// Sync primitives come from lsm-check's shim layer: a plain re-export of
+// parking_lot / std atomics in normal builds (bitwise-identical codegen),
+// but under `--cfg lsm_model_check` every acquire/load/store/RMW routes
+// through the model checker's cooperative scheduler so the counter,
+// histogram, and registry protocols can be exhaustively model-checked
+// (`tests/model.rs`).
+use lsm_check::sync::{AtomicBool, AtomicU64, Mutex, Ordering};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
@@ -80,6 +85,12 @@ static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 thread_local! {
     /// Small stable per-thread id for trace events (std ThreadIds are
     /// opaque; Chrome traces want small integers).
+    ///
+    /// The `Relaxed` RMW is deliberate: RMW atomicity alone guarantees
+    /// uniqueness (no two threads receive the same id), the ids order
+    /// nothing, and no other memory is published through this cell.
+    // lsm-lint: allow(R11-lock-discipline, id allocation needs only RMW
+    // atomicity, not ordering)
     static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
 }
 
@@ -177,7 +188,7 @@ static COUNTERS: [AtomicU64; Counter::ALL.len()] =
 /// to pair with (R11); on x86 the lock-prefixed add is identical either way.
 #[inline]
 pub fn add(counter: Counter, n: u64) {
-    if ENABLED.load(Ordering::Relaxed) {
+    if is_enabled() {
         COUNTERS[counter as usize].fetch_add(n, Ordering::AcqRel);
     }
 }
@@ -256,14 +267,24 @@ impl Histogram {
     }
 
     /// Point-in-time copy of all buckets and summary stats.
+    ///
+    /// `count` is read *before* the buckets — the reverse of the write
+    /// order in [`Histogram::record_ns`] (bucket first, then `count`).
+    /// With the `Acquire` loads pairing against the `AcqRel` RMWs, any
+    /// recording whose `count` increment this snapshot observes has its
+    /// bucket increment visible too, so `sum(buckets) >= count` holds in
+    /// every interleaving. (Reading buckets first allowed the opposite
+    /// tear — `count` ahead of the buckets it summarizes — which the
+    /// model checker catches; see `tests/model.rs`.)
     pub fn snap(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Acquire);
         let mut buckets = [0u64; HIST_BUCKETS];
         for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
             *dst = src.load(Ordering::Acquire);
         }
         HistogramSnapshot {
             buckets,
-            count: self.count.load(Ordering::Acquire),
+            count,
             sum_ns: self.sum_ns.load(Ordering::Acquire),
             max_ns: self.max_ns.load(Ordering::Acquire),
         }
@@ -461,6 +482,13 @@ pub fn disable() {
 }
 
 /// Is the sink currently recording?
+///
+/// The gate load is `Relaxed` by design: this is the documented
+/// zero-overhead-when-off check on every instrumentation point, the
+/// flag's writes are `SeqCst` (release-class, so R11's pairing check is
+/// satisfied), and nothing is published *through* the flag — all data
+/// the gate guards flows through the counters' and registry's own
+/// synchronization.
 #[inline]
 pub fn is_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
@@ -480,8 +508,12 @@ pub fn enable_from_env() {
 /// and restart the trace timeline at zero. Does not change the enabled
 /// flag, and does not reset process-lifetime [`alloc_stats`] totals.
 pub fn reset() {
+    // Release so a thread that observes the zeroed counters (`Acquire`
+    // load in `counter_value`) also observes everything the resetting
+    // thread did before the reset — a snapshot taken after a reset it
+    // saw can never mix pre-reset state back in.
     for c in &COUNTERS {
-        c.store(0, Ordering::Relaxed);
+        c.store(0, Ordering::Release);
     }
     let mut reg = registry().lock();
     reg.epoch = None;

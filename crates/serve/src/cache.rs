@@ -29,15 +29,20 @@
 //!   never affects results in any case — only hit rates.
 //!
 //! Hits, misses, insertions, and evictions are counted per-instance
-//! (atomics, readable via [`CacheStats`]) and mirrored to the process-wide
-//! `lsm-obs` counters (`serve_cache_hits`/`…_misses`/`…_evictions`) so the
-//! serve bench and the obs snapshot agree.
+//! *under the same lock as the map* (readable via [`CacheStats`]) and
+//! mirrored to the process-wide `lsm-obs` counters
+//! (`serve_cache_hits`/`…_misses`/`…_evictions`) so the serve bench and
+//! the obs snapshot agree. Keeping the counters inside the lock makes
+//! every [`CacheStats`] a *consistent* snapshot: `insertions − evictions`
+//! always equals the entry count, and a lookup is never visible in the
+//! map without being visible in the stats. (An earlier revision bumped
+//! per-instance atomics after dropping the lock; the model checker found
+//! the torn snapshots that allows — see `tests/model.rs`.)
 
+use lsm_check::sync::Mutex;
 use lsm_core::PooledCache;
 use lsm_nn::Tensor;
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One cached pooled vector plus the full key that produced it.
 struct Entry {
@@ -50,10 +55,15 @@ struct Inner {
     map: BTreeMap<u64, Entry>,
     /// Insertion order of the hashes in `map` — the FIFO eviction queue.
     order: VecDeque<u64>,
+    /// Per-instance counters, updated under this lock so a [`CacheStats`]
+    /// snapshot is always internally consistent.
+    stats: CacheStats,
 }
 
-/// Counter snapshot of one cache instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Counter snapshot of one cache instance. Taken under the cache lock,
+/// so the fields are mutually consistent: `insertions - evictions` is
+/// the entry count at the moment of the snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
@@ -77,10 +87,6 @@ impl CacheStats {
 pub struct EncodingCache {
     inner: Mutex<Inner>,
     capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
 }
 
 /// 64-bit FNV-1a over the backend name and the token-id bytes. Stable
@@ -107,12 +113,12 @@ impl EncodingCache {
     /// pass-through (every lookup misses, nothing is stored).
     pub fn new(capacity: usize) -> Self {
         EncodingCache {
-            inner: Mutex::new(Inner { map: BTreeMap::new(), order: VecDeque::new() }),
+            inner: Mutex::new(Inner {
+                map: BTreeMap::new(),
+                order: VecDeque::new(),
+                stats: CacheStats::default(),
+            }),
             capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
         }
     }
 
@@ -126,38 +132,37 @@ impl EncodingCache {
         self.len() == 0
     }
 
-    /// Snapshot of the per-instance counters.
+    /// Consistent snapshot of the per-instance counters.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Acquire),
-            misses: self.misses.load(Ordering::Acquire),
-            insertions: self.insertions.load(Ordering::Acquire),
-            evictions: self.evictions.load(Ordering::Acquire),
-        }
+        self.inner.lock().stats
     }
 }
 
 impl PooledCache for EncodingCache {
     fn get(&self, backend: &str, ids: &[u32]) -> Option<Tensor> {
         let h = key_hash(backend, ids);
-        let inner = self.inner.lock();
-        match inner.map.get(&h) {
-            // Full-key verification: a hash collision is a miss, never a
-            // wrong vector.
-            Some(e) if e.backend == backend && e.ids == ids => {
-                let pooled = e.pooled.clone();
-                drop(inner);
-                self.hits.fetch_add(1, Ordering::AcqRel);
-                lsm_obs::add(lsm_obs::Counter::ServeCacheHits, 1);
-                Some(pooled)
-            }
-            _ => {
-                drop(inner);
-                self.misses.fetch_add(1, Ordering::AcqRel);
-                lsm_obs::add(lsm_obs::Counter::ServeCacheMisses, 1);
-                None
-            }
+        let mut inner = self.inner.lock();
+        // Full-key verification: a hash collision is a miss, never a
+        // wrong vector.
+        let pooled = match inner.map.get(&h) {
+            Some(e) if e.backend == backend && e.ids == ids => Some(e.pooled.clone()),
+            _ => None,
+        };
+        if pooled.is_some() {
+            inner.stats.hits += 1;
+        } else {
+            inner.stats.misses += 1;
         }
+        drop(inner);
+        // The process-wide obs mirrors stay outside the lock: they are
+        // monotonic totals with their own synchronization, not part of
+        // this instance's consistent snapshot.
+        if pooled.is_some() {
+            lsm_obs::add(lsm_obs::Counter::ServeCacheHits, 1);
+        } else {
+            lsm_obs::add(lsm_obs::Counter::ServeCacheMisses, 1);
+        }
+        pooled
     }
 
     fn put(&self, backend: &str, ids: &[u32], pooled: &Tensor) {
@@ -188,10 +193,10 @@ impl PooledCache for EncodingCache {
                 Entry { backend: backend.to_string(), ids: ids.to_vec(), pooled: pooled.clone() },
             );
             inner.order.push_back(h);
+            inner.stats.insertions += 1;
+            inner.stats.evictions += evicted;
         }
-        self.insertions.fetch_add(1, Ordering::AcqRel);
         if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::AcqRel);
             lsm_obs::add(lsm_obs::Counter::ServeCacheEvictions, evicted);
         }
     }

@@ -21,6 +21,10 @@
 //! * [`ServeSession`] — one journal-backed session whose event stream
 //!   follows the in-process driver exactly, so a killed daemon resumes
 //!   mid-protocol from `<journal_dir>/<id>.journal`;
+//! * [`registry`] — the TCP-free concurrency core: the
+//!   [`SessionRegistry`] (two-level map/slot locking) and the
+//!   [`ShutdownFlag`] handshake, built on `lsm_check::sync` so the model
+//!   checker explores their interleavings exhaustively (`tests/model.rs`);
 //! * [`server`] — a dependency-free TCP line protocol
 //!   (`OPEN`/`SUGGEST`/`LABEL`/`EXPORT`/`CLOSE`, JSON payloads) with
 //!   per-connection read timeouts and clock-free graceful shutdown.
@@ -33,12 +37,14 @@
 
 pub mod cache;
 pub mod protocol;
+pub mod registry;
 pub mod server;
 pub mod session;
 pub mod state;
 
 pub use cache::{CacheStats, EncodingCache};
 pub use protocol::ProtocolError;
+pub use registry::{OpenError, SessionRegistry, ShutdownFlag};
 pub use server::{spawn, ServeConfig, ServerHandle};
 pub use session::ServeSession;
 pub use state::{ServeModel, SharedState};

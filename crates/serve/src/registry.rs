@@ -1,0 +1,220 @@
+//! TCP-free concurrency core of the daemon: the session registry and the
+//! shutdown handshake.
+//!
+//! [`server`](crate::server) used to hold both protocols inline in the
+//! `Daemon` struct, welded to sockets and connection threads. They are
+//! extracted here, generic over the session payload, for two reasons:
+//!
+//! * the lock-order discipline (map lock strictly before slot lock,
+//!   slot lock acquired *before* the map lock is released on open) and
+//!   the shutdown flag/wake protocol are the parts of the daemon where
+//!   an interleaving bug hides — pulling them out of the socket code
+//!   lets `tests/model.rs` drive them under the `lsm-check` model
+//!   checker's exhaustive interleaving exploration,
+//! * the protocols don't depend on TCP at all; keeping them payload-
+//!   generic makes that explicit and keeps the model small.
+//!
+//! Everything here synchronizes through [`lsm_check::sync`]: a plain
+//! parking_lot/std re-export in normal builds (bitwise-identical to the
+//! previous inline code), the model scheduler under
+//! `--cfg lsm_model_check`.
+
+use lsm_check::sync::{Arc, AtomicBool, Mutex, MutexGuard, Ordering};
+use std::collections::BTreeMap;
+
+/// One session's slot: `None` between insertion and a successful open
+/// (or after a close raced the slot out from under a request).
+pub type Slot<S> = Arc<Mutex<Option<S>>>;
+
+/// Why an [`SessionRegistry::open`] did not produce a session.
+#[derive(Debug)]
+pub enum OpenError<E> {
+    /// The id is already registered.
+    Conflict,
+    /// The builder failed; the slot was removed again.
+    Build(E),
+}
+
+/// Concurrent id → session map with the daemon's locking discipline.
+///
+/// Two lock levels, acquired strictly in this order:
+///
+/// 1. the *map* lock — held only to look up / insert / remove a slot,
+///    never across session work,
+/// 2. a session *slot* lock — held for the duration of one request
+///    against that session.
+///
+/// [`open`](Self::open) inserts an empty slot and acquires its lock
+/// *before* releasing the map lock, so concurrent requests for the same
+/// id queue on the slot while the (potentially expensive) build runs —
+/// without blocking requests for other sessions.
+pub struct SessionRegistry<S> {
+    slots: Mutex<BTreeMap<String, Slot<S>>>,
+}
+
+impl<S> Default for SessionRegistry<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> SessionRegistry<S> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SessionRegistry { slots: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Number of registered ids (including opens still building).
+    pub fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// Whether no id is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registers `id` and runs `build` to produce its session.
+    ///
+    /// The fresh slot's lock is acquired before the map lock is
+    /// released, then `build` runs with the map unlocked: same-id
+    /// requests block on the slot until the open resolves; other ids are
+    /// never blocked. On build failure the id is removed again and the
+    /// error handed back.
+    pub fn open<E>(
+        &self,
+        id: &str,
+        build: impl FnOnce() -> Result<S, E>,
+    ) -> Result<(), OpenError<E>> {
+        let slot: Slot<S> = Arc::new(Mutex::new(None));
+        let mut guard: MutexGuard<'_, Option<S>> = {
+            let mut map = self.slots.lock();
+            if map.contains_key(id) {
+                return Err(OpenError::Conflict);
+            }
+            map.insert(id.to_string(), Arc::clone(&slot));
+            // Lock the fresh slot before the map unlocks: same-id
+            // requests queue here until the open finishes (or the slot
+            // is removed).
+            slot.lock()
+        };
+        match build() {
+            Ok(session) => {
+                *guard = Some(session);
+                Ok(())
+            }
+            Err(e) => {
+                drop(guard);
+                self.slots.lock().remove(id);
+                Err(OpenError::Build(e))
+            }
+        }
+    }
+
+    /// Runs `f` on `id`'s session under its slot lock. `None` when the
+    /// id is unknown or its open failed after registration.
+    pub fn with<R>(&self, id: &str, f: impl FnOnce(&mut S) -> R) -> Option<R> {
+        let slot = self.slots.lock().get(id).cloned()?;
+        let mut guard = slot.lock();
+        guard.as_mut().map(f)
+    }
+
+    /// Unregisters `id` and runs `finalize` on its session (if its open
+    /// ever completed). `None` when the id is unknown. Requests that
+    /// already cloned the slot observe an empty slot afterwards, never a
+    /// dangling session.
+    pub fn close<R>(&self, id: &str, finalize: impl FnOnce(&mut S) -> R) -> Option<Option<R>> {
+        let slot = self.slots.lock().remove(id)?;
+        let mut guard = slot.lock();
+        let result = guard.as_mut().map(finalize);
+        *guard = None;
+        Some(result)
+    }
+}
+
+/// The clock-free shutdown handshake.
+///
+/// A shutdown request sets the flag (release) and reports whether this
+/// call was the *first* request — the caller fires its wake-up exactly
+/// once (the daemon pokes the blocking `accept` with a loopback
+/// connect). Pollers ([`is_requested`](Self::is_requested), acquire)
+/// observe the flag at their next check; the acquire/release pairing
+/// guarantees a poller that sees the flag also sees everything the
+/// requester wrote before requesting.
+#[derive(Debug, Default)]
+pub struct ShutdownFlag {
+    requested: AtomicBool,
+}
+
+impl ShutdownFlag {
+    /// A flag in the running (not-requested) state.
+    pub const fn new() -> Self {
+        ShutdownFlag { requested: AtomicBool::new(false) }
+    }
+
+    /// Requests shutdown. Returns `true` for the first request only —
+    /// the winner owns firing the (single) wake-up; later requests are
+    /// idempotent no-ops.
+    pub fn request(&self) -> bool {
+        !self.requested.swap(true, Ordering::AcqRel)
+    }
+
+    /// Has a shutdown been requested? (Acquire: pairs with the `AcqRel`
+    /// swap in [`request`](Self::request).)
+    pub fn is_requested(&self) -> bool {
+        self.requested.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_with_then_close_round_trip() {
+        let reg: SessionRegistry<u32> = SessionRegistry::new();
+        reg.open("a", || Ok::<_, ()>(7)).expect("open");
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.with("a", |s| *s), Some(7));
+        assert_eq!(reg.close("a", |s| *s + 1), Some(Some(8)));
+        assert!(reg.is_empty());
+        assert_eq!(reg.with("a", |s| *s), None);
+        assert_eq!(reg.close("a", |_| ()), None);
+    }
+
+    #[test]
+    fn duplicate_open_conflicts_without_running_build() {
+        let reg: SessionRegistry<u32> = SessionRegistry::new();
+        reg.open("a", || Ok::<_, ()>(1)).expect("open");
+        let mut built = false;
+        match reg.open("a", || {
+            built = true;
+            Ok::<_, ()>(2)
+        }) {
+            Err(OpenError::Conflict) => {}
+            other => panic!("expected conflict, got {other:?}"),
+        }
+        assert!(!built, "conflicting open must not build");
+        assert_eq!(reg.with("a", |s| *s), Some(1));
+    }
+
+    #[test]
+    fn failed_build_unregisters_the_id() {
+        let reg: SessionRegistry<u32> = SessionRegistry::new();
+        match reg.open("a", || Err::<u32, _>("boom")) {
+            Err(OpenError::Build("boom")) => {}
+            other => panic!("expected build error, got {other:?}"),
+        }
+        assert!(reg.is_empty(), "failed open must remove the slot");
+        reg.open("a", || Ok::<_, ()>(3)).expect("id reusable after failed open");
+    }
+
+    #[test]
+    fn shutdown_flag_first_request_wins() {
+        let f = ShutdownFlag::new();
+        assert!(!f.is_requested());
+        assert!(f.request(), "first request owns the wake-up");
+        assert!(!f.request(), "later requests are no-ops");
+        assert!(f.is_requested());
+    }
+}

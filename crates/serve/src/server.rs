@@ -3,42 +3,35 @@
 //!
 //! ## Locking discipline
 //!
-//! Two lock levels, acquired strictly in this order:
-//!
-//! 1. the sessions *map* lock — held only to look up / insert / remove a
-//!    session's slot (an `Arc<Mutex<…>>`), never across session work,
-//! 2. a session *slot* lock — held for the duration of one request
-//!    against that session.
-//!
-//! `OPEN` inserts an empty slot and acquires its lock *before* releasing
-//! the map lock, so concurrent requests for the same id queue on the slot
-//! while the (potentially pre-training) open runs — without blocking
-//! requests for other sessions. The shared featurizer-memo and
+//! The concurrency core lives in [`crate::registry`], TCP-free so the
+//! model checker can explore it exhaustively: a [`SessionRegistry`]
+//! enforcing the two-level map-then-slot lock order (`OPEN` locks the
+//! fresh slot before the map unlocks, so same-id requests queue without
+//! blocking other sessions), and a [`ShutdownFlag`] for the graceful,
+//! clock-free shutdown handshake. The shared featurizer-memo and
 //! encoding-cache locks sit strictly below the slot lock in the order.
 //!
 //! ## Shutdown
 //!
-//! Graceful and clock-free: a `SHUTDOWN` request (or
-//! [`ServerHandle::shutdown`]) sets an atomic flag and pokes the listener
-//! with a loopback connect to wake the blocking `accept`. Connection
-//! threads poll the flag between reads (their sockets carry a read
-//! timeout), so the whole daemon quiesces within one poll interval and
-//! every thread is joined. Open sessions are *not* finalized — their
-//! journals stay at the last committed iteration, which is exactly the
-//! crash-safe state `OPEN` resumes from.
+//! A `SHUTDOWN` request (or [`ServerHandle::shutdown`]) sets the flag;
+//! the *first* requester pokes the listener with a loopback connect to
+//! wake the blocking `accept`. Connection threads poll the flag between
+//! reads (their sockets carry a read timeout), so the whole daemon
+//! quiesces within one poll interval and every thread is joined. Open
+//! sessions are *not* finalized — their journals stay at the last
+//! committed iteration, which is exactly the crash-safe state `OPEN`
+//! resumes from.
 
 use crate::protocol::{parse_request, validate_session_id, ProtocolError, Request};
+use crate::registry::{OpenError, SessionRegistry, ShutdownFlag};
 use crate::session::ServeSession;
 use crate::state::SharedState;
+use lsm_check::sync::{Arc, Mutex};
 use lsm_core::SessionConfig;
-use parking_lot::Mutex;
 use serde_json::{json, Value};
-use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -83,13 +76,11 @@ impl Default for ServeConfig {
     }
 }
 
-type Slot = Arc<Mutex<Option<ServeSession>>>;
-
 struct Daemon {
     shared: SharedState,
-    sessions: Mutex<BTreeMap<String, Slot>>,
+    sessions: SessionRegistry<ServeSession>,
     config: ServeConfig,
-    shutdown: AtomicBool,
+    shutdown: ShutdownFlag,
     local_addr: Mutex<Option<SocketAddr>>,
 }
 
@@ -97,57 +88,45 @@ impl Daemon {
     fn new(config: ServeConfig) -> Self {
         Daemon {
             shared: SharedState::new(config.cache_capacity),
-            sessions: Mutex::new(BTreeMap::new()),
+            sessions: SessionRegistry::new(),
             config,
-            shutdown: AtomicBool::new(false),
+            shutdown: ShutdownFlag::new(),
             local_addr: Mutex::new(None),
         }
     }
 
     fn begin_shutdown(&self) {
-        self.shutdown.store(true, Ordering::Release);
-        // Wake the blocking accept with a throwaway loopback connection.
-        let addr = *self.local_addr.lock();
-        if let Some(addr) = addr {
-            drop(TcpStream::connect(addr));
+        if self.shutdown.request() {
+            // First requester: wake the blocking accept with a throwaway
+            // loopback connection.
+            let addr = *self.local_addr.lock();
+            if let Some(addr) = addr {
+                drop(TcpStream::connect(addr));
+            }
         }
     }
 
     fn open(&self, req: crate::protocol::OpenRequest) -> Result<Value, ProtocolError> {
         validate_session_id(&req.session)?;
-        let slot: Slot = Arc::new(Mutex::new(None));
-        let mut guard = {
-            let mut map = self.sessions.lock();
-            if map.contains_key(&req.session) {
-                return Err(ProtocolError::conflict(format!(
-                    "session {:?} is already open",
-                    req.session
-                )));
-            }
-            map.insert(req.session.clone(), slot.clone());
-            // Lock the fresh slot before the map unlocks: same-id requests
-            // queue here until the open finishes (or the slot is removed).
-            slot.lock()
-        };
-        let opened = ServeSession::open(
-            &self.shared,
-            &self.config.journal_dir,
-            &req,
-            self.config.session,
-            self.config.engine_threads,
-            self.config.dataset_seed,
-        );
+        let mut reply = None;
+        let opened = self.sessions.open(&req.session, || {
+            let session = ServeSession::open(
+                &self.shared,
+                &self.config.journal_dir,
+                &req,
+                self.config.session,
+                self.config.engine_threads,
+                self.config.dataset_seed,
+            )?;
+            reply = Some(session.open_reply());
+            Ok(session)
+        });
         match opened {
-            Ok(session) => {
-                let reply = session.open_reply();
-                *guard = Some(session);
-                Ok(reply)
+            Ok(()) => Ok(reply.expect("successful open built a reply")),
+            Err(OpenError::Conflict) => {
+                Err(ProtocolError::conflict(format!("session {:?} is already open", req.session)))
             }
-            Err(e) => {
-                drop(guard);
-                self.sessions.lock().remove(&req.session);
-                Err(e)
-            }
+            Err(OpenError::Build(e)) => Err(e),
         }
     }
 
@@ -156,31 +135,17 @@ impl Daemon {
         id: &str,
         f: impl FnOnce(&mut ServeSession) -> Result<R, ProtocolError>,
     ) -> Result<R, ProtocolError> {
-        let slot = self
-            .sessions
-            .lock()
-            .get(id)
-            .cloned()
-            .ok_or_else(|| ProtocolError::not_found(format!("no open session {id:?}")))?;
-        let mut guard = slot.lock();
-        match guard.as_mut() {
-            Some(session) => f(session),
-            None => Err(ProtocolError::not_found(format!("session {id:?} failed to open"))),
-        }
+        self.sessions
+            .with(id, f)
+            .ok_or_else(|| ProtocolError::not_found(format!("no open session {id:?}")))?
     }
 
     fn close(&self, id: &str) -> Result<Value, ProtocolError> {
-        let slot = self
-            .sessions
-            .lock()
-            .remove(id)
-            .ok_or_else(|| ProtocolError::not_found(format!("no open session {id:?}")))?;
-        let mut guard = slot.lock();
-        if let Some(session) = guard.as_mut() {
-            session.close()?;
+        match self.sessions.close(id, |session| session.close()) {
+            None => Err(ProtocolError::not_found(format!("no open session {id:?}"))),
+            Some(Some(Err(e))) => Err(e),
+            Some(_) => Ok(json!({ "ok": true, "session": id, "closed": true })),
         }
-        *guard = None;
-        Ok(json!({ "ok": true, "session": id, "closed": true }))
     }
 
     fn handle(&self, req: Request) -> Result<Value, ProtocolError> {
@@ -220,7 +185,7 @@ fn serve_connection(daemon: &Daemon, stream: TcpStream) {
     let mut line = String::new();
     let mut idle = 0u32;
     loop {
-        if daemon.shutdown.load(Ordering::Acquire) {
+        if daemon.shutdown.is_requested() {
             return;
         }
         // `line` is NOT cleared on a timeout: a partially received request
@@ -258,14 +223,14 @@ fn accept_loop(daemon: Arc<Daemon>, listener: TcpListener) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
-                if daemon.shutdown.load(Ordering::Acquire) {
+                if daemon.shutdown.is_requested() {
                     break; // the wake-up connect, or a straggler during shutdown
                 }
                 let d = Arc::clone(&daemon);
                 connections.push(std::thread::spawn(move || serve_connection(&d, stream)));
             }
             Err(_) => {
-                if daemon.shutdown.load(Ordering::Acquire) {
+                if daemon.shutdown.is_requested() {
                     break;
                 }
             }

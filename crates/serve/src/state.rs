@@ -19,11 +19,11 @@
 //! builds is unobservable in the results.
 
 use crate::cache::EncodingCache;
+use lsm_check::sync::Mutex;
 use lsm_core::{BertFeaturizer, BertFeaturizerConfig};
 use lsm_datasets::Dataset;
 use lsm_embedding::{EmbeddingConfig, EmbeddingSpace};
 use lsm_lexicon::{full_lexicon, Lexicon};
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 
 /// Encoder model a session runs with, mirroring the CLI's `--model` flag.

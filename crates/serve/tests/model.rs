@@ -1,0 +1,226 @@
+//! Model checks of the daemon's concurrency core.
+//!
+//! Under `RUSTFLAGS="--cfg lsm_model_check"` each `lsm_check::model` call
+//! exhaustively explores every bounded interleaving of its closure; in a
+//! normal build the closures run once with real threads as smoke tests.
+//!
+//! Covered protocols (all TCP-free, see `crate::registry` and
+//! `crate::cache`):
+//!
+//! * the [`EncodingCache`]'s stats-under-the-same-lock discipline — a
+//!   `CacheStats` snapshot always agrees with the map it summarizes
+//!   (this model is the one that caught the earlier bump-atomics-after-
+//!   unlock revision), and concurrent use is bitwise equal to sequential,
+//! * the [`SessionRegistry`]'s two-level map → slot lock order: same-id
+//!   opens admit exactly one winner, a request racing an open sees a
+//!   fully built session or nothing (never a half-open), a failed build
+//!   leaks nothing, and close racing a request never dangles. Every
+//!   acquisition here also feeds the checker's runtime lock-order graph,
+//!   so a map/slot order inversion fails these models with an R11
+//!   cross-reference instead of deadlocking CI,
+//! * the [`ShutdownFlag`] handshake: with the listener parked on a
+//!   condvar, two concurrent requesters produce exactly one wake-up and
+//!   the woken listener observes the flag (the acquire/release pairing).
+
+use lsm_check::sync::{thread, Arc, AtomicUsize, Condvar, Mutex, Ordering};
+use lsm_core::PooledCache;
+use lsm_nn::Tensor;
+use lsm_serve::{EncodingCache, OpenError, SessionRegistry, ShutdownFlag};
+
+/// Model explorations drive the process-global scheduler, so the suite
+/// is serialized.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GATE.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn vec_of(seed: f32) -> Tensor {
+    Tensor::from_vec(1, 4, vec![seed, seed + 1.0, seed + 2.0, seed + 3.0])
+}
+
+/// `len()` and `stats()` are separate lock acquisitions, but because the
+/// counters live under the same lock as the map, the derived entry count
+/// `insertions - evictions` is sandwiched by any two surrounding `len`
+/// reads. The pre-fix revision (per-instance atomics bumped after the
+/// lock dropped) has an interleaving where `len` is already 1 while
+/// `insertions` still reads 0 — the checker finds it and prints the
+/// schedule.
+#[test]
+fn cache_stats_agree_with_the_map_in_every_interleaving() {
+    let _g = serial();
+    lsm_check::model(|| {
+        let cache = Arc::new(EncodingCache::new(8));
+        let c = Arc::clone(&cache);
+        let t = thread::spawn(move || c.put("f32", &[1], &vec_of(1.0)));
+        let l1 = cache.len() as u64;
+        let s = cache.stats();
+        let l2 = cache.len() as u64;
+        let derived = s.insertions - s.evictions;
+        assert!(
+            l1 <= derived && derived <= l2,
+            "stats tore away from the map: len {l1} -> stats {derived} -> len {l2}"
+        );
+        t.join().unwrap();
+        let s = cache.stats();
+        assert_eq!((s.insertions, s.evictions), (1, 0));
+        assert_eq!(cache.len(), 1);
+    });
+}
+
+/// Concurrent puts of distinct keys are bitwise equal to the sequential
+/// cache: both vectors retrievable bit-for-bit, stats exact.
+#[test]
+fn concurrent_cache_use_is_bitwise_sequential() {
+    let _g = serial();
+    lsm_check::model(|| {
+        let cache = Arc::new(EncodingCache::new(8));
+        let c1 = Arc::clone(&cache);
+        let t1 = thread::spawn(move || c1.put("f32", &[1], &vec_of(1.5)));
+        let c2 = Arc::clone(&cache);
+        let t2 = thread::spawn(move || c2.put("f32", &[2], &vec_of(2.5)));
+        t1.join().unwrap();
+        t2.join().unwrap();
+        for (ids, seed) in [([1u32], 1.5f32), ([2u32], 2.5)] {
+            let got = cache.get("f32", &ids).expect("both inserts must be visible after join");
+            let want = vec_of(seed);
+            let same = got.data().iter().zip(want.data()).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "cached vector for ids {ids:?} is not bitwise identical");
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions, s.evictions), (2, 0, 2, 0));
+    });
+}
+
+/// Two concurrent `OPEN`s of the same id: exactly one wins, the loser
+/// gets `Conflict`, and the surviving session is one of the two builds —
+/// never a blend, never zero or two registrations.
+#[test]
+fn same_id_double_open_admits_exactly_one() {
+    let _g = serial();
+    lsm_check::model(|| {
+        let reg: Arc<SessionRegistry<u32>> = Arc::new(SessionRegistry::new());
+        let r1 = Arc::clone(&reg);
+        let t1 = thread::spawn(move || r1.open("s", || Ok::<_, ()>(1)).is_ok());
+        let r2 = Arc::clone(&reg);
+        let t2 = thread::spawn(move || r2.open("s", || Ok::<_, ()>(2)).is_ok());
+        let (ok1, ok2) = (t1.join().unwrap(), t2.join().unwrap());
+        assert!(ok1 ^ ok2, "same-id opens must admit exactly one (got {ok1}, {ok2})");
+        assert_eq!(reg.len(), 1);
+        let v = reg.with("s", |s| *s).expect("winner's session must be present");
+        assert!(v == 1 || v == 2, "session payload {v} is neither build's result");
+    });
+}
+
+/// A request racing an `OPEN` of the same id either misses the map
+/// entirely or queues on the slot lock until the build resolves — it can
+/// never observe a registered-but-unbuilt session. This is exactly what
+/// the lock-the-slot-before-the-map-unlocks discipline buys.
+#[test]
+fn request_racing_open_sees_built_session_or_nothing() {
+    let _g = serial();
+    lsm_check::model(|| {
+        let reg: Arc<SessionRegistry<u32>> = Arc::new(SessionRegistry::new());
+        let r = Arc::clone(&reg);
+        let t = thread::spawn(move || {
+            r.open("s", || Ok::<_, ()>(7)).expect("sole opener cannot conflict");
+        });
+        match reg.with("s", |s| *s) {
+            None => {} // looked up before the open registered the id
+            Some(v) => assert_eq!(v, 7, "request saw a half-built session"),
+        }
+        t.join().unwrap();
+        assert_eq!(reg.with("s", |s| *s), Some(7));
+    });
+}
+
+/// A failed build unregisters the id in every interleaving: a concurrent
+/// request sees nothing (it either misses the map or drains the emptied
+/// slot), and the registry ends empty with the id reusable.
+#[test]
+fn failed_open_leaks_nothing() {
+    let _g = serial();
+    lsm_check::model(|| {
+        let reg: Arc<SessionRegistry<u32>> = Arc::new(SessionRegistry::new());
+        let r = Arc::clone(&reg);
+        let t = thread::spawn(move || match r.open("s", || Err::<u32, _>("boom")) {
+            Err(OpenError::Build("boom")) => {}
+            other => panic!("expected build failure, got {other:?}"),
+        });
+        assert_eq!(reg.with("s", |s| *s), None, "request observed a failed open's session");
+        t.join().unwrap();
+        assert!(reg.is_empty(), "failed open must unregister the id");
+        reg.open("s", || Ok::<_, ()>(3)).expect("id must be reusable after a failed open");
+    });
+}
+
+/// `CLOSE` racing a request: either the request lands first (the close
+/// finalizes the mutated session) or the close wins (the request misses
+/// or drains an emptied slot) — never a dangling session, never a lost
+/// finalize.
+#[test]
+fn close_racing_request_never_dangles() {
+    let _g = serial();
+    lsm_check::model(|| {
+        let reg: Arc<SessionRegistry<u32>> = Arc::new(SessionRegistry::new());
+        reg.open("s", || Ok::<_, ()>(1)).expect("open");
+        let r = Arc::clone(&reg);
+        let t = thread::spawn(move || r.close("s", |s| *s));
+        let seen = reg.with("s", |s| {
+            *s += 1;
+            *s
+        });
+        let closed = t.join().unwrap();
+        match (seen, closed) {
+            (Some(2), Some(Some(2))) => {} // request first, close finalized the mutation
+            (None, Some(Some(1))) => {}    // close first, request missed
+            other => panic!("unexplainable close/request outcome {other:?}"),
+        }
+        assert!(reg.is_empty());
+    });
+}
+
+/// The shutdown handshake, with the blocking `accept` modeled as a
+/// condvar wait: two concurrent `SHUTDOWN` requesters fire exactly one
+/// wake-up (first-request-wins on the flag's `AcqRel` swap), the parked
+/// listener always wakes (no lost-wakeup interleaving exists — the
+/// checker's deadlock detector would find one), and on waking it
+/// observes the flag via the acquire/release pairing.
+#[test]
+fn shutdown_wakeup_is_never_lost_and_fires_once() {
+    let _g = serial();
+    lsm_check::model(|| {
+        let flag = Arc::new(ShutdownFlag::new());
+        let poked = Arc::new((Mutex::new(false), Condvar::new()));
+        let wakes = Arc::new(AtomicUsize::new(0));
+
+        let (f, p) = (Arc::clone(&flag), Arc::clone(&poked));
+        let listener = thread::spawn(move || {
+            let (woke, cv) = &*p;
+            let mut woke = woke.lock();
+            while !*woke {
+                cv.wait(&mut woke);
+            }
+            assert!(f.is_requested(), "wake-up arrived before the flag was visible");
+        });
+
+        let requesters: Vec<_> = (0..2)
+            .map(|_| {
+                let (f, p, w) = (Arc::clone(&flag), Arc::clone(&poked), Arc::clone(&wakes));
+                thread::spawn(move || {
+                    if f.request() {
+                        w.fetch_add(1, Ordering::AcqRel);
+                        let (woke, cv) = &*p;
+                        *woke.lock() = true;
+                        cv.notify_one();
+                    }
+                })
+            })
+            .collect();
+        for r in requesters {
+            r.join().unwrap();
+        }
+        listener.join().unwrap();
+        assert_eq!(wakes.load(Ordering::Acquire), 1, "exactly one requester owns the wake-up");
+        assert!(flag.is_requested());
+    });
+}

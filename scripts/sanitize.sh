@@ -9,13 +9,18 @@
 #   - ThreadSanitizer builds the obs concurrency hammers with
 #     `-Zsanitizer=thread` and races real threads over the histogram /
 #     counter / trace paths the R11 atomics rule reasons about statically.
+#   - The lsm-check model checker reruns the obs/serve model suites under
+#     `--cfg lsm_model_check` with the per-test execution budget lifted
+#     (LSM_CHECK_MAX_EXECUTIONS=0), exploring the full bounded state
+#     space instead of the tier-1 sample. Stable toolchain; no sanitizer
+#     runtime involved.
 #
-# Both need a nightly toolchain:
+# Miri and TSan need a nightly toolchain:
 #
 #   rustup toolchain install nightly
 #   rustup +nightly component add miri rust-src
 #
-# Usage: scripts/sanitize.sh [miri|tsan|all]   (default: all)
+# Usage: scripts/sanitize.sh [miri|tsan|check|all]   (default: all)
 #
 # Env knobs: MIRIFLAGS / TSAN_OPTIONS are respected and extended, never
 # clobbered. Exit is non-zero if any requested sanitizer fails or is
@@ -24,18 +29,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="${1:-all}"
-case "$mode" in miri | tsan | all) ;; *)
-  echo "usage: scripts/sanitize.sh [miri|tsan|all]" >&2
+case "$mode" in miri | tsan | check | all) ;; *)
+  echo "usage: scripts/sanitize.sh [miri|tsan|check|all]" >&2
   exit 2
   ;;
 esac
 
-if ! rustup toolchain list 2>/dev/null | grep -q '^nightly'; then
-  echo "sanitize: nightly toolchain not installed (rustup toolchain install nightly)" >&2
-  exit 1
-fi
+need_nightly() {
+  if ! rustup toolchain list 2>/dev/null | grep -q '^nightly'; then
+    echo "sanitize: nightly toolchain not installed (rustup toolchain install nightly)" >&2
+    return 1
+  fi
+}
 
 run_miri() {
+  need_nightly || return 1
   if ! cargo +nightly miri --version >/dev/null 2>&1; then
     echo "sanitize: miri not installed (rustup +nightly component add miri)" >&2
     return 1
@@ -52,6 +60,7 @@ run_miri() {
 }
 
 run_tsan() {
+  need_nightly || return 1
   if ! rustup +nightly component list 2>/dev/null | grep -q 'rust-src.*(installed)'; then
     echo "sanitize: rust-src not installed (rustup +nightly component add rust-src)" >&2
     return 1
@@ -67,13 +76,29 @@ run_tsan() {
     -p lsm-obs --test concurrent
 }
 
+run_check() {
+  echo "==> model check: exhaustive exploration, execution budget lifted"
+  # Tier-1 runs the same suites with the default per-test budget
+  # (LSM_CHECK_MAX_EXECUTIONS=200000); here 0 means unbounded, so every
+  # interleaving the preemption bound admits is visited. A failure prints
+  # a schedule trace; LSM_CHECK_REPLAY=<trace> replays it exactly.
+  LSM_CHECK_MAX_EXECUTIONS=0 RUSTFLAGS="${RUSTFLAGS:-} --cfg lsm_model_check" \
+    cargo test -p lsm-check
+  LSM_CHECK_MAX_EXECUTIONS=0 RUSTFLAGS="${RUSTFLAGS:-} --cfg lsm_model_check" \
+    cargo test -p lsm-obs --test model -- --test-threads=2
+  LSM_CHECK_MAX_EXECUTIONS=0 RUSTFLAGS="${RUSTFLAGS:-} --cfg lsm_model_check" \
+    cargo test -p lsm-serve --test model -- --test-threads=2
+}
+
 status=0
 case "$mode" in
 miri) run_miri || status=1 ;;
 tsan) run_tsan || status=1 ;;
+check) run_check || status=1 ;;
 all)
   run_miri || status=1
   run_tsan || status=1
+  run_check || status=1
   ;;
 esac
 

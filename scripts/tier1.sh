@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: format check, release build, full test suite,
 # workspace clippy, the lsm-lint static-analysis gate, a kernel-parity /
-# int8-drift smoke, an observability smoke test, a crash/resume
-# persistence smoke test, and a serving-daemon protocol smoke
-# (ROADMAP.md "Tier-1 verify").
+# int8-drift smoke, an observability smoke test, the lsm-check
+# bounded-interleaving model-check pass, a crash/resume persistence smoke
+# test, and a serving-daemon protocol smoke (ROADMAP.md "Tier-1 verify").
 #
 # Usage: scripts/tier1.sh
 set -euo pipefail
@@ -69,6 +69,24 @@ fi
 
 echo "==> alloc-track: counting-allocator tests (opt-in feature)"
 cargo test -q -p lsm-obs --features alloc-track --test alloc_track -- --test-threads=1
+
+echo "==> model check: bounded-interleaving exploration (lsm-check scheduler)"
+# --cfg lsm_model_check reroutes lsm_check::sync through the cooperative
+# scheduler, which explores every bounded interleaving of each model test
+# (crates/check semantics suite, plus the obs/serve protocol models). The
+# same model tests already ran over the real primitives in the workspace
+# test step above; this is the exhaustive side. On failure the panic
+# message carries the schedule trace — rerun the test with
+# LSM_CHECK_REPLAY=<trace> to step the exact failing interleaving. The
+# log is kept for CI to upload as an artifact.
+model_log=/tmp/lsm_tier1_model_check.log
+: >"$model_log"
+RUSTFLAGS="${RUSTFLAGS:-} --cfg lsm_model_check" \
+  cargo test -q -p lsm-check 2>&1 | tee -a "$model_log"
+RUSTFLAGS="${RUSTFLAGS:-} --cfg lsm_model_check" \
+  cargo test -q -p lsm-obs --test model -- --test-threads=2 2>&1 | tee -a "$model_log"
+RUSTFLAGS="${RUSTFLAGS:-} --cfg lsm_model_check" \
+  cargo test -q -p lsm-serve --test model -- --test-threads=2 2>&1 | tee -a "$model_log"
 
 echo "==> perf-regression gate self-test (injected 20% slowdown must trip)"
 cargo run --release -p lsm-bench --bin perf_report -- --selftest-compare
